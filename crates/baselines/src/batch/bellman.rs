@@ -1,0 +1,180 @@
+//! The exact dynamic program for Min-Error (Bellman, 1961 — adapted to the
+//! min–max objective): `D[i][c] = min_{j<i} max(D[j][c−1], ε(j, i))`.
+//!
+//! Runs in `O(n² · W)` time after an `O(n³)` segment-error precomputation —
+//! prohibitive beyond a few hundred points (the paper uses it only on short
+//! trajectories, Exp. 1), but it gives the optimum every approximate method
+//! is judged against.
+
+use trajectory::error::{segment_error, Measure};
+use trajectory::{BatchSimplifier, Point};
+
+/// The exact Bellman dynamic program for the Min-Error problem
+/// (max aggregation).
+#[derive(Debug, Clone)]
+pub struct Bellman {
+    measure: Measure,
+}
+
+impl Bellman {
+    /// Creates the exact DP under `measure`.
+    pub fn new(measure: Measure) -> Self {
+        Bellman { measure }
+    }
+}
+
+impl BatchSimplifier for Bellman {
+    fn name(&self) -> &'static str {
+        "Bellman"
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        assert!(w >= 2, "budget must be at least 2");
+        let n = pts.len();
+        if n <= w {
+            return (0..n).collect();
+        }
+
+        // err[j * n + i] = ε(segment (j, i)) for j < i.
+        let mut err = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in (j + 1)..n {
+                err[j * n + i] = if i == j + 1 && matches!(self.measure, Measure::Sed | Measure::Ped)
+                {
+                    0.0
+                } else {
+                    segment_error(self.measure, pts, j, i)
+                };
+            }
+        }
+
+        // dp[c][i]: minimal achievable max error keeping c+1 points of the
+        // prefix ..=i with i kept (c segments). parent for reconstruction.
+        let segs = w - 1;
+        let mut dp_prev = vec![f64::INFINITY; n];
+        let mut parent = vec![vec![usize::MAX; n]; segs + 1];
+        // c = 1: one segment from 0 to i.
+        for i in 1..n {
+            dp_prev[i] = err[i];
+            parent[1][i] = 0;
+        }
+        let mut dp_cur = vec![f64::INFINITY; n];
+        #[allow(clippy::needless_range_loop)] // the index is the point id
+        for c in 2..=segs {
+            dp_cur.fill(f64::INFINITY);
+            // Keeping c segments needs at least c points before i.
+            for i in c..n {
+                let mut best = f64::INFINITY;
+                let mut best_j = usize::MAX;
+                for j in (c - 1)..i {
+                    let cand = dp_prev[j].max(err[j * n + i]);
+                    if cand < best {
+                        best = cand;
+                        best_j = j;
+                    }
+                }
+                dp_cur[i] = best;
+                parent[c][i] = best_j;
+            }
+            std::mem::swap(&mut dp_prev, &mut dp_cur);
+        }
+
+        // Reconstruct from (segs, n-1).
+        let mut kept = Vec::with_capacity(w);
+        let mut i = n - 1;
+        let mut c = segs;
+        kept.push(i);
+        while c >= 1 {
+            let j = parent[c][i];
+            debug_assert_ne!(j, usize::MAX, "broken DP chain at c={c}, i={i}");
+            kept.push(j);
+            i = j;
+            c -= 1;
+        }
+        kept.reverse();
+        debug_assert_eq!(kept[0], 0);
+        kept
+    }
+}
+
+impl Bellman {
+    /// The optimal (minimal) max error achievable with budget `w`, without
+    /// reconstructing the kept set.
+    pub fn optimal_error(&self, pts: &[Point], w: usize) -> f64 {
+        use trajectory::error::{simplification_error, Aggregation};
+        let kept = Bellman::new(self.measure).simplify(pts, w);
+        simplification_error(self.measure, pts, &kept, Aggregation::Max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::test_support::{check_batch_contract, wiggly};
+    use crate::batch::{BottomUp, TopDown};
+    use trajectory::error::{simplification_error, Aggregation};
+
+    #[test]
+    fn contract() {
+        for m in Measure::ALL {
+            check_batch_contract(&mut Bellman::new(m), m);
+        }
+    }
+
+    #[test]
+    fn optimal_on_hand_case() {
+        // A spike at index 2: with w = 3 the optimum keeps the spike.
+        let pts: Vec<Point> = [
+            (0.0, 0.0),
+            (1.0, 0.1),
+            (2.0, 5.0),
+            (3.0, 0.1),
+            (4.0, 0.0),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| Point::new(x, y, i as f64))
+        .collect();
+        let kept = Bellman::new(Measure::Ped).simplify(&pts, 3);
+        assert_eq!(kept, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn never_worse_than_heuristics() {
+        let pts = wiggly(50);
+        for m in Measure::ALL {
+            for w in [5, 10, 20] {
+                let opt = Bellman::new(m).optimal_error(&pts, w);
+                for kept in [
+                    TopDown::new(m).simplify(&pts, w),
+                    BottomUp::new(m).simplify(&pts, w),
+                ] {
+                    let e = simplification_error(m, &pts, &kept, Aggregation::Max);
+                    assert!(
+                        opt <= e + 1e-9,
+                        "{m} w={w}: Bellman {opt} worse than heuristic {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_check_on_tiny_input() {
+        // Brute-force all subsets of interior points for n = 8, w = 4 and
+        // confirm the DP matches the true optimum.
+        let pts = wiggly(8);
+        for m in Measure::ALL {
+            let opt = Bellman::new(m).optimal_error(&pts, 4);
+            let mut best = f64::INFINITY;
+            for a in 1..7 {
+                for b in (a + 1)..7 {
+                    let kept = vec![0, a, b, 7];
+                    let e = simplification_error(m, &pts, &kept, Aggregation::Max);
+                    best = best.min(e);
+                }
+            }
+            assert!((opt - best).abs() < 1e-9, "{m}: dp {opt} vs brute {best}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Bottom-Up: start from the full trajectory and repeatedly drop the point
+//! whose removal introduces the smallest error (paper Eq. (12) merge cost),
+//! until only `W` points remain. `O((n−W)(n′ + log n))` time — the strongest
+//! approximate baseline in the paper's batch experiments.
+
+use std::collections::BTreeSet;
+use trajectory::error::Measure;
+use trajectory::{BatchSimplifier, ErrorBook, Point};
+
+/// The Bottom-Up batch simplifier, parameterized by error measure.
+#[derive(Debug, Clone)]
+pub struct BottomUp {
+    measure: Measure,
+}
+
+impl BottomUp {
+    /// Creates a Bottom-Up simplifier under `measure`.
+    pub fn new(measure: Measure) -> Self {
+        BottomUp { measure }
+    }
+}
+
+impl BatchSimplifier for BottomUp {
+    fn name(&self) -> &'static str {
+        "Bottom-Up"
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        assert!(w >= 2, "budget must be at least 2");
+        let n = pts.len();
+        if n <= w {
+            return (0..n).collect();
+        }
+        let mut book = ErrorBook::with_all(pts, self.measure);
+        // Ordered candidate set of (merge-cost bits, interior index).
+        let mut candidates: BTreeSet<(u64, u32)> = BTreeSet::new();
+        let mut cost = vec![0.0f64; n];
+        #[allow(clippy::needless_range_loop)] // the index is the point id
+        for j in 1..n - 1 {
+            let c = book.merge_cost(j);
+            cost[j] = c;
+            candidates.insert((c.to_bits(), j as u32));
+        }
+        while book.kept_len() > w {
+            let &(bits, j) = candidates.iter().next().expect("kept > w implies interior points");
+            candidates.remove(&(bits, j));
+            let j = j as usize;
+            let prev = book.prev_kept(j).expect("interior candidate has prev");
+            let next = book.next_kept(j).expect("interior candidate has next");
+            book.drop(j);
+            // Only the two ex-neighbours' merge costs change.
+            for nb in [prev, next] {
+                if nb == 0 || nb == n - 1 {
+                    continue;
+                }
+                candidates.remove(&(cost[nb].to_bits(), nb as u32));
+                let c = book.merge_cost(nb);
+                cost[nb] = c;
+                candidates.insert((c.to_bits(), nb as u32));
+            }
+        }
+        book.kept_indices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::test_support::{check_batch_contract, wiggly};
+    use trajectory::error::{simplification_error, Aggregation};
+
+    #[test]
+    fn contract() {
+        for m in Measure::ALL {
+            check_batch_contract(&mut BottomUp::new(m), m);
+        }
+    }
+
+    #[test]
+    fn keeps_exactly_w_points() {
+        let pts = wiggly(50);
+        let kept = BottomUp::new(Measure::Sed).simplify(&pts, 12);
+        assert_eq!(kept.len(), 12);
+    }
+
+    #[test]
+    fn drops_redundant_points_first() {
+        // Straight run followed by a sharp corner: the corner survives.
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            pts.push(Point::new(i as f64, 0.0, i as f64));
+        }
+        for i in 1..12 {
+            pts.push(Point::new(11.0, i as f64, (11 + i) as f64));
+        }
+        let kept = BottomUp::new(Measure::Ped).simplify(&pts, 3);
+        assert_eq!(kept, vec![0, 11, 22]);
+    }
+
+    #[test]
+    fn competitive_with_top_down() {
+        // Bottom-Up generally beats Top-Down on max error in the paper;
+        // require it to be at least not catastrophically worse on average.
+        use crate::batch::TopDown;
+        let pts = wiggly(120);
+        let mut bu_total = 0.0;
+        let mut td_total = 0.0;
+        for w in [12, 24, 48] {
+            let bu = BottomUp::new(Measure::Sed).simplify(&pts, w);
+            let td = TopDown::new(Measure::Sed).simplify(&pts, w);
+            bu_total += simplification_error(Measure::Sed, &pts, &bu, Aggregation::Max);
+            td_total += simplification_error(Measure::Sed, &pts, &td, Aggregation::Max);
+        }
+        assert!(bu_total <= td_total * 2.0, "bottom-up {bu_total} vs top-down {td_total}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Batch-mode baselines: the exact Bellman dynamic program, Top-Down,
+//! Bottom-Up, Span-Search (DAD-specific), and a uniform sampler.
+
+mod bellman;
+mod bottom_up;
+mod span_search;
+mod top_down;
+mod uniform;
+
+pub use bellman::Bellman;
+pub use bottom_up::BottomUp;
+pub use span_search::SpanSearch;
+pub use top_down::TopDown;
+pub use uniform::Uniform;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use trajectory::error::{simplification_error, Aggregation, Measure};
+    use trajectory::{BatchSimplifier, Point};
+
+    pub fn wiggly(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(f, (f * 0.7).sin() * 3.0 + (f * 0.13).cos() * 5.0, f)
+            })
+            .collect()
+    }
+
+    /// Shared conformance checks for any batch simplifier.
+    pub fn check_batch_contract<S: BatchSimplifier>(algo: &mut S, measure: Measure) {
+        let pts = wiggly(60);
+        for w in [2, 3, 10, 30] {
+            let kept = algo.simplify(&pts, w);
+            assert!(kept.len() <= w, "{}: kept {} > w {}", algo.name(), kept.len(), w);
+            assert!(kept.len() >= 2, "{}", algo.name());
+            assert_eq!(kept[0], 0, "{}", algo.name());
+            assert_eq!(*kept.last().unwrap(), pts.len() - 1, "{}", algo.name());
+            assert!(kept.windows(2).all(|p| p[0] < p[1]), "{}", algo.name());
+            let e = simplification_error(measure, &pts, &kept, Aggregation::Max);
+            assert!(e.is_finite(), "{}", algo.name());
+        }
+        // No-op when the budget covers everything.
+        let kept = algo.simplify(&pts[..7], 7);
+        assert_eq!(kept, vec![0, 1, 2, 3, 4, 5, 6], "{}", algo.name());
+        let kept = algo.simplify(&pts[..5], 50);
+        assert_eq!(kept.len(), 5, "{}", algo.name());
+    }
+}

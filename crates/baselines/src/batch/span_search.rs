@@ -1,0 +1,144 @@
+//! Span-Search — the DAD-specific batch baseline.
+//!
+//! The published algorithm ([22] in the paper) bounds the *span of movement
+//! directions* a single anchor segment may cover. This reimplementation (the
+//! original code is not available; see DESIGN.md §4) keeps that core idea:
+//!
+//! 1. `feasible(θ)` greedily extends each anchor segment as far as possible
+//!    while every covered movement direction stays within `θ` of the anchor
+//!    direction — yielding the fewest kept points for that bound;
+//! 2. a binary search over `θ` finds the smallest direction bound whose
+//!    greedy cover fits the budget `W`.
+
+use std::f64::consts::PI;
+use trajectory::error::{dad_point_error, Measure};
+use trajectory::{BatchSimplifier, Point, Segment};
+
+/// The Span-Search batch simplifier (DAD only).
+#[derive(Debug, Clone)]
+pub struct SpanSearch {
+    /// Binary-search iterations over the direction bound.
+    pub search_iters: usize,
+}
+
+impl Default for SpanSearch {
+    fn default() -> Self {
+        SpanSearch { search_iters: 32 }
+    }
+}
+
+impl SpanSearch {
+    /// Creates a Span-Search simplifier with default search depth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The error measure this algorithm targets (always DAD).
+    pub fn measure(&self) -> Measure {
+        Measure::Dad
+    }
+
+    /// Greedy minimal cover for direction bound `theta`: extends each anchor
+    /// segment while the DAD error of every covered movement segment stays
+    /// within `theta`. Returns the kept indices.
+    fn cover(&self, pts: &[Point], theta: f64) -> Vec<usize> {
+        let n = pts.len();
+        let mut kept = vec![0usize];
+        let mut s = 0usize;
+        while s < n - 1 {
+            // Longest e such that segment (s, e) covers movements s..e within theta.
+            let mut e = s + 1;
+            let mut best = e;
+            while e < n {
+                let seg = Segment::new(pts[s], pts[e]);
+                let ok = (s..e).all(|i| dad_point_error(&seg, &pts[i], &pts[i + 1]) <= theta);
+                if ok {
+                    best = e;
+                    e += 1;
+                } else {
+                    break;
+                }
+            }
+            kept.push(best);
+            s = best;
+        }
+        kept
+    }
+}
+
+impl BatchSimplifier for SpanSearch {
+    fn name(&self) -> &'static str {
+        "Span-Search"
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        assert!(w >= 2, "budget must be at least 2");
+        let n = pts.len();
+        if n <= w {
+            return (0..n).collect();
+        }
+        let (mut lo, mut hi) = (0.0f64, PI);
+        let mut best = self.cover(pts, hi);
+        for _ in 0..self.search_iters {
+            let mid = 0.5 * (lo + hi);
+            let kept = self.cover(pts, mid);
+            if kept.len() <= w {
+                best = kept;
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        // The greedy cover at θ = π keeps exactly the endpoints (every
+        // direction fits), so `best` always satisfies the budget.
+        debug_assert!(best.len() <= w);
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::test_support::{check_batch_contract, wiggly};
+    use trajectory::error::{simplification_error, Aggregation};
+
+    #[test]
+    fn contract() {
+        check_batch_contract(&mut SpanSearch::new(), Measure::Dad);
+    }
+
+    #[test]
+    fn straight_line_needs_two_points() {
+        let pts: Vec<Point> = (0..15).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let kept = SpanSearch::new().simplify(&pts, 5);
+        assert_eq!(kept, vec![0, 14]);
+    }
+
+    #[test]
+    fn keeps_direction_changes() {
+        // Square-wave path: directions alternate by 90°, so a small budget
+        // must place kept points at the turns it can afford.
+        let mut pts = Vec::new();
+        let mut t = 0.0;
+        for rep in 0..4 {
+            for i in 0..5 {
+                pts.push(Point::new((rep * 10 + i) as f64, (rep % 2) as f64 * 5.0, t));
+                t += 1.0;
+            }
+        }
+        let kept = SpanSearch::new().simplify(&pts, 8);
+        let e = simplification_error(Measure::Dad, &pts, &kept, Aggregation::Max);
+        let endpoints_only = simplification_error(Measure::Dad, &pts, &[0, pts.len() - 1], Aggregation::Max);
+        assert!(e <= endpoints_only, "search should not be worse than keeping nothing");
+    }
+
+    #[test]
+    fn tighter_budget_never_reduces_error() {
+        let pts = wiggly(60);
+        let loose = SpanSearch::new().simplify(&pts, 30);
+        let tight = SpanSearch::new().simplify(&pts, 5);
+        let e_loose = simplification_error(Measure::Dad, &pts, &loose, Aggregation::Max);
+        let e_tight = simplification_error(Measure::Dad, &pts, &tight, Aggregation::Max);
+        assert!(e_loose <= e_tight + 1e-9, "loose {e_loose} vs tight {e_tight}");
+    }
+}

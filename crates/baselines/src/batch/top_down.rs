@@ -1,0 +1,223 @@
+//! Top-Down: the budgeted Douglas–Peucker variant. Start with the endpoint
+//! segment and repeatedly split the segment with the largest error at its
+//! worst point until `W` points are kept.
+//!
+//! Two implementations with identical output:
+//!
+//! * [`TopDown::new`] — the paper's `O(W·n)` algorithm ([39]): every round
+//!   rescans all current segments for the globally worst point. This is the
+//!   implementation whose running time the paper reports (slowest batch
+//!   baseline by ~2 orders of magnitude, Fig 5b/6b).
+//! * [`TopDown::fast`] — a heap-based refinement that only rescans the two
+//!   halves of the segment just split (`O(n log n)`-ish in practice), kept
+//!   for the implementation-choice ablation in DESIGN.md §5.
+
+use std::collections::BinaryHeap;
+use trajectory::error::Measure;
+use trajectory::{BatchSimplifier, Point, Segment};
+
+/// Which Top-Down implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Strategy {
+    /// Full rescan per round (the paper's `O(W·n)` version).
+    Rescan,
+    /// Heap of segments with cached worst points.
+    Heap,
+}
+
+/// The Top-Down batch simplifier, parameterized by error measure.
+#[derive(Debug, Clone)]
+pub struct TopDown {
+    measure: Measure,
+    strategy: Strategy,
+}
+
+impl TopDown {
+    /// Creates the paper-faithful `O(W·n)` Top-Down under `measure`.
+    pub fn new(measure: Measure) -> Self {
+        TopDown { measure, strategy: Strategy::Rescan }
+    }
+
+    /// Creates the heap-accelerated Top-Down (identical output, much
+    /// faster; not what the paper benchmarks).
+    pub fn fast(measure: Measure) -> Self {
+        TopDown { measure, strategy: Strategy::Heap }
+    }
+
+    /// Max error over range `(s, e)` plus the best split point (an interior
+    /// index strictly inside the range), or `None` if the range has no
+    /// interior.
+    fn worst(&self, pts: &[Point], s: usize, e: usize) -> Option<(f64, usize)> {
+        if e <= s + 1 {
+            return None;
+        }
+        let seg = Segment::new(pts[s], pts[e]);
+        let mut best = (0.0f64, s + 1);
+        #[allow(clippy::needless_range_loop)] // i is the original point index
+        match self.measure {
+            Measure::Sed | Measure::Ped => {
+                for i in (s + 1)..e {
+                    let err = match self.measure {
+                        Measure::Sed => trajectory::error::sed_point_error(&seg, &pts[i]),
+                        _ => trajectory::error::ped_point_error(&seg, &pts[i]),
+                    };
+                    if err > best.0 {
+                        best = (err, i);
+                    }
+                }
+            }
+            Measure::Dad | Measure::Sad => {
+                for i in s..e {
+                    let err = match self.measure {
+                        Measure::Dad => trajectory::error::dad_point_error(&seg, &pts[i], &pts[i + 1]),
+                        _ => trajectory::error::sad_point_error(&seg, &pts[i], &pts[i + 1]),
+                    };
+                    if err > best.0 {
+                        // Split strictly inside (s, e): use i when possible,
+                        // else its successor.
+                        let split = if i > s { i } else { i + 1 };
+                        best = (err, split.min(e - 1));
+                    }
+                }
+            }
+        }
+        Some(best)
+    }
+
+    fn simplify_rescan(&self, pts: &[Point], w: usize) -> Vec<usize> {
+        let n = pts.len();
+        let mut kept = vec![0, n - 1];
+        while kept.len() < w {
+            // One full pass over all current segments (the O(n) round).
+            let mut round_best: Option<(f64, usize)> = None;
+            for pair in kept.windows(2) {
+                if let Some((err, split)) = self.worst(pts, pair[0], pair[1]) {
+                    if round_best.is_none_or(|(b, _)| err > b) {
+                        round_best = Some((err, split));
+                    }
+                }
+            }
+            match round_best {
+                Some((err, split)) if err > 0.0 => {
+                    let pos = kept.binary_search(&split).expect_err("split is not kept yet");
+                    kept.insert(pos, split);
+                }
+                _ => break, // zero error everywhere: done early
+            }
+        }
+        kept
+    }
+
+    fn simplify_heap(&self, pts: &[Point], w: usize) -> Vec<usize> {
+        let n = pts.len();
+        // Max-heap of (error bits, s, e, split).
+        let mut heap: BinaryHeap<(u64, usize, usize, usize)> = BinaryHeap::new();
+        let mut kept = vec![0, n - 1];
+        if let Some((err, split)) = self.worst(pts, 0, n - 1) {
+            heap.push((err.to_bits(), 0, n - 1, split));
+        }
+        while kept.len() < w {
+            let Some((err_bits, s, e, split)) = heap.pop() else {
+                break; // every segment is exact already
+            };
+            if f64::from_bits(err_bits) == 0.0 {
+                break; // zero error everywhere: done early, fewer points kept
+            }
+            kept.push(split);
+            if let Some((err, sp)) = self.worst(pts, s, split) {
+                heap.push((err.to_bits(), s, split, sp));
+            }
+            if let Some((err, sp)) = self.worst(pts, split, e) {
+                heap.push((err.to_bits(), split, e, sp));
+            }
+        }
+        kept.sort_unstable();
+        kept
+    }
+}
+
+impl BatchSimplifier for TopDown {
+    fn name(&self) -> &'static str {
+        "Top-Down"
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        assert!(w >= 2, "budget must be at least 2");
+        let n = pts.len();
+        if n <= w {
+            return (0..n).collect();
+        }
+        match self.strategy {
+            Strategy::Rescan => self.simplify_rescan(pts, w),
+            Strategy::Heap => self.simplify_heap(pts, w),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::test_support::{check_batch_contract, wiggly};
+    use trajectory::error::{simplification_error, Aggregation};
+
+    #[test]
+    fn contract_rescan() {
+        for m in Measure::ALL {
+            check_batch_contract(&mut TopDown::new(m), m);
+        }
+    }
+
+    #[test]
+    fn contract_heap() {
+        for m in Measure::ALL {
+            check_batch_contract(&mut TopDown::fast(m), m);
+        }
+    }
+
+    #[test]
+    fn rescan_and_heap_agree() {
+        // The two strategies pick the same global argmax each round (ties
+        // aside), so the kept sets should produce the same error.
+        let pts = wiggly(90);
+        for m in Measure::ALL {
+            for w in [5, 15, 40] {
+                let a = TopDown::new(m).simplify(&pts, w);
+                let b = TopDown::fast(m).simplify(&pts, w);
+                let ea = simplification_error(m, &pts, &a, Aggregation::Max);
+                let eb = simplification_error(m, &pts, &b, Aggregation::Max);
+                assert!((ea - eb).abs() < 1e-9, "{m} w={w}: {ea} vs {eb}");
+            }
+        }
+    }
+
+    #[test]
+    fn splits_at_the_spike() {
+        let pts: Vec<Point> = (0..9)
+            .map(|i| Point::new(i as f64, if i == 4 { 10.0 } else { 0.0 }, i as f64))
+            .collect();
+        let kept = TopDown::new(Measure::Ped).simplify(&pts, 3);
+        assert_eq!(kept, vec![0, 4, 8]);
+        let kept = TopDown::fast(Measure::Ped).simplify(&pts, 3);
+        assert_eq!(kept, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn error_trends_down_with_budget() {
+        let pts = wiggly(80);
+        for m in Measure::ALL {
+            let small = TopDown::new(m).simplify(&pts, 4);
+            let large = TopDown::new(m).simplify(&pts, 40);
+            let e_small = simplification_error(m, &pts, &small, Aggregation::Max);
+            let e_large = simplification_error(m, &pts, &large, Aggregation::Max);
+            assert!(e_large <= e_small + 1e-9, "{m}: {e_large} !<= {e_small}");
+        }
+    }
+
+    #[test]
+    fn stops_early_on_exact_input() {
+        // A straight constant-speed line needs only the endpoints.
+        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        assert_eq!(TopDown::new(Measure::Sed).simplify(&pts, 10), vec![0, 19]);
+        assert_eq!(TopDown::fast(Measure::Sed).simplify(&pts, 10), vec![0, 19]);
+    }
+}

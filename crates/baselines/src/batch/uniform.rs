@@ -1,0 +1,64 @@
+//! Uniform sampling — the trivial baseline that keeps evenly spaced points.
+//! Not part of the paper's comparison set; used as a sanity floor in the
+//! ablation experiments.
+
+use trajectory::{BatchSimplifier, Point};
+
+/// Keeps `w` evenly spaced indices (always including both endpoints).
+#[derive(Debug, Clone, Default)]
+pub struct Uniform;
+
+impl Uniform {
+    /// Creates the uniform sampler.
+    pub fn new() -> Self {
+        Uniform
+    }
+}
+
+impl BatchSimplifier for Uniform {
+    fn name(&self) -> &'static str {
+        "Uniform"
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        assert!(w >= 2, "budget must be at least 2");
+        let n = pts.len();
+        if n <= w {
+            return (0..n).collect();
+        }
+        let mut kept: Vec<usize> = (0..w)
+            .map(|i| (i as f64 * (n - 1) as f64 / (w - 1) as f64).round() as usize)
+            .collect();
+        kept.dedup();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::test_support::check_batch_contract;
+    use trajectory::error::Measure;
+
+    #[test]
+    fn contract() {
+        check_batch_contract(&mut Uniform::new(), Measure::Sed);
+    }
+
+    #[test]
+    fn spacing_is_even() {
+        let pts: Vec<Point> = (0..101).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let kept = Uniform::new().simplify(&pts, 5);
+        assert_eq!(kept, vec![0, 25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn endpoints_always_present() {
+        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        for w in 2..7 {
+            let kept = Uniform::new().simplify(&pts, w);
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 6);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Bounded Bottom-Up: greedily merge the cheapest neighbouring segments
+//! while the resulting simplification error stays within the bound.
+
+use std::collections::BTreeSet;
+use trajectory::error::Measure;
+use trajectory::{ErrorBook, ErrorBoundedSimplifier, Point};
+
+/// The error-bounded Bottom-Up simplifier.
+#[derive(Debug, Clone)]
+pub struct BoundedBottomUp {
+    measure: Measure,
+}
+
+impl BoundedBottomUp {
+    /// Creates a bounded Bottom-Up simplifier under `measure`.
+    pub fn new(measure: Measure) -> Self {
+        BoundedBottomUp { measure }
+    }
+}
+
+impl ErrorBoundedSimplifier for BoundedBottomUp {
+    fn name(&self) -> &'static str {
+        "Bounded-Bottom-Up"
+    }
+
+    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+        assert!(epsilon >= 0.0, "error bound must be non-negative");
+        assert!(pts.len() >= 2, "need at least two points");
+        let n = pts.len();
+        let mut book = ErrorBook::with_all(pts, self.measure);
+        let mut candidates: BTreeSet<(u64, u32)> = BTreeSet::new();
+        let mut cost = vec![0.0f64; n];
+        #[allow(clippy::needless_range_loop)] // the index is the point id
+        for j in 1..n - 1 {
+            let c = book.merge_cost(j);
+            cost[j] = c;
+            candidates.insert((c.to_bits(), j as u32));
+        }
+        while let Some(&(bits, j)) = candidates.iter().next() {
+            let c = f64::from_bits(bits);
+            if c > epsilon {
+                break; // the cheapest drop would already break the bound
+            }
+            candidates.remove(&(bits, j));
+            let j = j as usize;
+            let prev = book.prev_kept(j).expect("interior");
+            let next = book.next_kept(j).expect("interior");
+            book.drop(j);
+            for nb in [prev, next] {
+                if nb != 0 && nb != n - 1 {
+                    candidates.remove(&(cost[nb].to_bits(), nb as u32));
+                    let c = book.merge_cost(nb);
+                    cost[nb] = c;
+                    candidates.insert((c.to_bits(), nb as u32));
+                }
+            }
+        }
+        book.kept_indices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::test_support::{check_bounded_contract, hilly};
+    use trajectory::error::{simplification_error, Aggregation};
+
+    #[test]
+    fn contract() {
+        for m in Measure::ALL {
+            check_bounded_contract(&mut BoundedBottomUp::new(m), m);
+        }
+    }
+
+    #[test]
+    fn infinite_bound_keeps_only_endpoints() {
+        let pts = hilly(40);
+        let kept = BoundedBottomUp::new(Measure::Sed).simplify_bounded(&pts, f64::MAX);
+        assert_eq!(kept, vec![0, 39]);
+    }
+
+    #[test]
+    fn merge_cost_is_conservative_for_the_bound() {
+        // The merge cost equals the new segment's own error, so the global
+        // max never exceeds the largest accepted cost ≤ ε.
+        let pts = hilly(80);
+        for eps in [0.5, 2.5, 10.0] {
+            let kept = BoundedBottomUp::new(Measure::Sed).simplify_bounded(&pts, eps);
+            let e = simplification_error(Measure::Sed, &pts, &kept, Aggregation::Max);
+            assert!(e <= eps + 1e-9, "eps {eps}: {e}");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Dead Reckoning (paper §II-A, [18]): the online error-bounded technique
+//! that predicts the object's next location from the last kept point's
+//! position and velocity and only keeps a point when it deviates from the
+//! prediction by more than the bound.
+//!
+//! Unlike Opening-Window, each decision costs `O(1)` — the classic choice
+//! for extremely constrained sensors — at the price of keeping more points
+//! for the same bound.
+//!
+//! **Bound semantics caveat**: Dead Reckoning bounds each skipped point's
+//! deviation from the constant-velocity *prediction* at decision time. That
+//! is the guarantee the original technique offers; the resulting SED against
+//! the kept polyline is usually similar but is **not** strictly bounded by
+//! ε (the other dual algorithms do bound the chosen measure exactly).
+
+use trajectory::{ErrorBoundedSimplifier, Point};
+
+/// The Dead-Reckoning error-bounded simplifier (SED-style positional bound).
+#[derive(Debug, Clone, Default)]
+pub struct DeadReckoning;
+
+impl DeadReckoning {
+    /// Creates a Dead-Reckoning simplifier.
+    pub fn new() -> Self {
+        DeadReckoning
+    }
+}
+
+impl ErrorBoundedSimplifier for DeadReckoning {
+    fn name(&self) -> &'static str {
+        "Dead-Reckoning"
+    }
+
+    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+        assert!(epsilon >= 0.0, "error bound must be non-negative");
+        assert!(pts.len() >= 2, "need at least two points");
+        let n = pts.len();
+        let mut kept = vec![0usize];
+        // Velocity estimate at the last kept point (from its successor,
+        // which a sensor observes before deciding).
+        let mut anchor = 0usize;
+        let mut vx;
+        let mut vy;
+        {
+            let dt = (pts[1].t - pts[0].t).max(f64::MIN_POSITIVE);
+            vx = (pts[1].x - pts[0].x) / dt;
+            vy = (pts[1].y - pts[0].y) / dt;
+        }
+        for i in 2..n - 1 {
+            let dt = pts[i].t - pts[anchor].t;
+            let px = pts[anchor].x + vx * dt;
+            let py = pts[anchor].y + vy * dt;
+            let deviation = (pts[i].x - px).hypot(pts[i].y - py);
+            if deviation > epsilon {
+                // Keep this point and re-estimate velocity from its successor.
+                kept.push(i);
+                anchor = i;
+                let dt_next = (pts[i + 1].t - pts[i].t).max(f64::MIN_POSITIVE);
+                vx = (pts[i + 1].x - pts[i].x) / dt_next;
+                vy = (pts[i + 1].y - pts[i].y) / dt_next;
+            }
+        }
+        kept.push(n - 1);
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::test_support::hilly;
+
+    #[test]
+    fn constant_velocity_keeps_endpoints_only() {
+        let pts: Vec<Point> = (0..30).map(|i| Point::new(i as f64 * 2.0, i as f64, i as f64)).collect();
+        let kept = DeadReckoning::new().simplify_bounded(&pts, 0.5);
+        assert_eq!(kept, vec![0, 29]);
+    }
+
+    #[test]
+    fn turn_breaks_the_prediction() {
+        // Straight east, then straight north: the prediction fails right
+        // after the corner.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point::new(i as f64, 0.0, i as f64));
+        }
+        for i in 1..10 {
+            pts.push(Point::new(9.0, i as f64, (9 + i) as f64));
+        }
+        let kept = DeadReckoning::new().simplify_bounded(&pts, 1.0);
+        assert!(kept.len() > 2);
+        // A kept point appears within two samples of the corner (index 9).
+        assert!(kept.iter().any(|&i| (9..=11).contains(&i)), "{kept:?}");
+    }
+
+    #[test]
+    fn tighter_bound_keeps_more_points() {
+        let pts = hilly(80);
+        let tight = DeadReckoning::new().simplify_bounded(&pts, 0.5);
+        let loose = DeadReckoning::new().simplify_bounded(&pts, 5.0);
+        assert!(tight.len() >= loose.len(), "{} < {}", tight.len(), loose.len());
+        assert_eq!(tight[0], 0);
+        assert_eq!(*tight.last().unwrap(), 79);
+    }
+
+    #[test]
+    fn prediction_deviation_bounds_kept_spacing_errors() {
+        // Every *skipped* point deviated from the constant-velocity
+        // prediction by at most ε at decision time — verify directly.
+        let pts = hilly(60);
+        let eps = 2.0;
+        let kept = DeadReckoning::new().simplify_bounded(&pts, eps);
+        let kept_set: std::collections::HashSet<usize> = kept.iter().copied().collect();
+        let mut anchor = 0usize;
+        let mut v = {
+            let dt = (pts[1].t - pts[0].t).max(f64::MIN_POSITIVE);
+            ((pts[1].x - pts[0].x) / dt, (pts[1].y - pts[0].y) / dt)
+        };
+        for i in 2..pts.len() - 1 {
+            if kept_set.contains(&i) {
+                anchor = i;
+                let dt = (pts[i + 1].t - pts[i].t).max(f64::MIN_POSITIVE);
+                v = ((pts[i + 1].x - pts[i].x) / dt, (pts[i + 1].y - pts[i].y) / dt);
+                continue;
+            }
+            let dt = pts[i].t - pts[anchor].t;
+            let px = pts[anchor].x + v.0 * dt;
+            let py = pts[anchor].y + v.1 * dt;
+            let d = (pts[i].x - px).hypot(pts[i].y - py);
+            assert!(d <= eps + 1e-9, "skipped point {i} deviated by {d}");
+        }
+    }
+}

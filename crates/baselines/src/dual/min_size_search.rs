@@ -1,0 +1,99 @@
+//! The binary-search adaptation of a Min-Error simplifier to the Min-Size
+//! problem that the paper mentions (§VI-A) — and excludes from its
+//! comparisons because the `log n` outer loop makes it expensive. Provided
+//! here for completeness and as the reference for the dual experiments.
+
+use trajectory::error::{simplification_error, Aggregation, Measure};
+use trajectory::{BatchSimplifier, ErrorBoundedSimplifier, Point};
+
+/// Wraps any Min-Error batch simplifier into an error-bounded one by binary
+/// searching the smallest budget `W` whose result meets the bound.
+pub struct MinSizeSearch<S> {
+    inner: S,
+    measure: Measure,
+}
+
+impl<S: BatchSimplifier> MinSizeSearch<S> {
+    /// Wraps `inner`, scoring candidate budgets under `measure`.
+    pub fn new(inner: S, measure: Measure) -> Self {
+        MinSizeSearch { inner, measure }
+    }
+}
+
+impl<S: BatchSimplifier> ErrorBoundedSimplifier for MinSizeSearch<S> {
+    fn name(&self) -> &'static str {
+        "Min-Size-Search"
+    }
+
+    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+        assert!(epsilon >= 0.0, "error bound must be non-negative");
+        assert!(pts.len() >= 2, "need at least two points");
+        let n = pts.len();
+        let feasible = |this: &mut Self, w: usize| -> Option<Vec<usize>> {
+            let kept = this.inner.simplify(pts, w);
+            let e = simplification_error(this.measure, pts, &kept, Aggregation::Max);
+            (e <= epsilon).then_some(kept)
+        };
+        // The full trajectory is always feasible (zero error).
+        let mut best: Vec<usize> = (0..n).collect();
+        let (mut lo, mut hi) = (2usize, n);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match feasible(self, mid) {
+                Some(kept) => {
+                    best = kept;
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        // NOTE: error is not strictly monotone in W for greedy inner
+        // algorithms, so the binary search is a heuristic for them (exact
+        // for Bellman); `best` always satisfies the bound regardless.
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{Bellman, BottomUp};
+    use crate::dual::test_support::hilly;
+    use crate::dual::Split;
+
+    #[test]
+    fn bound_always_satisfied() {
+        let pts = hilly(50);
+        for eps in [0.5, 2.0, 8.0] {
+            let mut algo = MinSizeSearch::new(BottomUp::new(Measure::Sed), Measure::Sed);
+            let kept = algo.simplify_bounded(&pts, eps);
+            let e = simplification_error(Measure::Sed, &pts, &kept, Aggregation::Max);
+            assert!(e <= eps + 1e-9, "eps {eps}: {e}");
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 49);
+        }
+    }
+
+    #[test]
+    fn with_bellman_it_is_no_larger_than_split() {
+        // Binary search over the exact DP gives the optimal Min-Size answer
+        // (error is monotone in W for the optimum); Split can only match or
+        // keep more points.
+        let pts = hilly(40);
+        for eps in [1.0, 4.0] {
+            let mut exact = MinSizeSearch::new(Bellman::new(Measure::Sed), Measure::Sed);
+            let optimal = exact.simplify_bounded(&pts, eps);
+            let split = Split::new(Measure::Sed).simplify_bounded(&pts, eps);
+            assert!(optimal.len() <= split.len(), "eps {eps}: {} > {}", optimal.len(), split.len());
+        }
+    }
+
+    #[test]
+    fn zero_bound_keeps_everything_interesting() {
+        let pts = hilly(30);
+        let mut algo = MinSizeSearch::new(Bellman::new(Measure::Ped), Measure::Ped);
+        let kept = algo.simplify_bounded(&pts, 0.0);
+        let e = simplification_error(Measure::Ped, &pts, &kept, Aggregation::Max);
+        assert!(e <= 1e-12);
+    }
+}

@@ -1,0 +1,63 @@
+//! The dual **Min-Size** problem (paper §II-A/§II-B): keep as few points as
+//! possible subject to an error bound ε.
+//!
+//! The paper excludes these from its Min-Error comparison (adapting them via
+//! binary search costs `O(n² log n)`+), but they complete the library for
+//! users who think in error budgets rather than storage budgets:
+//!
+//! * [`OpeningWindow`] — the classic online error-bounded algorithm;
+//! * [`DeadReckoning`] — constant-velocity prediction with an O(1) decision
+//!   per point ([18] in the paper);
+//! * [`Split`] — recursive Douglas–Peucker splitting down to the bound;
+//! * [`BoundedBottomUp`] — greedy merging while the bound holds;
+//! * [`MinSizeSearch`] — the binary-search adaptation of any Min-Error
+//!   batch simplifier that the paper mentions (and dismisses as slow).
+
+mod bounded_bottom_up;
+mod dead_reckoning;
+mod min_size_search;
+mod opening_window;
+mod split;
+
+pub use bounded_bottom_up::BoundedBottomUp;
+pub use dead_reckoning::DeadReckoning;
+pub use min_size_search::MinSizeSearch;
+pub use opening_window::OpeningWindow;
+pub use split::Split;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use trajectory::error::{simplification_error, Aggregation, Measure};
+    use trajectory::{ErrorBoundedSimplifier, Point};
+
+    pub fn hilly(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(f, (f * 0.6).sin() * 4.0 + (f * 0.09).cos() * 7.0, f)
+            })
+            .collect()
+    }
+
+    /// Shared conformance checks for error-bounded simplifiers.
+    pub fn check_bounded_contract<S: ErrorBoundedSimplifier>(algo: &mut S, measure: Measure) {
+        let pts = hilly(70);
+        let mut last_len = usize::MAX;
+        for eps in [0.5, 2.0, 8.0] {
+            let kept = algo.simplify_bounded(&pts, eps);
+            assert_eq!(kept[0], 0, "{}", algo.name());
+            assert_eq!(*kept.last().unwrap(), pts.len() - 1, "{}", algo.name());
+            assert!(kept.windows(2).all(|p| p[0] < p[1]), "{}", algo.name());
+            let e = simplification_error(measure, &pts, &kept, Aggregation::Max);
+            assert!(e <= eps + 1e-9, "{} eps={eps}: error {e}", algo.name());
+            // Looser bounds keep (weakly) fewer points.
+            assert!(kept.len() <= last_len, "{} eps={eps}", algo.name());
+            last_len = kept.len();
+        }
+        // Zero tolerance keeps everything that carries information; on a
+        // generic-position input that is every point.
+        let kept = algo.simplify_bounded(&pts, 0.0);
+        let e = simplification_error(measure, &pts, &kept, Aggregation::Max);
+        assert!(e <= 1e-9, "{}", algo.name());
+    }
+}

@@ -1,0 +1,83 @@
+//! Opening Window: the classic online error-bounded simplifier. Anchor at
+//! the last kept point; extend the window until the anchor segment to the
+//! incoming point violates the bound for some covered point; then keep the
+//! previous point and re-anchor there.
+
+use trajectory::error::{segment_error, Measure};
+use trajectory::{ErrorBoundedSimplifier, Point};
+
+/// The Opening-Window error-bounded simplifier, parameterized by measure.
+#[derive(Debug, Clone)]
+pub struct OpeningWindow {
+    measure: Measure,
+}
+
+impl OpeningWindow {
+    /// Creates an Opening-Window simplifier under `measure`.
+    pub fn new(measure: Measure) -> Self {
+        OpeningWindow { measure }
+    }
+}
+
+impl ErrorBoundedSimplifier for OpeningWindow {
+    fn name(&self) -> &'static str {
+        "Opening-Window"
+    }
+
+    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+        assert!(epsilon >= 0.0, "error bound must be non-negative");
+        assert!(pts.len() >= 2, "need at least two points");
+        let n = pts.len();
+        let mut kept = vec![0usize];
+        let mut anchor = 0usize;
+        let mut e = anchor + 1;
+        while e < n {
+            // Would the anchor segment (anchor, e) violate the bound?
+            let violates = e > anchor + 1 && segment_error(self.measure, pts, anchor, e) > epsilon;
+            if violates {
+                // Keep the previous point and restart the window there.
+                kept.push(e - 1);
+                anchor = e - 1;
+            }
+            e += 1;
+        }
+        if *kept.last().unwrap() != n - 1 {
+            kept.push(n - 1);
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dual::test_support::{check_bounded_contract, hilly};
+    use trajectory::error::{simplification_error, Aggregation};
+
+    #[test]
+    fn contract() {
+        for m in Measure::ALL {
+            check_bounded_contract(&mut OpeningWindow::new(m), m);
+        }
+    }
+
+    #[test]
+    fn straight_line_collapses_to_endpoints() {
+        let pts: Vec<Point> = (0..25).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let kept = OpeningWindow::new(Measure::Sed).simplify_bounded(&pts, 0.1);
+        assert_eq!(kept, vec![0, 24]);
+    }
+
+    #[test]
+    fn bound_is_respected_tightly() {
+        let pts = hilly(100);
+        for eps in [1.0, 3.0] {
+            let kept = OpeningWindow::new(Measure::Ped).simplify_bounded(&pts, eps);
+            let e = simplification_error(Measure::Ped, &pts, &kept, Aggregation::Max);
+            assert!(e <= eps + 1e-9, "eps {eps}: {e}");
+            // The bound should actually be exploited: a loose bound keeps
+            // far fewer points than the input.
+            assert!(kept.len() < pts.len() / 2, "eps {eps}: kept {}", kept.len());
+        }
+    }
+}

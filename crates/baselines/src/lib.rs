@@ -1,0 +1,40 @@
+//! `baselines` — every existing Min-Error trajectory simplification
+//! algorithm the RLTS paper compares against (§VI-A), implemented from
+//! scratch:
+//!
+//! **Online** (fixed buffer, drop-least-important):
+//! [`StTrace`], [`Squish`], [`SquishE`] — `O((n−W) log W)`.
+//!
+//! **Batch**:
+//! [`Bellman`] (exact DP, cubic), [`TopDown`] (budgeted Douglas–Peucker,
+//! `O(Wn)`), [`BottomUp`] (greedy merge, `O((n−W)(n′+log n))`),
+//! [`SpanSearch`] (DAD-specific), plus a [`Uniform`] sanity floor.
+//!
+//! All algorithms implement the [`trajectory::BatchSimplifier`] /
+//! [`trajectory::OnlineSimplifier`] traits, so they are interchangeable with
+//! the RLTS family in the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use baselines::{BottomUp, Squish};
+//! use trajectory::{BatchSimplifier, OnlineSimplifier, Point};
+//! use trajectory::error::Measure;
+//!
+//! let pts: Vec<Point> = (0..50)
+//!     .map(|i| Point::new(i as f64, ((i as f64) * 0.5).sin(), i as f64))
+//!     .collect();
+//! let batch_kept = BottomUp::new(Measure::Sed).simplify(&pts, 10);
+//! let online_kept = Squish::new(Measure::Sed).run(&pts, 10);
+//! assert!(batch_kept.len() <= 10 && online_kept.len() <= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod dual;
+pub mod online;
+
+pub use batch::{Bellman, BottomUp, SpanSearch, TopDown, Uniform};
+pub use dual::{BoundedBottomUp, DeadReckoning, MinSizeSearch, OpeningWindow, Split};
+pub use online::{Squish, SquishE, StTrace};

@@ -1,0 +1,81 @@
+//! Online-mode baselines: STTrace, SQUISH, SQUISH-E.
+//!
+//! All three follow the same skeleton (§II-A of the paper): keep a buffer of
+//! at most `W` points; when a new point arrives into a full buffer, drop the
+//! buffered point with the least human-crafted *importance value*. They
+//! differ only in how neighbour values are repaired after a drop:
+//!
+//! * **STTrace** recomputes the neighbours' values from scratch;
+//! * **SQUISH** adds the dropped point's priority onto its neighbours;
+//! * **SQUISH-E** carries the maximum dropped priority (π) and recomputes
+//!   `π + ε` for the neighbours.
+
+mod squish;
+mod squish_e;
+mod sttrace;
+
+pub use squish::Squish;
+pub use squish_e::SquishE;
+pub use sttrace::StTrace;
+
+use trajectory::error::{drop_error, Measure};
+use trajectory::OrderedBuffer;
+
+/// Computes the online importance value of buffered position `pos`:
+/// the error its removal would introduce given its *current* buffer
+/// neighbours (paper Eq. (1)). Returns `None` for boundary positions.
+pub(crate) fn neighbour_drop_value(buf: &OrderedBuffer, measure: Measure, pos: usize) -> Option<f64> {
+    let prev = buf.prev(pos)?;
+    let next = buf.next(pos)?;
+    Some(drop_error(measure, &buf.point(prev), &buf.point(pos), &buf.point(next)))
+}
+
+/// Registers the value of the point *before* the just-pushed frontier: once
+/// its successor exists it becomes a drop candidate (the first point never
+/// does — the problem definition always keeps it).
+pub(crate) fn index_new_interior(buf: &mut OrderedBuffer, measure: Measure, frontier: usize) {
+    if let Some(interior) = buf.prev(frontier) {
+        if let Some(v) = neighbour_drop_value(buf, measure, interior) {
+            buf.set_value(interior, v);
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use trajectory::error::{simplification_error, Aggregation, Measure};
+    use trajectory::{OnlineSimplifier, Point};
+
+    /// Shared conformance checks for any online simplifier.
+    pub fn check_online_contract<S: OnlineSimplifier>(algo: &mut S) {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| {
+                let y = if i % 5 == 0 { 3.0 } else { (i % 3) as f64 * 0.4 };
+                Point::new(i as f64, y, i as f64)
+            })
+            .collect();
+
+        // Budget respected, endpoints kept, indices strictly increasing.
+        for w in [2, 3, 10, 25] {
+            let kept = algo.run(&pts, w);
+            assert!(kept.len() <= w, "{}: kept {} > w {}", algo.name(), kept.len(), w);
+            assert_eq!(kept[0], 0, "{}", algo.name());
+            assert_eq!(*kept.last().unwrap(), pts.len() - 1, "{}", algo.name());
+            assert!(kept.windows(2).all(|p| p[0] < p[1]), "{}", algo.name());
+            // The kept set must yield a finite error under every measure.
+            for m in Measure::ALL {
+                let e = simplification_error(m, &pts, &kept, Aggregation::Max);
+                assert!(e.is_finite(), "{} {m}", algo.name());
+            }
+        }
+
+        // Short streams are kept verbatim.
+        let kept = algo.run(&pts[..5], 10);
+        assert_eq!(kept, vec![0, 1, 2, 3, 4], "{}", algo.name());
+
+        // Reuse after finish works (begin resets state).
+        let kept1 = algo.run(&pts, 8);
+        let kept2 = algo.run(&pts, 8);
+        assert_eq!(kept1, kept2, "{}: not deterministic across runs", algo.name());
+    }
+}

@@ -1,0 +1,104 @@
+//! STTrace (Potamias et al., 2006): drop the least-important buffered point
+//! and *recompute* the importance of its neighbours.
+
+use super::{index_new_interior, neighbour_drop_value};
+use trajectory::error::Measure;
+use trajectory::{OnlineSimplifier, OrderedBuffer, Point};
+
+/// The STTrace online simplifier, parameterized by error measure.
+#[derive(Debug, Clone)]
+pub struct StTrace {
+    measure: Measure,
+    buf: OrderedBuffer,
+    w: usize,
+}
+
+impl StTrace {
+    /// Creates an STTrace simplifier scoring points under `measure`.
+    pub fn new(measure: Measure) -> Self {
+        StTrace { measure, buf: OrderedBuffer::new(), w: 0 }
+    }
+
+    fn refresh(&mut self, pos: Option<usize>) {
+        // Recompute a neighbour's value from its current neighbours; the
+        // frontier (no successor yet) and the first point stay out of the
+        // candidate index.
+        if let Some(pos) = pos {
+            if self.buf.is_indexed(pos) {
+                if let Some(v) = neighbour_drop_value(&self.buf, self.measure, pos) {
+                    self.buf.set_value(pos, v);
+                }
+            }
+        }
+    }
+}
+
+impl OnlineSimplifier for StTrace {
+    fn name(&self) -> &'static str {
+        "STTrace"
+    }
+
+    fn begin(&mut self, w: usize) {
+        assert!(w >= 2, "budget must be at least 2");
+        self.buf.clear();
+        self.w = w;
+    }
+
+    fn observe(&mut self, p: Point) {
+        let frontier = self.buf.push_back(p);
+        index_new_interior(&mut self.buf, self.measure, frontier);
+        if self.buf.len() > self.w {
+            let (victim, _) = self.buf.min().expect("full buffer has candidates");
+            let (prev, next) = self.buf.drop_point(victim);
+            self.refresh(prev);
+            self.refresh(next);
+        }
+    }
+
+    fn finish(&mut self) -> Vec<usize> {
+        self.buf.live_positions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::test_support::check_online_contract;
+
+    #[test]
+    fn contract() {
+        for m in Measure::ALL {
+            check_online_contract(&mut StTrace::new(m));
+        }
+    }
+
+    #[test]
+    fn straight_line_drops_are_free() {
+        // On a perfectly straight constant-speed stream any kept subset is
+        // exact, so STTrace must produce zero error.
+        let pts: Vec<Point> = (0..30).map(|i| Point::new(i as f64, i as f64, i as f64)).collect();
+        let kept = StTrace::new(Measure::Sed).run(&pts, 5);
+        let e = trajectory::error::simplification_error(
+            Measure::Sed,
+            &pts,
+            &kept,
+            trajectory::error::Aggregation::Max,
+        );
+        assert!(e < 1e-9, "{e}");
+    }
+
+    #[test]
+    fn keeps_salient_corner() {
+        // An L-shaped path: the corner point is the most important interior
+        // point and should survive a tight budget.
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(Point::new(i as f64, 0.0, i as f64));
+        }
+        for i in 1..10 {
+            pts.push(Point::new(9.0, i as f64, (9 + i) as f64));
+        }
+        let kept = StTrace::new(Measure::Ped).run(&pts, 3);
+        assert!(kept.contains(&9), "corner index 9 not kept: {kept:?}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Total cost of the batch algorithms (Fig 5b / Fig 6b kernels):
+//! Top-Down, Bottom-Up vs RLTS+ and RLTS++ (untrained nets — the forward
+//! pass cost is identical to a trained policy's).
+
+use baselines::{BottomUp, TopDown};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlkit::nn::PolicyNet;
+use rlts_core::{DecisionPolicy, RltsBatch, RltsConfig, Variant};
+use std::hint::black_box;
+use trajectory::error::Measure;
+use trajectory::BatchSimplifier;
+use trajgen::Preset;
+
+fn bench_batch(c: &mut Criterion) {
+    let n = 2_000;
+    let traj = trajgen::generate(Preset::TruckLike, n, 12);
+    let pts = traj.points();
+    let w = n / 10;
+    let m = Measure::Sed;
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mut group = c.benchmark_group("batch_per_trajectory");
+    group.throughput(Throughput::Elements(n as u64));
+    group.sample_size(20);
+
+    group.bench_function(BenchmarkId::new("top_down", n), |b| {
+        let mut algo = TopDown::new(m);
+        b.iter(|| black_box(algo.simplify(pts, w)))
+    });
+    // Implementation-choice ablation (DESIGN.md §5): the heap-accelerated
+    // Top-Down produces the same output as the paper's O(W·n) rescan.
+    group.bench_function(BenchmarkId::new("top_down_fast", n), |b| {
+        let mut algo = TopDown::fast(m);
+        b.iter(|| black_box(algo.simplify(pts, w)))
+    });
+    group.bench_function(BenchmarkId::new("bottom_up", n), |b| {
+        let mut algo = BottomUp::new(m);
+        b.iter(|| black_box(algo.simplify(pts, w)))
+    });
+
+    for variant in [Variant::RltsPlus, Variant::RltsSkipPlus, Variant::RltsPlusPlus] {
+        let cfg = RltsConfig::paper_defaults(variant, m);
+        let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
+        group.bench_function(BenchmarkId::new(variant.name(), n), |b| {
+            let mut algo =
+                RltsBatch::new(cfg, DecisionPolicy::Learned { net: net.clone(), greedy: true }, 5);
+            b.iter(|| black_box(algo.simplify(pts, w)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

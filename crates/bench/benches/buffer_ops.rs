@@ -1,0 +1,60 @@
+//! Cost of the buffer data structures: the `log W` / `log n` terms of the
+//! paper's complexity bounds (ordered buffer updates, error-book drops).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trajectory::error::Measure;
+use trajectory::{ErrorBook, OrderedBuffer, Point};
+use trajgen::Preset;
+
+fn bench_ordered_buffer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordered_buffer");
+    for w in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("set_value", w), &w, |b, &w| {
+            let mut buf = OrderedBuffer::new();
+            for i in 0..w {
+                buf.push_back(Point::new(i as f64, 0.0, i as f64));
+                if i > 0 && i + 1 < w {
+                    buf.set_value(i, i as f64);
+                }
+            }
+            let mut v = 0.5;
+            b.iter(|| {
+                v = (v * 1.37) % 100.0;
+                buf.set_value(black_box(w / 2), black_box(v));
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("k_smallest_3", w), &w, |b, &w| {
+            let mut buf = OrderedBuffer::new();
+            for i in 0..w {
+                buf.push_back(Point::new(i as f64, 0.0, i as f64));
+                if i > 0 && i + 1 < w {
+                    buf.set_value(i, (i * 7 % w) as f64);
+                }
+            }
+            b.iter(|| black_box(buf.k_smallest(3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_book(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_book");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let traj = trajgen::generate(Preset::GeolifeLike, n, 13);
+        group.bench_with_input(BenchmarkId::new("drop_half", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut book = ErrorBook::with_all(traj.points(), Measure::Sed);
+                for j in (1..n - 1).step_by(2) {
+                    book.drop(j);
+                }
+                black_box(book.error(trajectory::error::Aggregation::Max))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordered_buffer, bench_error_book);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the error-measure kernels (the `n'` cost in every
+//! complexity bound of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trajectory::error::{drop_error, segment_error, simplification_error, Aggregation, Measure};
+use trajgen::Preset;
+
+fn bench_drop_kernels(c: &mut Criterion) {
+    let traj = trajgen::generate(Preset::GeolifeLike, 3, 1);
+    let (a, d, b) = (traj[0], traj[1], traj[2]);
+    let mut group = c.benchmark_group("drop_error");
+    for m in Measure::ALL {
+        group.bench_function(m.name(), |bch| {
+            bch.iter(|| drop_error(black_box(m), black_box(&a), black_box(&d), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_segment_error(c: &mut Criterion) {
+    let traj = trajgen::generate(Preset::GeolifeLike, 4096, 2);
+    let pts = traj.points();
+    let mut group = c.benchmark_group("segment_error");
+    for span in [16usize, 256, 4095] {
+        group.bench_with_input(BenchmarkId::new("sed", span), &span, |bch, &span| {
+            bch.iter(|| segment_error(Measure::Sed, black_box(pts), 0, span))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory_error(c: &mut Criterion) {
+    let traj = trajgen::generate(Preset::GeolifeLike, 4096, 3);
+    let pts = traj.points();
+    let kept: Vec<usize> = (0..pts.len()).step_by(16).chain(std::iter::once(pts.len() - 1)).collect();
+    let mut group = c.benchmark_group("simplification_error_4096pts");
+    for m in Measure::ALL {
+        group.bench_function(m.name(), |bch| {
+            bch.iter(|| simplification_error(black_box(m), pts, &kept, Aggregation::Max))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drop_kernels, bench_segment_error, bench_trajectory_error);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Per-point cost of the online algorithms (Fig 5a / Fig 6a kernels):
+//! STTrace, SQUISH, SQUISH-E vs RLTS and RLTS-Skip (untrained nets — the
+//! forward pass cost is identical to a trained policy's).
+
+use baselines::{Squish, SquishE, StTrace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlkit::nn::PolicyNet;
+use rlts_core::{DecisionPolicy, RltsConfig, RltsOnline, Variant};
+use std::hint::black_box;
+use trajectory::error::Measure;
+use trajectory::OnlineSimplifier;
+use trajgen::Preset;
+
+fn bench_online(c: &mut Criterion) {
+    let n = 4_000;
+    let traj = trajgen::generate(Preset::TruckLike, n, 11);
+    let pts = traj.points();
+    let w = n / 10;
+    let m = Measure::Sed;
+
+    let mut group = c.benchmark_group("online_per_trajectory");
+    group.throughput(Throughput::Elements(n as u64));
+
+    group.bench_function(BenchmarkId::new("sttrace", n), |b| {
+        let mut algo = StTrace::new(m);
+        b.iter(|| black_box(algo.run(pts, w)))
+    });
+    group.bench_function(BenchmarkId::new("squish", n), |b| {
+        let mut algo = Squish::new(m);
+        b.iter(|| black_box(algo.run(pts, w)))
+    });
+    group.bench_function(BenchmarkId::new("squish_e", n), |b| {
+        let mut algo = SquishE::new(m);
+        b.iter(|| black_box(algo.run(pts, w)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, m);
+    let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
+    group.bench_function(BenchmarkId::new("rlts", n), |b| {
+        let mut algo = RltsOnline::new(cfg, DecisionPolicy::Learned { net: net.clone(), greedy: false }, 5);
+        b.iter(|| black_box(algo.run(pts, w)))
+    });
+
+    let cfg = RltsConfig::paper_defaults(Variant::RltsSkip, m);
+    let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
+    group.bench_function(BenchmarkId::new("rlts_skip", n), |b| {
+        let mut algo = RltsOnline::new(cfg, DecisionPolicy::Learned { net: net.clone(), greedy: false }, 5);
+        b.iter(|| black_box(algo.run(pts, w)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Cost of the policy network itself: forward (inference, every decision)
+//! and the REINFORCE gradient accumulation (training only) — the constant
+//! the paper's complexity analysis treats as O(1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlkit::nn::PolicyNet;
+use std::hint::black_box;
+
+fn bench_policy_net(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    // Paper defaults: k = 3 inputs, 20 hidden, 3 actions (RLTS) and the
+    // widest configuration used anywhere (k + J state, k + J actions).
+    let mut small = PolicyNet::new(3, 20, 3, &mut rng);
+    let mut wide = PolicyNet::new(5, 20, 5, &mut rng);
+    let s3 = [0.5, 1.0, 2.0];
+    let s5 = [0.5, 1.0, 2.0, 0.1, 0.2];
+
+    c.bench_function("policy_forward_k3", |b| b.iter(|| black_box(small.probs(black_box(&s3)))));
+    c.bench_function("policy_forward_k5", |b| b.iter(|| black_box(wide.probs(black_box(&s5)))));
+    c.bench_function("policy_grad_accumulate_k3", |b| {
+        b.iter(|| small.accumulate_policy_grad(black_box(&s3), 1, 0.5, 0.01))
+    });
+    c.bench_function("policy_sample_k3", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(small.sample(black_box(&s3), &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_policy_net);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Training throughput: environment steps per second (rollout) and update
+//! cost per transition — the constants behind Table II's training times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlkit::nn::PolicyNet;
+use rlkit::{Reinforce, ReinforceConfig};
+use rlts_core::{RltsConfig, SimplifyEnv, Variant};
+use std::hint::black_box;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+fn bench_rollout(c: &mut Criterion) {
+    let pool = trajgen::generate_dataset(Preset::GeolifeLike, 4, 200, 31);
+    let mut group = c.benchmark_group("training_rollout");
+    group.sample_size(20);
+    for variant in [Variant::Rlts, Variant::RltsSkip, Variant::RltsPlus, Variant::RltsPlusPlus] {
+        let cfg = RltsConfig::paper_defaults(variant, Measure::Sed);
+        group.throughput(Throughput::Elements(180)); // ~n − W transitions
+        group.bench_function(BenchmarkId::new("episode", variant.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
+            let mut env = SimplifyEnv::new(cfg, &pool, 2);
+            env.w_fraction = (0.1, 0.1);
+            let trainer = Reinforce::new(ReinforceConfig::default());
+            b.iter(|| black_box(trainer.rollout(&mut env, &mut net, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let pool = trajgen::generate_dataset(Preset::GeolifeLike, 4, 200, 32);
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
+    let mut env = SimplifyEnv::new(cfg, &pool, 4);
+    env.w_fraction = (0.1, 0.1);
+    let mut trainer = Reinforce::new(ReinforceConfig::default());
+    let episodes: Vec<_> = (0..4)
+        .filter_map(|_| trainer.rollout(&mut env, &mut net, &mut rng))
+        .collect();
+    let transitions: usize = episodes.iter().map(|e| e.len()).sum();
+
+    let mut group = c.benchmark_group("training_update");
+    group.throughput(Throughput::Elements(transitions as u64));
+    group.bench_function("reinforce_batch4", |b| {
+        b.iter(|| black_box(trainer.update(&mut net, &episodes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout, bench_update);
+criterion_main!(benches);

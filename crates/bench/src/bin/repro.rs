@@ -1,0 +1,114 @@
+//! `repro` — regenerate the RLTS paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <command> [--scale F] [--seed N] [--out DIR]
+//!
+//! commands:
+//!   table1            dataset statistics (Table I)
+//!   bellman           comparison with the exact DP (Exp 1)
+//!   fig3              batch variants comparison (Fig 3)
+//!   fig4              effectiveness vs W, 8 panels (Fig 4)
+//!   ablation-policy   learned vs random vs arg-min (Exp 4)
+//!   ablation-critic   return-normalization vs learned critic (extension)
+//!   sweep-k           effect of k (Exp 5)
+//!   sweep-j           effect of J (Exp 6)
+//!   fig5              efficiency vs |T| (Fig 5)
+//!   scalability       longest-trajectory run times (Exp 8)
+//!   fig6              efficiency vs W (Fig 6)
+//!   fig7              case study polylines (Fig 7)
+//!   table2            training times (Table II)
+//!   fig8              training cost vs #trajectories (Fig 8)
+//!   query-cost        storage/query cost of simplified stores (extension)
+//!   charts            render SVG figures from recorded results (no recompute)
+//!   grid              road-grid workload comparison (extension)
+//!   all               everything above, in order
+//! ```
+//!
+//! `--scale 1` (default) is laptop scale; the paper's sizes correspond to
+//! roughly `--scale 30` (hours of compute).
+
+use rlts_bench::experiments as exp;
+use rlts_bench::harness::{Opts, PolicyStore};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|charts|grid|all> \
+         [--scale F] [--seed N] [--out DIR]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].clone();
+    let mut opts = Opts::default();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.scale = v.parse().unwrap_or_else(|_| usage());
+                if opts.scale <= 0.0 || !opts.scale.is_finite() {
+                    usage();
+                }
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.out_dir = v.into();
+            }
+            _ => usage(),
+        }
+    }
+
+    let store = PolicyStore::new();
+    let start = std::time::Instant::now();
+    match cmd.as_str() {
+        "table1" => exp::table1::run(&opts),
+        "bellman" => exp::bellman::run(&opts, &store),
+        "fig3" => exp::fig3::run(&opts, &store),
+        "fig4" => exp::fig4::run(&opts, &store),
+        "ablation-policy" => exp::ablation::run(&opts, &store),
+        "ablation-critic" => exp::ablation_critic::run(&opts),
+        "sweep-k" => exp::sweep_k::run(&opts, &store),
+        "sweep-j" => exp::sweep_j::run(&opts, &store),
+        "fig5" => exp::fig5::run(&opts, &store),
+        "scalability" => exp::scalability::run(&opts, &store),
+        "fig6" => exp::fig6::run(&opts, &store),
+        "fig7" => exp::fig7::run(&opts, &store),
+        "table2" => exp::table2::run(&opts),
+        "fig8" => exp::fig8::run(&opts),
+        "query-cost" => exp::query_cost::run(&opts, &store),
+        "charts" => exp::charts::run(&opts),
+        "grid" => exp::grid::run(&opts, &store),
+        "all" => {
+            exp::table1::run(&opts);
+            exp::bellman::run(&opts, &store);
+            exp::fig3::run(&opts, &store);
+            exp::fig4::run(&opts, &store);
+            exp::ablation::run(&opts, &store);
+            exp::ablation_critic::run(&opts);
+            exp::sweep_k::run(&opts, &store);
+            exp::sweep_j::run(&opts, &store);
+            exp::fig5::run(&opts, &store);
+            exp::scalability::run(&opts, &store);
+            exp::fig6::run(&opts, &store);
+            exp::fig7::run(&opts, &store);
+            exp::table2::run(&opts);
+            exp::fig8::run(&opts);
+            exp::query_cost::run(&opts, &store);
+            exp::grid::run(&opts, &store);
+            exp::charts::run(&opts);
+        }
+        _ => usage(),
+    }
+    eprintln!("\n[done in {:.1}s]", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,67 @@
+//! Baseline ablation (extension; DESIGN.md §5): the paper's
+//! return-normalization baseline (Eq. 11) vs a learned state-value critic,
+//! at identical training budgets.
+
+use crate::harness::{eval_online, fmt, Opts, TextTable, TrainSpec};
+use rlts_core::{train, Baseline, DecisionPolicy, RltsConfig, RltsOnline, TrainConfig, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    baseline: String,
+    mean_error: f64,
+    train_time_s: f64,
+    best_mean_episode_reward: f64,
+}
+
+/// Runs the baseline ablation.
+pub fn run(opts: &Opts) {
+    let spec = TrainSpec::default_for(opts);
+    let pool = trajgen::generate_dataset(spec.preset, spec.count, spec.len, opts.seed * 1000 + 1);
+    let eval = trajgen::generate_dataset(Preset::GeolifeLike, opts.scaled(300, 10), opts.scaled(1000, 200), opts.seed + 5);
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+
+    let mut table = TextTable::new(&["Baseline", "SED error", "Train (s)", "Best reward"]);
+    let mut records = Vec::new();
+    for (name, baseline) in [
+        ("return-normalization (paper)", Baseline::ReturnNormalization),
+        ("learned critic", Baseline::Critic),
+    ] {
+        let tc = TrainConfig {
+            rlts: cfg,
+            hidden: 20,
+            epochs: spec.epochs,
+            episodes_per_update: spec.episodes,
+            lr: spec.lr,
+            gamma: 0.99,
+            entropy_beta: 0.01,
+            w_fraction: (0.1, 0.5),
+            seed: opts.seed,
+            baseline,
+        };
+        let report = train(&pool, &tc);
+        let best = report.reward_history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut algo = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            17,
+        );
+        let r = eval_online(&mut algo, &eval, 0.1, Measure::Sed);
+        table.row(vec![
+            name.to_string(),
+            fmt(r.mean_error),
+            format!("{:.1}", report.wall_time.as_secs_f64()),
+            fmt(best),
+        ]);
+        records.push(Record {
+            baseline: name.into(),
+            mean_error: r.mean_error,
+            train_time_s: report.wall_time.as_secs_f64(),
+            best_mean_episode_reward: best,
+        });
+    }
+    table.print("Baseline ablation: return normalization vs learned critic (RLTS online, SED)");
+    opts.write_json("ablation_critic", &records);
+}

@@ -1,0 +1,154 @@
+//! `repro charts` — renders SVG figures from the JSON records previous
+//! experiment runs left under `results/`, without recomputing anything:
+//! Fig 4 (error vs W, one chart per measure × mode), Fig 5/6 (timing,
+//! log-y), and Fig 8 (training cost).
+
+use crate::harness::Opts;
+use crate::svg::{LineChart, Series};
+use serde_json::Value;
+use std::collections::BTreeMap;
+
+/// Renders every chart whose JSON record exists. Missing records are
+/// skipped with a note (run the corresponding experiment first).
+pub fn run(opts: &Opts) {
+    let mut made = 0;
+    made += fig4(opts) as u32;
+    made += timing(opts, "fig5", "n (points)", "mode") as u32;
+    made += timing(opts, "fig6", "W fraction", "mode") as u32;
+    made += fig8(opts) as u32;
+    if made == 0 {
+        println!("[no results/*.json records found — run the experiments first]");
+    }
+}
+
+fn load(opts: &Opts, name: &str) -> Option<Vec<Value>> {
+    let path = opts.out_dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str::<Vec<Value>>(&text).ok()
+}
+
+fn f(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn s<'a>(v: &'a Value, key: &str) -> &'a str {
+    v.get(key).and_then(Value::as_str).unwrap_or("?")
+}
+
+fn write_chart(opts: &Opts, name: &str, chart: &LineChart) {
+    let path = opts.out_dir.join(format!("{name}.svg"));
+    chart.write(&path).expect("write chart");
+    println!("[chart written to {}]", path.display());
+}
+
+/// algo → sorted (x, y) series, grouped per panel key.
+type PanelMap = BTreeMap<(String, String), BTreeMap<String, Vec<(f64, f64)>>>;
+
+/// Fig 4: one error-vs-W chart per (mode, measure) panel.
+fn fig4(opts: &Opts) -> bool {
+    let Some(records) = load(opts, "fig4") else {
+        println!("[skip fig4 charts: results/fig4.json missing]");
+        return false;
+    };
+    // (mode, measure) → algo → sorted (w, err)
+    let mut panels: PanelMap = BTreeMap::new();
+    for r in &records {
+        panels
+            .entry((s(r, "mode").into(), s(r, "measure").into()))
+            .or_default()
+            .entry(s(r, "algo").into())
+            .or_default()
+            .push((f(r, "w_frac"), f(r, "mean_error")));
+    }
+    for ((mode, measure), algos) in panels {
+        let series = algos
+            .into_iter()
+            .map(|(name, mut pts)| {
+                pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                Series { name, points: pts }
+            })
+            .collect();
+        let chart = LineChart {
+            title: format!("Fig 4 ({mode}, {measure}): mean error vs W"),
+            x_label: "W fraction".into(),
+            y_label: format!("{measure} error"),
+            series,
+            log_y: false,
+        };
+        write_chart(opts, &format!("fig4_{mode}_{}", measure.to_lowercase()), &chart);
+    }
+    true
+}
+
+/// Fig 5/6: per-mode timing charts on a log-y axis.
+fn timing(opts: &Opts, name: &str, x_label: &str, split_key: &str) -> bool {
+    let Some(records) = load(opts, name) else {
+        println!("[skip {name} charts: results/{name}.json missing]");
+        return false;
+    };
+    let mut panels: BTreeMap<String, BTreeMap<String, Vec<(f64, f64)>>> = BTreeMap::new();
+    for r in &records {
+        let mode = s(r, split_key).to_string();
+        let x = if r.get("n").is_some() { f(r, "n") } else { f(r, "w_frac") };
+        let y = if mode == "online" { f(r, "time_per_point_us") } else { f(r, "total_time_s") };
+        panels.entry(mode).or_default().entry(s(r, "algo").into()).or_default().push((x, y));
+    }
+    for (mode, algos) in panels {
+        let series = algos
+            .into_iter()
+            .map(|(name, mut pts)| {
+                pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+                Series { name, points: pts }
+            })
+            .collect();
+        let y_label =
+            if mode == "online" { "time per point (µs)" } else { "total time (s)" };
+        let chart = LineChart {
+            title: format!("{name} ({mode})"),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series,
+            log_y: true,
+        };
+        write_chart(opts, &format!("{name}_{mode}"), &chart);
+    }
+    true
+}
+
+/// Fig 8: training cost and error vs training-set size (two charts).
+fn fig8(opts: &Opts) -> bool {
+    let Some(records) = load(opts, "fig8") else {
+        println!("[skip fig8 charts: results/fig8.json missing]");
+        return false;
+    };
+    let mut cost = Vec::new();
+    let mut err = Vec::new();
+    for r in &records {
+        let x = f(r, "training_trajectories");
+        cost.push((x, f(r, "training_time_s")));
+        err.push((x, f(r, "mean_error")));
+    }
+    write_chart(
+        opts,
+        "fig8_cost",
+        &LineChart {
+            title: "Fig 8: training cost vs #trajectories".into(),
+            x_label: "#training trajectories".into(),
+            y_label: "training time (s)".into(),
+            series: vec![Series { name: "RLTS".into(), points: cost }],
+            log_y: false,
+        },
+    );
+    write_chart(
+        opts,
+        "fig8_error",
+        &LineChart {
+            title: "Fig 8: effectiveness vs #trajectories".into(),
+            x_label: "#training trajectories".into(),
+            y_label: "SED error".into(),
+            series: vec![Series { name: "RLTS".into(), points: err }],
+            log_y: false,
+        },
+    );
+    true
+}

@@ -1,0 +1,55 @@
+//! Figure 3 — comparison among the RLTS variants in batch mode: error rises
+//! RLTS → RLTS+ → RLTS++ in effectiveness while efficiency falls, with
+//! RLTS+ dominating Bottom-Up on both axes (paper §VI-B(2)).
+
+use crate::harness::{eval_batch, fmt, Opts, PolicyStore, TextTable, TrainSpec};
+use baselines::{BottomUp, TopDown};
+use rlts_core::{RltsBatch, RltsConfig, RltsOnline, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajectory::{BatchSimplifier, OnlineAsBatch};
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    algo: String,
+    mean_error: f64,
+    total_time_s: f64,
+}
+
+/// Regenerates Figure 3 (plus the skip-variant panel from the tech report).
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    // Paper: 1,000 Geolife trajectories with 5,000 points each, SED.
+    let count = opts.scaled(1000, 8);
+    let len = opts.scaled(5000, 300);
+    let data = trajgen::generate_dataset(Preset::GeolifeLike, count, len, opts.seed + 3);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w_frac = 0.1;
+
+    let mut algos: Vec<Box<dyn BatchSimplifier>> = Vec::new();
+    for variant in Variant::ALL {
+        let cfg = RltsConfig::paper_defaults(variant, measure);
+        if variant.is_batch() {
+            algos.push(Box::new(RltsBatch::new(cfg, store.decision(cfg, &spec), 17)));
+        } else {
+            algos.push(Box::new(OnlineAsBatch(RltsOnline::new(cfg, store.decision(cfg, &spec), 17))));
+        }
+    }
+    algos.push(Box::new(TopDown::new(measure)));
+    algos.push(Box::new(BottomUp::new(measure)));
+
+    let mut table = TextTable::new(&["Algorithm", "SED error", "Time (s)"]);
+    let mut records = Vec::new();
+    for mut algo in algos {
+        let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
+        table.row(vec![r.algo.clone(), fmt(r.mean_error), fmt(r.total_time_s)]);
+        records.push(Record { algo: r.algo, mean_error: r.mean_error, total_time_s: r.total_time_s });
+    }
+    table.print("Fig 3: RLTS variants in batch mode (SED, Geolife-like)");
+    println!(
+        "[paper shape: error shrinks RLTS → RLTS+ → RLTS++ while time grows; \
+         RLTS+ beats Bottom-Up on both error and time]"
+    );
+    opts.write_json("fig3", &records);
+}

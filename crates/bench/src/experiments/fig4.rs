@@ -1,0 +1,86 @@
+//! Figure 4 — effectiveness vs. storage budget `W ∈ [0.1, 0.5]·|T|` under
+//! all four error measures, online (a–d) and batch (e–h) modes
+//! (paper §VI-B(3)).
+
+use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    mode: String,
+    measure: String,
+    w_frac: f64,
+    algo: String,
+    mean_error: f64,
+}
+
+/// Regenerates Figure 4 (all eight panels).
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    // Paper: 1,000 Geolife trajectories.
+    let count = opts.scaled(1000, 10);
+    let len = opts.scaled(1000, 200);
+    let data = trajgen::generate_dataset(Preset::GeolifeLike, count, len, opts.seed + 4);
+    let spec = TrainSpec::default_for(opts);
+    let fracs = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut records = Vec::new();
+
+    // Train the 16 policies (4 variants × 4 measures) in parallel up front.
+    use rlts_core::{RltsConfig, Variant};
+    let cfgs: Vec<RltsConfig> = Measure::ALL
+        .iter()
+        .flat_map(|&m| {
+            [Variant::Rlts, Variant::RltsSkip, Variant::RltsPlus, Variant::RltsSkipPlus]
+                .into_iter()
+                .map(move |v| RltsConfig::paper_defaults(v, m))
+        })
+        .collect();
+    store.pretrain_parallel(&cfgs, &spec);
+
+    for measure in Measure::ALL {
+        // Online panel.
+        let mut table = TextTable::new(&["Algorithm", "W=0.1", "W=0.2", "W=0.3", "W=0.4", "W=0.5"]);
+        for mut algo in online_suite(measure, store, &spec) {
+            let mut cells = vec![algo.name().to_string()];
+            for &f in &fracs {
+                let r = eval_online(algo.as_mut(), &data, f, measure);
+                cells.push(fmt(r.mean_error));
+                records.push(Record {
+                    mode: "online".into(),
+                    measure: measure.to_string(),
+                    w_frac: f,
+                    algo: r.algo,
+                    mean_error: r.mean_error,
+                });
+            }
+            table.row(cells);
+        }
+        table.print(&format!("Fig 4 (online, {measure}): mean error vs W"));
+
+        // Batch panel.
+        let mut table = TextTable::new(&["Algorithm", "W=0.1", "W=0.2", "W=0.3", "W=0.4", "W=0.5"]);
+        for mut algo in batch_suite(measure, store, &spec) {
+            let mut cells = vec![algo.name().to_string()];
+            for &f in &fracs {
+                let r = eval_batch(algo.as_mut(), &data, f, measure);
+                cells.push(fmt(r.mean_error));
+                records.push(Record {
+                    mode: "batch".into(),
+                    measure: measure.to_string(),
+                    w_frac: f,
+                    algo: r.algo,
+                    mean_error: r.mean_error,
+                });
+            }
+            table.row(cells);
+        }
+        table.print(&format!("Fig 4 (batch, {measure}): mean error vs W"));
+    }
+    println!(
+        "[paper shape: RLTS(+) lowest error across measures and budgets; \
+         RLTS-Skip(+) slightly worse than RLTS(+) but better than baselines; \
+         errors shrink as W grows]"
+    );
+    opts.write_json("fig4", &records);
+}

@@ -1,0 +1,78 @@
+//! Figure 5 — efficiency vs. trajectory length `|T|` (paper §VI-B(7)):
+//! online per-point time (a) and batch total time (b) on Truck, SED,
+//! `W = 0.1·|T|`.
+
+use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    mode: String,
+    n: usize,
+    algo: String,
+    time_per_point_us: f64,
+    total_time_s: f64,
+}
+
+/// Regenerates Figure 5 (both panels).
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    // Paper: |T| from 10,000 to 50,000, 100 trajectories each, Truck, SED.
+    let lengths: Vec<usize> = (1..=5).map(|i| opts.scaled(i * 10_000, i * 400)).collect();
+    // Timing averages stabilize with few repeats; the paper's 100
+    // trajectories correspond to --scale 10.
+    let count = opts.scaled(10, 3);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w_frac = 0.1;
+    let mut records = Vec::new();
+
+    // Online panel: time per point (µs).
+    let mut table = TextTable::new(&["Algorithm", "n1", "n2", "n3", "n4", "n5"]);
+    let header: Vec<String> = lengths.iter().map(|n| n.to_string()).collect();
+    println!("\n[Fig 5 lengths: {}]", header.join(", "));
+    for mut algo in online_suite(measure, store, &spec) {
+        let mut cells = vec![algo.name().to_string()];
+        for &n in &lengths {
+            let data = trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
+            let r = eval_online(algo.as_mut(), &data, w_frac, measure);
+            cells.push(fmt(r.time_per_point_us));
+            records.push(Record {
+                mode: "online".into(),
+                n,
+                algo: r.algo,
+                time_per_point_us: r.time_per_point_us,
+                total_time_s: r.total_time_s,
+            });
+        }
+        table.row(cells);
+    }
+    table.print("Fig 5(a): online time per point (µs) vs |T| (Truck-like, SED)");
+
+    // Batch panel: total time (s).
+    let mut table = TextTable::new(&["Algorithm", "n1", "n2", "n3", "n4", "n5"]);
+    for mut algo in batch_suite(measure, store, &spec) {
+        let mut cells = vec![algo.name().to_string()];
+        for &n in &lengths {
+            let data = trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
+            let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
+            cells.push(fmt(r.total_time_s));
+            records.push(Record {
+                mode: "batch".into(),
+                n,
+                algo: r.algo,
+                time_per_point_us: r.time_per_point_us,
+                total_time_s: r.total_time_s,
+            });
+        }
+        table.row(cells);
+    }
+    table.print("Fig 5(b): batch total time (s) vs |T| (Truck-like, SED)");
+    println!(
+        "[paper shape: online — RLTS(-Skip) slightly slower than the \
+         heuristics but < 1 ms/point, RLTS-Skip faster than RLTS; \
+         batch — RLTS+(-Skip+) faster than Bottom-Up, far faster than Top-Down]"
+    );
+    opts.write_json("fig5", &records);
+}

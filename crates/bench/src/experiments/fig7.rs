@@ -1,0 +1,81 @@
+//! Figure 7 — case study (paper §VI-B(10)): one raw trajectory and its
+//! online simplifications; RLTS's SED error should be roughly half of the
+//! heuristics'. Prints the kept polylines and writes coordinates to JSON
+//! for external plotting.
+
+use crate::harness::{fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use crate::svg::{PolylinePlot, Series};
+use serde::Serialize;
+use trajectory::error::{simplification_error, Aggregation, Measure};
+use trajectory::similarity::{dtw_distance, frechet_distance};
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    algo: String,
+    sed_error: f64,
+    kept_indices: Vec<usize>,
+    kept_xy: Vec<(f64, f64)>,
+}
+
+#[derive(Serialize)]
+struct CaseStudy {
+    raw_xy: Vec<(f64, f64)>,
+    simplified: Vec<Record>,
+}
+
+/// Regenerates the case study.
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    let n = opts.scaled(120, 120);
+    let traj = trajgen::generate(Preset::GeolifeLike, n, opts.seed + 70);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w = crate::harness::budget(n, 0.15);
+
+    let mut table = TextTable::new(&["Algorithm", "kept", "SED error", "Fréchet", "DTW"]);
+    let mut simplified = Vec::new();
+    for mut algo in online_suite(measure, store, &spec) {
+        let kept = algo.run(traj.points(), w);
+        let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+        let kept_pts: Vec<trajectory::Point> = kept.iter().map(|&i| traj[i]).collect();
+        let fr = frechet_distance(traj.points(), &kept_pts);
+        let dtw = dtw_distance(traj.points(), &kept_pts, None);
+        table.row(vec![
+            algo.name().to_string(),
+            kept.len().to_string(),
+            fmt(e),
+            fmt(fr),
+            fmt(dtw),
+        ]);
+        simplified.push(Record {
+            algo: algo.name().to_string(),
+            sed_error: e,
+            kept_xy: kept.iter().map(|&i| (traj[i].x, traj[i].y)).collect(),
+            kept_indices: kept,
+        });
+    }
+    table.print(&format!("Fig 7: case study (online, Geolife-like, n = {n}, W = {w})"));
+    println!("[paper shape: RLTS SED roughly half of SQUISH/SQUISH-E/STTrace]");
+
+    // The actual figure: raw polyline + each simplification, as SVG.
+    let mut lines = vec![Series {
+        name: "raw".into(),
+        points: traj.iter().map(|p| (p.x, p.y)).collect(),
+    }];
+    for r in &simplified {
+        lines.push(Series {
+            name: format!("{} (ε = {})", r.algo, fmt(r.sed_error)),
+            points: r.kept_xy.clone(),
+        });
+    }
+    let plot = PolylinePlot { title: format!("Case study: n = {n}, W = {w} (SED)"), lines };
+    let path = opts.out_dir.join("fig7.svg");
+    plot.write(&path).expect("write fig7.svg");
+    println!("[figure written to {}]", path.display());
+
+    let case = CaseStudy {
+        raw_xy: traj.iter().map(|p| (p.x, p.y)).collect(),
+        simplified,
+    };
+    opts.write_json("fig7", &case);
+}

@@ -1,0 +1,64 @@
+//! Figure 8 — training cost vs. number of training trajectories
+//! (paper §VI-B(11)): cost grows roughly linearly while effectiveness
+//! improves only slightly beyond the paper's chosen 1,000 trajectories.
+
+use crate::harness::{eval_online, fmt, Opts, TextTable};
+use rlts_core::{train, DecisionPolicy, RltsConfig, RltsOnline, TrainConfig, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    training_trajectories: usize,
+    training_time_s: f64,
+    mean_error: f64,
+}
+
+/// Regenerates the training-cost curve.
+pub fn run(opts: &Opts) {
+    // Paper: training sets of 500..2500 trajectories.
+    let sizes: Vec<usize> = (1..=5).map(|i| opts.scaled(i * 500, i * 4)).collect();
+    let len = opts.scaled(250, 80);
+    let measure = Measure::Sed;
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, measure);
+    let eval = trajgen::generate_dataset(Preset::GeolifeLike, opts.scaled(200, 10), opts.scaled(1000, 200), opts.seed + 8);
+
+    let mut table = TextTable::new(&["#train traj", "Train time (s)", "SED error"]);
+    let mut records = Vec::new();
+    for &count in &sizes {
+        let pool = trajgen::generate_dataset(Preset::GeolifeLike, count, len, opts.seed * 1000 + 3);
+        let tc = TrainConfig {
+            rlts: cfg,
+            hidden: 20,
+            epochs: opts.scaled(12, 4),
+            episodes_per_update: 4,
+            lr: 0.02,
+            gamma: 0.99,
+            entropy_beta: 0.01,
+            w_fraction: (0.1, 0.5),
+            seed: opts.seed,
+            baseline: Default::default(),
+        };
+        let report = train(&pool, &tc);
+        let mut algo = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            17,
+        );
+        let r = eval_online(&mut algo, &eval, 0.1, measure);
+        table.row(vec![
+            count.to_string(),
+            format!("{:.1}", report.wall_time.as_secs_f64()),
+            fmt(r.mean_error),
+        ]);
+        records.push(Record {
+            training_trajectories: count,
+            training_time_s: report.wall_time.as_secs_f64(),
+            mean_error: r.mean_error,
+        });
+    }
+    table.print("Fig 8: training cost and effectiveness vs #training trajectories (online, SED)");
+    println!("[paper shape: cost grows ~linearly; error improves slightly with more data]");
+    opts.write_json("fig8", &records);
+}

@@ -1,0 +1,74 @@
+//! Road-grid workload (extension): the Manhattan generator's exact 90°
+//! turns separate direction-aware from position-aware simplification much
+//! more sharply than free-space movement — and give Span-Search its
+//! natural habitat.
+
+use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajectory::Trajectory;
+use trajgen::{generate_road_grid, RoadGridConfig};
+
+#[derive(Serialize)]
+struct Record {
+    mode: String,
+    measure: String,
+    algo: String,
+    mean_error: f64,
+}
+
+fn grid_dataset(count: usize, n: usize, seed: u64) -> Vec<Trajectory> {
+    let cfg = RoadGridConfig::default();
+    (0..count)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(seed + i as u64);
+            generate_road_grid(&cfg, n, &mut rng)
+        })
+        .collect()
+}
+
+/// Runs the road-grid comparison under SED and DAD.
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    let count = opts.scaled(200, 10);
+    let len = opts.scaled(1000, 200);
+    let data = grid_dataset(count, len, opts.seed + 120);
+    let spec = TrainSpec::default_for(opts);
+    let w_frac = 0.1;
+    let mut records = Vec::new();
+
+    for measure in [Measure::Sed, Measure::Dad] {
+        let mut table = TextTable::new(&["Algorithm", "mean error"]);
+        for mut algo in online_suite(measure, store, &spec) {
+            let r = eval_online(algo.as_mut(), &data, w_frac, measure);
+            table.row(vec![r.algo.clone(), fmt(r.mean_error)]);
+            records.push(Record {
+                mode: "online".into(),
+                measure: measure.to_string(),
+                algo: r.algo,
+                mean_error: r.mean_error,
+            });
+        }
+        table.print(&format!("Road grid (online, {measure}, W = 0.1n)"));
+
+        let mut table = TextTable::new(&["Algorithm", "mean error"]);
+        for mut algo in batch_suite(measure, store, &spec) {
+            let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
+            table.row(vec![r.algo.clone(), fmt(r.mean_error)]);
+            records.push(Record {
+                mode: "batch".into(),
+                measure: measure.to_string(),
+                algo: r.algo,
+                mean_error: r.mean_error,
+            });
+        }
+        table.print(&format!("Road grid (batch, {measure}, W = 0.1n)"));
+    }
+    println!(
+        "[expected shape: on grid data the turn points are everything — the \
+         informed methods beat uniform-style dropping by a wide margin, and \
+         DAD rankings diverge from SED rankings]"
+    );
+    opts.write_json("grid", &records);
+}

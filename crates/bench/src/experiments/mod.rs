@@ -1,0 +1,21 @@
+//! One module per paper artifact (table / figure / numbered experiment).
+//! Each exposes `run(opts, store)` printing the same rows/series the paper
+//! reports and writing JSON records under `results/`.
+
+pub mod ablation;
+pub mod ablation_critic;
+pub mod bellman;
+pub mod charts;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod grid;
+pub mod query_cost;
+pub mod scalability;
+pub mod sweep_j;
+pub mod sweep_k;
+pub mod table1;
+pub mod table2;

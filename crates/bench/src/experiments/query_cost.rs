@@ -1,0 +1,127 @@
+//! Query-cost experiment (extension; DESIGN.md §5): quantifies the paper's
+//! §I motivation that simplification lowers storage and query-processing
+//! cost. Builds a trajectory store from raw data and from simplifications
+//! (Uniform, Bottom-Up, RLTS+), then measures store size, index size, range-
+//! query latency, and position-query error against the raw store.
+
+use crate::harness::{budget, fmt, time, Opts, PolicyStore, TrainSpec};
+use crate::harness::TextTable;
+use baselines::{BottomUp, Uniform};
+use rlts_core::{RltsBatch, RltsConfig, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajectory::BatchSimplifier;
+use trajgen::Preset;
+use trajstore::{StoreConfig, TrajStore};
+
+#[derive(Serialize)]
+struct Record {
+    store: String,
+    points: usize,
+    payload_bytes: usize,
+    index_postings: usize,
+    range_query_ms: f64,
+    mean_position_error_m: f64,
+}
+
+/// Runs the query-cost comparison.
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    let count = opts.scaled(200, 12);
+    let len = opts.scaled(2000, 300);
+    let data = trajgen::generate_dataset(Preset::TDriveLike, count, len, opts.seed + 90);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w_frac = 0.2;
+
+    let cfg = RltsConfig::paper_defaults(Variant::RltsPlus, measure);
+    let mut variants: Vec<(&str, Option<Box<dyn BatchSimplifier>>)> = vec![
+        ("raw", None),
+        ("Uniform", Some(Box::new(Uniform::new()))),
+        ("Bottom-Up", Some(Box::new(BottomUp::new(measure)))),
+        ("RLTS+", Some(Box::new(RltsBatch::new(cfg, store.decision(cfg, &spec), 17)))),
+    ];
+
+    // Reference store with the raw data, for error measurement.
+    let mut raw_store = TrajStore::new(StoreConfig { cell_size: 2_000.0 });
+    for t in &data {
+        raw_store.insert(t.clone());
+    }
+
+    // Query workload: deterministic windows and probe times.
+    let windows: Vec<(f64, f64, f64, f64)> = (0..opts.scaled(200, 40))
+        .map(|i| {
+            let f = i as f64;
+            let cx = (f * 977.0) % 30_000.0 - 15_000.0;
+            let cy = (f * 1663.0) % 30_000.0 - 15_000.0;
+            (cx - 1_500.0, cy - 1_500.0, cx + 1_500.0, cy + 1_500.0)
+        })
+        .collect();
+
+    let mut table = TextTable::new(&[
+        "Store",
+        "points",
+        "payload (B)",
+        "postings",
+        "range q (ms)",
+        "mean pos err (m)",
+    ]);
+    let mut records = Vec::new();
+    for (name, algo) in variants.iter_mut() {
+        let mut st = TrajStore::new(StoreConfig { cell_size: 2_000.0 });
+        for t in &data {
+            match algo {
+                None => {
+                    st.insert(t.clone());
+                }
+                Some(a) => {
+                    let kept = a.simplify(t.points(), budget(t.len(), w_frac));
+                    st.insert(t.select(&kept));
+                }
+            }
+        }
+        let stats = st.stats();
+        // Range queries.
+        let (_hits, range_dt) = time(|| {
+            let mut total = 0usize;
+            for &(x1, y1, x2, y2) in &windows {
+                total += st.range_query(x1, y1, x2, y2, None).len();
+            }
+            total
+        });
+        // Position queries vs the raw store.
+        let mut err_sum = 0.0;
+        let mut err_n = 0usize;
+        for id in 0..data.len() as u32 {
+            let dur = raw_store.get(id).map(|t| t.duration()).unwrap_or(0.0);
+            for frac in [0.21, 0.48, 0.77] {
+                if let Some(e) = st.position_error_vs(&raw_store, id, dur * frac) {
+                    err_sum += e;
+                    err_n += 1;
+                }
+            }
+        }
+        let mean_err = err_sum / err_n.max(1) as f64;
+        table.row(vec![
+            name.to_string(),
+            stats.points.to_string(),
+            stats.payload_bytes.to_string(),
+            stats.index_postings.to_string(),
+            fmt(range_dt.as_secs_f64() * 1e3),
+            fmt(mean_err),
+        ]);
+        records.push(Record {
+            store: name.to_string(),
+            points: stats.points,
+            payload_bytes: stats.payload_bytes,
+            index_postings: stats.index_postings,
+            range_query_ms: range_dt.as_secs_f64() * 1e3,
+            mean_position_error_m: mean_err,
+        });
+    }
+    table.print("Query cost: raw vs simplified stores (T-Drive-like, W = 0.2·n)");
+    println!(
+        "[expected shape: simplified stores shrink payload and index ~5x and answer \
+         range queries faster; RLTS+ pays the least position error for it]"
+    );
+    opts.write_json("query_cost", &records);
+}

@@ -1,0 +1,43 @@
+//! Experiment 8 — scalability on the longest trajectory (paper §VI-B(8)):
+//! one ~383k-point trajectory; reported running times order
+//! RLTS-Skip+ < RLTS+ < Bottom-Up ≪ Top-Down.
+
+use crate::harness::{batch_suite, fmt, time, Opts, PolicyStore, TextTable, TrainSpec};
+use serde::Serialize;
+use trajectory::error::{simplification_error, Aggregation, Measure};
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    n: usize,
+    algo: String,
+    total_time_s: f64,
+    error: f64,
+}
+
+/// Regenerates the scalability test.
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    let n = opts.scaled(383_000, 8_000);
+    let traj = trajgen::generate(Preset::TruckLike, n, opts.seed + 80);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w = crate::harness::budget(n, 0.1);
+
+    println!("\n[Exp 8: longest trajectory n = {n}, W = {w}]");
+    let mut table = TextTable::new(&["Algorithm", "Time (s)", "SED error"]);
+    let mut records = Vec::new();
+    for mut algo in batch_suite(measure, store, &spec) {
+        let (kept, dt) = time(|| algo.simplify(traj.points(), w));
+        let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+        table.row(vec![algo.name().to_string(), fmt(dt.as_secs_f64()), fmt(e)]);
+        records.push(Record {
+            n,
+            algo: algo.name().to_string(),
+            total_time_s: dt.as_secs_f64(),
+            error: e,
+        });
+    }
+    table.print("Exp 8: scalability on the longest trajectory (batch, SED)");
+    println!("[paper shape: RLTS-Skip+ < RLTS+ < Bottom-Up << Top-Down in running time]");
+    opts.write_json("scalability", &records);
+}

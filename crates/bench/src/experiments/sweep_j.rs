@@ -1,0 +1,40 @@
+//! Experiment 6 — effect of the skip horizon `J` (paper §VI-B(6)): larger
+//! `J` trades effectiveness for efficiency; `J = 0` reduces RLTS-Skip to
+//! RLTS.
+
+use crate::harness::{eval_online, fmt, Opts, PolicyStore, TextTable, TrainSpec};
+use rlts_core::{RltsConfig, RltsOnline, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    j: usize,
+    mean_error: f64,
+    total_time_s: f64,
+}
+
+/// Regenerates the `J` sweep.
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    let count = opts.scaled(1000, 8);
+    let len = opts.scaled(1000, 200);
+    let data = trajgen::generate_dataset(Preset::GeolifeLike, count, len, opts.seed + 7);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w_frac = 0.1;
+
+    let mut table = TextTable::new(&["J", "SED error", "Time (s)"]);
+    let mut records = Vec::new();
+    for j in 0..=4usize {
+        let (variant, jj) = if j == 0 { (Variant::Rlts, 2) } else { (Variant::RltsSkip, j) };
+        let cfg = RltsConfig { j: jj, ..RltsConfig::paper_defaults(variant, measure) };
+        let mut algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
+        let r = eval_online(&mut algo, &data, w_frac, measure);
+        table.row(vec![j.to_string(), fmt(r.mean_error), fmt(r.total_time_s)]);
+        records.push(Record { j, mean_error: r.mean_error, total_time_s: r.total_time_s });
+    }
+    table.print("Exp 6: effect of J on RLTS-Skip (online, SED; J=0 is RLTS)");
+    println!("[paper shape: as J grows, effectiveness degrades and efficiency improves]");
+    opts.write_json("sweep_j", &records);
+}

@@ -1,0 +1,38 @@
+//! Experiment 5 — effect of the state width `k` (paper §VI-B(5)): larger
+//! `k` improves accuracy and costs time.
+
+use crate::harness::{eval_online, fmt, Opts, PolicyStore, TextTable, TrainSpec};
+use rlts_core::{RltsConfig, RltsOnline, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct Record {
+    k: usize,
+    mean_error: f64,
+    total_time_s: f64,
+}
+
+/// Regenerates the `k` sweep.
+pub fn run(opts: &Opts, store: &PolicyStore) {
+    let count = opts.scaled(1000, 8);
+    let len = opts.scaled(1000, 200);
+    let data = trajgen::generate_dataset(Preset::GeolifeLike, count, len, opts.seed + 6);
+    let measure = Measure::Sed;
+    let spec = TrainSpec::default_for(opts);
+    let w_frac = 0.1;
+
+    let mut table = TextTable::new(&["k", "SED error", "Time (s)"]);
+    let mut records = Vec::new();
+    for k in 1..=5 {
+        let cfg = RltsConfig { k, ..RltsConfig::paper_defaults(Variant::Rlts, measure) };
+        let mut algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
+        let r = eval_online(&mut algo, &data, w_frac, measure);
+        table.row(vec![k.to_string(), fmt(r.mean_error), fmt(r.total_time_s)]);
+        records.push(Record { k, mean_error: r.mean_error, total_time_s: r.total_time_s });
+    }
+    table.print("Exp 5: effect of k on RLTS (online, SED)");
+    println!("[paper shape: error improves and time grows as k grows]");
+    opts.write_json("sweep_k", &records);
+}

@@ -1,0 +1,61 @@
+//! Table I — dataset statistics of the (synthetic stand-ins for the) three
+//! evaluation datasets.
+
+use crate::harness::{fmt, Opts, TextTable};
+use serde::Serialize;
+use trajectory::stats::DatasetStats;
+use trajgen::Preset;
+
+/// Paper-reported values for side-by-side comparison.
+const PAPER: [(&str, usize, usize, f64, &str, f64); 3] = [
+    ("Geolife", 17_621, 24_876_978, 1_412.0, "1s ~ 5s", 9.96),
+    ("T-Drive", 10_359, 17_740_902, 1_713.0, "177s", 623.0),
+    ("Truck", 10_110, 10_059_685, 995.0, "3s ~ 60s", 82.74),
+];
+
+#[derive(Serialize)]
+struct Record {
+    dataset: String,
+    paper_avg_points: f64,
+    measured: DatasetStats,
+    paper_sampling: String,
+    paper_avg_distance_m: f64,
+}
+
+/// Regenerates Table I on scaled synthetic datasets.
+pub fn run(opts: &Opts) {
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "#traj",
+        "total pts",
+        "avg pts",
+        "sampling",
+        "avg dist (m)",
+        "paper dist (m)",
+    ]);
+    let mut records = Vec::new();
+    for (preset, paper) in Preset::ALL.iter().zip(PAPER) {
+        let count = opts.scaled(200, 10);
+        let len = opts.scaled(paper.3 as usize, 150);
+        let data = trajgen::generate_dataset(*preset, count, len, opts.seed);
+        let s = DatasetStats::compute(&data);
+        table.row(vec![
+            preset.name().to_string(),
+            s.trajectories.to_string(),
+            s.total_points.to_string(),
+            format!("{:.0}", s.avg_points),
+            format!("{:.0}s ~ {:.0}s", s.min_interval, s.max_interval),
+            fmt(s.mean_hop_distance),
+            fmt(paper.5),
+        ]);
+        records.push(Record {
+            dataset: preset.name().to_string(),
+            paper_avg_points: paper.3,
+            measured: s,
+            paper_sampling: paper.4.to_string(),
+            paper_avg_distance_m: paper.5,
+        });
+    }
+    table.print("Table I: dataset statistics (synthetic stand-ins; paper columns for reference)");
+    opts.write_json("table1", &records);
+}

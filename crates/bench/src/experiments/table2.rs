@@ -1,0 +1,70 @@
+//! Table II — training time per measure and mode (paper §VI-B(11)).
+//!
+//! The paper reports 7–12 hours per policy on ~10M transitions
+//! (TensorFlow + GTX 1070); the harness trains scaled-down policies and
+//! reports both the measured time and a naive extrapolation to the paper's
+//! transition count, so the *relative* pattern (RLTS-Skip trains faster
+//! than RLTS; batch slightly slower than online) can be checked.
+
+use crate::harness::{Opts, TextTable, TrainSpec};
+use rlts_core::{train, RltsConfig, TrainConfig, Variant};
+use serde::Serialize;
+use trajectory::error::Measure;
+
+#[derive(Serialize)]
+struct Record {
+    measure: String,
+    variant: String,
+    transitions: usize,
+    wall_time_s: f64,
+    extrapolated_hours_at_10m: f64,
+}
+
+/// Regenerates Table II at harness scale.
+pub fn run(opts: &Opts) {
+    let spec = TrainSpec::default_for(opts);
+    let pool = trajgen::generate_dataset(spec.preset, spec.count, spec.len, opts.seed * 1000 + 2);
+    let mut table = TextTable::new(&["Measure", "Variant", "Transitions", "Time (s)", "→10M est (h)"]);
+    let mut records = Vec::new();
+    for measure in Measure::ALL {
+        for variant in [Variant::Rlts, Variant::RltsSkip, Variant::RltsPlus, Variant::RltsSkipPlus] {
+            let cfg = RltsConfig::paper_defaults(variant, measure);
+            let tc = TrainConfig {
+                rlts: cfg,
+                hidden: 20,
+                epochs: (spec.epochs / 3).max(2),
+                episodes_per_update: spec.episodes,
+                lr: spec.lr,
+                gamma: 0.99,
+                entropy_beta: 0.01,
+                w_fraction: (0.1, 0.5),
+                seed: opts.seed,
+                baseline: Default::default(),
+            };
+            let report = train(&pool, &tc);
+            let secs = report.wall_time.as_secs_f64();
+            let est_hours = if report.transitions > 0 {
+                secs / report.transitions as f64 * 10.0e6 / 3600.0
+            } else {
+                0.0
+            };
+            table.row(vec![
+                measure.to_string(),
+                variant.to_string(),
+                report.transitions.to_string(),
+                format!("{secs:.1}"),
+                format!("{est_hours:.2}"),
+            ]);
+            records.push(Record {
+                measure: measure.to_string(),
+                variant: variant.to_string(),
+                transitions: report.transitions,
+                wall_time_s: secs,
+                extrapolated_hours_at_10m: est_hours,
+            });
+        }
+    }
+    table.print("Table II: training time (scaled; paper reports 7-12 h at ~10M transitions)");
+    println!("[paper shape: RLTS-Skip trains faster than RLTS; batch variants slightly slower]");
+    opts.write_json("table2", &records);
+}

@@ -1,0 +1,445 @@
+//! Shared machinery for the experiment harness: scaling, policy caching,
+//! timing, evaluation loops, and table/JSON output.
+
+use parking_lot::Mutex;
+use rlts_core::{train, DecisionPolicy, RltsConfig, TrainConfig, TrainedPolicy, Variant};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+use trajectory::error::{simplification_error, Aggregation, Measure};
+use trajectory::{BatchSimplifier, OnlineSimplifier, Trajectory};
+use trajgen::Preset;
+
+/// Harness options shared by every experiment.
+#[derive(Debug, Clone)]
+pub struct Opts {
+    /// Work multiplier relative to the laptop-scale defaults (1.0). The
+    /// paper-scale runs need roughly `--scale 30`.
+    pub scale: f64,
+    /// Directory for JSON result records.
+    pub out_dir: PathBuf,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts { scale: 1.0, out_dir: PathBuf::from("results"), seed: 7 }
+    }
+}
+
+impl Opts {
+    /// Scales a paper-sized quantity down to harness scale, with a floor.
+    pub fn scaled(&self, base: usize, min: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(min)
+    }
+
+    /// Writes a serializable record under `out_dir/<name>.json`.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) {
+        std::fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(value).expect("serialize results");
+        std::fs::write(&path, json).expect("write results");
+        println!("[results written to {}]", path.display());
+    }
+}
+
+/// Times a closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// The default training corpus for harness policies: Geolife-like (the
+/// paper trains on Geolife).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSpec {
+    /// Generator preset.
+    pub preset: Preset,
+    /// Number of training trajectories.
+    pub count: usize,
+    /// Points per training trajectory.
+    pub len: usize,
+    /// Training epochs (passes over the pool).
+    pub epochs: usize,
+    /// Episodes per update.
+    pub episodes: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TrainSpec {
+    /// Laptop-scale default: enough training for the learned policy to beat
+    /// the heuristics on synthetic data within ~a minute per policy.
+    pub fn default_for(opts: &Opts) -> TrainSpec {
+        TrainSpec {
+            preset: Preset::GeolifeLike,
+            count: opts.scaled(30, 8),
+            len: opts.scaled(250, 80),
+            epochs: opts.scaled(30, 10),
+            episodes: 6,
+            lr: 0.02,
+            seed: opts.seed,
+        }
+    }
+
+    fn cache_key(&self, cfg: &RltsConfig) -> String {
+        format!(
+            "{}-{}-k{}-j{}-{}x{}-e{}x{}-lr{}-s{}",
+            cfg.variant.name().replace('+', "p"),
+            cfg.measure.name(),
+            cfg.k,
+            cfg.j,
+            self.count,
+            self.len,
+            self.epochs,
+            self.episodes,
+            self.lr,
+            self.seed
+        )
+    }
+}
+
+/// Caches trained policies in memory and on disk (under
+/// `target/policies/`), so `repro` subcommands share training work.
+pub struct PolicyStore {
+    dir: PathBuf,
+    mem: Mutex<HashMap<String, TrainedPolicy>>,
+}
+
+impl Default for PolicyStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolicyStore {
+    /// Creates a store rooted at `target/policies`.
+    pub fn new() -> Self {
+        PolicyStore { dir: PathBuf::from("target/policies"), mem: Mutex::new(HashMap::new()) }
+    }
+
+    /// Returns the trained policy for a configuration, training (and
+    /// caching) it if needed. Returns the wall-clock training time when a
+    /// fresh training run happened.
+    pub fn get_or_train(&self, cfg: RltsConfig, spec: &TrainSpec) -> (TrainedPolicy, Option<Duration>) {
+        let key = spec.cache_key(&cfg);
+        if let Some(p) = self.mem.lock().get(&key) {
+            return (p.clone(), None);
+        }
+        let path = self.dir.join(format!("{key}.json"));
+        if let Ok(json) = std::fs::read_to_string(&path) {
+            if let Ok(p) = TrainedPolicy::from_json(&json) {
+                if p.config == cfg {
+                    self.mem.lock().insert(key, p.clone());
+                    return (p, None);
+                }
+            }
+        }
+        eprintln!("[training {} / {} ...]", cfg.variant, cfg.measure);
+        let pool = trajgen::generate_dataset(spec.preset, spec.count, spec.len, spec.seed * 1000 + 1);
+        let tc = TrainConfig {
+            rlts: cfg,
+            hidden: 20,
+            epochs: spec.epochs,
+            episodes_per_update: spec.episodes,
+            lr: spec.lr,
+            gamma: 0.99,
+            entropy_beta: 0.01,
+            w_fraction: (0.1, 0.5),
+            seed: spec.seed,
+            baseline: Default::default(),
+        };
+        let report = train(&pool, &tc);
+        let policy = report.policy;
+        std::fs::create_dir_all(&self.dir).ok();
+        std::fs::write(&path, policy.to_json()).ok();
+        self.mem.lock().insert(key, policy.clone());
+        (policy, Some(report.wall_time))
+    }
+
+    /// A learned decision policy ready to plug into the algorithms.
+    /// Online variants sample; batch variants take the arg-max (paper
+    /// §VI-A).
+    pub fn decision(&self, cfg: RltsConfig, spec: &TrainSpec) -> DecisionPolicy {
+        let (p, _) = self.get_or_train(cfg, spec);
+        DecisionPolicy::Learned { net: p.net, greedy: cfg.variant.is_batch() }
+    }
+
+    /// Trains (or loads) a set of policies in parallel, one thread per
+    /// configuration. Subsequent [`PolicyStore::decision`] calls hit the
+    /// in-memory cache.
+    pub fn pretrain_parallel(&self, cfgs: &[RltsConfig], spec: &TrainSpec) {
+        crossbeam::thread::scope(|scope| {
+            for &cfg in cfgs {
+                scope.spawn(move |_| {
+                    self.get_or_train(cfg, spec);
+                });
+            }
+        })
+        .expect("training thread panicked");
+    }
+}
+
+/// Evaluation summary of one algorithm over a dataset.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalResult {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Mean max-aggregated error over the dataset.
+    pub mean_error: f64,
+    /// Total wall-clock simplification time.
+    pub total_time_s: f64,
+    /// Mean time per input point, in microseconds.
+    pub time_per_point_us: f64,
+}
+
+/// Runs a batch simplifier over a dataset at budget `w = ceil(frac · n)`.
+pub fn eval_batch(
+    algo: &mut dyn BatchSimplifier,
+    data: &[Trajectory],
+    w_frac: f64,
+    measure: Measure,
+) -> EvalResult {
+    let mut err_sum = 0.0;
+    let mut total = Duration::ZERO;
+    let mut points = 0usize;
+    for t in data {
+        let w = budget(t.len(), w_frac);
+        let (kept, dt) = time(|| algo.simplify(t.points(), w));
+        total += dt;
+        points += t.len();
+        err_sum += simplification_error(measure, t.points(), &kept, Aggregation::Max);
+    }
+    EvalResult {
+        algo: algo.name().to_string(),
+        mean_error: err_sum / data.len().max(1) as f64,
+        total_time_s: total.as_secs_f64(),
+        time_per_point_us: total.as_secs_f64() * 1e6 / points.max(1) as f64,
+    }
+}
+
+/// Runs an online simplifier over a dataset at budget `w = ceil(frac · n)`.
+pub fn eval_online(
+    algo: &mut dyn OnlineSimplifier,
+    data: &[Trajectory],
+    w_frac: f64,
+    measure: Measure,
+) -> EvalResult {
+    let mut err_sum = 0.0;
+    let mut total = Duration::ZERO;
+    let mut points = 0usize;
+    for t in data {
+        let w = budget(t.len(), w_frac);
+        let (kept, dt) = time(|| algo.run(t.points(), w));
+        total += dt;
+        points += t.len();
+        err_sum += simplification_error(measure, t.points(), &kept, Aggregation::Max);
+    }
+    EvalResult {
+        algo: algo.name().to_string(),
+        mean_error: err_sum / data.len().max(1) as f64,
+        total_time_s: total.as_secs_f64(),
+        time_per_point_us: total.as_secs_f64() * 1e6 / points.max(1) as f64,
+    }
+}
+
+/// The storage budget for a trajectory of `n` points at fraction `frac`.
+pub fn budget(n: usize, frac: f64) -> usize {
+    ((n as f64 * frac).round() as usize).clamp(2, n)
+}
+
+/// The full online comparison set of the paper for a measure:
+/// STTrace, SQUISH, SQUISH-E, RLTS, RLTS-Skip.
+pub fn online_suite(
+    measure: Measure,
+    store: &PolicyStore,
+    spec: &TrainSpec,
+) -> Vec<Box<dyn OnlineSimplifier>> {
+    use baselines::{Squish, SquishE, StTrace};
+    use rlts_core::RltsOnline;
+    let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, measure);
+    let skip_cfg = RltsConfig::paper_defaults(Variant::RltsSkip, measure);
+    vec![
+        Box::new(StTrace::new(measure)),
+        Box::new(Squish::new(measure)),
+        Box::new(SquishE::new(measure)),
+        Box::new(RltsOnline::new(rlts_cfg, store.decision(rlts_cfg, spec), 17)),
+        Box::new(RltsOnline::new(skip_cfg, store.decision(skip_cfg, spec), 17)),
+    ]
+}
+
+/// The batch comparison set of the paper for a measure:
+/// Top-Down, Bottom-Up, (Span-Search for DAD), RLTS+, RLTS-Skip+.
+pub fn batch_suite(
+    measure: Measure,
+    store: &PolicyStore,
+    spec: &TrainSpec,
+) -> Vec<Box<dyn BatchSimplifier>> {
+    use baselines::{BottomUp, SpanSearch, TopDown};
+    use rlts_core::RltsBatch;
+    let plus_cfg = RltsConfig::paper_defaults(Variant::RltsPlus, measure);
+    let skip_cfg = RltsConfig::paper_defaults(Variant::RltsSkipPlus, measure);
+    let mut suite: Vec<Box<dyn BatchSimplifier>> = vec![
+        Box::new(TopDown::new(measure)),
+        Box::new(BottomUp::new(measure)),
+    ];
+    if measure == Measure::Dad {
+        suite.push(Box::new(SpanSearch::new()));
+    }
+    suite.push(Box::new(RltsBatch::new(plus_cfg, store.decision(plus_cfg, spec), 17)));
+    suite.push(Box::new(RltsBatch::new(skip_cfg, store.decision(skip_cfg, spec), 17)));
+    suite
+}
+
+/// A plain-text table printer with aligned columns.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a `f64` compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+/// Ensures a results path exists relative to a file target.
+pub fn ensure_parent(path: &Path) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_respects_floor_and_factor() {
+        let mut opts = Opts::default();
+        assert_eq!(opts.scaled(1000, 10), 1000);
+        opts.scale = 0.01;
+        assert_eq!(opts.scaled(1000, 10), 10);
+        opts.scale = 2.0;
+        assert_eq!(opts.scaled(1000, 10), 2000);
+    }
+
+    #[test]
+    fn budget_clamps() {
+        assert_eq!(budget(100, 0.1), 10);
+        assert_eq!(budget(100, 0.0), 2);
+        assert_eq!(budget(3, 5.0), 3);
+        assert_eq!(budget(10, 0.449), 4);
+    }
+
+    #[test]
+    fn text_table_aligns_columns() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn text_table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fmt_picks_sensible_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(6.54321), "6.543");
+        assert_eq!(fmt(0.001234), "0.00123");
+    }
+
+    #[test]
+    fn eval_batch_counts_time_and_error() {
+        use baselines::Uniform;
+        let data = trajgen::generate_dataset(trajgen::Preset::GeolifeLike, 3, 50, 1);
+        let r = eval_batch(&mut Uniform::new(), &data, 0.2, Measure::Sed);
+        assert_eq!(r.algo, "Uniform");
+        assert!(r.mean_error >= 0.0 && r.mean_error.is_finite());
+        assert!(r.total_time_s >= 0.0);
+        assert!(r.time_per_point_us >= 0.0);
+    }
+
+    #[test]
+    fn train_spec_cache_key_distinguishes_configs() {
+        let opts = Opts::default();
+        let spec = TrainSpec::default_for(&opts);
+        let a = spec.cache_key(&RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed));
+        let b = spec.cache_key(&RltsConfig::paper_defaults(Variant::RltsPlus, Measure::Sed));
+        let c = spec.cache_key(&RltsConfig::paper_defaults(Variant::Rlts, Measure::Dad));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let mut k4 = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        k4.k = 4;
+        assert_ne!(a, spec.cache_key(&k4));
+    }
+}

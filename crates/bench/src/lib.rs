@@ -1,0 +1,20 @@
+//! `rlts-bench` — the experiment harness that regenerates every table and
+//! figure of the RLTS paper's evaluation (§VI), plus Criterion
+//! micro-benchmarks for the computational kernels.
+//!
+//! Run experiments via the `repro` binary:
+//!
+//! ```text
+//! cargo run -p rlts-bench --release --bin repro -- all --scale 1
+//! cargo run -p rlts-bench --release --bin repro -- fig4 --scale 2
+//! ```
+//!
+//! Results print as aligned tables and are recorded as JSON under
+//! `results/` for EXPERIMENTS.md. Trained policies are cached under
+//! `target/policies/` and shared across subcommands.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod svg;

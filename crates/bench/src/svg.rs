@@ -1,0 +1,355 @@
+//! A tiny dependency-free SVG writer: enough to emit the paper's figures
+//! (polyline case studies and line charts) straight from the harness.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Categorical colors (colorblind-safe Okabe–Ito subset).
+pub const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// A named data series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// An SVG line chart with axes and a legend.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Data series.
+    pub series: Vec<Series>,
+    /// Log-scale the y axis (for the timing figures).
+    pub log_y: bool,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 150.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+impl LineChart {
+    /// Renders the chart to an SVG string.
+    pub fn render(&self) -> String {
+        let mut xs: Vec<f64> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                xs.push(x);
+                ys.push(if self.log_y { y.max(1e-12).log10() } else { y });
+            }
+        }
+        let (x_min, x_max) = span(&xs);
+        let (y_min, y_max) = span(&ys);
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min).max(1e-12) * plot_w;
+        let sy = |y: f64| {
+            let y = if self.log_y { y.max(1e-12).log10() } else { y };
+            MARGIN_T + plot_h - (y - y_min) / (y_max - y_min).max(1e-12) * plot_h
+        };
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" font-family="sans-serif" font-size="12">"##
+        );
+        let _ = writeln!(out, r##"<rect width="{W}" height="{H}" fill="white"/>"##);
+        let _ = writeln!(
+            out,
+            r##"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+        // Axes.
+        let _ = writeln!(
+            out,
+            r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#999"/>"##
+        );
+        // Ticks (5 per axis).
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                out,
+                r##"<text x="{px}" y="{}" text-anchor="middle" fill="#333">{}</text>"##,
+                MARGIN_T + plot_h + 18.0,
+                fmt_tick(fx)
+            );
+            let fy = y_min + (y_max - y_min) * i as f64 / 4.0;
+            let py = MARGIN_T + plot_h - plot_h * i as f64 / 4.0;
+            let label = if self.log_y { 10f64.powf(fy) } else { fy };
+            let _ = writeln!(
+                out,
+                r##"<text x="{}" y="{}" text-anchor="end" fill="#333">{}</text>"##,
+                MARGIN_L - 8.0,
+                py + 4.0,
+                fmt_tick(label)
+            );
+            let _ = writeln!(
+                out,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#eee"/>"##,
+                MARGIN_L + plot_w
+            );
+        }
+        // Axis labels.
+        let _ = writeln!(
+            out,
+            r##"<text x="{}" y="{}" text-anchor="middle">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            H - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"##,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        );
+        // Series.
+        for (i, s) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            let path: Vec<String> =
+                s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let _ = writeln!(
+                out,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
+                path.join(" ")
+            );
+            for &(x, y) in &s.points {
+                let _ = writeln!(
+                    out,
+                    r##"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"##,
+                    sx(x),
+                    sy(y)
+                );
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+            let lx = W - MARGIN_R + 12.0;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"##,
+                lx + 20.0
+            );
+            let _ = writeln!(
+                out,
+                r##"<text x="{}" y="{}" fill="#333">{}</text>"##,
+                lx + 26.0,
+                ly + 4.0,
+                escape(&s.name)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Renders and writes the chart to a file.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+/// An SVG overlay of 2-D polylines (the Fig 7 case-study style).
+#[derive(Debug, Clone)]
+pub struct PolylinePlot {
+    /// Plot title.
+    pub title: String,
+    /// Named polylines in draw order (first = background/raw).
+    pub lines: Vec<Series>,
+}
+
+impl PolylinePlot {
+    /// Renders the plot to an SVG string (equal-aspect fit).
+    pub fn render(&self) -> String {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for l in &self.lines {
+            for &(x, y) in &l.points {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        let (x_min, x_max) = span(&xs);
+        let (y_min, y_max) = span(&ys);
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let scale = (plot_w / (x_max - x_min).max(1e-12)).min(plot_h / (y_max - y_min).max(1e-12));
+        let sx = |x: f64| MARGIN_L + (x - x_min) * scale;
+        let sy = |y: f64| MARGIN_T + plot_h - (y - y_min) * scale;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r##"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" font-family="sans-serif" font-size="12">"##
+        );
+        let _ = writeln!(out, r##"<rect width="{W}" height="{H}" fill="white"/>"##);
+        let _ = writeln!(
+            out,
+            r##"<text x="{}" y="22" text-anchor="middle" font-size="15">{}</text>"##,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        );
+        for (i, l) in self.lines.iter().enumerate() {
+            let color = if i == 0 { "#bbbbbb" } else { PALETTE[(i - 1) % PALETTE.len()] };
+            let dash = if i == 0 { "" } else { r##" stroke-dasharray="6,3""## };
+            let path: Vec<String> =
+                l.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let _ = writeln!(
+                out,
+                r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{}"{dash}/>"##,
+                path.join(" "),
+                if i == 0 { 2.5 } else { 1.8 }
+            );
+            let ly = MARGIN_T + 14.0 + i as f64 * 18.0;
+            let lx = W - MARGIN_R + 12.0;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"{dash}/>"##,
+                lx + 20.0
+            );
+            let _ = writeln!(
+                out,
+                r##"<text x="{}" y="{}" fill="#333">{}</text>"##,
+                lx + 26.0,
+                ly + 4.0,
+                escape(&l.name)
+            );
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Renders and writes the plot to a file.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+fn span(vals: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in vals {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 10_000.0 {
+        format!("{:.0}k", v / 1000.0)
+    } else if v.abs() >= 10.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 0.1 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.1e}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "err vs W".into(),
+            x_label: "W".into(),
+            y_label: "error".into(),
+            series: vec![
+                Series { name: "RLTS".into(), points: vec![(0.1, 5.0), (0.2, 3.0), (0.3, 2.0)] },
+                Series { name: "SQUISH".into(), points: vec![(0.1, 9.0), (0.2, 6.0), (0.3, 4.0)] },
+            ],
+            log_y: false,
+        }
+    }
+
+    #[test]
+    fn line_chart_is_wellformed_svg() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("RLTS"));
+        assert!(svg.contains("SQUISH"));
+        // Every open tag family is balanced enough for viewers: no NaNs.
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    fn log_scale_keeps_coordinates_finite() {
+        let mut c = chart();
+        c.log_y = true;
+        c.series[0].points.push((0.4, 0.0)); // would be -inf naively
+        let svg = c.render();
+        assert!(!svg.contains("NaN") && !svg.contains("inf"));
+    }
+
+    #[test]
+    fn polyline_plot_draws_all_lines() {
+        let p = PolylinePlot {
+            title: "case study".into(),
+            lines: vec![
+                Series { name: "raw".into(), points: vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)] },
+                Series { name: "RLTS".into(), points: vec![(0.0, 0.0), (2.0, 0.0)] },
+            ],
+        };
+        let svg = p.render();
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("case study"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = chart();
+        c.title = "a < b & c".into();
+        let svg = c.render();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn degenerate_single_point_series() {
+        let c = LineChart {
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { name: "one".into(), points: vec![(1.0, 1.0)] }],
+            log_y: false,
+        };
+        let svg = c.render();
+        assert!(!svg.contains("NaN"));
+    }
+}

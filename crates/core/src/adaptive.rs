@@ -1,0 +1,218 @@
+//! Adaptive error-measure selection — a prototype of the paper's stated
+//! future work (§VII: "explore how to choose the error measurement (e.g.,
+//! SED, PED, etc.) adaptively for different application scenarios").
+//!
+//! The heuristic inspects which dynamic dimension of a trajectory carries
+//! the most information relative to its noise floor:
+//!
+//! * strongly varying headings → **DAD** (direction is what a segment
+//!   approximation will destroy);
+//! * strongly varying speeds with steady headings → **SAD**;
+//! * otherwise positional fidelity matters: **SED** when sampling intervals
+//!   are irregular (time matters), **PED** when they are uniform.
+//!
+//! [`AdaptiveBatch`] wraps any per-measure simplifier factory and picks the
+//! measure per trajectory.
+
+use trajectory::error::Measure;
+use trajectory::{BatchSimplifier, Point};
+
+/// Summary of a trajectory's dynamics used for measure selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsProfile {
+    /// Circular variance of movement headings in `[0, 1]`.
+    pub heading_variance: f64,
+    /// Coefficient of variation of segment speeds (σ/μ, 0 when μ = 0).
+    pub speed_cv: f64,
+    /// Coefficient of variation of sampling intervals.
+    pub interval_cv: f64,
+}
+
+impl DynamicsProfile {
+    /// Computes the profile of a point sequence (needs ≥ 3 points for a
+    /// meaningful result; degenerate inputs yield zeros).
+    pub fn of(pts: &[Point]) -> DynamicsProfile {
+        let mut sin_sum = 0.0;
+        let mut cos_sum = 0.0;
+        let mut dirs = 0usize;
+        let mut speeds = Vec::new();
+        let mut intervals = Vec::new();
+        for w in pts.windows(2) {
+            if let Some(d) = w[0].direction_to(&w[1]) {
+                sin_sum += d.sin();
+                cos_sum += d.cos();
+                dirs += 1;
+            }
+            if let Some(s) = w[0].speed_to(&w[1]) {
+                speeds.push(s);
+            }
+            intervals.push(w[1].t - w[0].t);
+        }
+        let heading_variance = if dirs == 0 {
+            0.0
+        } else {
+            1.0 - (sin_sum * sin_sum + cos_sum * cos_sum).sqrt() / dirs as f64
+        };
+        DynamicsProfile {
+            heading_variance,
+            speed_cv: coefficient_of_variation(&speeds),
+            interval_cv: coefficient_of_variation(&intervals),
+        }
+    }
+
+    /// Recommends an error measure for this profile.
+    pub fn recommend(&self) -> Measure {
+        // Thresholds calibrated on the synthetic presets: cruising traffic
+        // has heading variance < 0.2; a walk in a park exceeds 0.5.
+        if self.heading_variance > 0.35 {
+            Measure::Dad
+        } else if self.speed_cv > 0.8 {
+            Measure::Sad
+        } else if self.interval_cv > 0.25 {
+            Measure::Sed
+        } else {
+            Measure::Ped
+        }
+    }
+}
+
+fn coefficient_of_variation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if mean.abs() < 1e-12 {
+        return 0.0;
+    }
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt() / mean.abs()
+}
+
+/// A batch simplifier that picks the error measure per trajectory via
+/// [`DynamicsProfile::recommend`] and delegates to a per-measure inner
+/// simplifier built by the factory.
+pub struct AdaptiveBatch<F> {
+    factory: F,
+    last_choice: Option<Measure>,
+}
+
+impl<F, S> AdaptiveBatch<F>
+where
+    F: FnMut(Measure) -> S,
+    S: BatchSimplifier,
+{
+    /// Creates an adaptive simplifier from a per-measure factory, e.g.
+    /// `AdaptiveBatch::new(baselines::BottomUp::new)`.
+    pub fn new(factory: F) -> Self {
+        AdaptiveBatch { factory, last_choice: None }
+    }
+
+    /// The measure chosen for the most recent `simplify` call.
+    pub fn last_choice(&self) -> Option<Measure> {
+        self.last_choice
+    }
+}
+
+impl<F, S> BatchSimplifier for AdaptiveBatch<F>
+where
+    F: FnMut(Measure) -> S,
+    S: BatchSimplifier,
+{
+    fn name(&self) -> &'static str {
+        "Adaptive"
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        let measure = DynamicsProfile::of(pts).recommend();
+        self.last_choice = Some(measure);
+        (self.factory)(measure).simplify(pts, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::BottomUp;
+
+    fn pts_from(iter: impl Iterator<Item = (f64, f64, f64)>) -> Vec<Point> {
+        iter.map(|(x, y, t)| Point::new(x, y, t)).collect()
+    }
+
+    #[test]
+    fn twisty_walk_prefers_dad() {
+        // A spiral: headings sweep the full circle.
+        let pts = pts_from((0..60).map(|i| {
+            let a = i as f64 * 0.4;
+            (a.cos() * 10.0, a.sin() * 10.0, i as f64)
+        }));
+        let p = DynamicsProfile::of(&pts);
+        assert!(p.heading_variance > 0.35, "{p:?}");
+        assert_eq!(p.recommend(), Measure::Dad);
+    }
+
+    #[test]
+    fn stop_and_go_prefers_sad() {
+        // Straight line with alternating cruise/stop speeds at uniform
+        // sampling: headings steady, speeds bimodal.
+        let mut x = 0.0;
+        let pts = pts_from((0..60).map(|i| {
+            let v = if (i / 5) % 2 == 0 { 10.0 } else { 0.2 };
+            x += v;
+            (x, 0.0, i as f64)
+        }));
+        let p = DynamicsProfile::of(&pts);
+        assert!(p.heading_variance < 0.35, "{p:?}");
+        assert!(p.speed_cv > 0.8, "{p:?}");
+        assert_eq!(p.recommend(), Measure::Sad);
+    }
+
+    #[test]
+    fn irregular_sampling_prefers_sed() {
+        // Gentle curve at constant speed but bursty sampling intervals.
+        let mut t = 0.0;
+        let pts = pts_from((0..60).map(|i| {
+            t += if i % 7 == 0 { 10.0 } else { 1.0 };
+            (t * 3.0, (i as f64 * 0.05).sin() * 2.0, t)
+        }));
+        let p = DynamicsProfile::of(&pts);
+        assert!(p.interval_cv > 0.25, "{p:?}");
+        assert_eq!(p.recommend(), Measure::Sed);
+    }
+
+    #[test]
+    fn steady_cruise_prefers_ped() {
+        let pts = pts_from((0..60).map(|i| {
+            let f = i as f64;
+            (f * 5.0, (f * 0.03).sin() * 1.0, f)
+        }));
+        let p = DynamicsProfile::of(&pts);
+        assert_eq!(p.recommend(), Measure::Ped, "{p:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_zero_profile() {
+        let p = DynamicsProfile::of(&[]);
+        assert_eq!(p, DynamicsProfile { heading_variance: 0.0, speed_cv: 0.0, interval_cv: 0.0 });
+        let one = [Point::new(0.0, 0.0, 0.0)];
+        assert_eq!(DynamicsProfile::of(&one).recommend(), Measure::Ped);
+        // All points coincident.
+        let still = [Point::new(1.0, 1.0, 0.0), Point::new(1.0, 1.0, 5.0), Point::new(1.0, 1.0, 9.0)];
+        let p = DynamicsProfile::of(&still);
+        assert_eq!(p.heading_variance, 0.0);
+    }
+
+    #[test]
+    fn adaptive_batch_delegates_and_records_choice() {
+        let pts = pts_from((0..40).map(|i| {
+            let a = i as f64 * 0.5;
+            (a.cos() * 8.0, a.sin() * 8.0, i as f64)
+        }));
+        let mut adaptive = AdaptiveBatch::new(BottomUp::new);
+        let kept = adaptive.simplify(&pts, 8);
+        assert_eq!(adaptive.last_choice(), Some(Measure::Dad));
+        assert!(kept.len() <= 8);
+        assert_eq!(kept[0], 0);
+        assert_eq!(*kept.last().unwrap(), 39);
+    }
+}

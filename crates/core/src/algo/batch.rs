@@ -1,0 +1,257 @@
+//! The batch-mode RLTS variants: RLTS+ / RLTS-Skip+ (fixed buffer, Eq. 12
+//! values) and RLTS++ / RLTS-Skip++ (variable buffer over all points) — §V.
+
+use crate::batchbuf::BatchBuffer;
+use crate::config::RltsConfig;
+use crate::policy::DecisionPolicy;
+use crate::state::{action_mask, clamp_action, pad_values};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use trajectory::{BatchSimplifier, Point};
+
+/// Batch RLTS: the learned policy decides which of the `k` cheapest merge
+/// candidates to drop (or how many points to skip/drop at once).
+#[derive(Debug, Clone)]
+pub struct RltsBatch {
+    cfg: RltsConfig,
+    policy: DecisionPolicy,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl RltsBatch {
+    /// Creates the algorithm from a configuration and a decision policy.
+    /// `seed` fixes the action-sampling stream (irrelevant for greedy
+    /// policies).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or names an online variant.
+    pub fn new(cfg: RltsConfig, policy: DecisionPolicy, seed: u64) -> Self {
+        cfg.validate().expect("invalid RLTS configuration");
+        assert!(cfg.variant.is_batch(), "{} is an online variant; use RltsOnline", cfg.variant);
+        RltsBatch { cfg, policy, seed, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RltsConfig {
+        &self.cfg
+    }
+
+    fn simplify_plus(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        let n = pts.len();
+        let shared: Arc<[Point]> = Arc::from(pts);
+        let mut bbuf = BatchBuffer::from_prefix(shared, self.cfg.measure, w - 1);
+        let (k, j_cfg) = (self.cfg.k, self.cfg.j);
+        let skip_variant = self.cfg.variant.is_skip();
+        let mut i = w;
+        while i < n {
+            // Candidates: the k cheapest interior points, plus the frontier
+            // valued against the arriving point (the paper's s_W).
+            let mut cands = bbuf.k_smallest(k);
+            if let Some(fc) = bbuf.frontier_cost(i) {
+                cands.push((bbuf.last_index(), fc));
+                cands.sort_by(|a, b| a.1.total_cmp(&b.1));
+                cands.truncate(k);
+            }
+            let values: Vec<f64> = cands.iter().map(|&(_, v)| v).collect();
+            let mut state = pad_values(&values, k);
+            let j_total = if skip_variant { j_cfg } else { 0 };
+            let j_valid = if skip_variant { j_cfg.min(n - 1 - i) } else { 0 };
+            if matches!(self.cfg.variant, crate::config::Variant::RltsSkipPlus) {
+                // Skip costs are part of the state for Skip+ (§V).
+                for jj in 1..=j_cfg {
+                    let target = (i + jj).min(n - 1);
+                    state.push(bbuf.skip_cost(target));
+                }
+            }
+            let mask = action_mask(k, cands.len(), j_total, j_valid);
+            let action = self.policy.choose(&state, &mask, &mut self.rng);
+            let action = clamp_action(action, k, cands.len(), j_valid);
+            if action < k {
+                let (victim, _) = cands[action];
+                if victim == bbuf.last_index() {
+                    bbuf.append(i);
+                    bbuf.drop(victim);
+                } else {
+                    bbuf.drop(victim);
+                    bbuf.append(i);
+                }
+                i += 1;
+            } else {
+                // Skip: points i .. i+j-1 are discarded unseen.
+                i += action - k + 1;
+            }
+        }
+        bbuf.kept_indices()
+    }
+
+    fn simplify_pp(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        let shared: Arc<[Point]> = Arc::from(pts);
+        let mut bbuf = BatchBuffer::from_all(shared, self.cfg.measure);
+        let (k, j_cfg) = (self.cfg.k, self.cfg.j);
+        let skip_variant = self.cfg.variant.is_skip();
+        while bbuf.kept_len() > w {
+            let over = bbuf.kept_len() - w;
+            let cands = bbuf.k_smallest(k);
+            let values: Vec<f64> = cands.iter().map(|&(_, v)| v).collect();
+            let mut state = pad_values(&values, k);
+            let j_total = if skip_variant { j_cfg } else { 0 };
+            let j_valid = if skip_variant { j_cfg.min(over).min(bbuf.candidate_len()) } else { 0 };
+            if matches!(self.cfg.variant, crate::config::Variant::RltsSkipPlusPlus) {
+                // Skip costs: cumulative cost of batch-dropping the j
+                // cheapest candidates.
+                let wide = bbuf.k_smallest(j_cfg);
+                let mut acc = 0.0;
+                for jj in 0..j_cfg {
+                    acc += wide.get(jj).map_or(0.0, |&(_, v)| v);
+                    state.push(acc);
+                }
+            }
+            let mask = action_mask(k, cands.len(), j_total, j_valid);
+            let action = self.policy.choose(&state, &mask, &mut self.rng);
+            let action = clamp_action(action, k, cands.len(), j_valid);
+            if action < k {
+                bbuf.drop(cands[action].0);
+            } else {
+                // Batch-drop the j cheapest candidates in one decision
+                // ("an action of skipping j points means dropping j points",
+                // §V).
+                let j = action - k + 1;
+                let victims: Vec<usize> = bbuf.k_smallest(j).iter().map(|&(i, _)| i).collect();
+                for v in victims {
+                    bbuf.drop(v);
+                }
+            }
+        }
+        bbuf.kept_indices()
+    }
+}
+
+impl BatchSimplifier for RltsBatch {
+    fn name(&self) -> &'static str {
+        self.cfg.variant.name()
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        assert!(w >= 2, "budget must be at least 2");
+        if pts.len() <= w {
+            return (0..pts.len()).collect();
+        }
+        self.rng = StdRng::seed_from_u64(self.seed);
+        if self.cfg.variant.is_variable_buffer() {
+            self.simplify_pp(pts, w)
+        } else {
+            self.simplify_plus(pts, w)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use rand::Rng;
+    use rlkit::nn::PolicyNet;
+    use trajectory::error::{simplification_error, Aggregation, Measure};
+
+    fn wiggle(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(f, (f * 0.9).sin() * 2.0 + (f * 0.17).cos() * 4.0, f)
+            })
+            .collect()
+    }
+
+    fn fresh_net(cfg: &RltsConfig, seed: u64) -> PolicyNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng)
+    }
+
+    fn check_contract(algo: &mut RltsBatch) {
+        let pts = wiggle(70);
+        for w in [3, 10, 30] {
+            let kept = algo.simplify(&pts, w);
+            assert!(kept.len() <= w, "{}: {} > {}", algo.name(), kept.len(), w);
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 69);
+            assert!(kept.windows(2).all(|x| x[0] < x[1]));
+            let e = simplification_error(algo.config().measure, &pts, &kept, Aggregation::Max);
+            assert!(e.is_finite());
+        }
+        let a = algo.simplify(&pts, 9);
+        let b = algo.simplify(&pts, 9);
+        assert_eq!(a, b, "{}: not deterministic per seed", algo.name());
+    }
+
+    #[test]
+    fn all_batch_variants_contract() {
+        for variant in [
+            Variant::RltsPlus,
+            Variant::RltsSkipPlus,
+            Variant::RltsPlusPlus,
+            Variant::RltsSkipPlusPlus,
+        ] {
+            for m in Measure::ALL {
+                let cfg = RltsConfig::paper_defaults(variant, m);
+                let net = fresh_net(&cfg, 5);
+                check_contract(&mut RltsBatch::new(cfg, DecisionPolicy::Learned { net, greedy: true }, 3));
+                check_contract(&mut RltsBatch::new(cfg, DecisionPolicy::Random, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn pp_with_min_value_equals_bottom_up() {
+        // RLTS++ with the arg-min policy IS Bottom-Up.
+        use baselines::BottomUp;
+        let pts = wiggle(80);
+        for m in Measure::ALL {
+            let cfg = RltsConfig::paper_defaults(Variant::RltsPlusPlus, m);
+            let kept = RltsBatch::new(cfg, DecisionPolicy::MinValue, 0).simplify(&pts, 16);
+            let expect = BottomUp::new(m).simplify(&pts, 16);
+            assert_eq!(kept, expect, "{m}");
+        }
+    }
+
+    #[test]
+    fn plus_keeps_exactly_w() {
+        let pts = wiggle(50);
+        let cfg = RltsConfig::paper_defaults(Variant::RltsPlus, Measure::Sed);
+        let kept = RltsBatch::new(cfg, DecisionPolicy::MinValue, 0).simplify(&pts, 14);
+        assert_eq!(kept.len(), 14);
+    }
+
+    #[test]
+    fn skip_pp_budget_not_overshot() {
+        // Batch skip drops several points per decision; it must never drop
+        // below the budget.
+        let pts = wiggle(90);
+        let cfg = RltsConfig::paper_defaults(Variant::RltsSkipPlusPlus, Measure::Sed);
+        let net = fresh_net(&cfg, 6);
+        for w in [5, 17, 44] {
+            let policy = DecisionPolicy::Learned { net: net.clone(), greedy: false };
+            let kept = RltsBatch::new(cfg, policy, 8).simplify(&pts, w);
+            assert_eq!(kept.len(), w, "w={w}");
+        }
+    }
+
+    #[test]
+    fn random_policy_still_meets_budget_on_random_walk() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut y = 0.0;
+        let pts: Vec<Point> = (0..200)
+            .map(|i| {
+                y += rng.random_range(-1.0..1.0);
+                Point::new(i as f64, y, i as f64)
+            })
+            .collect();
+        for variant in [Variant::RltsPlus, Variant::RltsSkipPlus, Variant::RltsSkipPlusPlus] {
+            let cfg = RltsConfig::paper_defaults(variant, Measure::Sed);
+            let kept = RltsBatch::new(cfg, DecisionPolicy::Random, 1).simplify(&pts, 20);
+            assert!(kept.len() <= 20, "{variant}");
+            assert_eq!(*kept.last().unwrap(), 199, "{variant}");
+        }
+    }
+}

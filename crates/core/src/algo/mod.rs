@@ -1,0 +1,7 @@
+//! The RLTS inference algorithms (online and batch families).
+
+mod batch;
+mod online;
+
+pub use batch::RltsBatch;
+pub use online::RltsOnline;

@@ -1,0 +1,226 @@
+//! The RLTS and RLTS-Skip online algorithms (paper Algorithm 1 and §IV-D).
+
+use crate::config::RltsConfig;
+use crate::onlinebuf::OnlineValueBuffer;
+use crate::policy::DecisionPolicy;
+use crate::state::{action_mask, clamp_action, pad_values};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trajectory::{OnlineSimplifier, Point};
+
+/// Online RLTS: a learned policy decides which buffered point to drop (and,
+/// for the skip variant, whether to discard upcoming points unseen).
+#[derive(Debug, Clone)]
+pub struct RltsOnline {
+    cfg: RltsConfig,
+    policy: DecisionPolicy,
+    seed: u64,
+    rng: StdRng,
+    buf: OnlineValueBuffer,
+    w: usize,
+    stream_pos: usize,
+    skip_remaining: usize,
+    last_seen: Option<(usize, Point)>,
+}
+
+impl RltsOnline {
+    /// Creates the algorithm from a configuration and a decision policy.
+    /// `seed` fixes the action-sampling stream, so runs are reproducible.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or names a batch variant.
+    pub fn new(cfg: RltsConfig, policy: DecisionPolicy, seed: u64) -> Self {
+        cfg.validate().expect("invalid RLTS configuration");
+        assert!(!cfg.variant.is_batch(), "{} is a batch variant; use RltsBatch", cfg.variant);
+        let buf = OnlineValueBuffer::new(cfg.measure, cfg.value_update);
+        RltsOnline {
+            cfg,
+            policy,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            buf,
+            w: 0,
+            stream_pos: 0,
+            skip_remaining: 0,
+            last_seen: None,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RltsConfig {
+        &self.cfg
+    }
+
+    fn decide(&mut self, p: &Point) -> usize {
+        self.buf.prepare_frontier(p);
+        let cands = self.buf.k_smallest(self.cfg.k);
+        let values: Vec<f64> = cands.iter().map(|&(_, v)| v).collect();
+        let state = pad_values(&values, self.cfg.k);
+        let j_total = if self.cfg.variant.is_skip() { self.cfg.j } else { 0 };
+        // Online, the stream end is unknown, so every skip length is valid.
+        let mask = action_mask(self.cfg.k, cands.len(), j_total, j_total);
+        let action = self.policy.choose(&state, &mask, &mut self.rng);
+        let action = clamp_action(action, self.cfg.k, cands.len(), j_total);
+        if action < self.cfg.k {
+            let (victim, _) = cands[action];
+            self.buf.drop_slot(victim);
+            usize::MAX // sentinel: drop happened, insert the arrival
+        } else {
+            action - self.cfg.k + 1 // number of points to skip
+        }
+    }
+}
+
+impl OnlineSimplifier for RltsOnline {
+    fn name(&self) -> &'static str {
+        self.cfg.variant.name()
+    }
+
+    fn begin(&mut self, w: usize) {
+        assert!(w >= 2, "budget must be at least 2");
+        self.buf.clear();
+        self.w = w;
+        self.stream_pos = 0;
+        self.skip_remaining = 0;
+        self.last_seen = None;
+        // Reseed so repeated runs are identical.
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn observe(&mut self, p: Point) {
+        let i = self.stream_pos;
+        self.stream_pos += 1;
+        self.last_seen = Some((i, p));
+        if self.skip_remaining > 0 {
+            self.skip_remaining -= 1;
+            return;
+        }
+        if self.buf.len() < self.w {
+            self.buf.push(i, p);
+            return;
+        }
+        match self.decide(&p) {
+            usize::MAX => {
+                self.buf.push(i, p);
+            }
+            skip => {
+                // The arriving point is the first of the skipped ones.
+                self.skip_remaining = skip - 1;
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Vec<usize> {
+        // The stream may have ended mid-skip: the final point must be kept,
+        // so admit it now (evicting the cheapest candidate if full).
+        if let Some((i, p)) = self.last_seen {
+            let kept_last = self.buf.kept_stream_ids().last().copied();
+            if kept_last != Some(i) {
+                if self.buf.len() >= self.w {
+                    self.buf.prepare_frontier(&p);
+                    if let Some(&(victim, _)) = self.buf.k_smallest(1).first() {
+                        self.buf.drop_slot(victim);
+                    }
+                }
+                self.buf.push(i, p);
+            }
+        }
+        self.buf.kept_stream_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use rlkit::nn::PolicyNet;
+    use trajectory::error::{simplification_error, Aggregation, Measure};
+
+    fn wiggle(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(f, (f * 0.9).sin() * 2.0 + (f * 0.17).cos() * 4.0, f)
+            })
+            .collect()
+    }
+
+    fn fresh_net(cfg: &RltsConfig, seed: u64) -> PolicyNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng)
+    }
+
+    fn check_contract(algo: &mut RltsOnline) {
+        let pts = wiggle(60);
+        for w in [3, 8, 20] {
+            let kept = algo.run(&pts, w);
+            assert!(kept.len() <= w, "{}: {} > {}", algo.name(), kept.len(), w);
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 59);
+            assert!(kept.windows(2).all(|x| x[0] < x[1]));
+            let e = simplification_error(algo.config().measure, &pts, &kept, Aggregation::Max);
+            assert!(e.is_finite());
+        }
+        let again = algo.run(&pts, 8);
+        let once_more = algo.run(&pts, 8);
+        assert_eq!(again, once_more, "must be deterministic per seed");
+    }
+
+    #[test]
+    fn rlts_contract_all_measures_and_policies() {
+        for m in Measure::ALL {
+            let cfg = RltsConfig::paper_defaults(Variant::Rlts, m);
+            for policy in [
+                DecisionPolicy::MinValue,
+                DecisionPolicy::Random,
+                DecisionPolicy::Learned { net: fresh_net(&cfg, 1), greedy: false },
+                DecisionPolicy::Learned { net: fresh_net(&cfg, 2), greedy: true },
+            ] {
+                check_contract(&mut RltsOnline::new(cfg, policy, 7));
+            }
+        }
+    }
+
+    #[test]
+    fn rlts_skip_contract() {
+        for m in Measure::ALL {
+            let cfg = RltsConfig::paper_defaults(Variant::RltsSkip, m);
+            let net = fresh_net(&cfg, 3);
+            check_contract(&mut RltsOnline::new(cfg, DecisionPolicy::Learned { net, greedy: false }, 9));
+        }
+    }
+
+    #[test]
+    fn skip_actions_actually_skip() {
+        // A random policy over k+J actions takes skip actions with positive
+        // probability; verify skipped points never enter the kept set and
+        // the final point still survives.
+        let cfg = RltsConfig::paper_defaults(Variant::RltsSkip, Measure::Sed);
+        let mut algo = RltsOnline::new(cfg, DecisionPolicy::Random, 11);
+        let pts = wiggle(100);
+        let kept = algo.run(&pts, 10);
+        assert!(kept.len() <= 10);
+        assert_eq!(*kept.last().unwrap(), 99);
+    }
+
+    #[test]
+    fn min_value_policy_matches_greedy_heuristic_shape() {
+        // With the MinValue policy RLTS degenerates to an STTrace-like
+        // heuristic; its error should be in the same ballpark (not 10×).
+        use baselines::StTrace;
+        let pts = wiggle(120);
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let kept_rl = RltsOnline::new(cfg, DecisionPolicy::MinValue, 5).run(&pts, 12);
+        let kept_st = StTrace::new(Measure::Sed).run(&pts, 12);
+        let e_rl = simplification_error(Measure::Sed, &pts, &kept_rl, Aggregation::Max);
+        let e_st = simplification_error(Measure::Sed, &pts, &kept_st, Aggregation::Max);
+        assert!(e_rl <= e_st * 3.0 + 1e-9, "rl {e_rl} vs sttrace {e_st}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn batch_variant_rejected() {
+        let cfg = RltsConfig::paper_defaults(Variant::RltsPlus, Measure::Sed);
+        let _ = RltsOnline::new(cfg, DecisionPolicy::MinValue, 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! The batch value buffer: an [`ErrorBook`] plus an ordered candidate set
+//! keyed by the Eq. (12) merge cost — the machinery behind the `+`/`++`
+//! variants (and structurally identical to what Bottom-Up uses, which is
+//! exactly the paper's point: RLTS+ replaces Bottom-Up's arg-min rule with a
+//! learned policy over the k cheapest candidates).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use trajectory::error::{segment_error, Aggregation, Measure};
+use trajectory::{ErrorBook, Point};
+
+/// Kept points over the original trajectory with maintained merge costs and
+/// incremental simplification error.
+#[derive(Debug, Clone)]
+pub struct BatchBuffer {
+    book: ErrorBook,
+    /// (cost bits, original index) for every interior kept point.
+    set: BTreeSet<(u64, u32)>,
+    cost: Vec<f64>,
+}
+
+impl BatchBuffer {
+    /// Starts with the prefix `0..=upto` kept (the scan-based `+` variants).
+    /// All interior prefix points become candidates.
+    pub fn from_prefix(pts: Arc<[Point]>, measure: Measure, upto: usize) -> Self {
+        let book = ErrorBook::with_prefix(pts, measure, upto);
+        let mut this = BatchBuffer { set: BTreeSet::new(), cost: vec![0.0; book.points().len()], book };
+        for j in 1..upto {
+            this.add_candidate(j);
+        }
+        this
+    }
+
+    /// Starts with **all** points kept (the `++` variants).
+    pub fn from_all(pts: Arc<[Point]>, measure: Measure) -> Self {
+        let n = pts.len();
+        Self::from_prefix(pts, measure, n - 1)
+    }
+
+    /// The underlying error book.
+    pub fn book(&self) -> &ErrorBook {
+        &self.book
+    }
+
+    /// Number of kept points.
+    pub fn kept_len(&self) -> usize {
+        self.book.kept_len()
+    }
+
+    /// Current simplification error (max aggregation).
+    pub fn error(&self) -> f64 {
+        self.book.error(Aggregation::Max)
+    }
+
+    /// Original index of the current frontier (last kept point).
+    pub fn last_index(&self) -> usize {
+        self.book.last_index()
+    }
+
+    /// Number of drop candidates (interior kept points).
+    pub fn candidate_len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Appends original index `i` as the new frontier; the previous frontier
+    /// becomes an interior candidate.
+    pub fn append(&mut self, i: usize) {
+        let prev_last = self.book.last_index();
+        self.book.append(i);
+        if prev_last != 0 {
+            self.add_candidate(prev_last);
+        }
+    }
+
+    /// The merge cost the current frontier *would* have if original index
+    /// `i` were appended next: `ε(segment(prev(last), i))` over the original
+    /// points (the Eq. 12 value of `s_W` with `s_{W+1} = p_i`).
+    pub fn frontier_cost(&self, i: usize) -> Option<f64> {
+        let last = self.book.last_index();
+        let prev = self.book.prev_kept(last)?;
+        Some(segment_error(self.book.measure(), self.book.points(), prev, i))
+    }
+
+    /// Cost of skipping straight to original index `i`: the error of the
+    /// anchor segment `(last, i)` covering everything in between.
+    pub fn skip_cost(&self, i: usize) -> f64 {
+        let last = self.book.last_index();
+        debug_assert!(i > last);
+        segment_error(self.book.measure(), self.book.points(), last, i)
+    }
+
+    /// The `k` cheapest interior candidates as `(original index, cost)`,
+    /// ascending by cost.
+    pub fn k_smallest(&self, k: usize) -> Vec<(usize, f64)> {
+        self.set
+            .iter()
+            .take(k)
+            .map(|&(bits, idx)| (idx as usize, f64::from_bits(bits)))
+            .collect()
+    }
+
+    /// Drops interior kept point `idx`, repairing the neighbouring
+    /// candidates' merge costs.
+    pub fn drop(&mut self, idx: usize) {
+        self.remove_candidate(idx);
+        let prev = self.book.prev_kept(idx).expect("interior point has prev");
+        let next = self.book.next_kept(idx).expect("interior point has next");
+        self.book.drop(idx);
+        for nb in [prev, next] {
+            if nb != 0 && self.book.next_kept(nb).is_some() && nb != self.book.last_index() {
+                self.remove_candidate(nb);
+                self.add_candidate(nb);
+            }
+        }
+    }
+
+    /// Kept original indices, ascending.
+    pub fn kept_indices(&self) -> Vec<usize> {
+        self.book.kept_indices()
+    }
+
+    fn add_candidate(&mut self, idx: usize) {
+        let c = self.book.merge_cost(idx);
+        self.cost[idx] = c;
+        self.set.insert((c.to_bits(), idx as u32));
+    }
+
+    fn remove_candidate(&mut self, idx: usize) {
+        self.set.remove(&(self.cost[idx].to_bits(), idx as u32));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::error::simplification_error;
+
+    fn pts(n: usize) -> Arc<[Point]> {
+        (0..n)
+            .map(|i| Point::new(i as f64, if i % 3 == 0 { 0.0 } else { (i % 5) as f64 }, i as f64))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn from_all_candidates_are_all_interior() {
+        let b = BatchBuffer::from_all(pts(10), Measure::Sed);
+        assert_eq!(b.candidate_len(), 8);
+        assert_eq!(b.kept_len(), 10);
+    }
+
+    #[test]
+    fn greedy_min_drop_equals_bottom_up() {
+        // Repeatedly dropping the cheapest candidate must reproduce the
+        // Bottom-Up baseline exactly.
+        use baselines::BottomUp;
+        use trajectory::BatchSimplifier;
+        let p = pts(40);
+        for m in Measure::ALL {
+            let mut b = BatchBuffer::from_all(Arc::clone(&p), m);
+            while b.kept_len() > 12 {
+                let (idx, _) = b.k_smallest(1)[0];
+                b.drop(idx);
+            }
+            let expect = BottomUp::new(m).simplify(&p, 12);
+            assert_eq!(b.kept_indices(), expect, "{m}");
+        }
+    }
+
+    #[test]
+    fn incremental_error_matches_recompute() {
+        let p = pts(30);
+        let mut b = BatchBuffer::from_all(Arc::clone(&p), Measure::Ped);
+        for _ in 0..15 {
+            let (idx, _) = b.k_smallest(2).last().copied().unwrap();
+            b.drop(idx);
+            let kept = b.kept_indices();
+            let expect = simplification_error(Measure::Ped, &p, &kept, Aggregation::Max);
+            assert!((b.error() - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_scan_append_flow() {
+        let p = pts(20);
+        let mut b = BatchBuffer::from_prefix(Arc::clone(&p), Measure::Sed, 4);
+        assert_eq!(b.kept_len(), 5);
+        assert_eq!(b.candidate_len(), 3); // indices 1, 2, 3
+        let fc = b.frontier_cost(5).unwrap();
+        assert!(fc >= 0.0);
+        b.append(5);
+        assert_eq!(b.candidate_len(), 4); // index 4 joined
+        assert_eq!(b.last_index(), 5);
+        // Frontier is never a candidate.
+        assert!(b.k_smallest(10).iter().all(|&(i, _)| i != 5 && i != 0));
+    }
+
+    #[test]
+    fn skip_cost_is_segment_error() {
+        let p = pts(20);
+        let mut b = BatchBuffer::from_prefix(Arc::clone(&p), Measure::Sed, 4);
+        let direct = segment_error(Measure::Sed, &p, 4, 8);
+        assert_eq!(b.skip_cost(8), direct);
+        // And appending past skipped points yields that same segment error
+        // inside the book.
+        let before = b.error();
+        b.append(8);
+        assert!(b.error() >= before.min(direct) - 1e-12);
+    }
+
+    #[test]
+    fn drop_near_frontier_keeps_candidates_consistent() {
+        let p = pts(15);
+        let mut b = BatchBuffer::from_prefix(Arc::clone(&p), Measure::Sed, 9);
+        b.append(10);
+        // Drop the candidate adjacent to the frontier.
+        b.drop(9);
+        // The frontier (10) must not have become a candidate.
+        assert!(b.k_smallest(20).iter().all(|&(i, _)| i != 10));
+        // Remaining candidate costs agree with a fresh merge_cost call.
+        for (i, c) in b.k_smallest(20) {
+            assert!((b.book().merge_cost(i) - c).abs() < 1e-12, "candidate {i}");
+        }
+    }
+}

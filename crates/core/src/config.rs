@@ -1,0 +1,189 @@
+//! Configuration of the RLTS algorithm family.
+
+use serde::{Deserialize, Serialize};
+use trajectory::error::Measure;
+
+/// The six algorithm variants of the paper (§IV–§V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Variant {
+    /// Online; fixed buffer; values from buffered points only (§IV-C).
+    Rlts,
+    /// [`Variant::Rlts`] plus `J` skip actions (§IV-D).
+    RltsSkip,
+    /// Batch; fixed buffer; values over all anchored original points
+    /// (Eq. 12, §V).
+    RltsPlus,
+    /// [`Variant::RltsPlus`] plus `J` skip actions and skip-cost state
+    /// entries.
+    RltsSkipPlus,
+    /// Batch; variable buffer starting from all points (§V).
+    RltsPlusPlus,
+    /// [`Variant::RltsPlusPlus`] where a skip-`j` action drops `j` points at
+    /// once.
+    RltsSkipPlusPlus,
+}
+
+impl Variant {
+    /// All variants, in the paper's order.
+    pub const ALL: [Variant; 6] = [
+        Variant::Rlts,
+        Variant::RltsSkip,
+        Variant::RltsPlus,
+        Variant::RltsSkipPlus,
+        Variant::RltsPlusPlus,
+        Variant::RltsSkipPlusPlus,
+    ];
+
+    /// Paper name of the variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Rlts => "RLTS",
+            Variant::RltsSkip => "RLTS-Skip",
+            Variant::RltsPlus => "RLTS+",
+            Variant::RltsSkipPlus => "RLTS-Skip+",
+            Variant::RltsPlusPlus => "RLTS++",
+            Variant::RltsSkipPlusPlus => "RLTS-Skip++",
+        }
+    }
+
+    /// Whether the variant has skip actions.
+    pub fn is_skip(&self) -> bool {
+        matches!(self, Variant::RltsSkip | Variant::RltsSkipPlus | Variant::RltsSkipPlusPlus)
+    }
+
+    /// Whether the variant needs batch data access (the `+`/`++` families).
+    pub fn is_batch(&self) -> bool {
+        !matches!(self, Variant::Rlts | Variant::RltsSkip)
+    }
+
+    /// Whether the variant uses the variable-size buffer (`++` family).
+    pub fn is_variable_buffer(&self) -> bool {
+        matches!(self, Variant::RltsPlusPlus | Variant::RltsSkipPlusPlus)
+    }
+
+    /// State dimension for hyper-parameters `k` and `j`: the `k` lowest
+    /// values, plus `j` skip-cost entries for the skip variants with batch
+    /// access (§V: RLTS-Skip+ "appends J values to the original k values").
+    pub fn state_dim(&self, k: usize, j: usize) -> usize {
+        match self {
+            Variant::RltsSkipPlus | Variant::RltsSkipPlusPlus => k + j,
+            _ => k,
+        }
+    }
+
+    /// Action count for hyper-parameters `k` and `j`.
+    pub fn action_dim(&self, k: usize, j: usize) -> usize {
+        if self.is_skip() {
+            k + j
+        } else {
+            k
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How neighbour values are repaired after an online drop — the paper's
+/// carry rule (Eqs. 5–6) vs. a plain recompute (ablation §VI-B(4)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ValueUpdate {
+    /// Include the merged segment's error w.r.t. the just-dropped point
+    /// (the paper's rule: dropped information is carried forward).
+    #[default]
+    Carry,
+    /// Recompute from surviving neighbours only (STTrace-style).
+    Recompute,
+}
+
+/// Hyper-parameters of an RLTS policy/algorithm instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RltsConfig {
+    /// Which algorithm variant.
+    pub variant: Variant,
+    /// Error measure optimized.
+    pub measure: Measure,
+    /// State width / drop fan-out (paper default 3).
+    pub k: usize,
+    /// Skip horizon (paper default 2; ignored by non-skip variants).
+    pub j: usize,
+    /// Online neighbour-value update rule.
+    pub value_update: ValueUpdate,
+}
+
+impl RltsConfig {
+    /// The paper's default setup for a variant and measure
+    /// (`k = 3`, `J = 2`).
+    pub fn paper_defaults(variant: Variant, measure: Measure) -> Self {
+        RltsConfig { variant, measure, k: 3, j: 2, value_update: ValueUpdate::Carry }
+    }
+
+    /// State dimension implied by this configuration.
+    pub fn state_dim(&self) -> usize {
+        self.variant.state_dim(self.k, self.j)
+    }
+
+    /// Action count implied by this configuration.
+    pub fn action_dim(&self) -> usize {
+        self.variant.action_dim(self.k, self.j)
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.k == 0 {
+            return Err("k must be at least 1".into());
+        }
+        if self.variant.is_skip() && self.j == 0 {
+            return Err(format!("{} requires j >= 1 (j = 0 reduces to the non-skip variant)", self.variant));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_follow_paper() {
+        let k = 3;
+        let j = 2;
+        assert_eq!(Variant::Rlts.state_dim(k, j), 3);
+        assert_eq!(Variant::Rlts.action_dim(k, j), 3);
+        assert_eq!(Variant::RltsSkip.state_dim(k, j), 3);
+        assert_eq!(Variant::RltsSkip.action_dim(k, j), 5);
+        assert_eq!(Variant::RltsSkipPlus.state_dim(k, j), 5);
+        assert_eq!(Variant::RltsSkipPlus.action_dim(k, j), 5);
+        assert_eq!(Variant::RltsPlusPlus.state_dim(k, j), 3);
+    }
+
+    #[test]
+    fn classification_flags() {
+        assert!(!Variant::Rlts.is_batch());
+        assert!(Variant::RltsPlus.is_batch());
+        assert!(!Variant::RltsPlus.is_variable_buffer());
+        assert!(Variant::RltsSkipPlusPlus.is_variable_buffer());
+        assert!(Variant::RltsSkip.is_skip());
+        assert!(!Variant::RltsPlus.is_skip());
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut c = RltsConfig::paper_defaults(Variant::RltsSkip, Measure::Sed);
+        assert!(c.validate().is_ok());
+        c.j = 0;
+        assert!(c.validate().is_err());
+        c.j = 2;
+        c.k = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, ["RLTS", "RLTS-Skip", "RLTS+", "RLTS-Skip+", "RLTS++", "RLTS-Skip++"]);
+    }
+}

@@ -1,0 +1,77 @@
+//! `rlts-core` — the RLTS family of reinforcement-learning trajectory
+//! simplification algorithms from *Trajectory Simplification with
+//! Reinforcement Learning* (Wang, Long, Cong — ICDE 2021).
+//!
+//! The Min-Error problem is modeled as an MDP whose state is the `k` lowest
+//! point "values" in the buffer and whose actions drop one of those points
+//! (plus, for the skip variants, actions that discard upcoming points
+//! unseen). A softmax policy trained with REINFORCE-with-baseline replaces
+//! the human-crafted drop rules of STTrace/SQUISH/Bottom-Up.
+//!
+//! Six variants (paper §IV–§V), all here:
+//!
+//! | variant | mode | buffer | values |
+//! |---|---|---|---|
+//! | [`Variant::Rlts`] / [`Variant::RltsSkip`] | online | fixed `W` | buffered points only |
+//! | [`Variant::RltsPlus`] / [`Variant::RltsSkipPlus`] | batch | fixed `W` | all anchored originals (Eq. 12) |
+//! | [`Variant::RltsPlusPlus`] / [`Variant::RltsSkipPlusPlus`] | batch | variable | all anchored originals |
+//!
+//! # Example: train and simplify
+//!
+//! ```
+//! use rlts_core::{train, DecisionPolicy, RltsConfig, RltsOnline, TrainConfig, Variant};
+//! use trajectory::error::Measure;
+//! use trajectory::{OnlineSimplifier, Trajectory};
+//!
+//! // A toy training pool.
+//! let pool: Vec<Trajectory> = (0..3)
+//!     .map(|c| {
+//!         Trajectory::new(
+//!             (0..50)
+//!                 .map(|i| {
+//!                     let f = i as f64;
+//!                     trajectory::Point::new(f, (f * 0.3 + c as f64).sin() * 2.0, f)
+//!                 })
+//!                 .collect(),
+//!         )
+//!         .unwrap()
+//!     })
+//!     .collect();
+//!
+//! let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+//! let mut tc = TrainConfig::quick(cfg);
+//! tc.epochs = 1;
+//! let report = train(&pool, &tc);
+//!
+//! let mut algo = RltsOnline::new(
+//!     cfg,
+//!     DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+//!     42,
+//! );
+//! let kept = algo.run(pool[0].points(), 10);
+//! assert!(kept.len() <= 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod adaptive;
+mod algo;
+mod batchbuf;
+mod config;
+mod env;
+mod onlinebuf;
+mod policy;
+mod state;
+mod train;
+mod value;
+
+pub use adaptive::{AdaptiveBatch, DynamicsProfile};
+pub use algo::{RltsBatch, RltsOnline};
+pub use batchbuf::BatchBuffer;
+pub use config::{RltsConfig, ValueUpdate, Variant};
+pub use env::SimplifyEnv;
+pub use onlinebuf::OnlineValueBuffer;
+pub use policy::DecisionPolicy;
+pub use state::{action_mask, clamp_action, pad_values};
+pub use train::{train, Baseline, TrainConfig, TrainReport, TrainedPolicy};
+pub use value::carried_value;

@@ -1,0 +1,238 @@
+//! The online value buffer: buffered points with RLTS importance values.
+//!
+//! Values follow the paper's online definitions: a point's value is the
+//! error its removal would introduce given its buffer neighbours (Eq. 1);
+//! after a drop, the two surviving neighbours' values are repaired with the
+//! carry rule (Eqs. 5–6, including the merged segment's error w.r.t. the
+//! dropped point) or a plain recompute (the ablation).
+
+use crate::config::ValueUpdate;
+use crate::value::carried_value;
+use trajectory::error::{drop_error, Measure};
+use trajectory::{OrderedBuffer, Point};
+
+/// Buffered points with maintained importance values and stream-position
+/// bookkeeping (skip variants drop stream points without buffering them, so
+/// buffer slots and stream positions diverge).
+#[derive(Debug, Clone)]
+pub struct OnlineValueBuffer {
+    measure: Measure,
+    update: ValueUpdate,
+    buf: OrderedBuffer,
+    /// stream index of each buffer slot.
+    stream_ids: Vec<usize>,
+}
+
+impl OnlineValueBuffer {
+    /// Creates an empty buffer for a measure and update rule.
+    pub fn new(measure: Measure, update: ValueUpdate) -> Self {
+        OnlineValueBuffer { measure, update, buf: OrderedBuffer::new(), stream_ids: Vec::new() }
+    }
+
+    /// Clears state for a new stream.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.stream_ids.clear();
+    }
+
+    /// Number of buffered points.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Pushes the stream point with stream index `stream_idx`, returning its
+    /// buffer slot. The previous frontier becomes a drop candidate (its
+    /// value is computed from its now-complete neighbourhood, Eq. 7).
+    pub fn push(&mut self, stream_idx: usize, p: Point) -> usize {
+        let slot = self.buf.push_back(p);
+        self.stream_ids.push(stream_idx);
+        debug_assert_eq!(self.stream_ids.len(), slot + 1);
+        if let Some(interior) = self.buf.prev(slot) {
+            self.refresh_value(interior);
+        }
+        slot
+    }
+
+    /// Sets the current frontier's value against a *hypothetical* next point
+    /// (used by the skip variants, which must decide before inserting).
+    /// No-op when the frontier is the first point.
+    pub fn prepare_frontier(&mut self, next_point: &Point) {
+        let Some(tail) = self.buf.back() else { return };
+        let Some(prev) = self.buf.prev(tail) else { return };
+        let v = drop_error(self.measure, &self.buf.point(prev), &self.buf.point(tail), next_point);
+        self.buf.set_value(tail, v);
+    }
+
+    /// The `k` smallest `(slot, value)` drop candidates, ascending.
+    pub fn k_smallest(&self, k: usize) -> Vec<(usize, f64)> {
+        self.buf.k_smallest(k)
+    }
+
+    /// Stream index of a buffer slot.
+    pub fn stream_id(&self, slot: usize) -> usize {
+        self.stream_ids[slot]
+    }
+
+    /// The point at a live slot.
+    pub fn point(&self, slot: usize) -> Point {
+        self.buf.point(slot)
+    }
+
+    /// Drops a candidate slot and repairs its neighbours' values.
+    pub fn drop_slot(&mut self, slot: usize) {
+        let dropped = self.buf.point(slot);
+        let (prev, next) = self.buf.drop_point(slot);
+        match self.update {
+            ValueUpdate::Recompute => {
+                for nb in [prev, next].into_iter().flatten() {
+                    self.refresh_value(nb);
+                }
+            }
+            ValueUpdate::Carry => {
+                // Left neighbour l: merged segment (prev(l), next-of-drop).
+                if let Some(l) = prev {
+                    if let (Some(a), Some(b)) = (self.buf.prev(l), self.buf.next(l)) {
+                        let base = drop_error(self.measure, &self.buf.point(a), &self.buf.point(l), &self.buf.point(b));
+                        let carried = carried_value(
+                            self.measure,
+                            &self.buf.point(a),
+                            &self.buf.point(b),
+                            &dropped,
+                            &self.buf.point(b),
+                        );
+                        self.buf.set_value(l, base.max(carried));
+                    }
+                }
+                // Right neighbour r: merged segment (prev-of-drop, next(r)).
+                if let Some(r) = next {
+                    if let (Some(a), Some(b)) = (self.buf.prev(r), self.buf.next(r)) {
+                        let base = drop_error(self.measure, &self.buf.point(a), &self.buf.point(r), &self.buf.point(b));
+                        let carried = carried_value(
+                            self.measure,
+                            &self.buf.point(a),
+                            &self.buf.point(b),
+                            &dropped,
+                            &self.buf.point(r),
+                        );
+                        self.buf.set_value(r, base.max(carried));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Kept stream indices, front to back.
+    pub fn kept_stream_ids(&self) -> Vec<usize> {
+        self.buf.live_positions().into_iter().map(|s| self.stream_ids[s]).collect()
+    }
+
+    fn refresh_value(&mut self, slot: usize) {
+        if let (Some(a), Some(b)) = (self.buf.prev(slot), self.buf.next(slot)) {
+            let v = drop_error(self.measure, &self.buf.point(a), &self.buf.point(slot), &self.buf.point(b));
+            self.buf.set_value(slot, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize, y: f64) -> Point {
+        Point::new(i as f64, y, i as f64)
+    }
+
+    fn filled(update: ValueUpdate) -> OnlineValueBuffer {
+        let mut b = OnlineValueBuffer::new(Measure::Sed, update);
+        for i in 0..6 {
+            let y = if i % 2 == 0 { 0.0 } else { 1.0 };
+            b.push(i, p(i, y));
+        }
+        b
+    }
+
+    #[test]
+    fn frontier_and_first_are_not_candidates() {
+        let b = filled(ValueUpdate::Carry);
+        let cands = b.k_smallest(10);
+        assert_eq!(cands.len(), 4); // slots 1..=4; 0 and 5 excluded
+        assert!(cands.iter().all(|&(s, _)| s != 0 && s != 5));
+    }
+
+    #[test]
+    fn values_match_drop_kernel() {
+        let b = filled(ValueUpdate::Carry);
+        for (slot, v) in b.k_smallest(10) {
+            let expect = drop_error(
+                Measure::Sed,
+                &b.point(slot - 1),
+                &b.point(slot),
+                &b.point(slot + 1),
+            );
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn carry_rule_propagates_dropped_error() {
+        // A spike at slot 3: dropping it leaves a large carried error on the
+        // surviving neighbours under Carry, but not under Recompute.
+        let spiky = |update| {
+            let mut b = OnlineValueBuffer::new(Measure::Sed, update);
+            for i in 0..6 {
+                let y = if i == 3 { 8.0 } else { (i % 2) as f64 * 0.2 };
+                b.push(i, p(i, y));
+            }
+            b
+        };
+        let mut carry = spiky(ValueUpdate::Carry);
+        let mut recompute = spiky(ValueUpdate::Recompute);
+        carry.drop_slot(3);
+        recompute.drop_slot(3);
+        let vc: f64 = carry.k_smallest(10).iter().map(|&(_, v)| v).sum();
+        let vr: f64 = recompute.k_smallest(10).iter().map(|&(_, v)| v).sum();
+        assert!(vc >= vr - 1e-12, "carry {vc} must dominate recompute {vr}");
+        assert!(vc > vr + 1.0, "the spike's carried error must dominate: {vc} vs {vr}");
+    }
+
+    #[test]
+    fn stream_ids_survive_skips() {
+        let mut b = OnlineValueBuffer::new(Measure::Sed, ValueUpdate::Carry);
+        b.push(0, p(0, 0.0));
+        b.push(1, p(1, 0.0));
+        // Stream points 2 and 3 were skipped by the caller.
+        b.push(4, p(4, 0.0));
+        assert_eq!(b.kept_stream_ids(), vec![0, 1, 4]);
+        assert_eq!(b.stream_id(2), 4);
+    }
+
+    #[test]
+    fn prepare_frontier_makes_tail_a_candidate() {
+        let mut b = OnlineValueBuffer::new(Measure::Sed, ValueUpdate::Carry);
+        b.push(0, p(0, 0.0));
+        b.push(1, p(1, 1.0));
+        assert_eq!(b.k_smallest(5).len(), 0);
+        b.prepare_frontier(&p(2, 0.0));
+        let cands = b.k_smallest(5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].0, 1);
+        assert!(cands[0].1 > 0.0);
+    }
+
+    #[test]
+    fn drop_then_push_keeps_consistency() {
+        let mut b = filled(ValueUpdate::Carry);
+        let (victim, _) = b.k_smallest(1)[0];
+        b.drop_slot(victim);
+        b.push(6, p(6, 0.5));
+        assert_eq!(b.len(), 6);
+        let ids = b.kept_stream_ids();
+        assert_eq!(ids.len(), 6);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,120 @@
+//! The decision policy abstraction: a learned softmax policy, or the
+//! heuristic/random policies used in the paper's ablation of the learned
+//! policy's contribution (§VI-B(4)).
+
+use rand::Rng;
+use rlkit::nn::{argmax, sample_categorical, PolicyNet};
+
+/// What decides the action at each state.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one policy object per algorithm instance; boxing buys nothing
+pub enum DecisionPolicy {
+    /// A trained policy network. `greedy = true` takes the arg-max action
+    /// (the paper's batch-mode inference); `greedy = false` samples from the
+    /// softmax (the paper's online-mode inference).
+    Learned {
+        /// The trained network.
+        net: PolicyNet,
+        /// Arg-max instead of sampling.
+        greedy: bool,
+    },
+    /// Always drop the smallest-value candidate and never skip — the
+    /// human-crafted rule the paper's ablation compares against.
+    MinValue,
+    /// Uniformly random among valid actions.
+    Random,
+}
+
+impl DecisionPolicy {
+    /// Chooses an action index given the state and a per-action validity
+    /// mask (at least one action must be valid).
+    pub fn choose<R: Rng + ?Sized>(&mut self, state: &[f64], valid: &[bool], rng: &mut R) -> usize {
+        debug_assert!(valid.iter().any(|&v| v), "no valid action");
+        match self {
+            DecisionPolicy::MinValue => 0,
+            DecisionPolicy::Random => {
+                let n_valid = valid.iter().filter(|&&v| v).count();
+                let pick = rng.random_range(0..n_valid);
+                valid
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v)
+                    .nth(pick)
+                    .map(|(i, _)| i)
+                    .expect("pick within valid count")
+            }
+            DecisionPolicy::Learned { net, greedy } => {
+                debug_assert_eq!(valid.len(), net.action_dim());
+                let mut probs = net.probs(state);
+                let mut total = 0.0;
+                for (p, &v) in probs.iter_mut().zip(valid) {
+                    if !v {
+                        *p = 0.0;
+                    }
+                    total += *p;
+                }
+                if total <= 0.0 {
+                    // All probability mass sat on invalid actions: fall back
+                    // to uniform over the valid ones.
+                    for (p, &v) in probs.iter_mut().zip(valid) {
+                        *p = if v { 1.0 } else { 0.0 };
+                        total += *p;
+                    }
+                }
+                for p in probs.iter_mut() {
+                    *p /= total;
+                }
+                if *greedy {
+                    argmax(&probs)
+                } else {
+                    sample_categorical(&probs, rng)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn min_value_always_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = DecisionPolicy::MinValue;
+        assert_eq!(p.choose(&[1.0, 2.0, 3.0], &[true, true, true], &mut rng), 0);
+    }
+
+    #[test]
+    fn random_respects_mask() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = DecisionPolicy::Random;
+        for _ in 0..100 {
+            let a = p.choose(&[0.0; 4], &[false, true, false, true], &mut rng);
+            assert!(a == 1 || a == 3);
+        }
+    }
+
+    #[test]
+    fn learned_masks_invalid_actions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = PolicyNet::new(3, 8, 3, &mut rng);
+        let mut p = DecisionPolicy::Learned { net, greedy: false };
+        for _ in 0..50 {
+            let a = p.choose(&[0.5, 1.0, 2.0], &[true, false, true], &mut rng);
+            assert_ne!(a, 1);
+        }
+    }
+
+    #[test]
+    fn learned_greedy_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = PolicyNet::new(2, 8, 4, &mut rng);
+        let mut p = DecisionPolicy::Learned { net, greedy: true };
+        let a1 = p.choose(&[0.1, 0.9], &[true; 4], &mut rng);
+        let a2 = p.choose(&[0.1, 0.9], &[true; 4], &mut rng);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,83 @@
+//! MDP state construction: the `k` lowest candidate values (padded when
+//! fewer candidates exist), optionally extended with skip costs.
+
+/// Builds the `k`-slot value part of a state from an ascending candidate
+/// value list. When fewer than `k` candidates exist, the remaining slots are
+/// padded with the largest candidate value (or `0` if there are none), so
+/// padded slots look maximally unattractive-but-harmless to the policy.
+pub fn pad_values(values: &[f64], k: usize) -> Vec<f64> {
+    debug_assert!(values.len() <= k);
+    let mut out = Vec::with_capacity(k);
+    out.extend_from_slice(values);
+    let pad = values.last().copied().unwrap_or(0.0);
+    out.resize(k, pad);
+    out
+}
+
+/// Builds the action validity mask: `k` drop actions of which the first
+/// `candidates` are valid, followed by `j_total` skip actions of which the
+/// first `j_valid` are valid.
+pub fn action_mask(k: usize, candidates: usize, j_total: usize, j_valid: usize) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(k + j_total);
+    for a in 0..k {
+        mask.push(a < candidates);
+    }
+    for j in 0..j_total {
+        mask.push(j < j_valid);
+    }
+    mask
+}
+
+/// Clamps a (possibly invalid) sampled action to a valid one, mirroring how
+/// the training environment tolerates unmasked sampling: an invalid drop
+/// falls back to the cheapest candidate; an invalid skip falls back to the
+/// longest valid skip, or to the cheapest drop when no skip is valid.
+pub fn clamp_action(action: usize, k: usize, candidates: usize, j_valid: usize) -> usize {
+    if action < k {
+        if action < candidates {
+            action
+        } else {
+            0
+        }
+    } else {
+        let j = action - k + 1;
+        if j <= j_valid {
+            action
+        } else if j_valid > 0 {
+            k + j_valid - 1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_repeats_worst_value() {
+        assert_eq!(pad_values(&[1.0, 2.0], 4), vec![1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(pad_values(&[], 3), vec![0.0, 0.0, 0.0]);
+        assert_eq!(pad_values(&[1.0, 2.0, 3.0], 3), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mask_shapes() {
+        assert_eq!(action_mask(3, 2, 2, 1), vec![true, true, false, true, false]);
+        assert_eq!(action_mask(2, 2, 0, 0), vec![true, true]);
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        // Valid actions pass through.
+        assert_eq!(clamp_action(1, 3, 3, 2), 1);
+        assert_eq!(clamp_action(4, 3, 3, 2), 4);
+        // Invalid drop falls back to the cheapest candidate.
+        assert_eq!(clamp_action(2, 3, 1, 2), 0);
+        // Invalid skip falls back to the longest valid skip.
+        assert_eq!(clamp_action(4, 3, 3, 1), 3);
+        // No valid skip at all: fall back to a drop.
+        assert_eq!(clamp_action(3, 3, 3, 0), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Training harness: REINFORCE over the RLTS MDPs, with policy snapshots,
+//! best-policy selection, and JSON (de)serialization of trained policies.
+
+use crate::config::RltsConfig;
+use crate::env::SimplifyEnv;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlkit::nn::{PolicyNet, ValueNet};
+use rlkit::{ActorCritic, ActorCriticConfig, Reinforce, ReinforceConfig};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use trajectory::Trajectory;
+
+/// The variance-reduction baseline used by the policy-gradient trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Baseline {
+    /// The paper's PNet baseline: normalize returns by batch mean/std
+    /// (Eq. 11).
+    #[default]
+    ReturnNormalization,
+    /// A learned state-value critic (actor–critic) — an extension for the
+    /// `repro ablation-critic` comparison.
+    Critic,
+}
+
+/// Training hyper-parameters (paper defaults in §VI-A).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Algorithm configuration (variant, measure, k, J).
+    pub rlts: RltsConfig,
+    /// Hidden layer width (paper: 20).
+    pub hidden: usize,
+    /// Passes over the trajectory pool.
+    pub epochs: usize,
+    /// Episodes generated per trajectory per epoch (paper: 10 total per
+    /// trajectory).
+    pub episodes_per_update: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f64,
+    /// Reward discount (paper: 0.99).
+    pub gamma: f64,
+    /// Entropy-bonus coefficient (keeps the policy stochastic; the paper's
+    /// online inference samples actions, so a stochastic optimum is
+    /// expected).
+    pub entropy_beta: f64,
+    /// Buffer budget range as a fraction of the trajectory length.
+    pub w_fraction: (f64, f64),
+    /// RNG seed (network init, action sampling, budget sampling).
+    pub seed: u64,
+    /// Variance-reduction baseline.
+    #[serde(default)]
+    pub baseline: Baseline,
+}
+
+impl TrainConfig {
+    /// A small-but-sensible default: paper hyper-parameters with a modest
+    /// episode budget suitable for laptop-scale experiments.
+    pub fn quick(rlts: RltsConfig) -> Self {
+        TrainConfig {
+            rlts,
+            hidden: 20,
+            epochs: 3,
+            episodes_per_update: 4,
+            // The paper trains ~10M transitions at lr 1e-3; the quick
+            // profile compensates its far smaller budget with larger steps.
+            lr: 1e-2,
+            gamma: 0.99,
+            entropy_beta: 0.01,
+            w_fraction: (0.1, 0.5),
+            seed: 0xC0FFEE,
+            baseline: Baseline::ReturnNormalization,
+        }
+    }
+}
+
+/// A trained policy with the configuration it was trained for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedPolicy {
+    /// The algorithm configuration the policy expects.
+    pub config: RltsConfig,
+    /// The policy network.
+    pub net: PolicyNet,
+}
+
+impl TrainedPolicy {
+    /// Serializes to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("policy serialization cannot fail")
+    }
+
+    /// Restores from JSON produced by [`TrainedPolicy::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// The best policy seen (maximum mean episode reward — the paper takes
+    /// "the policy which gives the maximum reward per episode").
+    pub policy: TrainedPolicy,
+    /// Mean episode reward after each update.
+    pub reward_history: Vec<f64>,
+    /// Wall-clock training time.
+    pub wall_time: Duration,
+    /// Total environment steps (transitions) consumed.
+    pub transitions: usize,
+}
+
+/// Trains an RLTS policy on a pool of trajectories.
+pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
+    tc.rlts.validate().expect("invalid RLTS configuration");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(tc.seed);
+    let mut net = PolicyNet::new(tc.rlts.state_dim(), tc.hidden, tc.rlts.action_dim(), &mut rng);
+    let mut env = SimplifyEnv::new(tc.rlts, trajectories, tc.seed ^ 0x9E3779B97F4A7C15);
+    env.w_fraction = tc.w_fraction;
+    let base_cfg = ReinforceConfig {
+        gamma: tc.gamma,
+        lr: tc.lr,
+        normalize_returns: true,
+        entropy_beta: tc.entropy_beta,
+    };
+    #[allow(clippy::large_enum_variant)] // single short-lived instance per training run
+    enum Trainer {
+        Pnet(Reinforce),
+        Ac(ActorCritic, ValueNet),
+    }
+    let mut trainer = match tc.baseline {
+        Baseline::ReturnNormalization => Trainer::Pnet(Reinforce::new(base_cfg)),
+        Baseline::Critic => {
+            let critic = ValueNet::new(tc.rlts.state_dim(), tc.hidden, &mut rng);
+            let ac = ActorCritic::new(ActorCriticConfig {
+                base: base_cfg,
+                critic_lr: tc.lr / 2.0,
+                normalize_advantages: true,
+            });
+            Trainer::Ac(ac, critic)
+        }
+    };
+
+    let mut history = Vec::new();
+    let mut transitions = 0usize;
+    let mut best_reward = f64::NEG_INFINITY;
+    let mut best_net = net.clone();
+    let updates_per_epoch = trajectories.len().max(1);
+    for _epoch in 0..tc.epochs {
+        for _ in 0..updates_per_epoch {
+            let mut batch = Vec::with_capacity(tc.episodes_per_update);
+            for _ in 0..tc.episodes_per_update {
+                let ep = match &trainer {
+                    Trainer::Pnet(t) => t.rollout(&mut env, &mut net, &mut rng),
+                    Trainer::Ac(t, _) => t.rollout(&mut env, &mut net, &mut rng),
+                };
+                if let Some(ep) = ep {
+                    if !ep.is_empty() {
+                        transitions += ep.len();
+                        batch.push(ep);
+                    }
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            let mean_reward = match &mut trainer {
+                Trainer::Pnet(t) => t.update(&mut net, &batch),
+                Trainer::Ac(t, critic) => t.update(&mut net, critic, &batch),
+            };
+            history.push(mean_reward);
+            if mean_reward > best_reward {
+                best_reward = mean_reward;
+                best_net = net.clone();
+            }
+        }
+    }
+
+    TrainReport {
+        policy: TrainedPolicy { config: tc.rlts, net: best_net },
+        reward_history: history,
+        wall_time: start.elapsed(),
+        transitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use crate::policy::DecisionPolicy;
+    use crate::{RltsBatch, RltsOnline};
+    use trajectory::error::{simplification_error, Aggregation, Measure};
+    use trajectory::{BatchSimplifier, OnlineSimplifier, Point};
+
+    fn pool(count: usize, n: usize) -> Vec<Trajectory> {
+        (0..count)
+            .map(|c| {
+                Trajectory::new(
+                    (0..n)
+                        .map(|i| {
+                            let f = i as f64;
+                            let y = (f * 0.4 + c as f64 * 0.7).sin() * 4.0
+                                + if i % 11 == 0 { 3.0 } else { 0.0 };
+                            Point::new(f, y, f)
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_produces_usable_online_policy() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let data = pool(4, 60);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 2;
+        let report = train(&data, &tc);
+        assert!(!report.reward_history.is_empty());
+        assert!(report.transitions > 0);
+        // The trained policy runs end to end.
+        let mut algo = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            1,
+        );
+        let kept = algo.run(data[0].points(), 12);
+        assert!(kept.len() <= 12);
+        let e = simplification_error(Measure::Sed, data[0].points(), &kept, Aggregation::Max);
+        assert!(e.is_finite());
+    }
+
+    #[test]
+    fn training_produces_usable_batch_policy() {
+        let cfg = RltsConfig::paper_defaults(Variant::RltsSkipPlus, Measure::Ped);
+        let data = pool(3, 50);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 1;
+        tc.episodes_per_update = 2;
+        let report = train(&data, &tc);
+        let mut algo = RltsBatch::new(
+            cfg,
+            DecisionPolicy::Learned { net: report.policy.net, greedy: true },
+            1,
+        );
+        let kept = algo.simplify(data[1].points(), 10);
+        assert!(kept.len() <= 10);
+    }
+
+    #[test]
+    fn trained_policy_roundtrips_json() {
+        let cfg = RltsConfig::paper_defaults(Variant::RltsPlusPlus, Measure::Dad);
+        let data = pool(2, 40);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 1;
+        tc.episodes_per_update = 1;
+        let report = train(&data, &tc);
+        let json = report.policy.to_json();
+        let mut back = TrainedPolicy::from_json(&json).unwrap();
+        assert_eq!(back.config, cfg);
+        let s = vec![0.5; cfg.state_dim()];
+        for (a, b) in report.policy.net.clone().probs(&s).iter().zip(back.net.probs(&s)) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn critic_baseline_trains_successfully() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let data = pool(3, 60);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 3;
+        tc.baseline = Baseline::Critic;
+        let report = train(&data, &tc);
+        assert!(!report.reward_history.is_empty());
+        let mut algo = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            2,
+        );
+        let kept = algo.run(data[0].points(), 12);
+        assert!(kept.len() <= 12);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let data = pool(2, 40);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 1;
+        let a = train(&data, &tc);
+        let b = train(&data, &tc);
+        assert_eq!(a.reward_history, b.reward_history);
+        assert_eq!(a.policy.to_json(), b.policy.to_json());
+    }
+
+    #[test]
+    fn learning_improves_over_random_on_spiky_data() {
+        // A modest training budget should already beat the random policy on
+        // data with obvious structure (periodic spikes must be kept).
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let data = pool(6, 80);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 40;
+        tc.episodes_per_update = 8;
+        tc.lr = 0.02;
+        tc.w_fraction = (0.2, 0.2);
+        let report = train(&data, &tc);
+
+        let eval = pool(8, 80); // same generator family, same spikes
+        let mut err_learned = 0.0;
+        let mut err_random = 0.0;
+        for t in &eval {
+            let mut learned = RltsOnline::new(
+                cfg,
+                DecisionPolicy::Learned { net: report.policy.net.clone(), greedy: false },
+                5,
+            );
+            let mut random = RltsOnline::new(cfg, DecisionPolicy::Random, 5);
+            let kl = learned.run(t.points(), 16);
+            let kr = random.run(t.points(), 16);
+            err_learned += simplification_error(Measure::Sed, t.points(), &kl, Aggregation::Max);
+            err_random += simplification_error(Measure::Sed, t.points(), &kr, Aggregation::Max);
+        }
+        assert!(
+            err_learned < err_random,
+            "learned {err_learned} should beat random {err_random}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Point-value kernels specific to the RLTS online update rule.
+
+use trajectory::error::{dad_point_error, ped_point_error, sad_point_error, sed_point_error, Measure};
+use trajectory::{Point, Segment};
+
+/// Error of the merged anchor segment `(a, b)` w.r.t. a *dropped* point `d`
+/// whose movement continued toward `d_next` (paper Eqs. 5–6: the dropped
+/// point is still accessible at drop time, so its error against the would-be
+/// merged segment is carried into the surviving neighbours' values).
+pub fn carried_value(measure: Measure, a: &Point, b: &Point, d: &Point, d_next: &Point) -> f64 {
+    let seg = Segment::new(*a, *b);
+    match measure {
+        Measure::Sed => sed_point_error(&seg, d),
+        Measure::Ped => ped_point_error(&seg, d),
+        Measure::Dad => dad_point_error(&seg, d, d_next),
+        Measure::Sad => sad_point_error(&seg, d, d_next),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::error::drop_error;
+
+    #[test]
+    fn carried_value_matches_point_kernels() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let d = Point::new(1.0, 2.0, 1.0);
+        let nx = Point::new(2.0, 2.0, 2.0);
+        let b = Point::new(3.0, 0.0, 3.0);
+        // SED/PED ignore d_next entirely.
+        let seg = Segment::new(a, b);
+        assert_eq!(carried_value(Measure::Sed, &a, &b, &d, &nx), sed_point_error(&seg, &d));
+        assert_eq!(carried_value(Measure::Ped, &a, &b, &d, &nx), ped_point_error(&seg, &d));
+        // DAD/SAD compare the movement d → d_next against the segment.
+        assert_eq!(carried_value(Measure::Dad, &a, &b, &d, &nx), dad_point_error(&seg, &d, &nx));
+        assert_eq!(carried_value(Measure::Sad, &a, &b, &d, &nx), sad_point_error(&seg, &d, &nx));
+    }
+
+    #[test]
+    fn carried_value_bounded_by_drop_kernel_for_sed() {
+        // For SED the drop kernel of (a, d, b) IS the carried value of d
+        // against segment (a, b).
+        let a = Point::new(0.0, 0.0, 0.0);
+        let d = Point::new(1.0, 3.0, 1.0);
+        let b = Point::new(2.0, 0.0, 2.0);
+        assert_eq!(
+            carried_value(Measure::Sed, &a, &b, &d, &b),
+            drop_error(Measure::Sed, &a, &d, &b)
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! The Markov-decision-process interface connecting environments to the
+//! REINFORCE trainer.
+
+/// Outcome of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Reward received for the action just taken.
+    pub reward: f64,
+    /// Next state, or `None` if the episode terminated.
+    pub state: Option<Vec<f64>>,
+}
+
+impl Step {
+    /// A terminal step carrying a final reward.
+    pub fn terminal(reward: f64) -> Self {
+        Step { reward, state: None }
+    }
+
+    /// A non-terminal step.
+    pub fn next(reward: f64, state: Vec<f64>) -> Self {
+        Step { reward, state: Some(state) }
+    }
+}
+
+/// An episodic environment with a fixed-dimensional continuous state and a
+/// fixed discrete action set.
+pub trait Environment {
+    /// Dimensionality of the state vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn action_count(&self) -> usize;
+
+    /// Starts a new episode, returning the initial state, or `None` when no
+    /// episode is possible (e.g. the trajectory is shorter than the buffer —
+    /// nothing to decide).
+    fn reset(&mut self) -> Option<Vec<f64>>;
+
+    /// Applies `action` and advances the environment.
+    fn step(&mut self, action: usize) -> Step;
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::*;
+
+    /// A two-armed bandit: action 0 yields +1, action 1 yields 0; episode
+    /// length is fixed. State is a constant.
+    pub struct Bandit {
+        pub steps: usize,
+        remaining: usize,
+    }
+
+    impl Bandit {
+        pub fn new(steps: usize) -> Self {
+            Bandit { steps, remaining: 0 }
+        }
+    }
+
+    impl Environment for Bandit {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Option<Vec<f64>> {
+            self.remaining = self.steps;
+            Some(vec![1.0])
+        }
+        fn step(&mut self, action: usize) -> Step {
+            let reward = if action == 0 { 1.0 } else { 0.0 };
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                Step::terminal(reward)
+            } else {
+                Step::next(reward, vec![1.0])
+            }
+        }
+    }
+
+    /// A contextual task: the rewarding action equals the sign of the state.
+    pub struct SignTask {
+        pub steps: usize,
+        remaining: usize,
+        sign: f64,
+        seed: u64,
+    }
+
+    impl SignTask {
+        pub fn new(steps: usize) -> Self {
+            SignTask { steps, remaining: 0, sign: 1.0, seed: 0 }
+        }
+        fn next_sign(&mut self) -> f64 {
+            // Deterministic pseudo-random alternation.
+            self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (self.seed >> 63) == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+    }
+
+    impl Environment for SignTask {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_count(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Option<Vec<f64>> {
+            self.remaining = self.steps;
+            self.sign = self.next_sign();
+            Some(vec![self.sign])
+        }
+        fn step(&mut self, action: usize) -> Step {
+            let correct = if self.sign > 0.0 { 0 } else { 1 };
+            let reward = if action == correct { 1.0 } else { -1.0 };
+            self.remaining -= 1;
+            self.sign = self.next_sign();
+            if self.remaining == 0 {
+                Step::terminal(reward)
+            } else {
+                Step::next(reward, vec![self.sign])
+            }
+        }
+    }
+}

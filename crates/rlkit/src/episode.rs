@@ -1,0 +1,95 @@
+//! Episode storage and return computation.
+
+/// One `(state, action, reward)` transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State observed before acting.
+    pub state: Vec<f64>,
+    /// Action taken.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f64,
+}
+
+/// A full episode of transitions, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Episode {
+    /// The transitions of the episode.
+    pub transitions: Vec<Transition>,
+}
+
+impl Episode {
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the episode has no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Sum of raw rewards.
+    pub fn total_reward(&self) -> f64 {
+        self.transitions.iter().map(|t| t.reward).sum()
+    }
+
+    /// Discounted returns `R_t = Σ_{u≥t} γ^{u−t} r_u` for every step.
+    pub fn discounted_returns(&self, gamma: f64) -> Vec<f64> {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        let mut returns = vec![0.0; self.transitions.len()];
+        let mut acc = 0.0;
+        for (i, t) in self.transitions.iter().enumerate().rev() {
+            acc = t.reward + gamma * acc;
+            returns[i] = acc;
+        }
+        returns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn episode(rewards: &[f64]) -> Episode {
+        Episode {
+            transitions: rewards
+                .iter()
+                .map(|&r| Transition { state: vec![0.0], action: 0, reward: r })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn undiscounted_returns_telescope() {
+        let e = episode(&[1.0, 2.0, 3.0]);
+        assert_eq!(e.discounted_returns(1.0), vec![6.0, 5.0, 3.0]);
+        assert_eq!(e.total_reward(), 6.0);
+    }
+
+    #[test]
+    fn discounted_returns_decay() {
+        let e = episode(&[0.0, 0.0, 1.0]);
+        let r = e.discounted_returns(0.5);
+        assert_eq!(r, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn zero_gamma_is_myopic() {
+        let e = episode(&[1.0, 2.0, 3.0]);
+        assert_eq!(e.discounted_returns(0.0), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_episode() {
+        let e = episode(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.discounted_returns(0.9), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_gamma_rejected() {
+        episode(&[1.0]).discounted_returns(1.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! `rlkit` — the minimal deep-RL substrate for the RLTS reproduction.
+//!
+//! The paper trains a tiny policy network (one hidden layer of 20 tanh
+//! neurons with batch normalization) with REINFORCE-with-baseline ("PNet",
+//! §IV-B). The Rust RL ecosystem is thin, so this crate implements exactly
+//! that stack from scratch:
+//!
+//! * [`nn::PolicyNet`] — input → dense → batch-norm → tanh → dense → softmax,
+//!   with manual backprop verified by finite-difference tests;
+//! * [`optim::Adam`] / [`optim::Sgd`] — first-order optimizers;
+//! * [`Reinforce`] — the policy-gradient trainer with batch mean/std return
+//!   normalization (paper Eq. 11);
+//! * [`Environment`] — the MDP interface the RLTS environments implement.
+//!
+//! # Example: learning a two-armed bandit
+//!
+//! ```
+//! use rlkit::{nn::PolicyNet, Environment, Step, Reinforce, ReinforceConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! struct Bandit(usize);
+//! impl Environment for Bandit {
+//!     fn state_dim(&self) -> usize { 1 }
+//!     fn action_count(&self) -> usize { 2 }
+//!     fn reset(&mut self) -> Option<Vec<f64>> { self.0 = 8; Some(vec![1.0]) }
+//!     fn step(&mut self, a: usize) -> Step {
+//!         self.0 -= 1;
+//!         let r = if a == 0 { 1.0 } else { 0.0 };
+//!         if self.0 == 0 { Step::terminal(r) } else { Step::next(r, vec![1.0]) }
+//!     }
+//! }
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut net = PolicyNet::new(1, 8, 2, &mut rng);
+//! let mut trainer = Reinforce::new(ReinforceConfig { lr: 0.05, ..Default::default() });
+//! trainer.train(&mut Bandit(0), &mut net, &mut rng, 50, 4);
+//! assert!(net.probs(&[1.0])[0] > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+mod actor_critic;
+mod env;
+mod episode;
+pub mod linalg;
+pub mod nn;
+pub mod optim;
+mod reinforce;
+
+pub use actor_critic::{ActorCritic, ActorCriticConfig};
+pub use env::{Environment, Step};
+pub use episode::{Episode, Transition};
+pub use reinforce::{Reinforce, ReinforceConfig};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,176 @@
+//! Tiny dense linear algebra helpers used by the neural-network layers.
+//!
+//! Everything is `f64` and row-major; the policy networks in this workspace
+//! are small (tens of neurons), so clarity beats BLAS here.
+
+/// A parameter tensor: values plus an accumulated gradient of the same shape.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Param {
+    /// Parameter values (row-major for matrices).
+    pub w: Vec<f64>,
+    /// Accumulated gradient, same layout as `w`.
+    #[serde(skip, default)]
+    pub g: Vec<f64>,
+}
+
+impl Param {
+    /// Creates a parameter of `len` zeros (gradient included).
+    pub fn zeros(len: usize) -> Self {
+        Param { w: vec![0.0; len], g: vec![0.0; len] }
+    }
+
+    /// Creates a parameter from given values with a zeroed gradient.
+    pub fn from_values(w: Vec<f64>) -> Self {
+        let g = vec![0.0; w.len()];
+        Param { w, g }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Zeroes the accumulated gradient (restoring its length if it was
+    /// dropped by deserialization).
+    pub fn zero_grad(&mut self) {
+        if self.g.len() != self.w.len() {
+            self.g = vec![0.0; self.w.len()];
+        } else {
+            self.g.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+}
+
+/// `out = M·x` for a row-major `rows × cols` matrix.
+pub fn matvec(m: &[f64], rows: usize, cols: usize, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(m.len(), rows * cols);
+    debug_assert_eq!(x.len(), cols);
+    debug_assert_eq!(out.len(), rows);
+    for r in 0..rows {
+        let row = &m[r * cols..(r + 1) * cols];
+        out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+    }
+}
+
+/// `out = Mᵀ·x` for a row-major `rows × cols` matrix (`x` has `rows` entries).
+pub fn matvec_t(m: &[f64], rows: usize, cols: usize, x: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(m.len(), rows * cols);
+    debug_assert_eq!(x.len(), rows);
+    debug_assert_eq!(out.len(), cols);
+    out.iter_mut().for_each(|v| *v = 0.0);
+    for r in 0..rows {
+        let row = &m[r * cols..(r + 1) * cols];
+        let xr = x[r];
+        for (o, &w) in out.iter_mut().zip(row) {
+            *o += w * xr;
+        }
+    }
+}
+
+/// Accumulates the outer product `g += a ⊗ b` into a row-major
+/// `a.len() × b.len()` gradient buffer.
+pub fn outer_acc(g: &mut [f64], a: &[f64], b: &[f64]) {
+    debug_assert_eq!(g.len(), a.len() * b.len());
+    for (r, &ar) in a.iter().enumerate() {
+        let row = &mut g[r * b.len()..(r + 1) * b.len()];
+        for (gv, &bv) in row.iter_mut().zip(b) {
+            *gv += ar * bv;
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Mean and (population) standard deviation of a slice.
+/// Returns `(0, 0)` for an empty slice.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let m = vec![1.0, 0.0, 0.0, 1.0];
+        let x = vec![3.0, -2.0];
+        let mut out = vec![0.0; 2];
+        matvec(&m, 2, 2, &x, &mut out);
+        assert_eq!(out, x);
+    }
+
+    #[test]
+    fn matvec_rectangular() {
+        // 2×3 matrix.
+        let m = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let x = vec![1.0, 0.0, -1.0];
+        let mut out = vec![0.0; 2];
+        matvec(&m, 2, 3, &x, &mut out);
+        assert_eq!(out, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let m = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2×3
+        let x = vec![1.0, -1.0];
+        let mut out = vec![0.0; 3];
+        matvec_t(&m, 2, 3, &x, &mut out);
+        assert_eq!(out, vec![-3.0, -3.0, -3.0]);
+    }
+
+    #[test]
+    fn outer_acc_accumulates() {
+        let mut g = vec![0.0; 4];
+        outer_acc(&mut g, &[1.0, 2.0], &[3.0, 4.0]);
+        outer_acc(&mut g, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(g, vec![6.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert!((s - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn param_zero_grad_restores_len() {
+        let mut p = Param::from_values(vec![1.0, 2.0]);
+        p.g.clear(); // simulate deserialization dropping the grad
+        p.zero_grad();
+        assert_eq!(p.g.len(), 2);
+    }
+}

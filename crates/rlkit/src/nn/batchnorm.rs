@@ -1,0 +1,181 @@
+//! Online batch normalization.
+//!
+//! The paper applies TensorFlow batch normalization before the hidden
+//! activation "to avoid the data scale issues" (§VI-A): trajectory error
+//! values span many orders of magnitude across datasets and measures.
+//!
+//! RLTS consumes states one at a time (online RL), so this implementation
+//! normalizes with *running* statistics — an exponential moving average of
+//! feature means and variances updated on every training-mode forward — and
+//! treats those statistics as constants in the backward pass. Learnable
+//! scale/shift (`γ`, `β`) are kept, matching the TF layer.
+
+use crate::linalg::Param;
+use serde::{Deserialize, Serialize};
+
+/// Numerical floor added to the variance before taking the square root.
+const EPS: f64 = 1e-5;
+
+/// Online batch-normalization layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm {
+    /// Feature dimension.
+    pub dim: usize,
+    /// Learnable scale γ.
+    pub gamma: Param,
+    /// Learnable shift β.
+    pub beta: Param,
+    /// Running mean per feature.
+    pub running_mean: Vec<f64>,
+    /// Running variance per feature.
+    pub running_var: Vec<f64>,
+    /// EMA momentum for the running statistics.
+    pub momentum: f64,
+    /// Number of training-mode forward passes seen (for warm-up bias).
+    pub updates: u64,
+}
+
+impl BatchNorm {
+    /// Creates a layer with γ = 1, β = 0, and unit running variance.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        BatchNorm {
+            dim,
+            gamma: Param::from_values(vec![1.0; dim]),
+            beta: Param::zeros(dim),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.01,
+            updates: 0,
+        }
+    }
+
+    /// Forward pass. In `train` mode the running statistics are first
+    /// updated from `x`.
+    pub fn forward(&mut self, x: &[f64], out: &mut [f64], train: bool) {
+        debug_assert_eq!(x.len(), self.dim);
+        if train {
+            self.observe(x);
+        }
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed by feature
+        for i in 0..self.dim {
+            let norm = (x[i] - self.running_mean[i]) / (self.running_var[i] + EPS).sqrt();
+            out[i] = self.gamma.w[i] * norm + self.beta.w[i];
+        }
+    }
+
+    /// Updates the running statistics with one observation.
+    fn observe(&mut self, x: &[f64]) {
+        self.updates += 1;
+        // Faster adaptation while the statistics warm up.
+        let m = self.momentum.max(1.0 / self.updates as f64);
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed by feature
+        for i in 0..self.dim {
+            let delta = x[i] - self.running_mean[i];
+            self.running_mean[i] += m * delta;
+            self.running_var[i] = (1.0 - m) * (self.running_var[i] + m * delta * delta);
+        }
+    }
+
+    /// Backward pass for one sample: accumulates `∂L/∂γ`, `∂L/∂β` and writes
+    /// `∂L/∂x` into `d_in` (running statistics treated as constants).
+    pub fn backward(&mut self, x: &[f64], d_out: &[f64], d_in: &mut [f64]) {
+        #[allow(clippy::needless_range_loop)] // parallel arrays indexed by feature
+        for i in 0..self.dim {
+            let inv_std = 1.0 / (self.running_var[i] + EPS).sqrt();
+            let norm = (x[i] - self.running_mean[i]) * inv_std;
+            self.gamma.g[i] += d_out[i] * norm;
+            self.beta.g[i] += d_out[i];
+            d_in[i] = d_out[i] * self.gamma.w[i] * inv_std;
+        }
+    }
+
+    /// The layer's parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_is_pure() {
+        let mut bn = BatchNorm::new(2);
+        let mut o1 = vec![0.0; 2];
+        let mut o2 = vec![0.0; 2];
+        bn.forward(&[5.0, -3.0], &mut o1, false);
+        bn.forward(&[5.0, -3.0], &mut o2, false);
+        assert_eq!(o1, o2);
+        assert_eq!(bn.updates, 0);
+    }
+
+    #[test]
+    fn training_adapts_running_stats() {
+        let mut bn = BatchNorm::new(1);
+        let mut out = vec![0.0];
+        for _ in 0..500 {
+            bn.forward(&[10.0], &mut out, true);
+        }
+        assert!((bn.running_mean[0] - 10.0).abs() < 0.1);
+        assert!(bn.running_var[0] < 0.5);
+        // A constant input normalizes to ~β after warm-up.
+        bn.forward(&[10.0], &mut out, false);
+        assert!(out[0].abs() < 0.5, "normalized constant should be near zero, got {}", out[0]);
+    }
+
+    #[test]
+    fn normalization_centers_and_scales() {
+        let mut bn = BatchNorm::new(1);
+        // Alternate between two values; running stats converge to their
+        // mean/variance, so the normalized outputs straddle zero.
+        let mut out = vec![0.0];
+        for i in 0..2000 {
+            let v = if i % 2 == 0 { 100.0 } else { 200.0 };
+            bn.forward(&[v], &mut out, true);
+        }
+        bn.forward(&[100.0], &mut out, false);
+        let lo = out[0];
+        bn.forward(&[200.0], &mut out, false);
+        let hi = out[0];
+        assert!(lo < 0.0 && hi > 0.0);
+        assert!((lo.abs() - hi.abs()).abs() < 0.2, "roughly symmetric: {lo} {hi}");
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let mut bn = BatchNorm::new(3);
+        bn.running_mean = vec![1.0, -2.0, 0.5];
+        bn.running_var = vec![4.0, 0.25, 1.0];
+        bn.gamma.w = vec![1.5, 0.5, -1.0];
+        bn.beta.w = vec![0.1, 0.2, 0.3];
+        let x = vec![2.0, -1.0, 0.0];
+        let d_out = vec![1.0, 1.0, 1.0];
+        let mut d_in = vec![0.0; 3];
+        bn.gamma.zero_grad();
+        bn.beta.zero_grad();
+        bn.backward(&x, &d_out, &mut d_in);
+
+        let eps = 1e-6;
+        let loss = |bn: &mut BatchNorm, x: &[f64]| {
+            let mut out = vec![0.0; 3];
+            bn.forward(x, &mut out, false);
+            out.iter().sum::<f64>()
+        };
+        let base = loss(&mut bn, &x);
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let num = (loss(&mut bn, &xp) - base) / eps;
+            assert!((num - d_in[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", d_in[i]);
+        }
+        for i in 0..3 {
+            let old = bn.gamma.w[i];
+            bn.gamma.w[i] += eps;
+            let num = (loss(&mut bn, &x) - base) / eps;
+            bn.gamma.w[i] = old;
+            assert!((num - bn.gamma.g[i]).abs() < 1e-5, "dgamma[{i}]");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Fully-connected layer with manual backprop.
+
+use crate::linalg::{matvec, matvec_t, outer_acc, Param};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense (fully-connected) layer `y = W x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Weight matrix, row-major `out_dim × in_dim`.
+    pub w: Param,
+    /// Bias vector of length `out_dim`.
+    pub b: Param,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier/Glorot-uniform initialized weights and
+    /// zero biases.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim).map(|_| rng.random_range(-limit..limit)).collect();
+        Dense {
+            out_dim,
+            in_dim,
+            w: Param::from_values(w),
+            b: Param::zeros(out_dim),
+        }
+    }
+
+    /// Forward pass: `out = W x + b`.
+    pub fn forward(&self, x: &[f64], out: &mut [f64]) {
+        matvec(&self.w.w, self.out_dim, self.in_dim, x, out);
+        for (o, &bias) in out.iter_mut().zip(&self.b.w) {
+            *o += bias;
+        }
+    }
+
+    /// Backward pass for one sample: given `d_out = ∂L/∂y` and the input `x`
+    /// used in forward, accumulates `∂L/∂W`, `∂L/∂b` and writes `∂L/∂x`
+    /// into `d_in`.
+    pub fn backward(&mut self, x: &[f64], d_out: &[f64], d_in: &mut [f64]) {
+        outer_acc(&mut self.w.g, d_out, x);
+        for (g, &d) in self.b.g.iter_mut().zip(d_out) {
+            *g += d;
+        }
+        matvec_t(&self.w.w, self.out_dim, self.in_dim, d_out, d_in);
+    }
+
+    /// The layer's parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> [&mut Param; 2] {
+        [&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(2, 2, &mut rng);
+        layer.w.w = vec![1.0, 2.0, 3.0, 4.0];
+        layer.b.w = vec![0.5, -0.5];
+        let mut out = vec![0.0; 2];
+        layer.forward(&[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn init_is_bounded_and_seeded() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let a = Dense::new(4, 3, &mut r1);
+        let b = Dense::new(4, 3, &mut r2);
+        assert_eq!(a.w.w, b.w.w, "same seed must give same init");
+        let limit = (6.0f64 / 7.0).sqrt();
+        assert!(a.w.w.iter().all(|v| v.abs() <= limit));
+        assert!(a.b.w.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        // Finite-difference check of dL/dW, dL/db, dL/dx for L = sum(y).
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = vec![0.3, -0.7, 1.1];
+        let d_out = vec![1.0, 1.0];
+        let mut d_in = vec![0.0; 3];
+        layer.w.zero_grad();
+        layer.b.zero_grad();
+        layer.backward(&x, &d_out, &mut d_in);
+
+        let eps = 1e-6;
+        let loss = |l: &Dense, x: &[f64]| {
+            let mut out = vec![0.0; 2];
+            l.forward(x, &mut out);
+            out.iter().sum::<f64>()
+        };
+        for i in 0..layer.w.w.len() {
+            let mut pert = layer.clone();
+            pert.w.w[i] += eps;
+            let num = (loss(&pert, &x) - loss(&layer, &x)) / eps;
+            assert!((num - layer.w.g[i]).abs() < 1e-5, "dW[{i}]: {num} vs {}", layer.w.g[i]);
+        }
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let num = (loss(&layer, &xp) - loss(&layer, &x)) / eps;
+            assert!((num - d_in[i]).abs() < 1e-5, "dx[{i}]");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = Dense::new(0, 2, &mut rng);
+    }
+}

@@ -1,0 +1,11 @@
+//! Neural-network layers with hand-written single-sample backprop.
+
+mod batchnorm;
+mod dense;
+mod policy;
+mod value;
+
+pub use batchnorm::BatchNorm;
+pub use dense::Dense;
+pub use policy::{argmax, sample_categorical, PolicyNet};
+pub use value::ValueNet;

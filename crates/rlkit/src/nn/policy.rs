@@ -1,0 +1,319 @@
+//! The RLTS policy network: input → dense → batch-norm → tanh → dense →
+//! softmax (paper §IV-B and §VI-A: one hidden layer of 20 tanh neurons with
+//! batch normalization before the activation).
+
+use super::batchnorm::BatchNorm;
+use super::dense::Dense;
+use crate::linalg::{softmax, Param};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A stochastic softmax policy `π_θ(a|s)` over a fixed action set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyNet {
+    l1: Dense,
+    bn: BatchNorm,
+    l2: Dense,
+}
+
+impl PolicyNet {
+    /// Creates a policy network with the given state dimension, hidden
+    /// width, and action count.
+    pub fn new<R: Rng + ?Sized>(state_dim: usize, hidden: usize, actions: usize, rng: &mut R) -> Self {
+        PolicyNet {
+            l1: Dense::new(state_dim, hidden, rng),
+            bn: BatchNorm::new(hidden),
+            l2: Dense::new(hidden, actions, rng),
+        }
+    }
+
+    /// State dimension expected by the network.
+    pub fn state_dim(&self) -> usize {
+        self.l1.in_dim
+    }
+
+    /// Number of actions in the output distribution.
+    pub fn action_dim(&self) -> usize {
+        self.l2.out_dim
+    }
+
+    /// Action probabilities for a state (inference mode; running batch-norm
+    /// statistics are not updated).
+    pub fn probs(&mut self, state: &[f64]) -> Vec<f64> {
+        self.forward(state, false).2
+    }
+
+    /// Samples an action from `π_θ(·|state)`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, state: &[f64], rng: &mut R) -> usize {
+        let probs = self.probs(state);
+        sample_categorical(&probs, rng)
+    }
+
+    /// The most probable action (used by the paper in batch mode).
+    pub fn greedy(&mut self, state: &[f64]) -> usize {
+        let probs = self.probs(state);
+        argmax(&probs)
+    }
+
+    /// One REINFORCE gradient accumulation step: replays the forward pass in
+    /// training mode (updating batch-norm statistics) and accumulates
+    /// `∂/∂θ [−advantage · ln π_θ(action|state) − β·H(π_θ(·|state))]` into
+    /// the parameter gradients, where `H` is the policy entropy and `β =
+    /// entropy_beta` discourages premature collapse onto a single action
+    /// (the Min-Error MDP's best memoryless policy is stochastic — the paper
+    /// samples rather than arg-maxes online for the same reason). Returns
+    /// `ln π_θ(action|state)` for diagnostics.
+    pub fn accumulate_policy_grad(
+        &mut self,
+        state: &[f64],
+        action: usize,
+        advantage: f64,
+        entropy_beta: f64,
+    ) -> f64 {
+        let (z1, h, probs) = self.forward(state, true);
+        debug_assert!(action < probs.len());
+
+        // dL/dz2 for L = −A·ln softmax(z2)[a]  is  A·(probs − onehot(a)).
+        let mut d_z2: Vec<f64> = probs.iter().map(|&p| advantage * p).collect();
+        d_z2[action] -= advantage;
+        if entropy_beta != 0.0 {
+            // dH/dz_i = −p_i (ln p_i + H); L includes −β·H.
+            let entropy: f64 = -probs.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f64>();
+            for (d, &p) in d_z2.iter_mut().zip(&probs) {
+                if p > 0.0 {
+                    *d += entropy_beta * p * (p.ln() + entropy);
+                }
+            }
+        }
+
+        let mut d_h = vec![0.0; h.len()];
+        self.l2.backward(&h, &d_z2, &mut d_h);
+
+        // tanh backward: h = tanh(bn_out) ⇒ d_bn = d_h · (1 − h²).
+        let d_bn: Vec<f64> = d_h.iter().zip(&h).map(|(&d, &hv)| d * (1.0 - hv * hv)).collect();
+
+        let mut d_z1 = vec![0.0; z1.len()];
+        self.bn.backward(&z1, &d_bn, &mut d_z1);
+
+        let mut d_x = vec![0.0; self.l1.in_dim];
+        self.l1.backward(state, &d_z1, &mut d_x);
+
+        probs[action].max(1e-300).ln()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// All trainable parameters, in a stable order (for the optimizer).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::with_capacity(6);
+        out.extend(self.l1.params_mut());
+        out.extend(self.bn.params_mut());
+        out.extend(self.l2.params_mut());
+        out
+    }
+
+    /// Serializes the network (weights and batch-norm statistics) to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("policy serialization cannot fail")
+    }
+
+    /// Restores a network serialized with [`PolicyNet::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let mut net: PolicyNet = serde_json::from_str(json)?;
+        for p in net.params_mut() {
+            p.zero_grad();
+        }
+        Ok(net)
+    }
+
+    fn forward(&mut self, state: &[f64], train: bool) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        debug_assert_eq!(state.len(), self.l1.in_dim, "state dimension mismatch");
+        let mut z1 = vec![0.0; self.l1.out_dim];
+        self.l1.forward(state, &mut z1);
+        let mut bn_out = vec![0.0; z1.len()];
+        self.bn.forward(&z1, &mut bn_out, train);
+        let h: Vec<f64> = bn_out.iter().map(|v| v.tanh()).collect();
+        let mut z2 = vec![0.0; self.l2.out_dim];
+        self.l2.forward(&h, &mut z2);
+        let probs = softmax(&z2);
+        (z1, h, probs)
+    }
+}
+
+/// Samples an index from a categorical distribution given its probabilities.
+pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    debug_assert!(!probs.is_empty());
+    let u: f64 = rng.random_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return i;
+        }
+    }
+    probs.len() - 1 // floating-point slack: return the last index
+}
+
+/// Index of the maximum value (first one on ties).
+pub fn argmax(xs: &[f64]) -> usize {
+    debug_assert!(!xs.is_empty());
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate().skip(1) {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probs_form_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = PolicyNet::new(3, 20, 4, &mut rng);
+        let p = net.probs(&[0.1, 0.2, 0.3]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn greedy_picks_max_prob() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = PolicyNet::new(2, 8, 3, &mut rng);
+        let p = net.probs(&[1.0, -1.0]);
+        assert_eq!(net.greedy(&[1.0, -1.0]), argmax(&p));
+    }
+
+    #[test]
+    fn policy_gradient_increases_chosen_action_prob() {
+        // One manual ascent step with positive advantage must raise the
+        // probability of the chosen action in the same state.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = PolicyNet::new(3, 10, 3, &mut rng);
+        let state = [0.5, -0.2, 0.9];
+        let action = 1;
+        let before = net.probs(&state)[action];
+        net.zero_grad();
+        net.accumulate_policy_grad(&state, action, 1.0, 0.0);
+        let lr = 0.05;
+        for p in net.params_mut() {
+            for (w, g) in p.w.iter_mut().zip(&p.g) {
+                *w -= lr * g; // descend on L = −A ln π  ⇒ ascend on ln π
+            }
+        }
+        let after = net.probs(&state)[action];
+        assert!(after > before, "prob should increase: {before} -> {after}");
+    }
+
+    #[test]
+    fn negative_advantage_decreases_prob() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = PolicyNet::new(2, 10, 2, &mut rng);
+        let state = [0.3, 0.7];
+        let before = net.probs(&state)[0];
+        net.zero_grad();
+        net.accumulate_policy_grad(&state, 0, -1.0, 0.0);
+        for p in net.params_mut() {
+            for (w, g) in p.w.iter_mut().zip(&p.g) {
+                *w -= 0.05 * g;
+            }
+        }
+        let after = net.probs(&state)[0];
+        assert!(after < before);
+    }
+
+    #[test]
+    fn grad_check_log_prob() {
+        // Finite-difference check of the full backward chain through
+        // softmax, dense, tanh, batch-norm, dense.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = PolicyNet::new(3, 6, 3, &mut rng);
+        // Warm the BN stats so they are not degenerate, then freeze behavior
+        // by always evaluating in inference mode for the numeric side.
+        let state = [0.4, -1.2, 2.0];
+        let action = 2;
+        net.zero_grad();
+        // advantage 1 ⇒ gradient of −ln π(a|s); BN stats update once here.
+        net.accumulate_policy_grad(&state, action, 1.0, 0.0);
+        let eps = 1e-6;
+        let log_pi = |net: &mut PolicyNet| net.probs(&state)[action].max(1e-300).ln();
+        let base = log_pi(&mut net);
+        // Check a few weights of each layer.
+        for (pi, wi) in [(0usize, 0usize), (0, 5), (4, 0), (4, 7)] {
+            let analytic = {
+                let params = net.params_mut();
+                params[pi].g[wi]
+            };
+            {
+                let mut params = net.params_mut();
+                params[pi].w[wi] += eps;
+            }
+            let num = (log_pi(&mut net) - base) / eps;
+            {
+                let mut params = net.params_mut();
+                params[pi].w[wi] -= eps;
+            }
+            // analytic grad is for −ln π, numeric for +ln π; compare with a
+            // relative tolerance (finite differences of steep softmax tails).
+            let tol = 1e-3 * analytic.abs().max(1.0);
+            assert!(
+                (num + analytic).abs() < tol,
+                "param {pi}[{wi}]: numeric {num} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_behavior() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = PolicyNet::new(4, 20, 5, &mut rng);
+        // Touch the BN stats so non-default state is exercised.
+        net.accumulate_policy_grad(&[1.0, 2.0, 3.0, 4.0], 0, 0.5, 0.0);
+        let json = net.to_json();
+        let mut back = PolicyNet::from_json(&json).unwrap();
+        let s = [0.1, 0.2, 0.3, 0.4];
+        for (a, b) in net.probs(&s).iter().zip(back.probs(&s)) {
+            assert!((a - b).abs() < 1e-12, "probs drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sample_categorical_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let probs = [0.1, 0.7, 0.2];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        assert!(counts[1] > 6_300 && counts[1] < 7_700, "{counts:?}");
+        assert!(counts[0] > 600 && counts[0] < 1_400, "{counts:?}");
+    }
+
+    #[test]
+    fn sample_categorical_handles_rounding_tail() {
+        let mut rng = StdRng::seed_from_u64(8);
+        // Probabilities that sum slightly below 1.0.
+        let probs = [0.3333333333, 0.3333333333, 0.3333333333];
+        for _ in 0..1000 {
+            let a = sample_categorical(&probs, &mut rng);
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn argmax_first_on_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! A small state-value network `V_φ(s)` used as a learned baseline
+//! (actor-critic) — the canonical refinement of the paper's
+//! normalize-by-batch-statistics baseline.
+
+use super::dense::Dense;
+use crate::linalg::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A two-layer value-regression network: dense → tanh → dense(1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueNet {
+    l1: Dense,
+    l2: Dense,
+}
+
+impl ValueNet {
+    /// Creates a value network for `state_dim` inputs.
+    pub fn new<R: Rng + ?Sized>(state_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        ValueNet { l1: Dense::new(state_dim, hidden, rng), l2: Dense::new(hidden, 1, rng) }
+    }
+
+    /// State dimension expected by the network.
+    pub fn state_dim(&self) -> usize {
+        self.l1.in_dim
+    }
+
+    /// Predicted value of a state.
+    pub fn predict(&self, state: &[f64]) -> f64 {
+        let (_, _, v) = self.forward(state);
+        v
+    }
+
+    /// Accumulates the gradient of `½(V(s) − target)²` and returns the
+    /// *current* prediction `V(s)` (before any optimizer step).
+    pub fn accumulate_mse_grad(&mut self, state: &[f64], target: f64) -> f64 {
+        let (z1, h, v) = self.forward(state);
+        let d_v = v - target; // dL/dV for L = ½(V − target)²
+        let mut d_h = vec![0.0; h.len()];
+        self.l2.backward(&h, &[d_v], &mut d_h);
+        let d_z1: Vec<f64> = d_h.iter().zip(&h).map(|(&d, &hv)| d * (1.0 - hv * hv)).collect();
+        let mut d_x = vec![0.0; self.l1.in_dim];
+        self.l1.backward(state, &d_z1, &mut d_x);
+        let _ = z1;
+        v
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// All trainable parameters, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::with_capacity(4);
+        out.extend(self.l1.params_mut());
+        out.extend(self.l2.params_mut());
+        out
+    }
+
+    fn forward(&self, state: &[f64]) -> (Vec<f64>, Vec<f64>, f64) {
+        debug_assert_eq!(state.len(), self.l1.in_dim);
+        let mut z1 = vec![0.0; self.l1.out_dim];
+        self.l1.forward(state, &mut z1);
+        let h: Vec<f64> = z1.iter().map(|v| v.tanh()).collect();
+        let mut out = vec![0.0];
+        self.l2.forward(&h, &mut out);
+        (z1, h, out[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regresses_a_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = ValueNet::new(2, 8, &mut rng);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..300 {
+            net.zero_grad();
+            net.accumulate_mse_grad(&[1.0, -1.0], 3.5);
+            opt.step(&mut net.params_mut());
+        }
+        assert!((net.predict(&[1.0, -1.0]) - 3.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn regresses_a_linear_function_of_state() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = ValueNet::new(1, 16, &mut rng);
+        let mut opt = Adam::new(0.02);
+        // Full-batch gradient over the grid per step.
+        for _ in 0..800 {
+            net.zero_grad();
+            for i in 0..21 {
+                let x = (i as f64 - 10.0) / 10.0; // x ∈ [-1, 1]
+                net.accumulate_mse_grad(&[x], 2.0 * x + 1.0);
+            }
+            opt.step(&mut net.params_mut());
+        }
+        for x in [-0.8, 0.0, 0.9] {
+            let err = (net.predict(&[x]) - (2.0 * x + 1.0)).abs();
+            assert!(err < 0.25, "x={x}: err {err}");
+        }
+    }
+
+    #[test]
+    fn mse_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = ValueNet::new(3, 5, &mut rng);
+        let state = [0.2, -0.7, 1.3];
+        let target = 0.9;
+        net.zero_grad();
+        net.accumulate_mse_grad(&state, target);
+        let loss = |n: &ValueNet| {
+            let v = n.predict(&state);
+            0.5 * (v - target) * (v - target)
+        };
+        let base = loss(&net);
+        let eps = 1e-6;
+        for (pi, wi) in [(0usize, 0usize), (1, 2), (2, 3)] {
+            let analytic = {
+                let params = net.params_mut();
+                params[pi].g[wi]
+            };
+            {
+                let mut params = net.params_mut();
+                params[pi].w[wi] += eps;
+            }
+            let num = (loss(&net) - base) / eps;
+            {
+                let mut params = net.params_mut();
+                params[pi].w[wi] -= eps;
+            }
+            assert!((num - analytic).abs() < 1e-4, "param {pi}[{wi}]: {num} vs {analytic}");
+        }
+    }
+
+    #[test]
+    fn prediction_is_pure() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = ValueNet::new(2, 4, &mut rng);
+        assert_eq!(net.predict(&[0.1, 0.2]), net.predict(&[0.1, 0.2]));
+    }
+}

@@ -1,0 +1,21 @@
+//! Gradient-descent optimizers.
+
+mod adam;
+mod sgd;
+
+pub use adam::Adam;
+pub use sgd::Sgd;
+
+use crate::linalg::Param;
+
+/// A first-order optimizer stepping a fixed set of parameter tensors.
+///
+/// Implementations minimize: they expect gradients of a loss and move
+/// parameters against them. Callers must pass the parameters in the same
+/// order on every call.
+pub trait Optimizer {
+    /// Applies one update using the accumulated gradients, then leaves the
+    /// gradients untouched (call [`Param::zero_grad`] before the next
+    /// accumulation).
+    fn step(&mut self, params: &mut [&mut Param]);
+}

@@ -1,0 +1,50 @@
+//! Plain stochastic gradient descent (used as the baseline optimizer in
+//! ablations; the paper's experiments use Adam).
+
+use super::Optimizer;
+use crate::linalg::Param;
+
+/// SGD with a fixed learning rate.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params {
+            for (w, &g) in p.w.iter_mut().zip(&p.g) {
+                *w -= self.lr * g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moves_against_gradient() {
+        let mut p = Param::from_values(vec![1.0, -1.0]);
+        p.g = vec![0.5, -0.5];
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.w, vec![0.95, -0.95]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_nonpositive_lr() {
+        let _ = Sgd::new(0.0);
+    }
+}

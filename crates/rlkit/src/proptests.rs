@@ -1,0 +1,121 @@
+//! Property-based tests of the linear-algebra and episode kernels.
+
+#![cfg(test)]
+
+use crate::episode::{Episode, Transition};
+use crate::linalg::{matvec, matvec_t, mean_std, outer_acc, softmax};
+use proptest::prelude::*;
+
+fn finite(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    range
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matvec_adjoint_identity(
+        m in prop::collection::vec(finite(-10.0..10.0), 12),
+        x in prop::collection::vec(finite(-10.0..10.0), 4),
+        y in prop::collection::vec(finite(-10.0..10.0), 3),
+    ) {
+        // ⟨A x, y⟩ = ⟨x, Aᵀ y⟩ for a 3×4 matrix.
+        let mut ax = vec![0.0; 3];
+        matvec(&m, 3, 4, &x, &mut ax);
+        let mut aty = vec![0.0; 4];
+        matvec_t(&m, 3, 4, &y, &mut aty);
+        let lhs: f64 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn matvec_linearity(
+        m in prop::collection::vec(finite(-5.0..5.0), 6),
+        x in prop::collection::vec(finite(-5.0..5.0), 2),
+        y in prop::collection::vec(finite(-5.0..5.0), 2),
+        a in finite(-3.0..3.0),
+    ) {
+        // A(a·x + y) = a·Ax + Ay for a 3×2 matrix.
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let mut lhs = vec![0.0; 3];
+        matvec(&m, 3, 2, &combo, &mut lhs);
+        let mut ax = vec![0.0; 3];
+        let mut ay = vec![0.0; 3];
+        matvec(&m, 3, 2, &x, &mut ax);
+        matvec(&m, 3, 2, &y, &mut ay);
+        for i in 0..3 {
+            prop_assert!((lhs[i] - (a * ax[i] + ay[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outer_acc_matches_elementwise(
+        a in prop::collection::vec(finite(-5.0..5.0), 3),
+        b in prop::collection::vec(finite(-5.0..5.0), 4),
+    ) {
+        let mut g = vec![0.0; 12];
+        outer_acc(&mut g, &a, &b);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                prop_assert!((g[i * 4 + j] - ai * bj).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(z in prop::collection::vec(finite(-50.0..50.0), 1..8)) {
+        let p = softmax(&z);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v > 0.0 && v.is_finite()));
+        // Order-preserving.
+        for i in 0..z.len() {
+            for j in 0..z.len() {
+                if z[i] > z[j] {
+                    prop_assert!(p[i] >= p[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_shift_invariant(z in prop::collection::vec(finite(-20.0..20.0), 2..6), c in finite(-100.0..100.0)) {
+        let p1 = softmax(&z);
+        let shifted: Vec<f64> = z.iter().map(|v| v + c).collect();
+        let p2 = softmax(&shifted);
+        for (a, b) in p1.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_std_bounds(xs in prop::collection::vec(finite(-100.0..100.0), 1..50)) {
+        let (mean, std) = mean_std(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+        prop_assert!(std >= 0.0);
+        prop_assert!(std <= (hi - lo) + 1e-9);
+    }
+
+    #[test]
+    fn returns_bounded_by_reward_sums(rewards in prop::collection::vec(finite(-10.0..10.0), 1..30), gamma in 0.0..1.0f64) {
+        let ep = Episode {
+            transitions: rewards
+                .iter()
+                .map(|&r| Transition { state: vec![0.0], action: 0, reward: r })
+                .collect(),
+        };
+        let returns = ep.discounted_returns(gamma);
+        prop_assert_eq!(returns.len(), rewards.len());
+        // |R_t| ≤ Σ_{u≥t} |r_u| for γ ≤ 1.
+        for t in 0..rewards.len() {
+            let bound: f64 = rewards[t..].iter().map(|r| r.abs()).sum();
+            prop_assert!(returns[t].abs() <= bound + 1e-9);
+        }
+        // γ = 1 telescopes exactly.
+        let undiscounted = ep.discounted_returns(1.0);
+        let total: f64 = rewards.iter().sum();
+        prop_assert!((undiscounted[0] - total).abs() < 1e-9);
+    }
+}

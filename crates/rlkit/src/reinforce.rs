@@ -1,0 +1,205 @@
+//! REINFORCE with baseline — the paper's "PNet" policy-gradient method
+//! (§IV-B, Eq. 11): returns are normalized by their batch mean and standard
+//! deviation before weighting the log-probability gradients.
+
+use crate::env::Environment;
+use crate::episode::{Episode, Transition};
+use crate::linalg::mean_std;
+use crate::nn::PolicyNet;
+use crate::optim::{Adam, Optimizer};
+use rand::Rng;
+
+/// Configuration of the REINFORCE trainer.
+#[derive(Debug, Clone)]
+pub struct ReinforceConfig {
+    /// Reward discount factor (paper: 0.99).
+    pub gamma: f64,
+    /// Adam learning rate (paper: 1e-3).
+    pub lr: f64,
+    /// Whether to normalize returns by batch mean/std (paper: on).
+    pub normalize_returns: bool,
+    /// Entropy-bonus coefficient keeping the policy stochastic (0 disables).
+    pub entropy_beta: f64,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        ReinforceConfig { gamma: 0.99, lr: 1e-3, normalize_returns: true, entropy_beta: 0.01 }
+    }
+}
+
+/// REINFORCE-with-baseline trainer for a [`PolicyNet`].
+#[derive(Debug)]
+pub struct Reinforce {
+    cfg: ReinforceConfig,
+    opt: Adam,
+}
+
+impl Reinforce {
+    /// Creates a trainer with the given configuration.
+    pub fn new(cfg: ReinforceConfig) -> Self {
+        let opt = Adam::new(cfg.lr);
+        Reinforce { cfg, opt }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ReinforceConfig {
+        &self.cfg
+    }
+
+    /// Rolls out one episode with the current (stochastic) policy.
+    /// Returns `None` if the environment cannot start an episode.
+    pub fn rollout<E, R>(&self, env: &mut E, net: &mut PolicyNet, rng: &mut R) -> Option<Episode>
+    where
+        E: Environment + ?Sized,
+        R: Rng + ?Sized,
+    {
+        debug_assert_eq!(net.state_dim(), env.state_dim());
+        debug_assert_eq!(net.action_dim(), env.action_count());
+        let mut state = env.reset()?;
+        let mut episode = Episode::default();
+        loop {
+            let action = net.sample(&state, rng);
+            let step = env.step(action);
+            episode.transitions.push(Transition { state, action, reward: step.reward });
+            match step.state {
+                Some(next) => state = next,
+                None => break,
+            }
+        }
+        Some(episode)
+    }
+
+    /// One policy-gradient update from a batch of episodes. Returns the mean
+    /// total (undiscounted) episode reward, for monitoring.
+    pub fn update(&mut self, net: &mut PolicyNet, episodes: &[Episode]) -> f64 {
+        let mut all_returns: Vec<f64> = Vec::new();
+        for ep in episodes {
+            all_returns.extend(ep.discounted_returns(self.cfg.gamma));
+        }
+        if all_returns.is_empty() {
+            return 0.0;
+        }
+        let (mean, std) = if self.cfg.normalize_returns {
+            let (m, s) = mean_std(&all_returns);
+            (m, if s > 1e-9 { s } else { 1.0 })
+        } else {
+            (0.0, 1.0)
+        };
+
+        net.zero_grad();
+        let inv_n = 1.0 / all_returns.len() as f64;
+        let mut idx = 0;
+        for ep in episodes {
+            for t in &ep.transitions {
+                let advantage = (all_returns[idx] - mean) / std;
+                net.accumulate_policy_grad(&t.state, t.action, advantage * inv_n, self.cfg.entropy_beta * inv_n);
+                idx += 1;
+            }
+        }
+        self.opt.step(&mut net.params_mut());
+
+        episodes.iter().map(|e| e.total_reward()).sum::<f64>() / episodes.len() as f64
+    }
+
+    /// Convenience loop: `epochs` × (`episodes_per_update` rollouts + one
+    /// update). Returns the mean episode reward per epoch.
+    pub fn train<E, R>(
+        &mut self,
+        env: &mut E,
+        net: &mut PolicyNet,
+        rng: &mut R,
+        epochs: usize,
+        episodes_per_update: usize,
+    ) -> Vec<f64>
+    where
+        E: Environment + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let mut batch = Vec::with_capacity(episodes_per_update);
+            for _ in 0..episodes_per_update {
+                if let Some(ep) = self.rollout(env, net, rng) {
+                    if !ep.is_empty() {
+                        batch.push(ep);
+                    }
+                }
+            }
+            history.push(self.update(net, &batch));
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::{Bandit, SignTask};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn learns_bandit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = PolicyNet::new(1, 8, 2, &mut rng);
+        let mut env = Bandit::new(10);
+        let mut trainer = Reinforce::new(ReinforceConfig { lr: 0.05, ..Default::default() });
+        trainer.train(&mut env, &mut net, &mut rng, 60, 4);
+        let p = net.probs(&[1.0]);
+        assert!(p[0] > 0.9, "should prefer arm 0, got {p:?}");
+    }
+
+    #[test]
+    fn learns_contextual_sign_task() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut net = PolicyNet::new(1, 12, 2, &mut rng);
+        let mut env = SignTask::new(16);
+        let mut trainer = Reinforce::new(ReinforceConfig { lr: 0.05, ..Default::default() });
+        trainer.train(&mut env, &mut net, &mut rng, 150, 4);
+        assert_eq!(net.greedy(&[1.0]), 0);
+        assert_eq!(net.greedy(&[-1.0]), 1);
+    }
+
+    #[test]
+    fn update_on_empty_batch_is_noop() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = PolicyNet::new(1, 4, 2, &mut rng);
+        let before = net.to_json();
+        let mut trainer = Reinforce::new(ReinforceConfig::default());
+        let reward = trainer.update(&mut net, &[]);
+        assert_eq!(reward, 0.0);
+        assert_eq!(net.to_json(), before);
+    }
+
+    #[test]
+    fn rollout_visits_full_episode() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut net = PolicyNet::new(1, 4, 2, &mut rng);
+        let mut env = Bandit::new(7);
+        let trainer = Reinforce::new(ReinforceConfig::default());
+        let ep = trainer.rollout(&mut env, &mut net, &mut rng).unwrap();
+        assert_eq!(ep.len(), 7);
+    }
+
+    #[test]
+    fn normalization_off_still_learns_with_positive_shift() {
+        // Without the baseline all returns are positive in the bandit, which
+        // slows learning but should still move the policy toward arm 0 given
+        // relative return magnitudes... REINFORCE without baseline on
+        // all-positive rewards pushes all sampled actions up, with arm 0
+        // pushed harder. Verify no divergence and a preference emerges.
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut net = PolicyNet::new(1, 8, 2, &mut rng);
+        let mut env = Bandit::new(10);
+        let mut trainer = Reinforce::new(ReinforceConfig {
+            lr: 0.05,
+            normalize_returns: false,
+            ..Default::default()
+        });
+        trainer.train(&mut env, &mut net, &mut rng, 120, 4);
+        let p = net.probs(&[1.0]);
+        assert!(p[0] > 0.6, "expected mild preference for arm 0, got {p:?}");
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,219 @@
+//! Fleet simulation: drive many sensors from ground-truth trajectories in
+//! global timestamp order, collect everything at a server, and score the
+//! outcome against the ground truth.
+
+use crate::sensor::{Sensor, SensorConfig};
+use crate::server::{LinkStats, Server};
+use trajectory::error::{simplification_error, Aggregation, Measure};
+use trajectory::{OnlineSimplifier, Trajectory};
+
+/// Outcome of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Uplink statistics.
+    pub link: LinkStats,
+    /// What the raw fixes would have cost on the wire (24 B/point).
+    pub raw_bytes: usize,
+    /// Total uplink payload bytes.
+    pub uplink_bytes: usize,
+    /// Mean (over sensors) max-aggregated error of the reassembled
+    /// trajectory against the ground truth, under the scoring measure.
+    pub mean_error: f64,
+    /// Worst per-sensor error.
+    pub max_error: f64,
+    /// Number of sensors simulated.
+    pub sensors: usize,
+}
+
+impl FleetReport {
+    /// Wire-size reduction factor (raw / uplink).
+    pub fn compression(&self) -> f64 {
+        if self.uplink_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.raw_bytes as f64 / self.uplink_bytes as f64
+    }
+}
+
+/// Fleet simulation driver.
+pub struct FleetSim {
+    cfg: SensorConfig,
+}
+
+impl FleetSim {
+    /// Creates a simulation where every sensor uses the same configuration.
+    pub fn new(cfg: SensorConfig) -> Self {
+        FleetSim { cfg }
+    }
+
+    /// Runs the fleet: trajectory `i` becomes sensor `i`'s ground truth.
+    /// `make_algo` builds each sensor's simplifier for the scoring measure.
+    ///
+    /// Fixes are delivered in global timestamp order (interleaved across
+    /// sensors, as a shared radio channel would see them); ties break by
+    /// sensor id. Pending buffers are force-flushed at the end.
+    pub fn run(
+        &self,
+        truth: &[Trajectory],
+        mut make_algo: impl FnMut(Measure) -> Box<dyn OnlineSimplifier>,
+        measure: Measure,
+    ) -> FleetReport {
+        let mut sensors: Vec<Sensor> = truth
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Sensor::new(i as u32, self.cfg.clone(), make_algo(measure)))
+            .collect();
+        let mut server = Server::new(self.cfg.codec.clone());
+
+        // Global timestamp-ordered event loop over per-sensor cursors.
+        let mut cursors = vec![0usize; truth.len()];
+        loop {
+            let mut next: Option<(f64, usize)> = None;
+            for (s, t) in truth.iter().enumerate() {
+                if let Some(p) = t.get(cursors[s]) {
+                    if next.is_none_or(|(bt, _)| p.t < bt) {
+                        next = Some((p.t, s));
+                    }
+                }
+            }
+            let Some((_, s)) = next else { break };
+            let p = truth[s][cursors[s]];
+            cursors[s] += 1;
+            if let Some(pkt) = sensors[s].observe(p) {
+                server.ingest(&pkt).expect("sensor packets are well-formed and ordered");
+            }
+        }
+        for sensor in sensors.iter_mut() {
+            if let Some(pkt) = sensor.force_flush() {
+                server.ingest(&pkt).expect("final flush is well-formed");
+            }
+        }
+
+        // Score each reassembled stream against its ground truth by the
+        // kept *positions* (match reassembled timestamps back to indices).
+        let mut err_sum = 0.0;
+        let mut err_max = 0.0f64;
+        let mut scored = 0usize;
+        for (s, t) in truth.iter().enumerate() {
+            let Some(got) = server.trajectory(s as u32) else { continue };
+            let kept = match_kept_indices(t, &got, self.cfg.codec.spatial_error_bound());
+            if kept.len() < 2 {
+                continue;
+            }
+            let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
+            err_sum += e;
+            err_max = err_max.max(e);
+            scored += 1;
+        }
+
+        let raw_bytes: usize = truth.iter().map(|t| t.len() * 24).sum();
+        let link = server.stats();
+        FleetReport {
+            raw_bytes,
+            uplink_bytes: link.bytes,
+            link,
+            mean_error: err_sum / scored.max(1) as f64,
+            max_error: err_max,
+            sensors: truth.len(),
+        }
+    }
+}
+
+/// Maps a reassembled (quantized) trajectory back to the ground-truth
+/// indices of its kept points, matching by nearest timestamp and forcing
+/// the endpoint invariants.
+fn match_kept_indices(truth: &Trajectory, got: &Trajectory, _tol: f64) -> Vec<usize> {
+    let pts = truth.points();
+    let mut kept = Vec::with_capacity(got.len());
+    let mut lo = 0usize;
+    for g in got.iter() {
+        // Timestamps are non-decreasing in both: advance a cursor.
+        while lo + 1 < pts.len() && (pts[lo + 1].t - g.t).abs() <= (pts[lo].t - g.t).abs() {
+            lo += 1;
+        }
+        kept.push(lo);
+    }
+    kept.dedup();
+    if kept.first() != Some(&0) {
+        kept.insert(0, 0);
+    }
+    if kept.last() != Some(&(pts.len() - 1)) {
+        kept.push(pts.len() - 1);
+    }
+    kept.dedup();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{Squish, SquishE};
+    use trajectory::codec::Codec;
+
+    fn truth(count: usize, n: usize) -> Vec<Trajectory> {
+        (0..count)
+            .map(|c| {
+                Trajectory::new(
+                    (0..n)
+                        .map(|i| {
+                            let f = i as f64;
+                            trajectory::Point::new(
+                                f * 3.0 + c as f64 * 500.0,
+                                (f * 0.3 + c as f64).sin() * 10.0,
+                                f * 2.0 + c as f64 * 0.1,
+                            )
+                        })
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn cfg() -> SensorConfig {
+        SensorConfig { buffer: 8, flush_points: 32, codec: Codec::new(0.05, 0.05) }
+    }
+
+    #[test]
+    fn fleet_compresses_and_scores() {
+        let data = truth(3, 100);
+        let report = FleetSim::new(cfg()).run(&data, |m| Box::new(Squish::new(m)), Measure::Sed);
+        assert_eq!(report.sensors, 3);
+        assert!(report.uplink_bytes < report.raw_bytes, "{report:?}");
+        assert!(report.compression() > 2.0, "{}", report.compression());
+        assert!(report.mean_error.is_finite() && report.mean_error >= 0.0);
+        assert!(report.max_error >= report.mean_error);
+        // Every sensor flushed at least 100/32 full windows + the tail.
+        assert!(report.link.packets >= 3 * 3, "{:?}", report.link);
+    }
+
+    #[test]
+    fn smaller_buffer_means_fewer_bytes_more_error() {
+        let data = truth(2, 200);
+        let tight = SensorConfig { buffer: 4, flush_points: 50, codec: Codec::new(0.05, 0.05) };
+        let loose = SensorConfig { buffer: 25, flush_points: 50, codec: Codec::new(0.05, 0.05) };
+        let rt = FleetSim::new(tight).run(&data, |m| Box::new(SquishE::new(m)), Measure::Sed);
+        let rl = FleetSim::new(loose).run(&data, |m| Box::new(SquishE::new(m)), Measure::Sed);
+        assert!(rt.uplink_bytes < rl.uplink_bytes, "{} !< {}", rt.uplink_bytes, rl.uplink_bytes);
+        assert!(rt.mean_error >= rl.mean_error, "{} !>= {}", rt.mean_error, rl.mean_error);
+    }
+
+    #[test]
+    fn interleaving_preserves_per_sensor_streams() {
+        // Overlapping timestamps across sensors must not mix streams.
+        let data = truth(4, 60);
+        let report = FleetSim::new(cfg()).run(&data, |m| Box::new(Squish::new(m)), Measure::Sed);
+        assert_eq!(report.sensors, 4);
+        // All sensors contributed points.
+        assert!(report.link.points >= 4 * 2);
+    }
+
+    #[test]
+    fn single_point_trajectory_is_tolerated() {
+        let mut data = truth(1, 40);
+        data.push(Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap());
+        let report = FleetSim::new(cfg()).run(&data, |m| Box::new(Squish::new(m)), Measure::Sed);
+        assert_eq!(report.sensors, 2);
+        assert!(report.mean_error.is_finite());
+    }
+}

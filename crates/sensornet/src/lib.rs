@@ -1,0 +1,44 @@
+//! `sensornet` — the paper's motivating online scenario (§I), made
+//! measurable: remote sensors with small buffers collect fixes, simplify
+//! them online, and periodically uplink their buffers over a constrained
+//! link to a server that reassembles and stores the fleet's trajectories.
+//!
+//! The simulation answers the questions the paper's introduction raises
+//! quantitatively: how many bytes does a given buffer size + simplifier
+//! combination push over the network, and what fidelity does the server
+//! end up with?
+//!
+//! * [`Sensor`] — one device: feeds fixes through an
+//!   [`OnlineSimplifier`](trajectory::OnlineSimplifier) window and emits
+//!   [`Packet`]s on flush;
+//! * [`Server`] — reassembles packets into per-sensor trajectories and
+//!   tracks link statistics;
+//! * [`FleetSim`] — drives many sensors from ground-truth trajectories in
+//!   global timestamp order and reports fidelity vs. ground truth.
+//!
+//! # Example
+//!
+//! ```
+//! use sensornet::{FleetSim, SensorConfig};
+//! use baselines::Squish;
+//! use trajectory::error::Measure;
+//! use trajectory::Trajectory;
+//!
+//! let truth = vec![Trajectory::from_xyt(
+//!     &(0..50).map(|i| (i as f64, 0.0, i as f64)).collect::<Vec<_>>(),
+//! ).unwrap()];
+//! let cfg = SensorConfig { buffer: 8, flush_points: 8, ..Default::default() };
+//! let report = FleetSim::new(cfg)
+//!     .run(&truth, |m| Box::new(Squish::new(m)), Measure::Sed);
+//! assert!(report.uplink_bytes < report.raw_bytes);
+//! ```
+
+#![warn(missing_docs)]
+
+mod fleet;
+mod sensor;
+mod server;
+
+pub use fleet::{FleetReport, FleetSim};
+pub use sensor::{Packet, Sensor, SensorConfig};
+pub use server::{LinkStats, Server};

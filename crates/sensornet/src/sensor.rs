@@ -1,0 +1,169 @@
+//! One sensor: a bounded buffer, an online simplifier, and a flush policy.
+
+use bytes::Bytes;
+use trajectory::codec::Codec;
+use trajectory::{OnlineSimplifier, Point, Trajectory};
+
+/// Sensor configuration.
+#[derive(Debug, Clone)]
+pub struct SensorConfig {
+    /// Online buffer budget `W` (max points held between flushes).
+    pub buffer: usize,
+    /// Flush after this many *observed* points (a window). The simplifier
+    /// reduces each window to at most `buffer` points before transmission.
+    pub flush_points: usize,
+    /// Wire codec for the uplink payload.
+    pub codec: Codec,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig { buffer: 32, flush_points: 256, codec: Codec::new(0.1, 0.1) }
+    }
+}
+
+/// A transmitted packet: the encoded simplified window of one sensor.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Originating sensor.
+    pub sensor_id: u32,
+    /// Encoded payload ([`Codec`] format).
+    pub payload: Bytes,
+    /// Number of simplified points inside.
+    pub points: usize,
+}
+
+/// A sensor device streaming fixes through an online simplifier.
+pub struct Sensor {
+    id: u32,
+    cfg: SensorConfig,
+    algo: Box<dyn OnlineSimplifier>,
+    window: Vec<Point>,
+    observed: usize,
+}
+
+impl Sensor {
+    /// Creates a sensor with an id, a configuration, and its simplification
+    /// algorithm.
+    ///
+    /// # Panics
+    /// Panics if the flush window is smaller than the buffer (the window
+    /// must be worth simplifying) or the buffer is below 2.
+    pub fn new(id: u32, cfg: SensorConfig, algo: Box<dyn OnlineSimplifier>) -> Self {
+        assert!(cfg.buffer >= 2, "buffer must hold at least 2 points");
+        assert!(cfg.flush_points >= cfg.buffer, "flush window smaller than the buffer");
+        Sensor { id, cfg, algo, window: Vec::new(), observed: 0 }
+    }
+
+    /// The sensor id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Total fixes observed so far.
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Feeds one GPS fix; returns a packet when the flush window filled up.
+    pub fn observe(&mut self, p: Point) -> Option<Packet> {
+        self.window.push(p);
+        self.observed += 1;
+        if self.window.len() >= self.cfg.flush_points {
+            Some(self.flush())
+        } else {
+            None
+        }
+    }
+
+    /// Forces transmission of whatever is buffered (e.g. at shutdown).
+    /// Returns `None` when nothing is pending.
+    pub fn force_flush(&mut self) -> Option<Packet> {
+        if self.window.len() < 2 {
+            return None;
+        }
+        Some(self.flush())
+    }
+
+    fn flush(&mut self) -> Packet {
+        let window = std::mem::take(&mut self.window);
+        let kept = self.algo.run(&window, self.cfg.buffer);
+        let pts: Vec<Point> = kept.iter().map(|&i| window[i]).collect();
+        let simplified = Trajectory::new(pts).expect("kept subset of a valid window is valid");
+        let points = simplified.len();
+        let payload = self.cfg.codec.encode(&simplified);
+        Packet { sensor_id: self.id, payload, points }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::Squish;
+    use trajectory::error::Measure;
+
+    fn sensor(buffer: usize, flush: usize) -> Sensor {
+        Sensor::new(
+            7,
+            SensorConfig { buffer, flush_points: flush, codec: Codec::new(0.01, 0.01) },
+            Box::new(Squish::new(Measure::Sed)),
+        )
+    }
+
+    fn fix(i: usize) -> Point {
+        Point::new(i as f64, (i as f64 * 0.4).sin(), i as f64)
+    }
+
+    #[test]
+    fn flushes_every_window() {
+        let mut s = sensor(4, 10);
+        let mut packets = 0;
+        for i in 0..35 {
+            if let Some(pkt) = s.observe(fix(i)) {
+                packets += 1;
+                assert_eq!(pkt.sensor_id, 7);
+                assert!(pkt.points <= 4);
+                assert!(!pkt.payload.is_empty());
+            }
+        }
+        assert_eq!(packets, 3);
+        assert_eq!(s.observed(), 35);
+        // 5 fixes still pending.
+        let tail = s.force_flush().unwrap();
+        assert!(tail.points <= 4);
+        assert!(s.force_flush().is_none());
+    }
+
+    #[test]
+    fn payload_decodes_to_simplified_window() {
+        let mut s = sensor(3, 8);
+        let mut pkt = None;
+        for i in 0..8 {
+            pkt = s.observe(fix(i)).or(pkt);
+        }
+        let pkt = pkt.expect("one flush");
+        let decoded = Codec::new(1.0, 1.0).decode(pkt.payload).unwrap();
+        assert_eq!(decoded.len(), pkt.points);
+        assert!(decoded.len() <= 3);
+        // Window endpoints survive (within codec resolution).
+        assert!((decoded[0].x - 0.0).abs() < 0.01);
+        assert!((decoded[decoded.len() - 1].x - 7.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic]
+    fn window_smaller_than_buffer_rejected() {
+        let _ = sensor(16, 8);
+    }
+
+    #[test]
+    fn force_flush_needs_two_points() {
+        let mut s = sensor(2, 10);
+        assert!(s.force_flush().is_none());
+        s.observe(fix(0));
+        assert!(s.force_flush().is_none()); // single point is not a trajectory
+        s.observe(fix(0));
+        s.observe(fix(1));
+        assert!(s.force_flush().is_some());
+    }
+}

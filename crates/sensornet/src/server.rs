@@ -1,0 +1,145 @@
+//! The collecting server: decodes packets, reassembles per-sensor
+//! trajectories, tracks link statistics, and hands reassembled data to a
+//! [`trajstore::TrajStore`] on demand.
+
+use crate::sensor::Packet;
+use std::collections::BTreeMap;
+use trajectory::codec::Codec;
+use trajectory::io::IoError;
+use trajectory::{Point, Trajectory};
+use trajstore::{StoreConfig, TrajStore};
+
+/// Uplink accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets received.
+    pub packets: usize,
+    /// Total payload bytes received.
+    pub bytes: usize,
+    /// Total simplified points received.
+    pub points: usize,
+}
+
+/// The server side of the uplink.
+pub struct Server {
+    codec: Codec,
+    streams: BTreeMap<u32, Vec<Point>>,
+    stats: LinkStats,
+}
+
+impl Server {
+    /// Creates a server decoding with any codec (payloads carry their own
+    /// resolutions; the argument only sets defaults for future use).
+    pub fn new(codec: Codec) -> Self {
+        Server { codec, streams: BTreeMap::new(), stats: LinkStats::default() }
+    }
+
+    /// Ingests one packet, appending its points to the sensor's stream.
+    ///
+    /// Returns an error (and leaves state untouched) for malformed payloads
+    /// or out-of-order packets (a packet whose first timestamp precedes the
+    /// stream's last known timestamp).
+    pub fn ingest(&mut self, pkt: &Packet) -> Result<(), IoError> {
+        let decoded = self.codec.decode(pkt.payload.clone())?;
+        let stream = self.streams.entry(pkt.sensor_id).or_default();
+        if let (Some(last), Some(first)) = (stream.last(), decoded.first()) {
+            if first.t < last.t {
+                return Err(IoError::Malformed("out-of-order packet"));
+            }
+        }
+        self.stats.packets += 1;
+        self.stats.bytes += pkt.payload.len();
+        self.stats.points += decoded.len();
+        stream.extend(decoded.iter().copied());
+        Ok(())
+    }
+
+    /// Link statistics so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Sensors with at least one ingested packet.
+    pub fn sensor_ids(&self) -> Vec<u32> {
+        self.streams.keys().copied().collect()
+    }
+
+    /// The reassembled trajectory of one sensor, if any.
+    pub fn trajectory(&self, sensor_id: u32) -> Option<Trajectory> {
+        self.streams.get(&sensor_id).map(|pts| {
+            Trajectory::new(pts.clone()).expect("ingest enforces time order")
+        })
+    }
+
+    /// Builds a queryable store of all reassembled trajectories
+    /// (insertion order = ascending sensor id).
+    pub fn into_store(self, cfg: StoreConfig) -> TrajStore {
+        let mut store = TrajStore::new(cfg);
+        for (_, pts) in self.streams {
+            store.insert(Trajectory::new(pts).expect("ingest enforces time order"));
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn packet(id: u32, xs: &[(f64, f64, f64)]) -> Packet {
+        let traj = Trajectory::from_xyt(xs).unwrap();
+        let payload = Codec::new(0.01, 0.01).encode(&traj);
+        Packet { sensor_id: id, points: traj.len(), payload }
+    }
+
+    #[test]
+    fn ingest_reassembles_in_order() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        server.ingest(&packet(1, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)])).unwrap();
+        server.ingest(&packet(1, &[(2.0, 0.0, 2.0), (3.0, 0.0, 3.0)])).unwrap();
+        server.ingest(&packet(2, &[(9.0, 9.0, 5.0), (10.0, 9.0, 6.0)])).unwrap();
+        assert_eq!(server.sensor_ids(), vec![1, 2]);
+        let t1 = server.trajectory(1).unwrap();
+        assert_eq!(t1.len(), 4);
+        assert!((t1[3].x - 3.0).abs() < 0.01);
+        assert_eq!(server.stats().packets, 3);
+        assert_eq!(server.stats().points, 6);
+        assert!(server.stats().bytes > 0);
+    }
+
+    #[test]
+    fn rejects_out_of_order_packets() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        server.ingest(&packet(1, &[(0.0, 0.0, 10.0), (1.0, 0.0, 11.0)])).unwrap();
+        let err = server.ingest(&packet(1, &[(5.0, 0.0, 3.0), (6.0, 0.0, 4.0)]));
+        assert!(err.is_err());
+        // State unchanged.
+        assert_eq!(server.trajectory(1).unwrap().len(), 2);
+        assert_eq!(server.stats().packets, 1);
+    }
+
+    #[test]
+    fn rejects_garbage_payload() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        let bad = Packet { sensor_id: 3, points: 0, payload: Bytes::from_static(b"nonsense") };
+        assert!(server.ingest(&bad).is_err());
+        assert!(server.trajectory(3).is_none());
+    }
+
+    #[test]
+    fn into_store_is_queryable() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        server.ingest(&packet(5, &[(0.0, 0.0, 0.0), (100.0, 0.0, 50.0)])).unwrap();
+        let store = server.into_store(StoreConfig { cell_size: 50.0 });
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.range_query(40.0, -5.0, 60.0, 5.0, None), vec![0]);
+    }
+
+    #[test]
+    fn unknown_sensor_returns_none() {
+        let server = Server::new(Codec::new(1.0, 1.0));
+        assert!(server.trajectory(99).is_none());
+        assert!(server.sensor_ids().is_empty());
+    }
+}

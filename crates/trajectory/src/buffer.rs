@@ -1,0 +1,332 @@
+//! The simplification buffer shared by the online algorithms (STTrace,
+//! SQUISH, SQUISH-E, RLTS): a doubly-linked list of buffered points, each
+//! carrying an importance value, plus an ordered index over the values so
+//! the minimum (or the `k` smallest, for RLTS states) can be read in
+//! `O(k + log W)`.
+
+use crate::point::Point;
+use std::collections::BTreeSet;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    point: Point,
+    prev: u32,
+    next: u32,
+    value: f64,
+    in_index: bool,
+    alive: bool,
+}
+
+/// A buffer of stream points with importance values, ordered access to the
+/// smallest values, and linked-list neighbourhood queries.
+///
+/// Slots are identified by the 0-based *stream position* of the point, which
+/// only grows; dropped slots keep their position so callers can report kept
+/// positions at the end.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedBuffer {
+    entries: Vec<Entry>,
+    /// (value bits, slot) — order of non-negative f64 bits equals numeric order.
+    index: BTreeSet<(u64, u32)>,
+    head: u32,
+    tail: u32,
+    live: usize,
+}
+
+impl OrderedBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        OrderedBuffer { entries: Vec::new(), index: BTreeSet::new(), head: NONE, tail: NONE, live: 0 }
+    }
+
+    /// Clears the buffer for a new stream.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.index.clear();
+        self.head = NONE;
+        self.tail = NONE;
+        self.live = 0;
+    }
+
+    /// Number of live (buffered) points.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no points are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total number of stream positions seen so far.
+    pub fn stream_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends the next stream point, returning its stream position.
+    pub fn push_back(&mut self, p: Point) -> usize {
+        let pos = self.entries.len() as u32;
+        self.entries.push(Entry { point: p, prev: self.tail, next: NONE, value: 0.0, in_index: false, alive: true });
+        if self.tail != NONE {
+            self.entries[self.tail as usize].next = pos;
+        } else {
+            self.head = pos;
+        }
+        self.tail = pos;
+        self.live += 1;
+        pos as usize
+    }
+
+    /// The point at a live stream position.
+    pub fn point(&self, pos: usize) -> Point {
+        debug_assert!(self.entries[pos].alive, "slot {pos} is not alive");
+        self.entries[pos].point
+    }
+
+    /// The current importance value of a live position (0 if never set).
+    pub fn value(&self, pos: usize) -> f64 {
+        self.entries[pos].value
+    }
+
+    /// Whether a position is still buffered.
+    pub fn is_alive(&self, pos: usize) -> bool {
+        pos < self.entries.len() && self.entries[pos].alive
+    }
+
+    /// Whether a position currently participates in the value index.
+    pub fn is_indexed(&self, pos: usize) -> bool {
+        pos < self.entries.len() && self.entries[pos].in_index
+    }
+
+    /// Previous live position, if any.
+    pub fn prev(&self, pos: usize) -> Option<usize> {
+        match self.entries[pos].prev {
+            NONE => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// Next live position, if any.
+    pub fn next(&self, pos: usize) -> Option<usize> {
+        match self.entries[pos].next {
+            NONE => None,
+            p => Some(p as usize),
+        }
+    }
+
+    /// First live position, if any.
+    pub fn front(&self) -> Option<usize> {
+        (self.head != NONE).then_some(self.head as usize)
+    }
+
+    /// Last live position, if any.
+    pub fn back(&self) -> Option<usize> {
+        (self.tail != NONE).then_some(self.tail as usize)
+    }
+
+    /// Sets (or updates) the importance value of a live position and makes
+    /// it a drop candidate in the ordered index.
+    ///
+    /// # Panics
+    /// Panics if the value is negative or not finite.
+    pub fn set_value(&mut self, pos: usize, value: f64) {
+        assert!(value >= 0.0 && value.is_finite(), "importance value must be non-negative finite, got {value}");
+        let e = &mut self.entries[pos];
+        debug_assert!(e.alive, "cannot set value of dropped slot {pos}");
+        if e.in_index {
+            let old = (e.value.to_bits(), pos as u32);
+            self.index.remove(&old);
+        }
+        let e = &mut self.entries[pos];
+        e.value = value;
+        e.in_index = true;
+        self.index.insert((value.to_bits(), pos as u32));
+    }
+
+    /// Removes a position from the value index without dropping it (e.g.
+    /// boundary points that must never be dropped).
+    pub fn unindex(&mut self, pos: usize) {
+        let e = &mut self.entries[pos];
+        if e.in_index {
+            self.index.remove(&(e.value.to_bits(), pos as u32));
+            self.entries[pos].in_index = false;
+        }
+    }
+
+    /// Drops a live position from the buffer, returning its former
+    /// `(prev, next)` neighbours.
+    pub fn drop_point(&mut self, pos: usize) -> (Option<usize>, Option<usize>) {
+        self.unindex(pos);
+        let (prev, next) = {
+            let e = &mut self.entries[pos];
+            debug_assert!(e.alive, "double drop of slot {pos}");
+            e.alive = false;
+            (e.prev, e.next)
+        };
+        if prev != NONE {
+            self.entries[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NONE {
+            self.entries[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.live -= 1;
+        (
+            (prev != NONE).then_some(prev as usize),
+            (next != NONE).then_some(next as usize),
+        )
+    }
+
+    /// The indexed position with the smallest value, if any.
+    pub fn min(&self) -> Option<(usize, f64)> {
+        self.index.iter().next().map(|&(bits, pos)| (pos as usize, f64::from_bits(bits)))
+    }
+
+    /// The `k` smallest indexed `(position, value)` pairs, ascending by
+    /// value (fewer if fewer are indexed).
+    pub fn k_smallest(&self, k: usize) -> Vec<(usize, f64)> {
+        self.index
+            .iter()
+            .take(k)
+            .map(|&(bits, pos)| (pos as usize, f64::from_bits(bits)))
+            .collect()
+    }
+
+    /// Live positions from front to back.
+    pub fn live_positions(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.live);
+        let mut cur = self.head;
+        while cur != NONE {
+            out.push(cur as usize);
+            cur = self.entries[cur as usize].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> Point {
+        Point::new(i as f64, 0.0, i as f64)
+    }
+
+    #[test]
+    fn push_links_in_order() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..4 {
+            assert_eq!(b.push_back(p(i)), i);
+        }
+        assert_eq!(b.live_positions(), vec![0, 1, 2, 3]);
+        assert_eq!(b.front(), Some(0));
+        assert_eq!(b.back(), Some(3));
+        assert_eq!(b.prev(2), Some(1));
+        assert_eq!(b.next(2), Some(3));
+    }
+
+    #[test]
+    fn drop_relinks_neighbours() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..5 {
+            b.push_back(p(i));
+        }
+        let (prev, next) = b.drop_point(2);
+        assert_eq!((prev, next), (Some(1), Some(3)));
+        assert_eq!(b.next(1), Some(3));
+        assert_eq!(b.prev(3), Some(1));
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_alive(2));
+        assert_eq!(b.live_positions(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn drop_head_and_tail() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..3 {
+            b.push_back(p(i));
+        }
+        b.drop_point(0);
+        assert_eq!(b.front(), Some(1));
+        b.drop_point(2);
+        assert_eq!(b.back(), Some(1));
+        assert_eq!(b.live_positions(), vec![1]);
+    }
+
+    #[test]
+    fn min_and_k_smallest_track_updates() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..4 {
+            b.push_back(p(i));
+        }
+        b.set_value(1, 5.0);
+        b.set_value(2, 3.0);
+        b.set_value(3, 4.0);
+        assert_eq!(b.min(), Some((2, 3.0)));
+        assert_eq!(b.k_smallest(2), vec![(2, 3.0), (3, 4.0)]);
+        b.set_value(2, 10.0); // update moves it to the back
+        assert_eq!(b.min(), Some((3, 4.0)));
+        assert_eq!(b.k_smallest(5).len(), 3);
+    }
+
+    #[test]
+    fn equal_values_tie_break_by_position() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..3 {
+            b.push_back(p(i));
+        }
+        b.set_value(2, 1.0);
+        b.set_value(1, 1.0);
+        assert_eq!(b.k_smallest(2), vec![(1, 1.0), (2, 1.0)]);
+    }
+
+    #[test]
+    fn unindex_excludes_from_candidates() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..3 {
+            b.push_back(p(i));
+        }
+        b.set_value(1, 1.0);
+        b.set_value(2, 2.0);
+        b.unindex(1);
+        assert_eq!(b.min(), Some((2, 2.0)));
+        assert!(!b.is_indexed(1));
+        assert!(b.is_alive(1));
+    }
+
+    #[test]
+    fn dropping_indexed_point_removes_candidate() {
+        let mut b = OrderedBuffer::new();
+        for i in 0..3 {
+            b.push_back(p(i));
+        }
+        b.set_value(1, 1.0);
+        b.drop_point(1);
+        assert_eq!(b.min(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_value_rejected() {
+        let mut b = OrderedBuffer::new();
+        b.push_back(p(0));
+        b.set_value(0, -1.0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = OrderedBuffer::new();
+        b.push_back(p(0));
+        b.set_value(0, 1.0);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.stream_len(), 0);
+        assert_eq!(b.min(), None);
+        assert_eq!(b.front(), None);
+    }
+}

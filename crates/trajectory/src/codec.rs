@@ -1,0 +1,301 @@
+//! Compact lossy trajectory coding: quantization + delta + zigzag varint.
+//!
+//! Simplification (lossy point *selection*) and coding (lossy point
+//! *representation*) compose: a sensor first simplifies its buffer, then
+//! encodes the survivors for the uplink. GPS fixes are noisy at the
+//! meter level anyway, so quantizing to a sub-noise resolution costs
+//! nothing semantically while delta + varint coding shrinks smooth
+//! trajectories by an order of magnitude compared to raw `3 × f64`.
+//!
+//! # Example
+//!
+//! ```
+//! use trajectory::codec::Codec;
+//! use trajectory::Trajectory;
+//!
+//! let traj = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (12.3, 4.5, 10.0)]).unwrap();
+//! let codec = Codec::new(0.1, 1.0); // 10 cm, 1 s resolution
+//! let bytes = codec.encode(&traj);
+//! let back = codec.decode(bytes).unwrap();
+//! assert!((back[1].x - 12.3).abs() <= 0.05);
+//! ```
+
+use crate::io::IoError;
+use crate::point::Point;
+use crate::traj::Trajectory;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic tag identifying the codec format.
+const MAGIC: u32 = 0x524C_5451; // "RLTQ"
+/// Codec format version.
+const VERSION: u16 = 1;
+
+/// A quantizing delta codec with configurable spatial and temporal
+/// resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Codec {
+    /// Spatial resolution (same unit as coordinates; decoded positions are
+    /// within ±resolution/2 per axis).
+    pub spatial_resolution: f64,
+    /// Temporal resolution in seconds.
+    pub time_resolution: f64,
+}
+
+impl Codec {
+    /// Creates a codec with the given resolutions.
+    ///
+    /// # Panics
+    /// Panics if either resolution is not positive and finite.
+    pub fn new(spatial_resolution: f64, time_resolution: f64) -> Self {
+        assert!(
+            spatial_resolution > 0.0 && spatial_resolution.is_finite(),
+            "spatial resolution must be positive"
+        );
+        assert!(
+            time_resolution > 0.0 && time_resolution.is_finite(),
+            "time resolution must be positive"
+        );
+        Codec { spatial_resolution, time_resolution }
+    }
+
+    /// Encodes a trajectory. Layout: magic | version | resolutions (2 × f64)
+    /// | count (varint) | per point: zigzag-varint deltas of the quantized
+    /// `(x, y, t)`.
+    pub fn encode(&self, traj: &Trajectory) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + traj.len() * 6);
+        buf.put_u32(MAGIC);
+        buf.put_u16(VERSION);
+        buf.put_f64(self.spatial_resolution);
+        buf.put_f64(self.time_resolution);
+        put_varint(&mut buf, traj.len() as u64);
+        let mut prev = (0i64, 0i64, 0i64);
+        for p in traj {
+            let q = self.quantize(p);
+            put_varint(&mut buf, zigzag(q.0 - prev.0));
+            put_varint(&mut buf, zigzag(q.1 - prev.1));
+            put_varint(&mut buf, zigzag(q.2 - prev.2));
+            prev = q;
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a payload produced by [`Codec::encode`] (with any
+    /// resolution — the payload carries its own).
+    pub fn decode(&self, mut buf: Bytes) -> Result<Trajectory, IoError> {
+        if buf.remaining() < 4 + 2 + 16 {
+            return Err(IoError::Malformed("codec header truncated"));
+        }
+        if buf.get_u32() != MAGIC {
+            return Err(IoError::Malformed("bad codec magic"));
+        }
+        if buf.get_u16() != VERSION {
+            return Err(IoError::Malformed("unsupported codec version"));
+        }
+        let sres = buf.get_f64();
+        let tres = buf.get_f64();
+        if !(sres > 0.0 && sres.is_finite() && tres > 0.0 && tres.is_finite()) {
+            return Err(IoError::Malformed("invalid resolutions"));
+        }
+        let count = get_varint(&mut buf).ok_or(IoError::Malformed("count truncated"))? as usize;
+        let mut pts = Vec::with_capacity(count.min(1 << 24));
+        let mut prev = (0i64, 0i64, 0i64);
+        for _ in 0..count {
+            let dx = unzigzag(get_varint(&mut buf).ok_or(IoError::Malformed("point truncated"))?);
+            let dy = unzigzag(get_varint(&mut buf).ok_or(IoError::Malformed("point truncated"))?);
+            let dt = unzigzag(get_varint(&mut buf).ok_or(IoError::Malformed("point truncated"))?);
+            prev = (prev.0 + dx, prev.1 + dy, prev.2 + dt);
+            pts.push(Point::new(
+                prev.0 as f64 * sres,
+                prev.1 as f64 * sres,
+                prev.2 as f64 * tres,
+            ));
+        }
+        if buf.has_remaining() {
+            return Err(IoError::Malformed("trailing bytes after codec payload"));
+        }
+        Ok(Trajectory::new(pts)?)
+    }
+
+    /// Maximum per-axis position error introduced by quantization.
+    pub fn spatial_error_bound(&self) -> f64 {
+        self.spatial_resolution / 2.0
+    }
+
+    fn quantize(&self, p: &Point) -> (i64, i64, i64) {
+        (
+            (p.x / self.spatial_resolution).round() as i64,
+            (p.y / self.spatial_resolution).round() as i64,
+            (p.t / self.time_resolution).round() as i64,
+        )
+    }
+}
+
+/// Zigzag-encodes a signed integer for varint coding.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// LEB128 unsigned varint.
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 unsigned varint; `None` on truncation or overflow.
+fn get_varint(buf: &mut Bytes) -> Option<u64> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        out |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smooth(n: usize) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let f = i as f64;
+                    Point::new(f * 8.0, (f * 0.1).sin() * 30.0, f * 5.0)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX / 2, i64::MIN / 2] {
+            assert_eq!(unzigzag(zigzag(v)), v, "{v}");
+        }
+        // Small magnitudes map to small codes.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let mut buf = BytesMut::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut bytes = buf.freeze();
+        for &v in &values {
+            assert_eq!(get_varint(&mut bytes), Some(v));
+        }
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn varint_rejects_truncation() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut cut = buf.freeze().slice(0..3);
+        assert_eq!(get_varint(&mut cut), None);
+    }
+
+    #[test]
+    fn roundtrip_within_resolution() {
+        let traj = smooth(200);
+        let codec = Codec::new(0.5, 1.0);
+        let back = codec.decode(codec.encode(&traj)).unwrap();
+        assert_eq!(back.len(), traj.len());
+        for (a, b) in back.iter().zip(traj.iter()) {
+            assert!((a.x - b.x).abs() <= 0.25 + 1e-12);
+            assert!((a.y - b.y).abs() <= 0.25 + 1e-12);
+            assert!((a.t - b.t).abs() <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn smooth_trajectories_compress_well() {
+        let traj = smooth(1000);
+        let codec = Codec::new(0.1, 1.0);
+        let encoded = codec.encode(&traj).len();
+        let raw = traj.len() * 24;
+        assert!(
+            encoded * 3 < raw,
+            "expected ≥3x compression: {encoded} vs raw {raw}"
+        );
+    }
+
+    #[test]
+    fn coarser_resolution_is_smaller() {
+        let traj = smooth(500);
+        let fine = Codec::new(0.01, 0.1).encode(&traj).len();
+        let coarse = Codec::new(1.0, 10.0).encode(&traj).len();
+        assert!(coarse < fine, "coarse {coarse} !< fine {fine}");
+    }
+
+    #[test]
+    fn decode_uses_payload_resolution_not_decoder_config() {
+        let traj = smooth(50);
+        let encoder = Codec::new(0.5, 1.0);
+        let decoder = Codec::new(100.0, 100.0); // should not matter
+        let back = decoder.decode(encoder.encode(&traj)).unwrap();
+        for (a, b) in back.iter().zip(traj.iter()) {
+            assert!((a.x - b.x).abs() <= 0.25 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let traj = smooth(20);
+        let codec = Codec::new(0.5, 1.0);
+        let good = codec.encode(&traj);
+        assert!(codec.decode(good.slice(0..10)).is_err());
+        let mut bad = BytesMut::from(&good[..]);
+        bad[0] ^= 0x55;
+        assert!(codec.decode(bad.freeze()).is_err());
+        let mut trailing = BytesMut::from(&good[..]);
+        trailing.put_u8(7);
+        assert!(codec.decode(trailing.freeze()).is_err());
+    }
+
+    #[test]
+    fn empty_trajectory() {
+        let codec = Codec::new(1.0, 1.0);
+        let empty = Trajectory::new(vec![]).unwrap();
+        assert_eq!(codec.decode(codec.encode(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn negative_coordinates_roundtrip() {
+        let traj = Trajectory::from_xyt(&[(-100.5, -200.25, 0.0), (-90.0, -190.0, 7.0)]).unwrap();
+        let codec = Codec::new(0.25, 1.0);
+        let back = codec.decode(codec.encode(&traj)).unwrap();
+        assert!((back[0].x + 100.5).abs() <= 0.125 + 1e-12);
+        assert!((back[1].y + 190.0).abs() <= 0.125 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resolution_rejected() {
+        let _ = Codec::new(0.0, 1.0);
+    }
+}

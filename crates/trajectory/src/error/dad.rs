@@ -1,0 +1,98 @@
+//! Direction-Aware Distance (DAD).
+//!
+//! The error of an anchor segment w.r.t. a *movement* segment `p_i p_{i+1}`
+//! of the original trajectory is the absolute angular difference (in
+//! `[0, π]`) between the two directions. Degenerate (zero-length) movement
+//! contributes no directional error; a degenerate anchor segment against
+//! real movement contributes the maximum error `π/2` by the convention of
+//! the direction-aware simplification literature (a stationary approximation
+//! cannot represent any direction).
+
+use crate::point::{angular_difference, Point};
+use crate::segment::Segment;
+use std::f64::consts::FRAC_PI_2;
+
+/// DAD error of anchor segment `seg` w.r.t. movement segment `p → q`.
+pub fn dad_point_error(seg: &Segment, p: &Point, q: &Point) -> f64 {
+    let Some(move_dir) = p.direction_to(q) else {
+        return 0.0; // no movement, no direction to misrepresent
+    };
+    match seg.direction() {
+        Some(seg_dir) => angular_difference(move_dir, seg_dir),
+        None => FRAC_PI_2,
+    }
+}
+
+/// Online three-point DAD kernel: dropping `d` replaces movement segments
+/// `ad` and `db` with `ab`; the error is the worse of the two angular
+/// deviations from `ab`'s direction.
+pub fn dad_drop_error(a: &Point, d: &Point, b: &Point) -> f64 {
+    let seg = Segment::new(*a, *b);
+    dad_point_error(&seg, a, d).max(dad_point_error(&seg, d, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn straight_movement_zero_dad() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(2.0, 0.0, 2.0);
+        let q = Point::new(5.0, 0.0, 5.0);
+        assert_eq!(dad_point_error(&seg, &p, &q), 0.0);
+    }
+
+    #[test]
+    fn orthogonal_movement_is_half_pi() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(5.0, 0.0, 5.0);
+        let q = Point::new(5.0, 3.0, 6.0);
+        assert!((dad_point_error(&seg, &p, &q) - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reverse_movement_is_pi() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(5.0, 0.0, 5.0);
+        let q = Point::new(2.0, 0.0, 6.0);
+        assert!((dad_point_error(&seg, &p, &q) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_movement_has_no_error() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(5.0, 1.0, 5.0);
+        assert_eq!(dad_point_error(&seg, &p, &p), 0.0);
+    }
+
+    #[test]
+    fn degenerate_anchor_against_movement() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(0.0, 0.0, 10.0));
+        let p = Point::new(0.0, 0.0, 2.0);
+        let q = Point::new(1.0, 0.0, 3.0);
+        assert_eq!(dad_point_error(&seg, &p, &q), FRAC_PI_2);
+    }
+
+    #[test]
+    fn drop_kernel_takes_worse_side() {
+        // a→d heads 45° off, d→b heads 45° off the other way; ab is level.
+        let a = Point::new(0.0, 0.0, 0.0);
+        let d = Point::new(1.0, 1.0, 1.0);
+        let b = Point::new(2.0, 0.0, 2.0);
+        let e = dad_drop_error(&a, &d, &b);
+        assert!((e - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dad_bounded_by_pi() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 1.0));
+        for ang in [0.0f64, 1.0, 2.0, 3.0, -2.5] {
+            let p = Point::new(0.0, 0.0, 0.5);
+            let q = Point::new(ang.cos(), ang.sin(), 0.6);
+            let e = dad_point_error(&seg, &p, &q);
+            assert!((0.0..=PI + 1e-12).contains(&e));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! The four error measures of the RLTS paper — SED, PED, DAD, SAD — and the
+//! anchor-segment error semantics built on top of them.
+//!
+//! For a simplified trajectory `T' = ⟨p_{s_1},…,p_{s_m}⟩` of `T`, each
+//! original point `p_i` with `s_j ≤ i ≤ s_{j+1}` takes the segment
+//! `p_{s_j} p_{s_{j+1}}` as its *anchor segment*. The error of a segment is
+//! the maximum error over its anchored points, and the error of `T'` is the
+//! maximum (optionally mean) over segments.
+//!
+//! Two flavours of kernels are exposed:
+//!
+//! * [`drop_error`] — the *online* three-point kernel `ε(ab | d)`: the error
+//!   introduced by dropping `d` when only its buffer neighbours `a` and `b`
+//!   are accessible (Eq. (1) of the paper);
+//! * [`segment_error`] — the *batch* range kernel (Eq. (12)): the max error
+//!   of segment `(s, e)` over **all** original points anchored to it.
+
+mod dad;
+mod ped;
+mod profile;
+mod sad;
+mod sed;
+
+pub use dad::{dad_drop_error, dad_point_error};
+pub use profile::ErrorProfile;
+pub use ped::{ped_drop_error, ped_point_error};
+pub use sad::{sad_drop_error, sad_point_error};
+pub use sed::{sed_drop_error, sed_point_error};
+
+use crate::point::Point;
+use crate::segment::Segment;
+use serde::{Deserialize, Serialize};
+
+/// The error measure used to score a simplification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Measure {
+    /// Synchronized Euclidean distance (position error at matched times).
+    Sed,
+    /// Perpendicular Euclidean distance (spatial deviation from the line).
+    Ped,
+    /// Direction-aware distance (angular deviation of movement, radians).
+    Dad,
+    /// Speed-aware distance (speed deviation of movement).
+    Sad,
+}
+
+impl Measure {
+    /// All four measures, in the paper's order.
+    pub const ALL: [Measure; 4] = [Measure::Sed, Measure::Ped, Measure::Dad, Measure::Sad];
+
+    /// Paper reporting unit for this measure (§VI-A).
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Measure::Sed | Measure::Ped => "10m",
+            Measure::Dad => "rad",
+            Measure::Sad => "10m/s",
+        }
+    }
+
+    /// Short lowercase name (`sed`/`ped`/`dad`/`sad`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Measure::Sed => "sed",
+            Measure::Ped => "ped",
+            Measure::Dad => "dad",
+            Measure::Sad => "sad",
+        }
+    }
+
+    /// Parses a measure from its (case-insensitive) short name.
+    pub fn parse(s: &str) -> Option<Measure> {
+        match s.to_ascii_lowercase().as_str() {
+            "sed" => Some(Measure::Sed),
+            "ped" => Some(Measure::Ped),
+            "dad" => Some(Measure::Dad),
+            "sad" => Some(Measure::Sad),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Measure::Sed => "SED",
+            Measure::Ped => "PED",
+            Measure::Dad => "DAD",
+            Measure::Sad => "SAD",
+        })
+    }
+}
+
+/// How per-point errors aggregate into a trajectory error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Maximum error over all anchored points (the paper's Min-Error target).
+    #[default]
+    Max,
+    /// Mean error over all anchored points.
+    Mean,
+}
+
+/// The online three-point kernel `ε(ab | d)`: error introduced by dropping
+/// the middle point `d` whose surviving neighbours are `a` and `b`.
+///
+/// For SED/PED this is the positional error of `d` itself against the merged
+/// segment `ab`. For DAD/SAD the two destroyed movement segments `ad` and
+/// `db` are both approximated by `ab`, so the kernel is the worse of the two
+/// deviations (the paper's online adaptation for DAD/SAD, §IV-A1).
+pub fn drop_error(measure: Measure, a: &Point, d: &Point, b: &Point) -> f64 {
+    match measure {
+        Measure::Sed => sed_drop_error(a, d, b),
+        Measure::Ped => ped_drop_error(a, d, b),
+        Measure::Dad => dad_drop_error(a, d, b),
+        Measure::Sad => sad_drop_error(a, d, b),
+    }
+}
+
+/// Error of the anchor segment `seg` w.r.t. one original point.
+///
+/// For SED/PED, `i` indexes the anchored point itself (`s < i < e` in range
+/// terms). For DAD/SAD, `i` indexes a movement segment `p_i p_{i+1}`
+/// (`s ≤ i < e`), following the definitions in DESIGN.md §7.
+pub fn point_error(measure: Measure, seg: &Segment, pts: &[Point], i: usize) -> f64 {
+    match measure {
+        Measure::Sed => sed_point_error(seg, &pts[i]),
+        Measure::Ped => ped_point_error(seg, &pts[i]),
+        Measure::Dad => dad_point_error(seg, &pts[i], &pts[i + 1]),
+        Measure::Sad => sad_point_error(seg, &pts[i], &pts[i + 1]),
+    }
+}
+
+/// The batch range kernel (paper Eq. (12)): maximum error of the anchor
+/// segment `(s, e)` over all original points of `pts` anchored to it.
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= pts.len()`.
+pub fn segment_error(measure: Measure, pts: &[Point], s: usize, e: usize) -> f64 {
+    let (max, _, _) = segment_error_stats(measure, pts, s, e);
+    max
+}
+
+/// Like [`segment_error`] but also returns the sum of per-point errors and
+/// the number of contributing points (for mean aggregation).
+pub fn segment_error_stats(measure: Measure, pts: &[Point], s: usize, e: usize) -> (f64, f64, usize) {
+    assert!(s < e && e < pts.len(), "invalid segment range ({s}, {e}) for {} points", pts.len());
+    let seg = Segment::new(pts[s], pts[e]);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    match measure {
+        Measure::Sed | Measure::Ped => {
+            for p in &pts[s + 1..e] {
+                let err = match measure {
+                    Measure::Sed => sed_point_error(&seg, p),
+                    _ => ped_point_error(&seg, p),
+                };
+                max = max.max(err);
+                sum += err;
+                count += 1;
+            }
+        }
+        Measure::Dad | Measure::Sad => {
+            for i in s..e {
+                let err = match measure {
+                    Measure::Dad => dad_point_error(&seg, &pts[i], &pts[i + 1]),
+                    _ => sad_point_error(&seg, &pts[i], &pts[i + 1]),
+                };
+                max = max.max(err);
+                sum += err;
+                count += 1;
+            }
+        }
+    }
+    (max, sum, count)
+}
+
+/// Error of a simplified trajectory given the sorted kept indices into
+/// `pts`, under the given measure and aggregation.
+///
+/// `kept` must be strictly increasing, start at `0`, and end at
+/// `pts.len() - 1` (the problem definition always keeps the two endpoints).
+///
+/// # Panics
+/// Panics if `kept` violates the constraints above.
+pub fn simplification_error(measure: Measure, pts: &[Point], kept: &[usize], agg: Aggregation) -> f64 {
+    assert!(pts.len() >= 2, "need at least two points");
+    assert!(kept.len() >= 2, "need at least two kept indices");
+    assert_eq!(kept[0], 0, "first point must be kept");
+    assert_eq!(*kept.last().unwrap(), pts.len() - 1, "last point must be kept");
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for w in kept.windows(2) {
+        assert!(w[0] < w[1], "kept indices must be strictly increasing");
+        if w[1] - w[0] <= 1 && matches!(measure, Measure::Sed | Measure::Ped) {
+            continue; // adjacent points introduce no positional error
+        }
+        let (m, s, c) = segment_error_stats(measure, pts, w[0], w[1]);
+        max = max.max(m);
+        sum += s;
+        count += c;
+    }
+    match agg {
+        Aggregation::Max => max,
+        Aggregation::Mean => {
+            if count == 0 {
+                0.0
+            } else {
+                sum / count as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64, f64)]) -> Vec<Point> {
+        v.iter().map(|&(x, y, t)| Point::new(x, y, t)).collect()
+    }
+
+    #[test]
+    fn measure_parse_roundtrip() {
+        for m in Measure::ALL {
+            assert_eq!(Measure::parse(m.name()), Some(m));
+            assert_eq!(Measure::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(Measure::parse("nope"), None);
+    }
+
+    #[test]
+    fn keeping_everything_has_zero_error() {
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 5.0, 1.0), (2.0, -3.0, 2.0), (3.0, 0.0, 3.0)]);
+        let kept: Vec<usize> = (0..p.len()).collect();
+        for m in Measure::ALL {
+            assert_eq!(simplification_error(m, &p, &kept, Aggregation::Max), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn collinear_constant_speed_has_zero_error() {
+        // Straight line at constant speed: dropping interior points is free
+        // under all four measures.
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 2.0), (3.0, 3.0, 3.0)]);
+        let kept = vec![0, 3];
+        for m in Measure::ALL {
+            let e = simplification_error(m, &p, &kept, Aggregation::Max);
+            assert!(e < 1e-9, "{m}: {e}");
+        }
+    }
+
+    #[test]
+    fn sed_detour_error() {
+        // Detour point at (1, 1): at t=1 the anchor segment is at (1, 0).
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 0.0, 2.0)]);
+        let e = simplification_error(Measure::Sed, &p, &[0, 2], Aggregation::Max);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dominates_mean() {
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 2.0, 1.0), (2.0, 0.5, 2.0), (3.0, 0.0, 3.0)]);
+        for m in Measure::ALL {
+            let mx = simplification_error(m, &p, &[0, 3], Aggregation::Max);
+            let me = simplification_error(m, &p, &[0, 3], Aggregation::Mean);
+            assert!(mx >= me - 1e-12, "{m}: max {mx} < mean {me}");
+        }
+    }
+
+    #[test]
+    fn segment_error_matches_manual_max() {
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 3.0, 1.0), (2.0, 1.0, 2.0), (3.0, 0.0, 3.0)]);
+        let seg = Segment::new(p[0], p[3]);
+        let manual = sed_point_error(&seg, &p[1]).max(sed_point_error(&seg, &p[2]));
+        assert!((segment_error(Measure::Sed, &p, 0, 3) - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn simplification_error_requires_first_kept() {
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 2.0)]);
+        simplification_error(Measure::Sed, &p, &[1, 2], Aggregation::Max);
+    }
+
+    #[test]
+    #[should_panic]
+    fn segment_error_rejects_empty_range() {
+        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]);
+        segment_error(Measure::Sed, &p, 1, 1);
+    }
+
+    #[test]
+    fn drop_error_zero_for_redundant_point() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let d = Point::new(1.0, 1.0, 1.0);
+        let b = Point::new(2.0, 2.0, 2.0);
+        for m in Measure::ALL {
+            assert!(drop_error(m, &a, &d, &b) < 1e-9, "{m}");
+        }
+    }
+
+    #[test]
+    fn dad_sad_count_movement_segments() {
+        // A right-angle turn with a speed change produces nonzero DAD and SAD.
+        let p = pts(&[(0.0, 0.0, 0.0), (2.0, 0.0, 1.0), (2.0, 1.0, 2.0)]);
+        let dad = simplification_error(Measure::Dad, &p, &[0, 2], Aggregation::Max);
+        let sad = simplification_error(Measure::Sad, &p, &[0, 2], Aggregation::Max);
+        assert!(dad > 0.1, "dad {dad}");
+        assert!(sad > 0.1, "sad {sad}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Perpendicular Euclidean Distance (PED).
+//!
+//! The error of an anchor segment w.r.t. an anchored point `p` is the
+//! perpendicular distance from `p`'s location to the supporting line of the
+//! segment (the Douglas–Peucker distance).
+
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// PED error of anchor segment `seg` w.r.t. point `p`.
+#[inline]
+pub fn ped_point_error(seg: &Segment, p: &Point) -> f64 {
+    seg.dist_to_line(p.x, p.y)
+}
+
+/// Online three-point PED kernel: perpendicular distance of `d` to line `ab`.
+#[inline]
+pub fn ped_drop_error(a: &Point, d: &Point, b: &Point) -> f64 {
+    ped_point_error(&Segment::new(*a, *b), d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ped_ignores_time() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p1 = Point::new(5.0, 2.0, 1.0);
+        let p2 = Point::new(5.0, 2.0, 9.0);
+        assert_eq!(ped_point_error(&seg, &p1), ped_point_error(&seg, &p2));
+        assert!((ped_point_error(&seg, &p1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ped_unclamped_beyond_endpoint() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        // Beyond the endpoint: perpendicular to the infinite line, not the tip.
+        let p = Point::new(15.0, 2.0, 5.0);
+        assert!((ped_point_error(&seg, &p) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ped_degenerate_segment_is_point_distance() {
+        let seg = Segment::new(Point::new(1.0, 1.0, 0.0), Point::new(1.0, 1.0, 10.0));
+        let p = Point::new(4.0, 5.0, 5.0);
+        assert!((ped_point_error(&seg, &p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ped_leq_sed_on_synchronized_line() {
+        // PED is the minimum line distance, SED fixes the matched location,
+        // so PED ≤ SED always holds for the same segment/point.
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 4.0, 10.0));
+        for (x, y, t) in [(3.0, 5.0, 2.0), (7.0, -1.0, 9.0), (5.0, 2.0, 5.0)] {
+            let p = Point::new(x, y, t);
+            assert!(ped_point_error(&seg, &p) <= super::super::sed_point_error(&seg, &p) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-point error profiles: where along the trajectory a simplification
+//! hurts, not just how much at worst. Used for diagnostics, plotting, and
+//! the case-study experiment.
+
+use crate::error::{point_error, Measure};
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// The error contribution of each original point under a simplification.
+///
+/// Entry `i` is the error of original point `p_i` (for SED/PED) or movement
+/// segment `p_i p_{i+1}` (for DAD/SAD, last entry 0) against its anchor
+/// segment; kept points contribute 0 for SED/PED.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErrorProfile {
+    /// Measure the profile was computed under.
+    pub measure: Measure,
+    /// Per-original-point errors (length = number of original points).
+    pub errors: Vec<f64>,
+}
+
+impl ErrorProfile {
+    /// Computes the profile of a simplification given the kept indices
+    /// (same contract as
+    /// [`simplification_error`](crate::error::simplification_error)).
+    pub fn compute(measure: Measure, pts: &[Point], kept: &[usize]) -> ErrorProfile {
+        assert!(pts.len() >= 2 && kept.len() >= 2, "need at least two points");
+        assert_eq!(kept[0], 0, "first point must be kept");
+        assert_eq!(*kept.last().unwrap(), pts.len() - 1, "last point must be kept");
+        let mut errors = vec![0.0; pts.len()];
+        for w in kept.windows(2) {
+            let (s, e) = (w[0], w[1]);
+            debug_assert!(s < e);
+            let seg = Segment::new(pts[s], pts[e]);
+            match measure {
+                Measure::Sed | Measure::Ped => {
+                    #[allow(clippy::needless_range_loop)] // i is the original point index
+                    for i in (s + 1)..e {
+                        errors[i] = point_error(measure, &seg, pts, i);
+                    }
+                }
+                Measure::Dad | Measure::Sad => {
+                    #[allow(clippy::needless_range_loop)] // i is the original point index
+                    for i in s..e {
+                        errors[i] = point_error(measure, &seg, pts, i);
+                    }
+                }
+            }
+        }
+        ErrorProfile { measure, errors }
+    }
+
+    /// The maximum entry (equals the max-aggregated simplification error).
+    pub fn max(&self) -> f64 {
+        self.errors.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Index of the worst original point.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.errors.iter().enumerate() {
+            if v > self.errors[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// The `q`-quantile of the non-zero error entries (`q ∈ [0, 1]`;
+    /// nearest-rank). Returns 0 when every entry is 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut nz: Vec<f64> = self.errors.iter().cloned().filter(|&v| v > 0.0).collect();
+        if nz.is_empty() {
+            return 0.0;
+        }
+        nz.sort_by(|a, b| a.total_cmp(b));
+        let rank = ((q * nz.len() as f64).ceil() as usize).clamp(1, nz.len());
+        nz[rank - 1]
+    }
+
+    /// Fraction of original points with error above `threshold`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.errors.is_empty() {
+            return 0.0;
+        }
+        self.errors.iter().filter(|&&v| v > threshold).count() as f64 / self.errors.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{simplification_error, Aggregation};
+
+    fn pts() -> Vec<Point> {
+        (0..12)
+            .map(|i| {
+                let f = i as f64;
+                Point::new(f, if i == 5 { 4.0 } else { (f * 0.8).sin() }, f)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn max_matches_simplification_error() {
+        let p = pts();
+        let kept = vec![0, 3, 8, 11];
+        for m in Measure::ALL {
+            let profile = ErrorProfile::compute(m, &p, &kept);
+            let direct = simplification_error(m, &p, &kept, Aggregation::Max);
+            assert!((profile.max() - direct).abs() < 1e-12, "{m}");
+            assert_eq!(profile.errors.len(), p.len());
+        }
+    }
+
+    #[test]
+    fn kept_points_have_zero_positional_error() {
+        let p = pts();
+        let kept = vec![0, 3, 8, 11];
+        let profile = ErrorProfile::compute(Measure::Sed, &p, &kept);
+        for &i in &kept {
+            assert_eq!(profile.errors[i], 0.0, "kept point {i}");
+        }
+    }
+
+    #[test]
+    fn argmax_points_at_the_spike() {
+        let p = pts();
+        let kept = vec![0, 11];
+        let profile = ErrorProfile::compute(Measure::Ped, &p, &kept);
+        assert_eq!(profile.argmax(), 5);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let p = pts();
+        let kept = vec![0, 6, 11];
+        let profile = ErrorProfile::compute(Measure::Sed, &p, &kept);
+        let q25 = profile.quantile(0.25);
+        let q50 = profile.quantile(0.5);
+        let q100 = profile.quantile(1.0);
+        assert!(q25 <= q50 && q50 <= q100);
+        assert!((q100 - profile.max()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_counts() {
+        let p = pts();
+        let profile = ErrorProfile::compute(Measure::Ped, &p, &[0, 11]);
+        assert_eq!(profile.fraction_above(f64::MAX), 0.0);
+        assert!(profile.fraction_above(0.0) > 0.5); // most interior points deviate
+        assert!(profile.fraction_above(0.0) <= 1.0);
+    }
+
+    #[test]
+    fn full_keep_is_all_zero() {
+        let p = pts();
+        let kept: Vec<usize> = (0..p.len()).collect();
+        for m in Measure::ALL {
+            let profile = ErrorProfile::compute(m, &p, &kept);
+            assert!(profile.max() < 1e-12, "{m}");
+            assert_eq!(profile.quantile(0.9), 0.0, "{m}");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Speed-Aware Distance (SAD).
+//!
+//! The error of an anchor segment w.r.t. a *movement* segment `p_i p_{i+1}`
+//! of the original trajectory is the absolute difference between the average
+//! speed of the movement segment and the average speed of the anchor
+//! segment. Zero-duration movement segments contribute no speed error.
+
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// SAD error of anchor segment `seg` w.r.t. movement segment `p → q`.
+pub fn sad_point_error(seg: &Segment, p: &Point, q: &Point) -> f64 {
+    let Some(move_speed) = p.speed_to(q) else {
+        return 0.0; // instantaneous pair carries no measurable speed
+    };
+    // A zero-duration anchor segment approximates movement that takes time
+    // only if timestamps collide; treat its speed as the movement speed
+    // projected to zero time span — i.e. error equals the movement speed.
+    let seg_speed = seg.speed().unwrap_or(0.0);
+    (move_speed - seg_speed).abs()
+}
+
+/// Online three-point SAD kernel: dropping `d` replaces movement segments
+/// `ad` and `db` with `ab`; the error is the worse of the two speed
+/// deviations from `ab`'s average speed.
+pub fn sad_drop_error(a: &Point, d: &Point, b: &Point) -> f64 {
+    let seg = Segment::new(*a, *b);
+    sad_point_error(&seg, a, d).max(sad_point_error(&seg, d, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_speed_zero_sad() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(3.0, 0.0, 3.0);
+        let q = Point::new(6.0, 0.0, 6.0);
+        assert!(sad_point_error(&seg, &p, &q) < 1e-12);
+    }
+
+    #[test]
+    fn speed_difference_is_absolute() {
+        // Anchor speed 1; movement speed 3.
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(0.0, 0.0, 2.0);
+        let q = Point::new(3.0, 0.0, 3.0);
+        assert!((sad_point_error(&seg, &p, &q) - 2.0).abs() < 1e-12);
+        // Slower movement, same magnitude of deviation.
+        let q2 = Point::new(0.0, 0.0, 3.0); // speed 0
+        assert!((sad_point_error(&seg, &p, &q2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantaneous_movement_no_error() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(3.0, 0.0, 3.0);
+        let q = Point::new(9.0, 0.0, 3.0); // dt = 0
+        assert_eq!(sad_point_error(&seg, &p, &q), 0.0);
+    }
+
+    #[test]
+    fn sad_insensitive_to_direction() {
+        // SAD compares speeds only: a U-turn at the same speed is free.
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(2.0, 0.0, 2.0));
+        let p = Point::new(1.0, 0.0, 1.0);
+        let q = Point::new(0.0, 0.0, 2.0); // backwards at speed 1 = segment speed
+        assert!(sad_point_error(&seg, &p, &q) < 1e-12);
+    }
+
+    #[test]
+    fn drop_kernel_takes_worse_side() {
+        // ab speed = 2/4 = 0.5; ad speed = 3 (err 2.5); db speed = 1/3 (err ~0.1667).
+        let a = Point::new(0.0, 0.0, 0.0);
+        let d = Point::new(3.0, 0.0, 1.0);
+        let b = Point::new(2.0, 0.0, 4.0);
+        let e = sad_drop_error(&a, &d, &b);
+        assert!((e - 2.5).abs() < 1e-12);
+    }
+}

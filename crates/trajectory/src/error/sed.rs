@@ -1,0 +1,60 @@
+//! Synchronized Euclidean Distance (SED).
+//!
+//! The error of an anchor segment w.r.t. an anchored point `p` is the
+//! Euclidean distance between `p`'s location and the position reached on the
+//! segment at `p`'s timestamp, assuming constant-speed travel between the
+//! segment's endpoint timestamps.
+
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// SED error of anchor segment `seg` w.r.t. point `p`.
+#[inline]
+pub fn sed_point_error(seg: &Segment, p: &Point) -> f64 {
+    let (sx, sy) = seg.position_at(p.t);
+    (p.x - sx).hypot(p.y - sy)
+}
+
+/// Online three-point SED kernel: error introduced by dropping `d` between
+/// `a` and `b` (the synchronized distance of `d` against segment `ab`).
+#[inline]
+pub fn sed_drop_error(a: &Point, d: &Point, b: &Point) -> f64 {
+    sed_point_error(&Segment::new(*a, *b), d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sed_uses_time_not_geometry() {
+        // Point is ON the segment spatially, but out of sync temporally.
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 0.0, 10.0));
+        let p = Point::new(5.0, 0.0, 2.0); // segment is at x=2 when t=2
+        assert!((sed_point_error(&seg, &p) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sed_zero_when_synchronized() {
+        let seg = Segment::new(Point::new(0.0, 0.0, 0.0), Point::new(10.0, 10.0, 10.0));
+        let p = Point::new(3.0, 3.0, 3.0);
+        assert!(sed_point_error(&seg, &p) < 1e-12);
+    }
+
+    #[test]
+    fn sed_degenerate_time_span() {
+        // Zero-duration anchor segment: synchronized position is the start.
+        let seg = Segment::new(Point::new(0.0, 0.0, 5.0), Point::new(10.0, 0.0, 5.0));
+        let p = Point::new(4.0, 3.0, 5.0);
+        assert!((sed_point_error(&seg, &p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_kernel_matches_point_kernel() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let d = Point::new(4.0, 7.0, 3.0);
+        let b = Point::new(10.0, 2.0, 10.0);
+        let seg = Segment::new(a, b);
+        assert_eq!(sed_drop_error(&a, &d, &b), sed_point_error(&seg, &d));
+    }
+}

@@ -1,0 +1,233 @@
+//! Loaders for the two public dataset formats the paper evaluates on:
+//! Geolife `.plt` files and T-Drive taxi logs. Both come as WGS-84
+//! latitude/longitude; points are projected to local planar meters with an
+//! equirectangular projection around the first fix (adequate at city scale,
+//! where the paper's error measures operate).
+
+use crate::io::IoError;
+use crate::point::Point;
+use crate::traj::Trajectory;
+use std::io::{BufRead, BufReader, Read};
+
+/// Mean Earth radius in meters (IUGG).
+const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Projects WGS-84 degrees to local planar meters around a reference
+/// latitude/longitude (equirectangular).
+pub fn project_equirectangular(lat: f64, lon: f64, ref_lat: f64, ref_lon: f64) -> (f64, f64) {
+    let x = (lon - ref_lon).to_radians() * ref_lat.to_radians().cos() * EARTH_RADIUS_M;
+    let y = (lat - ref_lat).to_radians() * EARTH_RADIUS_M;
+    (x, y)
+}
+
+/// Reads one Geolife `.plt` file: 6 header lines, then
+/// `lat,lon,0,alt_ft,days,date,time` records. Timestamps come from the
+/// fractional-days field (days × 86400 s). Coordinates are projected to
+/// meters around the first fix.
+pub fn read_geolife_plt<R: Read>(reader: R) -> Result<Trajectory, IoError> {
+    let reader = BufReader::new(reader);
+    let mut pts: Vec<Point> = Vec::new();
+    let mut reference: Option<(f64, f64)> = None;
+    let mut t0: Option<f64> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        if lineno < 6 {
+            continue; // fixed-size PLT header
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() < 5 {
+            return Err(IoError::Parse(lineno + 1, format!("expected ≥5 fields, got {}", fields.len())));
+        }
+        let lat: f64 = fields[0]
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Parse(lineno + 1, format!("bad latitude: {e}")))?;
+        let lon: f64 = fields[1]
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Parse(lineno + 1, format!("bad longitude: {e}")))?;
+        let days: f64 = fields[4]
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Parse(lineno + 1, format!("bad days field: {e}")))?;
+        let (ref_lat, ref_lon) = *reference.get_or_insert((lat, lon));
+        let t_abs = days * 86_400.0;
+        let t0 = *t0.get_or_insert(t_abs);
+        let (x, y) = project_equirectangular(lat, lon, ref_lat, ref_lon);
+        pts.push(Point::new(x, y, t_abs - t0));
+    }
+    Ok(Trajectory::new(pts)?)
+}
+
+/// Reads one T-Drive taxi log: `taxi_id,YYYY-MM-DD HH:MM:SS,lon,lat`
+/// records (a single taxi per file in the public release). Timestamps are
+/// seconds since the first fix; coordinates are projected to meters around
+/// the first fix.
+pub fn read_tdrive<R: Read>(reader: R) -> Result<Trajectory, IoError> {
+    let reader = BufReader::new(reader);
+    let mut pts: Vec<Point> = Vec::new();
+    let mut reference: Option<(f64, f64)> = None;
+    let mut t0: Option<i64> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 4 {
+            return Err(IoError::Parse(lineno + 1, format!("expected 4 fields, got {}", fields.len())));
+        }
+        let epoch = parse_datetime(fields[1].trim())
+            .ok_or_else(|| IoError::Parse(lineno + 1, format!("bad datetime '{}'", fields[1])))?;
+        let lon: f64 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Parse(lineno + 1, format!("bad longitude: {e}")))?;
+        let lat: f64 = fields[3]
+            .trim()
+            .parse()
+            .map_err(|e| IoError::Parse(lineno + 1, format!("bad latitude: {e}")))?;
+        let (ref_lat, ref_lon) = *reference.get_or_insert((lat, lon));
+        let t0 = *t0.get_or_insert(epoch);
+        let (x, y) = project_equirectangular(lat, lon, ref_lat, ref_lon);
+        pts.push(Point::new(x, y, (epoch - t0) as f64));
+    }
+    Ok(Trajectory::new(pts)?)
+}
+
+/// Parses `YYYY-MM-DD HH:MM:SS` into Unix seconds (UTC, no leap seconds).
+fn parse_datetime(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b' ' || bytes[13] != b':' || bytes[16] != b':' {
+        return None;
+    }
+    let num = |range: std::ops::Range<usize>| -> Option<i64> { s.get(range)?.parse().ok() };
+    let year = num(0..4)?;
+    let month = num(5..7)?;
+    let day = num(8..10)?;
+    let hour = num(11..13)?;
+    let minute = num(14..16)?;
+    let second = num(17..19)?;
+    if !(1..=12).contains(&month) || !(1..=days_in_month(year, month)).contains(&day) {
+        return None;
+    }
+    if !(0..24).contains(&hour) || !(0..60).contains(&minute) || !(0..60).contains(&second) {
+        return None;
+    }
+    Some(days_from_civil(year, month, day) * 86_400 + hour * 3_600 + minute * 60 + second)
+}
+
+/// Number of days in a Gregorian month.
+fn days_in_month(y: i64, m: i64) -> i64 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        _ => {
+            let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+            if leap {
+                29
+            } else {
+                28
+            }
+        }
+    }
+}
+
+/// Days since the Unix epoch for a proleptic-Gregorian civil date
+/// (Howard Hinnant's `days_from_civil`).
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PLT: &str = "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\n\
+0,2,255,My Track,0,0,2,8421376\n0\n\
+39.906631,116.385564,0,492,39745.1201851852,2008-10-24,02:53:04\n\
+39.906711,116.385001,0,492,39745.1202430556,2008-10-24,02:53:09\n\
+39.906823,116.384377,0,492,39745.1203009259,2008-10-24,02:53:14\n";
+
+    #[test]
+    fn plt_parses_and_projects() {
+        let t = read_geolife_plt(PLT.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        // First point anchors the projection at the origin, t = 0.
+        assert_eq!(t[0].x, 0.0);
+        assert_eq!(t[0].y, 0.0);
+        assert_eq!(t[0].t, 0.0);
+        // 5-second sampling from the days field.
+        assert!((t[1].t - 5.0).abs() < 0.2, "{}", t[1].t);
+        assert!((t[2].t - 10.0).abs() < 0.2, "{}", t[2].t);
+        // ~0.0006° of longitude at Beijing latitude ≈ 48 m westward.
+        assert!(t[1].x < -30.0 && t[1].x > -70.0, "{}", t[1].x);
+        assert!(t[1].y > 0.0 && t[1].y < 30.0, "{}", t[1].y);
+    }
+
+    #[test]
+    fn plt_rejects_bad_record() {
+        let bad = PLT.replace("39.906711", "oops");
+        match read_geolife_plt(bad.as_bytes()) {
+            Err(IoError::Parse(8, msg)) => assert!(msg.contains("latitude")),
+            other => panic!("expected parse error at line 8, got {other:?}"),
+        }
+    }
+
+    const TDRIVE: &str = "1,2008-02-02 15:36:08,116.51172,39.92123\n\
+1,2008-02-02 15:46:08,116.51135,39.93883\n\
+1,2008-02-02 15:56:08,116.51627,39.91034\n";
+
+    #[test]
+    fn tdrive_parses_with_10min_sampling() {
+        let t = read_tdrive(TDRIVE.as_bytes()).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].t, 0.0);
+        assert_eq!(t[1].t, 600.0);
+        assert_eq!(t[2].t, 1200.0);
+        // ~0.0176° of latitude ≈ 1.96 km northward.
+        assert!(t[1].y > 1_800.0 && t[1].y < 2_100.0, "{}", t[1].y);
+    }
+
+    #[test]
+    fn tdrive_rejects_malformed_datetime() {
+        let bad = "1,2008-13-02 15:36:08,116.5,39.9\n";
+        assert!(matches!(read_tdrive(bad.as_bytes()), Err(IoError::Parse(1, _))));
+        let bad = "1,2008-02-02T15:36:08,116.5,39.9\n";
+        assert!(matches!(read_tdrive(bad.as_bytes()), Err(IoError::Parse(1, _))));
+    }
+
+    #[test]
+    fn datetime_epoch_reference() {
+        assert_eq!(parse_datetime("1970-01-01 00:00:00"), Some(0));
+        assert_eq!(parse_datetime("1970-01-02 00:00:01"), Some(86_401));
+        // Leap year handling.
+        assert_eq!(
+            parse_datetime("2008-03-01 00:00:00").unwrap()
+                - parse_datetime("2008-02-28 00:00:00").unwrap(),
+            2 * 86_400
+        );
+        assert_eq!(parse_datetime("2008-02-30 00:00:00"), None);
+    }
+
+    #[test]
+    fn projection_scale_sanity() {
+        // 0.01° of latitude ≈ 1.11 km anywhere.
+        let (_, y) = project_equirectangular(39.91, 116.0, 39.90, 116.0);
+        assert!((y - 1_111.9).abs() < 5.0, "{y}");
+        // Longitude shrinks with cos(latitude).
+        let (x, _) = project_equirectangular(60.0, 0.01, 60.0, 0.0);
+        assert!((x - 1_111.9 * 0.5).abs() < 5.0, "{x}");
+    }
+}

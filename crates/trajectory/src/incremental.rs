@@ -1,0 +1,408 @@
+//! Incremental maintenance of a simplified trajectory's error.
+//!
+//! Training the RLTS policy needs the reward `ε(T'_t) − ε(T''_{t+1})` at every
+//! step, where the simplified trajectory changes by one dropped point and/or
+//! one appended point. Recomputing the trajectory error from scratch is
+//! `O(n)` per step; [`ErrorBook`] maintains it incrementally, as the paper's
+//! remarks in §IV-A4 prescribe. The same structure drives the Bottom-Up
+//! baseline and the `++` variants (variable-size buffer over all points).
+//!
+//! Internally the kept points form a doubly-linked list over the original
+//! indices; each kept point (except the last) owns the anchor segment to its
+//! successor, with cached `(max, sum, count)` error statistics, and the
+//! segment maxima live in an order-statistics multiset for O(log n) max
+//! queries.
+
+use crate::error::{segment_error_stats, Aggregation, Measure};
+use crate::point::Point;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+const NONE: u32 = u32::MAX;
+
+/// Multiset of non-negative finite `f64` keyed by IEEE-754 bits
+/// (bit order equals numeric order for non-negative floats).
+#[derive(Debug, Default, Clone)]
+struct F64Multiset {
+    map: BTreeMap<u64, usize>,
+    len: usize,
+}
+
+impl F64Multiset {
+    fn insert(&mut self, v: f64) {
+        debug_assert!(v >= 0.0 && v.is_finite(), "multiset key must be non-negative finite");
+        *self.map.entry(v.to_bits()).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    fn remove(&mut self, v: f64) {
+        let bits = v.to_bits();
+        match self.map.get_mut(&bits) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.map.remove(&bits);
+            }
+            None => panic!("removing value {v} not present in multiset"),
+        }
+        self.len -= 1;
+    }
+
+    fn max(&self) -> f64 {
+        self.map.keys().next_back().map_or(0.0, |&b| f64::from_bits(b))
+    }
+}
+
+/// Incrementally maintained error of a simplified trajectory over a fixed
+/// original point sequence.
+///
+/// The book owns (a shared handle to) the original points, so it can live
+/// inside training environments without borrowing from them.
+#[derive(Debug, Clone)]
+pub struct ErrorBook {
+    measure: Measure,
+    pts: Arc<[Point]>,
+    /// next[i] = next kept original index after i (NONE if i is last or not kept)
+    next: Vec<u32>,
+    /// prev[i] = previous kept original index before i
+    prev: Vec<u32>,
+    /// per kept index i (except last): cached (max, sum, count) of segment (i, next[i])
+    seg_max: Vec<f64>,
+    seg_sum: Vec<f64>,
+    seg_cnt: Vec<u32>,
+    maxima: F64Multiset,
+    total_sum: f64,
+    total_cnt: usize,
+    first: u32,
+    last: u32,
+    kept_count: usize,
+}
+
+impl ErrorBook {
+    /// Creates a book whose simplified trajectory initially keeps the points
+    /// `0..=upto` of `pts` (all adjacent, hence zero error).
+    ///
+    /// # Panics
+    /// Panics if `pts` is empty or `upto >= pts.len()`.
+    pub fn with_prefix(pts: impl Into<Arc<[Point]>>, measure: Measure, upto: usize) -> Self {
+        let pts: Arc<[Point]> = pts.into();
+        assert!(!pts.is_empty(), "empty point sequence");
+        assert!(upto < pts.len(), "prefix end {upto} out of bounds");
+        let n = pts.len();
+        let mut book = ErrorBook {
+            measure,
+            pts,
+            next: vec![NONE; n],
+            prev: vec![NONE; n],
+            seg_max: vec![0.0; n],
+            seg_sum: vec![0.0; n],
+            seg_cnt: vec![0; n],
+            maxima: F64Multiset::default(),
+            total_sum: 0.0,
+            total_cnt: 0,
+            first: 0,
+            last: upto as u32,
+            kept_count: upto + 1,
+        };
+        for i in 0..upto {
+            book.next[i] = (i + 1) as u32;
+            book.prev[i + 1] = i as u32;
+            book.set_segment(i, i + 1);
+        }
+        book
+    }
+
+    /// Creates a book keeping **all** points of `pts` (the starting state of
+    /// the batch `++` variants and Bottom-Up).
+    pub fn with_all(pts: impl Into<Arc<[Point]>>, measure: Measure) -> Self {
+        let pts: Arc<[Point]> = pts.into();
+        let upto = pts.len() - 1;
+        Self::with_prefix(pts, measure, upto)
+    }
+
+    /// The error measure this book maintains.
+    pub fn measure(&self) -> Measure {
+        self.measure
+    }
+
+    /// The original points.
+    pub fn points(&self) -> &[Point] {
+        &self.pts
+    }
+
+    /// A shared handle to the original points.
+    pub fn points_arc(&self) -> Arc<[Point]> {
+        Arc::clone(&self.pts)
+    }
+
+    /// Number of currently kept points.
+    pub fn kept_len(&self) -> usize {
+        self.kept_count
+    }
+
+    /// Original index of the last kept point.
+    pub fn last_index(&self) -> usize {
+        self.last as usize
+    }
+
+    /// Whether original index `i` is currently kept.
+    pub fn is_kept(&self, i: usize) -> bool {
+        i == self.first as usize || self.prev[i] != NONE
+    }
+
+    /// Next kept index after `i`, if any. `i` must be kept.
+    pub fn next_kept(&self, i: usize) -> Option<usize> {
+        match self.next[i] {
+            NONE => None,
+            j => Some(j as usize),
+        }
+    }
+
+    /// Previous kept index before `i`, if any. `i` must be kept.
+    pub fn prev_kept(&self, i: usize) -> Option<usize> {
+        match self.prev[i] {
+            NONE => None,
+            j => Some(j as usize),
+        }
+    }
+
+    /// The currently kept indices, ascending.
+    pub fn kept_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.kept_count);
+        let mut i = self.first;
+        loop {
+            out.push(i as usize);
+            match self.next[i as usize] {
+                NONE => break,
+                j => i = j,
+            }
+        }
+        out
+    }
+
+    /// Current error of the simplified trajectory under the given
+    /// aggregation, w.r.t. the prefix of `pts` covered so far.
+    pub fn error(&self, agg: Aggregation) -> f64 {
+        match agg {
+            Aggregation::Max => self.maxima.max(),
+            Aggregation::Mean => {
+                if self.total_cnt == 0 {
+                    0.0
+                } else {
+                    self.total_sum / self.total_cnt as f64
+                }
+            }
+        }
+    }
+
+    /// Appends original point `i` (`i > last_index()`) to the kept set,
+    /// creating the anchor segment `(last, i)` that covers any skipped
+    /// points in between. Returns the new segment's max error.
+    pub fn append(&mut self, i: usize) -> f64 {
+        assert!(i < self.pts.len(), "append index {i} out of bounds");
+        let l = self.last as usize;
+        assert!(i > l, "append index {i} must exceed last kept {l}");
+        self.next[l] = i as u32;
+        self.prev[i] = l as u32;
+        self.last = i as u32;
+        self.kept_count += 1;
+        self.set_segment(l, i)
+    }
+
+    /// Drops the *interior* kept point with original index `j`, merging its
+    /// two incident segments. Returns the merged segment's max error.
+    ///
+    /// # Panics
+    /// Panics if `j` is not kept or is the first/last kept point.
+    pub fn drop(&mut self, j: usize) -> f64 {
+        let p = self.prev[j];
+        let n = self.next[j];
+        assert!(p != NONE && n != NONE, "cannot drop boundary or non-kept index {j}");
+        let (p, n) = (p as usize, n as usize);
+        self.clear_segment(p);
+        self.clear_segment(j);
+        self.next[j] = NONE;
+        self.prev[j] = NONE;
+        self.next[p] = n as u32;
+        self.prev[n] = p as u32;
+        self.kept_count -= 1;
+        self.set_segment(p, n)
+    }
+
+    /// Cost of dropping kept interior point `j` *without* applying it: the
+    /// max error of the would-be merged segment `(prev(j), next(j))` over all
+    /// original points anchored to it (paper Eq. (12), the batch value).
+    pub fn merge_cost(&self, j: usize) -> f64 {
+        let p = self.prev[j];
+        let n = self.next[j];
+        assert!(p != NONE && n != NONE, "no merge cost for boundary or non-kept index {j}");
+        let (max, _, _) = segment_error_stats(self.measure, &self.pts, p as usize, n as usize);
+        max
+    }
+
+    /// Max error of the currently kept segment starting at kept index `s`.
+    pub fn segment_max(&self, s: usize) -> f64 {
+        debug_assert!(self.next[s] != NONE, "index {s} owns no segment");
+        self.seg_max[s]
+    }
+
+    fn set_segment(&mut self, s: usize, e: usize) -> f64 {
+        let (max, sum, cnt) = if e == s + 1 && matches!(self.measure, Measure::Sed | Measure::Ped) {
+            (0.0, 0.0, 0) // adjacent points introduce no positional error
+        } else {
+            let (m, su, c) = segment_error_stats(self.measure, &self.pts, s, e);
+            (m, su, c as u32)
+        };
+        self.seg_max[s] = max;
+        self.seg_sum[s] = sum;
+        self.seg_cnt[s] = cnt;
+        self.maxima.insert(max);
+        self.total_sum += sum;
+        self.total_cnt += cnt as usize;
+        max
+    }
+
+    fn clear_segment(&mut self, s: usize) {
+        self.maxima.remove(self.seg_max[s]);
+        self.total_sum -= self.seg_sum[s];
+        self.total_cnt -= self.seg_cnt[s] as usize;
+        self.seg_max[s] = 0.0;
+        self.seg_sum[s] = 0.0;
+        self.seg_cnt[s] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::simplification_error;
+
+    fn zigzag(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let y = if i % 2 == 0 { 0.0 } else { 1.0 + (i as f64) * 0.1 };
+                Point::new(i as f64, y, i as f64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_prefix_has_zero_error() {
+        let pts = zigzag(8);
+        let book = ErrorBook::with_prefix(pts.as_slice(), Measure::Sed, 4);
+        assert_eq!(book.error(Aggregation::Max), 0.0);
+        assert_eq!(book.kept_len(), 5);
+        assert_eq!(book.kept_indices(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn drop_then_matches_batch_recompute() {
+        let pts = zigzag(10);
+        for m in Measure::ALL {
+            let mut book = ErrorBook::with_all(pts.as_slice(), m);
+            book.drop(3);
+            book.drop(6);
+            book.drop(4);
+            let kept = book.kept_indices();
+            let expect = simplification_error(m, &pts, &kept, Aggregation::Max);
+            assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12, "{m}");
+            let expect_mean = simplification_error(m, &pts, &kept, Aggregation::Mean);
+            assert!((book.error(Aggregation::Mean) - expect_mean).abs() < 1e-12, "{m} mean");
+        }
+    }
+
+    #[test]
+    fn append_with_skip_matches_recompute() {
+        let pts = zigzag(12);
+        for m in Measure::ALL {
+            let mut book = ErrorBook::with_prefix(pts.as_slice(), m, 3);
+            book.append(4);
+            book.append(7); // skips 5 and 6
+            book.drop(2);
+            book.append(11); // skips 8..=10
+            let kept = book.kept_indices();
+            let expect = simplification_error(m, &pts[..12], &kept, Aggregation::Max);
+            assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12, "{m}");
+        }
+    }
+
+    #[test]
+    fn merge_cost_previews_drop() {
+        let pts = zigzag(9);
+        let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Sed);
+        book.drop(4);
+        let cost = book.merge_cost(5);
+        let seg_err = book.drop(5);
+        assert!((cost - seg_err).abs() < 1e-12);
+        let kept = book.kept_indices();
+        let expect = simplification_error(Measure::Sed, &pts, &kept, Aggregation::Max);
+        assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linked_list_navigation() {
+        let pts = zigzag(6);
+        let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Ped);
+        book.drop(2);
+        assert_eq!(book.next_kept(1), Some(3));
+        assert_eq!(book.prev_kept(3), Some(1));
+        assert!(!book.is_kept(2));
+        assert!(book.is_kept(0));
+        assert_eq!(book.prev_kept(0), None);
+        assert_eq!(book.next_kept(5), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dropping_first_point_panics() {
+        let pts = zigzag(5);
+        let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Sed);
+        book.drop(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dropping_dropped_point_panics() {
+        let pts = zigzag(6);
+        let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Sed);
+        book.drop(2);
+        book.drop(2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn append_backwards_panics() {
+        let pts = zigzag(6);
+        let mut book = ErrorBook::with_prefix(pts.as_slice(), Measure::Sed, 4);
+        book.append(3);
+    }
+
+    #[test]
+    fn error_consistent_after_every_drop() {
+        let pts = zigzag(14);
+        let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Sed);
+        for j in [7, 3, 11, 5, 9] {
+            book.drop(j);
+            let kept = book.kept_indices();
+            let expect = simplification_error(Measure::Sed, &pts, &kept, Aggregation::Max);
+            assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12, "after drop {j}");
+        }
+    }
+
+    #[test]
+    fn multiset_handles_duplicate_maxima() {
+        // Symmetric zigzag gives equal segment errors; removing one of two
+        // identical keys must not remove both.
+        let pts: Vec<Point> = (0..7)
+            .map(|i| Point::new(i as f64, if i % 2 == 0 { 0.0 } else { 1.0 }, i as f64))
+            .collect();
+        let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Ped);
+        book.drop(1);
+        book.drop(3);
+        let e1 = book.error(Aggregation::Max);
+        assert!(e1 > 0.0);
+        book.drop(5);
+        let kept = book.kept_indices();
+        let expect = simplification_error(Measure::Ped, &pts, &kept, Aggregation::Max);
+        assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,316 @@
+//! Trajectory (de)serialization: a simple CSV dialect compatible with the
+//! public Geolife/T-Drive/Trucks dumps, and a compact binary wire format for
+//! shipping buffers from sensors (the paper's online-mode motivation).
+
+use crate::point::Point;
+use crate::traj::{Trajectory, TrajectoryError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from reading or writing trajectory files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A CSV line could not be parsed; holds the 1-based line number.
+    Parse(usize, String),
+    /// The parsed points do not form a valid trajectory.
+    Invalid(TrajectoryError),
+    /// The binary payload is truncated or malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+            IoError::Invalid(e) => write!(f, "invalid trajectory: {e}"),
+            IoError::Malformed(msg) => write!(f, "malformed binary payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<TrajectoryError> for IoError {
+    fn from(e: TrajectoryError) -> Self {
+        IoError::Invalid(e)
+    }
+}
+
+/// Reads one trajectory from `x,y,t` CSV lines. Empty lines and lines
+/// starting with `#` are skipped; an optional `x,y,t` header is tolerated.
+pub fn read_csv<R: Read>(reader: R) -> Result<Trajectory, IoError> {
+    let reader = BufReader::new(reader);
+    let mut pts = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if pts.is_empty() && trimmed.to_ascii_lowercase().replace(' ', "") == "x,y,t" {
+            continue;
+        }
+        let mut it = trimmed.split(',');
+        let mut field = |name: &str| -> Result<f64, IoError> {
+            it.next()
+                .ok_or_else(|| IoError::Parse(lineno + 1, format!("missing field {name}")))?
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| IoError::Parse(lineno + 1, format!("bad {name}: {e}")))
+        };
+        let x = field("x")?;
+        let y = field("y")?;
+        let t = field("t")?;
+        pts.push(Point::new(x, y, t));
+    }
+    Ok(Trajectory::new(pts)?)
+}
+
+/// Writes one trajectory as `x,y,t` CSV with a header line.
+pub fn write_csv<W: Write>(writer: &mut W, traj: &Trajectory) -> Result<(), IoError> {
+    writeln!(writer, "x,y,t")?;
+    for p in traj {
+        writeln!(writer, "{},{},{}", p.x, p.y, p.t)?;
+    }
+    Ok(())
+}
+
+/// Magic tag identifying the binary trajectory format.
+const MAGIC: u32 = 0x524C_5453; // "RLTS"
+/// Format version, bumped on incompatible layout changes.
+const VERSION: u16 = 1;
+
+/// Encodes a trajectory in the compact binary wire format:
+/// magic(u32) | version(u16) | count(u64) | count × (x f64, y f64, t f64),
+/// all big-endian.
+pub fn encode_binary(traj: &Trajectory) -> Bytes {
+    let mut buf = BytesMut::with_capacity(14 + traj.len() * 24);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(traj.len() as u64);
+    for p in traj {
+        buf.put_f64(p.x);
+        buf.put_f64(p.y);
+        buf.put_f64(p.t);
+    }
+    buf.freeze()
+}
+
+/// Decodes a trajectory from the binary wire format produced by
+/// [`encode_binary`].
+pub fn decode_binary(mut buf: Bytes) -> Result<Trajectory, IoError> {
+    if buf.remaining() < 14 {
+        return Err(IoError::Malformed("header truncated"));
+    }
+    if buf.get_u32() != MAGIC {
+        return Err(IoError::Malformed("bad magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(IoError::Malformed("unsupported version"));
+    }
+    let count = buf.get_u64() as usize;
+    if buf.remaining() != count * 24 {
+        return Err(IoError::Malformed("body length mismatch"));
+    }
+    let mut pts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = buf.get_f64();
+        let y = buf.get_f64();
+        let t = buf.get_f64();
+        pts.push(Point::new(x, y, t));
+    }
+    Ok(Trajectory::new(pts)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trajectory {
+        Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.5, -2.0, 3.0), (4.0, 4.0, 9.5)]).unwrap()
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &t).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_skips_comments_and_blanks() {
+        let text = "# a comment\nx,y,t\n\n1,2,3\n  4 , 5 , 6 \n";
+        let t = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].y, 5.0);
+    }
+
+    #[test]
+    fn csv_reports_bad_line_number() {
+        let text = "1,2,3\n4,oops,6\n";
+        match read_csv(text.as_bytes()) {
+            Err(IoError::Parse(2, _)) => {}
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_missing_field() {
+        match read_csv("1,2\n".as_bytes()) {
+            Err(IoError::Parse(1, msg)) => assert!(msg.contains("t")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn csv_rejects_time_travel() {
+        let text = "0,0,5\n1,1,4\n";
+        assert!(matches!(read_csv(text.as_bytes()), Err(IoError::Invalid(_))));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample();
+        let bytes = encode_binary(&t);
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_roundtrip_empty() {
+        let t = Trajectory::new(vec![]).unwrap();
+        assert_eq!(decode_binary(encode_binary(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let t = sample();
+        let bytes = encode_binary(&t);
+        // Truncated body.
+        let cut = bytes.slice(0..bytes.len() - 8);
+        assert!(matches!(decode_binary(cut), Err(IoError::Malformed(_))));
+        // Bad magic.
+        let mut corrupt = BytesMut::from(&bytes[..]);
+        corrupt[0] ^= 0xFF;
+        assert!(matches!(decode_binary(corrupt.freeze()), Err(IoError::Malformed(_))));
+    }
+}
+
+/// Magic tag identifying the binary *dataset* format (many trajectories).
+const DATASET_MAGIC: u32 = 0x524C_5444; // "RLTD"
+
+/// Encodes a whole dataset in a compact binary format:
+/// magic(u32) | version(u16) | count(u64) | count × [len(u64) | points...],
+/// where each point is `(x f64, y f64, t f64)`, all big-endian.
+pub fn encode_dataset(dataset: &[Trajectory]) -> Bytes {
+    let total: usize = dataset.iter().map(|t| t.len()).sum();
+    let mut buf = BytesMut::with_capacity(14 + dataset.len() * 8 + total * 24);
+    buf.put_u32(DATASET_MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(dataset.len() as u64);
+    for t in dataset {
+        buf.put_u64(t.len() as u64);
+        for p in t {
+            buf.put_f64(p.x);
+            buf.put_f64(p.y);
+            buf.put_f64(p.t);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a dataset encoded with [`encode_dataset`].
+pub fn decode_dataset(mut buf: Bytes) -> Result<Vec<Trajectory>, IoError> {
+    if buf.remaining() < 14 {
+        return Err(IoError::Malformed("dataset header truncated"));
+    }
+    if buf.get_u32() != DATASET_MAGIC {
+        return Err(IoError::Malformed("bad dataset magic"));
+    }
+    if buf.get_u16() != VERSION {
+        return Err(IoError::Malformed("unsupported dataset version"));
+    }
+    let count = buf.get_u64() as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(IoError::Malformed("trajectory length truncated"));
+        }
+        let len = buf.get_u64() as usize;
+        if buf.remaining() < len * 24 {
+            return Err(IoError::Malformed("trajectory body truncated"));
+        }
+        let mut pts = Vec::with_capacity(len);
+        for _ in 0..len {
+            let x = buf.get_f64();
+            let y = buf.get_f64();
+            let t = buf.get_f64();
+            pts.push(Point::new(x, y, t));
+        }
+        out.push(Trajectory::new(pts)?);
+    }
+    if buf.has_remaining() {
+        return Err(IoError::Malformed("trailing bytes after dataset"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod dataset_tests {
+    use super::*;
+
+    fn dataset() -> Vec<Trajectory> {
+        vec![
+            Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]).unwrap(),
+            Trajectory::new(vec![]).unwrap(),
+            Trajectory::from_xyt(&[(5.0, -3.0, 2.0), (6.0, 0.5, 4.0), (7.0, 1.0, 9.0)]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let d = dataset();
+        let back = decode_dataset(encode_dataset(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn empty_dataset_roundtrip() {
+        assert_eq!(decode_dataset(encode_dataset(&[])).unwrap(), Vec::<Trajectory>::new());
+    }
+
+    #[test]
+    fn dataset_rejects_trailing_garbage() {
+        let mut raw = BytesMut::from(&encode_dataset(&dataset())[..]);
+        raw.put_u8(0);
+        assert!(matches!(decode_dataset(raw.freeze()), Err(IoError::Malformed(_))));
+    }
+
+    #[test]
+    fn dataset_rejects_truncation() {
+        let full = encode_dataset(&dataset());
+        for cut in [4usize, 13, 20, full.len() - 1] {
+            let sliced = full.slice(0..cut);
+            assert!(decode_dataset(sliced).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn dataset_magic_differs_from_single_trajectory_magic() {
+        let d = encode_dataset(&dataset());
+        let t = encode_binary(&dataset()[0]);
+        assert!(decode_binary(d).is_err());
+        assert!(decode_dataset(t).is_err());
+    }
+}

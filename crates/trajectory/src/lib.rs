@@ -1,0 +1,60 @@
+//! Trajectory data model and error measures for the Min-Error trajectory
+//! simplification problem, as defined in *Trajectory Simplification with
+//! Reinforcement Learning* (Wang, Long, Cong — ICDE 2021).
+//!
+//! This crate is the substrate every algorithm in the workspace builds on:
+//!
+//! * [`Point`] / [`Trajectory`] — spatio-temporal points and validated
+//!   sequences thereof;
+//! * [`Segment`] — anchor segments and point-vs-segment geometry;
+//! * [`error`] — the four error measures (SED, PED, DAD, SAD), segment and
+//!   whole-trajectory error under the anchor-segment semantics;
+//! * [`ErrorBook`] — incremental error maintenance for drop/append edits
+//!   (drives RL rewards and the Bottom-Up family);
+//! * [`io`] — CSV and compact binary trajectory formats;
+//! * [`stats`] — dataset statistics (paper Table I).
+//!
+//! # Example
+//!
+//! ```
+//! use trajectory::{Trajectory, error::{simplification_error, Measure, Aggregation}};
+//!
+//! let t = Trajectory::from_xyt(&[
+//!     (0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 0.0, 2.0), (3.0, 0.0, 3.0),
+//! ]).unwrap();
+//! // Keep the endpoints and the detour apex: zero SED error is impossible,
+//! // but keeping index 1 bounds it.
+//! let e = simplification_error(Measure::Sed, t.points(), &[0, 1, 3], Aggregation::Max);
+//! assert!(e > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod buffer;
+pub mod codec;
+pub mod error;
+pub mod formats;
+mod incremental;
+pub mod io;
+mod point;
+pub mod preprocess;
+mod segment;
+pub mod similarity;
+mod simplifier;
+pub mod stats;
+mod traj;
+
+pub use buffer::OrderedBuffer;
+pub use incremental::ErrorBook;
+pub use point::{angular_difference, Point};
+pub use segment::Segment;
+pub use simplifier::{BatchSimplifier, ErrorBoundedSimplifier, OnlineAsBatch, OnlineSimplifier};
+pub use traj::{Trajectory, TrajectoryError};
+
+/// Convenient glob-import of the most used items.
+pub mod prelude {
+    pub use crate::error::{drop_error, segment_error, simplification_error, Aggregation, Measure};
+    pub use crate::{
+        BatchSimplifier, ErrorBook, OnlineSimplifier, OrderedBuffer, Point, Segment, Trajectory,
+    };
+}

@@ -1,0 +1,183 @@
+//! Spatio-temporal points.
+
+use serde::{Deserialize, Serialize};
+
+/// A time-stamped location `(x, y, t)`.
+///
+/// Coordinates are planar (meters in the synthetic generators; any projected
+/// unit works as long as it is consistent) and `t` is in seconds. The paper
+/// interprets an object as moving along the straight segment between two
+/// consecutive points at constant speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (e.g. meters east).
+    pub x: f64,
+    /// Y coordinate (e.g. meters north).
+    pub y: f64,
+    /// Timestamp in seconds.
+    pub t: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates and a timestamp.
+    #[inline]
+    pub const fn new(x: f64, y: f64, t: f64) -> Self {
+        Point { x, y, t }
+    }
+
+    /// Euclidean distance between the *locations* of two points
+    /// (timestamps are ignored).
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Squared Euclidean distance between the locations of two points.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Position linearly interpolated between `self` and `other` at time `t`.
+    ///
+    /// If the two timestamps coincide the midpoint convention of the SED
+    /// literature is used (the segment degenerates to an instant, so the
+    /// start location is returned).
+    pub fn interpolate_at(&self, other: &Point, t: f64) -> (f64, f64) {
+        let dt = other.t - self.t;
+        if dt.abs() < f64::EPSILON {
+            return (self.x, self.y);
+        }
+        let r = (t - self.t) / dt;
+        (self.x + r * (other.x - self.x), self.y + r * (other.y - self.y))
+    }
+
+    /// Direction of travel from `self` to `other` in radians in `(-π, π]`.
+    ///
+    /// Returns `None` when the two locations coincide (direction undefined).
+    pub fn direction_to(&self, other: &Point) -> Option<f64> {
+        let dx = other.x - self.x;
+        let dy = other.y - self.y;
+        if dx == 0.0 && dy == 0.0 {
+            None
+        } else {
+            Some(dy.atan2(dx))
+        }
+    }
+
+    /// Average speed of travel from `self` to `other` (distance over time).
+    ///
+    /// Returns `None` when the timestamps coincide (speed undefined).
+    pub fn speed_to(&self, other: &Point) -> Option<f64> {
+        let dt = other.t - self.t;
+        if dt.abs() < f64::EPSILON {
+            None
+        } else {
+            Some(self.dist(other) / dt)
+        }
+    }
+}
+
+/// Absolute angular difference between two directions, normalized to `[0, π]`.
+#[inline]
+pub fn angular_difference(a: f64, b: f64) -> f64 {
+    let mut d = (a - b).abs() % (2.0 * std::f64::consts::PI);
+    if d > std::f64::consts::PI {
+        d = 2.0 * std::f64::consts::PI - d;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(3.0, 4.0, 10.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric() {
+        let a = Point::new(1.5, -2.0, 0.0);
+        let b = Point::new(-3.0, 7.25, 5.0);
+        assert_eq!(a.dist(&b), b.dist(&a));
+    }
+
+    #[test]
+    fn interpolate_midpoint() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 20.0, 10.0);
+        let (x, y) = a.interpolate_at(&b, 5.0);
+        assert!((x - 5.0).abs() < 1e-12);
+        assert!((y - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interpolate_at_endpoints() {
+        let a = Point::new(1.0, 2.0, 3.0);
+        let b = Point::new(4.0, 6.0, 8.0);
+        assert_eq!(a.interpolate_at(&b, 3.0), (1.0, 2.0));
+        assert_eq!(a.interpolate_at(&b, 8.0), (4.0, 6.0));
+    }
+
+    #[test]
+    fn interpolate_degenerate_time() {
+        let a = Point::new(1.0, 2.0, 3.0);
+        let b = Point::new(4.0, 6.0, 3.0);
+        // Zero-duration segment: convention is to return the start location.
+        assert_eq!(a.interpolate_at(&b, 3.0), (1.0, 2.0));
+    }
+
+    #[test]
+    fn interpolate_extrapolates_outside_range() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 0.0, 10.0);
+        let (x, _) = a.interpolate_at(&b, 20.0);
+        assert!((x - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_cardinal() {
+        let o = Point::new(0.0, 0.0, 0.0);
+        let e = Point::new(1.0, 0.0, 1.0);
+        let n = Point::new(0.0, 1.0, 1.0);
+        assert_eq!(o.direction_to(&e), Some(0.0));
+        assert!((o.direction_to(&n).unwrap() - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direction_undefined_for_coincident_locations() {
+        let a = Point::new(1.0, 1.0, 0.0);
+        let b = Point::new(1.0, 1.0, 5.0);
+        assert_eq!(a.direction_to(&b), None);
+    }
+
+    #[test]
+    fn speed_basic_and_undefined() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(30.0, 40.0, 10.0);
+        assert_eq!(a.speed_to(&b), Some(5.0));
+        let c = Point::new(3.0, 4.0, 0.0);
+        assert_eq!(a.speed_to(&c), None);
+    }
+
+    #[test]
+    fn angular_difference_wraps() {
+        assert!((angular_difference(-PI + 0.1, PI - 0.1) - 0.2).abs() < 1e-12);
+        assert!((angular_difference(0.0, PI) - PI).abs() < 1e-12);
+        assert_eq!(angular_difference(1.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn angular_difference_symmetric() {
+        let (a, b) = (0.3, -2.9);
+        assert!((angular_difference(a, b) - angular_difference(b, a)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,220 @@
+//! Preprocessing utilities real trajectory data needs before
+//! simplification: session splitting at recording gaps, time-uniform
+//! resampling, and stationary-noise removal.
+//!
+//! The public Geolife/T-Drive dumps contain multi-day recordings with long
+//! gaps (device off) and GPS jitter while parked; feeding those to a
+//! simplifier as-is wastes budget on artifacts. The paper's evaluation
+//! implicitly works on cleaned per-trip trajectories; these helpers make
+//! that step explicit and testable.
+
+use crate::point::Point;
+use crate::traj::Trajectory;
+
+/// Splits a trajectory into sessions wherever the time gap between
+/// consecutive points exceeds `max_gap` seconds. Sessions with fewer than
+/// `min_points` points are discarded.
+pub fn split_by_gap(traj: &Trajectory, max_gap: f64, min_points: usize) -> Vec<Trajectory> {
+    assert!(max_gap > 0.0, "gap threshold must be positive");
+    let mut out = Vec::new();
+    let mut cur: Vec<Point> = Vec::new();
+    for &p in traj.points() {
+        if let Some(last) = cur.last() {
+            if p.t - last.t > max_gap {
+                if cur.len() >= min_points {
+                    out.push(Trajectory::new_unchecked(std::mem::take(&mut cur)));
+                } else {
+                    cur.clear();
+                }
+            }
+        }
+        cur.push(p);
+    }
+    if cur.len() >= min_points {
+        out.push(Trajectory::new_unchecked(cur));
+    }
+    out
+}
+
+/// Resamples a trajectory to a uniform time grid with spacing `dt`,
+/// linearly interpolating positions. The first and last original points
+/// are always included (the grid is anchored at the first timestamp).
+///
+/// Returns the input unchanged if it has fewer than 2 points.
+pub fn resample_uniform(traj: &Trajectory, dt: f64) -> Trajectory {
+    assert!(dt > 0.0, "sampling interval must be positive");
+    let pts = traj.points();
+    if pts.len() < 2 {
+        return traj.clone();
+    }
+    let t0 = pts[0].t;
+    let t1 = pts[pts.len() - 1].t;
+    let mut out = Vec::with_capacity(((t1 - t0) / dt) as usize + 2);
+    let mut seg = 0usize;
+    let mut t = t0;
+    while t < t1 {
+        while seg + 2 < pts.len() && pts[seg + 1].t <= t {
+            seg += 1;
+        }
+        let (x, y) = pts[seg].interpolate_at(&pts[seg + 1], t);
+        out.push(Point::new(x, y, t));
+        t += dt;
+    }
+    out.push(pts[pts.len() - 1]);
+    Trajectory::new_unchecked(out)
+}
+
+/// Collapses stationary jitter: consecutive points within `radius` of the
+/// current anchor are merged into (anchor kept, last of the run kept when
+/// the run spans more than `min_dwell` seconds — so dwell durations
+/// survive).
+pub fn collapse_stops(traj: &Trajectory, radius: f64, min_dwell: f64) -> Trajectory {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let pts = traj.points();
+    if pts.len() < 3 {
+        return traj.clone();
+    }
+    let mut out: Vec<Point> = vec![pts[0]];
+    let mut anchor = pts[0];
+    let mut run_last: Option<Point> = None;
+    for &p in &pts[1..] {
+        if p.dist(&anchor) <= radius {
+            run_last = Some(p);
+        } else {
+            if let Some(last) = run_last.take() {
+                if last.t - anchor.t >= min_dwell {
+                    out.push(last); // keep the dwell's end
+                }
+            }
+            out.push(p);
+            anchor = p;
+        }
+    }
+    if let Some(last) = run_last {
+        if out.last().map(|q| q.t) != Some(last.t) {
+            out.push(last);
+        }
+    }
+    Trajectory::new_unchecked(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(xyt: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::from_xyt(xyt).unwrap()
+    }
+
+    #[test]
+    fn split_by_gap_cuts_sessions() {
+        let traj = t(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 10.0),
+            (2.0, 0.0, 20.0),
+            // 10-hour gap
+            (50.0, 0.0, 36_020.0),
+            (51.0, 0.0, 36_030.0),
+        ]);
+        let sessions = split_by_gap(&traj, 3_600.0, 2);
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].len(), 3);
+        assert_eq!(sessions[1].len(), 2);
+    }
+
+    #[test]
+    fn split_discards_short_sessions() {
+        let traj = t(&[
+            (0.0, 0.0, 0.0),
+            // gap
+            (9.0, 0.0, 10_000.0),
+            // gap
+            (20.0, 0.0, 20_000.0),
+            (21.0, 0.0, 20_010.0),
+            (22.0, 0.0, 20_020.0),
+        ]);
+        let sessions = split_by_gap(&traj, 100.0, 3);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0].len(), 3);
+    }
+
+    #[test]
+    fn split_no_gaps_is_identity() {
+        let traj = t(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 2.0)]);
+        let sessions = split_by_gap(&traj, 10.0, 2);
+        assert_eq!(sessions.len(), 1);
+        assert_eq!(sessions[0], traj);
+    }
+
+    #[test]
+    fn resample_positions_interpolate() {
+        let traj = t(&[(0.0, 0.0, 0.0), (10.0, 0.0, 10.0), (10.0, 20.0, 30.0)]);
+        let r = resample_uniform(&traj, 5.0);
+        // Grid: 0, 5, 10, 15, 20, 25 + final point at t = 30.
+        assert_eq!(r.len(), 7);
+        assert!((r[1].x - 5.0).abs() < 1e-9);
+        assert!((r[3].y - 5.0).abs() < 1e-9, "t=15 → y=5, got {}", r[3].y);
+        assert_eq!(r.last().unwrap().t, 30.0);
+        // Uniform spacing except the final anchor.
+        for w in r.points()[..6].windows(2) {
+            assert!((w[1].t - w[0].t - 5.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_short_input_unchanged() {
+        let traj = t(&[(1.0, 2.0, 3.0)]);
+        assert_eq!(resample_uniform(&traj, 1.0), traj);
+    }
+
+    #[test]
+    fn collapse_stops_removes_parking_jitter() {
+        let mut xyt = vec![(0.0, 0.0, 0.0), (10.0, 0.0, 10.0)];
+        // Parked for 100 s with meter-level jitter.
+        for i in 0..10 {
+            xyt.push((10.0 + (i % 3) as f64 * 0.3, 0.2, 11.0 + i as f64 * 10.0));
+        }
+        xyt.push((30.0, 0.0, 120.0));
+        let traj = t(&xyt);
+        let cleaned = collapse_stops(&traj, 2.0, 30.0);
+        // Jitter collapsed to the dwell's endpoints; movement points kept.
+        assert!(cleaned.len() <= 5, "kept {} points", cleaned.len());
+        assert_eq!(cleaned[0].t, 0.0);
+        assert_eq!(cleaned.last().unwrap().t, 120.0);
+        // Dwell end survives so the stop's duration is preserved.
+        assert!(cleaned.iter().any(|p| (p.t - 101.0).abs() < 1e-9), "{cleaned:?}");
+    }
+
+    #[test]
+    fn collapse_keeps_moving_trajectories_intact() {
+        let traj = t(&[(0.0, 0.0, 0.0), (10.0, 0.0, 1.0), (20.0, 0.0, 2.0), (30.0, 0.0, 3.0)]);
+        let cleaned = collapse_stops(&traj, 1.0, 10.0);
+        assert_eq!(cleaned, traj);
+    }
+
+    #[test]
+    fn pipeline_composes() {
+        // gap-split → collapse → resample, end to end on a messy recording.
+        let mut xyt = Vec::new();
+        for i in 0..20 {
+            xyt.push((i as f64 * 5.0, 0.0, i as f64 * 2.0));
+        }
+        for i in 0..5 {
+            xyt.push((95.0 + (i % 2) as f64 * 0.1, 0.0, 40.0 + i as f64 * 5.0));
+        }
+        for i in 0..10 {
+            xyt.push((200.0 + i as f64 * 5.0, 0.0, 10_000.0 + i as f64 * 2.0));
+        }
+        let raw = t(&xyt);
+        let sessions = split_by_gap(&raw, 1_000.0, 5);
+        assert_eq!(sessions.len(), 2);
+        for s in &sessions {
+            let cleaned = collapse_stops(s, 1.0, 8.0);
+            let resampled = resample_uniform(&cleaned, 4.0);
+            assert!(resampled.len() >= 2);
+            for w in resampled.points().windows(2) {
+                assert!(w[1].t >= w[0].t);
+            }
+        }
+    }
+}

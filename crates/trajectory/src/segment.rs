@@ -1,0 +1,147 @@
+//! Anchor segments and the point-vs-segment geometry used by all error
+//! measures.
+
+use crate::point::Point;
+
+/// A directed segment between two spatio-temporal points, used as the
+/// *anchor segment* approximating a run of original points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point of the segment.
+    pub start: Point,
+    /// End point of the segment.
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its two endpoints.
+    #[inline]
+    pub const fn new(start: Point, end: Point) -> Self {
+        Segment { start, end }
+    }
+
+    /// Spatial length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.start.dist(&self.end)
+    }
+
+    /// Time span of the segment.
+    #[inline]
+    pub fn time_span(&self) -> f64 {
+        self.end.t - self.start.t
+    }
+
+    /// Average speed along the segment, or `None` for a zero-duration segment.
+    #[inline]
+    pub fn speed(&self) -> Option<f64> {
+        self.start.speed_to(&self.end)
+    }
+
+    /// Direction of the segment in radians, or `None` if degenerate in space.
+    #[inline]
+    pub fn direction(&self) -> Option<f64> {
+        self.start.direction_to(&self.end)
+    }
+
+    /// Time-synchronized position on the segment at time `t`
+    /// (linear interpolation between the endpoint timestamps).
+    #[inline]
+    pub fn position_at(&self, t: f64) -> (f64, f64) {
+        self.start.interpolate_at(&self.end, t)
+    }
+
+    /// Distance from location `(px, py)` to this segment (clamped to the
+    /// segment, i.e. the distance to the nearest point *on* the segment).
+    pub fn dist_to_segment(&self, px: f64, py: f64) -> f64 {
+        let (ax, ay) = (self.start.x, self.start.y);
+        let (bx, by) = (self.end.x, self.end.y);
+        let (dx, dy) = (bx - ax, by - ay);
+        let len_sq = dx * dx + dy * dy;
+        if len_sq == 0.0 {
+            return (px - ax).hypot(py - ay);
+        }
+        let r = (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0);
+        let (cx, cy) = (ax + r * dx, ay + r * dy);
+        (px - cx).hypot(py - cy)
+    }
+
+    /// Perpendicular distance from location `(px, py)` to the supporting
+    /// *line* of the segment (unclamped). Falls back to point distance for a
+    /// spatially degenerate segment.
+    pub fn dist_to_line(&self, px: f64, py: f64) -> f64 {
+        let (ax, ay) = (self.start.x, self.start.y);
+        let (bx, by) = (self.end.x, self.end.y);
+        let (dx, dy) = (bx - ax, by - ay);
+        let len = (dx * dx + dy * dy).sqrt();
+        if len == 0.0 {
+            return (px - ax).hypot(py - ay);
+        }
+        ((px - ax) * dy - (py - ay) * dx).abs() / len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, at: f64, bx: f64, by: f64, bt: f64) -> Segment {
+        Segment::new(Point::new(ax, ay, at), Point::new(bx, by, bt))
+    }
+
+    #[test]
+    fn length_speed_direction() {
+        let s = seg(0.0, 0.0, 0.0, 3.0, 4.0, 5.0);
+        assert_eq!(s.length(), 5.0);
+        assert_eq!(s.speed(), Some(1.0));
+        assert!((s.direction().unwrap() - (4.0f64).atan2(3.0)).abs() < 1e-12);
+        assert_eq!(s.time_span(), 5.0);
+    }
+
+    #[test]
+    fn degenerate_segment_speed_direction() {
+        let s = seg(1.0, 1.0, 2.0, 1.0, 1.0, 2.0);
+        assert_eq!(s.speed(), None);
+        assert_eq!(s.direction(), None);
+    }
+
+    #[test]
+    fn position_at_synchronizes_by_time() {
+        let s = seg(0.0, 0.0, 10.0, 10.0, 0.0, 20.0);
+        let (x, y) = s.position_at(12.5);
+        assert!((x - 2.5).abs() < 1e-12);
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    fn dist_to_segment_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 0.0, 10.0, 0.0, 1.0);
+        // Perpendicular foot inside the segment.
+        assert!((s.dist_to_segment(5.0, 3.0) - 3.0).abs() < 1e-12);
+        // Beyond the end: clamp to endpoint distance.
+        assert!((s.dist_to_segment(13.0, 4.0) - 5.0).abs() < 1e-12);
+        // Before the start.
+        assert!((s.dist_to_segment(-3.0, 4.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_to_line_is_unclamped() {
+        let s = seg(0.0, 0.0, 0.0, 10.0, 0.0, 1.0);
+        // The same point beyond the end has a smaller *line* distance.
+        assert!((s.dist_to_line(13.0, 4.0) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_to_line_degenerate_falls_back_to_point() {
+        let s = seg(1.0, 1.0, 0.0, 1.0, 1.0, 1.0);
+        assert!((s.dist_to_line(4.0, 5.0) - 5.0).abs() < 1e-12);
+        assert!((s.dist_to_segment(4.0, 5.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_on_segment_has_zero_distance() {
+        let s = seg(0.0, 0.0, 0.0, 4.0, 4.0, 1.0);
+        assert!(s.dist_to_segment(2.0, 2.0) < 1e-12);
+        assert!(s.dist_to_line(2.0, 2.0) < 1e-12);
+    }
+}

@@ -1,0 +1,203 @@
+//! Whole-trajectory similarity metrics: discrete Fréchet distance and
+//! dynamic time warping.
+//!
+//! The paper's four measures score a simplification through anchor
+//! segments; Fréchet and DTW are the standard *curve-to-curve* metrics used
+//! across the trajectory literature to sanity-check that a simplified
+//! trajectory still "is" the original. The harness reports them in the case
+//! study, and they are useful for downstream users comparing arbitrary
+//! trajectories (not just a trajectory against its own simplification).
+
+use crate::point::Point;
+
+/// Discrete Fréchet distance between two point sequences (the classic
+/// O(n·m) dynamic program of Eiter & Mannila).
+///
+/// Returns 0 for two empty sequences and `+∞` when exactly one is empty.
+pub fn frechet_distance(a: &[Point], b: &[Point]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    // Rolling-row DP over the coupling table.
+    let m = b.len();
+    let mut prev = vec![0.0f64; m];
+    let mut cur = vec![0.0f64; m];
+    for (i, pa) in a.iter().enumerate() {
+        for (j, pb) in b.iter().enumerate() {
+            let d = pa.dist(pb);
+            cur[j] = if i == 0 && j == 0 {
+                d
+            } else if i == 0 {
+                d.max(cur[j - 1])
+            } else if j == 0 {
+                d.max(prev[j])
+            } else {
+                d.max(prev[j].min(prev[j - 1]).min(cur[j - 1]))
+            };
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+/// Dynamic-time-warping distance between two point sequences with
+/// Euclidean ground distance and unit step weights (sum of matched
+/// distances along the optimal warping path).
+///
+/// `window` optionally constrains the warp to a Sakoe–Chiba band of the
+/// given half-width (|i·m/n − j| ≤ window), the usual speed/locality
+/// control; `None` means unconstrained.
+///
+/// Returns 0 for two empty sequences and `+∞` when exactly one is empty or
+/// the band admits no path.
+pub fn dtw_distance(a: &[Point], b: &[Point], window: Option<usize>) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return f64::INFINITY,
+        _ => {}
+    }
+    let (n, m) = (a.len(), b.len());
+    let scale = m as f64 / n as f64;
+    let band = |i: usize, j: usize| -> bool {
+        match window {
+            None => true,
+            Some(w) => {
+                let center = (i as f64 + 0.5) * scale - 0.5;
+                (j as f64 - center).abs() <= w as f64
+            }
+        }
+    };
+    let mut prev = vec![f64::INFINITY; m];
+    let mut cur = vec![f64::INFINITY; m];
+    for (i, pa) in a.iter().enumerate() {
+        cur.fill(f64::INFINITY);
+        for (j, pb) in b.iter().enumerate() {
+            if !band(i, j) {
+                continue;
+            }
+            let d = pa.dist(pb);
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let mut best = f64::INFINITY;
+                if i > 0 {
+                    best = best.min(prev[j]);
+                }
+                if j > 0 {
+                    best = best.min(cur[j - 1]);
+                }
+                if i > 0 && j > 0 {
+                    best = best.min(prev[j - 1]);
+                }
+                best
+            };
+            cur[j] = d + best_prev;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(v: &[(f64, f64)]) -> Vec<Point> {
+        v.iter().enumerate().map(|(i, &(x, y))| Point::new(x, y, i as f64)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = pts(&[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(frechet_distance(&a, &a), 0.0);
+        assert_eq!(dtw_distance(&a, &a, None), 0.0);
+    }
+
+    #[test]
+    fn frechet_is_symmetric() {
+        let a = pts(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        let b = pts(&[(0.0, 2.0), (10.0, 3.0)]);
+        assert_eq!(frechet_distance(&a, &b), frechet_distance(&b, &a));
+    }
+
+    #[test]
+    fn frechet_parallel_lines() {
+        // Two parallel horizontal lines 2 apart: Fréchet = 2.
+        let a = pts(&[(0.0, 0.0), (5.0, 0.0), (10.0, 0.0)]);
+        let b = pts(&[(0.0, 2.0), (5.0, 2.0), (10.0, 2.0)]);
+        assert!((frechet_distance(&a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frechet_dominates_each_endpoint_gap() {
+        let a = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        let b = pts(&[(0.0, 5.0), (10.0, 1.0)]);
+        let f = frechet_distance(&a, &b);
+        assert!(f >= 5.0 - 1e-12, "{f}");
+    }
+
+    #[test]
+    fn discrete_frechet_couples_to_nearest_vertex() {
+        // Discrete Fréchet has no interpolation: the sparse sequence's
+        // vertices must absorb the dense one's, so the distance is the
+        // worst point-to-nearest-vertex gap (here: x = 4 or 6 → 4), not 0
+        // as the continuous Fréchet distance would give.
+        let a = pts(&[(0.0, 0.0), (2.0, 0.0), (4.0, 0.0), (6.0, 0.0), (8.0, 0.0), (10.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        assert!((frechet_distance(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_accumulates_along_the_path() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        // Diagonal matching: 3 pairs at distance 1.
+        assert!((dtw_distance(&a, &b, None) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_window_restricts_warping() {
+        // A big time shift needs warping; a tight band forbids it, so the
+        // banded distance is at least the unconstrained one.
+        let a = pts(&[(0.0, 0.0), (0.0, 0.0), (0.0, 0.0), (10.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (10.0, 0.0), (10.0, 0.0), (10.0, 0.0)]);
+        let free = dtw_distance(&a, &b, None);
+        let tight = dtw_distance(&a, &b, Some(0));
+        assert!(tight >= free, "tight {tight} < free {free}");
+        assert!(tight.is_finite()); // the diagonal is always inside the band
+    }
+
+    #[test]
+    fn empty_sequence_conventions() {
+        let a = pts(&[(0.0, 0.0)]);
+        assert_eq!(frechet_distance(&[], &[]), 0.0);
+        assert_eq!(dtw_distance(&[], &[], None), 0.0);
+        assert_eq!(frechet_distance(&a, &[]), f64::INFINITY);
+        assert_eq!(dtw_distance(&[], &a, Some(3)), f64::INFINITY);
+    }
+
+    #[test]
+    fn simplification_keeps_frechet_small() {
+        // Dropping near-collinear points barely moves the curve.
+        let a: Vec<Point> = (0..50)
+            .map(|i| Point::new(i as f64, (i as f64 * 0.1).sin() * 0.2, i as f64))
+            .collect();
+        let kept: Vec<Point> = a.iter().step_by(7).chain(std::iter::once(&a[49])).copied().collect();
+        let f = frechet_distance(&a, &kept);
+        // Discrete Fréchet is bounded by half the kept spacing (≤ 3.5 in x)
+        // plus the curve's small amplitude.
+        assert!(f < 4.0, "{f}");
+    }
+
+    #[test]
+    fn frechet_monotone_under_refinement_of_same_polyline() {
+        // Adding intermediate points of the same polyline cannot increase
+        // the distance to the original by much (sanity, not an identity).
+        let a: Vec<Point> = (0..30).map(|i| Point::new(i as f64, (i % 5) as f64, i as f64)).collect();
+        let coarse: Vec<Point> = a.iter().step_by(10).chain(std::iter::once(&a[29])).copied().collect();
+        let fine: Vec<Point> = a.iter().step_by(3).chain(std::iter::once(&a[29])).copied().collect();
+        assert!(frechet_distance(&a, &fine) <= frechet_distance(&a, &coarse) + 1e-9);
+    }
+}

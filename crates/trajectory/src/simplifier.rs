@@ -1,0 +1,79 @@
+//! Common interfaces implemented by every simplification algorithm in the
+//! workspace (baselines and the RLTS family alike).
+
+use crate::point::Point;
+
+/// A batch-mode simplifier: sees the whole trajectory and returns the kept
+/// indices.
+pub trait BatchSimplifier {
+    /// Short algorithm name for reports (e.g. `"Bottom-Up"`).
+    fn name(&self) -> &'static str;
+
+    /// Simplifies `pts` down to at most `w` points, returning the kept
+    /// 0-based indices in ascending order. The first and last index are
+    /// always kept. If `pts.len() <= w` all indices are returned.
+    ///
+    /// # Panics
+    /// Implementations may panic if `w < 2` or `pts.len() < 2`.
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize>;
+}
+
+/// An online-mode simplifier: consumes the stream point by point while
+/// holding at most `w` points in its buffer.
+pub trait OnlineSimplifier {
+    /// Short algorithm name for reports (e.g. `"SQUISH"`).
+    fn name(&self) -> &'static str;
+
+    /// Starts a new stream with buffer budget `w`.
+    ///
+    /// # Panics
+    /// Implementations may panic if `w < 2`.
+    fn begin(&mut self, w: usize);
+
+    /// Feeds the next stream point.
+    fn observe(&mut self, p: Point);
+
+    /// Ends the stream and returns the kept stream positions (0-based, in
+    /// ascending order).
+    fn finish(&mut self) -> Vec<usize>;
+
+    /// Convenience wrapper running a whole point slice through the stream
+    /// interface.
+    fn run(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        self.begin(w);
+        for &p in pts {
+            self.observe(p);
+        }
+        self.finish()
+    }
+}
+
+/// A simplifier for the *dual* Min-Size problem (paper §II): keep as few
+/// points as possible subject to an error bound `epsilon`.
+pub trait ErrorBoundedSimplifier {
+    /// Short algorithm name for reports (e.g. `"Split"`).
+    fn name(&self) -> &'static str;
+
+    /// Simplifies `pts` keeping as few points as the algorithm manages while
+    /// guaranteeing the simplification error stays within `epsilon`.
+    /// Returns the kept 0-based indices in ascending order, always including
+    /// both endpoints.
+    ///
+    /// # Panics
+    /// Implementations may panic if `epsilon` is negative or `pts.len() < 2`.
+    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize>;
+}
+
+/// Adapts an online simplifier into a batch one (the paper runs its online
+/// algorithms in batch-mode comparisons this way).
+pub struct OnlineAsBatch<T>(pub T);
+
+impl<T: OnlineSimplifier> BatchSimplifier for OnlineAsBatch<T> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        self.0.run(pts, w)
+    }
+}

@@ -1,0 +1,118 @@
+//! Dataset statistics in the format of the paper's Table I.
+
+use crate::traj::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a trajectory dataset (paper Table I rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of trajectories.
+    pub trajectories: usize,
+    /// Total number of points over all trajectories.
+    pub total_points: usize,
+    /// Average number of points per trajectory.
+    pub avg_points: f64,
+    /// Minimum observed inter-point sampling interval (seconds).
+    pub min_interval: f64,
+    /// Maximum observed inter-point sampling interval (seconds).
+    pub max_interval: f64,
+    /// Mean inter-point sampling interval (seconds).
+    pub mean_interval: f64,
+    /// Mean distance between consecutive points.
+    pub mean_hop_distance: f64,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a dataset of trajectories.
+    pub fn compute(dataset: &[Trajectory]) -> DatasetStats {
+        let trajectories = dataset.len();
+        let total_points: usize = dataset.iter().map(|t| t.len()).sum();
+        let mut min_interval = f64::INFINITY;
+        let mut max_interval = f64::NEG_INFINITY;
+        let mut interval_sum = 0.0;
+        let mut hop_sum = 0.0;
+        let mut hops = 0usize;
+        for t in dataset {
+            for w in t.points().windows(2) {
+                let dt = w[1].t - w[0].t;
+                min_interval = min_interval.min(dt);
+                max_interval = max_interval.max(dt);
+                interval_sum += dt;
+                hop_sum += w[0].dist(&w[1]);
+                hops += 1;
+            }
+        }
+        let avg_points = if trajectories == 0 { 0.0 } else { total_points as f64 / trajectories as f64 };
+        let (min_interval, max_interval) = if hops == 0 { (0.0, 0.0) } else { (min_interval, max_interval) };
+        let denom = hops.max(1) as f64;
+        DatasetStats {
+            trajectories,
+            total_points,
+            avg_points,
+            min_interval,
+            max_interval,
+            mean_interval: interval_sum / denom,
+            mean_hop_distance: hop_sum / denom,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "# of trajectories       {}", self.trajectories)?;
+        writeln!(f, "total # of points       {}", self.total_points)?;
+        writeln!(f, "avg points / trajectory {:.0}", self.avg_points)?;
+        writeln!(f, "sampling rate           {:.0}s ~ {:.0}s (mean {:.1}s)", self.min_interval, self.max_interval, self.mean_interval)?;
+        write!(f, "average distance        {:.2}m", self.mean_hop_distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn traj(step_t: f64, step_x: f64, n: usize) -> Trajectory {
+        Trajectory::new(
+            (0..n).map(|i| Point::new(i as f64 * step_x, 0.0, i as f64 * step_t)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stats_of_uniform_dataset() {
+        let data = vec![traj(2.0, 3.0, 5), traj(2.0, 3.0, 5)];
+        let s = DatasetStats::compute(&data);
+        assert_eq!(s.trajectories, 2);
+        assert_eq!(s.total_points, 10);
+        assert_eq!(s.avg_points, 5.0);
+        assert_eq!(s.min_interval, 2.0);
+        assert_eq!(s.max_interval, 2.0);
+        assert!((s.mean_hop_distance - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_mixed_intervals() {
+        let t = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 6.0)]).unwrap();
+        let s = DatasetStats::compute(&[t]);
+        assert_eq!(s.min_interval, 1.0);
+        assert_eq!(s.max_interval, 5.0);
+        assert!((s.mean_interval - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_dataset() {
+        let s = DatasetStats::compute(&[]);
+        assert_eq!(s.trajectories, 0);
+        assert_eq!(s.total_points, 0);
+        assert_eq!(s.mean_hop_distance, 0.0);
+        assert_eq!(s.min_interval, 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = DatasetStats::compute(&[traj(1.0, 1.0, 3)]);
+        let text = s.to_string();
+        assert!(text.contains("# of trajectories       1"));
+    }
+}

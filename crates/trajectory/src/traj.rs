@@ -1,0 +1,280 @@
+//! Trajectories: ordered sequences of spatio-temporal points.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// A trajectory `T = ⟨p_1, …, p_n⟩`: a sequence of points with
+/// non-decreasing timestamps.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<Point>,
+}
+
+/// Errors arising when validating or constructing trajectories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// Timestamps must be non-decreasing; holds the offending index.
+    TimeNotMonotone(usize),
+    /// A coordinate or timestamp was NaN or infinite; holds the offending index.
+    NonFinite(usize),
+    /// The operation requires at least this many points.
+    TooShort {
+        /// Number of points required by the operation.
+        required: usize,
+        /// Number of points actually present.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrajectoryError::TimeNotMonotone(i) => {
+                write!(f, "timestamp at index {i} is smaller than its predecessor")
+            }
+            TrajectoryError::NonFinite(i) => {
+                write!(f, "non-finite coordinate or timestamp at index {i}")
+            }
+            TrajectoryError::TooShort { required, actual } => {
+                write!(f, "trajectory too short: need {required} points, have {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+impl Trajectory {
+    /// Creates a trajectory after validating finiteness and time monotonicity.
+    pub fn new(points: Vec<Point>) -> Result<Self, TrajectoryError> {
+        for (i, p) in points.iter().enumerate() {
+            if !(p.x.is_finite() && p.y.is_finite() && p.t.is_finite()) {
+                return Err(TrajectoryError::NonFinite(i));
+            }
+            if i > 0 && p.t < points[i - 1].t {
+                return Err(TrajectoryError::TimeNotMonotone(i));
+            }
+        }
+        Ok(Trajectory { points })
+    }
+
+    /// Creates a trajectory without validation.
+    ///
+    /// Use only for inputs known to be well-formed (e.g. generator output);
+    /// downstream error measures assume monotone finite timestamps.
+    pub fn new_unchecked(points: Vec<Point>) -> Self {
+        Trajectory { points }
+    }
+
+    /// Builds a trajectory from `(x, y, t)` triples (validated).
+    pub fn from_xyt(triples: &[(f64, f64, f64)]) -> Result<Self, TrajectoryError> {
+        Self::new(triples.iter().map(|&(x, y, t)| Point::new(x, y, t)).collect())
+    }
+
+    /// Number of points `|T|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trajectory has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points as a slice.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The point at `idx` (0-based), if present.
+    #[inline]
+    pub fn get(&self, idx: usize) -> Option<&Point> {
+        self.points.get(idx)
+    }
+
+    /// The first point, if any.
+    pub fn first(&self) -> Option<&Point> {
+        self.points.first()
+    }
+
+    /// The last point, if any.
+    pub fn last(&self) -> Option<&Point> {
+        self.points.last()
+    }
+
+    /// The subtrajectory `T[i:j]` (inclusive, 0-based), as an owned copy.
+    ///
+    /// # Panics
+    /// Panics if `i > j` or `j >= len`.
+    pub fn subtrajectory(&self, i: usize, j: usize) -> Trajectory {
+        assert!(i <= j && j < self.points.len(), "invalid subtrajectory range [{i}, {j}]");
+        Trajectory { points: self.points[i..=j].to_vec() }
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point> {
+        self.points.iter()
+    }
+
+    /// Total path length (sum of consecutive inter-point distances).
+    pub fn path_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].dist(&w[1])).sum()
+    }
+
+    /// Duration from first to last timestamp (0 for fewer than 2 points).
+    pub fn duration(&self) -> f64 {
+        match (self.points.first(), self.points.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// Mean distance between consecutive points (0 for fewer than 2 points).
+    pub fn mean_hop_distance(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        self.path_length() / (self.points.len() - 1) as f64
+    }
+
+    /// Mean time between consecutive points (0 for fewer than 2 points).
+    pub fn mean_sampling_interval(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        self.duration() / (self.points.len() - 1) as f64
+    }
+
+    /// Extracts the simplified trajectory keeping exactly the given sorted,
+    /// deduplicated 0-based indices.
+    ///
+    /// # Panics
+    /// Panics if indices are not strictly increasing or out of bounds.
+    pub fn select(&self, indices: &[usize]) -> Trajectory {
+        let mut pts = Vec::with_capacity(indices.len());
+        let mut prev: Option<usize> = None;
+        for &i in indices {
+            assert!(i < self.points.len(), "index {i} out of bounds");
+            if let Some(p) = prev {
+                assert!(i > p, "indices must be strictly increasing");
+            }
+            prev = Some(i);
+            pts.push(self.points[i]);
+        }
+        Trajectory { points: pts }
+    }
+}
+
+impl Index<usize> for Trajectory {
+    type Output = Point;
+    #[inline]
+    fn index(&self, idx: usize) -> &Point {
+        &self.points[idx]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trajectory {
+    type Item = &'a Point;
+    type IntoIter = std::slice::Iter<'a, Point>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl From<Trajectory> for Vec<Point> {
+    fn from(t: Trajectory) -> Vec<Point> {
+        t.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize) -> Trajectory {
+        Trajectory::new((0..n).map(|i| Point::new(i as f64, 0.0, i as f64)).collect()).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_non_monotone_time() {
+        let r = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 2.0), (2.0, 0.0, 1.0)]);
+        assert_eq!(r.unwrap_err(), TrajectoryError::TimeNotMonotone(2));
+    }
+
+    #[test]
+    fn new_accepts_equal_timestamps() {
+        // Equal timestamps are legal (bursty sensors); only decreases are not.
+        assert!(Trajectory::from_xyt(&[(0.0, 0.0, 5.0), (1.0, 0.0, 5.0)]).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_nan() {
+        let r = Trajectory::from_xyt(&[(0.0, f64::NAN, 0.0)]);
+        assert_eq!(r.unwrap_err(), TrajectoryError::NonFinite(0));
+    }
+
+    #[test]
+    fn new_rejects_infinite_timestamp() {
+        let r = Trajectory::from_xyt(&[(0.0, 0.0, f64::INFINITY)]);
+        assert_eq!(r.unwrap_err(), TrajectoryError::NonFinite(0));
+    }
+
+    #[test]
+    fn empty_trajectory_ok() {
+        let t = Trajectory::new(vec![]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.duration(), 0.0);
+        assert_eq!(t.path_length(), 0.0);
+    }
+
+    #[test]
+    fn subtrajectory_bounds() {
+        let t = line(5);
+        let s = t.subtrajectory(1, 3);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].x, 1.0);
+        assert_eq!(s[2].x, 3.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn subtrajectory_invalid_range_panics() {
+        line(5).subtrajectory(3, 1);
+    }
+
+    #[test]
+    fn path_length_and_duration() {
+        let t = line(4);
+        assert_eq!(t.path_length(), 3.0);
+        assert_eq!(t.duration(), 3.0);
+        assert_eq!(t.mean_hop_distance(), 1.0);
+        assert_eq!(t.mean_sampling_interval(), 1.0);
+    }
+
+    #[test]
+    fn select_keeps_given_indices() {
+        let t = line(6);
+        let s = t.select(&[0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1].x, 2.0);
+        assert_eq!(s[2].x, 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn select_rejects_unsorted() {
+        line(6).select(&[0, 3, 2]);
+    }
+
+    #[test]
+    fn iteration_matches_points() {
+        let t = line(3);
+        let xs: Vec<f64> = t.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![0.0, 1.0, 2.0]);
+    }
+}

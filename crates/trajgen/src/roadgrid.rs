@@ -1,0 +1,232 @@
+//! A Manhattan-style road-grid walker: movement locked to axis-aligned
+//! streets with turns only at intersections.
+//!
+//! The free-space walker ([`crate::Walker`]) matches the paper's datasets
+//! statistically; the grid walker is a structurally different workload —
+//! long perfectly straight runs punctuated by exact 90° turns — that
+//! maximally separates direction-aware (DAD) from position-aware (SED/PED)
+//! simplification and resembles dense urban taxi traces.
+
+use rand::Rng;
+use trajectory::{Point, Trajectory};
+
+/// Road-grid walk parameters. Lengths in meters, times in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoadGridConfig {
+    /// Distance between intersections.
+    pub block_size: f64,
+    /// Cruising speed along streets.
+    pub speed: f64,
+    /// Relative speed fluctuation per sample.
+    pub speed_jitter: f64,
+    /// Sampling interval range.
+    pub dt_min: f64,
+    /// Sampling interval range.
+    pub dt_max: f64,
+    /// Probability of turning (left or right) at an intersection.
+    pub turn_prob: f64,
+    /// Probability of a short stop at an intersection (a red light).
+    pub stop_prob: f64,
+    /// Positional GPS noise standard deviation.
+    pub gps_noise: f64,
+}
+
+impl Default for RoadGridConfig {
+    fn default() -> Self {
+        RoadGridConfig {
+            block_size: 200.0,
+            speed: 9.0,
+            speed_jitter: 0.2,
+            dt_min: 2.0,
+            dt_max: 6.0,
+            turn_prob: 0.5,
+            stop_prob: 0.2,
+            gps_noise: 2.0,
+        }
+    }
+}
+
+/// Cardinal directions of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Heading {
+    East,
+    North,
+    West,
+    South,
+}
+
+impl Heading {
+    fn unit(self) -> (f64, f64) {
+        match self {
+            Heading::East => (1.0, 0.0),
+            Heading::North => (0.0, 1.0),
+            Heading::West => (-1.0, 0.0),
+            Heading::South => (0.0, -1.0),
+        }
+    }
+
+    fn left(self) -> Heading {
+        match self {
+            Heading::East => Heading::North,
+            Heading::North => Heading::West,
+            Heading::West => Heading::South,
+            Heading::South => Heading::East,
+        }
+    }
+
+    fn right(self) -> Heading {
+        self.left().left().left()
+    }
+}
+
+/// Generates one road-grid trajectory of `n` points.
+///
+/// # Panics
+/// Panics if the configuration is inconsistent.
+pub fn generate_road_grid<R: Rng + ?Sized>(cfg: &RoadGridConfig, n: usize, rng: &mut R) -> Trajectory {
+    assert!(cfg.block_size > 0.0, "block size must be positive");
+    assert!(cfg.speed > 0.0, "speed must be positive");
+    assert!(cfg.dt_min > 0.0 && cfg.dt_max >= cfg.dt_min, "invalid sampling range");
+    assert!((0.0..=1.0).contains(&(cfg.turn_prob + cfg.stop_prob)), "probabilities exceed 1");
+
+    let mut pts = Vec::with_capacity(n);
+    let mut x = 0.0f64;
+    let mut y = 0.0f64;
+    let mut t = 0.0f64;
+    let mut heading = Heading::East;
+    // Distance until the next intersection along the current street.
+    let mut to_next = cfg.block_size;
+    let mut stopped_for = 0usize;
+
+    for _ in 0..n {
+        let nx = x + noise(rng) * cfg.gps_noise;
+        let ny = y + noise(rng) * cfg.gps_noise;
+        pts.push(Point::new(nx, ny, t));
+
+        let dt = if cfg.dt_max > cfg.dt_min { rng.random_range(cfg.dt_min..cfg.dt_max) } else { cfg.dt_min };
+        t += dt;
+        if stopped_for > 0 {
+            stopped_for -= 1;
+            continue;
+        }
+        let mut travel = cfg.speed * (1.0 + noise(rng) * cfg.speed_jitter).max(0.1) * dt;
+        // Walk street by street, handling intersections along the way.
+        while travel > 0.0 {
+            let step = travel.min(to_next);
+            let (ux, uy) = heading.unit();
+            x += ux * step;
+            y += uy * step;
+            to_next -= step;
+            travel -= step;
+            if to_next <= 0.0 {
+                // At an intersection: maybe stop, maybe turn.
+                to_next = cfg.block_size;
+                let u: f64 = rng.random_range(0.0..1.0);
+                if u < cfg.stop_prob {
+                    stopped_for = rng.random_range(1..4);
+                    travel = 0.0;
+                } else if u < cfg.stop_prob + cfg.turn_prob {
+                    heading = if rng.random_range(0.0..1.0f64) < 0.5 {
+                        heading.left()
+                    } else {
+                        heading.right()
+                    };
+                }
+            }
+        }
+    }
+    Trajectory::new(pts).expect("grid walk is valid by construction")
+}
+
+/// Standard normal via Box–Muller.
+fn noise<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> RoadGridConfig {
+        RoadGridConfig { gps_noise: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn produces_valid_trajectory() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = generate_road_grid(&cfg(), 500, &mut rng);
+        assert_eq!(t.len(), 500);
+        for w in t.points().windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn movement_is_axis_aligned_between_intersections() {
+        // Without GPS noise, every hop's displacement is axis-aligned or a
+        // (rare) L-shape when an intersection fell inside the hop — so at
+        // least one axis component of most hops is ~0.
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = generate_road_grid(&cfg(), 400, &mut rng);
+        let axis_aligned = t
+            .points()
+            .windows(2)
+            .filter(|w| {
+                let dx = (w[1].x - w[0].x).abs();
+                let dy = (w[1].y - w[0].y).abs();
+                dx < 1e-9 || dy < 1e-9
+            })
+            .count();
+        assert!(axis_aligned * 10 >= 400 * 5, "only {axis_aligned}/400 hops axis-aligned");
+    }
+
+    #[test]
+    fn positions_stay_on_the_street_grid() {
+        // Noise-free walk: at any time, x or y is a multiple of block_size
+        // (the walker is on a street).
+        let mut rng = StdRng::seed_from_u64(3);
+        let c = cfg();
+        let t = generate_road_grid(&c, 300, &mut rng);
+        for p in t.points() {
+            let fx = (p.x / c.block_size).fract().abs();
+            let fy = (p.y / c.block_size).fract().abs();
+            let on_grid_x = !(1e-6..=1.0 - 1e-6).contains(&fx);
+            let on_grid_y = !(1e-6..=1.0 - 1e-6).contains(&fy);
+            assert!(on_grid_x || on_grid_y, "off-street at ({}, {})", p.x, p.y);
+        }
+    }
+
+    #[test]
+    fn straight_config_never_turns() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = RoadGridConfig { turn_prob: 0.0, stop_prob: 0.0, gps_noise: 0.0, ..Default::default() };
+        let t = generate_road_grid(&c, 100, &mut rng);
+        for p in t.points() {
+            assert!(p.y.abs() < 1e-9, "left the initial street: y = {}", p.y);
+        }
+        assert!(t.last().unwrap().x > t.first().unwrap().x);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_road_grid(&cfg(), 200, &mut StdRng::seed_from_u64(5));
+        let b = generate_road_grid(&cfg(), 200, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dad_distinguishes_grid_from_straight() {
+        // On grid data with turns, keeping only endpoints destroys heading
+        // information (DAD near π/2); Bottom-Up under DAD must do far
+        // better than that.
+        use trajectory::error::{simplification_error, Aggregation, Measure};
+        let mut rng = StdRng::seed_from_u64(6);
+        let t = generate_road_grid(&cfg(), 200, &mut rng);
+        let endpoints = simplification_error(Measure::Dad, t.points(), &[0, 199], Aggregation::Max);
+        assert!(endpoints > 0.5, "grid walk should have strong turns: {endpoints}");
+    }
+}

@@ -1,0 +1,227 @@
+//! The mode-switching correlated random walk behind every preset.
+
+use rand::Rng;
+use trajectory::{Point, Trajectory};
+
+/// Tunable parameters of the walk. All lengths are meters, times seconds,
+/// speeds m/s, angles radians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Minimum sampling interval.
+    pub dt_min: f64,
+    /// Maximum sampling interval.
+    pub dt_max: f64,
+    /// Typical cruising speed.
+    pub cruise_speed: f64,
+    /// Relative speed fluctuation per step (fraction of cruise speed).
+    pub speed_jitter: f64,
+    /// Heading change per second while turning (radians/s, scaled by dt).
+    pub turn_rate: f64,
+    /// Standard deviation of positional GPS noise.
+    pub gps_noise: f64,
+    /// Mean duration of a movement regime, in points.
+    pub mean_mode_len: f64,
+    /// Probability that the next regime is a stop.
+    pub stop_prob: f64,
+    /// Probability that the next regime is a turn.
+    pub turn_prob: f64,
+    /// Probability that the next regime is a meander (noisy heading).
+    pub meander_prob: f64,
+}
+
+/// Movement regimes of the walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Straight-line travel at near-constant speed.
+    Cruise,
+    /// Smooth turn at a constant angular rate (sign in payload).
+    Turn(bool),
+    /// (Nearly) stationary.
+    Stop,
+    /// Noisy heading changes every step.
+    Meander,
+}
+
+/// Stateful walker producing one trajectory per [`Walker::generate`] call.
+#[derive(Debug, Clone)]
+pub struct Walker {
+    cfg: GeneratorConfig,
+}
+
+impl Walker {
+    /// Creates a walker for a configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent (non-positive intervals,
+    /// regime probabilities exceeding 1, …).
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        assert!(cfg.dt_min > 0.0 && cfg.dt_max >= cfg.dt_min, "invalid sampling interval range");
+        assert!(cfg.cruise_speed > 0.0, "cruise speed must be positive");
+        assert!(cfg.mean_mode_len >= 1.0, "regimes must last at least one point");
+        let p = cfg.stop_prob + cfg.turn_prob + cfg.meander_prob;
+        assert!((0.0..=1.0).contains(&p), "regime probabilities must sum to at most 1");
+        Walker { cfg }
+    }
+
+    /// Generates a trajectory of exactly `n` points.
+    pub fn generate<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Trajectory {
+        let cfg = &self.cfg;
+        let mut pts = Vec::with_capacity(n);
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        let mut t = 0.0f64;
+        let mut heading: f64 = rng.random_range(-std::f64::consts::PI..std::f64::consts::PI);
+        let mut speed;
+        let mut mode = Mode::Cruise;
+        let mut mode_left = self.sample_mode_len(rng);
+
+        for _ in 0..n {
+            let noise_x = gaussian(rng) * cfg.gps_noise;
+            let noise_y = gaussian(rng) * cfg.gps_noise;
+            pts.push(Point::new(x + noise_x, y + noise_y, t));
+
+            // Advance the true state to the next sample.
+            let dt = if cfg.dt_max > cfg.dt_min {
+                rng.random_range(cfg.dt_min..cfg.dt_max)
+            } else {
+                cfg.dt_min
+            };
+            match mode {
+                Mode::Cruise => {
+                    speed = self.jittered_speed(rng);
+                }
+                Mode::Turn(left) => {
+                    let sign = if left { 1.0 } else { -1.0 };
+                    heading += sign * cfg.turn_rate * dt.min(30.0);
+                    speed = self.jittered_speed(rng) * 0.8;
+                }
+                Mode::Stop => {
+                    speed = cfg.cruise_speed * 0.02 * rng.random_range(0.0..1.0);
+                }
+                Mode::Meander => {
+                    heading += gaussian(rng) * 0.8;
+                    speed = self.jittered_speed(rng) * 0.6;
+                }
+            }
+            x += speed * dt * heading.cos();
+            y += speed * dt * heading.sin();
+            t += dt;
+
+            mode_left -= 1;
+            if mode_left == 0 {
+                mode = self.sample_mode(rng);
+                mode_left = self.sample_mode_len(rng);
+                if matches!(mode, Mode::Cruise) {
+                    // A fresh cruise usually follows a junction: small kink.
+                    heading += gaussian(rng) * 0.3;
+                }
+            }
+        }
+        Trajectory::new(pts).expect("walker output is valid by construction")
+    }
+
+    fn jittered_speed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let j = 1.0 + gaussian(rng) * self.cfg.speed_jitter;
+        (self.cfg.cruise_speed * j).max(0.0)
+    }
+
+    fn sample_mode<R: Rng + ?Sized>(&self, rng: &mut R) -> Mode {
+        let u: f64 = rng.random_range(0.0..1.0);
+        let c = &self.cfg;
+        if u < c.stop_prob {
+            Mode::Stop
+        } else if u < c.stop_prob + c.turn_prob {
+            Mode::Turn(rng.random_range(0.0..1.0f64) < 0.5)
+        } else if u < c.stop_prob + c.turn_prob + c.meander_prob {
+            Mode::Meander
+        } else {
+            Mode::Cruise
+        }
+    }
+
+    fn sample_mode_len<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        // Geometric-ish: exponential with the configured mean, at least 1.
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        ((-u.ln()) * self.cfg.mean_mode_len).ceil().max(1.0) as usize
+    }
+}
+
+/// Standard normal via Box–Muller (keeps `rand_distr` out of the tree).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> GeneratorConfig {
+        GeneratorConfig {
+            dt_min: 1.0,
+            dt_max: 2.0,
+            cruise_speed: 5.0,
+            speed_jitter: 0.2,
+            turn_rate: 0.3,
+            gps_noise: 0.5,
+            mean_mode_len: 10.0,
+            stop_prob: 0.1,
+            turn_prob: 0.3,
+            meander_prob: 0.2,
+        }
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Walker::new(cfg()).generate(500, &mut rng);
+        for w in t.points().windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn exact_point_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [0, 1, 2, 97] {
+            assert_eq!(Walker::new(cfg()).generate(n, &mut rng).len(), n);
+        }
+    }
+
+    #[test]
+    fn walk_actually_moves() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Walker::new(cfg()).generate(200, &mut rng);
+        assert!(t.path_length() > 100.0, "path length {}", t.path_length());
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probabilities_rejected() {
+        let mut c = cfg();
+        c.stop_prob = 0.9;
+        c.turn_prob = 0.9;
+        let _ = Walker::new(c);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_interval_rejected() {
+        let mut c = cfg();
+        c.dt_max = 0.5;
+        let _ = Walker::new(c);
+    }
+}

@@ -1,0 +1,132 @@
+//! A uniform grid over segment bounding boxes.
+//!
+//! Segments (not points) are indexed so that a range query catches
+//! trajectories that merely *cross* the window between samples — essential
+//! once simplification stretches segments over long gaps.
+
+use std::collections::HashMap;
+
+/// Key of one grid cell.
+type Cell = (i64, i64);
+
+/// A uniform-grid spatial index mapping cells to `(trajectory, segment)`
+/// pairs.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_size: f64,
+    cells: HashMap<Cell, Vec<(u32, u32)>>,
+    entries: usize,
+}
+
+impl GridIndex {
+    /// Creates an index with the given cell edge length.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not positive and finite.
+    pub fn new(cell_size: f64) -> Self {
+        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell size must be positive");
+        GridIndex { cell_size, cells: HashMap::new(), entries: 0 }
+    }
+
+    /// The configured cell edge length.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
+    /// Number of (cell → entry) postings held.
+    pub fn posting_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> Cell {
+        ((x / self.cell_size).floor() as i64, (y / self.cell_size).floor() as i64)
+    }
+
+    /// Inserts a segment's bounding box under `(traj, seg)`.
+    pub fn insert_segment(&mut self, traj: u32, seg: u32, x1: f64, y1: f64, x2: f64, y2: f64) {
+        let (cx1, cy1) = self.cell_of(x1.min(x2), y1.min(y2));
+        let (cx2, cy2) = self.cell_of(x1.max(x2), y1.max(y2));
+        for cx in cx1..=cx2 {
+            for cy in cy1..=cy2 {
+                self.cells.entry((cx, cy)).or_default().push((traj, seg));
+                self.entries += 1;
+            }
+        }
+    }
+
+    /// All `(traj, seg)` candidates whose bounding boxes may intersect the
+    /// window `[x1, x2] × [y1, y2]` (deduplicated, unordered).
+    pub fn candidates(&self, x1: f64, y1: f64, x2: f64, y2: f64) -> Vec<(u32, u32)> {
+        let (cx1, cy1) = self.cell_of(x1.min(x2), y1.min(y2));
+        let (cx2, cy2) = self.cell_of(x1.max(x2), y1.max(y2));
+        let mut out = Vec::new();
+        for cx in cx1..=cx2 {
+            for cy in cy1..=cy2 {
+                if let Some(v) = self.cells.get(&(cx, cy)) {
+                    out.extend_from_slice(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cell_segment() {
+        let mut g = GridIndex::new(10.0);
+        g.insert_segment(1, 0, 1.0, 1.0, 2.0, 2.0);
+        assert_eq!(g.cell_count(), 1);
+        assert_eq!(g.candidates(0.0, 0.0, 5.0, 5.0), vec![(1, 0)]);
+        assert!(g.candidates(20.0, 20.0, 30.0, 30.0).is_empty());
+    }
+
+    #[test]
+    fn long_segment_spans_cells() {
+        let mut g = GridIndex::new(10.0);
+        g.insert_segment(2, 7, 0.0, 5.0, 35.0, 5.0);
+        assert_eq!(g.cell_count(), 4); // x cells 0..=3
+        // A window over the middle still finds it.
+        assert_eq!(g.candidates(15.0, 0.0, 18.0, 9.0), vec![(2, 7)]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let mut g = GridIndex::new(10.0);
+        g.insert_segment(3, 1, -15.0, -15.0, -12.0, -11.0);
+        assert_eq!(g.candidates(-20.0, -20.0, -10.0, -10.0), vec![(3, 1)]);
+        assert!(g.candidates(0.0, 0.0, 5.0, 5.0).is_empty());
+    }
+
+    #[test]
+    fn candidates_deduplicate() {
+        let mut g = GridIndex::new(10.0);
+        // Segment spanning several cells, window covering all of them.
+        g.insert_segment(4, 0, 0.0, 0.0, 45.0, 0.0);
+        let c = g.candidates(-5.0, -5.0, 50.0, 5.0);
+        assert_eq!(c, vec![(4, 0)]);
+    }
+
+    #[test]
+    fn reversed_window_works() {
+        let mut g = GridIndex::new(10.0);
+        g.insert_segment(5, 0, 12.0, 12.0, 13.0, 13.0);
+        assert_eq!(g.candidates(20.0, 20.0, 5.0, 5.0), vec![(5, 0)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cell_size_rejected() {
+        let _ = GridIndex::new(0.0);
+    }
+}

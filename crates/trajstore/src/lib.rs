@@ -1,0 +1,66 @@
+//! `trajstore` — an in-memory trajectory store with a uniform-grid spatial
+//! index.
+//!
+//! The RLTS paper motivates batch-mode simplification with the server-side
+//! costs of *storing* and *querying* accumulated trajectory data (§I, §III).
+//! This crate is that substrate: a store you can fill with raw or simplified
+//! trajectories and hit with the two canonical query types —
+//!
+//! * **range queries** ([`TrajStore::range_query`]): which trajectories pass
+//!   through a spatial window (optionally within a time interval)?
+//! * **position queries** ([`TrajStore::position_at`]): where was object `id`
+//!   at time `t` (with linear interpolation along the stored segments)?
+//!
+//! Simplification shrinks the store and the index, making queries cheaper at
+//! the price of bounded error — exactly the trade-off the experiment
+//! `repro query-cost` (and the `batch_server` example) quantifies.
+//!
+//! # Example
+//!
+//! ```
+//! use trajstore::{StoreConfig, TrajStore};
+//! use trajectory::Trajectory;
+//!
+//! let mut store = TrajStore::new(StoreConfig::default());
+//! let t = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (100.0, 0.0, 60.0)]).unwrap();
+//! let id = store.insert(t);
+//! let hits = store.range_query(50.0, -10.0, 150.0, 10.0, None);
+//! assert_eq!(hits, vec![id]);
+//! let (x, y) = store.position_at(id, 30.0).unwrap();
+//! assert!((x - 50.0).abs() < 1e-9 && y.abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+mod grid;
+mod store;
+
+pub use grid::GridIndex;
+pub use store::{StoreConfig, StoreStats, TrajId, TrajStore};
+
+#[cfg(test)]
+mod proptests;
+
+#[cfg(test)]
+pub(crate) fn tests_support_bottom_up() -> Box<dyn trajectory::BatchSimplifier> {
+    /// Minimal uniform simplifier for tests (keeps evenly spaced indices),
+    /// standing in for any real batch simplifier.
+    struct Uniform;
+    impl trajectory::BatchSimplifier for Uniform {
+        fn name(&self) -> &'static str {
+            "Uniform"
+        }
+        fn simplify(&mut self, pts: &[trajectory::Point], w: usize) -> Vec<usize> {
+            let n = pts.len();
+            if n <= w {
+                return (0..n).collect();
+            }
+            let mut kept: Vec<usize> = (0..w)
+                .map(|i| (i as f64 * (n - 1) as f64 / (w - 1) as f64).round() as usize)
+                .collect();
+            kept.dedup();
+            kept
+        }
+    }
+    Box::new(Uniform)
+}

@@ -1,0 +1,146 @@
+//! Property-based tests: the grid-indexed store must answer exactly like a
+//! brute-force scan.
+
+#![cfg(test)]
+
+use crate::{StoreConfig, TrajStore};
+use proptest::prelude::*;
+use trajectory::{Point, Segment, Trajectory};
+
+fn traj_strategy() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-500.0..500.0f64, -500.0..500.0f64, 0.1..20.0f64), 2..30).prop_map(
+        |triples| {
+            let mut t = 0.0;
+            Trajectory::new(
+                triples
+                    .into_iter()
+                    .map(|(x, y, dt)| {
+                        t += dt;
+                        Point::new(x, y, t)
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        },
+    )
+}
+
+/// Brute-force range query: scan all segments of all trajectories.
+fn brute_force_range(
+    data: &[Trajectory],
+    x1: f64,
+    y1: f64,
+    x2: f64,
+    y2: f64,
+    time: Option<(f64, f64)>,
+) -> Vec<u32> {
+    let (lox, hix) = (x1.min(x2), x1.max(x2));
+    let (loy, hiy) = (y1.min(y2), y1.max(y2));
+    let mut out = Vec::new();
+    'traj: for (id, t) in data.iter().enumerate() {
+        for w in t.points().windows(2) {
+            if let Some((t1, t2)) = time {
+                if w[1].t < t1 || w[0].t > t2 {
+                    continue;
+                }
+            }
+            // Dense sampling of the segment as the intersection oracle.
+            let seg = Segment::new(w[0], w[1]);
+            let hits = (0..=64).any(|i| {
+                let r = i as f64 / 64.0;
+                let x = w[0].x + r * (w[1].x - w[0].x);
+                let y = w[0].y + r * (w[1].y - w[0].y);
+                (lox..=hix).contains(&x) && (loy..=hiy).contains(&y)
+            });
+            let _ = seg;
+            if hits {
+                out.push(id as u32);
+                continue 'traj;
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn range_query_superset_of_sampled_oracle(
+        trajs in prop::collection::vec(traj_strategy(), 1..6),
+        cx in -400.0..400.0f64,
+        cy in -400.0..400.0f64,
+        half in 10.0..200.0f64,
+        cell in 20.0..300.0f64,
+    ) {
+        // The exact Liang–Barsky test must find everything the sampled
+        // oracle finds (the oracle can only under-approximate).
+        let mut store = TrajStore::new(StoreConfig { cell_size: cell });
+        for t in &trajs {
+            store.insert(t.clone());
+        }
+        let hits = store.range_query(cx - half, cy - half, cx + half, cy + half, None);
+        let oracle = brute_force_range(&trajs, cx - half, cy - half, cx + half, cy + half, None);
+        for id in oracle {
+            prop_assert!(hits.contains(&id), "oracle hit {id} missing from {hits:?}");
+        }
+    }
+
+    #[test]
+    fn range_query_hits_actually_intersect(
+        trajs in prop::collection::vec(traj_strategy(), 1..6),
+        cx in -400.0..400.0f64,
+        cy in -400.0..400.0f64,
+        half in 10.0..200.0f64,
+    ) {
+        // Every reported trajectory must have a segment whose fine sampling
+        // comes close to the window (soundness with slack for exact-clip
+        // cases the sampler misses at corners).
+        let mut store = TrajStore::new(StoreConfig { cell_size: 100.0 });
+        for t in &trajs {
+            store.insert(t.clone());
+        }
+        let (x1, y1, x2, y2) = (cx - half, cy - half, cx + half, cy + half);
+        for id in store.range_query(x1, y1, x2, y2, None) {
+            let t = store.get(id).unwrap();
+            let near = t.points().windows(2).any(|w| {
+                (0..=256).any(|i| {
+                    let r = i as f64 / 256.0;
+                    let x = w[0].x + r * (w[1].x - w[0].x);
+                    let y = w[0].y + r * (w[1].y - w[0].y);
+                    // Tolerance: a segment can clip a window corner between
+                    // two consecutive samples.
+                    let slack = 0.02 * ((w[1].x - w[0].x).hypot(w[1].y - w[0].y)) + 1e-9;
+                    (x1 - slack..=x2 + slack).contains(&x) && (y1 - slack..=y2 + slack).contains(&y)
+                })
+            });
+            prop_assert!(near, "reported id {id} never approaches the window");
+        }
+    }
+
+    #[test]
+    fn position_queries_lie_on_the_polyline(t in traj_strategy(), frac in 0.0..1.0f64) {
+        let mut store = TrajStore::new(StoreConfig::default());
+        let dur = t.duration();
+        let start = t.first().unwrap().t;
+        let id = store.insert(t.clone());
+        let q = start + dur * frac;
+        let (x, y) = store.position_at(id, q).unwrap();
+        // The position must lie on some segment (distance ~0 to the path).
+        let on_path = t.points().windows(2).any(|w| {
+            Segment::new(w[0], w[1]).dist_to_segment(x, y) < 1e-6
+        });
+        prop_assert!(on_path || t.len() == 1);
+    }
+
+    #[test]
+    fn stats_points_equal_sum(trajs in prop::collection::vec(traj_strategy(), 0..5)) {
+        let mut store = TrajStore::new(StoreConfig::default());
+        for t in &trajs {
+            store.insert(t.clone());
+        }
+        let total: usize = trajs.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(store.stats().points, total);
+        prop_assert_eq!(store.stats().payload_bytes, total * 24);
+    }
+}

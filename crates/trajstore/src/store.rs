@@ -1,0 +1,530 @@
+//! The trajectory store: owned trajectories plus the grid index, with the
+//! two canonical query types and size accounting.
+
+use crate::grid::GridIndex;
+use serde::{Deserialize, Serialize};
+use trajectory::Trajectory;
+
+/// Identifier of a stored trajectory.
+pub type TrajId = u32;
+
+/// Store configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Grid cell edge length (same unit as coordinates).
+    pub cell_size: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { cell_size: 500.0 }
+    }
+}
+
+/// Size and shape statistics of a store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Number of stored trajectories.
+    pub trajectories: usize,
+    /// Total stored points.
+    pub points: usize,
+    /// Approximate payload bytes (24 B per point).
+    pub payload_bytes: usize,
+    /// Grid postings (index size driver).
+    pub index_postings: usize,
+    /// Non-empty grid cells.
+    pub index_cells: usize,
+}
+
+/// An in-memory trajectory store with a segment grid index.
+#[derive(Debug, Clone)]
+pub struct TrajStore {
+    cfg: StoreConfig,
+    trajectories: Vec<Trajectory>,
+    index: GridIndex,
+}
+
+impl TrajStore {
+    /// Creates an empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let index = GridIndex::new(cfg.cell_size);
+        TrajStore { cfg, trajectories: Vec::new(), index }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.cfg
+    }
+
+    /// Inserts a trajectory, indexing all its segments. Returns its id.
+    pub fn insert(&mut self, traj: Trajectory) -> TrajId {
+        let id = self.trajectories.len() as TrajId;
+        for (s, w) in traj.points().windows(2).enumerate() {
+            self.index.insert_segment(id, s as u32, w[0].x, w[0].y, w[1].x, w[1].y);
+        }
+        self.trajectories.push(traj);
+        id
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// The stored trajectory for an id.
+    pub fn get(&self, id: TrajId) -> Option<&Trajectory> {
+        self.trajectories.get(id as usize)
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> StoreStats {
+        let points: usize = self.trajectories.iter().map(|t| t.len()).sum();
+        StoreStats {
+            trajectories: self.trajectories.len(),
+            points,
+            payload_bytes: points * 24,
+            index_postings: self.index.posting_count(),
+            index_cells: self.index.cell_count(),
+        }
+    }
+
+    /// Range query: ids of trajectories with at least one segment
+    /// intersecting the window `[x1, x2] × [y1, y2]`, optionally restricted
+    /// to segments overlapping the time interval. Ids are ascending.
+    pub fn range_query(
+        &self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        time: Option<(f64, f64)>,
+    ) -> Vec<TrajId> {
+        let (lox, hix) = (x1.min(x2), x1.max(x2));
+        let (loy, hiy) = (y1.min(y2), y1.max(y2));
+        let mut hits: Vec<TrajId> = self
+            .index
+            .candidates(lox, loy, hix, hiy)
+            .into_iter()
+            .filter(|&(tid, seg)| {
+                let t = &self.trajectories[tid as usize];
+                let a = t[seg as usize];
+                let b = t[seg as usize + 1];
+                if let Some((t1, t2)) = time {
+                    if b.t < t1 || a.t > t2 {
+                        return false;
+                    }
+                }
+                segment_intersects_window(a.x, a.y, b.x, b.y, lox, loy, hix, hiy)
+            })
+            .map(|(tid, _)| tid)
+            .collect();
+        hits.sort_unstable();
+        hits.dedup();
+        hits
+    }
+
+    /// Position query: the interpolated location of trajectory `id` at time
+    /// `t`, or `None` if `id` is unknown, the trajectory is empty, or `t`
+    /// lies outside its time span.
+    pub fn position_at(&self, id: TrajId, t: f64) -> Option<(f64, f64)> {
+        let traj = self.get(id)?;
+        let pts = traj.points();
+        let first = pts.first()?;
+        let last = pts.last()?;
+        if t < first.t || t > last.t {
+            return None;
+        }
+        // Binary search for the segment containing t.
+        let idx = pts.partition_point(|p| p.t <= t);
+        if idx == 0 {
+            return Some((first.x, first.y));
+        }
+        if idx >= pts.len() {
+            return Some((last.x, last.y));
+        }
+        Some(pts[idx - 1].interpolate_at(&pts[idx], t))
+    }
+
+    /// Worst-case position error at time `t` of this store against a
+    /// reference store holding the unsimplified trajectories (ids must
+    /// correspond). Used by the query-cost experiment.
+    pub fn position_error_vs(&self, reference: &TrajStore, id: TrajId, t: f64) -> Option<f64> {
+        let (x1, y1) = self.position_at(id, t)?;
+        let (x2, y2) = reference.position_at(id, t)?;
+        Some((x1 - x2).hypot(y1 - y2))
+    }
+}
+
+/// Conservative segment-vs-window intersection test: endpoint containment or
+/// proximity of the window center to the segment within the window radius.
+#[allow(clippy::too_many_arguments)] // two points + one box: flat scalars keep the hot path simple
+fn segment_intersects_window(
+    ax: f64,
+    ay: f64,
+    bx: f64,
+    by: f64,
+    lox: f64,
+    loy: f64,
+    hix: f64,
+    hiy: f64,
+) -> bool {
+    let inside = |x: f64, y: f64| (lox..=hix).contains(&x) && (loy..=hiy).contains(&y);
+    if inside(ax, ay) || inside(bx, by) {
+        return true;
+    }
+    // Clip-based exact test (Liang–Barsky).
+    let (mut t0, mut t1) = (0.0f64, 1.0f64);
+    let (dx, dy) = (bx - ax, by - ay);
+    for (p, q) in [
+        (-dx, ax - lox),
+        (dx, hix - ax),
+        (-dy, ay - loy),
+        (dy, hiy - ay),
+    ] {
+        if p == 0.0 {
+            if q < 0.0 {
+                return false;
+            }
+        } else {
+            let r = q / p;
+            if p < 0.0 {
+                if r > t1 {
+                    return false;
+                }
+                if r > t0 {
+                    t0 = r;
+                }
+            } else {
+                if r < t0 {
+                    return false;
+                }
+                if r < t1 {
+                    t1 = r;
+                }
+            }
+        }
+    }
+    t0 <= t1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal() -> Trajectory {
+        Trajectory::from_xyt(&[
+            (0.0, 0.0, 0.0),
+            (100.0, 100.0, 100.0),
+            (200.0, 0.0, 200.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 50.0 });
+        let id = store.insert(diagonal());
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(id).unwrap().len(), 3);
+        assert!(store.get(99).is_none());
+    }
+
+    #[test]
+    fn range_query_hits_crossing_segment() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 50.0 });
+        let id = store.insert(diagonal());
+        // Window on the middle of the first segment, away from endpoints.
+        assert_eq!(store.range_query(40.0, 40.0, 60.0, 60.0, None), vec![id]);
+        // Window off the path.
+        assert!(store.range_query(0.0, 80.0, 20.0, 100.0, None).is_empty());
+    }
+
+    #[test]
+    fn range_query_time_filter() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 50.0 });
+        let id = store.insert(diagonal());
+        // Spatially hits the first segment (t in [0, 100]).
+        assert_eq!(store.range_query(40.0, 40.0, 60.0, 60.0, Some((0.0, 50.0))), vec![id]);
+        assert!(store.range_query(40.0, 40.0, 60.0, 60.0, Some((150.0, 300.0))).is_empty());
+    }
+
+    #[test]
+    fn position_query_interpolates() {
+        let mut store = TrajStore::new(StoreConfig::default());
+        let id = store.insert(diagonal());
+        let (x, y) = store.position_at(id, 50.0).unwrap();
+        assert!((x - 50.0).abs() < 1e-9 && (y - 50.0).abs() < 1e-9);
+        let (x, y) = store.position_at(id, 150.0).unwrap();
+        assert!((x - 150.0).abs() < 1e-9 && (y - 50.0).abs() < 1e-9);
+        // Exactly at a sample.
+        let (x, y) = store.position_at(id, 100.0).unwrap();
+        assert!((x - 100.0).abs() < 1e-9 && (y - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn position_query_out_of_span() {
+        let mut store = TrajStore::new(StoreConfig::default());
+        let id = store.insert(diagonal());
+        assert!(store.position_at(id, -1.0).is_none());
+        assert!(store.position_at(id, 201.0).is_none());
+        assert!(store.position_at(7, 50.0).is_none());
+    }
+
+    #[test]
+    fn simplified_store_is_smaller_with_bounded_position_error() {
+        // The end-to-end claim of the paper's motivation, in miniature.
+        let traj = Trajectory::new(
+            (0..101)
+                .map(|i| {
+                    let f = i as f64;
+                    trajectory::Point::new(f * 10.0, (f * 0.5).sin() * 5.0, f * 10.0)
+                })
+                .collect(),
+        )
+        .unwrap();
+        let kept: Vec<usize> = (0..101).step_by(10).collect();
+        let simplified = traj.select(&kept);
+
+        let mut raw = TrajStore::new(StoreConfig { cell_size: 100.0 });
+        let mut small = TrajStore::new(StoreConfig { cell_size: 100.0 });
+        let id = raw.insert(traj);
+        small.insert(simplified);
+
+        let rs = raw.stats();
+        let ss = small.stats();
+        assert!(ss.points < rs.points / 5);
+        assert!(ss.payload_bytes < rs.payload_bytes / 5);
+
+        // Position error stays bounded by the simplification error scale.
+        for t in [55.0, 333.0, 789.0] {
+            let e = small.position_error_vs(&raw, id, t).unwrap();
+            assert!(e < 10.0, "error {e} at t={t}");
+        }
+    }
+
+    #[test]
+    fn stats_count_postings() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 10.0 });
+        store.insert(diagonal());
+        let s = store.stats();
+        assert_eq!(s.trajectories, 1);
+        assert_eq!(s.points, 3);
+        assert_eq!(s.payload_bytes, 72);
+        assert!(s.index_postings >= 2);
+        assert!(s.index_cells > 0);
+    }
+
+    #[test]
+    fn liang_barsky_pass_through() {
+        // Segment passes straight through the window without endpoints
+        // inside.
+        assert!(segment_intersects_window(-10.0, 5.0, 20.0, 5.0, 0.0, 0.0, 10.0, 10.0));
+        // Segment misses the window entirely.
+        assert!(!segment_intersects_window(-10.0, 20.0, 20.0, 20.0, 0.0, 0.0, 10.0, 10.0));
+        // Degenerate segment inside.
+        assert!(segment_intersects_window(5.0, 5.0, 5.0, 5.0, 0.0, 0.0, 10.0, 10.0));
+        // Degenerate segment outside.
+        assert!(!segment_intersects_window(15.0, 5.0, 15.0, 5.0, 0.0, 0.0, 10.0, 10.0));
+    }
+}
+
+impl TrajStore {
+    /// k-nearest-trajectory query: the `k` trajectories whose paths come
+    /// closest to location `(x, y)` (optionally restricted to segments
+    /// overlapping a time interval), as ascending `(distance, id)` pairs.
+    ///
+    /// Searches grid rings outward from the query cell, so the cost is
+    /// proportional to the local data density rather than the store size.
+    pub fn nearest(
+        &self,
+        x: f64,
+        y: f64,
+        k: usize,
+        time: Option<(f64, f64)>,
+    ) -> Vec<(f64, TrajId)> {
+        if k == 0 || self.trajectories.is_empty() {
+            return Vec::new();
+        }
+        let cell = self.cfg.cell_size;
+        let mut best: std::collections::BTreeMap<TrajId, f64> = std::collections::BTreeMap::new();
+        let mut ring = 0i64;
+        // Expand rings until we have k hits AND the next ring cannot beat
+        // the current k-th distance (ring r guarantees all segments within
+        // distance (r-1)·cell have been seen).
+        let max_ring = 1 + (self.max_extent() / cell).ceil() as i64;
+        loop {
+            let half = ring as f64 * cell;
+            for &(tid, seg) in &self
+                .index
+                .candidates(x - half - cell, y - half - cell, x + half + cell, y + half + cell)
+            {
+                let t = &self.trajectories[tid as usize];
+                let a = t[seg as usize];
+                let b = t[seg as usize + 1];
+                if let Some((t1, t2)) = time {
+                    if b.t < t1 || a.t > t2 {
+                        continue;
+                    }
+                }
+                let d = trajectory::Segment::new(a, b).dist_to_segment(x, y);
+                let entry = best.entry(tid).or_insert(f64::INFINITY);
+                if d < *entry {
+                    *entry = d;
+                }
+            }
+            let mut dists: Vec<(f64, TrajId)> = best.iter().map(|(&id, &d)| (d, id)).collect();
+            dists.sort_by(|p, q| p.0.total_cmp(&q.0).then(p.1.cmp(&q.1)));
+            let kth_safe = dists.len() >= k && dists[k - 1].0 <= ring as f64 * cell;
+            if kth_safe || ring > max_ring {
+                dists.truncate(k);
+                return dists;
+            }
+            ring += 1;
+        }
+    }
+
+    /// Largest coordinate magnitude in the store (search-radius bound).
+    fn max_extent(&self) -> f64 {
+        let mut m = 0.0f64;
+        for t in &self.trajectories {
+            for p in t.points() {
+                m = m.max(p.x.abs()).max(p.y.abs());
+            }
+        }
+        m.max(self.cfg.cell_size)
+    }
+}
+
+#[cfg(test)]
+mod knn_tests {
+    use super::*;
+
+    fn line(y: f64) -> Trajectory {
+        Trajectory::from_xyt(&[(0.0, y, 0.0), (100.0, y, 100.0)]).unwrap()
+    }
+
+    #[test]
+    fn nearest_orders_by_distance() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 20.0 });
+        let near = store.insert(line(5.0));
+        let mid = store.insert(line(30.0));
+        let far = store.insert(line(90.0));
+        let hits = store.nearest(50.0, 0.0, 3, None);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].1, near);
+        assert_eq!(hits[1].1, mid);
+        assert_eq!(hits[2].1, far);
+        assert!((hits[0].0 - 5.0).abs() < 1e-9);
+        assert!((hits[2].0 - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_truncates_to_k() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 20.0 });
+        for y in [1.0, 2.0, 3.0, 4.0] {
+            store.insert(line(y));
+        }
+        assert_eq!(store.nearest(10.0, 0.0, 2, None).len(), 2);
+        assert_eq!(store.nearest(10.0, 0.0, 0, None).len(), 0);
+        // Asking for more than exist returns all.
+        assert_eq!(store.nearest(10.0, 0.0, 10, None).len(), 4);
+    }
+
+    #[test]
+    fn nearest_respects_time_filter() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 20.0 });
+        let a = store.insert(line(1.0)); // t ∈ [0, 100]
+        let b = store.insert(
+            Trajectory::from_xyt(&[(0.0, 50.0, 500.0), (100.0, 50.0, 600.0)]).unwrap(),
+        );
+        let hits = store.nearest(50.0, 0.0, 2, Some((550.0, 560.0)));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, b);
+        let hits = store.nearest(50.0, 0.0, 2, Some((0.0, 50.0)));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, a);
+    }
+
+    #[test]
+    fn nearest_on_empty_store() {
+        let store = TrajStore::new(StoreConfig::default());
+        assert!(store.nearest(0.0, 0.0, 3, None).is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_distant_trajectory() {
+        // Only one trajectory, far from the query: ring expansion must
+        // still reach it.
+        let mut store = TrajStore::new(StoreConfig { cell_size: 10.0 });
+        let id = store.insert(line(500.0));
+        let hits = store.nearest(50.0, 0.0, 1, None);
+        assert_eq!(hits, vec![(500.0, id)]);
+    }
+}
+
+impl TrajStore {
+    /// Builds a compacted copy of this store: every trajectory simplified
+    /// to `⌈w_frac · n⌉` points by the given batch simplifier. Ids are
+    /// preserved (same insertion order).
+    pub fn compacted(
+        &self,
+        algo: &mut dyn trajectory::BatchSimplifier,
+        w_frac: f64,
+    ) -> TrajStore {
+        assert!(w_frac > 0.0 && w_frac <= 1.0, "keep fraction must be in (0, 1]");
+        let mut out = TrajStore::new(self.cfg.clone());
+        for t in &self.trajectories {
+            if t.len() < 2 {
+                out.insert(t.clone());
+                continue;
+            }
+            let w = ((t.len() as f64 * w_frac).round() as usize).clamp(2, t.len());
+            let kept = algo.simplify(t.points(), w);
+            out.insert(t.select(&kept));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod compact_tests {
+    use super::*;
+
+    #[test]
+    fn compacted_preserves_ids_and_shrinks() {
+        let mut store = TrajStore::new(StoreConfig { cell_size: 50.0 });
+        for k in 0..3 {
+            let pts: Vec<trajectory::Point> = (0..60)
+                .map(|i| {
+                    let f = i as f64;
+                    trajectory::Point::new(f * 4.0, (f * 0.4 + k as f64).sin() * 9.0, f)
+                })
+                .collect();
+            store.insert(Trajectory::new(pts).unwrap());
+        }
+        let mut algo = crate::tests_support_bottom_up();
+        let small = store.compacted(algo.as_mut(), 0.2);
+        assert_eq!(small.len(), store.len());
+        for id in 0..3u32 {
+            let raw = store.get(id).unwrap().len();
+            let kept = small.get(id).unwrap().len();
+            assert!(kept <= raw / 4, "id {id}: {kept} vs {raw}");
+            // Endpoints preserved → positions still answer over the span.
+            assert!(small.position_at(id, 30.0).is_some());
+        }
+        assert!(small.stats().index_postings <= store.stats().index_postings);
+    }
+
+    #[test]
+    #[should_panic]
+    fn compacted_rejects_zero_fraction() {
+        let store = TrajStore::new(StoreConfig::default());
+        let mut algo = crate::tests_support_bottom_up();
+        let _ = store.compacted(algo.as_mut(), 0.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Server-side batch compaction (the paper's batch scenario, §I): a fleet's
+//! accumulated trajectories are shrunk to 20% of their points before
+//! long-term storage, and query error is reported per error measure.
+//!
+//! Compares RLTS++ (variable-buffer, the strongest variant) against
+//! Bottom-Up — the decision rule is the only difference, so this isolates
+//! what the learned policy buys.
+//!
+//! ```text
+//! cargo run --release --example batch_server
+//! ```
+
+use rlts::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // The "accumulated" store: 40 taxi trajectories of ~1,500 fixes.
+    let fleet = rlts::trajgen::generate_dataset(Preset::TDriveLike, 40, 1_500, 5);
+    let total_points: usize = fleet.iter().map(|t| t.len()).sum();
+    println!("store holds {} trajectories / {} points", fleet.len(), total_points);
+
+    println!("training RLTS++ policy ...");
+    let history = rlts::trajgen::generate_dataset(Preset::TDriveLike, 16, 300, 11);
+    let cfg = RltsConfig::paper_defaults(Variant::RltsPlusPlus, Measure::Sed);
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = 12;
+    tc.lr = 0.02;
+    let report = rlts::train(&history, &tc);
+    let mut rlts_pp = RltsBatch::new(
+        cfg,
+        DecisionPolicy::Learned { net: report.policy.net, greedy: true },
+        3,
+    );
+    let mut bottom_up = BottomUp::new(Measure::Sed);
+
+    for (name, algo) in [
+        ("RLTS++", &mut rlts_pp as &mut dyn BatchSimplifier),
+        ("Bottom-Up", &mut bottom_up as &mut dyn BatchSimplifier),
+    ] {
+        let start = Instant::now();
+        let mut kept_points = 0usize;
+        let mut worst: Vec<(Measure, f64)> = Measure::ALL.iter().map(|&m| (m, 0.0)).collect();
+        for t in &fleet {
+            let w = t.len() / 5; // keep 20%
+            let kept = algo.simplify(t.points(), w);
+            kept_points += kept.len();
+            for entry in worst.iter_mut() {
+                let e = simplification_error(entry.0, t.points(), &kept, Aggregation::Max);
+                entry.1 = entry.1.max(e);
+            }
+        }
+        println!(
+            "\n{name}: compacted {} -> {} points ({:.1}x) in {:.2}s",
+            total_points,
+            kept_points,
+            total_points as f64 / kept_points as f64,
+            start.elapsed().as_secs_f64()
+        );
+        for (m, e) in &worst {
+            println!("  worst {m} error across fleet: {e:.3} {}", unit_suffix(*m));
+        }
+    }
+}
+
+fn unit_suffix(m: Measure) -> &'static str {
+    match m {
+        Measure::Sed | Measure::Ped => "m",
+        Measure::Dad => "rad",
+        Measure::Sad => "m/s",
+    }
+}

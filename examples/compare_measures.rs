@@ -1,0 +1,57 @@
+//! The four error measures disagree about which points matter: SED/PED care
+//! about positions, DAD about headings, SAD about speeds. This example
+//! simplifies one trajectory under each measure with the exact Bellman DP
+//! and shows how the kept sets and cross-measure errors differ — the
+//! motivation for the paper's future-work question of choosing the measure
+//! adaptively (§VII).
+//!
+//! ```text
+//! cargo run --release --example compare_measures
+//! ```
+
+use rlts::prelude::*;
+
+fn main() {
+    let traj = rlts::trajgen::generate(Preset::GeolifeLike, 160, 77);
+    let w = 16;
+    println!(
+        "simplifying a {}-point Geolife-like trajectory to {} points with the exact DP\n",
+        traj.len(),
+        w
+    );
+
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}   kept indices (first 8)",
+        "optimized", "SED", "PED", "DAD", "SAD"
+    );
+    let mut kept_sets = Vec::new();
+    for target in Measure::ALL {
+        let kept = Bellman::new(target).simplify(traj.points(), w);
+        let errs: Vec<f64> = Measure::ALL
+            .iter()
+            .map(|&m| simplification_error(m, traj.points(), &kept, Aggregation::Max))
+            .collect();
+        println!(
+            "{:<10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}   {:?}",
+            target.to_string(),
+            errs[0],
+            errs[1],
+            errs[2],
+            errs[3],
+            &kept[..kept.len().min(8)]
+        );
+        kept_sets.push((target, kept));
+    }
+
+    // How much do the optimal kept sets overlap?
+    println!("\npairwise overlap of kept points:");
+    for i in 0..kept_sets.len() {
+        for j in (i + 1)..kept_sets.len() {
+            let (ma, a) = &kept_sets[i];
+            let (mb, b) = &kept_sets[j];
+            let common = a.iter().filter(|x| b.contains(x)).count();
+            println!("  {ma} ∩ {mb}: {common}/{}", a.len().max(b.len()));
+        }
+    }
+    println!("\n[each measure keeps a visibly different subset — no single choice fits all]");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: train an RLTS policy, simplify a trajectory online and in
+//! batch mode, and compare against the classic heuristics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rlts::prelude::*;
+use rlts::TrainReport;
+
+fn main() {
+    // 1. A training corpus and an evaluation trajectory from the
+    //    Geolife-like generator (walking/driving mix, 1-5 s sampling).
+    let pool = rlts::trajgen::generate_dataset(Preset::GeolifeLike, 20, 250, 1);
+    let traj = rlts::trajgen::generate(Preset::GeolifeLike, 1_000, 99);
+    let w = traj.len() / 10; // keep 10% of the points
+    let measure = Measure::Sed;
+
+    // 2. Train the online policy (RLTS) and the batch policy (RLTS+).
+    println!("training RLTS (online) and RLTS+ (batch) policies ...");
+    let online_cfg = RltsConfig::paper_defaults(Variant::Rlts, measure);
+    let batch_cfg = RltsConfig::paper_defaults(Variant::RltsPlus, measure);
+    let online_report: TrainReport = train(&pool, &train_cfg(online_cfg));
+    let batch_report: TrainReport = train(&pool, &train_cfg(batch_cfg));
+    println!(
+        "  online: {} transitions in {:.1}s | batch: {} transitions in {:.1}s",
+        online_report.transitions,
+        online_report.wall_time.as_secs_f64(),
+        batch_report.transitions,
+        batch_report.wall_time.as_secs_f64(),
+    );
+
+    // 3. Online mode: RLTS vs the streaming heuristics.
+    println!("\nonline mode (buffer W = {w}):");
+    let mut rlts = RltsOnline::new(
+        online_cfg,
+        DecisionPolicy::Learned { net: online_report.policy.net, greedy: false },
+        7,
+    );
+    report_online("RLTS", &mut rlts, &traj, w, measure);
+    report_online("STTrace", &mut StTrace::new(measure), &traj, w, measure);
+    report_online("SQUISH", &mut Squish::new(measure), &traj, w, measure);
+    report_online("SQUISH-E", &mut SquishE::new(measure), &traj, w, measure);
+
+    // 4. Batch mode: RLTS+ vs Top-Down / Bottom-Up.
+    println!("\nbatch mode (budget W = {w}):");
+    let mut rlts_plus = RltsBatch::new(
+        batch_cfg,
+        DecisionPolicy::Learned { net: batch_report.policy.net, greedy: true },
+        7,
+    );
+    report_batch("RLTS+", &mut rlts_plus, &traj, w, measure);
+    report_batch("Top-Down", &mut TopDown::fast(measure), &traj, w, measure);
+    report_batch("Bottom-Up", &mut BottomUp::new(measure), &traj, w, measure);
+}
+
+fn train_cfg(cfg: RltsConfig) -> TrainConfig {
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = 15;
+    tc.episodes_per_update = 6;
+    tc.lr = 0.02;
+    tc
+}
+
+fn report_online(name: &str, algo: &mut dyn OnlineSimplifier, traj: &Trajectory, w: usize, m: Measure) {
+    let kept = algo.run(traj.points(), w);
+    let err = simplification_error(m, traj.points(), &kept, Aggregation::Max);
+    println!("  {name:<9} kept {:>4} points, SED error {err:8.3}", kept.len());
+}
+
+fn report_batch(name: &str, algo: &mut dyn BatchSimplifier, traj: &Trajectory, w: usize, m: Measure) {
+    let kept = algo.simplify(traj.points(), w);
+    let err = simplification_error(m, traj.points(), &kept, Aggregation::Max);
+    println!("  {name:<9} kept {:>4} points, SED error {err:8.3}", kept.len());
+}

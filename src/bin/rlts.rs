@@ -1,0 +1,299 @@
+//! `rlts` — command-line trajectory simplification.
+//!
+//! ```text
+//! rlts stats     <file...>                          dataset statistics
+//! rlts train     [options] --out policy.json        train a policy
+//! rlts simplify  [options] <in> [-o out.csv]        simplify one file
+//! rlts eval      [options] <file...>                compare algorithms
+//!
+//! common options:
+//!   --measure sed|ped|dad|sad      error measure            [sed]
+//!   --format csv|plt|tdrive        input format             [by extension]
+//!   --ratio F                      keep F·n points          [0.1]
+//!   --w N                          keep exactly N points    (overrides ratio)
+//!
+//! train options:
+//!   --variant rlts|rlts-skip|rlts+|rlts-skip+|rlts++|rlts-skip++   [rlts]
+//!   --synthetic geolife|tdrive|truck   train on generated data [geolife]
+//!   --count N --len N --epochs N       training size            [30 250 30]
+//!
+//! simplify options:
+//!   --algo rlts|rlts-skip|rlts+|rlts-skip+|rlts++|rlts-skip++|
+//!          sttrace|squish|squish-e|top-down|bottom-up|bellman|uniform
+//!   --policy FILE                  trained policy JSON (RLTS algos)
+//! ```
+
+use rlts::prelude::*;
+use rlts::{train, DecisionPolicy, TrainConfig, TrainedPolicy};
+use std::fs::File;
+use std::path::Path;
+use std::process::exit;
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `rlts help` for usage");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        help();
+        exit(2)
+    };
+    let opts = CliOpts::parse(&args[1..]);
+    match cmd.as_str() {
+        "stats" => cmd_stats(&opts),
+        "train" => cmd_train(&opts),
+        "simplify" => cmd_simplify(&opts),
+        "eval" => cmd_eval(&opts),
+        "help" | "--help" | "-h" => help(),
+        other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+fn help() {
+    println!(
+        "rlts — trajectory simplification with reinforcement learning\n\n\
+         usage: rlts <stats|train|simplify|eval|help> [options] [files...]\n\
+         see the crate documentation (src/bin/rlts.rs) for all options"
+    );
+}
+
+#[derive(Default)]
+struct CliOpts {
+    files: Vec<String>,
+    measure: Option<Measure>,
+    format: Option<String>,
+    ratio: Option<f64>,
+    w: Option<usize>,
+    variant: Option<String>,
+    algo: Option<String>,
+    policy: Option<String>,
+    out: Option<String>,
+    synthetic: Option<String>,
+    count: Option<usize>,
+    len: Option<usize>,
+    epochs: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl CliOpts {
+    fn parse(args: &[String]) -> CliOpts {
+        let mut o = CliOpts::default();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut val = |name: &str| -> String {
+                it.next().unwrap_or_else(|| die(&format!("{name} needs a value"))).clone()
+            };
+            match a.as_str() {
+                "--measure" => {
+                    let v = val("--measure");
+                    o.measure = Some(Measure::parse(&v).unwrap_or_else(|| die(&format!("unknown measure '{v}'"))))
+                }
+                "--format" => o.format = Some(val("--format")),
+                "--ratio" => o.ratio = Some(val("--ratio").parse().unwrap_or_else(|_| die("bad --ratio"))),
+                "--w" => o.w = Some(val("--w").parse().unwrap_or_else(|_| die("bad --w"))),
+                "--variant" => o.variant = Some(val("--variant")),
+                "--algo" => o.algo = Some(val("--algo")),
+                "--policy" => o.policy = Some(val("--policy")),
+                "--out" | "-o" => o.out = Some(val("--out")),
+                "--synthetic" => o.synthetic = Some(val("--synthetic")),
+                "--count" => o.count = Some(val("--count").parse().unwrap_or_else(|_| die("bad --count"))),
+                "--len" => o.len = Some(val("--len").parse().unwrap_or_else(|_| die("bad --len"))),
+                "--epochs" => o.epochs = Some(val("--epochs").parse().unwrap_or_else(|_| die("bad --epochs"))),
+                "--seed" => o.seed = Some(val("--seed").parse().unwrap_or_else(|_| die("bad --seed"))),
+                flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
+                file => o.files.push(file.to_string()),
+            }
+        }
+        o
+    }
+
+    fn measure(&self) -> Measure {
+        self.measure.unwrap_or(Measure::Sed)
+    }
+
+    fn budget_for(&self, n: usize) -> usize {
+        match self.w {
+            Some(w) => w.min(n),
+            None => ((n as f64 * self.ratio.unwrap_or(0.1)).round() as usize).clamp(2, n),
+        }
+    }
+}
+
+fn load(path: &str, format: &Option<String>) -> Trajectory {
+    let file = File::open(path).unwrap_or_else(|e| die(&format!("cannot open {path}: {e}")));
+    let fmt = format.clone().unwrap_or_else(|| {
+        match Path::new(path).extension().and_then(|e| e.to_str()) {
+            Some("plt") => "plt".into(),
+            Some("txt") => "tdrive".into(),
+            _ => "csv".into(),
+        }
+    });
+    let result = match fmt.as_str() {
+        "csv" => rlts::trajectory::io::read_csv(file),
+        "plt" => rlts::trajectory::formats::read_geolife_plt(file),
+        "tdrive" => rlts::trajectory::formats::read_tdrive(file),
+        other => die(&format!("unknown format '{other}'")),
+    };
+    result.unwrap_or_else(|e| die(&format!("cannot parse {path}: {e}")))
+}
+
+fn parse_variant(s: &str) -> Variant {
+    match s.to_ascii_lowercase().as_str() {
+        "rlts" => Variant::Rlts,
+        "rlts-skip" => Variant::RltsSkip,
+        "rlts+" => Variant::RltsPlus,
+        "rlts-skip+" => Variant::RltsSkipPlus,
+        "rlts++" => Variant::RltsPlusPlus,
+        "rlts-skip++" => Variant::RltsSkipPlusPlus,
+        other => die(&format!("unknown variant '{other}'")),
+    }
+}
+
+fn cmd_stats(o: &CliOpts) {
+    if o.files.is_empty() {
+        die("stats needs at least one file");
+    }
+    let data: Vec<Trajectory> = o.files.iter().map(|f| load(f, &o.format)).collect();
+    println!("{}", rlts::trajectory::stats::DatasetStats::compute(&data));
+}
+
+fn cmd_train(o: &CliOpts) {
+    let variant = parse_variant(o.variant.as_deref().unwrap_or("rlts"));
+    let cfg = RltsConfig::paper_defaults(variant, o.measure());
+    let pool: Vec<Trajectory> = if o.files.is_empty() {
+        let preset = match o.synthetic.as_deref().unwrap_or("geolife") {
+            "geolife" => Preset::GeolifeLike,
+            "tdrive" => Preset::TDriveLike,
+            "truck" => Preset::TruckLike,
+            other => die(&format!("unknown synthetic preset '{other}'")),
+        };
+        rlts::trajgen::generate_dataset(preset, o.count.unwrap_or(30), o.len.unwrap_or(250), o.seed.unwrap_or(1))
+    } else {
+        o.files.iter().map(|f| load(f, &o.format)).collect()
+    };
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = o.epochs.unwrap_or(30);
+    tc.lr = 0.02;
+    tc.seed = o.seed.unwrap_or(1);
+    eprintln!("training {} / {} on {} trajectories ...", variant, o.measure(), pool.len());
+    let report = train(&pool, &tc);
+    eprintln!(
+        "done: {} transitions in {:.1}s (best mean episode reward {:.4})",
+        report.transitions,
+        report.wall_time.as_secs_f64(),
+        report.reward_history.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    );
+    let out = o.out.as_deref().unwrap_or("policy.json");
+    std::fs::write(out, report.policy.to_json()).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    eprintln!("policy written to {out}");
+}
+
+fn load_policy(o: &CliOpts, cfg: RltsConfig) -> DecisionPolicy {
+    match &o.policy {
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("cannot read policy {path}: {e}")));
+            let p = TrainedPolicy::from_json(&json)
+                .unwrap_or_else(|e| die(&format!("cannot parse policy {path}: {e}")));
+            if p.config != cfg {
+                die(&format!(
+                    "policy was trained for {}/{} (k={}, j={}), requested {}/{}",
+                    p.config.variant, p.config.measure, p.config.k, p.config.j, cfg.variant, cfg.measure
+                ));
+            }
+            DecisionPolicy::Learned { net: p.net, greedy: cfg.variant.is_batch() }
+        }
+        None => {
+            eprintln!("note: no --policy given; using the arg-min heuristic policy");
+            DecisionPolicy::MinValue
+        }
+    }
+}
+
+fn simplify_with(o: &CliOpts, name: &str, pts: &[Point], w: usize) -> Vec<usize> {
+    let m = o.measure();
+    match name {
+        "sttrace" => StTrace::new(m).run(pts, w),
+        "squish" => Squish::new(m).run(pts, w),
+        "squish-e" => SquishE::new(m).run(pts, w),
+        "top-down" => TopDown::new(m).simplify(pts, w),
+        "bottom-up" => BottomUp::new(m).simplify(pts, w),
+        "bellman" => Bellman::new(m).simplify(pts, w),
+        "uniform" => Uniform::new().simplify(pts, w),
+        "span-search" => SpanSearch::new().simplify(pts, w),
+        v @ ("rlts" | "rlts-skip" | "rlts+" | "rlts-skip+" | "rlts++" | "rlts-skip++") => {
+            let cfg = RltsConfig::paper_defaults(parse_variant(v), m);
+            let policy = load_policy(o, cfg);
+            let seed = o.seed.unwrap_or(7);
+            if cfg.variant.is_batch() {
+                RltsBatch::new(cfg, policy, seed).simplify(pts, w)
+            } else {
+                RltsOnline::new(cfg, policy, seed).run(pts, w)
+            }
+        }
+        other => die(&format!("unknown algorithm '{other}'")),
+    }
+}
+
+fn cmd_simplify(o: &CliOpts) {
+    let [file] = o.files.as_slice() else {
+        die("simplify needs exactly one input file");
+    };
+    let traj = load(file, &o.format);
+    let w = o.budget_for(traj.len());
+    let algo = o.algo.as_deref().unwrap_or("rlts+");
+    let kept = simplify_with(o, algo, traj.points(), w);
+    let simplified = traj.select(&kept);
+    let err = simplification_error(o.measure(), traj.points(), &kept, Aggregation::Max);
+    eprintln!(
+        "{algo}: {} -> {} points, {} error {:.4}",
+        traj.len(),
+        simplified.len(),
+        o.measure(),
+        err
+    );
+    match &o.out {
+        Some(path) => {
+            let mut f = File::create(path).unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+            rlts::trajectory::io::write_csv(&mut f, &simplified)
+                .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+            eprintln!("written to {path}");
+        }
+        None => {
+            let mut out = std::io::stdout().lock();
+            rlts::trajectory::io::write_csv(&mut out, &simplified).ok();
+        }
+    }
+}
+
+fn cmd_eval(o: &CliOpts) {
+    if o.files.is_empty() {
+        die("eval needs at least one file");
+    }
+    let data: Vec<Trajectory> = o.files.iter().map(|f| load(f, &o.format)).collect();
+    let algos = ["sttrace", "squish", "squish-e", "top-down", "bottom-up", "uniform"];
+    println!("{:<10} {:>12} ({} over {} trajectories)", "algorithm", "mean error", o.measure(), data.len());
+    for algo in algos {
+        let mut sum = 0.0;
+        for t in &data {
+            let w = o.budget_for(t.len());
+            let kept = simplify_with(o, algo, t.points(), w);
+            sum += simplification_error(o.measure(), t.points(), &kept, Aggregation::Max);
+        }
+        println!("{algo:<10} {:>12.4}", sum / data.len() as f64);
+    }
+    if o.policy.is_some() {
+        for algo in ["rlts", "rlts+"] {
+            let mut sum = 0.0;
+            for t in &data {
+                let w = o.budget_for(t.len());
+                let kept = simplify_with(o, algo, t.points(), w);
+                sum += simplification_error(o.measure(), t.points(), &kept, Aggregation::Max);
+            }
+            println!("{algo:<10} {:>12.4}", sum / data.len() as f64);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! # rlts — Trajectory Simplification with Reinforcement Learning
+//!
+//! A complete Rust implementation of *Trajectory Simplification with
+//! Reinforcement Learning* (Zheng Wang, Cheng Long, Gao Cong — ICDE 2021),
+//! including every substrate the paper depends on:
+//!
+//! * [`trajectory`] — the data model: spatio-temporal points, validated
+//!   trajectories, the four error measures (SED / PED / DAD / SAD) under
+//!   anchor-segment semantics, incremental error bookkeeping, CSV/binary
+//!   I/O, and dataset statistics;
+//! * [`rlkit`] — a from-scratch deep-RL substrate: a softmax policy network
+//!   (dense → batch-norm → tanh → dense) with hand-written backprop, Adam,
+//!   and REINFORCE-with-baseline;
+//! * [`baselines`] — all comparison algorithms: STTrace, SQUISH, SQUISH-E
+//!   (online); Bellman exact DP, Top-Down, Bottom-Up, Span-Search (batch);
+//! * [`core`](rlts_core) — the six RLTS variants (RLTS, RLTS-Skip, RLTS+,
+//!   RLTS-Skip+, RLTS++, RLTS-Skip++), their MDP environments, and the
+//!   training harness;
+//! * [`trajgen`] — seeded synthetic workloads calibrated to the paper's
+//!   Geolife / T-Drive / Trucks datasets.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rlts::prelude::*;
+//!
+//! // A trajectory from the Geolife-like generator.
+//! let traj = rlts::trajgen::generate(Preset::GeolifeLike, 200, 42);
+//!
+//! // Train a small online policy and simplify down to 10% of the points.
+//! let pool = rlts::trajgen::generate_dataset(Preset::GeolifeLike, 8, 150, 1);
+//! let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+//! let mut tc = TrainConfig::quick(cfg);
+//! tc.epochs = 2; // doc-test budget; use more in practice
+//! let report = rlts::train(&pool, &tc);
+//!
+//! let mut algo = RltsOnline::new(
+//!     cfg,
+//!     DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+//!     7,
+//! );
+//! let kept = algo.run(traj.points(), 20);
+//! assert!(kept.len() <= 20);
+//!
+//! // Score the result.
+//! let err = simplification_error(Measure::Sed, traj.points(), &kept, Aggregation::Max);
+//! assert!(err.is_finite());
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (streaming sensor, server-side
+//! compaction, measure comparison) and the `rlts-bench` crate for the
+//! harness regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use rlkit;
+pub use rlts_core;
+pub use trajectory;
+pub use trajgen;
+pub use sensornet;
+pub use trajstore;
+
+pub use rlts_core::{train, DecisionPolicy, RltsBatch, RltsConfig, RltsOnline, SimplifyEnv, TrainConfig, TrainReport, TrainedPolicy, ValueUpdate, Variant};
+
+/// Everything a typical user needs, in one import.
+pub mod prelude {
+    pub use crate::rlts_core::{
+        train, DecisionPolicy, RltsBatch, RltsConfig, RltsOnline, TrainConfig, TrainedPolicy,
+        ValueUpdate, Variant,
+    };
+    pub use crate::trajectory::error::{
+        drop_error, segment_error, simplification_error, Aggregation, Measure,
+    };
+    pub use crate::trajectory::{
+        BatchSimplifier, ErrorBook, OnlineSimplifier, Point, Segment, Trajectory,
+    };
+    pub use crate::trajgen::Preset;
+    pub use baselines::{Bellman, BottomUp, SpanSearch, Squish, SquishE, StTrace, TopDown, Uniform};
+}

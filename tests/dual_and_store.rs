@@ -1,0 +1,102 @@
+//! Integration of the extension modules through the facade: the dual
+//! Min-Size algorithms and the query-processing store, combined in the
+//! pipeline a downstream system would use (bound the error → simplify →
+//! store → query).
+
+use rlts::prelude::*;
+use rlts::trajectory::ErrorBoundedSimplifier;
+use rlts::trajstore::{StoreConfig, TrajStore};
+use baselines::{BoundedBottomUp, MinSizeSearch, OpeningWindow, Split};
+
+fn fleet() -> Vec<Trajectory> {
+    rlts::trajgen::generate_dataset(Preset::TruckLike, 6, 250, 31)
+}
+
+#[test]
+fn all_dual_algorithms_respect_bounds_on_generated_data() {
+    for measure in Measure::ALL {
+        // Pick a bound at half of the 10%-budget Bottom-Up error, so it is
+        // neither trivial nor unachievable.
+        for traj in fleet() {
+            let ref_kept = BottomUp::new(measure).simplify(traj.points(), traj.len() / 10);
+            let eps = simplification_error(measure, traj.points(), &ref_kept, Aggregation::Max) * 0.5;
+            let algos: Vec<Box<dyn ErrorBoundedSimplifier>> = vec![
+                Box::new(OpeningWindow::new(measure)),
+                Box::new(Split::new(measure)),
+                Box::new(BoundedBottomUp::new(measure)),
+                Box::new(MinSizeSearch::new(BottomUp::new(measure), measure)),
+            ];
+            for mut algo in algos {
+                let kept = algo.simplify_bounded(traj.points(), eps);
+                let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+                assert!(e <= eps + 1e-9, "{} {measure}: {e} > {eps}", algo.name());
+                assert!(kept.len() >= 2 && kept.len() <= traj.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn error_bound_controls_position_query_error_in_the_store() {
+    // SED bound ε on the simplification implies position queries against the
+    // simplified store are within ε of the raw store at original sample
+    // times — the end-to-end guarantee a store operator relies on.
+    let data = fleet();
+    let eps = 25.0;
+    let mut raw = TrajStore::new(StoreConfig { cell_size: 500.0 });
+    let mut small = TrajStore::new(StoreConfig { cell_size: 500.0 });
+    for t in &data {
+        raw.insert(t.clone());
+        let kept = Split::new(Measure::Sed).simplify_bounded(t.points(), eps);
+        small.insert(t.select(&kept));
+    }
+    assert!(small.stats().points < raw.stats().points);
+    for (id, t) in data.iter().enumerate() {
+        for p in t.points().iter().step_by(17) {
+            let e = small.position_error_vs(&raw, id as u32, p.t).unwrap();
+            assert!(e <= eps + 1e-6, "traj {id} t={}: {e}", p.t);
+        }
+    }
+}
+
+#[test]
+fn min_size_with_exact_inner_is_smallest() {
+    // Binary search over Bellman yields the optimal Min-Size solution; the
+    // greedy dual algorithms can only keep at least as many points.
+    let traj = rlts::trajgen::generate(Preset::GeolifeLike, 80, 13);
+    let eps = {
+        let kept = BottomUp::new(Measure::Sed).simplify(traj.points(), 20);
+        simplification_error(Measure::Sed, traj.points(), &kept, Aggregation::Max)
+    };
+    let optimal = MinSizeSearch::new(Bellman::new(Measure::Sed), Measure::Sed)
+        .simplify_bounded(traj.points(), eps);
+    for (name, kept) in [
+        ("opening-window", OpeningWindow::new(Measure::Sed).simplify_bounded(traj.points(), eps)),
+        ("split", Split::new(Measure::Sed).simplify_bounded(traj.points(), eps)),
+        ("bounded-bottom-up", BoundedBottomUp::new(Measure::Sed).simplify_bounded(traj.points(), eps)),
+    ] {
+        assert!(
+            optimal.len() <= kept.len(),
+            "{name}: optimal {} > {}",
+            optimal.len(),
+            kept.len()
+        );
+    }
+}
+
+#[test]
+fn rlts_output_feeds_the_store_roundtrip() {
+    // RLTS (heuristic policy; no training needed for the plumbing test) →
+    // select → store → range query → retrieve.
+    let traj = rlts::trajgen::generate(Preset::GeolifeLike, 300, 17);
+    let cfg = RltsConfig::paper_defaults(Variant::RltsPlusPlus, Measure::Sed);
+    let kept = RltsBatch::new(cfg, DecisionPolicy::MinValue, 0).simplify(traj.points(), 30);
+    let simplified = traj.select(&kept);
+    let mut store = TrajStore::new(StoreConfig { cell_size: 200.0 });
+    let id = store.insert(simplified.clone());
+    // A window around the midpoint of the simplified path must find it.
+    let mid = simplified[simplified.len() / 2];
+    let hits = store.range_query(mid.x - 50.0, mid.y - 50.0, mid.x + 50.0, mid.y + 50.0, None);
+    assert!(hits.contains(&id));
+    assert_eq!(store.get(id).unwrap().len(), kept.len());
+}

@@ -1,0 +1,156 @@
+//! Cross-crate integration: generate → train → simplify with every
+//! algorithm in the workspace → validate outputs against each other.
+
+use rlts::prelude::*;
+use rlts::{train, TrainConfig};
+
+fn eval_set() -> Vec<Trajectory> {
+    rlts::trajgen::generate_dataset(Preset::GeolifeLike, 4, 120, 555)
+}
+
+fn quick_policy(cfg: RltsConfig) -> DecisionPolicy {
+    let pool = rlts::trajgen::generate_dataset(Preset::GeolifeLike, 4, 80, 556);
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = 2;
+    tc.episodes_per_update = 2;
+    let report = train(&pool, &tc);
+    DecisionPolicy::Learned { net: report.policy.net, greedy: cfg.variant.is_batch() }
+}
+
+#[test]
+fn every_variant_simplifies_every_measure() {
+    for measure in Measure::ALL {
+        for variant in Variant::ALL {
+            let cfg = RltsConfig::paper_defaults(variant, measure);
+            let policy = quick_policy(cfg);
+            for traj in &eval_set() {
+                let w = traj.len() / 5;
+                let kept = if variant.is_batch() {
+                    RltsBatch::new(cfg, policy.clone(), 3).simplify(traj.points(), w)
+                } else {
+                    RltsOnline::new(cfg, policy.clone(), 3).run(traj.points(), w)
+                };
+                assert!(kept.len() <= w, "{variant}/{measure}: {} > {w}", kept.len());
+                assert_eq!(kept[0], 0, "{variant}/{measure}");
+                assert_eq!(*kept.last().unwrap(), traj.len() - 1, "{variant}/{measure}");
+                let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+                assert!(e.is_finite() && e >= 0.0, "{variant}/{measure}");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_baseline_simplifies_every_measure() {
+    for measure in Measure::ALL {
+        for traj in &eval_set() {
+            let w = traj.len() / 5;
+            let mut online: Vec<Box<dyn OnlineSimplifier>> = vec![
+                Box::new(StTrace::new(measure)),
+                Box::new(Squish::new(measure)),
+                Box::new(SquishE::new(measure)),
+            ];
+            for algo in online.iter_mut() {
+                let kept = algo.run(traj.points(), w);
+                assert!(kept.len() <= w, "{} {measure}", algo.name());
+                let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+                assert!(e.is_finite(), "{} {measure}", algo.name());
+            }
+            let mut batch: Vec<Box<dyn BatchSimplifier>> = vec![
+                Box::new(TopDown::new(measure)),
+                Box::new(TopDown::fast(measure)),
+                Box::new(BottomUp::new(measure)),
+                Box::new(Bellman::new(measure)),
+                Box::new(Uniform::new()),
+            ];
+            if measure == Measure::Dad {
+                batch.push(Box::new(SpanSearch::new()));
+            }
+            for algo in batch.iter_mut() {
+                let kept = algo.simplify(traj.points(), w);
+                assert!(kept.len() <= w, "{} {measure}", algo.name());
+                let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+                assert!(e.is_finite(), "{} {measure}", algo.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn bellman_lower_bounds_all_other_algorithms() {
+    // The exact DP is optimal for max-aggregated Min-Error: no other
+    // algorithm may beat it.
+    for measure in Measure::ALL {
+        let traj = rlts::trajgen::generate(Preset::TruckLike, 90, 777);
+        let w = 12;
+        let opt = {
+            let kept = Bellman::new(measure).simplify(traj.points(), w);
+            simplification_error(measure, traj.points(), &kept, Aggregation::Max)
+        };
+        let contenders: Vec<Vec<usize>> = vec![
+            TopDown::fast(measure).simplify(traj.points(), w),
+            BottomUp::new(measure).simplify(traj.points(), w),
+            Uniform::new().simplify(traj.points(), w),
+            StTrace::new(measure).run(traj.points(), w),
+            Squish::new(measure).run(traj.points(), w),
+            SquishE::new(measure).run(traj.points(), w),
+        ];
+        for kept in contenders {
+            let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+            assert!(opt <= e + 1e-9, "{measure}: Bellman {opt} beaten by {e}");
+        }
+    }
+}
+
+#[test]
+fn rlts_pp_with_argmin_policy_is_bottom_up() {
+    // Structural cross-check between the crates: RLTS++ differs from
+    // Bottom-Up only in its decision rule.
+    for measure in Measure::ALL {
+        let traj = rlts::trajgen::generate(Preset::GeolifeLike, 150, 888);
+        let cfg = RltsConfig::paper_defaults(Variant::RltsPlusPlus, measure);
+        let rl = RltsBatch::new(cfg, DecisionPolicy::MinValue, 0).simplify(traj.points(), 20);
+        let bu = BottomUp::new(measure).simplify(traj.points(), 20);
+        assert_eq!(rl, bu, "{measure}");
+    }
+}
+
+#[test]
+fn error_book_agrees_with_batch_recompute_on_generated_data() {
+    let traj = rlts::trajgen::generate(Preset::TDriveLike, 80, 999);
+    for measure in Measure::ALL {
+        let mut book = ErrorBook::with_all(traj.points(), measure);
+        for j in [40usize, 13, 66, 41, 39] {
+            book.drop(j);
+            let kept = book.kept_indices();
+            let direct = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
+            assert!((book.error(Aggregation::Max) - direct).abs() < 1e-9, "{measure}");
+        }
+    }
+}
+
+#[test]
+fn trained_policy_survives_disk_roundtrip_and_behaves_identically() {
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let pool = rlts::trajgen::generate_dataset(Preset::GeolifeLike, 3, 60, 3);
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = 1;
+    let report = train(&pool, &tc);
+    let json = report.policy.to_json();
+    let restored = rlts::TrainedPolicy::from_json(&json).unwrap();
+
+    let traj = rlts::trajgen::generate(Preset::GeolifeLike, 100, 4);
+    let kept_a = RltsOnline::new(
+        cfg,
+        DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+        9,
+    )
+    .run(traj.points(), 15);
+    let kept_b = RltsOnline::new(
+        cfg,
+        DecisionPolicy::Learned { net: restored.net, greedy: false },
+        9,
+    )
+    .run(traj.points(), 15);
+    assert_eq!(kept_a, kept_b);
+}

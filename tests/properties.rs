@@ -1,0 +1,174 @@
+//! Property-based tests (proptest) over randomized trajectories: algorithm
+//! contracts, error-measure invariants, and serialization roundtrips.
+
+use proptest::prelude::*;
+use rlts::prelude::*;
+use rlts::trajectory::io::{decode_binary, encode_binary, read_csv, write_csv};
+use rlts::trajectory::Segment;
+
+/// Strategy: a valid trajectory of `len` points with monotone timestamps
+/// and bounded coordinates.
+fn traj_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64, 0.01..30.0f64), min_len..=max_len).prop_map(
+        |triples| {
+            let mut t = 0.0;
+            let pts = triples
+                .into_iter()
+                .map(|(x, y, dt)| {
+                    t += dt;
+                    Point::new(x, y, t)
+                })
+                .collect();
+            Trajectory::new(pts).expect("constructed valid")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn batch_algorithms_respect_contract(traj in traj_strategy(8, 80), w_frac in 0.1..0.9f64) {
+        let w = ((traj.len() as f64 * w_frac) as usize).max(2);
+        for m in Measure::ALL {
+            let algos: Vec<Box<dyn BatchSimplifier>> = vec![
+                Box::new(TopDown::fast(m)),
+                Box::new(BottomUp::new(m)),
+                Box::new(Uniform::new()),
+            ];
+            for mut algo in algos {
+                let kept = algo.simplify(traj.points(), w);
+                prop_assert!(kept.len() <= w.max(2));
+                prop_assert_eq!(kept[0], 0);
+                prop_assert_eq!(*kept.last().unwrap(), traj.len() - 1);
+                prop_assert!(kept.windows(2).all(|p| p[0] < p[1]));
+                let e = simplification_error(m, traj.points(), &kept, Aggregation::Max);
+                prop_assert!(e.is_finite() && e >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn online_algorithms_respect_contract(traj in traj_strategy(8, 80), w_frac in 0.1..0.9f64) {
+        let w = ((traj.len() as f64 * w_frac) as usize).max(2);
+        for m in Measure::ALL {
+            let algos: Vec<Box<dyn OnlineSimplifier>> = vec![
+                Box::new(StTrace::new(m)),
+                Box::new(Squish::new(m)),
+                Box::new(SquishE::new(m)),
+            ];
+            for mut algo in algos {
+                let kept = algo.run(traj.points(), w);
+                prop_assert!(kept.len() <= w.max(2));
+                prop_assert_eq!(kept[0], 0);
+                prop_assert_eq!(*kept.last().unwrap(), traj.len() - 1);
+                prop_assert!(kept.windows(2).all(|p| p[0] < p[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn keeping_all_points_is_free(traj in traj_strategy(2, 40)) {
+        let kept: Vec<usize> = (0..traj.len()).collect();
+        for m in Measure::ALL {
+            let e = simplification_error(m, traj.points(), &kept, Aggregation::Max);
+            prop_assert!(e.abs() < 1e-9, "{m}: {e}");
+        }
+    }
+
+    #[test]
+    fn dropping_points_never_helps_vs_full(traj in traj_strategy(4, 50), drop_idx in 1usize..40) {
+        // Any simplification has error >= the full trajectory's (which is 0).
+        let drop_idx = drop_idx.min(traj.len() - 2);
+        let kept: Vec<usize> = (0..traj.len()).filter(|&i| i != drop_idx).collect();
+        for m in Measure::ALL {
+            let e = simplification_error(m, traj.points(), &kept, Aggregation::Max);
+            prop_assert!(e >= 0.0);
+        }
+    }
+
+    #[test]
+    fn sed_ped_inequality(traj in traj_strategy(3, 30)) {
+        // PED is the min distance to the supporting line; SED fixes the
+        // matched point — so PED <= SED pointwise against the same segment.
+        let pts = traj.points();
+        let seg = Segment::new(pts[0], pts[pts.len() - 1]);
+        for p in &pts[1..pts.len() - 1] {
+            let ped = rlts::trajectory::error::ped_point_error(&seg, p);
+            let sed = rlts::trajectory::error::sed_point_error(&seg, p);
+            prop_assert!(ped <= sed + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dad_bounded_by_pi(traj in traj_strategy(3, 30)) {
+        let pts = traj.points();
+        let e = simplification_error(Measure::Dad, pts, &[0, pts.len() - 1], Aggregation::Max);
+        prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&e));
+    }
+
+    #[test]
+    fn binary_roundtrip(traj in traj_strategy(0, 60)) {
+        let back = decode_binary(encode_binary(&traj)).unwrap();
+        prop_assert_eq!(back, traj);
+    }
+
+    #[test]
+    fn csv_roundtrip(traj in traj_strategy(0, 40)) {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &traj).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), traj.len());
+        for (a, b) in back.iter().zip(traj.iter()) {
+            prop_assert!((a.x - b.x).abs() < 1e-9);
+            prop_assert!((a.y - b.y).abs() < 1e-9);
+            prop_assert!((a.t - b.t).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_book_matches_direct_computation(traj in traj_strategy(6, 60), seed in 0u64..1000) {
+        // Randomized drop sequences keep the incremental error exactly in
+        // sync with a from-scratch recomputation.
+        let pts = traj.points();
+        for m in Measure::ALL {
+            let mut book = ErrorBook::with_all(pts, m);
+            let mut state = seed;
+            while book.kept_len() > 2 {
+                // xorshift over the droppable interior
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                let interior: Vec<usize> = book
+                    .kept_indices()
+                    .into_iter()
+                    .filter(|&i| i != 0 && i != pts.len() - 1)
+                    .collect();
+                if interior.is_empty() {
+                    break;
+                }
+                let victim = interior[(state as usize) % interior.len()];
+                book.drop(victim);
+                let direct = simplification_error(m, pts, &book.kept_indices(), Aggregation::Max);
+                prop_assert!((book.error(Aggregation::Max) - direct).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bellman_is_optimal_among_uniform_and_heuristics(traj in traj_strategy(10, 40)) {
+        let w = 5;
+        for m in Measure::ALL {
+            let opt_kept = Bellman::new(m).simplify(traj.points(), w);
+            let opt = simplification_error(m, traj.points(), &opt_kept, Aggregation::Max);
+            for kept in [
+                TopDown::fast(m).simplify(traj.points(), w),
+                BottomUp::new(m).simplify(traj.points(), w),
+                Uniform::new().simplify(traj.points(), w),
+            ] {
+                let e = simplification_error(m, traj.points(), &kept, Aggregation::Max);
+                prop_assert!(opt <= e + 1e-9, "{}: {} > {}", m, opt, e);
+            }
+        }
+    }
+}
