@@ -39,12 +39,12 @@ impl BatchSimplifier for Bellman {
         let mut err = vec![0.0f64; n * n];
         for j in 0..n {
             for i in (j + 1)..n {
-                err[j * n + i] = if i == j + 1 && matches!(self.measure, Measure::Sed | Measure::Ped)
-                {
-                    0.0
-                } else {
-                    segment_error(self.measure, pts, j, i)
-                };
+                err[j * n + i] =
+                    if i == j + 1 && matches!(self.measure, Measure::Sed | Measure::Ped) {
+                        0.0
+                    } else {
+                        segment_error(self.measure, pts, j, i)
+                    };
             }
         }
 
@@ -124,17 +124,11 @@ mod tests {
     #[test]
     fn optimal_on_hand_case() {
         // A spike at index 2: with w = 3 the optimum keeps the spike.
-        let pts: Vec<Point> = [
-            (0.0, 0.0),
-            (1.0, 0.1),
-            (2.0, 5.0),
-            (3.0, 0.1),
-            (4.0, 0.0),
-        ]
-        .iter()
-        .enumerate()
-        .map(|(i, &(x, y))| Point::new(x, y, i as f64))
-        .collect();
+        let pts: Vec<Point> = [(0.0, 0.0), (1.0, 0.1), (2.0, 5.0), (3.0, 0.1), (4.0, 0.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as f64))
+            .collect();
         let kept = Bellman::new(Measure::Ped).simplify(&pts, 3);
         assert_eq!(kept, vec![0, 2, 4]);
     }

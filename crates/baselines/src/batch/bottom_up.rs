@@ -42,7 +42,10 @@ impl BatchSimplifier for BottomUp {
             candidates.insert((c.to_bits(), j as u32));
         }
         while book.kept_len() > w {
-            let &(bits, j) = candidates.iter().next().expect("kept > w implies interior points");
+            let &(bits, j) = candidates
+                .iter()
+                .next()
+                .expect("kept > w implies interior points");
             candidates.remove(&(bits, j));
             let j = j as usize;
             let prev = book.prev_kept(j).expect("interior candidate has prev");
@@ -111,6 +114,9 @@ mod tests {
             bu_total += simplification_error(Measure::Sed, &pts, &bu, Aggregation::Max);
             td_total += simplification_error(Measure::Sed, &pts, &td, Aggregation::Max);
         }
-        assert!(bu_total <= td_total * 2.0, "bottom-up {bu_total} vs top-down {td_total}");
+        assert!(
+            bu_total <= td_total * 2.0,
+            "bottom-up {bu_total} vs top-down {td_total}"
+        );
     }
 }

@@ -32,7 +32,13 @@ pub(crate) mod test_support {
         let pts = wiggly(60);
         for w in [2, 3, 10, 30] {
             let kept = algo.simplify(&pts, w);
-            assert!(kept.len() <= w, "{}: kept {} > w {}", algo.name(), kept.len(), w);
+            assert!(
+                kept.len() <= w,
+                "{}: kept {} > w {}",
+                algo.name(),
+                kept.len(),
+                w
+            );
             assert!(kept.len() >= 2, "{}", algo.name());
             assert_eq!(kept[0], 0, "{}", algo.name());
             assert_eq!(*kept.last().unwrap(), pts.len() - 1, "{}", algo.name());

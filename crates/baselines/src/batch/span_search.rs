@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn straight_line_needs_two_points() {
-        let pts: Vec<Point> = (0..15).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let pts: Vec<Point> = (0..15)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect();
         let kept = SpanSearch::new().simplify(&pts, 5);
         assert_eq!(kept, vec![0, 14]);
     }
@@ -128,8 +130,12 @@ mod tests {
         }
         let kept = SpanSearch::new().simplify(&pts, 8);
         let e = simplification_error(Measure::Dad, &pts, &kept, Aggregation::Max);
-        let endpoints_only = simplification_error(Measure::Dad, &pts, &[0, pts.len() - 1], Aggregation::Max);
-        assert!(e <= endpoints_only, "search should not be worse than keeping nothing");
+        let endpoints_only =
+            simplification_error(Measure::Dad, &pts, &[0, pts.len() - 1], Aggregation::Max);
+        assert!(
+            e <= endpoints_only,
+            "search should not be worse than keeping nothing"
+        );
     }
 
     #[test]
@@ -139,6 +145,9 @@ mod tests {
         let tight = SpanSearch::new().simplify(&pts, 5);
         let e_loose = simplification_error(Measure::Dad, &pts, &loose, Aggregation::Max);
         let e_tight = simplification_error(Measure::Dad, &pts, &tight, Aggregation::Max);
-        assert!(e_loose <= e_tight + 1e-9, "loose {e_loose} vs tight {e_tight}");
+        assert!(
+            e_loose <= e_tight + 1e-9,
+            "loose {e_loose} vs tight {e_tight}"
+        );
     }
 }

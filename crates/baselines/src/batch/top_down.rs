@@ -35,13 +35,19 @@ pub struct TopDown {
 impl TopDown {
     /// Creates the paper-faithful `O(W·n)` Top-Down under `measure`.
     pub fn new(measure: Measure) -> Self {
-        TopDown { measure, strategy: Strategy::Rescan }
+        TopDown {
+            measure,
+            strategy: Strategy::Rescan,
+        }
     }
 
     /// Creates the heap-accelerated Top-Down (identical output, much
     /// faster; not what the paper benchmarks).
     pub fn fast(measure: Measure) -> Self {
-        TopDown { measure, strategy: Strategy::Heap }
+        TopDown {
+            measure,
+            strategy: Strategy::Heap,
+        }
     }
 
     /// Max error over range `(s, e)` plus the best split point (an interior
@@ -69,7 +75,9 @@ impl TopDown {
             Measure::Dad | Measure::Sad => {
                 for i in s..e {
                     let err = match self.measure {
-                        Measure::Dad => trajectory::error::dad_point_error(&seg, &pts[i], &pts[i + 1]),
+                        Measure::Dad => {
+                            trajectory::error::dad_point_error(&seg, &pts[i], &pts[i + 1])
+                        }
                         _ => trajectory::error::sad_point_error(&seg, &pts[i], &pts[i + 1]),
                     };
                     if err > best.0 {
@@ -99,7 +107,9 @@ impl TopDown {
             }
             match round_best {
                 Some((err, split)) if err > 0.0 => {
-                    let pos = kept.binary_search(&split).expect_err("split is not kept yet");
+                    let pos = kept
+                        .binary_search(&split)
+                        .expect_err("split is not kept yet");
                     kept.insert(pos, split);
                 }
                 _ => break, // zero error everywhere: done early
@@ -216,7 +226,9 @@ mod tests {
     #[test]
     fn stops_early_on_exact_input() {
         // A straight constant-speed line needs only the endpoints.
-        let pts: Vec<Point> = (0..20).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect();
         assert_eq!(TopDown::new(Measure::Sed).simplify(&pts, 10), vec![0, 19]);
         assert_eq!(TopDown::fast(Measure::Sed).simplify(&pts, 10), vec![0, 19]);
     }

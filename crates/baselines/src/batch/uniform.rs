@@ -47,14 +47,18 @@ mod tests {
 
     #[test]
     fn spacing_is_even() {
-        let pts: Vec<Point> = (0..101).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let pts: Vec<Point> = (0..101)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect();
         let kept = Uniform::new().simplify(&pts, 5);
         assert_eq!(kept, vec![0, 25, 50, 75, 100]);
     }
 
     #[test]
     fn endpoints_always_present() {
-        let pts: Vec<Point> = (0..7).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let pts: Vec<Point> = (0..7)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect();
         for w in 2..7 {
             let kept = Uniform::new().simplify(&pts, w);
             assert_eq!(kept[0], 0);

@@ -72,7 +72,9 @@ mod tests {
 
     #[test]
     fn constant_velocity_keeps_endpoints_only() {
-        let pts: Vec<Point> = (0..30).map(|i| Point::new(i as f64 * 2.0, i as f64, i as f64)).collect();
+        let pts: Vec<Point> = (0..30)
+            .map(|i| Point::new(i as f64 * 2.0, i as f64, i as f64))
+            .collect();
         let kept = DeadReckoning::new().simplify_bounded(&pts, 0.5);
         assert_eq!(kept, vec![0, 29]);
     }
@@ -99,7 +101,12 @@ mod tests {
         let pts = hilly(80);
         let tight = DeadReckoning::new().simplify_bounded(&pts, 0.5);
         let loose = DeadReckoning::new().simplify_bounded(&pts, 5.0);
-        assert!(tight.len() >= loose.len(), "{} < {}", tight.len(), loose.len());
+        assert!(
+            tight.len() >= loose.len(),
+            "{} < {}",
+            tight.len(),
+            loose.len()
+        );
         assert_eq!(tight[0], 0);
         assert_eq!(*tight.last().unwrap(), 79);
     }
@@ -121,7 +128,10 @@ mod tests {
             if kept_set.contains(&i) {
                 anchor = i;
                 let dt = (pts[i + 1].t - pts[i].t).max(f64::MIN_POSITIVE);
-                v = ((pts[i + 1].x - pts[i].x) / dt, (pts[i + 1].y - pts[i].y) / dt);
+                v = (
+                    (pts[i + 1].x - pts[i].x) / dt,
+                    (pts[i + 1].y - pts[i].y) / dt,
+                );
                 continue;
             }
             let dt = pts[i].t - pts[anchor].t;

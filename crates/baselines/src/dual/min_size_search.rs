@@ -84,7 +84,12 @@ mod tests {
             let mut exact = MinSizeSearch::new(Bellman::new(Measure::Sed), Measure::Sed);
             let optimal = exact.simplify_bounded(&pts, eps);
             let split = Split::new(Measure::Sed).simplify_bounded(&pts, eps);
-            assert!(optimal.len() <= split.len(), "eps {eps}: {} > {}", optimal.len(), split.len());
+            assert!(
+                optimal.len() <= split.len(),
+                "eps {eps}: {} > {}",
+                optimal.len(),
+                split.len()
+            );
         }
     }
 

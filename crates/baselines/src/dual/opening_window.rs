@@ -63,7 +63,9 @@ mod tests {
 
     #[test]
     fn straight_line_collapses_to_endpoints() {
-        let pts: Vec<Point> = (0..25).map(|i| Point::new(i as f64, 0.0, i as f64)).collect();
+        let pts: Vec<Point> = (0..25)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect();
         let kept = OpeningWindow::new(Measure::Sed).simplify_bounded(&pts, 0.1);
         assert_eq!(kept, vec![0, 24]);
     }

@@ -24,10 +24,19 @@ use trajectory::OrderedBuffer;
 /// Computes the online importance value of buffered position `pos`:
 /// the error its removal would introduce given its *current* buffer
 /// neighbours (paper Eq. (1)). Returns `None` for boundary positions.
-pub(crate) fn neighbour_drop_value(buf: &OrderedBuffer, measure: Measure, pos: usize) -> Option<f64> {
+pub(crate) fn neighbour_drop_value(
+    buf: &OrderedBuffer,
+    measure: Measure,
+    pos: usize,
+) -> Option<f64> {
     let prev = buf.prev(pos)?;
     let next = buf.next(pos)?;
-    Some(drop_error(measure, &buf.point(prev), &buf.point(pos), &buf.point(next)))
+    Some(drop_error(
+        measure,
+        &buf.point(prev),
+        &buf.point(pos),
+        &buf.point(next),
+    ))
 }
 
 /// Registers the value of the point *before* the just-pushed frontier: once
@@ -50,7 +59,11 @@ pub(crate) mod test_support {
     pub fn check_online_contract<S: OnlineSimplifier>(algo: &mut S) {
         let pts: Vec<Point> = (0..40)
             .map(|i| {
-                let y = if i % 5 == 0 { 3.0 } else { (i % 3) as f64 * 0.4 };
+                let y = if i % 5 == 0 {
+                    3.0
+                } else {
+                    (i % 3) as f64 * 0.4
+                };
                 Point::new(i as f64, y, i as f64)
             })
             .collect();
@@ -58,7 +71,13 @@ pub(crate) mod test_support {
         // Budget respected, endpoints kept, indices strictly increasing.
         for w in [2, 3, 10, 25] {
             let kept = algo.run(&pts, w);
-            assert!(kept.len() <= w, "{}: kept {} > w {}", algo.name(), kept.len(), w);
+            assert!(
+                kept.len() <= w,
+                "{}: kept {} > w {}",
+                algo.name(),
+                kept.len(),
+                w
+            );
             assert_eq!(kept[0], 0, "{}", algo.name());
             assert_eq!(*kept.last().unwrap(), pts.len() - 1, "{}", algo.name());
             assert!(kept.windows(2).all(|p| p[0] < p[1]), "{}", algo.name());
@@ -76,6 +95,11 @@ pub(crate) mod test_support {
         // Reuse after finish works (begin resets state).
         let kept1 = algo.run(&pts, 8);
         let kept2 = algo.run(&pts, 8);
-        assert_eq!(kept1, kept2, "{}: not deterministic across runs", algo.name());
+        assert_eq!(
+            kept1,
+            kept2,
+            "{}: not deterministic across runs",
+            algo.name()
+        );
     }
 }

@@ -17,7 +17,11 @@ pub struct Squish {
 impl Squish {
     /// Creates a SQUISH simplifier scoring points under `measure`.
     pub fn new(measure: Measure) -> Self {
-        Squish { measure, buf: OrderedBuffer::new(), w: 0 }
+        Squish {
+            measure,
+            buf: OrderedBuffer::new(),
+            w: 0,
+        }
     }
 }
 

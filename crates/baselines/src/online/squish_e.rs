@@ -20,7 +20,12 @@ pub struct SquishE {
 impl SquishE {
     /// Creates a SQUISH-E simplifier scoring points under `measure`.
     pub fn new(measure: Measure) -> Self {
-        SquishE { measure, buf: OrderedBuffer::new(), pi: Vec::new(), w: 0 }
+        SquishE {
+            measure,
+            buf: OrderedBuffer::new(),
+            pi: Vec::new(),
+            w: 0,
+        }
     }
 
     fn reprioritize(&mut self, pos: usize, dropped_priority: f64) {
@@ -96,6 +101,10 @@ mod tests {
         // All carried π values are bounded by the worst single-drop error,
         // which on this zigzag is at most ~0.5 plus accumulation of the same
         // magnitude — i.e. no runaway growth past a small constant.
-        assert!(algo.pi.iter().all(|&v| v < 5.0), "π grew unexpectedly: {:?}", algo.pi);
+        assert!(
+            algo.pi.iter().all(|&v| v < 5.0),
+            "π grew unexpectedly: {:?}",
+            algo.pi
+        );
     }
 }

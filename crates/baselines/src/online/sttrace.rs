@@ -16,7 +16,11 @@ pub struct StTrace {
 impl StTrace {
     /// Creates an STTrace simplifier scoring points under `measure`.
     pub fn new(measure: Measure) -> Self {
-        StTrace { measure, buf: OrderedBuffer::new(), w: 0 }
+        StTrace {
+            measure,
+            buf: OrderedBuffer::new(),
+            w: 0,
+        }
     }
 
     fn refresh(&mut self, pos: Option<usize>) {
@@ -76,7 +80,9 @@ mod tests {
     fn straight_line_drops_are_free() {
         // On a perfectly straight constant-speed stream any kept subset is
         // exact, so STTrace must produce zero error.
-        let pts: Vec<Point> = (0..30).map(|i| Point::new(i as f64, i as f64, i as f64)).collect();
+        let pts: Vec<Point> = (0..30)
+            .map(|i| Point::new(i as f64, i as f64, i as f64))
+            .collect();
         let kept = StTrace::new(Measure::Sed).run(&pts, 5);
         let e = trajectory::error::simplification_error(
             Measure::Sed,

@@ -40,12 +40,22 @@ fn bench_batch(c: &mut Criterion) {
         b.iter(|| black_box(algo.simplify(pts, w)))
     });
 
-    for variant in [Variant::RltsPlus, Variant::RltsSkipPlus, Variant::RltsPlusPlus] {
+    for variant in [
+        Variant::RltsPlus,
+        Variant::RltsSkipPlus,
+        Variant::RltsPlusPlus,
+    ] {
         let cfg = RltsConfig::paper_defaults(variant, m);
         let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
         group.bench_function(BenchmarkId::new(variant.name(), n), |b| {
-            let mut algo =
-                RltsBatch::new(cfg, DecisionPolicy::Learned { net: net.clone(), greedy: true }, 5);
+            let mut algo = RltsBatch::new(
+                cfg,
+                DecisionPolicy::Learned {
+                    net: net.clone(),
+                    greedy: true,
+                },
+                5,
+            );
             b.iter(|| black_box(algo.simplify(pts, w)))
         });
     }

@@ -33,7 +33,10 @@ fn bench_segment_error(c: &mut Criterion) {
 fn bench_trajectory_error(c: &mut Criterion) {
     let traj = trajgen::generate(Preset::GeolifeLike, 4096, 3);
     let pts = traj.points();
-    let kept: Vec<usize> = (0..pts.len()).step_by(16).chain(std::iter::once(pts.len() - 1)).collect();
+    let kept: Vec<usize> = (0..pts.len())
+        .step_by(16)
+        .chain(std::iter::once(pts.len() - 1))
+        .collect();
     let mut group = c.benchmark_group("simplification_error_4096pts");
     for m in Measure::ALL {
         group.bench_function(m.name(), |bch| {
@@ -43,5 +46,10 @@ fn bench_trajectory_error(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_drop_kernels, bench_segment_error, bench_trajectory_error);
+criterion_group!(
+    benches,
+    bench_drop_kernels,
+    bench_segment_error,
+    bench_trajectory_error
+);
 criterion_main!(benches);

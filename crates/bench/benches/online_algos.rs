@@ -40,14 +40,28 @@ fn bench_online(c: &mut Criterion) {
     let cfg = RltsConfig::paper_defaults(Variant::Rlts, m);
     let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
     group.bench_function(BenchmarkId::new("rlts", n), |b| {
-        let mut algo = RltsOnline::new(cfg, DecisionPolicy::Learned { net: net.clone(), greedy: false }, 5);
+        let mut algo = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned {
+                net: net.clone(),
+                greedy: false,
+            },
+            5,
+        );
         b.iter(|| black_box(algo.run(pts, w)))
     });
 
     let cfg = RltsConfig::paper_defaults(Variant::RltsSkip, m);
     let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
     group.bench_function(BenchmarkId::new("rlts_skip", n), |b| {
-        let mut algo = RltsOnline::new(cfg, DecisionPolicy::Learned { net: net.clone(), greedy: false }, 5);
+        let mut algo = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned {
+                net: net.clone(),
+                greedy: false,
+            },
+            5,
+        );
         b.iter(|| black_box(algo.run(pts, w)))
     });
     group.finish();

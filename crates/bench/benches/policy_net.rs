@@ -17,8 +17,12 @@ fn bench_policy_net(c: &mut Criterion) {
     let s3 = [0.5, 1.0, 2.0];
     let s5 = [0.5, 1.0, 2.0, 0.1, 0.2];
 
-    c.bench_function("policy_forward_k3", |b| b.iter(|| black_box(small.probs(black_box(&s3)))));
-    c.bench_function("policy_forward_k5", |b| b.iter(|| black_box(wide.probs(black_box(&s5)))));
+    c.bench_function("policy_forward_k3", |b| {
+        b.iter(|| black_box(small.probs(black_box(&s3))))
+    });
+    c.bench_function("policy_forward_k5", |b| {
+        b.iter(|| black_box(wide.probs(black_box(&s5))))
+    });
     c.bench_function("policy_grad_accumulate_k3", |b| {
         b.iter(|| small.accumulate_policy_grad(black_box(&s3), 1, 0.5, 0.01))
     });

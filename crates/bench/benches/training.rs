@@ -15,7 +15,12 @@ fn bench_rollout(c: &mut Criterion) {
     let pool = trajgen::generate_dataset(Preset::GeolifeLike, 4, 200, 31);
     let mut group = c.benchmark_group("training_rollout");
     group.sample_size(20);
-    for variant in [Variant::Rlts, Variant::RltsSkip, Variant::RltsPlus, Variant::RltsPlusPlus] {
+    for variant in [
+        Variant::Rlts,
+        Variant::RltsSkip,
+        Variant::RltsPlus,
+        Variant::RltsPlusPlus,
+    ] {
         let cfg = RltsConfig::paper_defaults(variant, Measure::Sed);
         group.throughput(Throughput::Elements(180)); // ~n − W transitions
         group.bench_function(BenchmarkId::new("episode", variant.name()), |b| {

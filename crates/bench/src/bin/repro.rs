@@ -21,6 +21,7 @@
 //!   table2            training times (Table II)
 //!   fig8              training cost vs #trajectories (Fig 8)
 //!   query-cost        storage/query cost of simplified stores (extension)
+//!   loss-sweep        fleet uplink fidelity vs channel loss rate (extension)
 //!   charts            render SVG figures from recorded results (no recompute)
 //!   grid              road-grid workload comparison (extension)
 //!   all               everything above, in order
@@ -34,7 +35,7 @@ use rlts_bench::harness::{Opts, PolicyStore};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|charts|grid|all> \
+        "usage: repro <table1|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
          [--scale F] [--seed N] [--out DIR]"
     );
     std::process::exit(2)
@@ -87,6 +88,7 @@ fn main() {
         "table2" => exp::table2::run(&opts),
         "fig8" => exp::fig8::run(&opts),
         "query-cost" => exp::query_cost::run(&opts, &store),
+        "loss-sweep" => exp::loss_sweep::run(&opts),
         "charts" => exp::charts::run(&opts),
         "grid" => exp::grid::run(&opts, &store),
         "all" => {
@@ -105,6 +107,7 @@ fn main() {
             exp::table2::run(&opts);
             exp::fig8::run(&opts);
             exp::query_cost::run(&opts, &store);
+            exp::loss_sweep::run(&opts);
             exp::grid::run(&opts, &store);
             exp::charts::run(&opts);
         }

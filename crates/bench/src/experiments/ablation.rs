@@ -36,7 +36,10 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
         ("arg-min (heuristic)", cfg, DecisionPolicy::MinValue),
         (
             "learned, recompute-update",
-            RltsConfig { value_update: ValueUpdate::Recompute, ..cfg },
+            RltsConfig {
+                value_update: ValueUpdate::Recompute,
+                ..cfg
+            },
             learned,
         ),
     ];
@@ -44,7 +47,11 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
         let mut algo = RltsOnline::new(c, p, 17);
         let r = eval_online(&mut algo, &data, w_frac, measure);
         table.row(vec![name.to_string(), fmt(r.mean_error)]);
-        records.push(Record { mode: "online".into(), policy: name.into(), mean_error: r.mean_error });
+        records.push(Record {
+            mode: "online".into(),
+            policy: name.into(),
+            mean_error: r.mean_error,
+        });
     }
     table.print("Exp 4 (online): policy ablation for RLTS");
 
@@ -60,7 +67,11 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
         let mut algo = RltsBatch::new(cfg, p, 17);
         let r = eval_batch(&mut algo, &data, w_frac, measure);
         table.row(vec![name.to_string(), fmt(r.mean_error)]);
-        records.push(Record { mode: "batch".into(), policy: name.into(), mean_error: r.mean_error });
+        records.push(Record {
+            mode: "batch".into(),
+            policy: name.into(),
+            mean_error: r.mean_error,
+        });
     }
     table.print("Exp 4 (batch): policy ablation for RLTS+");
     println!("[paper shape: the learned policy contributes significantly, especially online]");

@@ -20,13 +20,21 @@ struct Record {
 pub fn run(opts: &Opts) {
     let spec = TrainSpec::default_for(opts);
     let pool = trajgen::generate_dataset(spec.preset, spec.count, spec.len, opts.seed * 1000 + 1);
-    let eval = trajgen::generate_dataset(Preset::GeolifeLike, opts.scaled(300, 10), opts.scaled(1000, 200), opts.seed + 5);
+    let eval = trajgen::generate_dataset(
+        Preset::GeolifeLike,
+        opts.scaled(300, 10),
+        opts.scaled(1000, 200),
+        opts.seed + 5,
+    );
     let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
 
     let mut table = TextTable::new(&["Baseline", "SED error", "Train (s)", "Best reward"]);
     let mut records = Vec::new();
     for (name, baseline) in [
-        ("return-normalization (paper)", Baseline::ReturnNormalization),
+        (
+            "return-normalization (paper)",
+            Baseline::ReturnNormalization,
+        ),
         ("learned critic", Baseline::Critic),
     ] {
         let tc = TrainConfig {
@@ -42,10 +50,17 @@ pub fn run(opts: &Opts) {
             baseline,
         };
         let report = train(&pool, &tc);
-        let best = report.reward_history.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let best = report
+            .reward_history
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         let mut algo = RltsOnline::new(
             cfg,
-            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            DecisionPolicy::Learned {
+                net: report.policy.net,
+                greedy: false,
+            },
             17,
         );
         let r = eval_online(&mut algo, &eval, 0.1, Measure::Sed);

@@ -27,7 +27,14 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let spec = TrainSpec::default_for(opts);
     let w_frac = 0.1;
 
-    let mut table = TextTable::new(&["Measure", "Algorithm", "Mean error", "vs optimal", "Time (s)", "Speed-up"]);
+    let mut table = TextTable::new(&[
+        "Measure",
+        "Algorithm",
+        "Mean error",
+        "vs optimal",
+        "Time (s)",
+        "Speed-up",
+    ]);
     let mut records = Vec::new();
     for measure in Measure::ALL {
         let bellman = eval_batch(&mut Bellman::new(measure), &data, w_frac, measure);
@@ -39,8 +46,16 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
             rows.push(eval_batch(algo.as_mut(), &data, w_frac, measure));
         }
         for r in rows {
-            let ratio = if bellman.mean_error > 0.0 { r.mean_error / bellman.mean_error } else { 1.0 };
-            let speedup = if r.total_time_s > 0.0 { bellman.total_time_s / r.total_time_s } else { f64::INFINITY };
+            let ratio = if bellman.mean_error > 0.0 {
+                r.mean_error / bellman.mean_error
+            } else {
+                1.0
+            };
+            let speedup = if r.total_time_s > 0.0 {
+                bellman.total_time_s / r.total_time_s
+            } else {
+                f64::INFINITY
+            };
             table.row(vec![
                 measure.to_string(),
                 r.algo.clone(),

@@ -75,7 +75,11 @@ fn fig4(opts: &Opts) -> bool {
             series,
             log_y: false,
         };
-        write_chart(opts, &format!("fig4_{mode}_{}", measure.to_lowercase()), &chart);
+        write_chart(
+            opts,
+            &format!("fig4_{mode}_{}", measure.to_lowercase()),
+            &chart,
+        );
     }
     true
 }
@@ -89,9 +93,22 @@ fn timing(opts: &Opts, name: &str, x_label: &str, split_key: &str) -> bool {
     let mut panels: BTreeMap<String, BTreeMap<String, Vec<(f64, f64)>>> = BTreeMap::new();
     for r in &records {
         let mode = s(r, split_key).to_string();
-        let x = if r.get("n").is_some() { f(r, "n") } else { f(r, "w_frac") };
-        let y = if mode == "online" { f(r, "time_per_point_us") } else { f(r, "total_time_s") };
-        panels.entry(mode).or_default().entry(s(r, "algo").into()).or_default().push((x, y));
+        let x = if r.get("n").is_some() {
+            f(r, "n")
+        } else {
+            f(r, "w_frac")
+        };
+        let y = if mode == "online" {
+            f(r, "time_per_point_us")
+        } else {
+            f(r, "total_time_s")
+        };
+        panels
+            .entry(mode)
+            .or_default()
+            .entry(s(r, "algo").into())
+            .or_default()
+            .push((x, y));
     }
     for (mode, algos) in panels {
         let series = algos
@@ -101,8 +118,11 @@ fn timing(opts: &Opts, name: &str, x_label: &str, split_key: &str) -> bool {
                 Series { name, points: pts }
             })
             .collect();
-        let y_label =
-            if mode == "online" { "time per point (µs)" } else { "total time (s)" };
+        let y_label = if mode == "online" {
+            "time per point (µs)"
+        } else {
+            "total time (s)"
+        };
         let chart = LineChart {
             title: format!("{name} ({mode})"),
             x_label: x_label.into(),
@@ -135,7 +155,10 @@ fn fig8(opts: &Opts) -> bool {
             title: "Fig 8: training cost vs #trajectories".into(),
             x_label: "#training trajectories".into(),
             y_label: "training time (s)".into(),
-            series: vec![Series { name: "RLTS".into(), points: cost }],
+            series: vec![Series {
+                name: "RLTS".into(),
+                points: cost,
+            }],
             log_y: false,
         },
     );
@@ -146,7 +169,10 @@ fn fig8(opts: &Opts) -> bool {
             title: "Fig 8: effectiveness vs #trajectories".into(),
             x_label: "#training trajectories".into(),
             y_label: "SED error".into(),
-            series: vec![Series { name: "RLTS".into(), points: err }],
+            series: vec![Series {
+                name: "RLTS".into(),
+                points: err,
+            }],
             log_y: false,
         },
     );

@@ -31,9 +31,17 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     for variant in Variant::ALL {
         let cfg = RltsConfig::paper_defaults(variant, measure);
         if variant.is_batch() {
-            algos.push(Box::new(RltsBatch::new(cfg, store.decision(cfg, &spec), 17)));
+            algos.push(Box::new(RltsBatch::new(
+                cfg,
+                store.decision(cfg, &spec),
+                17,
+            )));
         } else {
-            algos.push(Box::new(OnlineAsBatch(RltsOnline::new(cfg, store.decision(cfg, &spec), 17))));
+            algos.push(Box::new(OnlineAsBatch(RltsOnline::new(
+                cfg,
+                store.decision(cfg, &spec),
+                17,
+            ))));
         }
     }
     algos.push(Box::new(TopDown::new(measure)));
@@ -44,7 +52,11 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     for mut algo in algos {
         let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
         table.row(vec![r.algo.clone(), fmt(r.mean_error), fmt(r.total_time_s)]);
-        records.push(Record { algo: r.algo, mean_error: r.mean_error, total_time_s: r.total_time_s });
+        records.push(Record {
+            algo: r.algo,
+            mean_error: r.mean_error,
+            total_time_s: r.total_time_s,
+        });
     }
     table.print("Fig 3: RLTS variants in batch mode (SED, Geolife-like)");
     println!(

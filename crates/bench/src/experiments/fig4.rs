@@ -2,7 +2,10 @@
 //! all four error measures, online (a–d) and batch (e–h) modes
 //! (paper §VI-B(3)).
 
-use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use crate::harness::{
+    batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable,
+    TrainSpec,
+};
 use serde::Serialize;
 use trajectory::error::Measure;
 use trajgen::Preset;
@@ -31,9 +34,14 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let cfgs: Vec<RltsConfig> = Measure::ALL
         .iter()
         .flat_map(|&m| {
-            [Variant::Rlts, Variant::RltsSkip, Variant::RltsPlus, Variant::RltsSkipPlus]
-                .into_iter()
-                .map(move |v| RltsConfig::paper_defaults(v, m))
+            [
+                Variant::Rlts,
+                Variant::RltsSkip,
+                Variant::RltsPlus,
+                Variant::RltsSkipPlus,
+            ]
+            .into_iter()
+            .map(move |v| RltsConfig::paper_defaults(v, m))
         })
         .collect();
     store.pretrain_parallel(&cfgs, &spec);

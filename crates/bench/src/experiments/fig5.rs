@@ -2,7 +2,10 @@
 //! online per-point time (a) and batch total time (b) on Truck, SED,
 //! `W = 0.1·|T|`.
 
-use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use crate::harness::{
+    batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable,
+    TrainSpec,
+};
 use serde::Serialize;
 use trajectory::error::Measure;
 use trajgen::Preset;
@@ -35,7 +38,8 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     for mut algo in online_suite(measure, store, &spec) {
         let mut cells = vec![algo.name().to_string()];
         for &n in &lengths {
-            let data = trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
+            let data =
+                trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
             let r = eval_online(algo.as_mut(), &data, w_frac, measure);
             cells.push(fmt(r.time_per_point_us));
             records.push(Record {
@@ -55,7 +59,8 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     for mut algo in batch_suite(measure, store, &spec) {
         let mut cells = vec![algo.name().to_string()];
         for &n in &lengths {
-            let data = trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
+            let data =
+                trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
             let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
             cells.push(fmt(r.total_time_s));
             records.push(Record {

@@ -1,7 +1,10 @@
 //! Figure 6 — efficiency vs. storage budget `W ∈ [0.1, 0.5]·|T|` at fixed
 //! `|T|` (paper §VI-B(9)): Truck, SED, `|T| = 40,000`.
 
-use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use crate::harness::{
+    batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable,
+    TrainSpec,
+};
 use serde::Serialize;
 use trajectory::error::Measure;
 use trajgen::Preset;

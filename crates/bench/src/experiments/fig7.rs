@@ -54,7 +54,9 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
             kept_indices: kept,
         });
     }
-    table.print(&format!("Fig 7: case study (online, Geolife-like, n = {n}, W = {w})"));
+    table.print(&format!(
+        "Fig 7: case study (online, Geolife-like, n = {n}, W = {w})"
+    ));
     println!("[paper shape: RLTS SED roughly half of SQUISH/SQUISH-E/STTrace]");
 
     // The actual figure: raw polyline + each simplification, as SVG.
@@ -68,7 +70,10 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
             points: r.kept_xy.clone(),
         });
     }
-    let plot = PolylinePlot { title: format!("Case study: n = {n}, W = {w} (SED)"), lines };
+    let plot = PolylinePlot {
+        title: format!("Case study: n = {n}, W = {w} (SED)"),
+        lines,
+    };
     let path = opts.out_dir.join("fig7.svg");
     plot.write(&path).expect("write fig7.svg");
     println!("[figure written to {}]", path.display());

@@ -22,7 +22,12 @@ pub fn run(opts: &Opts) {
     let len = opts.scaled(250, 80);
     let measure = Measure::Sed;
     let cfg = RltsConfig::paper_defaults(Variant::Rlts, measure);
-    let eval = trajgen::generate_dataset(Preset::GeolifeLike, opts.scaled(200, 10), opts.scaled(1000, 200), opts.seed + 8);
+    let eval = trajgen::generate_dataset(
+        Preset::GeolifeLike,
+        opts.scaled(200, 10),
+        opts.scaled(1000, 200),
+        opts.seed + 8,
+    );
 
     let mut table = TextTable::new(&["#train traj", "Train time (s)", "SED error"]);
     let mut records = Vec::new();
@@ -43,7 +48,10 @@ pub fn run(opts: &Opts) {
         let report = train(&pool, &tc);
         let mut algo = RltsOnline::new(
             cfg,
-            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            DecisionPolicy::Learned {
+                net: report.policy.net,
+                greedy: false,
+            },
             17,
         );
         let r = eval_online(&mut algo, &eval, 0.1, measure);

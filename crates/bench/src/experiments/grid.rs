@@ -3,7 +3,10 @@
 //! more sharply than free-space movement — and give Span-Search its
 //! natural habitat.
 
-use crate::harness::{batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable, TrainSpec};
+use crate::harness::{
+    batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable,
+    TrainSpec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;

@@ -4,8 +4,8 @@
 //! (Uniform, Bottom-Up, RLTS+), then measures store size, index size, range-
 //! query latency, and position-query error against the raw store.
 
-use crate::harness::{budget, fmt, time, Opts, PolicyStore, TrainSpec};
 use crate::harness::TextTable;
+use crate::harness::{budget, fmt, time, Opts, PolicyStore, TrainSpec};
 use baselines::{BottomUp, Uniform};
 use rlts_core::{RltsBatch, RltsConfig, Variant};
 use serde::Serialize;
@@ -38,7 +38,14 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
         ("raw", None),
         ("Uniform", Some(Box::new(Uniform::new()))),
         ("Bottom-Up", Some(Box::new(BottomUp::new(measure)))),
-        ("RLTS+", Some(Box::new(RltsBatch::new(cfg, store.decision(cfg, &spec), 17)))),
+        (
+            "RLTS+",
+            Some(Box::new(RltsBatch::new(
+                cfg,
+                store.decision(cfg, &spec),
+                17,
+            ))),
+        ),
     ];
 
     // Reference store with the raw data, for error measurement.

@@ -27,12 +27,23 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let mut table = TextTable::new(&["J", "SED error", "Time (s)"]);
     let mut records = Vec::new();
     for j in 0..=4usize {
-        let (variant, jj) = if j == 0 { (Variant::Rlts, 2) } else { (Variant::RltsSkip, j) };
-        let cfg = RltsConfig { j: jj, ..RltsConfig::paper_defaults(variant, measure) };
+        let (variant, jj) = if j == 0 {
+            (Variant::Rlts, 2)
+        } else {
+            (Variant::RltsSkip, j)
+        };
+        let cfg = RltsConfig {
+            j: jj,
+            ..RltsConfig::paper_defaults(variant, measure)
+        };
         let mut algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
         let r = eval_online(&mut algo, &data, w_frac, measure);
         table.row(vec![j.to_string(), fmt(r.mean_error), fmt(r.total_time_s)]);
-        records.push(Record { j, mean_error: r.mean_error, total_time_s: r.total_time_s });
+        records.push(Record {
+            j,
+            mean_error: r.mean_error,
+            total_time_s: r.total_time_s,
+        });
     }
     table.print("Exp 6: effect of J on RLTS-Skip (online, SED; J=0 is RLTS)");
     println!("[paper shape: as J grows, effectiveness degrades and efficiency improves]");

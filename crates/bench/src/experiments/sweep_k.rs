@@ -26,11 +26,18 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let mut table = TextTable::new(&["k", "SED error", "Time (s)"]);
     let mut records = Vec::new();
     for k in 1..=5 {
-        let cfg = RltsConfig { k, ..RltsConfig::paper_defaults(Variant::Rlts, measure) };
+        let cfg = RltsConfig {
+            k,
+            ..RltsConfig::paper_defaults(Variant::Rlts, measure)
+        };
         let mut algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
         let r = eval_online(&mut algo, &data, w_frac, measure);
         table.row(vec![k.to_string(), fmt(r.mean_error), fmt(r.total_time_s)]);
-        records.push(Record { k, mean_error: r.mean_error, total_time_s: r.total_time_s });
+        records.push(Record {
+            k,
+            mean_error: r.mean_error,
+            total_time_s: r.total_time_s,
+        });
     }
     table.print("Exp 5: effect of k on RLTS (online, SED)");
     println!("[paper shape: error improves and time grows as k grows]");

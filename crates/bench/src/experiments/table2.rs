@@ -24,10 +24,21 @@ struct Record {
 pub fn run(opts: &Opts) {
     let spec = TrainSpec::default_for(opts);
     let pool = trajgen::generate_dataset(spec.preset, spec.count, spec.len, opts.seed * 1000 + 2);
-    let mut table = TextTable::new(&["Measure", "Variant", "Transitions", "Time (s)", "→10M est (h)"]);
+    let mut table = TextTable::new(&[
+        "Measure",
+        "Variant",
+        "Transitions",
+        "Time (s)",
+        "→10M est (h)",
+    ]);
     let mut records = Vec::new();
     for measure in Measure::ALL {
-        for variant in [Variant::Rlts, Variant::RltsSkip, Variant::RltsPlus, Variant::RltsSkipPlus] {
+        for variant in [
+            Variant::Rlts,
+            Variant::RltsSkip,
+            Variant::RltsPlus,
+            Variant::RltsSkipPlus,
+        ] {
             let cfg = RltsConfig::paper_defaults(variant, measure);
             let tc = TrainConfig {
                 rlts: cfg,

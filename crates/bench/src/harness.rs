@@ -25,7 +25,11 @@ pub struct Opts {
 
 impl Default for Opts {
     fn default() -> Self {
-        Opts { scale: 1.0, out_dir: PathBuf::from("results"), seed: 7 }
+        Opts {
+            scale: 1.0,
+            out_dir: PathBuf::from("results"),
+            seed: 7,
+        }
     }
 }
 
@@ -120,13 +124,20 @@ impl Default for PolicyStore {
 impl PolicyStore {
     /// Creates a store rooted at `target/policies`.
     pub fn new() -> Self {
-        PolicyStore { dir: PathBuf::from("target/policies"), mem: Mutex::new(HashMap::new()) }
+        PolicyStore {
+            dir: PathBuf::from("target/policies"),
+            mem: Mutex::new(HashMap::new()),
+        }
     }
 
     /// Returns the trained policy for a configuration, training (and
     /// caching) it if needed. Returns the wall-clock training time when a
     /// fresh training run happened.
-    pub fn get_or_train(&self, cfg: RltsConfig, spec: &TrainSpec) -> (TrainedPolicy, Option<Duration>) {
+    pub fn get_or_train(
+        &self,
+        cfg: RltsConfig,
+        spec: &TrainSpec,
+    ) -> (TrainedPolicy, Option<Duration>) {
         let key = spec.cache_key(&cfg);
         if let Some(p) = self.mem.lock().get(&key) {
             return (p.clone(), None);
@@ -141,7 +152,8 @@ impl PolicyStore {
             }
         }
         eprintln!("[training {} / {} ...]", cfg.variant, cfg.measure);
-        let pool = trajgen::generate_dataset(spec.preset, spec.count, spec.len, spec.seed * 1000 + 1);
+        let pool =
+            trajgen::generate_dataset(spec.preset, spec.count, spec.len, spec.seed * 1000 + 1);
         let tc = TrainConfig {
             rlts: cfg,
             hidden: 20,
@@ -167,7 +179,10 @@ impl PolicyStore {
     /// §VI-A).
     pub fn decision(&self, cfg: RltsConfig, spec: &TrainSpec) -> DecisionPolicy {
         let (p, _) = self.get_or_train(cfg, spec);
-        DecisionPolicy::Learned { net: p.net, greedy: cfg.variant.is_batch() }
+        DecisionPolicy::Learned {
+            net: p.net,
+            greedy: cfg.variant.is_batch(),
+        }
     }
 
     /// Trains (or loads) a set of policies in parallel, one thread per
@@ -268,8 +283,16 @@ pub fn online_suite(
         Box::new(StTrace::new(measure)),
         Box::new(Squish::new(measure)),
         Box::new(SquishE::new(measure)),
-        Box::new(RltsOnline::new(rlts_cfg, store.decision(rlts_cfg, spec), 17)),
-        Box::new(RltsOnline::new(skip_cfg, store.decision(skip_cfg, spec), 17)),
+        Box::new(RltsOnline::new(
+            rlts_cfg,
+            store.decision(rlts_cfg, spec),
+            17,
+        )),
+        Box::new(RltsOnline::new(
+            skip_cfg,
+            store.decision(skip_cfg, spec),
+            17,
+        )),
     ]
 }
 
@@ -291,8 +314,16 @@ pub fn batch_suite(
     if measure == Measure::Dad {
         suite.push(Box::new(SpanSearch::new()));
     }
-    suite.push(Box::new(RltsBatch::new(plus_cfg, store.decision(plus_cfg, spec), 17)));
-    suite.push(Box::new(RltsBatch::new(skip_cfg, store.decision(skip_cfg, spec), 17)));
+    suite.push(Box::new(RltsBatch::new(
+        plus_cfg,
+        store.decision(plus_cfg, spec),
+        17,
+    )));
+    suite.push(Box::new(RltsBatch::new(
+        skip_cfg,
+        store.decision(skip_cfg, spec),
+        17,
+    )));
     suite
 }
 
@@ -306,7 +337,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with column headers.
     pub fn new(headers: &[&str]) -> Self {
-        TextTable { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header width).

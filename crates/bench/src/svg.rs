@@ -122,8 +122,11 @@ impl LineChart {
         // Series.
         for (i, s) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
-            let path: Vec<String> =
-                s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
             let _ = writeln!(
                 out,
                 r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"##,
@@ -207,10 +210,21 @@ impl PolylinePlot {
             escape(&self.title)
         );
         for (i, l) in self.lines.iter().enumerate() {
-            let color = if i == 0 { "#bbbbbb" } else { PALETTE[(i - 1) % PALETTE.len()] };
-            let dash = if i == 0 { "" } else { r##" stroke-dasharray="6,3""## };
-            let path: Vec<String> =
-                l.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let color = if i == 0 {
+                "#bbbbbb"
+            } else {
+                PALETTE[(i - 1) % PALETTE.len()]
+            };
+            let dash = if i == 0 {
+                ""
+            } else {
+                r##" stroke-dasharray="6,3""##
+            };
+            let path: Vec<String> = l
+                .points
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
             let _ = writeln!(
                 out,
                 r##"<polyline points="{}" fill="none" stroke="{color}" stroke-width="{}"{dash}/>"##,
@@ -277,7 +291,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -290,8 +306,14 @@ mod tests {
             x_label: "W".into(),
             y_label: "error".into(),
             series: vec![
-                Series { name: "RLTS".into(), points: vec![(0.1, 5.0), (0.2, 3.0), (0.3, 2.0)] },
-                Series { name: "SQUISH".into(), points: vec![(0.1, 9.0), (0.2, 6.0), (0.3, 4.0)] },
+                Series {
+                    name: "RLTS".into(),
+                    points: vec![(0.1, 5.0), (0.2, 3.0), (0.3, 2.0)],
+                },
+                Series {
+                    name: "SQUISH".into(),
+                    points: vec![(0.1, 9.0), (0.2, 6.0), (0.3, 4.0)],
+                },
             ],
             log_y: false,
         }
@@ -323,8 +345,14 @@ mod tests {
         let p = PolylinePlot {
             title: "case study".into(),
             lines: vec![
-                Series { name: "raw".into(), points: vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)] },
-                Series { name: "RLTS".into(), points: vec![(0.0, 0.0), (2.0, 0.0)] },
+                Series {
+                    name: "raw".into(),
+                    points: vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)],
+                },
+                Series {
+                    name: "RLTS".into(),
+                    points: vec![(0.0, 0.0), (2.0, 0.0)],
+                },
             ],
         };
         let svg = p.render();
@@ -346,7 +374,10 @@ mod tests {
             title: "t".into(),
             x_label: "x".into(),
             y_label: "y".into(),
-            series: vec![Series { name: "one".into(), points: vec![(1.0, 1.0)] }],
+            series: vec![Series {
+                name: "one".into(),
+                points: vec![(1.0, 1.0)],
+            }],
             log_y: false,
         };
         let svg = c.render();

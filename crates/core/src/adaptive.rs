@@ -105,7 +105,10 @@ where
     /// Creates an adaptive simplifier from a per-measure factory, e.g.
     /// `AdaptiveBatch::new(baselines::BottomUp::new)`.
     pub fn new(factory: F) -> Self {
-        AdaptiveBatch { factory, last_choice: None }
+        AdaptiveBatch {
+            factory,
+            last_choice: None,
+        }
     }
 
     /// The measure chosen for the most recent `simplify` call.
@@ -193,11 +196,22 @@ mod tests {
     #[test]
     fn degenerate_inputs_yield_zero_profile() {
         let p = DynamicsProfile::of(&[]);
-        assert_eq!(p, DynamicsProfile { heading_variance: 0.0, speed_cv: 0.0, interval_cv: 0.0 });
+        assert_eq!(
+            p,
+            DynamicsProfile {
+                heading_variance: 0.0,
+                speed_cv: 0.0,
+                interval_cv: 0.0
+            }
+        );
         let one = [Point::new(0.0, 0.0, 0.0)];
         assert_eq!(DynamicsProfile::of(&one).recommend(), Measure::Ped);
         // All points coincident.
-        let still = [Point::new(1.0, 1.0, 0.0), Point::new(1.0, 1.0, 5.0), Point::new(1.0, 1.0, 9.0)];
+        let still = [
+            Point::new(1.0, 1.0, 0.0),
+            Point::new(1.0, 1.0, 5.0),
+            Point::new(1.0, 1.0, 9.0),
+        ];
         let p = DynamicsProfile::of(&still);
         assert_eq!(p.heading_variance, 0.0);
     }

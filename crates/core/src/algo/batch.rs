@@ -29,8 +29,17 @@ impl RltsBatch {
     /// Panics if the configuration is invalid or names an online variant.
     pub fn new(cfg: RltsConfig, policy: DecisionPolicy, seed: u64) -> Self {
         cfg.validate().expect("invalid RLTS configuration");
-        assert!(cfg.variant.is_batch(), "{} is an online variant; use RltsOnline", cfg.variant);
-        RltsBatch { cfg, policy, seed, rng: StdRng::seed_from_u64(seed) }
+        assert!(
+            cfg.variant.is_batch(),
+            "{} is an online variant; use RltsOnline",
+            cfg.variant
+        );
+        RltsBatch {
+            cfg,
+            policy,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The configuration in use.
@@ -57,7 +66,11 @@ impl RltsBatch {
             let values: Vec<f64> = cands.iter().map(|&(_, v)| v).collect();
             let mut state = pad_values(&values, k);
             let j_total = if skip_variant { j_cfg } else { 0 };
-            let j_valid = if skip_variant { j_cfg.min(n - 1 - i) } else { 0 };
+            let j_valid = if skip_variant {
+                j_cfg.min(n - 1 - i)
+            } else {
+                0
+            };
             if matches!(self.cfg.variant, crate::config::Variant::RltsSkipPlus) {
                 // Skip costs are part of the state for Skip+ (§V).
                 for jj in 1..=j_cfg {
@@ -97,7 +110,11 @@ impl RltsBatch {
             let values: Vec<f64> = cands.iter().map(|&(_, v)| v).collect();
             let mut state = pad_values(&values, k);
             let j_total = if skip_variant { j_cfg } else { 0 };
-            let j_valid = if skip_variant { j_cfg.min(over).min(bbuf.candidate_len()) } else { 0 };
+            let j_valid = if skip_variant {
+                j_cfg.min(over).min(bbuf.candidate_len())
+            } else {
+                0
+            };
             if matches!(self.cfg.variant, crate::config::Variant::RltsSkipPlusPlus) {
                 // Skip costs: cumulative cost of batch-dropping the j
                 // cheapest candidates.
@@ -196,7 +213,11 @@ mod tests {
             for m in Measure::ALL {
                 let cfg = RltsConfig::paper_defaults(variant, m);
                 let net = fresh_net(&cfg, 5);
-                check_contract(&mut RltsBatch::new(cfg, DecisionPolicy::Learned { net, greedy: true }, 3));
+                check_contract(&mut RltsBatch::new(
+                    cfg,
+                    DecisionPolicy::Learned { net, greedy: true },
+                    3,
+                ));
                 check_contract(&mut RltsBatch::new(cfg, DecisionPolicy::Random, 4));
             }
         }
@@ -231,7 +252,10 @@ mod tests {
         let cfg = RltsConfig::paper_defaults(Variant::RltsSkipPlusPlus, Measure::Sed);
         let net = fresh_net(&cfg, 6);
         for w in [5, 17, 44] {
-            let policy = DecisionPolicy::Learned { net: net.clone(), greedy: false };
+            let policy = DecisionPolicy::Learned {
+                net: net.clone(),
+                greedy: false,
+            };
             let kept = RltsBatch::new(cfg, policy, 8).simplify(&pts, w);
             assert_eq!(kept.len(), w, "w={w}");
         }
@@ -247,7 +271,11 @@ mod tests {
                 Point::new(i as f64, y, i as f64)
             })
             .collect();
-        for variant in [Variant::RltsPlus, Variant::RltsSkipPlus, Variant::RltsSkipPlusPlus] {
+        for variant in [
+            Variant::RltsPlus,
+            Variant::RltsSkipPlus,
+            Variant::RltsSkipPlusPlus,
+        ] {
             let cfg = RltsConfig::paper_defaults(variant, Measure::Sed);
             let kept = RltsBatch::new(cfg, DecisionPolicy::Random, 1).simplify(&pts, 20);
             assert!(kept.len() <= 20, "{variant}");

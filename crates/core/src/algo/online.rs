@@ -31,7 +31,11 @@ impl RltsOnline {
     /// Panics if the configuration is invalid or names a batch variant.
     pub fn new(cfg: RltsConfig, policy: DecisionPolicy, seed: u64) -> Self {
         cfg.validate().expect("invalid RLTS configuration");
-        assert!(!cfg.variant.is_batch(), "{} is a batch variant; use RltsBatch", cfg.variant);
+        assert!(
+            !cfg.variant.is_batch(),
+            "{} is a batch variant; use RltsBatch",
+            cfg.variant
+        );
         let buf = OnlineValueBuffer::new(cfg.measure, cfg.value_update);
         RltsOnline {
             cfg,
@@ -56,7 +60,11 @@ impl RltsOnline {
         let cands = self.buf.k_smallest(self.cfg.k);
         let values: Vec<f64> = cands.iter().map(|&(_, v)| v).collect();
         let state = pad_values(&values, self.cfg.k);
-        let j_total = if self.cfg.variant.is_skip() { self.cfg.j } else { 0 };
+        let j_total = if self.cfg.variant.is_skip() {
+            self.cfg.j
+        } else {
+            0
+        };
         // Online, the stream end is unknown, so every skip length is valid.
         let mask = action_mask(self.cfg.k, cands.len(), j_total, j_total);
         let action = self.policy.choose(&state, &mask, &mut self.rng);
@@ -173,8 +181,14 @@ mod tests {
             for policy in [
                 DecisionPolicy::MinValue,
                 DecisionPolicy::Random,
-                DecisionPolicy::Learned { net: fresh_net(&cfg, 1), greedy: false },
-                DecisionPolicy::Learned { net: fresh_net(&cfg, 2), greedy: true },
+                DecisionPolicy::Learned {
+                    net: fresh_net(&cfg, 1),
+                    greedy: false,
+                },
+                DecisionPolicy::Learned {
+                    net: fresh_net(&cfg, 2),
+                    greedy: true,
+                },
             ] {
                 check_contract(&mut RltsOnline::new(cfg, policy, 7));
             }
@@ -186,7 +200,11 @@ mod tests {
         for m in Measure::ALL {
             let cfg = RltsConfig::paper_defaults(Variant::RltsSkip, m);
             let net = fresh_net(&cfg, 3);
-            check_contract(&mut RltsOnline::new(cfg, DecisionPolicy::Learned { net, greedy: false }, 9));
+            check_contract(&mut RltsOnline::new(
+                cfg,
+                DecisionPolicy::Learned { net, greedy: false },
+                9,
+            ));
         }
     }
 

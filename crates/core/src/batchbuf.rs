@@ -24,7 +24,11 @@ impl BatchBuffer {
     /// All interior prefix points become candidates.
     pub fn from_prefix(pts: Arc<[Point]>, measure: Measure, upto: usize) -> Self {
         let book = ErrorBook::with_prefix(pts, measure, upto);
-        let mut this = BatchBuffer { set: BTreeSet::new(), cost: vec![0.0; book.points().len()], book };
+        let mut this = BatchBuffer {
+            set: BTreeSet::new(),
+            cost: vec![0.0; book.points().len()],
+            book,
+        };
         for j in 1..upto {
             this.add_candidate(j);
         }
@@ -78,7 +82,12 @@ impl BatchBuffer {
     pub fn frontier_cost(&self, i: usize) -> Option<f64> {
         let last = self.book.last_index();
         let prev = self.book.prev_kept(last)?;
-        Some(segment_error(self.book.measure(), self.book.points(), prev, i))
+        Some(segment_error(
+            self.book.measure(),
+            self.book.points(),
+            prev,
+            i,
+        ))
     }
 
     /// Cost of skipping straight to original index `i`: the error of the
@@ -137,7 +146,13 @@ mod tests {
 
     fn pts(n: usize) -> Arc<[Point]> {
         (0..n)
-            .map(|i| Point::new(i as f64, if i % 3 == 0 { 0.0 } else { (i % 5) as f64 }, i as f64))
+            .map(|i| {
+                Point::new(
+                    i as f64,
+                    if i % 3 == 0 { 0.0 } else { (i % 5) as f64 },
+                    i as f64,
+                )
+            })
             .collect::<Vec<_>>()
             .into()
     }

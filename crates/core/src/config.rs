@@ -48,7 +48,10 @@ impl Variant {
 
     /// Whether the variant has skip actions.
     pub fn is_skip(&self) -> bool {
-        matches!(self, Variant::RltsSkip | Variant::RltsSkipPlus | Variant::RltsSkipPlusPlus)
+        matches!(
+            self,
+            Variant::RltsSkip | Variant::RltsSkipPlus | Variant::RltsSkipPlusPlus
+        )
     }
 
     /// Whether the variant needs batch data access (the `+`/`++` families).
@@ -118,7 +121,13 @@ impl RltsConfig {
     /// The paper's default setup for a variant and measure
     /// (`k = 3`, `J = 2`).
     pub fn paper_defaults(variant: Variant, measure: Measure) -> Self {
-        RltsConfig { variant, measure, k: 3, j: 2, value_update: ValueUpdate::Carry }
+        RltsConfig {
+            variant,
+            measure,
+            k: 3,
+            j: 2,
+            value_update: ValueUpdate::Carry,
+        }
     }
 
     /// State dimension implied by this configuration.
@@ -137,7 +146,10 @@ impl RltsConfig {
             return Err("k must be at least 1".into());
         }
         if self.variant.is_skip() && self.j == 0 {
-            return Err(format!("{} requires j >= 1 (j = 0 reduces to the non-skip variant)", self.variant));
+            return Err(format!(
+                "{} requires j >= 1 (j = 0 reduces to the non-skip variant)",
+                self.variant
+            ));
         }
         Ok(())
     }
@@ -184,6 +196,16 @@ mod tests {
     #[test]
     fn names_match_paper() {
         let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
-        assert_eq!(names, ["RLTS", "RLTS-Skip", "RLTS+", "RLTS-Skip+", "RLTS++", "RLTS-Skip++"]);
+        assert_eq!(
+            names,
+            [
+                "RLTS",
+                "RLTS-Skip",
+                "RLTS+",
+                "RLTS-Skip+",
+                "RLTS++",
+                "RLTS-Skip++"
+            ]
+        );
     }
 }

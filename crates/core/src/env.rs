@@ -21,9 +21,16 @@ use trajectory::{ErrorBook, Point, Trajectory};
 
 /// Episode internals per variant family.
 enum EpisodeKind {
-    Online { obuf: OnlineValueBuffer, book: ErrorBook },
-    Plus { bbuf: BatchBuffer },
-    PlusPlus { bbuf: BatchBuffer },
+    Online {
+        obuf: OnlineValueBuffer,
+        book: ErrorBook,
+    },
+    Plus {
+        bbuf: BatchBuffer,
+    },
+    PlusPlus {
+        bbuf: BatchBuffer,
+    },
 }
 
 /// The RLTS training environment over a pool of trajectories.
@@ -102,7 +109,10 @@ impl SimplifyEnv {
                 obuf.prepare_frontier(&self.pts[self.i]);
                 self.cands = obuf.k_smallest(k);
                 self.j_valid = if skip { j_cfg.min(n - 1 - self.i) } else { 0 };
-                Some(pad_values(&self.cands.iter().map(|&(_, v)| v).collect::<Vec<_>>(), k))
+                Some(pad_values(
+                    &self.cands.iter().map(|&(_, v)| v).collect::<Vec<_>>(),
+                    k,
+                ))
             }
             EpisodeKind::Plus { bbuf } => {
                 if self.i >= n {
@@ -131,8 +141,11 @@ impl SimplifyEnv {
                 }
                 let over = bbuf.kept_len() - self.w;
                 self.cands = bbuf.k_smallest(k);
-                self.j_valid =
-                    if skip { j_cfg.min(over).min(bbuf.candidate_len()) } else { 0 };
+                self.j_valid = if skip {
+                    j_cfg.min(over).min(bbuf.candidate_len())
+                } else {
+                    0
+                };
                 let mut state =
                     pad_values(&self.cands.iter().map(|&(_, v)| v).collect::<Vec<_>>(), k);
                 if self.cfg.variant == Variant::RltsSkipPlusPlus {
@@ -180,12 +193,12 @@ impl Environment for SimplifyEnv {
                     let book = ErrorBook::with_prefix(Arc::clone(&pts), measure, w - 1);
                     EpisodeKind::Online { obuf, book }
                 }
-                Variant::RltsPlus | Variant::RltsSkipPlus => {
-                    EpisodeKind::Plus { bbuf: BatchBuffer::from_prefix(Arc::clone(&pts), measure, w - 1) }
-                }
-                Variant::RltsPlusPlus | Variant::RltsSkipPlusPlus => {
-                    EpisodeKind::PlusPlus { bbuf: BatchBuffer::from_all(Arc::clone(&pts), measure) }
-                }
+                Variant::RltsPlus | Variant::RltsSkipPlus => EpisodeKind::Plus {
+                    bbuf: BatchBuffer::from_prefix(Arc::clone(&pts), measure, w - 1),
+                },
+                Variant::RltsPlusPlus | Variant::RltsSkipPlusPlus => EpisodeKind::PlusPlus {
+                    bbuf: BatchBuffer::from_all(Arc::clone(&pts), measure),
+                },
             });
             if let Some(state) = self.make_state() {
                 return Some(state);
@@ -324,7 +337,9 @@ mod tests {
                 // Recover the final kept set to cross-check.
                 let kept = match env.kind.as_ref().unwrap() {
                     EpisodeKind::Online { book, .. } => book.kept_indices(),
-                    EpisodeKind::Plus { bbuf } | EpisodeKind::PlusPlus { bbuf } => bbuf.kept_indices(),
+                    EpisodeKind::Plus { bbuf } | EpisodeKind::PlusPlus { bbuf } => {
+                        bbuf.kept_indices()
+                    }
                 };
                 let e = simplification_error(m, data[0].points(), &kept, Aggregation::Max);
                 assert!(
@@ -349,7 +364,12 @@ mod tests {
                 EpisodeKind::Online { obuf, .. } => obuf.kept_stream_ids(),
                 EpisodeKind::Plus { bbuf } | EpisodeKind::PlusPlus { bbuf } => bbuf.kept_indices(),
             };
-            assert!(kept.len() <= env.w + 1, "{variant}: kept {} w {}", kept.len(), env.w);
+            assert!(
+                kept.len() <= env.w + 1,
+                "{variant}: kept {} w {}",
+                kept.len(),
+                env.w
+            );
         }
     }
 

@@ -26,7 +26,12 @@ pub struct OnlineValueBuffer {
 impl OnlineValueBuffer {
     /// Creates an empty buffer for a measure and update rule.
     pub fn new(measure: Measure, update: ValueUpdate) -> Self {
-        OnlineValueBuffer { measure, update, buf: OrderedBuffer::new(), stream_ids: Vec::new() }
+        OnlineValueBuffer {
+            measure,
+            update,
+            buf: OrderedBuffer::new(),
+            stream_ids: Vec::new(),
+        }
     }
 
     /// Clears state for a new stream.
@@ -63,8 +68,15 @@ impl OnlineValueBuffer {
     /// No-op when the frontier is the first point.
     pub fn prepare_frontier(&mut self, next_point: &Point) {
         let Some(tail) = self.buf.back() else { return };
-        let Some(prev) = self.buf.prev(tail) else { return };
-        let v = drop_error(self.measure, &self.buf.point(prev), &self.buf.point(tail), next_point);
+        let Some(prev) = self.buf.prev(tail) else {
+            return;
+        };
+        let v = drop_error(
+            self.measure,
+            &self.buf.point(prev),
+            &self.buf.point(tail),
+            next_point,
+        );
         self.buf.set_value(tail, v);
     }
 
@@ -97,7 +109,12 @@ impl OnlineValueBuffer {
                 // Left neighbour l: merged segment (prev(l), next-of-drop).
                 if let Some(l) = prev {
                     if let (Some(a), Some(b)) = (self.buf.prev(l), self.buf.next(l)) {
-                        let base = drop_error(self.measure, &self.buf.point(a), &self.buf.point(l), &self.buf.point(b));
+                        let base = drop_error(
+                            self.measure,
+                            &self.buf.point(a),
+                            &self.buf.point(l),
+                            &self.buf.point(b),
+                        );
                         let carried = carried_value(
                             self.measure,
                             &self.buf.point(a),
@@ -111,7 +128,12 @@ impl OnlineValueBuffer {
                 // Right neighbour r: merged segment (prev-of-drop, next(r)).
                 if let Some(r) = next {
                     if let (Some(a), Some(b)) = (self.buf.prev(r), self.buf.next(r)) {
-                        let base = drop_error(self.measure, &self.buf.point(a), &self.buf.point(r), &self.buf.point(b));
+                        let base = drop_error(
+                            self.measure,
+                            &self.buf.point(a),
+                            &self.buf.point(r),
+                            &self.buf.point(b),
+                        );
                         let carried = carried_value(
                             self.measure,
                             &self.buf.point(a),
@@ -128,12 +150,21 @@ impl OnlineValueBuffer {
 
     /// Kept stream indices, front to back.
     pub fn kept_stream_ids(&self) -> Vec<usize> {
-        self.buf.live_positions().into_iter().map(|s| self.stream_ids[s]).collect()
+        self.buf
+            .live_positions()
+            .into_iter()
+            .map(|s| self.stream_ids[s])
+            .collect()
     }
 
     fn refresh_value(&mut self, slot: usize) {
         if let (Some(a), Some(b)) = (self.buf.prev(slot), self.buf.next(slot)) {
-            let v = drop_error(self.measure, &self.buf.point(a), &self.buf.point(slot), &self.buf.point(b));
+            let v = drop_error(
+                self.measure,
+                &self.buf.point(a),
+                &self.buf.point(slot),
+                &self.buf.point(b),
+            );
             self.buf.set_value(slot, v);
         }
     }
@@ -197,7 +228,10 @@ mod tests {
         let vc: f64 = carry.k_smallest(10).iter().map(|&(_, v)| v).sum();
         let vr: f64 = recompute.k_smallest(10).iter().map(|&(_, v)| v).sum();
         assert!(vc >= vr - 1e-12, "carry {vc} must dominate recompute {vr}");
-        assert!(vc > vr + 1.0, "the spike's carried error must dominate: {vc} vs {vr}");
+        assert!(
+            vc > vr + 1.0,
+            "the spike's carried error must dominate: {vc} vs {vr}"
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn mask_shapes() {
-        assert_eq!(action_mask(3, 2, 2, 1), vec![true, true, false, true, false]);
+        assert_eq!(
+            action_mask(3, 2, 2, 1),
+            vec![true, true, false, true, false]
+        );
         assert_eq!(action_mask(2, 2, 0, 0), vec![true, true]);
     }
 

@@ -113,7 +113,12 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
     tc.rlts.validate().expect("invalid RLTS configuration");
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(tc.seed);
-    let mut net = PolicyNet::new(tc.rlts.state_dim(), tc.hidden, tc.rlts.action_dim(), &mut rng);
+    let mut net = PolicyNet::new(
+        tc.rlts.state_dim(),
+        tc.hidden,
+        tc.rlts.action_dim(),
+        &mut rng,
+    );
     let mut env = SimplifyEnv::new(tc.rlts, trajectories, tc.seed ^ 0x9E3779B97F4A7C15);
     env.w_fraction = tc.w_fraction;
     let base_cfg = ReinforceConfig {
@@ -176,7 +181,10 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
     }
 
     TrainReport {
-        policy: TrainedPolicy { config: tc.rlts, net: best_net },
+        policy: TrainedPolicy {
+            config: tc.rlts,
+            net: best_net,
+        },
         reward_history: history,
         wall_time: start.elapsed(),
         transitions,
@@ -222,7 +230,10 @@ mod tests {
         // The trained policy runs end to end.
         let mut algo = RltsOnline::new(
             cfg,
-            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            DecisionPolicy::Learned {
+                net: report.policy.net,
+                greedy: false,
+            },
             1,
         );
         let kept = algo.run(data[0].points(), 12);
@@ -241,7 +252,10 @@ mod tests {
         let report = train(&data, &tc);
         let mut algo = RltsBatch::new(
             cfg,
-            DecisionPolicy::Learned { net: report.policy.net, greedy: true },
+            DecisionPolicy::Learned {
+                net: report.policy.net,
+                greedy: true,
+            },
             1,
         );
         let kept = algo.simplify(data[1].points(), 10);
@@ -260,7 +274,14 @@ mod tests {
         let mut back = TrainedPolicy::from_json(&json).unwrap();
         assert_eq!(back.config, cfg);
         let s = vec![0.5; cfg.state_dim()];
-        for (a, b) in report.policy.net.clone().probs(&s).iter().zip(back.net.probs(&s)) {
+        for (a, b) in report
+            .policy
+            .net
+            .clone()
+            .probs(&s)
+            .iter()
+            .zip(back.net.probs(&s))
+        {
             assert!((a - b).abs() < 1e-12);
         }
     }
@@ -276,7 +297,10 @@ mod tests {
         assert!(!report.reward_history.is_empty());
         let mut algo = RltsOnline::new(
             cfg,
-            DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+            DecisionPolicy::Learned {
+                net: report.policy.net,
+                greedy: false,
+            },
             2,
         );
         let kept = algo.run(data[0].points(), 12);
@@ -314,7 +338,10 @@ mod tests {
         for t in &eval {
             let mut learned = RltsOnline::new(
                 cfg,
-                DecisionPolicy::Learned { net: report.policy.net.clone(), greedy: false },
+                DecisionPolicy::Learned {
+                    net: report.policy.net.clone(),
+                    greedy: false,
+                },
                 5,
             );
             let mut random = RltsOnline::new(cfg, DecisionPolicy::Random, 5);

@@ -1,6 +1,8 @@
 //! Point-value kernels specific to the RLTS online update rule.
 
-use trajectory::error::{dad_point_error, ped_point_error, sad_point_error, sed_point_error, Measure};
+use trajectory::error::{
+    dad_point_error, ped_point_error, sad_point_error, sed_point_error, Measure,
+};
 use trajectory::{Point, Segment};
 
 /// Error of the merged anchor segment `(a, b)` w.r.t. a *dropped* point `d`
@@ -30,11 +32,23 @@ mod tests {
         let b = Point::new(3.0, 0.0, 3.0);
         // SED/PED ignore d_next entirely.
         let seg = Segment::new(a, b);
-        assert_eq!(carried_value(Measure::Sed, &a, &b, &d, &nx), sed_point_error(&seg, &d));
-        assert_eq!(carried_value(Measure::Ped, &a, &b, &d, &nx), ped_point_error(&seg, &d));
+        assert_eq!(
+            carried_value(Measure::Sed, &a, &b, &d, &nx),
+            sed_point_error(&seg, &d)
+        );
+        assert_eq!(
+            carried_value(Measure::Ped, &a, &b, &d, &nx),
+            ped_point_error(&seg, &d)
+        );
         // DAD/SAD compare the movement d → d_next against the segment.
-        assert_eq!(carried_value(Measure::Dad, &a, &b, &d, &nx), dad_point_error(&seg, &d, &nx));
-        assert_eq!(carried_value(Measure::Sad, &a, &b, &d, &nx), sad_point_error(&seg, &d, &nx));
+        assert_eq!(
+            carried_value(Measure::Dad, &a, &b, &d, &nx),
+            dad_point_error(&seg, &d, &nx)
+        );
+        assert_eq!(
+            carried_value(Measure::Sad, &a, &b, &d, &nx),
+            sad_point_error(&seg, &d, &nx)
+        );
     }
 
     #[test]

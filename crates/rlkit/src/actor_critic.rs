@@ -68,7 +68,12 @@ impl ActorCritic {
 
     /// One actor–critic update from a batch of episodes. Returns the mean
     /// total episode reward.
-    pub fn update(&mut self, actor: &mut PolicyNet, critic: &mut ValueNet, episodes: &[Episode]) -> f64 {
+    pub fn update(
+        &mut self,
+        actor: &mut PolicyNet,
+        critic: &mut ValueNet,
+        episodes: &[Episode],
+    ) -> f64 {
         debug_assert_eq!(actor.state_dim(), critic.state_dim());
         let mut returns: Vec<f64> = Vec::new();
         for ep in episodes {
@@ -169,7 +174,10 @@ mod tests {
         let mut critic = ValueNet::new(1, 8, &mut rng);
         let mut env = Bandit::new(10);
         let mut trainer = ActorCritic::new(ActorCriticConfig {
-            base: ReinforceConfig { lr: 0.05, ..Default::default() },
+            base: ReinforceConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
             ..Default::default()
         });
         trainer.train(&mut env, &mut actor, &mut critic, &mut rng, 80, 4);
@@ -186,7 +194,10 @@ mod tests {
         let mut critic = ValueNet::new(1, 8, &mut rng);
         let mut env = Bandit::new(10);
         let mut trainer = ActorCritic::new(ActorCriticConfig {
-            base: ReinforceConfig { lr: 0.05, ..Default::default() },
+            base: ReinforceConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
             critic_lr: 0.02,
             normalize_advantages: true,
         });
@@ -204,7 +215,10 @@ mod tests {
         let mut critic = ValueNet::new(1, 12, &mut rng);
         let mut env = SignTask::new(16);
         let mut trainer = ActorCritic::new(ActorCriticConfig {
-            base: ReinforceConfig { lr: 0.05, ..Default::default() },
+            base: ReinforceConfig {
+                lr: 0.05,
+                ..Default::default()
+            },
             ..Default::default()
         });
         trainer.train(&mut env, &mut actor, &mut critic, &mut rng, 150, 4);

@@ -13,12 +13,18 @@ pub struct Step {
 impl Step {
     /// A terminal step carrying a final reward.
     pub fn terminal(reward: f64) -> Self {
-        Step { reward, state: None }
+        Step {
+            reward,
+            state: None,
+        }
     }
 
     /// A non-terminal step.
     pub fn next(reward: f64, state: Vec<f64>) -> Self {
-        Step { reward, state: Some(state) }
+        Step {
+            reward,
+            state: Some(state),
+        }
     }
 }
 
@@ -53,7 +59,10 @@ pub(crate) mod test_envs {
 
     impl Bandit {
         pub fn new(steps: usize) -> Self {
-            Bandit { steps, remaining: 0 }
+            Bandit {
+                steps,
+                remaining: 0,
+            }
         }
     }
 
@@ -89,11 +98,19 @@ pub(crate) mod test_envs {
 
     impl SignTask {
         pub fn new(steps: usize) -> Self {
-            SignTask { steps, remaining: 0, sign: 1.0, seed: 0 }
+            SignTask {
+                steps,
+                remaining: 0,
+                sign: 1.0,
+                seed: 0,
+            }
         }
         fn next_sign(&mut self) -> f64 {
             // Deterministic pseudo-random alternation.
-            self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.seed = self
+                .seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if (self.seed >> 63) == 0 {
                 1.0
             } else {

@@ -55,7 +55,11 @@ mod tests {
         Episode {
             transitions: rewards
                 .iter()
-                .map(|&r| Transition { state: vec![0.0], action: 0, reward: r })
+                .map(|&r| Transition {
+                    state: vec![0.0],
+                    action: 0,
+                    reward: r,
+                })
                 .collect(),
         }
     }

@@ -16,7 +16,10 @@ pub struct Param {
 impl Param {
     /// Creates a parameter of `len` zeros (gradient included).
     pub fn zeros(len: usize) -> Self {
-        Param { w: vec![0.0; len], g: vec![0.0; len] }
+        Param {
+            w: vec![0.0; len],
+            g: vec![0.0; len],
+        }
     }
 
     /// Creates a parameter from given values with a zeroed gradient.

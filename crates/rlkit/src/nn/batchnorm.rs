@@ -122,7 +122,11 @@ mod tests {
         assert!(bn.running_var[0] < 0.5);
         // A constant input normalizes to ~β after warm-up.
         bn.forward(&[10.0], &mut out, false);
-        assert!(out[0].abs() < 0.5, "normalized constant should be near zero, got {}", out[0]);
+        assert!(
+            out[0].abs() < 0.5,
+            "normalized constant should be near zero, got {}",
+            out[0]
+        );
     }
 
     #[test]
@@ -140,7 +144,10 @@ mod tests {
         bn.forward(&[200.0], &mut out, false);
         let hi = out[0];
         assert!(lo < 0.0 && hi > 0.0);
-        assert!((lo.abs() - hi.abs()).abs() < 0.2, "roughly symmetric: {lo} {hi}");
+        assert!(
+            (lo.abs() - hi.abs()).abs() < 0.2,
+            "roughly symmetric: {lo} {hi}"
+        );
     }
 
     #[test]
@@ -168,7 +175,11 @@ mod tests {
             let mut xp = x.clone();
             xp[i] += eps;
             let num = (loss(&mut bn, &xp) - base) / eps;
-            assert!((num - d_in[i]).abs() < 1e-5, "dx[{i}]: {num} vs {}", d_in[i]);
+            assert!(
+                (num - d_in[i]).abs() < 1e-5,
+                "dx[{i}]: {num} vs {}",
+                d_in[i]
+            );
         }
         for i in 0..3 {
             let old = bn.gamma.w[i];

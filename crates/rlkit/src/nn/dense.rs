@@ -21,9 +21,14 @@ impl Dense {
     /// Creates a layer with Xavier/Glorot-uniform initialized weights and
     /// zero biases.
     pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "layer dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "layer dimensions must be positive"
+        );
         let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
-        let w = (0..in_dim * out_dim).map(|_| rng.random_range(-limit..limit)).collect();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.random_range(-limit..limit))
+            .collect();
         Dense {
             out_dim,
             in_dim,
@@ -108,7 +113,11 @@ mod tests {
             let mut pert = layer.clone();
             pert.w.w[i] += eps;
             let num = (loss(&pert, &x) - loss(&layer, &x)) / eps;
-            assert!((num - layer.w.g[i]).abs() < 1e-5, "dW[{i}]: {num} vs {}", layer.w.g[i]);
+            assert!(
+                (num - layer.w.g[i]).abs() < 1e-5,
+                "dW[{i}]: {num} vs {}",
+                layer.w.g[i]
+            );
         }
         for i in 0..3 {
             let mut xp = x.clone();

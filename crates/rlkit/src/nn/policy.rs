@@ -19,7 +19,12 @@ pub struct PolicyNet {
 impl PolicyNet {
     /// Creates a policy network with the given state dimension, hidden
     /// width, and action count.
-    pub fn new<R: Rng + ?Sized>(state_dim: usize, hidden: usize, actions: usize, rng: &mut R) -> Self {
+    pub fn new<R: Rng + ?Sized>(
+        state_dim: usize,
+        hidden: usize,
+        actions: usize,
+        rng: &mut R,
+    ) -> Self {
         PolicyNet {
             l1: Dense::new(state_dim, hidden, rng),
             bn: BatchNorm::new(hidden),
@@ -78,7 +83,10 @@ impl PolicyNet {
         d_z2[action] -= advantage;
         if entropy_beta != 0.0 {
             // dH/dz_i = −p_i (ln p_i + H); L includes −β·H.
-            let entropy: f64 = -probs.iter().map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 }).sum::<f64>();
+            let entropy: f64 = -probs
+                .iter()
+                .map(|&p| if p > 0.0 { p * p.ln() } else { 0.0 })
+                .sum::<f64>();
             for (d, &p) in d_z2.iter_mut().zip(&probs) {
                 if p > 0.0 {
                     *d += entropy_beta * p * (p.ln() + entropy);
@@ -90,7 +98,11 @@ impl PolicyNet {
         self.l2.backward(&h, &d_z2, &mut d_h);
 
         // tanh backward: h = tanh(bn_out) ⇒ d_bn = d_h · (1 − h²).
-        let d_bn: Vec<f64> = d_h.iter().zip(&h).map(|(&d, &hv)| d * (1.0 - hv * hv)).collect();
+        let d_bn: Vec<f64> = d_h
+            .iter()
+            .zip(&h)
+            .map(|(&d, &hv)| d * (1.0 - hv * hv))
+            .collect();
 
         let mut d_z1 = vec![0.0; z1.len()];
         self.bn.backward(&z1, &d_bn, &mut d_z1);

@@ -17,7 +17,10 @@ pub struct ValueNet {
 impl ValueNet {
     /// Creates a value network for `state_dim` inputs.
     pub fn new<R: Rng + ?Sized>(state_dim: usize, hidden: usize, rng: &mut R) -> Self {
-        ValueNet { l1: Dense::new(state_dim, hidden, rng), l2: Dense::new(hidden, 1, rng) }
+        ValueNet {
+            l1: Dense::new(state_dim, hidden, rng),
+            l2: Dense::new(hidden, 1, rng),
+        }
     }
 
     /// State dimension expected by the network.
@@ -38,7 +41,11 @@ impl ValueNet {
         let d_v = v - target; // dL/dV for L = ½(V − target)²
         let mut d_h = vec![0.0; h.len()];
         self.l2.backward(&h, &[d_v], &mut d_h);
-        let d_z1: Vec<f64> = d_h.iter().zip(&h).map(|(&d, &hv)| d * (1.0 - hv * hv)).collect();
+        let d_z1: Vec<f64> = d_h
+            .iter()
+            .zip(&h)
+            .map(|(&d, &hv)| d * (1.0 - hv * hv))
+            .collect();
         let mut d_x = vec![0.0; self.l1.in_dim];
         self.l1.backward(state, &d_z1, &mut d_x);
         let _ = z1;
@@ -139,7 +146,10 @@ mod tests {
                 let mut params = net.params_mut();
                 params[pi].w[wi] -= eps;
             }
-            assert!((num - analytic).abs() < 1e-4, "param {pi}[{wi}]: {num} vs {analytic}");
+            assert!(
+                (num - analytic).abs() < 1e-4,
+                "param {pi}[{wi}]: {num} vs {analytic}"
+            );
         }
     }
 

@@ -25,7 +25,15 @@ impl Adam {
     /// given learning rate.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, params: &[&mut Param]) {
@@ -33,9 +41,17 @@ impl Adam {
             self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
             self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
         }
-        assert_eq!(self.m.len(), params.len(), "parameter set changed between steps");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter set changed between steps"
+        );
         for (i, p) in params.iter().enumerate() {
-            assert_eq!(self.m[i].len(), p.len(), "parameter {i} changed shape between steps");
+            assert_eq!(
+                self.m[i].len(),
+                p.len(),
+                "parameter {i} changed shape between steps"
+            );
         }
     }
 }

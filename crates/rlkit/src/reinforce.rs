@@ -24,7 +24,12 @@ pub struct ReinforceConfig {
 
 impl Default for ReinforceConfig {
     fn default() -> Self {
-        ReinforceConfig { gamma: 0.99, lr: 1e-3, normalize_returns: true, entropy_beta: 0.01 }
+        ReinforceConfig {
+            gamma: 0.99,
+            lr: 1e-3,
+            normalize_returns: true,
+            entropy_beta: 0.01,
+        }
     }
 }
 
@@ -61,7 +66,11 @@ impl Reinforce {
         loop {
             let action = net.sample(&state, rng);
             let step = env.step(action);
-            episode.transitions.push(Transition { state, action, reward: step.reward });
+            episode.transitions.push(Transition {
+                state,
+                action,
+                reward: step.reward,
+            });
             match step.state {
                 Some(next) => state = next,
                 None => break,
@@ -93,7 +102,12 @@ impl Reinforce {
         for ep in episodes {
             for t in &ep.transitions {
                 let advantage = (all_returns[idx] - mean) / std;
-                net.accumulate_policy_grad(&t.state, t.action, advantage * inv_n, self.cfg.entropy_beta * inv_n);
+                net.accumulate_policy_grad(
+                    &t.state,
+                    t.action,
+                    advantage * inv_n,
+                    self.cfg.entropy_beta * inv_n,
+                );
                 idx += 1;
             }
         }
@@ -144,7 +158,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let mut net = PolicyNet::new(1, 8, 2, &mut rng);
         let mut env = Bandit::new(10);
-        let mut trainer = Reinforce::new(ReinforceConfig { lr: 0.05, ..Default::default() });
+        let mut trainer = Reinforce::new(ReinforceConfig {
+            lr: 0.05,
+            ..Default::default()
+        });
         trainer.train(&mut env, &mut net, &mut rng, 60, 4);
         let p = net.probs(&[1.0]);
         assert!(p[0] > 0.9, "should prefer arm 0, got {p:?}");
@@ -155,7 +172,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let mut net = PolicyNet::new(1, 12, 2, &mut rng);
         let mut env = SignTask::new(16);
-        let mut trainer = Reinforce::new(ReinforceConfig { lr: 0.05, ..Default::default() });
+        let mut trainer = Reinforce::new(ReinforceConfig {
+            lr: 0.05,
+            ..Default::default()
+        });
         trainer.train(&mut env, &mut net, &mut rng, 150, 4);
         assert_eq!(net.greedy(&[1.0]), 0);
         assert_eq!(net.greedy(&[-1.0]), 1);

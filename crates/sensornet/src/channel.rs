@@ -1,0 +1,434 @@
+//! A seeded lossy channel between [`Sensor`](crate::Sensor)s and the
+//! [`Server`](crate::Server): injects packet drops, duplicates, bounded
+//! reordering, and payload bit-flips with configurable probabilities.
+//!
+//! Randomness is keyed on *packet identity* (sensor id + payload hash +
+//! transmission attempt), not on call order. Two consequences matter for
+//! experiments:
+//!
+//! * runs are reproducible regardless of how retransmissions interleave
+//!   with fresh traffic, and
+//! * across two runs that differ only in the drop rate, the set of dropped
+//!   packets at the lower rate is a subset of the set at the higher rate —
+//!   which is what makes loss sweeps monotone rather than merely monotone
+//!   in expectation.
+
+use crate::sensor::Packet;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Fault-injection knobs. All probabilities are independent per packet and
+/// must lie in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelConfig {
+    /// Probability that a packet is silently dropped.
+    pub drop: f64,
+    /// Probability that a delivered packet arrives twice.
+    pub duplicate: f64,
+    /// Probability that a packet is held back and delivered late (behind
+    /// up to [`ChannelConfig::reorder_depth`] newer packets).
+    pub reorder: f64,
+    /// Probability that a single payload bit is flipped in transit.
+    pub corrupt: f64,
+    /// Maximum number of newer packets a reordered packet can fall behind.
+    pub reorder_depth: usize,
+    /// Seed for the per-packet fault draws.
+    pub seed: u64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            corrupt: 0.0,
+            reorder_depth: 3,
+            seed: 7,
+        }
+    }
+}
+
+impl ChannelConfig {
+    /// A typical lossy uplink at the given drop rate: 5% duplicates,
+    /// 5% reordering, 1% corruption.
+    pub fn lossy(drop: f64, seed: u64) -> Self {
+        ChannelConfig {
+            drop,
+            duplicate: 0.05,
+            reorder: 0.05,
+            corrupt: 0.01,
+            reorder_depth: 3,
+            seed,
+        }
+    }
+
+    /// The same configuration with a different drop rate (loss sweeps).
+    pub fn with_drop(mut self, drop: f64) -> Self {
+        self.drop = drop;
+        self
+    }
+}
+
+/// Injected-fault accounting — the channel's ground truth, to compare
+/// against what the server *observed* ([`LinkStats`](crate::LinkStats)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Packets pushed into the channel (including retransmissions).
+    pub offered: usize,
+    /// Packets handed to the receiver (duplicates counted individually).
+    pub delivered: usize,
+    /// Packets dropped.
+    pub dropped: usize,
+    /// Packets duplicated (each adds one extra delivery).
+    pub duplicated: usize,
+    /// Packets held back for late delivery.
+    pub reordered: usize,
+    /// Packets whose payload had a bit flipped.
+    pub corrupted: usize,
+}
+
+/// A fault-injecting channel. Push packets in transmission order; each
+/// push returns the packets that come out the far end (possibly none, or
+/// several). Call [`LossyChannel::drain`] at shutdown to flush packets
+/// still held back for reordering.
+pub struct LossyChannel {
+    cfg: ChannelConfig,
+    /// Held-back packets: (pushes survived, packet).
+    held: Vec<(usize, Packet)>,
+    /// Transmission attempts seen per packet identity.
+    attempts: BTreeMap<u64, u32>,
+    stats: ChannelStats,
+}
+
+impl LossyChannel {
+    /// Creates a channel.
+    ///
+    /// # Panics
+    /// Panics if any probability lies outside `[0, 1]`.
+    pub fn new(cfg: ChannelConfig) -> Self {
+        for (name, p) in [
+            ("drop", cfg.drop),
+            ("duplicate", cfg.duplicate),
+            ("reorder", cfg.reorder),
+            ("corrupt", cfg.corrupt),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability must be in [0, 1]"
+            );
+        }
+        LossyChannel {
+            cfg,
+            held: Vec::new(),
+            attempts: BTreeMap::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The configuration this channel was built with.
+    pub fn config(&self) -> &ChannelConfig {
+        &self.cfg
+    }
+
+    /// Injected-fault counts so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Transmits one packet; returns whatever arrives at the receiver.
+    ///
+    /// Fault draws happen in a fixed order (drop, corrupt, duplicate,
+    /// reorder) from a per-packet generator, so changing one probability
+    /// does not perturb the draws of the other fault classes.
+    pub fn push(&mut self, pkt: Packet) -> Vec<Packet> {
+        self.stats.offered += 1;
+        let mut rng = self.packet_rng(&pkt);
+        let mut out = Vec::new();
+        if rng.chance(self.cfg.drop) {
+            self.stats.dropped += 1;
+        } else {
+            let mut pkt = pkt;
+            if rng.chance(self.cfg.corrupt) {
+                flip_random_bit(&mut pkt, &mut rng);
+                self.stats.corrupted += 1;
+            }
+            let duplicated = rng.chance(self.cfg.duplicate);
+            if duplicated {
+                self.stats.duplicated += 1;
+                out.push(pkt.clone());
+            }
+            if self.cfg.reorder_depth > 0 && rng.chance(self.cfg.reorder) {
+                // Held back: the duplicate (if any) races ahead.
+                self.stats.reordered += 1;
+                self.held.push((0, pkt));
+            } else {
+                out.push(pkt);
+            }
+        }
+        // Age the holdback and release anything that has fallen
+        // `reorder_depth` pushes behind — reordering is bounded.
+        let depth = self.cfg.reorder_depth;
+        let mut still = Vec::new();
+        for (age, p) in self.held.drain(..) {
+            if age + 1 >= depth {
+                out.push(p);
+            } else {
+                still.push((age + 1, p));
+            }
+        }
+        self.held = still;
+        self.stats.delivered += out.len();
+        out
+    }
+
+    /// Flushes all held-back packets (in their original order), e.g. at
+    /// the end of a simulation.
+    pub fn drain(&mut self) -> Vec<Packet> {
+        let out: Vec<Packet> = self.held.drain(..).map(|(_, p)| p).collect();
+        self.stats.delivered += out.len();
+        out
+    }
+
+    /// A deterministic generator keyed on packet identity and attempt
+    /// number (retransmissions get fresh draws).
+    fn packet_rng(&mut self, pkt: &Packet) -> SplitMix64 {
+        let key = packet_key(pkt);
+        let attempt = self.attempts.entry(key).or_insert(0);
+        *attempt += 1;
+        SplitMix64::new(
+            self.cfg
+                .seed
+                .wrapping_add(key)
+                .wrapping_add((*attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        )
+    }
+}
+
+/// FNV-1a over the sensor id and payload bytes.
+fn packet_key(pkt: &Packet) -> u64 {
+    let id = pkt.sensor_id.to_be_bytes();
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in id.iter().chain(pkt.payload.iter()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Flips one uniformly chosen payload bit.
+fn flip_random_bit(pkt: &mut Packet, rng: &mut SplitMix64) {
+    let mut bytes = pkt.payload.to_vec();
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = rng.below(bytes.len() * 8);
+    bytes[bit / 8] ^= 1 << (bit % 8);
+    pkt.payload = Bytes::from(bytes);
+}
+
+/// SplitMix64 — a tiny, seedable, high-quality generator; keeps the crate
+/// free of a `rand` dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::codec::Codec;
+    use trajectory::Trajectory;
+
+    fn packet(id: u32, seq: u32) -> Packet {
+        let traj = Trajectory::from_xyt(&[
+            (seq as f64, 0.0, seq as f64 * 10.0),
+            (seq as f64 + 1.0, 1.0, seq as f64 * 10.0 + 5.0),
+        ])
+        .unwrap();
+        let payload = Codec::new(0.01, 0.01).encode_framed(seq, &traj);
+        Packet {
+            sensor_id: id,
+            points: traj.len(),
+            payload,
+        }
+    }
+
+    #[test]
+    fn perfect_channel_passes_through_unchanged() {
+        let mut ch = LossyChannel::new(ChannelConfig::default());
+        for seq in 0..20 {
+            let pkt = packet(1, seq);
+            let out = ch.push(pkt.clone());
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].payload, pkt.payload);
+        }
+        assert!(ch.drain().is_empty());
+        let s = ch.stats();
+        assert_eq!(s.offered, 20);
+        assert_eq!(s.delivered, 20);
+        assert_eq!(
+            s,
+            ChannelStats {
+                offered: 20,
+                delivered: 20,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn full_drop_delivers_nothing() {
+        let mut ch = LossyChannel::new(ChannelConfig {
+            drop: 1.0,
+            ..Default::default()
+        });
+        for seq in 0..10 {
+            assert!(ch.push(packet(1, seq)).is_empty());
+        }
+        assert_eq!(ch.stats().dropped, 10);
+        assert_eq!(ch.stats().delivered, 0);
+    }
+
+    #[test]
+    fn full_duplication_delivers_twice() {
+        let mut ch = LossyChannel::new(ChannelConfig {
+            duplicate: 1.0,
+            ..Default::default()
+        });
+        let out = ch.push(packet(1, 0));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].payload, out[1].payload);
+        assert_eq!(ch.stats().duplicated, 1);
+        assert_eq!(ch.stats().delivered, 2);
+    }
+
+    #[test]
+    fn corruption_is_detected_by_the_framed_codec() {
+        let mut ch = LossyChannel::new(ChannelConfig {
+            corrupt: 1.0,
+            ..Default::default()
+        });
+        let codec = Codec::new(0.01, 0.01);
+        for seq in 0..10 {
+            let out = ch.push(packet(1, seq));
+            assert_eq!(out.len(), 1);
+            assert!(codec.decode(out[0].payload.clone()).is_err(), "seq {seq}");
+        }
+        assert_eq!(ch.stats().corrupted, 10);
+    }
+
+    #[test]
+    fn reordering_is_bounded_and_lossless() {
+        let mut ch = LossyChannel::new(ChannelConfig {
+            reorder: 1.0,
+            reorder_depth: 2,
+            ..Default::default()
+        });
+        let mut arrived = Vec::new();
+        for seq in 0..10 {
+            arrived.extend(ch.push(packet(1, seq)));
+        }
+        arrived.extend(ch.drain());
+        // Nothing lost, nothing duplicated.
+        assert_eq!(arrived.len(), 10);
+        assert_eq!(ch.stats().delivered, 10);
+        assert_eq!(ch.stats().reordered, 10);
+        // Every packet fell at most `reorder_depth` places behind.
+        let codec = Codec::new(0.01, 0.01);
+        for (pos, pkt) in arrived.iter().enumerate() {
+            let (_, meta) = codec.decode_framed(pkt.payload.clone()).unwrap();
+            let seq = meta.unwrap().seq as usize;
+            assert!(pos <= seq + 2, "seq {seq} arrived at {pos}");
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let cfg = ChannelConfig::lossy(0.3, 42);
+        let run = |cfg: ChannelConfig| {
+            let mut ch = LossyChannel::new(cfg);
+            let mut out = Vec::new();
+            for seq in 0..50 {
+                out.extend(ch.push(packet(2, seq)).into_iter().map(|p| p.payload));
+            }
+            out.extend(ch.drain().into_iter().map(|p| p.payload));
+            (out, ch.stats())
+        };
+        let (a, sa) = run(cfg.clone());
+        let (b, sb) = run(cfg);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn drops_nest_across_rates() {
+        // The packets surviving a 30% drop channel are a superset of those
+        // surviving a 60% one (same seed): packet-identity-keyed draws.
+        let deliver = |drop: f64| -> Vec<Bytes> {
+            let mut ch = LossyChannel::new(ChannelConfig {
+                drop,
+                seed: 9,
+                ..Default::default()
+            });
+            let mut out = Vec::new();
+            for seq in 0..60 {
+                out.extend(ch.push(packet(3, seq)).into_iter().map(|p| p.payload));
+            }
+            out
+        };
+        let low = deliver(0.3);
+        let high = deliver(0.6);
+        assert!(high.len() < low.len());
+        for pkt in &high {
+            assert!(low.contains(pkt));
+        }
+    }
+
+    #[test]
+    fn retransmissions_get_fresh_draws() {
+        // With a 50% drop rate, pushing the same packet repeatedly must
+        // eventually get through: attempts are part of the draw key.
+        let mut ch = LossyChannel::new(ChannelConfig {
+            drop: 0.5,
+            seed: 1,
+            ..Default::default()
+        });
+        let pkt = packet(4, 0);
+        let delivered = (0..64).any(|_| !ch.push(pkt.clone()).is_empty());
+        assert!(delivered);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_probability_rejected() {
+        let _ = LossyChannel::new(ChannelConfig {
+            drop: 1.5,
+            ..Default::default()
+        });
+    }
+}

@@ -1,17 +1,22 @@
 //! Fleet simulation: drive many sensors from ground-truth trajectories in
-//! global timestamp order, collect everything at a server, and score the
-//! outcome against the ground truth.
+//! global timestamp order, push every packet through an (optionally lossy)
+//! uplink channel, collect everything at a server, and score the outcome
+//! against the ground truth.
 
-use crate::sensor::{Sensor, SensorConfig};
+use crate::channel::{ChannelConfig, ChannelStats, LossyChannel};
+use crate::sensor::{Packet, Sensor, SensorConfig};
 use crate::server::{LinkStats, Server};
+use std::collections::VecDeque;
 use trajectory::error::{simplification_error, Aggregation, Measure};
 use trajectory::{OnlineSimplifier, Trajectory};
 
 /// Outcome of a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
-    /// Uplink statistics.
+    /// Uplink statistics as observed by the server.
     pub link: LinkStats,
+    /// Fault-injection statistics, when the run used a lossy channel.
+    pub channel: Option<ChannelStats>,
     /// What the raw fixes would have cost on the wire (24 B/point).
     pub raw_bytes: usize,
     /// Total uplink payload bytes.
@@ -38,12 +43,21 @@ impl FleetReport {
 /// Fleet simulation driver.
 pub struct FleetSim {
     cfg: SensorConfig,
+    channel: Option<ChannelConfig>,
 }
 
 impl FleetSim {
-    /// Creates a simulation where every sensor uses the same configuration.
+    /// Creates a simulation where every sensor uses the same configuration
+    /// and the uplink is perfect.
     pub fn new(cfg: SensorConfig) -> Self {
-        FleetSim { cfg }
+        FleetSim { cfg, channel: None }
+    }
+
+    /// Routes every packet through a seeded [`LossyChannel`] instead of a
+    /// perfect link.
+    pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
+        self.channel = Some(channel);
+        self
     }
 
     /// Runs the fleet: trajectory `i` becomes sensor `i`'s ground truth.
@@ -51,7 +65,11 @@ impl FleetSim {
     ///
     /// Fixes are delivered in global timestamp order (interleaved across
     /// sensors, as a shared radio channel would see them); ties break by
-    /// sensor id. Pending buffers are force-flushed at the end.
+    /// sensor id. Pending buffers are force-flushed at the end, the channel
+    /// is drained, and one final recovery round retransmits whatever the
+    /// server still reports missing. Faulty packets never abort the run:
+    /// corruption surfaces as an ingest error the loop tolerates, loss
+    /// surfaces as gaps in [`LinkStats`].
     pub fn run(
         &self,
         truth: &[Trajectory],
@@ -64,6 +82,7 @@ impl FleetSim {
             .map(|(i, _)| Sensor::new(i as u32, self.cfg.clone(), make_algo(measure)))
             .collect();
         let mut server = Server::new(self.cfg.codec.clone());
+        let mut channel = self.channel.clone().map(LossyChannel::new);
 
         // Global timestamp-ordered event loop over per-sensor cursors.
         let mut cursors = vec![0usize; truth.len()];
@@ -80,14 +99,26 @@ impl FleetSim {
             let p = truth[s][cursors[s]];
             cursors[s] += 1;
             if let Some(pkt) = sensors[s].observe(p) {
-                server.ingest(&pkt).expect("sensor packets are well-formed and ordered");
+                deliver(&mut server, &sensors, channel.as_mut(), pkt);
             }
         }
-        for sensor in sensors.iter_mut() {
-            if let Some(pkt) = sensor.force_flush() {
-                server.ingest(&pkt).expect("final flush is well-formed");
+        for s in 0..sensors.len() {
+            if let Some(pkt) = sensors[s].force_flush() {
+                deliver(&mut server, &sensors, channel.as_mut(), pkt);
             }
         }
+        // Flush whatever the channel still holds in its reorder buffer.
+        drain_channel(&mut server, &sensors, &mut channel);
+        // Final recovery round: retransmit everything still missing, once
+        // more through the channel (retransmissions may be lost too).
+        for (sensor_id, seqs) in server.outstanding() {
+            if let Some(sensor) = sensors.get(sensor_id as usize) {
+                for pkt in sensor.retransmit(&seqs) {
+                    deliver(&mut server, &sensors, channel.as_mut(), pkt);
+                }
+            }
+        }
+        drain_channel(&mut server, &sensors, &mut channel);
 
         // Score each reassembled stream against its ground truth by the
         // kept *positions* (match reassembled timestamps back to indices).
@@ -95,7 +126,9 @@ impl FleetSim {
         let mut err_max = 0.0f64;
         let mut scored = 0usize;
         for (s, t) in truth.iter().enumerate() {
-            let Some(got) = server.trajectory(s as u32) else { continue };
+            let Some(got) = server.trajectory(s as u32) else {
+                continue;
+            };
             let kept = match_kept_indices(t, &got, self.cfg.codec.spatial_error_bound());
             if kept.len() < 2 {
                 continue;
@@ -112,18 +145,108 @@ impl FleetSim {
             raw_bytes,
             uplink_bytes: link.bytes,
             link,
+            channel: channel.as_ref().map(|ch| ch.stats()),
             mean_error: err_sum / scored.max(1) as f64,
             max_error: err_max,
             sensors: truth.len(),
         }
     }
+
+    /// Runs the same fleet at several channel drop rates and returns
+    /// `(drop_rate, report)` pairs, one per rate. The non-drop fault knobs
+    /// and the seed come from the channel set via [`FleetSim::with_channel`]
+    /// (or a perfect channel when none was set), so the sweep isolates the
+    /// effect of loss. With a fixed seed, drop decisions nest across rates:
+    /// every packet lost at 5% is also lost at 10%, which makes the
+    /// error-vs-loss curve monotone rather than merely monotone in
+    /// expectation.
+    pub fn loss_sweep(
+        &self,
+        truth: &[Trajectory],
+        mut make_algo: impl FnMut(Measure) -> Box<dyn OnlineSimplifier>,
+        measure: Measure,
+        drop_rates: &[f64],
+    ) -> Vec<(f64, FleetReport)> {
+        let base = self.channel.clone().unwrap_or_default();
+        drop_rates
+            .iter()
+            .map(|&rate| {
+                let sim = FleetSim {
+                    cfg: self.cfg.clone(),
+                    channel: Some(base.clone().with_drop(rate)),
+                };
+                (rate, sim.run(truth, &mut make_algo, measure))
+            })
+            .collect()
+    }
+}
+
+/// Pushes one packet through the channel (if any) and ingests whatever
+/// comes out, feeding server NACKs back into the sensors' retransmission
+/// queues. Retransmissions go through the channel again — they can be
+/// dropped or corrupted like any other packet.
+fn deliver(
+    server: &mut Server,
+    sensors: &[Sensor],
+    mut channel: Option<&mut LossyChannel>,
+    first: Packet,
+) {
+    let mut queue: VecDeque<Packet> = VecDeque::new();
+    queue.push_back(first);
+    while let Some(pkt) = queue.pop_front() {
+        let delivered = match channel.as_deref_mut() {
+            Some(ch) => ch.push(pkt),
+            None => vec![pkt],
+        };
+        for pkt in delivered {
+            for re in ingest_and_recover(server, sensors, pkt) {
+                queue.push_back(re);
+            }
+        }
+    }
+}
+
+/// Releases the channel's reorder holdback and ingests it, sending any
+/// elicited retransmissions back through the channel.
+fn drain_channel(server: &mut Server, sensors: &[Sensor], channel: &mut Option<LossyChannel>) {
+    let drained = channel.as_mut().map(|ch| ch.drain()).unwrap_or_default();
+    let mut pending = Vec::new();
+    for pkt in drained {
+        pending.extend(ingest_and_recover(server, sensors, pkt));
+    }
+    for re in pending {
+        deliver(server, sensors, channel.as_mut(), re);
+    }
+}
+
+/// Ingests one packet, tolerating faults, and returns any retransmissions
+/// the server's NACKs elicited from the owning sensor.
+fn ingest_and_recover(server: &mut Server, sensors: &[Sensor], pkt: Packet) -> Vec<Packet> {
+    let sensor_id = pkt.sensor_id;
+    match server.ingest(&pkt) {
+        Ok(report) if !report.nack.is_empty() => sensors
+            .get(sensor_id as usize)
+            .map(|s| s.retransmit(&report.nack))
+            .unwrap_or_default(),
+        Ok(_) => Vec::new(),
+        // Corrupt payload: counted by the server, nothing to recover from
+        // this packet (the data may come back via a gap NACK later).
+        Err(_) => Vec::new(),
+    }
 }
 
 /// Maps a reassembled (quantized) trajectory back to the ground-truth
 /// indices of its kept points, matching by nearest timestamp and forcing
-/// the endpoint invariants.
+/// the endpoint invariants. Degenerate inputs (empty or single-point
+/// ground truth) short-circuit instead of indexing past the end.
 fn match_kept_indices(truth: &Trajectory, got: &Trajectory, _tol: f64) -> Vec<usize> {
     let pts = truth.points();
+    if pts.is_empty() {
+        return Vec::new();
+    }
+    if pts.len() == 1 {
+        return vec![0];
+    }
     let mut kept = Vec::with_capacity(got.len());
     let mut lo = 0usize;
     for g in got.iter() {
@@ -171,7 +294,12 @@ mod tests {
     }
 
     fn cfg() -> SensorConfig {
-        SensorConfig { buffer: 8, flush_points: 32, codec: Codec::new(0.05, 0.05) }
+        SensorConfig {
+            buffer: 8,
+            flush_points: 32,
+            codec: Codec::new(0.05, 0.05),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -183,6 +311,7 @@ mod tests {
         assert!(report.compression() > 2.0, "{}", report.compression());
         assert!(report.mean_error.is_finite() && report.mean_error >= 0.0);
         assert!(report.max_error >= report.mean_error);
+        assert!(report.channel.is_none());
         // Every sensor flushed at least 100/32 full windows + the tail.
         assert!(report.link.packets >= 3 * 3, "{:?}", report.link);
     }
@@ -190,12 +319,32 @@ mod tests {
     #[test]
     fn smaller_buffer_means_fewer_bytes_more_error() {
         let data = truth(2, 200);
-        let tight = SensorConfig { buffer: 4, flush_points: 50, codec: Codec::new(0.05, 0.05) };
-        let loose = SensorConfig { buffer: 25, flush_points: 50, codec: Codec::new(0.05, 0.05) };
+        let tight = SensorConfig {
+            buffer: 4,
+            flush_points: 50,
+            codec: Codec::new(0.05, 0.05),
+            ..Default::default()
+        };
+        let loose = SensorConfig {
+            buffer: 25,
+            flush_points: 50,
+            codec: Codec::new(0.05, 0.05),
+            ..Default::default()
+        };
         let rt = FleetSim::new(tight).run(&data, |m| Box::new(SquishE::new(m)), Measure::Sed);
         let rl = FleetSim::new(loose).run(&data, |m| Box::new(SquishE::new(m)), Measure::Sed);
-        assert!(rt.uplink_bytes < rl.uplink_bytes, "{} !< {}", rt.uplink_bytes, rl.uplink_bytes);
-        assert!(rt.mean_error >= rl.mean_error, "{} !>= {}", rt.mean_error, rl.mean_error);
+        assert!(
+            rt.uplink_bytes < rl.uplink_bytes,
+            "{} !< {}",
+            rt.uplink_bytes,
+            rl.uplink_bytes
+        );
+        assert!(
+            rt.mean_error >= rl.mean_error,
+            "{} !>= {}",
+            rt.mean_error,
+            rl.mean_error
+        );
     }
 
     #[test]
@@ -215,5 +364,52 @@ mod tests {
         let report = FleetSim::new(cfg()).run(&data, |m| Box::new(Squish::new(m)), Measure::Sed);
         assert_eq!(report.sensors, 2);
         assert!(report.mean_error.is_finite());
+    }
+
+    #[test]
+    fn match_kept_indices_handles_degenerate_streams() {
+        let single = Trajectory::from_xyt(&[(0.0, 0.0, 0.0)]).unwrap();
+        let pair = Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]).unwrap();
+        assert_eq!(match_kept_indices(&single, &pair, 0.1), vec![0]);
+        assert_eq!(match_kept_indices(&single, &single, 0.1), vec![0]);
+        assert_eq!(match_kept_indices(&pair, &single, 0.1), vec![0, 1]);
+    }
+
+    #[test]
+    fn lossy_channel_run_completes_and_accounts() {
+        let data = truth(3, 120);
+        let channel = ChannelConfig {
+            drop: 0.10,
+            duplicate: 0.05,
+            reorder: 0.05,
+            corrupt: 0.01,
+            reorder_depth: 3,
+            seed: 99,
+        };
+        let report = FleetSim::new(cfg()).with_channel(channel).run(
+            &data,
+            |m| Box::new(Squish::new(m)),
+            Measure::Sed,
+        );
+        let ch = report.channel.expect("channel stats present");
+        // Conservation: everything offered either arrived or was dropped,
+        // modulo duplication.
+        assert_eq!(ch.delivered + ch.dropped, ch.offered + ch.duplicated);
+        assert!(report.mean_error.is_finite());
+        // Unrecovered holes are bounded by what the channel injected
+        // (drops, plus corrupted packets that never got replayed).
+        assert!(report.link.dropped <= ch.dropped + ch.corrupted);
+    }
+
+    #[test]
+    fn perfect_channel_matches_no_channel() {
+        let data = truth(2, 80);
+        let plain = FleetSim::new(cfg()).run(&data, |m| Box::new(Squish::new(m)), Measure::Sed);
+        let piped = FleetSim::new(cfg())
+            .with_channel(ChannelConfig::default())
+            .run(&data, |m| Box::new(Squish::new(m)), Measure::Sed);
+        assert_eq!(plain.link.packets, piped.link.packets);
+        assert_eq!(plain.uplink_bytes, piped.uplink_bytes);
+        assert_eq!(plain.mean_error, piped.mean_error);
     }
 }

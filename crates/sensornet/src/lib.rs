@@ -9,12 +9,18 @@
 //! end up with?
 //!
 //! * [`Sensor`] — one device: feeds fixes through an
-//!   [`OnlineSimplifier`](trajectory::OnlineSimplifier) window and emits
-//!   [`Packet`]s on flush;
-//! * [`Server`] — reassembles packets into per-sensor trajectories and
-//!   tracks link statistics;
+//!   [`OnlineSimplifier`](trajectory::OnlineSimplifier) window, emits
+//!   framed [`Packet`]s on flush, and keeps a bounded retransmission queue
+//!   for NACK-driven recovery;
+//! * [`LossyChannel`] — seeded fault injection between sensor and server:
+//!   drops, duplicates, bounded reordering, payload bit-flips;
+//! * [`Server`] — reassembles packets into per-sensor trajectories,
+//!   tolerating duplicates, reordering, gaps, and corruption (see
+//!   [`LinkStats`] for the per-fault accounting and the quarantine rules
+//!   in the [`server`](Server) docs);
 //! * [`FleetSim`] — drives many sensors from ground-truth trajectories in
-//!   global timestamp order and reports fidelity vs. ground truth.
+//!   global timestamp order, optionally through a lossy channel, and
+//!   reports fidelity vs. ground truth (including loss-rate sweeps).
 //!
 //! # Example
 //!
@@ -35,10 +41,12 @@
 
 #![warn(missing_docs)]
 
+mod channel;
 mod fleet;
 mod sensor;
 mod server;
 
+pub use channel::{ChannelConfig, ChannelStats, LossyChannel};
 pub use fleet::{FleetReport, FleetSim};
 pub use sensor::{Packet, Sensor, SensorConfig};
-pub use server::{LinkStats, Server};
+pub use server::{IngestOutcome, IngestReport, LinkStats, Server};

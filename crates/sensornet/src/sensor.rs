@@ -1,6 +1,8 @@
-//! One sensor: a bounded buffer, an online simplifier, and a flush policy.
+//! One sensor: a bounded buffer, an online simplifier, a flush policy, and
+//! a bounded retransmission queue for NACK-driven recovery on lossy links.
 
 use bytes::Bytes;
+use std::collections::VecDeque;
 use trajectory::codec::Codec;
 use trajectory::{OnlineSimplifier, Point, Trajectory};
 
@@ -14,20 +16,32 @@ pub struct SensorConfig {
     pub flush_points: usize,
     /// Wire codec for the uplink payload.
     pub codec: Codec,
+    /// How many recently transmitted packets are kept for NACK-driven
+    /// retransmission (`0` disables retransmission).
+    pub retransmit_queue: usize,
 }
 
 impl Default for SensorConfig {
     fn default() -> Self {
-        SensorConfig { buffer: 32, flush_points: 256, codec: Codec::new(0.1, 0.1) }
+        SensorConfig {
+            buffer: 32,
+            flush_points: 256,
+            codec: Codec::new(0.1, 0.1),
+            retransmit_queue: 8,
+        }
     }
 }
 
 /// A transmitted packet: the encoded simplified window of one sensor.
+///
+/// The payload uses the framed (v2) [`Codec`] format: it carries its own
+/// sequence number, first/last timestamps, and CRC32, so the server can
+/// detect gaps, replays, reordering, and corruption.
 #[derive(Debug, Clone)]
 pub struct Packet {
     /// Originating sensor.
     pub sensor_id: u32,
-    /// Encoded payload ([`Codec`] format).
+    /// Encoded payload ([`Codec`] framed format).
     pub payload: Bytes,
     /// Number of simplified points inside.
     pub points: usize,
@@ -40,6 +54,11 @@ pub struct Sensor {
     algo: Box<dyn OnlineSimplifier>,
     window: Vec<Point>,
     observed: usize,
+    /// Next packet sequence number.
+    seq: u32,
+    /// Recently transmitted packets, oldest first, bounded by
+    /// `cfg.retransmit_queue`.
+    sent: VecDeque<(u32, Packet)>,
 }
 
 impl Sensor {
@@ -51,8 +70,19 @@ impl Sensor {
     /// must be worth simplifying) or the buffer is below 2.
     pub fn new(id: u32, cfg: SensorConfig, algo: Box<dyn OnlineSimplifier>) -> Self {
         assert!(cfg.buffer >= 2, "buffer must hold at least 2 points");
-        assert!(cfg.flush_points >= cfg.buffer, "flush window smaller than the buffer");
-        Sensor { id, cfg, algo, window: Vec::new(), observed: 0 }
+        assert!(
+            cfg.flush_points >= cfg.buffer,
+            "flush window smaller than the buffer"
+        );
+        Sensor {
+            id,
+            cfg,
+            algo,
+            window: Vec::new(),
+            observed: 0,
+            seq: 0,
+            sent: VecDeque::new(),
+        }
     }
 
     /// The sensor id.
@@ -63,6 +93,22 @@ impl Sensor {
     /// Total fixes observed so far.
     pub fn observed(&self) -> usize {
         self.observed
+    }
+
+    /// The sequence number the next flushed packet will carry.
+    pub fn next_seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// Re-sends the requested sequence numbers (server NACKs), oldest
+    /// first. Sequence numbers that have already left the bounded
+    /// retransmission queue are silently skipped — the data is gone.
+    pub fn retransmit(&self, seqs: &[u32]) -> Vec<Packet> {
+        self.sent
+            .iter()
+            .filter(|(s, _)| seqs.contains(s))
+            .map(|(_, p)| p.clone())
+            .collect()
     }
 
     /// Feeds one GPS fix; returns a packet when the flush window filled up.
@@ -91,8 +137,21 @@ impl Sensor {
         let pts: Vec<Point> = kept.iter().map(|&i| window[i]).collect();
         let simplified = Trajectory::new(pts).expect("kept subset of a valid window is valid");
         let points = simplified.len();
-        let payload = self.cfg.codec.encode(&simplified);
-        Packet { sensor_id: self.id, payload, points }
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        let payload = self.cfg.codec.encode_framed(seq, &simplified);
+        let pkt = Packet {
+            sensor_id: self.id,
+            payload,
+            points,
+        };
+        if self.cfg.retransmit_queue > 0 {
+            self.sent.push_back((seq, pkt.clone()));
+            while self.sent.len() > self.cfg.retransmit_queue {
+                self.sent.pop_front();
+            }
+        }
+        pkt
     }
 }
 
@@ -105,7 +164,12 @@ mod tests {
     fn sensor(buffer: usize, flush: usize) -> Sensor {
         Sensor::new(
             7,
-            SensorConfig { buffer, flush_points: flush, codec: Codec::new(0.01, 0.01) },
+            SensorConfig {
+                buffer,
+                flush_points: flush,
+                codec: Codec::new(0.01, 0.01),
+                ..Default::default()
+            },
             Box::new(Squish::new(Measure::Sed)),
         )
     }
@@ -154,6 +218,66 @@ mod tests {
     #[should_panic]
     fn window_smaller_than_buffer_rejected() {
         let _ = sensor(16, 8);
+    }
+
+    #[test]
+    fn packets_carry_consecutive_sequence_numbers() {
+        let mut s = sensor(4, 10);
+        let codec = Codec::new(1.0, 1.0);
+        let mut seqs = Vec::new();
+        for i in 0..30 {
+            if let Some(pkt) = s.observe(fix(i)) {
+                let (_, meta) = codec.decode_framed(pkt.payload).unwrap();
+                seqs.push(meta.expect("framed payload").seq);
+            }
+        }
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(s.next_seq(), 3);
+    }
+
+    #[test]
+    fn retransmit_replays_queued_packets_only() {
+        let mut s = Sensor::new(
+            7,
+            SensorConfig {
+                buffer: 3,
+                flush_points: 5,
+                codec: Codec::new(0.01, 0.01),
+                retransmit_queue: 2,
+            },
+            Box::new(Squish::new(Measure::Sed)),
+        );
+        let mut originals = Vec::new();
+        for i in 0..20 {
+            if let Some(pkt) = s.observe(fix(i)) {
+                originals.push(pkt);
+            }
+        }
+        assert_eq!(originals.len(), 4); // seqs 0..=3, queue holds 2 and 3
+        let replayed = s.retransmit(&[0, 1, 2, 3]);
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].payload, originals[2].payload);
+        assert_eq!(replayed[1].payload, originals[3].payload);
+        // Seqs outside the queue are gone.
+        assert!(s.retransmit(&[0]).is_empty());
+    }
+
+    #[test]
+    fn zero_retransmit_queue_disables_replay() {
+        let mut s = Sensor::new(
+            7,
+            SensorConfig {
+                buffer: 3,
+                flush_points: 5,
+                codec: Codec::new(0.01, 0.01),
+                retransmit_queue: 0,
+            },
+            Box::new(Squish::new(Measure::Sed)),
+        );
+        for i in 0..10 {
+            let _ = s.observe(fix(i));
+        }
+        assert!(s.retransmit(&[0, 1]).is_empty());
     }
 
     #[test]

@@ -1,6 +1,22 @@
-//! The collecting server: decodes packets, reassembles per-sensor
-//! trajectories, tracks link statistics, and hands reassembled data to a
-//! [`trajstore::TrajStore`] on demand.
+//! The collecting server: decodes framed packets, reassembles per-sensor
+//! streams out of possibly lossy uplink traffic, tracks link statistics,
+//! and hands reassembled data to a [`trajstore::TrajStore`] on demand.
+//!
+//! Robustness model (framed v2 payloads):
+//!
+//! * **duplicates** — a sequence number seen before is ignored;
+//! * **reordering** — out-of-order packets are buffered per sequence
+//!   number and re-stitched in order on demand, never rejected;
+//! * **gaps** — a jump in sequence numbers registers the missing numbers
+//!   and NACKs each a bounded number of times so the sensor can
+//!   retransmit from its bounded queue;
+//! * **corruption** — payloads failing the frame CRC (or any decode
+//!   validation) are counted and, after repeated consecutive strikes, the
+//!   stream is quarantined: its data is withheld from queries instead of
+//!   poisoning them.
+//!
+//! Unframed (v1) payloads keep the legacy append-only semantics: packets
+//! whose first timestamp precedes the stream's last are rejected.
 
 use crate::sensor::Packet;
 use std::collections::BTreeMap;
@@ -9,74 +25,278 @@ use trajectory::io::IoError;
 use trajectory::{Point, Trajectory};
 use trajstore::{StoreConfig, TrajStore};
 
-/// Uplink accounting.
+/// How many times the server NACKs one missing sequence number before
+/// giving it up as lost.
+const MAX_NACKS: u32 = 3;
+
+/// Consecutive corrupt payloads from one sensor before its stream is
+/// quarantined (override with [`Server::with_quarantine_threshold`]).
+const DEFAULT_QUARANTINE_THRESHOLD: u32 = 3;
+
+/// Uplink accounting, including every fault class observed on the link.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
-    /// Packets received.
+    /// Packets accepted (decoded and stored).
     pub packets: usize,
-    /// Total payload bytes received.
+    /// Total payload bytes accepted.
     pub bytes: usize,
-    /// Total simplified points received.
+    /// Total simplified points accepted.
     pub points: usize,
+    /// Packets whose sequence number had already been received.
+    pub duplicated: usize,
+    /// Packets that arrived with a sequence number below the stream's
+    /// highest (delivered late).
+    pub reordered: usize,
+    /// Payloads that failed framing, checksum, or decode validation.
+    pub corrupt: usize,
+    /// Distinct missing sequence numbers ever detected (cumulative).
+    pub gaps: usize,
+    /// Missing sequence numbers still outstanding (presumed dropped).
+    pub dropped: usize,
+    /// Streams currently quarantined after repeated corruption.
+    pub quarantined: usize,
+}
+
+/// What the server did with one well-formed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// Decoded and stored.
+    Accepted,
+    /// Sequence number seen before; ignored.
+    Duplicate,
+    /// The stream is quarantined; ignored.
+    Quarantined,
+}
+
+/// The server's reply to one ingested packet.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// What happened to the packet.
+    pub outcome: IngestOutcome,
+    /// Missing sequence numbers of this packet's stream the server wants
+    /// retransmitted (each NACKed a bounded number of times).
+    pub nack: Vec<u32>,
+}
+
+/// Per-sensor reassembly state.
+#[derive(Debug, Default)]
+struct Stream {
+    /// Framed (v2) segments keyed by sequence number.
+    segments: BTreeMap<u32, Vec<Point>>,
+    /// Legacy (v1) packets, concatenated in arrival order.
+    legacy: Vec<Point>,
+    /// Highest sequence number seen so far (framed packets only).
+    max_seq: Option<u32>,
+    /// Missing sequence numbers → how many times each was NACKed.
+    missing: BTreeMap<u32, u32>,
+    /// Consecutive corrupt payloads; reset by any clean decode.
+    corrupt_strikes: u32,
+    quarantined: bool,
+}
+
+impl Stream {
+    fn has_data(&self) -> bool {
+        !self.segments.is_empty() || !self.legacy.is_empty()
+    }
+
+    /// Stitches legacy points and framed segments (in sequence order) into
+    /// one monotone point list, dropping any point that would move time
+    /// backwards — graceful degradation instead of a hard error when
+    /// segments overlap after loss and recovery.
+    fn stitched(&self) -> Vec<Point> {
+        let mut pts: Vec<Point> = Vec::with_capacity(
+            self.legacy.len() + self.segments.values().map(|s| s.len()).sum::<usize>(),
+        );
+        pts.extend(self.legacy.iter().copied());
+        for seg in self.segments.values() {
+            for p in seg {
+                if pts.last().is_none_or(|l| p.t >= l.t) {
+                    pts.push(*p);
+                }
+            }
+        }
+        pts
+    }
 }
 
 /// The server side of the uplink.
 pub struct Server {
     codec: Codec,
-    streams: BTreeMap<u32, Vec<Point>>,
+    streams: BTreeMap<u32, Stream>,
     stats: LinkStats,
+    quarantine_threshold: u32,
 }
 
 impl Server {
     /// Creates a server decoding with any codec (payloads carry their own
     /// resolutions; the argument only sets defaults for future use).
     pub fn new(codec: Codec) -> Self {
-        Server { codec, streams: BTreeMap::new(), stats: LinkStats::default() }
+        Server {
+            codec,
+            streams: BTreeMap::new(),
+            stats: LinkStats::default(),
+            quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+        }
     }
 
-    /// Ingests one packet, appending its points to the sensor's stream.
+    /// Overrides the number of consecutive corrupt payloads that
+    /// quarantines a stream.
     ///
-    /// Returns an error (and leaves state untouched) for malformed payloads
-    /// or out-of-order packets (a packet whose first timestamp precedes the
-    /// stream's last known timestamp).
-    pub fn ingest(&mut self, pkt: &Packet) -> Result<(), IoError> {
-        let decoded = self.codec.decode(pkt.payload.clone())?;
+    /// # Panics
+    /// Panics if `strikes` is zero.
+    pub fn with_quarantine_threshold(mut self, strikes: u32) -> Self {
+        assert!(strikes >= 1, "quarantine threshold must be at least 1");
+        self.quarantine_threshold = strikes;
+        self
+    }
+
+    /// Ingests one packet.
+    ///
+    /// Framed (v2) payloads are deduplicated, buffered out-of-order, and
+    /// trigger NACKs for detected gaps; see the module docs. Legacy (v1)
+    /// payloads keep append-only semantics and are rejected with an error
+    /// when they move time backwards. Corrupt payloads return an error,
+    /// count against the stream, and eventually quarantine it — they never
+    /// disturb previously stored data.
+    pub fn ingest(&mut self, pkt: &Packet) -> Result<IngestReport, IoError> {
+        let decoded = match self.codec.decode_framed(pkt.payload.clone()) {
+            Ok(d) => d,
+            Err(e) => {
+                self.stats.corrupt += 1;
+                let threshold = self.quarantine_threshold;
+                let stream = self.streams.entry(pkt.sensor_id).or_default();
+                if !stream.quarantined {
+                    stream.corrupt_strikes += 1;
+                    if stream.corrupt_strikes >= threshold {
+                        stream.quarantined = true;
+                    }
+                }
+                return Err(e);
+            }
+        };
+        let (traj, meta) = decoded;
         let stream = self.streams.entry(pkt.sensor_id).or_default();
-        if let (Some(last), Some(first)) = (stream.last(), decoded.first()) {
-            if first.t < last.t {
-                return Err(IoError::Malformed("out-of-order packet"));
+        if stream.quarantined {
+            return Ok(IngestReport {
+                outcome: IngestOutcome::Quarantined,
+                nack: Vec::new(),
+            });
+        }
+        stream.corrupt_strikes = 0;
+        let Some(meta) = meta else {
+            // Legacy v1 payload: append-only, reject time regressions.
+            if let (Some(last), Some(first)) = (stream.legacy.last(), traj.first()) {
+                if first.t < last.t {
+                    return Err(IoError::Malformed("out-of-order packet"));
+                }
+            }
+            self.stats.packets += 1;
+            self.stats.bytes += pkt.payload.len();
+            self.stats.points += traj.len();
+            stream.legacy.extend(traj.iter().copied());
+            return Ok(IngestReport {
+                outcome: IngestOutcome::Accepted,
+                nack: Vec::new(),
+            });
+        };
+        let seq = meta.seq;
+        if stream.segments.contains_key(&seq) {
+            self.stats.duplicated += 1;
+            return Ok(IngestReport {
+                outcome: IngestOutcome::Duplicate,
+                nack: Vec::new(),
+            });
+        }
+        if stream.max_seq.is_some_and(|m| seq < m) {
+            self.stats.reordered += 1;
+        }
+        // Register gaps that this packet makes visible.
+        let horizon = stream.max_seq.map_or(0, |m| m.saturating_add(1));
+        for gap in horizon..seq {
+            if !stream.segments.contains_key(&gap) && !stream.missing.contains_key(&gap) {
+                stream.missing.insert(gap, 0);
+                self.stats.gaps += 1;
             }
         }
+        stream.missing.remove(&seq);
+        stream.max_seq = Some(stream.max_seq.map_or(seq, |m| m.max(seq)));
         self.stats.packets += 1;
         self.stats.bytes += pkt.payload.len();
-        self.stats.points += decoded.len();
-        stream.extend(decoded.iter().copied());
-        Ok(())
-    }
-
-    /// Link statistics so far.
-    pub fn stats(&self) -> LinkStats {
-        self.stats
-    }
-
-    /// Sensors with at least one ingested packet.
-    pub fn sensor_ids(&self) -> Vec<u32> {
-        self.streams.keys().copied().collect()
-    }
-
-    /// The reassembled trajectory of one sensor, if any.
-    pub fn trajectory(&self, sensor_id: u32) -> Option<Trajectory> {
-        self.streams.get(&sensor_id).map(|pts| {
-            Trajectory::new(pts.clone()).expect("ingest enforces time order")
+        self.stats.points += traj.len();
+        stream.segments.insert(seq, traj.points().to_vec());
+        // Ask for the stream's outstanding holes, a bounded number of
+        // times each.
+        let mut nack = Vec::new();
+        for (&gap, tries) in stream.missing.iter_mut() {
+            if *tries < MAX_NACKS {
+                *tries += 1;
+                nack.push(gap);
+            }
+        }
+        Ok(IngestReport {
+            outcome: IngestOutcome::Accepted,
+            nack,
         })
     }
 
+    /// Link statistics so far. `dropped` and `quarantined` reflect the
+    /// current reassembly state; the other counters are cumulative.
+    pub fn stats(&self) -> LinkStats {
+        let mut s = self.stats;
+        s.dropped = self.streams.values().map(|st| st.missing.len()).sum();
+        s.quarantined = self.streams.values().filter(|st| st.quarantined).count();
+        s
+    }
+
+    /// Sensors with at least one reassembled (non-quarantined) packet.
+    pub fn sensor_ids(&self) -> Vec<u32> {
+        self.streams
+            .iter()
+            .filter(|(_, s)| !s.quarantined && s.has_data())
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Missing sequence numbers per sensor: gaps the server has detected
+    /// that have not been filled yet. Useful for a final recovery round.
+    pub fn outstanding(&self) -> Vec<(u32, Vec<u32>)> {
+        self.streams
+            .iter()
+            .filter(|(_, s)| !s.quarantined && !s.missing.is_empty())
+            .map(|(&id, s)| (id, s.missing.keys().copied().collect()))
+            .collect()
+    }
+
+    /// The reassembled trajectory of one sensor, if it has usable data.
+    /// Quarantined streams return `None`.
+    pub fn trajectory(&self, sensor_id: u32) -> Option<Trajectory> {
+        let stream = self.streams.get(&sensor_id)?;
+        if stream.quarantined {
+            return None;
+        }
+        let pts = stream.stitched();
+        if pts.is_empty() {
+            return None;
+        }
+        Trajectory::new(pts).ok()
+    }
+
     /// Builds a queryable store of all reassembled trajectories
-    /// (insertion order = ascending sensor id).
+    /// (insertion order = ascending sensor id). Quarantined and empty
+    /// streams are skipped.
     pub fn into_store(self, cfg: StoreConfig) -> TrajStore {
         let mut store = TrajStore::new(cfg);
-        for (_, pts) in self.streams {
-            store.insert(Trajectory::new(pts).expect("ingest enforces time order"));
+        for (_, stream) in self.streams {
+            if stream.quarantined {
+                continue;
+            }
+            let pts = stream.stitched();
+            if pts.is_empty() {
+                continue;
+            }
+            if let Ok(traj) = Trajectory::new(pts) {
+                store.insert(traj);
+            }
         }
         store
     }
@@ -90,15 +310,43 @@ mod tests {
     fn packet(id: u32, xs: &[(f64, f64, f64)]) -> Packet {
         let traj = Trajectory::from_xyt(xs).unwrap();
         let payload = Codec::new(0.01, 0.01).encode(&traj);
-        Packet { sensor_id: id, points: traj.len(), payload }
+        Packet {
+            sensor_id: id,
+            points: traj.len(),
+            payload,
+        }
+    }
+
+    fn framed(id: u32, seq: u32, xs: &[(f64, f64, f64)]) -> Packet {
+        let traj = Trajectory::from_xyt(xs).unwrap();
+        let payload = Codec::new(0.01, 0.01).encode_framed(seq, &traj);
+        Packet {
+            sensor_id: id,
+            points: traj.len(),
+            payload,
+        }
+    }
+
+    fn garbage(id: u32) -> Packet {
+        Packet {
+            sensor_id: id,
+            points: 0,
+            payload: Bytes::from_static(b"nonsense"),
+        }
     }
 
     #[test]
     fn ingest_reassembles_in_order() {
         let mut server = Server::new(Codec::new(1.0, 1.0));
-        server.ingest(&packet(1, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)])).unwrap();
-        server.ingest(&packet(1, &[(2.0, 0.0, 2.0), (3.0, 0.0, 3.0)])).unwrap();
-        server.ingest(&packet(2, &[(9.0, 9.0, 5.0), (10.0, 9.0, 6.0)])).unwrap();
+        server
+            .ingest(&packet(1, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]))
+            .unwrap();
+        server
+            .ingest(&packet(1, &[(2.0, 0.0, 2.0), (3.0, 0.0, 3.0)]))
+            .unwrap();
+        server
+            .ingest(&packet(2, &[(9.0, 9.0, 5.0), (10.0, 9.0, 6.0)]))
+            .unwrap();
         assert_eq!(server.sensor_ids(), vec![1, 2]);
         let t1 = server.trajectory(1).unwrap();
         assert_eq!(t1.len(), 4);
@@ -110,8 +358,11 @@ mod tests {
 
     #[test]
     fn rejects_out_of_order_packets() {
+        // Legacy v1 payloads keep the append-only contract.
         let mut server = Server::new(Codec::new(1.0, 1.0));
-        server.ingest(&packet(1, &[(0.0, 0.0, 10.0), (1.0, 0.0, 11.0)])).unwrap();
+        server
+            .ingest(&packet(1, &[(0.0, 0.0, 10.0), (1.0, 0.0, 11.0)]))
+            .unwrap();
         let err = server.ingest(&packet(1, &[(5.0, 0.0, 3.0), (6.0, 0.0, 4.0)]));
         assert!(err.is_err());
         // State unchanged.
@@ -120,17 +371,155 @@ mod tests {
     }
 
     #[test]
+    fn equal_boundary_timestamps_are_tolerated() {
+        // A packet starting at exactly the stream's last timestamp must
+        // neither error nor panic in trajectory()/into_store().
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        server
+            .ingest(&packet(1, &[(0.0, 0.0, 0.0), (1.0, 0.0, 5.0)]))
+            .unwrap();
+        server
+            .ingest(&packet(1, &[(1.0, 0.0, 5.0), (2.0, 0.0, 9.0)]))
+            .unwrap();
+        let t = server.trajectory(1).unwrap();
+        assert_eq!(t.len(), 4);
+        let store = server.into_store(trajstore::StoreConfig { cell_size: 10.0 });
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
     fn rejects_garbage_payload() {
         let mut server = Server::new(Codec::new(1.0, 1.0));
-        let bad = Packet { sensor_id: 3, points: 0, payload: Bytes::from_static(b"nonsense") };
-        assert!(server.ingest(&bad).is_err());
+        assert!(server.ingest(&garbage(3)).is_err());
         assert!(server.trajectory(3).is_none());
+        assert_eq!(server.stats().corrupt, 1);
+    }
+
+    #[test]
+    fn framed_out_of_order_is_buffered_and_restitched() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        let first = framed(1, 0, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]);
+        let second = framed(1, 1, &[(2.0, 0.0, 2.0), (3.0, 0.0, 3.0)]);
+        let third = framed(1, 2, &[(4.0, 0.0, 4.0), (5.0, 0.0, 5.0)]);
+        server.ingest(&first).unwrap();
+        // Deliver 2 before 1: accepted, not rejected.
+        let rep = server.ingest(&third).unwrap();
+        assert_eq!(rep.outcome, IngestOutcome::Accepted);
+        assert_eq!(rep.nack, vec![1]);
+        let rep = server.ingest(&second).unwrap();
+        assert_eq!(rep.outcome, IngestOutcome::Accepted);
+        assert!(rep.nack.is_empty());
+        let t = server.trajectory(1).unwrap();
+        assert_eq!(t.len(), 6);
+        // Stitched back into timestamp order.
+        for i in 0..6 {
+            assert!((t[i].t - i as f64).abs() < 0.01);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.reordered, 1);
+        assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.dropped, 0); // gap was filled
+    }
+
+    #[test]
+    fn framed_duplicates_are_ignored() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        let pkt = framed(1, 0, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]);
+        assert_eq!(
+            server.ingest(&pkt).unwrap().outcome,
+            IngestOutcome::Accepted
+        );
+        assert_eq!(
+            server.ingest(&pkt).unwrap().outcome,
+            IngestOutcome::Duplicate
+        );
+        assert_eq!(server.trajectory(1).unwrap().len(), 2);
+        let stats = server.stats();
+        assert_eq!(stats.packets, 1);
+        assert_eq!(stats.duplicated, 1);
+    }
+
+    #[test]
+    fn gaps_are_nacked_a_bounded_number_of_times() {
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        // seq 0 never arrives; each later packet re-NACKs it up to MAX_NACKS.
+        let mut nacks = 0;
+        for seq in 1..8u32 {
+            let t = seq as f64 * 10.0;
+            let pkt = framed(1, seq, &[(t, 0.0, t), (t + 1.0, 0.0, t + 1.0)]);
+            let rep = server.ingest(&pkt).unwrap();
+            nacks += rep.nack.iter().filter(|&&s| s == 0).count();
+        }
+        assert_eq!(nacks, MAX_NACKS as usize);
+        let stats = server.stats();
+        assert_eq!(stats.gaps, 1);
+        assert_eq!(stats.dropped, 1); // still outstanding
+        assert_eq!(server.outstanding(), vec![(1, vec![0])]);
+        // The stream is still usable without the lost prefix.
+        assert_eq!(server.trajectory(1).unwrap().len(), 14);
+    }
+
+    #[test]
+    fn repeated_corruption_quarantines_the_stream() {
+        let mut server = Server::new(Codec::new(1.0, 1.0)).with_quarantine_threshold(3);
+        server
+            .ingest(&framed(1, 0, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]))
+            .unwrap();
+        for _ in 0..3 {
+            assert!(server.ingest(&garbage(1)).is_err());
+        }
+        let stats = server.stats();
+        assert_eq!(stats.corrupt, 3);
+        assert_eq!(stats.quarantined, 1);
+        // Quarantined: data withheld, further packets ignored.
+        assert!(server.trajectory(1).is_none());
+        assert!(server.sensor_ids().is_empty());
+        let rep = server
+            .ingest(&framed(1, 1, &[(2.0, 0.0, 2.0), (3.0, 0.0, 3.0)]))
+            .unwrap();
+        assert_eq!(rep.outcome, IngestOutcome::Quarantined);
+        // Other streams are unaffected.
+        server
+            .ingest(&framed(2, 0, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]))
+            .unwrap();
+        assert_eq!(server.sensor_ids(), vec![2]);
+    }
+
+    #[test]
+    fn clean_decodes_reset_the_strike_counter() {
+        let mut server = Server::new(Codec::new(1.0, 1.0)).with_quarantine_threshold(2);
+        assert!(server.ingest(&garbage(1)).is_err());
+        server
+            .ingest(&framed(1, 0, &[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]))
+            .unwrap();
+        assert!(server.ingest(&garbage(1)).is_err());
+        // 1 strike, reset, 1 strike: never reaches 2 consecutive.
+        assert_eq!(server.stats().quarantined, 0);
+        assert!(server.trajectory(1).is_some());
+    }
+
+    #[test]
+    fn overlapping_segments_degrade_gracefully() {
+        // Two segments overlapping in time (e.g. a replayed window after
+        // recovery): stitching drops the regressive points, no panic.
+        let mut server = Server::new(Codec::new(1.0, 1.0));
+        server
+            .ingest(&framed(1, 0, &[(0.0, 0.0, 0.0), (5.0, 0.0, 5.0)]))
+            .unwrap();
+        server
+            .ingest(&framed(1, 1, &[(3.0, 0.0, 3.0), (8.0, 0.0, 8.0)]))
+            .unwrap();
+        let t = server.trajectory(1).unwrap();
+        assert_eq!(t.len(), 3); // the t=3 point is dropped
+        assert!((t[2].t - 8.0).abs() < 0.01);
     }
 
     #[test]
     fn into_store_is_queryable() {
         let mut server = Server::new(Codec::new(1.0, 1.0));
-        server.ingest(&packet(5, &[(0.0, 0.0, 0.0), (100.0, 0.0, 50.0)])).unwrap();
+        server
+            .ingest(&packet(5, &[(0.0, 0.0, 0.0), (100.0, 0.0, 50.0)]))
+            .unwrap();
         let store = server.into_store(StoreConfig { cell_size: 50.0 });
         assert_eq!(store.len(), 1);
         assert_eq!(store.range_query(40.0, -5.0, 60.0, 5.0, None), vec![0]);

@@ -38,7 +38,13 @@ pub struct OrderedBuffer {
 impl OrderedBuffer {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        OrderedBuffer { entries: Vec::new(), index: BTreeSet::new(), head: NONE, tail: NONE, live: 0 }
+        OrderedBuffer {
+            entries: Vec::new(),
+            index: BTreeSet::new(),
+            head: NONE,
+            tail: NONE,
+            live: 0,
+        }
     }
 
     /// Clears the buffer for a new stream.
@@ -68,7 +74,14 @@ impl OrderedBuffer {
     /// Appends the next stream point, returning its stream position.
     pub fn push_back(&mut self, p: Point) -> usize {
         let pos = self.entries.len() as u32;
-        self.entries.push(Entry { point: p, prev: self.tail, next: NONE, value: 0.0, in_index: false, alive: true });
+        self.entries.push(Entry {
+            point: p,
+            prev: self.tail,
+            next: NONE,
+            value: 0.0,
+            in_index: false,
+            alive: true,
+        });
         if self.tail != NONE {
             self.entries[self.tail as usize].next = pos;
         } else {
@@ -132,7 +145,10 @@ impl OrderedBuffer {
     /// # Panics
     /// Panics if the value is negative or not finite.
     pub fn set_value(&mut self, pos: usize, value: f64) {
-        assert!(value >= 0.0 && value.is_finite(), "importance value must be non-negative finite, got {value}");
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "importance value must be non-negative finite, got {value}"
+        );
         let e = &mut self.entries[pos];
         debug_assert!(e.alive, "cannot set value of dropped slot {pos}");
         if e.in_index {
@@ -184,7 +200,10 @@ impl OrderedBuffer {
 
     /// The indexed position with the smallest value, if any.
     pub fn min(&self) -> Option<(usize, f64)> {
-        self.index.iter().next().map(|&(bits, pos)| (pos as usize, f64::from_bits(bits)))
+        self.index
+            .iter()
+            .next()
+            .map(|&(bits, pos)| (pos as usize, f64::from_bits(bits)))
     }
 
     /// The `k` smallest indexed `(position, value)` pairs, ascending by

@@ -29,6 +29,28 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: u32 = 0x524C_5451; // "RLTQ"
 /// Codec format version.
 const VERSION: u16 = 1;
+/// Magic tag identifying the *framed* (v2) codec format: the v1 body plus a
+/// sequence number, first/last timestamps, and a trailing CRC32.
+const FRAME_MAGIC: u32 = 0x524C_5446; // "RLTF"
+/// Framed codec format version.
+const FRAME_VERSION: u16 = 2;
+
+/// Per-packet framing metadata carried by v2 payloads.
+///
+/// A lossy uplink can drop, replay, and reorder packets; the sequence
+/// number lets a receiver detect all three, and the first/last timestamps
+/// describe the span without decoding the body. The trailing CRC32 (over
+/// every preceding byte of the frame) turns silent corruption into a
+/// decode error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameMeta {
+    /// Per-stream packet sequence number (assigned by the sender).
+    pub seq: u32,
+    /// Timestamp of the first encoded point (0.0 for an empty payload).
+    pub first_t: f64,
+    /// Timestamp of the last encoded point (0.0 for an empty payload).
+    pub last_t: f64,
+}
 
 /// A quantizing delta codec with configurable spatial and temporal
 /// resolution.
@@ -55,7 +77,10 @@ impl Codec {
             time_resolution > 0.0 && time_resolution.is_finite(),
             "time resolution must be positive"
         );
-        Codec { spatial_resolution, time_resolution }
+        Codec {
+            spatial_resolution,
+            time_resolution,
+        }
     }
 
     /// Encodes a trajectory. Layout: magic | version | resolutions (2 × f64)
@@ -65,52 +90,139 @@ impl Codec {
         let mut buf = BytesMut::with_capacity(32 + traj.len() * 6);
         buf.put_u32(MAGIC);
         buf.put_u16(VERSION);
-        buf.put_f64(self.spatial_resolution);
-        buf.put_f64(self.time_resolution);
-        put_varint(&mut buf, traj.len() as u64);
-        let mut prev = (0i64, 0i64, 0i64);
-        for p in traj {
-            let q = self.quantize(p);
-            put_varint(&mut buf, zigzag(q.0 - prev.0));
-            put_varint(&mut buf, zigzag(q.1 - prev.1));
-            put_varint(&mut buf, zigzag(q.2 - prev.2));
-            prev = q;
-        }
+        self.encode_body(&mut buf, traj);
         buf.freeze()
     }
 
-    /// Decodes a payload produced by [`Codec::encode`] (with any
-    /// resolution — the payload carries its own).
-    pub fn decode(&self, mut buf: Bytes) -> Result<Trajectory, IoError> {
-        if buf.remaining() < 4 + 2 + 16 {
+    /// Encodes a trajectory in the framed (v2) format for lossy uplinks.
+    /// Layout: frame magic | version | seq (u32) | first/last timestamps
+    /// (2 × f64) | resolutions (2 × f64) | count (varint) | deltas | CRC32
+    /// (u32, over all preceding bytes).
+    pub fn encode_framed(&self, seq: u32, traj: &Trajectory) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + traj.len() * 6);
+        buf.put_u32(FRAME_MAGIC);
+        buf.put_u16(FRAME_VERSION);
+        buf.put_u32(seq);
+        let (first_t, last_t) = match (traj.first(), traj.last()) {
+            (Some(f), Some(l)) => (f.t, l.t),
+            _ => (0.0, 0.0),
+        };
+        buf.put_f64(first_t);
+        buf.put_f64(last_t);
+        self.encode_body(&mut buf, traj);
+        let crc = crc32(&buf);
+        buf.put_u32(crc);
+        buf.freeze()
+    }
+
+    /// Decodes a payload produced by [`Codec::encode`] or
+    /// [`Codec::encode_framed`] (with any resolution — the payload carries
+    /// its own), discarding any frame metadata.
+    pub fn decode(&self, buf: Bytes) -> Result<Trajectory, IoError> {
+        Ok(self.decode_framed(buf)?.0)
+    }
+
+    /// Decodes either frame version, returning the trajectory plus the v2
+    /// frame metadata (`None` for v1 payloads). For v2 payloads the CRC32
+    /// is verified before anything else is trusted.
+    pub fn decode_framed(
+        &self,
+        mut buf: Bytes,
+    ) -> Result<(Trajectory, Option<FrameMeta>), IoError> {
+        if buf.remaining() < 4 + 2 {
             return Err(IoError::Malformed("codec header truncated"));
         }
-        if buf.get_u32() != MAGIC {
-            return Err(IoError::Malformed("bad codec magic"));
+        let raw = buf.clone();
+        match buf.get_u32() {
+            MAGIC => {
+                if buf.get_u16() != VERSION {
+                    return Err(IoError::Malformed("unsupported codec version"));
+                }
+                Ok((self.decode_body(&mut buf, 0)?, None))
+            }
+            FRAME_MAGIC => {
+                if buf.get_u16() != FRAME_VERSION {
+                    return Err(IoError::Malformed("unsupported frame version"));
+                }
+                // magic+version (6) | seq (4) | timestamps (16) |
+                // resolutions (16) | count (≥ 1) | crc (4).
+                if raw.len() < 6 + 4 + 16 + 16 + 1 + 4 {
+                    return Err(IoError::Malformed("frame truncated"));
+                }
+                let body_len = raw.len() - 4;
+                let stored = u32::from_be_bytes([
+                    raw[body_len],
+                    raw[body_len + 1],
+                    raw[body_len + 2],
+                    raw[body_len + 3],
+                ]);
+                if crc32(&raw[..body_len]) != stored {
+                    return Err(IoError::Malformed("frame checksum mismatch"));
+                }
+                let seq = buf.get_u32();
+                let first_t = buf.get_f64();
+                let last_t = buf.get_f64();
+                let traj = self.decode_body(&mut buf, 4)?;
+                Ok((
+                    traj,
+                    Some(FrameMeta {
+                        seq,
+                        first_t,
+                        last_t,
+                    }),
+                ))
+            }
+            _ => Err(IoError::Malformed("bad codec magic")),
         }
-        if buf.get_u16() != VERSION {
-            return Err(IoError::Malformed("unsupported codec version"));
+    }
+
+    /// Writes resolutions, count, and zigzag-varint deltas.
+    fn encode_body(&self, buf: &mut BytesMut, traj: &Trajectory) {
+        buf.put_f64(self.spatial_resolution);
+        buf.put_f64(self.time_resolution);
+        put_varint(buf, traj.len() as u64);
+        let mut prev = (0i64, 0i64, 0i64);
+        for p in traj {
+            let q = self.quantize(p);
+            put_varint(buf, zigzag(q.0 - prev.0));
+            put_varint(buf, zigzag(q.1 - prev.1));
+            put_varint(buf, zigzag(q.2 - prev.2));
+            prev = q;
+        }
+    }
+
+    /// Reads resolutions, count, and deltas, requiring exactly `trailing`
+    /// bytes (the v2 CRC) to remain afterwards.
+    fn decode_body(&self, buf: &mut Bytes, trailing: usize) -> Result<Trajectory, IoError> {
+        if buf.remaining() < 16 {
+            return Err(IoError::Malformed("codec header truncated"));
         }
         let sres = buf.get_f64();
         let tres = buf.get_f64();
         if !(sres > 0.0 && sres.is_finite() && tres > 0.0 && tres.is_finite()) {
             return Err(IoError::Malformed("invalid resolutions"));
         }
-        let count = get_varint(&mut buf).ok_or(IoError::Malformed("count truncated"))? as usize;
+        let count = get_varint(buf).ok_or(IoError::Malformed("count truncated"))? as usize;
         let mut pts = Vec::with_capacity(count.min(1 << 24));
         let mut prev = (0i64, 0i64, 0i64);
         for _ in 0..count {
-            let dx = unzigzag(get_varint(&mut buf).ok_or(IoError::Malformed("point truncated"))?);
-            let dy = unzigzag(get_varint(&mut buf).ok_or(IoError::Malformed("point truncated"))?);
-            let dt = unzigzag(get_varint(&mut buf).ok_or(IoError::Malformed("point truncated"))?);
-            prev = (prev.0 + dx, prev.1 + dy, prev.2 + dt);
+            let dx = unzigzag(get_varint(buf).ok_or(IoError::Malformed("point truncated"))?);
+            let dy = unzigzag(get_varint(buf).ok_or(IoError::Malformed("point truncated"))?);
+            let dt = unzigzag(get_varint(buf).ok_or(IoError::Malformed("point truncated"))?);
+            // Wrapping: corrupt v1 deltas must surface as a decode error
+            // (non-finite / non-monotone points), never as an overflow panic.
+            prev = (
+                prev.0.wrapping_add(dx),
+                prev.1.wrapping_add(dy),
+                prev.2.wrapping_add(dt),
+            );
             pts.push(Point::new(
                 prev.0 as f64 * sres,
                 prev.1 as f64 * sres,
                 prev.2 as f64 * tres,
             ));
         }
-        if buf.has_remaining() {
+        if buf.remaining() != trailing {
             return Err(IoError::Malformed("trailing bytes after codec payload"));
         }
         Ok(Trajectory::new(pts)?)
@@ -128,6 +240,21 @@ impl Codec {
             (p.t / self.time_resolution).round() as i64,
         )
     }
+}
+
+/// CRC32 (IEEE 802.3, reflected, poly `0xEDB88320`) over a byte slice.
+/// Bitwise implementation: frame payloads are small and this keeps the
+/// codec dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
 }
 
 /// Zigzag-encodes a signed integer for varint coding.
@@ -297,5 +424,178 @@ mod tests {
     #[should_panic]
     fn zero_resolution_rejected() {
         let _ = Codec::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn framed_roundtrip_carries_metadata() {
+        let traj = smooth(40);
+        let codec = Codec::new(0.5, 1.0);
+        let (back, meta) = codec.decode_framed(codec.encode_framed(17, &traj)).unwrap();
+        let meta = meta.expect("v2 payloads carry frame metadata");
+        assert_eq!(meta.seq, 17);
+        assert_eq!(meta.first_t, traj[0].t);
+        assert_eq!(meta.last_t, traj[traj.len() - 1].t);
+        assert_eq!(back.len(), traj.len());
+        for (a, b) in back.iter().zip(traj.iter()) {
+            assert!((a.x - b.x).abs() <= 0.25 + 1e-12);
+            assert!((a.t - b.t).abs() <= 0.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn framed_empty_trajectory_roundtrip() {
+        let codec = Codec::new(1.0, 1.0);
+        let empty = Trajectory::new(vec![]).unwrap();
+        let (back, meta) = codec.decode_framed(codec.encode_framed(3, &empty)).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(meta.unwrap().seq, 3);
+    }
+
+    #[test]
+    fn v1_payload_decodes_without_metadata() {
+        let traj = smooth(10);
+        let codec = Codec::new(0.5, 1.0);
+        let (back, meta) = codec.decode_framed(codec.encode(&traj)).unwrap();
+        assert!(meta.is_none());
+        assert_eq!(back.len(), traj.len());
+    }
+
+    #[test]
+    fn framed_rejects_any_single_byte_corruption() {
+        let traj = smooth(15);
+        let codec = Codec::new(0.5, 1.0);
+        let good = codec.encode_framed(9, &traj);
+        // Flip one bit in every byte position: the CRC (or magic/version
+        // checks) must catch all of them.
+        for i in 0..good.len() {
+            let mut bad = BytesMut::from(&good[..]);
+            bad[i] ^= 0x01;
+            assert!(
+                codec.decode(bad.freeze()).is_err(),
+                "byte {i} corruption undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn framed_rejects_truncation_and_trailing_bytes() {
+        let traj = smooth(15);
+        let codec = Codec::new(0.5, 1.0);
+        let good = codec.encode_framed(0, &traj);
+        for cut in [0usize, 5, 6, 30, 46, good.len() - 1] {
+            assert!(codec.decode(good.slice(0..cut)).is_err(), "cut at {cut}");
+        }
+        let mut trailing = BytesMut::from(&good[..]);
+        trailing.put_u8(0);
+        assert!(codec.decode(trailing.freeze()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A valid trajectory of up to `max_len` points with monotone
+    /// timestamps and bounded coordinates.
+    fn traj_strategy(max_len: usize) -> impl Strategy<Value = Trajectory> {
+        prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64, 0.01..30.0f64), 0..=max_len).prop_map(
+            |triples| {
+                let mut t = 0.0;
+                let pts = triples
+                    .into_iter()
+                    .map(|(x, y, dt)| {
+                        t += dt;
+                        Point::new(x, y, t)
+                    })
+                    .collect();
+                Trajectory::new(pts).expect("constructed valid")
+            },
+        )
+    }
+
+    // Power-of-two resolutions make quantization exactly idempotent, so
+    // roundtrip stability can be asserted with exact equality.
+    fn codec() -> Codec {
+        Codec::new(0.5, 1.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn framed_roundtrip_is_stable(traj in traj_strategy(60), seq in proptest::num::u32::ANY) {
+            let codec = codec();
+            let (once, meta) = codec.decode_framed(codec.encode_framed(seq, &traj)).unwrap();
+            prop_assert_eq!(meta.expect("framed").seq, seq);
+            let (twice, _) = codec.decode_framed(codec.encode_framed(seq, &once)).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn v1_roundtrip_is_stable(traj in traj_strategy(60)) {
+            let codec = codec();
+            let once = codec.decode(codec.encode(&traj)).unwrap();
+            let twice = codec.decode(codec.encode(&once)).unwrap();
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn framed_truncation_always_errors(
+            traj in traj_strategy(40),
+            seq in proptest::num::u32::ANY,
+            frac in 0.0..1.0f64,
+        ) {
+            let codec = codec();
+            let full = codec.encode_framed(seq, &traj);
+            let cut = (full.len() as f64 * frac) as usize; // strict prefix
+            prop_assert!(codec.decode(full.slice(0..cut)).is_err());
+        }
+
+        #[test]
+        fn framed_single_byte_mutation_always_errors(
+            traj in traj_strategy(40),
+            seq in proptest::num::u32::ANY,
+            pos in 0.0..1.0f64,
+            val in proptest::num::u8::ANY,
+        ) {
+            let codec = codec();
+            let full = codec.encode_framed(seq, &traj);
+            let idx = ((full.len() as f64 * pos) as usize).min(full.len() - 1);
+            let mut bytes = full.to_vec();
+            prop_assume!(bytes[idx] != val);
+            bytes[idx] = val;
+            prop_assert!(codec.decode(Bytes::from(bytes)).is_err());
+        }
+
+        #[test]
+        fn v1_truncation_always_errors(traj in traj_strategy(40), frac in 0.0..1.0f64) {
+            let codec = codec();
+            let full = codec.encode(&traj);
+            let cut = (full.len() as f64 * frac) as usize;
+            prop_assert!(codec.decode(full.slice(0..cut)).is_err());
+        }
+
+        #[test]
+        fn v1_single_byte_mutation_never_panics(
+            traj in traj_strategy(40),
+            pos in 0.0..1.0f64,
+            val in proptest::num::u8::ANY,
+        ) {
+            // v1 has no checksum, so a mutated payload may still decode —
+            // but it must always return Ok or Err, never panic.
+            let codec = codec();
+            let full = codec.encode(&traj);
+            let idx = ((full.len() as f64 * pos) as usize).min(full.len() - 1);
+            let mut bytes = full.to_vec();
+            bytes[idx] = val;
+            let _ = codec.decode(Bytes::from(bytes));
+        }
     }
 }

@@ -22,8 +22,8 @@ mod sad;
 mod sed;
 
 pub use dad::{dad_drop_error, dad_point_error};
-pub use profile::ErrorProfile;
 pub use ped::{ped_drop_error, ped_point_error};
+pub use profile::ErrorProfile;
 pub use sad::{sad_drop_error, sad_point_error};
 pub use sed::{sed_drop_error, sed_point_error};
 
@@ -142,8 +142,17 @@ pub fn segment_error(measure: Measure, pts: &[Point], s: usize, e: usize) -> f64
 
 /// Like [`segment_error`] but also returns the sum of per-point errors and
 /// the number of contributing points (for mean aggregation).
-pub fn segment_error_stats(measure: Measure, pts: &[Point], s: usize, e: usize) -> (f64, f64, usize) {
-    assert!(s < e && e < pts.len(), "invalid segment range ({s}, {e}) for {} points", pts.len());
+pub fn segment_error_stats(
+    measure: Measure,
+    pts: &[Point],
+    s: usize,
+    e: usize,
+) -> (f64, f64, usize) {
+    assert!(
+        s < e && e < pts.len(),
+        "invalid segment range ({s}, {e}) for {} points",
+        pts.len()
+    );
     let seg = Segment::new(pts[s], pts[e]);
     let mut max = 0.0f64;
     let mut sum = 0.0f64;
@@ -183,11 +192,20 @@ pub fn segment_error_stats(measure: Measure, pts: &[Point], s: usize, e: usize) 
 ///
 /// # Panics
 /// Panics if `kept` violates the constraints above.
-pub fn simplification_error(measure: Measure, pts: &[Point], kept: &[usize], agg: Aggregation) -> f64 {
+pub fn simplification_error(
+    measure: Measure,
+    pts: &[Point],
+    kept: &[usize],
+    agg: Aggregation,
+) -> f64 {
     assert!(pts.len() >= 2, "need at least two points");
     assert!(kept.len() >= 2, "need at least two kept indices");
     assert_eq!(kept[0], 0, "first point must be kept");
-    assert_eq!(*kept.last().unwrap(), pts.len() - 1, "last point must be kept");
+    assert_eq!(
+        *kept.last().unwrap(),
+        pts.len() - 1,
+        "last point must be kept"
+    );
     let mut max = 0.0f64;
     let mut sum = 0.0f64;
     let mut count = 0usize;
@@ -232,10 +250,19 @@ mod tests {
 
     #[test]
     fn keeping_everything_has_zero_error() {
-        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 5.0, 1.0), (2.0, -3.0, 2.0), (3.0, 0.0, 3.0)]);
+        let p = pts(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 5.0, 1.0),
+            (2.0, -3.0, 2.0),
+            (3.0, 0.0, 3.0),
+        ]);
         let kept: Vec<usize> = (0..p.len()).collect();
         for m in Measure::ALL {
-            assert_eq!(simplification_error(m, &p, &kept, Aggregation::Max), 0.0, "{m}");
+            assert_eq!(
+                simplification_error(m, &p, &kept, Aggregation::Max),
+                0.0,
+                "{m}"
+            );
         }
     }
 
@@ -243,7 +270,12 @@ mod tests {
     fn collinear_constant_speed_has_zero_error() {
         // Straight line at constant speed: dropping interior points is free
         // under all four measures.
-        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0), (2.0, 2.0, 2.0), (3.0, 3.0, 3.0)]);
+        let p = pts(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 1.0, 1.0),
+            (2.0, 2.0, 2.0),
+            (3.0, 3.0, 3.0),
+        ]);
         let kept = vec![0, 3];
         for m in Measure::ALL {
             let e = simplification_error(m, &p, &kept, Aggregation::Max);
@@ -261,7 +293,12 @@ mod tests {
 
     #[test]
     fn max_dominates_mean() {
-        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 2.0, 1.0), (2.0, 0.5, 2.0), (3.0, 0.0, 3.0)]);
+        let p = pts(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 2.0, 1.0),
+            (2.0, 0.5, 2.0),
+            (3.0, 0.0, 3.0),
+        ]);
         for m in Measure::ALL {
             let mx = simplification_error(m, &p, &[0, 3], Aggregation::Max);
             let me = simplification_error(m, &p, &[0, 3], Aggregation::Mean);
@@ -271,7 +308,12 @@ mod tests {
 
     #[test]
     fn segment_error_matches_manual_max() {
-        let p = pts(&[(0.0, 0.0, 0.0), (1.0, 3.0, 1.0), (2.0, 1.0, 2.0), (3.0, 0.0, 3.0)]);
+        let p = pts(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 3.0, 1.0),
+            (2.0, 1.0, 2.0),
+            (3.0, 0.0, 3.0),
+        ]);
         let seg = Segment::new(p[0], p[3]);
         let manual = sed_point_error(&seg, &p[1]).max(sed_point_error(&seg, &p[2]));
         assert!((segment_error(Measure::Sed, &p, 0, 3) - manual).abs() < 1e-12);

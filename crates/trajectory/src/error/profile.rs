@@ -24,9 +24,16 @@ impl ErrorProfile {
     /// (same contract as
     /// [`simplification_error`](crate::error::simplification_error)).
     pub fn compute(measure: Measure, pts: &[Point], kept: &[usize]) -> ErrorProfile {
-        assert!(pts.len() >= 2 && kept.len() >= 2, "need at least two points");
+        assert!(
+            pts.len() >= 2 && kept.len() >= 2,
+            "need at least two points"
+        );
         assert_eq!(kept[0], 0, "first point must be kept");
-        assert_eq!(*kept.last().unwrap(), pts.len() - 1, "last point must be kept");
+        assert_eq!(
+            *kept.last().unwrap(),
+            pts.len() - 1,
+            "last point must be kept"
+        );
         let mut errors = vec![0.0; pts.len()];
         for w in kept.windows(2) {
             let (s, e) = (w[0], w[1]);

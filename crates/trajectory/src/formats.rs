@@ -40,7 +40,10 @@ pub fn read_geolife_plt<R: Read>(reader: R) -> Result<Trajectory, IoError> {
         }
         let fields: Vec<&str> = trimmed.split(',').collect();
         if fields.len() < 5 {
-            return Err(IoError::Parse(lineno + 1, format!("expected ≥5 fields, got {}", fields.len())));
+            return Err(IoError::Parse(
+                lineno + 1,
+                format!("expected ≥5 fields, got {}", fields.len()),
+            ));
         }
         let lat: f64 = fields[0]
             .trim()
@@ -80,7 +83,10 @@ pub fn read_tdrive<R: Read>(reader: R) -> Result<Trajectory, IoError> {
         }
         let fields: Vec<&str> = trimmed.split(',').collect();
         if fields.len() != 4 {
-            return Err(IoError::Parse(lineno + 1, format!("expected 4 fields, got {}", fields.len())));
+            return Err(IoError::Parse(
+                lineno + 1,
+                format!("expected 4 fields, got {}", fields.len()),
+            ));
         }
         let epoch = parse_datetime(fields[1].trim())
             .ok_or_else(|| IoError::Parse(lineno + 1, format!("bad datetime '{}'", fields[1])))?;
@@ -103,7 +109,13 @@ pub fn read_tdrive<R: Read>(reader: R) -> Result<Trajectory, IoError> {
 /// Parses `YYYY-MM-DD HH:MM:SS` into Unix seconds (UTC, no leap seconds).
 fn parse_datetime(s: &str) -> Option<i64> {
     let bytes = s.as_bytes();
-    if bytes.len() != 19 || bytes[4] != b'-' || bytes[7] != b'-' || bytes[10] != b' ' || bytes[13] != b':' || bytes[16] != b':' {
+    if bytes.len() != 19
+        || bytes[4] != b'-'
+        || bytes[7] != b'-'
+        || bytes[10] != b' '
+        || bytes[13] != b':'
+        || bytes[16] != b':'
+    {
         return None;
     }
     let num = |range: std::ops::Range<usize>| -> Option<i64> { s.get(range)?.parse().ok() };
@@ -203,9 +215,15 @@ mod tests {
     #[test]
     fn tdrive_rejects_malformed_datetime() {
         let bad = "1,2008-13-02 15:36:08,116.5,39.9\n";
-        assert!(matches!(read_tdrive(bad.as_bytes()), Err(IoError::Parse(1, _))));
+        assert!(matches!(
+            read_tdrive(bad.as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
         let bad = "1,2008-02-02T15:36:08,116.5,39.9\n";
-        assert!(matches!(read_tdrive(bad.as_bytes()), Err(IoError::Parse(1, _))));
+        assert!(matches!(
+            read_tdrive(bad.as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
     }
 
     #[test]

@@ -30,7 +30,10 @@ struct F64Multiset {
 
 impl F64Multiset {
     fn insert(&mut self, v: f64) {
-        debug_assert!(v >= 0.0 && v.is_finite(), "multiset key must be non-negative finite");
+        debug_assert!(
+            v >= 0.0 && v.is_finite(),
+            "multiset key must be non-negative finite"
+        );
         *self.map.entry(v.to_bits()).or_insert(0) += 1;
         self.len += 1;
     }
@@ -48,7 +51,10 @@ impl F64Multiset {
     }
 
     fn max(&self) -> f64 {
-        self.map.keys().next_back().map_or(0.0, |&b| f64::from_bits(b))
+        self.map
+            .keys()
+            .next_back()
+            .map_or(0.0, |&b| f64::from_bits(b))
     }
 }
 
@@ -216,7 +222,10 @@ impl ErrorBook {
     pub fn drop(&mut self, j: usize) -> f64 {
         let p = self.prev[j];
         let n = self.next[j];
-        assert!(p != NONE && n != NONE, "cannot drop boundary or non-kept index {j}");
+        assert!(
+            p != NONE && n != NONE,
+            "cannot drop boundary or non-kept index {j}"
+        );
         let (p, n) = (p as usize, n as usize);
         self.clear_segment(p);
         self.clear_segment(j);
@@ -234,7 +243,10 @@ impl ErrorBook {
     pub fn merge_cost(&self, j: usize) -> f64 {
         let p = self.prev[j];
         let n = self.next[j];
-        assert!(p != NONE && n != NONE, "no merge cost for boundary or non-kept index {j}");
+        assert!(
+            p != NONE && n != NONE,
+            "no merge cost for boundary or non-kept index {j}"
+        );
         let (max, _, _) = segment_error_stats(self.measure, &self.pts, p as usize, n as usize);
         max
     }
@@ -279,7 +291,11 @@ mod tests {
     fn zigzag(n: usize) -> Vec<Point> {
         (0..n)
             .map(|i| {
-                let y = if i % 2 == 0 { 0.0 } else { 1.0 + (i as f64) * 0.1 };
+                let y = if i % 2 == 0 {
+                    0.0
+                } else {
+                    1.0 + (i as f64) * 0.1
+                };
                 Point::new(i as f64, y, i as f64)
             })
             .collect()
@@ -306,7 +322,10 @@ mod tests {
             let expect = simplification_error(m, &pts, &kept, Aggregation::Max);
             assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12, "{m}");
             let expect_mean = simplification_error(m, &pts, &kept, Aggregation::Mean);
-            assert!((book.error(Aggregation::Mean) - expect_mean).abs() < 1e-12, "{m} mean");
+            assert!(
+                (book.error(Aggregation::Mean) - expect_mean).abs() < 1e-12,
+                "{m} mean"
+            );
         }
     }
 
@@ -384,7 +403,10 @@ mod tests {
             book.drop(j);
             let kept = book.kept_indices();
             let expect = simplification_error(Measure::Sed, &pts, &kept, Aggregation::Max);
-            assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12, "after drop {j}");
+            assert!(
+                (book.error(Aggregation::Max) - expect).abs() < 1e-12,
+                "after drop {j}"
+            );
         }
     }
 

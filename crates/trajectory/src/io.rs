@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn csv_rejects_time_travel() {
         let text = "0,0,5\n1,1,4\n";
-        assert!(matches!(read_csv(text.as_bytes()), Err(IoError::Invalid(_))));
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(IoError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -203,7 +206,10 @@ mod tests {
         // Bad magic.
         let mut corrupt = BytesMut::from(&bytes[..]);
         corrupt[0] ^= 0xFF;
-        assert!(matches!(decode_binary(corrupt.freeze()), Err(IoError::Malformed(_))));
+        assert!(matches!(
+            decode_binary(corrupt.freeze()),
+            Err(IoError::Malformed(_))
+        ));
     }
 }
 
@@ -287,14 +293,20 @@ mod dataset_tests {
 
     #[test]
     fn empty_dataset_roundtrip() {
-        assert_eq!(decode_dataset(encode_dataset(&[])).unwrap(), Vec::<Trajectory>::new());
+        assert_eq!(
+            decode_dataset(encode_dataset(&[])).unwrap(),
+            Vec::<Trajectory>::new()
+        );
     }
 
     #[test]
     fn dataset_rejects_trailing_garbage() {
         let mut raw = BytesMut::from(&encode_dataset(&dataset())[..]);
         raw.put_u8(0);
-        assert!(matches!(decode_dataset(raw.freeze()), Err(IoError::Malformed(_))));
+        assert!(matches!(
+            decode_dataset(raw.freeze()),
+            Err(IoError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl Point {
             return (self.x, self.y);
         }
         let r = (t - self.t) / dt;
-        (self.x + r * (other.x - self.x), self.y + r * (other.y - self.y))
+        (
+            self.x + r * (other.x - self.x),
+            self.y + r * (other.y - self.y),
+        )
     }
 
     /// Direction of travel from `self` to `other` in radians in `(-π, π]`.

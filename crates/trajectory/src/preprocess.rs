@@ -182,12 +182,20 @@ mod tests {
         assert_eq!(cleaned[0].t, 0.0);
         assert_eq!(cleaned.last().unwrap().t, 120.0);
         // Dwell end survives so the stop's duration is preserved.
-        assert!(cleaned.iter().any(|p| (p.t - 101.0).abs() < 1e-9), "{cleaned:?}");
+        assert!(
+            cleaned.iter().any(|p| (p.t - 101.0).abs() < 1e-9),
+            "{cleaned:?}"
+        );
     }
 
     #[test]
     fn collapse_keeps_moving_trajectories_intact() {
-        let traj = t(&[(0.0, 0.0, 0.0), (10.0, 0.0, 1.0), (20.0, 0.0, 2.0), (30.0, 0.0, 3.0)]);
+        let traj = t(&[
+            (0.0, 0.0, 0.0),
+            (10.0, 0.0, 1.0),
+            (20.0, 0.0, 2.0),
+            (30.0, 0.0, 3.0),
+        ]);
         let cleaned = collapse_stops(&traj, 1.0, 10.0);
         assert_eq!(cleaned, traj);
     }

@@ -105,7 +105,10 @@ mod tests {
     use super::*;
 
     fn pts(v: &[(f64, f64)]) -> Vec<Point> {
-        v.iter().enumerate().map(|(i, &(x, y))| Point::new(x, y, i as f64)).collect()
+        v.iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as f64))
+            .collect()
     }
 
     #[test]
@@ -144,7 +147,14 @@ mod tests {
         // vertices must absorb the dense one's, so the distance is the
         // worst point-to-nearest-vertex gap (here: x = 4 or 6 → 4), not 0
         // as the continuous Fréchet distance would give.
-        let a = pts(&[(0.0, 0.0), (2.0, 0.0), (4.0, 0.0), (6.0, 0.0), (8.0, 0.0), (10.0, 0.0)]);
+        let a = pts(&[
+            (0.0, 0.0),
+            (2.0, 0.0),
+            (4.0, 0.0),
+            (6.0, 0.0),
+            (8.0, 0.0),
+            (10.0, 0.0),
+        ]);
         let b = pts(&[(0.0, 0.0), (10.0, 0.0)]);
         assert!((frechet_distance(&a, &b) - 4.0).abs() < 1e-12);
     }
@@ -184,7 +194,12 @@ mod tests {
         let a: Vec<Point> = (0..50)
             .map(|i| Point::new(i as f64, (i as f64 * 0.1).sin() * 0.2, i as f64))
             .collect();
-        let kept: Vec<Point> = a.iter().step_by(7).chain(std::iter::once(&a[49])).copied().collect();
+        let kept: Vec<Point> = a
+            .iter()
+            .step_by(7)
+            .chain(std::iter::once(&a[49]))
+            .copied()
+            .collect();
         let f = frechet_distance(&a, &kept);
         // Discrete Fréchet is bounded by half the kept spacing (≤ 3.5 in x)
         // plus the curve's small amplitude.
@@ -195,9 +210,21 @@ mod tests {
     fn frechet_monotone_under_refinement_of_same_polyline() {
         // Adding intermediate points of the same polyline cannot increase
         // the distance to the original by much (sanity, not an identity).
-        let a: Vec<Point> = (0..30).map(|i| Point::new(i as f64, (i % 5) as f64, i as f64)).collect();
-        let coarse: Vec<Point> = a.iter().step_by(10).chain(std::iter::once(&a[29])).copied().collect();
-        let fine: Vec<Point> = a.iter().step_by(3).chain(std::iter::once(&a[29])).copied().collect();
+        let a: Vec<Point> = (0..30)
+            .map(|i| Point::new(i as f64, (i % 5) as f64, i as f64))
+            .collect();
+        let coarse: Vec<Point> = a
+            .iter()
+            .step_by(10)
+            .chain(std::iter::once(&a[29]))
+            .copied()
+            .collect();
+        let fine: Vec<Point> = a
+            .iter()
+            .step_by(3)
+            .chain(std::iter::once(&a[29]))
+            .copied()
+            .collect();
         assert!(frechet_distance(&a, &fine) <= frechet_distance(&a, &coarse) + 1e-9);
     }
 }

@@ -42,8 +42,16 @@ impl DatasetStats {
                 hops += 1;
             }
         }
-        let avg_points = if trajectories == 0 { 0.0 } else { total_points as f64 / trajectories as f64 };
-        let (min_interval, max_interval) = if hops == 0 { (0.0, 0.0) } else { (min_interval, max_interval) };
+        let avg_points = if trajectories == 0 {
+            0.0
+        } else {
+            total_points as f64 / trajectories as f64
+        };
+        let (min_interval, max_interval) = if hops == 0 {
+            (0.0, 0.0)
+        } else {
+            (min_interval, max_interval)
+        };
         let denom = hops.max(1) as f64;
         DatasetStats {
             trajectories,
@@ -62,7 +70,11 @@ impl std::fmt::Display for DatasetStats {
         writeln!(f, "# of trajectories       {}", self.trajectories)?;
         writeln!(f, "total # of points       {}", self.total_points)?;
         writeln!(f, "avg points / trajectory {:.0}", self.avg_points)?;
-        writeln!(f, "sampling rate           {:.0}s ~ {:.0}s (mean {:.1}s)", self.min_interval, self.max_interval, self.mean_interval)?;
+        writeln!(
+            f,
+            "sampling rate           {:.0}s ~ {:.0}s (mean {:.1}s)",
+            self.min_interval, self.max_interval, self.mean_interval
+        )?;
         write!(f, "average distance        {:.2}m", self.mean_hop_distance)
     }
 }
@@ -74,7 +86,9 @@ mod tests {
 
     fn traj(step_t: f64, step_x: f64, n: usize) -> Trajectory {
         Trajectory::new(
-            (0..n).map(|i| Point::new(i as f64 * step_x, 0.0, i as f64 * step_t)).collect(),
+            (0..n)
+                .map(|i| Point::new(i as f64 * step_x, 0.0, i as f64 * step_t))
+                .collect(),
         )
         .unwrap()
     }

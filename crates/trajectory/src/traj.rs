@@ -37,7 +37,10 @@ impl std::fmt::Display for TrajectoryError {
                 write!(f, "non-finite coordinate or timestamp at index {i}")
             }
             TrajectoryError::TooShort { required, actual } => {
-                write!(f, "trajectory too short: need {required} points, have {actual}")
+                write!(
+                    f,
+                    "trajectory too short: need {required} points, have {actual}"
+                )
             }
         }
     }
@@ -69,7 +72,12 @@ impl Trajectory {
 
     /// Builds a trajectory from `(x, y, t)` triples (validated).
     pub fn from_xyt(triples: &[(f64, f64, f64)]) -> Result<Self, TrajectoryError> {
-        Self::new(triples.iter().map(|&(x, y, t)| Point::new(x, y, t)).collect())
+        Self::new(
+            triples
+                .iter()
+                .map(|&(x, y, t)| Point::new(x, y, t))
+                .collect(),
+        )
     }
 
     /// Number of points `|T|`.
@@ -111,8 +119,13 @@ impl Trajectory {
     /// # Panics
     /// Panics if `i > j` or `j >= len`.
     pub fn subtrajectory(&self, i: usize, j: usize) -> Trajectory {
-        assert!(i <= j && j < self.points.len(), "invalid subtrajectory range [{i}, {j}]");
-        Trajectory { points: self.points[i..=j].to_vec() }
+        assert!(
+            i <= j && j < self.points.len(),
+            "invalid subtrajectory range [{i}, {j}]"
+        );
+        Trajectory {
+            points: self.points[i..=j].to_vec(),
+        }
     }
 
     /// Iterates over the points.
@@ -196,7 +209,12 @@ mod tests {
     use super::*;
 
     fn line(n: usize) -> Trajectory {
-        Trajectory::new((0..n).map(|i| Point::new(i as f64, 0.0, i as f64)).collect()).unwrap()
+        Trajectory::new(
+            (0..n)
+                .map(|i| Point::new(i as f64, 0.0, i as f64))
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -118,7 +118,9 @@ pub fn generate(preset: Preset, n: usize, seed: u64) -> Trajectory {
 /// trajectory with index `i` uses seed `seed_base + i`, so any subset is
 /// reproducible independently.
 pub fn generate_dataset(preset: Preset, count: usize, n: usize, seed_base: u64) -> Vec<Trajectory> {
-    (0..count).map(|i| generate(preset, n, seed_base + i as u64)).collect()
+    (0..count)
+        .map(|i| generate(preset, n, seed_base + i as u64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,7 +142,11 @@ mod tests {
         for preset in Preset::ALL {
             let t = generate(preset, 300, 1);
             // Re-validate through the checked constructor.
-            assert!(Trajectory::new(t.points().to_vec()).is_ok(), "{}", preset.name());
+            assert!(
+                Trajectory::new(t.points().to_vec()).is_ok(),
+                "{}",
+                preset.name()
+            );
             assert_eq!(t.len(), 300);
         }
     }
@@ -150,8 +156,16 @@ mod tests {
         let data = generate_dataset(Preset::GeolifeLike, 20, 500, 10);
         let s = DatasetStats::compute(&data);
         // Paper: sampling 1–5 s, average distance 9.96 m.
-        assert!(s.mean_interval >= 1.0 && s.mean_interval <= 5.0, "{}", s.mean_interval);
-        assert!(s.mean_hop_distance > 5.0 && s.mean_hop_distance < 20.0, "{}", s.mean_hop_distance);
+        assert!(
+            s.mean_interval >= 1.0 && s.mean_interval <= 5.0,
+            "{}",
+            s.mean_interval
+        );
+        assert!(
+            s.mean_hop_distance > 5.0 && s.mean_hop_distance < 20.0,
+            "{}",
+            s.mean_hop_distance
+        );
     }
 
     #[test]
@@ -160,7 +174,11 @@ mod tests {
         let s = DatasetStats::compute(&data);
         // Paper: sampling 177 s, average distance 623 m.
         assert!((s.mean_interval - 177.0).abs() < 1.0, "{}", s.mean_interval);
-        assert!(s.mean_hop_distance > 300.0 && s.mean_hop_distance < 900.0, "{}", s.mean_hop_distance);
+        assert!(
+            s.mean_hop_distance > 300.0 && s.mean_hop_distance < 900.0,
+            "{}",
+            s.mean_hop_distance
+        );
     }
 
     #[test]
@@ -168,8 +186,16 @@ mod tests {
         let data = generate_dataset(Preset::TruckLike, 20, 400, 30);
         let s = DatasetStats::compute(&data);
         // Paper: sampling 3–60 s, average distance 82.74 m.
-        assert!(s.mean_interval >= 3.0 && s.mean_interval <= 60.0, "{}", s.mean_interval);
-        assert!(s.mean_hop_distance > 40.0 && s.mean_hop_distance < 170.0, "{}", s.mean_hop_distance);
+        assert!(
+            s.mean_interval >= 3.0 && s.mean_interval <= 60.0,
+            "{}",
+            s.mean_interval
+        );
+        assert!(
+            s.mean_hop_distance > 40.0 && s.mean_hop_distance < 170.0,
+            "{}",
+            s.mean_hop_distance
+        );
     }
 
     #[test]

@@ -83,11 +83,21 @@ impl Heading {
 ///
 /// # Panics
 /// Panics if the configuration is inconsistent.
-pub fn generate_road_grid<R: Rng + ?Sized>(cfg: &RoadGridConfig, n: usize, rng: &mut R) -> Trajectory {
+pub fn generate_road_grid<R: Rng + ?Sized>(
+    cfg: &RoadGridConfig,
+    n: usize,
+    rng: &mut R,
+) -> Trajectory {
     assert!(cfg.block_size > 0.0, "block size must be positive");
     assert!(cfg.speed > 0.0, "speed must be positive");
-    assert!(cfg.dt_min > 0.0 && cfg.dt_max >= cfg.dt_min, "invalid sampling range");
-    assert!((0.0..=1.0).contains(&(cfg.turn_prob + cfg.stop_prob)), "probabilities exceed 1");
+    assert!(
+        cfg.dt_min > 0.0 && cfg.dt_max >= cfg.dt_min,
+        "invalid sampling range"
+    );
+    assert!(
+        (0.0..=1.0).contains(&(cfg.turn_prob + cfg.stop_prob)),
+        "probabilities exceed 1"
+    );
 
     let mut pts = Vec::with_capacity(n);
     let mut x = 0.0f64;
@@ -103,7 +113,11 @@ pub fn generate_road_grid<R: Rng + ?Sized>(cfg: &RoadGridConfig, n: usize, rng: 
         let ny = y + noise(rng) * cfg.gps_noise;
         pts.push(Point::new(nx, ny, t));
 
-        let dt = if cfg.dt_max > cfg.dt_min { rng.random_range(cfg.dt_min..cfg.dt_max) } else { cfg.dt_min };
+        let dt = if cfg.dt_max > cfg.dt_min {
+            rng.random_range(cfg.dt_min..cfg.dt_max)
+        } else {
+            cfg.dt_min
+        };
         t += dt;
         if stopped_for > 0 {
             stopped_for -= 1;
@@ -152,7 +166,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg() -> RoadGridConfig {
-        RoadGridConfig { gps_noise: 0.0, ..Default::default() }
+        RoadGridConfig {
+            gps_noise: 0.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -181,7 +198,10 @@ mod tests {
                 dx < 1e-9 || dy < 1e-9
             })
             .count();
-        assert!(axis_aligned * 10 >= 400 * 5, "only {axis_aligned}/400 hops axis-aligned");
+        assert!(
+            axis_aligned * 10 >= 400 * 5,
+            "only {axis_aligned}/400 hops axis-aligned"
+        );
     }
 
     #[test]
@@ -203,7 +223,12 @@ mod tests {
     #[test]
     fn straight_config_never_turns() {
         let mut rng = StdRng::seed_from_u64(4);
-        let c = RoadGridConfig { turn_prob: 0.0, stop_prob: 0.0, gps_noise: 0.0, ..Default::default() };
+        let c = RoadGridConfig {
+            turn_prob: 0.0,
+            stop_prob: 0.0,
+            gps_noise: 0.0,
+            ..Default::default()
+        };
         let t = generate_road_grid(&c, 100, &mut rng);
         for p in t.points() {
             assert!(p.y.abs() < 1e-9, "left the initial street: y = {}", p.y);
@@ -227,6 +252,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let t = generate_road_grid(&cfg(), 200, &mut rng);
         let endpoints = simplification_error(Measure::Dad, t.points(), &[0, 199], Aggregation::Max);
-        assert!(endpoints > 0.5, "grid walk should have strong turns: {endpoints}");
+        assert!(
+            endpoints > 0.5,
+            "grid walk should have strong turns: {endpoints}"
+        );
     }
 }

@@ -55,11 +55,20 @@ impl Walker {
     /// Panics if the configuration is inconsistent (non-positive intervals,
     /// regime probabilities exceeding 1, …).
     pub fn new(cfg: GeneratorConfig) -> Self {
-        assert!(cfg.dt_min > 0.0 && cfg.dt_max >= cfg.dt_min, "invalid sampling interval range");
+        assert!(
+            cfg.dt_min > 0.0 && cfg.dt_max >= cfg.dt_min,
+            "invalid sampling interval range"
+        );
         assert!(cfg.cruise_speed > 0.0, "cruise speed must be positive");
-        assert!(cfg.mean_mode_len >= 1.0, "regimes must last at least one point");
+        assert!(
+            cfg.mean_mode_len >= 1.0,
+            "regimes must last at least one point"
+        );
         let p = cfg.stop_prob + cfg.turn_prob + cfg.meander_prob;
-        assert!((0.0..=1.0).contains(&p), "regime probabilities must sum to at most 1");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "regime probabilities must sum to at most 1"
+        );
         Walker { cfg }
     }
 

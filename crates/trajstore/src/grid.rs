@@ -24,8 +24,15 @@ impl GridIndex {
     /// # Panics
     /// Panics if `cell_size` is not positive and finite.
     pub fn new(cell_size: f64) -> Self {
-        assert!(cell_size > 0.0 && cell_size.is_finite(), "cell size must be positive");
-        GridIndex { cell_size, cells: HashMap::new(), entries: 0 }
+        assert!(
+            cell_size > 0.0 && cell_size.is_finite(),
+            "cell size must be positive"
+        );
+        GridIndex {
+            cell_size,
+            cells: HashMap::new(),
+            entries: 0,
+        }
     }
 
     /// The configured cell edge length.
@@ -44,7 +51,10 @@ impl GridIndex {
     }
 
     fn cell_of(&self, x: f64, y: f64) -> Cell {
-        ((x / self.cell_size).floor() as i64, (y / self.cell_size).floor() as i64)
+        (
+            (x / self.cell_size).floor() as i64,
+            (y / self.cell_size).floor() as i64,
+        )
     }
 
     /// Inserts a segment's bounding box under `(traj, seg)`.
@@ -96,7 +106,7 @@ mod tests {
         let mut g = GridIndex::new(10.0);
         g.insert_segment(2, 7, 0.0, 5.0, 35.0, 5.0);
         assert_eq!(g.cell_count(), 4); // x cells 0..=3
-        // A window over the middle still finds it.
+                                       // A window over the middle still finds it.
         assert_eq!(g.candidates(15.0, 0.0, 18.0, 9.0), vec![(2, 7)]);
     }
 

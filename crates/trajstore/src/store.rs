@@ -48,7 +48,11 @@ impl TrajStore {
     /// Creates an empty store.
     pub fn new(cfg: StoreConfig) -> Self {
         let index = GridIndex::new(cfg.cell_size);
-        TrajStore { cfg, trajectories: Vec::new(), index }
+        TrajStore {
+            cfg,
+            trajectories: Vec::new(),
+            index,
+        }
     }
 
     /// The active configuration.
@@ -60,7 +64,8 @@ impl TrajStore {
     pub fn insert(&mut self, traj: Trajectory) -> TrajId {
         let id = self.trajectories.len() as TrajId;
         for (s, w) in traj.points().windows(2).enumerate() {
-            self.index.insert_segment(id, s as u32, w[0].x, w[0].y, w[1].x, w[1].y);
+            self.index
+                .insert_segment(id, s as u32, w[0].x, w[0].y, w[1].x, w[1].y);
         }
         self.trajectories.push(traj);
         id
@@ -217,12 +222,8 @@ mod tests {
     use super::*;
 
     fn diagonal() -> Trajectory {
-        Trajectory::from_xyt(&[
-            (0.0, 0.0, 0.0),
-            (100.0, 100.0, 100.0),
-            (200.0, 0.0, 200.0),
-        ])
-        .unwrap()
+        Trajectory::from_xyt(&[(0.0, 0.0, 0.0), (100.0, 100.0, 100.0), (200.0, 0.0, 200.0)])
+            .unwrap()
     }
 
     #[test]
@@ -249,8 +250,13 @@ mod tests {
         let mut store = TrajStore::new(StoreConfig { cell_size: 50.0 });
         let id = store.insert(diagonal());
         // Spatially hits the first segment (t in [0, 100]).
-        assert_eq!(store.range_query(40.0, 40.0, 60.0, 60.0, Some((0.0, 50.0))), vec![id]);
-        assert!(store.range_query(40.0, 40.0, 60.0, 60.0, Some((150.0, 300.0))).is_empty());
+        assert_eq!(
+            store.range_query(40.0, 40.0, 60.0, 60.0, Some((0.0, 50.0))),
+            vec![id]
+        );
+        assert!(store
+            .range_query(40.0, 40.0, 60.0, 60.0, Some((150.0, 300.0)))
+            .is_empty());
     }
 
     #[test]
@@ -323,13 +329,21 @@ mod tests {
     fn liang_barsky_pass_through() {
         // Segment passes straight through the window without endpoints
         // inside.
-        assert!(segment_intersects_window(-10.0, 5.0, 20.0, 5.0, 0.0, 0.0, 10.0, 10.0));
+        assert!(segment_intersects_window(
+            -10.0, 5.0, 20.0, 5.0, 0.0, 0.0, 10.0, 10.0
+        ));
         // Segment misses the window entirely.
-        assert!(!segment_intersects_window(-10.0, 20.0, 20.0, 20.0, 0.0, 0.0, 10.0, 10.0));
+        assert!(!segment_intersects_window(
+            -10.0, 20.0, 20.0, 20.0, 0.0, 0.0, 10.0, 10.0
+        ));
         // Degenerate segment inside.
-        assert!(segment_intersects_window(5.0, 5.0, 5.0, 5.0, 0.0, 0.0, 10.0, 10.0));
+        assert!(segment_intersects_window(
+            5.0, 5.0, 5.0, 5.0, 0.0, 0.0, 10.0, 10.0
+        ));
         // Degenerate segment outside.
-        assert!(!segment_intersects_window(15.0, 5.0, 15.0, 5.0, 0.0, 0.0, 10.0, 10.0));
+        assert!(!segment_intersects_window(
+            15.0, 5.0, 15.0, 5.0, 0.0, 0.0, 10.0, 10.0
+        ));
     }
 }
 
@@ -359,10 +373,12 @@ impl TrajStore {
         let max_ring = 1 + (self.max_extent() / cell).ceil() as i64;
         loop {
             let half = ring as f64 * cell;
-            for &(tid, seg) in &self
-                .index
-                .candidates(x - half - cell, y - half - cell, x + half + cell, y + half + cell)
-            {
+            for &(tid, seg) in &self.index.candidates(
+                x - half - cell,
+                y - half - cell,
+                x + half + cell,
+                y + half + cell,
+            ) {
                 let t = &self.trajectories[tid as usize];
                 let a = t[seg as usize];
                 let b = t[seg as usize + 1];
@@ -439,9 +455,8 @@ mod knn_tests {
     fn nearest_respects_time_filter() {
         let mut store = TrajStore::new(StoreConfig { cell_size: 20.0 });
         let a = store.insert(line(1.0)); // t ∈ [0, 100]
-        let b = store.insert(
-            Trajectory::from_xyt(&[(0.0, 50.0, 500.0), (100.0, 50.0, 600.0)]).unwrap(),
-        );
+        let b = store
+            .insert(Trajectory::from_xyt(&[(0.0, 50.0, 500.0), (100.0, 50.0, 600.0)]).unwrap());
         let hits = store.nearest(50.0, 0.0, 2, Some((550.0, 560.0)));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].1, b);
@@ -471,12 +486,11 @@ impl TrajStore {
     /// Builds a compacted copy of this store: every trajectory simplified
     /// to `⌈w_frac · n⌉` points by the given batch simplifier. Ids are
     /// preserved (same insertion order).
-    pub fn compacted(
-        &self,
-        algo: &mut dyn trajectory::BatchSimplifier,
-        w_frac: f64,
-    ) -> TrajStore {
-        assert!(w_frac > 0.0 && w_frac <= 1.0, "keep fraction must be in (0, 1]");
+    pub fn compacted(&self, algo: &mut dyn trajectory::BatchSimplifier, w_frac: f64) -> TrajStore {
+        assert!(
+            w_frac > 0.0 && w_frac <= 1.0,
+            "keep fraction must be in (0, 1]"
+        );
         let mut out = TrajStore::new(self.cfg.clone());
         for t in &self.trajectories {
             if t.len() < 2 {

@@ -17,7 +17,11 @@ fn main() {
     // The "accumulated" store: 40 taxi trajectories of ~1,500 fixes.
     let fleet = rlts::trajgen::generate_dataset(Preset::TDriveLike, 40, 1_500, 5);
     let total_points: usize = fleet.iter().map(|t| t.len()).sum();
-    println!("store holds {} trajectories / {} points", fleet.len(), total_points);
+    println!(
+        "store holds {} trajectories / {} points",
+        fleet.len(),
+        total_points
+    );
 
     println!("training RLTS++ policy ...");
     let history = rlts::trajgen::generate_dataset(Preset::TDriveLike, 16, 300, 11);
@@ -28,7 +32,10 @@ fn main() {
     let report = rlts::train(&history, &tc);
     let mut rlts_pp = RltsBatch::new(
         cfg,
-        DecisionPolicy::Learned { net: report.policy.net, greedy: true },
+        DecisionPolicy::Learned {
+            net: report.policy.net,
+            greedy: true,
+        },
         3,
     );
     let mut bottom_up = BottomUp::new(Measure::Sed);

@@ -21,13 +21,19 @@ fn main() {
         traj.path_length() / 1000.0
     );
 
-    println!("{:<20} {:>8} {:>8} {:>8}   (kept points per ε)", "algorithm", "ε=10m", "ε=50m", "ε=200m");
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}   (kept points per ε)",
+        "algorithm", "ε=10m", "ε=50m", "ε=200m"
+    );
     let algos: Vec<Box<dyn ErrorBoundedSimplifier>> = vec![
         Box::new(DeadReckoning::new()),
         Box::new(OpeningWindow::new(Measure::Sed)),
         Box::new(Split::new(Measure::Sed)),
         Box::new(BoundedBottomUp::new(Measure::Sed)),
-        Box::new(MinSizeSearch::new(BottomUp::new(Measure::Sed), Measure::Sed)),
+        Box::new(MinSizeSearch::new(
+            BottomUp::new(Measure::Sed),
+            Measure::Sed,
+        )),
     ];
     for mut algo in algos {
         let start = Instant::now();

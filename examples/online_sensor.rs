@@ -38,7 +38,10 @@ fn main() {
 
     let mut rlts_skip = RltsOnline::new(
         cfg,
-        DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+        DecisionPolicy::Learned {
+            net: report.policy.net,
+            greedy: false,
+        },
         1,
     );
     let mut squish = Squish::new(Measure::Sed);

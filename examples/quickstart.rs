@@ -34,7 +34,10 @@ fn main() {
     println!("\nonline mode (buffer W = {w}):");
     let mut rlts = RltsOnline::new(
         online_cfg,
-        DecisionPolicy::Learned { net: online_report.policy.net, greedy: false },
+        DecisionPolicy::Learned {
+            net: online_report.policy.net,
+            greedy: false,
+        },
         7,
     );
     report_online("RLTS", &mut rlts, &traj, w, measure);
@@ -46,7 +49,10 @@ fn main() {
     println!("\nbatch mode (budget W = {w}):");
     let mut rlts_plus = RltsBatch::new(
         batch_cfg,
-        DecisionPolicy::Learned { net: batch_report.policy.net, greedy: true },
+        DecisionPolicy::Learned {
+            net: batch_report.policy.net,
+            greedy: true,
+        },
         7,
     );
     report_batch("RLTS+", &mut rlts_plus, &traj, w, measure);
@@ -62,14 +68,32 @@ fn train_cfg(cfg: RltsConfig) -> TrainConfig {
     tc
 }
 
-fn report_online(name: &str, algo: &mut dyn OnlineSimplifier, traj: &Trajectory, w: usize, m: Measure) {
+fn report_online(
+    name: &str,
+    algo: &mut dyn OnlineSimplifier,
+    traj: &Trajectory,
+    w: usize,
+    m: Measure,
+) {
     let kept = algo.run(traj.points(), w);
     let err = simplification_error(m, traj.points(), &kept, Aggregation::Max);
-    println!("  {name:<9} kept {:>4} points, SED error {err:8.3}", kept.len());
+    println!(
+        "  {name:<9} kept {:>4} points, SED error {err:8.3}",
+        kept.len()
+    );
 }
 
-fn report_batch(name: &str, algo: &mut dyn BatchSimplifier, traj: &Trajectory, w: usize, m: Measure) {
+fn report_batch(
+    name: &str,
+    algo: &mut dyn BatchSimplifier,
+    traj: &Trajectory,
+    w: usize,
+    m: Measure,
+) {
     let kept = algo.simplify(traj.points(), w);
     let err = simplification_error(m, traj.points(), &kept, Aggregation::Max);
-    println!("  {name:<9} kept {:>4} points, SED error {err:8.3}", kept.len());
+    println!(
+        "  {name:<9} kept {:>4} points, SED error {err:8.3}",
+        kept.len()
+    );
 }

@@ -84,25 +84,50 @@ impl CliOpts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let mut val = |name: &str| -> String {
-                it.next().unwrap_or_else(|| die(&format!("{name} needs a value"))).clone()
+                it.next()
+                    .unwrap_or_else(|| die(&format!("{name} needs a value")))
+                    .clone()
             };
             match a.as_str() {
                 "--measure" => {
                     let v = val("--measure");
-                    o.measure = Some(Measure::parse(&v).unwrap_or_else(|| die(&format!("unknown measure '{v}'"))))
+                    o.measure = Some(
+                        Measure::parse(&v)
+                            .unwrap_or_else(|| die(&format!("unknown measure '{v}'"))),
+                    )
                 }
                 "--format" => o.format = Some(val("--format")),
-                "--ratio" => o.ratio = Some(val("--ratio").parse().unwrap_or_else(|_| die("bad --ratio"))),
+                "--ratio" => {
+                    o.ratio = Some(
+                        val("--ratio")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --ratio")),
+                    )
+                }
                 "--w" => o.w = Some(val("--w").parse().unwrap_or_else(|_| die("bad --w"))),
                 "--variant" => o.variant = Some(val("--variant")),
                 "--algo" => o.algo = Some(val("--algo")),
                 "--policy" => o.policy = Some(val("--policy")),
                 "--out" | "-o" => o.out = Some(val("--out")),
                 "--synthetic" => o.synthetic = Some(val("--synthetic")),
-                "--count" => o.count = Some(val("--count").parse().unwrap_or_else(|_| die("bad --count"))),
+                "--count" => {
+                    o.count = Some(
+                        val("--count")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --count")),
+                    )
+                }
                 "--len" => o.len = Some(val("--len").parse().unwrap_or_else(|_| die("bad --len"))),
-                "--epochs" => o.epochs = Some(val("--epochs").parse().unwrap_or_else(|_| die("bad --epochs"))),
-                "--seed" => o.seed = Some(val("--seed").parse().unwrap_or_else(|_| die("bad --seed"))),
+                "--epochs" => {
+                    o.epochs = Some(
+                        val("--epochs")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --epochs")),
+                    )
+                }
+                "--seed" => {
+                    o.seed = Some(val("--seed").parse().unwrap_or_else(|_| die("bad --seed")))
+                }
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -170,7 +195,12 @@ fn cmd_train(o: &CliOpts) {
             "truck" => Preset::TruckLike,
             other => die(&format!("unknown synthetic preset '{other}'")),
         };
-        rlts::trajgen::generate_dataset(preset, o.count.unwrap_or(30), o.len.unwrap_or(250), o.seed.unwrap_or(1))
+        rlts::trajgen::generate_dataset(
+            preset,
+            o.count.unwrap_or(30),
+            o.len.unwrap_or(250),
+            o.seed.unwrap_or(1),
+        )
     } else {
         o.files.iter().map(|f| load(f, &o.format)).collect()
     };
@@ -178,16 +208,26 @@ fn cmd_train(o: &CliOpts) {
     tc.epochs = o.epochs.unwrap_or(30);
     tc.lr = 0.02;
     tc.seed = o.seed.unwrap_or(1);
-    eprintln!("training {} / {} on {} trajectories ...", variant, o.measure(), pool.len());
+    eprintln!(
+        "training {} / {} on {} trajectories ...",
+        variant,
+        o.measure(),
+        pool.len()
+    );
     let report = train(&pool, &tc);
     eprintln!(
         "done: {} transitions in {:.1}s (best mean episode reward {:.4})",
         report.transitions,
         report.wall_time.as_secs_f64(),
-        report.reward_history.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        report
+            .reward_history
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     );
     let out = o.out.as_deref().unwrap_or("policy.json");
-    std::fs::write(out, report.policy.to_json()).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    std::fs::write(out, report.policy.to_json())
+        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     eprintln!("policy written to {out}");
 }
 
@@ -201,10 +241,18 @@ fn load_policy(o: &CliOpts, cfg: RltsConfig) -> DecisionPolicy {
             if p.config != cfg {
                 die(&format!(
                     "policy was trained for {}/{} (k={}, j={}), requested {}/{}",
-                    p.config.variant, p.config.measure, p.config.k, p.config.j, cfg.variant, cfg.measure
+                    p.config.variant,
+                    p.config.measure,
+                    p.config.k,
+                    p.config.j,
+                    cfg.variant,
+                    cfg.measure
                 ));
             }
-            DecisionPolicy::Learned { net: p.net, greedy: cfg.variant.is_batch() }
+            DecisionPolicy::Learned {
+                net: p.net,
+                greedy: cfg.variant.is_batch(),
+            }
         }
         None => {
             eprintln!("note: no --policy given; using the arg-min heuristic policy");
@@ -257,7 +305,8 @@ fn cmd_simplify(o: &CliOpts) {
     );
     match &o.out {
         Some(path) => {
-            let mut f = File::create(path).unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
+            let mut f =
+                File::create(path).unwrap_or_else(|e| die(&format!("cannot create {path}: {e}")));
             rlts::trajectory::io::write_csv(&mut f, &simplified)
                 .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
             eprintln!("written to {path}");
@@ -274,8 +323,21 @@ fn cmd_eval(o: &CliOpts) {
         die("eval needs at least one file");
     }
     let data: Vec<Trajectory> = o.files.iter().map(|f| load(f, &o.format)).collect();
-    let algos = ["sttrace", "squish", "squish-e", "top-down", "bottom-up", "uniform"];
-    println!("{:<10} {:>12} ({} over {} trajectories)", "algorithm", "mean error", o.measure(), data.len());
+    let algos = [
+        "sttrace",
+        "squish",
+        "squish-e",
+        "top-down",
+        "bottom-up",
+        "uniform",
+    ];
+    println!(
+        "{:<10} {:>12} ({} over {} trajectories)",
+        "algorithm",
+        "mean error",
+        o.measure(),
+        data.len()
+    );
     for algo in algos {
         let mut sum = 0.0;
         for t in &data {

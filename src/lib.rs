@@ -56,12 +56,15 @@
 pub use baselines;
 pub use rlkit;
 pub use rlts_core;
+pub use sensornet;
 pub use trajectory;
 pub use trajgen;
-pub use sensornet;
 pub use trajstore;
 
-pub use rlts_core::{train, DecisionPolicy, RltsBatch, RltsConfig, RltsOnline, SimplifyEnv, TrainConfig, TrainReport, TrainedPolicy, ValueUpdate, Variant};
+pub use rlts_core::{
+    train, DecisionPolicy, RltsBatch, RltsConfig, RltsOnline, SimplifyEnv, TrainConfig,
+    TrainReport, TrainedPolicy, ValueUpdate, Variant,
+};
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
@@ -76,5 +79,7 @@ pub mod prelude {
         BatchSimplifier, ErrorBook, OnlineSimplifier, Point, Segment, Trajectory,
     };
     pub use crate::trajgen::Preset;
-    pub use baselines::{Bellman, BottomUp, SpanSearch, Squish, SquishE, StTrace, TopDown, Uniform};
+    pub use baselines::{
+        Bellman, BottomUp, SpanSearch, Squish, SquishE, StTrace, TopDown, Uniform,
+    };
 }

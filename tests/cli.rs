@@ -30,8 +30,15 @@ fn write_csv_trajectory(path: &PathBuf, n: usize) {
 fn stats_reports_counts() {
     let input = tmp("stats.csv");
     write_csv_trajectory(&input, 120);
-    let out = rlts().args(["stats", input.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = rlts()
+        .args(["stats", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total # of points       120"), "{text}");
 }
@@ -45,22 +52,49 @@ fn train_then_simplify_roundtrip() {
 
     let out = rlts()
         .args([
-            "train", "--variant", "rlts", "--measure", "sed", "--epochs", "3", "--count", "6",
-            "--len", "80", "--out", policy.to_str().unwrap(),
+            "train",
+            "--variant",
+            "rlts",
+            "--measure",
+            "sed",
+            "--epochs",
+            "3",
+            "--count",
+            "6",
+            "--len",
+            "80",
+            "--out",
+            policy.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(policy.exists());
 
     let out = rlts()
         .args([
-            "simplify", "--algo", "rlts", "--policy", policy.to_str().unwrap(), "--ratio", "0.1",
-            input.to_str().unwrap(), "-o", output.to_str().unwrap(),
+            "simplify",
+            "--algo",
+            "rlts",
+            "--policy",
+            policy.to_str().unwrap(),
+            "--ratio",
+            "0.1",
+            input.to_str().unwrap(),
+            "-o",
+            output.to_str().unwrap(),
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let lines = std::fs::read_to_string(&output).unwrap().lines().count();
     assert!((3..=16).contains(&lines), "kept {lines} lines"); // header + ≤15 points
 }
@@ -69,12 +103,31 @@ fn train_then_simplify_roundtrip() {
 fn simplify_with_heuristic_algorithms() {
     let input = tmp("heur.csv");
     write_csv_trajectory(&input, 80);
-    for algo in ["sttrace", "squish", "squish-e", "top-down", "bottom-up", "bellman", "uniform"] {
+    for algo in [
+        "sttrace",
+        "squish",
+        "squish-e",
+        "top-down",
+        "bottom-up",
+        "bellman",
+        "uniform",
+    ] {
         let out = rlts()
-            .args(["simplify", "--algo", algo, "--w", "12", input.to_str().unwrap()])
+            .args([
+                "simplify",
+                "--algo",
+                algo,
+                "--w",
+                "12",
+                input.to_str().unwrap(),
+            ])
             .output()
             .unwrap();
-        assert!(out.status.success(), "{algo}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         let kept = String::from_utf8_lossy(&out.stdout).lines().count();
         assert!(kept <= 13, "{algo} kept {kept} lines");
     }
@@ -84,8 +137,15 @@ fn simplify_with_heuristic_algorithms() {
 fn eval_compares_algorithms() {
     let input = tmp("eval.csv");
     write_csv_trajectory(&input, 100);
-    let out = rlts().args(["eval", "--ratio", "0.2", input.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = rlts()
+        .args(["eval", "--ratio", "0.2", input.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     for algo in ["sttrace", "squish", "top-down", "bottom-up", "uniform"] {
         assert!(text.contains(algo), "missing {algo} in\n{text}");
@@ -110,7 +170,16 @@ fn rejects_mismatched_policy() {
     write_csv_trajectory(&input, 60);
     let out = rlts()
         .args([
-            "train", "--variant", "rlts", "--epochs", "2", "--count", "4", "--len", "60", "--out",
+            "train",
+            "--variant",
+            "rlts",
+            "--epochs",
+            "2",
+            "--count",
+            "4",
+            "--len",
+            "60",
+            "--out",
             policy.to_str().unwrap(),
         ])
         .output()
@@ -118,7 +187,13 @@ fn rejects_mismatched_policy() {
     assert!(out.status.success());
     let out = rlts()
         .args([
-            "simplify", "--algo", "rlts+", "--policy", policy.to_str().unwrap(), "--w", "10",
+            "simplify",
+            "--algo",
+            "rlts+",
+            "--policy",
+            policy.to_str().unwrap(),
+            "--w",
+            "10",
             input.to_str().unwrap(),
         ])
         .output()
@@ -131,15 +206,26 @@ fn rejects_mismatched_policy() {
 fn reads_geolife_plt_by_extension() {
     let plt = tmp("trace.plt");
     let mut f = std::fs::File::create(&plt).unwrap();
-    writeln!(f, "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\nheader\n0").unwrap();
+    writeln!(
+        f,
+        "Geolife trajectory\nWGS 84\nAltitude is in Feet\nReserved 3\nheader\n0"
+    )
+    .unwrap();
     for i in 0..40 {
         let lat = 39.9 + i as f64 * 1e-4;
         let lon = 116.3 + (i as f64 * 0.2).sin() * 1e-4;
         let days = 39745.0 + i as f64 * 5.0 / 86_400.0;
         writeln!(f, "{lat},{lon},0,492,{days},2008-10-24,02:53:04").unwrap();
     }
-    let out = rlts().args(["stats", plt.to_str().unwrap()]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = rlts()
+        .args(["stats", plt.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("total # of points       40"), "{text}");
 }

@@ -3,10 +3,10 @@
 //! pipeline a downstream system would use (bound the error → simplify →
 //! store → query).
 
+use baselines::{BoundedBottomUp, MinSizeSearch, OpeningWindow, Split};
 use rlts::prelude::*;
 use rlts::trajectory::ErrorBoundedSimplifier;
 use rlts::trajstore::{StoreConfig, TrajStore};
-use baselines::{BoundedBottomUp, MinSizeSearch, OpeningWindow, Split};
 
 fn fleet() -> Vec<Trajectory> {
     rlts::trajgen::generate_dataset(Preset::TruckLike, 6, 250, 31)
@@ -19,7 +19,8 @@ fn all_dual_algorithms_respect_bounds_on_generated_data() {
         // neither trivial nor unachievable.
         for traj in fleet() {
             let ref_kept = BottomUp::new(measure).simplify(traj.points(), traj.len() / 10);
-            let eps = simplification_error(measure, traj.points(), &ref_kept, Aggregation::Max) * 0.5;
+            let eps =
+                simplification_error(measure, traj.points(), &ref_kept, Aggregation::Max) * 0.5;
             let algos: Vec<Box<dyn ErrorBoundedSimplifier>> = vec![
                 Box::new(OpeningWindow::new(measure)),
                 Box::new(Split::new(measure)),
@@ -71,9 +72,18 @@ fn min_size_with_exact_inner_is_smallest() {
     let optimal = MinSizeSearch::new(Bellman::new(Measure::Sed), Measure::Sed)
         .simplify_bounded(traj.points(), eps);
     for (name, kept) in [
-        ("opening-window", OpeningWindow::new(Measure::Sed).simplify_bounded(traj.points(), eps)),
-        ("split", Split::new(Measure::Sed).simplify_bounded(traj.points(), eps)),
-        ("bounded-bottom-up", BoundedBottomUp::new(Measure::Sed).simplify_bounded(traj.points(), eps)),
+        (
+            "opening-window",
+            OpeningWindow::new(Measure::Sed).simplify_bounded(traj.points(), eps),
+        ),
+        (
+            "split",
+            Split::new(Measure::Sed).simplify_bounded(traj.points(), eps),
+        ),
+        (
+            "bounded-bottom-up",
+            BoundedBottomUp::new(Measure::Sed).simplify_bounded(traj.points(), eps),
+        ),
     ] {
         assert!(
             optimal.len() <= kept.len(),

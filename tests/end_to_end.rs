@@ -14,7 +14,10 @@ fn quick_policy(cfg: RltsConfig) -> DecisionPolicy {
     tc.epochs = 2;
     tc.episodes_per_update = 2;
     let report = train(&pool, &tc);
-    DecisionPolicy::Learned { net: report.policy.net, greedy: cfg.variant.is_batch() }
+    DecisionPolicy::Learned {
+        net: report.policy.net,
+        greedy: cfg.variant.is_batch(),
+    }
 }
 
 #[test]
@@ -124,7 +127,10 @@ fn error_book_agrees_with_batch_recompute_on_generated_data() {
             book.drop(j);
             let kept = book.kept_indices();
             let direct = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
-            assert!((book.error(Aggregation::Max) - direct).abs() < 1e-9, "{measure}");
+            assert!(
+                (book.error(Aggregation::Max) - direct).abs() < 1e-9,
+                "{measure}"
+            );
         }
     }
 }
@@ -142,13 +148,19 @@ fn trained_policy_survives_disk_roundtrip_and_behaves_identically() {
     let traj = rlts::trajgen::generate(Preset::GeolifeLike, 100, 4);
     let kept_a = RltsOnline::new(
         cfg,
-        DecisionPolicy::Learned { net: report.policy.net, greedy: false },
+        DecisionPolicy::Learned {
+            net: report.policy.net,
+            greedy: false,
+        },
         9,
     )
     .run(traj.points(), 15);
     let kept_b = RltsOnline::new(
         cfg,
-        DecisionPolicy::Learned { net: restored.net, greedy: false },
+        DecisionPolicy::Learned {
+            net: restored.net,
+            greedy: false,
+        },
         9,
     )
     .run(traj.points(), 15);

@@ -1,0 +1,112 @@
+//! End-to-end fault-tolerance tests: a fleet simulation over a seeded
+//! lossy uplink must complete without panicking, the server's link
+//! statistics must account for every injected fault class, and fidelity
+//! must degrade gracefully (monotonically, within slack) as the channel
+//! loses more packets.
+
+use baselines::Squish;
+use rlts::sensornet::{ChannelConfig, FleetSim, SensorConfig};
+use rlts::trajectory::codec::Codec;
+use rlts::trajectory::error::Measure;
+use rlts::trajgen::{generate_dataset, Preset};
+
+fn sensor_cfg() -> SensorConfig {
+    SensorConfig {
+        buffer: 8,
+        flush_points: 25,
+        codec: Codec::new(0.5, 1.0),
+        retransmit_queue: 4,
+    }
+}
+
+#[test]
+fn lossy_fleet_completes_and_accounts_for_faults() {
+    let truth = generate_dataset(Preset::TruckLike, 8, 400, 42);
+    let channel = ChannelConfig {
+        drop: 0.10,
+        duplicate: 0.05,
+        reorder: 0.05,
+        corrupt: 0.01,
+        reorder_depth: 3,
+        seed: 1234,
+    };
+    let report = FleetSim::new(sensor_cfg()).with_channel(channel).run(
+        &truth,
+        |m| Box::new(Squish::new(m)),
+        Measure::Sed,
+    );
+
+    let ch = report.channel.expect("channel stats recorded");
+    let link = report.link;
+
+    // The channel actually injected faults at these rates and volume.
+    assert!(ch.offered > 50, "too few packets to be meaningful: {ch:?}");
+    assert!(ch.dropped > 0, "{ch:?}");
+    assert!(ch.duplicated > 0, "{ch:?}");
+    assert!(ch.reordered > 0, "{ch:?}");
+    // Channel conservation: every offered packet is delivered or dropped,
+    // duplicates add one delivery each.
+    assert_eq!(ch.delivered + ch.dropped, ch.offered + ch.duplicated);
+
+    // The server accounted for each injected fault class.
+    assert!(
+        ch.dropped == 0 || link.gaps > 0,
+        "drops must surface as gaps: {link:?}"
+    );
+    assert!(ch.duplicated == 0 || link.duplicated > 0, "{link:?}");
+    // Every bit-flip is caught by the frame CRC (corrupt counts can also
+    // include duplicates of a corrupted packet, hence >=).
+    assert!(link.corrupt >= ch.corrupted, "{link:?} vs {ch:?}");
+    // Retransmission can only recover loss, not create it (a corrupted
+    // packet that is never recovered also leaves a hole, hence the sum).
+    assert!(
+        link.dropped <= ch.dropped + ch.corrupted,
+        "{link:?} vs {ch:?}"
+    );
+    // Quarantine stays the exception, not the rule.
+    assert!(link.quarantined <= truth.len(), "{link:?}");
+
+    // The run produced a usable result.
+    assert!(report.mean_error.is_finite() && report.mean_error >= 0.0);
+    assert!(report.max_error.is_finite());
+    assert!(link.packets > 0 && link.points > 0);
+}
+
+#[test]
+fn error_degrades_gracefully_across_loss_sweep() {
+    let truth = generate_dataset(Preset::TruckLike, 6, 300, 7);
+    // Only drops vary; same seed nests the drop sets across rates, so the
+    // error curve is monotone up to simplifier noise.
+    let base = ChannelConfig {
+        seed: 77,
+        ..Default::default()
+    };
+    let rates = [0.0, 0.05, 0.10, 0.20];
+    let sweep = FleetSim::new(sensor_cfg()).with_channel(base).loss_sweep(
+        &truth,
+        |m| Box::new(Squish::new(m)),
+        Measure::Sed,
+        &rates,
+    );
+
+    assert_eq!(sweep.len(), rates.len());
+    let errs: Vec<f64> = sweep.iter().map(|(_, r)| r.mean_error).collect();
+    for (i, e) in errs.iter().enumerate() {
+        assert!(e.is_finite() && *e >= 0.0, "rate {}: {e}", rates[i]);
+    }
+    // Monotone within slack: more loss never makes the result much better.
+    for i in 1..errs.len() {
+        assert!(
+            errs[i] >= errs[i - 1] * 0.75 - 1e-9,
+            "error dropped from {} to {} between rates {} and {}: {errs:?}",
+            errs[i - 1],
+            errs[i],
+            rates[i - 1],
+            rates[i]
+        );
+    }
+    // And strictly worse end-to-end: heavy loss cannot beat a clean link.
+    assert!(errs[3] >= errs[0], "{errs:?}");
+    // Fewer packets survive at higher loss.
+    assert!(sweep[3].1.link.packets <= sweep[0].1.link.packets);
+}

@@ -9,19 +9,21 @@ use rlts::trajectory::Segment;
 /// Strategy: a valid trajectory of `len` points with monotone timestamps
 /// and bounded coordinates.
 fn traj_strategy(min_len: usize, max_len: usize) -> impl Strategy<Value = Trajectory> {
-    prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64, 0.01..30.0f64), min_len..=max_len).prop_map(
-        |triples| {
-            let mut t = 0.0;
-            let pts = triples
-                .into_iter()
-                .map(|(x, y, dt)| {
-                    t += dt;
-                    Point::new(x, y, t)
-                })
-                .collect();
-            Trajectory::new(pts).expect("constructed valid")
-        },
+    prop::collection::vec(
+        (-1e4..1e4f64, -1e4..1e4f64, 0.01..30.0f64),
+        min_len..=max_len,
     )
+    .prop_map(|triples| {
+        let mut t = 0.0;
+        let pts = triples
+            .into_iter()
+            .map(|(x, y, dt)| {
+                t += dt;
+                Point::new(x, y, t)
+            })
+            .collect();
+        Trajectory::new(pts).expect("constructed valid")
+    })
 }
 
 proptest! {
