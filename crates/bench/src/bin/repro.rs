@@ -33,6 +33,34 @@
 use rlts_bench::experiments as exp;
 use rlts_bench::harness::{Opts, PolicyStore};
 
+/// Runs one experiment under a `bench.experiment.seconds{cmd=…}` span
+/// (DESIGN.md §9) and echoes its wall-clock time.
+fn timed(cmd: &str, f: impl FnOnce()) {
+    let span = obskit::global().span_with("bench.experiment.seconds", &[("cmd", cmd)]);
+    f();
+    eprintln!("[{cmd}: {:.2}s]", span.finish());
+}
+
+/// Prints every recorded experiment span, so an `all` run ends with a
+/// per-experiment wall-clock breakdown.
+fn print_span_summary() {
+    let snap = obskit::global().snapshot();
+    let spans: Vec<_> = snap
+        .samples
+        .iter()
+        .filter(|s| s.id.name() == "bench.experiment.seconds")
+        .collect();
+    if spans.len() < 2 {
+        return; // a single command already echoed its time
+    }
+    eprintln!("\n== experiment wall-clock spans ==");
+    for s in spans {
+        if let obskit::Value::Histogram(h) = &s.value {
+            eprintln!("{:<40} runs={} total={:.2}s", s.id.render(), h.count, h.sum);
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
@@ -73,45 +101,46 @@ fn main() {
     let store = PolicyStore::new();
     let start = std::time::Instant::now();
     match cmd.as_str() {
-        "table1" => exp::table1::run(&opts),
-        "bellman" => exp::bellman::run(&opts, &store),
-        "fig3" => exp::fig3::run(&opts, &store),
-        "fig4" => exp::fig4::run(&opts, &store),
-        "ablation-policy" => exp::ablation::run(&opts, &store),
-        "ablation-critic" => exp::ablation_critic::run(&opts),
-        "sweep-k" => exp::sweep_k::run(&opts, &store),
-        "sweep-j" => exp::sweep_j::run(&opts, &store),
-        "fig5" => exp::fig5::run(&opts, &store),
-        "scalability" => exp::scalability::run(&opts, &store),
-        "fig6" => exp::fig6::run(&opts, &store),
-        "fig7" => exp::fig7::run(&opts, &store),
-        "table2" => exp::table2::run(&opts),
-        "fig8" => exp::fig8::run(&opts),
-        "query-cost" => exp::query_cost::run(&opts, &store),
-        "loss-sweep" => exp::loss_sweep::run(&opts),
-        "charts" => exp::charts::run(&opts),
-        "grid" => exp::grid::run(&opts, &store),
+        "table1" => timed("table1", || exp::table1::run(&opts)),
+        "bellman" => timed("bellman", || exp::bellman::run(&opts, &store)),
+        "fig3" => timed("fig3", || exp::fig3::run(&opts, &store)),
+        "fig4" => timed("fig4", || exp::fig4::run(&opts, &store)),
+        "ablation-policy" => timed("ablation-policy", || exp::ablation::run(&opts, &store)),
+        "ablation-critic" => timed("ablation-critic", || exp::ablation_critic::run(&opts)),
+        "sweep-k" => timed("sweep-k", || exp::sweep_k::run(&opts, &store)),
+        "sweep-j" => timed("sweep-j", || exp::sweep_j::run(&opts, &store)),
+        "fig5" => timed("fig5", || exp::fig5::run(&opts, &store)),
+        "scalability" => timed("scalability", || exp::scalability::run(&opts, &store)),
+        "fig6" => timed("fig6", || exp::fig6::run(&opts, &store)),
+        "fig7" => timed("fig7", || exp::fig7::run(&opts, &store)),
+        "table2" => timed("table2", || exp::table2::run(&opts)),
+        "fig8" => timed("fig8", || exp::fig8::run(&opts)),
+        "query-cost" => timed("query-cost", || exp::query_cost::run(&opts, &store)),
+        "loss-sweep" => timed("loss-sweep", || exp::loss_sweep::run(&opts)),
+        "charts" => timed("charts", || exp::charts::run(&opts)),
+        "grid" => timed("grid", || exp::grid::run(&opts, &store)),
         "all" => {
-            exp::table1::run(&opts);
-            exp::bellman::run(&opts, &store);
-            exp::fig3::run(&opts, &store);
-            exp::fig4::run(&opts, &store);
-            exp::ablation::run(&opts, &store);
-            exp::ablation_critic::run(&opts);
-            exp::sweep_k::run(&opts, &store);
-            exp::sweep_j::run(&opts, &store);
-            exp::fig5::run(&opts, &store);
-            exp::scalability::run(&opts, &store);
-            exp::fig6::run(&opts, &store);
-            exp::fig7::run(&opts, &store);
-            exp::table2::run(&opts);
-            exp::fig8::run(&opts);
-            exp::query_cost::run(&opts, &store);
-            exp::loss_sweep::run(&opts);
-            exp::grid::run(&opts, &store);
-            exp::charts::run(&opts);
+            timed("table1", || exp::table1::run(&opts));
+            timed("bellman", || exp::bellman::run(&opts, &store));
+            timed("fig3", || exp::fig3::run(&opts, &store));
+            timed("fig4", || exp::fig4::run(&opts, &store));
+            timed("ablation-policy", || exp::ablation::run(&opts, &store));
+            timed("ablation-critic", || exp::ablation_critic::run(&opts));
+            timed("sweep-k", || exp::sweep_k::run(&opts, &store));
+            timed("sweep-j", || exp::sweep_j::run(&opts, &store));
+            timed("fig5", || exp::fig5::run(&opts, &store));
+            timed("scalability", || exp::scalability::run(&opts, &store));
+            timed("fig6", || exp::fig6::run(&opts, &store));
+            timed("fig7", || exp::fig7::run(&opts, &store));
+            timed("table2", || exp::table2::run(&opts));
+            timed("fig8", || exp::fig8::run(&opts));
+            timed("query-cost", || exp::query_cost::run(&opts, &store));
+            timed("loss-sweep", || exp::loss_sweep::run(&opts));
+            timed("grid", || exp::grid::run(&opts, &store));
+            timed("charts", || exp::charts::run(&opts));
         }
         _ => usage(),
     }
+    print_span_summary();
     eprintln!("\n[done in {:.1}s]", start.elapsed().as_secs_f64());
 }

@@ -152,6 +152,7 @@ impl PolicyStore {
             }
         }
         eprintln!("[training {} / {} ...]", cfg.variant, cfg.measure);
+        let _span = obskit::global().span("bench.train.seconds");
         let pool =
             trajgen::generate_dataset(spec.preset, spec.count, spec.len, spec.seed * 1000 + 1);
         let tc = TrainConfig {
@@ -220,6 +221,7 @@ pub fn eval_batch(
     w_frac: f64,
     measure: Measure,
 ) -> EvalResult {
+    let m_error = eval_error_histogram(algo.name(), measure);
     let mut err_sum = 0.0;
     let mut total = Duration::ZERO;
     let mut points = 0usize;
@@ -228,7 +230,9 @@ pub fn eval_batch(
         let (kept, dt) = time(|| algo.simplify(t.points(), w));
         total += dt;
         points += t.len();
-        err_sum += simplification_error(measure, t.points(), &kept, Aggregation::Max);
+        let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
+        m_error.record(e);
+        err_sum += e;
     }
     EvalResult {
         algo: algo.name().to_string(),
@@ -245,6 +249,7 @@ pub fn eval_online(
     w_frac: f64,
     measure: Measure,
 ) -> EvalResult {
+    let m_error = eval_error_histogram(algo.name(), measure);
     let mut err_sum = 0.0;
     let mut total = Duration::ZERO;
     let mut points = 0usize;
@@ -253,7 +258,9 @@ pub fn eval_online(
         let (kept, dt) = time(|| algo.run(t.points(), w));
         total += dt;
         points += t.len();
-        err_sum += simplification_error(measure, t.points(), &kept, Aggregation::Max);
+        let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
+        m_error.record(e);
+        err_sum += e;
     }
     EvalResult {
         algo: algo.name().to_string(),
@@ -261,6 +268,17 @@ pub fn eval_online(
         total_time_s: total.as_secs_f64(),
         time_per_point_us: total.as_secs_f64() * 1e6 / points.max(1) as f64,
     }
+}
+
+/// The per-trajectory error histogram for one `(algo, measure)` pair
+/// (`bench.eval.error`, DESIGN.md §9).
+fn eval_error_histogram(algo: &str, measure: Measure) -> std::sync::Arc<obskit::Histogram> {
+    let algo = algo.to_ascii_lowercase();
+    obskit::global().histogram_with(
+        "bench.eval.error",
+        &[("algo", algo.as_str()), ("measure", measure.name())],
+        obskit::Buckets::exponential(1e-4, 10.0, 10),
+    )
 }
 
 /// The storage budget for a trajectory of `n` points at fraction `frac`.

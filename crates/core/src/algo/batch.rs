@@ -156,11 +156,21 @@ impl BatchSimplifier for RltsBatch {
             return (0..pts.len()).collect();
         }
         self.rng = StdRng::seed_from_u64(self.seed);
-        if self.cfg.variant.is_variable_buffer() {
+        let kept = if self.cfg.variant.is_variable_buffer() {
             self.simplify_pp(pts, w)
         } else {
             self.simplify_plus(pts, w)
-        }
+        };
+        // Same telemetry contract as OnlineSimplifier::run (DESIGN.md §9).
+        let algo = self.name().to_ascii_lowercase();
+        let labels = [("algo", algo.as_str())];
+        obskit::global()
+            .counter_with("simplify.points.observed", &labels)
+            .add(pts.len() as u64);
+        obskit::global()
+            .counter_with("simplify.points.dropped", &labels)
+            .add(pts.len().saturating_sub(kept.len()) as u64);
+        kept
     }
 }
 

@@ -4,12 +4,19 @@ use crate::config::RltsConfig;
 use crate::onlinebuf::OnlineValueBuffer;
 use crate::policy::DecisionPolicy;
 use crate::state::{action_mask, clamp_action, pad_values};
+use obskit::{Counter, Gauge};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use trajectory::{OnlineSimplifier, Point};
 
 /// Online RLTS: a learned policy decides which buffered point to drop (and,
 /// for the skip variant, whether to discard upcoming points unseen).
+///
+/// Decision outcomes are reported into [`obskit::global()`] as
+/// `core.points.dropped` / `core.points.skipped`, and the live buffer fill
+/// as the `core.buffer.occupancy` gauge (DESIGN.md §9) — one relaxed
+/// atomic update per event.
 #[derive(Debug, Clone)]
 pub struct RltsOnline {
     cfg: RltsConfig,
@@ -21,6 +28,9 @@ pub struct RltsOnline {
     stream_pos: usize,
     skip_remaining: usize,
     last_seen: Option<(usize, Point)>,
+    m_dropped: Arc<Counter>,
+    m_skipped: Arc<Counter>,
+    m_occupancy: Arc<Gauge>,
 }
 
 impl RltsOnline {
@@ -37,6 +47,7 @@ impl RltsOnline {
             cfg.variant
         );
         let buf = OnlineValueBuffer::new(cfg.measure, cfg.value_update);
+        let reg = obskit::global();
         RltsOnline {
             cfg,
             policy,
@@ -47,6 +58,9 @@ impl RltsOnline {
             stream_pos: 0,
             skip_remaining: 0,
             last_seen: None,
+            m_dropped: reg.counter("core.points.dropped"),
+            m_skipped: reg.counter("core.points.skipped"),
+            m_occupancy: reg.gauge("core.buffer.occupancy"),
         }
     }
 
@@ -72,9 +86,12 @@ impl RltsOnline {
         if action < self.cfg.k {
             let (victim, _) = cands[action];
             self.buf.drop_slot(victim);
+            self.m_dropped.inc();
             usize::MAX // sentinel: drop happened, insert the arrival
         } else {
-            action - self.cfg.k + 1 // number of points to skip
+            let skip = action - self.cfg.k + 1; // number of points to skip
+            self.m_skipped.add(skip as u64);
+            skip
         }
     }
 }
@@ -105,6 +122,7 @@ impl OnlineSimplifier for RltsOnline {
         }
         if self.buf.len() < self.w {
             self.buf.push(i, p);
+            self.m_occupancy.set(self.buf.len() as f64);
             return;
         }
         match self.decide(&p) {
@@ -116,6 +134,7 @@ impl OnlineSimplifier for RltsOnline {
                 self.skip_remaining = skip - 1;
             }
         }
+        self.m_occupancy.set(self.buf.len() as f64);
     }
 
     fn finish(&mut self) -> Vec<usize> {

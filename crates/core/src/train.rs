@@ -1,8 +1,13 @@
 //! Training harness: REINFORCE over the RLTS MDPs, with policy snapshots,
 //! best-policy selection, and JSON (de)serialization of trained policies.
+//!
+//! Every run reports into [`obskit::global()`] under the `train.*` metric
+//! names documented in DESIGN.md §9 (episode return, policy loss, gradient
+//! norm, steps/sec, transition and update totals).
 
 use crate::config::RltsConfig;
 use crate::env::SimplifyEnv;
+use obskit::Buckets;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlkit::nn::{PolicyNet, ValueNet};
@@ -145,6 +150,18 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
         }
     };
 
+    // Telemetry handles (DESIGN.md §9, `train.*`): registration is
+    // idempotent, so repeated runs keep accumulating into the same
+    // instruments.
+    let reg = obskit::global();
+    let m_updates = reg.counter("train.updates.applied");
+    let m_transitions = reg.counter("train.transitions.total");
+    let m_return = reg.histogram("train.episode.return", Buckets::signed_decades());
+    let m_loss = reg.gauge("train.update.loss");
+    let m_grad = reg.gauge("train.grad.norm");
+    let m_rate = reg.gauge("train.steps.per_sec");
+    let m_best = reg.gauge("train.reward.best");
+
     let mut history = Vec::new();
     let mut transitions = 0usize;
     let mut best_reward = f64::NEG_INFINITY;
@@ -161,6 +178,8 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
                 if let Some(ep) = ep {
                     if !ep.is_empty() {
                         transitions += ep.len();
+                        m_transitions.add(ep.len() as u64);
+                        m_return.record(ep.total_reward());
                         batch.push(ep);
                     }
                 }
@@ -169,15 +188,26 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
                 continue;
             }
             let mean_reward = match &mut trainer {
-                Trainer::Pnet(t) => t.update(&mut net, &batch),
+                Trainer::Pnet(t) => {
+                    let stats = t.update_stats(&mut net, &batch);
+                    m_loss.set(stats.policy_loss);
+                    m_grad.set(stats.grad_norm);
+                    stats.mean_reward
+                }
                 Trainer::Ac(t, critic) => t.update(&mut net, critic, &batch),
             };
+            m_updates.inc();
             history.push(mean_reward);
             if mean_reward > best_reward {
                 best_reward = mean_reward;
                 best_net = net.clone();
+                m_best.set(best_reward);
             }
         }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    if elapsed > 0.0 {
+        m_rate.set(transitions as f64 / elapsed);
     }
 
     TrainReport {

@@ -1,0 +1,382 @@
+//! Fixed-bucket [`Histogram`]s: cheap to record into, and summarizable
+//! as count/sum/min/max plus interpolated quantiles (p50/p95/p99).
+//!
+//! Bucket layouts are chosen at registration time via [`Buckets`] and
+//! never change afterwards, so snapshots from different moments are
+//! always comparable bucket-for-bucket.
+
+use std::sync::Mutex;
+
+/// A bucket layout: a strictly ascending list of finite upper bounds.
+///
+/// A value `v` lands in the first bucket whose bound satisfies
+/// `v <= bound`; values above the last bound land in an implicit overflow
+/// bucket. With bounds `[b0, …, bn]` a histogram therefore carries
+/// `n + 2` counts.
+///
+/// # Example
+///
+/// ```
+/// use obskit::Buckets;
+///
+/// let linear = Buckets::linear(10.0, 10.0, 5);      // 10, 20, 30, 40, 50
+/// assert_eq!(linear.bounds(), &[10.0, 20.0, 30.0, 40.0, 50.0]);
+/// let expo = Buckets::exponential(1.0, 10.0, 3);    // 1, 10, 100
+/// assert_eq!(expo.bounds(), &[1.0, 10.0, 100.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets {
+    bounds: Vec<f64>,
+}
+
+impl Buckets {
+    /// An explicit layout.
+    ///
+    /// # Panics
+    /// Panics when `bounds` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn explicit(bounds: &[f64]) -> Buckets {
+        assert!(!bounds.is_empty(), "bucket bounds must not be empty");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "bucket bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bucket bounds must be strictly ascending"
+        );
+        Buckets {
+            bounds: bounds.to_vec(),
+        }
+    }
+
+    /// `count` bounds starting at `start`, spaced `width` apart.
+    pub fn linear(start: f64, width: f64, count: usize) -> Buckets {
+        assert!(width > 0.0, "bucket width must be positive");
+        let bounds: Vec<f64> = (0..count).map(|i| start + width * i as f64).collect();
+        Buckets::explicit(&bounds)
+    }
+
+    /// `count` bounds starting at `start`, each `factor` times the last.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Buckets {
+        assert!(start > 0.0, "exponential buckets need a positive start");
+        assert!(factor > 1.0, "growth factor must exceed 1");
+        let mut bounds = Vec::with_capacity(count);
+        let mut b = start;
+        for _ in 0..count {
+            bounds.push(b);
+            b *= factor;
+        }
+        Buckets::explicit(&bounds)
+    }
+
+    /// The workspace's default layout for wall-clock spans in seconds:
+    /// 16 exponential bounds from 1 µs to ~30 s (factor √10). Documented
+    /// in DESIGN.md §9; every `*.seconds` metric uses it unless stated
+    /// otherwise.
+    pub fn latency() -> Buckets {
+        Buckets::exponential(1e-6, 10f64.sqrt(), 16)
+    }
+
+    /// Symmetric decade bounds for signed quantities (episode returns,
+    /// losses): −10³ … −0.1, 0, 0.1 … 10³. Used by `train.episode.return`
+    /// and documented alongside [`Buckets::latency`] in DESIGN.md §9.
+    pub fn signed_decades() -> Buckets {
+        Buckets::explicit(&[-1e3, -1e2, -1e1, -1.0, -0.1, 0.0, 0.1, 1.0, 1e1, 1e2, 1e3])
+    }
+
+    /// The upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+}
+
+/// What a histogram remembers between snapshots.
+#[derive(Debug, Clone)]
+struct Inner {
+    /// Per-bucket counts; the last slot is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A thread-safe fixed-bucket histogram.
+///
+/// Recording takes one short mutex-protected update; non-finite values
+/// are ignored (they would poison `sum` and the quantile math).
+///
+/// # Example
+///
+/// ```
+/// use obskit::{Buckets, Histogram};
+///
+/// let h = Histogram::new(Buckets::linear(1.0, 1.0, 10));
+/// for v in 1..=100 {
+///     h.record(v as f64 / 10.0); // 0.1 .. 10.0
+/// }
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 100);
+/// let p50 = snap.quantile(0.5).unwrap();
+/// assert!((p50 - 5.0).abs() < 0.2, "median ≈ 5, got {p50}");
+/// ```
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    inner: Mutex<Inner>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with the given layout.
+    pub fn new(buckets: Buckets) -> Histogram {
+        let n = buckets.bounds.len();
+        Histogram {
+            bounds: buckets.bounds,
+            inner: Mutex::new(Inner {
+                counts: vec![0; n + 1],
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            }),
+        }
+    }
+
+    /// Records one observation. Non-finite values are dropped.
+    pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        let mut inner = self.inner.lock().expect("histogram lock poisoned");
+        inner.counts[idx] += 1;
+        inner.count += 1;
+        inner.sum += v;
+        inner.min = inner.min.min(v);
+        inner.max = inner.max.max(v);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = self.inner.lock().expect("histogram lock poisoned");
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: inner.counts.clone(),
+            count: inner.count,
+            sum: inner.sum,
+            min: (inner.count > 0).then_some(inner.min),
+            max: (inner.count > 0).then_some(inner.max),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state, with the quantile math.
+///
+/// `counts.len() == bounds.len() + 1`: the final slot counts observations
+/// above the last bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (ascending).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; last slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation, when any.
+    pub min: Option<f64>,
+    /// Largest observation, when any.
+    pub max: Option<f64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, when any.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The interpolated `q`-quantile (`q` clamped to `[0, 1]`), or `None`
+    /// for an empty histogram.
+    ///
+    /// The estimate walks the cumulative counts to the bucket holding the
+    /// rank `q·count` observation and interpolates linearly inside it;
+    /// bucket edges are clamped to the observed `[min, max]`, so the
+    /// overflow bucket cannot produce values beyond the true maximum.
+    /// This is the usual fixed-bucket estimator (same family as
+    /// Prometheus's `histogram_quantile`) — exact at the recorded
+    /// resolution, not at the sample level.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let (min, max) = (self.min.unwrap(), self.max.unwrap());
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= rank {
+                let lower = if i == 0 {
+                    min
+                } else {
+                    self.bounds[i - 1].max(min)
+                };
+                let upper = if i == self.bounds.len() {
+                    max
+                } else {
+                    self.bounds[i].min(max)
+                };
+                let frac = (rank - cum as f64) / c as f64;
+                return Some((lower + (upper - lower) * frac).clamp(min, max));
+            }
+            cum += c;
+        }
+        Some(max)
+    }
+
+    /// The median.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_the_right_buckets() {
+        let h = Histogram::new(Buckets::explicit(&[1.0, 2.0, 4.0]));
+        for v in [0.5, 1.0, 1.5, 3.0, 9.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // <=1: {0.5, 1.0}; <=2: {1.5}; <=4: {3.0}; overflow: {9.0}.
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, Some(0.5));
+        assert_eq!(s.max, Some(9.0));
+        assert!((s.sum - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_observations_are_dropped() {
+        let h = Histogram::new(Buckets::linear(1.0, 1.0, 3));
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.snapshot().count, 0);
+        h.record(2.0);
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let s = Histogram::new(Buckets::latency()).snapshot();
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min, None);
+        assert_eq!(s.max, None);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_grid_interpolate() {
+        // 100 observations 0.1, 0.2, …, 10.0 over 10 unit buckets: every
+        // bucket holds exactly 10, so the interpolated quantiles track the
+        // exact ones to within one bucket step.
+        let h = Histogram::new(Buckets::linear(1.0, 1.0, 10));
+        for v in 1..=100 {
+            h.record(v as f64 / 10.0);
+        }
+        let s = h.snapshot();
+        for (q, exact) in [(0.1, 1.0), (0.5, 5.0), (0.9, 9.0), (0.95, 9.5)] {
+            let got = s.quantile(q).unwrap();
+            assert!(
+                (got - exact).abs() <= 0.11,
+                "q={q}: got {got}, want ≈{exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_edges_are_clamped_to_observed_range() {
+        let h = Histogram::new(Buckets::explicit(&[10.0, 20.0]));
+        h.record(12.0);
+        h.record(13.0);
+        h.record(14.0);
+        let s = h.snapshot();
+        // Everything is in bucket (10, 20]; clamping keeps estimates
+        // inside [12, 14] rather than stretching across the bucket.
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!((12.0..=14.0).contains(&v), "q={q} escaped: {v}");
+        }
+        assert_eq!(s.quantile(1.0), Some(14.0));
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max() {
+        let h = Histogram::new(Buckets::explicit(&[1.0]));
+        h.record(100.0);
+        h.record(200.0);
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![0, 2]);
+        // The overflow bucket interpolates between the observed min and
+        // max — never beyond the true maximum (and never to infinity).
+        assert_eq!(s.quantile(1.0), Some(200.0));
+        let p99 = s.quantile(0.99).unwrap();
+        assert!((150.0..=200.0).contains(&p99), "p99 = {p99}");
+        let p0 = s.quantile(0.0).unwrap();
+        assert!((100.0..=200.0).contains(&p0), "p0 = {p0}");
+    }
+
+    #[test]
+    fn single_observation_is_every_quantile() {
+        let h = Histogram::new(Buckets::latency());
+        h.record(0.25);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(0.25));
+        }
+        assert_eq!(s.mean(), Some(0.25));
+    }
+
+    #[test]
+    fn skewed_distribution_orders_quantiles() {
+        let h = Histogram::new(Buckets::exponential(0.001, 10f64.sqrt(), 12));
+        for i in 0..1000 {
+            // Long tail: mostly ~1 ms, 2% excursions to ~1 s (enough that
+            // the exact sample p99 lands inside the tail).
+            let v = if i % 50 == 0 { 1.0 } else { 0.001 };
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let (p50, p95, p99) = (s.p50().unwrap(), s.p95().unwrap(), s.p99().unwrap());
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 < 0.01, "median stays near the bulk: {p50}");
+        assert!(p99 >= 0.1, "p99 sees the tail: {p99}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unsorted_bounds_are_rejected() {
+        let _ = Buckets::explicit(&[2.0, 1.0]);
+    }
+}

@@ -1,0 +1,428 @@
+//! A deliberately tiny JSON reader/writer for the JSONL sink — just
+//! enough for the snapshot schema, with numbers kept as raw text so
+//! `u64` counts and shortest-round-trip `f64`s survive a write → parse
+//! cycle losslessly. Internal: the public surface is
+//! [`to_jsonl`](crate::sink::to_jsonl) / [`from_jsonl`](crate::sink::from_jsonl).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers keep their source text (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    /// Raw number text, e.g. `-12.5e3`. Convert via [`Json::as_f64`] /
+    /// [`Json::as_u64`].
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact single-line JSON.
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(s) => out.push_str(s),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Builds a `Json::Num` from an `f64`. Rust's `Display` emits the
+/// shortest string that parses back to the same bits, so the round trip
+/// is exact; non-finite values become `null` (JSON has no encoding for
+/// them).
+pub(crate) fn num_f64(v: f64) -> Json {
+    if v.is_finite() {
+        Json::Num(format!("{v}"))
+    } else {
+        Json::Null
+    }
+}
+
+pub(crate) fn num_u64(v: u64) -> Json {
+    Json::Num(format!("{v}"))
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure: byte offset plus a short message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct JsonError {
+    pub(crate) pos: usize,
+    pub(crate) msg: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+pub(crate) fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            pos,
+            msg: "trailing characters",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8, msg: &'static str) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError { pos: *pos, msg })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    let Some(&c) = bytes.get(*pos) else {
+        return Err(JsonError {
+            pos: *pos,
+            msg: "unexpected end of input",
+        });
+    };
+    match c {
+        b'{' => parse_obj(bytes, pos),
+        b'[' => parse_arr(bytes, pos),
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b't' | b'f' | b'n' => parse_keyword(bytes, pos),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        _ => Err(JsonError {
+            pos: *pos,
+            msg: "unexpected character",
+        }),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    for (word, value) in [
+        ("true", Json::Bool(true)),
+        ("false", Json::Bool(false)),
+        ("null", Json::Null),
+    ] {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            return Ok(value);
+        }
+    }
+    Err(JsonError {
+        pos: *pos,
+        msg: "invalid keyword",
+    })
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_from = *pos;
+    while matches!(
+        bytes.get(*pos),
+        Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    ) {
+        *pos += 1;
+    }
+    if *pos == digits_from {
+        return Err(JsonError {
+            pos: *pos,
+            msg: "invalid number",
+        });
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("number bytes are ASCII");
+    // Validate now so Num's accessors can't fail later.
+    text.parse::<f64>().map_err(|_| JsonError {
+        pos: start,
+        msg: "invalid number",
+    })?;
+    Ok(Json::Num(text.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"', "expected string")?;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = bytes.get(*pos) else {
+            return Err(JsonError {
+                pos: *pos,
+                msg: "unterminated string",
+            });
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err(JsonError {
+                        pos: *pos,
+                        msg: "unterminated escape",
+                    });
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(JsonError {
+                            pos: *pos,
+                            msg: "truncated \\u escape",
+                        })?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError {
+                                pos: *pos,
+                                msg: "invalid \\u escape",
+                            })?;
+                        *pos += 4;
+                        // Surrogates are not emitted by our writer; map
+                        // them to the replacement character on input.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            pos: *pos - 1,
+                            msg: "unknown escape",
+                        })
+                    }
+                }
+            }
+            _ => {
+                // Re-decode the UTF-8 sequence starting at c.
+                let char_start = *pos - 1;
+                let s = std::str::from_utf8(&bytes[char_start..]).map_err(|_| JsonError {
+                    pos: char_start,
+                    msg: "invalid UTF-8",
+                })?;
+                let ch = s.chars().next().expect("non-empty by construction");
+                out.push(ch);
+                *pos = char_start + ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[', "expected array")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    pos: *pos,
+                    msg: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{', "expected object")?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':'")?;
+        let value = parse_value(bytes, pos)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            _ => {
+                return Err(JsonError {
+                    pos: *pos,
+                    msg: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_the_snapshot_shapes() {
+        let doc = Json::Obj(vec![
+            ("metric".into(), Json::Str("train.episode.return".into())),
+            (
+                "labels".into(),
+                Json::Obj(vec![("variant".into(), Json::Str("rlts".into()))]),
+            ),
+            ("type".into(), Json::Str("histogram".into())),
+            ("count".into(), num_u64(3)),
+            ("sum".into(), num_f64(-1.5)),
+            ("bounds".into(), Json::Arr(vec![num_f64(0.1), num_f64(1.0)])),
+            ("counts".into(), Json::Arr(vec![num_u64(1), num_u64(2)])),
+            ("empty".into(), Json::Arr(vec![])),
+            ("none".into(), Json::Null),
+            ("flag".into(), Json::Bool(true)),
+        ]);
+        let text = doc.render();
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            123456789.123456789,
+        ] {
+            let back = parse(&num_f64(v).render()).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v} drifted to {back}");
+        }
+    }
+
+    #[test]
+    fn u64_beyond_f64_precision_survives() {
+        let v = u64::MAX - 1;
+        let back = parse(&num_u64(v).render()).unwrap().as_u64().unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line1\nline2\ttab \"quoted\" back\\slash \u{1}control é🙂";
+        let text = Json::Str(s.into()).render();
+        assert_eq!(parse(&text).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"abc", "{}x"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.get("a"), Some(&Json::Arr(vec![num_u64(1), num_u64(2)])));
+        assert_eq!(v.get("b"), Some(&Json::Null));
+    }
+}

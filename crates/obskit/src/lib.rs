@@ -1,0 +1,68 @@
+//! # obskit — zero-dependency observability for the rlts workspace
+//!
+//! Counters, gauges, fixed-bucket histograms with interpolated
+//! quantiles, drop-guard span timers, a process-wide registry, and
+//! pluggable sinks — with **no external dependencies**, so it can sit
+//! below every other crate in the workspace (even `trajectory`).
+//!
+//! The telemetry contract (metric naming, label rules, bucket layouts,
+//! and the JSONL schema) is documented in DESIGN.md §9; this crate is
+//! the mechanism, that section is the policy.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use obskit::{Buckets, Registry};
+//!
+//! // Subsystems normally use obskit::global(); tests build their own.
+//! let reg = Registry::new();
+//!
+//! // Scalars: lock-free, safe on hot paths.
+//! reg.counter("demo.packets.accepted").inc();
+//! reg.gauge("demo.buffer.occupancy").set(17.0);
+//!
+//! // Distributions: fixed buckets chosen at registration.
+//! let err = reg.histogram("demo.eval.error", Buckets::exponential(1e-4, 10.0, 8));
+//! err.record(0.002);
+//!
+//! // Wall clock: a drop-guard span into a `*.seconds` histogram.
+//! {
+//!     let _span = reg.span("demo.work.seconds");
+//!     // … timed work …
+//! }
+//!
+//! // Export: machine-readable JSONL round-trips exactly…
+//! let snap = reg.snapshot();
+//! let jsonl = obskit::to_jsonl(&snap);
+//! assert_eq!(obskit::from_jsonl(&jsonl).unwrap(), snap);
+//! // …and the table dump is for humans (`rlts metrics`).
+//! println!("{}", obskit::render_table(&snap));
+//! ```
+//!
+//! ## Design choices
+//!
+//! - **Identity** is [`MetricId`]: a validated `subsystem.noun.verb`
+//!   name plus sorted labels. Registration is idempotent, so callers
+//!   instrument at the point of use without coordinating setup.
+//! - **Histograms** never change layout after registration, keeping
+//!   snapshots comparable over time; quantiles interpolate within the
+//!   bucket holding the target rank and clamp to the observed range.
+//! - **Snapshots** ([`Snapshot`]) are plain comparable values; sinks
+//!   ([`Sink`]) consume snapshots rather than live instruments, so
+//!   exporting never blocks recording.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod histogram;
+mod json;
+mod metrics;
+mod registry;
+mod sink;
+mod span;
+
+pub use histogram::{Buckets, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge};
+pub use registry::{global, MetricId, Registry, Sample, Snapshot, Value};
+pub use sink::{from_jsonl, render_table, to_jsonl, JsonlWriter, MemorySink, ParseError, Sink};
+pub use span::Span;

@@ -1,0 +1,158 @@
+//! The two scalar instruments: monotone [`Counter`]s and last-value
+//! [`Gauge`]s. Both are lock-free (a single atomic word) and safe to
+//! update from any thread, so they can sit on hot paths — one relaxed
+//! atomic add per event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+///
+/// Counters only go up (use a [`Gauge`](crate::Gauge) for values that can
+/// fall). Updates use relaxed ordering: totals are exact, but a reader
+/// racing a writer may briefly see the pre-increment value.
+///
+/// # Example
+///
+/// ```
+/// use obskit::Counter;
+///
+/// let packets = Counter::default();
+/// packets.inc();
+/// packets.add(4);
+/// assert_eq!(packets.get(), 5);
+/// ```
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+/// A last-value instrument for quantities that move both ways (buffer
+/// occupancy, steps per second, …).
+///
+/// The value is an `f64` stored as its bit pattern in one atomic word, so
+/// `set`/`get` are lock-free; [`Gauge::add`] uses a CAS loop.
+///
+/// # Example
+///
+/// ```
+/// use obskit::Gauge;
+///
+/// let occupancy = Gauge::default();
+/// occupancy.set(12.0);
+/// occupancy.add(-2.0);
+/// assert_eq!(occupancy.get(), 10.0);
+/// ```
+#[derive(Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn gauge_sets_and_adds() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(3.5);
+        g.add(-1.25);
+        assert_eq!(g.get(), 2.25);
+        g.set(7.0);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn concurrent_updates_are_exact() {
+        let c = Arc::new(Counter::new());
+        let g = Arc::new(Gauge::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (c, g) = (Arc::clone(&c), Arc::clone(&g));
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                        g.add(1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+        assert_eq!(g.get(), 8000.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! The [`Registry`]: the process-wide catalogue of instruments.
+//!
+//! Metrics are identified by a [`MetricId`] — a `subsystem.noun.verb`
+//! name plus a sorted label set. Registration is idempotent: asking for
+//! the same id twice returns the same underlying instrument, so callers
+//! can register at the point of use without coordinating. A snapshot of
+//! the whole registry is a plain value ([`Snapshot`]) that sinks can
+//! serialize or render.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::histogram::{Buckets, Histogram, HistogramSnapshot};
+use crate::metrics::{Counter, Gauge};
+use crate::span::Span;
+
+/// A metric's identity: name plus labels.
+///
+/// Names follow the `subsystem.noun.verb` convention documented in
+/// DESIGN.md §9 (three lowercase dot-separated segments of
+/// `[a-z0-9_]`). Labels are sorted by key at construction, so two ids
+/// built with the same pairs in different orders compare equal.
+///
+/// # Example
+///
+/// ```
+/// use obskit::MetricId;
+///
+/// let a = MetricId::with_labels("bench.eval.error", &[("algo", "dp"), ("measure", "sed")]);
+/// let b = MetricId::with_labels("bench.eval.error", &[("measure", "sed"), ("algo", "dp")]);
+/// assert_eq!(a, b);
+/// assert_eq!(a.render(), "bench.eval.error{algo=dp,measure=sed}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// An id with no labels.
+    ///
+    /// # Panics
+    /// Panics when `name` is not three lowercase dot-separated segments
+    /// (`subsystem.noun.verb`).
+    pub fn new(name: &str) -> MetricId {
+        MetricId::with_labels(name, &[])
+    }
+
+    /// An id with labels; the pairs are sorted by key.
+    ///
+    /// # Panics
+    /// Panics on a malformed name (see [`MetricId::new`]) or on a
+    /// duplicate label key.
+    pub fn with_labels(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        assert!(
+            is_valid_name(name),
+            "metric name {name:?} must be three lowercase dot-separated segments (subsystem.noun.verb)"
+        );
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        for w in labels.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate label key {:?}", w[0].0);
+        }
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// The metric name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sorted label pairs.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    /// A canonical one-line rendering: `name` or `name{k=v,...}`.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+fn is_valid_name(name: &str) -> bool {
+    let segments: Vec<&str> = name.split('.').collect();
+    segments.len() == 3
+        && segments.iter().all(|s| {
+            !s.is_empty()
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// One registered instrument.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A catalogue of named instruments.
+///
+/// Most code uses the process-wide [`global()`](crate::global) registry;
+/// tests that need isolation build their own with [`Registry::new`].
+///
+/// # Example
+///
+/// ```
+/// use obskit::{Buckets, Registry};
+///
+/// let reg = Registry::new();
+/// reg.counter("demo.events.seen").add(3);
+/// reg.gauge("demo.queue.depth").set(7.0);
+/// reg.histogram("demo.step.seconds", Buckets::latency()).record(0.002);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.samples.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricId, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name` (no labels), registering it on first use.
+    ///
+    /// # Panics
+    /// Panics when the name is malformed or already registered as a
+    /// different instrument kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.counter_id(MetricId::new(name))
+    }
+
+    /// The counter for `name` + `labels`, registering it on first use.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter_id(MetricId::with_labels(name, labels))
+    }
+
+    fn counter_id(&self, id: MetricId) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        match metrics
+            .entry(id.clone())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("{} already registered as {}", id.render(), kind(other)),
+        }
+    }
+
+    /// The gauge named `name` (no labels), registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.gauge_id(MetricId::new(name))
+    }
+
+    /// The gauge for `name` + `labels`, registering it on first use.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge_id(MetricId::with_labels(name, labels))
+    }
+
+    fn gauge_id(&self, id: MetricId) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        match metrics
+            .entry(id.clone())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("{} already registered as {}", id.render(), kind(other)),
+        }
+    }
+
+    /// The histogram named `name` (no labels), registering it on first
+    /// use with the given layout. A later call with a different layout
+    /// returns the original instrument unchanged — the layout is fixed at
+    /// registration.
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Arc<Histogram> {
+        self.histogram_id(MetricId::new(name), buckets)
+    }
+
+    /// The histogram for `name` + `labels`, registering it on first use.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: Buckets,
+    ) -> Arc<Histogram> {
+        self.histogram_id(MetricId::with_labels(name, labels), buckets)
+    }
+
+    fn histogram_id(&self, id: MetricId, buckets: Buckets) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        match metrics
+            .entry(id.clone())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(buckets))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("{} already registered as {}", id.render(), kind(other)),
+        }
+    }
+
+    /// Starts a [`Span`] recording into the latency histogram `name`
+    /// ([`Buckets::latency`] layout). The elapsed seconds are recorded
+    /// when the span drops.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use obskit::Registry;
+    ///
+    /// let reg = Registry::new();
+    /// {
+    ///     let _span = reg.span("demo.work.seconds");
+    ///     // … timed work …
+    /// }
+    /// assert_eq!(reg.snapshot().samples.len(), 1);
+    /// ```
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(self.histogram(name, Buckets::latency()))
+    }
+
+    /// Like [`Registry::span`], with labels.
+    pub fn span_with(&self, name: &str, labels: &[(&str, &str)]) -> Span {
+        Span::new(self.histogram_with(name, labels, Buckets::latency()))
+    }
+
+    /// A point-in-time copy of every registered metric, in id order.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        Snapshot {
+            samples: metrics
+                .iter()
+                .map(|(id, m)| Sample {
+                    id: id.clone(),
+                    value: match m {
+                        Metric::Counter(c) => Value::Counter(c.get()),
+                        Metric::Gauge(g) => Value::Gauge(g.get()),
+                        Metric::Histogram(h) => Value::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Drops every registered metric. Existing `Arc` handles keep
+    /// working but are no longer visible to [`Registry::snapshot`].
+    pub fn clear(&self) {
+        self.metrics.lock().expect("registry lock poisoned").clear();
+    }
+}
+
+fn kind(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "a counter",
+        Metric::Gauge(_) => "a gauge",
+        Metric::Histogram(_) => "a histogram",
+    }
+}
+
+/// The process-wide registry every instrumented subsystem reports into.
+///
+/// # Example
+///
+/// ```
+/// obskit::global().counter("demo.global.hits").inc();
+/// assert!(obskit::global().snapshot().samples.len() >= 1);
+/// ```
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(f64),
+    /// A histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Which metric.
+    pub id: MetricId,
+    /// Its value when the snapshot was taken.
+    pub value: Value,
+}
+
+/// A point-in-time copy of a whole [`Registry`], ordered by id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Every registered metric, in `MetricId` order.
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// The sample for `id`, when present.
+    pub fn get(&self, id: &MetricId) -> Option<&Sample> {
+        self.samples.iter().find(|s| &s.id == id)
+    }
+
+    /// The counter total for an unlabelled `name`, when present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(&MetricId::new(name))?.value {
+            Value::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The gauge reading for an unlabelled `name`, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(&MetricId::new(name))?.value {
+            Value::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The histogram state for an unlabelled `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match &self.get(&MetricId::new(name))?.value {
+            Value::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("test.events.seen");
+        let b = reg.counter("test.events.seen");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.snapshot().counter("test.events.seen"), Some(3));
+    }
+
+    #[test]
+    fn labels_distinguish_and_sort() {
+        let reg = Registry::new();
+        reg.counter_with("test.events.seen", &[("algo", "dp")])
+            .inc();
+        reg.counter_with("test.events.seen", &[("algo", "rl")])
+            .add(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples.len(), 2);
+        assert_eq!(snap.samples[0].id.render(), "test.events.seen{algo=dp}");
+        assert_eq!(snap.samples[1].id.render(), "test.events.seen{algo=rl}");
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_typed() {
+        let reg = Registry::new();
+        reg.gauge("b.queue.depth").set(4.0);
+        reg.counter("a.events.seen").inc();
+        reg.histogram("c.step.seconds", Buckets::latency())
+            .record(0.5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.id.name()).collect();
+        assert_eq!(names, ["a.events.seen", "b.queue.depth", "c.step.seconds"]);
+        assert_eq!(snap.counter("a.events.seen"), Some(1));
+        assert_eq!(snap.gauge("b.queue.depth"), Some(4.0));
+        assert_eq!(snap.histogram("c.step.seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let reg = Registry::new();
+        reg.counter("test.events.seen");
+        reg.gauge("test.events.seen");
+    }
+
+    #[test]
+    #[should_panic(expected = "three lowercase dot-separated segments")]
+    fn malformed_names_panic() {
+        MetricId::new("TooFew.Segments");
+    }
+
+    #[test]
+    fn clear_empties_the_snapshot() {
+        let reg = Registry::new();
+        let c = reg.counter("test.events.seen");
+        reg.clear();
+        c.inc(); // the handle stays live
+        assert!(reg.snapshot().samples.is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! Where snapshots go: the [`Sink`] trait plus three implementations —
+//! [`MemorySink`] for tests, [`JsonlWriter`] for machine-readable
+//! export, and [`render_table`] for humans.
+//!
+//! The JSONL schema (one JSON object per metric per line) is specified
+//! in DESIGN.md §9; [`to_jsonl`] and [`from_jsonl`] are exact inverses
+//! for any snapshot, which the round-trip tests below pin down.
+
+use std::io::{self, Write};
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::{self, Json};
+use crate::registry::{MetricId, Sample, Snapshot, Value};
+
+/// A destination for registry snapshots.
+///
+/// # Example
+///
+/// ```
+/// use obskit::{MemorySink, Registry, Sink};
+///
+/// let reg = Registry::new();
+/// reg.counter("demo.events.seen").inc();
+/// let mut sink = MemorySink::default();
+/// sink.export(&reg.snapshot()).unwrap();
+/// assert_eq!(sink.last().unwrap().counter("demo.events.seen"), Some(1));
+/// ```
+pub trait Sink {
+    /// Delivers one snapshot.
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()>;
+}
+
+/// Keeps every exported snapshot in memory — the test double.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    snapshots: Vec<Snapshot>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Every snapshot exported so far, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// The most recent snapshot, when any.
+    pub fn last(&self) -> Option<&Snapshot> {
+        self.snapshots.last()
+    }
+}
+
+impl Sink for MemorySink {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.snapshots.push(snapshot.clone());
+        Ok(())
+    }
+}
+
+/// Streams snapshots as JSON lines to any [`Write`] (a file, a pipe,
+/// a `Vec<u8>` in tests).
+///
+/// # Example
+///
+/// ```
+/// use obskit::{from_jsonl, JsonlWriter, Registry, Sink};
+///
+/// let reg = Registry::new();
+/// reg.counter("demo.events.seen").add(2);
+/// let mut sink = JsonlWriter::new(Vec::new());
+/// sink.export(&reg.snapshot()).unwrap();
+/// let text = String::from_utf8(sink.into_inner()).unwrap();
+/// assert_eq!(from_jsonl(&text).unwrap(), reg.snapshot());
+/// ```
+#[derive(Debug)]
+pub struct JsonlWriter<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlWriter<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> JsonlWriter<W> {
+        JsonlWriter { out }
+    }
+
+    /// Unwraps the writer, e.g. to inspect a `Vec<u8>` buffer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for JsonlWriter<W> {
+    fn export(&mut self, snapshot: &Snapshot) -> io::Result<()> {
+        self.out.write_all(to_jsonl(snapshot).as_bytes())?;
+        self.out.flush()
+    }
+}
+
+/// Serializes a snapshot to JSON lines — one object per metric,
+/// terminated by `\n`, in id order. See DESIGN.md §9 for the schema.
+pub fn to_jsonl(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for sample in &snapshot.samples {
+        let mut pairs = vec![
+            (
+                "metric".to_string(),
+                Json::Str(sample.id.name().to_string()),
+            ),
+            (
+                "labels".to_string(),
+                Json::Obj(
+                    sample
+                        .id
+                        .labels()
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ];
+        match &sample.value {
+            Value::Counter(v) => {
+                pairs.push(("type".into(), Json::Str("counter".into())));
+                pairs.push(("value".into(), json::num_u64(*v)));
+            }
+            Value::Gauge(v) => {
+                pairs.push(("type".into(), Json::Str("gauge".into())));
+                pairs.push(("value".into(), json::num_f64(*v)));
+            }
+            Value::Histogram(h) => {
+                pairs.push(("type".into(), Json::Str("histogram".into())));
+                pairs.push(("count".into(), json::num_u64(h.count)));
+                pairs.push(("sum".into(), json::num_f64(h.sum)));
+                if let (Some(min), Some(max)) = (h.min, h.max) {
+                    pairs.push(("min".into(), json::num_f64(min)));
+                    pairs.push(("max".into(), json::num_f64(max)));
+                }
+                pairs.push((
+                    "bounds".into(),
+                    Json::Arr(h.bounds.iter().map(|&b| json::num_f64(b)).collect()),
+                ));
+                pairs.push((
+                    "counts".into(),
+                    Json::Arr(h.counts.iter().map(|&c| json::num_u64(c)).collect()),
+                ));
+            }
+        }
+        out.push_str(&Json::Obj(pairs).render());
+        out.push('\n');
+    }
+    out
+}
+
+/// A [`from_jsonl`] failure: the 1-based line number and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number within the JSONL text.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSONL line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses JSONL produced by [`to_jsonl`] back into a [`Snapshot`].
+///
+/// Blank lines are skipped. When several lines carry the same metric id
+/// (a file that appended multiple snapshots), the **last** one wins, so
+/// parsing a metrics log yields the final state. Samples are re-sorted
+/// by id, making `from_jsonl(to_jsonl(s)) == s` for any snapshot.
+pub fn from_jsonl(text: &str) -> Result<Snapshot, ParseError> {
+    let mut samples: Vec<Sample> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let sample = parse_line(line).map_err(|msg| ParseError { line: line_no, msg })?;
+        if let Some(existing) = samples.iter_mut().find(|s| s.id == sample.id) {
+            *existing = sample; // last sample per id wins
+        } else {
+            samples.push(sample);
+        }
+    }
+    samples.sort_by(|a, b| a.id.cmp(&b.id));
+    Ok(Snapshot { samples })
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let doc = json::parse(line).map_err(|e| e.to_string())?;
+    let name = doc
+        .get("metric")
+        .and_then(Json::as_str)
+        .ok_or("missing \"metric\"")?;
+    let labels: Vec<(String, String)> = match doc.get("labels") {
+        None | Some(Json::Null) => Vec::new(),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|v| (k.clone(), v.to_string()))
+                    .ok_or_else(|| format!("label {k:?} is not a string"))
+            })
+            .collect::<Result<_, _>>()?,
+        Some(_) => return Err("\"labels\" is not an object".into()),
+    };
+    let label_refs: Vec<(&str, &str)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    let id = MetricId::with_labels(name, &label_refs);
+    let kind = doc
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or("missing \"type\"")?;
+    let value = match kind {
+        "counter" => Value::Counter(
+            doc.get("value")
+                .and_then(Json::as_u64)
+                .ok_or("counter missing integer \"value\"")?,
+        ),
+        "gauge" => Value::Gauge(
+            doc.get("value")
+                .and_then(Json::as_f64)
+                .ok_or("gauge missing numeric \"value\"")?,
+        ),
+        "histogram" => {
+            let count = doc
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("histogram missing \"count\"")?;
+            let sum = doc
+                .get("sum")
+                .and_then(Json::as_f64)
+                .ok_or("histogram missing \"sum\"")?;
+            let bounds = num_array(&doc, "bounds", Json::as_f64)?;
+            let counts = num_array(&doc, "counts", Json::as_u64)?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(format!(
+                    "histogram has {} counts for {} bounds (want bounds + 1)",
+                    counts.len(),
+                    bounds.len()
+                ));
+            }
+            Value::Histogram(HistogramSnapshot {
+                bounds,
+                counts,
+                count,
+                sum,
+                min: doc.get("min").and_then(Json::as_f64),
+                max: doc.get("max").and_then(Json::as_f64),
+            })
+        }
+        other => return Err(format!("unknown metric type {other:?}")),
+    };
+    Ok(Sample { id, value })
+}
+
+fn num_array<T>(doc: &Json, key: &str, convert: fn(&Json) -> Option<T>) -> Result<Vec<T>, String> {
+    match doc.get(key) {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|v| convert(v).ok_or_else(|| format!("non-numeric entry in {key:?}")))
+            .collect(),
+        _ => Err(format!("histogram missing array {key:?}")),
+    }
+}
+
+/// Renders a snapshot as an aligned, human-readable table — the output
+/// of `rlts metrics`.
+///
+/// Counters and gauges print a single value; histograms print
+/// `count`, `mean`, `p50`, `p95`, `p99`, `min`, and `max`.
+pub fn render_table(snapshot: &Snapshot) -> String {
+    if snapshot.samples.is_empty() {
+        return "(no metrics registered)\n".to_string();
+    }
+    let mut rows: Vec<[String; 3]> = vec![[
+        "metric".to_string(),
+        "type".to_string(),
+        "value".to_string(),
+    ]];
+    for sample in &snapshot.samples {
+        let (kind, value) = match &sample.value {
+            Value::Counter(v) => ("counter", v.to_string()),
+            Value::Gauge(v) => ("gauge", format_num(*v)),
+            Value::Histogram(h) => ("histogram", describe_histogram(h)),
+        };
+        rows.push([sample.id.render(), kind.to_string(), value]);
+    }
+    let widths: Vec<usize> = (0..2)
+        .map(|col| rows.iter().map(|r| r[col].len()).max().unwrap_or(0))
+        .collect();
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<w0$}  {:<w1$}  {}\n",
+            row[0],
+            row[1],
+            row[2],
+            w0 = widths[0],
+            w1 = widths[1]
+        ));
+        if i == 0 {
+            out.push_str(&format!(
+                "{}  {}  {}\n",
+                "-".repeat(widths[0]),
+                "-".repeat(widths[1]),
+                "-".repeat(5)
+            ));
+        }
+    }
+    out
+}
+
+fn describe_histogram(h: &HistogramSnapshot) -> String {
+    match (h.mean(), h.p50(), h.p95(), h.p99(), h.min, h.max) {
+        (Some(mean), Some(p50), Some(p95), Some(p99), Some(min), Some(max)) => format!(
+            "count={} mean={} p50={} p95={} p99={} min={} max={}",
+            h.count,
+            format_num(mean),
+            format_num(p50),
+            format_num(p95),
+            format_num(p99),
+            format_num(min),
+            format_num(max)
+        ),
+        _ => "count=0".to_string(),
+    }
+}
+
+fn format_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        let s = format!("{v:.4}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Buckets;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("test.events.seen").add(41);
+        reg.counter_with("test.events.seen", &[("algo", "dp"), ("measure", "sed")])
+            .add(7);
+        reg.gauge("test.queue.depth").set(-2.5);
+        reg.gauge("test.rate.current").set(1.0 / 3.0);
+        let h = reg.histogram("test.step.seconds", Buckets::latency());
+        for i in 1..=50 {
+            h.record(i as f64 * 1e-4);
+        }
+        reg.histogram("test.idle.seconds", Buckets::latency()); // empty histogram
+        reg
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_identity() {
+        let snap = sample_registry().snapshot();
+        let text = to_jsonl(&snap);
+        assert_eq!(from_jsonl(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn jsonl_writer_streams_parseable_lines() {
+        let snap = sample_registry().snapshot();
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.export(&snap).unwrap();
+        sink.export(&snap).unwrap(); // append a second snapshot
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        // Two snapshots of 6 metrics → 12 lines; last-wins keeps 6 samples.
+        assert_eq!(text.lines().count(), 12);
+        assert_eq!(from_jsonl(&text).unwrap(), snap);
+    }
+
+    #[test]
+    fn last_sample_per_id_wins() {
+        let reg = Registry::new();
+        let c = reg.counter("test.events.seen");
+        c.add(1);
+        let first = to_jsonl(&reg.snapshot());
+        c.add(9);
+        let second = to_jsonl(&reg.snapshot());
+        let merged = format!("{first}\n{second}");
+        assert_eq!(
+            from_jsonl(&merged).unwrap().counter("test.events.seen"),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = from_jsonl("{\"metric\":\"a.b.c\",\"type\":\"counter\",\"value\":1}\nnot json\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_jsonl("{\"metric\":\"a.b.c\",\"type\":\"rate\",\"value\":1}\n").unwrap_err();
+        assert!(err.msg.contains("unknown metric type"), "{}", err.msg);
+    }
+
+    #[test]
+    fn memory_sink_keeps_history() {
+        let reg = sample_registry();
+        let mut sink = MemorySink::new();
+        sink.export(&reg.snapshot()).unwrap();
+        reg.counter("test.events.seen").inc();
+        sink.export(&reg.snapshot()).unwrap();
+        assert_eq!(sink.snapshots().len(), 2);
+        assert_eq!(sink.last().unwrap().counter("test.events.seen"), Some(42));
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let table = render_table(&sample_registry().snapshot());
+        assert!(table.contains("test.events.seen{algo=dp,measure=sed}"));
+        assert!(table.contains("test.queue.depth"));
+        assert!(table.contains("p95="));
+        assert!(table.contains("count=0"), "empty histogram row:\n{table}");
+        assert!(render_table(&Snapshot::default()).contains("no metrics"));
+    }
+}

@@ -1,0 +1,93 @@
+//! [`Span`]: a drop-guard wall-clock timer that records elapsed seconds
+//! into a [`Histogram`] — the cheap way to get latency distributions
+//! without threading timestamps around.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// Times a region of code and records the elapsed seconds into a
+/// histogram when dropped (or explicitly via [`Span::finish`]).
+///
+/// Usually created through [`Registry::span`](crate::Registry::span),
+/// which registers a `*.seconds` histogram with the default latency
+/// layout.
+///
+/// # Example
+///
+/// ```
+/// use obskit::{Buckets, Histogram, Span};
+/// use std::sync::Arc;
+///
+/// let hist = Arc::new(Histogram::new(Buckets::latency()));
+/// {
+///     let _span = Span::new(Arc::clone(&hist));
+///     // … timed work …
+/// } // records here
+/// assert_eq!(hist.snapshot().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    /// Starts the clock.
+    pub fn new(hist: Arc<Histogram>) -> Span {
+        Span {
+            hist,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Seconds elapsed so far, without stopping the clock.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Stops the clock, records, and returns the elapsed seconds.
+    /// The subsequent drop records nothing.
+    pub fn finish(mut self) -> f64 {
+        let secs = self.elapsed();
+        self.hist.record(secs);
+        self.recorded = true;
+        secs
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.recorded {
+            self.hist.record(self.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::Buckets;
+
+    #[test]
+    fn drop_records_once() {
+        let hist = Arc::new(Histogram::new(Buckets::latency()));
+        {
+            let span = Span::new(Arc::clone(&hist));
+            assert!(span.elapsed() >= 0.0);
+        }
+        assert_eq!(hist.snapshot().count, 1);
+    }
+
+    #[test]
+    fn finish_preempts_drop() {
+        let hist = Arc::new(Histogram::new(Buckets::latency()));
+        let span = Span::new(Arc::clone(&hist));
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(hist.snapshot().count, 1, "finish + drop must record once");
+    }
+}

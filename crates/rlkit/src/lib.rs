@@ -50,7 +50,7 @@ mod reinforce;
 pub use actor_critic::{ActorCritic, ActorCriticConfig};
 pub use env::{Environment, Step};
 pub use episode::{Episode, Transition};
-pub use reinforce::{Reinforce, ReinforceConfig};
+pub use reinforce::{Reinforce, ReinforceConfig, UpdateStats};
 
 #[cfg(test)]
 mod proptests;

@@ -33,6 +33,19 @@ impl Default for ReinforceConfig {
     }
 }
 
+/// Diagnostics from one policy-gradient update, for monitoring and
+/// telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UpdateStats {
+    /// Mean total (undiscounted) episode reward of the batch.
+    pub mean_reward: f64,
+    /// The surrogate policy loss `−Σ advantage·ln π(a|s) / N` that the
+    /// gradient step descends (entropy bonus excluded).
+    pub policy_loss: f64,
+    /// L2 norm of the accumulated gradient before the optimizer step.
+    pub grad_norm: f64,
+}
+
 /// REINFORCE-with-baseline trainer for a [`PolicyNet`].
 #[derive(Debug)]
 pub struct Reinforce {
@@ -82,12 +95,18 @@ impl Reinforce {
     /// One policy-gradient update from a batch of episodes. Returns the mean
     /// total (undiscounted) episode reward, for monitoring.
     pub fn update(&mut self, net: &mut PolicyNet, episodes: &[Episode]) -> f64 {
+        self.update_stats(net, episodes).mean_reward
+    }
+
+    /// Like [`Reinforce::update`], but also reports the surrogate loss and
+    /// gradient norm of the step (see [`UpdateStats`]).
+    pub fn update_stats(&mut self, net: &mut PolicyNet, episodes: &[Episode]) -> UpdateStats {
         let mut all_returns: Vec<f64> = Vec::new();
         for ep in episodes {
             all_returns.extend(ep.discounted_returns(self.cfg.gamma));
         }
         if all_returns.is_empty() {
-            return 0.0;
+            return UpdateStats::default();
         }
         let (mean, std) = if self.cfg.normalize_returns {
             let (m, s) = mean_std(&all_returns);
@@ -99,21 +118,33 @@ impl Reinforce {
         net.zero_grad();
         let inv_n = 1.0 / all_returns.len() as f64;
         let mut idx = 0;
+        let mut policy_loss = 0.0;
         for ep in episodes {
             for t in &ep.transitions {
                 let advantage = (all_returns[idx] - mean) / std;
-                net.accumulate_policy_grad(
+                let logp = net.accumulate_policy_grad(
                     &t.state,
                     t.action,
                     advantage * inv_n,
                     self.cfg.entropy_beta * inv_n,
                 );
+                policy_loss -= advantage * inv_n * logp;
                 idx += 1;
             }
         }
+        let grad_norm = {
+            let params = net.params_mut();
+            let sq: f64 = params.iter().flat_map(|p| p.g.iter()).map(|g| g * g).sum();
+            sq.sqrt()
+        };
         self.opt.step(&mut net.params_mut());
 
-        episodes.iter().map(|e| e.total_reward()).sum::<f64>() / episodes.len() as f64
+        UpdateStats {
+            mean_reward: episodes.iter().map(|e| e.total_reward()).sum::<f64>()
+                / episodes.len() as f64,
+            policy_loss,
+            grad_norm,
+        }
     }
 
     /// Convenience loop: `epochs` × (`episodes_per_update` rollouts + one
@@ -190,6 +221,23 @@ mod tests {
         let reward = trainer.update(&mut net, &[]);
         assert_eq!(reward, 0.0);
         assert_eq!(net.to_json(), before);
+    }
+
+    #[test]
+    fn update_stats_reports_finite_diagnostics() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut net = PolicyNet::new(1, 8, 2, &mut rng);
+        let mut env = Bandit::new(10);
+        let mut trainer = Reinforce::new(ReinforceConfig::default());
+        let mut batch = Vec::new();
+        for _ in 0..4 {
+            batch.push(trainer.rollout(&mut env, &mut net, &mut rng).unwrap());
+        }
+        let stats = trainer.update_stats(&mut net, &batch);
+        assert!(stats.mean_reward.is_finite());
+        assert!(stats.policy_loss.is_finite());
+        assert!(stats.grad_norm.is_finite() && stats.grad_norm > 0.0);
+        assert_eq!(trainer.update_stats(&mut net, &[]), UpdateStats::default());
     }
 
     #[test]

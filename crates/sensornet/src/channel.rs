@@ -92,6 +92,26 @@ pub struct ChannelStats {
 /// push returns the packets that come out the far end (possibly none, or
 /// several). Call [`LossyChannel::drain`] at shutdown to flush packets
 /// still held back for reordering.
+///
+/// # Example
+///
+/// ```
+/// use sensornet::{ChannelConfig, LossyChannel, Packet};
+///
+/// // A channel that duplicates every packet (and nothing else).
+/// let mut ch = LossyChannel::new(ChannelConfig {
+///     duplicate: 1.0,
+///     ..Default::default()
+/// });
+/// let pkt = Packet {
+///     sensor_id: 1,
+///     points: 0,
+///     payload: bytes::Bytes::from_static(b"hello"),
+/// };
+/// let out = ch.push(pkt);
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(ch.stats().duplicated, 1);
+/// ```
 pub struct LossyChannel {
     cfg: ChannelConfig,
     /// Held-back packets: (pushes survived, packet).

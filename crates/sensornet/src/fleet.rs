@@ -122,6 +122,11 @@ impl FleetSim {
 
         // Score each reassembled stream against its ground truth by the
         // kept *positions* (match reassembled timestamps back to indices).
+        let m_error = obskit::global().histogram_with(
+            "sensornet.stream.error",
+            &[("measure", measure.name())],
+            obskit::Buckets::exponential(1e-4, 10.0, 10),
+        );
         let mut err_sum = 0.0;
         let mut err_max = 0.0f64;
         let mut scored = 0usize;
@@ -134,6 +139,7 @@ impl FleetSim {
                 continue;
             }
             let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
+            m_error.record(e);
             err_sum += e;
             err_max = err_max.max(e);
             scored += 1;
@@ -160,6 +166,26 @@ impl FleetSim {
     /// every packet lost at 5% is also lost at 10%, which makes the
     /// error-vs-loss curve monotone rather than merely monotone in
     /// expectation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sensornet::{ChannelConfig, FleetSim, SensorConfig};
+    /// use baselines::Squish;
+    /// use trajectory::error::Measure;
+    /// use trajectory::Trajectory;
+    ///
+    /// let truth = vec![Trajectory::from_xyt(
+    ///     &(0..60).map(|i| (i as f64, 0.0, i as f64)).collect::<Vec<_>>(),
+    /// ).unwrap()];
+    /// let cfg = SensorConfig { buffer: 8, flush_points: 8, ..Default::default() };
+    /// let sweep = FleetSim::new(cfg)
+    ///     .with_channel(ChannelConfig::lossy(0.0, 42))
+    ///     .loss_sweep(&truth, |m| Box::new(Squish::new(m)), Measure::Sed, &[0.0, 0.2]);
+    /// assert_eq!(sweep.len(), 2);
+    /// // More loss never delivers more packets (same seed nests the drops).
+    /// assert!(sweep[1].1.link.packets <= sweep[0].1.link.packets);
+    /// ```
     pub fn loss_sweep(
         &self,
         truth: &[Trajectory],

@@ -19,7 +19,9 @@
 //! whose first timestamp precedes the stream's last are rejected.
 
 use crate::sensor::Packet;
+use obskit::{Buckets, Counter, Gauge, Histogram, Span};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use trajectory::codec::Codec;
 use trajectory::io::IoError;
 use trajectory::{Point, Trajectory};
@@ -119,12 +121,76 @@ impl Stream {
     }
 }
 
+/// The server's handles into [`obskit::global()`] — the registry-backed
+/// mirror of [`LinkStats`] (`sensornet.*`, DESIGN.md §9). The ad-hoc
+/// struct remains the per-server view; these instruments aggregate across
+/// every server in the process.
+struct ServerMetrics {
+    accepted: Arc<Counter>,
+    duplicate: Arc<Counter>,
+    reordered: Arc<Counter>,
+    corrupt: Arc<Counter>,
+    bytes: Arc<Counter>,
+    points: Arc<Counter>,
+    gaps: Arc<Counter>,
+    nacks: Arc<Counter>,
+    quarantined: Arc<Gauge>,
+    restitch: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn register() -> ServerMetrics {
+        let reg = obskit::global();
+        ServerMetrics {
+            accepted: reg.counter("sensornet.packets.accepted"),
+            duplicate: reg.counter("sensornet.packets.duplicate"),
+            reordered: reg.counter("sensornet.packets.reordered"),
+            corrupt: reg.counter("sensornet.packets.corrupt"),
+            bytes: reg.counter("sensornet.bytes.accepted"),
+            points: reg.counter("sensornet.points.accepted"),
+            gaps: reg.counter("sensornet.gaps.detected"),
+            nacks: reg.counter("sensornet.nacks.sent"),
+            quarantined: reg.gauge("sensornet.streams.quarantined"),
+            restitch: reg.histogram("sensornet.restitch.seconds", Buckets::latency()),
+        }
+    }
+}
+
 /// The server side of the uplink.
+///
+/// # Example
+///
+/// ```
+/// use sensornet::{Sensor, SensorConfig, Server};
+/// use baselines::Squish;
+/// use trajectory::codec::Codec;
+/// use trajectory::error::Measure;
+/// use trajectory::Point;
+///
+/// let cfg = SensorConfig { buffer: 4, flush_points: 4, ..Default::default() };
+/// let mut sensor = Sensor::new(7, cfg, Box::new(Squish::new(Measure::Sed)));
+/// let mut server = Server::new(Codec::new(0.01, 0.01));
+///
+/// for i in 0..16 {
+///     let fix = Point::new(i as f64, 0.0, i as f64);
+///     if let Some(pkt) = sensor.observe(fix) {
+///         server.ingest(&pkt).unwrap();
+///     }
+/// }
+/// if let Some(pkt) = sensor.force_flush() {
+///     server.ingest(&pkt).unwrap();
+/// }
+///
+/// assert_eq!(server.sensor_ids(), vec![7]);
+/// let traj = server.trajectory(7).expect("reassembled stream");
+/// assert!(traj.len() >= 2);
+/// ```
 pub struct Server {
     codec: Codec,
     streams: BTreeMap<u32, Stream>,
     stats: LinkStats,
     quarantine_threshold: u32,
+    metrics: ServerMetrics,
 }
 
 impl Server {
@@ -136,6 +202,7 @@ impl Server {
             streams: BTreeMap::new(),
             stats: LinkStats::default(),
             quarantine_threshold: DEFAULT_QUARANTINE_THRESHOLD,
+            metrics: ServerMetrics::register(),
         }
     }
 
@@ -163,12 +230,14 @@ impl Server {
             Ok(d) => d,
             Err(e) => {
                 self.stats.corrupt += 1;
+                self.metrics.corrupt.inc();
                 let threshold = self.quarantine_threshold;
                 let stream = self.streams.entry(pkt.sensor_id).or_default();
                 if !stream.quarantined {
                     stream.corrupt_strikes += 1;
                     if stream.corrupt_strikes >= threshold {
                         stream.quarantined = true;
+                        self.metrics.quarantined.add(1.0);
                     }
                 }
                 return Err(e);
@@ -193,6 +262,9 @@ impl Server {
             self.stats.packets += 1;
             self.stats.bytes += pkt.payload.len();
             self.stats.points += traj.len();
+            self.metrics.accepted.inc();
+            self.metrics.bytes.add(pkt.payload.len() as u64);
+            self.metrics.points.add(traj.len() as u64);
             stream.legacy.extend(traj.iter().copied());
             return Ok(IngestReport {
                 outcome: IngestOutcome::Accepted,
@@ -202,6 +274,7 @@ impl Server {
         let seq = meta.seq;
         if stream.segments.contains_key(&seq) {
             self.stats.duplicated += 1;
+            self.metrics.duplicate.inc();
             return Ok(IngestReport {
                 outcome: IngestOutcome::Duplicate,
                 nack: Vec::new(),
@@ -209,6 +282,7 @@ impl Server {
         }
         if stream.max_seq.is_some_and(|m| seq < m) {
             self.stats.reordered += 1;
+            self.metrics.reordered.inc();
         }
         // Register gaps that this packet makes visible.
         let horizon = stream.max_seq.map_or(0, |m| m.saturating_add(1));
@@ -216,6 +290,7 @@ impl Server {
             if !stream.segments.contains_key(&gap) && !stream.missing.contains_key(&gap) {
                 stream.missing.insert(gap, 0);
                 self.stats.gaps += 1;
+                self.metrics.gaps.inc();
             }
         }
         stream.missing.remove(&seq);
@@ -223,6 +298,9 @@ impl Server {
         self.stats.packets += 1;
         self.stats.bytes += pkt.payload.len();
         self.stats.points += traj.len();
+        self.metrics.accepted.inc();
+        self.metrics.bytes.add(pkt.payload.len() as u64);
+        self.metrics.points.add(traj.len() as u64);
         stream.segments.insert(seq, traj.points().to_vec());
         // Ask for the stream's outstanding holes, a bounded number of
         // times each.
@@ -233,6 +311,7 @@ impl Server {
                 nack.push(gap);
             }
         }
+        self.metrics.nacks.add(nack.len() as u64);
         Ok(IngestReport {
             outcome: IngestOutcome::Accepted,
             nack,
@@ -274,7 +353,9 @@ impl Server {
         if stream.quarantined {
             return None;
         }
+        let span = Span::new(Arc::clone(&self.metrics.restitch));
         let pts = stream.stitched();
+        span.finish();
         if pts.is_empty() {
             return None;
         }
@@ -290,7 +371,9 @@ impl Server {
             if stream.quarantined {
                 continue;
             }
+            let span = Span::new(Arc::clone(&self.metrics.restitch));
             let pts = stream.stitched();
+            span.finish();
             if pts.is_empty() {
                 continue;
             }

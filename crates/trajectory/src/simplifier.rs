@@ -39,12 +39,26 @@ pub trait OnlineSimplifier {
 
     /// Convenience wrapper running a whole point slice through the stream
     /// interface.
+    ///
+    /// Also reports `simplify.points.observed` / `simplify.points.dropped`
+    /// (labelled `algo=`[`name()`](OnlineSimplifier::name)) into
+    /// [`obskit::global()`] — one registry lookup per run, so the per-point
+    /// path stays untouched. See DESIGN.md §9.
     fn run(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
         self.begin(w);
         for &p in pts {
             self.observe(p);
         }
-        self.finish()
+        let kept = self.finish();
+        let algo = self.name().to_ascii_lowercase();
+        let labels = [("algo", algo.as_str())];
+        obskit::global()
+            .counter_with("simplify.points.observed", &labels)
+            .add(pts.len() as u64);
+        obskit::global()
+            .counter_with("simplify.points.dropped", &labels)
+            .add(pts.len().saturating_sub(kept.len()) as u64);
+        kept
     }
 }
 

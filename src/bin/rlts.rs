@@ -5,6 +5,7 @@
 //! rlts train     [options] --out policy.json        train a policy
 //! rlts simplify  [options] <in> [-o out.csv]        simplify one file
 //! rlts eval      [options] <file...>                compare algorithms
+//! rlts metrics   [options] [-o metrics.jsonl]       telemetry smoke run
 //!
 //! common options:
 //!   --measure sed|ped|dad|sad      error measure            [sed]
@@ -21,7 +22,16 @@
 //!   --algo rlts|rlts-skip|rlts+|rlts-skip+|rlts++|rlts-skip++|
 //!          sttrace|squish|squish-e|top-down|bottom-up|bellman|uniform
 //!   --policy FILE                  trained policy JSON (RLTS algos)
+//!
+//! metrics options:
+//!   --epochs N --count N --len N   size of the smoke run       [4 4 60]
+//!   --out FILE                     also write the JSONL snapshot
 //! ```
+//!
+//! `rlts metrics` exercises every instrumented subsystem (training,
+//! simplifiers, sensornet uplink, timed stages) with a small synthetic
+//! workload, then dumps the global metric registry as a table — the
+//! quickest way to see the telemetry contract of DESIGN.md §9 in action.
 
 use rlts::prelude::*;
 use rlts::{train, DecisionPolicy, TrainConfig, TrainedPolicy};
@@ -47,6 +57,7 @@ fn main() {
         "train" => cmd_train(&opts),
         "simplify" => cmd_simplify(&opts),
         "eval" => cmd_eval(&opts),
+        "metrics" => cmd_metrics(&opts),
         "help" | "--help" | "-h" => help(),
         other => die(&format!("unknown command '{other}'")),
     }
@@ -55,7 +66,7 @@ fn main() {
 fn help() {
     println!(
         "rlts — trajectory simplification with reinforcement learning\n\n\
-         usage: rlts <stats|train|simplify|eval|help> [options] [files...]\n\
+         usage: rlts <stats|train|simplify|eval|metrics|help> [options] [files...]\n\
          see the crate documentation (src/bin/rlts.rs) for all options"
     );
 }
@@ -314,6 +325,109 @@ fn cmd_simplify(o: &CliOpts) {
         None => {
             let mut out = std::io::stdout().lock();
             rlts::trajectory::io::write_csv(&mut out, &simplified).ok();
+        }
+    }
+}
+
+/// Runs a small synthetic workload through every instrumented subsystem
+/// (training, online + batch simplifiers, the sensornet uplink, timed
+/// stages) and dumps the global metric registry. With `--out FILE` the
+/// snapshot is also written as JSONL and verified to round-trip through
+/// the parser.
+fn cmd_metrics(o: &CliOpts) {
+    use rlts::obskit;
+    use rlts::sensornet::{ChannelConfig, FleetSim, SensorConfig};
+
+    let reg = obskit::global();
+    let seed = o.seed.unwrap_or(7);
+    let count = o.count.unwrap_or(4);
+    let len = o.len.unwrap_or(60);
+    let measure = o.measure();
+    let pool = rlts::trajgen::generate_dataset(Preset::GeolifeLike, count, len, seed);
+
+    // Stage 1: a short training run (train.* metrics).
+    eprintln!("[metrics] training ...");
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, measure);
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = o.epochs.unwrap_or(4);
+    tc.seed = seed;
+    let report = {
+        let _span = reg.span_with("bench.experiment.seconds", &[("cmd", "metrics-train")]);
+        train(&pool, &tc)
+    };
+
+    // Stage 2: simplifier evaluations (simplify.* and core.* metrics).
+    eprintln!("[metrics] simplifying ...");
+    {
+        let _span = reg.span_with("bench.experiment.seconds", &[("cmd", "metrics-simplify")]);
+        let mut learned = RltsOnline::new(
+            cfg,
+            DecisionPolicy::Learned {
+                net: report.policy.net,
+                greedy: false,
+            },
+            seed,
+        );
+        let batch_cfg = RltsConfig::paper_defaults(Variant::RltsPlus, measure);
+        let mut batch = RltsBatch::new(batch_cfg, DecisionPolicy::MinValue, seed);
+        for t in &pool {
+            let w = o.budget_for(t.len());
+            learned.run(t.points(), w);
+            Squish::new(measure).run(t.points(), w);
+            StTrace::new(measure).run(t.points(), w);
+            batch.simplify(t.points(), w);
+        }
+    }
+
+    // Stage 3: a lossy-uplink fleet sweep (sensornet.* metrics).
+    eprintln!("[metrics] loss sweep ...");
+    {
+        let _span = reg.span_with("bench.experiment.seconds", &[("cmd", "metrics-loss-sweep")]);
+        let sensor_cfg = SensorConfig {
+            buffer: 8,
+            flush_points: 16,
+            ..Default::default()
+        };
+        let channel = ChannelConfig {
+            drop: 0.0,
+            duplicate: 0.05,
+            reorder: 0.05,
+            corrupt: 0.01,
+            reorder_depth: 3,
+            seed,
+        };
+        FleetSim::new(sensor_cfg).with_channel(channel).loss_sweep(
+            &pool,
+            |m| Box::new(Squish::new(m)),
+            measure,
+            &[0.0, 0.1],
+        );
+    }
+
+    let snap = reg.snapshot();
+    print!("{}", obskit::render_table(&snap));
+    for subsystem in ["train", "simplify", "core", "sensornet", "bench"] {
+        let covered = snap
+            .samples
+            .iter()
+            .any(|s| s.id.name().starts_with(&format!("{subsystem}.")));
+        eprintln!(
+            "[metrics] subsystem {subsystem:<9} {}",
+            if covered { "covered" } else { "MISSING" }
+        );
+    }
+    if let Some(path) = &o.out {
+        let jsonl = obskit::to_jsonl(&snap);
+        std::fs::write(path, &jsonl).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        match obskit::from_jsonl(&jsonl) {
+            Ok(back) if back == snap => {
+                eprintln!(
+                    "[metrics] {} samples written to {path} (round-trip verified)",
+                    snap.samples.len()
+                );
+            }
+            Ok(_) => die("JSONL round-trip mismatch"),
+            Err(e) => die(&format!("JSONL round-trip failed: {e}")),
         }
     }
 }

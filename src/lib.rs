@@ -17,7 +17,9 @@
 //!   RLTS-Skip+, RLTS++, RLTS-Skip++), their MDP environments, and the
 //!   training harness;
 //! * [`trajgen`] — seeded synthetic workloads calibrated to the paper's
-//!   Geolife / T-Drive / Trucks datasets.
+//!   Geolife / T-Drive / Trucks datasets;
+//! * [`obskit`] — the zero-dependency observability toolkit every layer
+//!   reports into (see DESIGN.md §9 and `rlts metrics`).
 //!
 //! ## Quick start
 //!
@@ -54,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub use baselines;
+pub use obskit;
 pub use rlkit;
 pub use rlts_core;
 pub use sensornet;

@@ -1,0 +1,97 @@
+//! Telemetry integration: the training loop and the simplifiers report
+//! into the global `obskit` registry under the contract of DESIGN.md §9.
+//!
+//! Tests in this binary share the process-wide registry and may run in
+//! parallel, so every assertion is a *delta* on a handle read before the
+//! workload, never an absolute value.
+
+use rlts::obskit;
+use rlts::prelude::*;
+
+#[test]
+fn training_registers_and_updates_core_metrics() {
+    let reg = obskit::global();
+    let updates = reg.counter("train.updates.applied");
+    let transitions = reg.counter("train.transitions.total");
+    let episode_return = reg.histogram("train.episode.return", obskit::Buckets::signed_decades());
+    let before_updates = updates.get();
+    let before_transitions = transitions.get();
+    let before_returns = episode_return.snapshot().count;
+
+    let pool = rlts::trajgen::generate_dataset(Preset::GeolifeLike, 3, 50, 11);
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = 2;
+    let report = rlts::train(&pool, &tc);
+    assert!(report.transitions > 0);
+
+    assert!(
+        updates.get() > before_updates,
+        "train.updates.applied did not advance"
+    );
+    assert!(
+        transitions.get() > before_transitions,
+        "train.transitions.total did not advance"
+    );
+    assert!(
+        episode_return.snapshot().count > before_returns,
+        "train.episode.return recorded no episodes"
+    );
+    // Gauges hold the latest update's diagnostics; after a REINFORCE run
+    // (default return-normalization baseline) they must be finite.
+    let snap = reg.snapshot();
+    for name in [
+        "train.update.loss",
+        "train.grad.norm",
+        "train.steps.per_sec",
+    ] {
+        let v = snap.gauge(name).unwrap_or_else(|| panic!("{name} missing"));
+        assert!(v.is_finite(), "{name} = {v}");
+    }
+}
+
+#[test]
+fn online_simplifier_run_reports_drop_accounting() {
+    let reg = obskit::global();
+    let labels = [("algo", "squish")];
+    let observed = reg.counter_with("simplify.points.observed", &labels);
+    let dropped = reg.counter_with("simplify.points.dropped", &labels);
+    let before_observed = observed.get();
+    let before_dropped = dropped.get();
+
+    let traj = rlts::trajgen::generate(Preset::GeolifeLike, 120, 5);
+    let mut algo = Squish::new(Measure::Sed);
+    let kept = algo.run(traj.points(), 12);
+
+    assert_eq!(observed.get() - before_observed, traj.len() as u64);
+    assert_eq!(
+        dropped.get() - before_dropped,
+        (traj.len() - kept.len()) as u64
+    );
+}
+
+#[test]
+fn snapshot_survives_a_jsonl_round_trip() {
+    // A private registry keeps this test independent of whatever the
+    // parallel tests are doing to the global one.
+    let reg = obskit::Registry::new();
+    reg.counter("demo.events.seen").add(41);
+    reg.gauge("demo.queue.depth").set(-2.5);
+    let h = reg.histogram("demo.step.seconds", obskit::Buckets::latency());
+    for v in [1e-5, 3e-4, 0.02, 1.7] {
+        h.record(v);
+    }
+    let hl = reg.histogram_with(
+        "demo.eval.error",
+        &[("algo", "squish"), ("measure", "sed")],
+        obskit::Buckets::exponential(1e-4, 10.0, 10),
+    );
+    hl.record(0.037);
+
+    let snap = reg.snapshot();
+    let text = obskit::to_jsonl(&snap);
+    let back = obskit::from_jsonl(&text).expect("parses");
+    assert_eq!(snap, back);
+    // And the rendering is stable through the round trip too.
+    assert_eq!(obskit::render_table(&snap), obskit::render_table(&back));
+}
