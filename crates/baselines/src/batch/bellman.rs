@@ -28,7 +28,7 @@ impl BatchSimplifier for Bellman {
         "Bellman"
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         assert!(w >= 2, "budget must be at least 2");
         let n = pts.len();
         if n <= w {
@@ -117,7 +117,7 @@ mod tests {
     #[test]
     fn contract() {
         for m in Measure::ALL {
-            check_batch_contract(&mut Bellman::new(m), m);
+            check_batch_contract(&Bellman::new(m), m);
         }
     }
 
@@ -172,3 +172,5 @@ mod tests {
         }
     }
 }
+
+trajectory::impl_simplifier_for_batch!(Bellman);

@@ -25,7 +25,7 @@ impl BatchSimplifier for BottomUp {
         "Bottom-Up"
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         assert!(w >= 2, "budget must be at least 2");
         let n = pts.len();
         if n <= w {
@@ -75,7 +75,7 @@ mod tests {
     #[test]
     fn contract() {
         for m in Measure::ALL {
-            check_batch_contract(&mut BottomUp::new(m), m);
+            check_batch_contract(&BottomUp::new(m), m);
         }
     }
 
@@ -120,3 +120,5 @@ mod tests {
         );
     }
 }
+
+trajectory::impl_simplifier_for_batch!(BottomUp);

@@ -28,7 +28,7 @@ pub(crate) mod test_support {
     }
 
     /// Shared conformance checks for any batch simplifier.
-    pub fn check_batch_contract<S: BatchSimplifier>(algo: &mut S, measure: Measure) {
+    pub fn check_batch_contract<S: BatchSimplifier>(algo: &S, measure: Measure) {
         let pts = wiggly(60);
         for w in [2, 3, 10, 30] {
             let kept = algo.simplify(&pts, w);

@@ -71,7 +71,7 @@ impl BatchSimplifier for SpanSearch {
         "Span-Search"
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         assert!(w >= 2, "budget must be at least 2");
         let n = pts.len();
         if n <= w {
@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn contract() {
-        check_batch_contract(&mut SpanSearch::new(), Measure::Dad);
+        check_batch_contract(&SpanSearch::new(), Measure::Dad);
     }
 
     #[test]
@@ -151,3 +151,5 @@ mod tests {
         );
     }
 }
+
+trajectory::impl_simplifier_for_batch!(SpanSearch);

@@ -151,7 +151,7 @@ impl BatchSimplifier for TopDown {
         "Top-Down"
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         assert!(w >= 2, "budget must be at least 2");
         let n = pts.len();
         if n <= w {
@@ -173,14 +173,14 @@ mod tests {
     #[test]
     fn contract_rescan() {
         for m in Measure::ALL {
-            check_batch_contract(&mut TopDown::new(m), m);
+            check_batch_contract(&TopDown::new(m), m);
         }
     }
 
     #[test]
     fn contract_heap() {
         for m in Measure::ALL {
-            check_batch_contract(&mut TopDown::fast(m), m);
+            check_batch_contract(&TopDown::fast(m), m);
         }
     }
 
@@ -233,3 +233,5 @@ mod tests {
         assert_eq!(TopDown::fast(Measure::Sed).simplify(&pts, 10), vec![0, 19]);
     }
 }
+
+trajectory::impl_simplifier_for_batch!(TopDown);

@@ -20,7 +20,7 @@ impl BatchSimplifier for Uniform {
         "Uniform"
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         assert!(w >= 2, "budget must be at least 2");
         let n = pts.len();
         if n <= w {
@@ -42,7 +42,7 @@ mod tests {
 
     #[test]
     fn contract() {
-        check_batch_contract(&mut Uniform::new(), Measure::Sed);
+        check_batch_contract(&Uniform::new(), Measure::Sed);
     }
 
     #[test]
@@ -66,3 +66,5 @@ mod tests {
         }
     }
 }
+
+trajectory::impl_simplifier_for_batch!(Uniform);

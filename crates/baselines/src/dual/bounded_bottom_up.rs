@@ -23,7 +23,7 @@ impl ErrorBoundedSimplifier for BoundedBottomUp {
         "Bounded-Bottom-Up"
     }
 
-    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+    fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize> {
         assert!(epsilon >= 0.0, "error bound must be non-negative");
         assert!(pts.len() >= 2, "need at least two points");
         let n = pts.len();
@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn contract() {
         for m in Measure::ALL {
-            check_bounded_contract(&mut BoundedBottomUp::new(m), m);
+            check_bounded_contract(&BoundedBottomUp::new(m), m);
         }
     }
 
@@ -91,3 +91,5 @@ mod tests {
         }
     }
 }
+
+trajectory::impl_simplifier_for_bounded!(BoundedBottomUp);

@@ -31,7 +31,7 @@ impl ErrorBoundedSimplifier for DeadReckoning {
         "Dead-Reckoning"
     }
 
-    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+    fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize> {
         assert!(epsilon >= 0.0, "error bound must be non-negative");
         assert!(pts.len() >= 2, "need at least two points");
         let n = pts.len();
@@ -142,3 +142,5 @@ mod tests {
         }
     }
 }
+
+trajectory::impl_simplifier_for_bounded!(DeadReckoning);

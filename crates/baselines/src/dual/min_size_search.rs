@@ -25,11 +25,11 @@ impl<S: BatchSimplifier> ErrorBoundedSimplifier for MinSizeSearch<S> {
         "Min-Size-Search"
     }
 
-    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+    fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize> {
         assert!(epsilon >= 0.0, "error bound must be non-negative");
         assert!(pts.len() >= 2, "need at least two points");
         let n = pts.len();
-        let feasible = |this: &mut Self, w: usize| -> Option<Vec<usize>> {
+        let feasible = |this: &Self, w: usize| -> Option<Vec<usize>> {
             let kept = this.inner.simplify(pts, w);
             let e = simplification_error(this.measure, pts, &kept, Aggregation::Max);
             (e <= epsilon).then_some(kept)
@@ -54,6 +54,29 @@ impl<S: BatchSimplifier> ErrorBoundedSimplifier for MinSizeSearch<S> {
     }
 }
 
+// Generic over the inner simplifier, so the macro (concrete types only)
+// does not apply.
+impl<S: BatchSimplifier> trajectory::Simplifier for MinSizeSearch<S> {
+    fn name(&self) -> &'static str {
+        ErrorBoundedSimplifier::name(self)
+    }
+
+    fn supports(&self, budget: &trajectory::Budget) -> bool {
+        matches!(budget, trajectory::Budget::Error(_))
+    }
+
+    fn simplify(&self, pts: &[Point], budget: trajectory::Budget) -> trajectory::Simplification {
+        match budget {
+            trajectory::Budget::Error(epsilon) => {
+                trajectory::Simplification::new(pts.len(), self.simplify_bounded(pts, epsilon))
+            }
+            other => {
+                panic!("Min-Size-Search is a Min-Size algorithm; unsupported budget {other:?}")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,7 +88,7 @@ mod tests {
     fn bound_always_satisfied() {
         let pts = hilly(50);
         for eps in [0.5, 2.0, 8.0] {
-            let mut algo = MinSizeSearch::new(BottomUp::new(Measure::Sed), Measure::Sed);
+            let algo = MinSizeSearch::new(BottomUp::new(Measure::Sed), Measure::Sed);
             let kept = algo.simplify_bounded(&pts, eps);
             let e = simplification_error(Measure::Sed, &pts, &kept, Aggregation::Max);
             assert!(e <= eps + 1e-9, "eps {eps}: {e}");
@@ -81,7 +104,7 @@ mod tests {
         // keep more points.
         let pts = hilly(40);
         for eps in [1.0, 4.0] {
-            let mut exact = MinSizeSearch::new(Bellman::new(Measure::Sed), Measure::Sed);
+            let exact = MinSizeSearch::new(Bellman::new(Measure::Sed), Measure::Sed);
             let optimal = exact.simplify_bounded(&pts, eps);
             let split = Split::new(Measure::Sed).simplify_bounded(&pts, eps);
             assert!(
@@ -96,7 +119,7 @@ mod tests {
     #[test]
     fn zero_bound_keeps_everything_interesting() {
         let pts = hilly(30);
-        let mut algo = MinSizeSearch::new(Bellman::new(Measure::Ped), Measure::Ped);
+        let algo = MinSizeSearch::new(Bellman::new(Measure::Ped), Measure::Ped);
         let kept = algo.simplify_bounded(&pts, 0.0);
         let e = simplification_error(Measure::Ped, &pts, &kept, Aggregation::Max);
         assert!(e <= 1e-12);

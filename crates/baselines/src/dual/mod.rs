@@ -40,7 +40,7 @@ pub(crate) mod test_support {
     }
 
     /// Shared conformance checks for error-bounded simplifiers.
-    pub fn check_bounded_contract<S: ErrorBoundedSimplifier>(algo: &mut S, measure: Measure) {
+    pub fn check_bounded_contract<S: ErrorBoundedSimplifier>(algo: &S, measure: Measure) {
         let pts = hilly(70);
         let mut last_len = usize::MAX;
         for eps in [0.5, 2.0, 8.0] {

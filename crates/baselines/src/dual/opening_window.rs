@@ -24,7 +24,7 @@ impl ErrorBoundedSimplifier for OpeningWindow {
         "Opening-Window"
     }
 
-    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+    fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize> {
         assert!(epsilon >= 0.0, "error bound must be non-negative");
         assert!(pts.len() >= 2, "need at least two points");
         let n = pts.len();
@@ -57,7 +57,7 @@ mod tests {
     #[test]
     fn contract() {
         for m in Measure::ALL {
-            check_bounded_contract(&mut OpeningWindow::new(m), m);
+            check_bounded_contract(&OpeningWindow::new(m), m);
         }
     }
 
@@ -83,3 +83,5 @@ mod tests {
         }
     }
 }
+
+trajectory::impl_simplifier_for_bounded!(OpeningWindow);

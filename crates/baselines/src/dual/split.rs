@@ -61,7 +61,7 @@ impl ErrorBoundedSimplifier for Split {
         "Split"
     }
 
-    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+    fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize> {
         assert!(epsilon >= 0.0, "error bound must be non-negative");
         assert!(pts.len() >= 2, "need at least two points");
         let mut kept = vec![0usize];
@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn contract() {
         for m in Measure::ALL {
-            check_bounded_contract(&mut Split::new(m), m);
+            check_bounded_contract(&Split::new(m), m);
         }
     }
 
@@ -108,3 +108,5 @@ mod tests {
         assert!(e_dp <= e_split + 1e-9);
     }
 }
+
+trajectory::impl_simplifier_for_bounded!(Split);

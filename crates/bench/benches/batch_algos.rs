@@ -26,17 +26,17 @@ fn bench_batch(c: &mut Criterion) {
     group.sample_size(20);
 
     group.bench_function(BenchmarkId::new("top_down", n), |b| {
-        let mut algo = TopDown::new(m);
+        let algo = TopDown::new(m);
         b.iter(|| black_box(algo.simplify(pts, w)))
     });
     // Implementation-choice ablation (DESIGN.md §5): the heap-accelerated
     // Top-Down produces the same output as the paper's O(W·n) rescan.
     group.bench_function(BenchmarkId::new("top_down_fast", n), |b| {
-        let mut algo = TopDown::fast(m);
+        let algo = TopDown::fast(m);
         b.iter(|| black_box(algo.simplify(pts, w)))
     });
     group.bench_function(BenchmarkId::new("bottom_up", n), |b| {
-        let mut algo = BottomUp::new(m);
+        let algo = BottomUp::new(m);
         b.iter(|| black_box(algo.simplify(pts, w)))
     });
 
@@ -48,7 +48,7 @@ fn bench_batch(c: &mut Criterion) {
         let cfg = RltsConfig::paper_defaults(variant, m);
         let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
         group.bench_function(BenchmarkId::new(variant.name(), n), |b| {
-            let mut algo = RltsBatch::new(
+            let algo = RltsBatch::new(
                 cfg,
                 DecisionPolicy::Learned {
                     net: net.clone(),

@@ -10,7 +10,7 @@ use rlkit::nn::PolicyNet;
 use rlts_core::{DecisionPolicy, RltsConfig, RltsOnline, Variant};
 use std::hint::black_box;
 use trajectory::error::Measure;
-use trajectory::OnlineSimplifier;
+use trajectory::{CloneOnlineSimplifier, OnlineSimplifier};
 use trajgen::Preset;
 
 fn bench_online(c: &mut Criterion) {
@@ -67,5 +67,31 @@ fn bench_online(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_online);
+/// The same per-trajectory kernel fanned out over a dataset through
+/// `parkit::map`, at 1/2/4 threads — the eval-grid scaling story
+/// (DESIGN.md §10). Results are identical at every thread count; only the
+/// wall-clock changes.
+fn bench_online_threaded(c: &mut Criterion) {
+    let data = trajgen::generate_dataset(Preset::TruckLike, 32, 1_000, 12);
+    let m = Measure::Sed;
+    let w = 100;
+
+    let mut group = c.benchmark_group("online_eval_threads");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((data.len() * 1_000) as u64));
+    for threads in [1, 2, 4] {
+        group.bench_function(BenchmarkId::new("squish_dataset", threads), |b| {
+            let proto: Box<dyn CloneOnlineSimplifier> = Box::new(Squish::new(m));
+            b.iter(|| {
+                black_box(parkit::map(threads, &data, |_, t| {
+                    let mut algo = proto.clone_box();
+                    algo.run(t.points(), w)
+                }))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online, bench_online_threaded);
 criterion_main!(benches);

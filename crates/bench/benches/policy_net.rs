@@ -13,7 +13,7 @@ fn bench_policy_net(c: &mut Criterion) {
     // Paper defaults: k = 3 inputs, 20 hidden, 3 actions (RLTS) and the
     // widest configuration used anywhere (k + J state, k + J actions).
     let mut small = PolicyNet::new(3, 20, 3, &mut rng);
-    let mut wide = PolicyNet::new(5, 20, 5, &mut rng);
+    let wide = PolicyNet::new(5, 20, 5, &mut rng);
     let s3 = [0.5, 1.0, 2.0];
     let s5 = [0.5, 1.0, 2.0, 0.1, 0.2];
 

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rlkit::nn::PolicyNet;
 use rlkit::{Reinforce, ReinforceConfig};
-use rlts_core::{RltsConfig, SimplifyEnv, Variant};
+use rlts_core::{RltsConfig, SimplifyEnv, TrainConfig, Variant};
 use std::hint::black_box;
 use trajectory::error::Measure;
 use trajgen::Preset;
@@ -25,11 +25,11 @@ fn bench_rollout(c: &mut Criterion) {
         group.throughput(Throughput::Elements(180)); // ~n − W transitions
         group.bench_function(BenchmarkId::new("episode", variant.name()), |b| {
             let mut rng = StdRng::seed_from_u64(1);
-            let mut net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
+            let net = PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng);
             let mut env = SimplifyEnv::new(cfg, &pool, 2);
             env.w_fraction = (0.1, 0.1);
             let trainer = Reinforce::new(ReinforceConfig::default());
-            b.iter(|| black_box(trainer.rollout(&mut env, &mut net, &mut rng)))
+            b.iter(|| black_box(trainer.rollout(&mut env, &net, &mut rng)))
         });
     }
     group.finish();
@@ -44,7 +44,7 @@ fn bench_update(c: &mut Criterion) {
     env.w_fraction = (0.1, 0.1);
     let mut trainer = Reinforce::new(ReinforceConfig::default());
     let episodes: Vec<_> = (0..4)
-        .filter_map(|_| trainer.rollout(&mut env, &mut net, &mut rng))
+        .filter_map(|_| trainer.rollout(&mut env, &net, &mut rng))
         .collect();
     let transitions: usize = episodes.iter().map(|e| e.len()).sum();
 
@@ -56,5 +56,25 @@ fn bench_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rollout, bench_update);
+/// End-to-end training at 1/2/4 collection threads (DESIGN.md §10): the
+/// rollout fan-out scales, the policy update stays serial, and the learned
+/// policy is bit-identical at every point on the curve.
+fn bench_train_threaded(c: &mut Criterion) {
+    let pool = trajgen::generate_dataset(Preset::GeolifeLike, 4, 200, 33);
+    let mut group = c.benchmark_group("training_threads");
+    group.sample_size(10);
+    for threads in [1, 2, 4] {
+        group.bench_function(BenchmarkId::new("train_epoch", threads), |b| {
+            let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+            let mut tc = TrainConfig::quick(cfg);
+            tc.epochs = 1;
+            tc.episodes_per_update = 8;
+            tc.threads = threads;
+            b.iter(|| black_box(rlts_core::train(&pool, &tc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rollout, bench_update, bench_train_threaded);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! repro <command> [--scale F] [--seed N] [--out DIR]
+//! repro <command> [--scale F] [--seed N] [--out DIR] [--threads N]
 //!
 //! commands:
 //!   table1            dataset statistics (Table I)
@@ -29,6 +29,9 @@
 //!
 //! `--scale 1` (default) is laptop scale; the paper's sizes correspond to
 //! roughly `--scale 30` (hours of compute).
+//!
+//! `--threads 0` (default) fans evaluation and episode collection out over
+//! all available cores; any fixed count produces identical numbers.
 
 use rlts_bench::experiments as exp;
 use rlts_bench::harness::{Opts, PolicyStore};
@@ -64,7 +67,7 @@ fn print_span_summary() {
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
-         [--scale F] [--seed N] [--out DIR]"
+         [--scale F] [--seed N] [--out DIR] [--threads N]"
     );
     std::process::exit(2)
 }
@@ -93,6 +96,10 @@ fn main() {
             "--out" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 opts.out_dir = v.into();
+            }
+            "--threads" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                opts.threads = v.parse().unwrap_or_else(|_| usage());
             }
             _ => usage(),
         }

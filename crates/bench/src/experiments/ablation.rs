@@ -44,8 +44,8 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
         ),
     ];
     for (name, c, p) in variants {
-        let mut algo = RltsOnline::new(c, p, 17);
-        let r = eval_online(&mut algo, &data, w_frac, measure);
+        let algo = RltsOnline::new(c, p, 17);
+        let r = eval_online(&algo, &data, w_frac, measure, opts.threads);
         table.row(vec![name.to_string(), fmt(r.mean_error)]);
         records.push(Record {
             mode: "online".into(),
@@ -64,8 +64,8 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
         ("random", DecisionPolicy::Random),
         ("arg-min (heuristic)", DecisionPolicy::MinValue),
     ] {
-        let mut algo = RltsBatch::new(cfg, p, 17);
-        let r = eval_batch(&mut algo, &data, w_frac, measure);
+        let algo = RltsBatch::new(cfg, p, 17);
+        let r = eval_batch(&algo, &data, w_frac, measure, opts.threads);
         table.row(vec![name.to_string(), fmt(r.mean_error)]);
         records.push(Record {
             mode: "batch".into(),

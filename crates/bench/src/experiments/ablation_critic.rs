@@ -48,6 +48,7 @@ pub fn run(opts: &Opts) {
             w_fraction: (0.1, 0.5),
             seed: opts.seed,
             baseline,
+            threads: opts.threads,
         };
         let report = train(&pool, &tc);
         let best = report
@@ -55,7 +56,7 @@ pub fn run(opts: &Opts) {
             .iter()
             .cloned()
             .fold(f64::NEG_INFINITY, f64::max);
-        let mut algo = RltsOnline::new(
+        let algo = RltsOnline::new(
             cfg,
             DecisionPolicy::Learned {
                 net: report.policy.net,
@@ -63,7 +64,7 @@ pub fn run(opts: &Opts) {
             },
             17,
         );
-        let r = eval_online(&mut algo, &eval, 0.1, Measure::Sed);
+        let r = eval_online(&algo, &eval, 0.1, Measure::Sed, opts.threads);
         table.row(vec![
             name.to_string(),
             fmt(r.mean_error),

@@ -37,13 +37,18 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     ]);
     let mut records = Vec::new();
     for measure in Measure::ALL {
-        let bellman = eval_batch(&mut Bellman::new(measure), &data, w_frac, measure);
+        let bellman = eval_batch(&Bellman::new(measure), &data, w_frac, measure, opts.threads);
         let mut rows = vec![bellman.clone()];
         for algo in crate::harness::batch_suite(measure, store, &spec) {
-            let mut algo = algo;
             // Only the RLTS variants are the paper's subject here, but the
             // other baselines give useful context for free.
-            rows.push(eval_batch(algo.as_mut(), &data, w_frac, measure));
+            rows.push(eval_batch(
+                algo.as_ref(),
+                &data,
+                w_frac,
+                measure,
+                opts.threads,
+            ));
         }
         for r in rows {
             let ratio = if bellman.mean_error > 0.0 {

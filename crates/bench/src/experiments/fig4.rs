@@ -49,10 +49,10 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     for measure in Measure::ALL {
         // Online panel.
         let mut table = TextTable::new(&["Algorithm", "W=0.1", "W=0.2", "W=0.3", "W=0.4", "W=0.5"]);
-        for mut algo in online_suite(measure, store, &spec) {
+        for algo in online_suite(measure, store, &spec) {
             let mut cells = vec![algo.name().to_string()];
             for &f in &fracs {
-                let r = eval_online(algo.as_mut(), &data, f, measure);
+                let r = eval_online(algo.as_ref(), &data, f, measure, opts.threads);
                 cells.push(fmt(r.mean_error));
                 records.push(Record {
                     mode: "online".into(),
@@ -68,10 +68,10 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
 
         // Batch panel.
         let mut table = TextTable::new(&["Algorithm", "W=0.1", "W=0.2", "W=0.3", "W=0.4", "W=0.5"]);
-        for mut algo in batch_suite(measure, store, &spec) {
+        for algo in batch_suite(measure, store, &spec) {
             let mut cells = vec![algo.name().to_string()];
             for &f in &fracs {
-                let r = eval_batch(algo.as_mut(), &data, f, measure);
+                let r = eval_batch(algo.as_ref(), &data, f, measure, opts.threads);
                 cells.push(fmt(r.mean_error));
                 records.push(Record {
                     mode: "batch".into(),

@@ -35,12 +35,12 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let mut table = TextTable::new(&["Algorithm", "n1", "n2", "n3", "n4", "n5"]);
     let header: Vec<String> = lengths.iter().map(|n| n.to_string()).collect();
     println!("\n[Fig 5 lengths: {}]", header.join(", "));
-    for mut algo in online_suite(measure, store, &spec) {
+    for algo in online_suite(measure, store, &spec) {
         let mut cells = vec![algo.name().to_string()];
         for &n in &lengths {
             let data =
                 trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
-            let r = eval_online(algo.as_mut(), &data, w_frac, measure);
+            let r = eval_online(algo.as_ref(), &data, w_frac, measure, opts.threads);
             cells.push(fmt(r.time_per_point_us));
             records.push(Record {
                 mode: "online".into(),
@@ -56,12 +56,12 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
 
     // Batch panel: total time (s).
     let mut table = TextTable::new(&["Algorithm", "n1", "n2", "n3", "n4", "n5"]);
-    for mut algo in batch_suite(measure, store, &spec) {
+    for algo in batch_suite(measure, store, &spec) {
         let mut cells = vec![algo.name().to_string()];
         for &n in &lengths {
             let data =
                 trajgen::generate_dataset(Preset::TruckLike, count, n, opts.seed + 50 + n as u64);
-            let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
+            let r = eval_batch(algo.as_ref(), &data, w_frac, measure, opts.threads);
             cells.push(fmt(r.total_time_s));
             records.push(Record {
                 mode: "batch".into(),

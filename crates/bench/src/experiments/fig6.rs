@@ -33,10 +33,10 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
 
     println!("\n[Fig 6: |T| = {n}]");
     let mut table = TextTable::new(&["Algorithm", "W=0.1", "W=0.2", "W=0.3", "W=0.4", "W=0.5"]);
-    for mut algo in online_suite(measure, store, &spec) {
+    for algo in online_suite(measure, store, &spec) {
         let mut cells = vec![algo.name().to_string()];
         for &f in &fracs {
-            let r = eval_online(algo.as_mut(), &data, f, measure);
+            let r = eval_online(algo.as_ref(), &data, f, measure, opts.threads);
             cells.push(fmt(r.time_per_point_us));
             records.push(Record {
                 mode: "online".into(),
@@ -51,10 +51,10 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     table.print("Fig 6(a): online time per point (µs) vs W (Truck-like, SED)");
 
     let mut table = TextTable::new(&["Algorithm", "W=0.1", "W=0.2", "W=0.3", "W=0.4", "W=0.5"]);
-    for mut algo in batch_suite(measure, store, &spec) {
+    for algo in batch_suite(measure, store, &spec) {
         let mut cells = vec![algo.name().to_string()];
         for &f in &fracs {
-            let r = eval_batch(algo.as_mut(), &data, f, measure);
+            let r = eval_batch(algo.as_ref(), &data, f, measure, opts.threads);
             cells.push(fmt(r.total_time_s));
             records.push(Record {
                 mode: "batch".into(),

@@ -44,9 +44,10 @@ pub fn run(opts: &Opts) {
             w_fraction: (0.1, 0.5),
             seed: opts.seed,
             baseline: Default::default(),
+            threads: opts.threads,
         };
         let report = train(&pool, &tc);
-        let mut algo = RltsOnline::new(
+        let algo = RltsOnline::new(
             cfg,
             DecisionPolicy::Learned {
                 net: report.policy.net,
@@ -54,7 +55,7 @@ pub fn run(opts: &Opts) {
             },
             17,
         );
-        let r = eval_online(&mut algo, &eval, 0.1, measure);
+        let r = eval_online(&algo, &eval, 0.1, measure, opts.threads);
         table.row(vec![
             count.to_string(),
             format!("{:.1}", report.wall_time.as_secs_f64()),

@@ -4,7 +4,7 @@
 //! natural habitat.
 
 use crate::harness::{
-    batch_suite, eval_batch, eval_online, fmt, online_suite, Opts, PolicyStore, TextTable,
+    batch_suite, eval_grid, fmt, online_suite, GridAlgo, GridCell, Opts, PolicyStore, TextTable,
     TrainSpec,
 };
 use rand::rngs::StdRng;
@@ -39,34 +39,54 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let data = grid_dataset(count, len, opts.seed + 120);
     let spec = TrainSpec::default_for(opts);
     let w_frac = 0.1;
-    let mut records = Vec::new();
+
+    // One flat (algo × measure × trajectory) fan-out: every cell of the
+    // comparison goes through a single `eval_grid` call so slow cells
+    // (the RL variants) overlap with fast ones.
+    let mut cells = Vec::new();
+    let mut modes = Vec::new();
+    for measure in [Measure::Sed, Measure::Dad] {
+        for algo in online_suite(measure, store, &spec) {
+            cells.push(GridCell {
+                algo: GridAlgo::Online(algo),
+                measure,
+                w_frac,
+            });
+            modes.push("online");
+        }
+        for algo in batch_suite(measure, store, &spec) {
+            cells.push(GridCell {
+                algo: GridAlgo::Batch(algo),
+                measure,
+                w_frac,
+            });
+            modes.push("batch");
+        }
+    }
+    let results = eval_grid(&cells, &data, opts.threads);
+    let records: Vec<Record> = cells
+        .iter()
+        .zip(&modes)
+        .zip(&results)
+        .map(|((cell, mode), r)| Record {
+            mode: (*mode).into(),
+            measure: cell.measure.to_string(),
+            algo: r.algo.clone(),
+            mean_error: r.mean_error,
+        })
+        .collect();
 
     for measure in [Measure::Sed, Measure::Dad] {
-        let mut table = TextTable::new(&["Algorithm", "mean error"]);
-        for mut algo in online_suite(measure, store, &spec) {
-            let r = eval_online(algo.as_mut(), &data, w_frac, measure);
-            table.row(vec![r.algo.clone(), fmt(r.mean_error)]);
-            records.push(Record {
-                mode: "online".into(),
-                measure: measure.to_string(),
-                algo: r.algo,
-                mean_error: r.mean_error,
-            });
+        for mode in ["online", "batch"] {
+            let mut table = TextTable::new(&["Algorithm", "mean error"]);
+            for rec in records
+                .iter()
+                .filter(|r| r.mode == mode && r.measure == measure.to_string())
+            {
+                table.row(vec![rec.algo.clone(), fmt(rec.mean_error)]);
+            }
+            table.print(&format!("Road grid ({mode}, {measure}, W = 0.1n)"));
         }
-        table.print(&format!("Road grid (online, {measure}, W = 0.1n)"));
-
-        let mut table = TextTable::new(&["Algorithm", "mean error"]);
-        for mut algo in batch_suite(measure, store, &spec) {
-            let r = eval_batch(algo.as_mut(), &data, w_frac, measure);
-            table.row(vec![r.algo.clone(), fmt(r.mean_error)]);
-            records.push(Record {
-                mode: "batch".into(),
-                measure: measure.to_string(),
-                algo: r.algo,
-                mean_error: r.mean_error,
-            });
-        }
-        table.print(&format!("Road grid (batch, {measure}, W = 0.1n)"));
     }
     println!(
         "[expected shape: on grid data the turn points are everything — the \

@@ -52,12 +52,10 @@ pub fn run(opts: &Opts) {
     };
     let rates = [0.0, 0.05, 0.10, 0.20];
 
-    let sweep = FleetSim::new(cfg).with_channel(channel).loss_sweep(
-        &data,
-        |m| Box::new(Squish::new(m)),
-        Measure::Sed,
-        &rates,
-    );
+    let sweep = FleetSim::new(cfg)
+        .with_channel(channel)
+        .with_threads(opts.threads)
+        .loss_sweep(&data, |m| Box::new(Squish::new(m)), Measure::Sed, &rates);
 
     let mut table = TextTable::new(&[
         "drop",

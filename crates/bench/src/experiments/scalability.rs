@@ -26,7 +26,7 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     println!("\n[Exp 8: longest trajectory n = {n}, W = {w}]");
     let mut table = TextTable::new(&["Algorithm", "Time (s)", "SED error"]);
     let mut records = Vec::new();
-    for mut algo in batch_suite(measure, store, &spec) {
+    for algo in batch_suite(measure, store, &spec) {
         let (kept, dt) = time(|| algo.simplify(traj.points(), w));
         let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
         table.row(vec![algo.name().to_string(), fmt(dt.as_secs_f64()), fmt(e)]);

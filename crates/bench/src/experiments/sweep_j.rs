@@ -36,8 +36,8 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
             j: jj,
             ..RltsConfig::paper_defaults(variant, measure)
         };
-        let mut algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
-        let r = eval_online(&mut algo, &data, w_frac, measure);
+        let algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
+        let r = eval_online(&algo, &data, w_frac, measure, opts.threads);
         table.row(vec![j.to_string(), fmt(r.mean_error), fmt(r.total_time_s)]);
         records.push(Record {
             j,

@@ -30,8 +30,8 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
             k,
             ..RltsConfig::paper_defaults(Variant::Rlts, measure)
         };
-        let mut algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
-        let r = eval_online(&mut algo, &data, w_frac, measure);
+        let algo = RltsOnline::new(cfg, store.decision(cfg, &spec), 17);
+        let r = eval_online(&algo, &data, w_frac, measure, opts.threads);
         table.row(vec![k.to_string(), fmt(r.mean_error), fmt(r.total_time_s)]);
         records.push(Record {
             k,

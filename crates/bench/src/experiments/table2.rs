@@ -51,6 +51,7 @@ pub fn run(opts: &Opts) {
                 w_fraction: (0.1, 0.5),
                 seed: opts.seed,
                 baseline: Default::default(),
+                threads: opts.threads,
             };
             let report = train(&pool, &tc);
             let secs = report.wall_time.as_secs_f64();

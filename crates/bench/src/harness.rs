@@ -8,7 +8,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 use trajectory::error::{simplification_error, Aggregation, Measure};
-use trajectory::{BatchSimplifier, OnlineSimplifier, Trajectory};
+use trajectory::{BatchSimplifier, CloneOnlineSimplifier, Trajectory};
 use trajgen::Preset;
 
 /// Harness options shared by every experiment.
@@ -21,6 +21,10 @@ pub struct Opts {
     pub out_dir: PathBuf,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for evaluation fan-out (`0` = available parallelism).
+    /// Evaluation results are identical at any thread count; only the
+    /// wall-clock changes.
+    pub threads: usize,
 }
 
 impl Default for Opts {
@@ -29,6 +33,7 @@ impl Default for Opts {
             scale: 1.0,
             out_dir: PathBuf::from("results"),
             seed: 7,
+            threads: 0,
         }
     }
 }
@@ -74,6 +79,10 @@ pub struct TrainSpec {
     pub lr: f64,
     /// Seed.
     pub seed: u64,
+    /// Episode-collection worker threads (`0` = available parallelism).
+    /// Not part of the cache key: training output is thread-count
+    /// invariant.
+    pub threads: usize,
 }
 
 impl TrainSpec {
@@ -88,6 +97,7 @@ impl TrainSpec {
             episodes: 6,
             lr: 0.02,
             seed: opts.seed,
+            threads: opts.threads,
         }
     }
 
@@ -166,6 +176,7 @@ impl PolicyStore {
             w_fraction: (0.1, 0.5),
             seed: spec.seed,
             baseline: Default::default(),
+            threads: spec.threads,
         };
         let report = train(&pool, &tc);
         let policy = report.policy;
@@ -186,18 +197,12 @@ impl PolicyStore {
         }
     }
 
-    /// Trains (or loads) a set of policies in parallel, one thread per
-    /// configuration. Subsequent [`PolicyStore::decision`] calls hit the
-    /// in-memory cache.
+    /// Trains (or loads) a set of policies in parallel. Subsequent
+    /// [`PolicyStore::decision`] calls hit the in-memory cache.
     pub fn pretrain_parallel(&self, cfgs: &[RltsConfig], spec: &TrainSpec) {
-        crossbeam::thread::scope(|scope| {
-            for &cfg in cfgs {
-                scope.spawn(move |_| {
-                    self.get_or_train(cfg, spec);
-                });
-            }
-        })
-        .expect("training thread panicked");
+        parkit::map(0, cfgs, |_, &cfg| {
+            self.get_or_train(cfg, spec);
+        });
     }
 }
 
@@ -214,60 +219,137 @@ pub struct EvalResult {
     pub time_per_point_us: f64,
 }
 
-/// Runs a batch simplifier over a dataset at budget `w = ceil(frac · n)`.
-pub fn eval_batch(
-    algo: &mut dyn BatchSimplifier,
-    data: &[Trajectory],
-    w_frac: f64,
-    measure: Measure,
-) -> EvalResult {
-    let m_error = eval_error_histogram(algo.name(), measure);
+/// The per-trajectory outcome of one `(algo, trajectory)` evaluation task.
+type TaskOutcome = (f64, Duration, usize);
+
+/// Folds per-trajectory outcomes into an [`EvalResult`], recording the error
+/// histogram serially (in input order) so telemetry is schedule-independent.
+fn summarize(name: &str, measure: Measure, per: &[TaskOutcome], trajectories: usize) -> EvalResult {
+    let m_error = eval_error_histogram(name, measure);
     let mut err_sum = 0.0;
     let mut total = Duration::ZERO;
     let mut points = 0usize;
-    for t in data {
-        let w = budget(t.len(), w_frac);
-        let (kept, dt) = time(|| algo.simplify(t.points(), w));
-        total += dt;
-        points += t.len();
-        let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
+    for &(e, dt, n) in per {
         m_error.record(e);
         err_sum += e;
+        total += dt;
+        points += n;
     }
     EvalResult {
-        algo: algo.name().to_string(),
-        mean_error: err_sum / data.len().max(1) as f64,
+        algo: name.to_string(),
+        mean_error: err_sum / trajectories.max(1) as f64,
         total_time_s: total.as_secs_f64(),
         time_per_point_us: total.as_secs_f64() * 1e6 / points.max(1) as f64,
     }
 }
 
-/// Runs an online simplifier over a dataset at budget `w = ceil(frac · n)`.
-pub fn eval_online(
-    algo: &mut dyn OnlineSimplifier,
+fn eval_task(kept: Vec<usize>, dt: Duration, t: &Trajectory, measure: Measure) -> TaskOutcome {
+    let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
+    (e, dt, t.len())
+}
+
+/// Runs a batch simplifier over a dataset at budget `w = ceil(frac · n)`,
+/// fanning trajectories out over `threads` workers (`0` = available
+/// parallelism). `total_time_s` stays the *summed* per-trajectory time, so
+/// it is comparable across thread counts; the wall-clock saving shows up in
+/// the `bench.eval.seconds` span.
+pub fn eval_batch(
+    algo: &dyn BatchSimplifier,
     data: &[Trajectory],
     w_frac: f64,
     measure: Measure,
+    threads: usize,
 ) -> EvalResult {
-    let m_error = eval_error_histogram(algo.name(), measure);
-    let mut err_sum = 0.0;
-    let mut total = Duration::ZERO;
-    let mut points = 0usize;
-    for t in data {
+    let _span = obskit::global().span("bench.eval.seconds");
+    let per = parkit::map(threads, data, |_, t| {
         let w = budget(t.len(), w_frac);
-        let (kept, dt) = time(|| algo.run(t.points(), w));
-        total += dt;
-        points += t.len();
-        let e = simplification_error(measure, t.points(), &kept, Aggregation::Max);
-        m_error.record(e);
-        err_sum += e;
+        let (kept, dt) = time(|| algo.simplify(t.points(), w));
+        eval_task(kept, dt, t, measure)
+    });
+    summarize(algo.name(), measure, &per, data.len())
+}
+
+/// Runs an online simplifier over a dataset at budget `w = ceil(frac · n)`.
+///
+/// Each worker clones the algorithm per trajectory ([`CloneOnlineSimplifier`]);
+/// `begin` fully resets per-stream state, so results match a serial run.
+pub fn eval_online(
+    algo: &dyn CloneOnlineSimplifier,
+    data: &[Trajectory],
+    w_frac: f64,
+    measure: Measure,
+    threads: usize,
+) -> EvalResult {
+    let _span = obskit::global().span("bench.eval.seconds");
+    let per = parkit::map(threads, data, |_, t| {
+        let mut runner = algo.clone_box();
+        let w = budget(t.len(), w_frac);
+        let (kept, dt) = time(|| runner.run(t.points(), w));
+        eval_task(kept, dt, t, measure)
+    });
+    summarize(algo.name(), measure, &per, data.len())
+}
+
+/// An algorithm entry in the evaluation grid.
+pub enum GridAlgo {
+    /// A batch-mode simplifier, shared by reference across workers.
+    Batch(Box<dyn BatchSimplifier>),
+    /// An online simplifier, cloned per trajectory.
+    Online(Box<dyn CloneOnlineSimplifier>),
+}
+
+impl GridAlgo {
+    /// The algorithm's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GridAlgo::Batch(a) => a.name(),
+            GridAlgo::Online(a) => a.name(),
+        }
     }
-    EvalResult {
-        algo: algo.name().to_string(),
-        mean_error: err_sum / data.len().max(1) as f64,
-        total_time_s: total.as_secs_f64(),
-        time_per_point_us: total.as_secs_f64() * 1e6 / points.max(1) as f64,
-    }
+}
+
+/// One `(algorithm, measure, budget-fraction)` cell of the evaluation grid.
+pub struct GridCell {
+    /// The algorithm under test.
+    pub algo: GridAlgo,
+    /// Error measure to evaluate under.
+    pub measure: Measure,
+    /// Budget fraction (`w = ceil(frac · n)` per trajectory).
+    pub w_frac: f64,
+}
+
+/// Evaluates every `(cell × trajectory)` pair of the grid in parallel and
+/// returns one [`EvalResult`] per cell, in cell order.
+///
+/// This is the flat fan-out: a slow cell (say, RLTS+ on long trajectories)
+/// does not serialize behind fast ones, because individual trajectories are
+/// the unit of scheduling. Results are identical at any thread count.
+pub fn eval_grid(cells: &[GridCell], data: &[Trajectory], threads: usize) -> Vec<EvalResult> {
+    let _span = obskit::global().span("bench.eval.seconds");
+    let tasks: Vec<(usize, usize)> = (0..cells.len())
+        .flat_map(|c| (0..data.len()).map(move |t| (c, t)))
+        .collect();
+    let per = parkit::map(threads, &tasks, |_, &(c, t)| {
+        let cell = &cells[c];
+        let traj = &data[t];
+        let w = budget(traj.len(), cell.w_frac);
+        let (kept, dt) = match &cell.algo {
+            GridAlgo::Batch(a) => time(|| a.simplify(traj.points(), w)),
+            GridAlgo::Online(a) => {
+                let mut runner = a.clone_box();
+                time(|| runner.run(traj.points(), w))
+            }
+        };
+        eval_task(kept, dt, traj, cell.measure)
+    });
+    cells
+        .iter()
+        .enumerate()
+        .map(|(c, cell)| {
+            let slice = &per[c * data.len()..(c + 1) * data.len()];
+            summarize(cell.algo.name(), cell.measure, slice, data.len())
+        })
+        .collect()
 }
 
 /// The per-trajectory error histogram for one `(algo, measure)` pair
@@ -288,11 +370,14 @@ pub fn budget(n: usize, frac: f64) -> usize {
 
 /// The full online comparison set of the paper for a measure:
 /// STTrace, SQUISH, SQUISH-E, RLTS, RLTS-Skip.
+///
+/// Returned as [`CloneOnlineSimplifier`] so the eval grid can clone one
+/// runner per trajectory and fan out.
 pub fn online_suite(
     measure: Measure,
     store: &PolicyStore,
     spec: &TrainSpec,
-) -> Vec<Box<dyn OnlineSimplifier>> {
+) -> Vec<Box<dyn CloneOnlineSimplifier>> {
     use baselines::{Squish, SquishE, StTrace};
     use rlts_core::RltsOnline;
     let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, measure);
@@ -474,11 +559,43 @@ mod tests {
     fn eval_batch_counts_time_and_error() {
         use baselines::Uniform;
         let data = trajgen::generate_dataset(trajgen::Preset::GeolifeLike, 3, 50, 1);
-        let r = eval_batch(&mut Uniform::new(), &data, 0.2, Measure::Sed);
+        let r = eval_batch(&Uniform::new(), &data, 0.2, Measure::Sed, 2);
         assert_eq!(r.algo, "Uniform");
         assert!(r.mean_error >= 0.0 && r.mean_error.is_finite());
         assert!(r.total_time_s >= 0.0);
         assert!(r.time_per_point_us >= 0.0);
+    }
+
+    #[test]
+    fn eval_grid_is_thread_count_invariant() {
+        use baselines::{StTrace, Uniform};
+        let data = trajgen::generate_dataset(trajgen::Preset::GeolifeLike, 6, 60, 3);
+        let cells = || {
+            vec![
+                GridCell {
+                    algo: GridAlgo::Batch(Box::new(Uniform::new())),
+                    measure: Measure::Sed,
+                    w_frac: 0.2,
+                },
+                GridCell {
+                    algo: GridAlgo::Online(Box::new(StTrace::new(Measure::Ped))),
+                    measure: Measure::Ped,
+                    w_frac: 0.3,
+                },
+            ]
+        };
+        let serial = eval_grid(&cells(), &data, 1);
+        for threads in [2, 4, 8] {
+            let parallel = eval_grid(&cells(), &data, threads);
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.algo, p.algo);
+                assert_eq!(
+                    s.mean_error, p.mean_error,
+                    "{}: error diverged at {threads} threads",
+                    s.algo
+                );
+            }
+        }
     }
 
     #[test]

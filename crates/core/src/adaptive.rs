@@ -92,14 +92,18 @@ fn coefficient_of_variation(xs: &[f64]) -> f64 {
 /// A batch simplifier that picks the error measure per trajectory via
 /// [`DynamicsProfile::recommend`] and delegates to a per-measure inner
 /// simplifier built by the factory.
+///
+/// The factory is `Fn` and the choice record sits behind a mutex, matching
+/// the shared-`&self` contract of [`BatchSimplifier`]; under concurrent use
+/// [`AdaptiveBatch::last_choice`] reports whichever call recorded last.
 pub struct AdaptiveBatch<F> {
     factory: F,
-    last_choice: Option<Measure>,
+    last_choice: std::sync::Mutex<Option<Measure>>,
 }
 
 impl<F, S> AdaptiveBatch<F>
 where
-    F: FnMut(Measure) -> S,
+    F: Fn(Measure) -> S + Send + Sync,
     S: BatchSimplifier,
 {
     /// Creates an adaptive simplifier from a per-measure factory, e.g.
@@ -107,28 +111,28 @@ where
     pub fn new(factory: F) -> Self {
         AdaptiveBatch {
             factory,
-            last_choice: None,
+            last_choice: std::sync::Mutex::new(None),
         }
     }
 
     /// The measure chosen for the most recent `simplify` call.
     pub fn last_choice(&self) -> Option<Measure> {
-        self.last_choice
+        *self.last_choice.lock().expect("last-choice lock poisoned")
     }
 }
 
 impl<F, S> BatchSimplifier for AdaptiveBatch<F>
 where
-    F: FnMut(Measure) -> S,
+    F: Fn(Measure) -> S + Send + Sync,
     S: BatchSimplifier,
 {
     fn name(&self) -> &'static str {
         "Adaptive"
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         let measure = DynamicsProfile::of(pts).recommend();
-        self.last_choice = Some(measure);
+        *self.last_choice.lock().expect("last-choice lock poisoned") = Some(measure);
         (self.factory)(measure).simplify(pts, w)
     }
 }
@@ -222,7 +226,7 @@ mod tests {
             let a = i as f64 * 0.5;
             (a.cos() * 8.0, a.sin() * 8.0, i as f64)
         }));
-        let mut adaptive = AdaptiveBatch::new(BottomUp::new);
+        let adaptive = AdaptiveBatch::new(BottomUp::new);
         let kept = adaptive.simplify(&pts, 8);
         assert_eq!(adaptive.last_choice(), Some(Measure::Dad));
         assert!(kept.len() <= 8);

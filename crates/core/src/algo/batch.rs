@@ -12,12 +12,15 @@ use trajectory::{BatchSimplifier, Point};
 
 /// Batch RLTS: the learned policy decides which of the `k` cheapest merge
 /// candidates to drop (or how many points to skip/drop at once).
+///
+/// Holds configuration and the (frozen) policy only — every `simplify` call
+/// reseeds a private action RNG from `seed`, so the value is freely shared
+/// across evaluation workers and each call is deterministic per seed.
 #[derive(Debug, Clone)]
 pub struct RltsBatch {
     cfg: RltsConfig,
     policy: DecisionPolicy,
     seed: u64,
-    rng: StdRng,
 }
 
 impl RltsBatch {
@@ -34,12 +37,7 @@ impl RltsBatch {
             "{} is an online variant; use RltsOnline",
             cfg.variant
         );
-        RltsBatch {
-            cfg,
-            policy,
-            seed,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        RltsBatch { cfg, policy, seed }
     }
 
     /// The configuration in use.
@@ -47,7 +45,7 @@ impl RltsBatch {
         &self.cfg
     }
 
-    fn simplify_plus(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify_plus(&self, pts: &[Point], w: usize, rng: &mut StdRng) -> Vec<usize> {
         let n = pts.len();
         let shared: Arc<[Point]> = Arc::from(pts);
         let mut bbuf = BatchBuffer::from_prefix(shared, self.cfg.measure, w - 1);
@@ -79,7 +77,7 @@ impl RltsBatch {
                 }
             }
             let mask = action_mask(k, cands.len(), j_total, j_valid);
-            let action = self.policy.choose(&state, &mask, &mut self.rng);
+            let action = self.policy.choose(&state, &mask, rng);
             let action = clamp_action(action, k, cands.len(), j_valid);
             if action < k {
                 let (victim, _) = cands[action];
@@ -99,7 +97,7 @@ impl RltsBatch {
         bbuf.kept_indices()
     }
 
-    fn simplify_pp(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify_pp(&self, pts: &[Point], w: usize, rng: &mut StdRng) -> Vec<usize> {
         let shared: Arc<[Point]> = Arc::from(pts);
         let mut bbuf = BatchBuffer::from_all(shared, self.cfg.measure);
         let (k, j_cfg) = (self.cfg.k, self.cfg.j);
@@ -126,7 +124,7 @@ impl RltsBatch {
                 }
             }
             let mask = action_mask(k, cands.len(), j_total, j_valid);
-            let action = self.policy.choose(&state, &mask, &mut self.rng);
+            let action = self.policy.choose(&state, &mask, rng);
             let action = clamp_action(action, k, cands.len(), j_valid);
             if action < k {
                 bbuf.drop(cands[action].0);
@@ -150,29 +148,29 @@ impl BatchSimplifier for RltsBatch {
         self.cfg.variant.name()
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
         assert!(w >= 2, "budget must be at least 2");
         if pts.len() <= w {
             return (0..pts.len()).collect();
         }
-        self.rng = StdRng::seed_from_u64(self.seed);
+        // Per-call scratch RNG: calls are independent and deterministic per
+        // seed regardless of how many ran before (or concurrently).
+        let mut rng = StdRng::seed_from_u64(self.seed);
         let kept = if self.cfg.variant.is_variable_buffer() {
-            self.simplify_pp(pts, w)
+            self.simplify_pp(pts, w, &mut rng)
         } else {
-            self.simplify_plus(pts, w)
+            self.simplify_plus(pts, w, &mut rng)
         };
-        // Same telemetry contract as OnlineSimplifier::run (DESIGN.md §9).
-        let algo = self.name().to_ascii_lowercase();
-        let labels = [("algo", algo.as_str())];
-        obskit::global()
-            .counter_with("simplify.points.observed", &labels)
-            .add(pts.len() as u64);
-        obskit::global()
-            .counter_with("simplify.points.dropped", &labels)
-            .add(pts.len().saturating_sub(kept.len()) as u64);
+        // Same telemetry contract as OnlineSimplifier::run (DESIGN.md §9),
+        // through the same cached per-algorithm counter handles.
+        let (observed, dropped) = trajectory::point_counters(self.name());
+        observed.add(pts.len() as u64);
+        dropped.add(pts.len().saturating_sub(kept.len()) as u64);
         kept
     }
 }
+
+trajectory::impl_simplifier_for_batch!(RltsBatch);
 
 #[cfg(test)]
 mod tests {
@@ -196,7 +194,7 @@ mod tests {
         PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng)
     }
 
-    fn check_contract(algo: &mut RltsBatch) {
+    fn check_contract(algo: &RltsBatch) {
         let pts = wiggle(70);
         for w in [3, 10, 30] {
             let kept = algo.simplify(&pts, w);
@@ -223,12 +221,12 @@ mod tests {
             for m in Measure::ALL {
                 let cfg = RltsConfig::paper_defaults(variant, m);
                 let net = fresh_net(&cfg, 5);
-                check_contract(&mut RltsBatch::new(
+                check_contract(&RltsBatch::new(
                     cfg,
                     DecisionPolicy::Learned { net, greedy: true },
                     3,
                 ));
-                check_contract(&mut RltsBatch::new(cfg, DecisionPolicy::Random, 4));
+                check_contract(&RltsBatch::new(cfg, DecisionPolicy::Random, 4));
             }
         }
     }

@@ -89,6 +89,31 @@ impl SimplifyEnv {
         &self.cfg
     }
 
+    /// A fresh environment positioned to run exactly global episode
+    /// `episode`: the next [`Environment::reset`] picks trajectory
+    /// `episode % pool` and draws the budget fraction from an RNG seeded
+    /// with `seed`.
+    ///
+    /// This is the seed-splitting hook for parallel episode collection
+    /// (DESIGN.md §10): workers fork one environment per episode id, so the
+    /// trajectory/budget stream each episode sees is a function of
+    /// `(episode, seed)` alone — independent of worker count and schedule.
+    pub fn fork_for_episode(&self, episode: u64, seed: u64) -> SimplifyEnv {
+        SimplifyEnv {
+            cfg: self.cfg,
+            trajectories: self.trajectories.clone(),
+            w_fraction: self.w_fraction,
+            rng: StdRng::seed_from_u64(seed),
+            cursor: (episode % self.trajectories.len() as u64) as usize,
+            pts: Arc::from(Vec::new()),
+            w: 0,
+            i: 0,
+            kind: None,
+            cands: Vec::new(),
+            j_valid: 0,
+        }
+    }
+
     fn n(&self) -> usize {
         self.pts.len()
     }

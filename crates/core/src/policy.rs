@@ -28,7 +28,11 @@ pub enum DecisionPolicy {
 impl DecisionPolicy {
     /// Chooses an action index given the state and a per-action validity
     /// mask (at least one action must be valid).
-    pub fn choose<R: Rng + ?Sized>(&mut self, state: &[f64], valid: &[bool], rng: &mut R) -> usize {
+    ///
+    /// `&self`: inference never mutates the policy, so one policy value can
+    /// drive many concurrent simplifications (randomness comes from the
+    /// caller-owned `rng`).
+    pub fn choose<R: Rng + ?Sized>(&self, state: &[f64], valid: &[bool], rng: &mut R) -> usize {
         debug_assert!(valid.iter().any(|&v| v), "no valid action");
         match self {
             DecisionPolicy::MinValue => 0,
@@ -83,14 +87,14 @@ mod tests {
     #[test]
     fn min_value_always_first() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut p = DecisionPolicy::MinValue;
+        let p = DecisionPolicy::MinValue;
         assert_eq!(p.choose(&[1.0, 2.0, 3.0], &[true, true, true], &mut rng), 0);
     }
 
     #[test]
     fn random_respects_mask() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut p = DecisionPolicy::Random;
+        let p = DecisionPolicy::Random;
         for _ in 0..100 {
             let a = p.choose(&[0.0; 4], &[false, true, false, true], &mut rng);
             assert!(a == 1 || a == 3);
@@ -101,7 +105,7 @@ mod tests {
     fn learned_masks_invalid_actions() {
         let mut rng = StdRng::seed_from_u64(3);
         let net = PolicyNet::new(3, 8, 3, &mut rng);
-        let mut p = DecisionPolicy::Learned { net, greedy: false };
+        let p = DecisionPolicy::Learned { net, greedy: false };
         for _ in 0..50 {
             let a = p.choose(&[0.5, 1.0, 2.0], &[true, false, true], &mut rng);
             assert_ne!(a, 1);
@@ -112,7 +116,7 @@ mod tests {
     fn learned_greedy_is_deterministic() {
         let mut rng = StdRng::seed_from_u64(4);
         let net = PolicyNet::new(2, 8, 4, &mut rng);
-        let mut p = DecisionPolicy::Learned { net, greedy: true };
+        let p = DecisionPolicy::Learned { net, greedy: true };
         let a1 = p.choose(&[0.1, 0.9], &[true; 4], &mut rng);
         let a2 = p.choose(&[0.1, 0.9], &[true; 4], &mut rng);
         assert_eq!(a1, a2);

@@ -55,6 +55,12 @@ pub struct TrainConfig {
     /// Variance-reduction baseline.
     #[serde(default)]
     pub baseline: Baseline,
+    /// Worker threads for episode collection (`0` = available parallelism).
+    /// Results are bit-identical at any thread count: every episode's RNG
+    /// streams are derived from its global episode id, not from a shared
+    /// sequential stream (DESIGN.md §10).
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl TrainConfig {
@@ -74,6 +80,7 @@ impl TrainConfig {
             w_fraction: (0.1, 0.5),
             seed: 0xC0FFEE,
             baseline: Baseline::ReturnNormalization,
+            threads: 0,
         }
     }
 }
@@ -114,6 +121,11 @@ pub struct TrainReport {
 }
 
 /// Trains an RLTS policy on a pool of trajectories.
+///
+/// Episode collection within each update fans out over
+/// [`TrainConfig::threads`] workers; the policy update itself stays serial.
+/// Training output is independent of the thread count (see the `threads`
+/// field docs and DESIGN.md §10).
 pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
     tc.rlts.validate().expect("invalid RLTS configuration");
     let start = Instant::now();
@@ -161,27 +173,41 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
     let m_grad = reg.gauge("train.grad.norm");
     let m_rate = reg.gauge("train.steps.per_sec");
     let m_best = reg.gauge("train.reward.best");
+    let m_workers = reg.gauge("train.workers.active");
 
     let mut history = Vec::new();
     let mut transitions = 0usize;
     let mut best_reward = f64::NEG_INFINITY;
     let mut best_net = net.clone();
     let updates_per_epoch = trajectories.len().max(1);
-    for _epoch in 0..tc.epochs {
-        for _ in 0..updates_per_epoch {
+    let threads = parkit::resolve_threads(tc.threads);
+    m_workers.set(threads.min(tc.episodes_per_update.max(1)) as f64);
+    // Seed-splitting (DESIGN.md §10): each episode derives its own env and
+    // action RNG streams from its *global episode id*, never from a shared
+    // sequential stream, so results are bit-identical at any thread count.
+    let env_seed = tc.seed ^ 0x9E3779B97F4A7C15;
+    let action_seed = tc.seed ^ 0x517C_C1B7_2722_0A95;
+    let slots: Vec<u64> = (0..tc.episodes_per_update as u64).collect();
+    for epoch in 0..tc.epochs {
+        for update in 0..updates_per_epoch {
+            let base = (epoch as u64 * updates_per_epoch as u64 + update as u64)
+                * tc.episodes_per_update as u64;
+            let rollouts = parkit::map(threads, &slots, |_, &slot| {
+                let g = base + slot;
+                let mut ep_env = env.fork_for_episode(g, parkit::mix_seed(env_seed, g));
+                let mut ep_rng = StdRng::seed_from_u64(parkit::mix_seed(action_seed, g));
+                match &trainer {
+                    Trainer::Pnet(t) => t.rollout(&mut ep_env, &net, &mut ep_rng),
+                    Trainer::Ac(t, _) => t.rollout(&mut ep_env, &net, &mut ep_rng),
+                }
+            });
             let mut batch = Vec::with_capacity(tc.episodes_per_update);
-            for _ in 0..tc.episodes_per_update {
-                let ep = match &trainer {
-                    Trainer::Pnet(t) => t.rollout(&mut env, &mut net, &mut rng),
-                    Trainer::Ac(t, _) => t.rollout(&mut env, &mut net, &mut rng),
-                };
-                if let Some(ep) = ep {
-                    if !ep.is_empty() {
-                        transitions += ep.len();
-                        m_transitions.add(ep.len() as u64);
-                        m_return.record(ep.total_reward());
-                        batch.push(ep);
-                    }
+            for ep in rollouts.into_iter().flatten() {
+                if !ep.is_empty() {
+                    transitions += ep.len();
+                    m_transitions.add(ep.len() as u64);
+                    m_return.record(ep.total_reward());
+                    batch.push(ep);
                 }
             }
             if batch.is_empty() {
@@ -280,7 +306,7 @@ mod tests {
         tc.epochs = 1;
         tc.episodes_per_update = 2;
         let report = train(&data, &tc);
-        let mut algo = RltsBatch::new(
+        let algo = RltsBatch::new(
             cfg,
             DecisionPolicy::Learned {
                 net: report.policy.net,
@@ -301,17 +327,10 @@ mod tests {
         tc.episodes_per_update = 1;
         let report = train(&data, &tc);
         let json = report.policy.to_json();
-        let mut back = TrainedPolicy::from_json(&json).unwrap();
+        let back = TrainedPolicy::from_json(&json).unwrap();
         assert_eq!(back.config, cfg);
         let s = vec![0.5; cfg.state_dim()];
-        for (a, b) in report
-            .policy
-            .net
-            .clone()
-            .probs(&s)
-            .iter()
-            .zip(back.net.probs(&s))
-        {
+        for (a, b) in report.policy.net.probs(&s).iter().zip(back.net.probs(&s)) {
             assert!((a - b).abs() < 1e-12);
         }
     }
@@ -347,6 +366,30 @@ mod tests {
         let b = train(&data, &tc);
         assert_eq!(a.reward_history, b.reward_history);
         assert_eq!(a.policy.to_json(), b.policy.to_json());
+    }
+
+    #[test]
+    fn training_is_thread_count_invariant() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let data = pool(3, 50);
+        let mut tc = TrainConfig::quick(cfg);
+        tc.epochs = 2;
+        tc.episodes_per_update = 6;
+        tc.threads = 1;
+        let serial = train(&data, &tc);
+        for threads in [2, 4, 8] {
+            tc.threads = threads;
+            let parallel = train(&data, &tc);
+            assert_eq!(
+                serial.reward_history, parallel.reward_history,
+                "reward history diverged at {threads} threads"
+            );
+            assert_eq!(
+                serial.policy.to_json(),
+                parallel.policy.to_json(),
+                "trained policy diverged at {threads} threads"
+            );
+        }
     }
 
     #[test]

@@ -391,7 +391,7 @@ mod tests {
             f64::MIN_POSITIVE,
             f64::MAX,
             -2.2250738585072014e-308,
-            123456789.123456789,
+            123_456_789.123_456_79,
         ] {
             let back = parse(&num_f64(v).render()).unwrap().as_f64().unwrap();
             assert_eq!(back.to_bits(), v.to_bits(), "{v} drifted to {back}");

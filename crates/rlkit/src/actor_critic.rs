@@ -58,7 +58,8 @@ impl ActorCritic {
     }
 
     /// Rolls out one episode with the current (stochastic) policy.
-    pub fn rollout<E, R>(&self, env: &mut E, actor: &mut PolicyNet, rng: &mut R) -> Option<Episode>
+    /// Shared-reference actor for the same reason as [`Reinforce::rollout`].
+    pub fn rollout<E, R>(&self, env: &mut E, actor: &PolicyNet, rng: &mut R) -> Option<Episode>
     where
         E: Environment + ?Sized,
         R: Rng + ?Sized,

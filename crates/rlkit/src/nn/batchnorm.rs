@@ -53,10 +53,18 @@ impl BatchNorm {
     /// Forward pass. In `train` mode the running statistics are first
     /// updated from `x`.
     pub fn forward(&mut self, x: &[f64], out: &mut [f64], train: bool) {
-        debug_assert_eq!(x.len(), self.dim);
         if train {
+            debug_assert_eq!(x.len(), self.dim);
             self.observe(x);
         }
+        self.forward_eval(x, out);
+    }
+
+    /// Inference-mode forward pass: normalizes with the frozen running
+    /// statistics and never mutates the layer, so shared references can
+    /// evaluate concurrently (the parallel rollout workers rely on this).
+    pub fn forward_eval(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dim);
         #[allow(clippy::needless_range_loop)] // parallel arrays indexed by feature
         for i in 0..self.dim {
             let norm = (x[i] - self.running_mean[i]) / (self.running_var[i] + EPS).sqrt();

@@ -43,19 +43,20 @@ impl PolicyNet {
     }
 
     /// Action probabilities for a state (inference mode; running batch-norm
-    /// statistics are not updated).
-    pub fn probs(&mut self, state: &[f64]) -> Vec<f64> {
-        self.forward(state, false).2
+    /// statistics are not updated, so `&self` — rollout workers share one
+    /// network across threads).
+    pub fn probs(&self, state: &[f64]) -> Vec<f64> {
+        self.forward_eval(state).2
     }
 
     /// Samples an action from `π_θ(·|state)`.
-    pub fn sample<R: Rng + ?Sized>(&mut self, state: &[f64], rng: &mut R) -> usize {
+    pub fn sample<R: Rng + ?Sized>(&self, state: &[f64], rng: &mut R) -> usize {
         let probs = self.probs(state);
         sample_categorical(&probs, rng)
     }
 
     /// The most probable action (used by the paper in batch mode).
-    pub fn greedy(&mut self, state: &[f64]) -> usize {
+    pub fn greedy(&self, state: &[f64]) -> usize {
         let probs = self.probs(state);
         argmax(&probs)
     }
@@ -144,11 +145,30 @@ impl PolicyNet {
     }
 
     fn forward(&mut self, state: &[f64], train: bool) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        if train {
+            // Only training-mode passes touch the batch-norm statistics;
+            // run the observation first, then share the eval path.
+            debug_assert_eq!(state.len(), self.l1.in_dim, "state dimension mismatch");
+            let mut z1 = vec![0.0; self.l1.out_dim];
+            self.l1.forward(state, &mut z1);
+            let mut bn_out = vec![0.0; z1.len()];
+            self.bn.forward(&z1, &mut bn_out, true);
+            let h: Vec<f64> = bn_out.iter().map(|v| v.tanh()).collect();
+            let mut z2 = vec![0.0; self.l2.out_dim];
+            self.l2.forward(&h, &mut z2);
+            let probs = softmax(&z2);
+            (z1, h, probs)
+        } else {
+            self.forward_eval(state)
+        }
+    }
+
+    fn forward_eval(&self, state: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         debug_assert_eq!(state.len(), self.l1.in_dim, "state dimension mismatch");
         let mut z1 = vec![0.0; self.l1.out_dim];
         self.l1.forward(state, &mut z1);
         let mut bn_out = vec![0.0; z1.len()];
-        self.bn.forward(&z1, &mut bn_out, train);
+        self.bn.forward_eval(&z1, &mut bn_out);
         let h: Vec<f64> = bn_out.iter().map(|v| v.tanh()).collect();
         let mut z2 = vec![0.0; self.l2.out_dim];
         self.l2.forward(&h, &mut z2);
@@ -192,7 +212,7 @@ mod tests {
     #[test]
     fn probs_form_distribution() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut net = PolicyNet::new(3, 20, 4, &mut rng);
+        let net = PolicyNet::new(3, 20, 4, &mut rng);
         let p = net.probs(&[0.1, 0.2, 0.3]);
         assert_eq!(p.len(), 4);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -202,7 +222,7 @@ mod tests {
     #[test]
     fn greedy_picks_max_prob() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut net = PolicyNet::new(2, 8, 3, &mut rng);
+        let net = PolicyNet::new(2, 8, 3, &mut rng);
         let p = net.probs(&[1.0, -1.0]);
         assert_eq!(net.greedy(&[1.0, -1.0]), argmax(&p));
     }
@@ -293,7 +313,7 @@ mod tests {
         // Touch the BN stats so non-default state is exercised.
         net.accumulate_policy_grad(&[1.0, 2.0, 3.0, 4.0], 0, 0.5, 0.0);
         let json = net.to_json();
-        let mut back = PolicyNet::from_json(&json).unwrap();
+        let back = PolicyNet::from_json(&json).unwrap();
         let s = [0.1, 0.2, 0.3, 0.4];
         for (a, b) in net.probs(&s).iter().zip(back.probs(&s)) {
             assert!((a - b).abs() < 1e-12, "probs drifted: {a} vs {b}");

@@ -67,7 +67,10 @@ impl Reinforce {
 
     /// Rolls out one episode with the current (stochastic) policy.
     /// Returns `None` if the environment cannot start an episode.
-    pub fn rollout<E, R>(&self, env: &mut E, net: &mut PolicyNet, rng: &mut R) -> Option<Episode>
+    ///
+    /// Takes the network by shared reference: rollouts are pure inference,
+    /// so many workers can collect episodes from one `&PolicyNet` at once.
+    pub fn rollout<E, R>(&self, env: &mut E, net: &PolicyNet, rng: &mut R) -> Option<Episode>
     where
         E: Environment + ?Sized,
         R: Rng + ?Sized,
@@ -231,7 +234,7 @@ mod tests {
         let mut trainer = Reinforce::new(ReinforceConfig::default());
         let mut batch = Vec::new();
         for _ in 0..4 {
-            batch.push(trainer.rollout(&mut env, &mut net, &mut rng).unwrap());
+            batch.push(trainer.rollout(&mut env, &net, &mut rng).unwrap());
         }
         let stats = trainer.update_stats(&mut net, &batch);
         assert!(stats.mean_reward.is_finite());
@@ -243,10 +246,10 @@ mod tests {
     #[test]
     fn rollout_visits_full_episode() {
         let mut rng = StdRng::seed_from_u64(14);
-        let mut net = PolicyNet::new(1, 4, 2, &mut rng);
+        let net = PolicyNet::new(1, 4, 2, &mut rng);
         let mut env = Bandit::new(7);
         let trainer = Reinforce::new(ReinforceConfig::default());
-        let ep = trainer.rollout(&mut env, &mut net, &mut rng).unwrap();
+        let ep = trainer.rollout(&mut env, &net, &mut rng).unwrap();
         assert_eq!(ep.len(), 7);
     }
 

@@ -44,19 +44,32 @@ impl FleetReport {
 pub struct FleetSim {
     cfg: SensorConfig,
     channel: Option<ChannelConfig>,
+    threads: usize,
 }
 
 impl FleetSim {
     /// Creates a simulation where every sensor uses the same configuration
     /// and the uplink is perfect.
     pub fn new(cfg: SensorConfig) -> Self {
-        FleetSim { cfg, channel: None }
+        FleetSim {
+            cfg,
+            channel: None,
+            threads: 0,
+        }
     }
 
     /// Routes every packet through a seeded [`LossyChannel`] instead of a
     /// perfect link.
     pub fn with_channel(mut self, channel: ChannelConfig) -> Self {
         self.channel = Some(channel);
+        self
+    }
+
+    /// Sets the worker-thread count for [`FleetSim::loss_sweep`]
+    /// (`0`, the default, means available parallelism). Each drop rate is
+    /// an independent simulation, so results are identical at any count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -167,6 +180,11 @@ impl FleetSim {
     /// error-vs-loss curve monotone rather than merely monotone in
     /// expectation.
     ///
+    /// The rates run concurrently over [`FleetSim::with_threads`] workers
+    /// (each rate is a fully independent simulation), so `make_algo` must
+    /// be `Fn + Sync` — it is called once per sensor per rate, possibly
+    /// from several threads at once.
+    ///
     /// # Example
     ///
     /// ```
@@ -189,21 +207,20 @@ impl FleetSim {
     pub fn loss_sweep(
         &self,
         truth: &[Trajectory],
-        mut make_algo: impl FnMut(Measure) -> Box<dyn OnlineSimplifier>,
+        make_algo: impl Fn(Measure) -> Box<dyn OnlineSimplifier> + Sync,
         measure: Measure,
         drop_rates: &[f64],
     ) -> Vec<(f64, FleetReport)> {
         let base = self.channel.clone().unwrap_or_default();
-        drop_rates
-            .iter()
-            .map(|&rate| {
-                let sim = FleetSim {
-                    cfg: self.cfg.clone(),
-                    channel: Some(base.clone().with_drop(rate)),
-                };
-                (rate, sim.run(truth, &mut make_algo, measure))
-            })
-            .collect()
+        let reports = parkit::map(self.threads, drop_rates, |_, &rate| {
+            let sim = FleetSim {
+                cfg: self.cfg.clone(),
+                channel: Some(base.clone().with_drop(rate)),
+                threads: 1,
+            };
+            sim.run(truth, &make_algo, measure)
+        });
+        drop_rates.iter().copied().zip(reports).collect()
     }
 }
 
@@ -425,6 +442,34 @@ mod tests {
         // Unrecovered holes are bounded by what the channel injected
         // (drops, plus corrupted packets that never got replayed).
         assert!(report.link.dropped <= ch.dropped + ch.corrupted);
+    }
+
+    #[test]
+    fn loss_sweep_is_thread_count_invariant() {
+        let data = truth(2, 100);
+        let rates = [0.0, 0.05, 0.1, 0.2];
+        let channel = ChannelConfig::lossy(0.0, 13);
+        let serial = FleetSim::new(cfg())
+            .with_channel(channel.clone())
+            .with_threads(1)
+            .loss_sweep(&data, |m| Box::new(Squish::new(m)), Measure::Sed, &rates);
+        for threads in [2, 4, 8] {
+            let parallel = FleetSim::new(cfg())
+                .with_channel(channel.clone())
+                .with_threads(threads)
+                .loss_sweep(&data, |m| Box::new(Squish::new(m)), Measure::Sed, &rates);
+            for ((rs, s), (rp, p)) in serial.iter().zip(&parallel) {
+                assert_eq!(rs, rp);
+                assert_eq!(
+                    s.link.packets, p.link.packets,
+                    "packet counts diverged at {threads} threads (rate {rs})"
+                );
+                assert_eq!(
+                    s.mean_error, p.mean_error,
+                    "errors diverged at {threads} threads (rate {rs})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -48,13 +48,20 @@ pub use buffer::OrderedBuffer;
 pub use incremental::ErrorBook;
 pub use point::{angular_difference, Point};
 pub use segment::Segment;
-pub use simplifier::{BatchSimplifier, ErrorBoundedSimplifier, OnlineAsBatch, OnlineSimplifier};
+pub use simplifier::{
+    point_counters, BatchSimplifier, Budget, CloneOnlineSimplifier, ErrorBoundedSimplifier,
+    OnlineAsBatch, OnlineSimplifier, Simplification, Simplifier, SimplifyStats,
+};
 pub use traj::{Trajectory, TrajectoryError};
 
 /// Convenient glob-import of the most used items.
 pub mod prelude {
     pub use crate::error::{drop_error, segment_error, simplification_error, Aggregation, Measure};
+    // `Simplifier` is deliberately absent: its `simplify` method would make
+    // every `BatchSimplifier::simplify` call ambiguous under a glob import.
+    // Budget-polymorphic code imports it explicitly.
     pub use crate::{
-        BatchSimplifier, ErrorBook, OnlineSimplifier, OrderedBuffer, Point, Segment, Trajectory,
+        BatchSimplifier, Budget, CloneOnlineSimplifier, ErrorBook, OnlineSimplifier, OrderedBuffer,
+        Point, Segment, Simplification, Trajectory,
     };
 }

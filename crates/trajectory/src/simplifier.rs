@@ -1,11 +1,38 @@
 //! Common interfaces implemented by every simplification algorithm in the
 //! workspace (baselines and the RLTS family alike).
+//!
+//! # Sharing contract (DESIGN.md §10)
+//!
+//! Batch and error-bounded simplifiers are *values*: configuration plus
+//! frozen model weights, never per-run scratch. Their entry points take
+//! `&self` and the traits require `Send + Sync`, so one boxed algorithm can
+//! be shared by every evaluation worker simultaneously — scratch state is
+//! allocated inside each call. Online simplifiers are inherently stateful
+//! (they *are* the stream buffer), so they keep `&mut self`; parallel
+//! evaluation clones one prototype per task instead (see
+//! [`CloneOnlineSimplifier`]), which is sound because
+//! [`OnlineSimplifier::begin`] must fully reset all per-stream state.
+//!
+//! # Budget unification
+//!
+//! The Min-Error problem ("best error within `w` points") and its Min-Size
+//! dual ("fewest points within error `ε`") historically had divergent entry
+//! points. [`Simplifier`] unifies them behind a [`Budget`] and a common
+//! [`Simplification`] return value, so callers like the CLI can treat both
+//! families uniformly; the specialized traits remain the implementation
+//! surface.
 
 use crate::point::Point;
+use obskit::Counter;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A batch-mode simplifier: sees the whole trajectory and returns the kept
 /// indices.
-pub trait BatchSimplifier {
+///
+/// Implementations hold configuration only — `simplify` takes `&self` and
+/// allocates any scratch per call, so one value can serve many threads.
+pub trait BatchSimplifier: Send + Sync {
     /// Short algorithm name for reports (e.g. `"Bottom-Up"`).
     fn name(&self) -> &'static str;
 
@@ -15,7 +42,14 @@ pub trait BatchSimplifier {
     ///
     /// # Panics
     /// Implementations may panic if `w < 2` or `pts.len() < 2`.
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize>;
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize>;
+
+    /// Pre-redesign entry point, kept for one release so downstream code
+    /// migrating from the `&mut self` API keeps compiling.
+    #[deprecated(since = "0.2.0", note = "simplify takes &self now; call it directly")]
+    fn simplify_mut(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
+        self.simplify(pts, w)
+    }
 }
 
 /// An online-mode simplifier: consumes the stream point by point while
@@ -25,6 +59,11 @@ pub trait OnlineSimplifier {
     fn name(&self) -> &'static str;
 
     /// Starts a new stream with buffer budget `w`.
+    ///
+    /// Must fully reset *all* per-stream state (buffers, counters, RNG
+    /// reseeding): a value that has `begin` called on it behaves identically
+    /// to a freshly constructed one. Parallel evaluation depends on this —
+    /// it clones a prototype per task and calls `begin` on each clone.
     ///
     /// # Panics
     /// Implementations may panic if `w < 2`.
@@ -42,29 +81,53 @@ pub trait OnlineSimplifier {
     ///
     /// Also reports `simplify.points.observed` / `simplify.points.dropped`
     /// (labelled `algo=`[`name()`](OnlineSimplifier::name)) into
-    /// [`obskit::global()`] — one registry lookup per run, so the per-point
-    /// path stays untouched. See DESIGN.md §9.
+    /// [`obskit::global()`] via a process-wide cached handle — repeated runs
+    /// in the eval grid re-use the label instead of re-validating and
+    /// re-allocating it per call. See DESIGN.md §9.
     fn run(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
         self.begin(w);
         for &p in pts {
             self.observe(p);
         }
         let kept = self.finish();
-        let algo = self.name().to_ascii_lowercase();
-        let labels = [("algo", algo.as_str())];
-        obskit::global()
-            .counter_with("simplify.points.observed", &labels)
-            .add(pts.len() as u64);
-        obskit::global()
-            .counter_with("simplify.points.dropped", &labels)
-            .add(pts.len().saturating_sub(kept.len()) as u64);
+        let (observed, dropped) = point_counters(self.name());
+        observed.add(pts.len() as u64);
+        dropped.add(pts.len().saturating_sub(kept.len()) as u64);
         kept
+    }
+}
+
+/// An [`OnlineSimplifier`] that can be duplicated behind a trait object.
+///
+/// This is the clone-per-worker bridge for parallel evaluation: the eval
+/// grid holds one prototype `Box<dyn CloneOnlineSimplifier>` per algorithm
+/// and clones it for each trajectory task. Blanket-implemented for every
+/// `Clone + Send + Sync` online simplifier.
+pub trait CloneOnlineSimplifier: OnlineSimplifier + Send + Sync {
+    /// Clones this simplifier into a fresh box.
+    fn clone_box(&self) -> Box<dyn CloneOnlineSimplifier>;
+}
+
+impl<T> CloneOnlineSimplifier for T
+where
+    T: OnlineSimplifier + Clone + Send + Sync + 'static,
+{
+    fn clone_box(&self) -> Box<dyn CloneOnlineSimplifier> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn CloneOnlineSimplifier> {
+    fn clone(&self) -> Self {
+        self.as_ref().clone_box()
     }
 }
 
 /// A simplifier for the *dual* Min-Size problem (paper §II): keep as few
 /// points as possible subject to an error bound `epsilon`.
-pub trait ErrorBoundedSimplifier {
+///
+/// Same sharing contract as [`BatchSimplifier`]: `&self`, scratch per call.
+pub trait ErrorBoundedSimplifier: Send + Sync {
     /// Short algorithm name for reports (e.g. `"Split"`).
     fn name(&self) -> &'static str;
 
@@ -75,19 +138,403 @@ pub trait ErrorBoundedSimplifier {
     ///
     /// # Panics
     /// Implementations may panic if `epsilon` is negative or `pts.len() < 2`.
-    fn simplify_bounded(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize>;
+    fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize>;
+
+    /// Pre-redesign entry point, kept for one release so downstream code
+    /// migrating from the `&mut self` API keeps compiling.
+    #[deprecated(
+        since = "0.2.0",
+        note = "simplify_bounded takes &self now; call it directly"
+    )]
+    fn simplify_bounded_mut(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
+        self.simplify_bounded(pts, epsilon)
+    }
+}
+
+/// The resource budget a simplification runs under: either the Min-Error
+/// form (at most `w` points, minimize error) or the Min-Size dual (any
+/// number of points, error at most `ε`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Keep at most this many points (Min-Error; paper §II problem 1).
+    Points(usize),
+    /// Keep error within this bound (Min-Size; paper §II problem 2).
+    Error(f64),
+}
+
+/// Size bookkeeping for one simplification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Number of input points.
+    pub points_in: usize,
+    /// Number of points kept.
+    pub points_kept: usize,
+}
+
+impl SimplifyStats {
+    /// The compression ratio `points_in / points_kept` (∞-safe: returns 0
+    /// when nothing was kept).
+    pub fn compression(&self) -> f64 {
+        if self.points_kept == 0 {
+            0.0
+        } else {
+            self.points_in as f64 / self.points_kept as f64
+        }
+    }
+}
+
+/// The uniform result of a budgeted simplification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Simplification {
+    /// Kept 0-based indices, ascending, endpoints included.
+    pub kept: Vec<usize>,
+    /// Size bookkeeping for the run.
+    pub stats: SimplifyStats,
+}
+
+impl Simplification {
+    /// Wraps a kept-index vector produced from `points_in` input points.
+    pub fn new(points_in: usize, kept: Vec<usize>) -> Self {
+        let stats = SimplifyStats {
+            points_in,
+            points_kept: kept.len(),
+        };
+        Simplification { kept, stats }
+    }
+}
+
+/// The unified entry point over both problem forms.
+///
+/// Implementations accept whichever [`Budget`] variants they `support` and
+/// panic on the others — callers route with [`Simplifier::supports`] when
+/// the budget is dynamic. Implemented for every batch algorithm via
+/// [`impl_simplifier_for_batch!`] and every error-bounded one via
+/// [`impl_simplifier_for_bounded!`].
+pub trait Simplifier: Send + Sync {
+    /// Short algorithm name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether this algorithm can run under the given budget kind.
+    fn supports(&self, budget: &Budget) -> bool;
+
+    /// Runs the simplification under `budget`.
+    ///
+    /// # Panics
+    /// If `!self.supports(budget)`, or under the underlying algorithm's own
+    /// preconditions.
+    fn simplify(&self, pts: &[Point], budget: Budget) -> Simplification;
+}
+
+/// Implements [`Simplifier`] for a Min-Error ([`BatchSimplifier`]) type:
+/// accepts [`Budget::Points`], panics on [`Budget::Error`].
+#[macro_export]
+macro_rules! impl_simplifier_for_batch {
+    ($ty:ty) => {
+        impl $crate::Simplifier for $ty {
+            fn name(&self) -> &'static str {
+                <$ty as $crate::BatchSimplifier>::name(self)
+            }
+
+            fn supports(&self, budget: &$crate::Budget) -> bool {
+                matches!(budget, $crate::Budget::Points(_))
+            }
+
+            fn simplify(
+                &self,
+                pts: &[$crate::Point],
+                budget: $crate::Budget,
+            ) -> $crate::Simplification {
+                match budget {
+                    $crate::Budget::Points(w) => $crate::Simplification::new(
+                        pts.len(),
+                        <$ty as $crate::BatchSimplifier>::simplify(self, pts, w),
+                    ),
+                    other => panic!(
+                        "{} is a Min-Error algorithm; unsupported budget {other:?}",
+                        <$ty as $crate::BatchSimplifier>::name(self)
+                    ),
+                }
+            }
+        }
+    };
+}
+
+/// Implements [`Simplifier`] for a Min-Size ([`ErrorBoundedSimplifier`])
+/// type: accepts [`Budget::Error`], panics on [`Budget::Points`].
+#[macro_export]
+macro_rules! impl_simplifier_for_bounded {
+    ($ty:ty) => {
+        impl $crate::Simplifier for $ty {
+            fn name(&self) -> &'static str {
+                <$ty as $crate::ErrorBoundedSimplifier>::name(self)
+            }
+
+            fn supports(&self, budget: &$crate::Budget) -> bool {
+                matches!(budget, $crate::Budget::Error(_))
+            }
+
+            fn simplify(
+                &self,
+                pts: &[$crate::Point],
+                budget: $crate::Budget,
+            ) -> $crate::Simplification {
+                match budget {
+                    $crate::Budget::Error(epsilon) => $crate::Simplification::new(
+                        pts.len(),
+                        <$ty as $crate::ErrorBoundedSimplifier>::simplify_bounded(
+                            self, pts, epsilon,
+                        ),
+                    ),
+                    other => panic!(
+                        "{} is a Min-Size algorithm; unsupported budget {other:?}",
+                        <$ty as $crate::ErrorBoundedSimplifier>::name(self)
+                    ),
+                }
+            }
+        }
+    };
 }
 
 /// Adapts an online simplifier into a batch one (the paper runs its online
 /// algorithms in batch-mode comparisons this way).
+///
+/// The batch entry point is `&self`, so each call runs the stream on a
+/// private clone of the wrapped algorithm — sound because
+/// [`OnlineSimplifier::begin`] fully resets per-stream state.
 pub struct OnlineAsBatch<T>(pub T);
 
-impl<T: OnlineSimplifier> BatchSimplifier for OnlineAsBatch<T> {
+impl<T> BatchSimplifier for OnlineAsBatch<T>
+where
+    T: OnlineSimplifier + Clone + Send + Sync,
+{
     fn name(&self) -> &'static str {
         self.0.name()
     }
 
-    fn simplify(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
-        self.0.run(pts, w)
+    fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize> {
+        self.0.clone().run(pts, w)
+    }
+}
+
+impl<T> Simplifier for OnlineAsBatch<T>
+where
+    T: OnlineSimplifier + Clone + Send + Sync,
+{
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn supports(&self, budget: &Budget) -> bool {
+        matches!(budget, Budget::Points(_))
+    }
+
+    fn simplify(&self, pts: &[Point], budget: Budget) -> Simplification {
+        match budget {
+            Budget::Points(w) => {
+                Simplification::new(pts.len(), BatchSimplifier::simplify(self, pts, w))
+            }
+            other => panic!(
+                "{} is a Min-Error algorithm; unsupported budget {other:?}",
+                self.0.name()
+            ),
+        }
+    }
+}
+
+/// Cached `simplify.points.observed` / `simplify.points.dropped` counter
+/// handles for an algorithm label.
+///
+/// Algorithm names are `&'static str`, so the lowercase label allocation
+/// and the registry's label validation happen once per algorithm per
+/// process instead of once per run — [`OnlineSimplifier::run`] and the
+/// RLTS batch simplifiers sit on hot eval-grid paths.
+pub fn point_counters(algo: &'static str) -> (Arc<Counter>, Arc<Counter>) {
+    type Pair = (Arc<Counter>, Arc<Counter>);
+    static CACHE: OnceLock<Mutex<HashMap<&'static str, Pair>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("point-counter cache poisoned");
+    cache
+        .entry(algo)
+        .or_insert_with(|| {
+            let label = algo.to_ascii_lowercase();
+            let labels = [("algo", label.as_str())];
+            let reg = obskit::global();
+            (
+                reg.counter_with("simplify.points.observed", &labels),
+                reg.counter_with("simplify.points.dropped", &labels),
+            )
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, (i % 3) as f64, i as f64))
+            .collect()
+    }
+
+    /// Minimal stateful online algorithm: keeps every k-th point plus the
+    /// endpoints.
+    #[derive(Debug, Clone)]
+    struct EveryKth {
+        k: usize,
+        seen: usize,
+        kept: Vec<usize>,
+    }
+
+    impl EveryKth {
+        fn new(k: usize) -> Self {
+            EveryKth {
+                k,
+                seen: 0,
+                kept: Vec::new(),
+            }
+        }
+    }
+
+    impl OnlineSimplifier for EveryKth {
+        fn name(&self) -> &'static str {
+            "Every-Kth"
+        }
+        fn begin(&mut self, _w: usize) {
+            self.seen = 0;
+            self.kept.clear();
+        }
+        fn observe(&mut self, _p: Point) {
+            // `is_multiple_of` needs Rust 1.87; the workspace MSRV is 1.75.
+            #[allow(clippy::manual_is_multiple_of)]
+            if self.seen % self.k == 0 {
+                self.kept.push(self.seen);
+            }
+            self.seen += 1;
+        }
+        fn finish(&mut self) -> Vec<usize> {
+            if self.kept.last() != Some(&(self.seen - 1)) {
+                self.kept.push(self.seen - 1);
+            }
+            std::mem::take(&mut self.kept)
+        }
+    }
+
+    struct KeepEnds;
+    impl BatchSimplifier for KeepEnds {
+        fn name(&self) -> &'static str {
+            "Keep-Ends"
+        }
+        fn simplify(&self, pts: &[Point], _w: usize) -> Vec<usize> {
+            vec![0, pts.len() - 1]
+        }
+    }
+    impl_simplifier_for_batch!(KeepEnds);
+
+    struct KeepAll;
+    impl ErrorBoundedSimplifier for KeepAll {
+        fn name(&self) -> &'static str {
+            "Keep-All"
+        }
+        fn simplify_bounded(&self, pts: &[Point], _epsilon: f64) -> Vec<usize> {
+            (0..pts.len()).collect()
+        }
+    }
+    impl_simplifier_for_bounded!(KeepAll);
+
+    #[test]
+    fn online_as_batch_is_reusable_from_shared_ref() {
+        let adapter = OnlineAsBatch(EveryKth::new(2));
+        let data = pts(7);
+        let a = BatchSimplifier::simplify(&adapter, &data, 4);
+        let b = BatchSimplifier::simplify(&adapter, &data, 4);
+        assert_eq!(a, b, "each call must start from a fresh stream");
+        assert_eq!(a, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn batch_macro_routes_points_budget() {
+        let algo = KeepEnds;
+        let data = pts(5);
+        assert!(Simplifier::supports(&algo, &Budget::Points(2)));
+        assert!(!Simplifier::supports(&algo, &Budget::Error(0.1)));
+        let s = Simplifier::simplify(&algo, &data, Budget::Points(2));
+        assert_eq!(s.kept, vec![0, 4]);
+        assert_eq!(s.stats.points_in, 5);
+        assert_eq!(s.stats.points_kept, 2);
+        assert!((s.stats.compression() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported budget")]
+    fn batch_macro_panics_on_error_budget() {
+        let algo = KeepEnds;
+        let data = pts(5);
+        Simplifier::simplify(&algo, &data, Budget::Error(0.5));
+    }
+
+    #[test]
+    fn bounded_macro_routes_error_budget() {
+        let algo = KeepAll;
+        let data = pts(4);
+        assert!(Simplifier::supports(&algo, &Budget::Error(0.5)));
+        assert!(!Simplifier::supports(&algo, &Budget::Points(3)));
+        let s = Simplifier::simplify(&algo, &data, Budget::Error(0.5));
+        assert_eq!(s.kept.len(), 4);
+        assert_eq!(s.stats.points_kept, 4);
+    }
+
+    #[test]
+    fn clone_online_box_clones_independently() {
+        let proto: Box<dyn CloneOnlineSimplifier> = Box::new(EveryKth::new(3));
+        let data = pts(10);
+        let mut a = proto.clone();
+        let mut b = proto.clone();
+        assert_eq!(a.run(&data, 5), b.run(&data, 5));
+    }
+
+    #[test]
+    fn run_reports_into_cached_counters() {
+        let data = pts(9);
+        let mut algo = EveryKth::new(3);
+        let kept = algo.run(&data, 5);
+        let snap = obskit::global().snapshot();
+        let labels = [("algo", "every-kth")];
+        let observed = snap.get(&obskit::MetricId::with_labels(
+            "simplify.points.observed",
+            &labels,
+        ));
+        match observed.map(|s| &s.value) {
+            Some(obskit::Value::Counter(v)) => assert!(*v >= 9, "{v}"),
+            other => panic!("observed counter missing: {other:?}"),
+        }
+        let dropped = snap.get(&obskit::MetricId::with_labels(
+            "simplify.points.dropped",
+            &labels,
+        ));
+        match dropped.map(|s| &s.value) {
+            Some(obskit::Value::Counter(v)) => assert!(*v >= (9 - kept.len()) as u64),
+            other => panic!("dropped counter missing: {other:?}"),
+        }
+        // Cached handles are the same Arc on repeated lookups.
+        let (o1, _) = point_counters("Every-Kth");
+        let (o2, _) = point_counters("Every-Kth");
+        assert!(Arc::ptr_eq(&o1, &o2));
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
+        let mut algo = KeepEnds;
+        let data = pts(5);
+        assert_eq!(algo.simplify_mut(&data, 2), vec![0, 4]);
+        let mut bounded = KeepAll;
+        assert_eq!(bounded.simplify_bounded_mut(&data, 0.1).len(), 5);
+    }
+
+    #[test]
+    fn simplification_stats_handle_empty() {
+        let s = Simplification::new(10, vec![]);
+        assert_eq!(s.stats.compression(), 0.0);
     }
 }

@@ -50,7 +50,7 @@ pub(crate) fn tests_support_bottom_up() -> Box<dyn trajectory::BatchSimplifier> 
         fn name(&self) -> &'static str {
             "Uniform"
         }
-        fn simplify(&mut self, pts: &[trajectory::Point], w: usize) -> Vec<usize> {
+        fn simplify(&self, pts: &[trajectory::Point], w: usize) -> Vec<usize> {
             let n = pts.len();
             if n <= w {
                 return (0..n).collect();

@@ -486,7 +486,7 @@ impl TrajStore {
     /// Builds a compacted copy of this store: every trajectory simplified
     /// to `⌈w_frac · n⌉` points by the given batch simplifier. Ids are
     /// preserved (same insertion order).
-    pub fn compacted(&self, algo: &mut dyn trajectory::BatchSimplifier, w_frac: f64) -> TrajStore {
+    pub fn compacted(&self, algo: &dyn trajectory::BatchSimplifier, w_frac: f64) -> TrajStore {
         assert!(
             w_frac > 0.0 && w_frac <= 1.0,
             "keep fraction must be in (0, 1]"
@@ -521,8 +521,8 @@ mod compact_tests {
                 .collect();
             store.insert(Trajectory::new(pts).unwrap());
         }
-        let mut algo = crate::tests_support_bottom_up();
-        let small = store.compacted(algo.as_mut(), 0.2);
+        let algo = crate::tests_support_bottom_up();
+        let small = store.compacted(algo.as_ref(), 0.2);
         assert_eq!(small.len(), store.len());
         for id in 0..3u32 {
             let raw = store.get(id).unwrap().len();
@@ -538,7 +538,7 @@ mod compact_tests {
     #[should_panic]
     fn compacted_rejects_zero_fraction() {
         let store = TrajStore::new(StoreConfig::default());
-        let mut algo = crate::tests_support_bottom_up();
-        let _ = store.compacted(algo.as_mut(), 0.0);
+        let algo = crate::tests_support_bottom_up();
+        let _ = store.compacted(algo.as_ref(), 0.0);
     }
 }

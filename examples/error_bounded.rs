@@ -35,7 +35,7 @@ fn main() {
             Measure::Sed,
         )),
     ];
-    for mut algo in algos {
+    for algo in algos {
         let start = Instant::now();
         // Dead Reckoning bounds deviation from its velocity *prediction*,
         // not SED itself — every other algorithm must respect the SED bound.

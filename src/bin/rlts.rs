@@ -12,6 +12,8 @@
 //!   --format csv|plt|tdrive        input format             [by extension]
 //!   --ratio F                      keep F·n points          [0.1]
 //!   --w N                          keep exactly N points    (overrides ratio)
+//!   --threads N                    episode-collection workers, 0 = all
+//!                                  cores; results identical at any N  [0]
 //!
 //! train options:
 //!   --variant rlts|rlts-skip|rlts+|rlts-skip+|rlts++|rlts-skip++   [rlts]
@@ -87,6 +89,7 @@ struct CliOpts {
     len: Option<usize>,
     epochs: Option<usize>,
     seed: Option<u64>,
+    threads: Option<usize>,
 }
 
 impl CliOpts {
@@ -138,6 +141,13 @@ impl CliOpts {
                 }
                 "--seed" => {
                     o.seed = Some(val("--seed").parse().unwrap_or_else(|_| die("bad --seed")))
+                }
+                "--threads" => {
+                    o.threads = Some(
+                        val("--threads")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --threads")),
+                    )
                 }
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
@@ -219,6 +229,7 @@ fn cmd_train(o: &CliOpts) {
     tc.epochs = o.epochs.unwrap_or(30);
     tc.lr = 0.02;
     tc.seed = o.seed.unwrap_or(1);
+    tc.threads = o.threads.unwrap_or(0);
     eprintln!(
         "training {} / {} on {} trajectories ...",
         variant,
@@ -351,6 +362,7 @@ fn cmd_metrics(o: &CliOpts) {
     let mut tc = TrainConfig::quick(cfg);
     tc.epochs = o.epochs.unwrap_or(4);
     tc.seed = seed;
+    tc.threads = o.threads.unwrap_or(0);
     let report = {
         let _span = reg.span_with("bench.experiment.seconds", &[("cmd", "metrics-train")]);
         train(&pool, &tc)
@@ -369,7 +381,7 @@ fn cmd_metrics(o: &CliOpts) {
             seed,
         );
         let batch_cfg = RltsConfig::paper_defaults(Variant::RltsPlus, measure);
-        let mut batch = RltsBatch::new(batch_cfg, DecisionPolicy::MinValue, seed);
+        let batch = RltsBatch::new(batch_cfg, DecisionPolicy::MinValue, seed);
         for t in &pool {
             let w = o.budget_for(t.len());
             learned.run(t.points(), w);

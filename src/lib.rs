@@ -19,7 +19,10 @@
 //! * [`trajgen`] — seeded synthetic workloads calibrated to the paper's
 //!   Geolife / T-Drive / Trucks datasets;
 //! * [`obskit`] — the zero-dependency observability toolkit every layer
-//!   reports into (see DESIGN.md §9 and `rlts metrics`).
+//!   reports into (see DESIGN.md §9 and `rlts metrics`);
+//! * [`parkit`] — the zero-dependency scoped-thread parallel layer behind
+//!   episode collection, the evaluation grid, and the fleet loss sweep
+//!   (see DESIGN.md §10 and the `--threads` flag on `rlts` / `repro`).
 //!
 //! ## Quick start
 //!
@@ -57,6 +60,7 @@
 
 pub use baselines;
 pub use obskit;
+pub use parkit;
 pub use rlkit;
 pub use rlts_core;
 pub use sensornet;
@@ -78,8 +82,13 @@ pub mod prelude {
     pub use crate::trajectory::error::{
         drop_error, segment_error, simplification_error, Aggregation, Measure,
     };
+    // `Simplifier` is deliberately not re-exported here: its `simplify`
+    // method would make every `BatchSimplifier::simplify` call ambiguous
+    // under a glob import. Budget-polymorphic code imports it explicitly
+    // (`use rlts::trajectory::Simplifier;`).
     pub use crate::trajectory::{
-        BatchSimplifier, ErrorBook, OnlineSimplifier, Point, Segment, Trajectory,
+        BatchSimplifier, Budget, CloneOnlineSimplifier, ErrorBook, OnlineSimplifier, Point,
+        Segment, Simplification, Trajectory,
     };
     pub use crate::trajgen::Preset;
     pub use baselines::{

@@ -1,0 +1,106 @@
+//! Determinism suite for the parallel engine (DESIGN.md §10): every
+//! parallel code path must produce bit-identical results at any thread
+//! count, because per-task RNG streams are derived from stable task ids
+//! rather than from a shared sequential stream.
+
+use rlts::parkit;
+use rlts::prelude::*;
+use rlts::sensornet::{ChannelConfig, FleetSim, SensorConfig};
+use rlts::trajectory::codec::Codec;
+use rlts::trajgen;
+
+fn quick_config() -> TrainConfig {
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let mut tc = TrainConfig::quick(cfg);
+    tc.epochs = 2;
+    tc.episodes_per_update = 6;
+    tc
+}
+
+/// Trains with `threads` workers and returns the reward history plus the
+/// greedy simplification the trained policy produces on a held-out
+/// trajectory — a behavioral fingerprint that does not rely on
+/// serialization.
+fn train_fingerprint(threads: usize) -> (Vec<f64>, Vec<usize>) {
+    let pool = trajgen::generate_dataset(Preset::GeolifeLike, 4, 120, 11);
+    let mut tc = quick_config();
+    tc.threads = threads;
+    let report = rlts::train(&pool, &tc);
+
+    let probe = trajgen::generate(Preset::GeolifeLike, 200, 99);
+    let mut algo = RltsOnline::new(
+        tc.rlts,
+        DecisionPolicy::Learned {
+            net: report.policy.net,
+            greedy: true,
+        },
+        7,
+    );
+    let kept = algo.run(probe.points(), 20);
+    (report.reward_history, kept)
+}
+
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let (serial_history, serial_kept) = train_fingerprint(1);
+    assert!(!serial_history.is_empty());
+    for threads in [2, 4, 8] {
+        let (history, kept) = train_fingerprint(threads);
+        assert_eq!(
+            serial_history, history,
+            "reward history diverged at {threads} threads"
+        );
+        assert_eq!(
+            serial_kept, kept,
+            "trained policy behavior diverged at {threads} threads"
+        );
+    }
+}
+
+/// The parallel map itself must preserve input order and produce exactly
+/// the per-item results of a serial loop, for a real simplification
+/// workload (not just toy closures — those live in parkit's unit tests).
+#[test]
+fn parallel_eval_matches_serial_per_trajectory_outputs() {
+    let data = trajgen::generate_dataset(Preset::TruckLike, 10, 150, 5);
+    let algo: &dyn BatchSimplifier = &BottomUp::new(Measure::Sed);
+    let serial: Vec<Vec<usize>> = data.iter().map(|t| algo.simplify(t.points(), 15)).collect();
+    for threads in [2, 4, 8] {
+        let parallel = parkit::map(threads, &data, |_, t| algo.simplify(t.points(), 15));
+        assert_eq!(
+            serial, parallel,
+            "eval outputs diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fleet_loss_sweep_is_bit_identical_across_thread_counts() {
+    let data = trajgen::generate_dataset(Preset::TruckLike, 6, 200, 21);
+    let cfg = SensorConfig {
+        buffer: 10,
+        flush_points: 40,
+        codec: Codec::new(0.5, 1.0),
+        retransmit_queue: 4,
+    };
+    let channel = ChannelConfig::lossy(0.0, 13);
+    let rates = [0.0, 0.05, 0.1, 0.2];
+    let sweep = |threads: usize| {
+        FleetSim::new(cfg.clone())
+            .with_channel(channel.clone())
+            .with_threads(threads)
+            .loss_sweep(&data, |m| Box::new(Squish::new(m)), Measure::Sed, &rates)
+    };
+    let serial = sweep(1);
+    for threads in [2, 4, 8] {
+        let parallel = sweep(threads);
+        assert_eq!(serial.len(), parallel.len());
+        for ((rate_a, a), (rate_b, b)) in serial.iter().zip(&parallel) {
+            assert_eq!(rate_a, rate_b);
+            assert_eq!(a.link.packets, b.link.packets, "at {threads} threads");
+            assert_eq!(a.uplink_bytes, b.uplink_bytes, "at {threads} threads");
+            assert_eq!(a.mean_error, b.mean_error, "at {threads} threads");
+            assert_eq!(a.max_error, b.max_error, "at {threads} threads");
+        }
+    }
+}

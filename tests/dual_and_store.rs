@@ -27,7 +27,7 @@ fn all_dual_algorithms_respect_bounds_on_generated_data() {
                 Box::new(BoundedBottomUp::new(measure)),
                 Box::new(MinSizeSearch::new(BottomUp::new(measure), measure)),
             ];
-            for mut algo in algos {
+            for algo in algos {
                 let kept = algo.simplify_bounded(traj.points(), eps);
                 let e = simplification_error(measure, traj.points(), &kept, Aggregation::Max);
                 assert!(e <= eps + 1e-9, "{} {measure}: {e} > {eps}", algo.name());
