@@ -6,7 +6,7 @@
 //! trajectories, Exp. 1), but it gives the optimum every approximate method
 //! is judged against.
 
-use trajectory::error::{segment_error, Measure};
+use trajectory::error::{range_max_error, ErrorMeasure, Measure};
 use trajectory::{BatchSimplifier, Point};
 
 /// The exact Bellman dynamic program for the Min-Error problem
@@ -35,18 +35,20 @@ impl BatchSimplifier for Bellman {
             return (0..n).collect();
         }
 
-        // err[j * n + i] = ε(segment (j, i)) for j < i.
+        // err[j * n + i] = ε(segment (j, i)) for j < i. Dispatch on the
+        // measure once, outside the O(n²) precompute loops.
         let mut err = vec![0.0f64; n * n];
-        for j in 0..n {
-            for i in (j + 1)..n {
-                err[j * n + i] =
-                    if i == j + 1 && matches!(self.measure, Measure::Sed | Measure::Ped) {
+        trajectory::dispatch!(self.measure, M => {
+            for j in 0..n {
+                for i in (j + 1)..n {
+                    err[j * n + i] = if i == j + 1 && !M::SEGMENT_BASED {
                         0.0
                     } else {
-                        segment_error(self.measure, pts, j, i)
+                        range_max_error::<M>(pts, j, i)
                     };
+                }
             }
-        }
+        });
 
         // dp[c][i]: minimal achievable max error keeping c+1 points of the
         // prefix ..=i with i kept (c segments). parent for reconstruction.

@@ -2,6 +2,10 @@
 //! whose removal introduces the smallest error (paper Eq. (12) merge cost),
 //! until only `W` points remain. `O((n−W)(n′ + log n))` time — the strongest
 //! approximate baseline in the paper's batch experiments.
+//!
+//! All segment scoring happens inside [`ErrorBook`], which drives the
+//! monomorphized range kernels through the zero-copy view API
+//! (DESIGN.md §11); nothing here touches per-point errors directly.
 
 use std::collections::BTreeSet;
 use trajectory::error::Measure;

@@ -11,8 +11,8 @@
 //!    greedy cover fits the budget `W`.
 
 use std::f64::consts::PI;
-use trajectory::error::{dad_point_error, Measure};
-use trajectory::{BatchSimplifier, Point, Segment};
+use trajectory::error::{range_within, Dad, Measure};
+use trajectory::{BatchSimplifier, Point};
 
 /// The Span-Search batch simplifier (DAD only).
 #[derive(Debug, Clone)]
@@ -50,9 +50,9 @@ impl SpanSearch {
             let mut e = s + 1;
             let mut best = e;
             while e < n {
-                let seg = Segment::new(pts[s], pts[e]);
-                let ok = (s..e).all(|i| dad_point_error(&seg, &pts[i], &pts[i + 1]) <= theta);
-                if ok {
+                // Statically DAD: the kernel is monomorphized at compile time,
+                // no runtime dispatch in the doubly-nested extension loop.
+                if range_within::<Dad>(pts, s, e, theta) {
                     best = e;
                     e += 1;
                 } else {

@@ -13,8 +13,8 @@
 //!   for the implementation-choice ablation in DESIGN.md §5.
 
 use std::collections::BinaryHeap;
-use trajectory::error::Measure;
-use trajectory::{BatchSimplifier, Point, Segment};
+use trajectory::error::{Measure, TrajView};
+use trajectory::{BatchSimplifier, Point};
 
 /// Which Top-Down implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,44 +52,12 @@ impl TopDown {
 
     /// Max error over range `(s, e)` plus the best split point (an interior
     /// index strictly inside the range), or `None` if the range has no
-    /// interior.
+    /// interior. One dispatch, then the monomorphized worst-unit kernel.
     fn worst(&self, pts: &[Point], s: usize, e: usize) -> Option<(f64, usize)> {
         if e <= s + 1 {
             return None;
         }
-        let seg = Segment::new(pts[s], pts[e]);
-        let mut best = (0.0f64, s + 1);
-        #[allow(clippy::needless_range_loop)] // i is the original point index
-        match self.measure {
-            Measure::Sed | Measure::Ped => {
-                for i in (s + 1)..e {
-                    let err = match self.measure {
-                        Measure::Sed => trajectory::error::sed_point_error(&seg, &pts[i]),
-                        _ => trajectory::error::ped_point_error(&seg, &pts[i]),
-                    };
-                    if err > best.0 {
-                        best = (err, i);
-                    }
-                }
-            }
-            Measure::Dad | Measure::Sad => {
-                for i in s..e {
-                    let err = match self.measure {
-                        Measure::Dad => {
-                            trajectory::error::dad_point_error(&seg, &pts[i], &pts[i + 1])
-                        }
-                        _ => trajectory::error::sad_point_error(&seg, &pts[i], &pts[i + 1]),
-                    };
-                    if err > best.0 {
-                        // Split strictly inside (s, e): use i when possible,
-                        // else its successor.
-                        let split = if i > s { i } else { i + 1 };
-                        best = (err, split.min(e - 1));
-                    }
-                }
-            }
-        }
-        Some(best)
+        TrajView::anchor(pts, s, e).worst_for(self.measure)
     }
 
     fn simplify_rescan(&self, pts: &[Point], w: usize) -> Vec<usize> {

@@ -3,7 +3,7 @@
 //! incoming point violates the bound for some covered point; then keep the
 //! previous point and re-anchor there.
 
-use trajectory::error::{segment_error, Measure};
+use trajectory::error::{range_max_error, Measure};
 use trajectory::{ErrorBoundedSimplifier, Point};
 
 /// The Opening-Window error-bounded simplifier, parameterized by measure.
@@ -31,16 +31,19 @@ impl ErrorBoundedSimplifier for OpeningWindow {
         let mut kept = vec![0usize];
         let mut anchor = 0usize;
         let mut e = anchor + 1;
-        while e < n {
-            // Would the anchor segment (anchor, e) violate the bound?
-            let violates = e > anchor + 1 && segment_error(self.measure, pts, anchor, e) > epsilon;
-            if violates {
-                // Keep the previous point and restart the window there.
-                kept.push(e - 1);
-                anchor = e - 1;
+        // Dispatch on the measure once, outside the whole stream sweep.
+        trajectory::dispatch!(self.measure, M => {
+            while e < n {
+                // Would the anchor segment (anchor, e) violate the bound?
+                let violates = e > anchor + 1 && range_max_error::<M>(pts, anchor, e) > epsilon;
+                if violates {
+                    // Keep the previous point and restart the window there.
+                    kept.push(e - 1);
+                    anchor = e - 1;
+                }
+                e += 1;
             }
-            e += 1;
-        }
+        });
         if *kept.last().unwrap() != n - 1 {
             kept.push(n - 1);
         }

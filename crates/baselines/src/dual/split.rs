@@ -1,8 +1,8 @@
 //! Split: recursive Douglas–Peucker simplification down to an error bound —
 //! the batch-mode counterpart of Opening-Window.
 
-use trajectory::error::{point_error, Measure};
-use trajectory::{ErrorBoundedSimplifier, Point, Segment};
+use trajectory::error::{Measure, TrajView};
+use trajectory::{ErrorBoundedSimplifier, Point};
 
 /// The Split (recursive Douglas–Peucker) error-bounded simplifier.
 #[derive(Debug, Clone)]
@@ -16,33 +16,13 @@ impl Split {
         Split { measure }
     }
 
-    /// Worst point error and split index inside `(s, e)`.
+    /// Worst point error and split index inside `(s, e)` — the shared
+    /// monomorphized worst-unit kernel behind one dispatch.
     fn worst(&self, pts: &[Point], s: usize, e: usize) -> Option<(f64, usize)> {
         if e <= s + 1 {
             return None;
         }
-        let seg = Segment::new(pts[s], pts[e]);
-        let mut best: Option<(f64, usize)> = None;
-        match self.measure {
-            Measure::Sed | Measure::Ped => {
-                for i in (s + 1)..e {
-                    let err = point_error(self.measure, &seg, pts, i);
-                    if best.is_none_or(|(b, _)| err > b) {
-                        best = Some((err, i));
-                    }
-                }
-            }
-            Measure::Dad | Measure::Sad => {
-                for i in s..e {
-                    let err = point_error(self.measure, &seg, pts, i);
-                    let split = if i > s { i } else { i + 1 }.min(e - 1);
-                    if best.is_none_or(|(b, _)| err > b) {
-                        best = Some((err, split));
-                    }
-                }
-            }
-        }
-        best
+        TrajView::anchor(pts, s, e).worst_for(self.measure)
     }
 
     fn recurse(&self, pts: &[Point], s: usize, e: usize, epsilon: f64, out: &mut Vec<usize>) {

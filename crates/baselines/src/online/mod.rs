@@ -24,6 +24,10 @@ use trajectory::OrderedBuffer;
 /// Computes the online importance value of buffered position `pos`:
 /// the error its removal would introduce given its *current* buffer
 /// neighbours (paper Eq. (1)). Returns `None` for boundary positions.
+///
+/// [`drop_error`] dispatches on the measure internally (one hoist, then the
+/// monomorphized three-point kernel — DESIGN.md §11); each call scores a
+/// single drop, so there is no surrounding index loop to hoist out of.
 pub(crate) fn neighbour_drop_value(
     buf: &OrderedBuffer,
     measure: Measure,

@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use trajectory::error::{drop_error, segment_error, simplification_error, Aggregation, Measure};
+use trajectory::error::{
+    drop_error, range_error_stats, segment_error, simplification_error, trajectory_error,
+    Aggregation, Measure, Sed,
+};
 use trajgen::Preset;
 
 fn bench_drop_kernels(c: &mut Criterion) {
@@ -26,6 +29,11 @@ fn bench_segment_error(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sed", span), &span, |bch, &span| {
             bch.iter(|| segment_error(Measure::Sed, black_box(pts), 0, span))
         });
+        // The same sweep through the statically monomorphized range kernel
+        // (no per-call dispatch at all).
+        group.bench_with_input(BenchmarkId::new("sed_mono", span), &span, |bch, &span| {
+            bch.iter(|| range_error_stats::<Sed>(black_box(pts), 0, span).max)
+        });
     }
     group.finish();
 }
@@ -43,6 +51,9 @@ fn bench_trajectory_error(c: &mut Criterion) {
             bch.iter(|| simplification_error(black_box(m), pts, &kept, Aggregation::Max))
         });
     }
+    group.bench_function("sed_mono", |bch| {
+        bch.iter(|| trajectory_error::<Sed>(black_box(pts), &kept, Aggregation::Max))
+    });
     group.finish();
 }
 

@@ -3,10 +3,11 @@
 //! Usage:
 //!
 //! ```text
-//! repro <command> [--scale F] [--seed N] [--out DIR] [--threads N]
+//! repro <command> [--scale F] [--seed N] [--out DIR] [--threads N] [--redact-timing]
 //!
 //! commands:
 //!   table1            dataset statistics (Table I)
+//!   kernels           error-kernel micro-benchmark (BENCH_kernels.json)
 //!   bellman           comparison with the exact DP (Exp 1)
 //!   fig3              batch variants comparison (Fig 3)
 //!   fig4              effectiveness vs W, 8 panels (Fig 4)
@@ -32,6 +33,9 @@
 //!
 //! `--threads 0` (default) fans evaluation and episode collection out over
 //! all available cores; any fixed count produces identical numbers.
+//!
+//! `--redact-timing` zeroes wall-clock fields in the JSON records so the
+//! determinism CI job can `cmp` artifacts across runs and thread counts.
 
 use rlts_bench::experiments as exp;
 use rlts_bench::harness::{Opts, PolicyStore};
@@ -66,8 +70,8 @@ fn print_span_summary() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
-         [--scale F] [--seed N] [--out DIR] [--threads N]"
+        "usage: repro <table1|kernels|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
+         [--scale F] [--seed N] [--out DIR] [--threads N] [--redact-timing]"
     );
     std::process::exit(2)
 }
@@ -101,6 +105,9 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 opts.threads = v.parse().unwrap_or_else(|_| usage());
             }
+            "--redact-timing" => {
+                opts.redact_timing = true;
+            }
             _ => usage(),
         }
     }
@@ -109,6 +116,7 @@ fn main() {
     let start = std::time::Instant::now();
     match cmd.as_str() {
         "table1" => timed("table1", || exp::table1::run(&opts)),
+        "kernels" => timed("kernels", || exp::kernels::run(&opts)),
         "bellman" => timed("bellman", || exp::bellman::run(&opts, &store)),
         "fig3" => timed("fig3", || exp::fig3::run(&opts, &store)),
         "fig4" => timed("fig4", || exp::fig4::run(&opts, &store)),
@@ -128,6 +136,7 @@ fn main() {
         "grid" => timed("grid", || exp::grid::run(&opts, &store)),
         "all" => {
             timed("table1", || exp::table1::run(&opts));
+            timed("kernels", || exp::kernels::run(&opts));
             timed("bellman", || exp::bellman::run(&opts, &store));
             timed("fig3", || exp::fig3::run(&opts, &store));
             timed("fig4", || exp::fig4::run(&opts, &store));

@@ -50,7 +50,13 @@ pub fn run(opts: &Opts, store: &PolicyStore) {
     let mut table = TextTable::new(&["Algorithm", "SED error", "Time (s)"]);
     let mut records = Vec::new();
     for algo in algos {
-        let r = eval_batch(algo.as_ref(), &data, w_frac, measure, opts.threads);
+        let r = opts.maybe_redact(eval_batch(
+            algo.as_ref(),
+            &data,
+            w_frac,
+            measure,
+            opts.threads,
+        ));
         table.row(vec![r.algo.clone(), fmt(r.mean_error), fmt(r.total_time_s)]);
         records.push(Record {
             algo: r.algo,

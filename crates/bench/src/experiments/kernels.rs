@@ -1,0 +1,151 @@
+//! `repro kernels` — micro-benchmark of the error-measure kernel tiers
+//! (DESIGN.md §11): enum dispatch per point vs the monomorphized point
+//! kernel vs the monomorphized range kernel, per measure.
+//!
+//! Writes `results/kernels.json` and a `BENCH_kernels.json` snapshot in the
+//! working directory (the checked-in copy records the reference numbers).
+
+use crate::harness::{fmt, Opts, TextTable};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+use trajectory::error::{point_error, range_error_stats, ErrorMeasure, Measure};
+use trajectory::{Point, Segment};
+use trajgen::Preset;
+
+#[derive(Serialize)]
+struct KernelRecord {
+    measure: String,
+    /// ns/point through the runtime front-end, re-dispatching per point.
+    enum_per_point_ns: f64,
+    /// ns/point with the dispatch hoisted but still a hand loop per point.
+    mono_per_point_ns: f64,
+    /// ns/point through the monomorphized slice-batch range kernel.
+    mono_range_ns: f64,
+    /// `enum_per_point_ns / mono_range_ns`.
+    speedup_range_vs_enum: f64,
+}
+
+#[derive(Serialize)]
+struct KernelReport {
+    points: usize,
+    reps: usize,
+    note: String,
+    kernels: Vec<KernelRecord>,
+}
+
+/// The runtime front-end as the pre-refactor consumers saw it: a
+/// non-generic public function in another crate, called once per covered
+/// unit. `inline(never)` models that ABI boundary (generic kernels always
+/// monomorphize into the caller; a non-generic front-end only inlines if
+/// LTO happens to reach across the crate edge), and `black_box` on the
+/// measure keeps LLVM from unswitching the dispatch out of the loop —
+/// exactly the hoist the refactor performs in source instead.
+#[inline(never)]
+fn point_error_front_end(measure: Measure, seg: &Segment, pts: &[Point], i: usize) -> f64 {
+    point_error(measure, seg, pts, i)
+}
+
+/// The old-style consumer loop: one runtime dispatch *per covered unit*,
+/// with a fresh anchor `Segment` built per call — the pre-refactor shape
+/// (`drop_error`/`carried_value` constructed the segment inside every
+/// per-event call; see ISSUE/DESIGN.md §11). `black_box` on the start index
+/// keeps LLVM from hoisting the construction the way the refactor does in
+/// source.
+fn enum_sweep(measure: Measure, pts: &[Point], s: usize, e: usize) -> f64 {
+    let lo = if measure.segment_based() { s } else { s + 1 };
+    let mut max = 0.0f64;
+    for i in lo..e {
+        let seg = Segment::new(pts[black_box(s)], pts[e]);
+        max = max.max(point_error_front_end(black_box(measure), &seg, pts, i));
+    }
+    max
+}
+
+/// Dispatch hoisted, but still a per-point loop at the call site.
+fn mono_sweep<M: ErrorMeasure>(pts: &[Point], s: usize, e: usize) -> f64 {
+    let seg = Segment::new(pts[s], pts[e]);
+    let lo = if M::SEGMENT_BASED { s } else { s + 1 };
+    let mut max = 0.0f64;
+    for i in lo..e {
+        max = max.max(M::point_error(&seg, pts, i));
+    }
+    max
+}
+
+/// Minimum over `reps` timed runs, in ns per covered unit. Minimum (not
+/// mean) because scheduler noise only ever adds time.
+fn time_ns_per_unit(units: usize, reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut sink = 0.0;
+    for _ in 0..5 {
+        sink += f(); // warmup
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink += f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    black_box(sink);
+    best * 1e9 / units as f64
+}
+
+/// Runs the kernel micro-benchmark and records per-measure ns/point.
+pub fn run(opts: &Opts) {
+    let n = opts.scaled(4096, 1024);
+    let reps = 60;
+    let traj = trajgen::generate(Preset::GeolifeLike, n, opts.seed + 11);
+    let pts = traj.points();
+    let (s, e) = (0, n - 1);
+
+    let mut table = TextTable::new(&["Measure", "enum ns/pt", "mono ns/pt", "range ns/pt", "×"]);
+    let mut kernels = Vec::new();
+    for m in Measure::ALL {
+        let units = if m.segment_based() { e - s } else { e - s - 1 };
+        // Sanity: all three tiers agree bit-for-bit before being timed.
+        let reference = enum_sweep(m, pts, s, e);
+        trajectory::dispatch!(m, M => {
+            assert_eq!(reference.to_bits(), mono_sweep::<M>(pts, s, e).to_bits());
+            assert_eq!(reference.to_bits(), range_error_stats::<M>(pts, s, e).max.to_bits());
+        });
+
+        let enum_ns = time_ns_per_unit(units, reps, || enum_sweep(m, pts, s, e));
+        let (mono_ns, range_ns) = trajectory::dispatch!(m, M => (
+            time_ns_per_unit(units, reps, || mono_sweep::<M>(pts, s, e)),
+            time_ns_per_unit(units, reps, || range_error_stats::<M>(pts, s, e).max),
+        ));
+        let speedup = enum_ns / range_ns;
+        table.row(vec![
+            m.name().to_string(),
+            fmt(enum_ns),
+            fmt(mono_ns),
+            fmt(range_ns),
+            fmt(speedup),
+        ]);
+        kernels.push(KernelRecord {
+            measure: m.name().to_string(),
+            enum_per_point_ns: enum_ns,
+            mono_per_point_ns: mono_ns,
+            mono_range_ns: range_ns,
+            speedup_range_vs_enum: speedup,
+        });
+    }
+    table.print("Kernel tiers: ns per covered unit (min over reps)");
+
+    let report = KernelReport {
+        points: n,
+        reps,
+        note: "single-threaded, min-of-reps wall clock on whatever core the OS \
+               grants; absolute ns vary by machine, the enum-vs-range ratio is \
+               the stable signal. The enum tier calls the runtime front-end \
+               through a non-inlined function per point and rebuilds the \
+               anchor segment per call (the pre-refactor per-event shape); \
+               the mono tiers hoist both, which is the refactor's point"
+            .to_string(),
+        kernels,
+    };
+    opts.write_json("kernels", &report);
+    let snapshot = serde_json::to_string_pretty(&report).expect("serialize kernel report");
+    std::fs::write("BENCH_kernels.json", snapshot).expect("write BENCH_kernels.json");
+    println!("[snapshot written to BENCH_kernels.json]");
+}

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod grid;
+pub mod kernels;
 pub mod loss_sweep;
 pub mod query_cost;
 pub mod scalability;

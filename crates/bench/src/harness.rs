@@ -25,6 +25,10 @@ pub struct Opts {
     /// Evaluation results are identical at any thread count; only the
     /// wall-clock changes.
     pub threads: usize,
+    /// Zero out wall-clock fields in JSON records so artifacts are
+    /// byte-comparable across runs and thread counts (the determinism CI
+    /// job `cmp`s them). Errors and counts are untouched.
+    pub redact_timing: bool,
 }
 
 impl Default for Opts {
@@ -34,6 +38,7 @@ impl Default for Opts {
             out_dir: PathBuf::from("results"),
             seed: 7,
             threads: 0,
+            redact_timing: false,
         }
     }
 }
@@ -42,6 +47,16 @@ impl Opts {
     /// Scales a paper-sized quantity down to harness scale, with a floor.
     pub fn scaled(&self, base: usize, min: usize) -> usize {
         ((base as f64 * self.scale).round() as usize).max(min)
+    }
+
+    /// Applies [`Opts::redact_timing`] to an evaluation result: timing
+    /// fields become `0.0`, deterministic fields pass through.
+    pub fn maybe_redact(&self, mut r: EvalResult) -> EvalResult {
+        if self.redact_timing {
+            r.total_time_s = 0.0;
+            r.time_per_point_us = 0.0;
+        }
+        r
     }
 
     /// Writes a serializable record under `out_dir/<name>.json`.

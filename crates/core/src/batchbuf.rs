@@ -6,7 +6,7 @@
 
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use trajectory::error::{segment_error, Aggregation, Measure};
+use trajectory::error::{Aggregation, Measure, TrajView};
 use trajectory::{ErrorBook, Point};
 
 /// Kept points over the original trajectory with maintained merge costs and
@@ -82,12 +82,7 @@ impl BatchBuffer {
     pub fn frontier_cost(&self, i: usize) -> Option<f64> {
         let last = self.book.last_index();
         let prev = self.book.prev_kept(last)?;
-        Some(segment_error(
-            self.book.measure(),
-            self.book.points(),
-            prev,
-            i,
-        ))
+        Some(TrajView::anchor(self.book.points(), prev, i).max_error_for(self.book.measure()))
     }
 
     /// Cost of skipping straight to original index `i`: the error of the
@@ -95,7 +90,7 @@ impl BatchBuffer {
     pub fn skip_cost(&self, i: usize) -> f64 {
         let last = self.book.last_index();
         debug_assert!(i > last);
-        segment_error(self.book.measure(), self.book.points(), last, i)
+        TrajView::anchor(self.book.points(), last, i).max_error_for(self.book.measure())
     }
 
     /// The `k` cheapest interior candidates as `(original index, cost)`,
@@ -142,7 +137,7 @@ impl BatchBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trajectory::error::simplification_error;
+    use trajectory::error::{segment_error, simplification_error};
 
     fn pts(n: usize) -> Arc<[Point]> {
         (0..n)

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rlkit::{Environment, Step};
 use std::sync::Arc;
-use trajectory::error::{segment_error, Aggregation, Measure};
+use trajectory::error::{Aggregation, Measure, TrajView};
 use trajectory::{ErrorBook, Point, Trajectory};
 
 /// Episode internals per variant family.
@@ -255,8 +255,8 @@ impl Environment for SimplifyEnv {
                     // T'' = buffer plus p_{i+j} (paper §IV-D): the skipped
                     // points fall under the segment (last kept, i+j).
                     let target = self.i + j;
-                    let seg_err =
-                        segment_error(self.cfg.measure, &self.pts, book.last_index(), target);
+                    let seg_err = TrajView::anchor(&self.pts, book.last_index(), target)
+                        .max_error_for(self.cfg.measure);
                     let after = before.max(seg_err);
                     self.i = target;
                     before - after

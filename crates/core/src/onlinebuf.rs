@@ -5,6 +5,10 @@
 //! after a drop, the two surviving neighbours' values are repaired with the
 //! carry rule (Eqs. 5–6, including the merged segment's error w.r.t. the
 //! dropped point) or a plain recompute (the ablation).
+//!
+//! The per-event [`drop_error`]/[`carried_value`] front-ends dispatch on the
+//! measure internally (one `dispatch!` hoist, then a monomorphized kernel —
+//! DESIGN.md §11); there is no index loop here to hoist further.
 
 use crate::config::ValueUpdate;
 use crate::value::carried_value;

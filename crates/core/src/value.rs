@@ -1,8 +1,6 @@
 //! Point-value kernels specific to the RLTS online update rule.
 
-use trajectory::error::{
-    dad_point_error, ped_point_error, sad_point_error, sed_point_error, Measure,
-};
+use trajectory::error::{ErrorMeasure, Measure};
 use trajectory::{Point, Segment};
 
 /// Error of the merged anchor segment `(a, b)` w.r.t. a *dropped* point `d`
@@ -11,18 +9,17 @@ use trajectory::{Point, Segment};
 /// merged segment is carried into the surviving neighbours' values).
 pub fn carried_value(measure: Measure, a: &Point, b: &Point, d: &Point, d_next: &Point) -> f64 {
     let seg = Segment::new(*a, *b);
-    match measure {
-        Measure::Sed => sed_point_error(&seg, d),
-        Measure::Ped => ped_point_error(&seg, d),
-        Measure::Dad => dad_point_error(&seg, d, d_next),
-        Measure::Sad => sad_point_error(&seg, d, d_next),
-    }
+    // SED/PED pair kernels ignore `d_next`; DAD/SAD score the movement
+    // `d → d_next` against the merged segment.
+    trajectory::dispatch!(measure, M => M::pair_error(&seg, d, d_next))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trajectory::error::drop_error;
+    use trajectory::error::{
+        dad_point_error, drop_error, ped_point_error, sad_point_error, sed_point_error,
+    };
 
     #[test]
     fn carried_value_matches_point_kernels() {

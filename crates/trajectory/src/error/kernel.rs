@@ -1,0 +1,807 @@
+//! Monomorphized measure kernels: the sealed [`ErrorMeasure`] trait, its
+//! four zero-sized implementations, and the slice-batch range kernels.
+//!
+//! The [`Measure`](super::Measure) enum stays the *configuration* type — it
+//! is what gets parsed, serialized, and stored in algorithm structs. The hot
+//! path, however, must not re-branch on it per point: every front-end lowers
+//! the enum to one of the zero-sized types below exactly once per call site
+//! (the [`dispatch!`](crate::dispatch) hoist) and then runs a fully
+//! monomorphized loop. The numeric results are bit-identical to the
+//! historical enum-dispatch loops — same operations in the same order — only
+//! the per-point branch and per-point call overhead are gone.
+//!
+//! Three kernel tiers are exposed per measure:
+//!
+//! * **point** — [`ErrorMeasure::point_error`], error of one anchored unit;
+//! * **drop** — [`ErrorMeasure::drop_error`], the online three-point kernel
+//!   `ε(ab | d)` (paper Eq. (1));
+//! * **range** — [`range_error_stats`] and friends, the batch Eq. (12)
+//!   sweep over every unit anchored to a segment `(s, e)`.
+//!
+//! # Example
+//!
+//! ```
+//! use trajectory::error::{range_error_stats, segment_error, Measure, Sed};
+//! use trajectory::Point;
+//!
+//! let pts: Vec<Point> = (0..6)
+//!     .map(|i| Point::new(i as f64, if i == 3 { 2.0 } else { 0.0 }, i as f64))
+//!     .collect();
+//! // Statically-known measure: call the monomorphized kernel directly.
+//! let stats = range_error_stats::<Sed>(&pts, 0, 5);
+//! // Runtime measure: the enum front-end lowers to the same kernel.
+//! assert_eq!(stats.max, segment_error(Measure::Sed, &pts, 0, 5));
+//! assert_eq!(stats.count, 4);
+//! ```
+
+use super::{dad_point_error, ped_point_error, sad_point_error, sed_point_error, Measure};
+use crate::point::Point;
+use crate::segment::Segment;
+
+mod sealed {
+    /// Seals [`ErrorMeasure`](super::ErrorMeasure): the four paper measures
+    /// are the whole universe; downstream crates select among them, they do
+    /// not add new ones.
+    pub trait Sealed {}
+    impl Sealed for super::Sed {}
+    impl Sealed for super::Ped {}
+    impl Sealed for super::Dad {}
+    impl Sealed for super::Sad {}
+}
+
+/// A compile-time error measure: the monomorphized counterpart of
+/// [`Measure`].
+///
+/// Implemented only by the four zero-sized types [`Sed`], [`Ped`], [`Dad`],
+/// [`Sad`] (the trait is sealed). Generic code written against this trait
+/// compiles to four branch-free specializations; runtime [`Measure`] values
+/// enter via the [`dispatch!`](crate::dispatch) hoist.
+///
+/// # Example
+///
+/// ```
+/// use trajectory::error::{ErrorMeasure, Sed, Dad};
+/// use trajectory::Point;
+///
+/// let a = Point::new(0.0, 0.0, 0.0);
+/// let d = Point::new(1.0, 1.0, 1.0);
+/// let b = Point::new(2.0, 0.0, 2.0);
+/// // The three-point online kernel, statically dispatched:
+/// assert!(Sed::drop_error(&a, &d, &b) > 0.0);
+/// // DAD/SAD anchor movement segments rather than positions:
+/// assert!(Dad::SEGMENT_BASED && !Sed::SEGMENT_BASED);
+/// ```
+pub trait ErrorMeasure:
+    sealed::Sealed + Copy + Clone + std::fmt::Debug + Default + Send + Sync + 'static
+{
+    /// The runtime configuration value this kernel type lowers from.
+    const MEASURE: Measure;
+
+    /// Whether the anchored unit is a *movement segment* `p_i → p_{i+1}`
+    /// (DAD/SAD) rather than a single position `p_i` (SED/PED). Determines
+    /// the index range a range kernel sweeps: `s..e` versus `s+1..e`
+    /// (DESIGN.md §7).
+    const SEGMENT_BASED: bool;
+
+    /// Error of the anchor segment `seg` w.r.t. the unit `(p, q)`: SED/PED
+    /// read only the position `p`, DAD/SAD the movement `p → q`.
+    fn pair_error(seg: &Segment, p: &Point, q: &Point) -> f64;
+
+    /// Error of the anchor segment w.r.t. the unit at original index `i`
+    /// (`pts[i]` for SED/PED, `pts[i] → pts[i+1]` for DAD/SAD).
+    #[inline]
+    fn point_error(seg: &Segment, pts: &[Point], i: usize) -> f64 {
+        if Self::SEGMENT_BASED {
+            Self::pair_error(seg, &pts[i], &pts[i + 1])
+        } else {
+            Self::pair_error(seg, &pts[i], &pts[i])
+        }
+    }
+
+    /// The online three-point kernel `ε(ab | d)` (paper Eq. (1)): the error
+    /// introduced by dropping `d` when only its buffer neighbours `a` and
+    /// `b` survive. For DAD/SAD both destroyed movement segments `ad` and
+    /// `db` are scored against `ab` and the worse one counts (§IV-A1).
+    #[inline]
+    fn drop_error(a: &Point, d: &Point, b: &Point) -> f64 {
+        let seg = Segment::new(*a, *b);
+        if Self::SEGMENT_BASED {
+            Self::pair_error(&seg, a, d).max(Self::pair_error(&seg, d, b))
+        } else {
+            Self::pair_error(&seg, d, d)
+        }
+    }
+}
+
+/// Synchronized Euclidean Distance as a zero-sized kernel type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sed;
+
+/// Perpendicular Euclidean Distance as a zero-sized kernel type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ped;
+
+/// Direction-Aware Distance as a zero-sized kernel type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Dad;
+
+/// Speed-Aware Distance as a zero-sized kernel type.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sad;
+
+impl ErrorMeasure for Sed {
+    const MEASURE: Measure = Measure::Sed;
+    const SEGMENT_BASED: bool = false;
+
+    #[inline]
+    fn pair_error(seg: &Segment, p: &Point, _q: &Point) -> f64 {
+        sed_point_error(seg, p)
+    }
+}
+
+impl ErrorMeasure for Ped {
+    const MEASURE: Measure = Measure::Ped;
+    const SEGMENT_BASED: bool = false;
+
+    #[inline]
+    fn pair_error(seg: &Segment, p: &Point, _q: &Point) -> f64 {
+        ped_point_error(seg, p)
+    }
+}
+
+impl ErrorMeasure for Dad {
+    const MEASURE: Measure = Measure::Dad;
+    const SEGMENT_BASED: bool = true;
+
+    #[inline]
+    fn pair_error(seg: &Segment, p: &Point, q: &Point) -> f64 {
+        dad_point_error(seg, p, q)
+    }
+}
+
+impl ErrorMeasure for Sad {
+    const MEASURE: Measure = Measure::Sad;
+    const SEGMENT_BASED: bool = true;
+
+    #[inline]
+    fn pair_error(seg: &Segment, p: &Point, q: &Point) -> f64 {
+        sad_point_error(seg, p, q)
+    }
+}
+
+/// Lowers a runtime [`Measure`](crate::error::Measure) to its zero-sized
+/// [`ErrorMeasure`](crate::error::ErrorMeasure) type exactly once, binding
+/// the type to `$M` inside `$body`.
+///
+/// This is the **dispatch-hoist rule** of DESIGN.md §11: branch on the enum
+/// once per call site, *outside* any loop, and let everything downstream
+/// monomorphize. Never match on `Measure` inside a per-point loop.
+///
+/// # Example
+///
+/// ```
+/// use trajectory::error::{range_error_stats, Measure};
+/// use trajectory::{dispatch, Point};
+///
+/// let pts: Vec<Point> = (0..5)
+///     .map(|i| Point::new(i as f64, (i % 2) as f64, i as f64))
+///     .collect();
+/// let measure = Measure::Ped; // e.g. parsed from a config file
+/// let max = dispatch!(measure, M => range_error_stats::<M>(&pts, 0, 4).max);
+/// assert!(max > 0.0);
+/// ```
+#[macro_export]
+macro_rules! dispatch {
+    ($measure:expr, $M:ident => $body:expr) => {
+        match $measure {
+            $crate::error::Measure::Sed => {
+                type $M = $crate::error::Sed;
+                $body
+            }
+            $crate::error::Measure::Ped => {
+                type $M = $crate::error::Ped;
+                $body
+            }
+            $crate::error::Measure::Dad => {
+                type $M = $crate::error::Dad;
+                $body
+            }
+            $crate::error::Measure::Sad => {
+                type $M = $crate::error::Sad;
+                $body
+            }
+        }
+    };
+}
+
+/// Aggregate error statistics of one anchor range: the Eq. (12) maximum plus
+/// the ingredients of mean aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RangeStats {
+    /// Maximum per-unit error over the range.
+    pub max: f64,
+    /// Sum of per-unit errors over the range.
+    pub sum: f64,
+    /// Number of contributing units.
+    pub count: usize,
+}
+
+impl RangeStats {
+    /// Mean per-unit error (`0.0` for an empty range).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Folds another range's statistics into this one (order-sensitive:
+    /// `sum` accumulates left to right, exactly like the historical
+    /// per-window loop).
+    pub fn absorb(&mut self, other: RangeStats) {
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// The inclusive index of the first anchored unit of range `(s, e)` under
+/// measure `M`: `s` for movement-segment measures, `s + 1` for positional
+/// ones.
+#[inline]
+fn range_lo<M: ErrorMeasure>(s: usize) -> usize {
+    if M::SEGMENT_BASED {
+        s
+    } else {
+        s + 1
+    }
+}
+
+/// The batch range kernel (paper Eq. (12)), monomorphized: max, sum, and
+/// count of per-unit errors of anchor segment `(s, e)` over every original
+/// unit anchored to it.
+///
+/// This is the innermost loop of the whole codebase — `ErrorBook`, the batch
+/// baselines, and the RL reward all reduce to it.
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= pts.len()`.
+///
+/// # Example
+///
+/// ```
+/// use trajectory::error::{range_error_stats, Ped};
+/// use trajectory::Point;
+///
+/// let pts: Vec<Point> = (0..4)
+///     .map(|i| Point::new(i as f64, if i == 2 { 3.0 } else { 0.0 }, i as f64))
+///     .collect();
+/// let stats = range_error_stats::<Ped>(&pts, 0, 3);
+/// assert_eq!(stats.max, 3.0);
+/// assert_eq!(stats.count, 2);
+/// ```
+pub fn range_error_stats<M: ErrorMeasure>(pts: &[Point], s: usize, e: usize) -> RangeStats {
+    assert!(
+        s < e && e < pts.len(),
+        "invalid segment range ({s}, {e}) for {} points",
+        pts.len()
+    );
+    let seg = Segment::new(pts[s], pts[e]);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    for i in range_lo::<M>(s)..e {
+        let err = M::point_error(&seg, pts, i);
+        max = max.max(err);
+        sum += err;
+        count += 1;
+    }
+    RangeStats { max, sum, count }
+}
+
+/// Maximum error of anchor range `(s, e)` (the Eq. (12) value alone).
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= pts.len()`.
+#[inline]
+pub fn range_max_error<M: ErrorMeasure>(pts: &[Point], s: usize, e: usize) -> f64 {
+    range_error_stats::<M>(pts, s, e).max
+}
+
+/// Worst anchored unit of range `(s, e)`: the maximum error together with a
+/// split index strictly inside `(s, e)` (the Douglas–Peucker split rule).
+/// Returns `None` when the range has no interior. Ties keep the earliest
+/// unit, matching the historical Top-Down/Split scan order.
+///
+/// # Panics
+/// Panics if `e >= pts.len()`.
+pub fn range_worst<M: ErrorMeasure>(pts: &[Point], s: usize, e: usize) -> Option<(f64, usize)> {
+    if e <= s + 1 {
+        return None;
+    }
+    assert!(e < pts.len(), "range end {e} out of bounds");
+    let seg = Segment::new(pts[s], pts[e]);
+    let mut best: Option<(f64, usize)> = None;
+    if M::SEGMENT_BASED {
+        for i in s..e {
+            let err = M::point_error(&seg, pts, i);
+            if best.is_none_or(|(b, _)| err > b) {
+                // Split strictly inside (s, e): use i when possible, else
+                // its successor, clamped away from e.
+                let split = if i > s { i } else { i + 1 }.min(e - 1);
+                best = Some((err, split));
+            }
+        }
+    } else {
+        for i in (s + 1)..e {
+            let err = M::point_error(&seg, pts, i);
+            if best.is_none_or(|(b, _)| err > b) {
+                best = Some((err, i));
+            }
+        }
+    }
+    best
+}
+
+/// Whether every unit anchored to range `(s, e)` has error at most `bound`
+/// (early-exits on the first violation).
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= pts.len()`.
+pub fn range_within<M: ErrorMeasure>(pts: &[Point], s: usize, e: usize, bound: f64) -> bool {
+    assert!(
+        s < e && e < pts.len(),
+        "invalid segment range ({s}, {e}) for {} points",
+        pts.len()
+    );
+    let seg = Segment::new(pts[s], pts[e]);
+    (range_lo::<M>(s)..e).all(|i| M::point_error(&seg, pts, i) <= bound)
+}
+
+/// Writes the per-unit errors of anchor range `(s, e)` into `out[i]` for
+/// each anchored unit index `i` (the [`ErrorProfile`](super::ErrorProfile)
+/// inner loop). `out` is indexed by *original* point index.
+///
+/// # Panics
+/// Panics if `s >= e`, `e >= pts.len()`, or `out` is shorter than `pts`.
+pub fn fill_range_errors<M: ErrorMeasure>(pts: &[Point], s: usize, e: usize, out: &mut [f64]) {
+    assert!(
+        s < e && e < pts.len(),
+        "invalid segment range ({s}, {e}) for {} points",
+        pts.len()
+    );
+    assert!(out.len() >= pts.len(), "output slice too short");
+    let seg = Segment::new(pts[s], pts[e]);
+    for (i, slot) in out.iter_mut().enumerate().take(e).skip(range_lo::<M>(s)) {
+        *slot = M::point_error(&seg, pts, i);
+    }
+}
+
+/// Error of a whole simplification under measure `M` — the monomorphized
+/// engine behind [`simplification_error`](super::simplification_error),
+/// with the same kept-index contract.
+///
+/// # Panics
+/// Panics if `kept` is not strictly increasing from `0` to `pts.len() - 1`.
+pub fn trajectory_error<M: ErrorMeasure>(
+    pts: &[Point],
+    kept: &[usize],
+    agg: super::Aggregation,
+) -> f64 {
+    assert!(pts.len() >= 2, "need at least two points");
+    assert!(kept.len() >= 2, "need at least two kept indices");
+    assert_eq!(kept[0], 0, "first point must be kept");
+    assert_eq!(
+        *kept.last().unwrap(),
+        pts.len() - 1,
+        "last point must be kept"
+    );
+    let mut stats = RangeStats::default();
+    for w in kept.windows(2) {
+        assert!(w[0] < w[1], "kept indices must be strictly increasing");
+        if w[1] - w[0] <= 1 && !M::SEGMENT_BASED {
+            continue; // adjacent points introduce no positional error
+        }
+        stats.absorb(range_error_stats::<M>(pts, w[0], w[1]));
+    }
+    match agg {
+        super::Aggregation::Max => stats.max,
+        super::Aggregation::Mean => stats.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{drop_error, point_error, segment_error_stats, Aggregation};
+
+    /// Deterministic xorshift-based pseudo-random trajectory, so the
+    /// equivalence sweeps below run without external crates.
+    fn lcg_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                t += 0.25 + next() * 2.0;
+                // Occasional duplicated position / timestamp to hit the
+                // degenerate kernel branches.
+                let (x, y) = if i % 7 == 3 {
+                    (0.0, 0.0)
+                } else {
+                    (next() * 20.0 - 10.0, next() * 20.0 - 10.0)
+                };
+                let t = if i % 11 == 5 { t - 0.25 } else { t };
+                Point::new(x, y, t)
+            })
+            .collect()
+    }
+
+    /// The historical enum-dispatch range loop, kept verbatim as the
+    /// reference the monomorphized kernels must match bit for bit.
+    fn reference_stats(measure: Measure, pts: &[Point], s: usize, e: usize) -> (f64, f64, usize) {
+        let seg = Segment::new(pts[s], pts[e]);
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        match measure {
+            Measure::Sed | Measure::Ped => {
+                for p in &pts[s + 1..e] {
+                    let err = match measure {
+                        Measure::Sed => sed_point_error(&seg, p),
+                        _ => ped_point_error(&seg, p),
+                    };
+                    max = max.max(err);
+                    sum += err;
+                    count += 1;
+                }
+            }
+            Measure::Dad | Measure::Sad => {
+                for i in s..e {
+                    let err = match measure {
+                        Measure::Dad => dad_point_error(&seg, &pts[i], &pts[i + 1]),
+                        _ => sad_point_error(&seg, &pts[i], &pts[i + 1]),
+                    };
+                    max = max.max(err);
+                    sum += err;
+                    count += 1;
+                }
+            }
+        }
+        (max, sum, count)
+    }
+
+    fn reference_drop(measure: Measure, a: &Point, d: &Point, b: &Point) -> f64 {
+        match measure {
+            Measure::Sed => crate::error::sed_drop_error(a, d, b),
+            Measure::Ped => crate::error::ped_drop_error(a, d, b),
+            Measure::Dad => crate::error::dad_drop_error(a, d, b),
+            Measure::Sad => crate::error::sad_drop_error(a, d, b),
+        }
+    }
+
+    #[test]
+    fn range_kernels_bit_identical_to_enum_reference() {
+        for seed in 1..30u64 {
+            let pts = lcg_points(seed, 40);
+            for m in Measure::ALL {
+                for (s, e) in [(0, 39), (0, 1), (3, 17), (12, 13), (20, 39)] {
+                    let (rm, rs, rc) = reference_stats(m, &pts, s, e);
+                    let stats = crate::dispatch!(m, M => range_error_stats::<M>(&pts, s, e));
+                    assert_eq!(rm.to_bits(), stats.max.to_bits(), "{m} max ({s},{e})");
+                    assert_eq!(rs.to_bits(), stats.sum.to_bits(), "{m} sum ({s},{e})");
+                    assert_eq!(rc, stats.count, "{m} count ({s},{e})");
+                    // The enum front-end must route through the same kernel.
+                    let (fm, fs, fc) = segment_error_stats(m, &pts, s, e);
+                    assert_eq!(fm.to_bits(), stats.max.to_bits(), "{m} front max");
+                    assert_eq!(fs.to_bits(), stats.sum.to_bits(), "{m} front sum");
+                    assert_eq!(fc, stats.count, "{m} front count");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_and_drop_kernels_bit_identical_to_enum_reference() {
+        for seed in 1..30u64 {
+            let pts = lcg_points(seed, 12);
+            let seg = Segment::new(pts[0], pts[11]);
+            for m in Measure::ALL {
+                for i in 1..11 {
+                    let reference = point_error(m, &seg, &pts, i);
+                    let mono = crate::dispatch!(m, M => M::point_error(&seg, &pts, i));
+                    assert_eq!(reference.to_bits(), mono.to_bits(), "{m} point {i}");
+                }
+                for i in 1..10 {
+                    let reference = reference_drop(m, &pts[i - 1], &pts[i], &pts[i + 1]);
+                    let front = drop_error(m, &pts[i - 1], &pts[i], &pts[i + 1]);
+                    let mono =
+                        crate::dispatch!(m, M => M::drop_error(&pts[i - 1], &pts[i], &pts[i + 1]));
+                    assert_eq!(reference.to_bits(), mono.to_bits(), "{m} drop {i}");
+                    assert_eq!(reference.to_bits(), front.to_bits(), "{m} drop front {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_error_matches_windowed_reference() {
+        for seed in 1..20u64 {
+            let pts = lcg_points(seed, 30);
+            let kept = vec![0, 1, 4, 11, 12, 20, 29];
+            for m in Measure::ALL {
+                for agg in [Aggregation::Max, Aggregation::Mean] {
+                    // Reference: per-window enum loops with the historical
+                    // adjacent-pair skip.
+                    let mut max = 0.0f64;
+                    let mut sum = 0.0f64;
+                    let mut count = 0usize;
+                    for w in kept.windows(2) {
+                        if w[1] - w[0] <= 1 && matches!(m, Measure::Sed | Measure::Ped) {
+                            continue;
+                        }
+                        let (wm, ws, wc) = reference_stats(m, &pts, w[0], w[1]);
+                        max = max.max(wm);
+                        sum += ws;
+                        count += wc;
+                    }
+                    let reference = match agg {
+                        Aggregation::Max => max,
+                        Aggregation::Mean => {
+                            if count == 0 {
+                                0.0
+                            } else {
+                                sum / count as f64
+                            }
+                        }
+                    };
+                    let mono = crate::dispatch!(m, M => trajectory_error::<M>(&pts, &kept, agg));
+                    assert_eq!(reference.to_bits(), mono.to_bits(), "{m} {agg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_worst_picks_first_argmax() {
+        let pts: Vec<Point> = (0..8)
+            .map(|i| Point::new(i as f64, if i == 3 || i == 5 { 4.0 } else { 0.0 }, i as f64))
+            .collect();
+        let (err, split) = range_worst::<Ped>(&pts, 0, 7).unwrap();
+        assert_eq!(err, 4.0);
+        assert_eq!(split, 3, "ties keep the earliest unit");
+        assert_eq!(range_worst::<Ped>(&pts, 2, 3), None, "no interior");
+    }
+
+    #[test]
+    fn range_worst_split_stays_interior_for_segment_measures() {
+        let pts: Vec<Point> = (0..6)
+            .map(|i| Point::new(i as f64, if i % 2 == 0 { 0.0 } else { 1.5 }, i as f64))
+            .collect();
+        for (s, e) in [(0, 5), (0, 2), (3, 5), (1, 4)] {
+            for (err, split) in [
+                range_worst::<Dad>(&pts, s, e),
+                range_worst::<Sad>(&pts, s, e),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                assert!(split > s && split < e, "split {split} outside ({s},{e})");
+                assert!(err >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn range_within_agrees_with_max() {
+        for seed in 1..10u64 {
+            let pts = lcg_points(seed, 25);
+            for m in Measure::ALL {
+                let stats = crate::dispatch!(m, M => range_error_stats::<M>(&pts, 2, 20));
+                crate::dispatch!(m, M => {
+                    assert!(range_within::<M>(&pts, 2, 20, stats.max));
+                    if stats.max > 0.0 {
+                        assert!(!range_within::<M>(&pts, 2, 20, stats.max * 0.5 - 1e-12));
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn fill_range_errors_matches_point_kernel() {
+        let pts = lcg_points(9, 15);
+        for m in Measure::ALL {
+            let mut out = vec![0.0; pts.len()];
+            let seg = Segment::new(pts[2], pts[10]);
+            crate::dispatch!(m, M => {
+                fill_range_errors::<M>(&pts, 2, 10, &mut out);
+                let lo = if M::SEGMENT_BASED { 2 } else { 3 };
+                for (i, &val) in out.iter().enumerate().take(10).skip(lo) {
+                    assert_eq!(val.to_bits(), M::point_error(&seg, &pts, i).to_bits());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn measure_constants_round_trip() {
+        assert_eq!(Sed::MEASURE, Measure::Sed);
+        assert_eq!(Ped::MEASURE, Measure::Ped);
+        assert_eq!(Dad::MEASURE, Measure::Dad);
+        assert_eq!(Sad::MEASURE, Measure::Sad);
+        for m in Measure::ALL {
+            assert_eq!(crate::dispatch!(m, M => M::MEASURE), m);
+            assert_eq!(
+                crate::dispatch!(m, M => M::SEGMENT_BASED),
+                m.segment_based()
+            );
+        }
+    }
+
+    #[test]
+    fn range_stats_absorb_is_left_fold() {
+        let a = RangeStats {
+            max: 1.0,
+            sum: 2.0,
+            count: 2,
+        };
+        let mut acc = RangeStats::default();
+        acc.absorb(a);
+        acc.absorb(RangeStats {
+            max: 0.5,
+            sum: 1.0,
+            count: 1,
+        });
+        assert_eq!(acc.max, 1.0);
+        assert_eq!(acc.sum, 3.0);
+        assert_eq!(acc.count, 3);
+        assert!((acc.mean() - 1.0).abs() < 1e-15);
+        assert_eq!(RangeStats::default().mean(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::error::{point_error, segment_error_stats, simplification_error, Aggregation};
+    use proptest::prelude::*;
+
+    prop_compose! {
+        /// Random finite trajectory with strictly increasing time except for
+        /// occasional duplicate timestamps (degenerate kernel branches).
+        fn traj(max_len: usize)
+            (n in 4..max_len)
+            (coords in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 0.01..2.0f64, prop::bool::ANY), n))
+            -> Vec<Point>
+        {
+            let mut t = 0.0;
+            coords
+                .into_iter()
+                .map(|(x, y, dt, dup)| {
+                    if !dup {
+                        t += dt;
+                    }
+                    Point::new(x, y, t)
+                })
+                .collect()
+        }
+    }
+
+    /// The historical per-point enum loop (pre-monomorphization), verbatim.
+    fn enum_reference(measure: Measure, pts: &[Point], s: usize, e: usize) -> (f64, f64, usize) {
+        let seg = Segment::new(pts[s], pts[e]);
+        let mut max = 0.0f64;
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        match measure {
+            Measure::Sed | Measure::Ped => {
+                for p in &pts[s + 1..e] {
+                    let err = match measure {
+                        Measure::Sed => sed_point_error(&seg, p),
+                        _ => ped_point_error(&seg, p),
+                    };
+                    max = max.max(err);
+                    sum += err;
+                    count += 1;
+                }
+            }
+            Measure::Dad | Measure::Sad => {
+                for i in s..e {
+                    let err = match measure {
+                        Measure::Dad => dad_point_error(&seg, &pts[i], &pts[i + 1]),
+                        _ => sad_point_error(&seg, &pts[i], &pts[i + 1]),
+                    };
+                    max = max.max(err);
+                    sum += err;
+                    count += 1;
+                }
+            }
+        }
+        (max, sum, count)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn range_kernel_bit_identical_to_enum_dispatch(
+            pts in traj(60),
+            s_frac in 0.0..1.0f64,
+            e_frac in 0.0..1.0f64,
+        ) {
+            let n = pts.len();
+            let s = ((s_frac * (n - 2) as f64) as usize).min(n - 2);
+            let e = s + 1 + ((e_frac * (n - 1 - s) as f64) as usize).min(n - 2 - s);
+            for m in Measure::ALL {
+                let (rm, rs, rc) = enum_reference(m, &pts, s, e);
+                let stats = crate::dispatch!(m, M => range_error_stats::<M>(&pts, s, e));
+                prop_assert_eq!(rm.to_bits(), stats.max.to_bits(), "{} max", m);
+                prop_assert_eq!(rs.to_bits(), stats.sum.to_bits(), "{} sum", m);
+                prop_assert_eq!(rc, stats.count, "{} count", m);
+                let (fm, fs, fc) = segment_error_stats(m, &pts, s, e);
+                prop_assert_eq!(fm.to_bits(), stats.max.to_bits());
+                prop_assert_eq!(fs.to_bits(), stats.sum.to_bits());
+                prop_assert_eq!(fc, stats.count);
+            }
+        }
+
+        #[test]
+        fn point_and_drop_kernels_bit_identical(pts in traj(30)) {
+            let n = pts.len();
+            let seg = Segment::new(pts[0], pts[n - 1]);
+            for m in Measure::ALL {
+                for i in 1..n - 1 {
+                    let enum_point = point_error(m, &seg, &pts, i);
+                    let mono_point = crate::dispatch!(m, M => M::point_error(&seg, &pts, i));
+                    prop_assert_eq!(enum_point.to_bits(), mono_point.to_bits(), "{} point {}", m, i);
+
+                    let enum_drop = crate::error::drop_error(m, &pts[i - 1], &pts[i], &pts[i + 1]);
+                    let mono_drop =
+                        crate::dispatch!(m, M => M::drop_error(&pts[i - 1], &pts[i], &pts[i + 1]));
+                    prop_assert_eq!(enum_drop.to_bits(), mono_drop.to_bits(), "{} drop {}", m, i);
+                }
+            }
+        }
+
+        #[test]
+        fn simplification_error_bit_stable_under_view_path(
+            pts in traj(50),
+            keep_mask in prop::collection::vec(prop::bool::ANY, 50),
+        ) {
+            let n = pts.len();
+            let mut kept = vec![0];
+            kept.extend((1..n - 1).filter(|&i| keep_mask[i % keep_mask.len()]));
+            kept.push(n - 1);
+            for m in Measure::ALL {
+                for agg in [Aggregation::Max, Aggregation::Mean] {
+                    // Reference: fold the enum-dispatch per-window loops.
+                    let mut max = 0.0f64;
+                    let mut sum = 0.0f64;
+                    let mut count = 0usize;
+                    for w in kept.windows(2) {
+                        if w[1] - w[0] <= 1 && matches!(m, Measure::Sed | Measure::Ped) {
+                            continue;
+                        }
+                        let (wm, ws, wc) = enum_reference(m, &pts, w[0], w[1]);
+                        max = max.max(wm);
+                        sum += ws;
+                        count += wc;
+                    }
+                    let reference = match agg {
+                        Aggregation::Max => max,
+                        Aggregation::Mean => if count == 0 { 0.0 } else { sum / count as f64 },
+                    };
+                    let through_front = simplification_error(m, &pts, &kept, agg);
+                    prop_assert_eq!(reference.to_bits(), through_front.to_bits(), "{} {:?}", m, agg);
+                }
+            }
+        }
+    }
+}

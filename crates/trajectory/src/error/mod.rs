@@ -14,18 +14,33 @@
 //!   are accessible (Eq. (1) of the paper);
 //! * [`segment_error`] — the *batch* range kernel (Eq. (12)): the max error
 //!   of segment `(s, e)` over **all** original points anchored to it.
+//!
+//! Both come in two tiers (DESIGN.md §11): the functions taking a [`Measure`]
+//! value are thin *front-ends* that lower the enum to a zero-sized kernel
+//! type exactly once and then run a fully monomorphized loop. Hot code that
+//! already knows its measure — or that loops over many ranges for one
+//! measure — should hoist the dispatch itself via
+//! [`dispatch!`](crate::dispatch) and call the [`kernel`] functions (or a
+//! [`TrajView`]) with an explicit [`ErrorMeasure`] parameter.
 
 mod dad;
+pub mod kernel;
 mod ped;
 mod profile;
 mod sad;
 mod sed;
+pub mod view;
 
 pub use dad::{dad_drop_error, dad_point_error};
+pub use kernel::{
+    fill_range_errors, range_error_stats, range_max_error, range_within, range_worst,
+    trajectory_error, Dad, ErrorMeasure, Ped, RangeStats, Sad, Sed,
+};
 pub use ped::{ped_drop_error, ped_point_error};
 pub use profile::ErrorProfile;
 pub use sad::{sad_drop_error, sad_point_error};
 pub use sed::{sed_drop_error, sed_point_error};
+pub use view::TrajView;
 
 use crate::point::Point;
 use crate::segment::Segment;
@@ -65,6 +80,13 @@ impl Measure {
             Measure::Dad => "dad",
             Measure::Sad => "sad",
         }
+    }
+
+    /// Whether this measure anchors *movement segments* `p_i → p_{i+1}`
+    /// (DAD/SAD) rather than single positions (SED/PED) — the runtime twin
+    /// of [`ErrorMeasure::SEGMENT_BASED`].
+    pub fn segment_based(&self) -> bool {
+        matches!(self, Measure::Dad | Measure::Sad)
     }
 
     /// Parses a measure from its (case-insensitive) short name.
@@ -107,13 +129,21 @@ pub enum Aggregation {
 /// segment `ab`. For DAD/SAD the two destroyed movement segments `ad` and
 /// `db` are both approximated by `ab`, so the kernel is the worse of the two
 /// deviations (the paper's online adaptation for DAD/SAD, §IV-A1).
+///
+/// # Example
+///
+/// ```
+/// use trajectory::error::{drop_error, Measure, Sed, ErrorMeasure};
+/// use trajectory::Point;
+///
+/// let a = Point::new(0.0, 0.0, 0.0);
+/// let d = Point::new(1.0, 1.0, 1.0);
+/// let b = Point::new(2.0, 0.0, 2.0);
+/// // The enum front-end and the monomorphized kernel agree bit-for-bit.
+/// assert_eq!(drop_error(Measure::Sed, &a, &d, &b), Sed::drop_error(&a, &d, &b));
+/// ```
 pub fn drop_error(measure: Measure, a: &Point, d: &Point, b: &Point) -> f64 {
-    match measure {
-        Measure::Sed => sed_drop_error(a, d, b),
-        Measure::Ped => ped_drop_error(a, d, b),
-        Measure::Dad => dad_drop_error(a, d, b),
-        Measure::Sad => sad_drop_error(a, d, b),
-    }
+    crate::dispatch!(measure, M => M::drop_error(a, d, b))
 }
 
 /// Error of the anchor segment `seg` w.r.t. one original point.
@@ -122,12 +152,7 @@ pub fn drop_error(measure: Measure, a: &Point, d: &Point, b: &Point) -> f64 {
 /// terms). For DAD/SAD, `i` indexes a movement segment `p_i p_{i+1}`
 /// (`s ≤ i < e`), following the definitions in DESIGN.md §7.
 pub fn point_error(measure: Measure, seg: &Segment, pts: &[Point], i: usize) -> f64 {
-    match measure {
-        Measure::Sed => sed_point_error(seg, &pts[i]),
-        Measure::Ped => ped_point_error(seg, &pts[i]),
-        Measure::Dad => dad_point_error(seg, &pts[i], &pts[i + 1]),
-        Measure::Sad => sad_point_error(seg, &pts[i], &pts[i + 1]),
-    }
+    crate::dispatch!(measure, M => M::point_error(seg, pts, i))
 }
 
 /// The batch range kernel (paper Eq. (12)): maximum error of the anchor
@@ -142,46 +167,17 @@ pub fn segment_error(measure: Measure, pts: &[Point], s: usize, e: usize) -> f64
 
 /// Like [`segment_error`] but also returns the sum of per-point errors and
 /// the number of contributing points (for mean aggregation).
+///
+/// A thin front-end over [`range_error_stats`]: one dispatch on `measure`,
+/// then the monomorphized range kernel.
 pub fn segment_error_stats(
     measure: Measure,
     pts: &[Point],
     s: usize,
     e: usize,
 ) -> (f64, f64, usize) {
-    assert!(
-        s < e && e < pts.len(),
-        "invalid segment range ({s}, {e}) for {} points",
-        pts.len()
-    );
-    let seg = Segment::new(pts[s], pts[e]);
-    let mut max = 0.0f64;
-    let mut sum = 0.0f64;
-    let mut count = 0usize;
-    match measure {
-        Measure::Sed | Measure::Ped => {
-            for p in &pts[s + 1..e] {
-                let err = match measure {
-                    Measure::Sed => sed_point_error(&seg, p),
-                    _ => ped_point_error(&seg, p),
-                };
-                max = max.max(err);
-                sum += err;
-                count += 1;
-            }
-        }
-        Measure::Dad | Measure::Sad => {
-            for i in s..e {
-                let err = match measure {
-                    Measure::Dad => dad_point_error(&seg, &pts[i], &pts[i + 1]),
-                    _ => sad_point_error(&seg, &pts[i], &pts[i + 1]),
-                };
-                max = max.max(err);
-                sum += err;
-                count += 1;
-            }
-        }
-    }
-    (max, sum, count)
+    let stats = crate::dispatch!(measure, M => range_error_stats::<M>(pts, s, e));
+    (stats.max, stats.sum, stats.count)
 }
 
 /// Error of a simplified trajectory given the sorted kept indices into
@@ -198,37 +194,7 @@ pub fn simplification_error(
     kept: &[usize],
     agg: Aggregation,
 ) -> f64 {
-    assert!(pts.len() >= 2, "need at least two points");
-    assert!(kept.len() >= 2, "need at least two kept indices");
-    assert_eq!(kept[0], 0, "first point must be kept");
-    assert_eq!(
-        *kept.last().unwrap(),
-        pts.len() - 1,
-        "last point must be kept"
-    );
-    let mut max = 0.0f64;
-    let mut sum = 0.0f64;
-    let mut count = 0usize;
-    for w in kept.windows(2) {
-        assert!(w[0] < w[1], "kept indices must be strictly increasing");
-        if w[1] - w[0] <= 1 && matches!(measure, Measure::Sed | Measure::Ped) {
-            continue; // adjacent points introduce no positional error
-        }
-        let (m, s, c) = segment_error_stats(measure, pts, w[0], w[1]);
-        max = max.max(m);
-        sum += s;
-        count += c;
-    }
-    match agg {
-        Aggregation::Max => max,
-        Aggregation::Mean => {
-            if count == 0 {
-                0.0
-            } else {
-                sum / count as f64
-            }
-        }
-    }
+    crate::dispatch!(measure, M => trajectory_error::<M>(pts, kept, agg))
 }
 
 #[cfg(test)]

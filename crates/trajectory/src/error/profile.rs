@@ -2,9 +2,8 @@
 //! hurts, not just how much at worst. Used for diagnostics, plotting, and
 //! the case-study experiment.
 
-use crate::error::{point_error, Measure};
+use crate::error::{fill_range_errors, Measure};
 use crate::point::Point;
-use crate::segment::Segment;
 
 /// The error contribution of each original point under a simplification.
 ///
@@ -35,25 +34,13 @@ impl ErrorProfile {
             "last point must be kept"
         );
         let mut errors = vec![0.0; pts.len()];
-        for w in kept.windows(2) {
-            let (s, e) = (w[0], w[1]);
-            debug_assert!(s < e);
-            let seg = Segment::new(pts[s], pts[e]);
-            match measure {
-                Measure::Sed | Measure::Ped => {
-                    #[allow(clippy::needless_range_loop)] // i is the original point index
-                    for i in (s + 1)..e {
-                        errors[i] = point_error(measure, &seg, pts, i);
-                    }
-                }
-                Measure::Dad | Measure::Sad => {
-                    #[allow(clippy::needless_range_loop)] // i is the original point index
-                    for i in s..e {
-                        errors[i] = point_error(measure, &seg, pts, i);
-                    }
-                }
+        // Dispatch once, then run the monomorphized fill kernel per window.
+        crate::dispatch!(measure, M => {
+            for w in kept.windows(2) {
+                debug_assert!(w[0] < w[1]);
+                fill_range_errors::<M>(pts, w[0], w[1], &mut errors);
             }
-        }
+        });
         ErrorProfile { measure, errors }
     }
 

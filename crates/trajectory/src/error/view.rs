@@ -1,0 +1,221 @@
+//! Zero-copy trajectory views: a borrowed point slice plus an anchor range.
+//!
+//! A [`TrajView`] is how batch consumers talk to the range kernels without
+//! copying points or hand-rolling index loops. It borrows the original
+//! points and names one anchor span `(s, e)`; the kernels then sweep the
+//! units anchored to that span. Use a full [`Trajectory`](crate::Trajectory)
+//! when you need owned, validated storage; use a `TrajView` when you already
+//! hold `&[Point]` and only need to *score* a range (DESIGN.md §11).
+
+use super::kernel::{
+    range_error_stats, range_max_error, range_within, range_worst, ErrorMeasure, RangeStats,
+};
+use super::Measure;
+use crate::point::Point;
+use crate::segment::Segment;
+
+/// A borrowed view of one anchor span `(s, e)` over an original point
+/// sequence: the anchor segment runs `pts[s] → pts[e]` and covers every
+/// original unit anchored to it (points `s+1..e` for SED/PED, movement
+/// segments `s..e` for DAD/SAD).
+///
+/// Copyable and allocation-free: carving sub-views is index arithmetic on
+/// the same borrowed slice.
+///
+/// # Example
+///
+/// ```
+/// use trajectory::error::{segment_error, Measure, Sed, TrajView};
+/// use trajectory::Point;
+///
+/// let pts: Vec<Point> = (0..8)
+///     .map(|i| Point::new(i as f64, if i == 4 { 3.0 } else { 0.0 }, i as f64))
+///     .collect();
+/// let view = TrajView::anchor(&pts, 0, 7);
+/// // Statically-known measure → monomorphized kernel:
+/// let stats = view.error_stats::<Sed>();
+/// // Runtime measure → same kernel behind one dispatch:
+/// assert_eq!(stats.max, view.max_error_for(Measure::Sed));
+/// assert_eq!(stats.max, segment_error(Measure::Sed, &pts, 0, 7));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajView<'a> {
+    pts: &'a [Point],
+    s: usize,
+    e: usize,
+}
+
+impl<'a> TrajView<'a> {
+    /// Views the anchor span `(s, e)` of `pts`.
+    ///
+    /// # Panics
+    /// Panics if `s >= e` or `e >= pts.len()`.
+    pub fn anchor(pts: &'a [Point], s: usize, e: usize) -> Self {
+        assert!(
+            s < e && e < pts.len(),
+            "invalid segment range ({s}, {e}) for {} points",
+            pts.len()
+        );
+        TrajView { pts, s, e }
+    }
+
+    /// Views the whole sequence as one anchor span (endpoint simplification).
+    ///
+    /// # Panics
+    /// Panics if `pts` has fewer than two points.
+    pub fn full(pts: &'a [Point]) -> Self {
+        Self::anchor(pts, 0, pts.len() - 1)
+    }
+
+    /// A sub-view over the span `(s, e)` of the same underlying points.
+    ///
+    /// # Panics
+    /// Panics if `s >= e` or `e >= pts.len()`.
+    pub fn subspan(&self, s: usize, e: usize) -> TrajView<'a> {
+        Self::anchor(self.pts, s, e)
+    }
+
+    /// The underlying original points (the full slice, not just the span).
+    pub fn points(&self) -> &'a [Point] {
+        self.pts
+    }
+
+    /// Start index of the anchor span.
+    pub fn start(&self) -> usize {
+        self.s
+    }
+
+    /// End index of the anchor span.
+    pub fn end(&self) -> usize {
+        self.e
+    }
+
+    /// The anchor segment `pts[s] → pts[e]`.
+    pub fn segment(&self) -> Segment {
+        Segment::new(self.pts[self.s], self.pts[self.e])
+    }
+
+    /// Whether the span covers no interior point (`e == s + 1`).
+    pub fn is_adjacent(&self) -> bool {
+        self.e == self.s + 1
+    }
+
+    /// Range error statistics under a compile-time measure.
+    #[inline]
+    pub fn error_stats<M: ErrorMeasure>(&self) -> RangeStats {
+        range_error_stats::<M>(self.pts, self.s, self.e)
+    }
+
+    /// Maximum anchored error (paper Eq. (12)) under a compile-time measure.
+    #[inline]
+    pub fn max_error<M: ErrorMeasure>(&self) -> f64 {
+        range_max_error::<M>(self.pts, self.s, self.e)
+    }
+
+    /// Worst anchored unit and its split index under a compile-time measure
+    /// (`None` if the span has no interior).
+    #[inline]
+    pub fn worst<M: ErrorMeasure>(&self) -> Option<(f64, usize)> {
+        range_worst::<M>(self.pts, self.s, self.e)
+    }
+
+    /// Whether every anchored unit stays within `bound` under a
+    /// compile-time measure.
+    #[inline]
+    pub fn within<M: ErrorMeasure>(&self, bound: f64) -> bool {
+        range_within::<M>(self.pts, self.s, self.e, bound)
+    }
+
+    /// [`TrajView::error_stats`] for a runtime measure (one dispatch, then
+    /// the monomorphized kernel).
+    pub fn error_stats_for(&self, measure: Measure) -> RangeStats {
+        crate::dispatch!(measure, M => self.error_stats::<M>())
+    }
+
+    /// [`TrajView::max_error`] for a runtime measure.
+    pub fn max_error_for(&self, measure: Measure) -> f64 {
+        crate::dispatch!(measure, M => self.max_error::<M>())
+    }
+
+    /// [`TrajView::worst`] for a runtime measure.
+    pub fn worst_for(&self, measure: Measure) -> Option<(f64, usize)> {
+        crate::dispatch!(measure, M => self.worst::<M>())
+    }
+
+    /// [`TrajView::within`] for a runtime measure.
+    pub fn within_for(&self, measure: Measure, bound: f64) -> bool {
+        crate::dispatch!(measure, M => self.within::<M>(bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{segment_error, segment_error_stats, Sed};
+
+    fn zig(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, (i % 3) as f64, i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn view_matches_free_functions() {
+        let pts = zig(12);
+        for m in Measure::ALL {
+            for (s, e) in [(0, 11), (2, 7), (5, 6)] {
+                let v = TrajView::anchor(&pts, s, e);
+                let (fm, fs, fc) = segment_error_stats(m, &pts, s, e);
+                let stats = v.error_stats_for(m);
+                assert_eq!(fm.to_bits(), stats.max.to_bits(), "{m}");
+                assert_eq!(fs.to_bits(), stats.sum.to_bits(), "{m}");
+                assert_eq!(fc, stats.count, "{m}");
+                assert_eq!(
+                    v.max_error_for(m).to_bits(),
+                    segment_error(m, &pts, s, e).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_and_subspan_navigation() {
+        let pts = zig(9);
+        let v = TrajView::full(&pts);
+        assert_eq!((v.start(), v.end()), (0, 8));
+        assert_eq!(v.points().len(), 9);
+        let sub = v.subspan(3, 4);
+        assert!(sub.is_adjacent() && !v.is_adjacent());
+        assert_eq!(sub.segment().start, pts[3]);
+        assert_eq!(sub.error_stats::<Sed>().count, 0);
+    }
+
+    #[test]
+    fn within_is_consistent_with_max() {
+        let pts = zig(15);
+        for m in Measure::ALL {
+            let v = TrajView::anchor(&pts, 1, 13);
+            let max = v.max_error_for(m);
+            assert!(v.within_for(m, max));
+            assert!(!v.within_for(m, max - 1e-9) || max == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn anchor_rejects_empty_span() {
+        let pts = zig(4);
+        TrajView::anchor(&pts, 2, 2);
+    }
+
+    #[test]
+    fn worst_for_agrees_with_generic() {
+        let pts = zig(20);
+        for m in Measure::ALL {
+            let v = TrajView::anchor(&pts, 0, 19);
+            let a = v.worst_for(m);
+            let b = crate::dispatch!(m, M => v.worst::<M>());
+            assert_eq!(a, b, "{m}");
+        }
+    }
+}

@@ -13,7 +13,7 @@
 //! segment maxima live in an order-statistics multiset for O(log n) max
 //! queries.
 
-use crate::error::{segment_error_stats, Aggregation, Measure};
+use crate::error::{Aggregation, Measure, RangeStats, TrajView};
 use crate::point::Point;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -38,6 +38,9 @@ impl F64Multiset {
         self.len += 1;
     }
 
+    /// Removes one occurrence of `v`. A missing key indicates a float
+    /// round-trip bug upstream; debug builds assert, release builds treat it
+    /// as a no-op so a long fleet run degrades accuracy instead of aborting.
     fn remove(&mut self, v: f64) {
         let bits = v.to_bits();
         match self.map.get_mut(&bits) {
@@ -45,7 +48,10 @@ impl F64Multiset {
             Some(_) => {
                 self.map.remove(&bits);
             }
-            None => panic!("removing value {v} not present in multiset"),
+            None => {
+                debug_assert!(false, "removing value {v} not present in multiset");
+                return;
+            }
         }
         self.len -= 1;
     }
@@ -247,8 +253,7 @@ impl ErrorBook {
             p != NONE && n != NONE,
             "no merge cost for boundary or non-kept index {j}"
         );
-        let (max, _, _) = segment_error_stats(self.measure, &self.pts, p as usize, n as usize);
-        max
+        TrajView::anchor(&self.pts, p as usize, n as usize).max_error_for(self.measure)
     }
 
     /// Max error of the currently kept segment starting at kept index `s`.
@@ -258,19 +263,18 @@ impl ErrorBook {
     }
 
     fn set_segment(&mut self, s: usize, e: usize) -> f64 {
-        let (max, sum, cnt) = if e == s + 1 && matches!(self.measure, Measure::Sed | Measure::Ped) {
-            (0.0, 0.0, 0) // adjacent points introduce no positional error
+        let stats = if e == s + 1 && !self.measure.segment_based() {
+            RangeStats::default() // adjacent points introduce no positional error
         } else {
-            let (m, su, c) = segment_error_stats(self.measure, &self.pts, s, e);
-            (m, su, c as u32)
+            TrajView::anchor(&self.pts, s, e).error_stats_for(self.measure)
         };
-        self.seg_max[s] = max;
-        self.seg_sum[s] = sum;
-        self.seg_cnt[s] = cnt;
-        self.maxima.insert(max);
-        self.total_sum += sum;
-        self.total_cnt += cnt as usize;
-        max
+        self.seg_max[s] = stats.max;
+        self.seg_sum[s] = stats.sum;
+        self.seg_cnt[s] = stats.count as u32;
+        self.maxima.insert(stats.max);
+        self.total_sum += stats.sum;
+        self.total_cnt += stats.count;
+        stats.max
     }
 
     fn clear_segment(&mut self, s: usize) {
@@ -411,6 +415,47 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not present in multiset")]
+    fn multiset_missing_key_asserts_in_debug() {
+        let mut set = F64Multiset::default();
+        set.insert(1.0);
+        set.remove(2.0);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn multiset_missing_key_is_noop_in_release() {
+        // Regression: a float round-trip bug used to abort the whole run via
+        // panic; release builds now degrade gracefully and keep the
+        // remaining entries (and `len`) intact.
+        let mut set = F64Multiset::default();
+        set.insert(1.0);
+        set.insert(1.0);
+        set.insert(3.5);
+        set.remove(2.0); // missing key: no-op
+        assert_eq!(set.len, 3);
+        assert_eq!(set.max(), 3.5);
+        set.remove(3.5);
+        assert_eq!(set.len, 2);
+        assert_eq!(set.max(), 1.0);
+    }
+
+    #[test]
+    fn multiset_remove_tracks_len() {
+        let mut set = F64Multiset::default();
+        for v in [0.5, 0.5, 2.0] {
+            set.insert(v);
+        }
+        set.remove(0.5);
+        assert_eq!(set.len, 2);
+        assert_eq!(set.max(), 2.0);
+        set.remove(2.0);
+        assert_eq!(set.max(), 0.5);
+        assert_eq!(set.len, 1);
+    }
+
+    #[test]
     fn multiset_handles_duplicate_maxima() {
         // Symmetric zigzag gives equal segment errors; removing one of two
         // identical keys must not remove both.
@@ -426,5 +471,106 @@ mod tests {
         let kept = book.kept_indices();
         let expect = simplification_error(Measure::Ped, &pts, &kept, Aggregation::Max);
         assert!((book.error(Aggregation::Max) - expect).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::error::simplification_error;
+    use proptest::prelude::*;
+
+    prop_compose! {
+        fn walk(max_len: usize)
+            (n in 8..max_len)
+            (steps in prop::collection::vec((-3.0..3.0f64, -3.0..3.0f64, 0.05..1.5f64), n))
+            -> Vec<Point>
+        {
+            let (mut x, mut y, mut t) = (0.0, 0.0, 0.0);
+            steps
+                .into_iter()
+                .map(|(dx, dy, dt)| {
+                    x += dx;
+                    y += dy;
+                    t += dt;
+                    Point::new(x, y, t)
+                })
+                .collect()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random drop sequences: after every drop the incrementally
+        /// maintained error equals a from-scratch recompute through the new
+        /// view/kernel path — bit-identical for Max (the multiset stores the
+        /// very same per-segment kernel outputs), 1e-12-close for Mean
+        /// (incremental add/subtract of segment sums reorders float adds).
+        #[test]
+        fn error_book_matches_from_scratch_over_random_drops(
+            pts in walk(40),
+            picks in prop::collection::vec(0.0..1.0f64, 12),
+        ) {
+            for m in Measure::ALL {
+                let mut book = ErrorBook::with_all(pts.as_slice(), m);
+                for pick in &picks {
+                    if book.kept_len() <= 2 {
+                        break;
+                    }
+                    let kept = book.kept_indices();
+                    let interior = &kept[1..kept.len() - 1];
+                    if interior.is_empty() {
+                        break;
+                    }
+                    let j = interior[((pick * interior.len() as f64) as usize)
+                        .min(interior.len() - 1)];
+                    book.drop(j);
+
+                    let kept_now = book.kept_indices();
+                    let scratch_max =
+                        simplification_error(m, &pts, &kept_now, Aggregation::Max);
+                    prop_assert_eq!(
+                        book.error(Aggregation::Max).to_bits(),
+                        scratch_max.to_bits(),
+                        "{} max after dropping {}", m, j
+                    );
+                    let scratch_mean =
+                        simplification_error(m, &pts, &kept_now, Aggregation::Mean);
+                    let tol = 1e-12 * scratch_mean.abs().max(1.0);
+                    prop_assert!(
+                        (book.error(Aggregation::Mean) - scratch_mean).abs() <= tol,
+                        "{} mean after dropping {}", m, j
+                    );
+                }
+            }
+        }
+
+        /// Mixed append/drop flows stay consistent with the batch recompute
+        /// under the view API.
+        #[test]
+        fn error_book_append_flow_matches_from_scratch(
+            pts in walk(30),
+            appends in prop::collection::vec(1..4usize, 8),
+        ) {
+            for m in Measure::ALL {
+                let mut book = ErrorBook::with_prefix(pts.as_slice(), m, 1);
+                for step in &appends {
+                    let target = (book.last_index() + step).min(pts.len() - 1);
+                    if target > book.last_index() {
+                        book.append(target);
+                    }
+                }
+                let kept = book.kept_indices();
+                // The covered prefix ends at the book's last kept index.
+                let prefix = &pts[..=book.last_index()];
+                let scratch = simplification_error(m, prefix, &kept, Aggregation::Max);
+                prop_assert_eq!(
+                    book.error(Aggregation::Max).to_bits(),
+                    scratch.to_bits(),
+                    "{}", m
+                );
+            }
+        }
     }
 }

@@ -43,13 +43,6 @@ pub trait BatchSimplifier: Send + Sync {
     /// # Panics
     /// Implementations may panic if `w < 2` or `pts.len() < 2`.
     fn simplify(&self, pts: &[Point], w: usize) -> Vec<usize>;
-
-    /// Pre-redesign entry point, kept for one release so downstream code
-    /// migrating from the `&mut self` API keeps compiling.
-    #[deprecated(since = "0.2.0", note = "simplify takes &self now; call it directly")]
-    fn simplify_mut(&mut self, pts: &[Point], w: usize) -> Vec<usize> {
-        self.simplify(pts, w)
-    }
 }
 
 /// An online-mode simplifier: consumes the stream point by point while
@@ -139,16 +132,6 @@ pub trait ErrorBoundedSimplifier: Send + Sync {
     /// # Panics
     /// Implementations may panic if `epsilon` is negative or `pts.len() < 2`.
     fn simplify_bounded(&self, pts: &[Point], epsilon: f64) -> Vec<usize>;
-
-    /// Pre-redesign entry point, kept for one release so downstream code
-    /// migrating from the `&mut self` API keeps compiling.
-    #[deprecated(
-        since = "0.2.0",
-        note = "simplify_bounded takes &self now; call it directly"
-    )]
-    fn simplify_bounded_mut(&mut self, pts: &[Point], epsilon: f64) -> Vec<usize> {
-        self.simplify_bounded(pts, epsilon)
-    }
 }
 
 /// The resource budget a simplification runs under: either the Min-Error
@@ -520,16 +503,6 @@ mod tests {
         let (o1, _) = point_counters("Every-Kth");
         let (o2, _) = point_counters("Every-Kth");
         assert!(Arc::ptr_eq(&o1, &o2));
-    }
-
-    #[test]
-    fn deprecated_shims_still_work() {
-        #![allow(deprecated)]
-        let mut algo = KeepEnds;
-        let data = pts(5);
-        assert_eq!(algo.simplify_mut(&data, 2), vec![0, 4]);
-        let mut bounded = KeepAll;
-        assert_eq!(bounded.simplify_bounded_mut(&data, 0.1).len(), 5);
     }
 
     #[test]
