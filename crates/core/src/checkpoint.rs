@@ -1,0 +1,234 @@
+//! Binary checkpoints for [`TrainedPolicy`]: the rlkit checkpoint format
+//! ([`rlkit::checkpoint`]) with the [`RltsConfig`] encoded in the metadata
+//! field, so a serving layer can restore a policy *and* verify it matches
+//! the algorithm configuration it will drive.
+//!
+//! The metadata is a fixed 13-byte record (no JSON, so checkpoints decode
+//! without a serializer):
+//!
+//! ```text
+//! meta_version u8 = 1
+//! variant u8   index into Variant::ALL
+//! measure u8   index into Measure::ALL
+//! value_update u8   0 = Carry, 1 = Recompute
+//! k u32 (BE), j u32 (BE), reserved u8 = 0
+//! ```
+//!
+//! Decoding rejects corrupt bytes (CRC, via rlkit), unknown metadata, and —
+//! per the serving contract — any checkpoint whose network dimensions do
+//! not match `config.state_dim()` / `config.action_dim()`.
+
+use crate::config::{RltsConfig, ValueUpdate, Variant};
+use crate::train::TrainedPolicy;
+use rlkit::checkpoint::{self, CheckpointError};
+use trajectory::error::Measure;
+
+/// Version byte of the metadata record inside the checkpoint.
+pub const META_VERSION: u8 = 1;
+
+const META_LEN: usize = 13;
+
+/// Why a [`TrainedPolicy`] checkpoint failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyCheckpointError {
+    /// The container itself is invalid (truncation, corruption, foreign
+    /// magic — see [`CheckpointError`]).
+    Container(CheckpointError),
+    /// The configuration metadata is missing, short, or has unknown codes.
+    BadMeta(&'static str),
+    /// The stored network's dimensions disagree with the stored
+    /// configuration — the checkpoint cannot drive the algorithm it
+    /// claims to be trained for.
+    DimensionMismatch {
+        /// `(state_dim, action_dim)` the configuration requires.
+        expected: (usize, usize),
+        /// `(state_dim, action_dim)` of the stored network.
+        found: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for PolicyCheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyCheckpointError::Container(e) => write!(f, "{e}"),
+            PolicyCheckpointError::BadMeta(what) => {
+                write!(f, "bad checkpoint configuration metadata: {what}")
+            }
+            PolicyCheckpointError::DimensionMismatch { expected, found } => write!(
+                f,
+                "network is (state={}, actions={}) but the stored config needs \
+                 (state={}, actions={})",
+                found.0, found.1, expected.0, expected.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PolicyCheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PolicyCheckpointError::Container(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for PolicyCheckpointError {
+    fn from(e: CheckpointError) -> Self {
+        PolicyCheckpointError::Container(e)
+    }
+}
+
+fn encode_meta(cfg: &RltsConfig) -> [u8; META_LEN] {
+    let variant = Variant::ALL
+        .iter()
+        .position(|v| *v == cfg.variant)
+        .expect("variant is in ALL") as u8;
+    let measure = Measure::ALL
+        .iter()
+        .position(|m| *m == cfg.measure)
+        .expect("measure is in ALL") as u8;
+    let vu = match cfg.value_update {
+        ValueUpdate::Carry => 0u8,
+        ValueUpdate::Recompute => 1u8,
+    };
+    let k = (cfg.k as u32).to_be_bytes();
+    let j = (cfg.j as u32).to_be_bytes();
+    [
+        META_VERSION,
+        variant,
+        measure,
+        vu,
+        k[0],
+        k[1],
+        k[2],
+        k[3],
+        j[0],
+        j[1],
+        j[2],
+        j[3],
+        0,
+    ]
+}
+
+fn decode_meta(meta: &[u8]) -> Result<RltsConfig, PolicyCheckpointError> {
+    if meta.len() != META_LEN {
+        return Err(PolicyCheckpointError::BadMeta("wrong metadata length"));
+    }
+    if meta[0] != META_VERSION {
+        return Err(PolicyCheckpointError::BadMeta("unknown metadata version"));
+    }
+    let variant = *Variant::ALL
+        .get(meta[1] as usize)
+        .ok_or(PolicyCheckpointError::BadMeta("unknown variant code"))?;
+    let measure = *Measure::ALL
+        .get(meta[2] as usize)
+        .ok_or(PolicyCheckpointError::BadMeta("unknown measure code"))?;
+    let value_update = match meta[3] {
+        0 => ValueUpdate::Carry,
+        1 => ValueUpdate::Recompute,
+        _ => return Err(PolicyCheckpointError::BadMeta("unknown value-update code")),
+    };
+    let k = u32::from_be_bytes(meta[4..8].try_into().unwrap()) as usize;
+    let j = u32::from_be_bytes(meta[8..12].try_into().unwrap()) as usize;
+    let cfg = RltsConfig {
+        variant,
+        measure,
+        k,
+        j,
+        value_update,
+    };
+    cfg.validate()
+        .map_err(|_| PolicyCheckpointError::BadMeta("configuration fails validation"))?;
+    Ok(cfg)
+}
+
+impl TrainedPolicy {
+    /// Serializes the policy (network weights, batch-norm statistics, and
+    /// the algorithm configuration) into the versioned, CRC-protected
+    /// binary checkpoint format.
+    pub fn to_checkpoint_bytes(&self) -> Vec<u8> {
+        checkpoint::encode(&self.net, &encode_meta(&self.config))
+    }
+
+    /// Restores a policy from [`TrainedPolicy::to_checkpoint_bytes`] output.
+    ///
+    /// Rejects corrupt or truncated containers, unknown configuration
+    /// metadata, and checkpoints whose network dimensions do not match the
+    /// stored configuration.
+    pub fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, PolicyCheckpointError> {
+        let (net, meta) = checkpoint::decode(bytes)?;
+        let config = decode_meta(&meta)?;
+        let expected = (config.state_dim(), config.action_dim());
+        let found = (net.state_dim(), net.action_dim());
+        if expected != found {
+            return Err(PolicyCheckpointError::DimensionMismatch { expected, found });
+        }
+        Ok(TrainedPolicy { config, net })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlkit::nn::PolicyNet;
+
+    fn policy(variant: Variant) -> TrainedPolicy {
+        let config = RltsConfig::paper_defaults(variant, Measure::Ped);
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = PolicyNet::new(config.state_dim(), 20, config.action_dim(), &mut rng);
+        TrainedPolicy { config, net }
+    }
+
+    #[test]
+    fn round_trip_preserves_config_and_weights() {
+        for variant in [Variant::Rlts, Variant::RltsSkip, Variant::RltsSkipPlus] {
+            let p = policy(variant);
+            let bytes = p.to_checkpoint_bytes();
+            let back = TrainedPolicy::from_checkpoint_bytes(&bytes).expect("round trip");
+            assert_eq!(back.config, p.config);
+            // Same bytes out again ⇒ the full network state survived.
+            assert_eq!(back.to_checkpoint_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected_everywhere() {
+        let bytes = policy(Variant::Rlts).to_checkpoint_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                TrainedPolicy::from_checkpoint_bytes(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_typed() {
+        // A net whose dimensions disagree with the config in the metadata.
+        let config = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let mut rng = StdRng::seed_from_u64(3);
+        let wrong = PolicyNet::new(config.state_dim() + 2, 8, config.action_dim(), &mut rng);
+        let bytes = rlkit::checkpoint::encode(&wrong, &encode_meta(&config));
+        assert!(matches!(
+            TrainedPolicy::from_checkpoint_bytes(&bytes),
+            Err(PolicyCheckpointError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_meta_codes_are_rejected() {
+        let p = policy(Variant::Rlts);
+        let mut meta = encode_meta(&p.config);
+        meta[1] = 250; // variant code out of range
+        let bytes = rlkit::checkpoint::encode(&p.net, &meta);
+        assert_eq!(
+            TrainedPolicy::from_checkpoint_bytes(&bytes).err(),
+            Some(PolicyCheckpointError::BadMeta("unknown variant code"))
+        );
+    }
+}

@@ -57,6 +57,7 @@
 mod adaptive;
 mod algo;
 mod batchbuf;
+mod checkpoint;
 mod config;
 mod env;
 mod onlinebuf;
@@ -68,6 +69,7 @@ mod value;
 pub use adaptive::{AdaptiveBatch, DynamicsProfile};
 pub use algo::{RltsBatch, RltsOnline};
 pub use batchbuf::BatchBuffer;
+pub use checkpoint::PolicyCheckpointError;
 pub use config::{RltsConfig, ValueUpdate, Variant};
 pub use env::SimplifyEnv;
 pub use onlinebuf::OnlineValueBuffer;

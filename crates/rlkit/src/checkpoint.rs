@@ -1,0 +1,372 @@
+//! Binary policy checkpoints: a versioned header, the full network state,
+//! and a trailing CRC32 — the serving-side counterpart of
+//! [`PolicyNet::to_json`](crate::nn::PolicyNet::to_json).
+//!
+//! The wire layout follows the conventions of `trajectory::codec`'s framed
+//! format (magic + version up front, CRC32 over everything that precedes it
+//! at the end, decode rejecting trailing bytes), but carries network
+//! weights instead of points:
+//!
+//! ```text
+//! magic  u32  = 0x524C_504B ("RLPK")
+//! version u16 = 1
+//! meta_len u32, meta bytes        caller-owned opaque metadata
+//! state_dim u32, hidden u32, action_dim u32
+//! bn_momentum f64, bn_updates u64
+//! weights f64 × N                 l1.w, l1.b, bn.gamma, bn.beta,
+//!                                 bn.running_mean, bn.running_var,
+//!                                 l2.w, l2.b   (row-major, header-implied N)
+//! crc32  u32                      over all preceding bytes
+//! ```
+//!
+//! All integers and floats are big-endian. The `meta` field lets callers
+//! (e.g. `rlts-core`'s `TrainedPolicy`) bind a checkpoint to the algorithm
+//! configuration it was trained for without this crate knowing that type.
+//!
+//! Every failure mode is a typed [`CheckpointError`]: truncation, a foreign
+//! magic, an unknown version, any single-byte corruption (caught by the
+//! CRC), and dimension mismatches against caller expectations.
+
+use crate::nn::PolicyNet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checkpoint file magic: "RLPK".
+pub const MAGIC: u32 = 0x524C_504B;
+/// Current checkpoint format version.
+pub const VERSION: u16 = 1;
+
+/// Hard cap on any dimension read from a checkpoint header; anything larger
+/// is treated as malformed rather than allocated.
+const MAX_DIM: usize = 1 << 16;
+
+/// Why a checkpoint failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The buffer ended before the declared content did.
+    Truncated,
+    /// The first four bytes are not [`MAGIC`]; holds what was found.
+    BadMagic(u32),
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The trailing CRC32 does not match the content.
+    ChecksumMismatch {
+        /// CRC computed over the received content.
+        expected: u32,
+        /// CRC stored in the checkpoint.
+        found: u32,
+    },
+    /// The network dimensions in the header disagree with what the caller
+    /// requires (see [`decode_expecting`]).
+    DimensionMismatch {
+        /// `(state_dim, action_dim)` the caller expects.
+        expected: (usize, usize),
+        /// `(state_dim, action_dim)` stored in the checkpoint.
+        found: (usize, usize),
+    },
+    /// The content is structurally invalid (zero or absurd dimensions,
+    /// non-finite weights, trailing bytes).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#010x}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint CRC mismatch: computed {expected:#010x}, stored {found:#010x}"
+            ),
+            CheckpointError::DimensionMismatch { expected, found } => write!(
+                f,
+                "checkpoint dimensions (state={}, actions={}) do not match the \
+                 expected (state={}, actions={})",
+                found.0, found.1, expected.0, expected.1
+            ),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// CRC32 (IEEE, reflected polynomial `0xEDB88320`) — the same function the
+/// trajectory codec uses for its framed packets.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serializes a network (all weights and batch-norm statistics) plus opaque
+/// caller metadata into a self-validating checkpoint.
+pub fn encode(net: &PolicyNet, meta: &[u8]) -> Vec<u8> {
+    let (l1, bn, l2) = net.layers();
+    let mut buf = Vec::with_capacity(64 + meta.len() + 8 * (l1.w.w.len() + l2.w.w.len()));
+    buf.extend_from_slice(&MAGIC.to_be_bytes());
+    buf.extend_from_slice(&VERSION.to_be_bytes());
+    buf.extend_from_slice(&(meta.len() as u32).to_be_bytes());
+    buf.extend_from_slice(meta);
+    buf.extend_from_slice(&(l1.in_dim as u32).to_be_bytes());
+    buf.extend_from_slice(&(l1.out_dim as u32).to_be_bytes());
+    buf.extend_from_slice(&(l2.out_dim as u32).to_be_bytes());
+    buf.extend_from_slice(&bn.momentum.to_be_bytes());
+    buf.extend_from_slice(&bn.updates.to_be_bytes());
+    let weight_runs: [&[f64]; 8] = [
+        &l1.w.w,
+        &l1.b.w,
+        &bn.gamma.w,
+        &bn.beta.w,
+        &bn.running_mean,
+        &bn.running_var,
+        &l2.w.w,
+        &l2.b.w,
+    ];
+    for run in weight_runs {
+        for &v in run {
+            buf.extend_from_slice(&v.to_be_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+/// A bounds-checked big-endian reader over the checkpoint body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, CheckpointError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64_run(&mut self, n: usize) -> Result<Vec<f64>, CheckpointError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = self.f64()?;
+            if !v.is_finite() {
+                return Err(CheckpointError::Malformed("non-finite weight"));
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+}
+
+/// Restores a network and the caller metadata from [`encode`]'s output.
+///
+/// Validation order mirrors the trajectory codec: magic, version, CRC over
+/// the full content, then the body — so a corrupt length field can never
+/// drive a bogus allocation, and any single-byte corruption is rejected.
+pub fn decode(bytes: &[u8]) -> Result<(PolicyNet, Vec<u8>), CheckpointError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic(magic));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(CheckpointError::UnsupportedVersion(version));
+    }
+    if bytes.len() < r.pos + 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let content = &bytes[..bytes.len() - 4];
+    let found = u32::from_be_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let expected = crc32(content);
+    if expected != found {
+        return Err(CheckpointError::ChecksumMismatch { expected, found });
+    }
+    r.buf = content; // everything after this parses CRC-verified content
+
+    let meta_len = r.u32()? as usize;
+    if meta_len > content.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    let meta = r.take(meta_len)?.to_vec();
+    let state_dim = r.u32()? as usize;
+    let hidden = r.u32()? as usize;
+    let action_dim = r.u32()? as usize;
+    if state_dim == 0 || hidden == 0 || action_dim == 0 {
+        return Err(CheckpointError::Malformed("zero dimension"));
+    }
+    if state_dim > MAX_DIM || hidden > MAX_DIM || action_dim > MAX_DIM {
+        return Err(CheckpointError::Malformed("dimension exceeds sanity cap"));
+    }
+    let momentum = r.f64()?;
+    if !momentum.is_finite() {
+        return Err(CheckpointError::Malformed("non-finite momentum"));
+    }
+    let updates = r.u64()?;
+
+    let mut net = PolicyNet::new(state_dim, hidden, action_dim, &mut StdRng::seed_from_u64(0));
+    {
+        let (l1, bn, l2) = net.layers_mut();
+        l1.w.w = r.f64_run(hidden * state_dim)?;
+        l1.b.w = r.f64_run(hidden)?;
+        bn.gamma.w = r.f64_run(hidden)?;
+        bn.beta.w = r.f64_run(hidden)?;
+        bn.running_mean = r.f64_run(hidden)?;
+        bn.running_var = r.f64_run(hidden)?;
+        l2.w.w = r.f64_run(action_dim * hidden)?;
+        l2.b.w = r.f64_run(action_dim)?;
+        bn.momentum = momentum;
+        bn.updates = updates;
+    }
+    if r.pos != content.len() {
+        return Err(CheckpointError::Malformed("trailing bytes"));
+    }
+    for p in net.params_mut() {
+        p.zero_grad();
+    }
+    Ok((net, meta))
+}
+
+/// Like [`decode`], but additionally rejects checkpoints whose network
+/// dimensions do not match the caller's `(state_dim, action_dim)`.
+pub fn decode_expecting(
+    bytes: &[u8],
+    state_dim: usize,
+    action_dim: usize,
+) -> Result<(PolicyNet, Vec<u8>), CheckpointError> {
+    let (net, meta) = decode(bytes)?;
+    if net.state_dim() != state_dim || net.action_dim() != action_dim {
+        return Err(CheckpointError::DimensionMismatch {
+            expected: (state_dim, action_dim),
+            found: (net.state_dim(), net.action_dim()),
+        });
+    }
+    Ok((net, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(seed: u64) -> PolicyNet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = PolicyNet::new(3, 5, 4, &mut rng);
+        // Give the batch-norm statistics non-default values so the
+        // round-trip test covers them.
+        n.accumulate_policy_grad(&[0.1, 0.2, 0.3], 1, 0.5, 0.0);
+        n
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let original = net(7);
+        let meta = b"trained-for: rlts/sed";
+        let bytes = encode(&original, meta);
+        let (restored, got_meta) = decode(&bytes).expect("round trip");
+        assert_eq!(got_meta, meta);
+        // Re-encoding the restored network must reproduce the exact bytes:
+        // every weight, both batch-norm statistics vectors, momentum, and
+        // the update counter survived.
+        assert_eq!(encode(&restored, meta), bytes);
+        let s = [0.4, -0.2, 0.9];
+        assert_eq!(original.probs(&s), restored.probs(&s));
+    }
+
+    #[test]
+    fn empty_meta_round_trips() {
+        let bytes = encode(&net(1), b"");
+        let (_, meta) = decode(&bytes).expect("round trip");
+        assert!(meta.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_errors() {
+        let bytes = encode(&net(2), b"m");
+        for len in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..len]).is_err(),
+                "decode accepted a {len}-byte prefix of {}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_errors() {
+        let bytes = encode(&net(3), b"meta");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode(&bad).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut bytes = encode(&net(4), b"");
+        bytes[0] ^= 0xFF;
+        assert!(matches!(decode(&bytes), Err(CheckpointError::BadMagic(_))));
+        let mut bytes = encode(&net(4), b"");
+        bytes[5] = 99; // version low byte
+        assert!(matches!(
+            decode(&bytes),
+            Err(CheckpointError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode(&net(5), b"");
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        // The appended bytes shift the CRC window, so this surfaces as a
+        // checksum failure — the important part is that it never decodes.
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn dimension_expectations_enforced() {
+        let bytes = encode(&net(6), b"");
+        assert!(decode_expecting(&bytes, 3, 4).is_ok());
+        assert_eq!(
+            decode_expecting(&bytes, 5, 4).err(),
+            Some(CheckpointError::DimensionMismatch {
+                expected: (5, 4),
+                found: (3, 4),
+            })
+        );
+        assert!(matches!(
+            decode_expecting(&bytes, 3, 7),
+            Err(CheckpointError::DimensionMismatch { .. })
+        ));
+    }
+}

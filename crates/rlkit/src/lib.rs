@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod actor_critic;
+pub mod checkpoint;
 mod env;
 mod episode;
 pub mod linalg;

@@ -42,6 +42,21 @@ impl PolicyNet {
         self.l2.out_dim
     }
 
+    /// Hidden-layer width.
+    pub fn hidden_dim(&self) -> usize {
+        self.l1.out_dim
+    }
+
+    /// Read access to the layers, in forward order (checkpoint encoder).
+    pub(crate) fn layers(&self) -> (&Dense, &BatchNorm, &Dense) {
+        (&self.l1, &self.bn, &self.l2)
+    }
+
+    /// Mutable access to the layers, in forward order (checkpoint decoder).
+    pub(crate) fn layers_mut(&mut self) -> (&mut Dense, &mut BatchNorm, &mut Dense) {
+        (&mut self.l1, &mut self.bn, &mut self.l2)
+    }
+
     /// Action probabilities for a state (inference mode; running batch-norm
     /// statistics are not updated, so `&self` — rollout workers share one
     /// network across threads).

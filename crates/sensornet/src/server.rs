@@ -362,6 +362,28 @@ impl Server {
         Trajectory::new(pts).ok()
     }
 
+    /// Re-stitched points of one sensor strictly after time `after_t`, in
+    /// timestamp order — the incremental variant of
+    /// [`Server::trajectory`] used by streaming consumers (the `trajserve`
+    /// session layer) that keep a per-stream time watermark and pull only
+    /// what is new since their last poll.
+    ///
+    /// Packets that arrive late (filling a gap *behind* the caller's
+    /// watermark) are not re-delivered: a streaming consumer has already
+    /// moved past that part of the timeline. Quarantined and unknown
+    /// streams return an empty vector.
+    pub fn stitched_after(&self, sensor_id: u32, after_t: f64) -> Vec<Point> {
+        let Some(stream) = self.streams.get(&sensor_id) else {
+            return Vec::new();
+        };
+        if stream.quarantined {
+            return Vec::new();
+        }
+        let mut pts = stream.stitched();
+        pts.retain(|p| p.t > after_t);
+        pts
+    }
+
     /// Builds a queryable store of all reassembled trajectories
     /// (insertion order = ascending sensor id). Quarantined and empty
     /// streams are skipped.
@@ -613,5 +635,27 @@ mod tests {
         let server = Server::new(Codec::new(1.0, 1.0));
         assert!(server.trajectory(99).is_none());
         assert!(server.sensor_ids().is_empty());
+    }
+
+    #[test]
+    fn stitched_after_respects_the_watermark() {
+        let mut server = Server::new(Codec::new(0.01, 0.01));
+        server
+            .ingest(&framed(3, 0, &[(0.0, 0.0, 0.0), (1.0, 0.0, 10.0)]))
+            .unwrap();
+        // Everything is new to a fresh consumer.
+        let all = server.stitched_after(3, f64::NEG_INFINITY);
+        assert_eq!(all.len(), 2);
+        // Nothing is new past the last timestamp.
+        assert!(server.stitched_after(3, all.last().unwrap().t).is_empty());
+        // A later packet shows up only beyond the watermark.
+        server
+            .ingest(&framed(3, 1, &[(2.0, 0.0, 20.0), (3.0, 0.0, 30.0)]))
+            .unwrap();
+        let fresh = server.stitched_after(3, all.last().unwrap().t);
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh.iter().all(|p| p.t > all.last().unwrap().t));
+        // Unknown streams are empty, not an error.
+        assert!(server.stitched_after(42, f64::NEG_INFINITY).is_empty());
     }
 }

@@ -1,0 +1,173 @@
+//! Admission control: global point-rate and memory ceilings, per-tenant
+//! session quotas, and the degrade decision (DESIGN.md §12).
+//!
+//! The controller is a handful of atomics consulted on the hot append path
+//! and a mutexed per-tenant session census consulted on the (rare)
+//! create/close path. Backpressure is tiered: *degrade* new sessions above
+//! the soft memory ceiling, *shed* points above the rate or hard memory
+//! ceiling, *queue* new sessions above the active-session ceiling, and
+//! only *reject* once the queue itself is full.
+
+use crate::config::{ServeConfig, TenantId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Why a session could not be created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The tenant is at its live-session quota.
+    TenantQuota {
+        /// The tenant that hit its quota.
+        tenant: TenantId,
+        /// The configured per-tenant limit.
+        limit: usize,
+    },
+    /// The service is at its active-session ceiling and the wait queue is
+    /// full.
+    Saturated {
+        /// Active sessions at rejection time.
+        active: usize,
+        /// Queued sessions at rejection time.
+        pending: usize,
+    },
+    /// The requested simplifier cannot run online (batch RLTS variants).
+    UnsupportedSpec(&'static str),
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::TenantQuota { tenant, limit } => {
+                write!(f, "tenant {tenant} is at its session quota ({limit})")
+            }
+            AdmitError::Saturated { active, pending } => write!(
+                f,
+                "service saturated: {active} active sessions, {pending} queued"
+            ),
+            AdmitError::UnsupportedSpec(what) => write!(f, "unsupported simplifier spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// Why a point was shed instead of processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The global per-tick point-rate ceiling was hit.
+    RateCeiling,
+    /// The global hard memory ceiling was hit.
+    MemoryCeiling,
+    /// The target session does not exist (never created, already closed,
+    /// evicted, or still queued).
+    DeadSession,
+    /// The point moved time backwards within its stream.
+    NonMonotone,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedReason::RateCeiling => "rate-ceiling",
+            ShedReason::MemoryCeiling => "memory-ceiling",
+            ShedReason::DeadSession => "dead-session",
+            ShedReason::NonMonotone => "non-monotone",
+        })
+    }
+}
+
+/// Shared admission state.
+pub(crate) struct Admission {
+    /// Appends admitted in the current tick window.
+    points_this_tick: AtomicU64,
+    /// Live points across all inboxes and sessions.
+    buffered: AtomicI64,
+    /// Currently active sessions.
+    active: AtomicUsize,
+    /// Live (active + queued) sessions per tenant.
+    tenants: Mutex<HashMap<u32, usize>>,
+}
+
+impl Admission {
+    pub(crate) fn new() -> Self {
+        Admission {
+            points_this_tick: AtomicU64::new(0),
+            buffered: AtomicI64::new(0),
+            active: AtomicUsize::new(0),
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Hot-path check for one append. On success the point is counted
+    /// against the rate window and the buffer pool.
+    pub(crate) fn admit_point(&self, cfg: &ServeConfig) -> Result<(), ShedReason> {
+        if self.buffered.load(Ordering::Relaxed) >= cfg.max_buffered_points as i64 {
+            return Err(ShedReason::MemoryCeiling);
+        }
+        // `fetch_add` then compare: the slot was claimed only if the prior
+        // count was still below the ceiling.
+        if self.points_this_tick.fetch_add(1, Ordering::Relaxed) >= cfg.max_points_per_tick {
+            return Err(ShedReason::RateCeiling);
+        }
+        self.buffered.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Opens the next rate window (called once per tick).
+    pub(crate) fn begin_tick(&self) {
+        self.points_this_tick.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether new sessions should degrade to the uniform fallback.
+    pub(crate) fn degraded(&self, cfg: &ServeConfig) -> bool {
+        self.buffered.load(Ordering::Relaxed) >= cfg.soft_buffered_points as i64
+    }
+
+    /// Adjusts the live-point pool (window/output growth and shrink).
+    pub(crate) fn buffer_delta(&self, delta: i64) {
+        self.buffered.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub(crate) fn buffered(&self) -> i64 {
+        self.buffered.load(Ordering::Relaxed).max(0)
+    }
+
+    pub(crate) fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn active_delta(&self, delta: isize) {
+        if delta >= 0 {
+            self.active.fetch_add(delta as usize, Ordering::Relaxed);
+        } else {
+            self.active.fetch_sub((-delta) as usize, Ordering::Relaxed);
+        }
+    }
+
+    /// Claims one live-session slot for `tenant`, enforcing the quota.
+    pub(crate) fn claim_tenant_slot(
+        &self,
+        tenant: TenantId,
+        cfg: &ServeConfig,
+    ) -> Result<(), AdmitError> {
+        let mut map = self.tenants.lock().expect("tenant census poisoned");
+        let count = map.entry(tenant.0).or_insert(0);
+        if *count >= cfg.tenant_max_sessions {
+            return Err(AdmitError::TenantQuota {
+                tenant,
+                limit: cfg.tenant_max_sessions,
+            });
+        }
+        *count += 1;
+        Ok(())
+    }
+
+    /// Releases a live-session slot (close, eviction, or failed create).
+    pub(crate) fn release_tenant_slot(&self, tenant: TenantId) {
+        let mut map = self.tenants.lock().expect("tenant census poisoned");
+        if let Some(count) = map.get_mut(&tenant.0) {
+            *count = count.saturating_sub(1);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Service configuration and identifier types.
+
+/// A tenant: the unit of quota enforcement and latency attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A session: one trajectory stream being simplified. Ids are allocated
+/// densely by the service in creation order, which makes the shard
+/// assignment (`id mod shards`) deterministic and reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Service-wide knobs: worker pool width, per-session streaming window,
+/// lifecycle timers, and the admission-control ceilings (DESIGN.md §12).
+///
+/// All time quantities are in *ticks* — the service runs on a logical
+/// clock advanced by [`TrajServe::tick`](crate::TrajServe::tick), which
+/// keeps every lifecycle decision (idle eviction, rate windows)
+/// independent of wall clock and therefore reproducible.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (= shards). `0` means all cores. Results are
+    /// identical at any value; only wall-clock changes.
+    pub threads: usize,
+    /// Per-session streaming window: after this many buffered points the
+    /// session runs its simplifier over the window and keeps at most `w`
+    /// of them (the same bounded-memory scheme the sensor layer uses).
+    pub window: usize,
+    /// Sessions idle for this many ticks are evicted: flushed, delivered
+    /// to the completion queue (never silently dropped), and removed.
+    pub idle_ttl: u64,
+    /// Maximum live (active + queued) sessions per tenant.
+    pub tenant_max_sessions: usize,
+    /// Global ceiling on concurrently active sessions; new sessions beyond
+    /// it are queued (up to [`ServeConfig::pending_queue`]) and activated
+    /// as capacity frees up.
+    pub max_active_sessions: usize,
+    /// Bounded wait queue for sessions arriving while the service is at
+    /// [`ServeConfig::max_active_sessions`]. A full queue rejects.
+    pub pending_queue: usize,
+    /// Global point-rate ceiling: appends admitted per tick. Beyond it,
+    /// points are shed (counted in `serve.points.shed`).
+    pub max_points_per_tick: u64,
+    /// Soft memory ceiling (total buffered points). Above it the service
+    /// degrades: new sessions get the cheap uniform fallback simplifier
+    /// instead of their requested algorithm.
+    pub soft_buffered_points: usize,
+    /// Hard memory ceiling (total buffered points). Above it appends are
+    /// shed until the pool drains.
+    pub max_buffered_points: usize,
+    /// Master seed; per-session policy RNGs derive from
+    /// `parkit::mix_seed(seed, session_id)`.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 0,
+            window: 64,
+            idle_ttl: 50,
+            tenant_max_sessions: 128,
+            max_active_sessions: 1024,
+            pending_queue: 256,
+            max_points_per_tick: 250_000,
+            soft_buffered_points: 500_000,
+            max_buffered_points: 1_000_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}

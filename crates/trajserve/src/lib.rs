@@ -1,0 +1,66 @@
+//! trajserve — a long-running, multi-tenant streaming simplification
+//! service.
+//!
+//! The crate turns the workspace's one-shot simplifiers into a *service*:
+//! many concurrent trajectory sessions, each wrapping an online simplifier
+//! (an RLTS variant, a baseline, or the cheap uniform fallback) with its
+//! own budget, fed by re-stitched sensornet streams and sharded across a
+//! deterministic [`parkit`]-backed worker pool.
+//!
+//! The moving parts (DESIGN.md §12):
+//!
+//! - **Session manager** ([`TrajServe`]) — create / append / flush /
+//!   close, plus idle-TTL eviction that always *delivers* the pending
+//!   simplification rather than dropping it.
+//! - **Admission control** — per-tenant session quotas, a global
+//!   active-session ceiling with a bounded wait queue, a per-tick point
+//!   rate ceiling, and soft/hard memory ceilings. Under pressure the
+//!   service degrades new sessions to [`UniformOnline`] before it ever
+//!   refuses traffic.
+//! - **Policy registry** ([`PolicyRegistry`]) — versioned policy
+//!   checkpoints with atomic hot-swap: sessions created after a publish
+//!   run the new generation, in-flight sessions finish on the one they
+//!   captured at activation.
+//! - **Soak harness** ([`run_soak`]) — a synthetic many-tenant workload
+//!   (trajgen sources, lossy sensornet uplink) behind `rlts serve`.
+//!
+//! The service runs on a logical clock: clients enqueue operations and
+//! [`TrajServe::tick`] applies them, which makes every run — including
+//! eviction timing and load shedding — reproducible at any thread count.
+//!
+//! ```
+//! use trajectory::Point;
+//! use trajectory::error::Measure;
+//! use trajserve::{ServeConfig, SimplifierSpec, TenantId, TrajServe};
+//!
+//! let serve = TrajServe::new(ServeConfig { threads: 2, ..ServeConfig::default() });
+//! let id = serve
+//!     .create_session(TenantId(0), SimplifierSpec::Squish(Measure::Sed), 8)
+//!     .unwrap();
+//! for i in 0..100 {
+//!     serve.append(id, Point::new(i as f64, 0.0, i as f64)).unwrap();
+//! }
+//! serve.tick();
+//! serve.close(id);
+//! serve.tick();
+//! let out = serve.drain_completed().pop().unwrap();
+//! assert!(out.simplified.len() <= 8);
+//! ```
+
+#![warn(missing_docs)]
+
+mod admission;
+mod config;
+mod registry;
+mod service;
+mod session;
+mod soak;
+mod uniform;
+
+pub use admission::{AdmitError, ShedReason};
+pub use config::{ServeConfig, SessionId, TenantId};
+pub use registry::{PolicyEntry, PolicyRegistry, PolicyVersion};
+pub use service::{SimplifierSpec, TickStats, TrajServe};
+pub use session::{CompletionReason, SessionOutput};
+pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use uniform::UniformOnline;

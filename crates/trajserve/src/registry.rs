@@ -1,0 +1,165 @@
+//! The policy registry: versioned policy checkpoints with atomic hot-swap.
+//!
+//! The registry holds the *current* policy generation behind an
+//! `RwLock<Arc<…>>`. Publishing a new checkpoint swaps the head atomically:
+//! sessions created afterwards capture the new `Arc`, while in-flight
+//! sessions keep driving the generation they captured at creation and
+//! finish on it — exactly the "new sessions pick up the new policy"
+//! contract (DESIGN.md §12).
+
+use rlts_core::{DecisionPolicy, PolicyCheckpointError, RltsConfig, TrainedPolicy};
+use std::sync::{Arc, RwLock};
+
+/// Monotone policy generation number. Generation `0` is the built-in
+/// arg-min heuristic ([`DecisionPolicy::MinValue`]); every published
+/// checkpoint increments it.
+pub type PolicyVersion = u32;
+
+/// One immutable policy generation.
+#[derive(Debug)]
+pub struct PolicyEntry {
+    /// Generation number of this entry.
+    pub version: PolicyVersion,
+    /// The trained policy, or `None` for the built-in heuristic.
+    pub policy: Option<TrainedPolicy>,
+}
+
+impl PolicyEntry {
+    /// The decision policy a session with configuration `cfg` should run
+    /// under this generation.
+    ///
+    /// A checkpoint trained for a *different* configuration (variant,
+    /// measure, or dimensions) cannot drive `cfg`; such sessions fall back
+    /// to the heuristic instead of sampling garbage through a mismatched
+    /// network.
+    pub fn decision_policy_for(&self, cfg: &RltsConfig) -> DecisionPolicy {
+        match &self.policy {
+            Some(tp) if tp.config == *cfg => DecisionPolicy::Learned {
+                net: tp.net.clone(),
+                greedy: false,
+            },
+            _ => DecisionPolicy::MinValue,
+        }
+    }
+}
+
+/// Versioned policy store with atomic hot-swap.
+#[derive(Debug)]
+pub struct PolicyRegistry {
+    head: RwLock<Arc<PolicyEntry>>,
+    swaps: Arc<obskit::Counter>,
+}
+
+impl PolicyRegistry {
+    /// Creates a registry at generation `0` (the built-in heuristic).
+    pub fn new() -> Self {
+        PolicyRegistry {
+            head: RwLock::new(Arc::new(PolicyEntry {
+                version: 0,
+                policy: None,
+            })),
+            swaps: obskit::global().counter("serve.policy.swaps"),
+        }
+    }
+
+    /// The current generation. Cheap: clones an `Arc`.
+    pub fn current(&self) -> Arc<PolicyEntry> {
+        Arc::clone(&self.head.read().expect("registry lock poisoned"))
+    }
+
+    /// The current generation number.
+    pub fn version(&self) -> PolicyVersion {
+        self.head.read().expect("registry lock poisoned").version
+    }
+
+    /// Publishes a new policy generation and returns its version. The swap
+    /// is atomic: concurrent readers see either the old or the new head,
+    /// never a mixture.
+    pub fn publish(&self, policy: TrainedPolicy) -> PolicyVersion {
+        let mut head = self.head.write().expect("registry lock poisoned");
+        let version = head.version + 1;
+        *head = Arc::new(PolicyEntry {
+            version,
+            policy: Some(policy),
+        });
+        self.swaps.inc();
+        version
+    }
+
+    /// Publishes a binary checkpoint
+    /// ([`TrainedPolicy::to_checkpoint_bytes`]); corrupt or
+    /// dimension-mismatched checkpoints are rejected before any swap
+    /// happens, leaving the current generation in place.
+    pub fn publish_checkpoint(&self, bytes: &[u8]) -> Result<PolicyVersion, PolicyCheckpointError> {
+        let policy = TrainedPolicy::from_checkpoint_bytes(bytes)?;
+        Ok(self.publish(policy))
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rlkit::nn::PolicyNet;
+    use rlts_core::Variant;
+    use trajectory::error::Measure;
+
+    fn trained(cfg: RltsConfig, seed: u64) -> TrainedPolicy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TrainedPolicy {
+            config: cfg,
+            net: PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng),
+        }
+    }
+
+    #[test]
+    fn publish_bumps_version_and_old_handles_survive() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let reg = PolicyRegistry::new();
+        assert_eq!(reg.version(), 0);
+        let before = reg.current();
+        let v1 = reg.publish(trained(cfg, 1));
+        assert_eq!(v1, 1);
+        assert_eq!(reg.version(), 1);
+        // The handle captured before the swap still points at generation 0
+        // — this is what lets in-flight sessions finish on the old policy.
+        assert_eq!(before.version, 0);
+        assert!(before.policy.is_none());
+        assert_eq!(reg.current().version, 1);
+    }
+
+    #[test]
+    fn mismatched_config_falls_back_to_heuristic() {
+        let sed = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let ped = RltsConfig::paper_defaults(Variant::Rlts, Measure::Ped);
+        let reg = PolicyRegistry::new();
+        reg.publish(trained(sed, 2));
+        let head = reg.current();
+        assert!(matches!(
+            head.decision_policy_for(&sed),
+            DecisionPolicy::Learned { .. }
+        ));
+        assert!(matches!(
+            head.decision_policy_for(&ped),
+            DecisionPolicy::MinValue
+        ));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_never_swaps() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let reg = PolicyRegistry::new();
+        let mut bytes = trained(cfg, 3).to_checkpoint_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(reg.publish_checkpoint(&bytes).is_err());
+        assert_eq!(reg.version(), 0);
+    }
+}

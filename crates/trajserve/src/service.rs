@@ -1,0 +1,742 @@
+//! The service proper: session manager, sharded worker pool, and the
+//! `serve.*` metric family.
+//!
+//! # Execution model
+//!
+//! [`TrajServe`] runs on a *logical clock*. Clients enqueue operations
+//! (append / flush / close) at any time; nothing is processed until
+//! [`TrajServe::tick`] advances the clock, drains every shard's inbox in
+//! parallel via [`parkit::map`], applies the operations in arrival order,
+//! and evicts idle sessions. Because every lifecycle decision keys off the
+//! tick counter — never wall clock — and sessions shard deterministically
+//! by `id mod shards`, a given operation sequence produces byte-identical
+//! outputs at any thread count.
+
+use crate::admission::{Admission, AdmitError, ShedReason};
+use crate::config::{ServeConfig, SessionId, TenantId};
+use crate::registry::{PolicyEntry, PolicyRegistry};
+use crate::session::{CompletionReason, Session, SessionOutput};
+use crate::uniform::UniformOnline;
+use baselines::{Squish, SquishE, StTrace};
+use obskit::{Buckets, Counter, Gauge, Histogram};
+use rlts_core::{RltsConfig, RltsOnline};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use trajectory::error::Measure;
+use trajectory::{OnlineSimplifier, Point};
+
+/// Which simplifier a session should run.
+///
+/// Only online algorithms can serve a stream; the batch RLTS variants
+/// (`+`/`++`) are rejected at create time with
+/// [`AdmitError::UnsupportedSpec`].
+#[derive(Debug, Clone)]
+pub enum SimplifierSpec {
+    /// An RLTS online variant. The session resolves the current policy
+    /// generation from the registry at activation: a checkpoint whose
+    /// configuration matches `cfg` drives the decisions, anything else
+    /// falls back to the arg-min heuristic.
+    Rlts {
+        /// Variant, measure, and hyper-parameters for the session.
+        cfg: RltsConfig,
+    },
+    /// The SQUISH baseline under a measure.
+    Squish(Measure),
+    /// The SQUISH-E baseline under a measure.
+    SquishE(Measure),
+    /// The STTrace baseline under a measure.
+    StTrace(Measure),
+    /// The cheap uniform sampler (also the load-shedding fallback).
+    Uniform,
+}
+
+impl SimplifierSpec {
+    /// Rejects specs that cannot run online.
+    fn validate(&self) -> Result<(), AdmitError> {
+        if let SimplifierSpec::Rlts { cfg } = self {
+            if cfg.variant.is_batch() {
+                return Err(AdmitError::UnsupportedSpec(
+                    "batch RLTS variants cannot serve a stream",
+                ));
+            }
+            cfg.validate()
+                .map_err(|_| AdmitError::UnsupportedSpec("invalid RLTS configuration"))?;
+        }
+        Ok(())
+    }
+
+    /// Builds the simplifier for one session.
+    fn instantiate(&self, entry: &PolicyEntry, seed: u64) -> Box<dyn OnlineSimplifier + Send> {
+        match self {
+            SimplifierSpec::Rlts { cfg } => {
+                Box::new(RltsOnline::new(*cfg, entry.decision_policy_for(cfg), seed))
+            }
+            SimplifierSpec::Squish(m) => Box::new(Squish::new(*m)),
+            SimplifierSpec::SquishE(m) => Box::new(SquishE::new(*m)),
+            SimplifierSpec::StTrace(m) => Box::new(StTrace::new(*m)),
+            SimplifierSpec::Uniform => Box::new(UniformOnline::new()),
+        }
+    }
+}
+
+/// The `serve.*` metric family (see `docs/telemetry.md` conventions).
+struct ServeMetrics {
+    sessions_active: Arc<Gauge>,
+    sessions_queued: Arc<Gauge>,
+    sessions_created: Arc<Counter>,
+    sessions_closed: Arc<Counter>,
+    sessions_evicted: Arc<Counter>,
+    sessions_degraded: Arc<Counter>,
+    sessions_rejected: Arc<Counter>,
+    points_admitted: Arc<Counter>,
+    points_shed: Arc<Counter>,
+    points_buffered: Arc<Gauge>,
+    /// Per-tenant append-latency histograms, resolved once per tenant.
+    append_hists: Mutex<HashMap<u32, Arc<Histogram>>>,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let reg = obskit::global();
+        ServeMetrics {
+            sessions_active: reg.gauge("serve.sessions.active"),
+            sessions_queued: reg.gauge("serve.sessions.queued"),
+            sessions_created: reg.counter("serve.sessions.created"),
+            sessions_closed: reg.counter("serve.sessions.closed"),
+            sessions_evicted: reg.counter("serve.sessions.evicted"),
+            sessions_degraded: reg.counter("serve.sessions.degraded"),
+            sessions_rejected: reg.counter("serve.sessions.rejected"),
+            points_admitted: reg.counter("serve.points.admitted"),
+            points_shed: reg.counter("serve.points.shed"),
+            points_buffered: reg.gauge("serve.points.buffered"),
+            append_hists: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn append_histogram(&self, tenant: TenantId) -> Arc<Histogram> {
+        let mut map = self.append_hists.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(tenant.0).or_insert_with(|| {
+            obskit::global().histogram_with(
+                "serve.append.seconds",
+                &[("tenant", &tenant.to_string())],
+                Buckets::latency(),
+            )
+        }))
+    }
+}
+
+/// One enqueued client operation.
+enum Op {
+    Append(u64, Point),
+    Flush(u64),
+    Close(u64),
+}
+
+/// Sessions owned by one worker shard.
+#[derive(Default)]
+struct Shard {
+    sessions: HashMap<u64, Session>,
+}
+
+impl Shard {
+    fn footprint(&self) -> usize {
+        self.sessions.values().map(Session::footprint).sum()
+    }
+}
+
+/// A session admitted past the active ceiling, waiting for capacity. The
+/// id is allocated at admission (arrival order); the policy generation is
+/// captured at *activation*, so a queued session that activates after a
+/// hot-swap runs the new policy.
+struct PendingSession {
+    id: u64,
+    tenant: TenantId,
+    spec: SimplifierSpec,
+    w: usize,
+}
+
+/// What one shard reports back from a tick.
+#[derive(Default)]
+struct ShardOutcome {
+    outputs: Vec<SessionOutput>,
+    released: Vec<TenantId>,
+    evicted: usize,
+    closed: usize,
+    applied: u64,
+    shed_dead: u64,
+    shed_nonmono: u64,
+    buffer_delta: i64,
+}
+
+/// Per-tick summary returned by [`TrajServe::tick`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TickStats {
+    /// Logical time after this tick.
+    pub now: u64,
+    /// Queued sessions activated this tick.
+    pub activated: usize,
+    /// Outputs delivered to the completion queue this tick.
+    pub delivered: usize,
+    /// Sessions evicted by the idle TTL this tick.
+    pub evicted: usize,
+    /// Sessions closed by the client this tick.
+    pub closed: usize,
+    /// Appends applied to live sessions this tick.
+    pub applied: u64,
+    /// Points shed at apply time this tick (dead session / non-monotone).
+    pub shed: u64,
+}
+
+/// The multi-tenant streaming simplification service.
+pub struct TrajServe {
+    cfg: ServeConfig,
+    nshards: usize,
+    shards: Vec<Mutex<Shard>>,
+    inboxes: Vec<Mutex<Vec<Op>>>,
+    admission: Admission,
+    registry: Arc<PolicyRegistry>,
+    pending: Mutex<VecDeque<PendingSession>>,
+    next_id: AtomicU64,
+    now: AtomicU64,
+    completed: Mutex<Vec<SessionOutput>>,
+    metrics: ServeMetrics,
+}
+
+impl TrajServe {
+    /// Creates a service with its own policy registry at generation 0.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self::with_registry(cfg, Arc::new(PolicyRegistry::new()))
+    }
+
+    /// Creates a service around a shared registry (so an external control
+    /// plane can hot-swap policies while the service runs).
+    pub fn with_registry(cfg: ServeConfig, registry: Arc<PolicyRegistry>) -> Self {
+        let nshards = parkit::resolve_threads(cfg.threads);
+        TrajServe {
+            cfg,
+            nshards,
+            shards: (0..nshards).map(|_| Mutex::new(Shard::default())).collect(),
+            inboxes: (0..nshards).map(|_| Mutex::new(Vec::new())).collect(),
+            admission: Admission::new(),
+            registry,
+            pending: Mutex::new(VecDeque::new()),
+            next_id: AtomicU64::new(0),
+            now: AtomicU64::new(0),
+            completed: Mutex::new(Vec::new()),
+            metrics: ServeMetrics::new(),
+        }
+    }
+
+    /// The policy registry backing this service.
+    pub fn registry(&self) -> &Arc<PolicyRegistry> {
+        &self.registry
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// The worker shard that owns `id`.
+    pub fn shard_of(&self, id: SessionId) -> usize {
+        (id.0 % self.nshards as u64) as usize
+    }
+
+    /// Number of worker shards (= threads).
+    pub fn shards(&self) -> usize {
+        self.nshards
+    }
+
+    /// Currently active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.admission.active()
+    }
+
+    /// Sessions waiting in the admission queue.
+    pub fn queued_sessions(&self) -> usize {
+        self.pending.lock().expect("pending lock poisoned").len()
+    }
+
+    /// Total points currently buffered (inboxes + session windows).
+    pub fn buffered_points(&self) -> u64 {
+        self.admission.buffered() as u64
+    }
+
+    /// Ids of all active sessions, ascending.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        let mut ids: Vec<SessionId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("shard lock poisoned")
+                    .sessions
+                    .keys()
+                    .copied()
+                    .map(SessionId)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Admits a new session for `tenant`.
+    ///
+    /// `w` is the session's simplification budget: delivered outputs hold
+    /// at most `w` points. Below the active-session ceiling the session
+    /// activates immediately; above it the session queues (bounded);
+    /// beyond that the request is rejected. Above the soft memory ceiling
+    /// the session is *degraded*: it gets the cheap uniform fallback
+    /// instead of `spec`, keeping traffic flowing under load.
+    pub fn create_session(
+        &self,
+        tenant: TenantId,
+        spec: SimplifierSpec,
+        w: usize,
+    ) -> Result<SessionId, AdmitError> {
+        spec.validate()
+            .inspect_err(|_| self.metrics.sessions_rejected.inc())?;
+        self.admission
+            .claim_tenant_slot(tenant, &self.cfg)
+            .inspect_err(|_| self.metrics.sessions_rejected.inc())?;
+        if self.admission.active() < self.cfg.max_active_sessions {
+            let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            self.activate(id, tenant, spec, w);
+            self.metrics.sessions_created.inc();
+            return Ok(id);
+        }
+        let mut pending = self.pending.lock().expect("pending lock poisoned");
+        if pending.len() >= self.cfg.pending_queue {
+            let queued = pending.len();
+            drop(pending);
+            self.admission.release_tenant_slot(tenant);
+            self.metrics.sessions_rejected.inc();
+            return Err(AdmitError::Saturated {
+                active: self.admission.active(),
+                pending: queued,
+            });
+        }
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        pending.push_back(PendingSession {
+            id: id.0,
+            tenant,
+            spec,
+            w,
+        });
+        self.metrics.sessions_queued.set(pending.len() as f64);
+        self.metrics.sessions_created.inc();
+        Ok(id)
+    }
+
+    fn activate(&self, id: SessionId, tenant: TenantId, spec: SimplifierSpec, w: usize) {
+        let entry = self.registry.current();
+        let degraded = self.admission.degraded(&self.cfg);
+        let algo: Box<dyn OnlineSimplifier + Send> = if degraded {
+            self.metrics.sessions_degraded.inc();
+            Box::new(UniformOnline::new())
+        } else {
+            spec.instantiate(&entry, parkit::mix_seed(self.cfg.seed, id.0))
+        };
+        let session = Session::new(
+            id,
+            tenant,
+            algo,
+            w,
+            self.cfg.window,
+            entry.version,
+            degraded,
+            self.now(),
+            self.metrics.append_histogram(tenant),
+        );
+        self.shards[self.shard_of(id)]
+            .lock()
+            .expect("shard lock poisoned")
+            .sessions
+            .insert(id.0, session);
+        self.admission.active_delta(1);
+        self.metrics
+            .sessions_active
+            .set(self.admission.active() as f64);
+    }
+
+    /// Enqueues one point for `id`. A synchronous `Err` means the point
+    /// was shed at the door (rate or memory ceiling) and never buffered;
+    /// points for dead or still-queued sessions are shed at apply time and
+    /// surface only in `serve.points.shed`.
+    pub fn append(&self, id: SessionId, p: Point) -> Result<(), ShedReason> {
+        match self.admission.admit_point(&self.cfg) {
+            Ok(()) => {
+                self.inboxes[self.shard_of(id)]
+                    .lock()
+                    .expect("inbox lock poisoned")
+                    .push(Op::Append(id.0, p));
+                Ok(())
+            }
+            Err(reason) => {
+                self.metrics.points_shed.inc();
+                Err(reason)
+            }
+        }
+    }
+
+    /// Requests a flush: at the next tick the session delivers everything
+    /// buffered so far (anchored, ≤ `w`) and keeps running.
+    pub fn flush(&self, id: SessionId) {
+        self.inboxes[self.shard_of(id)]
+            .lock()
+            .expect("inbox lock poisoned")
+            .push(Op::Flush(id.0));
+    }
+
+    /// Requests a close: at the next tick the session delivers its final
+    /// simplification and is removed.
+    pub fn close(&self, id: SessionId) {
+        self.inboxes[self.shard_of(id)]
+            .lock()
+            .expect("inbox lock poisoned")
+            .push(Op::Close(id.0));
+    }
+
+    /// Requests a close for every currently active session. Queued
+    /// sessions are untouched; they activate (and can then be closed) on
+    /// later ticks, so drain loops should alternate `close_all` and
+    /// [`tick`](TrajServe::tick) until nothing is active or queued.
+    pub fn close_all(&self) {
+        for id in self.session_ids() {
+            self.close(id);
+        }
+    }
+
+    /// Takes every output delivered since the last drain, in delivery
+    /// order (ticks ascending, session id ascending within a tick).
+    pub fn drain_completed(&self) -> Vec<SessionOutput> {
+        std::mem::take(&mut *self.completed.lock().expect("completed lock poisoned"))
+    }
+
+    /// Advances the logical clock one step: activates queued sessions into
+    /// freed capacity, then processes every shard's inbox in parallel and
+    /// evicts sessions idle past the TTL (delivering their output — an
+    /// eviction never discards data).
+    pub fn tick(&self) -> TickStats {
+        let now = self.now.fetch_add(1, Ordering::Relaxed) + 1;
+        self.admission.begin_tick();
+        let activated = self.activate_pending();
+
+        let idxs: Vec<usize> = (0..self.nshards).collect();
+        let outcomes = parkit::map(self.nshards, &idxs, |_, &s| self.process_shard(s, now));
+
+        let mut stats = TickStats {
+            now,
+            activated,
+            ..TickStats::default()
+        };
+        let mut outputs = Vec::new();
+        for o in outcomes {
+            for tenant in o.released {
+                self.admission.release_tenant_slot(tenant);
+            }
+            let removed = o.evicted + o.closed;
+            if removed > 0 {
+                self.admission.active_delta(-(removed as isize));
+            }
+            self.admission.buffer_delta(o.buffer_delta);
+            self.metrics.points_admitted.add(o.applied);
+            self.metrics.points_shed.add(o.shed_dead + o.shed_nonmono);
+            self.metrics.sessions_evicted.add(o.evicted as u64);
+            self.metrics.sessions_closed.add(o.closed as u64);
+            stats.evicted += o.evicted;
+            stats.closed += o.closed;
+            stats.applied += o.applied;
+            stats.shed += o.shed_dead + o.shed_nonmono;
+            outputs.extend(o.outputs);
+        }
+        // Cross-shard merge order is fixed by session id, so the completed
+        // stream is identical at any thread count.
+        outputs.sort_by_key(|o| o.id);
+        stats.delivered = outputs.len();
+        self.completed
+            .lock()
+            .expect("completed lock poisoned")
+            .extend(outputs);
+
+        self.metrics
+            .sessions_active
+            .set(self.admission.active() as f64);
+        self.metrics
+            .points_buffered
+            .set(self.admission.buffered() as f64);
+        stats
+    }
+
+    fn activate_pending(&self) -> usize {
+        let mut activated = 0;
+        while self.admission.active() < self.cfg.max_active_sessions {
+            let Some(p) = self
+                .pending
+                .lock()
+                .expect("pending lock poisoned")
+                .pop_front()
+            else {
+                break;
+            };
+            self.activate(SessionId(p.id), p.tenant, p.spec, p.w);
+            activated += 1;
+        }
+        if activated > 0 {
+            self.metrics
+                .sessions_queued
+                .set(self.queued_sessions() as f64);
+        }
+        activated
+    }
+
+    fn process_shard(&self, s: usize, now: u64) -> ShardOutcome {
+        let ops = std::mem::take(&mut *self.inboxes[s].lock().expect("inbox lock poisoned"));
+        let inbox_points = ops.iter().filter(|o| matches!(o, Op::Append(..))).count() as i64;
+        let mut shard = self.shards[s].lock().expect("shard lock poisoned");
+        let before = shard.footprint() as i64;
+        let mut out = ShardOutcome::default();
+
+        for op in ops {
+            match op {
+                Op::Append(id, p) => match shard.sessions.get_mut(&id) {
+                    Some(sess) => {
+                        let start = Instant::now();
+                        let accepted = sess.append(p, now);
+                        sess.append_seconds.record(start.elapsed().as_secs_f64());
+                        if accepted {
+                            out.applied += 1;
+                        } else {
+                            out.shed_nonmono += 1;
+                        }
+                    }
+                    None => out.shed_dead += 1,
+                },
+                Op::Flush(id) => {
+                    if let Some(sess) = shard.sessions.get_mut(&id) {
+                        out.outputs
+                            .push(sess.take_output(CompletionReason::Flushed, now));
+                    }
+                }
+                Op::Close(id) => {
+                    if let Some(mut sess) = shard.sessions.remove(&id) {
+                        out.outputs
+                            .push(sess.take_output(CompletionReason::Closed, now));
+                        out.released.push(sess.tenant);
+                        out.closed += 1;
+                    }
+                }
+            }
+        }
+
+        // Idle-TTL sweep. HashMap order is arbitrary, so collect and sort
+        // the expired ids before delivering their outputs.
+        let mut expired: Vec<u64> = shard
+            .sessions
+            .values()
+            .filter(|sess| now.saturating_sub(sess.last_active) > self.cfg.idle_ttl)
+            .map(|sess| sess.id.0)
+            .collect();
+        expired.sort_unstable();
+        for id in expired {
+            let mut sess = shard.sessions.remove(&id).expect("expired id is live");
+            out.outputs
+                .push(sess.take_output(CompletionReason::Evicted, now));
+            out.released.push(sess.tenant);
+            out.evicted += 1;
+        }
+
+        out.buffer_delta = shard.footprint() as i64 - before - inbox_points;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlts_core::Variant;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, (i % 7) as f64, i as f64))
+            .collect()
+    }
+
+    fn serve(cfg: ServeConfig) -> TrajServe {
+        TrajServe::new(cfg)
+    }
+
+    #[test]
+    fn lifecycle_close_delivers_anchored_bounded_output() {
+        let s = serve(ServeConfig {
+            threads: 2,
+            window: 16,
+            ..ServeConfig::default()
+        });
+        let id = s
+            .create_session(TenantId(0), SimplifierSpec::Squish(Measure::Sed), 10)
+            .unwrap();
+        let input = pts(300);
+        for p in &input {
+            s.append(id, *p).unwrap();
+            s.tick();
+        }
+        s.close(id);
+        s.tick();
+        let done = s.drain_completed();
+        assert_eq!(done.len(), 1);
+        let out = &done[0];
+        assert_eq!(out.reason, CompletionReason::Closed);
+        assert_eq!(out.observed, 300);
+        assert!(out.simplified.len() <= 10, "{} kept", out.simplified.len());
+        assert_eq!(out.simplified.first().unwrap().t, input[0].t);
+        assert_eq!(out.simplified.last().unwrap().t, input[299].t);
+        assert_eq!(s.active_sessions(), 0);
+    }
+
+    #[test]
+    fn batch_variants_are_rejected() {
+        let s = serve(ServeConfig::default());
+        let cfg = RltsConfig::paper_defaults(Variant::RltsPlus, Measure::Sed);
+        let err = s
+            .create_session(TenantId(0), SimplifierSpec::Rlts { cfg }, 8)
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::UnsupportedSpec(_)));
+        assert_eq!(s.active_sessions(), 0);
+    }
+
+    #[test]
+    fn rlts_session_runs_under_the_heuristic_by_default() {
+        let s = serve(ServeConfig {
+            window: 32,
+            ..ServeConfig::default()
+        });
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let id = s
+            .create_session(TenantId(3), SimplifierSpec::Rlts { cfg }, 8)
+            .unwrap();
+        for p in pts(200) {
+            s.append(id, p).unwrap();
+        }
+        s.tick();
+        s.close(id);
+        s.tick();
+        let done = s.drain_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].policy_version, 0);
+        assert!(done[0].simplified.len() <= 8);
+        assert!(!done[0].simplified.is_empty());
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_saturated() {
+        let s = serve(ServeConfig {
+            max_active_sessions: 1,
+            pending_queue: 1,
+            tenant_max_sessions: 16,
+            ..ServeConfig::default()
+        });
+        s.create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+            .unwrap();
+        // Second session queues; third overflows the queue.
+        s.create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+            .unwrap();
+        let err = s
+            .create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+            .unwrap_err();
+        assert!(matches!(err, AdmitError::Saturated { .. }));
+        assert_eq!(s.queued_sessions(), 1);
+        // Capacity frees -> the queued session activates on the next tick.
+        s.close_all();
+        s.tick();
+        s.tick();
+        assert_eq!(s.active_sessions(), 1);
+        assert_eq!(s.queued_sessions(), 0);
+    }
+
+    #[test]
+    fn rate_ceiling_sheds_synchronously() {
+        let s = serve(ServeConfig {
+            max_points_per_tick: 5,
+            ..ServeConfig::default()
+        });
+        let id = s
+            .create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+            .unwrap();
+        s.tick(); // open the first rate window
+        let mut shed = 0;
+        for p in pts(20) {
+            if s.append(id, p) == Err(ShedReason::RateCeiling) {
+                shed += 1;
+            }
+        }
+        assert_eq!(shed, 15);
+        // The next tick opens a fresh window.
+        s.tick();
+        assert!(s.append(id, Point::new(100.0, 0.0, 100.0)).is_ok());
+    }
+
+    #[test]
+    fn flush_keeps_the_session_alive() {
+        let s = serve(ServeConfig {
+            window: 8,
+            ..ServeConfig::default()
+        });
+        let id = s
+            .create_session(TenantId(1), SimplifierSpec::Uniform, 6)
+            .unwrap();
+        for p in pts(50) {
+            s.append(id, p).unwrap();
+        }
+        s.tick();
+        s.flush(id);
+        s.tick();
+        let first = s.drain_completed();
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].reason, CompletionReason::Flushed);
+        assert_eq!(s.active_sessions(), 1);
+        // The session keeps accepting points after the flush.
+        for i in 50..80 {
+            s.append(id, Point::new(i as f64, 0.0, i as f64)).unwrap();
+        }
+        s.tick();
+        s.close(id);
+        s.tick();
+        let second = s.drain_completed();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].reason, CompletionReason::Closed);
+        assert!(!second[0].simplified.is_empty());
+    }
+
+    #[test]
+    fn buffer_accounting_returns_to_zero() {
+        let s = serve(ServeConfig {
+            window: 16,
+            ..ServeConfig::default()
+        });
+        let a = s
+            .create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+            .unwrap();
+        let b = s
+            .create_session(TenantId(1), SimplifierSpec::Squish(Measure::Ped), 4)
+            .unwrap();
+        for p in pts(100) {
+            s.append(a, p).unwrap();
+            s.append(b, p).unwrap();
+        }
+        s.tick();
+        assert!(s.buffered_points() > 0);
+        s.close_all();
+        s.tick();
+        assert_eq!(s.drain_completed().len(), 2);
+        assert_eq!(s.buffered_points(), 0);
+    }
+}

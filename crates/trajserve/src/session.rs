@@ -1,0 +1,171 @@
+//! One streaming session: an online simplifier plus the bounded state
+//! around it (window, output, activity bookkeeping).
+//!
+//! Sessions stream through a bounded *window*, exactly like the sensor
+//! layer: points accumulate until the window fills, the simplifier reduces
+//! the window to at most `w` points, and those survivors are appended to
+//! the session's output. Memory per session is therefore bounded by
+//! `window + output` regardless of stream length. On flush/close/eviction
+//! the output is compacted once more to at most `w` points (the same
+//! hierarchical scheme SQUISH uses internally), so every delivered
+//! simplification is anchored and within budget.
+
+use crate::config::{SessionId, TenantId};
+use crate::registry::PolicyVersion;
+use obskit::Histogram;
+use std::sync::Arc;
+use trajectory::{OnlineSimplifier, Point};
+
+/// Why a [`SessionOutput`] was delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionReason {
+    /// The client closed the session.
+    Closed,
+    /// The idle TTL expired; the service flushed and delivered the
+    /// simplification rather than dropping it.
+    Evicted,
+    /// An explicit flush on a session that stays open; the output covers
+    /// the stream segment since the previous flush (anchored at that
+    /// segment's own boundaries).
+    Flushed,
+}
+
+impl std::fmt::Display for CompletionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CompletionReason::Closed => "closed",
+            CompletionReason::Evicted => "evicted",
+            CompletionReason::Flushed => "flushed",
+        })
+    }
+}
+
+/// A delivered simplification: the terminal (or flush-time) product of one
+/// session.
+#[derive(Debug, Clone)]
+pub struct SessionOutput {
+    /// The session that produced it.
+    pub id: SessionId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Why it was delivered.
+    pub reason: CompletionReason,
+    /// The simplified trajectory: anchored, at most `w` points.
+    pub simplified: Vec<Point>,
+    /// Points the session accepted over its whole lifetime.
+    pub observed: u64,
+    /// Policy generation the session ran under (fixed at activation).
+    pub policy_version: PolicyVersion,
+    /// Whether admission degraded this session to the uniform fallback.
+    pub degraded: bool,
+    /// Logical tick at which the output was produced.
+    pub delivered_at: u64,
+}
+
+/// Live per-session state. Private to the crate: the service owns sessions
+/// inside its shards.
+pub(crate) struct Session {
+    pub(crate) id: SessionId,
+    pub(crate) tenant: TenantId,
+    pub(crate) policy_version: PolicyVersion,
+    pub(crate) degraded: bool,
+    pub(crate) last_active: u64,
+    algo: Box<dyn OnlineSimplifier + Send>,
+    w: usize,
+    window_cap: usize,
+    window: Vec<Point>,
+    kept: Vec<Point>,
+    last_t: f64,
+    observed: u64,
+    /// Per-tenant append-latency histogram, resolved once at activation.
+    pub(crate) append_seconds: Arc<Histogram>,
+}
+
+impl Session {
+    #[allow(clippy::too_many_arguments)] // constructor of a plain record
+    pub(crate) fn new(
+        id: SessionId,
+        tenant: TenantId,
+        algo: Box<dyn OnlineSimplifier + Send>,
+        w: usize,
+        window_cap: usize,
+        policy_version: PolicyVersion,
+        degraded: bool,
+        now: u64,
+        append_seconds: Arc<Histogram>,
+    ) -> Self {
+        Session {
+            id,
+            tenant,
+            policy_version,
+            degraded,
+            last_active: now,
+            algo,
+            w: w.max(2),
+            window_cap: window_cap.max(4),
+            window: Vec::new(),
+            kept: Vec::new(),
+            last_t: f64::NEG_INFINITY,
+            observed: 0,
+            append_seconds,
+        }
+    }
+
+    /// Points currently held (window + pending output): the session's
+    /// contribution to the global memory ceiling.
+    pub(crate) fn footprint(&self) -> usize {
+        self.window.len() + self.kept.len()
+    }
+
+    /// Accepts one point. Returns `false` (and holds nothing) for a point
+    /// that moves time backwards — re-stitched uplink streams can replay
+    /// late data a streaming session has already moved past.
+    pub(crate) fn append(&mut self, p: Point, now: u64) -> bool {
+        self.last_active = now;
+        if p.t < self.last_t {
+            return false;
+        }
+        self.last_t = p.t;
+        self.window.push(p);
+        self.observed += 1;
+        if self.window.len() >= self.window_cap {
+            self.flush_window();
+        }
+        true
+    }
+
+    /// Reduces the current window to at most `w` survivors and appends
+    /// them to the output.
+    fn flush_window(&mut self) {
+        if self.window.len() <= 2 {
+            self.kept.append(&mut self.window);
+            return;
+        }
+        let kept_idx = self.algo.run(&self.window, self.w);
+        self.kept
+            .extend(kept_idx.into_iter().map(|i| self.window[i]));
+        self.window.clear();
+    }
+
+    /// Flushes everything buffered and delivers the simplification,
+    /// compacted to at most `w` points. For [`CompletionReason::Flushed`]
+    /// the session stays usable and starts a fresh output segment.
+    pub(crate) fn take_output(&mut self, reason: CompletionReason, now: u64) -> SessionOutput {
+        self.flush_window();
+        let mut kept = std::mem::take(&mut self.kept);
+        if kept.len() > self.w {
+            let idx = self.algo.run(&kept, self.w);
+            kept = idx.into_iter().map(|i| kept[i]).collect();
+        }
+        SessionOutput {
+            id: self.id,
+            tenant: self.tenant,
+            reason,
+            simplified: kept,
+            observed: self.observed,
+            policy_version: self.policy_version,
+            degraded: self.degraded,
+            delivered_at: now,
+        }
+    }
+}

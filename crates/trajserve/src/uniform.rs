@@ -1,0 +1,139 @@
+//! The load-shedding fallback: an online uniform sampler with O(1)
+//! amortized work per point and zero per-point geometry.
+//!
+//! When the service is above its soft memory ceiling it stops handing new
+//! sessions their requested (and more expensive) simplifier and degrades
+//! them to this one — traffic keeps flowing with valid, anchored, ≤ `w`
+//! output, just at uniform rather than error-aware placement.
+
+use trajectory::{OnlineSimplifier, Point};
+
+/// Online uniform decimation under a fixed budget.
+///
+/// Keeps every `stride`-th point; when the buffer would exceed `w`, drops
+/// every second kept point and doubles the stride — the classic
+/// stride-doubling sketch. The first point is always kept and
+/// [`finish`](OnlineSimplifier::finish) forces the last observed point in,
+/// so the output is anchored like every other simplifier in the workspace.
+#[derive(Debug, Clone)]
+pub struct UniformOnline {
+    w: usize,
+    stride: usize,
+    seen: usize,
+    kept: Vec<usize>,
+}
+
+impl UniformOnline {
+    /// Creates the sampler; the budget arrives via
+    /// [`begin`](OnlineSimplifier::begin).
+    pub fn new() -> Self {
+        UniformOnline {
+            w: usize::MAX,
+            stride: 1,
+            seen: 0,
+            kept: Vec::new(),
+        }
+    }
+}
+
+impl Default for UniformOnline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineSimplifier for UniformOnline {
+    fn name(&self) -> &'static str {
+        "Uniform-Online"
+    }
+
+    fn begin(&mut self, w: usize) {
+        self.w = w.max(2);
+        self.stride = 1;
+        self.seen = 0;
+        self.kept.clear();
+    }
+
+    fn observe(&mut self, _p: Point) {
+        let pos = self.seen;
+        self.seen += 1;
+        if !pos.is_multiple_of(self.stride) {
+            return;
+        }
+        if self.kept.len() == self.w {
+            // Halve the density and double the stride; the current point
+            // only survives if it lands on the new grid.
+            let mut i = 0;
+            self.kept.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+            if !pos.is_multiple_of(self.stride) {
+                return;
+            }
+        }
+        self.kept.push(pos);
+    }
+
+    fn finish(&mut self) -> Vec<usize> {
+        let mut out = std::mem::take(&mut self.kept);
+        if self.seen > 0 {
+            let last = self.seen - 1;
+            if out.last() != Some(&last) {
+                if out.len() >= self.w {
+                    out.pop();
+                }
+                out.push(last);
+            }
+        }
+        self.seen = 0;
+        self.stride = 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, 0.0, i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn output_is_anchored_and_within_budget() {
+        for n in [2usize, 3, 7, 17, 64, 200, 1000] {
+            for w in [2usize, 3, 5, 10, 33] {
+                let kept = UniformOnline::new().run(&pts(n), w);
+                assert!(kept.len() <= w.max(2), "n={n} w={w}: {} kept", kept.len());
+                assert_eq!(*kept.first().unwrap(), 0, "n={n} w={w}");
+                assert_eq!(*kept.last().unwrap(), n - 1, "n={n} w={w}");
+                assert!(kept.windows(2).all(|p| p[0] < p[1]), "n={n} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn spacing_is_roughly_uniform() {
+        let kept = UniformOnline::new().run(&pts(1024), 16);
+        // Stride-doubling keeps the grid within a factor of ~2 of uniform
+        // (apart from the forced final anchor).
+        let gaps: Vec<usize> = kept.windows(2).map(|p| p[1] - p[0]).collect();
+        let interior = &gaps[..gaps.len().saturating_sub(1)];
+        let max = *interior.iter().max().unwrap();
+        let min = *interior.iter().min().unwrap();
+        assert!(max / min <= 2, "gaps too skewed: {gaps:?}");
+    }
+
+    #[test]
+    fn begin_fully_resets_state() {
+        let mut u = UniformOnline::new();
+        let a = u.run(&pts(500), 8);
+        let b = u.run(&pts(500), 8);
+        assert_eq!(a, b, "second run must be identical to the first");
+    }
+}

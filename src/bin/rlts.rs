@@ -6,6 +6,7 @@
 //! rlts simplify  [options] <in> [-o out.csv]        simplify one file
 //! rlts eval      [options] <file...>                compare algorithms
 //! rlts metrics   [options] [-o metrics.jsonl]       telemetry smoke run
+//! rlts serve     --soak [options]                   many-tenant soak
 //!
 //! common options:
 //!   --measure sed|ped|dad|sad      error measure            [sed]
@@ -28,6 +29,14 @@
 //! metrics options:
 //!   --epochs N --count N --len N   size of the smoke run       [4 4 60]
 //!   --out FILE                     also write the JSONL snapshot
+//!
+//! serve options:
+//!   --soak                         run the synthetic many-tenant soak
+//!   --sessions N --tenants N       soak population            [500 10]
+//!   --len N                        points per session          [120]
+//!   --drop F                       uplink drop probability     [0.05]
+//!   --ttl N                        idle-TTL in ticks           [12]
+//!   --swap-mid                     hot-swap a policy checkpoint mid-soak
 //! ```
 //!
 //! `rlts metrics` exercises every instrumented subsystem (training,
@@ -60,6 +69,7 @@ fn main() {
         "simplify" => cmd_simplify(&opts),
         "eval" => cmd_eval(&opts),
         "metrics" => cmd_metrics(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => help(),
         other => die(&format!("unknown command '{other}'")),
     }
@@ -68,7 +78,7 @@ fn main() {
 fn help() {
     println!(
         "rlts — trajectory simplification with reinforcement learning\n\n\
-         usage: rlts <stats|train|simplify|eval|metrics|help> [options] [files...]\n\
+         usage: rlts <stats|train|simplify|eval|metrics|serve|help> [options] [files...]\n\
          see the crate documentation (src/bin/rlts.rs) for all options"
     );
 }
@@ -90,6 +100,12 @@ struct CliOpts {
     epochs: Option<usize>,
     seed: Option<u64>,
     threads: Option<usize>,
+    sessions: Option<usize>,
+    tenants: Option<usize>,
+    drop: Option<f64>,
+    ttl: Option<u64>,
+    swap_mid: bool,
+    soak: bool,
 }
 
 impl CliOpts {
@@ -149,6 +165,26 @@ impl CliOpts {
                             .unwrap_or_else(|_| die("bad --threads")),
                     )
                 }
+                "--sessions" => {
+                    o.sessions = Some(
+                        val("--sessions")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --sessions")),
+                    )
+                }
+                "--tenants" => {
+                    o.tenants = Some(
+                        val("--tenants")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --tenants")),
+                    )
+                }
+                "--drop" => {
+                    o.drop = Some(val("--drop").parse().unwrap_or_else(|_| die("bad --drop")))
+                }
+                "--ttl" => o.ttl = Some(val("--ttl").parse().unwrap_or_else(|_| die("bad --ttl"))),
+                "--swap-mid" => o.swap_mid = true,
+                "--soak" => o.soak = true,
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -248,18 +284,31 @@ fn cmd_train(o: &CliOpts) {
             .fold(f64::NEG_INFINITY, f64::max)
     );
     let out = o.out.as_deref().unwrap_or("policy.json");
-    std::fs::write(out, report.policy.to_json())
-        .unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
+    // `.ckpt` selects the versioned binary checkpoint format (CRC-guarded,
+    // what `rlts serve` hot-swaps); anything else writes JSON.
+    let bytes = if out.ends_with(".ckpt") {
+        report.policy.to_checkpoint_bytes()
+    } else {
+        report.policy.to_json().into_bytes()
+    };
+    std::fs::write(out, bytes).unwrap_or_else(|e| die(&format!("cannot write {out}: {e}")));
     eprintln!("policy written to {out}");
 }
 
 fn load_policy(o: &CliOpts, cfg: RltsConfig) -> DecisionPolicy {
     match &o.policy {
         Some(path) => {
-            let json = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| die(&format!("cannot read policy {path}: {e}")));
-            let p = TrainedPolicy::from_json(&json)
-                .unwrap_or_else(|e| die(&format!("cannot parse policy {path}: {e}")));
+            let p = if path.ends_with(".ckpt") {
+                let bytes = std::fs::read(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read policy {path}: {e}")));
+                TrainedPolicy::from_checkpoint_bytes(&bytes)
+                    .unwrap_or_else(|e| die(&format!("cannot parse checkpoint {path}: {e}")))
+            } else {
+                let json = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| die(&format!("cannot read policy {path}: {e}")));
+                TrainedPolicy::from_json(&json)
+                    .unwrap_or_else(|e| die(&format!("cannot parse policy {path}: {e}")))
+            };
             if p.config != cfg {
                 die(&format!(
                     "policy was trained for {}/{} (k={}, j={}), requested {}/{}",
@@ -442,6 +491,90 @@ fn cmd_metrics(o: &CliOpts) {
             Err(e) => die(&format!("JSONL round-trip failed: {e}")),
         }
     }
+}
+
+/// Runs the synthetic many-tenant soak: hundreds of concurrent sessions
+/// fed by trajgen sources through a lossy sensornet uplink, with an
+/// optional mid-soak policy hot-swap. Exits non-zero if any soak
+/// invariant is violated or the `serve.*` metric family is missing.
+fn cmd_serve(o: &CliOpts) {
+    use rlts::obskit;
+    use rlts::trajserve::{run_soak, ServeConfig, SoakConfig};
+
+    if !o.soak {
+        die("serve currently supports only the synthetic soak: rlts serve --soak [options]");
+    }
+    let cfg = SoakConfig {
+        sessions: o.sessions.unwrap_or(500),
+        tenants: o.tenants.unwrap_or(10).max(1),
+        points_per_session: o.len.unwrap_or(120),
+        w: o.w.unwrap_or(10),
+        drop: o.drop.unwrap_or(0.05),
+        swap_mid: o.swap_mid,
+        serve: ServeConfig {
+            threads: o.threads.unwrap_or(0),
+            idle_ttl: o.ttl.unwrap_or(12),
+            seed: o.seed.unwrap_or(0xC0FFEE),
+            ..ServeConfig::default()
+        },
+    };
+    eprintln!(
+        "[serve] soak: {} sessions x {} points across {} tenants (drop {:.0}%{})",
+        cfg.sessions,
+        cfg.points_per_session,
+        cfg.tenants,
+        cfg.drop * 100.0,
+        if cfg.swap_mid {
+            ", mid-soak hot-swap"
+        } else {
+            ""
+        }
+    );
+    let report = run_soak(&cfg);
+    eprintln!(
+        "[serve] {} outputs in {} ticks: {} closed, {} evicted (peak {} active, {} buffered pts)",
+        report.delivered,
+        report.ticks,
+        report.closed,
+        report.evicted,
+        report.peak_active,
+        report.peak_buffered
+    );
+    eprintln!(
+        "[serve] {} points fed, {} shed at admission{}",
+        report.points_fed,
+        report.points_shed,
+        match report.swapped_to {
+            Some(v) => format!(", policy swapped to v{v}"),
+            None => String::new(),
+        }
+    );
+
+    let snap = obskit::global().snapshot();
+    let covered = snap
+        .samples
+        .iter()
+        .any(|s| s.id.name().starts_with("serve."));
+    eprintln!(
+        "[serve] subsystem serve     {}",
+        if covered { "covered" } else { "MISSING" }
+    );
+    if !covered {
+        die("no serve.* metrics recorded during the soak");
+    }
+    if let Err(e) = report.verify() {
+        die(&format!("soak verification failed: {e}"));
+    }
+    println!(
+        "soak ok: {} sessions, {} evicted, {} points shed, policy swap {}",
+        report.delivered,
+        report.evicted,
+        report.points_shed,
+        report
+            .swapped_to
+            .map(|v| format!("-> v{v}"))
+            .unwrap_or_else(|| "off".into())
+    );
 }
 
 fn cmd_eval(o: &CliOpts) {

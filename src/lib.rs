@@ -22,7 +22,11 @@
 //!   reports into (see DESIGN.md §9 and `rlts metrics`);
 //! * [`parkit`] — the zero-dependency scoped-thread parallel layer behind
 //!   episode collection, the evaluation grid, and the fleet loss sweep
-//!   (see DESIGN.md §10 and the `--threads` flag on `rlts` / `repro`).
+//!   (see DESIGN.md §10 and the `--threads` flag on `rlts` / `repro`);
+//! * [`trajserve`] — the multi-tenant streaming simplification service:
+//!   session lifecycle with idle-TTL eviction, tiered admission control,
+//!   versioned policy checkpoints with atomic hot-swap, and a sharded
+//!   worker pool (see DESIGN.md §12 and `rlts serve`).
 //!
 //! ## Quick start
 //!
@@ -66,6 +70,7 @@ pub use rlts_core;
 pub use sensornet;
 pub use trajectory;
 pub use trajgen;
+pub use trajserve;
 pub use trajstore;
 
 pub use rlts_core::{

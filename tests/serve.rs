@@ -1,0 +1,303 @@
+//! Integration tests for the trajserve subsystem: session lifecycle,
+//! quotas, deterministic sharding, load shedding, and policy hot-swap.
+//!
+//! Metric assertions use snapshot *deltas* and `>=` comparisons: the
+//! obskit registry is process-global and other tests run in parallel.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlts::prelude::*;
+use rlts::rlkit::nn::PolicyNet;
+use rlts::trajserve::{
+    AdmitError, CompletionReason, PolicyRegistry, ServeConfig, SessionOutput, SimplifierSpec,
+    TenantId, TrajServe,
+};
+use rlts::TrainedPolicy;
+use std::sync::Arc;
+
+fn pts(n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(i as f64, ((i * 13) % 29) as f64, i as f64))
+        .collect()
+}
+
+fn trained(cfg: RltsConfig, seed: u64) -> TrainedPolicy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TrainedPolicy {
+        config: cfg,
+        net: PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng),
+    }
+}
+
+/// Idle-TTL eviction must deliver the pending simplification — an evicted
+/// session's data is flushed and returned, never silently dropped.
+#[test]
+fn ttl_eviction_delivers_the_simplification() {
+    let serve = TrajServe::new(ServeConfig {
+        threads: 2,
+        idle_ttl: 5,
+        window: 16,
+        ..ServeConfig::default()
+    });
+    let id = serve
+        .create_session(TenantId(1), SimplifierSpec::Squish(Measure::Sed), 8)
+        .unwrap();
+    let input = pts(120);
+    for p in &input {
+        serve.append(id, *p).unwrap();
+    }
+    serve.tick();
+    // Walk away: the session idles past the TTL and is reaped.
+    for _ in 0..7 {
+        serve.tick();
+    }
+    let done = serve.drain_completed();
+    assert_eq!(done.len(), 1, "eviction must deliver exactly one output");
+    let out = &done[0];
+    assert_eq!(out.reason, CompletionReason::Evicted);
+    assert_eq!(out.observed, 120);
+    assert!(
+        !out.simplified.is_empty() && out.simplified.len() <= 8,
+        "evicted output must be a valid simplification, got {} points",
+        out.simplified.len()
+    );
+    assert_eq!(out.simplified.first().unwrap().t, input[0].t);
+    assert_eq!(out.simplified.last().unwrap().t, input[119].t);
+    assert_eq!(serve.active_sessions(), 0);
+}
+
+/// Per-tenant quotas bound live sessions; closing a session frees its slot.
+#[test]
+fn tenant_quota_is_enforced_and_released() {
+    let serve = TrajServe::new(ServeConfig {
+        tenant_max_sessions: 2,
+        ..ServeConfig::default()
+    });
+    let t = TenantId(7);
+    let a = serve.create_session(t, SimplifierSpec::Uniform, 4).unwrap();
+    serve.create_session(t, SimplifierSpec::Uniform, 4).unwrap();
+    let err = serve
+        .create_session(t, SimplifierSpec::Uniform, 4)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        AdmitError::TenantQuota {
+            tenant: t,
+            limit: 2
+        }
+    );
+    // An unrelated tenant is unaffected.
+    serve
+        .create_session(TenantId(8), SimplifierSpec::Uniform, 4)
+        .unwrap();
+    // Closing frees the slot.
+    serve.close(a);
+    serve.tick();
+    serve
+        .create_session(t, SimplifierSpec::Uniform, 4)
+        .expect("slot must be released after close");
+}
+
+type OutputKey = (u64, u32, String, Vec<(f64, f64, f64)>, u64, u32);
+
+fn comparable(outs: &[SessionOutput]) -> Vec<OutputKey> {
+    outs.iter()
+        .map(|o| {
+            (
+                o.id.0,
+                o.tenant.0,
+                o.reason.to_string(),
+                o.simplified.iter().map(|p| (p.x, p.y, p.t)).collect(),
+                o.observed,
+                o.policy_version,
+            )
+        })
+        .collect()
+}
+
+fn run_workload(threads: usize) -> Vec<SessionOutput> {
+    let serve = TrajServe::new(ServeConfig {
+        threads,
+        window: 24,
+        idle_ttl: 6,
+        seed: 42,
+        ..ServeConfig::default()
+    });
+    let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let specs = [
+        SimplifierSpec::Rlts { cfg: rlts_cfg },
+        SimplifierSpec::Squish(Measure::Sed),
+        SimplifierSpec::StTrace(Measure::Ped),
+        SimplifierSpec::Uniform,
+    ];
+    let ids: Vec<_> = (0..12)
+        .map(|i| {
+            serve
+                .create_session(TenantId((i % 3) as u32), specs[i % specs.len()].clone(), 9)
+                .unwrap()
+        })
+        .collect();
+    let streams: Vec<Vec<Point>> = (0..ids.len()).map(|i| pts(80 + i * 7)).collect();
+    for step in 0..20 {
+        for (i, id) in ids.iter().enumerate() {
+            // Session 5 is abandoned halfway to exercise TTL eviction.
+            if i == 5 && step >= 10 {
+                continue;
+            }
+            let chunk =
+                &streams[i][(step * streams[i].len() / 20)..((step + 1) * streams[i].len() / 20)];
+            for p in chunk {
+                serve.append(*id, *p).unwrap();
+            }
+        }
+        serve.tick();
+    }
+    for (i, id) in ids.iter().enumerate() {
+        if i != 5 {
+            serve.close(*id);
+        }
+    }
+    for _ in 0..10 {
+        serve.tick();
+    }
+    assert_eq!(serve.active_sessions(), 0);
+    serve.drain_completed()
+}
+
+/// Sessions shard deterministically by id: the same workload produces
+/// byte-identical outputs at any worker count.
+#[test]
+fn outputs_are_identical_at_one_and_four_threads() {
+    let one = run_workload(1);
+    let four = run_workload(4);
+    assert_eq!(one.len(), 12);
+    assert_eq!(comparable(&one), comparable(&four));
+}
+
+/// Above the soft memory ceiling new sessions degrade to the uniform
+/// fallback — and the degraded output is still a valid anchored
+/// simplification within budget.
+#[test]
+fn load_shed_fallback_produces_valid_simplifications() {
+    let serve = TrajServe::new(ServeConfig {
+        soft_buffered_points: 0, // permanently above the soft ceiling
+        window: 16,
+        ..ServeConfig::default()
+    });
+    let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let id = serve
+        .create_session(TenantId(0), SimplifierSpec::Rlts { cfg: rlts_cfg }, 7)
+        .unwrap();
+    let input = pts(200);
+    for p in &input {
+        serve.append(id, *p).unwrap();
+    }
+    serve.tick();
+    serve.close(id);
+    serve.tick();
+    let out = serve.drain_completed().pop().unwrap();
+    assert!(out.degraded, "session must have been degraded");
+    assert!(!out.simplified.is_empty() && out.simplified.len() <= 7);
+    assert_eq!(out.simplified.first().unwrap().t, input[0].t);
+    assert_eq!(out.simplified.last().unwrap().t, input[199].t);
+    assert!(out.simplified.windows(2).all(|p| p[0].t <= p[1].t));
+}
+
+/// Points beyond the per-tick rate ceiling are shed and counted, never
+/// panicking or deadlocking the service.
+#[test]
+fn rate_ceiling_sheds_and_counts() {
+    let before = rlts::obskit::global()
+        .snapshot()
+        .counter("serve.points.shed")
+        .unwrap_or(0);
+    let serve = TrajServe::new(ServeConfig {
+        max_points_per_tick: 10,
+        ..ServeConfig::default()
+    });
+    let id = serve
+        .create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+        .unwrap();
+    serve.tick();
+    let mut shed = 0u64;
+    for p in pts(50) {
+        if serve.append(id, p).is_err() {
+            shed += 1;
+        }
+    }
+    assert_eq!(shed, 40);
+    serve.tick();
+    serve.close(id);
+    serve.tick();
+    let out = serve.drain_completed().pop().unwrap();
+    assert!(out.observed >= 10, "admitted points must reach the session");
+    let after = rlts::obskit::global()
+        .snapshot()
+        .counter("serve.points.shed")
+        .unwrap_or(0);
+    assert!(
+        after >= before + shed,
+        "serve.points.shed must count the shed points ({before} -> {after})"
+    );
+}
+
+/// The acceptance-gate hot-swap semantics: a published checkpoint changes
+/// only sessions created after the swap; in-flight sessions finish on the
+/// generation they captured at activation.
+#[test]
+fn hot_swap_changes_only_sessions_created_after_it() {
+    let registry = Arc::new(PolicyRegistry::new());
+    let serve = TrajServe::with_registry(
+        ServeConfig {
+            threads: 2,
+            window: 16,
+            seed: 9,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&registry),
+    );
+    let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let spec = SimplifierSpec::Rlts { cfg };
+
+    let old = serve.create_session(TenantId(0), spec.clone(), 8).unwrap();
+    for p in pts(60) {
+        serve.append(old, p).unwrap();
+    }
+    serve.tick();
+
+    // Hot-swap mid-flight, via the checkpoint wire format.
+    let bytes = trained(cfg, 3).to_checkpoint_bytes();
+    let v = registry.publish_checkpoint(&bytes).unwrap();
+    assert_eq!(v, 1);
+
+    let new = serve.create_session(TenantId(0), spec, 8).unwrap();
+    for (id, off) in [(old, 60.0), (new, 0.0)] {
+        for p in pts(60) {
+            serve.append(id, Point::new(p.x, p.y, p.t + off)).unwrap();
+        }
+    }
+    serve.tick();
+    serve.close(old);
+    serve.close(new);
+    serve.tick();
+
+    let done = serve.drain_completed();
+    assert_eq!(done.len(), 2);
+    let by_id = |id| done.iter().find(|o| o.id == id).unwrap();
+    assert_eq!(
+        by_id(old).policy_version,
+        0,
+        "in-flight session must finish on the generation captured at activation"
+    );
+    assert_eq!(
+        by_id(new).policy_version,
+        1,
+        "sessions created after the swap must run the new generation"
+    );
+    // A corrupt checkpoint never swaps.
+    let mut bad = trained(cfg, 4).to_checkpoint_bytes();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0xFF;
+    assert!(registry.publish_checkpoint(&bad).is_err());
+    assert_eq!(registry.version(), 1);
+}
