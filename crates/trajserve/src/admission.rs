@@ -163,6 +163,14 @@ impl Admission {
         Ok(())
     }
 
+    /// Re-claims a live-session slot without quota enforcement. Crash
+    /// recovery only: the quota was already enforced when the session (or
+    /// queue entry) was first admitted, so restoring it must not fail.
+    pub(crate) fn restore_tenant_slot(&self, tenant: TenantId) {
+        let mut map = self.tenants.lock().expect("tenant census poisoned");
+        *map.entry(tenant.0).or_insert(0) += 1;
+    }
+
     /// Releases a live-session slot (close, eviction, or failed create).
     pub(crate) fn release_tenant_slot(&self, tenant: TenantId) {
         let mut map = self.tenants.lock().expect("tenant census poisoned");

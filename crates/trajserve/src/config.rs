@@ -1,5 +1,7 @@
 //! Service configuration and identifier types.
 
+use std::path::PathBuf;
+
 /// A tenant: the unit of quota enforcement and latency attribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TenantId(pub u32);
@@ -63,6 +65,40 @@ pub struct ServeConfig {
     /// Master seed; per-session policy RNGs derive from
     /// `parkit::mix_seed(seed, session_id)`.
     pub seed: u64,
+    /// Crash durability. `None` (the default) serves purely in memory;
+    /// `Some` journals every session op to a per-shard write-ahead log and
+    /// snapshots periodically, so [`TrajServe::recover`](crate::TrajServe::recover)
+    /// can rebuild the exact pre-crash state (DESIGN.md §13).
+    pub durability: Option<DurabilityConfig>,
+}
+
+/// Write-ahead journal and snapshot knobs (DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding journal segments, snapshots, and policy
+    /// checkpoints. Created if missing.
+    pub dir: PathBuf,
+    /// Group-commit interval: the journal fsyncs every this-many ticks.
+    /// `1` makes every tick durable; larger values amortise the fsync at
+    /// the cost of losing up to `group_commit_ticks - 1` trailing ticks in
+    /// a crash (never torn state — whole ticks only).
+    pub group_commit_ticks: u64,
+    /// Ticks between snapshots. Each snapshot rotates the journal to fresh
+    /// segments and truncates everything older. `0` disables snapshots
+    /// (the journal grows unboundedly).
+    pub snapshot_interval: u64,
+}
+
+impl DurabilityConfig {
+    /// Durability rooted at `dir` with the defaults: fsync every tick,
+    /// snapshot every 256.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            group_commit_ticks: 1,
+            snapshot_interval: 256,
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -78,6 +114,7 @@ impl Default for ServeConfig {
             soft_buffered_points: 500_000,
             max_buffered_points: 1_000_000,
             seed: 0xC0FFEE,
+            durability: None,
         }
     }
 }

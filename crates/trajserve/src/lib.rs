@@ -21,8 +21,14 @@
 //!   checkpoints with atomic hot-swap: sessions created after a publish
 //!   run the new generation, in-flight sessions finish on the one they
 //!   captured at activation.
+//! - **Crash durability** (DESIGN.md §13) — with
+//!   [`ServeConfig::durability`] set, every session op is journaled to a
+//!   per-shard write-ahead log with periodic snapshots;
+//!   [`TrajServe::recover`] rebuilds the exact pre-crash state and
+//!   quarantines (never replays, never panics on) corrupt journal data.
 //! - **Soak harness** ([`run_soak`]) — a synthetic many-tenant workload
-//!   (trajgen sources, lossy sensornet uplink) behind `rlts serve`.
+//!   (trajgen sources, lossy sensornet uplink) behind `rlts serve`, with
+//!   deterministic crash injection for the recovery path.
 //!
 //! The service runs on a logical clock: clients enqueue operations and
 //! [`TrajServe::tick`] applies them, which makes every run — including
@@ -51,6 +57,7 @@
 
 mod admission;
 mod config;
+mod journal;
 mod registry;
 mod service;
 mod session;
@@ -58,9 +65,10 @@ mod soak;
 mod uniform;
 
 pub use admission::{AdmitError, ShedReason};
-pub use config::{ServeConfig, SessionId, TenantId};
-pub use registry::{PolicyEntry, PolicyRegistry, PolicyVersion};
+pub use config::{DurabilityConfig, ServeConfig, SessionId, TenantId};
+pub use journal::{JournalError, RecoveryReport};
+pub use registry::{PolicyEntry, PolicyRegistry, PolicyVersion, PublishError};
 pub use service::{SimplifierSpec, TickStats, TrajServe};
 pub use session::{CompletionReason, SessionOutput};
-pub use soak::{run_soak, SoakConfig, SoakReport};
+pub use soak::{run_soak, CorruptMode, SoakConfig, SoakReport};
 pub use uniform::UniformOnline;

@@ -1,4 +1,5 @@
-//! The policy registry: versioned policy checkpoints with atomic hot-swap.
+//! The policy registry: versioned policy checkpoints with atomic hot-swap
+//! and (optionally) durable, crash-safe checkpoint files.
 //!
 //! The registry holds the *current* policy generation behind an
 //! `RwLock<Arc<…>>`. Publishing a new checkpoint swaps the head atomically:
@@ -6,14 +7,64 @@
 //! sessions keep driving the generation they captured at creation and
 //! finish on it — exactly the "new sessions pick up the new policy"
 //! contract (DESIGN.md §12).
+//!
+//! A registry built with [`PolicyRegistry::with_store`] additionally
+//! persists every generation as `policy-v{N}.ckpt` in its store directory
+//! *before* the in-memory swap, using a write-temp-then-rename protocol
+//! with bounded retry on transient I/O errors: a crash mid-publish can
+//! leave a stale `.tmp` file behind but never a torn `.ckpt`, and a
+//! persistence failure leaves the old generation in place (DESIGN.md §13).
+//! Crash recovery reloads pinned generations from these files.
 
 use rlts_core::{DecisionPolicy, PolicyCheckpointError, RltsConfig, TrainedPolicy};
-use std::sync::{Arc, RwLock};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Monotone policy generation number. Generation `0` is the built-in
 /// arg-min heuristic ([`DecisionPolicy::MinValue`]); every published
 /// checkpoint increments it.
 pub type PolicyVersion = u32;
+
+/// Publish attempts against the checkpoint store before giving up.
+const PUBLISH_ATTEMPTS: u32 = 5;
+/// Initial backoff between publish attempts (doubles each retry).
+const PUBLISH_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Why a publish failed. Either way the registry head is untouched.
+#[derive(Debug)]
+pub enum PublishError {
+    /// The checkpoint bytes did not decode into a policy.
+    Checkpoint(PolicyCheckpointError),
+    /// The checkpoint store rejected the write even after
+    /// [`PUBLISH_ATTEMPTS`] tries with exponential backoff.
+    Store(std::io::Error),
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            PublishError::Store(e) => write!(f, "checkpoint store write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PublishError::Checkpoint(e) => Some(e),
+            PublishError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<PolicyCheckpointError> for PublishError {
+    fn from(e: PolicyCheckpointError) -> Self {
+        PublishError::Checkpoint(e)
+    }
+}
 
 /// One immutable policy generation.
 #[derive(Debug)]
@@ -43,23 +94,55 @@ impl PolicyEntry {
     }
 }
 
+/// The checkpoint file for generation `version` inside `dir`.
+pub(crate) fn policy_path(dir: &Path, version: PolicyVersion) -> PathBuf {
+    dir.join(format!("policy-v{version:06}.ckpt"))
+}
+
 /// Versioned policy store with atomic hot-swap.
 #[derive(Debug)]
 pub struct PolicyRegistry {
     head: RwLock<Arc<PolicyEntry>>,
+    /// Every generation ever seen, for sessions pinned to old versions
+    /// and for crash recovery.
+    history: Mutex<BTreeMap<PolicyVersion, Arc<PolicyEntry>>>,
+    /// Where checkpoint files are persisted, if anywhere.
+    store: Option<PathBuf>,
     swaps: Arc<obskit::Counter>,
 }
 
 impl PolicyRegistry {
     /// Creates a registry at generation `0` (the built-in heuristic).
     pub fn new() -> Self {
+        Self::build(None)
+    }
+
+    /// Creates a registry that persists every published generation as
+    /// `policy-v{N}.ckpt` under `dir` (created if missing). Files are
+    /// written atomically (temp + fsync + rename) with bounded retry, so a
+    /// crash mid-publish never leaves a torn checkpoint visible.
+    pub fn with_store(dir: impl Into<PathBuf>) -> Result<Self, std::io::Error> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self::build(Some(dir)))
+    }
+
+    fn build(store: Option<PathBuf>) -> Self {
+        let genesis = Arc::new(PolicyEntry {
+            version: 0,
+            policy: None,
+        });
         PolicyRegistry {
-            head: RwLock::new(Arc::new(PolicyEntry {
-                version: 0,
-                policy: None,
-            })),
+            head: RwLock::new(Arc::clone(&genesis)),
+            history: Mutex::new(BTreeMap::from([(0, genesis)])),
+            store,
             swaps: obskit::global().counter("serve.policy.swaps"),
         }
+    }
+
+    /// The checkpoint store directory, if this registry persists.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_deref()
     }
 
     /// The current generation. Cheap: clones an `Arc`.
@@ -72,27 +155,89 @@ impl PolicyRegistry {
         self.head.read().expect("registry lock poisoned").version
     }
 
+    /// Any generation ever published (or restored), by number.
+    pub fn entry(&self, version: PolicyVersion) -> Option<Arc<PolicyEntry>> {
+        self.history
+            .lock()
+            .expect("registry history poisoned")
+            .get(&version)
+            .cloned()
+    }
+
     /// Publishes a new policy generation and returns its version. The swap
     /// is atomic: concurrent readers see either the old or the new head,
-    /// never a mixture.
-    pub fn publish(&self, policy: TrainedPolicy) -> PolicyVersion {
-        let mut head = self.head.write().expect("registry lock poisoned");
-        let version = head.version + 1;
-        *head = Arc::new(PolicyEntry {
-            version,
-            policy: Some(policy),
-        });
-        self.swaps.inc();
-        version
+    /// never a mixture. With a store, the checkpoint file is durably
+    /// written *before* the swap; a store failure leaves the registry
+    /// untouched.
+    pub fn publish(&self, policy: TrainedPolicy) -> Result<PolicyVersion, PublishError> {
+        self.publish_impl(policy, None)
     }
 
     /// Publishes a binary checkpoint
     /// ([`TrainedPolicy::to_checkpoint_bytes`]); corrupt or
-    /// dimension-mismatched checkpoints are rejected before any swap
-    /// happens, leaving the current generation in place.
-    pub fn publish_checkpoint(&self, bytes: &[u8]) -> Result<PolicyVersion, PolicyCheckpointError> {
+    /// dimension-mismatched checkpoints are rejected before any swap (or
+    /// store write) happens, leaving the current generation in place.
+    pub fn publish_checkpoint(&self, bytes: &[u8]) -> Result<PolicyVersion, PublishError> {
         let policy = TrainedPolicy::from_checkpoint_bytes(bytes)?;
-        Ok(self.publish(policy))
+        self.publish_impl(policy, Some(bytes))
+    }
+
+    fn publish_impl(
+        &self,
+        policy: TrainedPolicy,
+        encoded: Option<&[u8]>,
+    ) -> Result<PolicyVersion, PublishError> {
+        let mut head = self.head.write().expect("registry lock poisoned");
+        let version = head.version + 1;
+        if let Some(dir) = &self.store {
+            let owned;
+            let bytes = match encoded {
+                Some(b) => b,
+                None => {
+                    owned = policy.to_checkpoint_bytes();
+                    &owned
+                }
+            };
+            trajstore::wal::atomic_write_with_retry(
+                &policy_path(dir, version),
+                bytes,
+                PUBLISH_ATTEMPTS,
+                PUBLISH_BACKOFF,
+            )
+            .map_err(PublishError::Store)?;
+        }
+        let entry = Arc::new(PolicyEntry {
+            version,
+            policy: Some(policy),
+        });
+        *head = Arc::clone(&entry);
+        self.history
+            .lock()
+            .expect("registry history poisoned")
+            .insert(version, entry);
+        self.swaps.inc();
+        Ok(version)
+    }
+
+    /// Re-installs a recovered generation without touching the store or
+    /// the swap counter (crash recovery replays the journal's swap
+    /// records; the files already exist).
+    pub(crate) fn restore_entry(&self, version: PolicyVersion, policy: Option<TrainedPolicy>) {
+        let entry = Arc::new(PolicyEntry { version, policy });
+        self.history
+            .lock()
+            .expect("registry history poisoned")
+            .insert(version, entry);
+    }
+
+    /// Points the head at an already-restored generation. Returns `false`
+    /// if that generation is unknown.
+    pub(crate) fn set_head(&self, version: PolicyVersion) -> bool {
+        let Some(entry) = self.entry(version) else {
+            return false;
+        };
+        *self.head.write().expect("registry lock poisoned") = entry;
+        true
     }
 }
 
@@ -119,13 +264,20 @@ mod tests {
         }
     }
 
+    fn store_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("trajserve-registry-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
     #[test]
     fn publish_bumps_version_and_old_handles_survive() {
         let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
         let reg = PolicyRegistry::new();
         assert_eq!(reg.version(), 0);
         let before = reg.current();
-        let v1 = reg.publish(trained(cfg, 1));
+        let v1 = reg.publish(trained(cfg, 1)).unwrap();
         assert_eq!(v1, 1);
         assert_eq!(reg.version(), 1);
         // The handle captured before the swap still points at generation 0
@@ -133,6 +285,10 @@ mod tests {
         assert_eq!(before.version, 0);
         assert!(before.policy.is_none());
         assert_eq!(reg.current().version, 1);
+        // Every generation stays addressable for pinned sessions.
+        assert!(reg.entry(0).is_some());
+        assert!(reg.entry(1).is_some());
+        assert!(reg.entry(2).is_none());
     }
 
     #[test]
@@ -140,7 +296,7 @@ mod tests {
         let sed = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
         let ped = RltsConfig::paper_defaults(Variant::Rlts, Measure::Ped);
         let reg = PolicyRegistry::new();
-        reg.publish(trained(sed, 2));
+        reg.publish(trained(sed, 2)).unwrap();
         let head = reg.current();
         assert!(matches!(
             head.decision_policy_for(&sed),
@@ -159,7 +315,50 @@ mod tests {
         let mut bytes = trained(cfg, 3).to_checkpoint_bytes();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
-        assert!(reg.publish_checkpoint(&bytes).is_err());
+        assert!(matches!(
+            reg.publish_checkpoint(&bytes),
+            Err(PublishError::Checkpoint(_))
+        ));
         assert_eq!(reg.version(), 0);
+    }
+
+    #[test]
+    fn store_persists_checkpoints_that_round_trip() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let dir = store_dir("persist");
+        let reg = PolicyRegistry::with_store(&dir).unwrap();
+        let bytes = trained(cfg, 4).to_checkpoint_bytes();
+        let v = reg.publish_checkpoint(&bytes).unwrap();
+        let on_disk = std::fs::read(policy_path(&dir, v)).unwrap();
+        assert_eq!(on_disk, bytes, "stored checkpoint must be byte-identical");
+        // No torn temp file left visible.
+        let stray: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .to_string_lossy()
+                    .ends_with(".tmp")
+            })
+            .collect();
+        assert!(stray.is_empty(), "temp file leaked: {stray:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_failure_leaves_the_head_untouched() {
+        let cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let dir = store_dir("fail");
+        let reg = PolicyRegistry::with_store(&dir).unwrap();
+        // Sabotage the store: replace the directory with a plain file so
+        // every write (and its bounded retries) fails non-transiently.
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::write(&dir, b"not a directory").unwrap();
+        let err = reg.publish(trained(cfg, 5)).unwrap_err();
+        assert!(matches!(err, PublishError::Store(_)));
+        assert_eq!(reg.version(), 0, "failed publish must not swap");
+        assert!(reg.entry(1).is_none());
+        std::fs::remove_file(&dir).ok();
     }
 }

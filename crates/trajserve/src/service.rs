@@ -11,17 +11,32 @@
 //! tick counter — never wall clock — and sessions shard deterministically
 //! by `id mod shards`, a given operation sequence produces byte-identical
 //! outputs at any thread count.
+//!
+//! # Durability
+//!
+//! With [`ServeConfig::durability`] set, every externally visible session
+//! op is journaled to a per-shard write-ahead log before the tick applies
+//! it, and the service snapshots periodically so the log stays bounded
+//! (DESIGN.md §13). [`TrajServe::recover`] rebuilds the exact pre-crash
+//! state from snapshot + journal tail. Determinism is what makes this
+//! cheap: the journal stores *inputs* (ops, admission outcomes), and
+//! replaying them through the same deterministic tick loop reproduces
+//! every output byte-for-byte. Journal consistency assumes the documented
+//! single-driver discipline: clients enqueue ops between ticks.
 
 use crate::admission::{Admission, AdmitError, ShedReason};
 use crate::config::{ServeConfig, SessionId, TenantId};
-use crate::registry::{PolicyEntry, PolicyRegistry};
+use crate::journal::{
+    self, Journal, JournalError, MetaRecord, MetaSnap, PendingSnap, RecoveryReport, SessionSnap,
+};
+use crate::registry::{policy_path, PolicyEntry, PolicyRegistry, PolicyVersion, PublishError};
 use crate::session::{CompletionReason, Session, SessionOutput};
 use crate::uniform::UniformOnline;
 use baselines::{Squish, SquishE, StTrace};
 use obskit::{Buckets, Counter, Gauge, Histogram};
-use rlts_core::{RltsConfig, RltsOnline};
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use rlts_core::{RltsConfig, RltsOnline, TrainedPolicy};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use trajectory::error::Measure;
@@ -68,7 +83,11 @@ impl SimplifierSpec {
     }
 
     /// Builds the simplifier for one session.
-    fn instantiate(&self, entry: &PolicyEntry, seed: u64) -> Box<dyn OnlineSimplifier + Send> {
+    pub(crate) fn instantiate(
+        &self,
+        entry: &PolicyEntry,
+        seed: u64,
+    ) -> Box<dyn OnlineSimplifier + Send> {
         match self {
             SimplifierSpec::Rlts { cfg } => {
                 Box::new(RltsOnline::new(*cfg, entry.decision_policy_for(cfg), seed))
@@ -78,6 +97,12 @@ impl SimplifierSpec {
             SimplifierSpec::StTrace(m) => Box::new(StTrace::new(*m)),
             SimplifierSpec::Uniform => Box::new(UniformOnline::new()),
         }
+    }
+
+    /// Whether a non-degraded session under this spec actually consults
+    /// the policy generation it is pinned to.
+    fn needs_policy(&self) -> bool {
+        matches!(self, SimplifierSpec::Rlts { .. })
     }
 }
 
@@ -127,8 +152,10 @@ impl ServeMetrics {
     }
 }
 
-/// One enqueued client operation.
-enum Op {
+/// One enqueued client operation. Journaled verbatim into the owning
+/// shard's write-ahead log frame at tick time.
+#[derive(Debug, Clone)]
+pub(crate) enum Op {
     Append(u64, Point),
     Flush(u64),
     Close(u64),
@@ -168,6 +195,9 @@ struct ShardOutcome {
     shed_dead: u64,
     shed_nonmono: u64,
     buffer_delta: i64,
+    /// Ops this shard consumed this tick — the journal frame length the
+    /// meta `Tick` record cross-checks at recovery.
+    ops_count: u32,
 }
 
 /// Per-tick summary returned by [`TrajServe::tick`].
@@ -189,6 +219,14 @@ pub struct TickStats {
     pub shed: u64,
 }
 
+/// What `tick_core` hands back beyond the public stats.
+struct TickInternal {
+    stats: TickStats,
+    /// Ids the TTL sweep evicted, ascending — journaled in the `Tick`
+    /// record and verified against it during replay.
+    evicted_ids: Vec<u64>,
+}
+
 /// The multi-tenant streaming simplification service.
 pub struct TrajServe {
     cfg: ServeConfig,
@@ -201,19 +239,81 @@ pub struct TrajServe {
     next_id: AtomicU64,
     now: AtomicU64,
     completed: Mutex<Vec<SessionOutput>>,
+    /// Total outputs ever produced (delivered or still queued).
+    output_seq: AtomicU64,
+    /// Delivery watermark: outputs the client has already drained. The
+    /// exactly-once guard — a recovered service never redelivers below it.
+    drained: AtomicU64,
+    /// The write-ahead journal, when durability is configured.
+    journal: Option<Journal>,
+    /// Set while `recover` replays the journal: suppresses re-journaling
+    /// and business-counter inflation.
+    replaying: AtomicBool,
     metrics: ServeMetrics,
 }
 
 impl TrajServe {
     /// Creates a service with its own policy registry at generation 0.
+    ///
+    /// Panics if the configured journal directory cannot be initialised;
+    /// use [`TrajServe::open`] to handle that as a typed error.
     pub fn new(cfg: ServeConfig) -> Self {
-        Self::with_registry(cfg, Arc::new(PolicyRegistry::new()))
+        Self::open(cfg).expect("journal directory must be writable")
     }
 
     /// Creates a service around a shared registry (so an external control
     /// plane can hot-swap policies while the service runs).
+    ///
+    /// Panics on journal initialisation failure; see
+    /// [`TrajServe::open_with_registry`].
     pub fn with_registry(cfg: ServeConfig, registry: Arc<PolicyRegistry>) -> Self {
+        Self::open_with_registry(cfg, registry).expect("journal directory must be writable")
+    }
+
+    /// Creates a service, starting a fresh journal if durability is
+    /// configured. The registry persists its checkpoints into the journal
+    /// directory so recovery can reload pinned generations.
+    pub fn open(cfg: ServeConfig) -> Result<Self, JournalError> {
+        let registry = match &cfg.durability {
+            Some(d) => Arc::new(
+                PolicyRegistry::with_store(&d.dir)
+                    .map_err(|e| journal::io_err("open policy store", e))?,
+            ),
+            None => Arc::new(PolicyRegistry::new()),
+        };
+        Self::open_with_registry(cfg, registry)
+    }
+
+    /// [`TrajServe::open`] around a shared registry. With durability, the
+    /// registry should persist to the journal directory (as
+    /// [`TrajServe::open`] arranges) or recovery will not find checkpoint
+    /// files for pinned generations.
+    pub fn open_with_registry(
+        cfg: ServeConfig,
+        registry: Arc<PolicyRegistry>,
+    ) -> Result<Self, JournalError> {
         let nshards = parkit::resolve_threads(cfg.threads);
+        let journal = match &cfg.durability {
+            Some(d) => Some(Journal::create(
+                d,
+                nshards,
+                MetaRecord::Init {
+                    nshards: nshards as u32,
+                    window: cfg.window as u32,
+                    seed: cfg.seed,
+                    version: registry.version(),
+                },
+            )?),
+            None => None,
+        };
+        let mut serve = Self::skeleton(cfg, registry, nshards);
+        serve.journal = journal;
+        Ok(serve)
+    }
+
+    /// The bare in-memory service, journal-less. Recovery attaches the
+    /// journal only after replay, so nothing replayed is re-journaled.
+    fn skeleton(cfg: ServeConfig, registry: Arc<PolicyRegistry>, nshards: usize) -> Self {
         TrajServe {
             cfg,
             nshards,
@@ -225,6 +325,10 @@ impl TrajServe {
             next_id: AtomicU64::new(0),
             now: AtomicU64::new(0),
             completed: Mutex::new(Vec::new()),
+            output_seq: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            journal: None,
+            replaying: AtomicBool::new(false),
             metrics: ServeMetrics::new(),
         }
     }
@@ -269,6 +373,22 @@ impl TrajServe {
         self.admission.buffered() as u64
     }
 
+    /// Whether the journal (if configured) is still accepting writes.
+    /// Journal I/O failure is fail-stop for durability only: the service
+    /// keeps serving in memory and this turns `false`.
+    pub fn journal_healthy(&self) -> bool {
+        self.journal.as_ref().is_none_or(Journal::is_healthy)
+    }
+
+    /// The first journal I/O error, if any.
+    pub fn journal_error(&self) -> Option<String> {
+        self.journal.as_ref().and_then(Journal::take_error)
+    }
+
+    fn is_replaying(&self) -> bool {
+        self.replaying.load(Ordering::Relaxed)
+    }
+
     /// Ids of all active sessions, ascending.
     pub fn session_ids(&self) -> Vec<SessionId> {
         let mut ids: Vec<SessionId> = self
@@ -309,7 +429,18 @@ impl TrajServe {
             .inspect_err(|_| self.metrics.sessions_rejected.inc())?;
         if self.admission.active() < self.cfg.max_active_sessions {
             let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
-            self.activate(id, tenant, spec, w);
+            let (degraded, version) = self.activate(id, tenant, spec.clone(), w, self.now(), None);
+            if let Some(j) = &self.journal {
+                j.append_meta(&MetaRecord::Create {
+                    id: id.0,
+                    tenant: tenant.0,
+                    w: w as u32,
+                    queued: false,
+                    degraded,
+                    version,
+                    spec,
+                });
+            }
             self.metrics.sessions_created.inc();
             return Ok(id);
         }
@@ -325,6 +456,17 @@ impl TrajServe {
             });
         }
         let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        if let Some(j) = &self.journal {
+            j.append_meta(&MetaRecord::Create {
+                id: id.0,
+                tenant: tenant.0,
+                w: w as u32,
+                queued: true,
+                degraded: false,
+                version: 0,
+                spec: spec.clone(),
+            });
+        }
         pending.push_back(PendingSession {
             id: id.0,
             tenant,
@@ -336,24 +478,52 @@ impl TrajServe {
         Ok(id)
     }
 
-    fn activate(&self, id: SessionId, tenant: TenantId, spec: SimplifierSpec, w: usize) {
-        let entry = self.registry.current();
-        let degraded = self.admission.degraded(&self.cfg);
+    /// Activates one session and returns the admission outcome it ran
+    /// under. Live activation (`recorded = None`) decides degrade/policy
+    /// from current state; replay passes the journaled outcome so the
+    /// rebuilt session is pinned to exactly what the crashed one saw.
+    fn activate(
+        &self,
+        id: SessionId,
+        tenant: TenantId,
+        spec: SimplifierSpec,
+        w: usize,
+        now: u64,
+        recorded: Option<(bool, PolicyVersion)>,
+    ) -> (bool, PolicyVersion) {
+        let (entry, degraded) = match recorded {
+            None => (self.registry.current(), self.admission.degraded(&self.cfg)),
+            Some((deg, ver)) => {
+                let entry = self.registry.entry(ver).unwrap_or_else(|| {
+                    // Replay of a degraded or policy-less session: only the
+                    // version number matters, the policy is never consulted.
+                    Arc::new(PolicyEntry {
+                        version: ver,
+                        policy: None,
+                    })
+                });
+                (entry, deg)
+            }
+        };
         let algo: Box<dyn OnlineSimplifier + Send> = if degraded {
-            self.metrics.sessions_degraded.inc();
+            if !self.is_replaying() {
+                self.metrics.sessions_degraded.inc();
+            }
             Box::new(UniformOnline::new())
         } else {
             spec.instantiate(&entry, parkit::mix_seed(self.cfg.seed, id.0))
         };
+        let version = entry.version;
         let session = Session::new(
             id,
             tenant,
+            spec,
             algo,
             w,
             self.cfg.window,
-            entry.version,
+            version,
             degraded,
-            self.now(),
+            now,
             self.metrics.append_histogram(tenant),
         );
         self.shards[self.shard_of(id)]
@@ -365,6 +535,7 @@ impl TrajServe {
         self.metrics
             .sessions_active
             .set(self.admission.active() as f64);
+        (degraded, version)
     }
 
     /// Enqueues one point for `id`. A synchronous `Err` means the point
@@ -417,8 +588,48 @@ impl TrajServe {
 
     /// Takes every output delivered since the last drain, in delivery
     /// order (ticks ascending, session id ascending within a tick).
+    ///
+    /// With durability, the delivery watermark is journaled and fsynced
+    /// *before* the outputs are returned: once a client has seen an
+    /// output, no recovery will deliver it again (exactly-once across
+    /// crashes — DESIGN.md §13).
     pub fn drain_completed(&self) -> Vec<SessionOutput> {
-        std::mem::take(&mut *self.completed.lock().expect("completed lock poisoned"))
+        let outputs = std::mem::take(&mut *self.completed.lock().expect("completed lock poisoned"));
+        if !outputs.is_empty() {
+            let watermark = self
+                .drained
+                .fetch_add(outputs.len() as u64, Ordering::Relaxed)
+                + outputs.len() as u64;
+            if let Some(j) = &self.journal {
+                j.append_meta(&MetaRecord::Drain { watermark });
+                j.commit();
+            }
+        }
+        outputs
+    }
+
+    /// Publishes a new policy generation through the registry *and* the
+    /// journal, so recovery replays the hot-swap at the right point in the
+    /// timeline. Prefer this over `registry().publish` on a durable
+    /// service.
+    pub fn publish_policy(&self, policy: TrainedPolicy) -> Result<PolicyVersion, PublishError> {
+        let version = self.registry.publish(policy)?;
+        self.journal_swap(version);
+        Ok(version)
+    }
+
+    /// [`TrajServe::publish_policy`] for already-encoded checkpoint bytes.
+    pub fn publish_policy_checkpoint(&self, bytes: &[u8]) -> Result<PolicyVersion, PublishError> {
+        let version = self.registry.publish_checkpoint(bytes)?;
+        self.journal_swap(version);
+        Ok(version)
+    }
+
+    fn journal_swap(&self, version: PolicyVersion) {
+        if let Some(j) = &self.journal {
+            j.append_meta(&MetaRecord::Swap { version });
+            j.commit();
+        }
     }
 
     /// Advances the logical clock one step: activates queued sessions into
@@ -426,9 +637,18 @@ impl TrajServe {
     /// evicts sessions idle past the TTL (delivering their output — an
     /// eviction never discards data).
     pub fn tick(&self) -> TickStats {
+        self.tick_core(true).stats
+    }
+
+    /// The tick body, shared between live serving (`live = true`, which
+    /// journals and group-commits) and journal replay (`live = false`,
+    /// which consumes pre-injected inboxes and stays silent).
+    fn tick_core(&self, live: bool) -> TickInternal {
         let now = self.now.fetch_add(1, Ordering::Relaxed) + 1;
         self.admission.begin_tick();
-        let activated = self.activate_pending();
+        // During replay, activations are driven by the journal's own
+        // `Activate` records (already applied before this `Tick` record).
+        let activated = if live { self.activate_pending(now) } else { 0 };
 
         let idxs: Vec<usize> = (0..self.nshards).collect();
         let outcomes = parkit::map(self.nshards, &idxs, |_, &s| self.process_shard(s, now));
@@ -439,6 +659,7 @@ impl TrajServe {
             ..TickStats::default()
         };
         let mut outputs = Vec::new();
+        let mut shard_ops = Vec::with_capacity(self.nshards);
         for o in outcomes {
             for tenant in o.released {
                 self.admission.release_tenant_slot(tenant);
@@ -448,24 +669,48 @@ impl TrajServe {
                 self.admission.active_delta(-(removed as isize));
             }
             self.admission.buffer_delta(o.buffer_delta);
-            self.metrics.points_admitted.add(o.applied);
-            self.metrics.points_shed.add(o.shed_dead + o.shed_nonmono);
-            self.metrics.sessions_evicted.add(o.evicted as u64);
-            self.metrics.sessions_closed.add(o.closed as u64);
+            if live {
+                self.metrics.points_admitted.add(o.applied);
+                self.metrics.points_shed.add(o.shed_dead + o.shed_nonmono);
+                self.metrics.sessions_evicted.add(o.evicted as u64);
+                self.metrics.sessions_closed.add(o.closed as u64);
+            }
             stats.evicted += o.evicted;
             stats.closed += o.closed;
             stats.applied += o.applied;
             stats.shed += o.shed_dead + o.shed_nonmono;
+            shard_ops.push(o.ops_count);
             outputs.extend(o.outputs);
         }
         // Cross-shard merge order is fixed by session id, so the completed
         // stream is identical at any thread count.
         outputs.sort_by_key(|o| o.id);
+        let evicted_ids: Vec<u64> = outputs
+            .iter()
+            .filter(|o| o.reason == CompletionReason::Evicted)
+            .map(|o| o.id.0)
+            .collect();
         stats.delivered = outputs.len();
+        self.output_seq
+            .fetch_add(outputs.len() as u64, Ordering::Relaxed);
         self.completed
             .lock()
             .expect("completed lock poisoned")
             .extend(outputs);
+
+        if live {
+            if let Some(j) = &self.journal {
+                j.append_meta(&MetaRecord::Tick {
+                    now,
+                    evicted: evicted_ids.clone(),
+                    shard_ops,
+                });
+                if now.is_multiple_of(j.group_commit) {
+                    j.commit();
+                }
+                self.maybe_snapshot(now);
+            }
+        }
 
         self.metrics
             .sessions_active
@@ -473,10 +718,10 @@ impl TrajServe {
         self.metrics
             .points_buffered
             .set(self.admission.buffered() as f64);
-        stats
+        TickInternal { stats, evicted_ids }
     }
 
-    fn activate_pending(&self) -> usize {
+    fn activate_pending(&self, now: u64) -> usize {
         let mut activated = 0;
         while self.admission.active() < self.cfg.max_active_sessions {
             let Some(p) = self
@@ -487,7 +732,16 @@ impl TrajServe {
             else {
                 break;
             };
-            self.activate(SessionId(p.id), p.tenant, p.spec, p.w);
+            let id = SessionId(p.id);
+            let (degraded, version) = self.activate(id, p.tenant, p.spec, p.w, now, None);
+            if let Some(j) = &self.journal {
+                j.append_meta(&MetaRecord::Activate {
+                    id: id.0,
+                    now,
+                    degraded,
+                    version,
+                });
+            }
             activated += 1;
         }
         if activated > 0 {
@@ -500,10 +754,18 @@ impl TrajServe {
 
     fn process_shard(&self, s: usize, now: u64) -> ShardOutcome {
         let ops = std::mem::take(&mut *self.inboxes[s].lock().expect("inbox lock poisoned"));
+        if !self.is_replaying() && !ops.is_empty() {
+            if let Some(j) = &self.journal {
+                j.append_shard(s, now, &ops);
+            }
+        }
         let inbox_points = ops.iter().filter(|o| matches!(o, Op::Append(..))).count() as i64;
         let mut shard = self.shards[s].lock().expect("shard lock poisoned");
         let before = shard.footprint() as i64;
-        let mut out = ShardOutcome::default();
+        let mut out = ShardOutcome {
+            ops_count: ops.len() as u32,
+            ..ShardOutcome::default()
+        };
 
         for op in ops {
             match op {
@@ -556,6 +818,469 @@ impl TrajServe {
 
         out.buffer_delta = shard.footprint() as i64 - before - inbox_points;
         out
+    }
+
+    // -- snapshots ---------------------------------------------------------
+
+    fn maybe_snapshot(&self, now: u64) {
+        let Some(j) = &self.journal else { return };
+        if j.snapshot_interval == 0 || !now.is_multiple_of(j.snapshot_interval) {
+            return;
+        }
+        // Everything up to `now` must be durable before the snapshot that
+        // supersedes it replaces the segments.
+        if !j.commit() {
+            return;
+        }
+        let meta = self.capture_meta_snap(now);
+        let shard_snaps = self.capture_shard_snaps();
+        j.snapshot(now, &meta, &shard_snaps);
+    }
+
+    fn capture_meta_snap(&self, now: u64) -> MetaSnap {
+        let pending = self.pending.lock().expect("pending lock poisoned");
+        let completed = self.completed.lock().expect("completed lock poisoned");
+        MetaSnap {
+            nshards: self.nshards as u32,
+            window: self.cfg.window as u32,
+            seed: self.cfg.seed,
+            now,
+            next_id: self.next_id.load(Ordering::Relaxed),
+            output_seq: self.output_seq.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            head_version: self.registry.version(),
+            pending: pending
+                .iter()
+                .map(|p| PendingSnap {
+                    id: p.id,
+                    tenant: p.tenant.0,
+                    w: p.w,
+                    spec: p.spec.clone(),
+                })
+                .collect(),
+            completed: completed.clone(),
+        }
+    }
+
+    fn capture_shard_snaps(&self) -> Vec<Vec<SessionSnap>> {
+        self.shards
+            .iter()
+            .map(|sh| {
+                let sh = sh.lock().expect("shard lock poisoned");
+                let mut snaps: Vec<SessionSnap> =
+                    sh.sessions.values().map(SessionSnap::capture).collect();
+                snaps.sort_by_key(|s| s.id);
+                snaps
+            })
+            .collect()
+    }
+
+    // -- recovery ----------------------------------------------------------
+
+    /// Rebuilds a crashed service from its journal directory: loads the
+    /// newest committed snapshot, replays the journal tail through the
+    /// same deterministic tick loop, quarantines anything damaged, and
+    /// re-establishes a clean journal epoch at the recovered tick.
+    ///
+    /// The recovered service is byte-identical to the crashed one as of
+    /// its last committed tick: same sessions (windows, outputs, pinned
+    /// policies, RNG-equivalent simplifiers), same admission queue, same
+    /// undrained completion queue, same clocks. Corrupt or torn journal
+    /// data is never replayed and never panics: recovery keeps the longest
+    /// consistent prefix and reports the rest in the
+    /// [`RecoveryReport`] (and under `quarantine/`).
+    pub fn recover(cfg: ServeConfig) -> Result<(Self, RecoveryReport), JournalError> {
+        let start = Instant::now();
+        let Some(dur) = cfg.durability.clone() else {
+            return Err(JournalError::NotConfigured);
+        };
+        let nshards = parkit::resolve_threads(cfg.threads);
+        let rec = journal::load(&dur.dir, nshards)?;
+
+        // The journal must describe *this* deterministic configuration.
+        let (jshards, jwindow, jseed, head0) = match (&rec.meta_snap, rec.init) {
+            (Some(ms), _) => (ms.nshards, ms.window, ms.seed, ms.head_version),
+            (None, Some((n, w, s, v))) => (n, w, s, v),
+            (None, None) => {
+                return Err(JournalError::NoBase {
+                    dir: dur.dir.clone(),
+                })
+            }
+        };
+        for (field, journal_v, config_v) in [
+            ("threads (shards)", jshards as u64, nshards as u64),
+            ("window", jwindow as u64, cfg.window as u64),
+            ("seed", jseed, cfg.seed),
+        ] {
+            if journal_v != config_v {
+                return Err(JournalError::ConfigMismatch {
+                    field,
+                    journal: journal_v,
+                    config: config_v,
+                });
+            }
+        }
+
+        // Reload every referenced policy generation from its checkpoint
+        // file, then restore the head the base state had.
+        let registry = Arc::new(
+            PolicyRegistry::with_store(&dur.dir)
+                .map_err(|e| journal::io_err("open policy store", e))?,
+        );
+        let mut versions: BTreeSet<PolicyVersion> = BTreeSet::new();
+        if head0 > 0 {
+            versions.insert(head0);
+        }
+        for snaps in &rec.shard_snaps {
+            for s in snaps {
+                if !s.degraded && s.version > 0 && s.spec.needs_policy() {
+                    versions.insert(s.version);
+                }
+            }
+        }
+        for r in &rec.records {
+            match r {
+                MetaRecord::Swap { version } => {
+                    versions.insert(*version);
+                }
+                MetaRecord::Create {
+                    queued: false,
+                    degraded: false,
+                    version,
+                    spec,
+                    ..
+                } if *version > 0 && spec.needs_policy() => {
+                    versions.insert(*version);
+                }
+                // Activate records carry no spec; requiring the checkpoint
+                // file is sound regardless because every version > 0 was
+                // persisted before its swap was journaled.
+                MetaRecord::Activate {
+                    degraded: false,
+                    version,
+                    ..
+                } if *version > 0 => {
+                    versions.insert(*version);
+                }
+                _ => {}
+            }
+        }
+        let policies_loaded = versions.len();
+        for v in versions {
+            let path = policy_path(&dur.dir, v);
+            let bytes =
+                std::fs::read(&path).map_err(|_| JournalError::MissingPolicy { version: v })?;
+            let policy = TrainedPolicy::from_checkpoint_bytes(&bytes).map_err(|e| {
+                JournalError::CorruptPolicy {
+                    version: v,
+                    detail: e.to_string(),
+                }
+            })?;
+            registry.restore_entry(v, Some(policy));
+        }
+        if !registry.set_head(head0) {
+            return Err(JournalError::MissingPolicy { version: head0 });
+        }
+
+        // Rebuild in-memory state: snapshot first, then replay the tail.
+        let mut serve = Self::skeleton(cfg, registry, nshards);
+        serve.replaying.store(true, Ordering::Relaxed);
+        serve.apply_snapshot(&rec)?;
+
+        let mut frames = rec.frames;
+        let frame_count: u64 = frames.iter().map(|m| m.len() as u64).sum();
+        for record in &rec.records {
+            match record {
+                MetaRecord::Create {
+                    id,
+                    tenant,
+                    w,
+                    queued,
+                    degraded,
+                    version,
+                    spec,
+                } => serve.replay_create(
+                    *id,
+                    *tenant,
+                    *w as usize,
+                    *queued,
+                    *degraded,
+                    *version,
+                    spec,
+                )?,
+                MetaRecord::Activate {
+                    id,
+                    now,
+                    degraded,
+                    version,
+                } => serve.replay_activate(*id, *now, *degraded, *version)?,
+                MetaRecord::Swap { version } => {
+                    if !serve.registry.set_head(*version) {
+                        return Err(JournalError::MissingPolicy { version: *version });
+                    }
+                }
+                MetaRecord::Tick { now, evicted, .. } => {
+                    serve.replay_tick(*now, evicted, &mut frames)?
+                }
+                MetaRecord::Drain { watermark } => serve.replay_drain(*watermark),
+                MetaRecord::Init { .. } => {
+                    return Err(JournalError::ReplayInconsistency {
+                        tick: serve.now(),
+                        detail: "stray init record mid-journal".into(),
+                    })
+                }
+            }
+        }
+        serve.replaying.store(false, Ordering::Relaxed);
+        serve
+            .metrics
+            .sessions_active
+            .set(serve.admission.active() as f64);
+        serve
+            .metrics
+            .sessions_queued
+            .set(serve.queued_sessions() as f64);
+        serve
+            .metrics
+            .points_buffered
+            .set(serve.admission.buffered() as f64);
+
+        // Preserve damaged evidence, then collapse everything into a fresh
+        // committed snapshot + empty segments at the recovered tick.
+        if rec.any_quarantine {
+            journal::preserve_quarantine(&dur.dir);
+        }
+        let meta_snap = serve.capture_meta_snap(rec.recovered_tick);
+        let shard_snaps = serve.capture_shard_snaps();
+        journal::write_snapshot_files(&dur.dir, rec.recovered_tick, &meta_snap, &shard_snaps)
+            .map_err(|e| journal::io_err("write recovery snapshot", journal::wal_to_io(e)))?;
+        let jnl = Journal::open_at(&dur, nshards, rec.recovered_tick)?;
+        journal::truncate_below(&dur.dir, rec.recovered_tick);
+        serve.journal = Some(jnl);
+
+        let report = RecoveryReport {
+            snapshot_epoch: rec.base_epoch,
+            recovered_tick: rec.recovered_tick,
+            records_replayed: rec.records.len() as u64 + frame_count,
+            sessions_restored: serve.active_sessions(),
+            queued_restored: serve.queued_sessions(),
+            outputs_pending: serve
+                .completed
+                .lock()
+                .expect("completed lock poisoned")
+                .len(),
+            quarantined_records: rec.quarantined_records,
+            quarantined_bytes: rec.quarantined_bytes,
+            policies_loaded,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        };
+        journal::record_recovery_metrics(&report);
+        Ok((serve, report))
+    }
+
+    fn apply_snapshot(&mut self, rec: &journal::RecoveredJournal) -> Result<(), JournalError> {
+        let Some(ms) = &rec.meta_snap else {
+            return Ok(());
+        };
+        self.now.store(ms.now, Ordering::Relaxed);
+        self.next_id.store(ms.next_id, Ordering::Relaxed);
+        self.output_seq.store(ms.output_seq, Ordering::Relaxed);
+        self.drained.store(ms.drained, Ordering::Relaxed);
+        *self.completed.lock().expect("completed lock poisoned") = ms.completed.clone();
+        {
+            let mut pending = self.pending.lock().expect("pending lock poisoned");
+            for p in &ms.pending {
+                self.admission.restore_tenant_slot(TenantId(p.tenant));
+                pending.push_back(PendingSession {
+                    id: p.id,
+                    tenant: TenantId(p.tenant),
+                    spec: p.spec.clone(),
+                    w: p.w,
+                });
+            }
+        }
+        for (s, snaps) in rec.shard_snaps.iter().enumerate() {
+            for snap in snaps {
+                self.admission.restore_tenant_slot(TenantId(snap.tenant));
+                self.admission.active_delta(1);
+                self.admission
+                    .buffer_delta((snap.window.len() + snap.kept.len()) as i64);
+                let session = self.restore_session(snap)?;
+                self.shards[s]
+                    .lock()
+                    .expect("shard lock poisoned")
+                    .sessions
+                    .insert(snap.id, session);
+            }
+        }
+        Ok(())
+    }
+
+    fn restore_session(&self, snap: &SessionSnap) -> Result<Session, JournalError> {
+        let algo: Box<dyn OnlineSimplifier + Send> = if snap.degraded {
+            Box::new(UniformOnline::new())
+        } else {
+            let entry = self.registry.entry(snap.version).unwrap_or_else(|| {
+                Arc::new(PolicyEntry {
+                    version: snap.version,
+                    policy: None,
+                })
+            });
+            snap.spec
+                .instantiate(&entry, parkit::mix_seed(self.cfg.seed, snap.id))
+        };
+        Ok(Session::restore(
+            SessionId(snap.id),
+            TenantId(snap.tenant),
+            snap.spec.clone(),
+            algo,
+            snap.w,
+            snap.window_cap,
+            snap.version,
+            snap.degraded,
+            snap.last_active,
+            snap.window.clone(),
+            snap.kept.clone(),
+            snap.last_t,
+            snap.observed,
+            self.metrics.append_histogram(TenantId(snap.tenant)),
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the journal record
+    fn replay_create(
+        &self,
+        id: u64,
+        tenant: u32,
+        w: usize,
+        queued: bool,
+        degraded: bool,
+        version: PolicyVersion,
+        spec: &SimplifierSpec,
+    ) -> Result<(), JournalError> {
+        let got = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if got != id {
+            return Err(JournalError::ReplayInconsistency {
+                tick: self.now(),
+                detail: format!("create record for session {id} but allocator is at {got}"),
+            });
+        }
+        self.admission.restore_tenant_slot(TenantId(tenant));
+        if queued {
+            self.pending
+                .lock()
+                .expect("pending lock poisoned")
+                .push_back(PendingSession {
+                    id,
+                    tenant: TenantId(tenant),
+                    spec: spec.clone(),
+                    w,
+                });
+        } else {
+            self.activate(
+                SessionId(id),
+                TenantId(tenant),
+                spec.clone(),
+                w,
+                self.now(),
+                Some((degraded, version)),
+            );
+        }
+        Ok(())
+    }
+
+    fn replay_activate(
+        &self,
+        id: u64,
+        now: u64,
+        degraded: bool,
+        version: PolicyVersion,
+    ) -> Result<(), JournalError> {
+        let popped = self
+            .pending
+            .lock()
+            .expect("pending lock poisoned")
+            .pop_front();
+        let Some(p) = popped else {
+            return Err(JournalError::ReplayInconsistency {
+                tick: now,
+                detail: format!("activate record for session {id} but the queue is empty"),
+            });
+        };
+        if p.id != id {
+            return Err(JournalError::ReplayInconsistency {
+                tick: now,
+                detail: format!(
+                    "activate record for session {id} but {} is queued first",
+                    p.id
+                ),
+            });
+        }
+        self.activate(
+            SessionId(id),
+            p.tenant,
+            p.spec,
+            p.w,
+            now,
+            Some((degraded, version)),
+        );
+        Ok(())
+    }
+
+    /// Replays one committed tick: injects the journaled shard frames into
+    /// the inboxes (restoring the admission accounting `append` would have
+    /// done live), runs the normal tick body, and verifies the outcome
+    /// against what the `Tick` record promised.
+    fn replay_tick(
+        &self,
+        now: u64,
+        evicted: &[u64],
+        frames: &mut [HashMap<u64, Vec<Op>>],
+    ) -> Result<(), JournalError> {
+        let mut appended = 0i64;
+        for (s, shard_frames) in frames.iter_mut().enumerate() {
+            if let Some(ops) = shard_frames.remove(&now) {
+                appended += ops.iter().filter(|o| matches!(o, Op::Append(..))).count() as i64;
+                *self.inboxes[s].lock().expect("inbox lock poisoned") = ops;
+            }
+        }
+        self.admission.buffer_delta(appended);
+        let t = self.tick_core(false);
+        if t.stats.now != now {
+            return Err(JournalError::ReplayInconsistency {
+                tick: now,
+                detail: format!("clock advanced to {} instead", t.stats.now),
+            });
+        }
+        if t.evicted_ids != evicted {
+            return Err(JournalError::ReplayInconsistency {
+                tick: now,
+                detail: format!(
+                    "evictions diverged: journal {:?}, replay {:?}",
+                    evicted, t.evicted_ids
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replays a delivery watermark: the prefix of the completion queue up
+    /// to it was already handed to the client before the crash, so it must
+    /// not be delivered again.
+    fn replay_drain(&self, watermark: u64) {
+        let drained = self.drained.load(Ordering::Relaxed);
+        if watermark <= drained {
+            return;
+        }
+        let mut completed = self.completed.lock().expect("completed lock poisoned");
+        let drop_n = ((watermark - drained) as usize).min(completed.len());
+        completed.drain(..drop_n);
+        self.drained.store(watermark, Ordering::Relaxed);
+        // A quarantined tail can leave the sequence counter behind the
+        // watermark; delivery history wins.
+        if self.output_seq.load(Ordering::Relaxed) < watermark {
+            self.output_seq.store(watermark, Ordering::Relaxed);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 
 use crate::config::{SessionId, TenantId};
 use crate::registry::PolicyVersion;
+use crate::service::SimplifierSpec;
 use obskit::Histogram;
 use std::sync::Arc;
 use trajectory::{OnlineSimplifier, Point};
@@ -64,19 +65,27 @@ pub struct SessionOutput {
 
 /// Live per-session state. Private to the crate: the service owns sessions
 /// inside its shards.
+///
+/// Everything except `algo` is plain data; `algo` is reconstructed on
+/// recovery from `spec` + the pinned policy generation + the session seed,
+/// which is sound because [`OnlineSimplifier::run`] fully resets the
+/// simplifier (buffers, counters, RNG reseed) on every window — a restored
+/// session is bit-identical to the one that crashed.
 pub(crate) struct Session {
     pub(crate) id: SessionId,
     pub(crate) tenant: TenantId,
     pub(crate) policy_version: PolicyVersion,
     pub(crate) degraded: bool,
     pub(crate) last_active: u64,
+    /// What the client asked for — kept so a snapshot can rebuild `algo`.
+    pub(crate) spec: SimplifierSpec,
     algo: Box<dyn OnlineSimplifier + Send>,
-    w: usize,
-    window_cap: usize,
-    window: Vec<Point>,
-    kept: Vec<Point>,
-    last_t: f64,
-    observed: u64,
+    pub(crate) w: usize,
+    pub(crate) window_cap: usize,
+    pub(crate) window: Vec<Point>,
+    pub(crate) kept: Vec<Point>,
+    pub(crate) last_t: f64,
+    pub(crate) observed: u64,
     /// Per-tenant append-latency histogram, resolved once at activation.
     pub(crate) append_seconds: Arc<Histogram>,
 }
@@ -86,6 +95,7 @@ impl Session {
     pub(crate) fn new(
         id: SessionId,
         tenant: TenantId,
+        spec: SimplifierSpec,
         algo: Box<dyn OnlineSimplifier + Send>,
         w: usize,
         window_cap: usize,
@@ -100,6 +110,7 @@ impl Session {
             policy_version,
             degraded,
             last_active: now,
+            spec,
             algo,
             w: w.max(2),
             window_cap: window_cap.max(4),
@@ -107,6 +118,44 @@ impl Session {
             kept: Vec::new(),
             last_t: f64::NEG_INFINITY,
             observed: 0,
+            append_seconds,
+        }
+    }
+
+    /// Rebuilds a session from snapshot state (the inverse of the field
+    /// capture in `journal::encode_session`). `w`/`window_cap` are stored
+    /// post-clamp, so no `.max` here.
+    #[allow(clippy::too_many_arguments)] // constructor of a plain record
+    pub(crate) fn restore(
+        id: SessionId,
+        tenant: TenantId,
+        spec: SimplifierSpec,
+        algo: Box<dyn OnlineSimplifier + Send>,
+        w: usize,
+        window_cap: usize,
+        policy_version: PolicyVersion,
+        degraded: bool,
+        last_active: u64,
+        window: Vec<Point>,
+        kept: Vec<Point>,
+        last_t: f64,
+        observed: u64,
+        append_seconds: Arc<Histogram>,
+    ) -> Self {
+        Session {
+            id,
+            tenant,
+            policy_version,
+            degraded,
+            last_active,
+            spec,
+            algo,
+            w,
+            window_cap,
+            window,
+            kept,
+            last_t,
+            observed,
             append_seconds,
         }
     }

@@ -34,6 +34,7 @@
 
 mod grid;
 mod store;
+pub mod wal;
 
 pub use grid::GridIndex;
 pub use store::{StoreConfig, StoreStats, TrajId, TrajStore};

@@ -1,0 +1,648 @@
+//! Append-only write-ahead log files: length-prefixed, CRC-framed records
+//! with explicit group commit, plus the sealed-file and atomic-publish
+//! helpers the durability layer builds on.
+//!
+//! The format follows the workspace codec conventions (`trajectory::codec`,
+//! `rlkit::checkpoint`): a fixed header up front, big-endian integers, and
+//! a CRC32 guarding every byte that matters.
+//!
+//! ```text
+//! file   = magic u32 ("RLWL") | version u16 | kind u16 | record*
+//! record = len u32 | payload (len bytes) | crc32 u32 (over payload)
+//! ```
+//!
+//! `kind` is a caller-owned stream tag (e.g. "meta journal" vs "shard
+//! journal") so a misplaced file is rejected instead of misparsed.
+//!
+//! Two properties make this suitable for crash recovery:
+//!
+//! * **Writes are buffered until [`WalWriter::commit`]** — nothing reaches
+//!   the file (let alone the disk) between commits, so a crash can only
+//!   lose whole record batches, never interleave half-written state with
+//!   later records. `commit` is `write_all` + `sync_data`: the group-commit
+//!   fsync boundary.
+//! * **Reads recover the longest valid prefix** — [`read_records`] decodes
+//!   records until the first torn or corrupt one and reports *both* the
+//!   valid prefix and a typed description of why decoding stopped. Callers
+//!   never lose valid prefix records and never panic on garbage bytes.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// WAL file magic: "RLWL".
+pub const WAL_MAGIC: u32 = 0x524C_574C;
+/// Current WAL format version.
+pub const WAL_VERSION: u16 = 1;
+/// Bytes of file header preceding the first record.
+pub const WAL_HEADER_LEN: usize = 8;
+/// Hard cap on a single record's payload; larger length fields are treated
+/// as corruption rather than allocated.
+pub const MAX_RECORD_LEN: u32 = 1 << 28;
+
+/// CRC32 (IEEE, reflected polynomial `0xEDB88320`) — the same function the
+/// trajectory codec and policy checkpoints use.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why decoding a WAL (or sealed file) stopped.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file is shorter than the fixed header.
+    TruncatedHeader,
+    /// The first four bytes are not [`WAL_MAGIC`].
+    BadMagic(u32),
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The stream tag does not match what the caller expected.
+    WrongKind {
+        /// Tag the caller required.
+        expected: u16,
+        /// Tag stored in the file.
+        found: u16,
+    },
+    /// The record starting at `offset` is torn: its length field or
+    /// payload extends past the end of the file (a crashed write).
+    TornRecord {
+        /// Byte offset of the record's length field.
+        offset: u64,
+        /// Index of the record within the file (0-based).
+        index: usize,
+    },
+    /// The record starting at `offset` failed its CRC (bit rot or an
+    /// overwritten region).
+    CorruptRecord {
+        /// Byte offset of the record's length field.
+        offset: u64,
+        /// Index of the record within the file (0-based).
+        index: usize,
+        /// CRC computed over the payload.
+        expected: u32,
+        /// CRC stored after the payload.
+        found: u32,
+    },
+    /// A length field exceeds [`MAX_RECORD_LEN`] — treated as corruption
+    /// instead of a giant allocation.
+    OversizedRecord {
+        /// Byte offset of the record's length field.
+        offset: u64,
+        /// The absurd length that was read.
+        len: u32,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::TruncatedHeader => write!(f, "wal file shorter than its header"),
+            WalError::BadMagic(m) => write!(f, "bad wal magic {m:#010x}"),
+            WalError::UnsupportedVersion(v) => write!(f, "unsupported wal version {v}"),
+            WalError::WrongKind { expected, found } => {
+                write!(f, "wal stream kind {found} where {expected} was expected")
+            }
+            WalError::TornRecord { offset, index } => {
+                write!(f, "torn wal record #{index} at byte {offset}")
+            }
+            WalError::CorruptRecord {
+                offset,
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "corrupt wal record #{index} at byte {offset}: \
+                 crc computed {expected:#010x}, stored {found:#010x}"
+            ),
+            WalError::OversizedRecord { offset, len } => {
+                write!(f, "wal record at byte {offset} claims absurd length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// The decoded contents of one WAL file: the longest valid record prefix,
+/// where it ends, and what (if anything) stopped the decode.
+#[derive(Debug)]
+pub struct WalContents {
+    /// Every record that decoded cleanly, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset one past the last valid record (= the truncation point
+    /// that would drop the damaged tail and nothing else).
+    pub valid_len: u64,
+    /// Bytes in the file beyond `valid_len`.
+    pub tail_bytes: u64,
+    /// Why decoding stopped, or `None` if the file decoded to its end.
+    pub error: Option<WalError>,
+}
+
+/// Buffered appender for one WAL file.
+///
+/// Records appended via [`WalWriter::append`] accumulate in memory and hit
+/// the file (and the disk, via `sync_data`) only on [`WalWriter::commit`].
+/// Dropping the writer discards anything uncommitted — exactly the crash
+/// semantics the recovery layer assumes.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    buf: Vec<u8>,
+    pending_records: u64,
+    committed_records: u64,
+    committed_bytes: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a WAL file and durably writes its header.
+    pub fn create(path: impl Into<PathBuf>, kind: u16) -> Result<Self, WalError> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        let mut header = Vec::with_capacity(WAL_HEADER_LEN);
+        header.extend_from_slice(&WAL_MAGIC.to_be_bytes());
+        header.extend_from_slice(&WAL_VERSION.to_be_bytes());
+        header.extend_from_slice(&kind.to_be_bytes());
+        file.write_all(&header)?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            path,
+            buf: Vec::new(),
+            pending_records: 0,
+            committed_records: 0,
+            committed_bytes: WAL_HEADER_LEN as u64,
+        })
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Buffers one record. Nothing is written until [`WalWriter::commit`].
+    pub fn append(&mut self, payload: &[u8]) {
+        debug_assert!((payload.len() as u64) < MAX_RECORD_LEN as u64);
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(payload);
+        self.buf.extend_from_slice(&crc32(payload).to_be_bytes());
+        self.pending_records += 1;
+    }
+
+    /// Records appended but not yet committed.
+    pub fn pending_records(&self) -> u64 {
+        self.pending_records
+    }
+
+    /// Bytes buffered but not yet committed.
+    pub fn pending_bytes(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// Records durably committed so far.
+    pub fn committed_records(&self) -> u64 {
+        self.committed_records
+    }
+
+    /// Bytes durably committed so far (including the header).
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed_bytes
+    }
+
+    /// Writes every buffered record and fsyncs: the group-commit boundary.
+    /// Returns the number of bytes made durable by this call.
+    pub fn commit(&mut self) -> Result<u64, WalError> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        self.file.write_all(&self.buf)?;
+        self.file.sync_data()?;
+        let n = self.buf.len() as u64;
+        self.committed_bytes += n;
+        self.committed_records += self.pending_records;
+        self.pending_records = 0;
+        self.buf.clear();
+        Ok(n)
+    }
+
+    /// Discards everything buffered since the last commit — what a crash
+    /// would do. Test and crash-injection hook.
+    pub fn discard_uncommitted(&mut self) {
+        self.buf.clear();
+        self.pending_records = 0;
+    }
+}
+
+/// Reads one WAL file, returning the longest valid record prefix plus a
+/// typed description of any damage. Header-level damage (bad magic, wrong
+/// kind) yields an empty prefix with the error set; an `Err` is returned
+/// only when the file cannot be read at all.
+pub fn read_records(path: &Path, kind: u16) -> Result<WalContents, std::io::Error> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    Ok(decode_records(&bytes, kind))
+}
+
+/// [`read_records`] over an in-memory buffer.
+pub fn decode_records(bytes: &[u8], kind: u16) -> WalContents {
+    let fail = |error: WalError| WalContents {
+        records: Vec::new(),
+        valid_len: 0,
+        tail_bytes: bytes.len() as u64,
+        error: Some(error),
+    };
+    if bytes.len() < WAL_HEADER_LEN {
+        return fail(WalError::TruncatedHeader);
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
+    if magic != WAL_MAGIC {
+        return fail(WalError::BadMagic(magic));
+    }
+    let version = u16::from_be_bytes(bytes[4..6].try_into().unwrap());
+    if version > WAL_VERSION {
+        return fail(WalError::UnsupportedVersion(version));
+    }
+    let found_kind = u16::from_be_bytes(bytes[6..8].try_into().unwrap());
+    if found_kind != kind {
+        return fail(WalError::WrongKind {
+            expected: kind,
+            found: found_kind,
+        });
+    }
+
+    let mut records = Vec::new();
+    let mut at = WAL_HEADER_LEN;
+    let mut index = 0usize;
+    let mut error = None;
+    while at < bytes.len() {
+        let offset = at as u64;
+        if at + 4 > bytes.len() {
+            error = Some(WalError::TornRecord { offset, index });
+            break;
+        }
+        let len = u32::from_be_bytes(bytes[at..at + 4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            error = Some(WalError::OversizedRecord { offset, len });
+            break;
+        }
+        let end = at + 4 + len as usize + 4;
+        if end > bytes.len() {
+            error = Some(WalError::TornRecord { offset, index });
+            break;
+        }
+        let payload = &bytes[at + 4..at + 4 + len as usize];
+        let stored = u32::from_be_bytes(bytes[end - 4..end].try_into().unwrap());
+        let computed = crc32(payload);
+        if stored != computed {
+            error = Some(WalError::CorruptRecord {
+                offset,
+                index,
+                expected: computed,
+                found: stored,
+            });
+            break;
+        }
+        records.push(payload.to_vec());
+        at = end;
+        index += 1;
+    }
+    WalContents {
+        records,
+        valid_len: at as u64,
+        tail_bytes: (bytes.len() - at) as u64,
+        error,
+    }
+}
+
+/// Writes a small self-validating single-payload file (snapshot section,
+/// commit marker): the WAL header followed by exactly one record. The write
+/// is atomic — temp file, fsync, rename — so readers see either the old
+/// content or the new, never a torn mixture.
+pub fn write_sealed(path: &Path, kind: u16, payload: &[u8]) -> Result<(), WalError> {
+    let mut bytes = Vec::with_capacity(WAL_HEADER_LEN + payload.len() + 8);
+    bytes.extend_from_slice(&WAL_MAGIC.to_be_bytes());
+    bytes.extend_from_slice(&WAL_VERSION.to_be_bytes());
+    bytes.extend_from_slice(&kind.to_be_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&crc32(payload).to_be_bytes());
+    atomic_write(path, &bytes)?;
+    Ok(())
+}
+
+/// Reads a file written by [`write_sealed`], validating header, kind, CRC,
+/// and the absence of trailing bytes.
+pub fn read_sealed(path: &Path, kind: u16) -> Result<Vec<u8>, WalError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let contents = decode_records(&bytes, kind);
+    if let Some(e) = contents.error {
+        return Err(e);
+    }
+    let mut records = contents.records;
+    if records.len() != 1 {
+        return Err(WalError::TornRecord {
+            offset: contents.valid_len,
+            index: records.len(),
+        });
+    }
+    Ok(records.pop().unwrap())
+}
+
+/// Atomically replaces `path` with `bytes`: write to a sibling temp file,
+/// fsync it, then rename over the target. A crash at any point leaves
+/// either the old file or the new one — never a torn hybrid.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), std::io::Error> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Whether an I/O failure is worth retrying (scheduler hiccups and
+/// interrupted syscalls, not structural failures like missing directories
+/// or permission errors).
+pub fn is_transient(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op` up to `attempts` times, sleeping `backoff`, `2·backoff`, … —
+/// doubling — between attempts, but only while failures are
+/// [transient](is_transient). Non-transient errors and the final attempt's
+/// error are returned immediately.
+pub fn retry_transient<T>(
+    attempts: u32,
+    backoff: Duration,
+    mut op: impl FnMut() -> Result<T, std::io::Error>,
+) -> Result<T, std::io::Error> {
+    let mut wait = backoff;
+    let mut tried = 0;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                tried += 1;
+                if tried >= attempts.max(1) || !is_transient(e.kind()) {
+                    return Err(e);
+                }
+                if !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                wait = wait.saturating_mul(2);
+            }
+        }
+    }
+}
+
+/// [`atomic_write`] with bounded retry on transient failures — the publish
+/// primitive for checkpoint and snapshot files.
+pub fn atomic_write_with_retry(
+    path: &Path,
+    bytes: &[u8],
+    attempts: u32,
+    backoff: Duration,
+) -> Result<(), std::io::Error> {
+    retry_transient(attempts, backoff, || atomic_write(path, bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("trajstore-wal-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn write_wal(path: &Path, kind: u16, records: &[&[u8]]) {
+        let mut w = WalWriter::create(path, kind).unwrap();
+        for r in records {
+            w.append(r);
+        }
+        w.commit().unwrap();
+    }
+
+    #[test]
+    fn round_trips_records_in_order() {
+        let path = tmp("roundtrip.wal");
+        let records: Vec<Vec<u8>> = (0..20u8).map(|i| (0..=i).collect::<Vec<u8>>()).collect();
+        let refs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
+        write_wal(&path, 7, &refs);
+        let got = read_records(&path, 7).unwrap();
+        assert!(got.error.is_none());
+        assert_eq!(got.records, records);
+        assert_eq!(got.tail_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn uncommitted_records_never_reach_the_file() {
+        let path = tmp("uncommitted.wal");
+        let mut w = WalWriter::create(&path, 1).unwrap();
+        w.append(b"durable");
+        w.commit().unwrap();
+        w.append(b"lost-in-the-crash");
+        assert_eq!(w.pending_records(), 1);
+        drop(w); // no commit: the buffered record must vanish
+        let got = read_records(&path, 1).unwrap();
+        assert!(got.error.is_none());
+        assert_eq!(got.records, vec![b"durable".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_and_magic_are_typed() {
+        let path = tmp("kind.wal");
+        write_wal(&path, 3, &[b"x"]);
+        let got = read_records(&path, 4).unwrap();
+        assert!(matches!(
+            got.error,
+            Some(WalError::WrongKind {
+                expected: 4,
+                found: 3
+            })
+        ));
+        assert!(got.records.is_empty());
+        let garbage = decode_records(b"NOPEnope and then some", 3);
+        assert!(matches!(garbage.error, Some(WalError::BadMagic(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncating anywhere must yield a prefix of the original records and
+    /// either no error (cut at a record boundary) or a torn-record error —
+    /// never a panic, never a wrong record.
+    #[test]
+    fn every_truncation_point_yields_a_clean_prefix() {
+        let records: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 5 + i as usize]).collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&WAL_VERSION.to_be_bytes());
+        bytes.extend_from_slice(&9u16.to_be_bytes());
+        let mut boundaries = vec![WAL_HEADER_LEN];
+        for r in &records {
+            bytes.extend_from_slice(&(r.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(r);
+            bytes.extend_from_slice(&crc32(r).to_be_bytes());
+            boundaries.push(bytes.len());
+        }
+        for cut in 0..=bytes.len() {
+            let got = decode_records(&bytes[..cut], 9);
+            assert!(records.starts_with(&got.records), "cut {cut}: not a prefix");
+            if cut < WAL_HEADER_LEN {
+                assert!(matches!(got.error, Some(WalError::TruncatedHeader)));
+            } else if boundaries.contains(&cut) {
+                // A cut at a record boundary is indistinguishable from a
+                // shorter-but-clean log: every record decodes, no error.
+                assert!(got.error.is_none(), "cut {cut}: clean prefix flagged");
+            } else {
+                assert!(got.error.is_some(), "cut {cut}: truncation unnoticed");
+            }
+            assert_eq!(got.valid_len + got.tail_bytes, cut as u64);
+        }
+    }
+
+    /// Flipping any single byte must fail exactly the records at or after
+    /// the flipped byte — the prefix before it survives verbatim.
+    #[test]
+    fn every_bit_flip_is_caught_and_preserves_the_prefix() {
+        let records: Vec<Vec<u8>> = (0..4u8).map(|i| vec![0xA0 | i; 9]).collect();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&WAL_VERSION.to_be_bytes());
+        bytes.extend_from_slice(&2u16.to_be_bytes());
+        let mut boundaries = vec![WAL_HEADER_LEN];
+        for r in &records {
+            bytes.extend_from_slice(&(r.len() as u32).to_be_bytes());
+            bytes.extend_from_slice(r);
+            bytes.extend_from_slice(&crc32(r).to_be_bytes());
+            boundaries.push(bytes.len());
+        }
+        for pos in WAL_HEADER_LEN..bytes.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut dirty = bytes.clone();
+                dirty[pos] ^= bit;
+                let got = decode_records(&dirty, 2);
+                // Records wholly before the flipped byte must survive.
+                let intact = boundaries.iter().filter(|&&b| b <= pos).count() - 1;
+                assert!(got.records.len() >= intact, "flip at {pos}: lost prefix");
+                assert!(
+                    records.starts_with(&got.records),
+                    "flip at {pos}: wrong record accepted"
+                );
+                assert!(got.error.is_some(), "flip at {pos}: corruption unnoticed");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_without_allocating() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_be_bytes());
+        bytes.extend_from_slice(&WAL_VERSION.to_be_bytes());
+        bytes.extend_from_slice(&0u16.to_be_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        let got = decode_records(&bytes, 0);
+        assert!(matches!(got.error, Some(WalError::OversizedRecord { .. })));
+    }
+
+    #[test]
+    fn sealed_files_round_trip_and_reject_damage() {
+        let path = tmp("sealed.bin");
+        write_sealed(&path, 11, b"snapshot-payload").unwrap();
+        assert_eq!(read_sealed(&path, 11).unwrap(), b"snapshot-payload");
+        assert!(read_sealed(&path, 12).is_err());
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_sealed(&path, 11).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let path = tmp("atomic.bin");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        let mut tmp_path = path.as_os_str().to_owned();
+        tmp_path.push(".tmp");
+        assert!(!PathBuf::from(tmp_path).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures_only() {
+        let mut failures = 3;
+        let out = retry_transient(5, Duration::ZERO, || {
+            if failures > 0 {
+                failures -= 1;
+                Err(std::io::Error::from(std::io::ErrorKind::Interrupted))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+
+        let mut calls = 0;
+        let out: Result<(), _> = retry_transient(5, Duration::ZERO, || {
+            calls += 1;
+            Err(std::io::Error::from(std::io::ErrorKind::NotFound))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "non-transient errors must not be retried");
+
+        let mut calls = 0;
+        let out: Result<(), _> = retry_transient(3, Duration::ZERO, || {
+            calls += 1;
+            Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3, "retry budget must be bounded");
+    }
+}

@@ -37,6 +37,14 @@
 //!   --drop F                       uplink drop probability     [0.05]
 //!   --ttl N                        idle-TTL in ticks           [12]
 //!   --swap-mid                     hot-swap a policy checkpoint mid-soak
+//!   --journal-dir DIR              journal session ops for crash recovery
+//!   --group-commit N               journal fsync interval in ticks [1]
+//!   --snapshot-every N             journal snapshot interval, 0 = off [64]
+//!   --crash-at N                   crash at tick N, recover, continue
+//!   --crash-corrupt torn|truncate|bitflip   damage the journal pre-recovery
+//!   --out FILE                     write delivered outputs (deterministic,
+//!                                  logical-clock only — byte-comparable
+//!                                  across crashed and uncrashed runs)
 //! ```
 //!
 //! `rlts metrics` exercises every instrumented subsystem (training,
@@ -106,6 +114,11 @@ struct CliOpts {
     ttl: Option<u64>,
     swap_mid: bool,
     soak: bool,
+    journal_dir: Option<String>,
+    group_commit: Option<u64>,
+    snapshot_every: Option<u64>,
+    crash_at: Option<u64>,
+    crash_corrupt: Option<String>,
 }
 
 impl CliOpts {
@@ -185,6 +198,29 @@ impl CliOpts {
                 "--ttl" => o.ttl = Some(val("--ttl").parse().unwrap_or_else(|_| die("bad --ttl"))),
                 "--swap-mid" => o.swap_mid = true,
                 "--soak" => o.soak = true,
+                "--journal-dir" => o.journal_dir = Some(val("--journal-dir")),
+                "--group-commit" => {
+                    o.group_commit = Some(
+                        val("--group-commit")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --group-commit")),
+                    )
+                }
+                "--snapshot-every" => {
+                    o.snapshot_every = Some(
+                        val("--snapshot-every")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --snapshot-every")),
+                    )
+                }
+                "--crash-at" => {
+                    o.crash_at = Some(
+                        val("--crash-at")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --crash-at")),
+                    )
+                }
+                "--crash-corrupt" => o.crash_corrupt = Some(val("--crash-corrupt")),
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -499,11 +535,18 @@ fn cmd_metrics(o: &CliOpts) {
 /// invariant is violated or the `serve.*` metric family is missing.
 fn cmd_serve(o: &CliOpts) {
     use rlts::obskit;
-    use rlts::trajserve::{run_soak, ServeConfig, SoakConfig};
+    use rlts::trajserve::{run_soak, CorruptMode, ServeConfig, SoakConfig};
 
     if !o.soak {
         die("serve currently supports only the synthetic soak: rlts serve --soak [options]");
     }
+    if (o.crash_at.is_some() || o.crash_corrupt.is_some()) && o.journal_dir.is_none() {
+        die("--crash-at / --crash-corrupt need --journal-dir");
+    }
+    let crash_corrupt = o.crash_corrupt.as_deref().map(|s| {
+        s.parse::<CorruptMode>()
+            .unwrap_or_else(|e| die(&format!("bad --crash-corrupt: {e}")))
+    });
     let cfg = SoakConfig {
         sessions: o.sessions.unwrap_or(500),
         tenants: o.tenants.unwrap_or(10).max(1),
@@ -511,6 +554,11 @@ fn cmd_serve(o: &CliOpts) {
         w: o.w.unwrap_or(10),
         drop: o.drop.unwrap_or(0.05),
         swap_mid: o.swap_mid,
+        journal_dir: o.journal_dir.as_ref().map(std::path::PathBuf::from),
+        group_commit: o.group_commit.unwrap_or(1),
+        snapshot_every: o.snapshot_every.unwrap_or(64),
+        crash_at: o.crash_at,
+        crash_corrupt,
         serve: ServeConfig {
             threads: o.threads.unwrap_or(0),
             idle_ttl: o.ttl.unwrap_or(12),
@@ -549,21 +597,82 @@ fn cmd_serve(o: &CliOpts) {
             None => String::new(),
         }
     );
+    if o.crash_at.is_some() && report.crashes == 0 {
+        // A crash point past the end of the run would make every
+        // downstream comparison vacuously pass — refuse instead.
+        die(&format!(
+            "--crash-at {} was never reached: the soak ended at tick {}",
+            o.crash_at.unwrap_or(0),
+            report.ticks
+        ));
+    }
+    if report.crashes > 0 {
+        // Recovery details go to stderr so --out stays byte-comparable
+        // against an uncrashed reference run.
+        eprintln!(
+            "[serve] crash at tick {}: recovered to tick {} ({} records replayed, \
+             {} sessions restored, {} records / {} bytes quarantined{})",
+            o.crash_at.unwrap_or(0),
+            report.recovered_tick,
+            report.records_replayed,
+            report.sessions_restored,
+            report.quarantined_records,
+            report.quarantined_bytes,
+            match cfg.crash_corrupt {
+                Some(m) => format!(", {m} corruption injected"),
+                None => String::new(),
+            }
+        );
+    }
 
     let snap = obskit::global().snapshot();
-    let covered = snap
-        .samples
-        .iter()
-        .any(|s| s.id.name().starts_with("serve."));
-    eprintln!(
-        "[serve] subsystem serve     {}",
-        if covered { "covered" } else { "MISSING" }
-    );
-    if !covered {
-        die("no serve.* metrics recorded during the soak");
+    let mut families = vec!["serve."];
+    if cfg.journal_dir.is_some() {
+        families.push("serve.journal.");
+    }
+    if report.crashes > 0 {
+        families.push("serve.recovery.");
+    }
+    for family in families {
+        let covered = snap.samples.iter().any(|s| s.id.name().starts_with(family));
+        eprintln!(
+            "[serve] metric family {family:<15} {}",
+            if covered { "covered" } else { "MISSING" }
+        );
+        if !covered {
+            die(&format!("no {family}* metrics recorded during the soak"));
+        }
     }
     if let Err(e) = report.verify() {
         die(&format!("soak verification failed: {e}"));
+    }
+    if let Some(path) = &o.out {
+        let mut artifact = String::new();
+        for out in &report.outputs {
+            use std::fmt::Write as _;
+            let _ = write!(
+                artifact,
+                "id={} tenant={} reason={:?} ver={} degraded={} observed={} tick={} pts=",
+                out.id.0,
+                out.tenant.0,
+                out.reason,
+                out.policy_version,
+                out.degraded,
+                out.observed,
+                out.delivered_at
+            );
+            for (i, p) in out.simplified.iter().enumerate() {
+                let sep = if i == 0 { "" } else { ";" };
+                let _ = write!(artifact, "{sep}{:?}:{:?}:{:?}", p.t, p.x, p.y);
+            }
+            artifact.push('\n');
+        }
+        std::fs::write(path, &artifact)
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "[serve] {} outputs written to {path} (logical clock only)",
+            report.outputs.len()
+        );
     }
     println!(
         "soak ok: {} sessions, {} evicted, {} points shed, policy swap {}",

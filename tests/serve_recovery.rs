@@ -1,0 +1,440 @@
+//! Crash-recovery tests for the trajserve journal (DESIGN.md §13):
+//! byte-identical recovery against an uncrashed twin, queued-session and
+//! policy-pinning restoration, exactly-once delivery across a crash, and
+//! corruption sweeps (truncation and bit flips at arbitrary offsets) that
+//! must never panic and never drop a valid journal prefix.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rlts::prelude::*;
+use rlts::rlkit::nn::PolicyNet;
+use rlts::trajserve::{
+    DurabilityConfig, ServeConfig, SessionId, SessionOutput, SimplifierSpec, TenantId, TrajServe,
+};
+use rlts::TrainedPolicy;
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlts-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn durable_cfg(dir: &Path, snapshot_interval: u64) -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        window: 16,
+        idle_ttl: 6,
+        seed: 0x5EED,
+        durability: Some(DurabilityConfig {
+            dir: dir.to_path_buf(),
+            group_commit_ticks: 1,
+            snapshot_interval,
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+fn trained(cfg: RltsConfig, seed: u64) -> TrainedPolicy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TrainedPolicy {
+        config: cfg,
+        net: PolicyNet::new(cfg.state_dim(), 20, cfg.action_dim(), &mut rng),
+    }
+}
+
+fn spec_for(i: usize) -> SimplifierSpec {
+    match i % 3 {
+        0 => SimplifierSpec::Uniform,
+        1 => SimplifierSpec::Squish(Measure::Sed),
+        _ => SimplifierSpec::Rlts {
+            cfg: RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed),
+        },
+    }
+}
+
+/// One deterministic driver step: the same `k` always produces the same
+/// creates, appends, and closes, so two services fed by the same step
+/// sequence must end in the same state.
+fn workload_step(serve: &TrajServe, k: u64, ids: &mut Vec<SessionId>) {
+    if k % 3 == 0 && ids.len() < 10 {
+        let i = ids.len();
+        let id = serve
+            .create_session(TenantId((i % 4) as u32), spec_for(i), 6)
+            .expect("workload create admitted");
+        ids.push(id);
+    }
+    for (i, id) in ids.iter().enumerate() {
+        for j in 0..4u64 {
+            let t = (k * 8 + j) as f64 + i as f64 * 1e-3;
+            let _ = serve.append(*id, Point::new(t, ((i as u64 + j) % 17) as f64, t));
+        }
+    }
+    if k % 7 == 6 && !ids.is_empty() {
+        serve.close(ids.remove(0));
+    }
+    serve.tick();
+}
+
+fn canon(outputs: &[SessionOutput]) -> String {
+    let mut outputs = outputs.to_vec();
+    outputs.sort_by_key(|o| (o.delivered_at, o.id.0));
+    let mut s = String::new();
+    for o in &outputs {
+        use std::fmt::Write as _;
+        let _ = write!(
+            s,
+            "id={} tenant={} reason={:?} ver={} degraded={} observed={} tick={} pts=",
+            o.id.0, o.tenant.0, o.reason, o.policy_version, o.degraded, o.observed, o.delivered_at
+        );
+        for p in &o.simplified {
+            let _ = write!(s, "{:?}:{:?}:{:?};", p.t, p.x, p.y);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn finish(serve: &TrajServe) -> Vec<SessionOutput> {
+    serve.close_all();
+    let mut out = Vec::new();
+    for _ in 0..200 {
+        serve.tick();
+        out.extend(serve.drain_completed());
+        if serve.active_sessions() == 0 && serve.queued_sessions() == 0 {
+            break;
+        }
+    }
+    out.extend(serve.drain_completed());
+    assert_eq!(serve.active_sessions(), 0, "drain bound hit");
+    out
+}
+
+/// A crash at every 5th tick, recovered and driven to completion, delivers
+/// byte-identical outputs to an uncrashed twin of the same workload.
+#[test]
+fn crash_recovery_is_byte_identical_to_uncrashed_run() {
+    const STEPS: u64 = 24;
+    let ref_dir = scratch("ref");
+    let reference = {
+        let serve = TrajServe::new(durable_cfg(&ref_dir, 7));
+        let mut ids = Vec::new();
+        for k in 0..STEPS {
+            workload_step(&serve, k, &mut ids);
+        }
+        canon(&finish(&serve))
+    };
+
+    for crash_step in [5u64, 10, 20] {
+        let dir = scratch(&format!("crash-{crash_step}"));
+        let cfg = durable_cfg(&dir, 7);
+        let mut serve = TrajServe::new(cfg.clone());
+        let mut ids = Vec::new();
+        for k in 0..crash_step {
+            workload_step(&serve, k, &mut ids);
+        }
+        drop(serve); // crash: uncommitted journal buffers are gone
+        let (recovered, report) = TrajServe::recover(cfg).expect("clean journal recovers");
+        assert_eq!(
+            report.recovered_tick, crash_step,
+            "group_commit=1 loses nothing"
+        );
+        assert_eq!(report.quarantined_records, 0);
+        serve = recovered;
+        for k in crash_step..STEPS {
+            workload_step(&serve, k, &mut ids);
+        }
+        let got = canon(&finish(&serve));
+        assert_eq!(
+            got, reference,
+            "outputs diverged after crash at step {crash_step}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
+
+/// Queued sessions (admitted but waiting for capacity) survive a crash:
+/// they are restored into the queue and eventually deliver.
+#[test]
+fn queued_sessions_survive_a_crash() {
+    let dir = scratch("queued");
+    let cfg = ServeConfig {
+        max_active_sessions: 1,
+        pending_queue: 8,
+        ..durable_cfg(&dir, 0)
+    };
+    let serve = TrajServe::new(cfg.clone());
+    let mut ids = Vec::new();
+    for i in 0..3 {
+        ids.push(
+            serve
+                .create_session(TenantId(i), SimplifierSpec::Uniform, 4)
+                .unwrap(),
+        );
+    }
+    for j in 0..10u64 {
+        let _ = serve.append(ids[0], Point::new(j as f64, 0.0, j as f64));
+    }
+    serve.tick();
+    assert_eq!(serve.queued_sessions(), 2);
+    drop(serve);
+
+    let (serve, report) = TrajServe::recover(cfg).expect("recovers");
+    assert_eq!(serve.queued_sessions(), 2, "queue lost in recovery");
+    assert_eq!(serve.active_sessions(), 1);
+    assert_eq!(report.queued_restored, 2);
+    let outputs = finish(&serve);
+    assert_eq!(outputs.len(), 3, "every admitted session must deliver");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A session created before a hot-swap keeps its pinned policy generation
+/// across a crash; one created after runs the new generation.
+#[test]
+fn policy_pinning_survives_a_crash() {
+    let dir = scratch("pinning");
+    let cfg = durable_cfg(&dir, 0);
+    let serve = TrajServe::new(cfg.clone());
+    let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let spec = SimplifierSpec::Rlts { cfg: rlts_cfg };
+    let v1 = serve
+        .publish_policy(trained(rlts_cfg, 1))
+        .expect("publish v1");
+    let old = serve.create_session(TenantId(0), spec.clone(), 6).unwrap();
+    let v2 = serve
+        .publish_policy(trained(rlts_cfg, 2))
+        .expect("publish v2");
+    let new = serve.create_session(TenantId(0), spec, 6).unwrap();
+    for j in 0..30u64 {
+        let _ = serve.append(old, Point::new(j as f64, 1.0, j as f64));
+        let _ = serve.append(new, Point::new(j as f64, 2.0, j as f64));
+    }
+    serve.tick();
+    drop(serve);
+
+    let (serve, report) = TrajServe::recover(cfg).expect("recovers");
+    assert_eq!(report.policies_loaded, 2, "both generations reloaded");
+    assert_eq!(serve.registry().version(), v2);
+    let outputs = finish(&serve);
+    let by_id = |id: SessionId| {
+        outputs
+            .iter()
+            .find(|o| o.id == id)
+            .unwrap_or_else(|| panic!("no output for {id:?}"))
+    };
+    assert_eq!(by_id(old).policy_version, v1, "pinned generation lost");
+    assert_eq!(by_id(new).policy_version, v2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// TTL-evicted outputs already handed to the client before the crash are
+/// not delivered again after recovery (exactly-once), while evicted
+/// outputs still undrained at crash time are delivered exactly once.
+#[test]
+fn evicted_outputs_are_delivered_exactly_once_across_a_crash() {
+    // Variant A: drained before the crash — must NOT reappear.
+    let dir = scratch("once-drained");
+    let cfg = durable_cfg(&dir, 0);
+    let serve = TrajServe::new(cfg.clone());
+    let id = serve
+        .create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+        .unwrap();
+    for j in 0..10u64 {
+        let _ = serve.append(id, Point::new(j as f64, 0.0, j as f64));
+    }
+    for _ in 0..10 {
+        serve.tick(); // idle past the TTL: evicted into the completion queue
+    }
+    let delivered = serve.drain_completed();
+    assert_eq!(delivered.len(), 1);
+    drop(serve);
+    let (serve, _) = TrajServe::recover(cfg).expect("recovers");
+    assert!(
+        serve.drain_completed().is_empty(),
+        "drained output delivered twice"
+    );
+    assert!(finish(&serve).is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Variant B: evicted but not yet drained — must appear exactly once.
+    let dir = scratch("once-undrained");
+    let cfg = durable_cfg(&dir, 0);
+    let serve = TrajServe::new(cfg.clone());
+    let id = serve
+        .create_session(TenantId(0), SimplifierSpec::Uniform, 4)
+        .unwrap();
+    for j in 0..10u64 {
+        let _ = serve.append(id, Point::new(j as f64, 0.0, j as f64));
+    }
+    for _ in 0..10 {
+        serve.tick();
+    }
+    drop(serve); // crash with the evicted output still in the queue
+    let (serve, report) = TrajServe::recover(cfg).expect("recovers");
+    assert_eq!(report.outputs_pending, 1);
+    let outputs = serve.drain_completed();
+    assert_eq!(outputs.len(), 1, "undrained eviction lost or duplicated");
+    assert_eq!(outputs[0].id, id);
+    assert!(serve.drain_completed().is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a finished journal directory to corrupt, returning the tick the
+/// full journal reaches.
+fn build_template(dir: &Path) -> u64 {
+    let cfg = durable_cfg(dir, 0);
+    let serve = TrajServe::new(cfg);
+    let mut ids = Vec::new();
+    for k in 0..12 {
+        workload_step(&serve, k, &mut ids);
+    }
+    let now = serve.now();
+    drop(serve);
+    now
+}
+
+fn clone_dir(src: &Path, dst: &Path) {
+    let _ = std::fs::remove_dir_all(dst);
+    std::fs::create_dir_all(dst).expect("clone dir");
+    for entry in std::fs::read_dir(src).expect("template dir").flatten() {
+        if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("clone file");
+        }
+    }
+}
+
+fn journal_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("journal dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("wal"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Truncating the journal to its full length (a no-op) must lose nothing:
+/// the valid prefix is never dropped.
+#[test]
+fn recovery_keeps_the_entire_valid_prefix() {
+    let template = scratch("prefix-template");
+    let full_tick = build_template(&template);
+    let dir = scratch("prefix-run");
+    clone_dir(&template, &dir);
+    let cfg = durable_cfg(&dir, 0);
+    let (_, report) = TrajServe::recover(cfg).expect("undamaged journal recovers");
+    assert_eq!(report.recovered_tick, full_tick);
+    assert_eq!(report.quarantined_records, 0);
+    assert_eq!(report.quarantined_bytes, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&template);
+}
+
+/// Deterministic sweep: chop every length off the meta journal tail. Each
+/// damaged journal either recovers (to no further than the full run) or
+/// fails with a typed error — never a panic — and recovered services keep
+/// working.
+#[test]
+fn truncation_sweep_never_panics() {
+    let template = scratch("trunc-template");
+    let full_tick = build_template(&template);
+    let meta = journal_files(&template)
+        .into_iter()
+        .find(|p| {
+            p.file_name()
+                .unwrap()
+                .to_string_lossy()
+                .starts_with("meta-")
+        })
+        .expect("meta segment");
+    let len = std::fs::metadata(&meta).unwrap().len();
+    let dir = scratch("trunc-run");
+    let start = len.saturating_sub(120);
+    for keep in start..len {
+        clone_dir(&template, &dir);
+        let target = dir.join(meta.file_name().unwrap());
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&target)
+            .unwrap()
+            .set_len(keep)
+            .unwrap();
+        match TrajServe::recover(durable_cfg(&dir, 0)) {
+            Ok((serve, report)) => {
+                assert!(report.recovered_tick <= full_tick);
+                serve.tick(); // still functional
+            }
+            Err(e) => {
+                let _ = format!("{e}"); // typed, displayable error
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&template);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Arbitrary-offset truncation of any journal file: recovery returns
+    /// Ok on the valid prefix or a typed error, never panics.
+    #[test]
+    fn recovery_survives_arbitrary_truncation(file_pick in 0usize..64, frac in 0.0f64..1.0) {
+        let template = scratch("prop-trunc-template");
+        let full_tick = build_template(&template);
+        let files = journal_files(&template);
+        let target_src = &files[file_pick % files.len()];
+        let dir = scratch("prop-trunc-run");
+        clone_dir(&template, &dir);
+        let target = dir.join(target_src.file_name().unwrap());
+        let len = std::fs::metadata(&target).unwrap().len();
+        let keep = (len as f64 * frac) as u64;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&target)
+            .unwrap()
+            .set_len(keep)
+            .unwrap();
+        match TrajServe::recover(durable_cfg(&dir, 0)) {
+            Ok((serve, report)) => {
+                prop_assert!(report.recovered_tick <= full_tick);
+                serve.tick();
+            }
+            Err(e) => { let _ = format!("{e}"); }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&template);
+    }
+
+    /// Arbitrary single-bit flips anywhere in any journal file: same
+    /// contract — quarantine or typed error, never a panic.
+    #[test]
+    fn recovery_survives_arbitrary_bit_flips(file_pick in 0usize..64, pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let template = scratch("prop-flip-template");
+        let full_tick = build_template(&template);
+        let files = journal_files(&template);
+        let target_src = &files[file_pick % files.len()];
+        let dir = scratch("prop-flip-run");
+        clone_dir(&template, &dir);
+        let target = dir.join(target_src.file_name().unwrap());
+        let mut bytes = std::fs::read(&target).unwrap();
+        if !bytes.is_empty() {
+            let at = ((bytes.len() as f64 * pos_frac) as usize).min(bytes.len() - 1);
+            bytes[at] ^= 1 << bit;
+            std::fs::write(&target, &bytes).unwrap();
+        }
+        match TrajServe::recover(durable_cfg(&dir, 0)) {
+            Ok((serve, report)) => {
+                prop_assert!(report.recovered_tick <= full_tick);
+                serve.tick();
+            }
+            Err(e) => { let _ = format!("{e}"); }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&template);
+    }
+}
