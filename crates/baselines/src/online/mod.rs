@@ -21,6 +21,18 @@ pub use sttrace::StTrace;
 use trajectory::error::{drop_error, Measure};
 use trajectory::OrderedBuffer;
 
+/// Memo token for a deterministic, RNG-free online baseline: its `run`
+/// output is a pure function of `(algorithm, measure, pts, w)`, so hashing
+/// the name and measure is enough to honour the
+/// [`OnlineSimplifier::memo_token`](trajectory::OnlineSimplifier::memo_token)
+/// contract.
+pub(crate) fn det_memo_token(name: &str, measure: Measure) -> u64 {
+    trajcache::mix64(
+        trajcache::fnv1a(name.as_bytes()),
+        trajcache::fnv1a(format!("{measure:?}").as_bytes()),
+    )
+}
+
 /// Computes the online importance value of buffered position `pos`:
 /// the error its removal would introduce given its *current* buffer
 /// neighbours (paper Eq. (1)). Returns `None` for boundary positions.

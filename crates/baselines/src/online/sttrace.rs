@@ -62,6 +62,10 @@ impl OnlineSimplifier for StTrace {
     fn finish(&mut self) -> Vec<usize> {
         self.buf.live_positions()
     }
+
+    fn memo_token(&self) -> Option<u64> {
+        Some(super::det_memo_token(self.name(), self.measure))
+    }
 }
 
 #[cfg(test)]

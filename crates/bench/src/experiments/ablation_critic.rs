@@ -48,6 +48,7 @@ pub fn run(opts: &Opts) {
             w_fraction: (0.1, 0.5),
             seed: opts.seed,
             baseline,
+            cache: false,
             threads: opts.threads,
         };
         let report = train(&pool, &tc);

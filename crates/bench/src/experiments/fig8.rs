@@ -44,6 +44,7 @@ pub fn run(opts: &Opts) {
             w_fraction: (0.1, 0.5),
             seed: opts.seed,
             baseline: Default::default(),
+            cache: false,
             threads: opts.threads,
         };
         let report = train(&pool, &tc);

@@ -191,6 +191,7 @@ impl PolicyStore {
             w_fraction: (0.1, 0.5),
             seed: spec.seed,
             baseline: Default::default(),
+            cache: false,
             threads: spec.threads,
         };
         let report = train(&pool, &tc);

@@ -7,7 +7,9 @@ use crate::state::{action_mask, clamp_action, pad_values};
 use obskit::{Counter, Gauge};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rlkit::nn::ForwardCache;
 use std::sync::Arc;
+use trajcache::{fnv1a, mix64};
 use trajectory::{OnlineSimplifier, Point};
 
 /// Online RLTS: a learned policy decides which buffered point to drop (and,
@@ -28,6 +30,9 @@ pub struct RltsOnline {
     stream_pos: usize,
     skip_remaining: usize,
     last_seen: Option<(usize, Point)>,
+    /// Optional memo of policy forward passes (Learned policies only).
+    /// Hits are bit-identical to recomputes, so output never depends on it.
+    fwd: Option<ForwardCache>,
     m_dropped: Arc<Counter>,
     m_skipped: Arc<Counter>,
     m_occupancy: Arc<Gauge>,
@@ -58,6 +63,7 @@ impl RltsOnline {
             stream_pos: 0,
             skip_remaining: 0,
             last_seen: None,
+            fwd: None,
             m_dropped: reg.counter("core.points.dropped"),
             m_skipped: reg.counter("core.points.skipped"),
             m_occupancy: reg.gauge("core.buffer.occupancy"),
@@ -67,6 +73,21 @@ impl RltsOnline {
     /// The configuration in use.
     pub fn config(&self) -> &RltsConfig {
         &self.cfg
+    }
+
+    /// Attaches a forward-pass memo. A no-op for non-`Learned` policies
+    /// (they run no network). The cache never changes output — a hit
+    /// returns the exact vector a fresh forward pass would — so this is
+    /// purely a latency lever (DESIGN.md §14).
+    pub fn enable_forward_cache(&mut self, cache: ForwardCache) {
+        if matches!(self.policy, DecisionPolicy::Learned { .. }) {
+            self.fwd = Some(cache);
+        }
+    }
+
+    /// Stats of the attached forward cache, if any.
+    pub fn forward_cache_stats(&self) -> Option<trajcache::CacheStats> {
+        self.fwd.as_ref().map(|c| c.stats())
     }
 
     fn decide(&mut self, p: &Point) -> usize {
@@ -81,7 +102,9 @@ impl RltsOnline {
         };
         // Online, the stream end is unknown, so every skip length is valid.
         let mask = action_mask(self.cfg.k, cands.len(), j_total, j_total);
-        let action = self.policy.choose(&state, &mask, &mut self.rng);
+        let action = self
+            .policy
+            .choose_cached(&state, &mask, &mut self.rng, self.fwd.as_mut());
         let action = clamp_action(action, self.cfg.k, cands.len(), j_total);
         if action < self.cfg.k {
             let (victim, _) = cands[action];
@@ -135,6 +158,32 @@ impl OnlineSimplifier for RltsOnline {
             }
         }
         self.m_occupancy.set(self.buf.len() as f64);
+    }
+
+    /// `run` output is a pure function of `(cfg, policy, seed, pts, w)`:
+    /// `begin` reseeds the RNG from the stored seed, so even sampling
+    /// policies repeat exactly. The token folds in whatever the active
+    /// policy actually consumes — MinValue ignores both network and RNG,
+    /// greedy Learned ignores the RNG, sampling/Random fold in the seed
+    /// (restricting whole-window memo reuse to same-seed repeats).
+    fn memo_token(&self) -> Option<u64> {
+        let mut h = fnv1a(b"rlts-online");
+        h = mix64(h, fnv1a(format!("{:?}", self.cfg).as_bytes()));
+        Some(match &self.policy {
+            DecisionPolicy::MinValue => mix64(h, fnv1a(b"min-value")),
+            DecisionPolicy::Random => mix64(mix64(h, fnv1a(b"random")), self.seed),
+            DecisionPolicy::Learned { net, greedy: true } => {
+                mix64(mix64(h, fnv1a(b"greedy")), net.weight_fingerprint())
+            }
+            DecisionPolicy::Learned { net, greedy: false } => mix64(
+                mix64(mix64(h, fnv1a(b"sample")), net.weight_fingerprint()),
+                self.seed,
+            ),
+        })
+    }
+
+    fn cache_stats(&self) -> Option<trajcache::CacheStats> {
+        self.forward_cache_stats()
     }
 
     fn finish(&mut self) -> Vec<usize> {

@@ -46,6 +46,13 @@ impl BatchBuffer {
         &self.book
     }
 
+    /// Binds the underlying book into a shared range memo under an explicit
+    /// trajectory id (see [`ErrorBook::enable_memo_keyed`]). Candidate costs
+    /// and incremental errors are bit-identical with or without the memo.
+    pub fn enable_memo_keyed(&mut self, shared: &trajectory::memo::SharedRangeMemo, traj: u64) {
+        self.book.enable_memo_keyed(shared, traj);
+    }
+
     /// Number of kept points.
     pub fn kept_len(&self) -> usize {
         self.book.kept_len()

@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use rlkit::{Environment, Step};
 use std::sync::Arc;
 use trajectory::error::{Aggregation, Measure, TrajView};
+use trajectory::memo::SharedRangeMemo;
 use trajectory::{ErrorBook, Point, Trajectory};
 
 /// Episode internals per variant family.
@@ -53,6 +54,9 @@ pub struct SimplifyEnv {
     /// Candidate (identifier, value) pairs backing the last emitted state.
     cands: Vec<(usize, f64)>,
     j_valid: usize,
+    /// Shared range memo plus one trajectory id per pool entry, so episodes
+    /// over the same (immutable) trajectory share cached anchor ranges.
+    range_memo: Option<(SharedRangeMemo, Arc<[u64]>)>,
 }
 
 impl SimplifyEnv {
@@ -81,12 +85,29 @@ impl SimplifyEnv {
             kind: None,
             cands: Vec::new(),
             j_valid: 0,
+            range_memo: None,
         }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &RltsConfig {
         &self.cfg
+    }
+
+    /// Attaches a shared [`RangeMemo`](trajectory::memo::RangeMemo): every
+    /// episode's [`ErrorBook`] binds to a per-trajectory id, so the
+    /// overlapping anchor-range scans of reward maintenance (and of the
+    /// `+`/`++` candidate machinery) are computed once per pool trajectory
+    /// and shared across episodes and forks. Rewards are bit-identical with
+    /// or without the memo (DESIGN.md §14).
+    pub fn enable_range_memo(&mut self, shared: &SharedRangeMemo) {
+        let ids: Arc<[u64]> = {
+            let mut memo = shared.lock().expect("range memo poisoned");
+            (0..self.trajectories.len())
+                .map(|_| memo.alloc_traj_id())
+                .collect()
+        };
+        self.range_memo = Some((Arc::clone(shared), ids));
     }
 
     /// A fresh environment positioned to run exactly global episode
@@ -111,6 +132,10 @@ impl SimplifyEnv {
             kind: None,
             cands: Vec::new(),
             j_valid: 0,
+            range_memo: self
+                .range_memo
+                .as_ref()
+                .map(|(m, ids)| (Arc::clone(m), Arc::clone(ids))),
         }
     }
 
@@ -200,6 +225,7 @@ impl Environment for SimplifyEnv {
         // Round-robin over the pool, skipping trajectories that are too
         // short to yield a decision for the sampled budget.
         for _ in 0..self.trajectories.len() {
+            let pool_idx = self.cursor;
             let pts = Arc::clone(&self.trajectories[self.cursor]);
             self.cursor = (self.cursor + 1) % self.trajectories.len();
             let n = pts.len();
@@ -225,6 +251,15 @@ impl Environment for SimplifyEnv {
                     bbuf: BatchBuffer::from_all(Arc::clone(&pts), measure),
                 },
             });
+            if let (Some((memo, ids)), Some(kind)) = (&self.range_memo, self.kind.as_mut()) {
+                let traj = ids[pool_idx];
+                match kind {
+                    EpisodeKind::Online { book, .. } => book.enable_memo_keyed(memo, traj),
+                    EpisodeKind::Plus { bbuf } | EpisodeKind::PlusPlus { bbuf } => {
+                        bbuf.enable_memo_keyed(memo, traj)
+                    }
+                }
+            }
             if let Some(state) = self.make_state() {
                 return Some(state);
             }

@@ -3,7 +3,7 @@
 //! policy's contribution (§VI-B(4)).
 
 use rand::Rng;
-use rlkit::nn::{argmax, sample_categorical, PolicyNet};
+use rlkit::nn::{argmax, sample_categorical, ForwardCache, PolicyNet};
 
 /// What decides the action at each state.
 #[derive(Debug, Clone)]
@@ -33,6 +33,20 @@ impl DecisionPolicy {
     /// drive many concurrent simplifications (randomness comes from the
     /// caller-owned `rng`).
     pub fn choose<R: Rng + ?Sized>(&self, state: &[f64], valid: &[bool], rng: &mut R) -> usize {
+        self.choose_cached(state, valid, rng, None)
+    }
+
+    /// [`choose`](DecisionPolicy::choose) with an optional memo of forward
+    /// passes. A cached forward pass is bit-identical to a fresh one (the
+    /// key is the state's exact bit pattern), so the chosen action — and any
+    /// RNG consumption — is the same with or without the cache.
+    pub fn choose_cached<R: Rng + ?Sized>(
+        &self,
+        state: &[f64],
+        valid: &[bool],
+        rng: &mut R,
+        fwd: Option<&mut ForwardCache>,
+    ) -> usize {
         debug_assert!(valid.iter().any(|&v| v), "no valid action");
         match self {
             DecisionPolicy::MinValue => 0,
@@ -49,7 +63,10 @@ impl DecisionPolicy {
             }
             DecisionPolicy::Learned { net, greedy } => {
                 debug_assert_eq!(valid.len(), net.action_dim());
-                let mut probs = net.probs(state);
+                let mut probs = match fwd {
+                    Some(cache) => cache.probs(net, state),
+                    None => net.probs(state),
+                };
                 let mut total = 0.0;
                 for (p, &v) in probs.iter_mut().zip(valid) {
                     if !v {
@@ -110,6 +127,25 @@ mod tests {
             let a = p.choose(&[0.5, 1.0, 2.0], &[true, false, true], &mut rng);
             assert_ne!(a, 1);
         }
+    }
+
+    #[test]
+    fn cached_choice_equals_uncached() {
+        // Same states, same seeds: the forward cache must not change which
+        // action comes out, nor how much randomness is consumed.
+        let mut init = StdRng::seed_from_u64(5);
+        let net = PolicyNet::new(3, 8, 4, &mut init);
+        let p = DecisionPolicy::Learned { net, greedy: false };
+        let mut cache = ForwardCache::with_defaults();
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let states = [[0.1, 0.2, 0.3], [1.0, 0.0, -1.0], [0.1, 0.2, 0.3]];
+        for s in &states {
+            let a = p.choose(s, &[true; 4], &mut rng_a);
+            let b = p.choose_cached(s, &[true; 4], &mut rng_b, Some(&mut cache));
+            assert_eq!(a, b);
+        }
+        assert_eq!(cache.stats().hits, 1, "repeated state must hit");
     }
 
     #[test]

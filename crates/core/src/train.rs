@@ -61,6 +61,15 @@ pub struct TrainConfig {
     /// sequential stream (DESIGN.md §10).
     #[serde(default)]
     pub threads: usize,
+    /// Share a [`RangeMemo`](trajectory::memo::RangeMemo) across episodes:
+    /// reward maintenance and the `+`/`++` candidate machinery reuse
+    /// anchor-range statistics computed in earlier episodes over the same
+    /// pool trajectory. Never changes results — cached values are
+    /// bit-identical to recomputes (DESIGN.md §14). The online variants'
+    /// three-point value kernels are *not* routed through the memo: they
+    /// are cheaper than a lookup.
+    #[serde(default)]
+    pub cache: bool,
 }
 
 impl TrainConfig {
@@ -81,6 +90,7 @@ impl TrainConfig {
             seed: 0xC0FFEE,
             baseline: Baseline::ReturnNormalization,
             threads: 0,
+            cache: false,
         }
     }
 }
@@ -138,6 +148,13 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
     );
     let mut env = SimplifyEnv::new(tc.rlts, trajectories, tc.seed ^ 0x9E3779B97F4A7C15);
     env.w_fraction = tc.w_fraction;
+    let range_memo = if tc.cache {
+        let memo = trajectory::memo::RangeMemo::shared_default();
+        env.enable_range_memo(&memo);
+        Some(memo)
+    } else {
+        None
+    };
     let base_cfg = ReinforceConfig {
         gamma: tc.gamma,
         lr: tc.lr,
@@ -234,6 +251,11 @@ pub fn train(trajectories: &[Trajectory], tc: &TrainConfig) -> TrainReport {
     let elapsed = start.elapsed().as_secs_f64();
     if elapsed > 0.0 {
         m_rate.set(transitions as f64 / elapsed);
+    }
+    if let Some(memo) = &range_memo {
+        memo.lock()
+            .expect("range memo poisoned")
+            .publish("train-range");
     }
 
     TrainReport {
@@ -366,6 +388,27 @@ mod tests {
         let b = train(&data, &tc);
         assert_eq!(a.reward_history, b.reward_history);
         assert_eq!(a.policy.to_json(), b.policy.to_json());
+    }
+
+    #[test]
+    fn cached_training_is_bit_identical() {
+        // The range memo is a latency lever only: rewards, histories, and
+        // the trained weights must not move by a single bit.
+        for variant in [Variant::Rlts, Variant::RltsPlus, Variant::RltsPlusPlus] {
+            let cfg = RltsConfig::paper_defaults(variant, Measure::Sed);
+            let data = pool(3, 50);
+            let mut tc = TrainConfig::quick(cfg);
+            tc.epochs = 1;
+            tc.episodes_per_update = 4;
+            let off = train(&data, &tc);
+            tc.cache = true;
+            let on = train(&data, &tc);
+            assert_eq!(
+                off.reward_history, on.reward_history,
+                "{variant:?}: reward history diverged with cache on"
+            );
+            assert_eq!(off.policy.to_json(), on.policy.to_json(), "{variant:?}");
+        }
     }
 
     #[test]

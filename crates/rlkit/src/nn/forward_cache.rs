@@ -1,0 +1,123 @@
+//! Memoized policy forward passes.
+//!
+//! Served inference replays the same quantized state patterns over and over
+//! (padded value vectors hit identical bit patterns whenever a buffer
+//! neighbourhood repeats), so [`PolicyNet::probs`] output can be cached.
+//! The key is the state's **exact** IEEE-754 bit pattern: that is the only
+//! "quantizer" that keeps a hit bit-identical to a recompute, which the
+//! serve layer's cache-on/cache-off byte-identity contract requires
+//! (DESIGN.md §14). Coarser quantization would trade that guarantee for hit
+//! rate and is deliberately not offered.
+//!
+//! A `ForwardCache` is bound to the weights it was filled under: callers
+//! owning a mutable network must [`ForwardCache::clear`] on weight updates
+//! (the serve layer instead builds a fresh cache per session, and policy
+//! hot-swaps replace the session's simplifier wholesale).
+
+use super::policy::PolicyNet;
+use trajcache::{Cache, CacheStats, EvictPolicy};
+
+/// A per-owner memo of `state bits → action probabilities`.
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use rlkit::nn::{ForwardCache, PolicyNet};
+///
+/// let net = PolicyNet::new(3, 8, 3, &mut StdRng::seed_from_u64(1));
+/// let mut cache = ForwardCache::with_defaults();
+/// let a = cache.probs(&net, &[0.1, 0.2, 0.3]);
+/// let b = cache.probs(&net, &[0.1, 0.2, 0.3]); // cache hit
+/// assert_eq!(a, b);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    cache: Cache<Vec<u64>, Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// Creates a cache bounded by `max_entries` entries and `max_bytes`
+    /// approximate resident bytes.
+    pub fn new(policy: EvictPolicy, max_entries: usize, max_bytes: usize) -> Self {
+        ForwardCache {
+            cache: Cache::new(policy, max_entries, max_bytes),
+        }
+    }
+
+    /// An LRU cache sized for one serving session (4 Ki states, 1 MiB).
+    pub fn with_defaults() -> Self {
+        ForwardCache::new(EvictPolicy::Lru, 1 << 12, 1 << 20)
+    }
+
+    /// [`PolicyNet::probs`] through the memo: a hit returns the exact
+    /// vector a fresh forward pass would produce, because the key embeds
+    /// the state's full bit pattern and eval-mode forwards are pure.
+    pub fn probs(&mut self, net: &PolicyNet, state: &[f64]) -> Vec<f64> {
+        let key: Vec<u64> = state.iter().map(|v| v.to_bits()).collect();
+        self.cache.get_or_insert_with(&key, || net.probs(state))
+    }
+
+    /// Drops every cached forward pass. **Must** be called when the
+    /// network's weights change under this cache.
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Statistics snapshot (hits, misses, evictions, resident figures).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Exports stats into the `cache.*` obskit family under `cache=<name>`.
+    pub fn publish(&mut self, name: &str) {
+        self.cache.publish(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hit_is_bit_identical_to_recompute() {
+        let net = PolicyNet::new(4, 10, 5, &mut StdRng::seed_from_u64(9));
+        let mut cache = ForwardCache::with_defaults();
+        let states = [
+            [0.5, -0.25, 3.0, 0.0],
+            [1.0, 1.0, 1.0, 1.0],
+            [0.5, -0.25, 3.0, 0.0], // repeat of the first
+        ];
+        for s in &states {
+            let cached = cache.probs(&net, s);
+            let fresh = net.probs(s);
+            for (c, f) in cached.iter().zip(&fresh) {
+                assert_eq!(c.to_bits(), f.to_bits());
+            }
+        }
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn nearby_states_do_not_alias() {
+        let net = PolicyNet::new(2, 6, 2, &mut StdRng::seed_from_u64(3));
+        let mut cache = ForwardCache::with_defaults();
+        let a = cache.probs(&net, &[0.1, 0.2]);
+        let b = cache.probs(&net, &[0.1, 0.2 + 1e-15]);
+        assert_eq!(cache.stats().misses, 2, "distinct bit patterns both miss");
+        assert_ne!(a[0].to_bits(), b[0].to_bits());
+    }
+
+    #[test]
+    fn clear_forces_recompute() {
+        let net = PolicyNet::new(2, 6, 2, &mut StdRng::seed_from_u64(4));
+        let mut cache = ForwardCache::with_defaults();
+        cache.probs(&net, &[1.0, 2.0]);
+        cache.clear();
+        cache.probs(&net, &[1.0, 2.0]);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+}

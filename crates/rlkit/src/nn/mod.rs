@@ -2,10 +2,12 @@
 
 mod batchnorm;
 mod dense;
+mod forward_cache;
 mod policy;
 mod value;
 
 pub use batchnorm::BatchNorm;
 pub use dense::Dense;
+pub use forward_cache::ForwardCache;
 pub use policy::{argmax, sample_categorical, PolicyNet};
 pub use value::ValueNet;

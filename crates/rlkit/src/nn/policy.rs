@@ -57,6 +57,31 @@ impl PolicyNet {
         (&mut self.l1, &mut self.bn, &mut self.l2)
     }
 
+    /// A 64-bit fingerprint of all inference-relevant parameters (weights,
+    /// biases, batch-norm scale/shift and running statistics), folded from
+    /// their exact bit patterns. Two networks with equal fingerprints are
+    /// overwhelmingly likely to be inference-identical; the whole-window
+    /// memoization layer uses this as the "same policy" component of its
+    /// tokens (collisions cost cache correctness there, but at 64 bits and
+    /// a handful of live policies the risk is negligible and documented in
+    /// DESIGN.md §14).
+    pub fn weight_fingerprint(&self) -> u64 {
+        let mut h = trajcache::fnv1a(b"policy-net");
+        for part in [
+            &self.l1.w.w,
+            &self.l1.b.w,
+            &self.bn.gamma.w,
+            &self.bn.beta.w,
+            &self.bn.running_mean,
+            &self.bn.running_var,
+            &self.l2.w.w,
+            &self.l2.b.w,
+        ] {
+            h = trajcache::mix64(h, trajcache::fingerprint_f64s(part));
+        }
+        h
+    }
+
     /// Action probabilities for a state (inference mode; running batch-norm
     /// statistics are not updated, so `&self` — rollout workers share one
     /// network across threads).

@@ -1,0 +1,713 @@
+//! The generic keyed cache with pluggable eviction.
+
+use crate::stats::StatsPublisher;
+use crate::{CacheStats, MemSize};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+
+const NIL: u32 = u32::MAX;
+
+/// Flat per-entry overhead charged on top of [`MemSize`] estimates: hash
+/// map slot, slab bookkeeping, and the duplicated key (the index map and
+/// the eviction slab each own a copy).
+const ENTRY_OVERHEAD: usize = 64;
+
+/// Default TTL (in logical clock units) for `"tlru"` parsed without an
+/// explicit `:<ttl>` suffix.
+pub const DEFAULT_TLRU_TTL: u64 = 256;
+
+/// How a full cache chooses victims.
+///
+/// All policies respect the same entry and byte bounds; they differ only in
+/// *which* resident entry goes first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictPolicy {
+    /// Least-recently-used: one recency list, evict from the cold end.
+    Lru,
+    /// Time-aware LRU: LRU order plus a per-entry time-to-live in logical
+    /// clock units (see [`Cache::advance_to`]); expired entries are dropped
+    /// on access and count as evictions.
+    Tlru {
+        /// Lifetime of an entry, in logical clock units, from its insert.
+        ttl: u64,
+    },
+    /// Simplified adaptive replacement (ARC): a recency list T1 and a
+    /// frequency list T2, with ghost lists of recently evicted key
+    /// fingerprints steering the adaptive split between them. Re-inserting
+    /// a key that B1 remembers grows the recency side; one that B2
+    /// remembers grows the frequency side.
+    Arc,
+}
+
+/// Error returned when parsing an [`EvictPolicy`] from a CLI string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError(String);
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown cache policy {:?} (expected lru, tlru[:<ttl>], or arc)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+impl FromStr for EvictPolicy {
+    type Err = PolicyParseError;
+
+    /// Parses `"lru"`, `"arc"`, `"tlru"` (TTL [`DEFAULT_TLRU_TTL`]), or
+    /// `"tlru:<ttl>"`.
+    ///
+    /// ```
+    /// use trajcache::EvictPolicy;
+    /// assert_eq!("tlru:50".parse(), Ok(EvictPolicy::Tlru { ttl: 50 }));
+    /// assert_eq!("arc".parse(), Ok(EvictPolicy::Arc));
+    /// assert!("mru".parse::<EvictPolicy>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "lru" => Ok(EvictPolicy::Lru),
+            "arc" => Ok(EvictPolicy::Arc),
+            "tlru" => Ok(EvictPolicy::Tlru {
+                ttl: DEFAULT_TLRU_TTL,
+            }),
+            other => match other.strip_prefix("tlru:").and_then(|t| t.parse().ok()) {
+                Some(ttl) => Ok(EvictPolicy::Tlru { ttl }),
+                None => Err(PolicyParseError(other.to_string())),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EvictPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvictPolicy::Lru => f.write_str("lru"),
+            EvictPolicy::Tlru { ttl } => write!(f, "tlru:{ttl}"),
+            EvictPolicy::Arc => f.write_str("arc"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    bytes: usize,
+    prev: u32,
+    next: u32,
+    /// Logical instant at which the entry expires (`u64::MAX` = never).
+    expires: u64,
+    /// Which recency list holds the slot (0 = LRU/T1, 1 = ARC T2).
+    list: u8,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ListHeads {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+/// A bounded FIFO of evicted-key fingerprints (an ARC ghost list).
+#[derive(Debug, Clone, Default)]
+struct Ghost {
+    order: VecDeque<u64>,
+    members: HashMap<u64, u32>,
+}
+
+impl Ghost {
+    fn push(&mut self, fp: u64, cap: usize) {
+        self.order.push_back(fp);
+        *self.members.entry(fp).or_insert(0) += 1;
+        while self.order.len() > cap {
+            let old = self.order.pop_front().expect("non-empty ghost");
+            match self.members.get_mut(&old) {
+                Some(c) if *c > 1 => *c -= 1,
+                _ => {
+                    self.members.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, fp: u64) -> bool {
+        match self.members.get_mut(&fp) {
+            Some(c) => {
+                if *c > 1 {
+                    *c -= 1;
+                } else {
+                    self.members.remove(&fp);
+                }
+                if let Some(pos) = self.order.iter().rposition(|&x| x == fp) {
+                    self.order.remove(pos);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// A bounded keyed cache with pluggable eviction and approximate byte
+/// accounting. See the [crate docs](crate) for the caching contract.
+///
+/// Lookups compare full keys with `Eq` — fingerprints and hashes only ever
+/// steer *efficiency* (ARC adaptation), never correctness.
+///
+/// ```
+/// use trajcache::{Cache, EvictPolicy};
+///
+/// // A TLRU cache over a logical clock: entries live 10 clock units.
+/// let mut c: Cache<(u64, u32), Vec<f64>> =
+///     Cache::new(EvictPolicy::Tlru { ttl: 10 }, 128, 64 * 1024);
+/// c.insert((7, 0), vec![1.0, 2.0]);
+/// assert!(c.get(&(7, 0)).is_some());
+/// c.advance_to(10); // entry inserted at t=0 is now expired
+/// assert!(c.get(&(7, 0)).is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache<K, V> {
+    policy: EvictPolicy,
+    max_entries: usize,
+    max_bytes: usize,
+    map: HashMap<K, u32>,
+    slab: Vec<Option<Slot<K, V>>>,
+    free: Vec<u32>,
+    lists: [ListHeads; 2],
+    ghosts: [Ghost; 2],
+    /// ARC adaptation target: how many entries the recency side T1 should
+    /// hold before eviction prefers it.
+    p: usize,
+    now: u64,
+    bytes: usize,
+    stats: CacheStats,
+    publisher: Option<StatsPublisher>,
+}
+
+impl<K, V> Cache<K, V>
+where
+    K: std::hash::Hash + Eq + Clone + MemSize,
+    V: Clone + MemSize,
+{
+    /// Creates a cache bounded by `max_entries` entries *and* `max_bytes`
+    /// approximate resident bytes; eviction runs while either bound is
+    /// exceeded.
+    pub fn new(policy: EvictPolicy, max_entries: usize, max_bytes: usize) -> Self {
+        Cache {
+            policy,
+            max_entries,
+            max_bytes,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            lists: [ListHeads::default(); 2],
+            ghosts: [Ghost::default(), Ghost::default()],
+            p: 0,
+            now: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+            publisher: None,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate resident bytes (keys + values + per-entry overhead).
+    pub fn resident_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// A snapshot of the cache's statistics.
+    pub fn stats(&self) -> CacheStats {
+        let mut s = self.stats;
+        s.resident_bytes = self.bytes as u64;
+        s.resident_entries = self.map.len() as u64;
+        s
+    }
+
+    /// Advances the logical clock (monotonic; earlier instants are ignored).
+    /// TTLs under [`EvictPolicy::Tlru`] are measured against this clock —
+    /// never wall time — so expiry is reproducible run to run.
+    pub fn advance_to(&mut self, t: u64) {
+        self.now = self.now.max(t);
+    }
+
+    /// Looks a key up, returning a clone of the cached value on a hit.
+    /// Updates recency (and, for TLRU, drops the entry instead if its TTL
+    /// has lapsed).
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let Some(&idx) = self.map.get(key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        let expired = self.slot(idx).expires <= self.now;
+        if expired {
+            self.remove_entry(idx);
+            self.stats.evictions += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.stats.hits += 1;
+        self.touch(idx);
+        Some(self.slot(idx).value.clone())
+    }
+
+    /// Inserts (or overwrites) an entry, then evicts until both bounds
+    /// hold. Under [`EvictPolicy::Arc`], a key remembered by a ghost list
+    /// adapts the recency/frequency split before insertion.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.stats.inserts += 1;
+        let entry_bytes = key.approx_bytes() * 2 + value.approx_bytes() + ENTRY_OVERHEAD;
+        let expires = match self.policy {
+            EvictPolicy::Tlru { ttl } => self.now.saturating_add(ttl),
+            _ => u64::MAX,
+        };
+        if let Some(&idx) = self.map.get(&key) {
+            let slot = self.slab[idx as usize].as_mut().expect("mapped slot live");
+            self.bytes = self.bytes - slot.bytes + entry_bytes;
+            slot.value = value;
+            slot.bytes = entry_bytes;
+            slot.expires = expires;
+            self.touch(idx);
+            self.enforce_bounds();
+            return;
+        }
+        let list = match self.policy {
+            EvictPolicy::Arc => {
+                let fp = self.key_fingerprint(&key);
+                if self.ghosts[0].remove(fp) {
+                    let delta = (self.ghosts[1].len() / self.ghosts[0].len().max(1)).max(1);
+                    self.p = (self.p + delta).min(self.adapt_capacity());
+                    1
+                } else if self.ghosts[1].remove(fp) {
+                    let delta = (self.ghosts[0].len() / self.ghosts[1].len().max(1)).max(1);
+                    self.p = self.p.saturating_sub(delta);
+                    1
+                } else {
+                    0
+                }
+            }
+            _ => 0,
+        };
+        let slot = Slot {
+            key: key.clone(),
+            value,
+            bytes: entry_bytes,
+            prev: NIL,
+            next: NIL,
+            expires,
+            list,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(slot);
+                i
+            }
+            None => {
+                self.slab.push(Some(slot));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.push_front(list, idx);
+        self.map.insert(key, idx);
+        self.bytes += entry_bytes;
+        self.enforce_bounds();
+    }
+
+    /// Returns the cached value for `key`, computing and caching it via
+    /// `compute` on a miss.
+    ///
+    /// ```
+    /// use trajcache::{Cache, EvictPolicy};
+    /// let mut c: Cache<u32, u64> = Cache::new(EvictPolicy::Lru, 8, 4096);
+    /// let v = c.get_or_insert_with(&3, || 9);
+    /// assert_eq!(v, 9);
+    /// assert_eq!(c.get_or_insert_with(&3, || unreachable!()), 9);
+    /// ```
+    pub fn get_or_insert_with(&mut self, key: &K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.get(key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key.clone(), v.clone());
+        v
+    }
+
+    /// Drops every entry (ghost lists and the adaptation target included).
+    /// Lookup/eviction counters keep accumulating across the clear.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.lists = [ListHeads::default(); 2];
+        self.ghosts = [Ghost::default(), Ghost::default()];
+        self.p = 0;
+        self.bytes = 0;
+    }
+
+    /// Publishes this cache's stats into the `cache.*` obskit family,
+    /// labelled `cache=<name>`. Delta-based: safe to call every tick. The
+    /// name passed on the first call binds the instrument handles.
+    pub fn publish(&mut self, name: &str) {
+        let stats = self.stats();
+        self.publisher
+            .get_or_insert_with(|| StatsPublisher::new(name))
+            .publish(&stats);
+    }
+
+    fn slot(&self, idx: u32) -> &Slot<K, V> {
+        self.slab[idx as usize].as_ref().expect("slot live")
+    }
+
+    fn key_fingerprint(&self, key: &K) -> u64 {
+        use std::hash::{BuildHasher, RandomState};
+        use std::sync::OnceLock;
+        // One process-wide seed so a key keeps the same fingerprint across
+        // caches; determinism is irrelevant here (fingerprints only steer
+        // ARC adaptation).
+        static STATE: OnceLock<RandomState> = OnceLock::new();
+        STATE.get_or_init(RandomState::new).hash_one(key)
+    }
+
+    /// The entry capacity ARC adapts against.
+    fn adapt_capacity(&self) -> usize {
+        if self.max_entries == usize::MAX {
+            (self.map.len() * 2).clamp(16, 65_536)
+        } else {
+            self.max_entries
+        }
+    }
+
+    fn touch(&mut self, idx: u32) {
+        let target = match self.policy {
+            // A hit under ARC promotes the entry to the frequency list.
+            EvictPolicy::Arc => 1,
+            _ => 0,
+        };
+        self.detach(idx);
+        if let Some(slot) = self.slab[idx as usize].as_mut() {
+            slot.list = target;
+        }
+        self.push_front(target, idx);
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next, list) = {
+            let s = self.slot(idx);
+            (s.prev, s.next, s.list as usize)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].as_mut().expect("live").next = next;
+        } else {
+            self.lists[list].head = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].as_mut().expect("live").prev = prev;
+        } else {
+            self.lists[list].tail = prev;
+        }
+        self.lists[list].len -= 1;
+        if self.lists[list].len == 0 {
+            self.lists[list].head = NIL;
+            self.lists[list].tail = NIL;
+        }
+    }
+
+    fn push_front(&mut self, list: u8, idx: u32) {
+        let l = list as usize;
+        let old_head = if self.lists[l].len == 0 {
+            NIL
+        } else {
+            self.lists[l].head
+        };
+        {
+            let s = self.slab[idx as usize].as_mut().expect("live");
+            s.prev = NIL;
+            s.next = old_head;
+            s.list = list;
+        }
+        if old_head != NIL {
+            self.slab[old_head as usize].as_mut().expect("live").prev = idx;
+        } else {
+            self.lists[l].tail = idx;
+        }
+        self.lists[l].head = idx;
+        self.lists[l].len += 1;
+    }
+
+    /// Unlinks an entry and frees its slot (no eviction accounting).
+    fn remove_entry(&mut self, idx: u32) {
+        self.detach(idx);
+        let slot = self.slab[idx as usize].take().expect("slot live");
+        self.bytes -= slot.bytes;
+        self.map.remove(&slot.key);
+        self.free.push(idx);
+    }
+
+    fn enforce_bounds(&mut self) {
+        while self.map.len() > self.max_entries || self.bytes > self.max_bytes {
+            if !self.evict_one() {
+                break;
+            }
+        }
+    }
+
+    /// Evicts one entry per the policy. Returns `false` if nothing is left.
+    fn evict_one(&mut self) -> bool {
+        let victim = match self.policy {
+            EvictPolicy::Lru | EvictPolicy::Tlru { .. } => self.lists[0].tail,
+            EvictPolicy::Arc => {
+                // Prefer the recency side while it exceeds its adaptive
+                // target `p`; fall back to whichever list is non-empty.
+                let prefer_t1 = self.lists[0].len > self.p.min(self.adapt_capacity());
+                if prefer_t1 && self.lists[0].tail != NIL {
+                    self.lists[0].tail
+                } else if self.lists[1].tail != NIL {
+                    self.lists[1].tail
+                } else {
+                    self.lists[0].tail
+                }
+            }
+        };
+        if victim == NIL {
+            return false;
+        }
+        if self.policy == EvictPolicy::Arc {
+            let (fp, list) = {
+                let s = self.slot(victim);
+                (self.key_fingerprint(&s.key), s.list as usize)
+            };
+            let cap = self.adapt_capacity();
+            self.ghosts[list].push(fp, cap);
+        }
+        self.remove_entry(victim);
+        self.stats.evictions += 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lru(cap: usize) -> Cache<u64, u64> {
+        Cache::new(EvictPolicy::Lru, cap, usize::MAX)
+    }
+
+    #[test]
+    fn lru_respects_capacity_and_order() {
+        let mut c = lru(3);
+        for k in 0..3 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.get(&0), Some(0)); // refresh 0
+        c.insert(3, 30); // evicts 1 (coldest)
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&0), Some(0));
+        assert_eq!(c.get(&2), Some(20));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_byte_bound_evicts() {
+        // Each (u64, u64) entry costs 2*8 + 8 + 64 = 88 bytes.
+        let mut c: Cache<u64, u64> = Cache::new(EvictPolicy::Lru, usize::MAX, 200);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 2, "two entries fit in 200 bytes");
+        c.insert(3, 3);
+        assert_eq!(c.len(), 2, "third entry must push one out");
+        assert_eq!(c.get(&1), None, "the coldest entry went first");
+        assert!(c.resident_bytes() <= 200);
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut c = lru(4);
+        c.insert(5, 50);
+        c.insert(5, 55);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&5), Some(55));
+        assert_eq!(c.stats().inserts, 2);
+    }
+
+    #[test]
+    fn tlru_expires_on_logical_clock() {
+        let mut c: Cache<u64, u64> = Cache::new(EvictPolicy::Tlru { ttl: 5 }, 16, usize::MAX);
+        c.insert(1, 10);
+        c.advance_to(4);
+        assert_eq!(c.get(&1), Some(10), "alive one unit before the TTL");
+        c.advance_to(5);
+        assert_eq!(c.get(&1), None, "expired exactly at insert + ttl");
+        assert_eq!(c.stats().evictions, 1);
+        // Re-insert restarts the clock from now.
+        c.insert(1, 11);
+        c.advance_to(9);
+        assert_eq!(c.get(&1), Some(11));
+        c.advance_to(10);
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn tlru_clock_is_monotonic() {
+        let mut c: Cache<u64, u64> = Cache::new(EvictPolicy::Tlru { ttl: 3 }, 16, usize::MAX);
+        c.advance_to(10);
+        c.advance_to(2); // ignored: the clock never rewinds
+        c.insert(1, 1);
+        c.advance_to(12);
+        assert_eq!(c.get(&1), Some(1));
+    }
+
+    #[test]
+    fn arc_promotes_repeated_keys_over_scan() {
+        // A small frequent working set must survive a long one-shot scan —
+        // the pattern plain LRU fails.
+        let mut c: Cache<u64, u64> = Cache::new(EvictPolicy::Arc, 8, usize::MAX);
+        for round in 0..4 {
+            for k in 0..4 {
+                if round == 0 {
+                    c.insert(k, k);
+                } else {
+                    assert!(c.get(&k).is_some() || round == 1, "warm key {k} lost");
+                    c.insert(k, k);
+                }
+            }
+        }
+        // Scan 100 cold keys through the cache.
+        for k in 100..200 {
+            c.insert(k, k);
+        }
+        let survivors = (0..4).filter(|k| c.get(k).is_some()).count();
+        assert!(
+            survivors >= 2,
+            "frequency list must shield the hot set from the scan ({survivors}/4 survived)"
+        );
+    }
+
+    #[test]
+    fn arc_ghost_hit_adapts_target() {
+        let mut c: Cache<u64, u64> = Cache::new(EvictPolicy::Arc, 4, usize::MAX);
+        // Fill T1, force evictions into the B1 ghost.
+        for k in 0..8 {
+            c.insert(k, k);
+        }
+        assert_eq!(c.len(), 4);
+        let p_before = c.p;
+        // Re-inserting a ghosted key signals "recency side too small".
+        c.insert(0, 0);
+        assert!(
+            c.p >= p_before,
+            "B1 ghost hit must not shrink p ({} -> {})",
+            p_before,
+            c.p
+        );
+        assert!(c.p > 0, "ghost hit must grow the adaptation target");
+    }
+
+    #[test]
+    fn arc_capacity_still_bounds() {
+        let mut c: Cache<u64, u64> = Cache::new(EvictPolicy::Arc, 4, usize::MAX);
+        for k in 0..100 {
+            c.insert(k, k);
+            // Touch half the keys to populate T2 as well.
+            if k % 2 == 0 {
+                c.get(&k);
+            }
+        }
+        assert!(c.len() <= 4);
+        assert!(c.stats().evictions >= 96);
+    }
+
+    #[test]
+    fn get_or_insert_with_computes_once() {
+        let mut c = lru(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = c.get_or_insert_with(&9, || {
+                calls += 1;
+                81
+            });
+            assert_eq!(v, 81);
+        }
+        assert_eq!(calls, 1);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let mut c = lru(4);
+        c.insert(1, 1);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.resident_bytes(), 0);
+        assert_eq!(c.stats().hits, 1);
+        c.insert(2, 2);
+        assert_eq!(c.get(&2), Some(2));
+    }
+
+    #[test]
+    fn publish_exports_cache_family() {
+        let mut c = lru(4);
+        c.insert(1, 1);
+        c.get(&1);
+        c.get(&2);
+        c.publish("unit-test");
+        c.publish("unit-test"); // delta publish must not double-count
+        let snap = obskit::global().snapshot();
+        let labels = [("cache", "unit-test")];
+        let hit = snap.get(&obskit::MetricId::with_labels("cache.lookup.hit", &labels));
+        match hit.map(|s| &s.value) {
+            Some(obskit::Value::Counter(v)) => assert_eq!(*v, 1),
+            other => panic!("cache.lookup.hit missing: {other:?}"),
+        }
+        let miss = snap.get(&obskit::MetricId::with_labels("cache.lookup.miss", &labels));
+        match miss.map(|s| &s.value) {
+            Some(obskit::Value::Counter(v)) => assert_eq!(*v, 1),
+            other => panic!("cache.lookup.miss missing: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_roundtrips_through_display_and_parse() {
+        for p in [
+            EvictPolicy::Lru,
+            EvictPolicy::Tlru { ttl: 17 },
+            EvictPolicy::Arc,
+        ] {
+            assert_eq!(p.to_string().parse(), Ok(p));
+        }
+    }
+
+    #[test]
+    fn vec_keys_and_values_account_bytes() {
+        let mut c: Cache<Vec<u64>, Vec<f64>> = Cache::new(EvictPolicy::Lru, 8, usize::MAX);
+        c.insert(vec![1, 2, 3], vec![0.5; 10]);
+        let expect = (std::mem::size_of::<Vec<u64>>() + 24) * 2
+            + std::mem::size_of::<Vec<f64>>()
+            + 80
+            + ENTRY_OVERHEAD;
+        assert_eq!(c.resident_bytes(), expect);
+        assert_eq!(c.get(&vec![1, 2, 3]), Some(vec![0.5; 10]));
+    }
+}

@@ -1,0 +1,229 @@
+//! Keyed memoization caches for the RLTS hot paths.
+//!
+//! The workspace recomputes three families of pure functions over and over:
+//! segment error statistics for heavily overlapping anchor ranges
+//! (`trajectory::ErrorBook`), policy-network forward passes for repeated
+//! state patterns (`rlkit`), and whole window simplifications for sessions
+//! streaming the same routes (`trajserve`). This crate provides the one
+//! mechanism all three share: a generic keyed [`Cache`] with pluggable
+//! eviction ([`EvictPolicy`]), approximate per-entry memory accounting
+//! ([`MemSize`]), entry/byte bounds, and a per-cache stats block
+//! ([`CacheStats`]) that [`Cache::publish`] exports through `obskit` as the
+//! `cache.*` metric family (DESIGN.md §14).
+//!
+//! # The caching contract
+//!
+//! Every value stored here must be a **pure function of its key contents**:
+//! a hit returns bit-for-bit what a recompute would have produced, so
+//! enabling a cache can never change an output — only how fast it arrives.
+//! Keys therefore embed everything the computation depends on (exact
+//! `f64::to_bits` patterns, config fingerprints, generation counters), and
+//! owners invalidate by *changing the key* (bumping a generation), never by
+//! mutating values in place.
+//!
+//! Time is **logical**: TTLs count caller-driven clock units fed through
+//! [`Cache::advance_to`], never wall time, so cache behaviour is
+//! reproducible run to run.
+//!
+//! # Example
+//!
+//! ```
+//! use trajcache::{Cache, EvictPolicy};
+//!
+//! let mut c: Cache<u64, f64> = Cache::new(EvictPolicy::Lru, 2, 1 << 16);
+//! c.insert(1, 1.5);
+//! c.insert(2, 2.5);
+//! assert_eq!(c.get(&1), Some(1.5)); // 1 is now most-recently used
+//! c.insert(3, 3.5);                 // evicts 2, the LRU entry
+//! assert_eq!(c.get(&2), None);
+//! assert_eq!(c.stats().hits, 1);
+//! assert_eq!(c.stats().evictions, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod stats;
+
+pub use cache::{Cache, EvictPolicy, PolicyParseError};
+pub use stats::{CacheStats, StatsPublisher};
+
+/// Approximate heap + inline footprint of a value, in bytes.
+///
+/// The estimate feeds the cache's byte bound and the `cache.bytes.resident`
+/// gauge. It is deliberately cheap and approximate: fixed-size values report
+/// `size_of::<Self>()`, containers add their element footprints. Allocator
+/// slack and hash-table overhead are covered by a flat per-entry constant
+/// inside [`Cache`], not here.
+///
+/// ```
+/// use trajcache::MemSize;
+///
+/// assert_eq!(3.5f64.approx_bytes(), 8);
+/// let v = vec![1u64, 2, 3];
+/// assert_eq!(v.approx_bytes(), std::mem::size_of::<Vec<u64>>() + 24);
+/// ```
+pub trait MemSize {
+    /// Approximate number of bytes this value keeps resident.
+    fn approx_bytes(&self) -> usize;
+}
+
+macro_rules! memsize_fixed {
+    ($($t:ty),* $(,)?) => {$(
+        impl MemSize for $t {
+            fn approx_bytes(&self) -> usize {
+                std::mem::size_of::<Self>()
+            }
+        }
+    )*};
+}
+
+memsize_fixed!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
+
+impl<T: MemSize> MemSize for Vec<T> {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.iter().map(MemSize::approx_bytes).sum::<usize>()
+    }
+}
+
+impl<T: MemSize, const N: usize> MemSize for [T; N] {
+    fn approx_bytes(&self) -> usize {
+        self.iter().map(MemSize::approx_bytes).sum()
+    }
+}
+
+impl<T: MemSize> MemSize for Option<T> {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.as_ref().map_or(0, |v| v.approx_bytes())
+    }
+}
+
+impl MemSize for String {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.len()
+    }
+}
+
+impl<A: MemSize, B: MemSize> MemSize for (A, B) {
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes() + self.1.approx_bytes()
+    }
+}
+
+impl<A: MemSize, B: MemSize, C: MemSize> MemSize for (A, B, C) {
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes() + self.1.approx_bytes() + self.2.approx_bytes()
+    }
+}
+
+impl<A: MemSize, B: MemSize, C: MemSize, D: MemSize> MemSize for (A, B, C, D) {
+    fn approx_bytes(&self) -> usize {
+        self.0.approx_bytes()
+            + self.1.approx_bytes()
+            + self.2.approx_bytes()
+            + self.3.approx_bytes()
+    }
+}
+
+/// FNV-1a over a byte slice: the zero-dependency fingerprint used for cache
+/// tokens (algorithm identities, ARC ghost keys).
+///
+/// Not cryptographic — collisions only cost cache efficiency, never
+/// correctness, because [`Cache`] always compares full keys with `Eq`.
+///
+/// ```
+/// assert_ne!(trajcache::fnv1a(b"sed"), trajcache::fnv1a(b"ped"));
+/// assert_eq!(trajcache::fnv1a(b""), 0xcbf29ce484222325);
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Mixes two 64-bit fingerprints into one (splitmix64 finalizer over the
+/// xored pair) — for composing cache tokens out of parts.
+///
+/// ```
+/// let t = trajcache::mix64(trajcache::fnv1a(b"squish"), 3);
+/// assert_ne!(t, trajcache::mix64(trajcache::fnv1a(b"squish"), 4));
+/// ```
+pub fn mix64(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fingerprints a float slice by its exact IEEE-754 bit patterns.
+///
+/// Bitwise-exact on purpose: this is the "quantizer" for state-keyed caches,
+/// and anything coarser than the identity mapping would let a hit return a
+/// value computed from a *different* state, breaking the byte-identical
+/// cache-on/cache-off contract (DESIGN.md §14).
+///
+/// ```
+/// let a = trajcache::fingerprint_f64s(&[0.1, 0.2]);
+/// let b = trajcache::fingerprint_f64s(&[0.1, 0.2000000001]);
+/// assert_ne!(a, b);
+/// ```
+pub fn fingerprint_f64s(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memsize_covers_compound_shapes() {
+        assert_eq!((1u32, 2u64).approx_bytes(), 12);
+        assert_eq!([1.0f64; 4].approx_bytes(), 32);
+        assert_eq!(Option::<u64>::None.approx_bytes(), 16);
+        let s = String::from("abc");
+        assert_eq!(s.approx_bytes(), std::mem::size_of::<String>() + 3);
+        let nested: Vec<Vec<u8>> = vec![vec![0; 10]];
+        assert_eq!(
+            nested.approx_bytes(),
+            2 * std::mem::size_of::<Vec<u8>>() + 10
+        );
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        assert_eq!(fnv1a(b"rlts"), fnv1a(b"rlts"));
+        assert_ne!(fingerprint_f64s(&[1.0]), fingerprint_f64s(&[-1.0]));
+        assert_ne!(fingerprint_f64s(&[0.0]), fingerprint_f64s(&[-0.0]));
+        assert_eq!(mix64(7, 9), mix64(7, 9));
+        assert_ne!(mix64(7, 9), mix64(9, 7));
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-cache statistics and their `cache.*` telemetry export.
+
+use obskit::{Counter, Gauge};
+use std::sync::Arc;
+
+/// Counters and gauges for one cache, kept as plain fields so the lookup
+/// hot path never touches an atomic. [`crate::Cache::publish`] pushes the
+/// deltas since the previous publish into the `cache.*` obskit family.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live (non-expired) entry.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Entries removed to satisfy the entry/byte bounds or a TTL expiry.
+    pub evictions: u64,
+    /// Entries written (including overwrites of an existing key).
+    pub inserts: u64,
+    /// Approximate bytes currently resident (keys + values + overhead).
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub resident_entries: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction `hits / (hits + misses)`; `0.0` before any lookup.
+    ///
+    /// ```
+    /// use trajcache::{Cache, EvictPolicy};
+    /// let mut c: Cache<u32, u32> = Cache::new(EvictPolicy::Lru, 8, 1 << 12);
+    /// c.insert(1, 10);
+    /// c.get(&1);
+    /// c.get(&2);
+    /// assert_eq!(c.stats().hit_rate(), 0.5);
+    /// ```
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another stats block into this one (gauge-like fields add too:
+    /// aggregate resident figures across a set of caches).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.inserts += other.inserts;
+        self.resident_bytes += other.resident_bytes;
+        self.resident_entries += other.resident_entries;
+    }
+}
+
+/// Resolved `cache.*` instrument handles for one named cache, plus the
+/// counter values already published (publishing is delta-based so repeated
+/// publishes never double-count).
+///
+/// [`crate::Cache::publish`] uses one internally; hold a `StatsPublisher`
+/// directly to export an *aggregate* over several caches under one name
+/// (e.g. a service summing per-shard caches into one `cache.*` row):
+///
+/// ```
+/// use trajcache::{Cache, CacheStats, EvictPolicy, StatsPublisher};
+/// let mut a: Cache<u32, u32> = Cache::new(EvictPolicy::Lru, 8, 1 << 12);
+/// let mut b: Cache<u32, u32> = Cache::new(EvictPolicy::Lru, 8, 1 << 12);
+/// a.insert(1, 10);
+/// b.get(&1);
+/// let mut total = CacheStats::default();
+/// total.absorb(&a.stats());
+/// total.absorb(&b.stats());
+/// StatsPublisher::new("doc-aggregate").publish(&total);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StatsPublisher {
+    hit: Arc<Counter>,
+    miss: Arc<Counter>,
+    evicted: Arc<Counter>,
+    bytes: Arc<Gauge>,
+    entries: Arc<Gauge>,
+    last: CacheStats,
+}
+
+impl StatsPublisher {
+    /// Resolves the `cache.*` instruments for the cache named `name` (the
+    /// value of the `cache` label on every exported row).
+    pub fn new(name: &str) -> Self {
+        let labels = [("cache", name)];
+        let reg = obskit::global();
+        StatsPublisher {
+            hit: reg.counter_with("cache.lookup.hit", &labels),
+            miss: reg.counter_with("cache.lookup.miss", &labels),
+            evicted: reg.counter_with("cache.entries.evicted", &labels),
+            bytes: reg.gauge_with("cache.bytes.resident", &labels),
+            entries: reg.gauge_with("cache.entries.resident", &labels),
+            last: CacheStats::default(),
+        }
+    }
+
+    /// Pushes the counter deltas since the previous publish and the current
+    /// resident gauges. Counter fields are expected to be monotone between
+    /// calls; a regression (e.g. an aggregate that dropped a retired cache)
+    /// publishes a zero delta rather than double-counting or panicking.
+    pub fn publish(&mut self, stats: &CacheStats) {
+        self.hit.add(stats.hits.saturating_sub(self.last.hits));
+        self.miss.add(stats.misses.saturating_sub(self.last.misses));
+        self.evicted
+            .add(stats.evictions.saturating_sub(self.last.evictions));
+        self.bytes.set(stats.resident_bytes as f64);
+        self.entries.set(stats.resident_entries as f64);
+        self.last = *stats;
+    }
+}

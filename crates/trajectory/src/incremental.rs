@@ -14,6 +14,7 @@
 //! queries.
 
 use crate::error::{Aggregation, Measure, RangeStats, TrajView};
+use crate::memo::{RangeBinding, SharedRangeMemo};
 use crate::point::Point;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -87,6 +88,11 @@ pub struct ErrorBook {
     first: u32,
     last: u32,
     kept_count: usize,
+    /// Optional binding into a shared [`RangeMemo`](crate::memo::RangeMemo);
+    /// when set, `merge_cost` and `set_segment` consult the memo before
+    /// scanning. Cached values are pure functions of their keys, so results
+    /// are bit-identical with or without the binding.
+    memo: Option<RangeBinding>,
 }
 
 impl ErrorBook {
@@ -114,6 +120,7 @@ impl ErrorBook {
             first: 0,
             last: upto as u32,
             kept_count: upto + 1,
+            memo: None,
         };
         for i in 0..upto {
             book.next[i] = (i + 1) as u32;
@@ -134,6 +141,29 @@ impl ErrorBook {
     /// The error measure this book maintains.
     pub fn measure(&self) -> Measure {
         self.measure
+    }
+
+    /// Binds this book (under a fresh trajectory id) into a shared
+    /// [`RangeMemo`](crate::memo::RangeMemo) so range scans memoize across
+    /// `merge_cost` previews and `drop`/`append` commits.
+    pub fn enable_memo(&mut self, shared: &SharedRangeMemo) {
+        self.memo = Some(RangeBinding::new(shared, self.measure));
+    }
+
+    /// Like [`ErrorBook::enable_memo`] but under an explicit trajectory id
+    /// (see [`RangeMemo::alloc_traj_id`](crate::memo::RangeMemo::alloc_traj_id)),
+    /// so books over the same immutable point data share cached ranges.
+    pub fn enable_memo_keyed(&mut self, shared: &SharedRangeMemo, traj: u64) {
+        self.memo = Some(RangeBinding::with_traj(shared, self.measure, traj));
+    }
+
+    /// Invalidates this book's cached ranges (generation bump). Required
+    /// only if a trajectory id from [`ErrorBook::enable_memo_keyed`] is
+    /// being re-bound to different point data.
+    pub fn bump_memo_generation(&mut self) {
+        if let Some(b) = &mut self.memo {
+            b.bump_generation();
+        }
     }
 
     /// The original points.
@@ -253,7 +283,18 @@ impl ErrorBook {
             p != NONE && n != NONE,
             "no merge cost for boundary or non-kept index {j}"
         );
-        TrajView::anchor(&self.pts, p as usize, n as usize).max_error_for(self.measure)
+        let (p, n) = (p as usize, n as usize);
+        match &self.memo {
+            // Compute full stats on a miss so the commit-time `set_segment`
+            // over the same range is a guaranteed hit.
+            Some(b) => {
+                b.stats_for(p, n, || {
+                    TrajView::anchor(&self.pts, p, n).error_stats_for(self.measure)
+                })
+                .max
+            }
+            None => TrajView::anchor(&self.pts, p, n).max_error_for(self.measure),
+        }
     }
 
     /// Max error of the currently kept segment starting at kept index `s`.
@@ -266,7 +307,12 @@ impl ErrorBook {
         let stats = if e == s + 1 && !self.measure.segment_based() {
             RangeStats::default() // adjacent points introduce no positional error
         } else {
-            TrajView::anchor(&self.pts, s, e).error_stats_for(self.measure)
+            match &self.memo {
+                Some(b) => b.stats_for(s, e, || {
+                    TrajView::anchor(&self.pts, s, e).error_stats_for(self.measure)
+                }),
+                None => TrajView::anchor(&self.pts, s, e).error_stats_for(self.measure),
+            }
         };
         self.seg_max[s] = stats.max;
         self.seg_sum[s] = stats.sum;

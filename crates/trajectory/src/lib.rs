@@ -11,6 +11,8 @@
 //!   whole-trajectory error under the anchor-segment semantics;
 //! * [`ErrorBook`] — incremental error maintenance for drop/append edits
 //!   (drives RL rewards and the Bottom-Up family);
+//! * [`memo`] — shared memoization of anchor-range error statistics
+//!   (DESIGN.md §14);
 //! * [`io`] — CSV and compact binary trajectory formats;
 //! * [`stats`] — dataset statistics (paper Table I).
 //!
@@ -36,6 +38,7 @@ pub mod error;
 pub mod formats;
 mod incremental;
 pub mod io;
+pub mod memo;
 mod point;
 pub mod preprocess;
 mod segment;

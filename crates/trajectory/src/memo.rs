@@ -1,0 +1,327 @@
+//! Cross-call memoization of anchor-range error statistics.
+//!
+//! [`ErrorBook`](crate::ErrorBook) recomputes [`RangeStats`] for heavily
+//! overlapping anchor ranges: the greedy Bottom-Up / RLTS-batch loop previews
+//! a merge with `merge_cost(j)` and, when it commits the drop, rescans the
+//! *same* `(prev(j), next(j))` range in `set_segment`. A [`RangeMemo`] keyed
+//! by `(trajectory id, range, measure, generation)` turns the second scan —
+//! and every re-preview of a candidate whose neighbourhood did not change —
+//! into an O(1) lookup.
+//!
+//! The contract (DESIGN.md §14): the original point sequence bound to a
+//! trajectory id is immutable, so a cached [`RangeStats`] is a pure function
+//! of its key and hits are bit-identical to recomputes. Owners that reuse an
+//! id over *different* point data must call
+//! [`RangeBinding::bump_generation`] — invalidation happens by changing the
+//! key, never by mutating cached values.
+
+use crate::error::{Measure, RangeStats};
+use std::sync::{Arc, Mutex};
+use trajcache::{Cache, CacheStats, EvictPolicy, MemSize};
+
+/// Ranges shorter than this many original-index steps are recomputed rather
+/// than memoized: below it the kernel scan is cheaper than a hash lookup
+/// (see `BENCH_kernels.json`: 8–37 ns per point vs ~100 ns per probe).
+pub const MIN_MEMO_SPAN: u32 = 4;
+
+/// Cache key for one anchor range's error statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RangeKey {
+    traj: u64,
+    generation: u64,
+    s: u32,
+    e: u32,
+    measure: u8,
+}
+
+impl MemSize for RangeKey {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+impl MemSize for RangeStats {
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+fn measure_tag(m: Measure) -> u8 {
+    match m {
+        Measure::Sed => 0,
+        Measure::Ped => 1,
+        Measure::Dad => 2,
+        Measure::Sad => 3,
+    }
+}
+
+/// A process- or environment-wide pool of memoized anchor-range statistics,
+/// shared by many [`ErrorBook`](crate::ErrorBook)s through a
+/// [`SharedRangeMemo`] handle.
+///
+/// ```
+/// use trajectory::memo::RangeMemo;
+/// use trajectory::{ErrorBook, Point};
+/// use trajectory::error::Measure;
+///
+/// let memo = RangeMemo::shared_default();
+/// let pts: Vec<Point> = (0..12)
+///     .map(|i| Point::new(i as f64, (i % 3) as f64, i as f64))
+///     .collect();
+/// let mut book = ErrorBook::with_all(pts.as_slice(), Measure::Sed);
+/// book.enable_memo(&memo);
+/// book.drop(4);
+/// book.drop(5);
+/// let preview = book.merge_cost(6); // range (3, 7): computes and caches
+/// let applied = book.drop(6);       // commits the same range: memo hit
+/// assert_eq!(preview.to_bits(), applied.to_bits());
+/// assert!(memo.lock().unwrap().stats().hits >= 1);
+/// ```
+#[derive(Debug)]
+pub struct RangeMemo {
+    cache: Cache<RangeKey, RangeStats>,
+    next_traj: u64,
+}
+
+/// Shared handle to a [`RangeMemo`]; clone freely across books and episodes.
+pub type SharedRangeMemo = Arc<Mutex<RangeMemo>>;
+
+impl RangeMemo {
+    /// Creates a memo bounded by `max_entries` entries and `max_bytes`
+    /// approximate resident bytes under the given eviction policy.
+    pub fn new(policy: EvictPolicy, max_entries: usize, max_bytes: usize) -> Self {
+        RangeMemo {
+            cache: Cache::new(policy, max_entries, max_bytes),
+            next_traj: 0,
+        }
+    }
+
+    /// A shared LRU memo with defaults sized for training workloads
+    /// (64 Ki entries, 8 MiB).
+    pub fn shared_default() -> SharedRangeMemo {
+        Arc::new(Mutex::new(RangeMemo::new(
+            EvictPolicy::Lru,
+            1 << 16,
+            8 << 20,
+        )))
+    }
+
+    /// Wraps a memo into its shared handle.
+    pub fn into_shared(self) -> SharedRangeMemo {
+        Arc::new(Mutex::new(self))
+    }
+
+    fn alloc_traj(&mut self) -> u64 {
+        let id = self.next_traj;
+        self.next_traj += 1;
+        id
+    }
+
+    /// Reserves a trajectory id for explicit sharing via
+    /// [`RangeBinding::with_traj`]. Ids from this allocator never collide
+    /// with the ones [`RangeBinding::new`] hands out internally.
+    pub fn alloc_traj_id(&mut self) -> u64 {
+        self.alloc_traj()
+    }
+
+    /// Statistics snapshot (hits, misses, evictions, resident figures).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Exports stats into the `cache.*` obskit family under `cache=<name>`.
+    pub fn publish(&mut self, name: &str) {
+        self.cache.publish(name);
+    }
+}
+
+/// One [`ErrorBook`](crate::ErrorBook)'s binding into a shared
+/// [`RangeMemo`]: a trajectory id, the measure tag, and the current
+/// invalidation generation.
+#[derive(Debug, Clone)]
+pub struct RangeBinding {
+    shared: SharedRangeMemo,
+    traj: u64,
+    generation: u64,
+    measure: u8,
+}
+
+impl RangeBinding {
+    /// Binds a fresh trajectory id in `shared` for a book maintaining
+    /// `measure`.
+    pub fn new(shared: &SharedRangeMemo, measure: Measure) -> Self {
+        let traj = shared.lock().expect("range memo poisoned").alloc_traj();
+        RangeBinding {
+            shared: Arc::clone(shared),
+            traj,
+            generation: 0,
+            measure: measure_tag(measure),
+        }
+    }
+
+    /// Binds an explicit trajectory id (allocated via
+    /// [`RangeMemo::alloc_traj_id`]) so several books over the *same*
+    /// immutable point sequence share cached ranges — the cross-episode
+    /// path of the batch training environment.
+    pub fn with_traj(shared: &SharedRangeMemo, measure: Measure, traj: u64) -> Self {
+        RangeBinding {
+            shared: Arc::clone(shared),
+            traj,
+            generation: 0,
+            measure: measure_tag(measure),
+        }
+    }
+
+    /// Invalidates every range cached under this binding by bumping the
+    /// generation component of future keys. Old entries age out via the
+    /// memo's eviction policy.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Looks up the stats of range `(s, e)`, or computes-and-caches them.
+    /// Short ranges (`e - s < `[`MIN_MEMO_SPAN`]) bypass the memo entirely.
+    pub fn stats_for(
+        &self,
+        s: usize,
+        e: usize,
+        compute: impl FnOnce() -> RangeStats,
+    ) -> RangeStats {
+        if (e - s) < MIN_MEMO_SPAN as usize {
+            return compute();
+        }
+        let key = RangeKey {
+            traj: self.traj,
+            generation: self.generation,
+            s: s as u32,
+            e: e as u32,
+            measure: self.measure,
+        };
+        let mut memo = self.shared.lock().expect("range memo poisoned");
+        memo.cache.get_or_insert_with(&key, compute)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::Aggregation;
+    use crate::{ErrorBook, Point};
+
+    /// Deterministic xorshift trajectory (same scheme as the kernel
+    /// equivalence sweeps) so this module needs no external crates.
+    fn lcg_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut t = 0.0;
+        (0..n)
+            .map(|_| {
+                t += 0.25 + next() * 2.0;
+                Point::new(next() * 20.0 - 10.0, next() * 20.0 - 10.0, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn memoized_book_is_bit_identical_over_random_edits() {
+        for seed in 1..12u64 {
+            for m in Measure::ALL {
+                let pts = lcg_points(seed ^ (measure_tag(m) as u64) << 32, 40);
+                let memo = RangeMemo::shared_default();
+                let mut plain = ErrorBook::with_prefix(pts.as_slice(), m, 8);
+                let mut cached = ErrorBook::with_prefix(pts.as_slice(), m, 8);
+                cached.enable_memo(&memo);
+                let mut state = seed | 1;
+                for _ in 0..60 {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let roll = state % 3;
+                    if roll == 0 && plain.last_index() + 1 < pts.len() {
+                        let skip = (state >> 17) as usize % 3;
+                        let i = (plain.last_index() + 1 + skip).min(pts.len() - 1);
+                        let a = plain.append(i);
+                        let b = cached.append(i);
+                        assert_eq!(a.to_bits(), b.to_bits(), "append {m}");
+                    } else {
+                        // Pick a random kept interior point, preview, drop.
+                        let kept = plain.kept_indices();
+                        if kept.len() < 3 {
+                            continue;
+                        }
+                        let j = kept[1 + (state >> 23) as usize % (kept.len() - 2)];
+                        let pa = plain.merge_cost(j);
+                        let pb = cached.merge_cost(j);
+                        assert_eq!(pa.to_bits(), pb.to_bits(), "merge_cost {m}");
+                        let a = plain.drop(j);
+                        let b = cached.drop(j);
+                        assert_eq!(a.to_bits(), b.to_bits(), "drop {m}");
+                    }
+                    for agg in [Aggregation::Max, Aggregation::Mean] {
+                        assert_eq!(
+                            plain.error(agg).to_bits(),
+                            cached.error(agg).to_bits(),
+                            "{m} {agg:?}"
+                        );
+                    }
+                }
+                let stats = memo.lock().unwrap().stats();
+                assert!(stats.hits > 0, "workload must actually hit the memo");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_bump_changes_keys() {
+        let memo = RangeMemo::shared_default();
+        let mut b = RangeBinding::new(&memo, Measure::Sed);
+        let one = RangeStats {
+            max: 1.0,
+            sum: 1.0,
+            count: 1,
+        };
+        let got = b.stats_for(0, 9, || one);
+        assert_eq!(got.max, 1.0);
+        b.bump_generation();
+        // Same range now misses: the generation is part of the key.
+        let two = b.stats_for(0, 9, || RangeStats {
+            max: 2.0,
+            sum: 2.0,
+            count: 1,
+        });
+        assert_eq!(two.max, 2.0);
+    }
+
+    #[test]
+    fn short_ranges_bypass_the_memo() {
+        let memo = RangeMemo::shared_default();
+        let b = RangeBinding::new(&memo, Measure::Sed);
+        b.stats_for(3, 5, RangeStats::default);
+        assert_eq!(memo.lock().unwrap().stats().misses, 0);
+        assert_eq!(memo.lock().unwrap().stats().inserts, 0);
+    }
+
+    #[test]
+    fn distinct_books_get_distinct_traj_ids() {
+        let memo = RangeMemo::shared_default();
+        let a = RangeBinding::new(&memo, Measure::Sed);
+        let b = RangeBinding::new(&memo, Measure::Sed);
+        let va = a.stats_for(0, 9, || RangeStats {
+            max: 1.0,
+            sum: 1.0,
+            count: 1,
+        });
+        let vb = b.stats_for(0, 9, || RangeStats {
+            max: 2.0,
+            sum: 2.0,
+            count: 1,
+        });
+        assert_eq!(va.max, 1.0);
+        assert_eq!(vb.max, 2.0, "same range under another id must not alias");
+    }
+}

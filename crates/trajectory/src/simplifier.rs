@@ -69,6 +69,30 @@ pub trait OnlineSimplifier {
     /// ascending order).
     fn finish(&mut self) -> Vec<usize>;
 
+    /// A fingerprint of everything (besides the input points and `w`) that
+    /// [`run`](OnlineSimplifier::run)'s output depends on, or `None` when no
+    /// such fingerprint exists.
+    ///
+    /// `Some(token)` is a promise that two simplifiers returning the same
+    /// token produce **bit-identical** `run` output for identical `(pts, w)`
+    /// inputs — the licence whole-window memoization (DESIGN.md §14) needs
+    /// to reuse one instance's output for another. Deterministic algorithms
+    /// hash their name and configuration; seed-consuming ones must fold the
+    /// seed in (limiting reuse to their own repeats); anything else keeps
+    /// the default `None` and is never memoized.
+    fn memo_token(&self) -> Option<u64> {
+        None
+    }
+
+    /// Statistics of any internal memoization cache the simplifier carries
+    /// (e.g. a policy forward-pass cache), or `None` when it has none.
+    ///
+    /// Purely observational: the figures feed the `cache.*` telemetry
+    /// family and never influence simplification output.
+    fn cache_stats(&self) -> Option<trajcache::CacheStats> {
+        None
+    }
+
     /// Convenience wrapper running a whole point slice through the stream
     /// interface.
     ///

@@ -83,6 +83,11 @@ pub(crate) struct Admission {
     points_this_tick: AtomicU64,
     /// Live points across all inboxes and sessions.
     buffered: AtomicI64,
+    /// Point-equivalents reserved for tenant cache quotas (DESIGN.md §14):
+    /// each tenant that ever claimed a session slot is charged its
+    /// configured cache byte budget once, so cache pressure feeds the
+    /// degrade signal alongside real buffered points.
+    cache_reserved: AtomicI64,
     /// Currently active sessions.
     active: AtomicUsize,
     /// Live (active + queued) sessions per tenant.
@@ -94,6 +99,7 @@ impl Admission {
         Admission {
             points_this_tick: AtomicU64::new(0),
             buffered: AtomicI64::new(0),
+            cache_reserved: AtomicI64::new(0),
             active: AtomicUsize::new(0),
             tenants: Mutex::new(HashMap::new()),
         }
@@ -119,9 +125,27 @@ impl Admission {
         self.points_this_tick.store(0, Ordering::Relaxed);
     }
 
-    /// Whether new sessions should degrade to the uniform fallback.
+    /// Whether new sessions should degrade to the uniform fallback. Cache
+    /// reservations count against the same soft ceiling as buffered
+    /// points: memory promised to tenant caches is memory the buffer pool
+    /// cannot use, so heavy cache provisioning degrades earlier.
     pub(crate) fn degraded(&self, cfg: &ServeConfig) -> bool {
-        self.buffered.load(Ordering::Relaxed) >= cfg.soft_buffered_points as i64
+        self.buffered.load(Ordering::Relaxed) + self.cache_reserved.load(Ordering::Relaxed)
+            >= cfg.soft_buffered_points as i64
+    }
+
+    /// Point-equivalents currently reserved for tenant cache quotas.
+    pub(crate) fn cache_reserved_points(&self) -> i64 {
+        self.cache_reserved.load(Ordering::Relaxed)
+    }
+
+    /// The flat per-tenant cache reservation in point-equivalents: the
+    /// configured byte budget divided by the in-memory size of one point.
+    fn cache_quota_points(cfg: &ServeConfig) -> i64 {
+        cfg.cache
+            .as_ref()
+            .map(|c| (c.tenant_bytes / std::mem::size_of::<trajectory::Point>()) as i64)
+            .unwrap_or(0)
     }
 
     /// Adjusts the live-point pool (window/output growth and shrink).
@@ -146,12 +170,22 @@ impl Admission {
     }
 
     /// Claims one live-session slot for `tenant`, enforcing the quota.
+    ///
+    /// A tenant's *first ever* claim also charges its cache reservation
+    /// (with caching on). The charge is keyed off census membership —
+    /// entries are never removed, so it happens exactly once per tenant,
+    /// at a point fixed by the op sequence alone: thread count, shard
+    /// layout, and cache hit patterns cannot move it.
     pub(crate) fn claim_tenant_slot(
         &self,
         tenant: TenantId,
         cfg: &ServeConfig,
     ) -> Result<(), AdmitError> {
         let mut map = self.tenants.lock().expect("tenant census poisoned");
+        if !map.contains_key(&tenant.0) {
+            self.cache_reserved
+                .fetch_add(Self::cache_quota_points(cfg), Ordering::Relaxed);
+        }
         let count = map.entry(tenant.0).or_insert(0);
         if *count >= cfg.tenant_max_sessions {
             return Err(AdmitError::TenantQuota {
@@ -166,8 +200,15 @@ impl Admission {
     /// Re-claims a live-session slot without quota enforcement. Crash
     /// recovery only: the quota was already enforced when the session (or
     /// queue entry) was first admitted, so restoring it must not fail.
-    pub(crate) fn restore_tenant_slot(&self, tenant: TenantId) {
+    /// Cache reservations are re-charged the same way claims charge them,
+    /// so a recovered service degrades at the same thresholds as the
+    /// crashed one (the caches themselves start cold — DESIGN.md §13).
+    pub(crate) fn restore_tenant_slot(&self, tenant: TenantId, cfg: &ServeConfig) {
         let mut map = self.tenants.lock().expect("tenant census poisoned");
+        if !map.contains_key(&tenant.0) {
+            self.cache_reserved
+                .fetch_add(Self::cache_quota_points(cfg), Ordering::Relaxed);
+        }
         *map.entry(tenant.0).or_insert(0) += 1;
     }
 

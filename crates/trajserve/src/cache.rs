@@ -1,0 +1,147 @@
+//! Whole-window memoization for session simplifier runs (DESIGN.md §14).
+//!
+//! The service's hot loop is [`Session`](crate::session) flushing a full
+//! window through `algo.run(&window, w)`. When many sessions stream the
+//! same route (fleets replaying a road segment, the soak's pooled
+//! sources), those windows repeat — and for any simplifier that exposes a
+//! [`memo_token`](trajectory::OnlineSimplifier::memo_token), the kept-index
+//! vector is a pure function of `(token, w, exact point bits)`. A
+//! [`WindowMemo`] caches exactly that function, so a hit skips the entire
+//! run while staying byte-identical to recomputation.
+//!
+//! Keys embed the *full* bit pattern of every window point (not a hash of
+//! them): a fingerprint collision would silently serve another window's
+//! answer and break the §14 bit-identity contract, so the key is the whole
+//! input. Memos are per (shard, tenant): shards never share state, each
+//! shard applies its ops serially, and tenants never observe each other's
+//! cache (quota isolation) — which also means hit/miss *counts* depend on
+//! the shard layout even though served outputs never do.
+
+use crate::config::CacheConfig;
+use trajcache::{Cache, CacheStats};
+use trajectory::{OnlineSimplifier, Point};
+
+/// Everything a whole-window run's output depends on: the simplifier's
+/// memo token, the budget, and the exact bit pattern of each window point.
+type WindowKey = (u64, u64, Vec<u64>);
+
+/// A keyed cache of whole-window simplifier runs for one (shard, tenant).
+#[derive(Debug)]
+pub(crate) struct WindowMemo {
+    cache: Cache<WindowKey, Vec<usize>>,
+}
+
+impl WindowMemo {
+    /// A memo bounded by `cfg`, with the tenant byte budget split across
+    /// `nshards` so the tenant's total stays fixed at any thread count.
+    pub(crate) fn new(cfg: &CacheConfig, nshards: usize) -> Self {
+        let per_shard = (cfg.tenant_bytes / nshards.max(1)).max(1);
+        WindowMemo {
+            cache: Cache::new(cfg.policy, cfg.max_entries.max(1), per_shard),
+        }
+    }
+
+    /// Runs `algo` over `pts` with budget `w`, serving a cached kept-index
+    /// vector when this exact `(token, w, pts)` was run before. Falls
+    /// through to a plain uncached run for simplifiers without a token.
+    pub(crate) fn run(
+        &mut self,
+        algo: &mut (dyn OnlineSimplifier + Send),
+        pts: &[Point],
+        w: usize,
+    ) -> Vec<usize> {
+        let Some(token) = algo.memo_token() else {
+            return algo.run(pts, w);
+        };
+        let mut bits = Vec::with_capacity(pts.len() * 3);
+        for p in pts {
+            bits.extend_from_slice(&[p.x.to_bits(), p.y.to_bits(), p.t.to_bits()]);
+        }
+        self.cache
+            .get_or_insert_with(&(token, w as u64, bits), || algo.run(pts, w))
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniform::UniformOnline;
+    use baselines::Squish;
+    use trajectory::error::Measure;
+
+    fn pts(n: usize, shift: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, (i % 5) as f64 + shift, i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn hit_is_bit_identical_and_skips_the_run() {
+        let mut memo = WindowMemo::new(&CacheConfig::default(), 1);
+        let mut a = Squish::new(Measure::Sed);
+        let window = pts(64, 0.0);
+        let first = memo.run(&mut a, &window, 10);
+        let again = memo.run(&mut a, &window, 10);
+        assert_eq!(first, again);
+        assert_eq!(again, a.run(&window, 10), "cached == recomputed");
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn token_w_and_points_all_key_the_entry() {
+        let mut memo = WindowMemo::new(&CacheConfig::default(), 1);
+        let window = pts(64, 0.0);
+        let mut squish = Squish::new(Measure::Sed);
+        let mut uniform = UniformOnline::new();
+        memo.run(&mut squish, &window, 10);
+        memo.run(&mut uniform, &window, 10); // different token
+        memo.run(&mut squish, &window, 12); // different budget
+        memo.run(&mut squish, &pts(64, 1e-12), 10); // different bits
+        assert_eq!(memo.stats().hits, 0, "all four lookups must be distinct");
+    }
+
+    #[test]
+    fn cross_instance_reuse_requires_equal_tokens() {
+        // Two SQUISH instances under the same measure share a token, so the
+        // second instance is served the first one's run.
+        let mut memo = WindowMemo::new(&CacheConfig::default(), 1);
+        let window = pts(64, 0.0);
+        let mut a = Squish::new(Measure::Sed);
+        let mut b = Squish::new(Measure::Sed);
+        let out_a = memo.run(&mut a, &window, 10);
+        let out_b = memo.run(&mut b, &window, 10);
+        assert_eq!(out_a, out_b);
+        assert_eq!(memo.stats().hits, 1);
+        // A different measure changes the token and must miss.
+        let mut c = Squish::new(Measure::Ped);
+        memo.run(&mut c, &window, 10);
+        assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn shard_split_bounds_total_bytes() {
+        let cfg = CacheConfig {
+            tenant_bytes: 40_000,
+            ..CacheConfig::default()
+        };
+        let shards = 4;
+        let mut memos: Vec<WindowMemo> =
+            (0..shards).map(|_| WindowMemo::new(&cfg, shards)).collect();
+        for (i, memo) in memos.iter_mut().enumerate() {
+            for k in 0..50 {
+                let mut algo = Squish::new(Measure::Sed);
+                memo.run(&mut algo, &pts(64, (i * 100 + k) as f64), 10);
+            }
+        }
+        let total: u64 = memos.iter().map(|m| m.stats().resident_bytes).sum();
+        assert!(
+            total <= cfg.tenant_bytes as u64,
+            "{total} bytes resident across shards exceeds the tenant budget"
+        );
+    }
+}

@@ -70,6 +70,49 @@ pub struct ServeConfig {
     /// snapshots periodically, so [`TrajServe::recover`](crate::TrajServe::recover)
     /// can rebuild the exact pre-crash state (DESIGN.md §13).
     pub durability: Option<DurabilityConfig>,
+    /// Memoization caching (DESIGN.md §14). `None` (the default) serves
+    /// uncached; `Some` memoizes whole-window simplifier runs per
+    /// (shard, tenant) and policy forward passes per RLTS session. Served
+    /// outputs are byte-identical either way — caches only trade memory
+    /// for latency. Cache state is volatile: it is never journaled and a
+    /// recovered service starts cold (§13).
+    pub cache: Option<CacheConfig>,
+}
+
+/// Memoization-cache knobs (DESIGN.md §14).
+///
+/// Every tenant that ever activates a session is charged
+/// [`CacheConfig::tenant_bytes`] against the soft memory ceiling as a flat
+/// reservation (in [`Point`](trajectory::Point)-equivalents), so cache
+/// pressure feeds the same degrade signal as buffered points.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Per-tenant byte budget for the window-memo caches, split evenly
+    /// across the tenant's per-shard caches so the tenant's total stays
+    /// the same at any thread count. (Which entries survive eviction still
+    /// depends on the shard layout; served outputs never do.)
+    pub tenant_bytes: usize,
+    /// Entry bound per window-memo cache.
+    pub max_entries: usize,
+    /// Eviction policy for the window-memo caches.
+    pub policy: trajcache::EvictPolicy,
+}
+
+impl Default for CacheConfig {
+    /// 256 KiB per tenant. Sized so that typical tenant counts leave the
+    /// soft buffer ceiling alone: at the default
+    /// [`ServeConfig::soft_buffered_points`] of 500 000, the ~10 900
+    /// point-equivalents reserved per tenant admit ~45 tenants before
+    /// cache pressure alone starts degrading new sessions. Provisioning
+    /// past that point degrades *by design* — reserved cache memory is
+    /// memory the buffer pool cannot use.
+    fn default() -> Self {
+        CacheConfig {
+            tenant_bytes: 1 << 18,
+            max_entries: 4096,
+            policy: trajcache::EvictPolicy::Lru,
+        }
+    }
 }
 
 /// Write-ahead journal and snapshot knobs (DESIGN.md §13).
@@ -115,6 +158,7 @@ impl Default for ServeConfig {
             max_buffered_points: 1_000_000,
             seed: 0xC0FFEE,
             durability: None,
+            cache: None,
         }
     }
 }

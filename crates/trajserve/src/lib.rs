@@ -26,6 +26,12 @@
 //!   per-shard write-ahead log with periodic snapshots;
 //!   [`TrajServe::recover`] rebuilds the exact pre-crash state and
 //!   quarantines (never replays, never panics on) corrupt journal data.
+//! - **Memoization caches** (DESIGN.md §14) — with [`ServeConfig::cache`]
+//!   set, whole-window simplifier runs are memoized per (shard, tenant)
+//!   and greedy-policy RLTS sessions cache policy forward passes. Served
+//!   outputs are byte-identical cache-on vs cache-off; cache state is
+//!   volatile (never journaled — a recovered service starts cold) and
+//!   per-tenant quotas feed the admission degrade signal.
 //! - **Soak harness** ([`run_soak`]) — a synthetic many-tenant workload
 //!   (trajgen sources, lossy sensornet uplink) behind `rlts serve`, with
 //!   deterministic crash injection for the recovery path.
@@ -56,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod cache;
 mod config;
 mod journal;
 mod registry;
@@ -65,7 +72,7 @@ mod soak;
 mod uniform;
 
 pub use admission::{AdmitError, ShedReason};
-pub use config::{DurabilityConfig, ServeConfig, SessionId, TenantId};
+pub use config::{CacheConfig, DurabilityConfig, ServeConfig, SessionId, TenantId};
 pub use journal::{JournalError, RecoveryReport};
 pub use registry::{PolicyEntry, PolicyRegistry, PolicyVersion, PublishError};
 pub use service::{SimplifierSpec, TickStats, TrajServe};

@@ -25,6 +25,7 @@
 //! single-driver discipline: clients enqueue ops between ticks.
 
 use crate::admission::{Admission, AdmitError, ShedReason};
+use crate::cache::WindowMemo;
 use crate::config::{ServeConfig, SessionId, TenantId};
 use crate::journal::{
     self, Journal, JournalError, MetaRecord, MetaSnap, PendingSnap, RecoveryReport, SessionSnap,
@@ -82,15 +83,32 @@ impl SimplifierSpec {
         Ok(())
     }
 
-    /// Builds the simplifier for one session.
+    /// Builds the simplifier for one session. With `cache` set, RLTS
+    /// sessions get a policy forward-pass cache (a no-op unless the
+    /// resolved decision policy actually consults a network).
     pub(crate) fn instantiate(
         &self,
         entry: &PolicyEntry,
         seed: u64,
+        cache: bool,
     ) -> Box<dyn OnlineSimplifier + Send> {
         match self {
             SimplifierSpec::Rlts { cfg } => {
-                Box::new(RltsOnline::new(*cfg, entry.decision_policy_for(cfg), seed))
+                let policy = entry.decision_policy_for(cfg);
+                // Forward passes are worth caching only under a greedy
+                // (deterministic) learned policy, where revisited states
+                // repeat bit-exactly. A sampling policy's trajectories
+                // diverge immediately, so caching its forwards would pay
+                // the insert cost on every state and never hit.
+                let deterministic = matches!(
+                    policy,
+                    rlts_core::DecisionPolicy::Learned { greedy: true, .. }
+                );
+                let mut algo = RltsOnline::new(*cfg, policy, seed);
+                if cache && deterministic {
+                    algo.enable_forward_cache(rlkit::nn::ForwardCache::with_defaults());
+                }
+                Box::new(algo)
             }
             SimplifierSpec::Squish(m) => Box::new(Squish::new(*m)),
             SimplifierSpec::SquishE(m) => Box::new(SquishE::new(*m)),
@@ -161,16 +179,38 @@ pub(crate) enum Op {
     Close(u64),
 }
 
-/// Sessions owned by one worker shard.
+/// Sessions owned by one worker shard, plus the shard's per-tenant window
+/// memos (DESIGN.md §14). Memos are shard-local on purpose: shards never
+/// share state during a tick, so no cross-shard lock is ever taken on the
+/// append hot path, and each shard's op order (hence its cache state) is a
+/// pure function of the op sequence.
 #[derive(Default)]
 struct Shard {
     sessions: HashMap<u64, Session>,
+    memos: HashMap<u32, WindowMemo>,
 }
 
 impl Shard {
     fn footprint(&self) -> usize {
         self.sessions.values().map(Session::footprint).sum()
     }
+}
+
+/// The shard-local window memo serving `tenant`, created on first use, or
+/// `None` when caching is off. A free function (not a `Shard` method) so
+/// the caller can hold a session from `Shard::sessions` mutably at the
+/// same time.
+fn tenant_memo<'a>(
+    memos: &'a mut HashMap<u32, WindowMemo>,
+    cache_cfg: Option<&crate::config::CacheConfig>,
+    nshards: usize,
+    tenant: TenantId,
+) -> Option<&'a mut WindowMemo> {
+    cache_cfg.map(|c| {
+        memos
+            .entry(tenant.0)
+            .or_insert_with(|| WindowMemo::new(c, nshards))
+    })
 }
 
 /// A session admitted past the active ceiling, waiting for capacity. The
@@ -198,6 +238,14 @@ struct ShardOutcome {
     /// Ops this shard consumed this tick — the journal frame length the
     /// meta `Tick` record cross-checks at recovery.
     ops_count: u32,
+    /// Cumulative window-memo totals across this shard's tenant memos.
+    window_stats: trajcache::CacheStats,
+    /// Cumulative forward-cache totals across this shard's live sessions.
+    forward_stats: trajcache::CacheStats,
+    /// Final forward-cache totals of sessions removed this tick; folded
+    /// into the service's retired accumulator so aggregate counters stay
+    /// monotone after sessions close.
+    retired_forward: trajcache::CacheStats,
 }
 
 /// Per-tick summary returned by [`TrajServe::tick`].
@@ -250,6 +298,12 @@ pub struct TrajServe {
     /// and business-counter inflation.
     replaying: AtomicBool,
     metrics: ServeMetrics,
+    /// Final forward-cache totals of every session that has closed, so the
+    /// aggregate `cache.*` counters stay monotone as sessions retire.
+    retired_forward: Mutex<trajcache::CacheStats>,
+    /// Lazily created `cache.*` publishers for the window-memo and
+    /// forward-pass aggregates (only with [`ServeConfig::cache`] set).
+    cache_pubs: Mutex<Option<(trajcache::StatsPublisher, trajcache::StatsPublisher)>>,
 }
 
 impl TrajServe {
@@ -330,6 +384,8 @@ impl TrajServe {
             journal: None,
             replaying: AtomicBool::new(false),
             metrics: ServeMetrics::new(),
+            retired_forward: Mutex::new(trajcache::CacheStats::default()),
+            cache_pubs: Mutex::new(None),
         }
     }
 
@@ -371,6 +427,44 @@ impl TrajServe {
     /// Total points currently buffered (inboxes + session windows).
     pub fn buffered_points(&self) -> u64 {
         self.admission.buffered() as u64
+    }
+
+    /// Point-equivalents reserved against the soft memory ceiling for
+    /// tenant cache quotas; `0` when caching is off (DESIGN.md §14).
+    pub fn cache_reserved_points(&self) -> u64 {
+        self.admission.cache_reserved_points().max(0) as u64
+    }
+
+    /// Aggregated window-memo statistics across every shard and tenant, or
+    /// `None` when caching is disabled. Hit/miss *counts* depend on the
+    /// shard layout (memos are shard-local); served outputs never do.
+    pub fn window_cache_stats(&self) -> Option<trajcache::CacheStats> {
+        self.cfg.cache.as_ref()?;
+        let mut total = trajcache::CacheStats::default();
+        for shard in &self.shards {
+            for memo in shard.lock().expect("shard lock poisoned").memos.values() {
+                total.absorb(&memo.stats());
+            }
+        }
+        Some(total)
+    }
+
+    /// Aggregated policy forward-pass cache statistics across live and
+    /// retired RLTS sessions, or `None` when caching is disabled.
+    pub fn forward_cache_stats(&self) -> Option<trajcache::CacheStats> {
+        self.cfg.cache.as_ref()?;
+        let mut total = *self
+            .retired_forward
+            .lock()
+            .expect("retired stats lock poisoned");
+        for shard in &self.shards {
+            for sess in shard.lock().expect("shard lock poisoned").sessions.values() {
+                if let Some(stats) = sess.forward_cache_stats() {
+                    total.absorb(&stats);
+                }
+            }
+        }
+        Some(total)
     }
 
     /// Whether the journal (if configured) is still accepting writes.
@@ -511,7 +605,11 @@ impl TrajServe {
             }
             Box::new(UniformOnline::new())
         } else {
-            spec.instantiate(&entry, parkit::mix_seed(self.cfg.seed, id.0))
+            spec.instantiate(
+                &entry,
+                parkit::mix_seed(self.cfg.seed, id.0),
+                self.cfg.cache.is_some(),
+            )
         };
         let version = entry.version;
         let session = Session::new(
@@ -660,9 +758,19 @@ impl TrajServe {
         };
         let mut outputs = Vec::new();
         let mut shard_ops = Vec::with_capacity(self.nshards);
+        let mut window_stats = trajcache::CacheStats::default();
+        let mut forward_live = trajcache::CacheStats::default();
         for o in outcomes {
             for tenant in o.released {
                 self.admission.release_tenant_slot(tenant);
+            }
+            window_stats.absorb(&o.window_stats);
+            forward_live.absorb(&o.forward_stats);
+            if o.retired_forward != trajcache::CacheStats::default() {
+                self.retired_forward
+                    .lock()
+                    .expect("retired stats lock poisoned")
+                    .absorb(&o.retired_forward);
             }
             let removed = o.evicted + o.closed;
             if removed > 0 {
@@ -710,6 +818,23 @@ impl TrajServe {
                 }
                 self.maybe_snapshot(now);
             }
+        }
+
+        if live && self.cfg.cache.is_some() {
+            let mut forward = *self
+                .retired_forward
+                .lock()
+                .expect("retired stats lock poisoned");
+            forward.absorb(&forward_live);
+            let mut pubs = self.cache_pubs.lock().expect("cache publishers poisoned");
+            let (window_pub, forward_pub) = pubs.get_or_insert_with(|| {
+                (
+                    trajcache::StatsPublisher::new("serve-window"),
+                    trajcache::StatsPublisher::new("serve-forward"),
+                )
+            });
+            window_pub.publish(&window_stats);
+            forward_pub.publish(&forward);
         }
 
         self.metrics
@@ -766,13 +891,19 @@ impl TrajServe {
             ops_count: ops.len() as u32,
             ..ShardOutcome::default()
         };
+        // Split-borrow the shard so a session and its tenant's memo can be
+        // held mutably at the same time.
+        let Shard { sessions, memos } = &mut *shard;
+        let cache_cfg = self.cfg.cache.as_ref();
+        let nshards = self.nshards;
 
         for op in ops {
             match op {
-                Op::Append(id, p) => match shard.sessions.get_mut(&id) {
+                Op::Append(id, p) => match sessions.get_mut(&id) {
                     Some(sess) => {
+                        let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
                         let start = Instant::now();
-                        let accepted = sess.append(p, now);
+                        let accepted = sess.append(p, now, memo);
                         sess.append_seconds.record(start.elapsed().as_secs_f64());
                         if accepted {
                             out.applied += 1;
@@ -783,15 +914,24 @@ impl TrajServe {
                     None => out.shed_dead += 1,
                 },
                 Op::Flush(id) => {
-                    if let Some(sess) = shard.sessions.get_mut(&id) {
+                    if let Some(sess) = sessions.get_mut(&id) {
+                        let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
                         out.outputs
-                            .push(sess.take_output(CompletionReason::Flushed, now));
+                            .push(sess.take_output(CompletionReason::Flushed, now, memo));
                     }
                 }
                 Op::Close(id) => {
-                    if let Some(mut sess) = shard.sessions.remove(&id) {
+                    if let Some(mut sess) = sessions.remove(&id) {
+                        let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
                         out.outputs
-                            .push(sess.take_output(CompletionReason::Closed, now));
+                            .push(sess.take_output(CompletionReason::Closed, now, memo));
+                        if let Some(mut stats) = sess.forward_cache_stats() {
+                            // The cache dies with the session: keep its
+                            // lookup counters, drop its resident figures.
+                            stats.resident_bytes = 0;
+                            stats.resident_entries = 0;
+                            out.retired_forward.absorb(&stats);
+                        }
                         out.released.push(sess.tenant);
                         out.closed += 1;
                     }
@@ -801,21 +941,36 @@ impl TrajServe {
 
         // Idle-TTL sweep. HashMap order is arbitrary, so collect and sort
         // the expired ids before delivering their outputs.
-        let mut expired: Vec<u64> = shard
-            .sessions
+        let mut expired: Vec<u64> = sessions
             .values()
             .filter(|sess| now.saturating_sub(sess.last_active) > self.cfg.idle_ttl)
             .map(|sess| sess.id.0)
             .collect();
         expired.sort_unstable();
         for id in expired {
-            let mut sess = shard.sessions.remove(&id).expect("expired id is live");
+            let mut sess = sessions.remove(&id).expect("expired id is live");
+            let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
             out.outputs
-                .push(sess.take_output(CompletionReason::Evicted, now));
+                .push(sess.take_output(CompletionReason::Evicted, now, memo));
+            if let Some(mut stats) = sess.forward_cache_stats() {
+                stats.resident_bytes = 0;
+                stats.resident_entries = 0;
+                out.retired_forward.absorb(&stats);
+            }
             out.released.push(sess.tenant);
             out.evicted += 1;
         }
 
+        if cache_cfg.is_some() {
+            for memo in memos.values() {
+                out.window_stats.absorb(&memo.stats());
+            }
+            for sess in sessions.values() {
+                if let Some(stats) = sess.forward_cache_stats() {
+                    out.forward_stats.absorb(&stats);
+                }
+            }
+        }
         out.buffer_delta = shard.footprint() as i64 - before - inbox_points;
         out
     }
@@ -1090,7 +1245,8 @@ impl TrajServe {
         {
             let mut pending = self.pending.lock().expect("pending lock poisoned");
             for p in &ms.pending {
-                self.admission.restore_tenant_slot(TenantId(p.tenant));
+                self.admission
+                    .restore_tenant_slot(TenantId(p.tenant), &self.cfg);
                 pending.push_back(PendingSession {
                     id: p.id,
                     tenant: TenantId(p.tenant),
@@ -1101,7 +1257,8 @@ impl TrajServe {
         }
         for (s, snaps) in rec.shard_snaps.iter().enumerate() {
             for snap in snaps {
-                self.admission.restore_tenant_slot(TenantId(snap.tenant));
+                self.admission
+                    .restore_tenant_slot(TenantId(snap.tenant), &self.cfg);
                 self.admission.active_delta(1);
                 self.admission
                     .buffer_delta((snap.window.len() + snap.kept.len()) as i64);
@@ -1126,8 +1283,11 @@ impl TrajServe {
                     policy: None,
                 })
             });
-            snap.spec
-                .instantiate(&entry, parkit::mix_seed(self.cfg.seed, snap.id))
+            snap.spec.instantiate(
+                &entry,
+                parkit::mix_seed(self.cfg.seed, snap.id),
+                self.cfg.cache.is_some(),
+            )
         };
         Ok(Session::restore(
             SessionId(snap.id),
@@ -1165,7 +1325,8 @@ impl TrajServe {
                 detail: format!("create record for session {id} but allocator is at {got}"),
             });
         }
-        self.admission.restore_tenant_slot(TenantId(tenant));
+        self.admission
+            .restore_tenant_slot(TenantId(tenant), &self.cfg);
         if queued {
             self.pending
                 .lock()

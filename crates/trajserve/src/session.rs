@@ -10,6 +10,7 @@
 //! hierarchical scheme SQUISH uses internally), so every delivered
 //! simplification is anchored and within budget.
 
+use crate::cache::WindowMemo;
 use crate::config::{SessionId, TenantId};
 use crate::registry::PolicyVersion;
 use crate::service::SimplifierSpec;
@@ -166,10 +167,20 @@ impl Session {
         self.window.len() + self.kept.len()
     }
 
+    /// Statistics of the simplifier's internal cache (the policy
+    /// forward-pass cache on learned RLTS sessions), if it has one.
+    pub(crate) fn forward_cache_stats(&self) -> Option<trajcache::CacheStats> {
+        self.algo.cache_stats()
+    }
+
     /// Accepts one point. Returns `false` (and holds nothing) for a point
     /// that moves time backwards — re-stitched uplink streams can replay
     /// late data a streaming session has already moved past.
-    pub(crate) fn append(&mut self, p: Point, now: u64) -> bool {
+    ///
+    /// `memo` is the owning shard's window memo for this session's tenant
+    /// (`None` when caching is off); a full window that repeats a previous
+    /// `(token, w, points)` run is served from it, byte-identically.
+    pub(crate) fn append(&mut self, p: Point, now: u64, memo: Option<&mut WindowMemo>) -> bool {
         self.last_active = now;
         if p.t < self.last_t {
             return false;
@@ -178,32 +189,47 @@ impl Session {
         self.window.push(p);
         self.observed += 1;
         if self.window.len() >= self.window_cap {
-            self.flush_window();
+            self.flush_window(memo);
         }
         true
     }
 
     /// Reduces the current window to at most `w` survivors and appends
     /// them to the output.
-    fn flush_window(&mut self) {
+    fn flush_window(&mut self, memo: Option<&mut WindowMemo>) {
         if self.window.len() <= 2 {
             self.kept.append(&mut self.window);
             return;
         }
-        let kept_idx = self.algo.run(&self.window, self.w);
+        let kept_idx = self.run_algo_windowed(memo);
         self.kept
             .extend(kept_idx.into_iter().map(|i| self.window[i]));
         self.window.clear();
     }
 
+    fn run_algo_windowed(&mut self, memo: Option<&mut WindowMemo>) -> Vec<usize> {
+        match memo {
+            Some(m) => m.run(self.algo.as_mut(), &self.window, self.w),
+            None => self.algo.run(&self.window, self.w),
+        }
+    }
+
     /// Flushes everything buffered and delivers the simplification,
     /// compacted to at most `w` points. For [`CompletionReason::Flushed`]
     /// the session stays usable and starts a fresh output segment.
-    pub(crate) fn take_output(&mut self, reason: CompletionReason, now: u64) -> SessionOutput {
-        self.flush_window();
+    pub(crate) fn take_output(
+        &mut self,
+        reason: CompletionReason,
+        now: u64,
+        mut memo: Option<&mut WindowMemo>,
+    ) -> SessionOutput {
+        self.flush_window(memo.as_deref_mut());
         let mut kept = std::mem::take(&mut self.kept);
         if kept.len() > self.w {
-            let idx = self.algo.run(&kept, self.w);
+            let idx = match memo {
+                Some(m) => m.run(self.algo.as_mut(), &kept, self.w),
+                None => self.algo.run(&kept, self.w),
+            };
             kept = idx.into_iter().map(|i| kept[i]).collect();
         }
         SessionOutput {

@@ -77,6 +77,12 @@ impl OnlineSimplifier for UniformOnline {
         self.kept.push(pos);
     }
 
+    fn memo_token(&self) -> Option<u64> {
+        // Output depends only on `(pts, w)`: no measure, no RNG, no
+        // configuration beyond the name.
+        Some(trajcache::fnv1a(self.name().as_bytes()))
+    }
+
     fn finish(&mut self) -> Vec<usize> {
         let mut out = std::mem::take(&mut self.kept);
         if self.seen > 0 {

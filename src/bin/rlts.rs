@@ -20,6 +20,8 @@
 //!   --variant rlts|rlts-skip|rlts+|rlts-skip+|rlts++|rlts-skip++   [rlts]
 //!   --synthetic geolife|tdrive|truck   train on generated data [geolife]
 //!   --count N --len N --epochs N       training size            [30 250 30]
+//!   --cache                        memoize error-kernel range stats
+//!                                  (bit-identical results, DESIGN.md §14)
 //!
 //! simplify options:
 //!   --algo rlts|rlts-skip|rlts+|rlts-skip+|rlts++|rlts-skip++|
@@ -42,6 +44,16 @@
 //!   --snapshot-every N             journal snapshot interval, 0 = off [64]
 //!   --crash-at N                   crash at tick N, recover, continue
 //!   --crash-corrupt torn|truncate|bitflip   damage the journal pre-recovery
+//!   --cache                        enable the serve-layer memo caches
+//!                                  (outputs stay byte-identical; see
+//!                                  DESIGN.md §14)
+//!   --cache-bytes N               per-tenant cache budget in bytes [262144]
+//!   --cache-policy lru|tlru[:ttl]|arc   eviction policy           [lru]
+//!   --route-pool N                 distinct trajgen routes sessions replay
+//!                                  (0 = one route per session)       [8]
+//!   --bench-cache FILE             run the soak cache-off then cache-on,
+//!                                  assert identical outputs, write the
+//!                                  hit-rate/latency comparison as JSON
 //!   --out FILE                     write delivered outputs (deterministic,
 //!                                  logical-clock only — byte-comparable
 //!                                  across crashed and uncrashed runs)
@@ -119,6 +131,11 @@ struct CliOpts {
     snapshot_every: Option<u64>,
     crash_at: Option<u64>,
     crash_corrupt: Option<String>,
+    cache: bool,
+    cache_bytes: Option<usize>,
+    cache_policy: Option<String>,
+    route_pool: Option<usize>,
+    bench_cache: Option<String>,
 }
 
 impl CliOpts {
@@ -221,6 +238,28 @@ impl CliOpts {
                     )
                 }
                 "--crash-corrupt" => o.crash_corrupt = Some(val("--crash-corrupt")),
+                "--cache" => o.cache = true,
+                "--cache-bytes" => {
+                    // An explicit budget implies caching.
+                    o.cache = true;
+                    o.cache_bytes = Some(
+                        val("--cache-bytes")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --cache-bytes")),
+                    )
+                }
+                "--cache-policy" => {
+                    o.cache = true;
+                    o.cache_policy = Some(val("--cache-policy"))
+                }
+                "--route-pool" => {
+                    o.route_pool = Some(
+                        val("--route-pool")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --route-pool")),
+                    )
+                }
+                "--bench-cache" => o.bench_cache = Some(val("--bench-cache")),
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -302,6 +341,7 @@ fn cmd_train(o: &CliOpts) {
     tc.lr = 0.02;
     tc.seed = o.seed.unwrap_or(1);
     tc.threads = o.threads.unwrap_or(0);
+    tc.cache = o.cache;
     eprintln!(
         "training {} / {} on {} trajectories ...",
         variant,
@@ -543,9 +583,26 @@ fn cmd_serve(o: &CliOpts) {
     if (o.crash_at.is_some() || o.crash_corrupt.is_some()) && o.journal_dir.is_none() {
         die("--crash-at / --crash-corrupt need --journal-dir");
     }
+    if o.bench_cache.is_some() && o.journal_dir.is_some() {
+        die(
+            "--bench-cache runs the workload twice and would reuse the journal; drop --journal-dir",
+        );
+    }
     let crash_corrupt = o.crash_corrupt.as_deref().map(|s| {
         s.parse::<CorruptMode>()
             .unwrap_or_else(|e| die(&format!("bad --crash-corrupt: {e}")))
+    });
+    let cache = o.cache.then(|| {
+        let mut c = rlts::trajserve::CacheConfig::default();
+        if let Some(bytes) = o.cache_bytes {
+            c.tenant_bytes = bytes.max(1);
+        }
+        if let Some(policy) = &o.cache_policy {
+            c.policy = policy
+                .parse()
+                .unwrap_or_else(|e| die(&format!("bad --cache-policy: {e}")));
+        }
+        c
     });
     let cfg = SoakConfig {
         sessions: o.sessions.unwrap_or(500),
@@ -559,6 +616,8 @@ fn cmd_serve(o: &CliOpts) {
         snapshot_every: o.snapshot_every.unwrap_or(64),
         crash_at: o.crash_at,
         crash_corrupt,
+        route_pool: o.route_pool.unwrap_or(8),
+        cache,
         serve: ServeConfig {
             threads: o.threads.unwrap_or(0),
             idle_ttl: o.ttl.unwrap_or(12),
@@ -567,7 +626,7 @@ fn cmd_serve(o: &CliOpts) {
         },
     };
     eprintln!(
-        "[serve] soak: {} sessions x {} points across {} tenants (drop {:.0}%{})",
+        "[serve] soak: {} sessions x {} points across {} tenants (drop {:.0}%{}{})",
         cfg.sessions,
         cfg.points_per_session,
         cfg.tenants,
@@ -576,9 +635,16 @@ fn cmd_serve(o: &CliOpts) {
             ", mid-soak hot-swap"
         } else {
             ""
+        },
+        match &cfg.cache {
+            Some(c) => format!(", cache {} x {} B/tenant", c.policy, c.tenant_bytes),
+            None => String::new(),
         }
     );
-    let report = run_soak(&cfg);
+    let report = match &o.bench_cache {
+        Some(path) => run_cache_bench(&cfg, path),
+        None => run_soak(&cfg),
+    };
     eprintln!(
         "[serve] {} outputs in {} ticks: {} closed, {} evicted (peak {} active, {} buffered pts)",
         report.delivered,
@@ -597,6 +663,26 @@ fn cmd_serve(o: &CliOpts) {
             None => String::new(),
         }
     );
+    if let Some(wc) = &report.window_cache {
+        eprintln!(
+            "[serve] window memo: {} hits / {} misses ({:.1}% hit rate), \
+             {} evictions, {} B resident; mean tick {:.1} us",
+            wc.hits,
+            wc.misses,
+            wc.hit_rate() * 100.0,
+            wc.evictions,
+            wc.resident_bytes,
+            report.mean_tick_micros()
+        );
+    }
+    if let Some(fc) = &report.forward_cache {
+        eprintln!(
+            "[serve] forward cache: {} hits / {} misses ({:.1}% hit rate)",
+            fc.hits,
+            fc.misses,
+            fc.hit_rate() * 100.0
+        );
+    }
     if o.crash_at.is_some() && report.crashes == 0 {
         // A crash point past the end of the run would make every
         // downstream comparison vacuously pass — refuse instead.
@@ -627,6 +713,9 @@ fn cmd_serve(o: &CliOpts) {
 
     let snap = obskit::global().snapshot();
     let mut families = vec!["serve."];
+    if cfg.cache.is_some() || o.bench_cache.is_some() {
+        families.push("cache.");
+    }
     if cfg.journal_dir.is_some() {
         families.push("serve.journal.");
     }
@@ -647,26 +736,7 @@ fn cmd_serve(o: &CliOpts) {
         die(&format!("soak verification failed: {e}"));
     }
     if let Some(path) = &o.out {
-        let mut artifact = String::new();
-        for out in &report.outputs {
-            use std::fmt::Write as _;
-            let _ = write!(
-                artifact,
-                "id={} tenant={} reason={:?} ver={} degraded={} observed={} tick={} pts=",
-                out.id.0,
-                out.tenant.0,
-                out.reason,
-                out.policy_version,
-                out.degraded,
-                out.observed,
-                out.delivered_at
-            );
-            for (i, p) in out.simplified.iter().enumerate() {
-                let sep = if i == 0 { "" } else { ";" };
-                let _ = write!(artifact, "{sep}{:?}:{:?}:{:?}", p.t, p.x, p.y);
-            }
-            artifact.push('\n');
-        }
+        let artifact = render_artifact(&report);
         std::fs::write(path, &artifact)
             .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
         eprintln!(
@@ -684,6 +754,118 @@ fn cmd_serve(o: &CliOpts) {
             .map(|v| format!("-> v{v}"))
             .unwrap_or_else(|| "off".into())
     );
+}
+
+/// Renders delivered soak outputs as the deterministic artifact text:
+/// logical clock only, `f64`s in shortest-round-trip (lossless) form, so
+/// two runs of the same workload are byte-comparable.
+fn render_artifact(report: &rlts::trajserve::SoakReport) -> String {
+    use std::fmt::Write as _;
+    let mut artifact = String::new();
+    for out in &report.outputs {
+        let _ = write!(
+            artifact,
+            "id={} tenant={} reason={:?} ver={} degraded={} observed={} tick={} pts=",
+            out.id.0,
+            out.tenant.0,
+            out.reason,
+            out.policy_version,
+            out.degraded,
+            out.observed,
+            out.delivered_at
+        );
+        for (i, p) in out.simplified.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ";" };
+            let _ = write!(artifact, "{sep}{:?}:{:?}:{:?}", p.t, p.x, p.y);
+        }
+        artifact.push('\n');
+    }
+    artifact
+}
+
+/// `--bench-cache`: runs the identical workload cache-off then cache-on,
+/// dies unless the delivered artifacts match byte for byte, writes the
+/// hit-rate / per-tick-latency comparison as JSON, and hands the cached
+/// report back for the normal verification path.
+fn run_cache_bench(cfg: &rlts::trajserve::SoakConfig, path: &str) -> rlts::trajserve::SoakReport {
+    use rlts::trajserve::{run_soak, SoakConfig};
+
+    let plain_cfg = SoakConfig {
+        cache: None,
+        ..cfg.clone()
+    };
+    let cache_cfg = cfg.cache.clone().unwrap_or_default();
+    let cached_cfg = SoakConfig {
+        cache: Some(cache_cfg.clone()),
+        ..cfg.clone()
+    };
+    eprintln!("[serve] bench: cache-off reference run ...");
+    let plain = run_soak(&plain_cfg);
+    eprintln!("[serve] bench: cache-on run ...");
+    let cached = run_soak(&cached_cfg);
+    if render_artifact(&plain) != render_artifact(&cached) {
+        die("cache-on outputs differ from cache-off (caching must be transparent)");
+    }
+    let wc = cached.window_cache.unwrap_or_default();
+    let fc = cached.forward_cache.unwrap_or_default();
+    let speedup = if cached.mean_tick_micros() > 0.0 {
+        plain.mean_tick_micros() / cached.mean_tick_micros()
+    } else {
+        1.0
+    };
+    let json = format!(
+        "{{\n\
+         \x20 \"workload\": {{\n\
+         \x20   \"sessions\": {sessions},\n\
+         \x20   \"tenants\": {tenants},\n\
+         \x20   \"points_per_session\": {pps},\n\
+         \x20   \"drop\": {drop},\n\
+         \x20   \"route_pool\": {route_pool},\n\
+         \x20   \"threads\": {threads},\n\
+         \x20   \"seed\": {seed}\n\
+         \x20 }},\n\
+         \x20 \"uncached\": {{ \"mean_tick_micros\": {plain_us:.3}, \"ticks_timed\": {plain_ticks} }},\n\
+         \x20 \"cached\": {{\n\
+         \x20   \"policy\": \"{policy}\",\n\
+         \x20   \"tenant_bytes\": {tenant_bytes},\n\
+         \x20   \"mean_tick_micros\": {cached_us:.3},\n\
+         \x20   \"ticks_timed\": {cached_ticks},\n\
+         \x20   \"window\": {{ \"hits\": {whits}, \"misses\": {wmisses}, \"hit_rate\": {wrate:.4}, \"evictions\": {wevict}, \"inserts\": {winsert} }},\n\
+         \x20   \"forward\": {{ \"hits\": {fhits}, \"misses\": {fmisses}, \"hit_rate\": {frate:.4} }}\n\
+         \x20 }},\n\
+         \x20 \"tick_speedup\": {speedup:.3},\n\
+         \x20 \"outputs_identical\": true\n\
+         }}\n",
+        sessions = cfg.sessions,
+        tenants = cfg.tenants,
+        pps = cfg.points_per_session,
+        drop = cfg.drop,
+        route_pool = cfg.route_pool,
+        threads = cfg.serve.threads,
+        seed = cfg.serve.seed,
+        plain_us = plain.mean_tick_micros(),
+        plain_ticks = plain.ticks_timed,
+        policy = cache_cfg.policy,
+        tenant_bytes = cache_cfg.tenant_bytes,
+        cached_us = cached.mean_tick_micros(),
+        cached_ticks = cached.ticks_timed,
+        whits = wc.hits,
+        wmisses = wc.misses,
+        wrate = wc.hit_rate(),
+        wevict = wc.evictions,
+        winsert = wc.inserts,
+        fhits = fc.hits,
+        fmisses = fc.misses,
+        frate = fc.hit_rate(),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!(
+        "[serve] bench: {:.1}% window hit rate, tick {:.1} -> {:.1} us ({speedup:.2}x); written to {path}",
+        wc.hit_rate() * 100.0,
+        plain.mean_tick_micros(),
+        cached.mean_tick_micros()
+    );
+    cached
 }
 
 fn cmd_eval(o: &CliOpts) {

@@ -26,7 +26,11 @@
 //! * [`trajserve`] — the multi-tenant streaming simplification service:
 //!   session lifecycle with idle-TTL eviction, tiered admission control,
 //!   versioned policy checkpoints with atomic hot-swap, and a sharded
-//!   worker pool (see DESIGN.md §12 and `rlts serve`).
+//!   worker pool (see DESIGN.md §12 and `rlts serve`);
+//! * [`trajcache`] — the zero-dependency memoization cache (LRU / TLRU /
+//!   ARC eviction, byte + entry bounds) behind the error-kernel range
+//!   memos, policy forward-pass caching, and the serve-layer window memo
+//!   (see DESIGN.md §14 and `--cache` on `rlts train` / `rlts serve`).
 //!
 //! ## Quick start
 //!
@@ -68,6 +72,7 @@ pub use parkit;
 pub use rlkit;
 pub use rlts_core;
 pub use sensornet;
+pub use trajcache;
 pub use trajectory;
 pub use trajgen;
 pub use trajserve;

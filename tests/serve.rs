@@ -174,6 +174,69 @@ fn outputs_are_identical_at_one_and_four_threads() {
     assert_eq!(comparable(&one), comparable(&four));
 }
 
+/// Everything that identifies a delivered soak output, with coordinates
+/// as raw bit patterns so the comparison is exact, not `==`-on-floats.
+type BitKey = (u64, u32, String, u64, u32, bool, u64, Vec<(u64, u64, u64)>);
+
+/// Caching is transparent (DESIGN.md §14): the soak delivers bit-identical
+/// artifacts cache-on vs cache-off, at one and four worker threads, and
+/// the cached runs clear the 30% window-memo hit-rate gate inside
+/// `SoakReport::verify`.
+#[test]
+fn soak_outputs_are_bit_identical_cache_on_vs_off_at_any_thread_count() {
+    use rlts::trajserve::{run_soak, CacheConfig, SoakConfig};
+
+    let bits = |threads: usize, cache: bool| -> Vec<BitKey> {
+        let report = run_soak(&SoakConfig {
+            sessions: 48,
+            tenants: 4,
+            points_per_session: 100,
+            drop: 0.06,
+            cache: cache.then(CacheConfig::default),
+            serve: ServeConfig {
+                threads,
+                idle_ttl: 8,
+                seed: 91,
+                ..ServeConfig::default()
+            },
+            ..SoakConfig::default()
+        });
+        report
+            .verify()
+            .unwrap_or_else(|e| panic!("threads={threads} cache={cache}: {e}"));
+        assert_eq!(
+            report.window_cache.is_some(),
+            cache,
+            "cache stats reported iff caching is on"
+        );
+        report
+            .outputs
+            .iter()
+            .map(|o| {
+                (
+                    o.id.0,
+                    o.tenant.0,
+                    o.reason.to_string(),
+                    o.observed,
+                    o.policy_version,
+                    o.degraded,
+                    o.delivered_at,
+                    o.simplified
+                        .iter()
+                        .map(|p| (p.x.to_bits(), p.y.to_bits(), p.t.to_bits()))
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    let reference = bits(1, false);
+    assert!(!reference.is_empty());
+    assert_eq!(bits(1, true), reference, "threads=1, cache on vs off");
+    assert_eq!(bits(4, false), reference, "threads=4, cache off");
+    assert_eq!(bits(4, true), reference, "threads=4, cache on vs off");
+}
+
 /// Above the soft memory ceiling new sessions degrade to the uniform
 /// fallback — and the degraded output is still a valid anchored
 /// simplification within budget.
