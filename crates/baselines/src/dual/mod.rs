@@ -7,7 +7,7 @@
 //!
 //! * [`OpeningWindow`] — the classic online error-bounded algorithm;
 //! * [`DeadReckoning`] — constant-velocity prediction with an O(1) decision
-//!   per point ([18] in the paper);
+//!   per point (\[18\] in the paper);
 //! * [`Split`] — recursive Douglas–Peucker splitting down to the bound;
 //! * [`BoundedBottomUp`] — greedy merging while the bound holds;
 //! * [`MinSizeSearch`] — the binary-search adaptation of any Min-Error

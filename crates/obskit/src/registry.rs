@@ -403,6 +403,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "three lowercase dot-separated segments")]
+    fn four_segment_names_panic() {
+        // Exactly three segments, not "at least": deep transport names
+        // must fold the extra level into the noun (net.client_frames.sent,
+        // never net.client.frames.sent).
+        MetricId::new("net.client.frames.sent");
+    }
+
+    #[test]
     fn clear_empties_the_snapshot() {
         let reg = Registry::new();
         let c = reg.counter("test.events.seen");

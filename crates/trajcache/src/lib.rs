@@ -46,7 +46,7 @@
 mod cache;
 mod stats;
 
-pub use cache::{Cache, EvictPolicy, PolicyParseError};
+pub use cache::{Cache, EvictPolicy, PolicyParseError, DEFAULT_TLRU_TTL};
 pub use stats::{CacheStats, StatsPublisher};
 
 /// Approximate heap + inline footprint of a value, in bytes.

@@ -1,7 +1,7 @@
 //! Monomorphized measure kernels: the sealed [`ErrorMeasure`] trait, its
 //! four zero-sized implementations, and the slice-batch range kernels.
 //!
-//! The [`Measure`](super::Measure) enum stays the *configuration* type — it
+//! The [`super::Measure`] enum stays the *configuration* type — it
 //! is what gets parsed, serialized, and stored in algorithm structs. The hot
 //! path, however, must not re-branch on it per point: every front-end lowers
 //! the enum to one of the zero-sized types below exactly once per call site

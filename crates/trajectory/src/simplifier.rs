@@ -215,8 +215,8 @@ impl Simplification {
 /// Implementations accept whichever [`Budget`] variants they `support` and
 /// panic on the others — callers route with [`Simplifier::supports`] when
 /// the budget is dynamic. Implemented for every batch algorithm via
-/// [`impl_simplifier_for_batch!`] and every error-bounded one via
-/// [`impl_simplifier_for_bounded!`].
+/// `impl_simplifier_for_batch!` and every error-bounded one via
+/// `impl_simplifier_for_bounded!`.
 pub trait Simplifier: Send + Sync {
     /// Short algorithm name for reports.
     fn name(&self) -> &'static str;

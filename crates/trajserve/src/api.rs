@@ -1,0 +1,740 @@
+//! The typed serve API: one request enum, one reply enum, one error enum
+//! (DESIGN.md §15).
+//!
+//! Every way of driving the service — in-process calls, the TCP server,
+//! the shard router — goes through [`ServeApi::call`] with a [`ServeOp`]
+//! in and a [`ServeReply`] out. Errors travel in-band as
+//! [`ServeReply::Error`] so the reply channel is single-typed and
+//! round-trips the wire codec losslessly; [`ServeError`] carries a stable
+//! discriminant [`code`](ServeError::code) per variant so peers can match
+//! on numbers across versions.
+//!
+//! # The logical clock over the wire
+//!
+//! In-process callers advance time with [`TrajServe::tick`]; networked
+//! callers send [`ServeOp::Step`] carrying the tick number they expect to
+//! produce. The explicit number makes the op *idempotent*: a step at or
+//! below the service clock is a duplicate (acknowledged, not re-applied),
+//! a step more than one ahead is a [`ServeError::ClockSkew`]. The same
+//! scheme covers [`ServeOp::Create`] (an explicit id below the allocator
+//! is a duplicate) and [`ServeOp::Publish`] (a sequence number at or below
+//! the registry head is a duplicate), which is what lets a router replay
+//! un-acknowledged ops after a shard crash without double-applying them
+//! (DESIGN.md §15.4).
+
+use crate::admission::{AdmitError, ShedReason};
+use crate::config::{SessionId, TenantId};
+use crate::registry::{PolicyVersion, PublishError};
+use crate::service::{SimplifierSpec, TickStats, TrajServe};
+use crate::session::SessionOutput;
+use trajcache::CacheStats;
+use trajectory::Point;
+
+/// One request against the serve API. The enum *is* the service surface:
+/// everything [`TrajServe`]'s inherent methods do maps onto exactly one
+/// variant, and the wire protocol carries these variants verbatim.
+#[derive(Debug, Clone)]
+pub enum ServeOp {
+    /// Admit a session. `id` is `None` for local allocation; a router
+    /// that owns the global id space passes `Some` (DESIGN.md §15.4).
+    Create {
+        /// Explicit session id (router-assigned) or `None` to allocate.
+        id: Option<u64>,
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Which simplifier the session runs.
+        spec: SimplifierSpec,
+        /// Simplification budget: delivered outputs hold ≤ `w` points.
+        w: u32,
+    },
+    /// Enqueue one point for a session.
+    Append {
+        /// Target session.
+        id: SessionId,
+        /// The observed point.
+        p: Point,
+    },
+    /// Deliver the session's current simplification; the session keeps
+    /// running.
+    Flush {
+        /// Target session.
+        id: SessionId,
+    },
+    /// Deliver the session's final simplification and remove it.
+    Close {
+        /// Target session.
+        id: SessionId,
+    },
+    /// Close every currently active session (queued sessions activate on
+    /// later ticks and need further `CloseAll`s).
+    CloseAll,
+    /// Advance the logical clock to `tick` (must be exactly `now + 1`;
+    /// at or below `now` is an idempotent duplicate).
+    Step {
+        /// The tick this step produces.
+        tick: u64,
+    },
+    /// Take every output delivered since the last drain.
+    Drain,
+    /// Hot-swap a policy checkpoint. `seq` is the version this publish
+    /// must produce (`0` = allocate unconditionally; at or below the
+    /// registry head is an idempotent duplicate).
+    Publish {
+        /// Expected resulting version, or 0 to allocate.
+        seq: PolicyVersion,
+        /// Encoded policy checkpoint.
+        bytes: Vec<u8>,
+    },
+    /// Read service gauges (clock, session counts, journal health).
+    Status,
+    /// Read memoization-cache counters.
+    CacheStats,
+    /// Liveness probe; echoes `nonce`.
+    Ping {
+        /// Echoed back in [`ServeReply::Pong`].
+        nonce: u64,
+    },
+    /// Ask a networked server to close this connection's loop and, for
+    /// `rlts serve --listen`, begin process shutdown. In-process this is
+    /// a no-op acknowledged with [`ServeReply::Ok`].
+    Shutdown,
+}
+
+/// One reply from the serve API. Every [`ServeOp`] variant documents
+/// which success variant it produces; any op can instead produce
+/// [`ServeReply::Error`].
+#[derive(Debug, Clone)]
+pub enum ServeReply {
+    /// `Create` succeeded.
+    Created {
+        /// The admitted session's id.
+        id: SessionId,
+    },
+    /// Generic acknowledgement (`Append`/`Flush`/`Close`/`CloseAll`/
+    /// `Shutdown`).
+    Ok,
+    /// `Step` applied (or was a duplicate, in which case the stats are
+    /// zero and `now` is the current clock).
+    Ticked(TickStats),
+    /// `Drain` result, in delivery order.
+    Outputs(Vec<SessionOutput>),
+    /// `Publish` result.
+    Published {
+        /// The now-current policy generation.
+        version: PolicyVersion,
+    },
+    /// `Status` result.
+    Status(ServeStatus),
+    /// `CacheStats` result (`None` = that cache is not configured).
+    CacheStats {
+        /// Whole-window memoization cache counters.
+        window: Option<CacheStats>,
+        /// Policy forward-pass cache counters.
+        forward: Option<CacheStats>,
+    },
+    /// `Ping` echo.
+    Pong {
+        /// The request's nonce.
+        nonce: u64,
+    },
+    /// The op failed; see [`ServeError`].
+    Error(ServeError),
+}
+
+/// Service gauges returned by [`ServeOp::Status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStatus {
+    /// Current logical time.
+    pub now: u64,
+    /// Active sessions.
+    pub active: u64,
+    /// Queued (admitted, not yet activated) sessions.
+    pub queued: u64,
+    /// Points buffered across all sessions.
+    pub buffered: u64,
+    /// Next session id the allocator would hand out.
+    pub next_id: u64,
+    /// Current policy generation.
+    pub policy_version: PolicyVersion,
+    /// `false` once a journal write has failed (service is read-only
+    /// degraded; see DESIGN.md §13).
+    pub journal_healthy: bool,
+}
+
+/// Every way a [`ServeOp`] can fail, unified across admission, shedding,
+/// publishing, durability, and transport — wire-stable, with a fixed
+/// discriminant [`code`](ServeError::code) per variant (DESIGN.md §15.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Tenant is at its session quota (code 1).
+    TenantQuota {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// Its configured ceiling.
+        limit: u64,
+    },
+    /// Active ceiling reached and the pending queue is full (code 2).
+    Saturated {
+        /// Active sessions at rejection time.
+        active: u64,
+        /// Queued sessions at rejection time.
+        pending: u64,
+    },
+    /// The requested simplifier cannot run online (code 3).
+    UnsupportedSpec {
+        /// What was wrong with the spec.
+        detail: String,
+    },
+    /// Point shed: per-tick rate ceiling (code 4).
+    RateCeiling,
+    /// Point shed: hard memory ceiling (code 5).
+    MemoryCeiling,
+    /// Point shed: the session is gone (code 6).
+    DeadSession,
+    /// Point shed: timestamp not monotone (code 7).
+    NonMonotone,
+    /// A journal or policy-store write failed; the service is in
+    /// read-only degraded mode (code 8).
+    JournalUnhealthy {
+        /// The underlying failure.
+        detail: String,
+    },
+    /// A published policy checkpoint failed to decode (code 9).
+    CorruptCheckpoint {
+        /// Decoder diagnosis.
+        detail: String,
+    },
+    /// An explicit sequence number (`Step` tick, `Create` id, `Publish`
+    /// seq) is ahead of the service's state (code 10).
+    ClockSkew {
+        /// The value the service would accept next.
+        expect: u64,
+        /// The value the op carried.
+        got: u64,
+    },
+    /// A routed shard is down; only its id range is affected (code 11).
+    ShardUnavailable {
+        /// Index of the dead shard in the router's shard list.
+        shard: u32,
+        /// Last connection failure.
+        detail: String,
+    },
+    /// The transport failed mid-exchange (code 12).
+    Transport {
+        /// The underlying failure.
+        detail: String,
+    },
+    /// The peer sent a frame that failed to decode (code 13).
+    BadFrame {
+        /// Decoder diagnosis.
+        detail: String,
+    },
+}
+
+impl ServeError {
+    /// Stable wire discriminant for this variant. Codes are append-only:
+    /// a code is never reused or renumbered (DESIGN.md §15.3).
+    pub fn code(&self) -> u16 {
+        match self {
+            ServeError::TenantQuota { .. } => 1,
+            ServeError::Saturated { .. } => 2,
+            ServeError::UnsupportedSpec { .. } => 3,
+            ServeError::RateCeiling => 4,
+            ServeError::MemoryCeiling => 5,
+            ServeError::DeadSession => 6,
+            ServeError::NonMonotone => 7,
+            ServeError::JournalUnhealthy { .. } => 8,
+            ServeError::CorruptCheckpoint { .. } => 9,
+            ServeError::ClockSkew { .. } => 10,
+            ServeError::ShardUnavailable { .. } => 11,
+            ServeError::Transport { .. } => 12,
+            ServeError::BadFrame { .. } => 13,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::TenantQuota { tenant, limit } => {
+                write!(f, "tenant {tenant} is at its session quota ({limit})")
+            }
+            ServeError::Saturated { active, pending } => write!(
+                f,
+                "service saturated: {active} active sessions, {pending} queued"
+            ),
+            ServeError::UnsupportedSpec { detail } => write!(f, "unsupported spec: {detail}"),
+            ServeError::RateCeiling => write!(f, "point shed: per-tick rate ceiling"),
+            ServeError::MemoryCeiling => write!(f, "point shed: memory ceiling"),
+            ServeError::DeadSession => write!(f, "point shed: session is gone"),
+            ServeError::NonMonotone => write!(f, "point shed: non-monotone timestamp"),
+            ServeError::JournalUnhealthy { detail } => {
+                write!(f, "journal unhealthy: {detail}")
+            }
+            ServeError::CorruptCheckpoint { detail } => {
+                write!(f, "corrupt policy checkpoint: {detail}")
+            }
+            ServeError::ClockSkew { expect, got } => {
+                write!(f, "sequence skew: expected {expect}, got {got}")
+            }
+            ServeError::ShardUnavailable { shard, detail } => {
+                write!(f, "shard {shard} unavailable: {detail}")
+            }
+            ServeError::Transport { detail } => write!(f, "transport failure: {detail}"),
+            ServeError::BadFrame { detail } => write!(f, "bad frame: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<AdmitError> for ServeError {
+    fn from(e: AdmitError) -> Self {
+        match e {
+            AdmitError::TenantQuota { tenant, limit } => ServeError::TenantQuota {
+                tenant,
+                limit: limit as u64,
+            },
+            AdmitError::Saturated { active, pending } => ServeError::Saturated {
+                active: active as u64,
+                pending: pending as u64,
+            },
+            AdmitError::UnsupportedSpec(detail) => ServeError::UnsupportedSpec {
+                detail: detail.to_string(),
+            },
+        }
+    }
+}
+
+impl From<ShedReason> for ServeError {
+    fn from(r: ShedReason) -> Self {
+        match r {
+            ShedReason::RateCeiling => ServeError::RateCeiling,
+            ShedReason::MemoryCeiling => ServeError::MemoryCeiling,
+            ShedReason::DeadSession => ServeError::DeadSession,
+            ShedReason::NonMonotone => ServeError::NonMonotone,
+        }
+    }
+}
+
+impl From<PublishError> for ServeError {
+    fn from(e: PublishError) -> Self {
+        match e {
+            PublishError::Checkpoint(c) => ServeError::CorruptCheckpoint {
+                detail: c.to_string(),
+            },
+            PublishError::Store(io) => ServeError::JournalUnhealthy {
+                detail: io.to_string(),
+            },
+        }
+    }
+}
+
+/// The transport-agnostic serve surface: [`TrajServe`] implements it
+/// in-process, [`ServeClient`](crate::ServeClient) over TCP, and
+/// [`Router`](crate::Router) across shard processes. A driver written
+/// against `ServeApi` runs bit-identically over any of the three
+/// (the loopback equivalence test in `tests/net.rs` holds it to that).
+pub trait ServeApi {
+    /// Execute one op. Errors come back in-band as
+    /// [`ServeReply::Error`]; this never panics on a malformed request.
+    fn call(&self, op: ServeOp) -> ServeReply;
+
+    /// [`ServeOp::Create`] with local id allocation.
+    fn create(
+        &self,
+        tenant: TenantId,
+        spec: SimplifierSpec,
+        w: u32,
+    ) -> Result<SessionId, ServeError> {
+        match self.call(ServeOp::Create {
+            id: None,
+            tenant,
+            spec,
+            w,
+        }) {
+            ServeReply::Created { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Append`].
+    fn append_point(&self, id: SessionId, p: Point) -> Result<(), ServeError> {
+        match self.call(ServeOp::Append { id, p }) {
+            ServeReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Flush`].
+    fn flush_session(&self, id: SessionId) -> Result<(), ServeError> {
+        match self.call(ServeOp::Flush { id }) {
+            ServeReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Close`].
+    fn close_session(&self, id: SessionId) -> Result<(), ServeError> {
+        match self.call(ServeOp::Close { id }) {
+            ServeReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::CloseAll`].
+    fn close_all_sessions(&self) -> Result<(), ServeError> {
+        match self.call(ServeOp::CloseAll) {
+            ServeReply::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Step`] to `tick`.
+    fn step(&self, tick: u64) -> Result<TickStats, ServeError> {
+        match self.call(ServeOp::Step { tick }) {
+            ServeReply::Ticked(stats) => Ok(stats),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Drain`].
+    fn drain(&self) -> Result<Vec<SessionOutput>, ServeError> {
+        match self.call(ServeOp::Drain) {
+            ServeReply::Outputs(outs) => Ok(outs),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Publish`].
+    fn publish_checkpoint(
+        &self,
+        seq: PolicyVersion,
+        bytes: Vec<u8>,
+    ) -> Result<PolicyVersion, ServeError> {
+        match self.call(ServeOp::Publish { seq, bytes }) {
+            ServeReply::Published { version } => Ok(version),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Status`].
+    fn status(&self) -> Result<ServeStatus, ServeError> {
+        match self.call(ServeOp::Status) {
+            ServeReply::Status(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::CacheStats`].
+    #[allow(clippy::type_complexity)] // two named Options, not nesting
+    fn caches(&self) -> Result<(Option<CacheStats>, Option<CacheStats>), ServeError> {
+        match self.call(ServeOp::CacheStats) {
+            ServeReply::CacheStats { window, forward } => Ok((window, forward)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// [`ServeOp::Ping`].
+    fn ping(&self, nonce: u64) -> Result<u64, ServeError> {
+        match self.call(ServeOp::Ping { nonce }) {
+            ServeReply::Pong { nonce } => Ok(nonce),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Collapses a mismatched reply into an error for the convenience
+/// wrappers: an in-band error passes through, anything else is a
+/// protocol violation.
+fn unexpected(reply: ServeReply) -> ServeError {
+    match reply {
+        ServeReply::Error(e) => e,
+        other => ServeError::Transport {
+            detail: format!("protocol violation: unexpected reply {other:?}"),
+        },
+    }
+}
+
+impl ServeApi for TrajServe {
+    fn call(&self, op: ServeOp) -> ServeReply {
+        match op {
+            ServeOp::Create {
+                id,
+                tenant,
+                spec,
+                w,
+            } => {
+                if let Some(g) = id {
+                    // Explicit ids make creates replay-safe: an id the
+                    // allocator has already passed is a duplicate of a
+                    // create that succeeded (failed creates never advance
+                    // the allocator), so acknowledge it without
+                    // re-admitting.
+                    let next = self.next_session_id();
+                    if g < next {
+                        return ServeReply::Created { id: SessionId(g) };
+                    }
+                }
+                match self.create_session_core(id, tenant, spec, w as usize) {
+                    Ok(id) => ServeReply::Created { id },
+                    Err(e) => ServeReply::Error(e.into()),
+                }
+            }
+            ServeOp::Append { id, p } => match self.append(id, p) {
+                Ok(()) => ServeReply::Ok,
+                Err(r) => ServeReply::Error(r.into()),
+            },
+            ServeOp::Flush { id } => {
+                self.flush(id);
+                ServeReply::Ok
+            }
+            ServeOp::Close { id } => {
+                self.close(id);
+                ServeReply::Ok
+            }
+            ServeOp::CloseAll => {
+                self.close_all();
+                ServeReply::Ok
+            }
+            ServeOp::Step { tick } => {
+                let now = self.now();
+                if tick <= now {
+                    // Duplicate of a step that already committed; the
+                    // clock must not move twice for one logical tick.
+                    return ServeReply::Ticked(TickStats {
+                        now,
+                        ..TickStats::default()
+                    });
+                }
+                if tick != now + 1 {
+                    return ServeReply::Error(ServeError::ClockSkew {
+                        expect: now + 1,
+                        got: tick,
+                    });
+                }
+                ServeReply::Ticked(self.tick())
+            }
+            ServeOp::Drain => ServeReply::Outputs(self.drain_completed()),
+            ServeOp::Publish { seq, bytes } => {
+                let head = self.registry().version();
+                if seq != 0 {
+                    if seq <= head {
+                        // Duplicate of a publish that already committed.
+                        return ServeReply::Published { version: seq };
+                    }
+                    if seq != head + 1 {
+                        return ServeReply::Error(ServeError::ClockSkew {
+                            expect: (head + 1) as u64,
+                            got: seq as u64,
+                        });
+                    }
+                }
+                match self.publish_policy_checkpoint(&bytes) {
+                    Ok(version) => ServeReply::Published { version },
+                    Err(e) => ServeReply::Error(e.into()),
+                }
+            }
+            ServeOp::Status => ServeReply::Status(ServeStatus {
+                now: self.now(),
+                active: self.active_sessions() as u64,
+                queued: self.queued_sessions() as u64,
+                buffered: self.buffered_points(),
+                next_id: self.next_session_id(),
+                policy_version: self.registry().version(),
+                journal_healthy: self.journal_healthy(),
+            }),
+            ServeOp::CacheStats => ServeReply::CacheStats {
+                window: self.window_cache_stats(),
+                forward: self.forward_cache_stats(),
+            },
+            ServeOp::Ping { nonce } => ServeReply::Pong { nonce },
+            ServeOp::Shutdown => ServeReply::Ok,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use trajectory::error::Measure;
+
+    fn serve() -> TrajServe {
+        TrajServe::new(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        })
+    }
+
+    #[test]
+    fn call_surface_matches_inherent_methods() {
+        let s = serve();
+        let id = s
+            .create(TenantId(0), SimplifierSpec::Squish(Measure::Sed), 8)
+            .unwrap();
+        for i in 0..40 {
+            s.append_point(id, Point::new(i as f64, 0.0, i as f64))
+                .unwrap();
+        }
+        let stats = s.step(1).unwrap();
+        assert_eq!(stats.now, 1);
+        assert_eq!(stats.applied, 40);
+        s.close_session(id).unwrap();
+        s.step(2).unwrap();
+        let outs = s.drain().unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].simplified.len() <= 8);
+        let st = s.status().unwrap();
+        assert_eq!(st.now, 2);
+        assert_eq!(st.active, 0);
+        assert_eq!(st.next_id, 1);
+        assert_eq!(s.ping(99).unwrap(), 99);
+    }
+
+    #[test]
+    fn step_is_idempotent_and_skew_is_typed() {
+        let s = serve();
+        assert_eq!(s.step(1).unwrap().now, 1);
+        // Duplicate: acknowledged at the current clock, not re-applied.
+        let dup = s.step(1).unwrap();
+        assert_eq!(dup.now, 1);
+        assert_eq!(s.now(), 1);
+        // Ahead: typed skew, clock untouched.
+        match s.step(5) {
+            Err(ServeError::ClockSkew { expect: 2, got: 5 }) => {}
+            other => panic!("expected clock skew, got {other:?}"),
+        }
+        assert_eq!(s.now(), 1);
+    }
+
+    #[test]
+    fn explicit_create_ids_are_idempotent() {
+        let s = serve();
+        let spec = SimplifierSpec::Squish(Measure::Sed);
+        // Router-style creates with gaps (this shard owns even ids).
+        for g in [0u64, 2, 4] {
+            match s.call(ServeOp::Create {
+                id: Some(g),
+                tenant: TenantId(0),
+                spec: spec.clone(),
+                w: 8,
+            }) {
+                ServeReply::Created { id } => assert_eq!(id.0, g),
+                other => panic!("create failed: {other:?}"),
+            }
+        }
+        assert_eq!(s.active_sessions(), 3);
+        // Replaying an old id is acknowledged without a new session.
+        match s.call(ServeOp::Create {
+            id: Some(2),
+            tenant: TenantId(0),
+            spec: spec.clone(),
+            w: 8,
+        }) {
+            ServeReply::Created { id } => assert_eq!(id.0, 2),
+            other => panic!("duplicate create not acknowledged: {other:?}"),
+        }
+        assert_eq!(s.active_sessions(), 3);
+        // A later local allocation continues past the explicit ids.
+        let id = s.create(TenantId(0), spec, 8).unwrap();
+        assert_eq!(id.0, 5);
+    }
+
+    #[test]
+    fn publish_seq_is_idempotent() {
+        let s = serve();
+        assert_eq!(s.registry().version(), 0);
+        // Duplicate of version 0 (the pre-publish head) is a no-op even
+        // though nothing was ever published with that seq.
+        // seq <= head → duplicate.
+        // (seq 0 means "allocate", so probe with an impossible skew.)
+        match s.publish_checkpoint(7, vec![]) {
+            Err(ServeError::ClockSkew { expect: 1, got: 7 }) => {}
+            other => panic!("expected skew, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_cross_from_admission_types() {
+        let s = TrajServe::new(ServeConfig {
+            threads: 1,
+            tenant_max_sessions: 1,
+            ..ServeConfig::default()
+        });
+        let spec = SimplifierSpec::Squish(Measure::Sed);
+        s.create(TenantId(3), spec.clone(), 8).unwrap();
+        match s.create(TenantId(3), spec, 8) {
+            Err(ServeError::TenantQuota { tenant, limit }) => {
+                assert_eq!(tenant, TenantId(3));
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected quota error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        let cases: Vec<(ServeError, u16)> = vec![
+            (
+                ServeError::TenantQuota {
+                    tenant: TenantId(0),
+                    limit: 1,
+                },
+                1,
+            ),
+            (
+                ServeError::Saturated {
+                    active: 1,
+                    pending: 1,
+                },
+                2,
+            ),
+            (
+                ServeError::UnsupportedSpec {
+                    detail: String::new(),
+                },
+                3,
+            ),
+            (ServeError::RateCeiling, 4),
+            (ServeError::MemoryCeiling, 5),
+            (ServeError::DeadSession, 6),
+            (ServeError::NonMonotone, 7),
+            (
+                ServeError::JournalUnhealthy {
+                    detail: String::new(),
+                },
+                8,
+            ),
+            (
+                ServeError::CorruptCheckpoint {
+                    detail: String::new(),
+                },
+                9,
+            ),
+            (ServeError::ClockSkew { expect: 1, got: 2 }, 10),
+            (
+                ServeError::ShardUnavailable {
+                    shard: 0,
+                    detail: String::new(),
+                },
+                11,
+            ),
+            (
+                ServeError::Transport {
+                    detail: String::new(),
+                },
+                12,
+            ),
+            (
+                ServeError::BadFrame {
+                    detail: String::new(),
+                },
+                13,
+            ),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.code(), code, "{e}");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Shared binary encoding primitives for the journal (DESIGN.md §13) and
+//! the wire protocol (DESIGN.md §15).
+//!
+//! Both layers speak the same dialect: big-endian fixed-width integers,
+//! `f64` round-tripped through `to_bits` (lossless — bit-identity across
+//! the wire is a documented guarantee), length-prefixed sequences with
+//! bounded counts, and `String` diagnoses for every malformed input —
+//! never a panic. The journal wraps these in [`trajstore::wal`] records;
+//! the wire codec wraps them in [`crate::wire`] frames.
+
+use crate::config::TenantId;
+use crate::service::SimplifierSpec;
+use crate::session::{CompletionReason, SessionOutput};
+use crate::SessionId;
+use rlts_core::{RltsConfig, ValueUpdate, Variant};
+use trajectory::error::Measure;
+use trajectory::Point;
+
+/// Cursor over a record payload; every getter is bounds-checked and every
+/// failure is a `String` diagnosis (turned into quarantine or a typed
+/// error by the caller — never a panic).
+pub(crate) struct Dec<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(b: &'a [u8]) -> Self {
+        Dec { b, at: 0 }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.at + n > self.b.len() {
+            return Err(format!(
+                "record truncated: wanted {n} bytes at offset {}, have {}",
+                self.at,
+                self.b.len() - self.at
+            ));
+        }
+        let out = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bad bool byte {other}")),
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn point(&mut self) -> Result<Point, String> {
+        let x = self.f64()?;
+        let y = self.f64()?;
+        let t = self.f64()?;
+        Ok(Point { x, y, t })
+    }
+
+    /// A `u32` used as an element count: bounded so a corrupt count cannot
+    /// drive a giant allocation (each element is ≥ 1 byte).
+    pub(crate) fn count(&mut self) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n > self.b.len() - self.at {
+            return Err(format!("count {n} exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.at != self.b.len() {
+            return Err(format!("{} trailing bytes", self.b.len() - self.at));
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+pub(crate) fn put_point(buf: &mut Vec<u8>, p: &Point) {
+    put_f64(buf, p.x);
+    put_f64(buf, p.y);
+    put_f64(buf, p.t);
+}
+
+pub(crate) fn put_points(buf: &mut Vec<u8>, pts: &[Point]) {
+    put_u32(buf, pts.len() as u32);
+    for p in pts {
+        put_point(buf, p);
+    }
+}
+
+pub(crate) fn get_points(d: &mut Dec<'_>) -> Result<Vec<Point>, String> {
+    let n = d.count()?;
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        pts.push(d.point()?);
+    }
+    Ok(pts)
+}
+
+pub(crate) fn put_spec(buf: &mut Vec<u8>, spec: &SimplifierSpec) {
+    let measure_idx = |m: Measure| Measure::ALL.iter().position(|&x| x == m).unwrap() as u8;
+    match spec {
+        SimplifierSpec::Rlts { cfg } => {
+            buf.push(0);
+            buf.push(Variant::ALL.iter().position(|&v| v == cfg.variant).unwrap() as u8);
+            buf.push(measure_idx(cfg.measure));
+            put_u32(buf, cfg.k as u32);
+            put_u32(buf, cfg.j as u32);
+            buf.push(match cfg.value_update {
+                ValueUpdate::Carry => 0,
+                ValueUpdate::Recompute => 1,
+            });
+        }
+        SimplifierSpec::Squish(m) => {
+            buf.push(1);
+            buf.push(measure_idx(*m));
+        }
+        SimplifierSpec::SquishE(m) => {
+            buf.push(2);
+            buf.push(measure_idx(*m));
+        }
+        SimplifierSpec::StTrace(m) => {
+            buf.push(3);
+            buf.push(measure_idx(*m));
+        }
+        SimplifierSpec::Uniform => buf.push(4),
+    }
+}
+
+pub(crate) fn get_spec(d: &mut Dec<'_>) -> Result<SimplifierSpec, String> {
+    let measure = |d: &mut Dec<'_>| -> Result<Measure, String> {
+        let i = d.u8()? as usize;
+        Measure::ALL
+            .get(i)
+            .copied()
+            .ok_or_else(|| format!("bad measure index {i}"))
+    };
+    match d.u8()? {
+        0 => {
+            let vi = d.u8()? as usize;
+            let variant = *Variant::ALL
+                .get(vi)
+                .ok_or_else(|| format!("bad variant index {vi}"))?;
+            let m = measure(d)?;
+            let k = d.u32()? as usize;
+            let j = d.u32()? as usize;
+            let value_update = match d.u8()? {
+                0 => ValueUpdate::Carry,
+                1 => ValueUpdate::Recompute,
+                other => return Err(format!("bad value-update byte {other}")),
+            };
+            let mut cfg = RltsConfig::paper_defaults(variant, m);
+            cfg.k = k;
+            cfg.j = j;
+            cfg.value_update = value_update;
+            Ok(SimplifierSpec::Rlts { cfg })
+        }
+        1 => Ok(SimplifierSpec::Squish(measure(d)?)),
+        2 => Ok(SimplifierSpec::SquishE(measure(d)?)),
+        3 => Ok(SimplifierSpec::StTrace(measure(d)?)),
+        4 => Ok(SimplifierSpec::Uniform),
+        other => Err(format!("bad spec tag {other}")),
+    }
+}
+
+pub(crate) fn put_output(buf: &mut Vec<u8>, o: &SessionOutput) {
+    put_u64(buf, o.id.0);
+    put_u32(buf, o.tenant.0);
+    buf.push(match o.reason {
+        CompletionReason::Closed => 0,
+        CompletionReason::Evicted => 1,
+        CompletionReason::Flushed => 2,
+    });
+    put_u64(buf, o.observed);
+    put_u32(buf, o.policy_version);
+    buf.push(o.degraded as u8);
+    put_u64(buf, o.delivered_at);
+    put_points(buf, &o.simplified);
+}
+
+pub(crate) fn get_output(d: &mut Dec<'_>) -> Result<SessionOutput, String> {
+    let id = SessionId(d.u64()?);
+    let tenant = TenantId(d.u32()?);
+    let reason = match d.u8()? {
+        0 => CompletionReason::Closed,
+        1 => CompletionReason::Evicted,
+        2 => CompletionReason::Flushed,
+        other => return Err(format!("bad completion reason {other}")),
+    };
+    let observed = d.u64()?;
+    let policy_version = d.u32()?;
+    let degraded = d.bool()?;
+    let delivered_at = d.u64()?;
+    let simplified = get_points(d)?;
+    Ok(SessionOutput {
+        id,
+        tenant,
+        reason,
+        simplified,
+        observed,
+        policy_version,
+        degraded,
+        delivered_at,
+    })
+}

@@ -33,18 +33,19 @@
 //! everything after the first torn, corrupt, or inconsistent record is
 //! counted and quarantined — never replayed, never a panic.
 
-use crate::config::{DurabilityConfig, TenantId};
+use crate::codec::{
+    get_output, get_points, get_spec, put_f64, put_output, put_point, put_points, put_spec,
+    put_u32, put_u64, Dec,
+};
+use crate::config::DurabilityConfig;
 use crate::service::{Op, SimplifierSpec};
-use crate::session::{CompletionReason, Session, SessionOutput};
-use crate::SessionId;
+use crate::session::{Session, SessionOutput};
 use obskit::{Buckets, Counter, Histogram};
-use rlts_core::{RltsConfig, ValueUpdate, Variant};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use trajectory::error::Measure;
 use trajectory::Point;
 use trajstore::wal::{self, WalWriter};
 
@@ -197,226 +198,6 @@ pub struct RecoveryReport {
     pub policies_loaded: usize,
     /// Wall-clock seconds recovery took.
     pub wall_seconds: f64,
-}
-
-// ---------------------------------------------------------------------------
-// Binary encoding helpers
-// ---------------------------------------------------------------------------
-
-/// Cursor over a record payload; every getter is bounds-checked and every
-/// failure is a `String` diagnosis (turned into quarantine or a typed
-/// error by the caller — never a panic).
-struct Dec<'a> {
-    b: &'a [u8],
-    at: usize,
-}
-
-impl<'a> Dec<'a> {
-    fn new(b: &'a [u8]) -> Self {
-        Dec { b, at: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.at + n > self.b.len() {
-            return Err(format!(
-                "record truncated: wanted {n} bytes at offset {}, have {}",
-                self.at,
-                self.b.len() - self.at
-            ));
-        }
-        let out = &self.b[self.at..self.at + n];
-        self.at += n;
-        Ok(out)
-    }
-
-    fn u8(&mut self) -> Result<u8, String> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn bool(&mut self) -> Result<bool, String> {
-        match self.u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(format!("bad bool byte {other}")),
-        }
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
-    }
-
-    fn f64(&mut self) -> Result<f64, String> {
-        Ok(f64::from_bits(self.u64()?))
-    }
-
-    fn point(&mut self) -> Result<Point, String> {
-        let x = self.f64()?;
-        let y = self.f64()?;
-        let t = self.f64()?;
-        Ok(Point { x, y, t })
-    }
-
-    /// A `u32` used as an element count: bounded so a corrupt count cannot
-    /// drive a giant allocation (each element is ≥ 1 byte).
-    fn count(&mut self) -> Result<usize, String> {
-        let n = self.u32()? as usize;
-        if n > self.b.len() - self.at {
-            return Err(format!("count {n} exceeds remaining payload"));
-        }
-        Ok(n)
-    }
-
-    fn finish(self) -> Result<(), String> {
-        if self.at != self.b.len() {
-            return Err(format!("{} trailing bytes", self.b.len() - self.at));
-        }
-        Ok(())
-    }
-}
-
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_f64(buf: &mut Vec<u8>, v: f64) {
-    put_u64(buf, v.to_bits());
-}
-
-fn put_point(buf: &mut Vec<u8>, p: &Point) {
-    put_f64(buf, p.x);
-    put_f64(buf, p.y);
-    put_f64(buf, p.t);
-}
-
-fn put_points(buf: &mut Vec<u8>, pts: &[Point]) {
-    put_u32(buf, pts.len() as u32);
-    for p in pts {
-        put_point(buf, p);
-    }
-}
-
-fn get_points(d: &mut Dec<'_>) -> Result<Vec<Point>, String> {
-    let n = d.count()?;
-    let mut pts = Vec::with_capacity(n);
-    for _ in 0..n {
-        pts.push(d.point()?);
-    }
-    Ok(pts)
-}
-
-fn put_spec(buf: &mut Vec<u8>, spec: &SimplifierSpec) {
-    let measure_idx = |m: Measure| Measure::ALL.iter().position(|&x| x == m).unwrap() as u8;
-    match spec {
-        SimplifierSpec::Rlts { cfg } => {
-            buf.push(0);
-            buf.push(Variant::ALL.iter().position(|&v| v == cfg.variant).unwrap() as u8);
-            buf.push(measure_idx(cfg.measure));
-            put_u32(buf, cfg.k as u32);
-            put_u32(buf, cfg.j as u32);
-            buf.push(match cfg.value_update {
-                ValueUpdate::Carry => 0,
-                ValueUpdate::Recompute => 1,
-            });
-        }
-        SimplifierSpec::Squish(m) => {
-            buf.push(1);
-            buf.push(measure_idx(*m));
-        }
-        SimplifierSpec::SquishE(m) => {
-            buf.push(2);
-            buf.push(measure_idx(*m));
-        }
-        SimplifierSpec::StTrace(m) => {
-            buf.push(3);
-            buf.push(measure_idx(*m));
-        }
-        SimplifierSpec::Uniform => buf.push(4),
-    }
-}
-
-fn get_spec(d: &mut Dec<'_>) -> Result<SimplifierSpec, String> {
-    let measure = |d: &mut Dec<'_>| -> Result<Measure, String> {
-        let i = d.u8()? as usize;
-        Measure::ALL
-            .get(i)
-            .copied()
-            .ok_or_else(|| format!("bad measure index {i}"))
-    };
-    match d.u8()? {
-        0 => {
-            let vi = d.u8()? as usize;
-            let variant = *Variant::ALL
-                .get(vi)
-                .ok_or_else(|| format!("bad variant index {vi}"))?;
-            let m = measure(d)?;
-            let k = d.u32()? as usize;
-            let j = d.u32()? as usize;
-            let value_update = match d.u8()? {
-                0 => ValueUpdate::Carry,
-                1 => ValueUpdate::Recompute,
-                other => return Err(format!("bad value-update byte {other}")),
-            };
-            let mut cfg = RltsConfig::paper_defaults(variant, m);
-            cfg.k = k;
-            cfg.j = j;
-            cfg.value_update = value_update;
-            Ok(SimplifierSpec::Rlts { cfg })
-        }
-        1 => Ok(SimplifierSpec::Squish(measure(d)?)),
-        2 => Ok(SimplifierSpec::SquishE(measure(d)?)),
-        3 => Ok(SimplifierSpec::StTrace(measure(d)?)),
-        4 => Ok(SimplifierSpec::Uniform),
-        other => Err(format!("bad spec tag {other}")),
-    }
-}
-
-fn put_output(buf: &mut Vec<u8>, o: &SessionOutput) {
-    put_u64(buf, o.id.0);
-    put_u32(buf, o.tenant.0);
-    buf.push(match o.reason {
-        CompletionReason::Closed => 0,
-        CompletionReason::Evicted => 1,
-        CompletionReason::Flushed => 2,
-    });
-    put_u64(buf, o.observed);
-    put_u32(buf, o.policy_version);
-    buf.push(o.degraded as u8);
-    put_u64(buf, o.delivered_at);
-    put_points(buf, &o.simplified);
-}
-
-fn get_output(d: &mut Dec<'_>) -> Result<SessionOutput, String> {
-    let id = SessionId(d.u64()?);
-    let tenant = TenantId(d.u32()?);
-    let reason = match d.u8()? {
-        0 => CompletionReason::Closed,
-        1 => CompletionReason::Evicted,
-        2 => CompletionReason::Flushed,
-        other => return Err(format!("bad completion reason {other}")),
-    };
-    let observed = d.u64()?;
-    let policy_version = d.u32()?;
-    let degraded = d.bool()?;
-    let delivered_at = d.u64()?;
-    let simplified = get_points(d)?;
-    Ok(SessionOutput {
-        id,
-        tenant,
-        reason,
-        simplified,
-        observed,
-        policy_version,
-        degraded,
-        delivered_at,
-    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1507,6 +1288,10 @@ pub(crate) fn preserve_quarantine(dir: &Path) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{SessionId, TenantId};
+    use crate::session::CompletionReason;
+    use rlts_core::{RltsConfig, ValueUpdate, Variant};
+    use trajectory::error::Measure;
 
     fn specs() -> Vec<SimplifierSpec> {
         let mut cfg = RltsConfig::paper_defaults(Variant::RltsSkip, Measure::Dad);

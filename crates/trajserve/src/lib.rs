@@ -62,20 +62,34 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod api;
 mod cache;
+mod codec;
 mod config;
 mod journal;
+mod net;
 mod registry;
+mod router;
 mod service;
 mod session;
 mod soak;
 mod uniform;
+mod wire;
 
 pub use admission::{AdmitError, ShedReason};
+pub use api::{ServeApi, ServeError, ServeOp, ServeReply, ServeStatus};
 pub use config::{CacheConfig, DurabilityConfig, ServeConfig, SessionId, TenantId};
 pub use journal::{JournalError, RecoveryReport};
+pub use net::{serve_forever, NetServer, ServeClient};
 pub use registry::{PolicyEntry, PolicyRegistry, PolicyVersion, PublishError};
+pub use router::{Router, RouterConfig, ShardHealth};
 pub use service::{SimplifierSpec, TickStats, TrajServe};
 pub use session::{CompletionReason, SessionOutput};
-pub use soak::{run_soak, CorruptMode, SoakConfig, SoakReport};
+pub use soak::{
+    run_soak, run_soak_on, serve_config, CorruptMode, ServeBackend, SoakConfig, SoakReport,
+};
 pub use uniform::UniformOnline;
+pub use wire::{
+    read_frame, write_frame, WireError, FRAME_MAGIC, KIND_REPLY, KIND_REQUEST, MAX_FRAME_LEN,
+    WIRE_VERSION,
+};

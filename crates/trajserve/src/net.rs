@@ -1,0 +1,505 @@
+//! Blocking TCP transport for the serve API (DESIGN.md §15.1).
+//!
+//! The server is deliberately boring: one listener, one OS thread per
+//! connection, blocking reads, and a [`BufWriter`] flush per reply. The
+//! service itself runs on a logical clock with a single driver, so the
+//! transport's only jobs are to move [`ServeOp`] frames in order and to
+//! never let a malformed byte stream near a panic — a frame that fails
+//! to decode gets a [`ServeError::BadFrame`] reply and the connection is
+//! closed (framing can no longer be trusted).
+//!
+//! [`ServeClient`] is the other end: a [`ServeApi`] over one socket with
+//! lazy connect and reconnect-on-next-call. A transport failure surfaces
+//! as [`ServeError::Transport`] — the client never silently resends,
+//! because a bare `Append` is not idempotent; replay with idempotent
+//! sequencing is the router's job (DESIGN.md §15.4).
+//!
+//! Everything here reports under the `net.*` metric family.
+
+use crate::api::{ServeApi, ServeError, ServeOp, ServeReply};
+use crate::wire;
+use obskit::{Buckets, Counter, Histogram};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often the accept loop wakes to check for shutdown.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// The `net.*` metric family, server side.
+struct ServerMetrics {
+    connections_opened: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    frames_received: Arc<Counter>,
+    frames_sent: Arc<Counter>,
+    frames_bad: Arc<Counter>,
+    op_seconds: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let reg = obskit::global();
+        ServerMetrics {
+            connections_opened: reg.counter("net.connections.opened"),
+            connections_closed: reg.counter("net.connections.closed"),
+            frames_received: reg.counter("net.frames.received"),
+            frames_sent: reg.counter("net.frames.sent"),
+            frames_bad: reg.counter("net.frames.bad"),
+            op_seconds: reg.histogram("net.op.seconds", Buckets::latency()),
+        }
+    }
+}
+
+/// A running `trajserve` TCP server: the transport half of
+/// `rlts serve --listen` (DESIGN.md §15.1).
+///
+/// Accepts connections until some client sends [`ServeOp::Shutdown`],
+/// then stops accepting; [`join`](NetServer::join) returns once the
+/// accept loop has exited. Connection threads are detached — they end
+/// when their peer closes (or with the process).
+pub struct NetServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    /// One clone per accepted stream, so [`stop`](NetServer::stop) can
+    /// sever live connections (blocking reads unblock with EOF). Keyed
+    /// by a connection sequence number so handlers can deregister.
+    conns: Arc<Mutex<Vec<(u64, TcpStream)>>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `listen` (e.g. `127.0.0.1:7400`, port 0 for ephemeral) and
+    /// starts accepting in a background thread. The backend can be an
+    /// in-process [`crate::TrajServe`] (a shard server) or a
+    /// [`crate::Router`] (a routing tier) — anything implementing
+    /// [`ServeApi`].
+    pub fn spawn(
+        serve: Arc<dyn ServeApi + Send + Sync>,
+        listen: &str,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::new(Mutex::new(Vec::new()));
+        let flag = Arc::clone(&shutdown);
+        let conn_list = Arc::clone(&conns);
+        let accept_thread = std::thread::spawn(move || {
+            let metrics = Arc::new(ServerMetrics::new());
+            // Connections share one dispatch lock: ops apply in arrival
+            // order even if several clients connect, matching the
+            // single-driver discipline the in-process service assumes.
+            let dispatch = Arc::new(Mutex::new(()));
+            let mut conn_seq: u64 = 0;
+            while !flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        metrics.connections_opened.inc();
+                        let conn_id = conn_seq;
+                        conn_seq += 1;
+                        if let Ok(clone) = stream.try_clone() {
+                            conn_list
+                                .lock()
+                                .expect("conn list poisoned")
+                                .push((conn_id, clone));
+                        }
+                        let serve = Arc::clone(&serve);
+                        let flag = Arc::clone(&flag);
+                        let metrics = Arc::clone(&metrics);
+                        let dispatch = Arc::clone(&dispatch);
+                        let conn_list = Arc::clone(&conn_list);
+                        std::thread::spawn(move || {
+                            handle_conn(&*serve, stream, &flag, &metrics, &dispatch);
+                            metrics.connections_closed.inc();
+                            conn_list
+                                .lock()
+                                .expect("conn list poisoned")
+                                .retain(|(id, _)| *id != conn_id);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        });
+        Ok(NetServer {
+            addr,
+            shutdown,
+            conns,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until a client sends [`ServeOp::Shutdown`].
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Asks the accept loop to stop without a client-side shutdown op,
+    /// and severs every live connection (peers see EOF / reset).
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for (_, conn) in self.conns.lock().expect("conn list poisoned").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Runs a server on `listen` and blocks until a client sends
+/// [`ServeOp::Shutdown`] — the body of `rlts serve --listen` and
+/// `rlts route`.
+pub fn serve_forever(serve: Arc<dyn ServeApi + Send + Sync>, listen: &str) -> std::io::Result<()> {
+    let server = NetServer::spawn(serve, listen)?;
+    server.join();
+    Ok(())
+}
+
+fn handle_conn(
+    serve: &dyn ServeApi,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    metrics: &ServerMetrics,
+    dispatch: &Mutex<()>,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match wire::read_op(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(op)) => {
+                metrics.frames_received.inc();
+                let stop = matches!(op, ServeOp::Shutdown);
+                let started = Instant::now();
+                let reply = {
+                    let _serial = dispatch.lock().expect("dispatch lock poisoned");
+                    serve.call(op)
+                };
+                metrics.op_seconds.record(started.elapsed().as_secs_f64());
+                if write_flush(&mut writer, &reply).is_err() {
+                    break;
+                }
+                metrics.frames_sent.inc();
+                if stop {
+                    shutdown.store(true, Ordering::Relaxed);
+                    break;
+                }
+            }
+            Err(e) => {
+                // The frame was damaged; reply with the typed error
+                // (best-effort) and drop the connection — after a bad
+                // frame the stream offset can no longer be trusted.
+                metrics.frames_bad.inc();
+                let reply = ServeReply::Error(e.into());
+                let _ = write_flush(&mut writer, &reply);
+                break;
+            }
+        }
+    }
+    // Shut the socket down at the kernel level: the clone retained for
+    // `stop()` would otherwise keep it open after this handler exits,
+    // and the peer would never see EOF.
+    let _ = writer.get_ref().shutdown(std::net::Shutdown::Both);
+}
+
+fn write_flush(w: &mut BufWriter<TcpStream>, reply: &ServeReply) -> Result<(), wire::WireError> {
+    wire::write_reply(w, reply)?;
+    w.flush().map_err(wire::WireError::Io)
+}
+
+/// The `net.*` metric family, client side.
+struct ClientMetrics {
+    frames_sent: Arc<Counter>,
+    frames_received: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    transport_errors: Arc<Counter>,
+    call_seconds: Arc<Histogram>,
+}
+
+impl ClientMetrics {
+    fn new() -> Self {
+        let reg = obskit::global();
+        ClientMetrics {
+            frames_sent: reg.counter("net.client_frames.sent"),
+            frames_received: reg.counter("net.client_frames.received"),
+            reconnects: reg.counter("net.client.reconnects"),
+            transport_errors: reg.counter("net.client.errors"),
+            call_seconds: reg.histogram("net.client_calls.seconds", Buckets::latency()),
+        }
+    }
+}
+
+/// One established framed connection: the client half of an exchange.
+/// Shared by [`ServeClient`] and the router's per-shard links.
+pub(crate) struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    /// Connects and disables Nagle (ops are tiny and latency-bound).
+    pub(crate) fn dial(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        Ok(Conn {
+            reader: BufReader::new(read_half),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One op out, one reply back. Any failure means the stream can no
+    /// longer be trusted and the connection should be dropped.
+    pub(crate) fn exchange(&mut self, op: &ServeOp) -> Result<ServeReply, wire::WireError> {
+        wire::write_op(&mut self.writer, op)?;
+        self.writer.flush().map_err(wire::WireError::Io)?;
+        match wire::read_reply(&mut self.reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(wire::WireError::Truncated { context: "reply" }),
+        }
+    }
+}
+
+/// A [`ServeApi`] over one TCP connection — the same surface as an
+/// in-process [`crate::TrajServe`], so a driver is oblivious to which it holds.
+///
+/// The connection is established lazily and re-established on the call
+/// after a failure; the failing call itself returns
+/// [`ServeError::Transport`] without resending (a bare append is not
+/// idempotent — replay belongs to the router, DESIGN.md §15.4).
+pub struct ServeClient {
+    addr: String,
+    conn: Mutex<Option<Conn>>,
+    metrics: ClientMetrics,
+}
+
+impl ServeClient {
+    /// Connects to `addr`, retrying with a short backoff until `wait`
+    /// has elapsed (covers the races of a server still binding).
+    pub fn connect(addr: &str, wait: Duration) -> Result<ServeClient, ServeError> {
+        let client = ServeClient {
+            addr: addr.to_string(),
+            conn: Mutex::new(None),
+            metrics: ClientMetrics::new(),
+        };
+        let deadline = Instant::now() + wait;
+        loop {
+            match client.dial() {
+                Ok(conn) => {
+                    *client.conn.lock().expect("client lock poisoned") = Some(conn);
+                    return Ok(client);
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(ServeError::Transport {
+                            detail: format!("connect {}: {e}", client.addr),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// The address this client dials.
+    pub fn peer(&self) -> &str {
+        &self.addr
+    }
+
+    fn dial(&self) -> std::io::Result<Conn> {
+        Conn::dial(&self.addr)
+    }
+
+    /// Sends [`ServeOp::Shutdown`], asking the server process to stop
+    /// accepting and exit its serve loop.
+    pub fn shutdown_server(&self) -> Result<(), ServeError> {
+        match self.call(ServeOp::Shutdown) {
+            ServeReply::Ok => Ok(()),
+            ServeReply::Error(e) => Err(e),
+            other => Err(ServeError::Transport {
+                detail: format!("protocol violation: unexpected reply {other:?}"),
+            }),
+        }
+    }
+
+    fn exchange(&self, conn: &mut Conn, op: &ServeOp) -> Result<ServeReply, ServeError> {
+        self.metrics.frames_sent.inc();
+        match conn.exchange(op) {
+            Ok(reply) => {
+                self.metrics.frames_received.inc();
+                Ok(reply)
+            }
+            Err(wire::WireError::Truncated { context: "reply" }) => Err(ServeError::Transport {
+                detail: format!("{}: connection closed mid-call", self.addr),
+            }),
+            Err(e) => Err(ServeError::from(e)),
+        }
+    }
+}
+
+impl ServeApi for ServeClient {
+    fn call(&self, op: ServeOp) -> ServeReply {
+        let started = Instant::now();
+        let mut guard = self.conn.lock().expect("client lock poisoned");
+        if guard.is_none() {
+            match self.dial() {
+                Ok(conn) => {
+                    self.metrics.reconnects.inc();
+                    *guard = Some(conn);
+                }
+                Err(e) => {
+                    self.metrics.transport_errors.inc();
+                    return ServeReply::Error(ServeError::Transport {
+                        detail: format!("connect {}: {e}", self.addr),
+                    });
+                }
+            }
+        }
+        let conn = guard.as_mut().expect("connection just established");
+        let result = self.exchange(conn, &op);
+        self.metrics
+            .call_seconds
+            .record(started.elapsed().as_secs_f64());
+        match result {
+            Ok(reply) => {
+                // A BadFrame reply means the server no longer trusts
+                // this stream and is closing it; redial next call.
+                if matches!(reply, ServeReply::Error(ServeError::BadFrame { .. })) {
+                    *guard = None;
+                }
+                reply
+            }
+            Err(e) => {
+                // Poisoned stream: drop it so the next call redials.
+                *guard = None;
+                self.metrics.transport_errors.inc();
+                ServeReply::Error(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ServeConfig, TenantId};
+    use crate::service::{SimplifierSpec, TrajServe};
+    use trajectory::error::Measure;
+    use trajectory::Point;
+
+    fn spawn_server() -> (NetServer, Arc<TrajServe>) {
+        let serve = Arc::new(TrajServe::new(ServeConfig {
+            threads: 2,
+            ..ServeConfig::default()
+        }));
+        let server = NetServer::spawn(
+            Arc::clone(&serve) as Arc<dyn ServeApi + Send + Sync>,
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        (server, serve)
+    }
+
+    #[test]
+    fn loopback_session_lifecycle() {
+        let (server, serve) = spawn_server();
+        let client =
+            ServeClient::connect(&server.addr().to_string(), Duration::from_secs(5)).unwrap();
+        assert_eq!(client.ping(7).unwrap(), 7);
+        let id = client
+            .create(TenantId(0), SimplifierSpec::Squish(Measure::Sed), 8)
+            .unwrap();
+        for i in 0..50 {
+            client
+                .append_point(id, Point::new(i as f64, 0.5, i as f64))
+                .unwrap();
+        }
+        let stats = client.step(1).unwrap();
+        assert_eq!(stats.applied, 50);
+        client.close_session(id).unwrap();
+        client.step(2).unwrap();
+        let outs = client.drain().unwrap();
+        assert_eq!(outs.len(), 1);
+        assert!(outs[0].simplified.len() <= 8);
+        // The server-side service saw everything the client did.
+        assert_eq!(serve.now(), 2);
+        client.shutdown_server().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn corrupt_frame_gets_typed_error_reply() {
+        let (server, _serve) = spawn_server();
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // A valid header announcing a payload whose CRC won't match.
+        let mut frame = Vec::new();
+        wire::write_op(&mut frame, &ServeOp::Ping { nonce: 1 }).unwrap();
+        let n = frame.len();
+        frame[n - 5] ^= 0xFF; // damage the payload tail
+        stream.write_all(&frame).unwrap();
+        let reply = wire::read_reply(&mut BufReader::new(stream.try_clone().unwrap()))
+            .unwrap()
+            .unwrap();
+        match reply {
+            ServeReply::Error(ServeError::BadFrame { .. }) => {}
+            other => panic!("expected BadFrame, got {other:?}"),
+        }
+        // Server closed the connection after the bad frame.
+        let mut rest = Vec::new();
+        use std::io::Read;
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+        server.stop();
+    }
+
+    #[test]
+    fn client_surfaces_transport_failure_then_reconnects() {
+        let (server, _serve) = spawn_server();
+        let addr = server.addr().to_string();
+        let client = ServeClient::connect(&addr, Duration::from_secs(5)).unwrap();
+        assert_eq!(client.ping(1).unwrap(), 1);
+        // Poison the stream by sending garbage the server will reject.
+        {
+            let mut guard = client.conn.lock().unwrap();
+            let conn = guard.as_mut().unwrap();
+            conn.writer
+                .write_all(b"garbage-that-is-not-a-frame!")
+                .unwrap();
+            conn.writer.flush().unwrap();
+        }
+        // The next call reads the server's BadFrame reply (the server
+        // closes the stream after it), which makes the client redial —
+        // so the call after that succeeds on a fresh connection.
+        match client.ping(2) {
+            Err(ServeError::BadFrame { .. }) | Err(ServeError::Transport { .. }) => {}
+            other => panic!("expected poisoned-stream error, got {other:?}"),
+        }
+        assert_eq!(client.ping(3).unwrap(), 3);
+        server.stop();
+    }
+}

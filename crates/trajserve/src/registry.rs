@@ -38,7 +38,7 @@ pub enum PublishError {
     /// The checkpoint bytes did not decode into a policy.
     Checkpoint(PolicyCheckpointError),
     /// The checkpoint store rejected the write even after
-    /// [`PUBLISH_ATTEMPTS`] tries with exponential backoff.
+    /// `PUBLISH_ATTEMPTS` tries with exponential backoff.
     Store(std::io::Error),
 }
 

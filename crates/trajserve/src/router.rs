@@ -1,0 +1,952 @@
+//! Shard router: one [`ServeApi`] across many shard processes
+//! (DESIGN.md §15.4).
+//!
+//! The router owns the *global* session-id space and places session `g`
+//! on shard `g % N`, so a shard only ever sees ids in its residue class.
+//! Per-session ops (`Append`/`Flush`/`Close`) follow the id; clock steps,
+//! policy publishes and `CloseAll` broadcast to every shard so the shard
+//! clocks and policy registries stay in lockstep; `Drain` collects from
+//! every shard and merges outputs in `(delivered_at, id)` order — the
+//! same order a single-process drain is sorted into.
+//!
+//! # Crash recovery without double-apply
+//!
+//! A shard commits its journal at each step (DESIGN.md §13): everything
+//! the router sent *before* a step that the shard acknowledged is either
+//! journaled (creates, applied appends) or was consumed by that tick.
+//! Ops sent *after* the last acknowledged step live only in the shard's
+//! in-memory inboxes and die with the process. So the router keeps, per
+//! shard, a replay buffer of every mutating op since the last
+//! acknowledged step, and truncates it each time a step ack comes back.
+//!
+//! When a shard connection drops, the router goes *optimistic* for that
+//! shard: per-id ops buffer and acknowledge locally, steps acknowledge
+//! with zeroed stats, and a bounded reconnect with exponential backoff
+//! runs in the background of each call. On revival the router asks the
+//! shard for its [`ServeOp::Status`], trims the buffer through the last
+//! step the shard's recovered clock proves committed, and replays the
+//! rest. Replay is safe because the explicit sequence numbers on
+//! `Create`/`Step`/`Publish` make them idempotent (DESIGN.md §15.2) and
+//! replayed appends target inbox state the crash wiped.
+//!
+//! If the buffer outgrows [`RouterConfig::backlog_limit`] the shard is
+//! marked permanently degraded: its id range answers
+//! [`ServeError::ShardUnavailable`] while the other shards keep serving
+//! — a dead shard degrades only its residue class.
+//!
+//! `Drain` is the one op that is never buffered: it must see every
+//! shard, so it first revives any down shard (bounded retries) and
+//! fails with `ShardUnavailable` rather than return a partial artifact.
+//! Outputs already collected when a drain fails midway are stashed and
+//! prepended to the next successful drain, so watermark-committed
+//! outputs are never lost.
+//!
+//! Everything here reports under the `net.route.*` metric family.
+
+use crate::api::{ServeApi, ServeError, ServeOp, ServeReply, ServeStatus};
+use crate::config::SessionId;
+use crate::net::Conn;
+use crate::registry::PolicyVersion;
+use crate::service::TickStats;
+use crate::session::SessionOutput;
+use obskit::Counter;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use trajcache::CacheStats;
+
+/// Tuning for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses; `session_id % shards.len()` picks the shard.
+    pub shards: Vec<String>,
+    /// How long the initial connect retries before giving up.
+    pub connect_wait: Duration,
+    /// First reconnect backoff delay (doubles per failed attempt).
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Replay-buffer cap per shard; overflow marks the shard
+    /// permanently degraded.
+    pub backlog_limit: usize,
+    /// Revival attempts a `Drain` makes per down shard before failing.
+    pub drain_retries: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            shards: Vec::new(),
+            connect_wait: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            backlog_limit: 100_000,
+            drain_retries: 40,
+        }
+    }
+}
+
+/// One shard's health, as [`Router::health`] reports it.
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    /// Index in [`RouterConfig::shards`] (= the id residue it owns).
+    pub index: u32,
+    /// The shard's address.
+    pub addr: String,
+    /// Whether a live connection is up right now.
+    pub connected: bool,
+    /// Ops waiting in the replay buffer.
+    pub backlog: usize,
+    /// The last step tick the shard acknowledged.
+    pub acked_now: u64,
+    /// Set once the shard is permanently degraded, with the reason.
+    pub degraded: Option<String>,
+}
+
+/// The `net.route.*` metric family.
+struct RouterMetrics {
+    forwarded: Arc<Counter>,
+    buffered: Arc<Counter>,
+    replayed: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    conn_drops: Arc<Counter>,
+    degraded: Arc<Counter>,
+    drain_stashed: Arc<Counter>,
+}
+
+impl RouterMetrics {
+    fn new() -> Self {
+        let reg = obskit::global();
+        RouterMetrics {
+            forwarded: reg.counter("net.route_ops.forwarded"),
+            buffered: reg.counter("net.route_ops.buffered"),
+            replayed: reg.counter("net.route_ops.replayed"),
+            reconnects: reg.counter("net.route.reconnects"),
+            conn_drops: reg.counter("net.route_conns.dropped"),
+            degraded: reg.counter("net.route_shards.degraded"),
+            drain_stashed: reg.counter("net.route_drains.stashed"),
+        }
+    }
+}
+
+struct ShardState {
+    addr: String,
+    index: u32,
+    conn: Option<Conn>,
+    /// Mutating ops since the last step this shard acknowledged.
+    /// `pending[..sent]` were acknowledged on the live connection but are
+    /// not yet step-committed; `pending[sent..]` were never acknowledged.
+    pending: VecDeque<ServeOp>,
+    sent: usize,
+    /// The shard's committed logical clock, as last proven to the router
+    /// (step acks while connected, `Status` on revival).
+    acked_now: u64,
+    attempts: u32,
+    next_attempt: Instant,
+    degraded: Option<String>,
+}
+
+impl ShardState {
+    fn unavailable(&self) -> ServeError {
+        ServeError::ShardUnavailable {
+            shard: self.index,
+            detail: self
+                .degraded
+                .clone()
+                .unwrap_or_else(|| "connection down, reconnect pending".to_string()),
+        }
+    }
+}
+
+struct RouterInner {
+    cfg: RouterConfig,
+    shards: Vec<ShardState>,
+    /// Global session-id allocator; advances only on acknowledged (or
+    /// optimistically buffered) creates so the id sequence matches a
+    /// single process exactly.
+    next_id: u64,
+    /// Policy registry head, kept in lockstep across shards.
+    policy_head: PolicyVersion,
+    /// Outputs rescued from a drain that failed midway, prepended to the
+    /// next successful drain.
+    stash: Vec<SessionOutput>,
+}
+
+/// A [`ServeApi`] spanning `N` shard processes — the body of
+/// `rlts route` (put it behind a [`crate::NetServer`] to serve it).
+pub struct Router {
+    inner: Mutex<RouterInner>,
+    metrics: RouterMetrics,
+}
+
+impl Router {
+    /// Connects to every shard in `cfg.shards`, retrying each until
+    /// [`RouterConfig::connect_wait`] elapses. Reads every shard's
+    /// [`ServeStatus`] to adopt recovered state (clock, id allocator,
+    /// policy head), so a router restarted over live shards resumes
+    /// where they are.
+    pub fn connect(cfg: RouterConfig) -> Result<Router, ServeError> {
+        if cfg.shards.is_empty() {
+            return Err(ServeError::Transport {
+                detail: "router needs at least one shard address".to_string(),
+            });
+        }
+        let mut shards = Vec::with_capacity(cfg.shards.len());
+        let mut next_id = 0u64;
+        let mut policy_head: PolicyVersion = 0;
+        for (k, addr) in cfg.shards.iter().enumerate() {
+            let deadline = Instant::now() + cfg.connect_wait;
+            let (conn, st) = loop {
+                match Conn::dial(addr).and_then(|mut c| match c.exchange(&ServeOp::Status) {
+                    Ok(ServeReply::Status(st)) => Ok((c, st)),
+                    Ok(other) => Err(std::io::Error::other(format!(
+                        "unexpected status reply: {other:?}"
+                    ))),
+                    Err(e) => Err(std::io::Error::other(e.to_string())),
+                }) {
+                    Ok(got) => break got,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(ServeError::ShardUnavailable {
+                                shard: k as u32,
+                                detail: format!("connect {addr}: {e}"),
+                            });
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            };
+            next_id = next_id.max(st.next_id);
+            policy_head = policy_head.max(st.policy_version);
+            shards.push(ShardState {
+                addr: addr.clone(),
+                index: k as u32,
+                conn: Some(conn),
+                pending: VecDeque::new(),
+                sent: 0,
+                acked_now: st.now,
+                attempts: 0,
+                next_attempt: Instant::now(),
+                degraded: None,
+            });
+        }
+        Ok(Router {
+            inner: Mutex::new(RouterInner {
+                cfg,
+                shards,
+                next_id,
+                policy_head,
+                stash: Vec::new(),
+            }),
+            metrics: RouterMetrics::new(),
+        })
+    }
+
+    /// Number of shards this router spans.
+    pub fn shard_count(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("router lock poisoned")
+            .shards
+            .len()
+    }
+
+    /// Per-shard health snapshot (connectivity, replay backlog,
+    /// acknowledged clock, degradation).
+    pub fn health(&self) -> Vec<ShardHealth> {
+        let inner = self.inner.lock().expect("router lock poisoned");
+        inner
+            .shards
+            .iter()
+            .map(|s| ShardHealth {
+                index: s.index,
+                addr: s.addr.clone(),
+                connected: s.conn.is_some(),
+                backlog: s.pending.len(),
+                acked_now: s.acked_now,
+                degraded: s.degraded.clone(),
+            })
+            .collect()
+    }
+
+    /// Sends one buffered (mutating, replayable) op to shard `k`.
+    fn shard_call(&self, inner: &mut RouterInner, k: usize, op: ServeOp) -> ServeReply {
+        let backlog_limit = inner.cfg.backlog_limit;
+        let backoff = (inner.cfg.backoff_base, inner.cfg.backoff_max);
+        let shard = &mut inner.shards[k];
+        if shard.degraded.is_some() {
+            return ServeReply::Error(shard.unavailable());
+        }
+        if shard.conn.is_none() {
+            self.try_revive(shard, backoff, false);
+        }
+        shard.pending.push_back(op.clone());
+        if shard.conn.is_some() {
+            if let Some(reply) = self.pump(shard, backoff) {
+                return reply;
+            }
+        }
+        // Down: acknowledge optimistically and keep the op for replay.
+        if shard.pending.len() > backlog_limit {
+            let reason = format!(
+                "replay backlog overflow ({} ops) while down",
+                shard.pending.len()
+            );
+            shard.degraded = Some(reason);
+            self.metrics.degraded.inc();
+            return ServeReply::Error(shard.unavailable());
+        }
+        self.metrics.buffered.inc();
+        optimistic_reply(&op)
+    }
+
+    /// Drives `pending[sent..]` over the live connection. Returns the
+    /// last op's reply if everything was acknowledged, `None` if the
+    /// connection dropped first.
+    fn pump(&self, shard: &mut ShardState, backoff: (Duration, Duration)) -> Option<ServeReply> {
+        let mut last = None;
+        while shard.sent < shard.pending.len() {
+            let op = shard.pending[shard.sent].clone();
+            let conn = shard.conn.as_mut()?;
+            match conn.exchange(&op) {
+                Ok(reply) => {
+                    shard.sent += 1;
+                    self.metrics.forwarded.inc();
+                    // A step ack proves everything before it committed:
+                    // truncate the replay buffer through the step.
+                    if let (ServeOp::Step { tick }, ServeReply::Ticked(st)) = (&op, &reply) {
+                        if st.now >= *tick {
+                            shard.acked_now = shard.acked_now.max(st.now);
+                            shard.pending.drain(..shard.sent);
+                            shard.sent = 0;
+                        }
+                    }
+                    last = Some(reply);
+                }
+                Err(_) => {
+                    self.drop_conn(shard, backoff);
+                    return None;
+                }
+            }
+        }
+        last
+    }
+
+    fn drop_conn(&self, shard: &mut ShardState, backoff: (Duration, Duration)) {
+        shard.conn = None;
+        shard.attempts = 0;
+        shard.next_attempt = Instant::now() + backoff.0;
+        self.metrics.conn_drops.inc();
+    }
+
+    /// One bounded reconnect attempt. `force` ignores the backoff gate
+    /// (used by `Drain`, which must see every shard).
+    fn try_revive(&self, shard: &mut ShardState, backoff: (Duration, Duration), force: bool) {
+        if shard.degraded.is_some() || shard.conn.is_some() {
+            return;
+        }
+        if !force && Instant::now() < shard.next_attempt {
+            return;
+        }
+        let mut conn = match Conn::dial(&shard.addr) {
+            Ok(c) => c,
+            Err(_) => {
+                self.backoff(shard, backoff);
+                return;
+            }
+        };
+        let st = match conn.exchange(&ServeOp::Status) {
+            Ok(ServeReply::Status(st)) => st,
+            _ => {
+                self.backoff(shard, backoff);
+                return;
+            }
+        };
+        // The shard's recovered clock tells us exactly which buffered
+        // steps committed before the crash.
+        if st.now < shard.acked_now {
+            shard.degraded = Some(format!(
+                "shard restarted behind its acknowledged clock ({} < {})",
+                st.now, shard.acked_now
+            ));
+            self.metrics.degraded.inc();
+            return;
+        }
+        if st.now > shard.acked_now {
+            let committed = shard
+                .pending
+                .iter()
+                .rposition(|op| matches!(op, ServeOp::Step { tick } if *tick <= st.now));
+            match committed {
+                Some(i) => {
+                    shard.pending.drain(..=i);
+                }
+                None => {
+                    if !shard.pending.is_empty() {
+                        shard.degraded =
+                            Some(format!("shard clock {} ahead of the replay buffer", st.now));
+                        self.metrics.degraded.inc();
+                        return;
+                    }
+                }
+            }
+        }
+        shard.acked_now = st.now;
+        shard.sent = 0;
+        shard.conn = Some(conn);
+        shard.attempts = 0;
+        self.metrics.reconnects.inc();
+        let backlog = shard.pending.len() as u64;
+        // Replay everything that may have died in the shard's inboxes.
+        self.pump(shard, backoff);
+        if shard.conn.is_some() {
+            self.metrics.replayed.add(backlog);
+        }
+    }
+
+    fn backoff(&self, shard: &mut ShardState, backoff: (Duration, Duration)) {
+        shard.attempts = shard.attempts.saturating_add(1);
+        let exp = backoff.0.saturating_mul(1u32 << shard.attempts.min(16));
+        shard.next_attempt = Instant::now() + exp.min(backoff.1);
+    }
+
+    fn do_create(
+        &self,
+        inner: &mut RouterInner,
+        id: Option<u64>,
+        tenant: crate::config::TenantId,
+        spec: crate::service::SimplifierSpec,
+        w: u32,
+    ) -> ServeReply {
+        let g = match id {
+            Some(g) if g < inner.next_id => {
+                // Duplicate of a create this router already placed.
+                return ServeReply::Created { id: SessionId(g) };
+            }
+            Some(g) => g,
+            None => inner.next_id,
+        };
+        let k = (g % inner.shards.len() as u64) as usize;
+        let reply = self.shard_call(
+            inner,
+            k,
+            ServeOp::Create {
+                id: Some(g),
+                tenant,
+                spec,
+                w,
+            },
+        );
+        if matches!(reply, ServeReply::Created { .. }) {
+            // Only successful creates advance the allocator, so the id
+            // sequence (and every per-session seed derived from it)
+            // matches a single-process run exactly.
+            inner.next_id = g + 1;
+        }
+        reply
+    }
+
+    fn do_step(&self, inner: &mut RouterInner, tick: u64) -> ServeReply {
+        let mut sum = TickStats {
+            now: tick,
+            ..TickStats::default()
+        };
+        let mut first_err = None;
+        for k in 0..inner.shards.len() {
+            if inner.shards[k].degraded.is_some() {
+                continue; // a degraded shard only loses its own id range
+            }
+            match self.shard_call(inner, k, ServeOp::Step { tick }) {
+                ServeReply::Ticked(st) => {
+                    sum.activated += st.activated;
+                    sum.delivered += st.delivered;
+                    sum.evicted += st.evicted;
+                    sum.closed += st.closed;
+                    sum.applied += st.applied;
+                    sum.shed += st.shed;
+                }
+                ServeReply::Error(e) => first_err = first_err.or(Some(e)),
+                other => {
+                    first_err = first_err.or(Some(ServeError::Transport {
+                        detail: format!("protocol violation: unexpected reply {other:?}"),
+                    }))
+                }
+            }
+        }
+        match first_err {
+            Some(e) => ServeReply::Error(e),
+            None => ServeReply::Ticked(sum),
+        }
+    }
+
+    fn do_publish(
+        &self,
+        inner: &mut RouterInner,
+        seq: PolicyVersion,
+        bytes: Vec<u8>,
+    ) -> ServeReply {
+        // Rewrite "allocate" to an explicit sequence number so buffered
+        // copies replay idempotently.
+        let seq = if seq == 0 { inner.policy_head + 1 } else { seq };
+        if seq <= inner.policy_head {
+            return ServeReply::Published { version: seq };
+        }
+        let mut first_err = None;
+        for k in 0..inner.shards.len() {
+            if inner.shards[k].degraded.is_some() {
+                continue;
+            }
+            match self.shard_call(
+                inner,
+                k,
+                ServeOp::Publish {
+                    seq,
+                    bytes: bytes.clone(),
+                },
+            ) {
+                ServeReply::Published { .. } => {}
+                ServeReply::Error(e) => first_err = first_err.or(Some(e)),
+                other => {
+                    first_err = first_err.or(Some(ServeError::Transport {
+                        detail: format!("protocol violation: unexpected reply {other:?}"),
+                    }))
+                }
+            }
+        }
+        match first_err {
+            Some(e) => ServeReply::Error(e),
+            None => {
+                inner.policy_head = seq;
+                ServeReply::Published { version: seq }
+            }
+        }
+    }
+
+    fn do_broadcast_ok(&self, inner: &mut RouterInner, op: &ServeOp) -> ServeReply {
+        let mut first_err = None;
+        for k in 0..inner.shards.len() {
+            if inner.shards[k].degraded.is_some() {
+                continue;
+            }
+            match self.shard_call(inner, k, op.clone()) {
+                ServeReply::Ok => {}
+                ServeReply::Error(e) => first_err = first_err.or(Some(e)),
+                other => {
+                    first_err = first_err.or(Some(ServeError::Transport {
+                        detail: format!("protocol violation: unexpected reply {other:?}"),
+                    }))
+                }
+            }
+        }
+        match first_err {
+            Some(e) => ServeReply::Error(e),
+            None => ServeReply::Ok,
+        }
+    }
+
+    fn do_drain(&self, inner: &mut RouterInner) -> ServeReply {
+        let backoff = (inner.cfg.backoff_base, inner.cfg.backoff_max);
+        let retries = inner.cfg.drain_retries;
+        // A drain must see every shard: revive the down ones first, and
+        // fail (leaving buffers intact) rather than return a partial
+        // artifact.
+        for attempt in 0..=retries {
+            let all_up = inner
+                .shards
+                .iter()
+                .all(|s| s.conn.is_some() || s.degraded.is_some());
+            if all_up || attempt == retries {
+                break;
+            }
+            for s in inner.shards.iter_mut() {
+                self.try_revive(s, backoff, true);
+            }
+            if inner
+                .shards
+                .iter()
+                .any(|s| s.conn.is_none() && s.degraded.is_none())
+            {
+                std::thread::sleep(backoff.0);
+            }
+        }
+        if let Some(s) = inner.shards.iter().find(|s| s.conn.is_none()) {
+            return ServeReply::Error(s.unavailable());
+        }
+        let mut outs = std::mem::take(&mut inner.stash);
+        for k in 0..inner.shards.len() {
+            let shard = &mut inner.shards[k];
+            // Make sure every buffered op reached the shard before
+            // asking for its outputs.
+            if self.pump(shard, backoff).is_none() && shard.sent < shard.pending.len() {
+                let err = shard.unavailable();
+                self.stash(inner, outs);
+                return ServeReply::Error(err);
+            }
+            let shard = &mut inner.shards[k];
+            let Some(conn) = shard.conn.as_mut() else {
+                let err = shard.unavailable();
+                self.stash(inner, outs);
+                return ServeReply::Error(err);
+            };
+            match conn.exchange(&ServeOp::Drain) {
+                Ok(ServeReply::Outputs(o)) => outs.extend(o),
+                Ok(ServeReply::Error(e)) => {
+                    self.stash(inner, outs);
+                    return ServeReply::Error(e);
+                }
+                Ok(other) => {
+                    self.stash(inner, outs);
+                    return ServeReply::Error(ServeError::Transport {
+                        detail: format!("protocol violation: unexpected reply {other:?}"),
+                    });
+                }
+                Err(e) => {
+                    let detail = e.to_string();
+                    self.drop_conn(shard, backoff);
+                    self.stash(inner, outs);
+                    return ServeReply::Error(ServeError::Transport { detail });
+                }
+            }
+        }
+        // The same order a single process's soak artifact is written in.
+        outs.sort_by_key(|o| (o.delivered_at, o.id.0));
+        ServeReply::Outputs(outs)
+    }
+
+    fn stash(&self, inner: &mut RouterInner, outs: Vec<SessionOutput>) {
+        if !outs.is_empty() {
+            self.metrics.drain_stashed.add(outs.len() as u64);
+        }
+        inner.stash = outs;
+    }
+
+    fn do_status(&self, inner: &mut RouterInner) -> ServeReply {
+        let backoff = (inner.cfg.backoff_base, inner.cfg.backoff_max);
+        let mut agg = ServeStatus {
+            next_id: inner.next_id,
+            policy_version: inner.policy_head,
+            journal_healthy: true,
+            ..ServeStatus::default()
+        };
+        for shard in inner.shards.iter_mut() {
+            agg.now = agg.now.max(shard.acked_now);
+            if shard.degraded.is_some() {
+                agg.journal_healthy = false;
+                continue;
+            }
+            let Some(conn) = shard.conn.as_mut() else {
+                agg.journal_healthy = false;
+                continue;
+            };
+            match conn.exchange(&ServeOp::Status) {
+                Ok(ServeReply::Status(st)) => {
+                    agg.now = agg.now.max(st.now);
+                    agg.active += st.active;
+                    agg.queued += st.queued;
+                    agg.buffered += st.buffered;
+                    agg.journal_healthy &= st.journal_healthy;
+                }
+                Ok(_) | Err(_) => {
+                    self.drop_conn(shard, backoff);
+                    agg.journal_healthy = false;
+                }
+            }
+        }
+        ServeReply::Status(agg)
+    }
+
+    fn do_cache_stats(&self, inner: &mut RouterInner) -> ServeReply {
+        let backoff = (inner.cfg.backoff_base, inner.cfg.backoff_max);
+        let mut window: Option<CacheStats> = None;
+        let mut forward: Option<CacheStats> = None;
+        for shard in inner.shards.iter_mut() {
+            let Some(conn) = shard.conn.as_mut() else {
+                continue;
+            };
+            match conn.exchange(&ServeOp::CacheStats) {
+                Ok(ServeReply::CacheStats {
+                    window: w,
+                    forward: f,
+                }) => {
+                    for (slot, got) in [(&mut window, w), (&mut forward, f)] {
+                        if let Some(g) = got {
+                            match slot {
+                                Some(acc) => acc.absorb(&g),
+                                None => *slot = Some(g),
+                            }
+                        }
+                    }
+                }
+                Ok(_) | Err(_) => {
+                    self.drop_conn(shard, backoff);
+                }
+            }
+        }
+        ServeReply::CacheStats { window, forward }
+    }
+
+    fn do_shutdown(&self, inner: &mut RouterInner) -> ServeReply {
+        // Best-effort: a dead shard can't be told to stop.
+        for shard in inner.shards.iter_mut() {
+            if let Some(conn) = shard.conn.as_mut() {
+                let _ = conn.exchange(&ServeOp::Shutdown);
+                shard.conn = None;
+            }
+        }
+        ServeReply::Ok
+    }
+}
+
+impl ServeApi for Router {
+    fn call(&self, op: ServeOp) -> ServeReply {
+        let mut inner = self.inner.lock().expect("router lock poisoned");
+        let inner = &mut *inner;
+        match op {
+            ServeOp::Create {
+                id,
+                tenant,
+                spec,
+                w,
+            } => self.do_create(inner, id, tenant, spec, w),
+            ServeOp::Append { id, p } => {
+                let k = (id.0 % inner.shards.len() as u64) as usize;
+                self.shard_call(inner, k, ServeOp::Append { id, p })
+            }
+            ServeOp::Flush { id } => {
+                let k = (id.0 % inner.shards.len() as u64) as usize;
+                self.shard_call(inner, k, ServeOp::Flush { id })
+            }
+            ServeOp::Close { id } => {
+                let k = (id.0 % inner.shards.len() as u64) as usize;
+                self.shard_call(inner, k, ServeOp::Close { id })
+            }
+            ServeOp::CloseAll => self.do_broadcast_ok(inner, &ServeOp::CloseAll),
+            ServeOp::Step { tick } => self.do_step(inner, tick),
+            ServeOp::Drain => self.do_drain(inner),
+            ServeOp::Publish { seq, bytes } => self.do_publish(inner, seq, bytes),
+            ServeOp::Status => self.do_status(inner),
+            ServeOp::CacheStats => self.do_cache_stats(inner),
+            ServeOp::Ping { nonce } => ServeReply::Pong { nonce },
+            ServeOp::Shutdown => self.do_shutdown(inner),
+        }
+    }
+}
+
+/// What the router answers for a buffered op while its shard is down.
+/// Optimistic by design: the op carries an explicit sequence number (or
+/// targets inbox state), so replay on revival converges the shard to
+/// the acknowledged outcome.
+fn optimistic_reply(op: &ServeOp) -> ServeReply {
+    match op {
+        ServeOp::Create { id: Some(g), .. } => ServeReply::Created { id: SessionId(*g) },
+        ServeOp::Create { id: None, .. } => ServeReply::Error(ServeError::Transport {
+            detail: "buffered create without an explicit id".to_string(),
+        }),
+        ServeOp::Append { .. } | ServeOp::Flush { .. } | ServeOp::Close { .. } => ServeReply::Ok,
+        ServeOp::CloseAll => ServeReply::Ok,
+        ServeOp::Step { tick } => ServeReply::Ticked(TickStats {
+            now: *tick,
+            ..TickStats::default()
+        }),
+        ServeOp::Publish { seq, .. } => ServeReply::Published { version: *seq },
+        // Non-mutating ops are never buffered.
+        _ => ServeReply::Error(ServeError::Transport {
+            detail: format!("op is not bufferable: {op:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ServeConfig, TenantId};
+    use crate::net::NetServer;
+    use crate::service::{SimplifierSpec, TrajServe};
+    use trajectory::error::Measure;
+    use trajectory::Point;
+
+    fn spawn_shards(n: usize) -> (Vec<NetServer>, Vec<Arc<TrajServe>>, RouterConfig) {
+        let mut servers = Vec::new();
+        let mut serves = Vec::new();
+        let mut addrs = Vec::new();
+        for _ in 0..n {
+            let serve = Arc::new(TrajServe::new(ServeConfig {
+                threads: 1,
+                ..ServeConfig::default()
+            }));
+            let server = NetServer::spawn(
+                Arc::clone(&serve) as Arc<dyn ServeApi + Send + Sync>,
+                "127.0.0.1:0",
+            )
+            .unwrap();
+            addrs.push(server.addr().to_string());
+            servers.push(server);
+            serves.push(serve);
+        }
+        let cfg = RouterConfig {
+            shards: addrs,
+            connect_wait: Duration::from_secs(5),
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+            ..RouterConfig::default()
+        };
+        (servers, serves, cfg)
+    }
+
+    #[test]
+    fn routes_sessions_by_residue_and_merges_drains() {
+        let (servers, serves, cfg) = spawn_shards(2);
+        let router = Router::connect(cfg).unwrap();
+        let spec = SimplifierSpec::Squish(Measure::Sed);
+        let mut ids = Vec::new();
+        for _ in 0..4 {
+            ids.push(router.create(TenantId(0), spec.clone(), 8).unwrap());
+        }
+        assert_eq!(ids.iter().map(|i| i.0).collect::<Vec<_>>(), [0, 1, 2, 3]);
+        for &id in &ids {
+            for i in 0..30 {
+                router
+                    .append_point(id, Point::new(i as f64, id.0 as f64, i as f64))
+                    .unwrap();
+            }
+        }
+        router.step(1).unwrap();
+        for &id in &ids {
+            router.close_session(id).unwrap();
+        }
+        let stats = router.step(2).unwrap();
+        assert_eq!(stats.closed, 4);
+        // Even ids landed on shard 0, odd ids on shard 1.
+        assert_eq!(serves[0].now(), 2);
+        assert_eq!(serves[1].now(), 2);
+        let outs = router.drain().unwrap();
+        assert_eq!(
+            outs.iter().map(|o| o.id.0).collect::<Vec<_>>(),
+            [0, 1, 2, 3],
+            "drain merges shard outputs in id order"
+        );
+        drop(router);
+        for s in servers {
+            s.stop();
+        }
+    }
+
+    #[test]
+    fn dead_shard_degrades_only_its_id_range() {
+        let (servers, _serves, mut cfg) = spawn_shards(2);
+        cfg.backlog_limit = 4;
+        let router = Router::connect(cfg).unwrap();
+        let spec = SimplifierSpec::Squish(Measure::Sed);
+        let a = router.create(TenantId(0), spec.clone(), 8).unwrap(); // shard 0
+        let b = router.create(TenantId(0), spec.clone(), 8).unwrap(); // shard 1
+                                                                      // Kill shard 1 for good.
+        let mut it = servers.into_iter();
+        let keep = it.next().unwrap();
+        drop(it.next().unwrap());
+        // Ops to the dead shard buffer optimistically until the backlog
+        // cap, then the shard degrades; the live shard keeps serving.
+        let mut degraded = false;
+        for i in 0..20 {
+            match router.append_point(b, Point::new(i as f64, 0.0, i as f64)) {
+                Ok(()) => {}
+                Err(ServeError::ShardUnavailable { shard: 1, .. }) => {
+                    degraded = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(degraded, "backlog cap should degrade the dead shard");
+        router.append_point(a, Point::new(0.0, 0.0, 0.0)).unwrap();
+        router.step(1).unwrap();
+        match router.append_point(b, Point::new(9.0, 0.0, 9.0)) {
+            Err(ServeError::ShardUnavailable { shard: 1, .. }) => {}
+            other => panic!("expected ShardUnavailable, got {other:?}"),
+        }
+        let health = router.health();
+        assert!(health[0].degraded.is_none());
+        assert!(health[1].degraded.is_some());
+        keep.stop();
+    }
+
+    #[test]
+    fn shard_restart_replays_uncommitted_ops() {
+        let (servers, serves, mut cfg) = spawn_shards(1);
+        cfg.backoff_base = Duration::from_millis(5);
+        let router = Router::connect(cfg).unwrap();
+        let spec = SimplifierSpec::Squish(Measure::Sed);
+        let id = router.create(TenantId(0), spec, 8).unwrap();
+        for i in 0..10 {
+            router
+                .append_point(id, Point::new(i as f64, 0.0, i as f64))
+                .unwrap();
+        }
+        router.step(1).unwrap();
+        // Take the shard's transport down. The service object survives,
+        // which models the committed prefix: everything through the
+        // acked step 1 is durable; the buffer only holds what comes next.
+        let addr = servers[0].addr().to_string();
+        drop(servers);
+        std::thread::sleep(Duration::from_millis(20));
+        // These buffer optimistically while the shard is down.
+        for i in 10..20 {
+            router
+                .append_point(id, Point::new(i as f64, 0.0, i as f64))
+                .unwrap();
+        }
+        let stats = router.step(2).unwrap();
+        assert_eq!(stats.now, 2);
+        assert_eq!(stats.applied, 0, "optimistic tick reports zeros");
+        assert_eq!(router.health()[0].backlog, 11, "10 appends + 1 step");
+        // Revive the shard on the SAME address (std listeners set
+        // SO_REUSEADDR). The next routed op replays the buffered tail:
+        // the appends apply once, the buffered step advances the clock.
+        let revived = NetServer::spawn(
+            Arc::clone(&serves[0]) as Arc<dyn ServeApi + Send + Sync>,
+            &addr,
+        )
+        .unwrap();
+        // Let the reconnect backoff gate expire before the next op.
+        std::thread::sleep(Duration::from_millis(150));
+        router.close_session(id).unwrap();
+        let health = router.health().remove(0);
+        assert!(health.connected, "router revived the shard");
+        assert_eq!(health.acked_now, 2, "buffered step replayed and acked");
+        router.step(3).unwrap();
+        let outs = router.drain().unwrap();
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].observed, 20, "no append lost, none double-applied");
+        assert_eq!(serves[0].now(), 3);
+        revived.stop();
+        drop(router);
+    }
+
+    #[test]
+    fn publish_keeps_shards_in_lockstep() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use rlkit::nn::PolicyNet;
+        use rlts_core::{RltsConfig, TrainedPolicy, Variant};
+        let (servers, serves, cfg) = spawn_shards(2);
+        let router = Router::connect(cfg).unwrap();
+        let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+        let mut rng = StdRng::seed_from_u64(7);
+        let bytes = TrainedPolicy {
+            config: rlts_cfg,
+            net: PolicyNet::new(rlts_cfg.state_dim(), 20, rlts_cfg.action_dim(), &mut rng),
+        }
+        .to_checkpoint_bytes();
+        let v = router.publish_checkpoint(0, bytes.clone()).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(serves[0].registry().version(), 1);
+        assert_eq!(serves[1].registry().version(), 1);
+        // A duplicate publish is acknowledged without re-applying.
+        let v = router.publish_checkpoint(1, bytes).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(serves[0].registry().version(), 1);
+        drop(router);
+        for s in servers {
+            s.stop();
+        }
+    }
+}

@@ -399,6 +399,12 @@ impl TrajServe {
         &self.cfg
     }
 
+    /// The next session id the allocator would hand out (also the total
+    /// number of creates this service has accepted when ids are dense).
+    pub(crate) fn next_session_id(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
     /// Current logical time.
     pub fn now(&self) -> u64 {
         self.now.load(Ordering::Relaxed)
@@ -516,13 +522,41 @@ impl TrajServe {
         spec: SimplifierSpec,
         w: usize,
     ) -> Result<SessionId, AdmitError> {
+        self.create_session_core(None, tenant, spec, w)
+    }
+
+    /// Claims the next session id, or — for ops forwarded by a router that
+    /// allocates ids globally — records an explicit one. Explicit ids may
+    /// skip ahead (a shard behind a router sees only `id % N == k`); the
+    /// allocator follows so a later local create can never collide.
+    fn alloc_session_id(&self, explicit: Option<u64>) -> u64 {
+        match explicit {
+            None => self.next_id.fetch_add(1, Ordering::Relaxed),
+            Some(g) => {
+                self.next_id.store(g + 1, Ordering::Relaxed);
+                g
+            }
+        }
+    }
+
+    /// The admission body behind [`TrajServe::create_session`] and the
+    /// `ServeOp::Create` arm of `ServeApi::call`. `explicit` carries a
+    /// router-assigned global id (see `alloc_session_id`); duplicate /
+    /// out-of-order explicit ids are screened by the caller.
+    pub(crate) fn create_session_core(
+        &self,
+        explicit: Option<u64>,
+        tenant: TenantId,
+        spec: SimplifierSpec,
+        w: usize,
+    ) -> Result<SessionId, AdmitError> {
         spec.validate()
             .inspect_err(|_| self.metrics.sessions_rejected.inc())?;
         self.admission
             .claim_tenant_slot(tenant, &self.cfg)
             .inspect_err(|_| self.metrics.sessions_rejected.inc())?;
         if self.admission.active() < self.cfg.max_active_sessions {
-            let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+            let id = SessionId(self.alloc_session_id(explicit));
             let (degraded, version) = self.activate(id, tenant, spec.clone(), w, self.now(), None);
             if let Some(j) = &self.journal {
                 j.append_meta(&MetaRecord::Create {
@@ -549,7 +583,7 @@ impl TrajServe {
                 pending: queued,
             });
         }
-        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let id = SessionId(self.alloc_session_id(explicit));
         if let Some(j) = &self.journal {
             j.append_meta(&MetaRecord::Create {
                 id: id.0,
@@ -1318,13 +1352,17 @@ impl TrajServe {
         version: PolicyVersion,
         spec: &SimplifierSpec,
     ) -> Result<(), JournalError> {
-        let got = self.next_id.fetch_add(1, Ordering::Relaxed);
-        if got != id {
+        // Router-assigned ids skip ahead (a shard sees only its residue
+        // class), so the allocator follows the record rather than expecting
+        // to equal it; going *backwards* is still a determinism bug.
+        let got = self.next_id.load(Ordering::Relaxed);
+        if id < got {
             return Err(JournalError::ReplayInconsistency {
                 tick: self.now(),
                 detail: format!("create record for session {id} but allocator is at {got}"),
             });
         }
+        self.next_id.store(id + 1, Ordering::Relaxed);
         self.admission
             .restore_tenant_slot(TenantId(tenant), &self.cfg);
         if queued {

@@ -1,0 +1,783 @@
+//! Length-prefixed binary framing for the serve protocol (DESIGN.md §15.2).
+//!
+//! One frame carries one [`ServeOp`] or one [`ServeReply`]:
+//!
+//! ```text
+//! magic   u32   0x524C_4E54 ("RLNT")
+//! version u16   wire protocol revision (1)
+//! kind    u16   1 = request, 2 = reply
+//! len     u32   payload length (≤ 2^28)
+//! payload [len] encoded op / reply (big-endian, f64 via to_bits)
+//! crc     u32   CRC32 (IEEE, reflected) of the payload
+//! ```
+//!
+//! The conventions mirror [`trajstore::wal`]: magic and stream kind so a
+//! misdirected byte stream is rejected instead of misparsed, a version
+//! field so revisions fail loudly, a bounded length so a corrupt prefix
+//! cannot drive a giant allocation, and a CRC so corruption inside the
+//! payload is detected before decoding. Every failure mode is a typed
+//! [`WireError`] — a corrupt or truncated frame is **never** a panic,
+//! which the proptests in `tests/net.rs` enforce by construction.
+
+use crate::api::{ServeError, ServeOp, ServeReply, ServeStatus};
+use crate::codec::{get_output, get_spec, put_output, put_point, put_spec, put_u32, put_u64, Dec};
+use crate::config::{SessionId, TenantId};
+use crate::service::TickStats;
+use std::io::{Read, Write};
+use trajcache::CacheStats;
+use trajstore::wal::crc32;
+
+/// First four bytes of every frame ("RLNT").
+pub const FRAME_MAGIC: u32 = 0x524C_4E54;
+
+/// Wire protocol revision; bumped on any incompatible layout change.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame kind: request (a [`ServeOp`]).
+pub const KIND_REQUEST: u16 = 1;
+
+/// Frame kind: reply (a [`ServeReply`]).
+pub const KIND_REPLY: u16 = 2;
+
+/// Fixed bytes before the payload: magic, version, kind, len.
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Ceiling on the payload length field — matches
+/// [`trajstore::wal::MAX_RECORD_LEN`] so a corrupt length cannot demand
+/// a 4 GiB allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 28;
+
+/// Every way reading or decoding a frame can fail. Transport-level
+/// damage (magic, CRC, truncation) and payload-level damage (a valid
+/// frame holding bytes that do not decode) are distinguished so peers
+/// can report them separately.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended inside a frame (a clean end *between* frames is
+    /// not an error — `read_frame` returns `None` for that).
+    Truncated {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// The first four bytes were not [`FRAME_MAGIC`].
+    BadMagic(u32),
+    /// The peer speaks a different protocol revision.
+    UnsupportedVersion(u16),
+    /// A request arrived where a reply was expected, or vice versa.
+    WrongKind {
+        /// The kind this side expected.
+        expect: u16,
+        /// The kind the frame carried.
+        got: u16,
+    },
+    /// The length field exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// The payload CRC did not match.
+    BadCrc {
+        /// CRC the frame carried.
+        expect: u32,
+        /// CRC of the bytes actually received.
+        got: u32,
+    },
+    /// The frame was intact but its payload failed to decode.
+    Decode(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+            WireError::Truncated { context } => {
+                write!(f, "stream ended mid-frame while reading {context}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::WrongKind { expect, got } => {
+                write!(f, "wrong frame kind: expected {expect}, got {got}")
+            }
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            WireError::BadCrc { expect, got } => {
+                write!(
+                    f,
+                    "frame crc mismatch: stored {expect:#010x}, computed {got:#010x}"
+                )
+            }
+            WireError::Decode(detail) => write!(f, "frame payload undecodable: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ServeError::Transport {
+                detail: io.to_string(),
+            },
+            WireError::Decode(detail) => ServeError::BadFrame { detail },
+            other => ServeError::BadFrame {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+/// Writes one frame. The caller flushes (frames are small; batching is
+/// the buffered writer's job).
+pub fn write_frame(w: &mut impl Write, kind: u16, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(WireError::Oversized(payload.len() as u32));
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + 4);
+    buf.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
+    buf.extend_from_slice(&WIRE_VERSION.to_be_bytes());
+    buf.extend_from_slice(&kind.to_be_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(payload).to_be_bytes());
+    w.write_all(&buf).map_err(WireError::Io)
+}
+
+/// Reads one frame of the expected kind. `Ok(None)` is a clean end of
+/// stream *between* frames (the peer closed); an end *inside* a frame is
+/// [`WireError::Truncated`]. Corrupt input of any shape is a typed
+/// error, never a panic, and never an allocation larger than
+/// [`MAX_FRAME_LEN`].
+pub fn read_frame(r: &mut impl Read, expect_kind: u16) -> Result<Option<Vec<u8>>, WireError> {
+    let mut head = [0u8; FRAME_HEADER_LEN];
+    let mut at = 0usize;
+    while at < head.len() {
+        match r.read(&mut head[at..]) {
+            Ok(0) if at == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated { context: "header" }),
+            Ok(n) => at += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    let magic = u32::from_be_bytes(head[0..4].try_into().unwrap());
+    if magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = u16::from_be_bytes(head[4..6].try_into().unwrap());
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let kind = u16::from_be_bytes(head[6..8].try_into().unwrap());
+    if kind != expect_kind {
+        return Err(WireError::WrongKind {
+            expect: expect_kind,
+            got: kind,
+        });
+    }
+    let len = u32::from_be_bytes(head[8..12].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| truncated(e, "payload"))?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|e| truncated(e, "crc"))?;
+    let expect = u32::from_be_bytes(crc_bytes);
+    let got = crc32(&payload);
+    if expect != got {
+        return Err(WireError::BadCrc { expect, got });
+    }
+    Ok(Some(payload))
+}
+
+fn truncated(e: std::io::Error, context: &'static str) -> WireError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        WireError::Truncated { context }
+    } else {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+/// Request payload tags (DESIGN.md §15.2). Append-only.
+mod op_tag {
+    pub const CREATE: u8 = 1;
+    pub const APPEND: u8 = 2;
+    pub const FLUSH: u8 = 3;
+    pub const CLOSE: u8 = 4;
+    pub const CLOSE_ALL: u8 = 5;
+    pub const STEP: u8 = 6;
+    pub const DRAIN: u8 = 7;
+    pub const PUBLISH: u8 = 8;
+    pub const STATUS: u8 = 9;
+    pub const CACHE_STATS: u8 = 10;
+    pub const PING: u8 = 11;
+    pub const SHUTDOWN: u8 = 12;
+}
+
+/// Reply payload tags (DESIGN.md §15.2). Append-only.
+mod reply_tag {
+    pub const CREATED: u8 = 1;
+    pub const OK: u8 = 2;
+    pub const TICKED: u8 = 3;
+    pub const OUTPUTS: u8 = 4;
+    pub const PUBLISHED: u8 = 5;
+    pub const STATUS: u8 = 6;
+    pub const CACHE_STATS: u8 = 7;
+    pub const PONG: u8 = 8;
+    pub const ERROR: u8 = 9;
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(d: &mut Dec<'_>) -> Result<String, String> {
+    let n = d.count()?;
+    let bytes = d.take(n)?;
+    String::from_utf8(bytes.to_vec()).map_err(|e| format!("bad utf-8 string: {e}"))
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn get_bytes(d: &mut Dec<'_>) -> Result<Vec<u8>, String> {
+    let n = d.count()?;
+    Ok(d.take(n)?.to_vec())
+}
+
+/// Encodes one request payload.
+pub fn encode_op(op: &ServeOp) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match op {
+        ServeOp::Create {
+            id,
+            tenant,
+            spec,
+            w,
+        } => {
+            buf.push(op_tag::CREATE);
+            match id {
+                None => buf.push(0),
+                Some(g) => {
+                    buf.push(1);
+                    put_u64(&mut buf, *g);
+                }
+            }
+            put_u32(&mut buf, tenant.0);
+            put_u32(&mut buf, *w);
+            put_spec(&mut buf, spec);
+        }
+        ServeOp::Append { id, p } => {
+            buf.push(op_tag::APPEND);
+            put_u64(&mut buf, id.0);
+            put_point(&mut buf, p);
+        }
+        ServeOp::Flush { id } => {
+            buf.push(op_tag::FLUSH);
+            put_u64(&mut buf, id.0);
+        }
+        ServeOp::Close { id } => {
+            buf.push(op_tag::CLOSE);
+            put_u64(&mut buf, id.0);
+        }
+        ServeOp::CloseAll => buf.push(op_tag::CLOSE_ALL),
+        ServeOp::Step { tick } => {
+            buf.push(op_tag::STEP);
+            put_u64(&mut buf, *tick);
+        }
+        ServeOp::Drain => buf.push(op_tag::DRAIN),
+        ServeOp::Publish { seq, bytes } => {
+            buf.push(op_tag::PUBLISH);
+            put_u32(&mut buf, *seq);
+            put_bytes(&mut buf, bytes);
+        }
+        ServeOp::Status => buf.push(op_tag::STATUS),
+        ServeOp::CacheStats => buf.push(op_tag::CACHE_STATS),
+        ServeOp::Ping { nonce } => {
+            buf.push(op_tag::PING);
+            put_u64(&mut buf, *nonce);
+        }
+        ServeOp::Shutdown => buf.push(op_tag::SHUTDOWN),
+    }
+    buf
+}
+
+/// Decodes one request payload. Corrupt input is a typed error.
+pub fn decode_op(bytes: &[u8]) -> Result<ServeOp, WireError> {
+    decode_op_inner(bytes).map_err(WireError::Decode)
+}
+
+fn decode_op_inner(bytes: &[u8]) -> Result<ServeOp, String> {
+    let mut d = Dec::new(bytes);
+    let op = match d.u8()? {
+        op_tag::CREATE => {
+            let id = match d.u8()? {
+                0 => None,
+                1 => Some(d.u64()?),
+                other => return Err(format!("bad optional-id flag {other}")),
+            };
+            let tenant = TenantId(d.u32()?);
+            let w = d.u32()?;
+            let spec = get_spec(&mut d)?;
+            ServeOp::Create {
+                id,
+                tenant,
+                spec,
+                w,
+            }
+        }
+        op_tag::APPEND => ServeOp::Append {
+            id: SessionId(d.u64()?),
+            p: d.point()?,
+        },
+        op_tag::FLUSH => ServeOp::Flush {
+            id: SessionId(d.u64()?),
+        },
+        op_tag::CLOSE => ServeOp::Close {
+            id: SessionId(d.u64()?),
+        },
+        op_tag::CLOSE_ALL => ServeOp::CloseAll,
+        op_tag::STEP => ServeOp::Step { tick: d.u64()? },
+        op_tag::DRAIN => ServeOp::Drain,
+        op_tag::PUBLISH => ServeOp::Publish {
+            seq: d.u32()?,
+            bytes: get_bytes(&mut d)?,
+        },
+        op_tag::STATUS => ServeOp::Status,
+        op_tag::CACHE_STATS => ServeOp::CacheStats,
+        op_tag::PING => ServeOp::Ping { nonce: d.u64()? },
+        op_tag::SHUTDOWN => ServeOp::Shutdown,
+        other => return Err(format!("bad op tag {other}")),
+    };
+    d.finish()?;
+    Ok(op)
+}
+
+fn put_cache_stats(buf: &mut Vec<u8>, s: &Option<CacheStats>) {
+    match s {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_u64(buf, s.hits);
+            put_u64(buf, s.misses);
+            put_u64(buf, s.evictions);
+            put_u64(buf, s.inserts);
+            put_u64(buf, s.resident_bytes);
+            put_u64(buf, s.resident_entries);
+        }
+    }
+}
+
+fn get_cache_stats(d: &mut Dec<'_>) -> Result<Option<CacheStats>, String> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(CacheStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+            evictions: d.u64()?,
+            inserts: d.u64()?,
+            resident_bytes: d.u64()?,
+            resident_entries: d.u64()?,
+        })),
+        other => Err(format!("bad cache-stats flag {other}")),
+    }
+}
+
+fn put_error(buf: &mut Vec<u8>, e: &ServeError) {
+    buf.extend_from_slice(&e.code().to_be_bytes());
+    match e {
+        ServeError::TenantQuota { tenant, limit } => {
+            put_u32(buf, tenant.0);
+            put_u64(buf, *limit);
+        }
+        ServeError::Saturated { active, pending } => {
+            put_u64(buf, *active);
+            put_u64(buf, *pending);
+        }
+        ServeError::UnsupportedSpec { detail }
+        | ServeError::JournalUnhealthy { detail }
+        | ServeError::CorruptCheckpoint { detail }
+        | ServeError::Transport { detail }
+        | ServeError::BadFrame { detail } => put_str(buf, detail),
+        ServeError::RateCeiling
+        | ServeError::MemoryCeiling
+        | ServeError::DeadSession
+        | ServeError::NonMonotone => {}
+        ServeError::ClockSkew { expect, got } => {
+            put_u64(buf, *expect);
+            put_u64(buf, *got);
+        }
+        ServeError::ShardUnavailable { shard, detail } => {
+            put_u32(buf, *shard);
+            put_str(buf, detail);
+        }
+    }
+}
+
+fn get_error(d: &mut Dec<'_>) -> Result<ServeError, String> {
+    let code = u16::from_be_bytes(d.take(2)?.try_into().unwrap());
+    Ok(match code {
+        1 => ServeError::TenantQuota {
+            tenant: TenantId(d.u32()?),
+            limit: d.u64()?,
+        },
+        2 => ServeError::Saturated {
+            active: d.u64()?,
+            pending: d.u64()?,
+        },
+        3 => ServeError::UnsupportedSpec {
+            detail: get_str(d)?,
+        },
+        4 => ServeError::RateCeiling,
+        5 => ServeError::MemoryCeiling,
+        6 => ServeError::DeadSession,
+        7 => ServeError::NonMonotone,
+        8 => ServeError::JournalUnhealthy {
+            detail: get_str(d)?,
+        },
+        9 => ServeError::CorruptCheckpoint {
+            detail: get_str(d)?,
+        },
+        10 => ServeError::ClockSkew {
+            expect: d.u64()?,
+            got: d.u64()?,
+        },
+        11 => ServeError::ShardUnavailable {
+            shard: d.u32()?,
+            detail: get_str(d)?,
+        },
+        12 => ServeError::Transport {
+            detail: get_str(d)?,
+        },
+        13 => ServeError::BadFrame {
+            detail: get_str(d)?,
+        },
+        other => return Err(format!("bad error code {other}")),
+    })
+}
+
+/// Encodes one reply payload.
+pub fn encode_reply(reply: &ServeReply) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match reply {
+        ServeReply::Created { id } => {
+            buf.push(reply_tag::CREATED);
+            put_u64(&mut buf, id.0);
+        }
+        ServeReply::Ok => buf.push(reply_tag::OK),
+        ServeReply::Ticked(s) => {
+            buf.push(reply_tag::TICKED);
+            put_u64(&mut buf, s.now);
+            put_u32(&mut buf, s.activated as u32);
+            put_u32(&mut buf, s.delivered as u32);
+            put_u32(&mut buf, s.evicted as u32);
+            put_u32(&mut buf, s.closed as u32);
+            put_u64(&mut buf, s.applied);
+            put_u64(&mut buf, s.shed);
+        }
+        ServeReply::Outputs(outs) => {
+            buf.push(reply_tag::OUTPUTS);
+            put_u32(&mut buf, outs.len() as u32);
+            for o in outs {
+                put_output(&mut buf, o);
+            }
+        }
+        ServeReply::Published { version } => {
+            buf.push(reply_tag::PUBLISHED);
+            put_u32(&mut buf, *version);
+        }
+        ServeReply::Status(s) => {
+            buf.push(reply_tag::STATUS);
+            put_u64(&mut buf, s.now);
+            put_u64(&mut buf, s.active);
+            put_u64(&mut buf, s.queued);
+            put_u64(&mut buf, s.buffered);
+            put_u64(&mut buf, s.next_id);
+            put_u32(&mut buf, s.policy_version);
+            buf.push(s.journal_healthy as u8);
+        }
+        ServeReply::CacheStats { window, forward } => {
+            buf.push(reply_tag::CACHE_STATS);
+            put_cache_stats(&mut buf, window);
+            put_cache_stats(&mut buf, forward);
+        }
+        ServeReply::Pong { nonce } => {
+            buf.push(reply_tag::PONG);
+            put_u64(&mut buf, *nonce);
+        }
+        ServeReply::Error(e) => {
+            buf.push(reply_tag::ERROR);
+            put_error(&mut buf, e);
+        }
+    }
+    buf
+}
+
+/// Decodes one reply payload. Corrupt input is a typed error.
+pub fn decode_reply(bytes: &[u8]) -> Result<ServeReply, WireError> {
+    decode_reply_inner(bytes).map_err(WireError::Decode)
+}
+
+fn decode_reply_inner(bytes: &[u8]) -> Result<ServeReply, String> {
+    let mut d = Dec::new(bytes);
+    let reply = match d.u8()? {
+        reply_tag::CREATED => ServeReply::Created {
+            id: SessionId(d.u64()?),
+        },
+        reply_tag::OK => ServeReply::Ok,
+        reply_tag::TICKED => ServeReply::Ticked(TickStats {
+            now: d.u64()?,
+            activated: d.u32()? as usize,
+            delivered: d.u32()? as usize,
+            evicted: d.u32()? as usize,
+            closed: d.u32()? as usize,
+            applied: d.u64()?,
+            shed: d.u64()?,
+        }),
+        reply_tag::OUTPUTS => {
+            let n = d.count()?;
+            let mut outs = Vec::with_capacity(n);
+            for _ in 0..n {
+                outs.push(get_output(&mut d)?);
+            }
+            ServeReply::Outputs(outs)
+        }
+        reply_tag::PUBLISHED => ServeReply::Published { version: d.u32()? },
+        reply_tag::STATUS => ServeReply::Status(ServeStatus {
+            now: d.u64()?,
+            active: d.u64()?,
+            queued: d.u64()?,
+            buffered: d.u64()?,
+            next_id: d.u64()?,
+            policy_version: d.u32()?,
+            journal_healthy: d.bool()?,
+        }),
+        reply_tag::CACHE_STATS => ServeReply::CacheStats {
+            window: get_cache_stats(&mut d)?,
+            forward: get_cache_stats(&mut d)?,
+        },
+        reply_tag::PONG => ServeReply::Pong { nonce: d.u64()? },
+        reply_tag::ERROR => ServeReply::Error(get_error(&mut d)?),
+        other => return Err(format!("bad reply tag {other}")),
+    };
+    d.finish()?;
+    Ok(reply)
+}
+
+/// `encode_op` + `write_frame` in one call.
+pub fn write_op(w: &mut impl Write, op: &ServeOp) -> Result<(), WireError> {
+    write_frame(w, KIND_REQUEST, &encode_op(op))
+}
+
+/// `read_frame` + `decode_op` in one call (`Ok(None)` = peer closed).
+pub fn read_op(r: &mut impl Read) -> Result<Option<ServeOp>, WireError> {
+    match read_frame(r, KIND_REQUEST)? {
+        None => Ok(None),
+        Some(payload) => decode_op(&payload).map(Some),
+    }
+}
+
+/// `encode_reply` + `write_frame` in one call.
+pub fn write_reply(w: &mut impl Write, reply: &ServeReply) -> Result<(), WireError> {
+    write_frame(w, KIND_REPLY, &encode_reply(reply))
+}
+
+/// `read_frame` + `decode_reply` in one call (`Ok(None)` = peer closed).
+pub fn read_reply(r: &mut impl Read) -> Result<Option<ServeReply>, WireError> {
+    match read_frame(r, KIND_REPLY)? {
+        None => Ok(None),
+        Some(payload) => decode_reply(&payload).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::SimplifierSpec;
+    use crate::session::{CompletionReason, SessionOutput};
+    use trajectory::error::Measure;
+    use trajectory::Point;
+
+    fn sample_ops() -> Vec<ServeOp> {
+        vec![
+            ServeOp::Create {
+                id: None,
+                tenant: TenantId(3),
+                spec: SimplifierSpec::Squish(Measure::Sed),
+                w: 12,
+            },
+            ServeOp::Create {
+                id: Some(41),
+                tenant: TenantId(0),
+                spec: SimplifierSpec::Uniform,
+                w: 4,
+            },
+            ServeOp::Append {
+                id: SessionId(7),
+                p: Point::new(1.5, -2.25, 3.0),
+            },
+            ServeOp::Flush { id: SessionId(1) },
+            ServeOp::Close { id: SessionId(2) },
+            ServeOp::CloseAll,
+            ServeOp::Step { tick: 99 },
+            ServeOp::Drain,
+            ServeOp::Publish {
+                seq: 2,
+                bytes: vec![1, 2, 3, 4],
+            },
+            ServeOp::Status,
+            ServeOp::CacheStats,
+            ServeOp::Ping { nonce: 0xDEAD },
+            ServeOp::Shutdown,
+        ]
+    }
+
+    fn sample_replies() -> Vec<ServeReply> {
+        vec![
+            ServeReply::Created { id: SessionId(5) },
+            ServeReply::Ok,
+            ServeReply::Ticked(TickStats {
+                now: 7,
+                activated: 1,
+                delivered: 2,
+                evicted: 3,
+                closed: 4,
+                applied: 5,
+                shed: 6,
+            }),
+            ServeReply::Outputs(vec![SessionOutput {
+                id: SessionId(9),
+                tenant: TenantId(2),
+                reason: CompletionReason::Flushed,
+                simplified: vec![Point::new(0.25, f64::MIN_POSITIVE, -0.0)],
+                observed: 77,
+                policy_version: 3,
+                degraded: true,
+                delivered_at: 12,
+            }]),
+            ServeReply::Published { version: 4 },
+            ServeReply::Status(ServeStatus {
+                now: 1,
+                active: 2,
+                queued: 3,
+                buffered: 4,
+                next_id: 5,
+                policy_version: 6,
+                journal_healthy: true,
+            }),
+            ServeReply::CacheStats {
+                window: Some(CacheStats {
+                    hits: 1,
+                    misses: 2,
+                    evictions: 3,
+                    inserts: 4,
+                    resident_bytes: 5,
+                    resident_entries: 6,
+                }),
+                forward: None,
+            },
+            ServeReply::Pong { nonce: 1 },
+            ServeReply::Error(ServeError::ShardUnavailable {
+                shard: 1,
+                detail: "connection refused".into(),
+            }),
+            ServeReply::Error(ServeError::ClockSkew { expect: 3, got: 9 }),
+        ]
+    }
+
+    #[test]
+    fn ops_roundtrip() {
+        for op in sample_ops() {
+            let enc = encode_op(&op);
+            let dec = decode_op(&enc).unwrap();
+            assert_eq!(format!("{op:?}"), format!("{dec:?}"));
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip_bit_exactly() {
+        for reply in sample_replies() {
+            let enc = encode_reply(&reply);
+            let dec = decode_reply(&enc).unwrap();
+            // Debug formatting of f64 preserves the value exactly for
+            // roundtrip-able floats; the Outputs case carries awkward
+            // ones (-0.0, MIN_POSITIVE) on purpose.
+            assert_eq!(format!("{reply:?}"), format!("{dec:?}"));
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_a_stream() {
+        let mut buf = Vec::new();
+        for op in sample_ops() {
+            write_op(&mut buf, &op).unwrap();
+        }
+        let mut r = &buf[..];
+        let mut back = Vec::new();
+        while let Some(op) = read_op(&mut r).unwrap() {
+            back.push(op);
+        }
+        assert_eq!(back.len(), sample_ops().len());
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let mut frame = Vec::new();
+        write_op(
+            &mut frame,
+            &ServeOp::Append {
+                id: SessionId(1),
+                p: Point::new(1.0, 2.0, 3.0),
+            },
+        )
+        .unwrap();
+        // Truncate at every prefix length: typed error or clean EOF,
+        // never a panic.
+        for cut in 0..frame.len() {
+            let mut r = &frame[..cut];
+            match read_op(&mut r) {
+                Ok(None) => assert_eq!(cut, 0),
+                Ok(Some(_)) => panic!("decoded a truncated frame at {cut}"),
+                Err(_) => {}
+            }
+        }
+        // Flip every bit: the damage must surface as a typed error (a
+        // flip in the length field that *grows* the frame reads as
+        // truncation; one that shrinks it leaves trailing garbage for
+        // the next read — also an error).
+        for bit in 0..frame.len() * 8 {
+            let mut bad = frame.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let mut r = &bad[..];
+            if let Ok(Some(_)) = read_op(&mut r) {
+                panic!("bit flip {bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let mut buf = Vec::new();
+        write_reply(&mut buf, &ServeReply::Ok).unwrap();
+        let mut r = &buf[..];
+        match read_op(&mut r) {
+            Err(WireError::WrongKind { expect: 1, got: 2 }) => {}
+            other => panic!("expected wrong-kind, got {other:?}"),
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! rlts eval      [options] <file...>                compare algorithms
 //! rlts metrics   [options] [-o metrics.jsonl]       telemetry smoke run
 //! rlts serve     --soak [options]                   many-tenant soak
+//! rlts serve     --listen ADDR [options]            network shard server
+//! rlts route     --listen ADDR --shards A,B,...     shard router
 //!
 //! common options:
 //!   --measure sed|ped|dad|sad      error measure            [sed]
@@ -54,9 +56,30 @@
 //!   --bench-cache FILE             run the soak cache-off then cache-on,
 //!                                  assert identical outputs, write the
 //!                                  hit-rate/latency comparison as JSON
+//!   --bench-net FILE               run the soak in-process then over a
+//!                                  loopback TCP server, assert identical
+//!                                  outputs, write the throughput/latency
+//!                                  comparison as JSON
 //!   --out FILE                     write delivered outputs (deterministic,
 //!                                  logical-clock only — byte-comparable
 //!                                  across crashed and uncrashed runs)
+//!
+//! network serve options (DESIGN.md §15):
+//!   --listen ADDR                  run one shard as a TCP server speaking
+//!                                  the rlts wire protocol; the soak sizing
+//!                                  flags above derive the service config,
+//!                                  so pass the driver's flags verbatim
+//!   --recover                      rebuild shard state from --journal-dir
+//!                                  before listening (crash restart)
+//!   --connect ADDR                 drive the soak against a remote shard
+//!                                  or router instead of in-process
+//!   --shutdown                     after a --connect soak, ask the remote
+//!                                  server to exit
+//!
+//! route options:
+//!   --listen ADDR                  router bind address
+//!   --shards A,B,...               shard addresses; session id % N picks
+//!                                  the shard
 //! ```
 //!
 //! `rlts metrics` exercises every instrumented subsystem (training,
@@ -90,6 +113,7 @@ fn main() {
         "eval" => cmd_eval(&opts),
         "metrics" => cmd_metrics(&opts),
         "serve" => cmd_serve(&opts),
+        "route" => cmd_route(&opts),
         "help" | "--help" | "-h" => help(),
         other => die(&format!("unknown command '{other}'")),
     }
@@ -98,7 +122,7 @@ fn main() {
 fn help() {
     println!(
         "rlts — trajectory simplification with reinforcement learning\n\n\
-         usage: rlts <stats|train|simplify|eval|metrics|serve|help> [options] [files...]\n\
+         usage: rlts <stats|train|simplify|eval|metrics|serve|route|help> [options] [files...]\n\
          see the crate documentation (src/bin/rlts.rs) for all options"
     );
 }
@@ -136,6 +160,12 @@ struct CliOpts {
     cache_policy: Option<String>,
     route_pool: Option<usize>,
     bench_cache: Option<String>,
+    bench_net: Option<String>,
+    listen: Option<String>,
+    connect: Option<String>,
+    shards: Option<String>,
+    recover: bool,
+    shutdown: bool,
 }
 
 impl CliOpts {
@@ -260,6 +290,12 @@ impl CliOpts {
                     )
                 }
                 "--bench-cache" => o.bench_cache = Some(val("--bench-cache")),
+                "--bench-net" => o.bench_net = Some(val("--bench-net")),
+                "--listen" => o.listen = Some(val("--listen")),
+                "--connect" => o.connect = Some(val("--connect")),
+                "--shards" => o.shards = Some(val("--shards")),
+                "--recover" => o.recover = true,
+                "--shutdown" => o.shutdown = true,
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -575,10 +611,17 @@ fn cmd_metrics(o: &CliOpts) {
 /// invariant is violated or the `serve.*` metric family is missing.
 fn cmd_serve(o: &CliOpts) {
     use rlts::obskit;
-    use rlts::trajserve::{run_soak, CorruptMode, ServeConfig, SoakConfig};
+    use rlts::trajserve::{run_soak, run_soak_on, ServeBackend, ServeClient};
+    use std::time::Duration;
 
+    if o.listen.is_some() && !o.soak {
+        return cmd_serve_listen(o);
+    }
     if !o.soak {
-        die("serve currently supports only the synthetic soak: rlts serve --soak [options]");
+        die(
+            "serve needs a mode: rlts serve --soak [options] (synthetic soak) \
+             or rlts serve --listen ADDR [options] (network shard)",
+        );
     }
     if (o.crash_at.is_some() || o.crash_corrupt.is_some()) && o.journal_dir.is_none() {
         die("--crash-at / --crash-corrupt need --journal-dir");
@@ -588,43 +631,27 @@ fn cmd_serve(o: &CliOpts) {
             "--bench-cache runs the workload twice and would reuse the journal; drop --journal-dir",
         );
     }
-    let crash_corrupt = o.crash_corrupt.as_deref().map(|s| {
-        s.parse::<CorruptMode>()
-            .unwrap_or_else(|e| die(&format!("bad --crash-corrupt: {e}")))
-    });
-    let cache = o.cache.then(|| {
-        let mut c = rlts::trajserve::CacheConfig::default();
-        if let Some(bytes) = o.cache_bytes {
-            c.tenant_bytes = bytes.max(1);
+    if o.bench_net.is_some() && o.journal_dir.is_some() {
+        die("--bench-net runs the workload twice and would reuse the journal; drop --journal-dir");
+    }
+    if o.bench_net.is_some() && o.bench_cache.is_some() {
+        die("--bench-net and --bench-cache are separate benchmarks; pick one");
+    }
+    if o.connect.is_some() {
+        if o.crash_at.is_some() || o.crash_corrupt.is_some() {
+            die("--crash-at / --crash-corrupt inject crashes into an in-process service; with --connect, kill -9 the shard process instead");
         }
-        if let Some(policy) = &o.cache_policy {
-            c.policy = policy
-                .parse()
-                .unwrap_or_else(|e| die(&format!("bad --cache-policy: {e}")));
+        if o.bench_cache.is_some() || o.bench_net.is_some() {
+            die("--bench-cache / --bench-net manage their own service; drop --connect");
         }
-        c
-    });
-    let cfg = SoakConfig {
-        sessions: o.sessions.unwrap_or(500),
-        tenants: o.tenants.unwrap_or(10).max(1),
-        points_per_session: o.len.unwrap_or(120),
-        w: o.w.unwrap_or(10),
-        drop: o.drop.unwrap_or(0.05),
-        swap_mid: o.swap_mid,
-        journal_dir: o.journal_dir.as_ref().map(std::path::PathBuf::from),
-        group_commit: o.group_commit.unwrap_or(1),
-        snapshot_every: o.snapshot_every.unwrap_or(64),
-        crash_at: o.crash_at,
-        crash_corrupt,
-        route_pool: o.route_pool.unwrap_or(8),
-        cache,
-        serve: ServeConfig {
-            threads: o.threads.unwrap_or(0),
-            idle_ttl: o.ttl.unwrap_or(12),
-            seed: o.seed.unwrap_or(0xC0FFEE),
-            ..ServeConfig::default()
-        },
-    };
+        if o.journal_dir.is_some() {
+            die("with --connect the journal lives with the remote shard; pass --journal-dir to `rlts serve --listen` instead");
+        }
+    }
+    if o.shutdown && o.connect.is_none() {
+        die("--shutdown needs --connect");
+    }
+    let cfg = soak_config_from(o);
     eprintln!(
         "[serve] soak: {} sessions x {} points across {} tenants (drop {:.0}%{}{})",
         cfg.sessions,
@@ -641,9 +668,17 @@ fn cmd_serve(o: &CliOpts) {
             None => String::new(),
         }
     );
-    let report = match &o.bench_cache {
-        Some(path) => run_cache_bench(&cfg, path),
-        None => run_soak(&cfg),
+    let report = if let Some(path) = &o.bench_cache {
+        run_cache_bench(&cfg, path)
+    } else if let Some(path) = &o.bench_net {
+        run_net_bench(&cfg, path)
+    } else if let Some(addr) = &o.connect {
+        eprintln!("[serve] driving the soak over {addr} ...");
+        let client = ServeClient::connect(addr, Duration::from_secs(10))
+            .unwrap_or_else(|e| die(&format!("cannot connect to {addr}: {e}")));
+        run_soak_on(&cfg, ServeBackend::Remote(Box::new(client)))
+    } else {
+        run_soak(&cfg)
     };
     eprintln!(
         "[serve] {} outputs in {} ticks: {} closed, {} evicted (peak {} active, {} buffered pts)",
@@ -711,16 +746,35 @@ fn cmd_serve(o: &CliOpts) {
         );
     }
 
+    eprintln!(
+        "[serve] {:.1} sessions/s end to end; append p99 {:.1} us, mean {:.1} us",
+        report.sessions_per_sec(),
+        report.append_p99_nanos as f64 / 1_000.0,
+        report.append_mean_nanos as f64 / 1_000.0
+    );
+
     let snap = obskit::global().snapshot();
-    let mut families = vec!["serve."];
-    if cfg.cache.is_some() || o.bench_cache.is_some() {
-        families.push("cache.");
-    }
-    if cfg.journal_dir.is_some() {
-        families.push("serve.journal.");
-    }
-    if report.crashes > 0 {
-        families.push("serve.recovery.");
+    // With --connect the service runs in another process, so its serve.*
+    // family is invisible here; the driver-side contract is the net.*
+    // client metrics instead.
+    let mut families = if o.connect.is_some() {
+        vec!["net."]
+    } else {
+        vec!["serve."]
+    };
+    if o.connect.is_none() {
+        if cfg.cache.is_some() || o.bench_cache.is_some() {
+            families.push("cache.");
+        }
+        if cfg.journal_dir.is_some() {
+            families.push("serve.journal.");
+        }
+        if report.crashes > 0 {
+            families.push("serve.recovery.");
+        }
+        if o.bench_net.is_some() {
+            families.push("net.");
+        }
     }
     for family in families {
         let covered = snap.samples.iter().any(|s| s.id.name().starts_with(family));
@@ -744,6 +798,17 @@ fn cmd_serve(o: &CliOpts) {
             report.outputs.len()
         );
     }
+    if o.shutdown {
+        // Fresh connection: the soak backend owned (and dropped) the
+        // driving client.
+        let addr = o.connect.as_deref().unwrap_or_default();
+        let client = ServeClient::connect(addr, Duration::from_secs(10))
+            .unwrap_or_else(|e| die(&format!("cannot reconnect to {addr} for shutdown: {e}")));
+        client
+            .shutdown_server()
+            .unwrap_or_else(|e| die(&format!("remote shutdown failed: {e}")));
+        eprintln!("[serve] remote server at {addr} asked to shut down");
+    }
     println!(
         "soak ok: {} sessions, {} evicted, {} points shed, policy swap {}",
         report.delivered,
@@ -754,6 +819,126 @@ fn cmd_serve(o: &CliOpts) {
             .map(|v| format!("-> v{v}"))
             .unwrap_or_else(|| "off".into())
     );
+}
+
+/// Builds the soak workload description shared by the in-process soak,
+/// the `--connect` remote driver, and the `--listen` shard server (which
+/// derives its [`ServeConfig`](rlts::trajserve::ServeConfig) from the
+/// same flags so driver and shard agree on admission ceilings).
+fn soak_config_from(o: &CliOpts) -> rlts::trajserve::SoakConfig {
+    use rlts::trajserve::{CorruptMode, ServeConfig, SoakConfig};
+
+    let crash_corrupt = o.crash_corrupt.as_deref().map(|s| {
+        s.parse::<CorruptMode>()
+            .unwrap_or_else(|e| die(&format!("bad --crash-corrupt: {e}")))
+    });
+    let cache = o.cache.then(|| {
+        let mut c = rlts::trajserve::CacheConfig::default();
+        if let Some(bytes) = o.cache_bytes {
+            c.tenant_bytes = bytes.max(1);
+        }
+        if let Some(policy) = &o.cache_policy {
+            c.policy = policy
+                .parse()
+                .unwrap_or_else(|e| die(&format!("bad --cache-policy: {e}")));
+        }
+        c
+    });
+    SoakConfig {
+        sessions: o.sessions.unwrap_or(500),
+        tenants: o.tenants.unwrap_or(10).max(1),
+        points_per_session: o.len.unwrap_or(120),
+        w: o.w.unwrap_or(10),
+        drop: o.drop.unwrap_or(0.05),
+        swap_mid: o.swap_mid,
+        journal_dir: o.journal_dir.as_ref().map(std::path::PathBuf::from),
+        group_commit: o.group_commit.unwrap_or(1),
+        snapshot_every: o.snapshot_every.unwrap_or(64),
+        crash_at: o.crash_at,
+        crash_corrupt,
+        route_pool: o.route_pool.unwrap_or(8),
+        cache,
+        serve: ServeConfig {
+            threads: o.threads.unwrap_or(0),
+            idle_ttl: o.ttl.unwrap_or(12),
+            seed: o.seed.unwrap_or(0xC0FFEE),
+            ..ServeConfig::default()
+        },
+    }
+}
+
+/// `rlts serve --listen ADDR`: run one shard as a blocking TCP server
+/// speaking the length-prefixed wire protocol of DESIGN.md §15. The
+/// service config is derived from the same soak sizing flags the driver
+/// uses, so admission decisions match an in-process run. With
+/// `--journal-dir` the shard journals every op; `--recover` rebuilds
+/// state from that journal after a crash before listening again.
+fn cmd_serve_listen(o: &CliOpts) {
+    use rlts::trajserve::{serve_config, serve_forever, TrajServe};
+    use std::sync::Arc;
+
+    if o.crash_at.is_some() || o.crash_corrupt.is_some() {
+        die("--crash-at / --crash-corrupt drive the in-process soak; kill -9 the shard process instead");
+    }
+    if o.recover && o.journal_dir.is_none() {
+        die("--recover needs --journal-dir");
+    }
+    let listen = o.listen.as_deref().unwrap_or_default();
+    let serve_cfg = serve_config(&soak_config_from(o));
+    let serve = if o.recover {
+        let (serve, rec) =
+            TrajServe::recover(serve_cfg).unwrap_or_else(|e| die(&format!("recovery failed: {e}")));
+        eprintln!(
+            "[serve] recovered to tick {} ({} records replayed, {} sessions restored)",
+            rec.recovered_tick, rec.records_replayed, rec.sessions_restored
+        );
+        serve
+    } else {
+        TrajServe::new(serve_cfg)
+    };
+    eprintln!("[serve] shard listening on {listen}");
+    serve_forever(Arc::new(serve), listen)
+        .unwrap_or_else(|e| die(&format!("cannot serve on {listen}: {e}")));
+}
+
+/// `rlts route --listen ADDR --shards A,B,...`: stand up the shard
+/// router. Sessions map to shards by `session_id % N`; a dead shard
+/// degrades only its residue class while the router buffers its ops and
+/// replays them when the shard comes back (DESIGN.md §15).
+fn cmd_route(o: &CliOpts) {
+    use rlts::trajserve::{serve_forever, Router, RouterConfig};
+    use std::sync::Arc;
+
+    let Some(listen) = o.listen.as_deref() else {
+        die("route needs --listen ADDR");
+    };
+    let Some(shards) = o.shards.as_deref() else {
+        die("route needs --shards ADDR,ADDR,...");
+    };
+    let shards: Vec<String> = shards
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        die("--shards needs at least one address");
+    }
+    let router = Router::connect(RouterConfig {
+        shards,
+        ..RouterConfig::default()
+    })
+    .unwrap_or_else(|e| die(&format!("cannot reach shards: {e}")));
+    for h in router.health() {
+        eprintln!(
+            "[route] shard {} at {}: {}",
+            h.index,
+            h.addr,
+            if h.connected { "up" } else { "down" }
+        );
+    }
+    eprintln!("[route] listening on {listen}");
+    serve_forever(Arc::new(router), listen)
+        .unwrap_or_else(|e| die(&format!("cannot serve on {listen}: {e}")));
 }
 
 /// Renders delivered soak outputs as the deterministic artifact text:
@@ -866,6 +1051,74 @@ fn run_cache_bench(cfg: &rlts::trajserve::SoakConfig, path: &str) -> rlts::trajs
         cached.mean_tick_micros()
     );
     cached
+}
+
+/// `--bench-net`: runs the identical workload in-process then against a
+/// loopback TCP server, dies unless the delivered artifacts match byte
+/// for byte, writes the throughput / append-latency comparison as JSON,
+/// and hands the networked report back for the normal verification path.
+fn run_net_bench(cfg: &rlts::trajserve::SoakConfig, path: &str) -> rlts::trajserve::SoakReport {
+    use rlts::trajserve::{
+        run_soak, run_soak_on, serve_config, NetServer, ServeBackend, ServeClient, TrajServe,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    eprintln!("[serve] bench: in-process reference run ...");
+    let local = run_soak(cfg);
+    eprintln!("[serve] bench: loopback networked run ...");
+    let serve = TrajServe::new(serve_config(cfg));
+    let server = NetServer::spawn(Arc::new(serve), "127.0.0.1:0")
+        .unwrap_or_else(|e| die(&format!("cannot start loopback server: {e}")));
+    let client = ServeClient::connect(&server.addr().to_string(), Duration::from_secs(10))
+        .unwrap_or_else(|e| die(&format!("cannot connect to loopback server: {e}")));
+    let net = run_soak_on(cfg, ServeBackend::Remote(Box::new(client)));
+    server.stop();
+    if render_artifact(&local) != render_artifact(&net) {
+        die("networked outputs differ from in-process (the wire protocol must be transparent)");
+    }
+    let json = format!(
+        "{{\n\
+         \x20 \"workload\": {{\n\
+         \x20   \"sessions\": {sessions},\n\
+         \x20   \"tenants\": {tenants},\n\
+         \x20   \"points_per_session\": {pps},\n\
+         \x20   \"drop\": {drop},\n\
+         \x20   \"route_pool\": {route_pool},\n\
+         \x20   \"threads\": {threads},\n\
+         \x20   \"seed\": {seed}\n\
+         \x20 }},\n\
+         \x20 \"in_process\": {{ \"sessions_per_sec\": {lsps:.1}, \"append_p99_micros\": {lp99:.3}, \"append_mean_micros\": {lmean:.3}, \"mean_tick_micros\": {ltick:.3} }},\n\
+         \x20 \"loopback_tcp\": {{ \"sessions_per_sec\": {nsps:.1}, \"append_p99_micros\": {np99:.3}, \"append_mean_micros\": {nmean:.3}, \"mean_tick_micros\": {ntick:.3} }},\n\
+         \x20 \"outputs_identical\": true,\n\
+         \x20 \"caveats\": \"single machine, loopback TCP, one synchronous driver connection per run; measures framing + syscall overhead, not datacenter network latency or fan-out\"\n\
+         }}\n",
+        sessions = cfg.sessions,
+        tenants = cfg.tenants,
+        pps = cfg.points_per_session,
+        drop = cfg.drop,
+        route_pool = cfg.route_pool,
+        threads = cfg.serve.threads,
+        seed = cfg.serve.seed,
+        lsps = local.sessions_per_sec(),
+        lp99 = local.append_p99_nanos as f64 / 1_000.0,
+        lmean = local.append_mean_nanos as f64 / 1_000.0,
+        ltick = local.mean_tick_micros(),
+        nsps = net.sessions_per_sec(),
+        np99 = net.append_p99_nanos as f64 / 1_000.0,
+        nmean = net.append_mean_nanos as f64 / 1_000.0,
+        ntick = net.mean_tick_micros(),
+    );
+    std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    eprintln!(
+        "[serve] bench: {:.1} sessions/s in-process vs {:.1} over loopback \
+         (append p99 {:.1} -> {:.1} us); written to {path}",
+        local.sessions_per_sec(),
+        net.sessions_per_sec(),
+        local.append_p99_nanos as f64 / 1_000.0,
+        net.append_p99_nanos as f64 / 1_000.0
+    );
+    net
 }
 
 fn cmd_eval(o: &CliOpts) {

@@ -1,0 +1,176 @@
+//! Networked serving (DESIGN.md §15): wire-frame robustness under
+//! arbitrary corruption, and transport transparency — the soak driven
+//! over loopback TCP (directly or through the shard router) must produce
+//! an artifact byte-identical to the in-process run.
+
+use proptest::prelude::*;
+use rlts::trajserve::{
+    read_frame, run_soak, run_soak_on, serve_config, write_frame, NetServer, Router, RouterConfig,
+    ServeBackend, ServeClient, ServeConfig, SoakConfig, SoakReport, TrajServe, KIND_REQUEST,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The deterministic artifact text `rlts serve --out` writes: logical
+/// clock only, `f64`s in shortest-round-trip form. Kept in sync with
+/// `render_artifact` in `src/bin/rlts.rs` so "byte-identical" here means
+/// the same bytes the CLI compares with `cmp` in CI.
+fn render(report: &SoakReport) -> String {
+    use std::fmt::Write as _;
+    let mut artifact = String::new();
+    for out in &report.outputs {
+        let _ = write!(
+            artifact,
+            "id={} tenant={} reason={:?} ver={} degraded={} observed={} tick={} pts=",
+            out.id.0,
+            out.tenant.0,
+            out.reason,
+            out.policy_version,
+            out.degraded,
+            out.observed,
+            out.delivered_at
+        );
+        for (i, p) in out.simplified.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ";" };
+            let _ = write!(artifact, "{sep}{:?}:{:?}:{:?}", p.t, p.x, p.y);
+        }
+        artifact.push('\n');
+    }
+    artifact
+}
+
+fn small_cfg(threads: usize) -> SoakConfig {
+    SoakConfig {
+        sessions: 32,
+        tenants: 4,
+        points_per_session: 60,
+        w: 8,
+        drop: 0.05,
+        swap_mid: true,
+        route_pool: 4,
+        serve: ServeConfig {
+            threads,
+            idle_ttl: 12,
+            seed: 0xFEED,
+            ..ServeConfig::default()
+        },
+        ..SoakConfig::default()
+    }
+}
+
+/// Runs the soak against a loopback TCP server wrapping a fresh service.
+fn loopback_soak(cfg: &SoakConfig) -> SoakReport {
+    let serve = TrajServe::new(serve_config(cfg));
+    let server = NetServer::spawn(Arc::new(serve), "127.0.0.1:0").expect("spawn server");
+    let client =
+        ServeClient::connect(&server.addr().to_string(), Duration::from_secs(5)).expect("connect");
+    let report = run_soak_on(cfg, ServeBackend::Remote(Box::new(client)));
+    server.stop();
+    report
+}
+
+/// The tentpole invariant: a soak driven over the wire is byte-identical
+/// to the same soak in-process, at one worker thread and at four.
+#[test]
+fn loopback_soak_is_byte_identical_to_in_process() {
+    for threads in [1usize, 4] {
+        let cfg = small_cfg(threads);
+        let local = run_soak(&cfg);
+        let net = loopback_soak(&cfg);
+        assert_eq!(
+            render(&local),
+            render(&net),
+            "loopback artifact diverged at threads={threads}"
+        );
+        assert_eq!(local.delivered, net.delivered);
+        assert_eq!(local.ticks, net.ticks);
+        assert_eq!(local.points_fed, net.points_fed);
+        assert_eq!(local.points_shed, net.points_shed);
+        assert_eq!(local.swapped_to, net.swapped_to);
+        local.verify().expect("in-process soak verifies");
+        net.verify().expect("networked soak verifies");
+    }
+}
+
+/// Two shard servers behind the router serve the same workload with the
+/// same bytes as one in-process service: global session ids keep seeds
+/// identical, clock broadcasts keep shards lockstep, and the drain merge
+/// restores delivery order.
+#[test]
+fn routed_two_shards_match_in_process() {
+    let cfg = small_cfg(2);
+    let local = run_soak(&cfg);
+
+    let s0 = NetServer::spawn(Arc::new(TrajServe::new(serve_config(&cfg))), "127.0.0.1:0")
+        .expect("spawn shard 0");
+    let s1 = NetServer::spawn(Arc::new(TrajServe::new(serve_config(&cfg))), "127.0.0.1:0")
+        .expect("spawn shard 1");
+    let router = Router::connect(RouterConfig {
+        shards: vec![s0.addr().to_string(), s1.addr().to_string()],
+        ..RouterConfig::default()
+    })
+    .expect("router connects");
+    let net = run_soak_on(&cfg, ServeBackend::Remote(Box::new(router)));
+    s0.stop();
+    s1.stop();
+
+    assert_eq!(
+        render(&local),
+        render(&net),
+        "routed artifact diverged from in-process"
+    );
+    assert_eq!(local.delivered, net.delivered);
+    assert_eq!(local.swapped_to, net.swapped_to);
+    net.verify().expect("routed soak verifies");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes through the frame reader: a typed result, never a
+    /// panic, never an oversized allocation.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_frame_reader(
+        bytes in prop::collection::vec(0u8..=255, 0..64),
+    ) {
+        let mut r = &bytes[..];
+        let _ = read_frame(&mut r, KIND_REQUEST);
+    }
+
+    /// A frame cut anywhere strictly inside itself is a typed error;
+    /// `Ok(None)` (clean end of stream) happens only between frames.
+    #[test]
+    fn truncated_frames_are_typed_errors(
+        payload in prop::collection::vec(0u8..=255, 0..48),
+        cut in 0usize..64,
+    ) {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, KIND_REQUEST, &payload).unwrap();
+        let cut = cut.min(frame.len() - 1);
+        let mut r = &frame[..cut];
+        match read_frame(&mut r, KIND_REQUEST) {
+            Ok(None) => prop_assert_eq!(cut, 0, "Ok(None) from a partial frame"),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded"),
+            Err(_) => {}
+        }
+    }
+
+    /// Any single flipped bit in a valid frame is caught — by the magic,
+    /// version, kind, or length checks, or by the payload CRC.
+    #[test]
+    fn bit_flips_are_always_detected(
+        payload in prop::collection::vec(0u8..=255, 0..48),
+        pos in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut frame = Vec::new();
+        write_frame(&mut frame, KIND_REQUEST, &payload).unwrap();
+        let at = pos % frame.len();
+        frame[at] ^= 1 << bit;
+        let mut r = &frame[..];
+        prop_assert!(
+            read_frame(&mut r, KIND_REQUEST).is_err(),
+            "flipped bit {bit} at byte {at} went undetected"
+        );
+    }
+}

@@ -9,8 +9,8 @@ use rand::SeedableRng;
 use rlts::prelude::*;
 use rlts::rlkit::nn::PolicyNet;
 use rlts::trajserve::{
-    AdmitError, CompletionReason, PolicyRegistry, ServeConfig, SessionOutput, SimplifierSpec,
-    TenantId, TrajServe,
+    AdmitError, CompletionReason, PolicyRegistry, ServeApi, ServeConfig, SessionOutput,
+    SimplifierSpec, TenantId, TrajServe,
 };
 use rlts::TrainedPolicy;
 use std::sync::Arc;
@@ -162,6 +162,72 @@ fn run_workload(threads: usize) -> Vec<SessionOutput> {
     }
     assert_eq!(serve.active_sessions(), 0);
     serve.drain_completed()
+}
+
+/// The same workload as [`run_workload`], but driven entirely through a
+/// `&dyn ServeApi` trait object — the shape the TCP transport and the
+/// shard router see (DESIGN.md §15). The inherent methods are shims over
+/// [`ServeOp`], so both drivers must produce identical outputs.
+fn run_workload_dyn(threads: usize) -> Vec<SessionOutput> {
+    let serve = TrajServe::new(ServeConfig {
+        threads,
+        window: 24,
+        idle_ttl: 6,
+        seed: 42,
+        ..ServeConfig::default()
+    });
+    let api: &dyn ServeApi = &serve;
+    let rlts_cfg = RltsConfig::paper_defaults(Variant::Rlts, Measure::Sed);
+    let specs = [
+        SimplifierSpec::Rlts { cfg: rlts_cfg },
+        SimplifierSpec::Squish(Measure::Sed),
+        SimplifierSpec::StTrace(Measure::Ped),
+        SimplifierSpec::Uniform,
+    ];
+    let ids: Vec<_> = (0..12)
+        .map(|i| {
+            api.create(TenantId((i % 3) as u32), specs[i % specs.len()].clone(), 9)
+                .unwrap()
+        })
+        .collect();
+    let streams: Vec<Vec<Point>> = (0..ids.len()).map(|i| pts(80 + i * 7)).collect();
+    let mut now = 0u64;
+    for step in 0..20 {
+        for (i, id) in ids.iter().enumerate() {
+            if i == 5 && step >= 10 {
+                continue;
+            }
+            let chunk =
+                &streams[i][(step * streams[i].len() / 20)..((step + 1) * streams[i].len() / 20)];
+            for p in chunk {
+                api.append_point(*id, *p).unwrap();
+            }
+        }
+        now += 1;
+        api.step(now).unwrap();
+    }
+    for (i, id) in ids.iter().enumerate() {
+        if i != 5 {
+            api.close_session(*id).unwrap();
+        }
+    }
+    for _ in 0..10 {
+        now += 1;
+        api.step(now).unwrap();
+    }
+    assert_eq!(api.status().unwrap().active, 0);
+    api.drain().unwrap()
+}
+
+/// The typed-op surface is a redesign, not a reimplementation: a workload
+/// driven through `dyn ServeApi` is indistinguishable from one driven
+/// through the inherent shims.
+#[test]
+fn serve_api_trait_matches_inherent_shims() {
+    let inherent = run_workload(4);
+    let traited = run_workload_dyn(4);
+    assert_eq!(inherent.len(), 12);
+    assert_eq!(comparable(&inherent), comparable(&traited));
 }
 
 /// Sessions shard deterministically by id: the same workload produces
