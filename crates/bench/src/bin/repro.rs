@@ -8,6 +8,7 @@
 //! commands:
 //!   table1            dataset statistics (Table I)
 //!   kernels           error-kernel micro-benchmark (BENCH_kernels.json)
+//!   columns           SoA-vs-AoS range-kernel micro-benchmark (BENCH_columns.json)
 //!   bellman           comparison with the exact DP (Exp 1)
 //!   fig3              batch variants comparison (Fig 3)
 //!   fig4              effectiveness vs W, 8 panels (Fig 4)
@@ -70,7 +71,7 @@ fn print_span_summary() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|kernels|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
+        "usage: repro <table1|kernels|columns|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
          [--scale F] [--seed N] [--out DIR] [--threads N] [--redact-timing]"
     );
     std::process::exit(2)
@@ -117,6 +118,7 @@ fn main() {
     match cmd.as_str() {
         "table1" => timed("table1", || exp::table1::run(&opts)),
         "kernels" => timed("kernels", || exp::kernels::run(&opts)),
+        "columns" => timed("columns", || exp::columns::run(&opts)),
         "bellman" => timed("bellman", || exp::bellman::run(&opts, &store)),
         "fig3" => timed("fig3", || exp::fig3::run(&opts, &store)),
         "fig4" => timed("fig4", || exp::fig4::run(&opts, &store)),
@@ -137,6 +139,7 @@ fn main() {
         "all" => {
             timed("table1", || exp::table1::run(&opts));
             timed("kernels", || exp::kernels::run(&opts));
+            timed("columns", || exp::columns::run(&opts));
             timed("bellman", || exp::bellman::run(&opts, &store));
             timed("fig3", || exp::fig3::run(&opts, &store));
             timed("fig4", || exp::fig4::run(&opts, &store));

@@ -1,0 +1,261 @@
+//! `repro columns` — micro-benchmark of the struct-of-arrays range kernels
+//! against the `&[Point]` (`TrajView`) range kernels, per measure
+//! (DESIGN.md §16).
+//!
+//! Both tiers are the *same* monomorphized algorithm; only the memory
+//! layout differs (interleaved points vs parallel `xs`/`ys`/`ts` columns),
+//! so the ratio isolates what columnar storage buys the batch sweeps.
+//! Before timing, every measure is checked bit-identical across layouts on
+//! the bench trajectory, and the fig3 corpus sweep writes paired
+//! `columns_aos.txt` / `columns_soa.txt` artifacts that the CI `columns`
+//! job `cmp`s byte for byte.
+//!
+//! Writes `results/columns.json` and a `BENCH_columns.json` snapshot in
+//! the working directory. The run **fails** (non-zero exit) if the SED
+//! range-kernel speedup falls below the 1.2× gate the refactor promises.
+
+use crate::harness::{fmt, Opts, TextTable};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+use trajectory::cols::TrajCols;
+use trajectory::error::{
+    range_error_stats, range_error_stats_cols, range_within, range_within_cols, range_worst,
+    range_worst_cols, Measure,
+};
+use trajgen::Preset;
+
+/// The SED range-kernel speedup the columnar refactor must deliver.
+const SED_GATE: f64 = 1.2;
+
+#[derive(Serialize)]
+struct ColumnRecord {
+    measure: String,
+    /// ns/unit through the `&[Point]` monomorphized range kernel.
+    aos_range_ns: f64,
+    /// ns/unit through the `ColsView` monomorphized range kernel.
+    soa_range_ns: f64,
+    /// `aos_range_ns / soa_range_ns`.
+    speedup_soa_vs_aos: f64,
+}
+
+#[derive(Serialize)]
+struct ColumnReport {
+    points: usize,
+    reps: usize,
+    sed_gate: f64,
+    note: String,
+    kernels: Vec<ColumnRecord>,
+}
+
+impl ColumnReport {
+    /// Hand-rolled pretty JSON for the checked-in snapshot, so the file
+    /// carries real numbers even when the harness is built against a
+    /// serde_json shim (`{:?}` floats round-trip losslessly).
+    fn snapshot_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"points\": {},", self.points);
+        let _ = writeln!(s, "  \"reps\": {},", self.reps);
+        let _ = writeln!(s, "  \"sed_gate\": {:?},", self.sed_gate);
+        let _ = writeln!(s, "  \"note\": \"{}\",", self.note.replace('"', "\\\""));
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"measure\": \"{}\",", k.measure);
+            let _ = writeln!(s, "      \"aos_range_ns\": {:?},", k.aos_range_ns);
+            let _ = writeln!(s, "      \"soa_range_ns\": {:?},", k.soa_range_ns);
+            let _ = writeln!(
+                s,
+                "      \"speedup_soa_vs_aos\": {:?}",
+                k.speedup_soa_vs_aos
+            );
+            s.push_str("    }");
+            s.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Minimum over `reps` timed runs, in ns per covered unit (min, not mean:
+/// scheduler noise only ever adds time).
+fn time_ns_per_unit(units: usize, reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let mut sink = 0.0;
+    for _ in 0..5 {
+        sink += f(); // warmup
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        sink += f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    black_box(sink);
+    best * 1e9 / units as f64
+}
+
+/// Appends one artifact line recording the exact bits of a range-stats
+/// computation (plus the worst-unit and a within probe) for one
+/// `(trajectory, measure, range)` cell.
+fn identity_line(
+    out: &mut String,
+    idx: usize,
+    m: Measure,
+    s: usize,
+    e: usize,
+    stats: trajectory::error::RangeStats,
+    worst: Option<(f64, usize)>,
+    within: bool,
+) {
+    let (werr, wsplit) = worst.map_or((0, usize::MAX), |(err, i)| (err.to_bits(), i));
+    let _ = writeln!(
+        out,
+        "traj={idx} measure={} range=({s},{e}) max={:016x} sum={:016x} count={} worst={werr:016x}@{wsplit} within={within}",
+        m.name(),
+        stats.max.to_bits(),
+        stats.sum.to_bits(),
+        stats.count,
+    );
+}
+
+/// Sweeps the fig3 corpus through both layouts and writes the paired
+/// identity artifacts. Returns the number of cells covered.
+fn fig3_identity_sweep(opts: &Opts) -> usize {
+    let corpus = trajgen::generate_dataset(
+        Preset::GeolifeLike,
+        opts.scaled(1000, 8),
+        opts.scaled(5000, 300),
+        opts.seed + 3,
+    );
+    let mut aos_art = String::new();
+    let mut soa_art = String::new();
+    let mut cells = 0usize;
+    for (idx, traj) in corpus.iter().enumerate() {
+        let pts = traj.points();
+        let cols = TrajCols::from_points(pts);
+        let n = pts.len();
+        // Full range plus an interior range: covers both sweep phases.
+        for (s, e) in [(0, n - 1), (n / 4, n / 2)] {
+            if s + 1 >= e {
+                continue;
+            }
+            for m in Measure::ALL {
+                trajectory::dispatch!(m, M => {
+                    let aos = range_error_stats::<M>(pts, s, e);
+                    let soa = range_error_stats_cols::<M>(cols.view(), s, e);
+                    let bound = aos.max * 0.5;
+                    identity_line(
+                        &mut aos_art, idx, m, s, e, aos,
+                        range_worst::<M>(pts, s, e),
+                        range_within::<M>(pts, s, e, bound),
+                    );
+                    identity_line(
+                        &mut soa_art, idx, m, s, e, soa,
+                        range_worst_cols::<M>(cols.view(), s, e),
+                        range_within_cols::<M>(cols.view(), s, e, bound),
+                    );
+                });
+                cells += 1;
+            }
+        }
+    }
+    std::fs::create_dir_all(&opts.out_dir).expect("create results dir");
+    let aos_path = opts.out_dir.join("columns_aos.txt");
+    let soa_path = opts.out_dir.join("columns_soa.txt");
+    std::fs::write(&aos_path, &aos_art).expect("write columns_aos.txt");
+    std::fs::write(&soa_path, &soa_art).expect("write columns_soa.txt");
+    if aos_art != soa_art {
+        eprintln!("[columns] FAIL: SoA and AoS kernel outputs differ on the fig3 corpus");
+        std::process::exit(1);
+    }
+    println!(
+        "[fig3 identity sweep: {cells} cells over {} trajectories, artifacts in {} / {}]",
+        corpus.len(),
+        aos_path.display(),
+        soa_path.display()
+    );
+    cells
+}
+
+/// Runs the SoA-vs-AoS kernel micro-benchmark and the fig3 identity sweep.
+pub fn run(opts: &Opts) {
+    let n = opts.scaled(4096, 1024);
+    let reps = 60;
+    let traj = trajgen::generate(Preset::GeolifeLike, n, opts.seed + 11);
+    let pts = traj.points();
+    let cols = TrajCols::from_points(pts);
+    let (s, e) = (0, n - 1);
+
+    let mut table = TextTable::new(&["Measure", "AoS ns/unit", "SoA ns/unit", "×"]);
+    let mut kernels = Vec::new();
+    let mut sed_speedup = f64::NAN;
+    for m in Measure::ALL {
+        let units = if m.segment_based() { e - s } else { e - s - 1 };
+        let (aos_ns, soa_ns) = trajectory::dispatch!(m, M => {
+            // Sanity: both layouts agree bit-for-bit before being timed.
+            let aos = range_error_stats::<M>(pts, s, e);
+            let soa = range_error_stats_cols::<M>(cols.view(), s, e);
+            assert_eq!(aos.max.to_bits(), soa.max.to_bits(), "{m} max");
+            assert_eq!(aos.sum.to_bits(), soa.sum.to_bits(), "{m} sum");
+            assert_eq!(aos.count, soa.count, "{m} count");
+            (
+                time_ns_per_unit(units, reps, || range_error_stats::<M>(pts, s, e).max),
+                time_ns_per_unit(units, reps, || {
+                    range_error_stats_cols::<M>(cols.view(), s, e).max
+                }),
+            )
+        });
+        let speedup = aos_ns / soa_ns;
+        if m == Measure::Sed {
+            sed_speedup = speedup;
+        }
+        table.row(vec![
+            m.name().to_string(),
+            fmt(aos_ns),
+            fmt(soa_ns),
+            fmt(speedup),
+        ]);
+        kernels.push(ColumnRecord {
+            measure: m.name().to_string(),
+            aos_range_ns: aos_ns,
+            soa_range_ns: soa_ns,
+            speedup_soa_vs_aos: speedup,
+        });
+    }
+    table.print("Columnar kernels: ns per covered unit (min over reps)");
+
+    fig3_identity_sweep(opts);
+
+    let report = ColumnReport {
+        points: n,
+        reps,
+        sed_gate: SED_GATE,
+        note: "single-threaded, min-of-reps wall clock on whatever core the OS \
+               grants; absolute ns vary by machine, the SoA-vs-AoS ratio is the \
+               stable signal. Both tiers run the same monomorphized range \
+               kernel; the SoA tier reads parallel xs/ys/ts columns with the \
+               per-segment invariants hoisted (bit-identical — proptest-gated \
+               in trajectory::error::soa) so the interpolation arithmetic \
+               autovectorizes"
+            .to_string(),
+        kernels,
+    };
+    opts.write_json("columns", &report);
+    std::fs::write("BENCH_columns.json", report.snapshot_json()).expect("write BENCH_columns.json");
+    println!("[snapshot written to BENCH_columns.json]");
+
+    if !(sed_speedup >= SED_GATE) {
+        eprintln!(
+            "[columns] FAIL: SED SoA range-kernel speedup {sed_speedup:.3}x \
+             is below the {SED_GATE}x gate"
+        );
+        std::process::exit(1);
+    }
+    println!("[SED gate passed: {sed_speedup:.3}x >= {SED_GATE}x]");
+}

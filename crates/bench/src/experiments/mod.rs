@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod ablation_critic;
 pub mod bellman;
 pub mod charts;
+pub mod columns;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -1,0 +1,302 @@
+//! Struct-of-arrays trajectory storage: [`TrajCols`] and [`ColsView`].
+//!
+//! The rest of the crate models a trajectory as `&[Point]` — an
+//! array-of-structs where each element interleaves `x`, `y`, `t`. That
+//! layout is ideal for per-point algorithms but pessimal for the batch
+//! range kernels (DESIGN.md §16): a SED sweep touching only `x`/`t` still
+//! drags `y` through the cache, and the interleaving defeats
+//! autovectorization of the interpolation arithmetic.
+//!
+//! [`TrajCols`] stores the same trajectory as three parallel column
+//! vectors (`xs`, `ys`, `ts`); [`ColsView`] is the borrowed counterpart,
+//! cheap to copy and to slice out of an on-disk column segment
+//! (`trajstore::colseg`). The SoA range kernels in
+//! [`error::soa`](crate::error::soa) consume a [`ColsView`] and are
+//! bit-identical to the `&[Point]` kernels — the layouts are freely
+//! interchangeable, columns are simply faster for batch sweeps.
+//!
+//! # Example
+//!
+//! ```
+//! use trajectory::cols::TrajCols;
+//! use trajectory::error::{range_error_stats, range_error_stats_cols, Sed};
+//! use trajectory::Point;
+//!
+//! let pts: Vec<Point> = (0..6)
+//!     .map(|i| Point::new(i as f64, if i == 3 { 2.0 } else { 0.0 }, i as f64))
+//!     .collect();
+//! let cols = TrajCols::from_points(&pts);
+//! let aos = range_error_stats::<Sed>(&pts, 0, 5);
+//! let soa = range_error_stats_cols::<Sed>(cols.view(), 0, 5);
+//! assert_eq!(aos.max.to_bits(), soa.max.to_bits());
+//! ```
+
+use crate::point::Point;
+
+/// A trajectory stored as three parallel column vectors.
+///
+/// The columns always have equal length; index `i` across `xs`/`ys`/`ts`
+/// is the point `pts[i]` of the equivalent array-of-structs trajectory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrajCols {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ts: Vec<f64>,
+}
+
+impl TrajCols {
+    /// Creates an empty column set.
+    pub fn new() -> Self {
+        TrajCols::default()
+    }
+
+    /// Creates an empty column set with room for `n` points per column.
+    pub fn with_capacity(n: usize) -> Self {
+        TrajCols {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Transposes an array-of-structs trajectory into columns.
+    pub fn from_points(pts: &[Point]) -> Self {
+        let mut cols = TrajCols::with_capacity(pts.len());
+        for p in pts {
+            cols.push(*p);
+        }
+        cols
+    }
+
+    /// Builds a column set from three owned columns.
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths.
+    pub fn from_columns(xs: Vec<f64>, ys: Vec<f64>, ts: Vec<f64>) -> Self {
+        assert!(
+            xs.len() == ys.len() && ys.len() == ts.len(),
+            "column length mismatch: {} xs, {} ys, {} ts",
+            xs.len(),
+            ys.len(),
+            ts.len()
+        );
+        TrajCols { xs, ys, ts }
+    }
+
+    /// Appends one point to all three columns.
+    #[inline]
+    pub fn push(&mut self, p: Point) {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.ts.push(p.t);
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The point at index `i`, re-assembled from the columns.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i], self.ts[i])
+    }
+
+    /// Borrows the columns as a [`ColsView`].
+    #[inline]
+    pub fn view(&self) -> ColsView<'_> {
+        ColsView {
+            xs: &self.xs,
+            ys: &self.ys,
+            ts: &self.ts,
+        }
+    }
+
+    /// The `x` column.
+    #[inline]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The `y` column.
+    #[inline]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The `t` column.
+    #[inline]
+    pub fn ts(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// Transposes back into an array-of-structs trajectory.
+    pub fn to_points(&self) -> Vec<Point> {
+        (0..self.len()).map(|i| self.point(i)).collect()
+    }
+
+    /// Clears all three columns, keeping their capacity.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.ts.clear();
+    }
+}
+
+/// A borrowed struct-of-arrays trajectory: three parallel column slices.
+///
+/// `Copy`, so it passes by value like `&[Point]` does. Construct via
+/// [`TrajCols::view`] or [`ColsView::new`] over columns sliced out of an
+/// on-disk segment; the constructor enforces equal column lengths, so the
+/// kernels can index all three columns by one bound.
+#[derive(Debug, Clone, Copy)]
+pub struct ColsView<'a> {
+    /// The `x` column.
+    pub xs: &'a [f64],
+    /// The `y` column.
+    pub ys: &'a [f64],
+    /// The `t` column.
+    pub ts: &'a [f64],
+}
+
+impl<'a> ColsView<'a> {
+    /// Creates a view over three equal-length column slices.
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths.
+    pub fn new(xs: &'a [f64], ys: &'a [f64], ts: &'a [f64]) -> Self {
+        assert!(
+            xs.len() == ys.len() && ys.len() == ts.len(),
+            "column length mismatch: {} xs, {} ys, {} ts",
+            xs.len(),
+            ys.len(),
+            ts.len()
+        );
+        ColsView { xs, ys, ts }
+    }
+
+    /// Number of points in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the view is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The point at index `i`, re-assembled from the columns.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i], self.ts[i])
+    }
+
+    /// Sub-view over point indices `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > self.len()`.
+    pub fn slice(&self, lo: usize, hi: usize) -> ColsView<'a> {
+        ColsView {
+            xs: &self.xs[lo..hi],
+            ys: &self.ys[lo..hi],
+            ts: &self.ts[lo..hi],
+        }
+    }
+
+    /// Transposes into an array-of-structs trajectory.
+    pub fn to_points(&self) -> Vec<Point> {
+        (0..self.len()).map(|i| self.point(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64 * 1.5, -(i as f64), i as f64 * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_points() {
+        let p = pts(17);
+        let cols = TrajCols::from_points(&p);
+        assert_eq!(cols.len(), 17);
+        assert!(!cols.is_empty());
+        assert_eq!(cols.to_points(), p);
+        assert_eq!(cols.view().to_points(), p);
+        for (i, want) in p.iter().enumerate() {
+            assert_eq!(cols.point(i), *want);
+            assert_eq!(cols.view().point(i), *want);
+        }
+    }
+
+    #[test]
+    fn from_columns_round_trips_through_accessors() {
+        let p = pts(9);
+        let direct = TrajCols::from_points(&p);
+        let rebuilt = TrajCols::from_columns(
+            direct.xs().to_vec(),
+            direct.ys().to_vec(),
+            direct.ts().to_vec(),
+        );
+        assert_eq!(direct, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn from_columns_rejects_ragged_input() {
+        TrajCols::from_columns(vec![1.0, 2.0], vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column length mismatch")]
+    fn view_constructor_rejects_ragged_input() {
+        ColsView::new(&[1.0], &[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn slice_matches_point_range() {
+        let p = pts(12);
+        let cols = TrajCols::from_points(&p);
+        let sub = cols.view().slice(3, 9);
+        assert_eq!(sub.len(), 6);
+        assert_eq!(sub.to_points(), p[3..9].to_vec());
+    }
+
+    #[test]
+    fn clear_keeps_nothing() {
+        let mut cols = TrajCols::from_points(&pts(5));
+        cols.clear();
+        assert!(cols.is_empty());
+        assert!(cols.view().is_empty());
+        assert_eq!(cols.len(), 0);
+    }
+
+    #[test]
+    fn push_extends_all_columns() {
+        let mut cols = TrajCols::with_capacity(4);
+        cols.push(Point::new(1.0, 2.0, 3.0));
+        cols.push(Point::new(4.0, 5.0, 6.0));
+        assert_eq!(cols.xs(), &[1.0, 4.0]);
+        assert_eq!(cols.ys(), &[2.0, 5.0]);
+        assert_eq!(cols.ts(), &[3.0, 6.0]);
+    }
+}

@@ -29,6 +29,7 @@ mod ped;
 mod profile;
 mod sad;
 mod sed;
+pub mod soa;
 pub mod view;
 
 pub use dad::{dad_drop_error, dad_point_error};
@@ -40,6 +41,10 @@ pub use ped::{ped_drop_error, ped_point_error};
 pub use profile::ErrorProfile;
 pub use sad::{sad_drop_error, sad_point_error};
 pub use sed::{sed_drop_error, sed_point_error};
+pub use soa::{
+    range_error_stats_cols, range_max_error_cols, range_within_cols, range_worst_cols,
+    trajectory_error_cols,
+};
 pub use view::TrajView;
 
 use crate::point::Point;

@@ -1,0 +1,694 @@
+//! Struct-of-arrays range kernels over [`ColsView`] columns.
+//!
+//! These are the columnar twins of the [`kernel`](super::kernel) batch
+//! entry points: same assertions, same semantics, bit-identical results —
+//! only the memory layout differs. Every per-segment invariant the
+//! `&[Point]` kernels recompute per point (the SED interpolation basis,
+//! the PED line normal, the DAD anchor direction, the SAD anchor speed)
+//! is hoisted out of the loop here; hoisting is bit-exact because the
+//! hoisted expressions depend only on the anchor endpoints. The SED/PED
+//! inner loops are additionally split into a vectorizable arithmetic pass
+//! over a stack chunk and an in-order scalar fold, so LLVM can use SIMD
+//! for the interpolation while `max`/`sum` still accumulate in the exact
+//! historical order (DESIGN.md §16).
+//!
+//! # Example
+//!
+//! ```
+//! use trajectory::cols::TrajCols;
+//! use trajectory::error::{range_error_stats, range_error_stats_cols, Dad};
+//! use trajectory::Point;
+//!
+//! let pts: Vec<Point> = (0..8)
+//!     .map(|i| Point::new(i as f64, if i % 3 == 0 { 1.0 } else { 0.0 }, i as f64))
+//!     .collect();
+//! let cols = TrajCols::from_points(&pts);
+//! let aos = range_error_stats::<Dad>(&pts, 1, 6);
+//! let soa = range_error_stats_cols::<Dad>(cols.view(), 1, 6);
+//! assert_eq!(aos.sum.to_bits(), soa.sum.to_bits());
+//! ```
+
+use super::kernel::{ErrorMeasure, RangeStats};
+use super::Measure;
+use crate::cols::ColsView;
+use crate::point::angular_difference;
+use std::f64::consts::FRAC_PI_2;
+
+/// Chunk width of the split SED loop: small enough to live on the stack,
+/// large enough that the vector pass amortizes the loop overhead.
+const CHUNK: usize = 128;
+
+/// Hoisted per-segment invariants of the SED kernel: the interpolation
+/// basis of `Segment::position_at` evaluated once per range.
+#[derive(Clone, Copy)]
+struct SedEval {
+    x0: f64,
+    y0: f64,
+    t0: f64,
+    dt: f64,
+    dx: f64,
+    dy: f64,
+    /// `Point::interpolate_at`'s zero-duration branch, constant per range.
+    degenerate: bool,
+}
+
+impl SedEval {
+    #[inline]
+    fn new(v: ColsView<'_>, s: usize, e: usize) -> Self {
+        let (x0, y0, t0) = (v.xs[s], v.ys[s], v.ts[s]);
+        let dt = v.ts[e] - t0;
+        SedEval {
+            x0,
+            y0,
+            t0,
+            dt,
+            dx: v.xs[e] - x0,
+            dy: v.ys[e] - y0,
+            degenerate: dt.abs() < f64::EPSILON,
+        }
+    }
+
+    #[inline]
+    fn err(&self, v: ColsView<'_>, i: usize) -> f64 {
+        if self.degenerate {
+            (v.xs[i] - self.x0).hypot(v.ys[i] - self.y0)
+        } else {
+            let r = (v.ts[i] - self.t0) / self.dt;
+            (v.xs[i] - (self.x0 + r * self.dx)).hypot(v.ys[i] - (self.y0 + r * self.dy))
+        }
+    }
+}
+
+/// Hoisted per-segment invariants of the PED kernel: the line normal and
+/// length of `Segment::dist_to_line` evaluated once per range.
+#[derive(Clone, Copy)]
+struct PedEval {
+    ax: f64,
+    ay: f64,
+    dx: f64,
+    dy: f64,
+    len: f64,
+}
+
+impl PedEval {
+    #[inline]
+    fn new(v: ColsView<'_>, s: usize, e: usize) -> Self {
+        let (ax, ay) = (v.xs[s], v.ys[s]);
+        let (dx, dy) = (v.xs[e] - ax, v.ys[e] - ay);
+        PedEval {
+            ax,
+            ay,
+            dx,
+            dy,
+            len: (dx * dx + dy * dy).sqrt(),
+        }
+    }
+
+    #[inline]
+    fn err(&self, v: ColsView<'_>, i: usize) -> f64 {
+        if self.len == 0.0 {
+            (v.xs[i] - self.ax).hypot(v.ys[i] - self.ay)
+        } else {
+            ((v.xs[i] - self.ax) * self.dy - (v.ys[i] - self.ay) * self.dx).abs() / self.len
+        }
+    }
+}
+
+/// Hoisted per-segment invariant of the DAD kernel: the anchor direction
+/// (`Segment::direction`, one `atan2`) evaluated once per range instead of
+/// once per movement segment.
+#[derive(Clone, Copy)]
+struct DadEval {
+    seg_dir: Option<f64>,
+}
+
+impl DadEval {
+    #[inline]
+    fn new(v: ColsView<'_>, s: usize, e: usize) -> Self {
+        let dx = v.xs[e] - v.xs[s];
+        let dy = v.ys[e] - v.ys[s];
+        DadEval {
+            seg_dir: if dx == 0.0 && dy == 0.0 {
+                None
+            } else {
+                Some(dy.atan2(dx))
+            },
+        }
+    }
+
+    /// Error of movement segment `p_i → p_{i+1}`, matching
+    /// `dad_point_error` bit for bit (the degenerate-movement early return
+    /// fires before the anchor direction is consulted, exactly as in the
+    /// point kernel).
+    #[inline]
+    fn err(&self, v: ColsView<'_>, i: usize) -> f64 {
+        let dx = v.xs[i + 1] - v.xs[i];
+        let dy = v.ys[i + 1] - v.ys[i];
+        if dx == 0.0 && dy == 0.0 {
+            return 0.0;
+        }
+        match self.seg_dir {
+            Some(d) => angular_difference(dy.atan2(dx), d),
+            None => FRAC_PI_2,
+        }
+    }
+}
+
+/// Hoisted per-segment invariant of the SAD kernel: the anchor speed
+/// (`Segment::speed`, one `hypot` + division) evaluated once per range.
+#[derive(Clone, Copy)]
+struct SadEval {
+    seg_speed: f64,
+}
+
+impl SadEval {
+    #[inline]
+    fn new(v: ColsView<'_>, s: usize, e: usize) -> Self {
+        let dt = v.ts[e] - v.ts[s];
+        SadEval {
+            // `seg.speed().unwrap_or(0.0)` with the speed_to internals
+            // inlined; `start.dist(end)` subtracts start - end.
+            seg_speed: if dt.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (v.xs[s] - v.xs[e]).hypot(v.ys[s] - v.ys[e]) / dt
+            },
+        }
+    }
+
+    /// Error of movement segment `p_i → p_{i+1}`, matching
+    /// `sad_point_error` bit for bit.
+    #[inline]
+    fn err(&self, v: ColsView<'_>, i: usize) -> f64 {
+        let dt = v.ts[i + 1] - v.ts[i];
+        if dt.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        let speed = (v.xs[i] - v.xs[i + 1]).hypot(v.ys[i] - v.ys[i + 1]) / dt;
+        (speed - self.seg_speed).abs()
+    }
+}
+
+fn sed_stats(v: ColsView<'_>, s: usize, e: usize) -> RangeStats {
+    let ev = SedEval::new(v, s, e);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut exb = [0.0f64; CHUNK];
+    let mut eyb = [0.0f64; CHUNK];
+    let mut i = s + 1;
+    while i < e {
+        let len = (e - i).min(CHUNK);
+        let xs = &v.xs[i..i + len];
+        let ys = &v.ys[i..i + len];
+        let ts = &v.ts[i..i + len];
+        // Pass 1 — interpolation arithmetic into stack chunks: pure
+        // sub/div/mul, autovectorizes. Pass 2 — the libm `hypot` plus the
+        // `max`/`sum` fold, scalar and in the exact historical index order.
+        if ev.degenerate {
+            for (k, (&x, &y)) in xs.iter().zip(ys).enumerate() {
+                exb[k] = x - ev.x0;
+                eyb[k] = y - ev.y0;
+            }
+        } else {
+            for (k, ((&x, &y), &t)) in xs.iter().zip(ys).zip(ts).enumerate() {
+                let r = (t - ev.t0) / ev.dt;
+                exb[k] = x - (ev.x0 + r * ev.dx);
+                eyb[k] = y - (ev.y0 + r * ev.dy);
+            }
+        }
+        for (&ex, &ey) in exb[..len].iter().zip(&eyb[..len]) {
+            let err = ex.hypot(ey);
+            max = max.max(err);
+            sum += err;
+        }
+        i += len;
+    }
+    RangeStats {
+        max,
+        sum,
+        count: e - (s + 1),
+    }
+}
+
+fn ped_stats(v: ColsView<'_>, s: usize, e: usize) -> RangeStats {
+    let ev = PedEval::new(v, s, e);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    // The PED unit error is branch-free arithmetic once the line normal is
+    // hoisted (LLVM unswitches the degenerate branch); a bounds-check-free
+    // zip over the two columns keeps the fold in the historical order.
+    let xs = &v.xs[s + 1..e];
+    let ys = &v.ys[s + 1..e];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let err = if ev.len == 0.0 {
+            (x - ev.ax).hypot(y - ev.ay)
+        } else {
+            ((x - ev.ax) * ev.dy - (y - ev.ay) * ev.dx).abs() / ev.len
+        };
+        max = max.max(err);
+        sum += err;
+    }
+    RangeStats {
+        max,
+        sum,
+        count: e - (s + 1),
+    }
+}
+
+fn dad_stats(v: ColsView<'_>, s: usize, e: usize) -> RangeStats {
+    let ev = DadEval::new(v, s, e);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for i in s..e {
+        let err = ev.err(v, i);
+        max = max.max(err);
+        sum += err;
+    }
+    RangeStats {
+        max,
+        sum,
+        count: e - s,
+    }
+}
+
+fn sad_stats(v: ColsView<'_>, s: usize, e: usize) -> RangeStats {
+    let ev = SadEval::new(v, s, e);
+    let mut max = 0.0f64;
+    let mut sum = 0.0f64;
+    for i in s..e {
+        let err = ev.err(v, i);
+        max = max.max(err);
+        sum += err;
+    }
+    RangeStats {
+        max,
+        sum,
+        count: e - s,
+    }
+}
+
+/// The batch range kernel over columns — the SoA twin of
+/// [`range_error_stats`](super::range_error_stats), bit-identical on every
+/// input.
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= v.len()`.
+///
+/// # Example
+///
+/// ```
+/// use trajectory::cols::TrajCols;
+/// use trajectory::error::{range_error_stats_cols, Ped};
+/// use trajectory::Point;
+///
+/// let pts: Vec<Point> = (0..4)
+///     .map(|i| Point::new(i as f64, if i == 2 { 3.0 } else { 0.0 }, i as f64))
+///     .collect();
+/// let cols = TrajCols::from_points(&pts);
+/// let stats = range_error_stats_cols::<Ped>(cols.view(), 0, 3);
+/// assert_eq!(stats.max, 3.0);
+/// assert_eq!(stats.count, 2);
+/// ```
+pub fn range_error_stats_cols<M: ErrorMeasure>(v: ColsView<'_>, s: usize, e: usize) -> RangeStats {
+    assert!(
+        s < e && e < v.len(),
+        "invalid segment range ({s}, {e}) for {} points",
+        v.len()
+    );
+    match M::MEASURE {
+        Measure::Sed => sed_stats(v, s, e),
+        Measure::Ped => ped_stats(v, s, e),
+        Measure::Dad => dad_stats(v, s, e),
+        Measure::Sad => sad_stats(v, s, e),
+    }
+}
+
+/// Maximum error of anchor range `(s, e)` over columns — the SoA twin of
+/// [`range_max_error`](super::range_max_error).
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= v.len()`.
+#[inline]
+pub fn range_max_error_cols<M: ErrorMeasure>(v: ColsView<'_>, s: usize, e: usize) -> f64 {
+    range_error_stats_cols::<M>(v, s, e).max
+}
+
+/// Worst-unit scan for positional measures: sweep `(s + 1)..e`, ties keep
+/// the earliest unit.
+#[inline]
+fn worst_positional(s: usize, e: usize, err: impl Fn(usize) -> f64) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for i in (s + 1)..e {
+        let err = err(i);
+        if best.is_none_or(|(b, _)| err > b) {
+            best = Some((err, i));
+        }
+    }
+    best
+}
+
+/// Worst-unit scan for movement-segment measures: sweep `s..e` with the
+/// split index clamped strictly inside `(s, e)`.
+#[inline]
+fn worst_segmental(s: usize, e: usize, err: impl Fn(usize) -> f64) -> Option<(f64, usize)> {
+    let mut best: Option<(f64, usize)> = None;
+    for i in s..e {
+        let err = err(i);
+        if best.is_none_or(|(b, _)| err > b) {
+            let split = if i > s { i } else { i + 1 }.min(e - 1);
+            best = Some((err, split));
+        }
+    }
+    best
+}
+
+/// Worst anchored unit of range `(s, e)` over columns — the SoA twin of
+/// [`range_worst`](super::range_worst): same split rule, same
+/// ties-keep-earliest scan order.
+///
+/// # Panics
+/// Panics if `e >= v.len()`.
+pub fn range_worst_cols<M: ErrorMeasure>(
+    v: ColsView<'_>,
+    s: usize,
+    e: usize,
+) -> Option<(f64, usize)> {
+    if e <= s + 1 {
+        return None;
+    }
+    assert!(e < v.len(), "range end {e} out of bounds");
+    match M::MEASURE {
+        Measure::Sed => {
+            let ev = SedEval::new(v, s, e);
+            worst_positional(s, e, |i| ev.err(v, i))
+        }
+        Measure::Ped => {
+            let ev = PedEval::new(v, s, e);
+            worst_positional(s, e, |i| ev.err(v, i))
+        }
+        Measure::Dad => {
+            let ev = DadEval::new(v, s, e);
+            worst_segmental(s, e, |i| ev.err(v, i))
+        }
+        Measure::Sad => {
+            let ev = SadEval::new(v, s, e);
+            worst_segmental(s, e, |i| ev.err(v, i))
+        }
+    }
+}
+
+/// Whether every unit anchored to range `(s, e)` has error at most `bound`
+/// — the SoA twin of [`range_within`](super::range_within), with the same
+/// early exit on the first violation.
+///
+/// # Panics
+/// Panics if `s >= e` or `e >= v.len()`.
+pub fn range_within_cols<M: ErrorMeasure>(v: ColsView<'_>, s: usize, e: usize, bound: f64) -> bool {
+    assert!(
+        s < e && e < v.len(),
+        "invalid segment range ({s}, {e}) for {} points",
+        v.len()
+    );
+    let lo = if M::SEGMENT_BASED { s } else { s + 1 };
+    match M::MEASURE {
+        Measure::Sed => {
+            let ev = SedEval::new(v, s, e);
+            (lo..e).all(|i| ev.err(v, i) <= bound)
+        }
+        Measure::Ped => {
+            let ev = PedEval::new(v, s, e);
+            (lo..e).all(|i| ev.err(v, i) <= bound)
+        }
+        Measure::Dad => {
+            let ev = DadEval::new(v, s, e);
+            (lo..e).all(|i| ev.err(v, i) <= bound)
+        }
+        Measure::Sad => {
+            let ev = SadEval::new(v, s, e);
+            (lo..e).all(|i| ev.err(v, i) <= bound)
+        }
+    }
+}
+
+/// Error of a whole simplification over columns — the SoA twin of
+/// [`trajectory_error`](super::trajectory_error), with the same kept-index
+/// contract and the same left-to-right window fold.
+///
+/// # Panics
+/// Panics if `kept` is not strictly increasing from `0` to `v.len() - 1`.
+pub fn trajectory_error_cols<M: ErrorMeasure>(
+    v: ColsView<'_>,
+    kept: &[usize],
+    agg: super::Aggregation,
+) -> f64 {
+    assert!(v.len() >= 2, "need at least two points");
+    assert!(kept.len() >= 2, "need at least two kept indices");
+    assert_eq!(kept[0], 0, "first point must be kept");
+    assert_eq!(
+        *kept.last().unwrap(),
+        v.len() - 1,
+        "last point must be kept"
+    );
+    let mut stats = RangeStats::default();
+    for w in kept.windows(2) {
+        assert!(w[0] < w[1], "kept indices must be strictly increasing");
+        if w[1] - w[0] <= 1 && !M::SEGMENT_BASED {
+            continue; // adjacent points introduce no positional error
+        }
+        stats.absorb(range_error_stats_cols::<M>(v, w[0], w[1]));
+    }
+    match agg {
+        super::Aggregation::Max => stats.max,
+        super::Aggregation::Mean => stats.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cols::TrajCols;
+    use crate::error::{
+        range_error_stats, range_max_error, range_within, range_worst, trajectory_error,
+        Aggregation,
+    };
+    use crate::point::Point;
+
+    /// Deterministic xorshift trajectory, mirroring the kernel-test
+    /// generator (including the degenerate duplicate position/timestamp
+    /// cases).
+    fn lcg_points(seed: u64, n: usize) -> Vec<Point> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut t = 0.0;
+        (0..n)
+            .map(|i| {
+                t += 0.25 + next() * 2.0;
+                let (x, y) = if i % 7 == 3 {
+                    (0.0, 0.0)
+                } else {
+                    (next() * 20.0 - 10.0, next() * 20.0 - 10.0)
+                };
+                let t = if i % 11 == 5 { t - 0.25 } else { t };
+                Point::new(x, y, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn soa_stats_bit_identical_to_aos() {
+        for seed in 1..30u64 {
+            let pts = lcg_points(seed, 40);
+            let cols = TrajCols::from_points(&pts);
+            for m in Measure::ALL {
+                for (s, e) in [(0, 39), (0, 1), (3, 17), (12, 13), (20, 39)] {
+                    crate::dispatch!(m, M => {
+                        let aos = range_error_stats::<M>(&pts, s, e);
+                        let soa = range_error_stats_cols::<M>(cols.view(), s, e);
+                        assert_eq!(aos.max.to_bits(), soa.max.to_bits(), "{m} max ({s},{e})");
+                        assert_eq!(aos.sum.to_bits(), soa.sum.to_bits(), "{m} sum ({s},{e})");
+                        assert_eq!(aos.count, soa.count, "{m} count ({s},{e})");
+                        assert_eq!(
+                            range_max_error::<M>(&pts, s, e).to_bits(),
+                            range_max_error_cols::<M>(cols.view(), s, e).to_bits(),
+                            "{m} range_max ({s},{e})"
+                        );
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_stats_cross_chunk_boundaries() {
+        // Ranges longer than CHUNK exercise the chunked fold seams.
+        let pts = lcg_points(5, 3 * CHUNK + 7);
+        let cols = TrajCols::from_points(&pts);
+        let e = pts.len() - 1;
+        for m in Measure::ALL {
+            for s in [0, 1, CHUNK - 1, CHUNK, CHUNK + 1] {
+                crate::dispatch!(m, M => {
+                    let aos = range_error_stats::<M>(&pts, s, e);
+                    let soa = range_error_stats_cols::<M>(cols.view(), s, e);
+                    assert_eq!(aos.max.to_bits(), soa.max.to_bits(), "{m} max ({s},{e})");
+                    assert_eq!(aos.sum.to_bits(), soa.sum.to_bits(), "{m} sum ({s},{e})");
+                    assert_eq!(aos.count, soa.count, "{m} count ({s},{e})");
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn soa_worst_and_within_match_aos() {
+        for seed in 1..20u64 {
+            let pts = lcg_points(seed, 35);
+            let cols = TrajCols::from_points(&pts);
+            for m in Measure::ALL {
+                for (s, e) in [(0, 34), (2, 3), (2, 4), (5, 20), (30, 34)] {
+                    crate::dispatch!(m, M => {
+                        let aos = range_worst::<M>(&pts, s, e);
+                        let soa = range_worst_cols::<M>(cols.view(), s, e);
+                        match (aos, soa) {
+                            (None, None) => {}
+                            (Some((ae, ai)), Some((se_, si))) => {
+                                assert_eq!(ae.to_bits(), se_.to_bits(), "{m} worst err ({s},{e})");
+                                assert_eq!(ai, si, "{m} worst split ({s},{e})");
+                            }
+                            other => panic!("{m} worst mismatch ({s},{e}): {other:?}"),
+                        }
+                        if e > s + 1 {
+                            let max = range_error_stats::<M>(&pts, s, e).max;
+                            for bound in [max, max * 0.5 - 1e-12, 0.0, f64::INFINITY] {
+                                assert_eq!(
+                                    range_within::<M>(&pts, s, e, bound),
+                                    range_within_cols::<M>(cols.view(), s, e, bound),
+                                    "{m} within ({s},{e}) bound {bound}"
+                                );
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_trajectory_error_matches_aos() {
+        for seed in 1..15u64 {
+            let pts = lcg_points(seed, 30);
+            let cols = TrajCols::from_points(&pts);
+            let kept = vec![0, 1, 4, 11, 12, 20, 29];
+            for m in Measure::ALL {
+                for agg in [Aggregation::Max, Aggregation::Mean] {
+                    crate::dispatch!(m, M => {
+                        let aos = trajectory_error::<M>(&pts, &kept, agg);
+                        let soa = trajectory_error_cols::<M>(cols.view(), &kept, agg);
+                        assert_eq!(aos.to_bits(), soa.to_bits(), "{m} {agg:?}");
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segment range")]
+    fn soa_stats_rejects_empty_range() {
+        let cols = TrajCols::from_points(&lcg_points(1, 8));
+        range_error_stats_cols::<crate::error::Sed>(cols.view(), 3, 3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::cols::TrajCols;
+    use crate::error::{range_error_stats, range_within, range_worst, Aggregation};
+    use crate::point::Point;
+    use proptest::prelude::*;
+
+    prop_compose! {
+        /// Random finite trajectory with strictly increasing time except
+        /// for occasional duplicate timestamps (degenerate kernel
+        /// branches), mirroring the kernel proptest generator.
+        fn traj(max_len: usize)
+            (n in 4..max_len)
+            (coords in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 0.01..2.0f64, prop::bool::ANY), n))
+            -> Vec<Point>
+        {
+            let mut t = 0.0;
+            coords
+                .into_iter()
+                .map(|(x, y, dt, dup)| {
+                    if !dup {
+                        t += dt;
+                    }
+                    Point::new(x, y, t)
+                })
+                .collect()
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn soa_range_kernels_bit_identical_to_aos(
+            pts in traj(160),
+            s_frac in 0.0..1.0f64,
+            e_frac in 0.0..1.0f64,
+            bound_frac in 0.0..1.5f64,
+        ) {
+            let n = pts.len();
+            let s = ((s_frac * (n - 2) as f64) as usize).min(n - 2);
+            let e = s + 1 + ((e_frac * (n - 1 - s) as f64) as usize).min(n - 2 - s);
+            let cols = TrajCols::from_points(&pts);
+            for m in Measure::ALL {
+                crate::dispatch!(m, M => {
+                    let aos = range_error_stats::<M>(&pts, s, e);
+                    let soa = range_error_stats_cols::<M>(cols.view(), s, e);
+                    prop_assert_eq!(aos.max.to_bits(), soa.max.to_bits(), "{} max", m);
+                    prop_assert_eq!(aos.sum.to_bits(), soa.sum.to_bits(), "{} sum", m);
+                    prop_assert_eq!(aos.count, soa.count, "{} count", m);
+
+                    prop_assert_eq!(
+                        range_worst::<M>(&pts, s, e).map(|(err, i)| (err.to_bits(), i)),
+                        range_worst_cols::<M>(cols.view(), s, e).map(|(err, i)| (err.to_bits(), i)),
+                        "{} worst", m
+                    );
+
+                    let bound = aos.max * bound_frac;
+                    prop_assert_eq!(
+                        range_within::<M>(&pts, s, e, bound),
+                        range_within_cols::<M>(cols.view(), s, e, bound),
+                        "{} within", m
+                    );
+                });
+            }
+        }
+
+        #[test]
+        fn soa_trajectory_error_bit_identical_to_aos(
+            pts in traj(80),
+            keep_mask in prop::collection::vec(prop::bool::ANY, 80),
+        ) {
+            let n = pts.len();
+            let mut kept = vec![0];
+            kept.extend((1..n - 1).filter(|&i| keep_mask[i % keep_mask.len()]));
+            kept.push(n - 1);
+            let cols = TrajCols::from_points(&pts);
+            for m in Measure::ALL {
+                for agg in [Aggregation::Max, Aggregation::Mean] {
+                    crate::dispatch!(m, M => {
+                        let aos = crate::error::trajectory_error::<M>(&pts, &kept, agg);
+                        let soa = trajectory_error_cols::<M>(cols.view(), &kept, agg);
+                        prop_assert_eq!(aos.to_bits(), soa.to_bits(), "{} {:?}", m, agg);
+                    });
+                }
+            }
+        }
+    }
+}

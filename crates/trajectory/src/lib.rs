@@ -9,6 +9,9 @@
 //! * [`Segment`] — anchor segments and point-vs-segment geometry;
 //! * [`error`] — the four error measures (SED, PED, DAD, SAD), segment and
 //!   whole-trajectory error under the anchor-segment semantics;
+//! * [`cols`] — struct-of-arrays column storage ([`TrajCols`] /
+//!   [`ColsView`]) feeding the autovectorizable SoA range kernels and the
+//!   on-disk column segments (DESIGN.md §16);
 //! * [`ErrorBook`] — incremental error maintenance for drop/append edits
 //!   (drives RL rewards and the Bottom-Up family);
 //! * [`memo`] — shared memoization of anchor-range error statistics
@@ -34,6 +37,7 @@
 
 mod buffer;
 pub mod codec;
+pub mod cols;
 pub mod error;
 pub mod formats;
 mod incremental;
@@ -48,6 +52,7 @@ pub mod stats;
 mod traj;
 
 pub use buffer::OrderedBuffer;
+pub use cols::{ColsView, TrajCols};
 pub use incremental::ErrorBook;
 pub use point::{angular_difference, Point};
 pub use segment::Segment;

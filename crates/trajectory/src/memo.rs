@@ -15,6 +15,7 @@
 //! [`RangeBinding::bump_generation`] — invalidation happens by changing the
 //! key, never by mutating cached values.
 
+use crate::cols::ColsView;
 use crate::error::{Measure, RangeStats};
 use std::sync::{Arc, Mutex};
 use trajcache::{Cache, CacheStats, EvictPolicy, MemSize};
@@ -24,7 +25,10 @@ use trajcache::{Cache, CacheStats, EvictPolicy, MemSize};
 /// (see `BENCH_kernels.json`: 8–37 ns per point vs ~100 ns per probe).
 pub const MIN_MEMO_SPAN: u32 = 4;
 
-/// Cache key for one anchor range's error statistics.
+/// Cache key for one anchor range's error statistics. `src` records how
+/// `traj` was derived — an allocated id ([`SRC_ID`]) or a columnar content
+/// fingerprint ([`SRC_FINGERPRINT`]) — so the two namespaces never alias
+/// even when a fingerprint happens to equal an allocated id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RangeKey {
     traj: u64,
@@ -32,7 +36,13 @@ struct RangeKey {
     s: u32,
     e: u32,
     measure: u8,
+    src: u8,
 }
+
+/// `RangeKey::traj` is an id from [`RangeMemo::alloc_traj_id`].
+const SRC_ID: u8 = 0;
+/// `RangeKey::traj` is a [`fingerprint_cols`] content hash.
+const SRC_FINGERPRINT: u8 = 1;
 
 impl MemSize for RangeKey {
     fn approx_bytes(&self) -> usize {
@@ -53,6 +63,30 @@ fn measure_tag(m: Measure) -> u8 {
         Measure::Dad => 2,
         Measure::Sad => 3,
     }
+}
+
+/// Content fingerprint of a columnar view: FNV-1a over the length and the
+/// bit pattern of every coordinate, streamed straight off the column
+/// slices — no `Vec<Point>` materialisation. Two views over bit-identical
+/// columns fingerprint identically, so books bound via
+/// [`RangeBinding::for_cols`] share cached ranges across episodes without
+/// coordinating id allocation.
+pub fn fingerprint_cols(v: ColsView<'_>) -> u64 {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    fn eat(h: &mut u64, word: u64) {
+        for b in word.to_le_bytes() {
+            *h = (*h ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    eat(&mut h, v.len() as u64);
+    for i in 0..v.len() {
+        eat(&mut h, v.xs[i].to_bits());
+        eat(&mut h, v.ys[i].to_bits());
+        eat(&mut h, v.ts[i].to_bits());
+    }
+    h
 }
 
 /// A process- or environment-wide pool of memoized anchor-range statistics,
@@ -144,6 +178,7 @@ pub struct RangeBinding {
     traj: u64,
     generation: u64,
     measure: u8,
+    src: u8,
 }
 
 impl RangeBinding {
@@ -156,6 +191,7 @@ impl RangeBinding {
             traj,
             generation: 0,
             measure: measure_tag(measure),
+            src: SRC_ID,
         }
     }
 
@@ -169,6 +205,26 @@ impl RangeBinding {
             traj,
             generation: 0,
             measure: measure_tag(measure),
+            src: SRC_ID,
+        }
+    }
+
+    /// Binds a columnar view by content: the trajectory component of the
+    /// key is [`fingerprint_cols`] of the view, in a namespace disjoint
+    /// from allocated ids. Rebinding the *same* columns — even from
+    /// another view, book, or episode — lands on the same cached ranges;
+    /// no `Vec<Point>` clone and no id coordination is required. The
+    /// immutability contract carries over: the columns a fingerprint was
+    /// taken from must not change while entries for it are live (a 64-bit
+    /// content hash stands in for identity here, so distinct columns are
+    /// assumed not to collide).
+    pub fn for_cols(shared: &SharedRangeMemo, measure: Measure, v: ColsView<'_>) -> Self {
+        RangeBinding {
+            shared: Arc::clone(shared),
+            traj: fingerprint_cols(v),
+            generation: 0,
+            measure: measure_tag(measure),
+            src: SRC_FINGERPRINT,
         }
     }
 
@@ -196,6 +252,7 @@ impl RangeBinding {
             s: s as u32,
             e: e as u32,
             measure: self.measure,
+            src: self.src,
         };
         let mut memo = self.shared.lock().expect("range memo poisoned");
         memo.cache.get_or_insert_with(&key, compute)
@@ -304,6 +361,74 @@ mod tests {
         b.stats_for(3, 5, RangeStats::default);
         assert_eq!(memo.lock().unwrap().stats().misses, 0);
         assert_eq!(memo.lock().unwrap().stats().inserts, 0);
+    }
+
+    #[test]
+    fn cols_binding_is_bit_identical_cache_on_and_off() {
+        use crate::cols::TrajCols;
+        use crate::error::{range_error_stats_cols, Sed};
+
+        let cols = TrajCols::from_points(&lcg_points(9, 48));
+        let v = cols.view();
+        let memo = RangeMemo::shared_default();
+        let bind = RangeBinding::for_cols(&memo, Measure::Sed, v);
+        for (s, e) in [(0, 12), (3, 20), (0, 12), (12, 47), (3, 20)] {
+            let cached = bind.stats_for(s, e, || range_error_stats_cols::<Sed>(v, s, e));
+            let plain = range_error_stats_cols::<Sed>(v, s, e);
+            assert_eq!(cached.max.to_bits(), plain.max.to_bits());
+            assert_eq!(cached.sum.to_bits(), plain.sum.to_bits());
+            assert_eq!(cached.count, plain.count);
+        }
+        let stats = memo.lock().unwrap().stats();
+        assert!(stats.hits >= 2, "repeated ranges must hit");
+    }
+
+    #[test]
+    fn same_columns_share_entries_across_bindings() {
+        use crate::cols::TrajCols;
+
+        let cols = TrajCols::from_points(&lcg_points(5, 32));
+        let twin = TrajCols::from_points(&lcg_points(5, 32));
+        let other = TrajCols::from_points(&lcg_points(6, 32));
+        assert_eq!(fingerprint_cols(cols.view()), fingerprint_cols(twin.view()));
+        assert_ne!(
+            fingerprint_cols(cols.view()),
+            fingerprint_cols(other.view())
+        );
+
+        let memo = RangeMemo::shared_default();
+        let one = RangeStats {
+            max: 1.0,
+            sum: 1.0,
+            count: 1,
+        };
+        let a = RangeBinding::for_cols(&memo, Measure::Sed, cols.view());
+        let b = RangeBinding::for_cols(&memo, Measure::Sed, twin.view());
+        a.stats_for(0, 9, || one);
+        // A fresh binding over bit-identical columns reads the cached
+        // value: the fallback (which would return 2.0) must not run.
+        let got = b.stats_for(0, 9, || RangeStats {
+            max: 2.0,
+            sum: 2.0,
+            count: 1,
+        });
+        assert_eq!(got.max, 1.0, "twin columns must share cache entries");
+        // Different columns, and id-bound bindings with a colliding id,
+        // stay disjoint.
+        let c = RangeBinding::for_cols(&memo, Measure::Sed, other.view());
+        let vc = c.stats_for(0, 9, || RangeStats {
+            max: 3.0,
+            sum: 3.0,
+            count: 1,
+        });
+        assert_eq!(vc.max, 3.0);
+        let id_bound = RangeBinding::with_traj(&memo, Measure::Sed, fingerprint_cols(cols.view()));
+        let vd = id_bound.stats_for(0, 9, || RangeStats {
+            max: 4.0,
+            sum: 4.0,
+            count: 1,
+        });
+        assert_eq!(vd.max, 4.0, "id and fingerprint namespaces must not alias");
     }
 
     #[test]

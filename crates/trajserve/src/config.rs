@@ -77,6 +77,14 @@ pub struct ServeConfig {
     /// for latency. Cache state is volatile: it is never journaled and a
     /// recovered service starts cold (§13).
     pub cache: Option<CacheConfig>,
+    /// Columnar segment store (DESIGN.md §16). `None` (the default) keeps
+    /// outputs in memory only; `Some(dir)` additionally seals every tick's
+    /// closed/evicted outputs — simplified points plus, when the session's
+    /// bounded archive held it in full, the raw stream — into one
+    /// `*.colseg` file under `dir`, alongside (never replacing) the
+    /// journal. Purely additive: served outputs are byte-identical with
+    /// the store on or off.
+    pub col_store: Option<PathBuf>,
 }
 
 /// Memoization-cache knobs (DESIGN.md §14).
@@ -159,6 +167,7 @@ impl Default for ServeConfig {
             seed: 0xC0FFEE,
             durability: None,
             cache: None,
+            col_store: None,
         }
     }
 }

@@ -41,7 +41,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use trajectory::error::Measure;
-use trajectory::{OnlineSimplifier, Point};
+use trajectory::{OnlineSimplifier, Point, TrajCols};
+use trajstore::{ColSegEntry, ColSegWriter, ColStore};
 
 /// Which simplifier a session should run.
 ///
@@ -136,6 +137,8 @@ struct ServeMetrics {
     points_admitted: Arc<Counter>,
     points_shed: Arc<Counter>,
     points_buffered: Arc<Gauge>,
+    col_segments_sealed: Arc<Counter>,
+    col_seal_errors: Arc<Counter>,
     /// Per-tenant append-latency histograms, resolved once per tenant.
     append_hists: Mutex<HashMap<u32, Arc<Histogram>>>,
 }
@@ -154,6 +157,8 @@ impl ServeMetrics {
             points_admitted: reg.counter("serve.points.admitted"),
             points_shed: reg.counter("serve.points.shed"),
             points_buffered: reg.gauge("serve.points.buffered"),
+            col_segments_sealed: reg.counter("serve.colseg.sealed"),
+            col_seal_errors: reg.counter("serve.colseg.errors"),
             append_hists: Mutex::new(HashMap::new()),
         }
     }
@@ -196,6 +201,29 @@ impl Shard {
     }
 }
 
+/// Columnar segment entry for one delivered output (DESIGN.md §16). `raw`
+/// is the session's drained archive, present only when it covered the
+/// segment in full; the reason tag uses the output codec's encoding
+/// (closed = 0, evicted = 1, flushed = 2).
+fn col_entry(out: &SessionOutput, w: usize, raw: Option<Vec<Point>>) -> ColSegEntry {
+    ColSegEntry {
+        id: out.id.0,
+        tenant: out.tenant.0,
+        policy_version: out.policy_version,
+        w: w as u32,
+        reason: match out.reason {
+            CompletionReason::Closed => 0,
+            CompletionReason::Evicted => 1,
+            CompletionReason::Flushed => 2,
+        },
+        degraded: out.degraded,
+        observed: out.observed,
+        delivered_at: out.delivered_at,
+        kept: TrajCols::from_points(&out.simplified),
+        raw: raw.map(|pts| TrajCols::from_points(&pts)),
+    }
+}
+
 /// The shard-local window memo serving `tenant`, created on first use, or
 /// `None` when caching is off. A free function (not a `Shard` method) so
 /// the caller can hold a session from `Shard::sessions` mutably at the
@@ -228,6 +256,11 @@ struct PendingSession {
 #[derive(Default)]
 struct ShardOutcome {
     outputs: Vec<SessionOutput>,
+    /// Columnar entries for the closed/evicted outputs above, built only
+    /// when [`ServeConfig::col_store`] is set. Merged and sorted by
+    /// session id in `tick_core` (the same cross-shard order the completed
+    /// stream uses) before the tick's segment is sealed.
+    col_entries: Vec<ColSegEntry>,
     released: Vec<TenantId>,
     evicted: usize,
     closed: usize,
@@ -304,7 +337,15 @@ pub struct TrajServe {
     /// Lazily created `cache.*` publishers for the window-memo and
     /// forward-pass aggregates (only with [`ServeConfig::cache`] set).
     cache_pubs: Mutex<Option<(trajcache::StatsPublisher, trajcache::StatsPublisher)>>,
+    /// Columnar segment sink, when [`ServeConfig::col_store`] is set.
+    /// Attached after replay (like the journal) so recovery never re-seals
+    /// segments the crashed service already published.
+    col_sink: Option<Mutex<ColStore>>,
 }
+
+/// Dataset key the service seals its segments under; the file-name version
+/// is the registry head at seal time (entries keep their own versions).
+const COL_DATASET: &str = "serve";
 
 impl TrajServe {
     /// Creates a service with its own policy registry at generation 0.
@@ -362,7 +403,21 @@ impl TrajServe {
         };
         let mut serve = Self::skeleton(cfg, registry, nshards);
         serve.journal = journal;
+        serve.col_sink = Self::open_col_sink(&serve.cfg)?;
         Ok(serve)
+    }
+
+    /// Opens the columnar segment sink when configured. [`ColStore::open`]
+    /// rescans the directory for the next sequence number per key, so a
+    /// reopened (or recovered) service appends after existing segments
+    /// instead of clobbering them.
+    fn open_col_sink(cfg: &ServeConfig) -> Result<Option<Mutex<ColStore>>, JournalError> {
+        match &cfg.col_store {
+            Some(dir) => Ok(Some(Mutex::new(
+                ColStore::open(dir).map_err(|e| journal::io_err("open columnar store", e))?,
+            ))),
+            None => Ok(None),
+        }
     }
 
     /// The bare in-memory service, journal-less. Recovery attaches the
@@ -386,6 +441,7 @@ impl TrajServe {
             metrics: ServeMetrics::new(),
             retired_forward: Mutex::new(trajcache::CacheStats::default()),
             cache_pubs: Mutex::new(None),
+            col_sink: None,
         }
     }
 
@@ -646,7 +702,7 @@ impl TrajServe {
             )
         };
         let version = entry.version;
-        let session = Session::new(
+        let mut session = Session::new(
             id,
             tenant,
             spec,
@@ -658,6 +714,9 @@ impl TrajServe {
             now,
             self.metrics.append_histogram(tenant),
         );
+        if self.cfg.col_store.is_some() {
+            session.enable_archive(true);
+        }
         self.shards[self.shard_of(id)]
             .lock()
             .expect("shard lock poisoned")
@@ -791,6 +850,7 @@ impl TrajServe {
             ..TickStats::default()
         };
         let mut outputs = Vec::new();
+        let mut col_entries = Vec::new();
         let mut shard_ops = Vec::with_capacity(self.nshards);
         let mut window_stats = trajcache::CacheStats::default();
         let mut forward_live = trajcache::CacheStats::default();
@@ -823,6 +883,7 @@ impl TrajServe {
             stats.shed += o.shed_dead + o.shed_nonmono;
             shard_ops.push(o.ops_count);
             outputs.extend(o.outputs);
+            col_entries.extend(o.col_entries);
         }
         // Cross-shard merge order is fixed by session id, so the completed
         // stream is identical at any thread count.
@@ -841,6 +902,7 @@ impl TrajServe {
             .extend(outputs);
 
         if live {
+            self.seal_col_segment(col_entries);
             if let Some(j) = &self.journal {
                 j.append_meta(&MetaRecord::Tick {
                     now,
@@ -878,6 +940,34 @@ impl TrajServe {
             .points_buffered
             .set(self.admission.buffered() as f64);
         TickInternal { stats, evicted_ids }
+    }
+
+    /// Seals one columnar segment holding this tick's closed/evicted
+    /// outputs. Entries merge across shards in session-id order — the same
+    /// deterministic order as the completed stream — so the store's
+    /// contents are byte-identical at any thread count. A seal failure is
+    /// fail-stop for the store only (counted in `serve.colseg.errors`);
+    /// serving continues.
+    fn seal_col_segment(&self, mut entries: Vec<ColSegEntry>) {
+        let Some(sink) = &self.col_sink else { return };
+        if entries.is_empty() {
+            return;
+        }
+        entries.sort_by_key(|e| e.id);
+        let mut writer = ColSegWriter::new(COL_DATASET, self.registry.version());
+        for e in &entries {
+            writer.push(e);
+        }
+        let sealed = sink
+            .lock()
+            .expect("col store lock poisoned")
+            .seal(writer)
+            .is_ok();
+        if sealed {
+            self.metrics.col_segments_sealed.inc();
+        } else {
+            self.metrics.col_seal_errors.inc();
+        }
     }
 
     fn activate_pending(&self, now: u64) -> usize {
@@ -930,6 +1020,7 @@ impl TrajServe {
         let Shard { sessions, memos } = &mut *shard;
         let cache_cfg = self.cfg.cache.as_ref();
         let nshards = self.nshards;
+        let col_store = self.cfg.col_store.is_some();
 
         for op in ops {
             match op {
@@ -952,13 +1043,21 @@ impl TrajServe {
                         let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
                         out.outputs
                             .push(sess.take_output(CompletionReason::Flushed, now, memo));
+                        // Flushed outputs are not persisted columnar, but
+                        // the archive is drained regardless so the next
+                        // segment's raw column matches its kept column.
+                        let _ = sess.take_archive();
                     }
                 }
                 Op::Close(id) => {
                     if let Some(mut sess) = sessions.remove(&id) {
                         let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
-                        out.outputs
-                            .push(sess.take_output(CompletionReason::Closed, now, memo));
+                        let output = sess.take_output(CompletionReason::Closed, now, memo);
+                        if col_store {
+                            out.col_entries
+                                .push(col_entry(&output, sess.w, sess.take_archive()));
+                        }
+                        out.outputs.push(output);
                         if let Some(mut stats) = sess.forward_cache_stats() {
                             // The cache dies with the session: keep its
                             // lookup counters, drop its resident figures.
@@ -984,8 +1083,12 @@ impl TrajServe {
         for id in expired {
             let mut sess = sessions.remove(&id).expect("expired id is live");
             let memo = tenant_memo(memos, cache_cfg, nshards, sess.tenant);
-            out.outputs
-                .push(sess.take_output(CompletionReason::Evicted, now, memo));
+            let output = sess.take_output(CompletionReason::Evicted, now, memo);
+            if col_store {
+                out.col_entries
+                    .push(col_entry(&output, sess.w, sess.take_archive()));
+            }
+            out.outputs.push(output);
             if let Some(mut stats) = sess.forward_cache_stats() {
                 stats.resident_bytes = 0;
                 stats.resident_entries = 0;
@@ -1246,6 +1349,7 @@ impl TrajServe {
         let jnl = Journal::open_at(&dur, nshards, rec.recovered_tick)?;
         journal::truncate_below(&dur.dir, rec.recovered_tick);
         serve.journal = Some(jnl);
+        serve.col_sink = Self::open_col_sink(&serve.cfg)?;
 
         let report = RecoveryReport {
             snapshot_epoch: rec.base_epoch,
@@ -1323,7 +1427,7 @@ impl TrajServe {
                 self.cfg.cache.is_some(),
             )
         };
-        Ok(Session::restore(
+        let mut session = Session::restore(
             SessionId(snap.id),
             TenantId(snap.tenant),
             snap.spec.clone(),
@@ -1338,7 +1442,14 @@ impl TrajServe {
             snap.last_t,
             snap.observed,
             self.metrics.append_histogram(TenantId(snap.tenant)),
-        ))
+        );
+        if self.cfg.col_store.is_some() {
+            // Archives are never journaled: the restored session's current
+            // segment is incomplete, and archiving resumes in full at its
+            // next delivered output.
+            session.enable_archive(false);
+        }
+        Ok(session)
     }
 
     #[allow(clippy::too_many_arguments)] // mirrors the journal record

@@ -64,6 +64,12 @@ pub struct SessionOutput {
     pub delivered_at: u64,
 }
 
+/// Cap on the per-session raw archive feeding the columnar store. A
+/// session that accepts more points than this between two outputs stops
+/// archiving and its segment entry carries kept columns only — the store
+/// never grows session memory unboundedly.
+pub(crate) const RAW_ARCHIVE_CAP: usize = 4096;
+
 /// Live per-session state. Private to the crate: the service owns sessions
 /// inside its shards.
 ///
@@ -87,6 +93,17 @@ pub(crate) struct Session {
     pub(crate) kept: Vec<Point>,
     pub(crate) last_t: f64,
     pub(crate) observed: u64,
+    /// Raw points accepted since the last delivered output, kept only when
+    /// the service runs a columnar store (`None` otherwise — zero cost on
+    /// the append path). Deliberately excluded from [`Session::footprint`]
+    /// so enabling the store never shifts admission decisions: the archive
+    /// is bounded by [`RAW_ARCHIVE_CAP`] instead.
+    raw_archive: Option<Vec<Point>>,
+    /// Whether `raw_archive` covers its output segment completely. Cleared
+    /// when the cap overflows or the session was rebuilt from a snapshot
+    /// (archives are never journaled); an incomplete archive yields a
+    /// kept-only segment entry rather than a misleading partial raw column.
+    raw_complete: bool,
     /// Per-tenant append-latency histogram, resolved once at activation.
     pub(crate) append_seconds: Arc<Histogram>,
 }
@@ -119,8 +136,31 @@ impl Session {
             kept: Vec::new(),
             last_t: f64::NEG_INFINITY,
             observed: 0,
+            raw_archive: None,
+            raw_complete: false,
             append_seconds,
         }
+    }
+
+    /// Starts archiving accepted raw points for the columnar store.
+    /// `complete = false` marks the current segment as already missing
+    /// data (a snapshot-restored session lost its pre-crash points); the
+    /// flag self-heals at the next [`Session::take_archive`].
+    pub(crate) fn enable_archive(&mut self, complete: bool) {
+        self.raw_archive = Some(Vec::new());
+        self.raw_complete = complete;
+    }
+
+    /// Drains the raw archive for the output segment being delivered:
+    /// `Some(points)` when archiving is on and the archive covers the
+    /// segment in full, `None` otherwise. Either way the next segment
+    /// starts with a fresh, complete archive.
+    pub(crate) fn take_archive(&mut self) -> Option<Vec<Point>> {
+        let buf = self.raw_archive.as_mut()?;
+        let points = std::mem::take(buf);
+        let complete = self.raw_complete;
+        self.raw_complete = true;
+        complete.then_some(points)
     }
 
     /// Rebuilds a session from snapshot state (the inverse of the field
@@ -157,6 +197,8 @@ impl Session {
             kept,
             last_t,
             observed,
+            raw_archive: None,
+            raw_complete: false,
             append_seconds,
         }
     }
@@ -188,6 +230,18 @@ impl Session {
         self.last_t = p.t;
         self.window.push(p);
         self.observed += 1;
+        if let Some(buf) = &mut self.raw_archive {
+            if self.raw_complete {
+                if buf.len() < RAW_ARCHIVE_CAP {
+                    buf.push(p);
+                } else {
+                    // Over the cap: drop the partial archive now rather
+                    // than hold memory for a segment we will not emit.
+                    *buf = Vec::new();
+                    self.raw_complete = false;
+                }
+            }
+        }
         if self.window.len() >= self.window_cap {
             self.flush_window(memo);
         }

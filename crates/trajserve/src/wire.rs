@@ -11,11 +11,13 @@
 //! crc     u32   CRC32 (IEEE, reflected) of the payload
 //! ```
 //!
-//! The conventions mirror [`trajstore::wal`]: magic and stream kind so a
-//! misdirected byte stream is rejected instead of misparsed, a version
-//! field so revisions fail loudly, a bounded length so a corrupt prefix
-//! cannot drive a giant allocation, and a CRC so corruption inside the
-//! payload is detected before decoding. Every failure mode is a typed
+//! The header and record bytes are the shared framing dialect of
+//! [`trajstore::framing`] (also spoken by the WAL and the columnar
+//! segments): magic and stream kind so a misdirected byte stream is
+//! rejected instead of misparsed, a version field so revisions fail
+//! loudly, a bounded length so a corrupt prefix cannot drive a giant
+//! allocation, and a CRC so corruption inside the payload is detected
+//! before decoding. Every failure mode is a typed
 //! [`WireError`] — a corrupt or truncated frame is **never** a panic,
 //! which the proptests in `tests/net.rs` enforce by construction.
 
@@ -25,7 +27,7 @@ use crate::config::{SessionId, TenantId};
 use crate::service::TickStats;
 use std::io::{Read, Write};
 use trajcache::CacheStats;
-use trajstore::wal::crc32;
+use trajstore::framing::{self, crc32, Header};
 
 /// First four bytes of every frame ("RLNT").
 pub const FRAME_MAGIC: u32 = 0x524C_4E54;
@@ -40,12 +42,12 @@ pub const KIND_REQUEST: u16 = 1;
 pub const KIND_REPLY: u16 = 2;
 
 /// Fixed bytes before the payload: magic, version, kind, len.
-pub const FRAME_HEADER_LEN: usize = 12;
+pub const FRAME_HEADER_LEN: usize = framing::HEADER_LEN + 4;
 
-/// Ceiling on the payload length field — matches
-/// [`trajstore::wal::MAX_RECORD_LEN`] so a corrupt length cannot demand
-/// a 4 GiB allocation.
-pub const MAX_FRAME_LEN: u32 = 1 << 28;
+/// Ceiling on the payload length field — the shared
+/// [`trajstore::framing::MAX_PAYLOAD_LEN`], so a corrupt length cannot
+/// demand a 4 GiB allocation.
+pub const MAX_FRAME_LEN: u32 = framing::MAX_PAYLOAD_LEN;
 
 /// Every way reading or decoding a frame can fail. Transport-level
 /// damage (magic, CRC, truncation) and payload-level damage (a valid
@@ -139,12 +141,17 @@ pub fn write_frame(w: &mut impl Write, kind: u16, payload: &[u8]) -> Result<(), 
         return Err(WireError::Oversized(payload.len() as u32));
     }
     let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len() + 4);
-    buf.extend_from_slice(&FRAME_MAGIC.to_be_bytes());
-    buf.extend_from_slice(&WIRE_VERSION.to_be_bytes());
-    buf.extend_from_slice(&kind.to_be_bytes());
-    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    buf.extend_from_slice(payload);
-    buf.extend_from_slice(&crc32(payload).to_be_bytes());
+    framing::put_header(
+        &mut buf,
+        Header {
+            magic: FRAME_MAGIC,
+            version: WIRE_VERSION,
+            kind,
+        },
+    );
+    // A frame is exactly one framed record after the header: the shared
+    // `len | payload | crc32` layout.
+    framing::put_record(&mut buf, payload);
     w.write_all(&buf).map_err(WireError::Io)
 }
 
@@ -165,19 +172,20 @@ pub fn read_frame(r: &mut impl Read, expect_kind: u16) -> Result<Option<Vec<u8>>
             Err(e) => return Err(WireError::Io(e)),
         }
     }
-    let magic = u32::from_be_bytes(head[0..4].try_into().unwrap());
-    if magic != FRAME_MAGIC {
-        return Err(WireError::BadMagic(magic));
+    let header = framing::parse_header(&head).expect("header buffer holds HEADER_LEN bytes");
+    if header.magic != FRAME_MAGIC {
+        return Err(WireError::BadMagic(header.magic));
     }
-    let version = u16::from_be_bytes(head[4..6].try_into().unwrap());
-    if version != WIRE_VERSION {
-        return Err(WireError::UnsupportedVersion(version));
+    // A wire peer must match exactly (`!=`, not the WAL's forward-tolerant
+    // `>`): both ends are live processes, there is no old file to keep
+    // readable.
+    if header.version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(header.version));
     }
-    let kind = u16::from_be_bytes(head[6..8].try_into().unwrap());
-    if kind != expect_kind {
+    if header.kind != expect_kind {
         return Err(WireError::WrongKind {
             expect: expect_kind,
-            got: kind,
+            got: header.kind,
         });
     }
     let len = u32::from_be_bytes(head[8..12].try_into().unwrap());

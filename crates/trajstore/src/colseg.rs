@@ -1,0 +1,1265 @@
+//! Seekable on-disk columnar trajectory segments (DESIGN.md §16).
+//!
+//! A `.colseg` file holds a batch of completed trajectories in
+//! struct-of-arrays form: every `x`, `y`, `t` column is a contiguous run
+//! of big-endian `f64` bit patterns, so a reader can seek **one column of
+//! one trajectory** without touching the rest of the file, and a bulk
+//! consumer (the `rlts resimplify` pipeline) can feed columns straight
+//! into the SoA range kernels (`trajectory::error::soa`) without an
+//! interleave pass.
+//!
+//! The byte layout reuses the shared framing dialect of
+//! [`crate::framing`] — the same 8-byte magic/version/kind header and the
+//! same `len | payload | crc32` record shape as the WAL and the serve
+//! wire protocol:
+//!
+//! ```text
+//! file    = header | column blobs | footer record | locator
+//! header  = magic u32 ("RLCS") | version u16 | kind u16
+//! blob    = len × f64 bit patterns (big-endian), one per column
+//! footer  = len u32 | footer payload | crc32(payload)
+//! locator = footer offset u64 | locator magic u32 ("RLCF")
+//! ```
+//!
+//! The footer is the index: per entry it records identity metadata plus
+//! `(offset, crc32)` for each column. It sits at the end so the writer
+//! can stream blobs without knowing the entry count up front; the fixed
+//! 12-byte locator at EOF says where it starts. Failure handling follows
+//! the WAL discipline: every malformed input is a typed [`ColSegError`],
+//! never a panic and never an unbounded allocation, and damage is
+//! quarantined at the smallest possible granule — a corrupt column fails
+//! only reads of that column, every other entry in the segment stays
+//! readable.
+//!
+//! Files in a [`ColStore`] directory are named
+//! `{dataset}.v{policy_version}.{seq:06}.colseg`, keyed by dataset *and*
+//! policy version so a re-simplification pass writing under a new policy
+//! version can never clobber the segments it is reading.
+
+use crate::framing::{self, crc32, Header};
+use crate::wal::atomic_write;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use trajectory::TrajCols;
+
+/// Column-segment file magic: "RLCS".
+pub const COLSEG_MAGIC: u32 = 0x524C_4353;
+/// Current column-segment format version.
+pub const COLSEG_VERSION: u16 = 1;
+/// The stream tag column segments carry in the shared header.
+pub const COLSEG_KIND: u16 = 1;
+/// Locator magic: "RLCF" — the last four bytes of every sealed segment.
+pub const LOCATOR_MAGIC: u32 = 0x524C_4346;
+/// Bytes of the end-of-file locator: footer offset + locator magic.
+pub const LOCATOR_LEN: usize = 12;
+/// File extension of sealed segments.
+pub const COLSEG_EXT: &str = "colseg";
+
+/// Which stream of columns to read: the simplified output or the raw
+/// input archive (present only when the producer recorded it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColRole {
+    /// The kept (simplified) points.
+    Kept,
+    /// The raw observed points, when archived alongside the output.
+    Raw,
+}
+
+/// One of the three coordinate columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColAxis {
+    /// The `x` column.
+    X,
+    /// The `y` column.
+    Y,
+    /// The `t` column.
+    T,
+}
+
+impl ColAxis {
+    /// All three axes in storage order.
+    pub const ALL: [ColAxis; 3] = [ColAxis::X, ColAxis::Y, ColAxis::T];
+
+    fn idx(self) -> usize {
+        match self {
+            ColAxis::X => 0,
+            ColAxis::Y => 1,
+            ColAxis::T => 2,
+        }
+    }
+}
+
+/// Every way opening or reading a column segment can fail. Mirrors the
+/// [`crate::wal::WalError`] vocabulary; corrupt input of any shape is a
+/// typed error, never a panic.
+#[derive(Debug)]
+pub enum ColSegError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file is shorter than the fixed header.
+    TruncatedHeader,
+    /// The first four bytes are not [`COLSEG_MAGIC`].
+    BadMagic(u32),
+    /// The format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The stream tag is not [`COLSEG_KIND`].
+    WrongKind {
+        /// Tag a column segment must carry.
+        expected: u16,
+        /// Tag stored in the file.
+        found: u16,
+    },
+    /// The file ends without a valid locator (truncated seal, or not a
+    /// sealed segment at all).
+    MissingLocator,
+    /// The locator's footer offset does not line up with the file: the
+    /// footer record must span exactly from `offset` to the locator.
+    BadLocator {
+        /// Footer offset the locator claimed.
+        offset: u64,
+    },
+    /// The footer length field exceeds [`framing::MAX_PAYLOAD_LEN`].
+    OversizedFooter(u32),
+    /// The footer payload failed its CRC.
+    CorruptFooter {
+        /// CRC computed over the payload.
+        expected: u32,
+        /// CRC stored in the file.
+        found: u32,
+    },
+    /// The footer payload was intact (CRC-valid) but structurally
+    /// undecodable.
+    BadFooter(String),
+    /// An entry index past the end of the segment was requested.
+    NoSuchEntry {
+        /// The requested index.
+        entry: usize,
+        /// Entries in the segment.
+        count: usize,
+    },
+    /// A footer column reference points outside the blob region — treated
+    /// as corruption instead of a misdirected read.
+    ColumnOutOfBounds {
+        /// Entry the reference belongs to.
+        entry: usize,
+        /// Claimed byte offset of the column.
+        offset: u64,
+        /// Claimed byte length of the column.
+        bytes: u64,
+    },
+    /// A column's bytes failed their CRC. Only this column (and the
+    /// entry's reads through it) is lost; the rest of the segment stays
+    /// readable.
+    CorruptColumn {
+        /// Entry the column belongs to.
+        entry: usize,
+        /// Which stream the column is part of.
+        role: ColRole,
+        /// Which axis failed.
+        axis: ColAxis,
+        /// CRC recorded in the footer.
+        expected: u32,
+        /// CRC of the bytes actually read.
+        found: u32,
+    },
+    /// Raw columns were requested for an entry that archived none.
+    NoRawColumns {
+        /// The entry without a raw archive.
+        entry: usize,
+    },
+}
+
+impl std::fmt::Display for ColSegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColSegError::Io(e) => write!(f, "colseg i/o error: {e}"),
+            ColSegError::TruncatedHeader => write!(f, "colseg file shorter than its header"),
+            ColSegError::BadMagic(m) => write!(f, "bad colseg magic {m:#010x}"),
+            ColSegError::UnsupportedVersion(v) => write!(f, "unsupported colseg version {v}"),
+            ColSegError::WrongKind { expected, found } => {
+                write!(f, "colseg stream kind {found} where {expected} was expected")
+            }
+            ColSegError::MissingLocator => write!(f, "colseg file ends without a valid locator"),
+            ColSegError::BadLocator { offset } => {
+                write!(f, "colseg locator points at invalid footer offset {offset}")
+            }
+            ColSegError::OversizedFooter(len) => {
+                write!(f, "colseg footer claims absurd length {len}")
+            }
+            ColSegError::CorruptFooter { expected, found } => write!(
+                f,
+                "corrupt colseg footer: crc computed {expected:#010x}, stored {found:#010x}"
+            ),
+            ColSegError::BadFooter(detail) => write!(f, "colseg footer undecodable: {detail}"),
+            ColSegError::NoSuchEntry { entry, count } => {
+                write!(f, "colseg entry {entry} out of range ({count} entries)")
+            }
+            ColSegError::ColumnOutOfBounds {
+                entry,
+                offset,
+                bytes,
+            } => write!(
+                f,
+                "colseg entry {entry} column ({bytes} bytes at {offset}) lies outside the blob region"
+            ),
+            ColSegError::CorruptColumn {
+                entry,
+                role,
+                axis,
+                expected,
+                found,
+            } => write!(
+                f,
+                "corrupt colseg column (entry {entry}, {role:?} {axis:?}): \
+                 crc stored {expected:#010x}, computed {found:#010x}"
+            ),
+            ColSegError::NoRawColumns { entry } => {
+                write!(f, "colseg entry {entry} archived no raw columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColSegError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ColSegError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ColSegError {
+    fn from(e: std::io::Error) -> Self {
+        ColSegError::Io(e)
+    }
+}
+
+/// Footer reference to one column blob.
+#[derive(Debug, Clone, Copy)]
+struct ColRef {
+    offset: u64,
+    crc: u32,
+}
+
+/// One trajectory's metadata as recorded in (and decoded from) the
+/// footer. `reason` is a caller-owned tag (the serve layer stores its
+/// `CompletionReason` encoding: 0 = closed, 1 = evicted, 2 = flushed).
+#[derive(Debug, Clone)]
+pub struct ColEntryMeta {
+    /// Producer-side identity (session id for serve output).
+    pub id: u64,
+    /// Tenant the trajectory belongs to.
+    pub tenant: u32,
+    /// Policy version the kept points were produced under.
+    pub policy_version: u32,
+    /// The memory budget `W` the producer ran with.
+    pub w: u32,
+    /// Caller-owned completion tag.
+    pub reason: u8,
+    /// Whether the producer was running degraded when it emitted this.
+    pub degraded: bool,
+    /// Points observed over the session's whole lifetime.
+    pub observed: u64,
+    /// Producer tick at which the output was delivered.
+    pub delivered_at: u64,
+    /// Points in each kept column.
+    pub kept_len: u32,
+    /// Points in each raw column, if a raw archive is present.
+    pub raw_len: Option<u32>,
+    kept: [ColRef; 3],
+    raw: Option<[ColRef; 3]>,
+}
+
+/// One trajectory to be written into a segment: metadata plus the kept
+/// columns and an optional raw archive.
+#[derive(Debug, Clone)]
+pub struct ColSegEntry {
+    /// Producer-side identity (session id for serve output).
+    pub id: u64,
+    /// Tenant the trajectory belongs to.
+    pub tenant: u32,
+    /// Policy version the kept points were produced under.
+    pub policy_version: u32,
+    /// The memory budget `W` the producer ran with.
+    pub w: u32,
+    /// Caller-owned completion tag.
+    pub reason: u8,
+    /// Whether the producer was running degraded.
+    pub degraded: bool,
+    /// Points observed over the session's whole lifetime.
+    pub observed: u64,
+    /// Producer tick at which the output was delivered.
+    pub delivered_at: u64,
+    /// The kept (simplified) points.
+    pub kept: TrajCols,
+    /// The raw observed points, when the producer archived them in full.
+    pub raw: Option<TrajCols>,
+}
+
+/// In-memory builder for one segment; [`ColSegWriter::seal`] publishes it
+/// atomically (temp file + fsync + rename, via [`crate::wal::atomic_write`]).
+#[derive(Debug)]
+pub struct ColSegWriter {
+    dataset: String,
+    version: u32,
+    bytes: Vec<u8>,
+    metas: Vec<ColEntryMeta>,
+}
+
+impl ColSegWriter {
+    /// Starts a segment for `dataset` under policy `version` (the file
+    /// key — individual entries may carry their own versions).
+    pub fn new(dataset: &str, version: u32) -> Self {
+        let mut bytes = Vec::new();
+        framing::put_header(
+            &mut bytes,
+            Header {
+                magic: COLSEG_MAGIC,
+                version: COLSEG_VERSION,
+                kind: COLSEG_KIND,
+            },
+        );
+        ColSegWriter {
+            dataset: dataset.to_string(),
+            version,
+            bytes,
+            metas: Vec::new(),
+        }
+    }
+
+    /// The dataset this segment belongs to.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The policy version keying this segment's file name.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Entries appended so far.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Whether no entry has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    fn put_col(&mut self, vals: &[f64]) -> ColRef {
+        let offset = self.bytes.len() as u64;
+        self.bytes.reserve(vals.len() * 8);
+        for v in vals {
+            self.bytes.extend_from_slice(&v.to_bits().to_be_bytes());
+        }
+        ColRef {
+            offset,
+            crc: crc32(&self.bytes[offset as usize..]),
+        }
+    }
+
+    /// Appends one trajectory: its six (or three) column blobs plus a
+    /// footer entry.
+    pub fn push(&mut self, e: &ColSegEntry) {
+        let kept = [
+            self.put_col(e.kept.xs()),
+            self.put_col(e.kept.ys()),
+            self.put_col(e.kept.ts()),
+        ];
+        let (raw_len, raw) = match &e.raw {
+            Some(r) => (
+                Some(r.len() as u32),
+                Some([
+                    self.put_col(r.xs()),
+                    self.put_col(r.ys()),
+                    self.put_col(r.ts()),
+                ]),
+            ),
+            None => (None, None),
+        };
+        self.metas.push(ColEntryMeta {
+            id: e.id,
+            tenant: e.tenant,
+            policy_version: e.policy_version,
+            w: e.w,
+            reason: e.reason,
+            degraded: e.degraded,
+            observed: e.observed,
+            delivered_at: e.delivered_at,
+            kept_len: e.kept.len() as u32,
+            raw_len,
+            kept,
+            raw,
+        });
+    }
+
+    /// The complete file image: header, blobs, footer record, locator.
+    pub fn seal_bytes(mut self) -> Vec<u8> {
+        let footer_off = self.bytes.len() as u64;
+        let payload = encode_footer(&self.dataset, self.version, &self.metas);
+        framing::put_record(&mut self.bytes, &payload);
+        self.bytes.extend_from_slice(&footer_off.to_be_bytes());
+        self.bytes.extend_from_slice(&LOCATOR_MAGIC.to_be_bytes());
+        self.bytes
+    }
+
+    /// Atomically publishes the segment at `path`.
+    pub fn seal(self, path: &Path) -> Result<(), ColSegError> {
+        let bytes = self.seal_bytes();
+        atomic_write(path, &bytes)?;
+        Ok(())
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_ref(buf: &mut Vec<u8>, r: ColRef) {
+    put_u64(buf, r.offset);
+    put_u32(buf, r.crc);
+}
+
+fn encode_footer(dataset: &str, version: u32, metas: &[ColEntryMeta]) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u32(&mut p, dataset.len() as u32);
+    p.extend_from_slice(dataset.as_bytes());
+    put_u32(&mut p, version);
+    put_u32(&mut p, metas.len() as u32);
+    for m in metas {
+        put_u64(&mut p, m.id);
+        put_u32(&mut p, m.tenant);
+        put_u32(&mut p, m.policy_version);
+        put_u32(&mut p, m.w);
+        p.push(m.reason);
+        p.push(m.degraded as u8);
+        p.push(m.raw_len.is_some() as u8);
+        put_u64(&mut p, m.observed);
+        put_u64(&mut p, m.delivered_at);
+        put_u32(&mut p, m.kept_len);
+        for r in &m.kept {
+            put_ref(&mut p, *r);
+        }
+        if let (Some(len), Some(raw)) = (m.raw_len, &m.raw) {
+            put_u32(&mut p, len);
+            for r in raw {
+                put_ref(&mut p, *r);
+            }
+        }
+    }
+    p
+}
+
+/// Bounds-checked cursor over the footer payload; every failure is a
+/// `String` diagnosis turned into [`ColSegError::BadFooter`] — never a
+/// panic.
+struct Cur<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if n > self.b.len() - self.at {
+            return Err(format!(
+                "footer truncated: wanted {n} bytes at offset {}, have {}",
+                self.at,
+                self.b.len() - self.at
+            ));
+        }
+        let out = &self.b[self.at..self.at + n];
+        self.at += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, String> {
+        Ok(ColRef {
+            offset: self.u64()?,
+            crc: self.u32()?,
+        })
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.at != self.b.len() {
+            return Err(format!("{} trailing footer bytes", self.b.len() - self.at));
+        }
+        Ok(())
+    }
+}
+
+/// Validates that a column reference lies wholly inside the blob region
+/// `[HEADER_LEN, footer_off)`.
+fn check_ref(entry: usize, r: ColRef, len: u32, footer_off: u64) -> Result<(), ColSegError> {
+    let bytes = len as u64 * 8;
+    let out_of_bounds = ColSegError::ColumnOutOfBounds {
+        entry,
+        offset: r.offset,
+        bytes,
+    };
+    match r.offset.checked_add(bytes) {
+        Some(end) if r.offset >= framing::HEADER_LEN as u64 && end <= footer_off => Ok(()),
+        _ => Err(out_of_bounds),
+    }
+}
+
+fn decode_footer(
+    payload: &[u8],
+    footer_off: u64,
+) -> Result<(String, u32, Vec<ColEntryMeta>), ColSegError> {
+    let bad = ColSegError::BadFooter;
+    let mut c = Cur { b: payload, at: 0 };
+    let inner = |c: &mut Cur<'_>| -> Result<(String, u32, Vec<ColEntryMeta>), String> {
+        let name_len = c.u32()? as usize;
+        let dataset = String::from_utf8(c.take(name_len)?.to_vec())
+            .map_err(|e| format!("bad utf-8 dataset name: {e}"))?;
+        let version = c.u32()?;
+        let count = c.u32()? as usize;
+        if count > c.b.len() - c.at {
+            return Err(format!("entry count {count} exceeds remaining footer"));
+        }
+        let mut metas = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = c.u64()?;
+            let tenant = c.u32()?;
+            let policy_version = c.u32()?;
+            let w = c.u32()?;
+            let reason = c.u8()?;
+            let degraded = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("bad degraded byte {other}")),
+            };
+            let has_raw = match c.u8()? {
+                0 => false,
+                1 => true,
+                other => return Err(format!("bad has-raw byte {other}")),
+            };
+            let observed = c.u64()?;
+            let delivered_at = c.u64()?;
+            let kept_len = c.u32()?;
+            let kept = [c.col_ref()?, c.col_ref()?, c.col_ref()?];
+            let (raw_len, raw) = if has_raw {
+                let len = c.u32()?;
+                (Some(len), Some([c.col_ref()?, c.col_ref()?, c.col_ref()?]))
+            } else {
+                (None, None)
+            };
+            metas.push(ColEntryMeta {
+                id,
+                tenant,
+                policy_version,
+                w,
+                reason,
+                degraded,
+                observed,
+                delivered_at,
+                kept_len,
+                raw_len,
+                kept,
+                raw,
+            });
+        }
+        Ok((dataset, version, metas))
+    };
+    let (dataset, version, metas) = inner(&mut c).map_err(bad)?;
+    c.finish().map_err(bad)?;
+    for (i, m) in metas.iter().enumerate() {
+        for r in &m.kept {
+            check_ref(i, *r, m.kept_len, footer_off)?;
+        }
+        if let (Some(len), Some(raw)) = (m.raw_len, &m.raw) {
+            for r in raw {
+                check_ref(i, *r, len, footer_off)?;
+            }
+        }
+    }
+    Ok((dataset, version, metas))
+}
+
+/// Random-access reader over one sealed segment: the footer index is
+/// decoded and validated at open, after which each column read is one
+/// seek plus one CRC-checked contiguous read.
+#[derive(Debug)]
+pub struct ColSegReader {
+    file: File,
+    dataset: String,
+    version: u32,
+    entries: Vec<ColEntryMeta>,
+}
+
+impl ColSegReader {
+    /// Opens and validates a sealed segment: header, locator, and footer
+    /// (including every column reference's bounds). Column *bytes* are
+    /// verified lazily, per read — a rotted column surfaces as a
+    /// [`ColSegError::CorruptColumn`] on access, leaving the rest of the
+    /// segment readable.
+    pub fn open(path: &Path) -> Result<Self, ColSegError> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < framing::HEADER_LEN as u64 {
+            return Err(ColSegError::TruncatedHeader);
+        }
+        let mut head = [0u8; framing::HEADER_LEN];
+        file.read_exact(&mut head)?;
+        let header = framing::parse_header(&head).expect("header buffer holds HEADER_LEN bytes");
+        if header.magic != COLSEG_MAGIC {
+            return Err(ColSegError::BadMagic(header.magic));
+        }
+        if header.version > COLSEG_VERSION {
+            return Err(ColSegError::UnsupportedVersion(header.version));
+        }
+        if header.kind != COLSEG_KIND {
+            return Err(ColSegError::WrongKind {
+                expected: COLSEG_KIND,
+                found: header.kind,
+            });
+        }
+        // Smallest sealed segment: header + empty footer record + locator.
+        if file_len < (framing::HEADER_LEN + 8 + LOCATOR_LEN) as u64 {
+            return Err(ColSegError::MissingLocator);
+        }
+        let locator_off = file_len - LOCATOR_LEN as u64;
+        file.seek(SeekFrom::Start(locator_off))?;
+        let mut loc = [0u8; LOCATOR_LEN];
+        file.read_exact(&mut loc)?;
+        let footer_off = u64::from_be_bytes(loc[0..8].try_into().unwrap());
+        let loc_magic = u32::from_be_bytes(loc[8..12].try_into().unwrap());
+        if loc_magic != LOCATOR_MAGIC {
+            return Err(ColSegError::MissingLocator);
+        }
+        if footer_off < framing::HEADER_LEN as u64 || footer_off + 8 > locator_off {
+            return Err(ColSegError::BadLocator { offset: footer_off });
+        }
+        file.seek(SeekFrom::Start(footer_off))?;
+        let mut len_bytes = [0u8; 4];
+        file.read_exact(&mut len_bytes)?;
+        let footer_len = u32::from_be_bytes(len_bytes);
+        if footer_len > framing::MAX_PAYLOAD_LEN {
+            return Err(ColSegError::OversizedFooter(footer_len));
+        }
+        // The footer record must span exactly from its offset to the
+        // locator — anything else means the locator (or the length) lies.
+        if footer_off + 8 + footer_len as u64 != locator_off {
+            return Err(ColSegError::BadLocator { offset: footer_off });
+        }
+        let mut payload = vec![0u8; footer_len as usize];
+        file.read_exact(&mut payload)?;
+        let mut crc_bytes = [0u8; 4];
+        file.read_exact(&mut crc_bytes)?;
+        let found = u32::from_be_bytes(crc_bytes);
+        let expected = crc32(&payload);
+        if expected != found {
+            return Err(ColSegError::CorruptFooter { expected, found });
+        }
+        let (dataset, version, entries) = decode_footer(&payload, footer_off)?;
+        Ok(ColSegReader {
+            file,
+            dataset,
+            version,
+            entries,
+        })
+    }
+
+    /// The dataset this segment belongs to.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// The policy version keying this segment.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Metadata for every entry, in writer order.
+    pub fn entries(&self) -> &[ColEntryMeta] {
+        &self.entries
+    }
+
+    /// Number of entries in the segment.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the segment holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads one column of one entry: a single seek + contiguous read,
+    /// CRC-checked against the footer before any bit is interpreted.
+    pub fn read_col(
+        &mut self,
+        entry: usize,
+        role: ColRole,
+        axis: ColAxis,
+    ) -> Result<Vec<f64>, ColSegError> {
+        let count = self.entries.len();
+        let meta = self
+            .entries
+            .get(entry)
+            .ok_or(ColSegError::NoSuchEntry { entry, count })?;
+        let (len, refs) = match role {
+            ColRole::Kept => (meta.kept_len, &meta.kept),
+            ColRole::Raw => match (&meta.raw, meta.raw_len) {
+                (Some(refs), Some(len)) => (len, refs),
+                _ => return Err(ColSegError::NoRawColumns { entry }),
+            },
+        };
+        let r = refs[axis.idx()];
+        self.file.seek(SeekFrom::Start(r.offset))?;
+        let mut bytes = vec![0u8; len as usize * 8];
+        self.file.read_exact(&mut bytes)?;
+        let found = crc32(&bytes);
+        if found != r.crc {
+            return Err(ColSegError::CorruptColumn {
+                entry,
+                role,
+                axis,
+                expected: r.crc,
+                found,
+            });
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_be_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    /// Reads all three columns of one entry into a [`TrajCols`].
+    pub fn read_cols(&mut self, entry: usize, role: ColRole) -> Result<TrajCols, ColSegError> {
+        let xs = self.read_col(entry, role, ColAxis::X)?;
+        let ys = self.read_col(entry, role, ColAxis::Y)?;
+        let ts = self.read_col(entry, role, ColAxis::T)?;
+        Ok(TrajCols::from_columns(xs, ys, ts))
+    }
+}
+
+/// A directory of sealed segments, named
+/// `{dataset}.v{version}.{seq:06}.colseg`. Sequence numbers are recovered
+/// by scanning at open (crash-safe: a writer that died before sealing
+/// left only a `.tmp` sibling, which the scan ignores), so a recovered
+/// producer keeps appending after its last sealed segment instead of
+/// clobbering it.
+#[derive(Debug)]
+pub struct ColStore {
+    dir: PathBuf,
+    next: HashMap<(String, u32), u32>,
+}
+
+fn parse_segment_name(name: &str) -> Option<(String, u32, u32)> {
+    let rest = name.strip_suffix(".colseg")?;
+    let (rest, seq) = rest.rsplit_once('.')?;
+    if seq.len() != 6 {
+        return None;
+    }
+    let seq: u32 = seq.parse().ok()?;
+    let (dataset, version) = rest.rsplit_once(".v")?;
+    let version: u32 = version.parse().ok()?;
+    if dataset.is_empty() {
+        return None;
+    }
+    Some((dataset.to_string(), version, seq))
+}
+
+impl ColStore {
+    /// Opens (creating if needed) a segment directory and recovers the
+    /// next sequence number for every `(dataset, version)` key.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, std::io::Error> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut next: HashMap<(String, u32), u32> = HashMap::new();
+        for ent in std::fs::read_dir(&dir)? {
+            let ent = ent?;
+            let name = ent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some((dataset, version, seq)) = parse_segment_name(name) {
+                let slot = next.entry((dataset, version)).or_insert(0);
+                *slot = (*slot).max(seq + 1);
+            }
+        }
+        Ok(ColStore { dir, next })
+    }
+
+    /// The directory segments are sealed into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Seals `writer` under the next sequence number for its
+    /// `(dataset, version)` key and returns the published path.
+    pub fn seal(&mut self, writer: ColSegWriter) -> Result<PathBuf, ColSegError> {
+        let key = (writer.dataset().to_string(), writer.version());
+        let seq = self.next.get(&key).copied().unwrap_or(0);
+        let name = format!("{}.v{}.{seq:06}.{COLSEG_EXT}", key.0, key.1);
+        let path = self.dir.join(name);
+        writer.seal(&path)?;
+        self.next.insert(key, seq + 1);
+        Ok(path)
+    }
+
+    /// Every sealed segment under `dir`, sorted by file name — which is
+    /// writer order within each `(dataset, version)` key, so a bulk
+    /// reader visits entries in the order they were produced.
+    pub fn segment_paths(dir: &Path) -> Result<Vec<PathBuf>, std::io::Error> {
+        let mut out = Vec::new();
+        for ent in std::fs::read_dir(dir)? {
+            let ent = ent?;
+            let name = ent.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if parse_segment_name(name).is_some() {
+                out.push(ent.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::TrajCols;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("trajstore-colseg-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn cols(vals: &[(f64, f64, f64)]) -> TrajCols {
+        let mut c = TrajCols::new();
+        for &(x, y, t) in vals {
+            c.push(trajectory::Point::new(x, y, t));
+        }
+        c
+    }
+
+    fn sample_entries() -> Vec<ColSegEntry> {
+        vec![
+            ColSegEntry {
+                id: 1,
+                tenant: 0,
+                policy_version: 3,
+                w: 4,
+                reason: 0,
+                degraded: false,
+                observed: 9,
+                delivered_at: 17,
+                kept: cols(&[
+                    (0.0, -0.0, 0.5),
+                    (f64::MIN_POSITIVE, 1.0e300, 1.0),
+                    (-3.25, 2.5, 2.0),
+                ]),
+                raw: Some(cols(&[
+                    (0.0, -0.0, 0.5),
+                    (0.5, 0.25, 0.75),
+                    (f64::MIN_POSITIVE, 1.0e300, 1.0),
+                    (-1.0, 1.0, 1.5),
+                    (-3.25, 2.5, 2.0),
+                ])),
+            },
+            ColSegEntry {
+                id: 7,
+                tenant: 2,
+                policy_version: 3,
+                w: 8,
+                reason: 1,
+                degraded: true,
+                observed: 2,
+                delivered_at: 18,
+                kept: cols(&[(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)]),
+                raw: None,
+            },
+            ColSegEntry {
+                id: 8,
+                tenant: 2,
+                policy_version: 4,
+                w: 8,
+                reason: 2,
+                degraded: false,
+                observed: 0,
+                delivered_at: 19,
+                kept: cols(&[]),
+                raw: None,
+            },
+        ]
+    }
+
+    fn sealed_sample() -> Vec<u8> {
+        let mut w = ColSegWriter::new("serve", 3);
+        for e in sample_entries() {
+            w.push(&e);
+        }
+        w.seal_bytes()
+    }
+
+    #[test]
+    fn round_trips_entries_and_columns_bit_exactly() {
+        let path = tmp("roundtrip.colseg");
+        let entries = sample_entries();
+        let mut w = ColSegWriter::new("serve", 3);
+        for e in &entries {
+            w.push(e);
+        }
+        assert_eq!(w.len(), entries.len());
+        w.seal(&path).unwrap();
+        let mut r = ColSegReader::open(&path).unwrap();
+        assert_eq!(r.dataset(), "serve");
+        assert_eq!(r.version(), 3);
+        assert_eq!(r.len(), entries.len());
+        for (i, e) in entries.iter().enumerate() {
+            let m = &r.entries()[i];
+            assert_eq!(
+                (m.id, m.tenant, m.policy_version, m.w),
+                (e.id, e.tenant, e.policy_version, e.w)
+            );
+            assert_eq!((m.reason, m.degraded), (e.reason, e.degraded));
+            assert_eq!((m.observed, m.delivered_at), (e.observed, e.delivered_at));
+            assert_eq!(m.kept_len as usize, e.kept.len());
+            let kept = r.read_cols(i, ColRole::Kept).unwrap();
+            for j in 0..e.kept.len() {
+                assert_eq!(kept.point(j).x.to_bits(), e.kept.point(j).x.to_bits());
+                assert_eq!(kept.point(j).y.to_bits(), e.kept.point(j).y.to_bits());
+                assert_eq!(kept.point(j).t.to_bits(), e.kept.point(j).t.to_bits());
+            }
+            match &e.raw {
+                Some(raw) => {
+                    let got = r.read_cols(i, ColRole::Raw).unwrap();
+                    assert_eq!(got.len(), raw.len());
+                    for j in 0..raw.len() {
+                        assert_eq!(got.point(j).t.to_bits(), raw.point(j).t.to_bits());
+                    }
+                }
+                None => {
+                    assert!(matches!(
+                        r.read_cols(i, ColRole::Raw),
+                        Err(ColSegError::NoRawColumns { .. })
+                    ));
+                }
+            }
+        }
+        assert!(matches!(
+            r.read_col(entries.len(), ColRole::Kept, ColAxis::X),
+            Err(ColSegError::NoSuchEntry { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_damage_is_typed() {
+        let path = tmp("header.colseg");
+        let bytes = sealed_sample();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ColSegReader::open(&path),
+            Err(ColSegError::BadMagic(_))
+        ));
+
+        let mut bad = bytes.clone();
+        bad[5] = 0xEE; // version 0x00EE > 1
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ColSegReader::open(&path),
+            Err(ColSegError::UnsupportedVersion(_))
+        ));
+
+        let mut bad = bytes.clone();
+        bad[7] = COLSEG_KIND as u8 + 1;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            ColSegReader::open(&path),
+            Err(ColSegError::WrongKind { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncating a sealed segment anywhere must be a typed error — the
+    /// locator lives at EOF, so no prefix of a sealed file is a sealed
+    /// file. Mirrors the WAL's truncation sweep.
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let path = tmp("trunc.colseg");
+        let bytes = sealed_sample();
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            match ColSegReader::open(&path) {
+                Err(_) => {}
+                Ok(_) => panic!("truncation at {cut} went unnoticed"),
+            }
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(ColSegReader::open(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Flipping any single bit past the header must surface as a typed
+    /// error somewhere: either the segment refuses to open, or the
+    /// damaged column's read fails its CRC. Reads of *other* entries must
+    /// keep working when the file still opens. Mirrors the WAL's bit-flip
+    /// sweep (which likewise starts after the header: lowering the
+    /// version field yields an *older* version, accepted by design).
+    #[test]
+    fn every_bit_flip_is_caught_and_quarantined() {
+        let path = tmp("flip.colseg");
+        let bytes = sealed_sample();
+        for pos in framing::HEADER_LEN..bytes.len() {
+            for bit in [0x01u8, 0x80u8] {
+                let mut dirty = bytes.clone();
+                dirty[pos] ^= bit;
+                std::fs::write(&path, &dirty).unwrap();
+                match ColSegReader::open(&path) {
+                    Err(_) => {}
+                    Ok(mut r) => {
+                        let mut failures = 0usize;
+                        let mut reads = 0usize;
+                        for i in 0..r.len() {
+                            let has_raw = r.entries()[i].raw_len.is_some();
+                            let mut roles = vec![ColRole::Kept];
+                            if has_raw {
+                                roles.push(ColRole::Raw);
+                            }
+                            for role in roles {
+                                for axis in ColAxis::ALL {
+                                    reads += 1;
+                                    if r.read_col(i, role, axis).is_err() {
+                                        failures += 1;
+                                    }
+                                }
+                            }
+                        }
+                        assert!(
+                            failures > 0,
+                            "flip of {bit:#04x} at {pos} went entirely undetected"
+                        );
+                        assert!(
+                            failures < reads,
+                            "flip of {bit:#04x} at {pos} took down every column"
+                        );
+                    }
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_column_quarantines_only_itself() {
+        let path = tmp("quarantine.colseg");
+        let bytes = sealed_sample();
+        // Entry 0's kept-x column is the first blob, right after the header.
+        let mut dirty = bytes.clone();
+        dirty[framing::HEADER_LEN + 2] ^= 0x40;
+        std::fs::write(&path, &dirty).unwrap();
+        let mut r = ColSegReader::open(&path).unwrap();
+        assert!(matches!(
+            r.read_col(0, ColRole::Kept, ColAxis::X),
+            Err(ColSegError::CorruptColumn {
+                entry: 0,
+                role: ColRole::Kept,
+                axis: ColAxis::X,
+                ..
+            })
+        ));
+        // The sibling columns and every other entry read clean.
+        assert!(r.read_col(0, ColRole::Kept, ColAxis::Y).is_ok());
+        assert!(r.read_col(0, ColRole::Raw, ColAxis::X).is_ok());
+        assert!(r.read_cols(1, ColRole::Kept).is_ok());
+        assert!(r.read_cols(2, ColRole::Kept).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn store_sequences_segments_and_recovers_at_open() {
+        let dir = tmp("store-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = ColStore::open(&dir).unwrap();
+
+        let mut w = ColSegWriter::new("serve", 1);
+        w.push(&sample_entries()[0]);
+        let p0 = store.seal(w).unwrap();
+        assert!(p0.ends_with("serve.v1.000000.colseg"));
+
+        let mut w = ColSegWriter::new("serve", 1);
+        w.push(&sample_entries()[1]);
+        let p1 = store.seal(w).unwrap();
+        assert!(p1.ends_with("serve.v1.000001.colseg"));
+
+        // A different (dataset, version) key counts independently.
+        let w = ColSegWriter::new("serve", 2);
+        let p2 = store.seal(w).unwrap();
+        assert!(p2.ends_with("serve.v2.000000.colseg"));
+
+        // Reopening recovers the counters instead of clobbering.
+        let mut store = ColStore::open(&dir).unwrap();
+        let w = ColSegWriter::new("serve", 1);
+        let p3 = store.seal(w).unwrap();
+        assert!(p3.ends_with("serve.v1.000002.colseg"));
+
+        let paths = ColStore::segment_paths(&dir).unwrap();
+        assert_eq!(paths.len(), 4);
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let path = tmp("empty.colseg");
+        ColSegWriter::new("none", 0).seal(&path).unwrap();
+        let r = ColSegReader::open(&path).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.dataset(), "none");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use trajectory::{Point, TrajCols};
+
+    /// Columns built from raw `u64` bit patterns — NaNs, infinities, and
+    /// subnormals included.
+    fn cols_from_bits(bits: Vec<(u64, u64, u64)>) -> TrajCols {
+        let mut c = TrajCols::new();
+        for (x, y, t) in bits {
+            c.push(Point::new(
+                f64::from_bits(x),
+                f64::from_bits(y),
+                f64::from_bits(t),
+            ));
+        }
+        c
+    }
+
+    fn entry_strategy() -> impl Strategy<Value = ColSegEntry> {
+        let bits = || (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX);
+        (
+            0u64..u64::MAX,
+            0u32..u32::MAX,
+            0u32..u32::MAX,
+            prop::collection::vec(bits(), 0..20),
+            0u8..2,
+            prop::collection::vec(bits(), 0..40),
+        )
+            .prop_map(
+                |(id, tenant, policy_version, kept, has_raw, raw)| ColSegEntry {
+                    id,
+                    tenant,
+                    policy_version,
+                    w: 10,
+                    reason: (id % 3) as u8,
+                    degraded: id % 2 == 0,
+                    observed: id / 3,
+                    delivered_at: id / 5,
+                    kept: cols_from_bits(kept),
+                    raw: (has_raw == 1).then(|| cols_from_bits(raw)),
+                },
+            )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary bit patterns (including NaNs and infinities) survive
+        /// the disk round trip exactly.
+        #[test]
+        fn arbitrary_columns_round_trip_bit_exactly(
+            entries in prop::collection::vec(entry_strategy(), 0..6),
+            version in 0u32..u32::MAX,
+        ) {
+            let path = {
+                let mut p = std::env::temp_dir();
+                p.push(format!("trajstore-colseg-prop-{}", std::process::id()));
+                p
+            };
+            let mut w = ColSegWriter::new("prop", version);
+            for e in &entries {
+                w.push(e);
+            }
+            w.seal(&path).unwrap();
+            let mut r = ColSegReader::open(&path).unwrap();
+            prop_assert_eq!(r.version(), version);
+            prop_assert_eq!(r.len(), entries.len());
+            for (i, e) in entries.iter().enumerate() {
+                let kept = r.read_cols(i, ColRole::Kept).unwrap();
+                prop_assert_eq!(kept.len(), e.kept.len());
+                for j in 0..kept.len() {
+                    prop_assert_eq!(kept.point(j).x.to_bits(), e.kept.point(j).x.to_bits());
+                    prop_assert_eq!(kept.point(j).y.to_bits(), e.kept.point(j).y.to_bits());
+                    prop_assert_eq!(kept.point(j).t.to_bits(), e.kept.point(j).t.to_bits());
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+
+        /// Random mutations of a sealed segment never panic: they either
+        /// fail open with a typed error, or fail (at most) some reads.
+        #[test]
+        fn random_mutations_never_panic(
+            seed_len in 1usize..4,
+            pos_frac in 0.0f64..1.0,
+            flip in 1u8..=255,
+        ) {
+            let path = {
+                let mut p = std::env::temp_dir();
+                p.push(format!("trajstore-colseg-mut-{}", std::process::id()));
+                p
+            };
+            let mut w = ColSegWriter::new("prop", 1);
+            for i in 0..seed_len {
+                let mut c = TrajCols::new();
+                for j in 0..(3 + i) {
+                    c.push(Point::new(j as f64, -(j as f64), j as f64 * 0.5));
+                }
+                w.push(&ColSegEntry {
+                    id: i as u64,
+                    tenant: 0,
+                    policy_version: 1,
+                    w: 4,
+                    reason: 0,
+                    degraded: false,
+                    observed: 0,
+                    delivered_at: 0,
+                    kept: c,
+                    raw: None,
+                });
+            }
+            let mut bytes = w.seal_bytes();
+            let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+            bytes[pos] ^= flip;
+            std::fs::write(&path, &bytes).unwrap();
+            if let Ok(mut r) = ColSegReader::open(&path) {
+                for i in 0..r.len() {
+                    let _ = r.read_cols(i, ColRole::Kept);
+                }
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Shared frame-header and CRC framing primitives.
+//!
+//! Three on-disk / on-wire formats in the workspace speak the same framing
+//! dialect: the write-ahead log ([`crate::wal`], magic "RLWL"), the serve
+//! wire protocol (`trajserve::wire`, magic "RLNT"), and the columnar
+//! segment files ([`crate::colseg`], magic "RLCS"). Each begins with the
+//! same 8-byte header —
+//!
+//! ```text
+//! header = magic u32 | version u16 | kind u16        (big-endian)
+//! record = len u32 | payload (len bytes) | crc32 u32 (over payload)
+//! ```
+//!
+//! — and guards every payload with the same CRC32 behind the same length
+//! ceiling. This module is the single home of those shared pieces so the
+//! three formats cannot drift: the byte layout each one emits is defined
+//! here, and each format keeps only its own magic, version policy, and
+//! typed error vocabulary.
+
+/// Bytes of the shared fixed header: magic, version, kind.
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on a single framed payload; larger length fields are treated
+/// as corruption rather than allocated.
+pub const MAX_PAYLOAD_LEN: u32 = 1 << 28;
+
+/// CRC32 (IEEE, reflected polynomial `0xEDB88320`) — the same function the
+/// trajectory codec and policy checkpoints use.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// The decoded fixed header of one framed file or stream.
+///
+/// Validation (is the magic right? is the version supported? which
+/// comparison — `>` for files that promise forward-compatible readers,
+/// `!=` for a wire protocol where both ends must match?) stays with the
+/// caller: each format owns its policy and its typed error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Format discriminator ("RLWL", "RLNT", "RLCS", …).
+    pub magic: u32,
+    /// Format revision, interpreted by the owning format.
+    pub version: u16,
+    /// Caller-owned stream tag so a misplaced file or frame is rejected
+    /// instead of misparsed.
+    pub kind: u16,
+}
+
+/// Appends the 8-byte header.
+pub fn put_header(buf: &mut Vec<u8>, h: Header) {
+    buf.extend_from_slice(&h.magic.to_be_bytes());
+    buf.extend_from_slice(&h.version.to_be_bytes());
+    buf.extend_from_slice(&h.kind.to_be_bytes());
+}
+
+/// Parses the 8-byte header; `None` means the input is shorter than
+/// [`HEADER_LEN`] (truncation — the caller's error type says how to spell
+/// that).
+pub fn parse_header(bytes: &[u8]) -> Option<Header> {
+    if bytes.len() < HEADER_LEN {
+        return None;
+    }
+    Some(Header {
+        magic: u32::from_be_bytes(bytes[0..4].try_into().unwrap()),
+        version: u16::from_be_bytes(bytes[4..6].try_into().unwrap()),
+        kind: u16::from_be_bytes(bytes[6..8].try_into().unwrap()),
+    })
+}
+
+/// Appends one framed record: length prefix, payload, payload CRC.
+pub fn put_record(buf: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!((payload.len() as u64) < MAX_PAYLOAD_LEN as u64);
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32(payload).to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn header_round_trips_and_rejects_truncation() {
+        let h = Header {
+            magic: 0x524C_5445,
+            version: 3,
+            kind: 9,
+        };
+        let mut buf = Vec::new();
+        put_header(&mut buf, h);
+        assert_eq!(buf.len(), HEADER_LEN);
+        assert_eq!(parse_header(&buf), Some(h));
+        for cut in 0..HEADER_LEN {
+            assert_eq!(parse_header(&buf[..cut]), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn record_layout_is_len_payload_crc() {
+        let mut buf = Vec::new();
+        put_record(&mut buf, b"abc");
+        assert_eq!(&buf[0..4], &3u32.to_be_bytes());
+        assert_eq!(&buf[4..7], b"abc");
+        assert_eq!(&buf[7..11], &crc32(b"abc").to_be_bytes());
+        assert_eq!(buf.len(), 11);
+    }
+
+    #[test]
+    fn record_round_trips_through_a_manual_decode() {
+        let payloads: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; i as usize * 3]).collect();
+        let mut buf = Vec::new();
+        for p in &payloads {
+            put_record(&mut buf, p);
+        }
+        let mut at = 0usize;
+        for p in &payloads {
+            let len = u32::from_be_bytes(buf[at..at + 4].try_into().unwrap()) as usize;
+            assert_eq!(len, p.len());
+            assert_eq!(&buf[at + 4..at + 4 + len], p.as_slice());
+            let crc = u32::from_be_bytes(buf[at + 4 + len..at + 8 + len].try_into().unwrap());
+            assert_eq!(crc, crc32(p));
+            at += 8 + len;
+        }
+        assert_eq!(at, buf.len());
+    }
+}

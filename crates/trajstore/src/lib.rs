@@ -15,6 +15,11 @@
 //! the price of bounded error — exactly the trade-off the experiment
 //! `repro query-cost` (and the `batch_server` example) quantifies.
 //!
+//! The crate also owns the durable byte formats the workspace shares:
+//! [`framing`] (the common magic/version/kind + CRC32 framing dialect),
+//! [`wal`] (append-only write-ahead logs and atomic-publish helpers), and
+//! [`colseg`] (seekable columnar trajectory segments, DESIGN.md §16).
+//!
 //! # Example
 //!
 //! ```
@@ -32,10 +37,13 @@
 
 #![warn(missing_docs)]
 
+pub mod colseg;
+pub mod framing;
 mod grid;
 mod store;
 pub mod wal;
 
+pub use colseg::{ColAxis, ColRole, ColSegEntry, ColSegReader, ColSegWriter, ColStore};
 pub use grid::GridIndex;
 pub use store::{StoreConfig, StoreStats, TrajId, TrajStore};
 

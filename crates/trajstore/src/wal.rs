@@ -4,7 +4,11 @@
 //!
 //! The format follows the workspace codec conventions (`trajectory::codec`,
 //! `rlkit::checkpoint`): a fixed header up front, big-endian integers, and
-//! a CRC32 guarding every byte that matters.
+//! a CRC32 guarding every byte that matters. The header and record byte
+//! layout is the shared framing dialect defined in [`crate::framing`]
+//! (also spoken by the serve wire protocol and the columnar segments);
+//! this module owns the WAL magic, the forward-compatible version policy,
+//! and the [`WalError`] vocabulary.
 //!
 //! ```text
 //! file   = magic u32 ("RLWL") | version u16 | kind u16 | record*
@@ -26,33 +30,30 @@
 //!   valid prefix and a typed description of why decoding stopped. Callers
 //!   never lose valid prefix records and never panic on garbage bytes.
 
+use crate::framing::{self, Header};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+pub use crate::framing::crc32;
 
 /// WAL file magic: "RLWL".
 pub const WAL_MAGIC: u32 = 0x524C_574C;
 /// Current WAL format version.
 pub const WAL_VERSION: u16 = 1;
 /// Bytes of file header preceding the first record.
-pub const WAL_HEADER_LEN: usize = 8;
+pub const WAL_HEADER_LEN: usize = framing::HEADER_LEN;
 /// Hard cap on a single record's payload; larger length fields are treated
 /// as corruption rather than allocated.
-pub const MAX_RECORD_LEN: u32 = 1 << 28;
+pub const MAX_RECORD_LEN: u32 = framing::MAX_PAYLOAD_LEN;
 
-/// CRC32 (IEEE, reflected polynomial `0xEDB88320`) — the same function the
-/// trajectory codec and policy checkpoints use.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
+fn wal_header(kind: u16) -> Header {
+    Header {
+        magic: WAL_MAGIC,
+        version: WAL_VERSION,
+        kind,
     }
-    !crc
 }
 
 /// Why decoding a WAL (or sealed file) stopped.
@@ -189,9 +190,7 @@ impl WalWriter {
             .truncate(true)
             .open(&path)?;
         let mut header = Vec::with_capacity(WAL_HEADER_LEN);
-        header.extend_from_slice(&WAL_MAGIC.to_be_bytes());
-        header.extend_from_slice(&WAL_VERSION.to_be_bytes());
-        header.extend_from_slice(&kind.to_be_bytes());
+        framing::put_header(&mut header, wal_header(kind));
         file.write_all(&header)?;
         file.sync_data()?;
         Ok(WalWriter {
@@ -211,11 +210,7 @@ impl WalWriter {
 
     /// Buffers one record. Nothing is written until [`WalWriter::commit`].
     pub fn append(&mut self, payload: &[u8]) {
-        debug_assert!((payload.len() as u64) < MAX_RECORD_LEN as u64);
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        self.buf.extend_from_slice(payload);
-        self.buf.extend_from_slice(&crc32(payload).to_be_bytes());
+        framing::put_record(&mut self.buf, payload);
         self.pending_records += 1;
     }
 
@@ -281,22 +276,19 @@ pub fn decode_records(bytes: &[u8], kind: u16) -> WalContents {
         tail_bytes: bytes.len() as u64,
         error: Some(error),
     };
-    if bytes.len() < WAL_HEADER_LEN {
+    let Some(header) = framing::parse_header(bytes) else {
         return fail(WalError::TruncatedHeader);
+    };
+    if header.magic != WAL_MAGIC {
+        return fail(WalError::BadMagic(header.magic));
     }
-    let magic = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
-    if magic != WAL_MAGIC {
-        return fail(WalError::BadMagic(magic));
+    if header.version > WAL_VERSION {
+        return fail(WalError::UnsupportedVersion(header.version));
     }
-    let version = u16::from_be_bytes(bytes[4..6].try_into().unwrap());
-    if version > WAL_VERSION {
-        return fail(WalError::UnsupportedVersion(version));
-    }
-    let found_kind = u16::from_be_bytes(bytes[6..8].try_into().unwrap());
-    if found_kind != kind {
+    if header.kind != kind {
         return fail(WalError::WrongKind {
             expected: kind,
-            found: found_kind,
+            found: header.kind,
         });
     }
 
@@ -350,12 +342,8 @@ pub fn decode_records(bytes: &[u8], kind: u16) -> WalContents {
 /// content or the new, never a torn mixture.
 pub fn write_sealed(path: &Path, kind: u16, payload: &[u8]) -> Result<(), WalError> {
     let mut bytes = Vec::with_capacity(WAL_HEADER_LEN + payload.len() + 8);
-    bytes.extend_from_slice(&WAL_MAGIC.to_be_bytes());
-    bytes.extend_from_slice(&WAL_VERSION.to_be_bytes());
-    bytes.extend_from_slice(&kind.to_be_bytes());
-    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    bytes.extend_from_slice(payload);
-    bytes.extend_from_slice(&crc32(payload).to_be_bytes());
+    framing::put_header(&mut bytes, wal_header(kind));
+    framing::put_record(&mut bytes, payload);
     atomic_write(path, &bytes)?;
     Ok(())
 }

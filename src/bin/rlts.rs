@@ -9,6 +9,7 @@
 //! rlts serve     --soak [options]                   many-tenant soak
 //! rlts serve     --listen ADDR [options]            network shard server
 //! rlts route     --listen ADDR --shards A,B,...     shard router
+//! rlts resimplify --in DIR --out DIR [options]      batch-tighten a store
 //!
 //! common options:
 //!   --measure sed|ped|dad|sad      error measure            [sed]
@@ -63,6 +64,9 @@
 //!   --out FILE                     write delivered outputs (deterministic,
 //!                                  logical-clock only — byte-comparable
 //!                                  across crashed and uncrashed runs)
+//!   --col-store DIR                additionally seal closed/evicted outputs
+//!                                  into columnar segments under DIR
+//!                                  (DESIGN.md §16); feeds `rlts resimplify`
 //!
 //! network serve options (DESIGN.md §15):
 //!   --listen ADDR                  run one shard as a TCP server speaking
@@ -80,6 +84,17 @@
 //!   --listen ADDR                  router bind address
 //!   --shards A,B,...               shard addresses; session id % N picks
 //!                                  the shard
+//!
+//! resimplify options (DESIGN.md §16):
+//!   --in DIR                       columnar store written by
+//!                                  `rlts serve --col-store`
+//!   --out DIR                      mirrored output store (same file names;
+//!                                  byte-identical at any --threads)
+//!   --algo bottom-up|top-down|bellman|uniform   batch algorithm [bottom-up]
+//!   --measure sed|ped|dad|sad      guard measure: the batch result is kept
+//!                                  only when no worse than the stored
+//!                                  online one under it              [sed]
+//!   --report FILE                  write the deterministic JSON report
 //! ```
 //!
 //! `rlts metrics` exercises every instrumented subsystem (training,
@@ -114,6 +129,7 @@ fn main() {
         "metrics" => cmd_metrics(&opts),
         "serve" => cmd_serve(&opts),
         "route" => cmd_route(&opts),
+        "resimplify" => cmd_resimplify(&opts),
         "help" | "--help" | "-h" => help(),
         other => die(&format!("unknown command '{other}'")),
     }
@@ -122,7 +138,7 @@ fn main() {
 fn help() {
     println!(
         "rlts — trajectory simplification with reinforcement learning\n\n\
-         usage: rlts <stats|train|simplify|eval|metrics|serve|route|help> [options] [files...]\n\
+         usage: rlts <stats|train|simplify|eval|metrics|serve|route|resimplify|help> [options] [files...]\n\
          see the crate documentation (src/bin/rlts.rs) for all options"
     );
 }
@@ -166,6 +182,9 @@ struct CliOpts {
     shards: Option<String>,
     recover: bool,
     shutdown: bool,
+    col_store: Option<String>,
+    in_dir: Option<String>,
+    report: Option<String>,
 }
 
 impl CliOpts {
@@ -296,6 +315,9 @@ impl CliOpts {
                 "--shards" => o.shards = Some(val("--shards")),
                 "--recover" => o.recover = true,
                 "--shutdown" => o.shutdown = true,
+                "--col-store" => o.col_store = Some(val("--col-store")),
+                "--in" => o.in_dir = Some(val("--in")),
+                "--report" => o.report = Some(val("--report")),
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -862,6 +884,7 @@ fn soak_config_from(o: &CliOpts) -> rlts::trajserve::SoakConfig {
             threads: o.threads.unwrap_or(0),
             idle_ttl: o.ttl.unwrap_or(12),
             seed: o.seed.unwrap_or(0xC0FFEE),
+            col_store: o.col_store.as_ref().map(std::path::PathBuf::from),
             ..ServeConfig::default()
         },
     }
@@ -939,6 +962,46 @@ fn cmd_route(o: &CliOpts) {
     eprintln!("[route] listening on {listen}");
     serve_forever(Arc::new(router), listen)
         .unwrap_or_else(|e| die(&format!("cannot serve on {listen}: {e}")));
+}
+
+/// `rlts resimplify`: stream a columnar store (`rlts serve --col-store`)
+/// through a batch simplifier and write a mirrored store whose entries
+/// are no worse than the stored online outputs under the guard measure
+/// (DESIGN.md §16).
+fn cmd_resimplify(o: &CliOpts) {
+    use rlts::resimplify::{run, ResimplifyConfig};
+
+    let Some(input) = o.in_dir.as_deref() else {
+        die("resimplify needs --in DIR (a store written by `rlts serve --col-store`)");
+    };
+    let Some(output) = o.out.as_deref() else {
+        die("resimplify needs --out DIR");
+    };
+    let cfg = ResimplifyConfig {
+        input: input.into(),
+        output: output.into(),
+        algo: o.algo.clone().unwrap_or_else(|| "bottom-up".into()),
+        measure: o.measure(),
+        threads: o.threads.unwrap_or(0),
+    };
+    let report = run(&cfg).unwrap_or_else(|e| die(&e));
+    let json = report.to_json();
+    if let Some(path) = &o.report {
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    print!("{json}");
+    eprintln!(
+        "[resimplify] {} segments in, {} out ({} skipped); {} entries: \
+         {} adopted, {} retained, {} kept-only, {} quarantined",
+        report.segments_read,
+        report.segments_written,
+        report.segments_skipped,
+        report.entries,
+        report.adopted,
+        report.retained,
+        report.kept_only,
+        report.entries_quarantined
+    );
 }
 
 /// Renders delivered soak outputs as the deterministic artifact text:

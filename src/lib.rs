@@ -83,6 +83,8 @@ pub use rlts_core::{
     TrainReport, TrainedPolicy, ValueUpdate, Variant,
 };
 
+pub mod resimplify;
+
 /// Everything a typical user needs, in one import.
 pub mod prelude {
     pub use crate::rlts_core::{

@@ -1,0 +1,515 @@
+//! Offline re-simplification of a columnar segment store (DESIGN.md §16).
+//!
+//! `rlts serve --col-store DIR` seals every tick's closed/evicted outputs
+//! into seekable columnar segments: the online simplification (kept
+//! columns) and, when the session's bounded archive held it, the raw
+//! stream it came from. Online algorithms decide under streaming
+//! constraints — one pass, bounded window — so their outputs leave error
+//! on the table that a batch algorithm seeing the whole trajectory can
+//! recover. This module is that second pass: it streams a store's entries
+//! through a batch simplifier under the same point budget `w` the online
+//! run used, scores both simplifications under all four error measures,
+//! and writes mirrored segments holding whichever result is better.
+//!
+//! # Contract
+//!
+//! * **Strictly no worse.** The batch result replaces the stored online
+//!   result only when its maximum error under the guard measure
+//!   ([`ResimplifyConfig::measure`]) is at most the online error;
+//!   otherwise the stored points are retained. Every output entry is
+//!   therefore no worse than its input under the guard, by construction.
+//! * **Thread-count invariant.** Entries are processed via an
+//!   order-preserving [`parkit::map`] and segments are written in sorted
+//!   file-name order, so the output directory is byte-identical at any
+//!   [`ResimplifyConfig::threads`].
+//! * **Quarantine, not panic.** Unreadable segments are skipped and
+//!   entries whose columns fail their CRC are dropped from the mirror;
+//!   both are counted in the report. Damage never aborts the run.
+//! * **Kept-only entries pass through.** An entry without raw columns
+//!   (archive overflowed, or the session predates the store) cannot be
+//!   re-simplified — its online result is already the best available and
+//!   is copied through unchanged.
+
+use crate::trajectory::error::{trajectory_error_cols, Aggregation, Dad, Measure, Ped, Sad, Sed};
+use crate::trajectory::{Budget, Point, Simplifier, TrajCols};
+use crate::trajstore::{ColRole, ColSegEntry, ColSegReader, ColSegWriter, ColStore};
+use baselines::{Bellman, BottomUp, TopDown, Uniform};
+use std::path::{Path, PathBuf};
+
+/// What one re-simplification pass runs with.
+#[derive(Debug, Clone)]
+pub struct ResimplifyConfig {
+    /// Columnar segment store to read (`rlts serve --col-store` output).
+    pub input: PathBuf,
+    /// Directory the mirrored, tightened segments are written into
+    /// (created if missing; file names mirror the input's).
+    pub output: PathBuf,
+    /// Batch algorithm: `bottom-up` | `top-down` | `bellman` | `uniform`.
+    pub algo: String,
+    /// Guard measure: the batch result is adopted only when its maximum
+    /// error under this measure does not exceed the stored online one.
+    pub measure: Measure,
+    /// Worker threads for the per-entry map (`0` = all cores). Outputs
+    /// are byte-identical at any value.
+    pub threads: usize,
+}
+
+impl Default for ResimplifyConfig {
+    fn default() -> Self {
+        ResimplifyConfig {
+            input: PathBuf::new(),
+            output: PathBuf::new(),
+            algo: "bottom-up".into(),
+            measure: Measure::Sed,
+            threads: 0,
+        }
+    }
+}
+
+/// Per-measure error tightening over the compared entries.
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureTightening {
+    /// The measure scored.
+    pub measure: Measure,
+    /// Mean (over compared entries) of the maximum error of the stored
+    /// online simplification against its raw stream.
+    pub online_mean_max: f64,
+    /// Same statistic for the entries actually written (batch where
+    /// adopted, online where retained). Never worse than the online
+    /// figure under the guard measure.
+    pub resimplified_mean_max: f64,
+}
+
+/// What a re-simplification pass did; see [`ResimplifyReport::to_json`].
+#[derive(Debug, Clone, Default)]
+pub struct ResimplifyReport {
+    /// Batch algorithm that ran.
+    pub algo: String,
+    /// Guard measure the keep-better rule used.
+    pub guard: Option<Measure>,
+    /// Segments opened successfully.
+    pub segments_read: usize,
+    /// Segments written into the output directory.
+    pub segments_written: usize,
+    /// Segment files that failed to open (corrupt header/footer) and were
+    /// skipped whole.
+    pub segments_skipped: usize,
+    /// Entries visited across all readable segments.
+    pub entries: usize,
+    /// Entries dropped because a column failed its CRC.
+    pub entries_quarantined: usize,
+    /// Entries with full raw columns that were re-simplified and scored.
+    pub compared: usize,
+    /// Compared entries where the batch result was adopted.
+    pub adopted: usize,
+    /// Compared entries where the stored online result was retained.
+    pub retained: usize,
+    /// Entries copied through unchanged for lack of raw columns.
+    pub kept_only: usize,
+    /// Per-measure tightening over the compared entries (all four
+    /// measures, in SED/PED/DAD/SAD order).
+    pub measures: Vec<MeasureTightening>,
+}
+
+impl ResimplifyReport {
+    /// Deterministic JSON rendering: no timestamps, no wall clock, fixed
+    /// key order — byte-comparable across runs and thread counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"algo\": \"{}\",\n", self.algo));
+        s.push_str(&format!(
+            "  \"guard_measure\": \"{}\",\n",
+            self.guard.map(|m| m.name()).unwrap_or("none")
+        ));
+        s.push_str(&format!("  \"segments_read\": {},\n", self.segments_read));
+        s.push_str(&format!(
+            "  \"segments_written\": {},\n",
+            self.segments_written
+        ));
+        s.push_str(&format!(
+            "  \"segments_skipped\": {},\n",
+            self.segments_skipped
+        ));
+        s.push_str(&format!("  \"entries\": {},\n", self.entries));
+        s.push_str(&format!(
+            "  \"entries_quarantined\": {},\n",
+            self.entries_quarantined
+        ));
+        s.push_str(&format!("  \"compared\": {},\n", self.compared));
+        s.push_str(&format!("  \"adopted\": {},\n", self.adopted));
+        s.push_str(&format!("  \"retained\": {},\n", self.retained));
+        s.push_str(&format!("  \"kept_only\": {},\n", self.kept_only));
+        s.push_str("  \"measures\": [\n");
+        for (i, m) in self.measures.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"measure\": \"{}\", \"online_mean_max\": {:?}, \
+                 \"resimplified_mean_max\": {:?}}}{}\n",
+                m.measure.name(),
+                m.online_mean_max,
+                m.resimplified_mean_max,
+                if i + 1 < self.measures.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Builds the batch simplifier by CLI name; `Err` lists the valid names.
+pub fn batch_algo(name: &str, measure: Measure) -> Result<Box<dyn Simplifier>, String> {
+    match name {
+        "bottom-up" => Ok(Box::new(BottomUp::new(measure))),
+        "top-down" => Ok(Box::new(TopDown::new(measure))),
+        "bellman" => Ok(Box::new(Bellman::new(measure))),
+        "uniform" => Ok(Box::new(Uniform::new())),
+        other => Err(format!(
+            "unknown batch algorithm '{other}' (bottom-up | top-down | bellman | uniform)"
+        )),
+    }
+}
+
+/// Maximum error of the simplification `kept` (indices into `cols`) under
+/// `measure`, dispatched to the SoA kernels.
+fn max_error_cols(measure: Measure, cols: &TrajCols, kept: &[usize]) -> f64 {
+    let v = cols.view();
+    match measure {
+        Measure::Sed => trajectory_error_cols::<Sed>(v, kept, Aggregation::Max),
+        Measure::Ped => trajectory_error_cols::<Ped>(v, kept, Aggregation::Max),
+        Measure::Dad => trajectory_error_cols::<Dad>(v, kept, Aggregation::Max),
+        Measure::Sad => trajectory_error_cols::<Sad>(v, kept, Aggregation::Max),
+    }
+}
+
+/// Locates each stored kept point inside the raw stream by bit pattern,
+/// in order. Online simplifiers keep a subset of what they observe, so a
+/// complete archive always matches; `None` means the entry's raw and kept
+/// columns disagree (or the output is not anchored) and the entry cannot
+/// be scored.
+fn kept_indices_in_raw(raw: &TrajCols, kept: &TrajCols) -> Option<Vec<usize>> {
+    let (rx, ry, rt) = (raw.xs(), raw.ys(), raw.ts());
+    let (kx, ky, kt) = (kept.xs(), kept.ys(), kept.ts());
+    let mut idx = Vec::with_capacity(kt.len());
+    let mut at = 0usize;
+    for i in 0..kt.len() {
+        let mut found = None;
+        while at < rt.len() {
+            let here = at;
+            at += 1;
+            if rx[here].to_bits() == kx[i].to_bits()
+                && ry[here].to_bits() == ky[i].to_bits()
+                && rt[here].to_bits() == kt[i].to_bits()
+            {
+                found = Some(here);
+                break;
+            }
+        }
+        idx.push(found?);
+    }
+    (idx.first() == Some(&0) && idx.last() == Some(&(rt.len() - 1))).then_some(idx)
+}
+
+/// What processing one entry produced.
+struct EntryOutcome {
+    /// The entry to write (final kept columns; raw preserved).
+    entry: ColSegEntry,
+    /// `(online, final)` max errors per measure, for compared entries.
+    scores: Option<([f64; 4], [f64; 4])>,
+    /// Whether the batch result was adopted.
+    adopted: bool,
+}
+
+/// Re-simplifies one entry under the keep-better guard. Entries that
+/// cannot be scored (no raw, too short, raw/kept mismatch) pass through
+/// unchanged with `scores: None`.
+fn process_entry(entry: &ColSegEntry, algo: &dyn Simplifier, guard: Measure) -> EntryOutcome {
+    let passthrough = |e: &ColSegEntry| EntryOutcome {
+        entry: e.clone(),
+        scores: None,
+        adopted: false,
+    };
+    let Some(raw) = &entry.raw else {
+        return passthrough(entry);
+    };
+    if raw.len() < 3 || entry.kept.len() < 2 {
+        return passthrough(entry);
+    }
+    let Some(online_idx) = kept_indices_in_raw(raw, &entry.kept) else {
+        return passthrough(entry);
+    };
+    // Same budget the online run delivered under: the comparison is
+    // tightening at equal size, never tightening by keeping more.
+    let w = entry.kept.len().max(2);
+    let raw_pts: Vec<Point> = raw.to_points();
+    let batch_idx = algo.simplify(&raw_pts, Budget::Points(w)).kept;
+
+    let online_scores: [f64; 4] = Measure::ALL.map(|m| max_error_cols(m, raw, &online_idx));
+    let batch_scores: [f64; 4] = Measure::ALL.map(|m| max_error_cols(m, raw, &batch_idx));
+    let gi = Measure::ALL.iter().position(|m| *m == guard).unwrap_or(0);
+    let adopted = batch_scores[gi] <= online_scores[gi];
+    let (final_idx, final_scores) = if adopted {
+        (&batch_idx, batch_scores)
+    } else {
+        (&online_idx, online_scores)
+    };
+    let kept_pts: Vec<Point> = final_idx.iter().map(|&i| raw_pts[i]).collect();
+    let mut out = entry.clone();
+    out.kept = TrajCols::from_points(&kept_pts);
+    EntryOutcome {
+        entry: out,
+        scores: Some((online_scores, final_scores)),
+        adopted,
+    }
+}
+
+/// One readable input segment, fully decoded.
+struct SegmentData {
+    file_name: String,
+    dataset: String,
+    version: u32,
+    entries: Vec<ColSegEntry>,
+    quarantined: usize,
+}
+
+/// Reads every entry of one segment, quarantining entries whose columns
+/// fail their CRC.
+fn read_segment(path: &Path) -> Result<SegmentData, String> {
+    let mut reader = ColSegReader::open(path).map_err(|e| e.to_string())?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| "segment path has no file name".to_string())?
+        .to_string();
+    let mut data = SegmentData {
+        file_name,
+        dataset: reader.dataset().to_string(),
+        version: reader.version(),
+        entries: Vec::with_capacity(reader.len()),
+        quarantined: 0,
+    };
+    for i in 0..reader.len() {
+        let meta = reader.entries()[i].clone();
+        let kept = match reader.read_cols(i, ColRole::Kept) {
+            Ok(cols) => cols,
+            Err(_) => {
+                data.quarantined += 1;
+                continue;
+            }
+        };
+        let raw = if meta.raw_len.is_some() {
+            match reader.read_cols(i, ColRole::Raw) {
+                Ok(cols) => Some(cols),
+                Err(_) => {
+                    data.quarantined += 1;
+                    continue;
+                }
+            }
+        } else {
+            None
+        };
+        data.entries.push(ColSegEntry {
+            id: meta.id,
+            tenant: meta.tenant,
+            policy_version: meta.policy_version,
+            w: meta.w,
+            reason: meta.reason,
+            degraded: meta.degraded,
+            observed: meta.observed,
+            delivered_at: meta.delivered_at,
+            kept,
+            raw,
+        });
+    }
+    Ok(data)
+}
+
+/// Runs the pass: read → parallel re-simplify → mirrored write.
+pub fn run(cfg: &ResimplifyConfig) -> Result<ResimplifyReport, String> {
+    let algo = batch_algo(&cfg.algo, cfg.measure)?;
+    let mut report = ResimplifyReport {
+        algo: cfg.algo.clone(),
+        guard: Some(cfg.measure),
+        ..ResimplifyReport::default()
+    };
+
+    let paths = ColStore::segment_paths(&cfg.input)
+        .map_err(|e| format!("cannot scan {}: {e}", cfg.input.display()))?;
+    if paths.is_empty() {
+        return Err(format!("no .colseg segments under {}", cfg.input.display()));
+    }
+    let mut segments = Vec::new();
+    for path in &paths {
+        match read_segment(path) {
+            Ok(seg) => {
+                report.segments_read += 1;
+                report.entries += seg.entries.len() + seg.quarantined;
+                report.entries_quarantined += seg.quarantined;
+                segments.push(seg);
+            }
+            Err(_) => report.segments_skipped += 1,
+        }
+    }
+
+    // Flatten to one work item per entry so a segment with many entries
+    // still spreads across the pool; parkit::map preserves order.
+    let items: Vec<(usize, usize)> = segments
+        .iter()
+        .enumerate()
+        .flat_map(|(s, seg)| (0..seg.entries.len()).map(move |e| (s, e)))
+        .collect();
+    let outcomes = parkit::map(cfg.threads, &items, |_, &(s, e)| {
+        process_entry(&segments[s].entries[e], algo.as_ref(), cfg.measure)
+    });
+
+    let mut online_sums = [0.0f64; 4];
+    let mut final_sums = [0.0f64; 4];
+    let mut by_segment: Vec<Vec<ColSegEntry>> = segments
+        .iter()
+        .map(|s| Vec::with_capacity(s.entries.len()))
+        .collect();
+    for ((s, _), outcome) in items.into_iter().zip(outcomes) {
+        match outcome.scores {
+            Some((online, fin)) => {
+                report.compared += 1;
+                if outcome.adopted {
+                    report.adopted += 1;
+                } else {
+                    report.retained += 1;
+                }
+                for i in 0..4 {
+                    online_sums[i] += online[i];
+                    final_sums[i] += fin[i];
+                }
+            }
+            None => report.kept_only += 1,
+        }
+        by_segment[s].push(outcome.entry);
+    }
+    let n = report.compared.max(1) as f64;
+    report.measures = Measure::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &measure)| MeasureTightening {
+            measure,
+            online_mean_max: online_sums[i] / n,
+            resimplified_mean_max: final_sums[i] / n,
+        })
+        .collect();
+
+    std::fs::create_dir_all(&cfg.output)
+        .map_err(|e| format!("cannot create {}: {e}", cfg.output.display()))?;
+    for (seg, entries) in segments.iter().zip(by_segment) {
+        let mut writer = ColSegWriter::new(&seg.dataset, seg.version);
+        for e in &entries {
+            writer.push(e);
+        }
+        writer
+            .seal(&cfg.output.join(&seg.file_name))
+            .map_err(|e| format!("cannot seal {}: {e}", seg.file_name))?;
+        report.segments_written += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(pts: &[(f64, f64, f64)]) -> TrajCols {
+        TrajCols::from_points(
+            &pts.iter()
+                .map(|&(x, y, t)| Point::new(x, y, t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn kept_indices_match_bit_patterns_in_order() {
+        let raw = cols(&[
+            (0.0, 0.0, 0.0),
+            (1.0, 5.0, 1.0),
+            (2.0, 0.0, 2.0),
+            (3.0, 5.0, 3.0),
+            (4.0, 0.0, 4.0),
+        ]);
+        let kept = cols(&[(0.0, 0.0, 0.0), (2.0, 0.0, 2.0), (4.0, 0.0, 4.0)]);
+        assert_eq!(kept_indices_in_raw(&raw, &kept), Some(vec![0, 2, 4]));
+    }
+
+    #[test]
+    fn unanchored_or_foreign_kept_points_fail_to_match() {
+        let raw = cols(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0), (2.0, 0.0, 2.0)]);
+        // Not anchored at the last raw point.
+        let kept = cols(&[(0.0, 0.0, 0.0), (1.0, 0.0, 1.0)]);
+        assert_eq!(kept_indices_in_raw(&raw, &kept), None);
+        // A point the raw stream never contained.
+        let foreign = cols(&[(0.0, 0.0, 0.0), (9.0, 9.0, 1.5), (2.0, 0.0, 2.0)]);
+        assert_eq!(kept_indices_in_raw(&raw, &foreign), None);
+    }
+
+    #[test]
+    fn guard_never_lets_the_result_get_worse() {
+        // A spike off uniform's evenly spaced grid (it picks 0, 4, 8 for
+        // nine points at w = 3): the entry stores a good online pick, and
+        // re-simplifying under a worse batch algorithm must retain it.
+        let raw_pts: Vec<Point> = (0..9)
+            .map(|i| Point::new(i as f64, if i == 2 { 8.0 } else { 0.0 }, i as f64))
+            .collect();
+        let raw = TrajCols::from_points(&raw_pts);
+        let kept = TrajCols::from_points(&[raw_pts[0], raw_pts[2], raw_pts[8]]);
+        let entry = ColSegEntry {
+            id: 1,
+            tenant: 0,
+            policy_version: 0,
+            w: 3,
+            reason: 0,
+            degraded: false,
+            observed: 9,
+            delivered_at: 5,
+            kept,
+            raw: Some(raw.clone()),
+        };
+        let algo = batch_algo("uniform", Measure::Sed).unwrap();
+        let out = process_entry(&entry, algo.as_ref(), Measure::Sed);
+        let (online, fin) = out.scores.expect("entry is comparable");
+        assert!(fin[0] <= online[0], "guard violated: {fin:?} vs {online:?}");
+        // The stored pick keeps the spike, so uniform cannot beat it.
+        assert!(!out.adopted);
+        assert_eq!(out.entry.kept.len(), 3);
+
+        // Bottom-up sees the whole trajectory and must do at least as
+        // well as any stored result under the same budget.
+        let algo = batch_algo("bottom-up", Measure::Sed).unwrap();
+        let out = process_entry(&entry, algo.as_ref(), Measure::Sed);
+        let (online, fin) = out.scores.expect("entry is comparable");
+        assert!(fin[0] <= online[0]);
+    }
+
+    #[test]
+    fn entries_without_raw_pass_through() {
+        let entry = ColSegEntry {
+            id: 2,
+            tenant: 1,
+            policy_version: 3,
+            w: 4,
+            reason: 1,
+            degraded: true,
+            observed: 50,
+            delivered_at: 9,
+            kept: cols(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]),
+            raw: None,
+        };
+        let algo = batch_algo("bottom-up", Measure::Sed).unwrap();
+        let out = process_entry(&entry, algo.as_ref(), Measure::Sed);
+        assert!(out.scores.is_none());
+        assert!(!out.adopted);
+        assert_eq!(out.entry.kept.len(), 2);
+        assert_eq!(out.entry.id, 2);
+    }
+
+    #[test]
+    fn unknown_algo_is_a_typed_error() {
+        assert!(batch_algo("squish", Measure::Sed).is_err());
+        assert!(batch_algo("bottom-up", Measure::Ped).is_ok());
+    }
+}

@@ -1,0 +1,238 @@
+//! End-to-end tests for the columnar output store and the offline
+//! re-simplification pass (DESIGN.md §16): serve-layer sealing mirrors
+//! the drained outputs bit-exactly, enabling the store never changes what
+//! the service delivers, and `resimplify` is byte-identical at any thread
+//! count while never making an entry worse under the guard measure.
+
+use rlts::prelude::*;
+use rlts::resimplify::{run, ResimplifyConfig};
+use rlts::trajserve::{ServeConfig, SessionId, SessionOutput, SimplifierSpec, TenantId, TrajServe};
+use rlts::trajstore::{ColRole, ColSegEntry, ColSegReader, ColStore};
+use std::path::{Path, PathBuf};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlts-colstore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn serve_cfg(col_store: Option<&Path>) -> ServeConfig {
+    ServeConfig {
+        threads: 2,
+        window: 16,
+        idle_ttl: 4,
+        seed: 0x5EED,
+        col_store: col_store.map(Path::to_path_buf),
+        ..ServeConfig::default()
+    }
+}
+
+/// A deterministic little workload: six sessions over three tenants, each
+/// streaming a zig-zag long enough to force several window flushes; half
+/// close explicitly, the rest idle out and evict.
+fn run_workload(serve: &TrajServe) -> Vec<SessionOutput> {
+    let specs = [
+        SimplifierSpec::Squish(Measure::Sed),
+        SimplifierSpec::Uniform,
+        SimplifierSpec::Squish(Measure::Ped),
+    ];
+    let ids: Vec<SessionId> = (0..6)
+        .map(|i| {
+            serve
+                .create_session(TenantId((i % 3) as u32), specs[i % 3].clone(), 8)
+                .expect("admitted")
+        })
+        .collect();
+    for step in 0..10u64 {
+        for (i, id) in ids.iter().enumerate() {
+            for j in 0..5u64 {
+                let t = (step * 5 + j) as f64;
+                let y = if (step + j + i as u64) % 4 == 0 {
+                    9.0
+                } else {
+                    0.1 * j as f64
+                };
+                serve
+                    .append(*id, Point::new(t + i as f64 * 1e-3, y, t))
+                    .expect("admitted point");
+            }
+        }
+        serve.tick();
+    }
+    for id in &ids[..3] {
+        serve.close(*id);
+    }
+    // The other three idle out across the TTL.
+    for _ in 0..6 {
+        serve.tick();
+    }
+    let outputs = serve.drain_completed();
+    assert_eq!(outputs.len(), 6, "every session must deliver");
+    outputs
+}
+
+fn read_all_entries(dir: &Path) -> Vec<ColSegEntry> {
+    let mut entries = Vec::new();
+    for path in ColStore::segment_paths(dir).expect("scan store") {
+        let mut reader = ColSegReader::open(&path).expect("open segment");
+        assert_eq!(reader.dataset(), "serve");
+        for i in 0..reader.len() {
+            let meta = reader.entries()[i].clone();
+            let kept = reader.read_cols(i, ColRole::Kept).expect("kept cols");
+            let raw = meta
+                .raw_len
+                .map(|_| reader.read_cols(i, ColRole::Raw).expect("raw cols"));
+            entries.push(ColSegEntry {
+                id: meta.id,
+                tenant: meta.tenant,
+                policy_version: meta.policy_version,
+                w: meta.w,
+                reason: meta.reason,
+                degraded: meta.degraded,
+                observed: meta.observed,
+                delivered_at: meta.delivered_at,
+                kept,
+                raw,
+            });
+        }
+    }
+    entries
+}
+
+/// Deterministic rendering of delivered outputs (same scheme the soak
+/// artifact uses) for byte-comparison across configurations.
+fn canon(outputs: &[SessionOutput]) -> String {
+    use std::fmt::Write as _;
+    let mut outputs = outputs.to_vec();
+    outputs.sort_by_key(|o| (o.delivered_at, o.id.0));
+    let mut s = String::new();
+    for o in &outputs {
+        let _ = write!(
+            s,
+            "{} {:?} {} {}",
+            o.id.0, o.reason, o.observed, o.delivered_at
+        );
+        for p in &o.simplified {
+            let _ = write!(s, " {:?}:{:?}:{:?}", p.x, p.y, p.t);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn sealed_entries_mirror_drained_outputs_bit_exactly() {
+    let dir = scratch("mirror");
+    let serve = TrajServe::new(serve_cfg(Some(&dir)));
+    let outputs = run_workload(&serve);
+    let entries = read_all_entries(&dir);
+    assert_eq!(entries.len(), 6, "one entry per closed/evicted output");
+
+    for out in &outputs {
+        let e = entries
+            .iter()
+            .find(|e| e.id == out.id.0)
+            .expect("output has a sealed entry");
+        assert_eq!(e.tenant, out.tenant.0);
+        assert_eq!(e.policy_version, out.policy_version);
+        assert_eq!(e.observed, out.observed);
+        assert_eq!(e.delivered_at, out.delivered_at);
+        assert_eq!(e.degraded, out.degraded);
+        assert_eq!(e.kept.len(), out.simplified.len());
+        for (i, p) in out.simplified.iter().enumerate() {
+            let q = e.kept.point(i);
+            assert_eq!(p.x.to_bits(), q.x.to_bits());
+            assert_eq!(p.y.to_bits(), q.y.to_bits());
+            assert_eq!(p.t.to_bits(), q.t.to_bits());
+        }
+        // The streams are far below the archive cap, so every entry
+        // carries its complete raw column set.
+        let raw = e.raw.as_ref().expect("complete raw archive");
+        assert_eq!(raw.len() as u64, out.observed);
+        let first_kept = out.simplified.first().expect("anchored output");
+        assert_eq!(raw.point(0).t.to_bits(), first_kept.t.to_bits());
+    }
+}
+
+#[test]
+fn store_is_purely_additive_to_served_outputs() {
+    let dir = scratch("additive");
+    let with_store = TrajServe::new(serve_cfg(Some(&dir)));
+    let a = run_workload(&with_store);
+    let without = TrajServe::new(serve_cfg(None));
+    let b = run_workload(&without);
+    assert_eq!(canon(&a), canon(&b), "col store must not change outputs");
+}
+
+#[test]
+fn resimplify_is_thread_invariant_and_never_worse() {
+    let store = scratch("resim-store");
+    let serve = TrajServe::new(serve_cfg(Some(&store)));
+    run_workload(&serve);
+
+    let out1 = scratch("resim-t1");
+    let out4 = scratch("resim-t4");
+    let cfg = |threads: usize, output: &Path| ResimplifyConfig {
+        input: store.clone(),
+        output: output.to_path_buf(),
+        algo: "bottom-up".into(),
+        measure: Measure::Sed,
+        threads,
+        ..ResimplifyConfig::default()
+    };
+    let r1 = run(&cfg(1, &out1)).expect("resimplify t1");
+    let r4 = run(&cfg(4, &out4)).expect("resimplify t4");
+
+    assert_eq!(
+        r1.to_json(),
+        r4.to_json(),
+        "report must be thread-invariant"
+    );
+    assert!(r1.compared > 0, "workload entries must be comparable");
+    assert_eq!(r1.compared, r1.adopted + r1.retained);
+    assert_eq!(r1.entries, r1.compared + r1.kept_only);
+    let sed = &r1.measures[0];
+    assert_eq!(sed.measure, Measure::Sed);
+    assert!(
+        sed.resimplified_mean_max <= sed.online_mean_max,
+        "guard violated: {} > {}",
+        sed.resimplified_mean_max,
+        sed.online_mean_max
+    );
+
+    // The mirrored stores must match byte for byte at any thread count.
+    let files1 = ColStore::segment_paths(&out1).expect("scan t1");
+    let files4 = ColStore::segment_paths(&out4).expect("scan t4");
+    assert_eq!(files1.len(), files4.len());
+    assert!(!files1.is_empty());
+    for (a, b) in files1.iter().zip(&files4) {
+        assert_eq!(a.file_name(), b.file_name(), "mirrored names");
+        let ba = std::fs::read(a).expect("read t1 segment");
+        let bb = std::fs::read(b).expect("read t4 segment");
+        assert_eq!(
+            ba,
+            bb,
+            "segment {:?} diverged across thread counts",
+            a.file_name()
+        );
+    }
+
+    // Re-simplified entries still honour the stored budget.
+    for e in read_all_entries(&out1) {
+        assert!(e.kept.len() as u32 <= e.w.max(2));
+        assert!(e.raw.is_some(), "raw columns are preserved in the mirror");
+    }
+}
+
+#[test]
+fn resimplify_rejects_missing_or_empty_input() {
+    let empty = scratch("resim-empty");
+    let out = scratch("resim-empty-out");
+    let cfg = ResimplifyConfig {
+        input: empty,
+        output: out,
+        ..ResimplifyConfig::default()
+    };
+    assert!(run(&cfg).is_err(), "empty store is a typed error");
+}
