@@ -22,6 +22,7 @@
 //!   fig7              case study polylines (Fig 7)
 //!   table2            training times (Table II)
 //!   fig8              training cost vs #trajectories (Fig 8)
+//!   queries           collective vs uniform budget allocation (BENCH_queries.json)
 //!   query-cost        storage/query cost of simplified stores (extension)
 //!   loss-sweep        fleet uplink fidelity vs channel loss rate (extension)
 //!   charts            render SVG figures from recorded results (no recompute)
@@ -71,7 +72,7 @@ fn print_span_summary() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|kernels|columns|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|query-cost|loss-sweep|charts|grid|all> \
+        "usage: repro <table1|kernels|columns|bellman|fig3|fig4|ablation-policy|ablation-critic|sweep-k|sweep-j|fig5|scalability|fig6|fig7|table2|fig8|queries|query-cost|loss-sweep|charts|grid|all> \
          [--scale F] [--seed N] [--out DIR] [--threads N] [--redact-timing]"
     );
     std::process::exit(2)
@@ -132,6 +133,7 @@ fn main() {
         "fig7" => timed("fig7", || exp::fig7::run(&opts, &store)),
         "table2" => timed("table2", || exp::table2::run(&opts)),
         "fig8" => timed("fig8", || exp::fig8::run(&opts)),
+        "queries" => timed("queries", || exp::queries::run(&opts)),
         "query-cost" => timed("query-cost", || exp::query_cost::run(&opts, &store)),
         "loss-sweep" => timed("loss-sweep", || exp::loss_sweep::run(&opts)),
         "charts" => timed("charts", || exp::charts::run(&opts)),
@@ -153,6 +155,7 @@ fn main() {
             timed("fig7", || exp::fig7::run(&opts, &store));
             timed("table2", || exp::table2::run(&opts));
             timed("fig8", || exp::fig8::run(&opts));
+            timed("queries", || exp::queries::run(&opts));
             timed("query-cost", || exp::query_cost::run(&opts, &store));
             timed("loss-sweep", || exp::loss_sweep::run(&opts));
             timed("grid", || exp::grid::run(&opts, &store));

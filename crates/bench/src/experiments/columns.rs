@@ -41,12 +41,25 @@ struct ColumnRecord {
 }
 
 #[derive(Serialize)]
+struct PedSizeRecord {
+    points: usize,
+    /// Working-set bytes the AoS kernel touches (`24 * points`).
+    aos_bytes: usize,
+    aos_range_ns: f64,
+    soa_range_ns: f64,
+    speedup_soa_vs_aos: f64,
+}
+
+#[derive(Serialize)]
 struct ColumnReport {
     points: usize,
     reps: usize,
     sed_gate: f64,
     note: String,
     kernels: Vec<ColumnRecord>,
+    ped_note: String,
+    /// PED layout comparison across working-set sizes (DESIGN.md §16).
+    ped_sweep: Vec<PedSizeRecord>,
 }
 
 impl ColumnReport {
@@ -73,6 +86,31 @@ impl ColumnReport {
             );
             s.push_str("    }");
             s.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        let _ = writeln!(
+            s,
+            "  \"ped_note\": \"{}\",",
+            self.ped_note.replace('"', "\\\"")
+        );
+        s.push_str("  \"ped_sweep\": [\n");
+        for (i, p) in self.ped_sweep.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"points\": {},", p.points);
+            let _ = writeln!(s, "      \"aos_bytes\": {},", p.aos_bytes);
+            let _ = writeln!(s, "      \"aos_range_ns\": {:?},", p.aos_range_ns);
+            let _ = writeln!(s, "      \"soa_range_ns\": {:?},", p.soa_range_ns);
+            let _ = writeln!(
+                s,
+                "      \"speedup_soa_vs_aos\": {:?}",
+                p.speedup_soa_vs_aos
+            );
+            s.push_str("    }");
+            s.push_str(if i + 1 < self.ped_sweep.len() {
                 ",\n"
             } else {
                 "\n"
@@ -183,6 +221,45 @@ fn fig3_identity_sweep(opts: &Opts) -> usize {
     cells
 }
 
+/// PED layout deep-dive: times the PED range kernel through both layouts
+/// at cache-resident and cache-exceeding working sets (DESIGN.md §16).
+///
+/// PED's per-unit work is dominated by the clamped point-to-segment
+/// projection (a division plus two data-dependent branches), so at
+/// L1/L2-resident sizes the kernel is compute-bound and the layout is
+/// close to parity — the ~1.0× the headline table shows. The SoA edge
+/// only opens once the working set spills the cache hierarchy: PED never
+/// reads the `ts` column, so the SoA tier streams 16 bytes per point
+/// against AoS's 24, and the ratio trends toward the 3:2 bandwidth gap.
+fn ped_size_sweep(opts: &Opts, reps: usize) -> Vec<PedSizeRecord> {
+    // 4 Ki points ≈ 96 KiB AoS (L2-resident) up to 2 Mi points ≈ 48 MiB
+    // (past a typical LLC). Sizes are fixed, not `--scale`d: the sweep
+    // *is* the size axis.
+    let sizes: [usize; 4] = [1 << 12, 1 << 15, 1 << 18, 1 << 21];
+    let mut records = Vec::new();
+    for &n in &sizes {
+        let traj = trajgen::generate(Preset::GeolifeLike, n, opts.seed + 13);
+        let pts = traj.points();
+        let cols = TrajCols::from_points(pts);
+        let (s, e) = (0, n - 1);
+        let units = e - s;
+        let aos_ns = time_ns_per_unit(units, reps, || {
+            range_error_stats::<trajectory::error::Ped>(pts, s, e).max
+        });
+        let soa_ns = time_ns_per_unit(units, reps, || {
+            range_error_stats_cols::<trajectory::error::Ped>(cols.view(), s, e).max
+        });
+        records.push(PedSizeRecord {
+            points: n,
+            aos_bytes: n * std::mem::size_of::<trajectory::Point>(),
+            aos_range_ns: aos_ns,
+            soa_range_ns: soa_ns,
+            speedup_soa_vs_aos: aos_ns / soa_ns,
+        });
+    }
+    records
+}
+
 /// Runs the SoA-vs-AoS kernel micro-benchmark and the fig3 identity sweep.
 pub fn run(opts: &Opts) {
     let n = opts.scaled(4096, 1024);
@@ -230,6 +307,19 @@ pub fn run(opts: &Opts) {
     }
     table.print("Columnar kernels: ns per covered unit (min over reps)");
 
+    let ped_sweep = ped_size_sweep(opts, reps);
+    let mut ped_table = TextTable::new(&["Points", "AoS KiB", "AoS ns/unit", "SoA ns/unit", "×"]);
+    for r in &ped_sweep {
+        ped_table.row(vec![
+            r.points.to_string(),
+            (r.aos_bytes / 1024).to_string(),
+            fmt(r.aos_range_ns),
+            fmt(r.soa_range_ns),
+            fmt(r.speedup_soa_vs_aos),
+        ]);
+    }
+    ped_table.print("PED layout sweep: compute-bound in cache, bandwidth-bound past it");
+
     fig3_identity_sweep(opts);
 
     let report = ColumnReport {
@@ -245,6 +335,15 @@ pub fn run(opts: &Opts) {
                autovectorizes"
             .to_string(),
         kernels,
+        ped_note: "PED reads only xs/ys (16 B/point SoA vs 24 B/point AoS) but \
+                   its clamped point-to-segment projection costs a divide and \
+                   two data-dependent branches per unit, so cache-resident \
+                   sizes are compute-bound and land near 1.0x regardless of \
+                   layout; the SoA bandwidth edge appears only once the \
+                   working set exceeds the LLC. Pin the benchmark to one core \
+                   (taskset -c 0) for stable ratios"
+            .to_string(),
+        ped_sweep,
     };
     opts.write_json("columns", &report);
     std::fs::write("BENCH_columns.json", report.snapshot_json()).expect("write BENCH_columns.json");

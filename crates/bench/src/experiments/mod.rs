@@ -16,6 +16,7 @@ pub mod fig8;
 pub mod grid;
 pub mod kernels;
 pub mod loss_sweep;
+pub mod queries;
 pub mod query_cost;
 pub mod scalability;
 pub mod sweep_j;

@@ -1,0 +1,235 @@
+//! `repro queries` — collective vs uniform budget allocation under query
+//! workloads (DESIGN.md §17).
+//!
+//! Builds a mixed-preset corpus, generates one seeded guard workload
+//! (range windows + kNN probes sampled from the data distribution), and
+//! sweeps the global point budget through several compression ratios. At
+//! each ratio both arms are scored on the guard workload: the *uniform*
+//! arm splits the budget proportionally to trajectory length; the
+//! *collective* arm redistributes it by marginal query-accuracy loss.
+//! Every allocation is recomputed at 1 and 4 threads and must match
+//! exactly — the same determinism the CI `queries` job `cmp`s through the
+//! `rlts allocate` CLI.
+//!
+//! Writes `results/queries.json` and a `BENCH_queries.json` snapshot in
+//! the working directory. The run **fails** (non-zero exit) if the
+//! collective arm scores below uniform on range F1 or kNN HR@k at any
+//! budget, or if any allocation differs across thread counts.
+
+use crate::harness::{fmt, Opts, TextTable};
+use serde::Serialize;
+use std::fmt::Write as _;
+use trajectory::cols::TrajCols;
+use trajectory::error::Measure;
+use trajgen::Preset;
+use trajquery::allocate::{allocate, AllocateConfig};
+use trajquery::rtree::Database;
+use trajquery::workload::WorkloadSpec;
+
+/// Budget sweep, as fractions of the corpus' total point count.
+const RATIOS: [f64; 4] = [0.02, 0.04, 0.08, 0.16];
+
+#[derive(Serialize)]
+struct QueryRecord {
+    budget_ratio: f64,
+    budget: usize,
+    target_total: usize,
+    adopted: String,
+    collective_range_f1: f64,
+    collective_knn_hr: f64,
+    uniform_range_f1: f64,
+    uniform_knn_hr: f64,
+}
+
+#[derive(Serialize)]
+struct QueryReport {
+    trajectories: usize,
+    points: usize,
+    queries: String,
+    measure: String,
+    rows: Vec<QueryRecord>,
+}
+
+impl QueryReport {
+    /// Hand-rolled pretty JSON for the checked-in snapshot (`{:?}` floats
+    /// round-trip losslessly; no wall clock, so the file is byte-stable
+    /// across runs and thread counts).
+    fn snapshot_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"trajectories\": {},", self.trajectories);
+        let _ = writeln!(s, "  \"points\": {},", self.points);
+        let _ = writeln!(s, "  \"queries\": \"{}\",", self.queries);
+        let _ = writeln!(s, "  \"measure\": \"{}\",", self.measure);
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"budget_ratio\": {:?},", r.budget_ratio);
+            let _ = writeln!(s, "      \"budget\": {},", r.budget);
+            let _ = writeln!(s, "      \"target_total\": {},", r.target_total);
+            let _ = writeln!(s, "      \"adopted\": \"{}\",", r.adopted);
+            let _ = writeln!(
+                s,
+                "      \"collective_range_f1\": {:?},",
+                r.collective_range_f1
+            );
+            let _ = writeln!(s, "      \"collective_knn_hr\": {:?},", r.collective_knn_hr);
+            let _ = writeln!(s, "      \"uniform_range_f1\": {:?},", r.uniform_range_f1);
+            let _ = writeln!(s, "      \"uniform_knn_hr\": {:?}", r.uniform_knn_hr);
+            s.push_str("    }");
+            s.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// Runs the collective-vs-uniform accuracy-vs-compression sweep.
+pub fn run(opts: &Opts) {
+    let ntrajs = opts.scaled(48, 16);
+    let len = opts.scaled(240, 80);
+    let presets = [Preset::GeolifeLike, Preset::TDriveLike, Preset::TruckLike];
+    let raw: Vec<Vec<trajectory::Point>> = (0..ntrajs)
+        .map(|i| {
+            trajgen::generate(
+                presets[i % presets.len()],
+                len / (1 + i % 3),
+                opts.seed + 31 + i as u64,
+            )
+            .points()
+            .to_vec()
+        })
+        .collect();
+    // Spread the trajectories over a single row of "districts" (six
+    // co-located trajectories per district, pitch = 1.25x the largest
+    // single-trajectory extent) so the corpus has real spatial structure:
+    // kNN probes contend within and across district boundaries, and the
+    // focused guard workload below hammers the left half of the row while
+    // the right half stays cold. Deep-cold districts sit beyond every
+    // query's candidate reach — the skewed case where collective
+    // allocation has slack to redistribute.
+    let mut w = f64::MIN_POSITIVE;
+    for pts in &raw {
+        let (mut xmin, mut xmax) = (f64::MAX, f64::MIN);
+        for p in pts {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+        }
+        w = w.max(xmax - xmin);
+    }
+    let pitch_x = 1.25 * w;
+    let corpus: Vec<TrajCols> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, pts)| {
+            let dx = (i / 6) as f64 * pitch_x;
+            TrajCols::from_columns(
+                pts.iter().map(|p| p.x + dx).collect(),
+                pts.iter().map(|p| p.y).collect(),
+                pts.iter().map(|p| p.t).collect(),
+            )
+        })
+        .collect();
+    let db = Database::new(corpus);
+    let total = db.total_points();
+
+    let spec = WorkloadSpec {
+        seed: opts.seed + 17,
+        focus: 0.5,
+        side_min: 0.003,
+        side_max: 0.02,
+        ..WorkloadSpec::default()
+    };
+    let wl = spec.generate(&db);
+
+    let mut table = TextTable::new(&[
+        "Budget",
+        "Coll F1",
+        "Unif F1",
+        "Coll HR@k",
+        "Unif HR@k",
+        "Adopted",
+    ]);
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for ratio in RATIOS {
+        let budget = ((total as f64 * ratio).round() as usize).max(2 * db.len());
+        let mk = |threads: usize| {
+            allocate(
+                &db,
+                &wl,
+                &AllocateConfig {
+                    global_budget: budget,
+                    min_per_traj: 2,
+                    measure: Measure::Sed,
+                    threads,
+                },
+            )
+        };
+        let alloc = mk(1);
+        let alloc4 = mk(4);
+        if alloc.kept != alloc4.kept || alloc.budgets != alloc4.budgets {
+            eprintln!("[queries] FAIL: allocation at ratio {ratio} differs at 1 vs 4 threads");
+            std::process::exit(1);
+        }
+        let (c, u) = (alloc.collective, alloc.uniform);
+        if c.range_f1 < u.range_f1 || c.knn_hr < u.knn_hr {
+            failures += 1;
+        }
+        table.row(vec![
+            format!("{:.0}%", ratio * 100.0),
+            fmt(c.range_f1),
+            fmt(u.range_f1),
+            fmt(c.knn_hr),
+            fmt(u.knn_hr),
+            if alloc.adopted_collective {
+                "collective"
+            } else {
+                "uniform"
+            }
+            .to_string(),
+        ]);
+        rows.push(QueryRecord {
+            budget_ratio: ratio,
+            budget,
+            target_total: alloc.target_total,
+            adopted: if alloc.adopted_collective {
+                "collective"
+            } else {
+                "uniform"
+            }
+            .to_string(),
+            collective_range_f1: c.range_f1,
+            collective_knn_hr: c.knn_hr,
+            uniform_range_f1: u.range_f1,
+            uniform_knn_hr: u.knn_hr,
+        });
+    }
+    table.print(&format!(
+        "Collective vs uniform budget allocation ({ntrajs} trajectories, {total} points, guard {})",
+        spec.render()
+    ));
+
+    let report = QueryReport {
+        trajectories: ntrajs,
+        points: total,
+        queries: spec.render(),
+        measure: Measure::Sed.name().to_string(),
+        rows,
+    };
+    opts.write_json("queries", &report);
+    std::fs::write("BENCH_queries.json", report.snapshot_json()).expect("write BENCH_queries.json");
+    println!("[snapshot written to BENCH_queries.json]");
+
+    if failures > 0 {
+        eprintln!(
+            "[queries] FAIL: collective arm lost to uniform at {failures} of {} budgets",
+            RATIOS.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "[collective >= uniform on both metrics at all {} budgets]",
+        RATIOS.len()
+    );
+}

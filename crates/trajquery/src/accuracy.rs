@@ -1,0 +1,213 @@
+//! Query-accuracy metrics: how faithfully a simplified database answers a
+//! workload compared to the original.
+//!
+//! Two metrics, matching the evaluation in arXiv 2311.11204:
+//!
+//! - **Range F1** — per range window, the F1 score of the simplified
+//!   result set against the original result set, averaged over windows.
+//!   Both-empty counts as a perfect 1.0 (the simplified store gave the
+//!   exactly-right answer: nothing).
+//! - **kNN HR@k** — per probe, the fraction of the original top-k ids
+//!   recovered in the simplified top-k, averaged over probes.
+//!
+//! Per-query work fans out through [`parkit::map`] (order-preserving), and
+//! the aggregation is a fixed-order serial fold, so the report is
+//! byte-identical at any thread count.
+
+use crate::rtree::{Database, RTree};
+use crate::workload::Workload;
+
+/// The accuracy of one simplified database against one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Mean range-query F1 (1.0 when the workload has no range queries).
+    pub range_f1: f64,
+    /// Mean kNN hit ratio at k (1.0 when the workload has no probes).
+    pub knn_hr: f64,
+    /// Number of range queries evaluated.
+    pub ranges: usize,
+    /// Number of kNN probes evaluated.
+    pub probes: usize,
+}
+
+impl AccuracyReport {
+    /// True when this report is at least as accurate as `other` on both
+    /// metrics (the allocator's no-worse-than-uniform guard).
+    pub fn at_least(&self, other: &AccuracyReport) -> bool {
+        self.range_f1 >= other.range_f1 && self.knn_hr >= other.knn_hr
+    }
+}
+
+/// Size of the intersection of two ascending-sorted id lists.
+fn sorted_intersection(a: &[usize], b: &[usize]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// F1 of a simplified result set against the original result set.
+fn f1(base: &[usize], simp: &[usize]) -> f64 {
+    if base.is_empty() && simp.is_empty() {
+        return 1.0;
+    }
+    if base.is_empty() || simp.is_empty() {
+        return 0.0;
+    }
+    let hit = sorted_intersection(base, simp) as f64;
+    // 2·|∩| / (|base| + |simp|) is algebraically 2PR/(P+R) and avoids the
+    // 0/0 branch.
+    2.0 * hit / (base.len() + simp.len()) as f64
+}
+
+/// Evaluates `simp` against `base` on `wl`. The two databases must be
+/// id-aligned (trajectory `i` in `simp` is the simplification of
+/// trajectory `i` in `base`); `base_tree`/`simp_tree` must be built from
+/// the respective databases.
+pub fn evaluate(
+    base: &Database,
+    base_tree: &RTree,
+    simp: &Database,
+    simp_tree: &RTree,
+    wl: &Workload,
+    threads: usize,
+) -> AccuracyReport {
+    assert_eq!(
+        base.len(),
+        simp.len(),
+        "accuracy databases must be id-aligned"
+    );
+    let range_scores: Vec<f64> = parkit::map(threads, &wl.ranges, |_, q| {
+        let b = base_tree.range(base, &q.rect);
+        let s = simp_tree.range(simp, &q.rect);
+        f1(&b, &s)
+    });
+    let knn_scores: Vec<f64> = parkit::map(threads, &wl.probes, |_, q| {
+        let mut b = base_tree.knn(base, q.x, q.y, q.k);
+        let mut s = simp_tree.knn(simp, q.x, q.y, q.k);
+        b.sort_unstable();
+        s.sort_unstable();
+        if b.is_empty() {
+            return 1.0;
+        }
+        sorted_intersection(&b, &s) as f64 / b.len() as f64
+    });
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            1.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    AccuracyReport {
+        range_f1: mean(&range_scores),
+        knn_hr: mean(&knn_scores),
+        ranges: wl.ranges.len(),
+        probes: wl.probes.len(),
+    }
+}
+
+/// Convenience: builds both trees, then calls [`evaluate`].
+pub fn evaluate_built(
+    base: &Database,
+    simp: &Database,
+    wl: &Workload,
+    threads: usize,
+) -> AccuracyReport {
+    let bt = RTree::build(base);
+    let st = RTree::build(simp);
+    evaluate(base, &bt, simp, &st, wl, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Mbr;
+    use crate::workload::{KnnQuery, RangeQuery};
+    use trajectory::Point;
+
+    fn pts(coords: &[(f64, f64)]) -> Vec<Point> {
+        coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point { x, y, t: i as f64 })
+            .collect()
+    }
+
+    #[test]
+    fn identical_databases_score_one() {
+        let db = Database::from_points(&[
+            pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]),
+            pts(&[(5.0, 5.0), (6.0, 6.0)]),
+        ]);
+        let wl = Workload {
+            ranges: vec![RangeQuery {
+                rect: Mbr::new(0.0, 0.0, 10.0, 10.0),
+            }],
+            probes: vec![KnnQuery {
+                x: 1.0,
+                y: 1.0,
+                k: 2,
+            }],
+        };
+        let rep = evaluate_built(&db, &db, &wl, 1);
+        assert_eq!(rep.range_f1, 1.0);
+        assert_eq!(rep.knn_hr, 1.0);
+        assert!(rep.at_least(&rep));
+    }
+
+    #[test]
+    fn degraded_simplification_scores_below_one() {
+        // Original has a detour that the "simplification" removes
+        // entirely, so a window over the detour misses trajectory 0.
+        let base = Database::from_points(&[
+            pts(&[(0.0, 0.0), (5.0, 10.0), (10.0, 0.0)]),
+            pts(&[(0.0, 20.0), (10.0, 20.0)]),
+        ]);
+        let simp = Database::from_points(&[
+            pts(&[(0.0, 0.0), (10.0, 0.0)]),
+            pts(&[(0.0, 20.0), (10.0, 20.0)]),
+        ]);
+        let wl = Workload {
+            ranges: vec![
+                RangeQuery {
+                    rect: Mbr::new(4.0, 8.0, 6.0, 12.0), // detour only
+                },
+                RangeQuery {
+                    rect: Mbr::new(-1.0, -1.0, 11.0, 21.0), // everything
+                },
+            ],
+            probes: vec![KnnQuery {
+                x: 5.0,
+                y: 9.0,
+                k: 1,
+            }],
+        };
+        let rep = evaluate_built(&base, &simp, &wl, 1);
+        // First window: base={0}, simp={} → 0. Second: both {0,1} → 1.
+        assert_eq!(rep.range_f1, 0.5);
+        // Probe near the detour: base picks 0; simp also picks 0 (still
+        // nearest even flattened) → HR stays 1.
+        assert_eq!(rep.knn_hr, 1.0);
+        let perfect = evaluate_built(&base, &base, &wl, 1);
+        assert!(perfect.at_least(&rep));
+        assert!(!rep.at_least(&perfect));
+    }
+
+    #[test]
+    fn empty_workload_scores_one() {
+        let db = Database::from_points(&[pts(&[(0.0, 0.0), (1.0, 0.0)])]);
+        let rep = evaluate_built(&db, &db, &Workload::default(), 1);
+        assert_eq!(rep.range_f1, 1.0);
+        assert_eq!(rep.knn_hr, 1.0);
+    }
+}

@@ -1,0 +1,602 @@
+//! Collective, query-accuracy-driven budget allocation (DESIGN.md §17).
+//!
+//! Given one *global* point budget over a database of trajectories, decide
+//! how many points each trajectory keeps — the objective of
+//! arXiv 2311.11204 — instead of handing every trajectory the same
+//! compression ratio.
+//!
+//! The collective arm is a **global bottom-up greedy**: every interior
+//! point of every trajectory is a drop candidate priced at
+//! `range_max_error::<M>(prev_kept, next_kept)` — the error introduced by
+//! removing it given the *current* kept neighbors — multiplied by the
+//! trajectory's query weight (1 + number of guard-workload queries that
+//! touch it). One priority queue over all candidates drops the globally
+//! cheapest point, repriced lazily via per-point version counters, until
+//! the kept total meets the budget. Trajectories a workload queries often
+//! are expensive to thin; cold trajectories absorb the compression.
+//!
+//! Touched trajectories additionally carry a **protective floor** equal
+//! to their uniform share: the collective arm never thins a trajectory
+//! the guard workload can observe below what the uniform arm would give
+//! it, so the redistribution strictly moves points from query-irrelevant
+//! trajectories (whose MBRs no guard query can reach — see the candidate
+//! sets in [`crate::rtree::RTree`]) to observed ones. This is what makes
+//! "collective ≥ uniform" robust rather than tuned: the observed part of
+//! the database only ever gains points relative to the uniform split.
+//!
+//! The uniform arm gives every trajectory the same ratio (floored, with a
+//! deterministic largest-first adjustment so the totals match exactly) and
+//! runs the same greedy *within* each trajectory, unweighted.
+//!
+//! **Guard:** both arms are scored on the guard workload and the
+//! collective result is adopted only when it is at least as accurate as
+//! uniform on range F1 *and* kNN HR@k — so the public contract is
+//! *strictly no worse than uniform under the guard queries*, by
+//! construction. All tie-breaks are on `(cost, trajectory id, point
+//! index)` and parallel sections go through order-preserving
+//! [`parkit::map`], so the allocation is byte-identical at any thread
+//! count.
+
+use crate::accuracy::{evaluate, AccuracyReport};
+use crate::rtree::{Database, RTree};
+use crate::workload::Workload;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use trajectory::cols::{ColsView, TrajCols};
+use trajectory::error::{range_max_error_cols, ErrorMeasure, Measure};
+
+/// Allocator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocateConfig {
+    /// Global kept-point budget across all trajectories. Clamped to
+    /// `[sum of floors, total points]`.
+    pub global_budget: usize,
+    /// Minimum kept points per non-degenerate trajectory (endpoints are
+    /// always kept); values below 2 are treated as 2.
+    pub min_per_traj: usize,
+    /// Error measure pricing the drop candidates.
+    pub measure: Measure,
+    /// Worker threads for the parallel sections (seeding, scoring).
+    pub threads: usize,
+}
+
+impl AllocateConfig {
+    /// A config with the given budget and the defaults used by the CLI:
+    /// floor 2, SED pricing, single-threaded.
+    pub fn new(global_budget: usize) -> Self {
+        AllocateConfig {
+            global_budget,
+            min_per_traj: 2,
+            measure: Measure::Sed,
+            threads: 1,
+        }
+    }
+}
+
+/// The allocator's decision: which points every trajectory keeps.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Kept original point indices per trajectory (ascending), for the
+    /// adopted arm.
+    pub kept: Vec<Vec<usize>>,
+    /// Kept-point count per trajectory (`kept[i].len()`).
+    pub budgets: Vec<usize>,
+    /// The effective kept total (budget clamped to `[floors, points]`).
+    pub target_total: usize,
+    /// Sum of per-trajectory floors.
+    pub floors_total: usize,
+    /// Guard-workload query touches per trajectory (the collective arm's
+    /// weights minus one).
+    pub touches: Vec<u64>,
+    /// True when the collective arm passed the guard and was adopted;
+    /// false when it fell back to uniform.
+    pub adopted_collective: bool,
+    /// Guard accuracy of the collective arm.
+    pub collective: AccuracyReport,
+    /// Guard accuracy of the uniform arm.
+    pub uniform: AccuracyReport,
+}
+
+impl Allocation {
+    /// Guard accuracy of the adopted arm.
+    pub fn final_accuracy(&self) -> AccuracyReport {
+        if self.adopted_collective {
+            self.collective
+        } else {
+            self.uniform
+        }
+    }
+}
+
+/// Extracts the kept subset of a trajectory as fresh columns.
+pub fn subset_cols(v: ColsView<'_>, kept: &[usize]) -> TrajCols {
+    TrajCols::from_columns(
+        kept.iter().map(|&i| v.xs[i]).collect(),
+        kept.iter().map(|&i| v.ys[i]).collect(),
+        kept.iter().map(|&i| v.ts[i]).collect(),
+    )
+}
+
+/// Per-trajectory floor: everything of a tiny trajectory, else
+/// `max(2, min_per_traj)` points.
+fn floor_of(len: usize, min_per_traj: usize) -> usize {
+    len.min(min_per_traj.max(2))
+}
+
+/// Splits `target` total points across trajectories proportionally to
+/// length, clamped to `[floors[i], lens[i]]`, with a deterministic
+/// round-robin adjustment so the result sums to exactly `target`
+/// (which must lie in `[Σfloors, Σlens]`).
+pub fn uniform_budgets(lens: &[usize], floors: &[usize], target: usize) -> Vec<usize> {
+    let total: usize = lens.iter().sum();
+    if total == 0 {
+        return vec![0; lens.len()];
+    }
+    let mut w: Vec<usize> = lens
+        .iter()
+        .zip(floors)
+        .map(|(&n, &f)| {
+            let share = (target as f64 * n as f64 / total as f64).round() as usize;
+            share.clamp(f, n)
+        })
+        .collect();
+    let mut sum: usize = w.iter().sum();
+    while sum > target {
+        let before = sum;
+        for i in 0..w.len() {
+            if sum == target {
+                break;
+            }
+            if w[i] > floors[i] {
+                w[i] -= 1;
+                sum -= 1;
+            }
+        }
+        assert!(sum < before, "uniform budgets cannot reach target {target}");
+    }
+    while sum < target {
+        let before = sum;
+        for i in 0..w.len() {
+            if sum == target {
+                break;
+            }
+            if w[i] < lens[i] {
+                w[i] += 1;
+                sum += 1;
+            }
+        }
+        assert!(sum > before, "uniform budgets cannot reach target {target}");
+    }
+    w
+}
+
+/// Doubly-linked kept list over one trajectory's original indices.
+struct KeptList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    alive: Vec<bool>,
+    version: Vec<u32>,
+    kept: usize,
+}
+
+impl KeptList {
+    fn new(n: usize) -> Self {
+        KeptList {
+            prev: (0..n).map(|i| i.saturating_sub(1)).collect(),
+            next: (0..n).map(|i| (i + 1).min(n.saturating_sub(1))).collect(),
+            alive: vec![true; n],
+            version: vec![0; n],
+            kept: n,
+        }
+    }
+
+    /// Unlinks `i`, returning its (former) neighbors.
+    fn drop(&mut self, i: usize) -> (usize, usize) {
+        debug_assert!(self.alive[i]);
+        let (p, n) = (self.prev[i], self.next[i]);
+        self.next[p] = n;
+        self.prev[n] = p;
+        self.alive[i] = false;
+        self.version[i] = self.version[i].wrapping_add(1);
+        self.kept -= 1;
+        (p, n)
+    }
+
+    fn kept_indices(&self, n: usize) -> Vec<usize> {
+        (0..n).filter(|&i| self.alive[i]).collect()
+    }
+}
+
+/// Drops interior points of one trajectory, cheapest first, until `keep`
+/// remain. The in-trajectory arm of the allocator (weight 1); also the
+/// uniform baseline's per-trajectory simplifier.
+fn drop_to<M: ErrorMeasure>(v: ColsView<'_>, keep: usize) -> Vec<usize> {
+    let n = v.len();
+    if n <= 2 || keep >= n {
+        return (0..n).collect();
+    }
+    let keep = keep.max(2);
+    let mut list = KeptList::new(n);
+    let mut heap: BinaryHeap<Reverse<(u64, usize, u32)>> = BinaryHeap::new();
+    let price = |s: usize, e: usize| range_max_error_cols::<M>(v, s, e).to_bits();
+    for i in 1..n - 1 {
+        heap.push(Reverse((price(i - 1, i + 1), i, 0)));
+    }
+    while list.kept > keep {
+        let Reverse((_, i, ver)) = heap.pop().expect("droppable point exists");
+        if !list.alive[i] || list.version[i] != ver {
+            continue;
+        }
+        let (p, nx) = list.drop(i);
+        for j in [p, nx] {
+            if j > 0 && j < n - 1 && list.alive[j] {
+                list.version[j] = list.version[j].wrapping_add(1);
+                heap.push(Reverse((
+                    price(list.prev[j], list.next[j]),
+                    j,
+                    list.version[j],
+                )));
+            }
+        }
+    }
+    list.kept_indices(n)
+}
+
+/// Error costs are non-negative finite `f64`s; comparing their IEEE bit
+/// patterns as `u64` gives the same order as `total_cmp` and makes the
+/// heap key `(cost_bits, traj, idx, version)` fully integral.
+fn cost_key(cost: f64, weight: f64) -> u64 {
+    (cost * weight).to_bits()
+}
+
+fn collective_kept<M: ErrorMeasure>(
+    db: &Database,
+    floors: &[usize],
+    weights: &[f64],
+    target: usize,
+    threads: usize,
+) -> Vec<Vec<usize>> {
+    let n_trajs = db.len();
+    let ids: Vec<usize> = (0..n_trajs).collect();
+    // Seed candidate prices in parallel (order-preserving), push serially
+    // in (traj, idx) order.
+    let seeds: Vec<Vec<(u64, usize)>> = parkit::map(threads, &ids, |_, &id| {
+        let v = db.cols(id);
+        let n = v.len();
+        if n <= 2 {
+            return Vec::new();
+        }
+        (1..n - 1)
+            .map(|i| {
+                (
+                    cost_key(range_max_error_cols::<M>(v, i - 1, i + 1), weights[id]),
+                    i,
+                )
+            })
+            .collect()
+    });
+    let mut lists: Vec<KeptList> = (0..n_trajs)
+        .map(|id| KeptList::new(db.cols(id).len()))
+        .collect();
+    let mut total_kept: usize = lists.iter().map(|l| l.kept).sum();
+    let mut heap: BinaryHeap<Reverse<(u64, usize, usize, u32)>> = BinaryHeap::new();
+    for (id, seed) in seeds.iter().enumerate() {
+        for &(key, i) in seed {
+            heap.push(Reverse((key, id, i, 0)));
+        }
+    }
+    while total_kept > target {
+        let Reverse((_, id, i, ver)) = heap.pop().expect("droppable point exists");
+        let list = &mut lists[id];
+        if !list.alive[i] || list.version[i] != ver || list.kept <= floors[id] {
+            // Stale entry, or the trajectory already sits at its floor
+            // (its remaining candidates stay parked in the heap and keep
+            // failing this check).
+            continue;
+        }
+        let v = db.cols(id);
+        let n = v.len();
+        let (p, nx) = list.drop(i);
+        total_kept -= 1;
+        if list.kept > floors[id] {
+            for j in [p, nx] {
+                if j > 0 && j < n - 1 && list.alive[j] {
+                    list.version[j] = list.version[j].wrapping_add(1);
+                    heap.push(Reverse((
+                        cost_key(
+                            range_max_error_cols::<M>(v, list.prev[j], list.next[j]),
+                            weights[id],
+                        ),
+                        id,
+                        j,
+                        list.version[j],
+                    )));
+                }
+            }
+        }
+    }
+    lists
+        .iter()
+        .enumerate()
+        .map(|(id, l)| l.kept_indices(db.cols(id).len()))
+        .collect()
+}
+
+/// Counts, per trajectory, how many guard-workload queries *could* touch
+/// it on the original database.
+///
+/// Touches count MBR-level candidates, not refined hits: a trajectory in
+/// a query's result must keep its geometry so it stays in, but so must a
+/// near-miss — a simplification can pull a candidate's chords *into* a
+/// window, or move it up a kNN ranking, evicting a true answer. Weighting
+/// only exact hits is precisely how false intrusions happen under tight
+/// budgets. Non-candidates cannot affect any guard query (their chords
+/// stay inside an MBR the query never reaches) and are safe to compress
+/// hard.
+fn query_touches(db: &Database, tree: &RTree, wl: &Workload, threads: usize) -> Vec<u64> {
+    let range_hits: Vec<Vec<usize>> = parkit::map(threads, &wl.ranges, |_, q| {
+        (tree.range(db, &q.rect), tree.range_candidates(&q.rect))
+    })
+    .into_iter()
+    .flat_map(|(hit, cand)| [hit, cand])
+    .collect();
+    let knn_hits: Vec<Vec<usize>> = parkit::map(threads, &wl.probes, |_, q| {
+        (
+            tree.knn(db, q.x, q.y, q.k),
+            tree.knn_candidates(db, q.x, q.y, q.k),
+        )
+    })
+    .into_iter()
+    .flat_map(|(hit, cand)| [hit, cand])
+    .collect();
+    let mut touches = vec![0u64; db.len()];
+    for hits in range_hits.iter().chain(knn_hits.iter()) {
+        for &id in hits {
+            touches[id] += 1;
+        }
+    }
+    touches
+}
+
+/// Runs the full allocator: collective arm, uniform arm, guard scoring,
+/// fallback. See the module docs for the contract.
+pub fn allocate(db: &Database, wl: &Workload, cfg: &AllocateConfig) -> Allocation {
+    trajectory::dispatch!(cfg.measure, M => allocate_inner::<M>(db, wl, cfg))
+}
+
+fn allocate_inner<M: ErrorMeasure>(
+    db: &Database,
+    wl: &Workload,
+    cfg: &AllocateConfig,
+) -> Allocation {
+    let n_trajs = db.len();
+    let lens: Vec<usize> = (0..n_trajs).map(|id| db.cols(id).len()).collect();
+    let floors: Vec<usize> = lens
+        .iter()
+        .map(|&n| floor_of(n, cfg.min_per_traj))
+        .collect();
+    let floors_total: usize = floors.iter().sum();
+    let total_points: usize = lens.iter().sum();
+    let target = cfg.global_budget.clamp(floors_total, total_points);
+
+    let base_tree = RTree::build(db);
+    let touches = query_touches(db, &base_tree, wl, cfg.threads);
+    let weights: Vec<f64> = touches.iter().map(|&q| 1.0 + q as f64).collect();
+
+    // Uniform arm: equal-ratio budgets, the same greedy per trajectory.
+    let uniform_w = uniform_budgets(&lens, &floors, target);
+
+    // Collective arm: one global queue, query-weighted prices, and a
+    // *protective floor* — a trajectory the guard workload touches never
+    // drops below its uniform share, so the redistribution only moves
+    // points from provably query-irrelevant trajectories to touched ones.
+    // Σ(protected floors) ≤ Σ(uniform shares) = target, so the target is
+    // always feasible.
+    let coll_floors: Vec<usize> = floors
+        .iter()
+        .zip(&uniform_w)
+        .zip(&touches)
+        .map(|((&f, &u), &t)| if t > 0 { f.max(u) } else { f })
+        .collect();
+    let collective_kept = collective_kept::<M>(db, &coll_floors, &weights, target, cfg.threads);
+    let ids: Vec<usize> = (0..n_trajs).collect();
+    let uniform_kept: Vec<Vec<usize>> = parkit::map(cfg.threads, &ids, |_, &id| {
+        drop_to::<M>(db.cols(id), uniform_w[id])
+    });
+
+    // Guard scoring: both arms against the original, on the same workload.
+    let build_db = |kept: &Vec<Vec<usize>>| {
+        Database::new(
+            kept.iter()
+                .enumerate()
+                .map(|(id, k)| subset_cols(db.cols(id), k))
+                .collect(),
+        )
+    };
+    let coll_db = build_db(&collective_kept);
+    let unif_db = build_db(&uniform_kept);
+    let coll_tree = RTree::build(&coll_db);
+    let unif_tree = RTree::build(&unif_db);
+    let collective = evaluate(db, &base_tree, &coll_db, &coll_tree, wl, cfg.threads);
+    let uniform = evaluate(db, &base_tree, &unif_db, &unif_tree, wl, cfg.threads);
+
+    let adopted_collective = collective.at_least(&uniform);
+    let kept = if adopted_collective {
+        collective_kept
+    } else {
+        uniform_kept
+    };
+    let budgets: Vec<usize> = kept.iter().map(|k| k.len()).collect();
+    Allocation {
+        kept,
+        budgets,
+        target_total: target,
+        floors_total,
+        touches,
+        adopted_collective,
+        collective,
+        uniform,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadSpec;
+    use trajectory::Point;
+
+    fn zigzag(n: usize, y0: f64, amp: f64) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point {
+                x: i as f64,
+                y: y0 + if i % 2 == 0 { 0.0 } else { amp },
+                t: i as f64,
+            })
+            .collect()
+    }
+
+    fn test_db() -> Database {
+        // Two detailed trajectories near the origin (queried) and six
+        // far-away ones (cold).
+        let mut trajs = vec![zigzag(60, 0.0, 1.0), zigzag(60, 3.0, 1.0)];
+        for i in 0..6 {
+            trajs.push(zigzag(60, 1000.0 + 10.0 * i as f64, 1.0));
+        }
+        Database::from_points(&trajs)
+    }
+
+    fn near_origin_workload() -> Workload {
+        use crate::geom::Mbr;
+        use crate::workload::{KnnQuery, RangeQuery};
+        let ranges = (0..12)
+            .map(|i| RangeQuery {
+                rect: Mbr::new(4.0 * i as f64, -0.5, 4.0 * i as f64 + 2.0, 4.5),
+            })
+            .collect();
+        let probes = (0..6)
+            .map(|i| KnnQuery {
+                x: 10.0 * i as f64,
+                y: 2.0,
+                k: 2,
+            })
+            .collect();
+        Workload { ranges, probes }
+    }
+
+    #[test]
+    fn budgets_respect_floors_and_total() {
+        let db = test_db();
+        let wl = near_origin_workload();
+        let cfg = AllocateConfig {
+            global_budget: 120,
+            ..AllocateConfig::new(0)
+        };
+        let alloc = allocate(&db, &wl, &cfg);
+        assert_eq!(alloc.budgets.iter().sum::<usize>(), 120);
+        assert_eq!(alloc.target_total, 120);
+        for (id, b) in alloc.budgets.iter().enumerate() {
+            assert!(*b >= 2, "trajectory {id} below floor");
+            assert!(*b <= 60);
+        }
+        // Kept indices are ascending and include the endpoints.
+        for k in &alloc.kept {
+            assert!(k.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(k[0], 0);
+            assert_eq!(*k.last().unwrap(), 59);
+        }
+    }
+
+    #[test]
+    fn hot_trajectories_keep_more_points() {
+        let db = test_db();
+        let wl = near_origin_workload();
+        let cfg = AllocateConfig {
+            global_budget: 120,
+            ..AllocateConfig::new(0)
+        };
+        let alloc = allocate(&db, &wl, &cfg);
+        // The workload only touches trajectories 0 and 1.
+        assert!(alloc.touches[0] > 0 && alloc.touches[1] > 0);
+        assert!(alloc.touches[2..].iter().all(|&t| t == 0));
+        if alloc.adopted_collective {
+            let hot = alloc.budgets[0] + alloc.budgets[1];
+            let cold_max = *alloc.budgets[2..].iter().max().unwrap();
+            assert!(
+                alloc.budgets[0] > cold_max && alloc.budgets[1] > cold_max,
+                "queried trajectories should out-keep cold ones: {:?}",
+                alloc.budgets
+            );
+            assert!(hot > 2 * cold_max);
+        }
+        // The guard holds whatever arm was adopted.
+        assert!(alloc.final_accuracy().at_least(&alloc.uniform));
+    }
+
+    #[test]
+    fn budget_above_total_keeps_everything() {
+        let db = test_db();
+        let wl = near_origin_workload();
+        let cfg = AllocateConfig {
+            global_budget: 1_000_000,
+            ..AllocateConfig::new(0)
+        };
+        let alloc = allocate(&db, &wl, &cfg);
+        assert_eq!(alloc.target_total, db.total_points());
+        assert!(alloc
+            .budgets
+            .iter()
+            .zip(0..)
+            .all(|(&b, id)| b == db.cols(id).len()));
+        assert_eq!(alloc.collective.range_f1, 1.0);
+        assert_eq!(alloc.collective.knn_hr, 1.0);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_allocation() {
+        let db = test_db();
+        let wl = WorkloadSpec::default().generate(&db);
+        for budget in [60, 150, 300] {
+            let mk = |threads| {
+                allocate(
+                    &db,
+                    &wl,
+                    &AllocateConfig {
+                        global_budget: budget,
+                        threads,
+                        ..AllocateConfig::new(0)
+                    },
+                )
+            };
+            let a = mk(1);
+            let b = mk(4);
+            assert_eq!(a.kept, b.kept, "budget {budget}");
+            assert_eq!(a.adopted_collective, b.adopted_collective);
+            assert_eq!(a.collective, b.collective);
+            assert_eq!(a.uniform, b.uniform);
+        }
+    }
+
+    #[test]
+    fn uniform_budget_split_is_exact() {
+        let lens = vec![10, 3, 50, 2, 1, 0];
+        let floors: Vec<usize> = lens.iter().map(|&n| floor_of(n, 2)).collect();
+        for target in [floors.iter().sum::<usize>(), 20, 40, 66] {
+            let w = uniform_budgets(&lens, &floors, target);
+            assert_eq!(w.iter().sum::<usize>(), target, "target {target}");
+            for i in 0..lens.len() {
+                assert!(w[i] >= floors[i] && w[i] <= lens[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_to_keeps_extremes_and_count() {
+        let v = TrajCols::from_points(&zigzag(31, 0.0, 2.0));
+        for keep in [2, 5, 17, 31, 40] {
+            let kept = drop_to::<trajectory::error::Sed>(v.view(), keep);
+            assert_eq!(kept.len(), keep.clamp(2, 31));
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 30);
+        }
+    }
+}

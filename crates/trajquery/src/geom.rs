@@ -1,0 +1,276 @@
+//! Axis-aligned rectangles and exact segment geometry.
+//!
+//! Every predicate here is a pure function of its `f64` inputs with a fixed
+//! evaluation order, so the R-tree's leaf refinement and the brute-force
+//! scan — which call the *same* functions — agree bit for bit.
+
+use trajectory::cols::ColsView;
+
+/// A closed axis-aligned rectangle (minimum bounding rectangle).
+///
+/// An *empty* MBR (from [`Mbr::empty`]) has inverted infinite bounds and
+/// intersects nothing; growing it with [`Mbr::include`] makes it valid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mbr {
+    /// Minimum x (inclusive).
+    pub xmin: f64,
+    /// Minimum y (inclusive).
+    pub ymin: f64,
+    /// Maximum x (inclusive).
+    pub xmax: f64,
+    /// Maximum y (inclusive).
+    pub ymax: f64,
+}
+
+impl Mbr {
+    /// The empty rectangle: inverted infinite bounds, intersects nothing.
+    pub fn empty() -> Self {
+        Mbr {
+            xmin: f64::INFINITY,
+            ymin: f64::INFINITY,
+            xmax: f64::NEG_INFINITY,
+            ymax: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A rectangle from explicit corners (no ordering check; callers pass
+    /// `min <= max` or get an empty-like rect that matches nothing).
+    pub fn new(xmin: f64, ymin: f64, xmax: f64, ymax: f64) -> Self {
+        Mbr {
+            xmin,
+            ymin,
+            xmax,
+            ymax,
+        }
+    }
+
+    /// True when no point has ever been included.
+    pub fn is_empty(&self) -> bool {
+        self.xmin > self.xmax || self.ymin > self.ymax
+    }
+
+    /// Grows the rectangle to cover `(x, y)`.
+    pub fn include(&mut self, x: f64, y: f64) {
+        self.xmin = self.xmin.min(x);
+        self.ymin = self.ymin.min(y);
+        self.xmax = self.xmax.max(x);
+        self.ymax = self.ymax.max(y);
+    }
+
+    /// Grows the rectangle to cover `other`.
+    pub fn merge(&mut self, other: &Mbr) {
+        self.xmin = self.xmin.min(other.xmin);
+        self.ymin = self.ymin.min(other.ymin);
+        self.xmax = self.xmax.max(other.xmax);
+        self.ymax = self.ymax.max(other.ymax);
+    }
+
+    /// The MBR of a trajectory's spatial columns (empty for an empty view).
+    pub fn of_cols(v: ColsView<'_>) -> Self {
+        let mut m = Mbr::empty();
+        for i in 0..v.len() {
+            m.include(v.xs[i], v.ys[i]);
+        }
+        m
+    }
+
+    /// Closed-interval intersection test.
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.xmin <= other.xmax
+            && other.xmin <= self.xmax
+            && self.ymin <= other.ymax
+            && other.ymin <= self.ymax
+    }
+
+    /// Closed-interval containment of a point.
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.xmin && x <= self.xmax && y >= self.ymin && y <= self.ymax
+    }
+
+    /// Center of the rectangle (used only for STR sort keys).
+    pub fn center(&self) -> (f64, f64) {
+        (0.5 * (self.xmin + self.xmax), 0.5 * (self.ymin + self.ymax))
+    }
+
+    /// Squared distance from `(x, y)` to the rectangle; `0.0` inside.
+    ///
+    /// This is the kNN pruning bound: it never exceeds the exact distance
+    /// to any geometry contained in the rectangle.
+    pub fn min_dist_sq(&self, x: f64, y: f64) -> f64 {
+        let dx = if x < self.xmin {
+            self.xmin - x
+        } else if x > self.xmax {
+            x - self.xmax
+        } else {
+            0.0
+        };
+        let dy = if y < self.ymin {
+            self.ymin - y
+        } else if y > self.ymax {
+            y - self.ymax
+        } else {
+            0.0
+        };
+        dx * dx + dy * dy
+    }
+}
+
+/// Squared distance from point `(px, py)` to segment `(ax, ay)–(bx, by)`.
+///
+/// Degenerate (zero-length) segments fall back to point distance. The
+/// projection parameter is clamped to `[0, 1]`, so the result is the
+/// distance to the closest point *on* the segment.
+pub fn point_segment_dist_sq(px: f64, py: f64, ax: f64, ay: f64, bx: f64, by: f64) -> f64 {
+    let dx = bx - ax;
+    let dy = by - ay;
+    let len_sq = dx * dx + dy * dy;
+    let (cx, cy) = if len_sq > 0.0 {
+        let t = (((px - ax) * dx + (py - ay) * dy) / len_sq).clamp(0.0, 1.0);
+        (ax + t * dx, ay + t * dy)
+    } else {
+        (ax, ay)
+    };
+    let ex = px - cx;
+    let ey = py - cy;
+    ex * ex + ey * ey
+}
+
+/// True when segment `(ax, ay)–(bx, by)` touches the closed rectangle
+/// (Liang–Barsky clipping; a zero-length segment degenerates to a
+/// containment test).
+pub fn segment_intersects_rect(r: &Mbr, ax: f64, ay: f64, bx: f64, by: f64) -> bool {
+    let dx = bx - ax;
+    let dy = by - ay;
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    let clips = [
+        (-dx, ax - r.xmin),
+        (dx, r.xmax - ax),
+        (-dy, ay - r.ymin),
+        (dy, r.ymax - ay),
+    ];
+    for (p, q) in clips {
+        if p == 0.0 {
+            if q < 0.0 {
+                return false;
+            }
+        } else {
+            let t = q / p;
+            if p < 0.0 {
+                t0 = t0.max(t);
+            } else {
+                t1 = t1.min(t);
+            }
+        }
+    }
+    t0 <= t1
+}
+
+/// True when the trajectory in `v` touches the closed rectangle `r`:
+/// any segment intersects it, or (single-point trajectory) the point lies
+/// inside. Empty trajectories match nothing.
+pub fn traj_intersects_rect(v: ColsView<'_>, r: &Mbr) -> bool {
+    match v.len() {
+        0 => false,
+        1 => r.contains(v.xs[0], v.ys[0]),
+        n => (0..n - 1)
+            .any(|i| segment_intersects_rect(r, v.xs[i], v.ys[i], v.xs[i + 1], v.ys[i + 1])),
+    }
+}
+
+/// Squared distance from `(x, y)` to the trajectory in `v`: the minimum
+/// over its segments (or its sole point). Empty trajectories are
+/// infinitely far.
+pub fn traj_dist_sq(v: ColsView<'_>, x: f64, y: f64) -> f64 {
+    match v.len() {
+        0 => f64::INFINITY,
+        1 => {
+            let dx = x - v.xs[0];
+            let dy = y - v.ys[0];
+            dx * dx + dy * dy
+        }
+        n => {
+            let mut best = f64::INFINITY;
+            for i in 0..n - 1 {
+                let d = point_segment_dist_sq(x, y, v.xs[i], v.ys[i], v.xs[i + 1], v.ys[i + 1]);
+                best = best.min(d);
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::cols::TrajCols;
+
+    #[test]
+    fn mbr_basics() {
+        let mut m = Mbr::empty();
+        assert!(m.is_empty());
+        m.include(1.0, 2.0);
+        m.include(-1.0, 5.0);
+        assert_eq!(m, Mbr::new(-1.0, 2.0, 1.0, 5.0));
+        assert!(m.contains(0.0, 3.0));
+        assert!(!m.contains(0.0, 1.9));
+        assert_eq!(m.min_dist_sq(0.0, 3.0), 0.0);
+        assert_eq!(m.min_dist_sq(2.0, 3.0), 1.0);
+        assert_eq!(m.min_dist_sq(2.0, 6.0), 2.0);
+    }
+
+    #[test]
+    fn empty_mbr_intersects_nothing() {
+        let e = Mbr::empty();
+        let u = Mbr::new(-1e9, -1e9, 1e9, 1e9);
+        assert!(!e.intersects(&u));
+        assert!(!u.intersects(&e));
+    }
+
+    #[test]
+    fn segment_rect_cases() {
+        let r = Mbr::new(0.0, 0.0, 1.0, 1.0);
+        // Fully inside.
+        assert!(segment_intersects_rect(&r, 0.2, 0.2, 0.8, 0.8));
+        // Crossing without either endpoint inside.
+        assert!(segment_intersects_rect(&r, -1.0, 0.5, 2.0, 0.5));
+        // Diagonal crossing a corner region.
+        assert!(segment_intersects_rect(&r, -0.5, 0.5, 0.5, 1.5));
+        // Near miss past the corner.
+        assert!(!segment_intersects_rect(&r, -0.5, 1.0, 0.0, 1.5));
+        // Touching an edge exactly (closed semantics).
+        assert!(segment_intersects_rect(&r, -1.0, 1.0, 2.0, 1.0));
+        // Entirely outside.
+        assert!(!segment_intersects_rect(&r, 2.0, 2.0, 3.0, 3.0));
+        // Degenerate segment inside / outside.
+        assert!(segment_intersects_rect(&r, 0.5, 0.5, 0.5, 0.5));
+        assert!(!segment_intersects_rect(&r, 1.5, 0.5, 1.5, 0.5));
+    }
+
+    #[test]
+    fn point_segment_distance() {
+        // Perpendicular foot inside the segment.
+        assert_eq!(point_segment_dist_sq(0.5, 1.0, 0.0, 0.0, 1.0, 0.0), 1.0);
+        // Beyond the endpoint: clamps to endpoint distance.
+        assert_eq!(point_segment_dist_sq(2.0, 0.0, 0.0, 0.0, 1.0, 0.0), 1.0);
+        // Degenerate segment.
+        assert_eq!(point_segment_dist_sq(3.0, 4.0, 0.0, 0.0, 0.0, 0.0), 25.0);
+    }
+
+    #[test]
+    fn traj_predicates() {
+        let t = TrajCols::from_columns(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 1.0, 2.0],
+        );
+        let r = Mbr::new(0.4, 0.4, 0.6, 0.6); // straddles the rising segment
+        assert!(traj_intersects_rect(t.view(), &r));
+        let far = Mbr::new(5.0, 5.0, 6.0, 6.0);
+        assert!(!traj_intersects_rect(t.view(), &far));
+        assert_eq!(traj_dist_sq(t.view(), 0.0, 0.0), 0.0);
+        let empty = TrajCols::default();
+        assert_eq!(traj_dist_sq(empty.view(), 0.0, 0.0), f64::INFINITY);
+        assert!(!traj_intersects_rect(empty.view(), &r));
+    }
+}

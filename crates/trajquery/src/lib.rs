@@ -1,0 +1,44 @@
+//! Spatial query layer over trajectory databases (DESIGN.md §17).
+//!
+//! The source paper (RLTS, ICDE 2021) simplifies each trajectory against a
+//! per-trajectory budget; its follow-up ("Collectively Simplifying
+//! Trajectories in a Database: A Query Accuracy Driven Approach",
+//! arXiv 2311.11204) argues the production objective is different: one
+//! *global* storage budget over a whole database, allocated so that spatial
+//! **query** accuracy — not per-trajectory SED/PED — is maximized. This
+//! crate supplies the three pieces that objective needs:
+//!
+//! 1. [`rtree`] — a bulk-loaded STR-packed R-tree over trajectory MBRs
+//!    with per-entry refinement down to segment level. Range and kNN
+//!    answers are **bit-identical** to a brute-force scan (proptest-gated):
+//!    the tree only prunes, the leaf refinement runs the same exact
+//!    geometry as the scan.
+//! 2. [`workload`] + [`accuracy`] — a seeded generator for range-window
+//!    and kNN-probe workloads sampled from the data distribution, and the
+//!    simplified-vs-original accuracy metrics (range F1, kNN HR@k) used to
+//!    score a simplification against a workload.
+//! 3. [`mod@allocate`] — the collective budget allocator: a global bottom-up
+//!    greedy that spends one point budget across all trajectories by
+//!    marginal error, weighted by how often guard queries touch each
+//!    trajectory, with a strictly-no-worse-than-uniform fallback guard.
+//!
+//! Everything here is deterministic: no wall clock, no ambient RNG, no
+//! iteration over hash maps in output paths. Parallelism goes through
+//! [`parkit::map`], which preserves item order, so every public function
+//! returns byte-identical results at any thread count.
+
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod allocate;
+pub mod geom;
+#[cfg(test)]
+mod proptests;
+pub mod rtree;
+pub mod workload;
+
+pub use accuracy::{evaluate, AccuracyReport};
+pub use allocate::{allocate, uniform_budgets, AllocateConfig, Allocation};
+pub use geom::Mbr;
+pub use rtree::{Database, RTree};
+pub use workload::{KnnQuery, RangeQuery, Workload, WorkloadSpec};

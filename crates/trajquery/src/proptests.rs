@@ -1,0 +1,129 @@
+//! Property tests for the query layer (ISSUE 10 satellite).
+//!
+//! The load-bearing properties: R-tree range and kNN answers are
+//! **bit-identical** to the brute-force scans over arbitrary trajectory
+//! sets (the tree may only prune, never change an answer), the workload
+//! generator is a pure function of its seed, and the allocator always
+//! lands exactly on its clamped target with floors respected.
+
+use crate::allocate::{allocate, AllocateConfig};
+use crate::geom::Mbr;
+use crate::rtree::{Database, RTree};
+use crate::workload::WorkloadSpec;
+use proptest::prelude::*;
+use trajectory::Point;
+
+prop_compose! {
+    /// One random finite trajectory; lengths 0 and 1 included on purpose
+    /// (empty trajectories are never indexed, singletons degrade to
+    /// point geometry).
+    fn traj()
+        (n in 0usize..40)
+        (coords in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), n))
+        -> Vec<Point>
+    {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point { x, y, t: i as f64 })
+            .collect()
+    }
+}
+
+prop_compose! {
+    /// A random database of up to `max` trajectories.
+    fn database(max: usize)
+        (trajs in prop::collection::vec(traj(), 0..max))
+        -> Database
+    {
+        Database::from_points(&trajs)
+    }
+}
+
+prop_compose! {
+    /// A random closed query window (possibly degenerate, possibly far
+    /// outside the data).
+    fn rect()
+        (cx in -60.0..60.0f64, cy in -60.0..60.0f64,
+         w in 0.0..40.0f64, h in 0.0..40.0f64)
+        -> Mbr
+    {
+        Mbr::new(cx - 0.5 * w, cy - 0.5 * h, cx + 0.5 * w, cy + 0.5 * h)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_range_bit_identical_to_scan(
+        db in database(24),
+        queries in prop::collection::vec(rect(), 1..8),
+    ) {
+        let tree = RTree::build(&db);
+        for r in &queries {
+            prop_assert_eq!(tree.range(&db, r), RTree::range_scan(&db, r));
+        }
+    }
+
+    #[test]
+    fn rtree_knn_bit_identical_to_scan(
+        db in database(24),
+        probes in prop::collection::vec((-60.0..60.0f64, -60.0..60.0f64), 1..8),
+        k in 1usize..30,
+    ) {
+        let tree = RTree::build(&db);
+        for &(x, y) in &probes {
+            prop_assert_eq!(tree.knn(&db, x, y, k), RTree::knn_scan(&db, x, y, k));
+        }
+    }
+
+    #[test]
+    fn workload_is_pure_function_of_seed(
+        db in database(12),
+        seed in prop::num::u64::ANY,
+    ) {
+        let spec = WorkloadSpec { seed, ranges: 16, probes: 8, ..WorkloadSpec::default() };
+        let a = spec.generate(&db).render();
+        let b = spec.generate(&db).render();
+        prop_assert_eq!(&a, &b);
+        if db.total_points() > 0 {
+            // A different seed must produce a different byte stream
+            // (astronomically unlikely to collide).
+            let other = WorkloadSpec { seed: seed.wrapping_add(1), ..spec };
+            prop_assert!(other.generate(&db).render() != a);
+        }
+    }
+
+    #[test]
+    fn allocator_hits_target_and_floors(
+        db in database(12),
+        budget in 0usize..2000,
+        threads in 1usize..5,
+    ) {
+        let wl = WorkloadSpec { ranges: 8, probes: 4, ..WorkloadSpec::default() }.generate(&db);
+        let cfg = AllocateConfig {
+            global_budget: budget,
+            threads,
+            ..AllocateConfig::new(0)
+        };
+        let alloc = allocate(&db, &wl, &cfg);
+        prop_assert_eq!(alloc.budgets.iter().sum::<usize>(), alloc.target_total);
+        prop_assert!(alloc.target_total >= alloc.floors_total);
+        prop_assert!(alloc.target_total <= db.total_points());
+        for id in 0..db.len() {
+            let n = db.cols(id).len();
+            prop_assert!(alloc.budgets[id] <= n);
+            prop_assert!(alloc.budgets[id] >= n.min(2));
+            // Kept indices ascending, endpoints preserved.
+            let k = &alloc.kept[id];
+            prop_assert!(k.windows(2).all(|w| w[0] < w[1]));
+            if n > 0 {
+                prop_assert_eq!(k[0], 0);
+                prop_assert_eq!(*k.last().unwrap(), n - 1);
+            }
+        }
+        // The guard: whatever arm was adopted scores at least uniform.
+        prop_assert!(alloc.final_accuracy().at_least(&alloc.uniform));
+    }
+}

@@ -1,0 +1,449 @@
+//! Bulk-loaded STR-packed R-tree over trajectory MBRs.
+//!
+//! The tree is built once over an immutable [`Database`] with
+//! Sort-Tile-Recursive packing (Leutenegger et al.): entries are sorted by
+//! MBR center-x, cut into vertical slices, each slice sorted by center-y,
+//! and packed into full nodes of [`FANOUT`]. Upper levels repeat the same
+//! packing over the node MBRs until one root remains. All sort keys break
+//! ties on trajectory id, so the layout is a pure function of the data.
+//!
+//! Queries prune on node MBRs, then **refine at the leaves with the exact
+//! segment geometry from [`crate::geom`]** — the same functions the
+//! brute-force scans use. Pruning is conservative (an MBR test can only
+//! over-approximate), so [`RTree::range`] equals [`RTree::range_scan`] and
+//! [`RTree::knn`] equals [`RTree::knn_scan`] bit for bit; the proptests in
+//! this crate gate exactly that.
+
+use crate::geom::{traj_dist_sq, traj_intersects_rect, Mbr};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use trajectory::cols::{ColsView, TrajCols};
+use trajectory::Point;
+
+/// Node fanout for STR packing. 16 keeps the tree shallow on the corpus
+/// sizes we index (thousands of trajectories → 3 levels) while nodes stay
+/// two cache lines of MBRs.
+pub const FANOUT: usize = 16;
+
+/// An immutable set of trajectories, indexed by position (the trajectory
+/// id used in every query answer).
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    trajs: Vec<TrajCols>,
+}
+
+impl Database {
+    /// Wraps pre-built columnar trajectories.
+    pub fn new(trajs: Vec<TrajCols>) -> Self {
+        Database { trajs }
+    }
+
+    /// Converts point-slice trajectories into a columnar database.
+    pub fn from_points<T: AsRef<[Point]>>(trajs: &[T]) -> Self {
+        Database {
+            trajs: trajs
+                .iter()
+                .map(|t| TrajCols::from_points(t.as_ref()))
+                .collect(),
+        }
+    }
+
+    /// Number of trajectories (including empty ones, which no query
+    /// ever returns).
+    pub fn len(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// True when the database holds no trajectories.
+    pub fn is_empty(&self) -> bool {
+        self.trajs.is_empty()
+    }
+
+    /// Columnar view of trajectory `id`.
+    pub fn cols(&self, id: usize) -> ColsView<'_> {
+        self.trajs[id].view()
+    }
+
+    /// Total number of points across all trajectories.
+    pub fn total_points(&self) -> usize {
+        self.trajs.iter().map(|t| t.len()).sum()
+    }
+
+    /// The union MBR of every trajectory (empty if no points exist).
+    pub fn extent(&self) -> Mbr {
+        let mut m = Mbr::empty();
+        for t in &self.trajs {
+            m.merge(&Mbr::of_cols(t.view()));
+        }
+        m
+    }
+}
+
+/// One packed node: its MBR plus the half-open range of children it
+/// covers in the level below (or in `entries` for level 0).
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
+    mbr: Mbr,
+    start: usize,
+    end: usize,
+}
+
+/// The packed index. Borrows nothing: queries take the [`Database`]
+/// explicitly so one tree can serve any equal-shape database is *not*
+/// allowed — the tree stores the entry MBRs it was built from, and
+/// refinement reads the database passed to the query, which must be the
+/// one passed to [`RTree::build`].
+#[derive(Debug, Clone)]
+pub struct RTree {
+    /// `(trajectory id, MBR)` for every non-empty trajectory, in packed
+    /// (STR) order.
+    entries: Vec<(usize, Mbr)>,
+    /// `levels[0]` covers `entries`; `levels[l]` covers `levels[l-1]`.
+    /// The last level is a single root (absent for an empty tree).
+    levels: Vec<Vec<NodeRec>>,
+}
+
+/// Sorts `items` into STR order in place and returns the chunk size used
+/// per tile (always [`FANOUT`]).
+fn str_pack(items: &mut [(usize, Mbr)]) {
+    let n = items.len();
+    if n <= FANOUT {
+        items.sort_by(cmp_center_x);
+        return;
+    }
+    let leaves = n.div_ceil(FANOUT);
+    let slices = (leaves as f64).sqrt().ceil() as usize;
+    let slice_cap = slices.max(1) * FANOUT;
+    items.sort_by(cmp_center_x);
+    for chunk in items.chunks_mut(slice_cap) {
+        chunk.sort_by(cmp_center_y);
+    }
+}
+
+fn cmp_center_x(a: &(usize, Mbr), b: &(usize, Mbr)) -> Ordering {
+    let (ax, _) = a.1.center();
+    let (bx, _) = b.1.center();
+    ax.total_cmp(&bx).then_with(|| a.0.cmp(&b.0))
+}
+
+fn cmp_center_y(a: &(usize, Mbr), b: &(usize, Mbr)) -> Ordering {
+    let (_, ay) = a.1.center();
+    let (_, by) = b.1.center();
+    ay.total_cmp(&by).then_with(|| a.0.cmp(&b.0))
+}
+
+/// `f64` with a total order, for kNN heaps. Distances here are always
+/// non-negative and never NaN, so `total_cmp` agrees with the naive
+/// ordering; the wrapper only exists to satisfy `Ord`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl RTree {
+    /// Bulk-loads the tree over every non-empty trajectory in `db`.
+    pub fn build(db: &Database) -> Self {
+        let mut entries: Vec<(usize, Mbr)> = (0..db.len())
+            .filter(|&id| !db.cols(id).is_empty())
+            .map(|id| (id, Mbr::of_cols(db.cols(id))))
+            .collect();
+        str_pack(&mut entries);
+
+        let mut levels: Vec<Vec<NodeRec>> = Vec::new();
+        if !entries.is_empty() {
+            // Pack the leaf level over entries, then keep packing node
+            // MBRs until a single root covers everything.
+            let mut below: Vec<Mbr> = entries.iter().map(|&(_, m)| m).collect();
+            loop {
+                let mut level = Vec::with_capacity(below.len().div_ceil(FANOUT));
+                let mut start = 0;
+                while start < below.len() {
+                    let end = (start + FANOUT).min(below.len());
+                    let mut mbr = Mbr::empty();
+                    for m in &below[start..end] {
+                        mbr.merge(m);
+                    }
+                    level.push(NodeRec { mbr, start, end });
+                    start = end;
+                }
+                let done = level.len() <= 1;
+                below = level.iter().map(|n| n.mbr).collect();
+                levels.push(level);
+                if done {
+                    break;
+                }
+            }
+        }
+        RTree { entries, levels }
+    }
+
+    /// Number of indexed (non-empty) trajectories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the tree indexes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tree height in levels above the entry array (0 for an empty tree).
+    pub fn height(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Ids of every trajectory touching the closed rectangle `r`, sorted
+    /// ascending. `db` must be the database the tree was built from.
+    pub fn range(&self, db: &Database, r: &Mbr) -> Vec<usize> {
+        let mut out = Vec::new();
+        if self.levels.is_empty() {
+            return out;
+        }
+        // Stack of (level, node index); level == usize::MAX marks the
+        // entry array.
+        let top = self.levels.len() - 1;
+        let mut stack: Vec<(usize, usize)> = vec![(top, 0)];
+        while let Some((lvl, idx)) = stack.pop() {
+            let node = self.levels[lvl][idx];
+            if !node.mbr.intersects(r) {
+                continue;
+            }
+            if lvl == 0 {
+                for &(id, ref mbr) in &self.entries[node.start..node.end] {
+                    if mbr.intersects(r) && traj_intersects_rect(db.cols(id), r) {
+                        out.push(id);
+                    }
+                }
+            } else {
+                for child in node.start..node.end {
+                    stack.push((lvl - 1, child));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force range scan over the same database: the reference
+    /// answer [`RTree::range`] must equal bit for bit.
+    pub fn range_scan(db: &Database, r: &Mbr) -> Vec<usize> {
+        (0..db.len())
+            .filter(|&id| traj_intersects_rect(db.cols(id), r))
+            .collect()
+    }
+
+    /// Ids of every trajectory whose *MBR* touches `r`, sorted ascending —
+    /// the range query's candidate set before segment refinement, a
+    /// superset of [`RTree::range`]. A simplification keeps a subsequence
+    /// of the original points, so its chords stay inside the original
+    /// hull: only candidates can ever enter (or leave) the refined result
+    /// under re-simplification, which is why the §17 allocator weights
+    /// this set rather than the exact hits.
+    pub fn range_candidates(&self, r: &Mbr) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .entries
+            .iter()
+            .filter(|(_, mbr)| mbr.intersects(r))
+            .map(|&(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Ids of every trajectory whose MBR lower bound lies within *twice*
+    /// the probe's k-th base distance, sorted ascending — the kNN
+    /// candidate set, a superset of [`RTree::knn`]. A trajectory inside
+    /// the base radius could intrude into a simplified top-k directly; the
+    /// 2x margin additionally covers the second ring, reachable only when
+    /// simplification inflates the k-th distance itself (a trajectory's
+    /// exact distance is bounded below by its MBR distance, which
+    /// simplification never shrinks, so everything beyond the margin is
+    /// safe to compress hard).
+    pub fn knn_candidates(&self, db: &Database, x: f64, y: f64, k: usize) -> Vec<usize> {
+        let top = self.knn(db, x, y, k);
+        let Some(&worst_id) = top.last() else {
+            return Vec::new();
+        };
+        // Squared distances: 4x on the square is 2x on the distance.
+        let reach = 4.0 * traj_dist_sq(db.cols(worst_id), x, y);
+        let mut out: Vec<usize> = self
+            .entries
+            .iter()
+            .filter(|(_, mbr)| mbr.min_dist_sq(x, y) <= reach)
+            .map(|&(id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The `k` trajectories closest to `(x, y)` (minimum point-to-segment
+    /// distance), ordered by `(distance, id)` ascending. Returns fewer
+    /// than `k` ids when the database holds fewer non-empty trajectories.
+    pub fn knn(&self, db: &Database, x: f64, y: f64, k: usize) -> Vec<usize> {
+        if k == 0 || self.levels.is_empty() {
+            return Vec::new();
+        }
+        // Best-first search: a min-heap of nodes by MBR min-dist, and a
+        // max-heap of the best k exact answers seen so far. A node whose
+        // min-dist exceeds the current k-th best (distance, id) cannot
+        // contain a better answer; equality must still be expanded
+        // because an equal-distance trajectory with a smaller id wins the
+        // tie-break.
+        let top = self.levels.len() - 1;
+        let mut frontier: BinaryHeap<std::cmp::Reverse<(OrdF64, usize, usize)>> = BinaryHeap::new();
+        frontier.push(std::cmp::Reverse((
+            OrdF64(self.levels[top][0].mbr.min_dist_sq(x, y)),
+            top,
+            0,
+        )));
+        let mut best: BinaryHeap<(OrdF64, usize)> = BinaryHeap::new();
+        while let Some(std::cmp::Reverse((OrdF64(nd), lvl, idx))) = frontier.pop() {
+            if best.len() == k {
+                let &(OrdF64(worst), _) = best.peek().expect("non-empty");
+                if nd > worst {
+                    break;
+                }
+            }
+            let node = self.levels[lvl][idx];
+            if lvl == 0 {
+                for &(id, ref mbr) in &self.entries[node.start..node.end] {
+                    if best.len() == k {
+                        let &(OrdF64(worst), wid) = best.peek().expect("non-empty");
+                        // (mbr lower bound, id) can't beat the worst kept.
+                        let lb = mbr.min_dist_sq(x, y);
+                        if lb > worst || (lb == worst && id > wid) {
+                            continue;
+                        }
+                    }
+                    let d = traj_dist_sq(db.cols(id), x, y);
+                    if best.len() < k {
+                        best.push((OrdF64(d), id));
+                    } else {
+                        let &(top_d, top_id) = best.peek().expect("non-empty");
+                        if (OrdF64(d), id) < (top_d, top_id) {
+                            best.pop();
+                            best.push((OrdF64(d), id));
+                        }
+                    }
+                }
+            } else {
+                for child in node.start..node.end {
+                    let cd = self.levels[lvl - 1][child].mbr.min_dist_sq(x, y);
+                    frontier.push(std::cmp::Reverse((OrdF64(cd), lvl - 1, child)));
+                }
+            }
+        }
+        let mut out: Vec<(OrdF64, usize)> = best.into_vec();
+        out.sort_unstable();
+        out.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Brute-force kNN over the same database: the reference answer
+    /// [`RTree::knn`] must equal bit for bit. Empty trajectories (infinite
+    /// distance) are excluded, matching the tree, which never indexes
+    /// them.
+    pub fn knn_scan(db: &Database, x: f64, y: f64, k: usize) -> Vec<usize> {
+        let mut dists: Vec<(OrdF64, usize)> = (0..db.len())
+            .filter(|&id| !db.cols(id).is_empty())
+            .map(|id| (OrdF64(traj_dist_sq(db.cols(id), x, y)), id))
+            .collect();
+        dists.sort_unstable();
+        dists.truncate(k);
+        dists.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_line_grid(n: usize) -> Database {
+        // n horizontal two-point trajectories stacked vertically.
+        let trajs: Vec<Vec<Point>> = (0..n)
+            .map(|i| {
+                let y = i as f64;
+                vec![Point { x: 0.0, y, t: 0.0 }, Point { x: 10.0, y, t: 1.0 }]
+            })
+            .collect();
+        Database::from_points(&trajs)
+    }
+
+    #[test]
+    fn range_matches_scan_on_grid() {
+        let db = db_line_grid(100);
+        let tree = RTree::build(&db);
+        assert_eq!(tree.len(), 100);
+        for (r, label) in [
+            (Mbr::new(2.0, 10.5, 3.0, 20.5), "interior band"),
+            (Mbr::new(-5.0, -5.0, 15.0, 105.0), "covers all"),
+            (Mbr::new(11.0, 0.0, 12.0, 99.0), "right of all"),
+            (Mbr::new(0.0, 17.0, 0.0, 17.0), "degenerate on a line"),
+        ] {
+            assert_eq!(tree.range(&db, &r), RTree::range_scan(&db, &r), "{label}");
+        }
+    }
+
+    #[test]
+    fn knn_matches_scan_on_grid() {
+        let db = db_line_grid(50);
+        let tree = RTree::build(&db);
+        for k in [1, 3, 7, 50, 60] {
+            for probe in [(5.0, 12.2), (-3.0, 0.0), (20.0, 49.0)] {
+                assert_eq!(
+                    tree.knn(&db, probe.0, probe.1, k),
+                    RTree::knn_scan(&db, probe.0, probe.1, k),
+                    "k={k} probe={probe:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knn_ties_break_by_id() {
+        // Two identical trajectories: equal distance, lower id first.
+        let p = vec![
+            Point {
+                x: 0.0,
+                y: 0.0,
+                t: 0.0,
+            },
+            Point {
+                x: 1.0,
+                y: 0.0,
+                t: 1.0,
+            },
+        ];
+        let db = Database::from_points(&[p.clone(), p]);
+        let tree = RTree::build(&db);
+        assert_eq!(tree.knn(&db, 0.5, 2.0, 1), vec![0]);
+        assert_eq!(tree.knn(&db, 0.5, 2.0, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton_databases() {
+        let empty = Database::default();
+        let tree = RTree::build(&empty);
+        assert!(tree.is_empty());
+        assert!(tree
+            .range(&empty, &Mbr::new(-1.0, -1.0, 1.0, 1.0))
+            .is_empty());
+        assert!(tree.knn(&empty, 0.0, 0.0, 3).is_empty());
+
+        // A database whose only trajectory is empty indexes nothing.
+        let db = Database::new(vec![TrajCols::default()]);
+        let tree = RTree::build(&db);
+        assert!(tree.is_empty());
+        assert!(tree.knn(&db, 0.0, 0.0, 1).is_empty());
+        assert_eq!(RTree::knn_scan(&db, 0.0, 0.0, 1), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,373 @@
+//! Seeded query workload generation.
+//!
+//! Workloads follow the evaluation setup of arXiv 2311.11204: range
+//! windows and kNN probes are sampled *from the data distribution* — each
+//! query centers on a point drawn uniformly from the database's points
+//! (or from the hot prefix only, when [`WorkloadSpec::focus`] < 1), so
+//! dense regions receive proportionally more queries, the way real
+//! workloads concentrate where the data is.
+//!
+//! Generation is a pure function of `(database, spec)`: the only
+//! randomness is an internal SplitMix64 stream seeded from
+//! [`WorkloadSpec::seed`], no thread ever touches it, and
+//! [`Workload::render`] exposes the exact bits of every query so tests can
+//! assert byte-identical workloads across thread counts and runs.
+
+use crate::geom::Mbr;
+use crate::rtree::Database;
+use std::fmt::Write as _;
+
+/// One range query: every trajectory touching the closed window matches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeQuery {
+    /// The query window.
+    pub rect: Mbr,
+}
+
+/// One kNN probe: the `k` trajectories nearest to `(x, y)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnQuery {
+    /// Probe x.
+    pub x: f64,
+    /// Probe y.
+    pub y: f64,
+    /// Number of neighbors requested.
+    pub k: usize,
+}
+
+/// A generated workload: the guard/evaluation query set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    /// Range windows, in generation order.
+    pub ranges: Vec<RangeQuery>,
+    /// kNN probes, in generation order.
+    pub probes: Vec<KnnQuery>,
+}
+
+/// Parameters for workload generation. Parsed from the `--queries` CLI
+/// spec (`range=64,knn=32,k=8,seed=9,side=0.02..0.10`); every field has a
+/// default so partial specs work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of range windows.
+    pub ranges: usize,
+    /// Number of kNN probes.
+    pub probes: usize,
+    /// Neighbors per probe.
+    pub k: usize,
+    /// RNG seed; same seed → byte-identical workload.
+    pub seed: u64,
+    /// Window side, as a fraction of the data extent: lower bound.
+    pub side_min: f64,
+    /// Window side, as a fraction of the data extent: upper bound.
+    pub side_max: f64,
+    /// Hot fraction of the database queries concentrate on, in `(0, 1]`.
+    /// Query centers are sampled from the first `ceil(focus · n)`
+    /// trajectories only — the skewed-workload case where collective
+    /// budget allocation pays (real workloads hammer downtown, not the
+    /// whole map). `1.0` (the default) is the unskewed workload.
+    pub focus: f64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            ranges: 64,
+            probes: 32,
+            k: 8,
+            seed: 9,
+            side_min: 0.02,
+            side_max: 0.10,
+            focus: 1.0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Parses a comma-separated `key=value` spec. Unknown keys are an
+    /// error; omitted keys keep their defaults.
+    ///
+    /// Keys: `range` (count), `knn` (count), `k`, `seed`,
+    /// `side` (`LO..HI` extent fractions), `focus` (hot fraction of the
+    /// database queries concentrate on, in `(0, 1]`).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut spec = WorkloadSpec::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, val) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad workload spec item {part:?}: expected key=value"))?;
+            match key {
+                "range" => {
+                    spec.ranges = val
+                        .parse()
+                        .map_err(|_| format!("bad range count {val:?}"))?
+                }
+                "knn" => spec.probes = val.parse().map_err(|_| format!("bad knn count {val:?}"))?,
+                "k" => spec.k = val.parse().map_err(|_| format!("bad k {val:?}"))?,
+                "seed" => spec.seed = val.parse().map_err(|_| format!("bad seed {val:?}"))?,
+                "side" => {
+                    let (lo, hi) = val
+                        .split_once("..")
+                        .ok_or_else(|| format!("bad side range {val:?}: expected LO..HI"))?;
+                    spec.side_min = lo.parse().map_err(|_| format!("bad side lo {lo:?}"))?;
+                    spec.side_max = hi.parse().map_err(|_| format!("bad side hi {hi:?}"))?;
+                    if !(spec.side_min > 0.0 && spec.side_max >= spec.side_min) {
+                        return Err(format!("side range {val:?} must satisfy 0 < LO <= HI"));
+                    }
+                }
+                "focus" => {
+                    spec.focus = val.parse().map_err(|_| format!("bad focus {val:?}"))?;
+                    if !(spec.focus > 0.0 && spec.focus <= 1.0) {
+                        return Err(format!("focus {val:?} must lie in (0, 1]"));
+                    }
+                }
+                _ => return Err(format!("unknown workload spec key {key:?}")),
+            }
+        }
+        if spec.k == 0 {
+            return Err("k must be >= 1".to_string());
+        }
+        Ok(spec)
+    }
+
+    /// Canonical `key=value` rendering (inverse of [`WorkloadSpec::parse`]
+    /// for reports).
+    pub fn render(&self) -> String {
+        format!(
+            "range={},knn={},k={},seed={},side={:?}..{:?},focus={:?}",
+            self.ranges, self.probes, self.k, self.seed, self.side_min, self.side_max, self.focus
+        )
+    }
+
+    /// Generates the workload over `db`. Deterministic: a pure function of
+    /// `(db, self)`. An empty database yields an empty workload.
+    pub fn generate(&self, db: &Database) -> Workload {
+        let total = db.total_points();
+        if total == 0 {
+            return Workload::default();
+        }
+        // Prefix sums over the hot prefix (`focus` fraction of the
+        // trajectories, all of them at focus 1.0) so a uniform draw lands
+        // on a concrete (trajectory, point). Note the *extent* below stays
+        // the whole database's: window sizes don't shrink with focus.
+        let hot = ((self.focus * db.len() as f64).ceil() as usize).clamp(1, db.len());
+        let mut cum = Vec::with_capacity(hot + 1);
+        cum.push(0usize);
+        for id in 0..hot {
+            cum.push(cum[id] + db.cols(id).len());
+        }
+        let total = *cum.last().expect("nonempty prefix sums");
+        if total == 0 {
+            return Workload::default();
+        }
+        let extent = db.extent();
+        let ew = (extent.xmax - extent.xmin).max(f64::MIN_POSITIVE);
+        let eh = (extent.ymax - extent.ymin).max(f64::MIN_POSITIVE);
+
+        let mut rng = SplitMix64::new(self.seed);
+        let sample_point = |rng: &mut SplitMix64| -> (f64, f64) {
+            let flat = rng.below(total as u64) as usize;
+            // partition_point: first id with cum[id+1] > flat.
+            let id = cum.partition_point(|&c| c <= flat) - 1;
+            let v = db.cols(id);
+            let off = flat - cum[id];
+            (v.xs[off], v.ys[off])
+        };
+
+        let mut ranges = Vec::with_capacity(self.ranges);
+        for _ in 0..self.ranges {
+            let (cx, cy) = sample_point(&mut rng);
+            let frac = self.side_min + (self.side_max - self.side_min) * rng.f64();
+            let hw = 0.5 * frac * ew;
+            let hh = 0.5 * frac * eh;
+            ranges.push(RangeQuery {
+                rect: Mbr::new(cx - hw, cy - hh, cx + hw, cy + hh),
+            });
+        }
+        let mut probes = Vec::with_capacity(self.probes);
+        for _ in 0..self.probes {
+            let (cx, cy) = sample_point(&mut rng);
+            // Offset the probe off the sampled point so kNN is not a
+            // trivial zero-distance lookup on the original data.
+            let dx = (rng.f64() - 0.5) * self.side_min * ew;
+            let dy = (rng.f64() - 0.5) * self.side_min * eh;
+            probes.push(KnnQuery {
+                x: cx + dx,
+                y: cy + dy,
+                k: self.k,
+            });
+        }
+        Workload { ranges, probes }
+    }
+}
+
+impl Workload {
+    /// Total query count.
+    pub fn len(&self) -> usize {
+        self.ranges.len() + self.probes.len()
+    }
+
+    /// True when the workload holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty() && self.probes.is_empty()
+    }
+
+    /// Renders every query's exact bits, one line per query — the
+    /// byte-identity artifact for seed-invariance tests and CI `cmp`s.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (i, q) in self.ranges.iter().enumerate() {
+            let r = q.rect;
+            let _ = writeln!(
+                s,
+                "range[{i}] x={:016x}..{:016x} y={:016x}..{:016x}",
+                r.xmin.to_bits(),
+                r.xmax.to_bits(),
+                r.ymin.to_bits(),
+                r.ymax.to_bits()
+            );
+        }
+        for (i, q) in self.probes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "knn[{i}] x={:016x} y={:016x} k={}",
+                q.x.to_bits(),
+                q.y.to_bits(),
+                q.k
+            );
+        }
+        s
+    }
+}
+
+/// SplitMix64 (Steele et al.): the same minimal generator the rest of the
+/// repo uses for deterministic seeding. Private on purpose — workload
+/// generation is the only consumer, and keeping it here means trajquery
+/// stays zero-dependency.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`. Modulo bias is irrelevant at workload sizes.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::Point;
+
+    fn small_db() -> Database {
+        let trajs: Vec<Vec<Point>> = (0..8)
+            .map(|i| {
+                (0..20)
+                    .map(|j| Point {
+                        x: j as f64,
+                        y: (i * j) as f64 * 0.1,
+                        t: j as f64,
+                    })
+                    .collect()
+            })
+            .collect();
+        Database::from_points(&trajs)
+    }
+
+    #[test]
+    fn parse_roundtrip_and_defaults() {
+        let spec =
+            WorkloadSpec::parse("range=10,knn=4,k=3,seed=77,side=0.01..0.5,focus=0.25").unwrap();
+        assert_eq!(
+            spec,
+            WorkloadSpec {
+                ranges: 10,
+                probes: 4,
+                k: 3,
+                seed: 77,
+                side_min: 0.01,
+                side_max: 0.5,
+                focus: 0.25
+            }
+        );
+        assert_eq!(WorkloadSpec::parse(spec.render().as_str()).unwrap(), spec);
+        assert_eq!(WorkloadSpec::parse("").unwrap(), WorkloadSpec::default());
+        assert!(WorkloadSpec::parse("bogus=1").is_err());
+        assert!(WorkloadSpec::parse("k=0").is_err());
+        assert!(WorkloadSpec::parse("side=0.5..0.1").is_err());
+        assert!(WorkloadSpec::parse("focus=0").is_err());
+        assert!(WorkloadSpec::parse("focus=1.5").is_err());
+    }
+
+    #[test]
+    fn same_seed_same_bytes() {
+        let db = small_db();
+        let spec = WorkloadSpec::default();
+        let a = spec.generate(&db);
+        let b = spec.generate(&db);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.len(), spec.ranges + spec.probes);
+        let other = WorkloadSpec { seed: 10, ..spec };
+        assert_ne!(other.generate(&db).render(), a.render());
+    }
+
+    #[test]
+    fn focused_workload_samples_only_hot_trajectories() {
+        // small_db: trajectory i spans y in [0, 1.9·i]. focus=0.25 over 8
+        // trajectories → centers come from trajectories 0 and 1 only
+        // (y ≤ 1.9); probes may drift off-center by half a minimum side.
+        let db = small_db();
+        let spec = WorkloadSpec {
+            focus: 0.25,
+            ..WorkloadSpec::default()
+        };
+        let wl = spec.generate(&db);
+        let ext = db.extent();
+        let eh = ext.ymax - ext.ymin;
+        for q in &wl.ranges {
+            let cy = 0.5 * (q.rect.ymin + q.rect.ymax);
+            assert!(cy <= 1.9 + 1e-9, "range center {cy} outside hot prefix");
+        }
+        for q in &wl.probes {
+            assert!(q.y <= 1.9 + 0.5 * spec.side_min * eh + 1e-9);
+        }
+        assert_eq!(WorkloadSpec::parse(spec.render().as_str()).unwrap(), spec);
+    }
+
+    #[test]
+    fn empty_database_empty_workload() {
+        let wl = WorkloadSpec::default().generate(&Database::default());
+        assert!(wl.is_empty());
+        assert_eq!(wl.render(), "");
+    }
+
+    #[test]
+    fn windows_cover_data_points() {
+        // Every range window is centered on a data point, so the center
+        // point's trajectory must match the window.
+        let db = small_db();
+        let wl = WorkloadSpec::default().generate(&db);
+        for q in &wl.ranges {
+            assert!(
+                !crate::rtree::RTree::range_scan(&db, &q.rect).is_empty(),
+                "window centered on a data point matched nothing"
+            );
+        }
+    }
+}

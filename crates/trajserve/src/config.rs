@@ -85,6 +85,38 @@ pub struct ServeConfig {
     /// journal. Purely additive: served outputs are byte-identical with
     /// the store on or off.
     pub col_store: Option<PathBuf>,
+    /// Cross-tenant budget allocation (DESIGN.md §17). `None` (the
+    /// default) honours every session's requested budget verbatim; `Some`
+    /// treats requested budgets as demand against a shared global pool and
+    /// caps each new session's `w` at its tenant's current share. The pool
+    /// is hot-reloadable at runtime via
+    /// [`TrajServe::set_global_budget`](crate::TrajServe::set_global_budget),
+    /// like policy checkpoints. The capped `w` is decided at creation and
+    /// journaled, so recovery replays the same caps; the demand statistics
+    /// behind the shares are volatile like caches — a recovered service
+    /// re-learns them.
+    pub budget: Option<BudgetConfig>,
+}
+
+/// Cross-tenant budget-allocation knobs (DESIGN.md §17).
+#[derive(Debug, Clone)]
+pub struct BudgetConfig {
+    /// Global kept-point pool shared by all tenants: the sum of per-tenant
+    /// budget shares. A tenant's share is proportional to its smoothed
+    /// historical demand (applied points), so idle tenants cede budget to
+    /// busy ones — the serving-side analogue of `rlts allocate`.
+    pub global_w: usize,
+    /// Floor on any session's effective budget, regardless of how small
+    /// its tenant's share gets. Two points (the endpoints) is the minimum
+    /// meaningful simplification.
+    pub min_w: usize,
+}
+
+impl BudgetConfig {
+    /// A pool of `global_w` points with the default floor of 2.
+    pub fn pool(global_w: usize) -> Self {
+        BudgetConfig { global_w, min_w: 2 }
+    }
 }
 
 /// Memoization-cache knobs (DESIGN.md §14).
@@ -168,6 +200,7 @@ impl Default for ServeConfig {
             durability: None,
             cache: None,
             col_store: None,
+            budget: None,
         }
     }
 }

@@ -78,7 +78,7 @@ mod wire;
 
 pub use admission::{AdmitError, ShedReason};
 pub use api::{ServeApi, ServeError, ServeOp, ServeReply, ServeStatus};
-pub use config::{CacheConfig, DurabilityConfig, ServeConfig, SessionId, TenantId};
+pub use config::{BudgetConfig, CacheConfig, DurabilityConfig, ServeConfig, SessionId, TenantId};
 pub use journal::{JournalError, RecoveryReport};
 pub use net::{serve_forever, NetServer, ServeClient};
 pub use registry::{PolicyEntry, PolicyRegistry, PolicyVersion, PublishError};

@@ -26,7 +26,7 @@
 
 use crate::admission::{Admission, AdmitError, ShedReason};
 use crate::cache::WindowMemo;
-use crate::config::{ServeConfig, SessionId, TenantId};
+use crate::config::{BudgetConfig, ServeConfig, SessionId, TenantId};
 use crate::journal::{
     self, Journal, JournalError, MetaRecord, MetaSnap, PendingSnap, RecoveryReport, SessionSnap,
 };
@@ -36,8 +36,8 @@ use crate::uniform::UniformOnline;
 use baselines::{Squish, SquishE, StTrace};
 use obskit::{Buckets, Counter, Gauge, Histogram};
 use rlts_core::{RltsConfig, RltsOnline, TrainedPolicy};
-use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use trajectory::error::Measure;
@@ -134,6 +134,7 @@ struct ServeMetrics {
     sessions_evicted: Arc<Counter>,
     sessions_degraded: Arc<Counter>,
     sessions_rejected: Arc<Counter>,
+    sessions_capped: Arc<Counter>,
     points_admitted: Arc<Counter>,
     points_shed: Arc<Counter>,
     points_buffered: Arc<Gauge>,
@@ -154,6 +155,7 @@ impl ServeMetrics {
             sessions_evicted: reg.counter("serve.sessions.evicted"),
             sessions_degraded: reg.counter("serve.sessions.degraded"),
             sessions_rejected: reg.counter("serve.sessions.rejected"),
+            sessions_capped: reg.counter("serve.sessions.capped"),
             points_admitted: reg.counter("serve.points.admitted"),
             points_shed: reg.counter("serve.points.shed"),
             points_buffered: reg.gauge("serve.points.buffered"),
@@ -241,6 +243,43 @@ fn tenant_memo<'a>(
     })
 }
 
+/// Cross-tenant budget-allocation state (DESIGN.md §17).
+///
+/// The pool is an atomic so [`TrajServe::set_global_budget`] hot-reloads
+/// it without a lock, mirroring policy hot-swap: only sessions created
+/// after the call see the new pool. Demand is a `BTreeMap` so the share
+/// computation iterates tenants in a fixed order. Demand is *volatile* —
+/// never journaled — because the capped `w` each session actually got is
+/// journaled in its `Create` record; replay reproduces past caps exactly,
+/// and a recovered service re-learns demand from the traffic it replays
+/// and then serves.
+struct BudgetState {
+    global_w: AtomicUsize,
+    demand: Mutex<BTreeMap<u32, u64>>,
+}
+
+impl BudgetState {
+    fn new(global_w: usize) -> Self {
+        BudgetState {
+            global_w: AtomicUsize::new(global_w),
+            demand: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The per-session budget `tenant` is entitled to right now: its
+    /// demand-proportional slice of the pool, floored at `min_w`. The
+    /// `+1` smoothing gives a tenant with no history an equal share of
+    /// the unclaimed pool instead of nothing.
+    fn share(&self, cfg: &BudgetConfig, demand: &BTreeMap<u32, u64>, tenant: u32) -> usize {
+        let d = demand.get(&tenant).copied().unwrap_or(0);
+        let total: u64 = demand.values().sum();
+        let n = demand.len() as u64 + u64::from(!demand.contains_key(&tenant));
+        let pool = self.global_w.load(Ordering::Relaxed) as u64;
+        let share = pool.saturating_mul(d + 1) / (total + n).max(1);
+        (share as usize).max(cfg.min_w)
+    }
+}
+
 /// A session admitted past the active ceiling, waiting for capacity. The
 /// id is allocated at admission (arrival order); the policy generation is
 /// captured at *activation*, so a queued session that activates after a
@@ -265,6 +304,10 @@ struct ShardOutcome {
     evicted: usize,
     closed: usize,
     applied: u64,
+    /// Applied appends broken down by tenant, accumulated only when
+    /// [`ServeConfig::budget`] is set. Merged into the budget demand map
+    /// in `tick_core` (a commutative `+=`, so shard order is irrelevant).
+    applied_by_tenant: BTreeMap<u32, u64>,
     shed_dead: u64,
     shed_nonmono: u64,
     buffer_delta: i64,
@@ -341,6 +384,8 @@ pub struct TrajServe {
     /// Attached after replay (like the journal) so recovery never re-seals
     /// segments the crashed service already published.
     col_sink: Option<Mutex<ColStore>>,
+    /// Cross-tenant budget allocator, when [`ServeConfig::budget`] is set.
+    budget: Option<BudgetState>,
 }
 
 /// Dataset key the service seals its segments under; the file-name version
@@ -423,6 +468,7 @@ impl TrajServe {
     /// The bare in-memory service, journal-less. Recovery attaches the
     /// journal only after replay, so nothing replayed is re-journaled.
     fn skeleton(cfg: ServeConfig, registry: Arc<PolicyRegistry>, nshards: usize) -> Self {
+        let budget = cfg.budget.as_ref().map(|b| BudgetState::new(b.global_w));
         TrajServe {
             cfg,
             nshards,
@@ -442,6 +488,7 @@ impl TrajServe {
             retired_forward: Mutex::new(trajcache::CacheStats::default()),
             cache_pubs: Mutex::new(None),
             col_sink: None,
+            budget,
         }
     }
 
@@ -611,6 +658,10 @@ impl TrajServe {
         self.admission
             .claim_tenant_slot(tenant, &self.cfg)
             .inspect_err(|_| self.metrics.sessions_rejected.inc())?;
+        // The budget cap is decided here — before either journal branch —
+        // so the `Create` record always carries the *effective* budget and
+        // replay reproduces past caps without needing the demand state.
+        let w = self.effective_w(tenant, w);
         if self.admission.active() < self.cfg.max_active_sessions {
             let id = SessionId(self.alloc_session_id(explicit));
             let (degraded, version) = self.activate(id, tenant, spec.clone(), w, self.now(), None);
@@ -660,6 +711,41 @@ impl TrajServe {
         self.metrics.sessions_queued.set(pending.len() as f64);
         self.metrics.sessions_created.inc();
         Ok(id)
+    }
+
+    /// Caps a requested budget at the tenant's current share of the
+    /// global pool (DESIGN.md §17). Identity when budget allocation is
+    /// off. Never inflates: a request below the floor is granted as-is.
+    fn effective_w(&self, tenant: TenantId, requested: usize) -> usize {
+        let (Some(cfg), Some(state)) = (&self.cfg.budget, &self.budget) else {
+            return requested;
+        };
+        let mut demand = state.demand.lock().expect("budget lock poisoned");
+        demand.entry(tenant.0).or_insert(0);
+        let w = requested.min(state.share(cfg, &demand, tenant.0));
+        if w < requested {
+            self.metrics.sessions_capped.inc();
+        }
+        w
+    }
+
+    /// Hot-reloads the cross-tenant budget pool (DESIGN.md §17), like a
+    /// policy hot-swap: only sessions created after the call see the new
+    /// pool; live sessions keep the budget they were admitted with. No-op
+    /// on a service configured without [`ServeConfig::budget`].
+    pub fn set_global_budget(&self, global_w: usize) {
+        if let Some(state) = &self.budget {
+            state.global_w.store(global_w, Ordering::Relaxed);
+        }
+    }
+
+    /// The per-session budget `tenant` would currently be granted for an
+    /// unbounded request, or `None` when budget allocation is off. Purely
+    /// observational — does not register the tenant in the demand map.
+    pub fn tenant_budget(&self, tenant: TenantId) -> Option<usize> {
+        let (cfg, state) = (self.cfg.budget.as_ref()?, self.budget.as_ref()?);
+        let demand = state.demand.lock().expect("budget lock poisoned");
+        Some(state.share(cfg, &demand, tenant.0))
     }
 
     /// Activates one session and returns the admission outcome it ran
@@ -855,6 +941,14 @@ impl TrajServe {
         let mut window_stats = trajcache::CacheStats::default();
         let mut forward_live = trajcache::CacheStats::default();
         for o in outcomes {
+            if let Some(state) = &self.budget {
+                if !o.applied_by_tenant.is_empty() {
+                    let mut demand = state.demand.lock().expect("budget lock poisoned");
+                    for (&t, &n) in &o.applied_by_tenant {
+                        *demand.entry(t).or_insert(0) += n;
+                    }
+                }
+            }
             for tenant in o.released {
                 self.admission.release_tenant_slot(tenant);
             }
@@ -1021,6 +1115,7 @@ impl TrajServe {
         let cache_cfg = self.cfg.cache.as_ref();
         let nshards = self.nshards;
         let col_store = self.cfg.col_store.is_some();
+        let budget_on = self.cfg.budget.is_some();
 
         for op in ops {
             match op {
@@ -1032,6 +1127,9 @@ impl TrajServe {
                         sess.append_seconds.record(start.elapsed().as_secs_f64());
                         if accepted {
                             out.applied += 1;
+                            if budget_on {
+                                *out.applied_by_tenant.entry(sess.tenant.0).or_insert(0) += 1;
+                            }
                         } else {
                             out.shed_nonmono += 1;
                         }

@@ -1,0 +1,266 @@
+//! `rlts allocate` — collective, query-accuracy-driven budget allocation
+//! over a columnar segment store (DESIGN.md §17).
+//!
+//! Where `rlts resimplify` tightens every entry *at its stored budget*,
+//! this pass re-decides the budgets themselves: given one global point
+//! budget over every trajectory in the store, it runs
+//! [`trajquery::allocate`] to redistribute points toward the trajectories
+//! a guard query workload actually touches, and (optionally) writes a
+//! mirrored store whose kept columns reflect the new allocation.
+//!
+//! # Contract
+//!
+//! * **Strictly no worse than uniform.** The collective allocation is
+//!   adopted only when it scores at least as well as the equal-ratio
+//!   uniform split on both range F1 and kNN HR@k over the guard workload;
+//!   otherwise the uniform allocation is written. The report records both
+//!   arms and which one won.
+//! * **Thread-count invariant.** The allocator, the workload generator,
+//!   and the store writer are all deterministic; the report and any
+//!   mirrored store are byte-identical at any `--threads` (CI `cmp`s
+//!   them).
+//! * **Best-available base.** Entries with archived raw columns are
+//!   allocated against the raw stream; kept-only entries are allocated
+//!   against their stored online result (the best original available).
+//!   Quarantined entries are dropped from the mirror and counted, as in
+//!   `rlts resimplify`.
+
+use crate::storeio::read_store;
+use crate::trajectory::error::Measure;
+use crate::trajectory::TrajCols;
+use crate::trajstore::ColSegWriter;
+use std::path::PathBuf;
+use trajquery::allocate::{allocate, subset_cols, AllocateConfig};
+use trajquery::rtree::Database;
+use trajquery::workload::WorkloadSpec;
+
+/// What one allocation pass runs with.
+#[derive(Debug, Clone)]
+pub struct AllocateCliConfig {
+    /// Columnar segment store to read.
+    pub input: PathBuf,
+    /// Optional mirrored store for the reallocated kept columns (raw
+    /// columns are preserved; file names mirror the input's).
+    pub output: Option<PathBuf>,
+    /// Global kept-point budget across every entry in the store.
+    pub budget: usize,
+    /// Guard workload spec (see [`WorkloadSpec::parse`]; empty =
+    /// defaults).
+    pub queries: String,
+    /// Error measure pricing the allocator's drop candidates.
+    pub measure: Measure,
+    /// Worker threads (`0` = all cores). Outputs are byte-identical at
+    /// any value.
+    pub threads: usize,
+}
+
+impl Default for AllocateCliConfig {
+    fn default() -> Self {
+        AllocateCliConfig {
+            input: PathBuf::new(),
+            output: None,
+            budget: 0,
+            queries: String::new(),
+            measure: Measure::Sed,
+            threads: 0,
+        }
+    }
+}
+
+/// What an allocation pass decided; see [`AllocateReport::to_json`].
+#[derive(Debug, Clone)]
+pub struct AllocateReport {
+    /// Canonical guard workload spec.
+    pub spec: String,
+    /// Guard measure pricing the drops.
+    pub measure: Measure,
+    /// Segments read / skipped, as in `rlts resimplify`.
+    pub segments_read: usize,
+    /// Segment files skipped whole (corrupt header/footer).
+    pub segments_skipped: usize,
+    /// Entries allocated over.
+    pub entries: usize,
+    /// Entries dropped because a column failed its CRC.
+    pub entries_quarantined: usize,
+    /// Total points across the allocation base (raw where archived,
+    /// online kept otherwise).
+    pub base_points: usize,
+    /// The requested global budget.
+    pub budget: usize,
+    /// The effective kept total after clamping to `[floors, points]`.
+    pub target_total: usize,
+    /// True when the collective arm passed the guard and was adopted.
+    pub adopted_collective: bool,
+    /// Guard accuracy: collective arm `(range_f1, knn_hr)`.
+    pub collective: (f64, f64),
+    /// Guard accuracy: uniform arm `(range_f1, knn_hr)`.
+    pub uniform: (f64, f64),
+    /// Smallest / largest per-entry budget the adopted arm assigned.
+    pub budget_min: usize,
+    /// See [`AllocateReport::budget_min`].
+    pub budget_max: usize,
+}
+
+impl AllocateReport {
+    /// Deterministic JSON rendering: no timestamps, no wall clock, fixed
+    /// key order — byte-comparable across runs and thread counts.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"queries\": \"{}\",\n", self.spec));
+        s.push_str(&format!("  \"measure\": \"{}\",\n", self.measure.name()));
+        s.push_str(&format!("  \"segments_read\": {},\n", self.segments_read));
+        s.push_str(&format!(
+            "  \"segments_skipped\": {},\n",
+            self.segments_skipped
+        ));
+        s.push_str(&format!("  \"entries\": {},\n", self.entries));
+        s.push_str(&format!(
+            "  \"entries_quarantined\": {},\n",
+            self.entries_quarantined
+        ));
+        s.push_str(&format!("  \"base_points\": {},\n", self.base_points));
+        s.push_str(&format!("  \"budget\": {},\n", self.budget));
+        s.push_str(&format!("  \"target_total\": {},\n", self.target_total));
+        s.push_str(&format!(
+            "  \"adopted\": \"{}\",\n",
+            if self.adopted_collective {
+                "collective"
+            } else {
+                "uniform"
+            }
+        ));
+        s.push_str(&format!(
+            "  \"collective\": {{\"range_f1\": {:?}, \"knn_hr\": {:?}}},\n",
+            self.collective.0, self.collective.1
+        ));
+        s.push_str(&format!(
+            "  \"uniform\": {{\"range_f1\": {:?}, \"knn_hr\": {:?}}},\n",
+            self.uniform.0, self.uniform.1
+        ));
+        s.push_str(&format!("  \"budget_min\": {},\n", self.budget_min));
+        s.push_str(&format!("  \"budget_max\": {}\n", self.budget_max));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Runs the pass: read → allocate → (optionally) mirrored write.
+pub fn run(cfg: &AllocateCliConfig) -> Result<AllocateReport, String> {
+    let spec = WorkloadSpec::parse(&cfg.queries).map_err(|e| format!("bad --queries spec: {e}"))?;
+    let (segments, skipped) = read_store(&cfg.input)?;
+
+    // Flatten to (segment, entry) in deterministic store order; the
+    // allocator's trajectory ids are positions in this flattening.
+    let items: Vec<(usize, usize)> = segments
+        .iter()
+        .enumerate()
+        .flat_map(|(s, seg)| (0..seg.entries.len()).map(move |e| (s, e)))
+        .collect();
+    let base: Vec<TrajCols> = items
+        .iter()
+        .map(|&(s, e)| {
+            let entry = &segments[s].entries[e];
+            entry.raw.clone().unwrap_or_else(|| entry.kept.clone())
+        })
+        .collect();
+    let db = Database::new(base);
+    let wl = spec.generate(&db);
+    let alloc = allocate(
+        &db,
+        &wl,
+        &AllocateConfig {
+            global_budget: cfg.budget,
+            min_per_traj: 2,
+            measure: cfg.measure,
+            threads: cfg.threads,
+        },
+    );
+
+    let report = AllocateReport {
+        spec: spec.render(),
+        measure: cfg.measure,
+        segments_read: segments.len(),
+        segments_skipped: skipped,
+        entries: items.len(),
+        entries_quarantined: segments.iter().map(|s| s.quarantined).sum(),
+        base_points: db.total_points(),
+        budget: cfg.budget,
+        target_total: alloc.target_total,
+        adopted_collective: alloc.adopted_collective,
+        collective: (alloc.collective.range_f1, alloc.collective.knn_hr),
+        uniform: (alloc.uniform.range_f1, alloc.uniform.knn_hr),
+        budget_min: alloc.budgets.iter().copied().min().unwrap_or(0),
+        budget_max: alloc.budgets.iter().copied().max().unwrap_or(0),
+    };
+
+    if let Some(out_dir) = &cfg.output {
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+        let mut flat = 0usize;
+        for (s, seg) in segments.iter().enumerate() {
+            let mut writer = ColSegWriter::new(&seg.dataset, seg.version);
+            for (e, entry) in seg.entries.iter().enumerate() {
+                debug_assert_eq!(items[flat], (s, e));
+                let mut out = entry.clone();
+                out.kept = subset_cols(db.cols(flat), &alloc.kept[flat]);
+                out.w = alloc.budgets[flat] as u32;
+                writer.push(&out);
+                flat += 1;
+            }
+            writer
+                .seal(&out_dir.join(&seg.file_name))
+                .map_err(|e| format!("cannot seal {}: {e}", seg.file_name))?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_is_stable() {
+        let rep = AllocateReport {
+            spec: "range=2,knn=1,k=4,seed=9,side=0.02..0.1".into(),
+            measure: Measure::Sed,
+            segments_read: 1,
+            segments_skipped: 0,
+            entries: 3,
+            entries_quarantined: 0,
+            base_points: 300,
+            budget: 90,
+            target_total: 90,
+            adopted_collective: true,
+            collective: (0.9, 0.8),
+            uniform: (0.85, 0.8),
+            budget_min: 2,
+            budget_max: 60,
+        };
+        let a = rep.to_json();
+        assert_eq!(a, rep.to_json());
+        assert!(a.contains("\"adopted\": \"collective\""));
+        assert!(a.contains("\"budget\": 90"));
+    }
+
+    #[test]
+    fn missing_store_is_an_error() {
+        let cfg = AllocateCliConfig {
+            input: PathBuf::from("/nonexistent/store"),
+            budget: 100,
+            ..AllocateCliConfig::default()
+        };
+        assert!(run(&cfg).is_err());
+    }
+
+    #[test]
+    fn bad_spec_is_an_error() {
+        let cfg = AllocateCliConfig {
+            queries: "bogus=1".into(),
+            ..AllocateCliConfig::default()
+        };
+        let err = run(&cfg).unwrap_err();
+        assert!(err.contains("bad --queries spec"), "{err}");
+    }
+}

@@ -10,6 +10,7 @@
 //! rlts serve     --listen ADDR [options]            network shard server
 //! rlts route     --listen ADDR --shards A,B,...     shard router
 //! rlts resimplify --in DIR --out DIR [options]      batch-tighten a store
+//! rlts allocate  --in DIR --budget N [options]      collective budget split
 //!
 //! common options:
 //!   --measure sed|ped|dad|sad      error measure            [sed]
@@ -67,6 +68,11 @@
 //!   --col-store DIR                additionally seal closed/evicted outputs
 //!                                  into columnar segments under DIR
 //!                                  (DESIGN.md §16); feeds `rlts resimplify`
+//!   --global-budget N              cross-tenant budget pool: per-tenant
+//!                                  session budgets are derived from one
+//!                                  global per-session pool by observed
+//!                                  demand, hot-reloadable like policy
+//!                                  checkpoints (DESIGN.md §17)
 //!
 //! network serve options (DESIGN.md §15):
 //!   --listen ADDR                  run one shard as a TCP server speaking
@@ -94,6 +100,23 @@
 //!   --measure sed|ped|dad|sad      guard measure: the batch result is kept
 //!                                  only when no worse than the stored
 //!                                  online one under it              [sed]
+//!   --report FILE                  write the deterministic JSON report
+//!   --queries SPEC                 query workload scoring the pass
+//!                                  (range=N,knn=N,k=N,seed=N,side=LO..HI;
+//!                                  "off" disables)       [defaults]
+//!
+//! allocate options (DESIGN.md §17):
+//!   --in DIR                       columnar store written by
+//!                                  `rlts serve --col-store`
+//!   --budget N                     global kept-point budget across every
+//!                                  entry in the store
+//!   --queries SPEC                 guard workload (syntax as above); the
+//!                                  collective allocation must beat the
+//!                                  uniform split on it or uniform wins
+//!   --out DIR                      mirrored store with reallocated kept
+//!                                  columns (byte-identical at any
+//!                                  --threads)
+//!   --measure sed|ped|dad|sad      drop-candidate pricing measure   [sed]
 //!   --report FILE                  write the deterministic JSON report
 //! ```
 //!
@@ -130,6 +153,7 @@ fn main() {
         "serve" => cmd_serve(&opts),
         "route" => cmd_route(&opts),
         "resimplify" => cmd_resimplify(&opts),
+        "allocate" => cmd_allocate(&opts),
         "help" | "--help" | "-h" => help(),
         other => die(&format!("unknown command '{other}'")),
     }
@@ -138,7 +162,7 @@ fn main() {
 fn help() {
     println!(
         "rlts — trajectory simplification with reinforcement learning\n\n\
-         usage: rlts <stats|train|simplify|eval|metrics|serve|route|resimplify|help> [options] [files...]\n\
+         usage: rlts <stats|train|simplify|eval|metrics|serve|route|resimplify|allocate|help> [options] [files...]\n\
          see the crate documentation (src/bin/rlts.rs) for all options"
     );
 }
@@ -185,6 +209,9 @@ struct CliOpts {
     col_store: Option<String>,
     in_dir: Option<String>,
     report: Option<String>,
+    budget: Option<usize>,
+    queries: Option<String>,
+    global_budget: Option<usize>,
 }
 
 impl CliOpts {
@@ -318,6 +345,21 @@ impl CliOpts {
                 "--col-store" => o.col_store = Some(val("--col-store")),
                 "--in" => o.in_dir = Some(val("--in")),
                 "--report" => o.report = Some(val("--report")),
+                "--budget" => {
+                    o.budget = Some(
+                        val("--budget")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --budget")),
+                    )
+                }
+                "--queries" => o.queries = Some(val("--queries")),
+                "--global-budget" => {
+                    o.global_budget = Some(
+                        val("--global-budget")
+                            .parse()
+                            .unwrap_or_else(|_| die("bad --global-budget")),
+                    )
+                }
                 flag if flag.starts_with("--") => die(&format!("unknown flag '{flag}'")),
                 file => o.files.push(file.to_string()),
             }
@@ -885,6 +927,7 @@ fn soak_config_from(o: &CliOpts) -> rlts::trajserve::SoakConfig {
             idle_ttl: o.ttl.unwrap_or(12),
             seed: o.seed.unwrap_or(0xC0FFEE),
             col_store: o.col_store.as_ref().map(std::path::PathBuf::from),
+            budget: o.global_budget.map(rlts::trajserve::BudgetConfig::pool),
             ..ServeConfig::default()
         },
     }
@@ -983,6 +1026,7 @@ fn cmd_resimplify(o: &CliOpts) {
         algo: o.algo.clone().unwrap_or_else(|| "bottom-up".into()),
         measure: o.measure(),
         threads: o.threads.unwrap_or(0),
+        queries: o.queries.clone().unwrap_or_default(),
     };
     let report = run(&cfg).unwrap_or_else(|e| die(&e));
     let json = report.to_json();
@@ -1001,6 +1045,52 @@ fn cmd_resimplify(o: &CliOpts) {
         report.retained,
         report.kept_only,
         report.entries_quarantined
+    );
+}
+
+/// `rlts allocate`: redistribute one global point budget across every
+/// entry of a columnar store by marginal query-accuracy loss, guarded to
+/// be no worse than the uniform split on the query workload
+/// (DESIGN.md §17).
+fn cmd_allocate(o: &CliOpts) {
+    use rlts::allocate::{run, AllocateCliConfig};
+
+    let Some(input) = o.in_dir.as_deref() else {
+        die("allocate needs --in DIR (a store written by `rlts serve --col-store`)");
+    };
+    let Some(budget) = o.budget else {
+        die("allocate needs --budget N (global kept-point budget)");
+    };
+    let cfg = AllocateCliConfig {
+        input: input.into(),
+        output: o.out.as_deref().map(Into::into),
+        budget,
+        queries: o.queries.clone().unwrap_or_default(),
+        measure: o.measure(),
+        threads: o.threads.unwrap_or(0),
+    };
+    let report = run(&cfg).unwrap_or_else(|e| die(&e));
+    let json = report.to_json();
+    if let Some(path) = &o.report {
+        std::fs::write(path, &json).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    print!("{json}");
+    eprintln!(
+        "[allocate] {} entries over {} segments ({} skipped, {} quarantined); \
+         adopted {} split: {} of {} points kept, per-entry budgets {}..{}",
+        report.entries,
+        report.segments_read,
+        report.segments_skipped,
+        report.entries_quarantined,
+        if report.adopted_collective {
+            "collective"
+        } else {
+            "uniform"
+        },
+        report.target_total,
+        report.base_points,
+        report.budget_min,
+        report.budget_max
     );
 }
 

@@ -30,7 +30,12 @@
 //! * [`trajcache`] — the zero-dependency memoization cache (LRU / TLRU /
 //!   ARC eviction, byte + entry bounds) behind the error-kernel range
 //!   memos, policy forward-pass caching, and the serve-layer window memo
-//!   (see DESIGN.md §14 and `--cache` on `rlts train` / `rlts serve`).
+//!   (see DESIGN.md §14 and `--cache` on `rlts train` / `rlts serve`);
+//! * [`trajquery`] — the spatial query layer: an STR-packed R-tree over
+//!   trajectory MBRs, seeded range/kNN query workloads with
+//!   simplified-vs-original accuracy metrics, and the collective
+//!   query-accuracy-driven budget allocator (see DESIGN.md §17 and
+//!   `rlts allocate`).
 //!
 //! ## Quick start
 //!
@@ -75,6 +80,7 @@ pub use sensornet;
 pub use trajcache;
 pub use trajectory;
 pub use trajgen;
+pub use trajquery;
 pub use trajserve;
 pub use trajstore;
 
@@ -83,7 +89,9 @@ pub use rlts_core::{
     TrainReport, TrainedPolicy, ValueUpdate, Variant,
 };
 
+pub mod allocate;
 pub mod resimplify;
+mod storeio;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {

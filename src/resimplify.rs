@@ -30,11 +30,15 @@
 //!   re-simplified — its online result is already the best available and
 //!   is copied through unchanged.
 
+use crate::storeio::read_store;
 use crate::trajectory::error::{trajectory_error_cols, Aggregation, Dad, Measure, Ped, Sad, Sed};
 use crate::trajectory::{Budget, Point, Simplifier, TrajCols};
-use crate::trajstore::{ColRole, ColSegEntry, ColSegReader, ColSegWriter, ColStore};
+use crate::trajstore::{ColSegEntry, ColSegWriter};
 use baselines::{Bellman, BottomUp, TopDown, Uniform};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
+use trajquery::accuracy::evaluate_built;
+use trajquery::rtree::Database;
+use trajquery::workload::WorkloadSpec;
 
 /// What one re-simplification pass runs with.
 #[derive(Debug, Clone)]
@@ -52,6 +56,11 @@ pub struct ResimplifyConfig {
     /// Worker threads for the per-entry map (`0` = all cores). Outputs
     /// are byte-identical at any value.
     pub threads: usize,
+    /// Query workload spec scoring the pass the way arXiv 2311.11204
+    /// evaluates (range F1 / kNN HR@k over the compared entries; see
+    /// [`WorkloadSpec::parse`]). Empty = defaults, `"off"` = skip the
+    /// query-accuracy section.
+    pub queries: String,
 }
 
 impl Default for ResimplifyConfig {
@@ -62,8 +71,27 @@ impl Default for ResimplifyConfig {
             algo: "bottom-up".into(),
             measure: Measure::Sed,
             threads: 0,
+            queries: String::new(),
         }
     }
+}
+
+/// Query accuracy of the online and re-simplified results against the raw
+/// streams, over the compared entries.
+#[derive(Debug, Clone)]
+pub struct QueryAccuracySection {
+    /// Canonical workload spec that was evaluated.
+    pub spec: String,
+    /// Compared entries the workload ran over.
+    pub entries: usize,
+    /// Range F1 of the stored online simplifications.
+    pub online_range_f1: f64,
+    /// kNN HR@k of the stored online simplifications.
+    pub online_knn_hr: f64,
+    /// Range F1 of the written (re-simplified) entries.
+    pub resimplified_range_f1: f64,
+    /// kNN HR@k of the written (re-simplified) entries.
+    pub resimplified_knn_hr: f64,
 }
 
 /// Per-measure error tightening over the compared entries.
@@ -109,6 +137,9 @@ pub struct ResimplifyReport {
     /// Per-measure tightening over the compared entries (all four
     /// measures, in SED/PED/DAD/SAD order).
     pub measures: Vec<MeasureTightening>,
+    /// Query-accuracy scoring of the compared entries (`None` when
+    /// disabled or nothing was comparable).
+    pub queries: Option<QueryAccuracySection>,
 }
 
 impl ResimplifyReport {
@@ -151,7 +182,30 @@ impl ResimplifyReport {
                 if i + 1 < self.measures.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ],\n");
+        match &self.queries {
+            Some(q) => {
+                s.push_str("  \"queries\": {\n");
+                s.push_str(&format!("    \"spec\": \"{}\",\n", q.spec));
+                s.push_str(&format!("    \"entries\": {},\n", q.entries));
+                s.push_str(&format!(
+                    "    \"online_range_f1\": {:?},\n",
+                    q.online_range_f1
+                ));
+                s.push_str(&format!("    \"online_knn_hr\": {:?},\n", q.online_knn_hr));
+                s.push_str(&format!(
+                    "    \"resimplified_range_f1\": {:?},\n",
+                    q.resimplified_range_f1
+                ));
+                s.push_str(&format!(
+                    "    \"resimplified_knn_hr\": {:?}\n",
+                    q.resimplified_knn_hr
+                ));
+                s.push_str("  }\n");
+            }
+            None => s.push_str("  \"queries\": null\n"),
+        }
+        s.push_str("}\n");
         s
     }
 }
@@ -262,92 +316,53 @@ fn process_entry(entry: &ColSegEntry, algo: &dyn Simplifier, guard: Measure) -> 
     }
 }
 
-/// One readable input segment, fully decoded.
-struct SegmentData {
-    file_name: String,
-    dataset: String,
-    version: u32,
-    entries: Vec<ColSegEntry>,
-    quarantined: usize,
-}
-
-/// Reads every entry of one segment, quarantining entries whose columns
-/// fail their CRC.
-fn read_segment(path: &Path) -> Result<SegmentData, String> {
-    let mut reader = ColSegReader::open(path).map_err(|e| e.to_string())?;
-    let file_name = path
-        .file_name()
-        .and_then(|n| n.to_str())
-        .ok_or_else(|| "segment path has no file name".to_string())?
-        .to_string();
-    let mut data = SegmentData {
-        file_name,
-        dataset: reader.dataset().to_string(),
-        version: reader.version(),
-        entries: Vec::with_capacity(reader.len()),
-        quarantined: 0,
-    };
-    for i in 0..reader.len() {
-        let meta = reader.entries()[i].clone();
-        let kept = match reader.read_cols(i, ColRole::Kept) {
-            Ok(cols) => cols,
-            Err(_) => {
-                data.quarantined += 1;
-                continue;
-            }
-        };
-        let raw = if meta.raw_len.is_some() {
-            match reader.read_cols(i, ColRole::Raw) {
-                Ok(cols) => Some(cols),
-                Err(_) => {
-                    data.quarantined += 1;
-                    continue;
-                }
-            }
-        } else {
-            None
-        };
-        data.entries.push(ColSegEntry {
-            id: meta.id,
-            tenant: meta.tenant,
-            policy_version: meta.policy_version,
-            w: meta.w,
-            reason: meta.reason,
-            degraded: meta.degraded,
-            observed: meta.observed,
-            delivered_at: meta.delivered_at,
-            kept,
-            raw,
-        });
+/// Scores the compared entries' online and re-simplified results against
+/// their raw streams on a seeded query workload. Returns `Ok(None)` when
+/// disabled (`spec == "off"`) or nothing was comparable.
+fn score_queries(
+    spec: &str,
+    trajs: &[(TrajCols, TrajCols, TrajCols)],
+    threads: usize,
+) -> Result<Option<QueryAccuracySection>, String> {
+    if spec == "off" || trajs.is_empty() {
+        return Ok(None);
     }
-    Ok(data)
+    let spec = WorkloadSpec::parse(spec).map_err(|e| format!("bad --queries spec: {e}"))?;
+    let base = Database::new(trajs.iter().map(|(r, _, _)| r.clone()).collect());
+    let online = Database::new(trajs.iter().map(|(_, o, _)| o.clone()).collect());
+    let resim = Database::new(trajs.iter().map(|(_, _, f)| f.clone()).collect());
+    let wl = spec.generate(&base);
+    let on = evaluate_built(&base, &online, &wl, threads);
+    let re = evaluate_built(&base, &resim, &wl, threads);
+    Ok(Some(QueryAccuracySection {
+        spec: spec.render(),
+        entries: trajs.len(),
+        online_range_f1: on.range_f1,
+        online_knn_hr: on.knn_hr,
+        resimplified_range_f1: re.range_f1,
+        resimplified_knn_hr: re.knn_hr,
+    }))
 }
 
 /// Runs the pass: read → parallel re-simplify → mirrored write.
 pub fn run(cfg: &ResimplifyConfig) -> Result<ResimplifyReport, String> {
     let algo = batch_algo(&cfg.algo, cfg.measure)?;
+    if cfg.queries != "off" {
+        // Surface a bad workload spec before the heavy pass runs.
+        WorkloadSpec::parse(&cfg.queries).map_err(|e| format!("bad --queries spec: {e}"))?;
+    }
     let mut report = ResimplifyReport {
         algo: cfg.algo.clone(),
         guard: Some(cfg.measure),
         ..ResimplifyReport::default()
     };
 
-    let paths = ColStore::segment_paths(&cfg.input)
-        .map_err(|e| format!("cannot scan {}: {e}", cfg.input.display()))?;
-    if paths.is_empty() {
-        return Err(format!("no .colseg segments under {}", cfg.input.display()));
-    }
-    let mut segments = Vec::new();
-    for path in &paths {
-        match read_segment(path) {
-            Ok(seg) => {
-                report.segments_read += 1;
-                report.entries += seg.entries.len() + seg.quarantined;
-                report.entries_quarantined += seg.quarantined;
-                segments.push(seg);
-            }
-            Err(_) => report.segments_skipped += 1,
-        }
+    let (segments, skipped) = read_store(&cfg.input)?;
+    report.segments_skipped = skipped;
+    for seg in &segments {
+        report.segments_read += 1;
+        report.entries += seg.entries.len() + seg.quarantined;
+        report.entries_quarantined += seg.quarantined;
     }
 
     // Flatten to one work item per entry so a segment with many entries
@@ -367,7 +382,10 @@ pub fn run(cfg: &ResimplifyConfig) -> Result<ResimplifyReport, String> {
         .iter()
         .map(|s| Vec::with_capacity(s.entries.len()))
         .collect();
-    for ((s, _), outcome) in items.into_iter().zip(outcomes) {
+    // Compared entries' (raw, online kept, final kept) columns, in item
+    // order, for the query-accuracy scoring below.
+    let mut query_trajs: Vec<(TrajCols, TrajCols, TrajCols)> = Vec::new();
+    for (&(s, e), outcome) in items.iter().zip(outcomes) {
         match outcome.scores {
             Some((online, fin)) => {
                 report.compared += 1;
@@ -380,11 +398,19 @@ pub fn run(cfg: &ResimplifyConfig) -> Result<ResimplifyReport, String> {
                     online_sums[i] += online[i];
                     final_sums[i] += fin[i];
                 }
+                if let Some(raw) = &outcome.entry.raw {
+                    query_trajs.push((
+                        raw.clone(),
+                        segments[s].entries[e].kept.clone(),
+                        outcome.entry.kept.clone(),
+                    ));
+                }
             }
             None => report.kept_only += 1,
         }
         by_segment[s].push(outcome.entry);
     }
+    report.queries = score_queries(&cfg.queries, &query_trajs, cfg.threads)?;
     let n = report.compared.max(1) as f64;
     report.measures = Measure::ALL
         .iter()

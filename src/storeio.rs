@@ -1,0 +1,97 @@
+//! Shared colseg-store ingestion for the offline CLI passes.
+//!
+//! `rlts resimplify` and `rlts allocate` both start the same way: scan a
+//! store directory in sorted file-name order, decode every segment, and
+//! quarantine entries whose columns fail their CRC instead of aborting.
+//! This module is that common front half; the passes differ only in what
+//! they do with the decoded entries.
+
+use crate::trajstore::{ColRole, ColSegEntry, ColSegReader, ColStore};
+use std::path::{Path, PathBuf};
+
+/// One readable input segment, fully decoded.
+pub(crate) struct SegmentData {
+    /// The segment's file name (outputs mirror it).
+    pub file_name: String,
+    /// Dataset label recorded in the segment header.
+    pub dataset: String,
+    /// Format version recorded in the segment header.
+    pub version: u32,
+    /// Entries whose columns all passed their CRC.
+    pub entries: Vec<ColSegEntry>,
+    /// Entries dropped because a column failed its CRC.
+    pub quarantined: usize,
+}
+
+/// Reads every entry of one segment, quarantining entries whose columns
+/// fail their CRC.
+pub(crate) fn read_segment(path: &Path) -> Result<SegmentData, String> {
+    let mut reader = ColSegReader::open(path).map_err(|e| e.to_string())?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| "segment path has no file name".to_string())?
+        .to_string();
+    let mut data = SegmentData {
+        file_name,
+        dataset: reader.dataset().to_string(),
+        version: reader.version(),
+        entries: Vec::with_capacity(reader.len()),
+        quarantined: 0,
+    };
+    for i in 0..reader.len() {
+        let meta = reader.entries()[i].clone();
+        let kept = match reader.read_cols(i, ColRole::Kept) {
+            Ok(cols) => cols,
+            Err(_) => {
+                data.quarantined += 1;
+                continue;
+            }
+        };
+        let raw = if meta.raw_len.is_some() {
+            match reader.read_cols(i, ColRole::Raw) {
+                Ok(cols) => Some(cols),
+                Err(_) => {
+                    data.quarantined += 1;
+                    continue;
+                }
+            }
+        } else {
+            None
+        };
+        data.entries.push(ColSegEntry {
+            id: meta.id,
+            tenant: meta.tenant,
+            policy_version: meta.policy_version,
+            w: meta.w,
+            reason: meta.reason,
+            degraded: meta.degraded,
+            observed: meta.observed,
+            delivered_at: meta.delivered_at,
+            kept,
+            raw,
+        });
+    }
+    Ok(data)
+}
+
+/// Scans a store directory and decodes every readable segment, in sorted
+/// file-name order. Returns the decoded segments plus the count of
+/// segment files skipped whole (corrupt header/footer). `Err` only when
+/// the directory itself cannot be scanned or holds no segments at all.
+pub(crate) fn read_store(input: &PathBuf) -> Result<(Vec<SegmentData>, usize), String> {
+    let paths = ColStore::segment_paths(input)
+        .map_err(|e| format!("cannot scan {}: {e}", input.display()))?;
+    if paths.is_empty() {
+        return Err(format!("no .colseg segments under {}", input.display()));
+    }
+    let mut segments = Vec::new();
+    let mut skipped = 0usize;
+    for path in &paths {
+        match read_segment(path) {
+            Ok(seg) => segments.push(seg),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((segments, skipped))
+}

@@ -1,0 +1,200 @@
+//! End-to-end tests for the query-accuracy pipeline (DESIGN.md §17):
+//! `rlts allocate` over a real serve-produced columnar store must be
+//! byte-identical at any thread count (report and mirrored store), must
+//! honour the global budget exactly, and must never adopt a collective
+//! allocation that scores below the uniform split on the guard workload.
+//! `rlts resimplify --queries` grows the same report rows.
+
+use rlts::allocate::{run as run_allocate, AllocateCliConfig};
+use rlts::prelude::*;
+use rlts::resimplify::{run as run_resimplify, ResimplifyConfig};
+use rlts::trajserve::{ServeConfig, SimplifierSpec, TenantId, TrajServe};
+use rlts::trajstore::ColStore;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlts-queries-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Seals a small store: six sessions over three tenants, zig-zag streams
+/// long enough to force several window flushes.
+fn build_store(dir: &Path) {
+    let serve = TrajServe::new(ServeConfig {
+        threads: 2,
+        window: 16,
+        idle_ttl: 4,
+        seed: 0x5EED,
+        col_store: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    });
+    let specs = [
+        SimplifierSpec::Squish(Measure::Sed),
+        SimplifierSpec::Uniform,
+        SimplifierSpec::Squish(Measure::Ped),
+    ];
+    let ids: Vec<_> = (0..6)
+        .map(|i| {
+            serve
+                .create_session(TenantId((i % 3) as u32), specs[i % 3].clone(), 8)
+                .expect("admitted")
+        })
+        .collect();
+    for step in 0..10u64 {
+        for (i, id) in ids.iter().enumerate() {
+            for j in 0..5u64 {
+                let t = (step * 5 + j) as f64;
+                let y = if (step + j + i as u64) % 4 == 0 {
+                    9.0
+                } else {
+                    0.1 * j as f64
+                };
+                serve
+                    .append(*id, Point::new(t + i as f64 * 1e-3, y, t))
+                    .expect("admitted point");
+            }
+        }
+        serve.tick();
+    }
+    for id in &ids {
+        serve.close(*id);
+    }
+    serve.tick();
+    assert_eq!(serve.drain_completed().len(), 6);
+}
+
+fn store_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    ColStore::segment_paths(dir)
+        .expect("scan store")
+        .iter()
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(p).expect("read segment"),
+            )
+        })
+        .collect()
+}
+
+/// The allocator CLI pass is byte-identical at 1 and 4 threads — report
+/// and mirrored store — and the adopted arm never loses to uniform on
+/// the guard workload.
+#[test]
+fn allocate_is_thread_invariant_and_guarded() {
+    let store = scratch("alloc-src");
+    build_store(&store);
+    let mut reports = Vec::new();
+    let mut mirrors = Vec::new();
+    for threads in [1usize, 4] {
+        let out = scratch(&format!("alloc-out-{threads}"));
+        let cfg = AllocateCliConfig {
+            input: store.clone(),
+            output: Some(out.clone()),
+            budget: 30,
+            queries: "range=16,knn=8,k=4,seed=3".into(),
+            measure: Measure::Sed,
+            threads,
+        };
+        let report = run_allocate(&cfg).expect("allocate runs");
+        assert_eq!(report.entries, 6);
+        assert_eq!(
+            report.target_total, 30,
+            "budget within [floors, points] is hit exactly"
+        );
+        // The guard contract: whatever arm was adopted scores at least
+        // as well as uniform on both metrics.
+        let winner = if report.adopted_collective {
+            report.collective
+        } else {
+            report.uniform
+        };
+        assert!(winner.0 >= report.uniform.0 && winner.1 >= report.uniform.1);
+        reports.push(report.to_json());
+        mirrors.push(store_bytes(&out));
+    }
+    assert_eq!(reports[0], reports[1], "report differs across threads");
+    assert_eq!(mirrors[0], mirrors[1], "mirrored store differs");
+
+    // The mirror is a readable store whose kept totals equal the target.
+    let out1 =
+        std::env::temp_dir().join(format!("rlts-queries-alloc-out-1-{}", std::process::id()));
+    let reread = run_allocate(&AllocateCliConfig {
+        input: out1,
+        budget: 30,
+        queries: "range=16,knn=8,k=4,seed=3".into(),
+        ..AllocateCliConfig::default()
+    })
+    .expect("mirror is readable");
+    assert_eq!(reread.entries, 6);
+}
+
+/// `rlts resimplify --queries` scores the pass against a guard workload;
+/// `--queries off` suppresses the section.
+#[test]
+fn resimplify_reports_query_accuracy() {
+    let store = scratch("resim-src");
+    build_store(&store);
+    let cfg = ResimplifyConfig {
+        input: store.clone(),
+        output: scratch("resim-out"),
+        measure: Measure::Sed,
+        threads: 1,
+        queries: "range=8,knn=4,k=3,seed=5".into(),
+        ..ResimplifyConfig::default()
+    };
+    let report = run_resimplify(&cfg).expect("resimplify runs");
+    let q = report.queries.as_ref().expect("queries section present");
+    assert!(q.entries > 0);
+    for v in [
+        q.online_range_f1,
+        q.online_knn_hr,
+        q.resimplified_range_f1,
+        q.resimplified_knn_hr,
+    ] {
+        assert!((0.0..=1.0).contains(&v), "accuracy out of range: {v}");
+    }
+    assert!(report.to_json().contains("\"queries\": {"));
+
+    let off = run_resimplify(&ResimplifyConfig {
+        queries: "off".into(),
+        ..cfg
+    })
+    .expect("resimplify runs with queries off");
+    assert!(off.queries.is_none());
+    assert!(off.to_json().contains("\"queries\": null"));
+}
+
+/// CLI smoke: `rlts allocate` end to end through the binary.
+#[test]
+fn allocate_cli_roundtrip() {
+    let store = scratch("cli-src");
+    build_store(&store);
+    let report_path =
+        std::env::temp_dir().join(format!("rlts-queries-cli-{}.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_rlts"))
+        .args([
+            "allocate",
+            "--in",
+            store.to_str().unwrap(),
+            "--budget",
+            "40",
+            "--queries",
+            "range=8,knn=4,k=3,seed=5",
+            "--report",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&report_path).expect("report written");
+    assert!(body.contains("\"budget\": 40"));
+    assert!(body.contains("\"adopted\": \""));
+    let _ = std::fs::remove_file(&report_path);
+}

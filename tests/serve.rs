@@ -430,3 +430,175 @@ fn hot_swap_changes_only_sessions_created_after_it() {
     assert!(registry.publish_checkpoint(&bad).is_err());
     assert_eq!(registry.version(), 1);
 }
+
+/// Cross-tenant budget allocation (DESIGN.md §17): with no demand history
+/// every tenant is entitled to an equal slice of the pool, and requested
+/// budgets above the share are capped at creation.
+#[test]
+fn budget_caps_new_sessions_at_the_tenant_share() {
+    use rlts::trajserve::BudgetConfig;
+    let serve = TrajServe::new(ServeConfig {
+        window: 16,
+        budget: Some(BudgetConfig::pool(8)),
+        ..ServeConfig::default()
+    });
+    // First tenant ever seen, no demand anywhere: the whole pool.
+    assert_eq!(serve.tenant_budget(TenantId(1)), Some(8));
+    let a = serve
+        .create_session(TenantId(1), SimplifierSpec::Squish(Measure::Sed), 64)
+        .unwrap();
+    // A second tenant splits the (still demand-free) pool evenly.
+    assert_eq!(serve.tenant_budget(TenantId(2)), Some(4));
+    let b = serve
+        .create_session(TenantId(2), SimplifierSpec::Squish(Measure::Sed), 64)
+        .unwrap();
+    for p in pts(120) {
+        serve.append(a, p).unwrap();
+        serve.append(b, p).unwrap();
+    }
+    serve.close(a);
+    serve.close(b);
+    serve.tick();
+    let done = serve.drain_completed();
+    assert_eq!(done.len(), 2);
+    for o in &done {
+        let cap = if o.id == a { 8 } else { 4 };
+        assert!(
+            o.simplified.len() >= 2 && o.simplified.len() <= cap,
+            "session {} requested 64 but must be capped at {cap}, kept {}",
+            o.id,
+            o.simplified.len()
+        );
+    }
+}
+
+/// Budget shares track demand: a tenant streaming more points earns a
+/// larger slice of the pool for its future sessions.
+#[test]
+fn budget_shares_follow_demand() {
+    use rlts::trajserve::BudgetConfig;
+    let serve = TrajServe::new(ServeConfig {
+        window: 16,
+        budget: Some(BudgetConfig::pool(120)),
+        ..ServeConfig::default()
+    });
+    let a = serve
+        .create_session(TenantId(1), SimplifierSpec::Uniform, 4)
+        .unwrap();
+    let b = serve
+        .create_session(TenantId(2), SimplifierSpec::Uniform, 4)
+        .unwrap();
+    // Tenant 1 streams three times the points of tenant 2.
+    for (i, p) in pts(90).into_iter().enumerate() {
+        serve.append(a, p).unwrap();
+        if i % 3 == 0 {
+            serve.append(b, p).unwrap();
+        }
+    }
+    serve.tick();
+    let hot = serve.tenant_budget(TenantId(1)).unwrap();
+    let cold = serve.tenant_budget(TenantId(2)).unwrap();
+    assert!(
+        hot > cold,
+        "demand-heavy tenant must out-share the light one: {hot} vs {cold}"
+    );
+    // A newcomer against 120 points of established demand starts at the
+    // floor; it earns share by streaming.
+    assert_eq!(serve.tenant_budget(TenantId(3)), Some(2));
+}
+
+/// `set_global_budget` hot-reloads the pool like a policy hot-swap: only
+/// sessions created after the call see the new pool.
+#[test]
+fn budget_pool_hot_reload_affects_only_future_sessions() {
+    use rlts::trajserve::BudgetConfig;
+    let serve = TrajServe::new(ServeConfig {
+        window: 16,
+        budget: Some(BudgetConfig::pool(4)),
+        ..ServeConfig::default()
+    });
+    let a = serve
+        .create_session(TenantId(1), SimplifierSpec::Squish(Measure::Sed), 64)
+        .unwrap();
+    serve.set_global_budget(40);
+    let b = serve
+        .create_session(TenantId(1), SimplifierSpec::Squish(Measure::Sed), 64)
+        .unwrap();
+    for p in pts(120) {
+        serve.append(a, p).unwrap();
+        serve.append(b, p).unwrap();
+    }
+    serve.close(a);
+    serve.close(b);
+    serve.tick();
+    let done = serve.drain_completed();
+    assert_eq!(done.len(), 2);
+    let by_id = |id| done.iter().find(|o: &&SessionOutput| o.id == id).unwrap();
+    assert!(
+        by_id(a).simplified.len() <= 4,
+        "pre-reload session keeps the old cap"
+    );
+    let after = by_id(b).simplified.len();
+    assert!(
+        after > 4 && after <= 40,
+        "post-reload session must see the new pool, kept {after}"
+    );
+}
+
+fn run_budget_workload(threads: usize) -> Vec<SessionOutput> {
+    use rlts::trajserve::BudgetConfig;
+    let serve = TrajServe::new(ServeConfig {
+        threads,
+        window: 16,
+        idle_ttl: 8,
+        seed: 11,
+        budget: Some(BudgetConfig::pool(64)),
+        ..ServeConfig::default()
+    });
+    let mut ids = Vec::new();
+    for k in 0..30u64 {
+        if k % 3 == 0 && ids.len() < 12 {
+            let i = ids.len();
+            let id = serve
+                .create_session(
+                    TenantId((i % 4) as u32),
+                    SimplifierSpec::Squish(Measure::Sed),
+                    48,
+                )
+                .unwrap();
+            ids.push(id);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            for j in 0..4u64 {
+                let t = (k * 8 + j) as f64 + i as f64 * 1e-3;
+                let _ = serve.append(*id, Point::new(t, ((i as u64 + j) % 17) as f64, t));
+            }
+        }
+        if k % 7 == 6 && !ids.is_empty() {
+            serve.close(ids.remove(0));
+        }
+        serve.tick();
+    }
+    serve.close_all();
+    let mut out = serve.drain_completed();
+    for _ in 0..100 {
+        serve.tick();
+        out.extend(serve.drain_completed());
+        if serve.active_sessions() == 0 && serve.queued_sessions() == 0 {
+            break;
+        }
+    }
+    out.extend(serve.drain_completed());
+    out
+}
+
+/// Budget capping is decided on the single-threaded create path and
+/// demand merges commutatively across shards, so budget-mode outputs are
+/// byte-identical at any thread count.
+#[test]
+fn budget_outputs_are_identical_at_one_and_four_threads() {
+    let one = run_budget_workload(1);
+    let four = run_budget_workload(4);
+    assert!(!one.is_empty());
+    assert_eq!(comparable(&one), comparable(&four));
+}

@@ -438,3 +438,52 @@ proptest! {
         let _ = std::fs::remove_dir_all(&template);
     }
 }
+
+/// Budget mode (DESIGN.md §17) across a crash: each session's capped `w`
+/// is journaled in its `Create` record, and demand is re-learned from the
+/// replayed appends, so a crashed budget-mode service — including the
+/// caps of sessions created *after* recovery — is byte-identical to an
+/// uncrashed twin.
+#[test]
+fn budget_mode_recovery_is_byte_identical() {
+    use rlts::trajserve::BudgetConfig;
+    const STEPS: u64 = 20;
+    let budgeted = |dir: &Path| ServeConfig {
+        budget: Some(BudgetConfig::pool(24)),
+        ..durable_cfg(dir, 0)
+    };
+
+    let ref_dir = scratch("budget-ref");
+    let reference = {
+        let serve = TrajServe::new(budgeted(&ref_dir));
+        let mut ids = Vec::new();
+        for k in 0..STEPS {
+            workload_step(&serve, k, &mut ids);
+        }
+        canon(&finish(&serve))
+    };
+
+    for crash_step in [4u64, 11] {
+        let dir = scratch(&format!("budget-crash-{crash_step}"));
+        let cfg = budgeted(&dir);
+        let mut serve = TrajServe::new(cfg.clone());
+        let mut ids = Vec::new();
+        for k in 0..crash_step {
+            workload_step(&serve, k, &mut ids);
+        }
+        drop(serve); // crash
+        let (recovered, report) = TrajServe::recover(cfg).expect("clean journal recovers");
+        assert_eq!(report.recovered_tick, crash_step);
+        serve = recovered;
+        for k in crash_step..STEPS {
+            workload_step(&serve, k, &mut ids);
+        }
+        let got = canon(&finish(&serve));
+        assert_eq!(
+            got, reference,
+            "budget-mode outputs diverged after crash at step {crash_step}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&ref_dir);
+}
